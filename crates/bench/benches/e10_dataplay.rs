@@ -1,0 +1,46 @@
+//! E10 — cost of the DataPlay interaction loop: build the query tree,
+//! flip a quantifier, and recompute the matching / non-matching panes.
+//! The interaction must be interactive-fast (the whole point of the
+//! direct-manipulation interface) — this bench pins that claim, and
+//! sweeps the partition cost with database size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use relviz_diagrams::dataplay::DataPlayTree;
+use relviz_model::catalog::sailors_sample;
+use relviz_model::generate::{generate_sailors, GenConfig};
+
+const Q5: &str = "SELECT S.sname FROM Sailor S WHERE NOT EXISTS \
+    (SELECT * FROM Boat B WHERE B.color = 'red' AND NOT EXISTS \
+      (SELECT * FROM Reserves R WHERE R.sid = S.sid AND R.bid = B.bid))";
+
+fn bench_interaction(c: &mut Criterion) {
+    let db = sailors_sample();
+    let mut g = c.benchmark_group("e10_interaction");
+    g.bench_function("build_tree", |b| {
+        b.iter(|| DataPlayTree::from_sql(black_box(Q5), &db).unwrap())
+    });
+    let tree = DataPlayTree::from_sql(Q5, &db).unwrap();
+    g.bench_function("flip", |b| b.iter(|| black_box(&tree).flip(&[0]).unwrap()));
+    g.bench_function("partition", |b| {
+        b.iter(|| black_box(&tree).partition(&db).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_partition_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e10_partition_scaling");
+    g.sample_size(10);
+    for n in [50usize, 100, 200, 400] {
+        let db = generate_sailors(&GenConfig::scaled(n));
+        let tree = DataPlayTree::from_sql(Q5, &db).unwrap();
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| tree.partition(&db).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_interaction, bench_partition_scaling);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! E1 — pipeline latency: how fast is SQL → TRC → diagram → SVG for each
+//! suite query? The tutorial's interactive loop (Fig. 1) needs this to be
+//! interactive-fast; the bench records per-stage and end-to-end costs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use relviz_core::suite::SUITE;
+use relviz_diagrams::reldiag::RelationalDiagram;
+use relviz_model::catalog::sailors_sample;
+
+fn bench_pipeline(c: &mut Criterion) {
+    let db = sailors_sample();
+    let mut g = c.benchmark_group("e1_pipeline");
+    g.sample_size(20);
+    for q in SUITE {
+        // Stage 1: parse + resolve + translate to TRC.
+        g.bench_with_input(BenchmarkId::new("sql_to_trc", q.id), q, |b, q| {
+            b.iter(|| relviz_rc::from_sql::parse_sql_to_trc(black_box(q.sql), &db).unwrap())
+        });
+        // Stage 2: diagram construction.
+        let trc = relviz_rc::from_sql::parse_sql_to_trc(q.sql, &db).unwrap();
+        g.bench_with_input(BenchmarkId::new("trc_to_diagram", q.id), &trc, |b, trc| {
+            b.iter(|| RelationalDiagram::from_trc(black_box(trc), &db).unwrap())
+        });
+        // Stage 3: layout + SVG.
+        let d = RelationalDiagram::from_trc(&trc, &db).unwrap();
+        g.bench_with_input(BenchmarkId::new("layout_render", q.id), &d, |b, d| {
+            b.iter(|| relviz_render::svg::to_svg(&black_box(d).scene()))
+        });
+        // End to end.
+        g.bench_with_input(BenchmarkId::new("end_to_end", q.id), q, |b, q| {
+            b.iter(|| {
+                let trc = relviz_rc::from_sql::parse_sql_to_trc(black_box(q.sql), &db).unwrap();
+                let d = RelationalDiagram::from_trc(&trc, &db).unwrap();
+                relviz_render::svg::to_svg(&d.scene())
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! E2 — evaluator comparison: the same query through five independent
+//! engines. The shape to verify: the procedural engines (SQL nested-loop,
+//! RA, Datalog) are comparable; the calculi pay for their generality (the
+//! TRC enumerator and the guard-driven DRC solver are slower but
+//! polynomially so — all five stay usable on the workloads diagrams are
+//! built from).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use relviz_core::suite::by_id;
+use relviz_model::catalog::sailors_sample;
+
+fn bench_languages(c: &mut Criterion) {
+    let db = sailors_sample();
+    let mut g = c.benchmark_group("e2_languages");
+    g.sample_size(20);
+    // Q2 (join) and Q5 (division) span the interesting range.
+    for id in ["Q2", "Q5"] {
+        let q = by_id(id).expect("suite query");
+        let ra = relviz_ra::parse::parse_ra(q.ra).unwrap();
+        let trc = relviz_rc::trc_parse::parse_trc(q.trc).unwrap();
+        let drc = relviz_rc::drc_parse::parse_drc(q.drc).unwrap();
+        let dl = relviz_datalog::parse::parse_program(q.datalog).unwrap();
+
+        g.bench_with_input(BenchmarkId::new("sql", id), q, |b, q| {
+            b.iter(|| relviz_sql::eval::run_sql(black_box(q.sql), &db).unwrap())
+        });
+        g.bench_with_input(BenchmarkId::new("ra", id), &ra, |b, e| {
+            b.iter(|| relviz_ra::eval::eval(black_box(e), &db).unwrap())
+        });
+        g.bench_with_input(BenchmarkId::new("trc", id), &trc, |b, e| {
+            b.iter(|| relviz_rc::trc_eval::eval_trc(black_box(e), &db).unwrap())
+        });
+        g.bench_with_input(BenchmarkId::new("drc", id), &drc, |b, e| {
+            b.iter(|| relviz_rc::drc_eval::eval_drc(black_box(e), &db).unwrap())
+        });
+        g.bench_with_input(BenchmarkId::new("datalog", id), &dl, |b, p| {
+            b.iter(|| relviz_datalog::eval::eval_program(black_box(p), &db).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_languages);
+criterion_main!(benches);

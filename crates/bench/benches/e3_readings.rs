@@ -1,0 +1,55 @@
+//! E3 — reading enumeration cost for beta graphs: how expensive is it to
+//! surface the ambiguity (readings grow multiplicatively with the number
+//! of boundary-drawn ligatures) versus the constant single reading of
+//! Relational Diagrams.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use relviz_diagrams::peirce::beta::{BetaGraph, BetaItem, Hook, Line};
+use relviz_diagrams::reldiag::RelationalDiagram;
+use relviz_model::catalog::sailors_sample;
+
+/// A chain of `depth` nested cuts, each holding a predicate over one
+/// boundary-drawn line per level.
+fn chain(depth: usize) -> BetaGraph {
+    fn nest(level: usize, depth: usize, path: &mut Vec<usize>) -> Vec<BetaItem> {
+        let mut items = vec![BetaItem::pred("P", vec![Hook::Line(level)])];
+        if level + 1 < depth {
+            path.push(level);
+            let inner = nest(level + 1, depth, path);
+            path.pop();
+            items.push(BetaItem::Cut { id: level, items: inner });
+        }
+        items
+    }
+    let mut path = Vec::new();
+    let items = nest(0, depth, &mut path);
+    BetaGraph {
+        items: vec![BetaItem::Cut { id: 99, items }],
+        lines: (0..depth).map(|_| Line { scope: None }).collect(),
+    }
+}
+
+fn bench_readings(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e3_readings");
+    g.sample_size(20);
+    for depth in [1usize, 2, 3] {
+        let graph = chain(depth);
+        g.bench_with_input(
+            BenchmarkId::new("beta_enumerate", depth),
+            &graph,
+            |b, graph| b.iter(|| black_box(graph).readings().unwrap().len()),
+        );
+    }
+    // The deterministic alternative: Relational Diagram reading of Q5.
+    let db = sailors_sample();
+    let q5 = relviz_core::suite::by_id("Q5").unwrap();
+    let trc = relviz_rc::from_sql::parse_sql_to_trc(q5.sql, &db).unwrap();
+    let d = RelationalDiagram::from_trc(&trc, &db).unwrap();
+    g.bench_function("reldiag_single_reading", |b| b.iter(|| black_box(&d).to_trc()));
+    g.finish();
+}
+
+criterion_group!(benches, bench_readings);
+criterion_main!(benches);

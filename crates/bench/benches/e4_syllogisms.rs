@@ -1,0 +1,32 @@
+//! E4 — the two syllogism deciders. The shape to verify: the Venn-I
+//! minterm procedure is orders of magnitude faster than brute-force FOL
+//! model checking over databases (256 model databases × DRC evaluation),
+//! while deciding the same 256 forms identically.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use relviz_diagrams::syllogism::{decide_fol, decide_venn, Syllogism};
+
+fn bench_syllogisms(c: &mut Criterion) {
+    let forms = Syllogism::all_forms();
+    let sample: Vec<_> = forms.iter().step_by(16).collect(); // 16 forms
+
+    let mut g = c.benchmark_group("e4_syllogisms");
+    g.sample_size(10);
+    g.bench_function("venn_16_forms", |b| {
+        b.iter(|| {
+            sample
+                .iter()
+                .filter(|s| decide_venn(black_box(s), false).unwrap())
+                .count()
+        })
+    });
+    g.bench_function("fol_16_forms", |b| {
+        b.iter(|| sample.iter().filter(|s| decide_fol(black_box(s), false)).count())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_syllogisms);
+criterion_main!(benches);

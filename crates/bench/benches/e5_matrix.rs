@@ -1,0 +1,42 @@
+//! E5 — cost of the capability matrix: probing every formalism with every
+//! suite query (the full translation chains behind the expressiveness
+//! table). Also a proxy for "which formalism is cheapest to target".
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use relviz_core::suite::by_id;
+use relviz_diagrams::capability::{try_build, Formalism};
+use relviz_model::catalog::sailors_sample;
+
+fn bench_matrix(c: &mut Criterion) {
+    let db = sailors_sample();
+    let mut g = c.benchmark_group("e5_matrix");
+    g.sample_size(10);
+    let q5 = by_id("Q5").expect("suite query");
+    for f in Formalism::ALL {
+        g.bench_with_input(BenchmarkId::new("probe_q5", f.name()), &f, |b, f| {
+            b.iter(|| try_build(*f, black_box(q5.sql), &db).unwrap())
+        });
+    }
+    g.bench_function("full_matrix", |b| {
+        b.iter(|| {
+            let mut drawable = 0;
+            for f in Formalism::ALL {
+                for q in relviz_core::suite::SUITE {
+                    if matches!(
+                        try_build(f, q.sql, &db),
+                        Ok(relviz_diagrams::capability::Capability::Drawable { .. })
+                    ) {
+                        drawable += 1;
+                    }
+                }
+            }
+            drawable
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_matrix);
+criterion_main!(benches);

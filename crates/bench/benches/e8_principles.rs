@@ -1,0 +1,33 @@
+//! E8 — cost of the principle checkers: invertibility (round trip +
+//! re-evaluation on two databases) and pattern isomorphism.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use relviz_core::patterns::{extract_pattern, patterns_isomorphic};
+use relviz_core::principles::check_invertibility;
+use relviz_core::suite::by_id;
+use relviz_model::catalog::sailors_sample;
+
+fn bench_principles(c: &mut Criterion) {
+    let db = sailors_sample();
+    let mut g = c.benchmark_group("e8_principles");
+    g.sample_size(10);
+    for id in ["Q1", "Q5"] {
+        let q = by_id(id).expect("suite query");
+        g.bench_with_input(BenchmarkId::new("invertibility", id), q, |b, q| {
+            b.iter(|| check_invertibility(black_box(q.sql), &db).unwrap())
+        });
+    }
+    // Pattern isomorphism on the self-join (worst case: automorphisms).
+    let q7 = by_id("Q7").expect("suite query");
+    let trc = relviz_rc::from_sql::parse_sql_to_trc(q7.sql, &db).unwrap();
+    let pat = extract_pattern(&trc, &db, true).unwrap();
+    g.bench_function("pattern_isomorphism_q7", |b| {
+        b.iter(|| patterns_isomorphic(black_box(&pat), black_box(&pat)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_principles);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! E9 — cost of the syntax-sensitivity comparison: building the
+//! syntax-mirroring diagrams (Visual SQL, SQLVis, TableTalk) for each
+//! variant family, fingerprinting them, and running the pattern
+//! normalization (`flatten_exists`) that collapses the variants for the
+//! logic-based formalisms.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use relviz_bench::experiments::variant_families;
+use relviz_diagrams::sqlvis::SqlVisDiagram;
+use relviz_diagrams::tabletalk::TableTalkDiagram;
+use relviz_diagrams::visualsql::VisualSqlDiagram;
+use relviz_model::catalog::sailors_sample;
+
+fn bench_builders(c: &mut Criterion) {
+    let db = sailors_sample();
+    let mut g = c.benchmark_group("e9_builders");
+    for (family, variants) in variant_families() {
+        let (_, sql) = variants[0];
+        g.bench_with_input(BenchmarkId::new("visual_sql", family), &sql, |b, sql| {
+            b.iter(|| VisualSqlDiagram::from_sql(black_box(sql), &db).unwrap())
+        });
+        g.bench_with_input(BenchmarkId::new("sqlvis", family), &sql, |b, sql| {
+            b.iter(|| SqlVisDiagram::from_sql(black_box(sql), &db).unwrap())
+        });
+        g.bench_with_input(BenchmarkId::new("tabletalk", family), &sql, |b, sql| {
+            b.iter(|| TableTalkDiagram::from_sql(black_box(sql), &db).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn bench_fingerprints(c: &mut Criterion) {
+    let db = sailors_sample();
+    let mut g = c.benchmark_group("e9_fingerprints");
+    let (_, variants) = &variant_families()[0];
+    let a = VisualSqlDiagram::from_sql(variants[0].1, &db).unwrap();
+    let b2 = VisualSqlDiagram::from_sql(variants[1].1, &db).unwrap();
+    g.bench_function("visual_sql_isomorphic", |b| {
+        b.iter(|| black_box(&a).isomorphic(black_box(&b2)))
+    });
+    let sa = SqlVisDiagram::from_sql(variants[0].1, &db).unwrap();
+    let sb = SqlVisDiagram::from_sql(variants[1].1, &db).unwrap();
+    g.bench_function("sqlvis_isomorphic", |b| {
+        b.iter(|| black_box(&sa).isomorphic(black_box(&sb)))
+    });
+    g.finish();
+}
+
+fn bench_normalization(c: &mut Criterion) {
+    let db = sailors_sample();
+    let mut g = c.benchmark_group("e9_flatten");
+    for (family, variants) in variant_families() {
+        let trc =
+            relviz_rc::from_sql::parse_sql_to_trc(variants[1].1, &db).expect("translates");
+        g.bench_with_input(BenchmarkId::new("flatten_exists", family), &trc, |b, trc| {
+            b.iter(|| relviz_rc::normalize::flatten_exists(black_box(trc)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_builders, bench_fingerprints, bench_normalization);
+criterion_main!(benches);

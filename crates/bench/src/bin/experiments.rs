@@ -1,0 +1,31 @@
+//! Experiment runner: regenerates the tutorial-reproduction artifacts.
+//!
+//! ```sh
+//! cargo run -p relviz-bench --bin experiments        # all
+//! cargo run -p relviz-bench --bin experiments e4 e5  # selected
+//! ```
+
+use relviz_bench::experiments;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        experiments::run_all();
+        return;
+    }
+    for a in &args {
+        match a.to_lowercase().as_str() {
+            "e1" => experiments::e1_pipeline(),
+            "e2" => experiments::e2_languages(),
+            "e3" => experiments::e3_readings(),
+            "e4" => experiments::e4_syllogisms(),
+            "e5" => experiments::e5_matrix(),
+            "e6" => experiments::e6_qbe_vs_datalog(),
+            "e7" => experiments::e7_line_abuses(),
+            "e8" => experiments::e8_principles(),
+            "e9" => experiments::e9_syntax_sensitivity(),
+            "e10" => experiments::e10_dataplay_flips(),
+            other => eprintln!("unknown experiment `{other}` (e1..e10)"),
+        }
+    }
+}

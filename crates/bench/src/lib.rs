@@ -1,0 +1,15 @@
+//! # relviz-bench
+//!
+//! Experiment harnesses and Criterion benchmarks. The experiment binary
+//! regenerates, as text tables, each comparison the tutorial presents
+//! (see `DESIGN.md` §6 and `EXPERIMENTS.md`):
+//!
+//! ```sh
+//! cargo run -p relviz-bench --bin experiments          # all experiments
+//! cargo run -p relviz-bench --bin experiments e5       # one experiment
+//! ```
+//!
+//! The Criterion benches (`cargo bench -p relviz-bench`) measure the cost
+//! of each pipeline stage and the scaling behaviour (S1).
+
+pub mod experiments;

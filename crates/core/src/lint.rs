@@ -1,0 +1,269 @@
+//! Part 6's "lessons learned": **the three abuses of the line**.
+//!
+//! Across a century of diagram systems, the humble line (as a geometric
+//! mark) has been overloaded with at least three distinct semantic roles:
+//!
+//! 1. **Identity / equality** — Peirce's lines of identity, string-diagram
+//!    wires, join edges;
+//! 2. **Set containment / membership boundary** — Euler and Venn curves,
+//!    Peirce's cuts, bounding boxes;
+//! 3. **Flow / reading order** — dataflow arcs (DFQL), QueryVis's
+//!    reading-order arrows.
+//!
+//! A formalism that uses the *same* visual mark kind for more than one of
+//! these roles forces the reader to disambiguate from context — the
+//! tutorial's closing design guideline is to avoid exactly that. This
+//! module encodes each formalism's line-role census and a linter that
+//! flags overloads; experiment E7 prints the resulting table.
+
+/// The semantic roles a line can play. The tutorial's "three abuses"
+/// are the first three; [`LineRole::Connective`] is the historical
+/// fourth, unique to Frege's Begriffsschrift, whose strokes *are* the
+/// logical connectives — the extreme answer to overloading (one role,
+/// distinguished purely by geometry).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum LineRole {
+    Identity,
+    Containment,
+    Flow,
+    Connective,
+}
+
+impl LineRole {
+    pub fn name(&self) -> &'static str {
+        match self {
+            LineRole::Identity => "identity/equality",
+            LineRole::Containment => "containment boundary",
+            LineRole::Flow => "flow/reading order",
+            LineRole::Connective => "logical connective",
+        }
+    }
+}
+
+/// The visual mark kinds diagrams draw lines with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum MarkKind {
+    /// Open curve / straight stroke.
+    Stroke,
+    /// Closed curve (circle, oval, rounded box outline).
+    ClosedCurve,
+    /// Stroke with an arrowhead.
+    Arrow,
+}
+
+impl MarkKind {
+    pub fn name(&self) -> &'static str {
+        match self {
+            MarkKind::Stroke => "stroke",
+            MarkKind::ClosedCurve => "closed curve",
+            MarkKind::Arrow => "arrow",
+        }
+    }
+}
+
+/// How one formalism uses line marks: `(mark kind, role)` pairs.
+#[derive(Debug, Clone)]
+pub struct LineUsage {
+    pub formalism: &'static str,
+    pub uses: Vec<(MarkKind, LineRole)>,
+}
+
+/// The line-role census of every formalism in the workspace. Kept in one
+/// table (rather than scattered per crate) because it *is* the artifact:
+/// Part 6's comparison, with each row justified by the corresponding
+/// module's scene construction.
+pub fn census() -> Vec<LineUsage> {
+    use LineRole::*;
+    use MarkKind::*;
+    vec![
+        LineUsage {
+            formalism: "Euler circles",
+            uses: vec![(ClosedCurve, Containment)],
+        },
+        LineUsage {
+            formalism: "Venn-I/II",
+            // closed curves bound sets; the ⊗-sequence connector is a
+            // stroke expressing disjunction across regions (an identity-
+            // of-possibilities line — counted as identity of the asserted
+            // individual).
+            uses: vec![(ClosedCurve, Containment), (Stroke, Identity)],
+        },
+        LineUsage {
+            formalism: "Peirce beta graphs",
+            // cuts are closed curves (containment-as-negation); lines of
+            // identity are heavy strokes (identity) — and crucially the
+            // *interaction* of the two is what creates the scope
+            // ambiguity E3 demonstrates.
+            uses: vec![(ClosedCurve, Containment), (Stroke, Identity)],
+        },
+        LineUsage {
+            formalism: "Constraint diagrams",
+            uses: vec![(ClosedCurve, Containment), (Arrow, Identity), (Stroke, Identity)],
+        },
+        LineUsage {
+            formalism: "Conceptual graphs",
+            uses: vec![(Stroke, Identity)],
+        },
+        LineUsage {
+            formalism: "QueryVis",
+            // strokes are join (identity) edges; arrows are reading order;
+            // group borders are closed curves.
+            uses: vec![(Stroke, Identity), (Arrow, Flow), (ClosedCurve, Containment)],
+        },
+        LineUsage {
+            formalism: "Relational Diagrams",
+            uses: vec![(Stroke, Identity), (ClosedCurve, Containment)],
+        },
+        LineUsage {
+            formalism: "QBE",
+            // skeleton grids only; example-element repetition replaces
+            // lines entirely (that is its own lesson).
+            uses: vec![],
+        },
+        LineUsage {
+            formalism: "DFQL",
+            uses: vec![(Arrow, Flow), (ClosedCurve, Containment)],
+        },
+        LineUsage {
+            formalism: "String diagrams",
+            uses: vec![(Stroke, Identity), (ClosedCurve, Containment)],
+        },
+        LineUsage {
+            formalism: "Begriffsschrift",
+            // Content/condition/negation strokes and the concavity are
+            // all strokes whose single role is *being* the connective.
+            uses: vec![(Stroke, Connective)],
+        },
+        LineUsage {
+            formalism: "Visual SQL",
+            // Frames are closed curves; the edge hanging a subquery off
+            // its host strip orders the reading.
+            uses: vec![(ClosedCurve, Containment), (Stroke, Flow)],
+        },
+        LineUsage {
+            formalism: "SQLVis",
+            uses: vec![(ClosedCurve, Containment), (Stroke, Identity)],
+        },
+        LineUsage {
+            formalism: "TableTalk",
+            // The spine arrows carry the top-down flow; tiles are mere
+            // boxes (no set semantics).
+            uses: vec![(Arrow, Flow), (Stroke, Flow)],
+        },
+        LineUsage {
+            formalism: "DataPlay",
+            uses: vec![(Stroke, Flow)],
+        },
+        LineUsage {
+            formalism: "SIEUFERD",
+            // A spreadsheet grid: no line carries logic.
+            uses: vec![],
+        },
+        LineUsage {
+            formalism: "QBD (ER-based)",
+            // ER edges assert key identity between entity and relationship.
+            uses: vec![(Stroke, Identity)],
+        },
+    ]
+}
+
+/// An overload finding: one mark kind, several roles.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Overload {
+    pub formalism: &'static str,
+    pub mark: MarkKind,
+    pub roles: Vec<LineRole>,
+}
+
+/// Flags formalisms where a single mark kind carries ≥2 roles.
+pub fn find_overloads(usages: &[LineUsage]) -> Vec<Overload> {
+    let mut out = Vec::new();
+    for u in usages {
+        for mark in [MarkKind::Stroke, MarkKind::ClosedCurve, MarkKind::Arrow] {
+            let mut roles: Vec<LineRole> =
+                u.uses.iter().filter(|(m, _)| *m == mark).map(|(_, r)| *r).collect();
+            roles.sort();
+            roles.dedup();
+            if roles.len() >= 2 {
+                out.push(Overload { formalism: u.formalism, mark, roles });
+            }
+        }
+    }
+    out
+}
+
+/// A per-scene dynamic census: counts the mark kinds actually drawn.
+/// Useful to sanity-check the static table against real renderings.
+pub fn scene_mark_counts(scene: &relviz_render::Scene) -> (usize, usize, usize) {
+    let mut strokes = 0;
+    let mut closed = 0;
+    let mut arrows = 0;
+    for item in &scene.items {
+        match item {
+            relviz_render::Item::Polyline { arrow, .. } => {
+                if *arrow {
+                    arrows += 1;
+                } else {
+                    strokes += 1;
+                }
+            }
+            relviz_render::Item::Rect { .. } | relviz_render::Item::Ellipse { .. } => {
+                closed += 1;
+            }
+            relviz_render::Item::Text { .. } => {}
+        }
+    }
+    (strokes, closed, arrows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_formalism_overloads_a_single_mark() {
+        // The (perhaps surprising) punchline: each system disambiguates
+        // by mark *kind* — the abuses arise across systems, where the
+        // same kind of mark means three different things to differently
+        // trained readers.
+        let o = find_overloads(&census());
+        assert!(o.is_empty(), "{o:?}");
+    }
+
+    #[test]
+    fn synthetic_overload_detected() {
+        let bad = vec![LineUsage {
+            formalism: "strawman",
+            uses: vec![
+                (MarkKind::Stroke, LineRole::Identity),
+                (MarkKind::Stroke, LineRole::Flow),
+            ],
+        }];
+        let o = find_overloads(&bad);
+        assert_eq!(o.len(), 1);
+        assert_eq!(o[0].roles.len(), 2);
+    }
+
+    #[test]
+    fn cross_system_roles_of_the_stroke() {
+        // The same stroke mark means identity in 6 systems — the reader
+        // retrains per system: that is the "abuse".
+        let uses = census();
+        let stroke_roles: Vec<&str> = uses
+            .iter()
+            .filter(|u| u.uses.iter().any(|(m, _)| *m == MarkKind::Stroke))
+            .map(|u| u.formalism)
+            .collect();
+        assert!(stroke_roles.len() >= 5, "{stroke_roles:?}");
+    }
+
+    #[test]
+    fn dynamic_census_matches_scene() {
+        let mut s = relviz_render::Scene::new(10.0, 10.0);
+        s.rect(0.0, 0.0, 5.0, 5.0);
+        s.line(0.0, 0.0, 3.0, 3.0);
+        s.arrow(vec![(0.0, 0.0), (2.0, 2.0)]);
+        s.ellipse(1.0, 1.0, 1.0, 1.0);
+        assert_eq!(scene_mark_counts(&s), (1, 2, 1));
+    }
+}

@@ -1,0 +1,417 @@
+//! **Relational query patterns** (Gatterbauer & Dunne 2024, the notion the
+//! tutorial's Part 2 "correspondence principle" builds on): the structure
+//! of a query abstracted from incidental choices — variable names,
+//! attribute order, conjunct order, and (optionally) the actual constants.
+//!
+//! A pattern here is a canonicalized labelled forest extracted from the
+//! TRC form: nodes are table variables (labelled by relation and nesting
+//! polarity), plus selection and join predicates re-expressed against
+//! canonical variable indices. Two queries *match* when their patterns
+//! are isomorphic ([`patterns_isomorphic`]), decided by backtracking over
+//! table-variable bijections (queries are small; the search is tiny).
+
+use std::collections::BTreeSet;
+
+use relviz_model::Database;
+use relviz_rc::trc::{TrcFormula, TrcQuery, TrcTerm};
+
+use relviz_diagrams::{DiagError, DiagResult};
+
+/// One table variable occurrence in the pattern.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct PatternTable {
+    pub rel: String,
+    /// Nesting depth (0 = free/root block).
+    pub depth: usize,
+    /// Polarity: `true` under an odd number of negations.
+    pub negated: bool,
+}
+
+/// A predicate in the pattern; table references are indices into
+/// `QueryPattern::tables`.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub enum PatternPred {
+    /// attribute–constant selection; constants are abstracted to their
+    /// type when `abstract_constants` is chosen at extraction.
+    Selection { table: usize, attr: String, op: String, constant: String },
+    /// attribute–attribute join.
+    Join { left: (usize, String), op: String, right: (usize, String) },
+}
+
+/// The pattern of one TRC branch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BranchPattern {
+    pub tables: Vec<PatternTable>,
+    pub preds: Vec<PatternPred>,
+    /// Head: (table index, attribute) per output column.
+    pub head: Vec<(usize, String)>,
+}
+
+/// A query pattern: one branch pattern per union branch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryPattern {
+    pub branches: Vec<BranchPattern>,
+    /// Whether constants were abstracted to their types at extraction.
+    pub constants_abstracted: bool,
+}
+
+/// Extracts the pattern of a query.
+///
+/// With `abstract_constants`, `= 'red'` and `= 'green'` yield the same
+/// pattern element (`= <str>`): two queries asking the "same shape"
+/// question about different constants then match — precisely the notion
+/// of a query *pattern* as opposed to a query.
+pub fn extract_pattern(
+    q: &TrcQuery,
+    db: &Database,
+    abstract_constants: bool,
+) -> DiagResult<QueryPattern> {
+    relviz_rc::trc_check::check_query(q, db).map_err(|e| DiagError::Lang(e.to_string()))?;
+    let q = q.eliminate_forall();
+    let mut branches = Vec::with_capacity(q.branches.len());
+    for b in &q.branches {
+        let mut tables = Vec::new();
+        let mut var_index: Vec<(String, usize)> = Vec::new();
+        for binding in &b.bindings {
+            var_index.push((binding.var.clone(), tables.len()));
+            tables.push(PatternTable { rel: binding.rel.clone(), depth: 0, negated: false });
+        }
+        let mut preds = Vec::new();
+        if let Some(body) = &b.body {
+            walk(body, 1, false, &mut tables, &mut var_index, &mut preds, abstract_constants)?;
+        }
+        let head = b
+            .head
+            .iter()
+            .map(|(_, t)| match t {
+                TrcTerm::Attr { var, attr } => {
+                    let idx = var_index
+                        .iter()
+                        .find(|(v, _)| v == var)
+                        .map(|(_, i)| *i)
+                        .ok_or_else(|| DiagError::Invalid(format!("unbound head var `{var}`")))?;
+                    Ok((idx, attr.clone()))
+                }
+                TrcTerm::Const(_) => {
+                    Err(DiagError::Invalid("constant head terms have no pattern anchor".into()))
+                }
+            })
+            .collect::<DiagResult<Vec<_>>>()?;
+        preds.sort();
+        branches.push(BranchPattern { tables, preds, head });
+    }
+    Ok(QueryPattern { branches, constants_abstracted: abstract_constants })
+}
+
+#[allow(clippy::too_many_arguments)]
+fn walk(
+    f: &TrcFormula,
+    depth: usize,
+    negated: bool,
+    tables: &mut Vec<PatternTable>,
+    var_index: &mut Vec<(String, usize)>,
+    preds: &mut Vec<PatternPred>,
+    abstract_constants: bool,
+) -> DiagResult<()> {
+    match f {
+        TrcFormula::Const(_) => Ok(()),
+        TrcFormula::And(a, b) => {
+            walk(a, depth, negated, tables, var_index, preds, abstract_constants)?;
+            walk(b, depth, negated, tables, var_index, preds, abstract_constants)
+        }
+        TrcFormula::Or(_, _) => Err(DiagError::unsupported(
+            "query patterns",
+            "disjunction inside a branch (normalize to UNION first)",
+        )),
+        TrcFormula::Not(inner) => {
+            walk(inner, depth, !negated, tables, var_index, preds, abstract_constants)
+        }
+        TrcFormula::Exists { bindings, body } => {
+            let before = var_index.len();
+            for b in bindings {
+                var_index.push((b.var.clone(), tables.len()));
+                tables.push(PatternTable { rel: b.rel.clone(), depth, negated });
+            }
+            let r = walk(body, depth + 1, negated, tables, var_index, preds, abstract_constants);
+            var_index.truncate(before);
+            r
+        }
+        TrcFormula::Forall { .. } => {
+            Err(DiagError::Invalid("∀ should have been eliminated".into()))
+        }
+        TrcFormula::Cmp { left, op, right } => {
+            let lookup = |var: &str, var_index: &Vec<(String, usize)>| {
+                var_index
+                    .iter()
+                    .rev()
+                    .find(|(v, _)| v == var)
+                    .map(|(_, i)| *i)
+                    .ok_or_else(|| DiagError::Invalid(format!("unbound var `{var}`")))
+            };
+            // Negated comparisons fold the negation into the operator so
+            // `NOT a < b` and `a >= b` share a pattern.
+            let op = if negated { op.negate() } else { *op };
+            match (left, right) {
+                (TrcTerm::Attr { var, attr }, TrcTerm::Const(c)) => {
+                    let t = lookup(var, var_index)?;
+                    let constant = if abstract_constants {
+                        format!("<{}>", c.data_type())
+                    } else {
+                        c.to_literal()
+                    };
+                    preds.push(PatternPred::Selection {
+                        table: t,
+                        attr: attr.clone(),
+                        op: op.symbol().into(),
+                        constant,
+                    });
+                }
+                (TrcTerm::Const(c), TrcTerm::Attr { var, attr }) => {
+                    let t = lookup(var, var_index)?;
+                    let constant = if abstract_constants {
+                        format!("<{}>", c.data_type())
+                    } else {
+                        c.to_literal()
+                    };
+                    preds.push(PatternPred::Selection {
+                        table: t,
+                        attr: attr.clone(),
+                        op: op.flip().symbol().into(),
+                        constant,
+                    });
+                }
+                (TrcTerm::Attr { var: v1, attr: a1 }, TrcTerm::Attr { var: v2, attr: a2 }) => {
+                    let t1 = lookup(v1, var_index)?;
+                    let t2 = lookup(v2, var_index)?;
+                    // Canonical orientation: smaller (table, attr) first.
+                    let (l, o, r) = if (t1, a1) <= (t2, a2) {
+                        ((t1, a1.clone()), op, (t2, a2.clone()))
+                    } else {
+                        ((t2, a2.clone()), op.flip(), (t1, a1.clone()))
+                    };
+                    preds.push(PatternPred::Join { left: l, op: o.symbol().into(), right: r });
+                }
+                (TrcTerm::Const(_), TrcTerm::Const(_)) => {}
+            }
+            Ok(())
+        }
+    }
+}
+
+/// Pattern isomorphism: a bijection between table occurrences (per
+/// branch, with branches matched in some order) preserving relation
+/// names, depth, polarity, predicates, and head positions.
+pub fn patterns_isomorphic(a: &QueryPattern, b: &QueryPattern) -> bool {
+    if a.branches.len() != b.branches.len() {
+        return false;
+    }
+    // Match branches in any order (union is commutative).
+    let mut used: BTreeSet<usize> = BTreeSet::new();
+    branch_match(&a.branches, &b.branches, 0, &mut used)
+}
+
+fn branch_match(
+    xs: &[BranchPattern],
+    ys: &[BranchPattern],
+    i: usize,
+    used: &mut BTreeSet<usize>,
+) -> bool {
+    if i == xs.len() {
+        return true;
+    }
+    for j in 0..ys.len() {
+        if !used.contains(&j) && branches_isomorphic(&xs[i], &ys[j]) {
+            used.insert(j);
+            if branch_match(xs, ys, i + 1, used) {
+                return true;
+            }
+            used.remove(&j);
+        }
+    }
+    false
+}
+
+fn branches_isomorphic(a: &BranchPattern, b: &BranchPattern) -> bool {
+    if a.tables.len() != b.tables.len()
+        || a.preds.len() != b.preds.len()
+        || a.head.len() != b.head.len()
+    {
+        return false;
+    }
+    let mut mapping: Vec<Option<usize>> = vec![None; a.tables.len()];
+    let mut taken = vec![false; b.tables.len()];
+    try_map(a, b, 0, &mut mapping, &mut taken)
+}
+
+fn try_map(
+    a: &BranchPattern,
+    b: &BranchPattern,
+    i: usize,
+    mapping: &mut Vec<Option<usize>>,
+    taken: &mut Vec<bool>,
+) -> bool {
+    if i == a.tables.len() {
+        return check_mapping(a, b, mapping);
+    }
+    for j in 0..b.tables.len() {
+        if !taken[j] && a.tables[i] == b.tables[j] {
+            mapping[i] = Some(j);
+            taken[j] = true;
+            if try_map(a, b, i + 1, mapping, taken) {
+                return true;
+            }
+            taken[j] = false;
+            mapping[i] = None;
+        }
+    }
+    false
+}
+
+fn check_mapping(a: &BranchPattern, b: &BranchPattern, mapping: &[Option<usize>]) -> bool {
+    let map = |i: usize| mapping[i].expect("complete mapping");
+    // Heads must correspond positionally.
+    for ((ti, attr), (tj, battr)) in a.head.iter().zip(&b.head) {
+        if map(*ti) != *tj || attr != battr {
+            return false;
+        }
+    }
+    // Predicates as multisets after mapping.
+    let mapped: BTreeSet<PatternPred> = a
+        .preds
+        .iter()
+        .map(|p| match p {
+            PatternPred::Selection { table, attr, op, constant } => PatternPred::Selection {
+                table: map(*table),
+                attr: attr.clone(),
+                op: op.clone(),
+                constant: constant.clone(),
+            },
+            PatternPred::Join { left, op, right } => {
+                let l = (map(left.0), left.1.clone());
+                let r = (map(right.0), right.1.clone());
+                if l <= r {
+                    PatternPred::Join { left: l, op: op.clone(), right: r }
+                } else {
+                    PatternPred::Join {
+                        left: r,
+                        op: flip_sym(op),
+                        right: l,
+                    }
+                }
+            }
+        })
+        .collect();
+    let expected: BTreeSet<PatternPred> = b.preds.iter().cloned().collect();
+    mapped == expected
+}
+
+fn flip_sym(op: &str) -> String {
+    match op {
+        "<" => ">".into(),
+        "<=" => ">=".into(),
+        ">" => "<".into(),
+        ">=" => "<=".into(),
+        other => other.into(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relviz_model::catalog::sailors_sample;
+    use relviz_rc::from_sql::parse_sql_to_trc;
+
+    fn pat(sql: &str, abstract_constants: bool) -> QueryPattern {
+        let db = sailors_sample();
+        let trc = parse_sql_to_trc(sql, &db).unwrap();
+        extract_pattern(&trc, &db, abstract_constants).unwrap()
+    }
+
+    #[test]
+    fn alpha_renaming_preserves_pattern() {
+        let a = pat(
+            "SELECT S.sname FROM Sailor S, Reserves R WHERE S.sid = R.sid AND R.bid = 102",
+            false,
+        );
+        let b = pat(
+            "SELECT x.sname FROM Sailor x, Reserves y WHERE y.sid = x.sid AND y.bid = 102",
+            false,
+        );
+        assert!(patterns_isomorphic(&a, &b));
+    }
+
+    #[test]
+    fn different_constants_differ_unless_abstracted() {
+        let red = "SELECT S.sname FROM Sailor S, Reserves R, Boat B \
+                   WHERE S.sid = R.sid AND R.bid = B.bid AND B.color = 'red'";
+        let green = "SELECT S.sname FROM Sailor S, Reserves R, Boat B \
+                     WHERE S.sid = R.sid AND R.bid = B.bid AND B.color = 'green'";
+        assert!(!patterns_isomorphic(&pat(red, false), &pat(green, false)));
+        assert!(patterns_isomorphic(&pat(red, true), &pat(green, true)));
+    }
+
+    #[test]
+    fn structure_differences_detected() {
+        let q2 = "SELECT S.sname FROM Sailor S, Reserves R, Boat B \
+                  WHERE S.sid = R.sid AND R.bid = B.bid AND B.color = 'red'";
+        let q4 = "SELECT S.sname FROM Sailor S WHERE NOT EXISTS \
+                  (SELECT * FROM Reserves R, Boat B \
+                   WHERE R.sid = S.sid AND R.bid = B.bid AND B.color = 'red')";
+        assert!(!patterns_isomorphic(&pat(q2, true), &pat(q4, true)));
+    }
+
+    #[test]
+    fn nesting_depth_and_polarity_matter() {
+        let exists = "SELECT S.sname FROM Sailor S WHERE EXISTS \
+                      (SELECT * FROM Reserves R WHERE R.sid = S.sid)";
+        let not_exists = "SELECT S.sname FROM Sailor S WHERE NOT EXISTS \
+                          (SELECT * FROM Reserves R WHERE R.sid = S.sid)";
+        assert!(!patterns_isomorphic(&pat(exists, true), &pat(not_exists, true)));
+    }
+
+    #[test]
+    fn join_orientation_is_canonical() {
+        let a = pat("SELECT S.sname FROM Sailor S, Reserves R WHERE S.sid = R.sid", false);
+        let b = pat("SELECT S.sname FROM Sailor S, Reserves R WHERE R.sid = S.sid", false);
+        assert!(patterns_isomorphic(&a, &b));
+        // flipped inequality still matches:
+        let c = pat("SELECT S.sname FROM Sailor S, Reserves R WHERE S.sid < R.sid", false);
+        let d = pat("SELECT S.sname FROM Sailor S, Reserves R WHERE R.sid > S.sid", false);
+        assert!(patterns_isomorphic(&c, &d));
+    }
+
+    #[test]
+    fn union_branches_match_in_any_order() {
+        let ab = pat(
+            "SELECT B.bid FROM Boat B WHERE B.color = 'red' \
+             UNION SELECT B.bid FROM Boat B WHERE B.bname = 'Clipper'",
+            false,
+        );
+        let ba = pat(
+            "SELECT B.bid FROM Boat B WHERE B.bname = 'Clipper' \
+             UNION SELECT B.bid FROM Boat B WHERE B.color = 'red'",
+            false,
+        );
+        assert!(patterns_isomorphic(&ab, &ba));
+    }
+
+    #[test]
+    fn self_join_automorphism_found() {
+        // Two Sailor tables are interchangeable only respecting the head.
+        let a = pat(
+            "SELECT S1.sname FROM Sailor S1, Sailor S2 WHERE S1.rating < S2.rating",
+            false,
+        );
+        let b = pat(
+            "SELECT T2.sname FROM Sailor T1, Sailor T2 WHERE T2.rating < T1.rating",
+            false,
+        );
+        assert!(patterns_isomorphic(&a, &b));
+        // but projecting the *greater* sailor is a different pattern:
+        let c = pat(
+            "SELECT S2.sname FROM Sailor S1, Sailor S2 WHERE S1.rating < S2.rating",
+            false,
+        );
+        assert!(!patterns_isomorphic(&a, &c));
+    }
+}

@@ -1,0 +1,255 @@
+//! The end-to-end query-visualization pipeline of the tutorial's Figs. 1–2:
+//! a (possibly machine-generated) SQL query comes in, a diagram the user
+//! can verify comes out.
+//!
+//! ```text
+//! SQL ──parse──▶ AST ──resolve──▶ TRC ──build──▶ diagram IR ──layout──▶ scene ──render──▶ SVG/ASCII
+//! ```
+//!
+//! [`QueryVisualizer`] caches rendered queries (keyed by canonicalized
+//! SQL plus formalism) behind a [`parking_lot::RwLock`], since interactive
+//! use — the voice-assistant loop of Fig. 1 — re-renders the same query as
+//! the user refines it.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+use relviz_diagrams::{dataplay, dfql, qbd, qbe, queryvis, reldiag, sieuferd, sqlvis, stringdiag, tabletalk, visualsql};
+use relviz_model::Database;
+use relviz_render::Scene;
+
+use relviz_diagrams::{DiagError, DiagResult};
+
+/// Which formalism to draw.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum VisFormalism {
+    QueryVis,
+    RelationalDiagrams,
+    Dfql,
+    Qbe,
+    StringDiagrams,
+    VisualSql,
+    SqlVis,
+    TableTalk,
+    DataPlay,
+    Sieuferd,
+    Qbd,
+}
+
+impl VisFormalism {
+    pub const ALL: [VisFormalism; 11] = [
+        VisFormalism::QueryVis,
+        VisFormalism::RelationalDiagrams,
+        VisFormalism::Dfql,
+        VisFormalism::Qbe,
+        VisFormalism::StringDiagrams,
+        VisFormalism::VisualSql,
+        VisFormalism::SqlVis,
+        VisFormalism::TableTalk,
+        VisFormalism::DataPlay,
+        VisFormalism::Sieuferd,
+        VisFormalism::Qbd,
+    ];
+
+    pub fn name(&self) -> &'static str {
+        match self {
+            VisFormalism::QueryVis => "QueryVis",
+            VisFormalism::RelationalDiagrams => "Relational Diagrams",
+            VisFormalism::Dfql => "DFQL",
+            VisFormalism::Qbe => "QBE",
+            VisFormalism::StringDiagrams => "String diagrams",
+            VisFormalism::VisualSql => "Visual SQL",
+            VisFormalism::SqlVis => "SQLVis",
+            VisFormalism::TableTalk => "TableTalk",
+            VisFormalism::DataPlay => "DataPlay",
+            VisFormalism::Sieuferd => "SIEUFERD",
+            VisFormalism::Qbd => "QBD",
+        }
+    }
+}
+
+/// Output encoding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Backend {
+    Svg,
+    Ascii,
+}
+
+/// A pipeline result.
+#[derive(Debug, Clone)]
+pub struct PipelineOutput {
+    /// The canonicalized SQL (printer output of the parsed query).
+    pub canonical_sql: String,
+    /// The TRC form the diagram was built from (displayable).
+    pub trc: String,
+    /// The rendered diagram.
+    pub rendering: String,
+    /// The scene (for further processing).
+    pub scene: Scene,
+}
+
+/// The visualizer: formalism + backend + cache.
+pub struct QueryVisualizer {
+    formalism: VisFormalism,
+    backend: Backend,
+    cache: RwLock<HashMap<(String, VisFormalism, Backend), Arc<PipelineOutput>>>,
+}
+
+impl QueryVisualizer {
+    pub fn new(formalism: VisFormalism, backend: Backend) -> Self {
+        QueryVisualizer { formalism, backend, cache: RwLock::new(HashMap::new()) }
+    }
+
+    /// Runs the full pipeline on a SQL string.
+    pub fn visualize(&self, sql: &str, db: &Database) -> DiagResult<Arc<PipelineOutput>> {
+        // Canonicalize first so syntactic variants share cache entries —
+        // and, per the "syntax independence" principle, share diagrams.
+        let parsed =
+            relviz_sql::parse_query(sql).map_err(|e| DiagError::Lang(e.to_string()))?;
+        let canonical = relviz_sql::print_query(&parsed);
+        let key = (canonical.clone(), self.formalism, self.backend);
+        if let Some(hit) = self.cache.read().get(&key) {
+            return Ok(hit.clone());
+        }
+
+        let trc = relviz_rc::from_sql::sql_to_trc(&parsed, db)?;
+        let scene = build_scene(self.formalism, &canonical, &trc, db)?;
+        let rendering = match self.backend {
+            Backend::Svg => relviz_render::svg::to_svg(&scene),
+            Backend::Ascii => relviz_render::ascii::to_ascii(&scene),
+        };
+        let out = Arc::new(PipelineOutput {
+            canonical_sql: canonical,
+            trc: trc.to_string(),
+            rendering,
+            scene,
+        });
+        self.cache.write().insert(key, out.clone());
+        Ok(out)
+    }
+
+    /// Cache entry count (for tests and cache-hit benchmarks).
+    pub fn cached(&self) -> usize {
+        self.cache.read().len()
+    }
+}
+
+fn build_scene(
+    formalism: VisFormalism,
+    sql: &str,
+    trc: &relviz_rc::TrcQuery,
+    db: &Database,
+) -> DiagResult<Scene> {
+    match formalism {
+        VisFormalism::QueryVis => {
+            Ok(queryvis::QueryVisDiagram::from_trc(trc, db)?.scene())
+        }
+        VisFormalism::RelationalDiagrams => {
+            Ok(reldiag::RelationalDiagram::from_trc(trc, db)?.scene())
+        }
+        VisFormalism::Dfql => {
+            let ra = relviz_rc::to_ra::trc_to_ra(trc, db)?;
+            let ra = relviz_ra::rewrite::optimize(&ra);
+            Ok(dfql::DfqlDiagram::from_ra(&ra)?.scene())
+        }
+        VisFormalism::Qbe => {
+            let ra = relviz_rc::to_ra::trc_to_ra(trc, db)?;
+            let prog = relviz_datalog::translate::ra_to_datalog(&ra, db)?;
+            Ok(qbe::QbeProgram::from_datalog(&prog, db)?.scene())
+        }
+        VisFormalism::StringDiagrams => {
+            let drc = relviz_rc::to_drc::trc_to_drc(trc, db)?;
+            Ok(stringdiag::StringDiagram::from_drc(&drc)?.scene())
+        }
+        // The syntax-mirroring family builds from the SQL text itself —
+        // that is the point (E9).
+        VisFormalism::VisualSql => Ok(visualsql::VisualSqlDiagram::from_sql(sql, db)?.scene()),
+        VisFormalism::SqlVis => Ok(sqlvis::SqlVisDiagram::from_sql(sql, db)?.scene()),
+        VisFormalism::TableTalk => Ok(tabletalk::TableTalkDiagram::from_sql(sql, db)?.scene()),
+        VisFormalism::DataPlay => Ok(dataplay::DataPlayTree::from_trc(trc, db)?.scene()),
+        VisFormalism::Sieuferd => Ok(sieuferd::SieuferdSheet::from_sql(sql, db)?.scene()),
+        VisFormalism::Qbd => {
+            Ok(qbd::QbdQuery::from_sql(sql, &qbd::ErSchema::sailors(), db)?.scene())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relviz_model::catalog::sailors_sample;
+
+    const Q5: &str = "SELECT S.sname FROM Sailor S WHERE NOT EXISTS \
+        (SELECT * FROM Boat B WHERE B.color = 'red' AND NOT EXISTS \
+          (SELECT * FROM Reserves R WHERE R.sid = S.sid AND R.bid = B.bid))";
+
+    #[test]
+    fn pipeline_produces_svg_for_every_formalism() {
+        // Q5 (division) for the FOL-complete and syntax-mirroring
+        // formalisms; the conjunctive Q2 for the interfaces whose
+        // fragment is conjunctive navigation (SIEUFERD, QBD).
+        let db = sailors_sample();
+        const Q2: &str = "SELECT DISTINCT S.sname FROM Sailor S, Reserves R, Boat B \
+            WHERE S.sid = R.sid AND R.bid = B.bid AND B.color = 'red'";
+        for f in VisFormalism::ALL {
+            let conjunctive_only =
+                matches!(f, VisFormalism::Sieuferd | VisFormalism::Qbd);
+            let sql = if conjunctive_only { Q2 } else { Q5 };
+            let viz = QueryVisualizer::new(f, Backend::Svg);
+            let out = viz
+                .visualize(sql, &db)
+                .unwrap_or_else(|e| panic!("{}: {e}", f.name()));
+            assert!(out.rendering.starts_with("<svg"), "{}", f.name());
+            if !conjunctive_only {
+                assert!(out.trc.contains("not exists"), "{}", f.name());
+            }
+        }
+    }
+
+    #[test]
+    fn conjunctive_interfaces_reject_q5_with_named_feature() {
+        let db = sailors_sample();
+        for f in [VisFormalism::Sieuferd, VisFormalism::Qbd] {
+            let viz = QueryVisualizer::new(f, Backend::Svg);
+            let err = viz.visualize(Q5, &db).unwrap_err();
+            assert!(
+                matches!(err, DiagError::Unsupported { .. }),
+                "{}: {err}",
+                f.name()
+            );
+        }
+    }
+
+    #[test]
+    fn ascii_backend_renders() {
+        let db = sailors_sample();
+        let viz = QueryVisualizer::new(VisFormalism::RelationalDiagrams, Backend::Ascii);
+        let out = viz.visualize("SELECT S.sname FROM Sailor S WHERE S.rating > 7", &db).unwrap();
+        assert!(out.rendering.contains("Sailor"), "{}", out.rendering);
+    }
+
+    #[test]
+    fn syntactic_variants_share_cache_entries() {
+        let db = sailors_sample();
+        let viz = QueryVisualizer::new(VisFormalism::QueryVis, Backend::Svg);
+        let a = viz.visualize("SELECT S.sname FROM Sailor S WHERE S.rating > 7", &db).unwrap();
+        // whitespace/case variants canonicalize identically
+        let b = viz
+            .visualize("select  S.sname  from Sailor S  where S.rating > 7", &db)
+            .unwrap();
+        assert_eq!(viz.cached(), 1);
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn unsupported_features_surface_cleanly() {
+        let db = sailors_sample();
+        let viz = QueryVisualizer::new(VisFormalism::QueryVis, Backend::Svg);
+        let r = viz.visualize(
+            "SELECT S.sid FROM Sailor S UNION SELECT B.bid FROM Boat B",
+            &db,
+        );
+        assert!(matches!(r, Err(DiagError::Unsupported { .. })));
+    }
+}

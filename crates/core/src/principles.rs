@@ -1,0 +1,265 @@
+//! The tutorial's Part 2 — **principles of query visualization** — as
+//! executable checkers rather than slideware. Phrased after the
+//! "Algebraic Visualization Design" vocabulary the tutorial adopts: a good
+//! visualization is a mapping whose failures are either *hallucinators*
+//! (different queries, same picture) or *confusers* (same query,
+//! different pictures). The three checkers below probe both directions:
+//!
+//! * [`check_invertibility`] — the diagram determines the query: building
+//!   a Relational Diagram and reading it back preserves semantics
+//!   (no information is lost in the picture);
+//! * [`check_unambiguity`] — the diagram has exactly one reading (beta
+//!   graphs fail this; Relational Diagrams pass by construction);
+//! * [`check_pattern_preservation`] — syntactic variants of the same
+//!   query pattern produce the same diagram structure (no confusers from
+//!   formatting or alias choices).
+
+use relviz_diagrams::peirce::beta::BetaGraph;
+use relviz_diagrams::reldiag::RelationalDiagram;
+use relviz_diagrams::{DiagError, DiagResult};
+use relviz_model::Database;
+
+use crate::patterns::{extract_pattern, patterns_isomorphic};
+
+/// Result of a principle check.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Verdict {
+    Holds,
+    /// The principle fails, with an explanation of the witness.
+    Fails(String),
+}
+
+impl Verdict {
+    pub fn holds(&self) -> bool {
+        matches!(self, Verdict::Holds)
+    }
+}
+
+/// Invertibility: `to_trc(from_trc(q))` evaluates identically to `q` on
+/// the given database (and on a couple of generated ones, for paranoia).
+pub fn check_invertibility(sql: &str, db: &Database) -> DiagResult<Verdict> {
+    let trc = relviz_rc::from_sql::parse_sql_to_trc(sql, db)?;
+    let diagram = RelationalDiagram::from_trc(&trc, db)?;
+    let back = diagram.to_trc();
+    let mut dbs = vec![db.clone()];
+    dbs.push(relviz_model::generate::generate_sailors(
+        &relviz_model::generate::GenConfig { seed: 7, ..Default::default() },
+    ));
+    for (i, d) in dbs.iter().enumerate() {
+        let orig = relviz_rc::trc_eval::eval_trc(&trc, d)
+            .map_err(|e| DiagError::Lang(e.to_string()))?;
+        let rt = relviz_rc::trc_eval::eval_trc(&back, d)
+            .map_err(|e| DiagError::Lang(e.to_string()))?;
+        if !orig.same_contents(&rt) {
+            return Ok(Verdict::Fails(format!(
+                "round trip diverges on database #{i}: {} vs {} tuples",
+                orig.len(),
+                rt.len()
+            )));
+        }
+    }
+    Ok(Verdict::Holds)
+}
+
+/// Unambiguity of beta graphs for the given DRC sentence: exactly one
+/// scope-consistent reading. (Relational Diagrams are unambiguous by
+/// construction — their check is trivially [`Verdict::Holds`] whenever
+/// construction succeeds.)
+pub fn check_beta_unambiguity(g: &BetaGraph) -> DiagResult<Verdict> {
+    let n = g.readings()?.len();
+    if n == 1 {
+        Ok(Verdict::Holds)
+    } else {
+        Ok(Verdict::Fails(format!("{n} scope-consistent readings")))
+    }
+}
+
+/// Pattern preservation: two SQL texts with isomorphic *query patterns*
+/// must produce structurally identical Relational Diagrams (equal up to
+/// the same isomorphism — we compare element censuses and re-extracted
+/// patterns, which fully determine the diagram).
+pub fn check_pattern_preservation(
+    sql_a: &str,
+    sql_b: &str,
+    db: &Database,
+) -> DiagResult<Verdict> {
+    let ta = relviz_rc::from_sql::parse_sql_to_trc(sql_a, db)?;
+    let tb = relviz_rc::from_sql::parse_sql_to_trc(sql_b, db)?;
+    let pa = extract_pattern(&ta, db, false)?;
+    let pb = extract_pattern(&tb, db, false)?;
+    if !patterns_isomorphic(&pa, &pb) {
+        return Ok(Verdict::Fails("inputs are not pattern-isomorphic to begin with".into()));
+    }
+    let da = RelationalDiagram::from_trc(&ta, db)?;
+    let db_diag = RelationalDiagram::from_trc(&tb, db)?;
+    if da.census() != db_diag.census() {
+        return Ok(Verdict::Fails(format!(
+            "diagram censuses differ: {:?} vs {:?}",
+            da.census(),
+            db_diag.census()
+        )));
+    }
+    // The diagrams' own TRC readings must be pattern-isomorphic too.
+    let ra = extract_pattern(&da.to_trc(), db, false)?;
+    let rb = extract_pattern(&db_diag.to_trc(), db, false)?;
+    if !patterns_isomorphic(&ra, &rb) {
+        return Ok(Verdict::Fails("diagram readings have different patterns".into()));
+    }
+    Ok(Verdict::Holds)
+}
+
+/// A canonical structural fingerprint of a query's Relational Diagram
+/// (branch/box/table/condition shape with canonicalized names) — the
+/// injectivity probe for [`check_no_hallucinators`].
+pub fn reldiag_fingerprint(sql: &str, db: &Database) -> DiagResult<String> {
+    let trc = relviz_rc::from_sql::parse_sql_to_trc(sql, db)?;
+    let pattern = extract_pattern(&trc, db, false)?;
+    Ok(format!("{pattern:?}"))
+}
+
+/// No hallucinators: among `queries`, any two that *evaluate differently*
+/// (on the given database and two generated ones) must produce different
+/// diagram fingerprints. In the Algebraic-Visualization-Design vocabulary
+/// the tutorial adopts, a hallucinator is a visualization that shows the
+/// same picture for different data — here, for semantically different
+/// queries.
+pub fn check_no_hallucinators(
+    queries: &[&str],
+    db: &Database,
+    fingerprint: &dyn Fn(&str, &Database) -> DiagResult<String>,
+) -> DiagResult<Verdict> {
+    let mut probes = vec![db.clone()];
+    for seed in [11u64, 23] {
+        probes.push(relviz_model::generate::generate_sailors(
+            &relviz_model::generate::GenConfig { seed, ..Default::default() },
+        ));
+    }
+    // Semantic signature: the result sets on every probe database.
+    let mut sigs = Vec::with_capacity(queries.len());
+    let mut fps = Vec::with_capacity(queries.len());
+    for q in queries {
+        let mut sig = String::new();
+        for d in &probes {
+            let rel = relviz_sql::eval::run_sql(q, d)
+                .map_err(|e| DiagError::Lang(e.to_string()))?;
+            let mut rows: Vec<String> =
+                rel.iter().map(|t| format!("{t}")).collect();
+            rows.sort();
+            sig.push_str(&rows.join(";"));
+            sig.push('|');
+        }
+        sigs.push(sig);
+        fps.push(fingerprint(q, db)?);
+    }
+    for i in 0..queries.len() {
+        for j in (i + 1)..queries.len() {
+            if sigs[i] != sigs[j] && fps[i] == fps[j] {
+                return Ok(Verdict::Fails(format!(
+                    "hallucinator: queries #{i} and #{j} differ semantically but share \
+                     one picture"
+                )));
+            }
+        }
+    }
+    Ok(Verdict::Holds)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relviz_diagrams::peirce::beta::{BetaItem, Hook, Line};
+    use relviz_model::catalog::sailors_sample;
+
+    #[test]
+    fn invertibility_on_the_suite() {
+        let db = sailors_sample();
+        for q in crate::suite::SUITE {
+            // Q3's OR-free SQL forms and all ¬∃ forms must round trip.
+            let v = check_invertibility(q.sql, &db)
+                .unwrap_or_else(|e| panic!("{}: {e}", q.id));
+            assert!(v.holds(), "{}: {v:?}", q.id);
+        }
+    }
+
+    #[test]
+    fn beta_ambiguity_detected() {
+        let ambiguous = BetaGraph {
+            items: vec![BetaItem::Cut {
+                id: 0,
+                items: vec![BetaItem::pred("P", vec![Hook::Line(0)])],
+            }],
+            lines: vec![Line { scope: None }],
+        };
+        let v = check_beta_unambiguity(&ambiguous).unwrap();
+        assert!(!v.holds());
+
+        let mut clear = ambiguous.clone();
+        clear.lines[0].scope = Some(vec![]);
+        assert!(check_beta_unambiguity(&clear).unwrap().holds());
+    }
+
+    #[test]
+    fn pattern_preservation_across_aliases() {
+        let db = sailors_sample();
+        let v = check_pattern_preservation(
+            "SELECT S.sname FROM Sailor S, Reserves R WHERE S.sid = R.sid AND R.bid = 102",
+            "SELECT a.sname FROM Sailor a, Reserves b WHERE b.sid = a.sid AND b.bid = 102",
+            &db,
+        )
+        .unwrap();
+        assert!(v.holds(), "{v:?}");
+    }
+
+    #[test]
+    fn no_hallucinators_on_the_suite_pool() {
+        // The suite, plus near-miss variants that differ in exactly one
+        // constant or comparison — the classic place for a lossy
+        // visualization to collapse distinct queries.
+        let db = sailors_sample();
+        let pool: Vec<&str> = crate::suite::SUITE
+            .iter()
+            .map(|q| q.sql)
+            .chain([
+                "SELECT DISTINCT S.sname FROM Sailor S, Reserves R, Boat B \
+                 WHERE S.sid = R.sid AND R.bid = B.bid AND B.color = 'green'",
+                "SELECT S.sname FROM Sailor S WHERE S.rating > 7",
+                "SELECT S.sname FROM Sailor S WHERE S.rating < 7",
+            ])
+            .collect();
+        let v = check_no_hallucinators(&pool, &db, &reldiag_fingerprint).unwrap();
+        assert!(v.holds(), "{v:?}");
+    }
+
+    #[test]
+    fn hallucinator_detected_for_a_lossy_fingerprint() {
+        // A fingerprint that forgets the comparison operator *is* a
+        // hallucinator on > vs <.
+        let db = sailors_sample();
+        let lossy = |sql: &str, db: &Database| {
+            reldiag_fingerprint(sql, db)
+                .map(|f| f.replace("op: \">\"", "op: CMP").replace("op: \"<\"", "op: CMP"))
+        };
+        let v = check_no_hallucinators(
+            &[
+                "SELECT S.sname FROM Sailor S WHERE S.rating > 7",
+                "SELECT S.sname FROM Sailor S WHERE S.rating < 7",
+            ],
+            &db,
+            &lossy,
+        )
+        .unwrap();
+        assert!(!v.holds(), "lossy fingerprint must be flagged");
+    }
+
+    #[test]
+    fn pattern_preservation_rejects_different_queries() {
+        let db = sailors_sample();
+        let v = check_pattern_preservation(
+            "SELECT S.sname FROM Sailor S WHERE S.rating > 7",
+            "SELECT S.sname FROM Sailor S WHERE S.rating < 7",
+            &db,
+        )
+        .unwrap();
+        assert!(!v.holds());
+    }
+}

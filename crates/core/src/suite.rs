@@ -1,0 +1,236 @@
+//! The canonical query suite: the tutorial's running examples over the
+//! sailors–reserves–boats schema, each given in all **five textual
+//! languages** (SQL, RA, TRC, DRC, Datalog).
+//!
+//! Q1–Q5 are the classics the tutorial walks through; Q6–Q8 exercise the
+//! corner cases the historical comparison turns on (nested negation,
+//! self-join, quantified comparison). Experiment E2 evaluates every
+//! query in every language through that language's own evaluator and
+//! checks that all five agree — the "one semantics, five syntaxes" table
+//! of Part 3.
+
+/// One suite query with its five textual forms.
+#[derive(Debug, Clone, Copy)]
+pub struct SuiteQuery {
+    pub id: &'static str,
+    pub description: &'static str,
+    pub sql: &'static str,
+    pub ra: &'static str,
+    pub trc: &'static str,
+    pub drc: &'static str,
+    pub datalog: &'static str,
+}
+
+/// The suite. All forms are parseable by the respective crates and agree
+/// on every database (property-tested on generated instances).
+pub const SUITE: &[SuiteQuery] = &[
+    SuiteQuery {
+        id: "Q1",
+        description: "Names of sailors who reserved boat 102",
+        sql: "SELECT DISTINCT S.sname FROM Sailor S, Reserves R \
+              WHERE S.sid = R.sid AND R.bid = 102",
+        ra: "Project[sname](Join(Sailor, Select[bid = 102](Reserves)))",
+        trc: "{s.sname | Sailor(s) and exists r in Reserves: (r.sid = s.sid and r.bid = 102)}",
+        drc: "{n | exists s, rt, a, d: (Sailor(s, n, rt, a) and Reserves(s, 102, d))}",
+        datalog: "ans(N) :- Sailor(S, N, R, A), Reserves(S, 102, D).",
+    },
+    SuiteQuery {
+        id: "Q2",
+        description: "Names of sailors who reserved a red boat",
+        sql: "SELECT DISTINCT S.sname FROM Sailor S, Reserves R, Boat B \
+              WHERE S.sid = R.sid AND R.bid = B.bid AND B.color = 'red'",
+        ra: "Project[sname](Join(Sailor, Join(Reserves, \
+             Project[bid](Select[color = 'red'](Boat)))))",
+        trc: "{s.sname | Sailor(s) and exists r in Reserves, b in Boat: \
+              (r.sid = s.sid and r.bid = b.bid and b.color = 'red')}",
+        drc: "{n | exists s, rt, a, b, d, bn: (Sailor(s, n, rt, a) and \
+              Reserves(s, b, d) and Boat(b, bn, 'red'))}",
+        datalog: "ans(N) :- Sailor(S, N, R, A), Reserves(S, B, D), Boat(B, BN, 'red').",
+    },
+    SuiteQuery {
+        id: "Q3",
+        description: "Names of sailors who reserved a red or a green boat (disjunction)",
+        sql: "SELECT S.sname FROM Sailor S, Reserves R, Boat B \
+              WHERE S.sid = R.sid AND R.bid = B.bid AND B.color = 'red' \
+              UNION \
+              SELECT S.sname FROM Sailor S, Reserves R, Boat B \
+              WHERE S.sid = R.sid AND R.bid = B.bid AND B.color = 'green'",
+        ra: "Project[sname](Join(Sailor, Join(Reserves, Project[bid](\
+             Select[color = 'red' OR color = 'green'](Boat)))))",
+        trc: "{s.sname | Sailor(s) and exists r in Reserves, b in Boat: \
+              (r.sid = s.sid and r.bid = b.bid and b.color = 'red')} \
+              union \
+              {s.sname | Sailor(s) and exists r in Reserves, b in Boat: \
+              (r.sid = s.sid and r.bid = b.bid and b.color = 'green')}",
+        drc: "{n | exists s, rt, a, b, d, bn, c: (Sailor(s, n, rt, a) and \
+              Reserves(s, b, d) and Boat(b, bn, c) and (c = 'red' or c = 'green'))}",
+        datalog: "ans(N) :- Sailor(S, N, R, A), Reserves(S, B, D), Boat(B, BN, 'red').\n\
+                  ans(N) :- Sailor(S, N, R, A), Reserves(S, B, D), Boat(B, BN, 'green').",
+    },
+    SuiteQuery {
+        id: "Q4",
+        description: "Names of sailors who reserved no red boat (negation)",
+        sql: "SELECT S.sname FROM Sailor S WHERE NOT EXISTS \
+              (SELECT * FROM Reserves R, Boat B \
+               WHERE R.sid = S.sid AND R.bid = B.bid AND B.color = 'red')",
+        ra: "Project[sname](Join(Sailor, Difference(Project[sid](Sailor), \
+             Project[sid](Join(Reserves, Project[bid](Select[color = 'red'](Boat)))))))",
+        trc: "{s.sname | Sailor(s) and not exists r in Reserves, b in Boat: \
+              (r.sid = s.sid and r.bid = b.bid and b.color = 'red')}",
+        drc: "{n | exists s, rt, a: (Sailor(s, n, rt, a) and \
+              not exists b, d, bn: (Reserves(s, b, d) and Boat(b, bn, 'red')))}",
+        datalog: "% query: ans\n\
+                  redres(S) :- Reserves(S, B, D), Boat(B, BN, 'red').\n\
+                  ans(N) :- Sailor(S, N, R, A), not redres(S).",
+    },
+    SuiteQuery {
+        id: "Q5",
+        description: "Names of sailors who reserved ALL red boats (division / ∀)",
+        sql: "SELECT S.sname FROM Sailor S WHERE NOT EXISTS \
+              (SELECT * FROM Boat B WHERE B.color = 'red' AND NOT EXISTS \
+                (SELECT * FROM Reserves R WHERE R.sid = S.sid AND R.bid = B.bid))",
+        ra: "Project[sname](Join(Sailor, Division(Project[sid, bid](Reserves), \
+             Project[bid](Select[color = 'red'](Boat)))))",
+        trc: "{s.sname | Sailor(s) and not exists b in Boat: (b.color = 'red' and \
+              not exists r in Reserves: (r.sid = s.sid and r.bid = b.bid))}",
+        drc: "{n | exists s, rt, a: (Sailor(s, n, rt, a) and \
+              not exists b, bn: (Boat(b, bn, 'red') and \
+              not exists d: (Reserves(s, b, d))))}",
+        datalog: "% query: ans\n\
+                  res2(S, B) :- Reserves(S, B, D).\n\
+                  missing(S) :- Sailor(S, N, R, A), Boat(B, BN, 'red'), not res2(S, B).\n\
+                  ans(N) :- Sailor(S, N, R, A), not missing(S).",
+    },
+    SuiteQuery {
+        id: "Q6",
+        description: "Sailors who reserved ONLY red boats (nested negation)",
+        sql: "SELECT S.sname FROM Sailor S WHERE NOT EXISTS \
+              (SELECT * FROM Reserves R, Boat B \
+               WHERE R.sid = S.sid AND R.bid = B.bid AND B.color <> 'red') \
+              AND EXISTS (SELECT * FROM Reserves R2 WHERE R2.sid = S.sid)",
+        ra: "Project[sname](Join(Sailor, Difference(Project[sid](Reserves), \
+             Project[sid](Join(Reserves, Project[bid](Select[NOT color = 'red'](Boat)))))))",
+        trc: "{s.sname | Sailor(s) and not exists r in Reserves, b in Boat: \
+              (r.sid = s.sid and r.bid = b.bid and b.color <> 'red') \
+              and exists r2 in Reserves: (r2.sid = s.sid)}",
+        drc: "{n | exists s, rt, a: (Sailor(s, n, rt, a) and \
+              not exists b, d, bn, c: (Reserves(s, b, d) and Boat(b, bn, c) and not c = 'red') \
+              and exists b2, d2: (Reserves(s, b2, d2)))}",
+        datalog: "% query: ans\n\
+                  nonred(S) :- Reserves(S, B, D), Boat(B, BN, C), C != 'red'.\n\
+                  hasres(S) :- Reserves(S, B, D).\n\
+                  ans(N) :- Sailor(S, N, R, A), hasres(S), not nonred(S).",
+    },
+    SuiteQuery {
+        id: "Q7",
+        description: "Pairs of distinct sailors with the same rating (self-join)",
+        sql: "SELECT S1.sname, S2.sname FROM Sailor S1, Sailor S2 \
+              WHERE S1.rating = S2.rating AND S1.sid < S2.sid",
+        ra: "Project[n1, n2](Select[r1 = r2 AND sid1 < sid2](Product(\
+             Rename[sid -> sid1, sname -> n1, rating -> r1, age -> a1](Sailor), \
+             Rename[sid -> sid2, sname -> n2, rating -> r2, age -> a2](Sailor))))",
+        trc: "{s1.sname, s2.sname | Sailor(s1), Sailor(s2) and \
+              s1.rating = s2.rating and s1.sid < s2.sid}",
+        drc: "{n1, n2 | exists s1, r1, a1, s2, r2, a2: (Sailor(s1, n1, r1, a1) and \
+              Sailor(s2, n2, r2, a2) and r1 = r2 and s1 < s2)}",
+        datalog: "ans(N1, N2) :- Sailor(S1, N1, R1, A1), Sailor(S2, N2, R2, A2), \
+                  R1 = R2, S1 < S2.",
+    },
+    SuiteQuery {
+        id: "Q8",
+        description: "Sailors with the highest rating (quantified comparison / ≥ ALL)",
+        sql: "SELECT S.sname FROM Sailor S WHERE S.rating >= ALL \
+              (SELECT S2.rating FROM Sailor S2)",
+        ra: "Project[sname](Join(Sailor, Difference(Project[rating](Sailor), \
+             Project[rating](Select[rating < r2](Product(Project[rating](Sailor), \
+             Rename[rating -> r2](Project[rating](Sailor)))))))) ",
+        trc: "{s.sname | Sailor(s) and not exists s2 in Sailor: (s.rating < s2.rating)}",
+        drc: "{n | exists s, rt, a: (Sailor(s, n, rt, a) and \
+              not exists s2, n2, rt2, a2: (Sailor(s2, n2, rt2, a2) and rt < rt2))}",
+        datalog: "% query: ans\n\
+                  beaten(R1) :- Sailor(S1, N1, R1, A1), Sailor(S2, N2, R2, A2), R1 < R2.\n\
+                  ans(N) :- Sailor(S, N, R, A), not beaten(R).",
+    },
+];
+
+/// Looks up a suite query by id (`"Q1"` … `"Q8"`).
+pub fn by_id(id: &str) -> Option<&'static SuiteQuery> {
+    SUITE.iter().find(|q| q.id == id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relviz_model::catalog::sailors_sample;
+    use relviz_model::Relation;
+
+    /// Every form parses; all five evaluators agree.
+    #[test]
+    fn all_languages_agree_on_the_sample() {
+        let db = sailors_sample();
+        for q in SUITE {
+            let via_sql = relviz_sql::eval::run_sql(q.sql, &db)
+                .unwrap_or_else(|e| panic!("{} sql: {e}", q.id));
+            let check = |name: &str, rel: Relation| {
+                assert!(
+                    via_sql.same_contents(&rel),
+                    "{} {name} disagrees with SQL\nsql={via_sql}\n{name}={rel}",
+                    q.id
+                );
+            };
+            let ra = relviz_ra::parse::parse_ra(q.ra)
+                .unwrap_or_else(|e| panic!("{} ra parse: {e}", q.id));
+            check(
+                "ra",
+                relviz_ra::eval::eval(&ra, &db).unwrap_or_else(|e| panic!("{} ra: {e}", q.id)),
+            );
+            let trc = relviz_rc::trc_parse::parse_trc(q.trc)
+                .unwrap_or_else(|e| panic!("{} trc parse: {e}", q.id));
+            check(
+                "trc",
+                relviz_rc::trc_eval::eval_trc(&trc, &db)
+                    .unwrap_or_else(|e| panic!("{} trc: {e}", q.id)),
+            );
+            let drc = relviz_rc::drc_parse::parse_drc(q.drc)
+                .unwrap_or_else(|e| panic!("{} drc parse: {e}", q.id));
+            check(
+                "drc",
+                relviz_rc::drc_eval::eval_drc(&drc, &db)
+                    .unwrap_or_else(|e| panic!("{} drc: {e}", q.id)),
+            );
+            let dl = relviz_datalog::parse::parse_program(q.datalog)
+                .unwrap_or_else(|e| panic!("{} datalog parse: {e}", q.id));
+            check(
+                "datalog",
+                relviz_datalog::eval::eval_program(&dl, &db)
+                    .unwrap_or_else(|e| panic!("{} datalog: {e}", q.id)),
+            );
+        }
+    }
+
+    #[test]
+    fn expected_answers_on_the_sample() {
+        let db = sailors_sample();
+        let expect = [
+            ("Q1", 3), // dustin, lubber, horatio
+            ("Q2", 3),
+            ("Q3", 3),
+            ("Q4", 7),
+            ("Q5", 2), // dustin, lubber
+            ("Q7", 4),
+            ("Q8", 2), // rusty, zorba
+        ];
+        for (id, n) in expect {
+            let q = by_id(id).unwrap();
+            let rel = relviz_sql::eval::run_sql(q.sql, &db).unwrap();
+            assert_eq!(rel.len(), n, "{id}: {rel}");
+        }
+    }
+
+    #[test]
+    fn lookup() {
+        assert!(by_id("Q5").is_some());
+        assert!(by_id("Q99").is_none());
+        assert_eq!(SUITE.len(), 8);
+    }
+}

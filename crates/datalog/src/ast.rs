@@ -1,0 +1,244 @@
+//! Abstract syntax of Datalog programs.
+
+use relviz_model::{CmpOp, Value};
+
+/// A term: variable (Uppercase-initial by convention) or constant.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Term {
+    Var(String),
+    Const(Value),
+}
+
+impl Term {
+    pub fn var(name: impl Into<String>) -> Self {
+        Term::Var(name.into())
+    }
+    pub fn val(v: impl Into<Value>) -> Self {
+        Term::Const(v.into())
+    }
+    pub fn as_var(&self) -> Option<&str> {
+        match self {
+            Term::Var(v) => Some(v),
+            Term::Const(_) => None,
+        }
+    }
+}
+
+impl std::fmt::Display for Term {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Term::Var(v) => write!(f, "{v}"),
+            Term::Const(c) => write!(f, "{}", c.to_literal()),
+        }
+    }
+}
+
+/// A predicate applied to terms.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Atom {
+    pub rel: String,
+    pub terms: Vec<Term>,
+}
+
+impl Atom {
+    pub fn new(rel: impl Into<String>, terms: Vec<Term>) -> Self {
+        Atom { rel: rel.into(), terms }
+    }
+    pub fn vars(&self) -> impl Iterator<Item = &str> {
+        self.terms.iter().filter_map(Term::as_var)
+    }
+}
+
+impl std::fmt::Display for Atom {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}(", self.rel)?;
+        for (i, t) in self.terms.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{t}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// A body literal: positive atom, negated atom, or comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Literal {
+    Pos(Atom),
+    Neg(Atom),
+    Cmp { left: Term, op: CmpOp, right: Term },
+}
+
+impl std::fmt::Display for Literal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Literal::Pos(a) => write!(f, "{a}"),
+            Literal::Neg(a) => write!(f, "not {a}"),
+            Literal::Cmp { left, op, right } => write!(f, "{left} {} {right}", op.symbol()),
+        }
+    }
+}
+
+/// A rule `head :- body.` (facts have empty bodies).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Rule {
+    pub head: Atom,
+    pub body: Vec<Literal>,
+}
+
+impl std::fmt::Display for Rule {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.head)?;
+        if !self.body.is_empty() {
+            write!(f, " :- ")?;
+            for (i, l) in self.body.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{l}")?;
+            }
+        }
+        write!(f, ".")
+    }
+}
+
+/// A program: rules plus the name of the answer predicate (defaults to the
+/// head predicate of the last rule).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Program {
+    pub rules: Vec<Rule>,
+    pub query: String,
+}
+
+impl Program {
+    /// Predicates defined by rule heads (the IDB).
+    pub fn idb_predicates(&self) -> Vec<&str> {
+        let mut out: Vec<&str> = Vec::new();
+        for r in &self.rules {
+            if !out.contains(&r.head.rel.as_str()) {
+                out.push(&r.head.rel);
+            }
+        }
+        out
+    }
+
+    /// True iff some predicate (transitively) depends on itself.
+    pub fn is_recursive(&self) -> bool {
+        let idb = self.idb_predicates();
+        // DFS over the dependency graph restricted to IDB predicates.
+        let deps = |p: &str| -> Vec<&str> {
+            let mut out = Vec::new();
+            for r in &self.rules {
+                if r.head.rel == p {
+                    for l in &r.body {
+                        if let Literal::Pos(a) | Literal::Neg(a) = l {
+                            if idb.contains(&a.rel.as_str()) && !out.contains(&a.rel.as_str()) {
+                                out.push(a.rel.as_str());
+                            }
+                        }
+                    }
+                }
+            }
+            out
+        };
+        for &start in &idb {
+            let mut stack = deps(start);
+            let mut seen: Vec<&str> = Vec::new();
+            while let Some(p) = stack.pop() {
+                if p == start {
+                    return true;
+                }
+                if !seen.contains(&p) {
+                    seen.push(p);
+                    stack.extend(deps(p));
+                }
+            }
+        }
+        false
+    }
+}
+
+impl std::fmt::Display for Program {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for r in &self.rules {
+            writeln!(f, "{r}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rule(head: Atom, body: Vec<Literal>) -> Rule {
+        Rule { head, body }
+    }
+
+    #[test]
+    fn display_round() {
+        let r = rule(
+            Atom::new("ans", vec![Term::var("N")]),
+            vec![
+                Literal::Pos(Atom::new(
+                    "Sailor",
+                    vec![Term::var("S"), Term::var("N"), Term::var("R"), Term::var("A")],
+                )),
+                Literal::Neg(Atom::new("bad", vec![Term::var("S")])),
+                Literal::Cmp {
+                    left: Term::var("R"),
+                    op: relviz_model::CmpOp::Gt,
+                    right: Term::val(7),
+                },
+            ],
+        );
+        assert_eq!(
+            r.to_string(),
+            "ans(N) :- Sailor(S, N, R, A), not bad(S), R > 7."
+        );
+    }
+
+    #[test]
+    fn recursion_detection() {
+        let tc = Program {
+            rules: vec![
+                rule(
+                    Atom::new("tc", vec![Term::var("X"), Term::var("Y")]),
+                    vec![Literal::Pos(Atom::new("e", vec![Term::var("X"), Term::var("Y")]))],
+                ),
+                rule(
+                    Atom::new("tc", vec![Term::var("X"), Term::var("Z")]),
+                    vec![
+                        Literal::Pos(Atom::new("tc", vec![Term::var("X"), Term::var("Y")])),
+                        Literal::Pos(Atom::new("e", vec![Term::var("Y"), Term::var("Z")])),
+                    ],
+                ),
+            ],
+            query: "tc".into(),
+        };
+        assert!(tc.is_recursive());
+
+        let flat = Program {
+            rules: vec![rule(
+                Atom::new("ans", vec![Term::var("X")]),
+                vec![Literal::Pos(Atom::new("e", vec![Term::var("X"), Term::var("Y")]))],
+            )],
+            query: "ans".into(),
+        };
+        assert!(!flat.is_recursive());
+    }
+
+    #[test]
+    fn idb_listing() {
+        let p = Program {
+            rules: vec![
+                rule(Atom::new("a", vec![]), vec![]),
+                rule(Atom::new("b", vec![]), vec![]),
+                rule(Atom::new("a", vec![]), vec![]),
+            ],
+            query: "a".into(),
+        };
+        assert_eq!(p.idb_predicates(), vec!["a", "b"]);
+    }
+}

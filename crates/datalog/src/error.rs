@@ -1,0 +1,39 @@
+//! Errors of the Datalog subsystem.
+
+use std::fmt;
+
+/// Errors from parsing, checking, stratifying, translating or evaluating
+/// Datalog programs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DlError {
+    Parse(String),
+    /// Range-restriction or arity/scoping violation.
+    Check(String),
+    /// No stratification exists (negation through recursion).
+    NotStratifiable(String),
+    /// Feature unavailable in a translation target.
+    Unsupported(String),
+    Eval(String),
+}
+
+impl fmt::Display for DlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DlError::Parse(m) => write!(f, "datalog parse error: {m}"),
+            DlError::Check(m) => write!(f, "datalog check error: {m}"),
+            DlError::NotStratifiable(m) => write!(f, "not stratifiable: {m}"),
+            DlError::Unsupported(m) => write!(f, "unsupported: {m}"),
+            DlError::Eval(m) => write!(f, "datalog evaluation error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for DlError {}
+
+impl From<relviz_model::ModelError> for DlError {
+    fn from(e: relviz_model::ModelError) -> Self {
+        DlError::Eval(e.to_string())
+    }
+}
+
+pub type DlResult<T> = std::result::Result<T, DlError>;

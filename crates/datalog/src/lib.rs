@@ -1,0 +1,41 @@
+//! # relviz-datalog
+//!
+//! Datalog with stratified negation — the rule-based member of the
+//! tutorial's five textual languages, and the language QBE secretly embeds
+//! (Part 5 asks "is QBE really more visual than Datalog?"; experiment E6
+//! makes the comparison concrete).
+//!
+//! Features:
+//! * classic syntax ([`parse::parse_program`]):
+//!   `ans(N) :- Sailor(S, N, R, A), Reserves(S, 102, D).`
+//! * **range-restriction** checking (every head/negated/compared variable
+//!   must occur in a positive body atom),
+//! * **stratification** ([`stratify`]) — negation must not cross a
+//!   recursive cycle; the tutorial's fragment (non-recursive programs) is
+//!   always stratifiable,
+//! * **semi-naive** bottom-up evaluation per stratum ([`eval::eval_program`]),
+//! * translations RA → Datalog and (non-recursive) Datalog → RA
+//!   ([`translate`]).
+//!
+//! ```
+//! use relviz_model::catalog::sailors_sample;
+//! use relviz_datalog::{parse::parse_program, eval::eval_program};
+//!
+//! let db = sailors_sample();
+//! let prog = parse_program(
+//!     "ans(N) :- Sailor(S, N, R, A), Reserves(S, 102, D).",
+//! ).unwrap();
+//! let out = eval_program(&prog, &db).unwrap();
+//! assert_eq!(out.len(), 3);
+//! ```
+
+pub mod ast;
+pub mod error;
+pub mod eval;
+pub mod parse;
+pub mod stratify;
+pub mod translate;
+
+pub use ast::{Atom, Literal, Program, Rule, Term};
+pub use error::{DlError, DlResult};
+pub use stratify::stratify;

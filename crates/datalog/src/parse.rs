@@ -1,0 +1,455 @@
+//! Parser for classic Datalog syntax.
+//!
+//! ```text
+//! program := rule+
+//! rule    := atom [':-' literal (',' literal)*] '.'
+//! literal := ['not'|'!'] atom | term cmpop term
+//! atom    := ident '(' term (',' term)* ')' | ident
+//! term    := Variable | constant
+//! ```
+//!
+//! Identifiers starting with an uppercase letter or `_` **in term
+//! position** are variables; lowercase identifiers there are symbolic
+//! constants (strings). Relation names may be any identifier — position
+//! disambiguates (`Sailor(S, …)`: `Sailor` is a predicate, `S` a variable).
+//! The answer predicate is the head of the **last** rule unless a
+//! `% query: name` comment says otherwise.
+
+use relviz_model::{CmpOp, Value};
+
+use crate::ast::{Atom, Literal, Program, Rule, Term};
+use crate::error::{DlError, DlResult};
+
+/// Parses a Datalog program.
+pub fn parse_program(input: &str) -> DlResult<Program> {
+    // Directive comments first.
+    let mut query_override: Option<String> = None;
+    for line in input.lines() {
+        let l = line.trim();
+        if let Some(rest) = l.strip_prefix("% query:") {
+            query_override = Some(rest.trim().to_string());
+        }
+    }
+
+    let toks = tokenize(input)?;
+    let mut p = P { toks, pos: 0 };
+    let mut rules = Vec::new();
+    while p.peek() != &T::Eof {
+        rules.push(p.rule()?);
+    }
+    if rules.is_empty() {
+        return Err(DlError::Parse("empty program".into()));
+    }
+    let query = query_override
+        .unwrap_or_else(|| rules.last().expect("nonempty").head.rel.clone());
+    let program = Program { rules, query };
+    check_range_restriction(&program)?;
+    Ok(program)
+}
+
+/// Range restriction: every variable in a rule head, a negated atom or a
+/// comparison must also occur in a positive body atom.
+pub fn check_range_restriction(p: &Program) -> DlResult<()> {
+    for r in &p.rules {
+        let positive: Vec<&str> = r
+            .body
+            .iter()
+            .filter_map(|l| match l {
+                Literal::Pos(a) => Some(a.vars()),
+                _ => None,
+            })
+            .flatten()
+            .collect();
+        let check = |v: &str, what: &str| -> DlResult<()> {
+            if positive.contains(&v) {
+                Ok(())
+            } else {
+                Err(DlError::Check(format!(
+                    "variable `{v}` in {what} of rule `{r}` is not range-restricted"
+                )))
+            }
+        };
+        for v in r.head.vars() {
+            check(v, "head")?;
+        }
+        for l in &r.body {
+            match l {
+                Literal::Neg(a) => {
+                    for v in a.vars() {
+                        check(v, "negated atom")?;
+                    }
+                }
+                Literal::Cmp { left, right, .. } => {
+                    for t in [left, right] {
+                        if let Term::Var(v) = t {
+                            check(v, "comparison")?;
+                        }
+                    }
+                }
+                Literal::Pos(_) => {}
+            }
+        }
+    }
+    Ok(())
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum T {
+    Ident(String),
+    Int(i64),
+    Float(f64),
+    Str(String),
+    LParen,
+    RParen,
+    Comma,
+    Dot,
+    Implies, // :-
+    Not,
+    Cmp(CmpOp),
+    Eof,
+}
+
+fn tokenize(input: &str) -> DlResult<Vec<T>> {
+    let chars: Vec<char> = input.chars().collect();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            ' ' | '\t' | '\n' | '\r' => i += 1,
+            '%' => {
+                while i < chars.len() && chars[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '(' => {
+                out.push(T::LParen);
+                i += 1;
+            }
+            ')' => {
+                out.push(T::RParen);
+                i += 1;
+            }
+            ',' => {
+                out.push(T::Comma);
+                i += 1;
+            }
+            '.' => {
+                out.push(T::Dot);
+                i += 1;
+            }
+            ':' if chars.get(i + 1) == Some(&'-') => {
+                out.push(T::Implies);
+                i += 2;
+            }
+            '!' if chars.get(i + 1) == Some(&'=') => {
+                out.push(T::Cmp(CmpOp::Neq));
+                i += 2;
+            }
+            '!' => {
+                out.push(T::Not);
+                i += 1;
+            }
+            '¬' => {
+                out.push(T::Not);
+                i += 1;
+            }
+            '=' => {
+                out.push(T::Cmp(CmpOp::Eq));
+                i += 1;
+            }
+            '≠' => {
+                out.push(T::Cmp(CmpOp::Neq));
+                i += 1;
+            }
+            '≤' => {
+                out.push(T::Cmp(CmpOp::Le));
+                i += 1;
+            }
+            '≥' => {
+                out.push(T::Cmp(CmpOp::Ge));
+                i += 1;
+            }
+            '<' => {
+                if chars.get(i + 1) == Some(&'=') {
+                    out.push(T::Cmp(CmpOp::Le));
+                    i += 2;
+                } else if chars.get(i + 1) == Some(&'>') {
+                    out.push(T::Cmp(CmpOp::Neq));
+                    i += 2;
+                } else {
+                    out.push(T::Cmp(CmpOp::Lt));
+                    i += 1;
+                }
+            }
+            '>' => {
+                if chars.get(i + 1) == Some(&'=') {
+                    out.push(T::Cmp(CmpOp::Ge));
+                    i += 2;
+                } else {
+                    out.push(T::Cmp(CmpOp::Gt));
+                    i += 1;
+                }
+            }
+            '\'' => {
+                let mut s = String::new();
+                i += 1;
+                loop {
+                    match chars.get(i) {
+                        Some('\'') if chars.get(i + 1) == Some(&'\'') => {
+                            s.push('\'');
+                            i += 2;
+                        }
+                        Some('\'') => {
+                            i += 1;
+                            break;
+                        }
+                        Some(&ch) => {
+                            s.push(ch);
+                            i += 1;
+                        }
+                        None => return Err(DlError::Parse("unterminated string".into())),
+                    }
+                }
+                out.push(T::Str(s));
+            }
+            c if c.is_ascii_digit()
+                || (c == '-' && chars.get(i + 1).is_some_and(|d| d.is_ascii_digit())) =>
+            {
+                let start = i;
+                if c == '-' {
+                    i += 1;
+                }
+                while i < chars.len() && chars[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let mut is_float = false;
+                if chars.get(i) == Some(&'.') && chars.get(i + 1).is_some_and(|d| d.is_ascii_digit())
+                {
+                    is_float = true;
+                    i += 1;
+                    while i < chars.len() && chars[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+                let text: String = chars[start..i].iter().collect();
+                if is_float {
+                    out.push(T::Float(
+                        text.parse().map_err(|_| DlError::Parse(format!("bad float {text}")))?,
+                    ));
+                } else {
+                    out.push(T::Int(
+                        text.parse().map_err(|_| DlError::Parse(format!("bad int {text}")))?,
+                    ));
+                }
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let start = i;
+                while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                    i += 1;
+                }
+                let word: String = chars[start..i].iter().collect();
+                if word == "not" || word == "NOT" {
+                    out.push(T::Not);
+                } else {
+                    out.push(T::Ident(word));
+                }
+            }
+            other => return Err(DlError::Parse(format!("unexpected character `{other}`"))),
+        }
+    }
+    out.push(T::Eof);
+    Ok(out)
+}
+
+struct P {
+    toks: Vec<T>,
+    pos: usize,
+}
+
+impl P {
+    fn peek(&self) -> &T {
+        &self.toks[self.pos]
+    }
+    fn peek2(&self) -> &T {
+        &self.toks[(self.pos + 1).min(self.toks.len() - 1)]
+    }
+    fn next(&mut self) -> T {
+        let t = self.toks[self.pos].clone();
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        t
+    }
+    fn eat(&mut self, t: &T) -> bool {
+        if self.peek() == t {
+            self.next();
+            true
+        } else {
+            false
+        }
+    }
+    fn expect(&mut self, t: T, what: &str) -> DlResult<()> {
+        if self.peek() == &t {
+            self.next();
+            Ok(())
+        } else {
+            Err(DlError::Parse(format!("expected {what}, found {:?}", self.peek())))
+        }
+    }
+    fn ident(&mut self, what: &str) -> DlResult<String> {
+        match self.next() {
+            T::Ident(s) => Ok(s),
+            other => Err(DlError::Parse(format!("expected {what}, found {other:?}"))),
+        }
+    }
+
+    fn rule(&mut self) -> DlResult<Rule> {
+        let head = self.atom()?;
+        let mut body = Vec::new();
+        if self.eat(&T::Implies) {
+            body.push(self.literal()?);
+            while self.eat(&T::Comma) {
+                body.push(self.literal()?);
+            }
+        }
+        self.expect(T::Dot, "`.` terminating rule")?;
+        Ok(Rule { head, body })
+    }
+
+    fn literal(&mut self) -> DlResult<Literal> {
+        if self.eat(&T::Not) {
+            return Ok(Literal::Neg(self.atom()?));
+        }
+        // Atom (Ident + LParen or bare Ident not followed by cmp)?
+        if matches!(self.peek(), T::Ident(_)) && self.peek2() == &T::LParen {
+            return Ok(Literal::Pos(self.atom()?));
+        }
+        // comparison
+        let left = self.term()?;
+        let op = match self.next() {
+            T::Cmp(op) => op,
+            other => {
+                return Err(DlError::Parse(format!(
+                    "expected comparison operator, found {other:?}"
+                )))
+            }
+        };
+        let right = self.term()?;
+        Ok(Literal::Cmp { left, op, right })
+    }
+
+    fn atom(&mut self) -> DlResult<Atom> {
+        let rel = self.ident("predicate name")?;
+        let mut terms = Vec::new();
+        if self.eat(&T::LParen) {
+            terms.push(self.term()?);
+            while self.eat(&T::Comma) {
+                terms.push(self.term()?);
+            }
+            self.expect(T::RParen, "`)` closing atom")?;
+        }
+        Ok(Atom { rel, terms })
+    }
+
+    fn term(&mut self) -> DlResult<Term> {
+        match self.next() {
+            T::Ident(s) => {
+                let first = s.chars().next().expect("idents are nonempty");
+                if first.is_uppercase() || first == '_' {
+                    Ok(Term::Var(s))
+                } else {
+                    // lowercase symbol ⇒ string constant
+                    Ok(Term::Const(Value::Str(s)))
+                }
+            }
+            T::Int(i) => Ok(Term::Const(Value::Int(i))),
+            T::Float(x) => Ok(Term::Const(Value::Float(x))),
+            T::Str(s) => Ok(Term::Const(Value::Str(s))),
+            other => Err(DlError::Parse(format!("expected term, found {other:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_q1() {
+        let p = parse_program("ans(N) :- Sailor(S, N, R, A), Reserves(S, 102, D).").unwrap();
+        assert_eq!(p.query, "ans");
+        assert_eq!(p.rules.len(), 1);
+        assert_eq!(p.rules[0].body.len(), 2);
+    }
+
+    #[test]
+    fn variables_vs_constants() {
+        let p = parse_program("ans(N) :- Boat(B, N, red), B >= 100.").unwrap();
+        let Literal::Pos(atom) = &p.rules[0].body[0] else { panic!() };
+        assert_eq!(atom.terms[2], Term::Const(Value::Str("red".into())));
+        assert_eq!(atom.terms[0], Term::Var("B".into()));
+    }
+
+    #[test]
+    fn negation_and_query_directive() {
+        let p = parse_program(
+            "% query: good\n\
+             bad(S) :- Reserves(S, B, D), Boat(B, N, 'red').\n\
+             good(S) :- Sailor(S, N, R, A), not bad(S).",
+        )
+        .unwrap();
+        assert_eq!(p.query, "good");
+        assert!(matches!(p.rules[1].body[1], Literal::Neg(_)));
+    }
+
+    #[test]
+    fn default_query_is_last_head() {
+        let p = parse_program(
+            "a(X) :- e(X, Y).\n\
+             b(X) :- a(X).",
+        )
+        .unwrap();
+        assert_eq!(p.query, "b");
+    }
+
+    #[test]
+    fn range_restriction_enforced() {
+        // head var not in body
+        assert!(matches!(
+            parse_program("ans(Z) :- Sailor(S, N, R, A)."),
+            Err(DlError::Check(_))
+        ));
+        // negated-only var
+        assert!(matches!(
+            parse_program("ans(S) :- Sailor(S, N, R, A), not Reserves(S, B, D)."),
+            Err(DlError::Check(_))
+        ));
+        // comparison-only var
+        assert!(matches!(
+            parse_program("ans(S) :- Sailor(S, N, R, A), Z > 1."),
+            Err(DlError::Check(_))
+        ));
+    }
+
+    #[test]
+    fn facts_and_zero_arity() {
+        let p = parse_program("p(1).\nq :- p(X).").unwrap();
+        assert!(p.rules[0].body.is_empty());
+        assert_eq!(p.rules[1].head.terms.len(), 0);
+    }
+
+    #[test]
+    fn comments_ignored() {
+        let p = parse_program("% hello\nans(N) :- Boat(B, N, C). % trailing").unwrap();
+        assert_eq!(p.rules.len(), 1);
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(parse_program("").is_err());
+        assert!(parse_program("ans(N) :- Sailor(S, N").is_err());
+        assert!(parse_program("ans(N)").is_err()); // missing dot
+        assert!(parse_program("ans(N) :- .").is_err());
+    }
+}

@@ -1,0 +1,125 @@
+//! Stratification: layering the predicate dependency graph so that
+//! negation never crosses a cycle.
+//!
+//! A program is *stratifiable* iff no cycle of the dependency graph
+//! contains a negative edge. The algorithm is the classic fixpoint on
+//! stratum numbers: `stratum(p) ≥ stratum(q)` for positive edges p→q and
+//! `stratum(p) ≥ stratum(q) + 1` for negative edges; failure to converge
+//! within |IDB| iterations ⇔ not stratifiable.
+
+use std::collections::HashMap;
+
+use crate::ast::{Literal, Program};
+use crate::error::{DlError, DlResult};
+
+/// Assigns a stratum (0-based) to every IDB predicate, or fails.
+pub fn stratify(p: &Program) -> DlResult<HashMap<String, usize>> {
+    let idb: Vec<String> = p.idb_predicates().into_iter().map(String::from).collect();
+    let mut stratum: HashMap<String, usize> =
+        idb.iter().map(|n| (n.clone(), 0usize)).collect();
+
+    let max_rounds = idb.len() + 1;
+    for _ in 0..max_rounds {
+        let mut changed = false;
+        for rule in &p.rules {
+            let head = &rule.head.rel;
+            for lit in &rule.body {
+                match lit {
+                    Literal::Pos(a) if stratum.contains_key(&a.rel) => {
+                        let need = stratum[&a.rel];
+                        if stratum[head] < need {
+                            stratum.insert(head.clone(), need);
+                            changed = true;
+                        }
+                    }
+                    Literal::Neg(a) if stratum.contains_key(&a.rel) => {
+                        let need = stratum[&a.rel] + 1;
+                        if stratum[head] < need {
+                            stratum.insert(head.clone(), need);
+                            changed = true;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        if !changed {
+            return Ok(stratum);
+        }
+    }
+    Err(DlError::NotStratifiable(
+        "negation crosses a recursive cycle (stratum numbers diverge)".into(),
+    ))
+}
+
+/// Groups IDB predicates by stratum, lowest first.
+pub fn strata_order(stratum: &HashMap<String, usize>) -> Vec<Vec<String>> {
+    let max = stratum.values().copied().max().unwrap_or(0);
+    let mut out = vec![Vec::new(); max + 1];
+    let mut names: Vec<_> = stratum.iter().collect();
+    names.sort();
+    for (name, &s) in names {
+        out[s].push(name.clone());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_program;
+
+    #[test]
+    fn linear_negation_two_strata() {
+        let p = parse_program(
+            "bad(S) :- Reserves(S, B, D), Boat(B, N, 'red').\n\
+             good(S) :- Sailor(S, N, R, A), not bad(S).",
+        )
+        .unwrap();
+        let s = stratify(&p).unwrap();
+        assert_eq!(s["bad"], 0);
+        assert_eq!(s["good"], 1);
+        let order = strata_order(&s);
+        assert_eq!(order, vec![vec!["bad".to_string()], vec!["good".to_string()]]);
+    }
+
+    #[test]
+    fn positive_recursion_is_fine() {
+        let p = parse_program(
+            "tc(X, Y) :- e(X, Y).\n\
+             tc(X, Z) :- tc(X, Y), e(Y, Z).",
+        )
+        .unwrap();
+        let s = stratify(&p).unwrap();
+        assert_eq!(s["tc"], 0);
+    }
+
+    #[test]
+    fn negation_through_recursion_rejected() {
+        let p = parse_program(
+            "win(X) :- move(X, Y), not win(Y).",
+        )
+        .unwrap();
+        assert!(matches!(stratify(&p), Err(DlError::NotStratifiable(_))));
+    }
+
+    #[test]
+    fn chained_negations_stack_strata() {
+        let p = parse_program(
+            "a(X) :- e(X, Y).\n\
+             b(X) :- e(X, Y), not a(X).\n\
+             c(X) :- e(X, Y), not b(X).",
+        )
+        .unwrap();
+        let s = stratify(&p).unwrap();
+        assert_eq!((s["a"], s["b"], s["c"]), (0, 1, 2));
+    }
+
+    #[test]
+    fn edb_negation_is_stratum_zero() {
+        let p = parse_program("ans(X) :- e(X, Y), not f(X, Y).").unwrap();
+        // f is EDB (no rules) so negation imposes nothing.
+        let s = stratify(&p).unwrap();
+        assert_eq!(s["ans"], 0);
+    }
+}

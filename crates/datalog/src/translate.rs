@@ -1,0 +1,631 @@
+//! Translations between Datalog and Relational Algebra.
+//!
+//! * [`ra_to_datalog`]: each RA operator becomes one or two rules — the
+//!   dataflow reading of Datalog the tutorial uses when comparing QBE with
+//!   Datalog (division expands into the classic two-negation pattern).
+//! * [`datalog_to_ra`] (non-recursive programs): rules inline bottom-up;
+//!   positive atoms join on shared variables, negated atoms become
+//!   anti-joins (`P − (P ⋈ N)`), multiple rules per predicate union.
+
+use std::collections::HashMap;
+
+use relviz_model::{Database, Schema};
+use relviz_ra::typing::schema_of;
+use relviz_ra::{Operand, Predicate, RaExpr};
+
+use crate::ast::{Atom, Literal, Program, Rule, Term};
+use crate::error::{DlError, DlResult};
+
+// =========================================================================
+// RA → Datalog
+// =========================================================================
+
+/// Translates an RA expression into a Datalog program whose answer
+/// predicate is `ans`.
+pub fn ra_to_datalog(e: &RaExpr, db: &Database) -> DlResult<Program> {
+    schema_of(e, db).map_err(|err| DlError::Check(err.to_string()))?;
+    let mut ctx = RaCtx { rules: Vec::new(), counter: 0 };
+    let node = ctx.compile(e, db)?;
+    // Final aliasing rule so the answer predicate is always `ans`.
+    let vars: Vec<Term> = node.attrs.iter().map(|a| Term::var(var_of(a))).collect();
+    ctx.rules.push(Rule {
+        head: Atom::new("ans", vars.clone()),
+        body: vec![Literal::Pos(Atom::new(node.pred, vars))],
+    });
+    Ok(Program { rules: ctx.rules, query: "ans".into() })
+}
+
+/// A compiled node: predicate name + attribute names (defining term order).
+struct Node {
+    pred: String,
+    attrs: Vec<String>,
+}
+
+struct RaCtx {
+    rules: Vec<Rule>,
+    counter: usize,
+}
+
+fn var_of(attr: &str) -> String {
+    format!("V_{attr}")
+}
+
+impl RaCtx {
+    fn fresh(&mut self) -> String {
+        self.counter += 1;
+        format!("q{}", self.counter)
+    }
+
+    fn atom(&self, node: &Node) -> Atom {
+        Atom::new(
+            node.pred.clone(),
+            node.attrs.iter().map(|a| Term::var(var_of(a))).collect(),
+        )
+    }
+
+    fn compile(&mut self, e: &RaExpr, db: &Database) -> DlResult<Node> {
+        match e {
+            RaExpr::Relation(name) => {
+                let schema = db
+                    .schema(name)
+                    .map_err(|_| DlError::Check(format!("unknown relation `{name}`")))?;
+                Ok(Node {
+                    pred: name.clone(),
+                    attrs: schema.attrs().iter().map(|a| a.name.clone()).collect(),
+                })
+            }
+            RaExpr::Rename { from, to, input } => {
+                let mut node = self.compile(input, db)?;
+                for a in &mut node.attrs {
+                    if a == from {
+                        a.clone_from(to);
+                    }
+                }
+                Ok(node)
+            }
+            RaExpr::Select { pred, input } => {
+                let node = self.compile(input, db)?;
+                let name = self.fresh();
+                let head = Atom::new(
+                    name.clone(),
+                    node.attrs.iter().map(|a| Term::var(var_of(a))).collect(),
+                );
+                for conj in predicate_dnf(pred)? {
+                    let mut body = vec![Literal::Pos(self.atom(&node))];
+                    body.extend(conj.into_iter().map(|(l, op, r)| Literal::Cmp {
+                        left: operand_term(&l),
+                        op,
+                        right: operand_term(&r),
+                    }));
+                    self.rules.push(Rule { head: head.clone(), body });
+                }
+                Ok(Node { pred: name, attrs: node.attrs })
+            }
+            RaExpr::Project { attrs, input } => {
+                let node = self.compile(input, db)?;
+                let name = self.fresh();
+                self.rules.push(Rule {
+                    head: Atom::new(
+                        name.clone(),
+                        attrs.iter().map(|a| Term::var(var_of(a))).collect(),
+                    ),
+                    body: vec![Literal::Pos(self.atom(&node))],
+                });
+                Ok(Node { pred: name, attrs: attrs.clone() })
+            }
+            RaExpr::Product(l, r) | RaExpr::NaturalJoin(l, r) => {
+                let ln = self.compile(l, db)?;
+                let rn = self.compile(r, db)?;
+                // For natural join, shared attribute names produce shared
+                // variables — unification is the join. Products have
+                // disjoint names by RA typing, so the same code serves both.
+                let mut attrs = ln.attrs.clone();
+                for a in &rn.attrs {
+                    if !attrs.contains(a) {
+                        attrs.push(a.clone());
+                    }
+                }
+                let name = self.fresh();
+                self.rules.push(Rule {
+                    head: Atom::new(
+                        name.clone(),
+                        attrs.iter().map(|a| Term::var(var_of(a))).collect(),
+                    ),
+                    body: vec![Literal::Pos(self.atom(&ln)), Literal::Pos(self.atom(&rn))],
+                });
+                Ok(Node { pred: name, attrs })
+            }
+            RaExpr::ThetaJoin { pred, left, right } => {
+                let product = RaExpr::Product(left.clone(), right.clone());
+                let selected =
+                    RaExpr::Select { pred: pred.clone(), input: Box::new(product) };
+                self.compile(&selected, db)
+            }
+            RaExpr::Union(l, r) => {
+                let ln = self.compile(l, db)?;
+                let rn = self.compile(r, db)?;
+                let name = self.fresh();
+                // Union takes the left's attribute names.
+                let head = Atom::new(
+                    name.clone(),
+                    ln.attrs.iter().map(|a| Term::var(var_of(a))).collect(),
+                );
+                self.rules.push(Rule {
+                    head: head.clone(),
+                    body: vec![Literal::Pos(self.atom(&ln))],
+                });
+                // Right side: same head variables, positional.
+                let right_atom = Atom::new(
+                    rn.pred.clone(),
+                    ln.attrs.iter().map(|a| Term::var(var_of(a))).collect(),
+                );
+                self.rules.push(Rule { head, body: vec![Literal::Pos(right_atom)] });
+                Ok(Node { pred: name, attrs: ln.attrs })
+            }
+            RaExpr::Intersect(l, r) => {
+                let ln = self.compile(l, db)?;
+                let rn = self.compile(r, db)?;
+                let name = self.fresh();
+                let vars: Vec<Term> =
+                    ln.attrs.iter().map(|a| Term::var(var_of(a))).collect();
+                self.rules.push(Rule {
+                    head: Atom::new(name.clone(), vars.clone()),
+                    body: vec![
+                        Literal::Pos(self.atom(&ln)),
+                        Literal::Pos(Atom::new(rn.pred, vars)),
+                    ],
+                });
+                Ok(Node { pred: name, attrs: ln.attrs })
+            }
+            RaExpr::Difference(l, r) => {
+                let ln = self.compile(l, db)?;
+                let rn = self.compile(r, db)?;
+                let name = self.fresh();
+                let vars: Vec<Term> =
+                    ln.attrs.iter().map(|a| Term::var(var_of(a))).collect();
+                self.rules.push(Rule {
+                    head: Atom::new(name.clone(), vars.clone()),
+                    body: vec![
+                        Literal::Pos(self.atom(&ln)),
+                        Literal::Neg(Atom::new(rn.pred, vars)),
+                    ],
+                });
+                Ok(Node { pred: name, attrs: ln.attrs })
+            }
+            RaExpr::Division(l, r) => {
+                // The tutorial's dataflow division pattern:
+                //   cand(Q)  :- l(Q, D).
+                //   bad(Q)   :- cand(Q), r(D), not l(Q, D).
+                //   div(Q)   :- cand(Q), not bad(Q).
+                let ln = self.compile(l, db)?;
+                let rn = self.compile(r, db)?;
+                let q_attrs: Vec<String> = ln
+                    .attrs
+                    .iter()
+                    .filter(|a| !rn.attrs.contains(a))
+                    .cloned()
+                    .collect();
+                let q_vars: Vec<Term> = q_attrs.iter().map(|a| Term::var(var_of(a))).collect();
+
+                let cand = self.fresh();
+                self.rules.push(Rule {
+                    head: Atom::new(cand.clone(), q_vars.clone()),
+                    body: vec![Literal::Pos(self.atom(&ln))],
+                });
+                let bad = self.fresh();
+                self.rules.push(Rule {
+                    head: Atom::new(bad.clone(), q_vars.clone()),
+                    body: vec![
+                        Literal::Pos(Atom::new(cand.clone(), q_vars.clone())),
+                        Literal::Pos(self.atom(&rn)),
+                        Literal::Neg(self.atom(&ln)),
+                    ],
+                });
+                let div = self.fresh();
+                self.rules.push(Rule {
+                    head: Atom::new(div.clone(), q_vars.clone()),
+                    body: vec![
+                        Literal::Pos(Atom::new(cand, q_vars.clone())),
+                        Literal::Neg(Atom::new(bad, q_vars)),
+                    ],
+                });
+                Ok(Node { pred: div, attrs: q_attrs })
+            }
+        }
+    }
+}
+
+fn operand_term(o: &Operand) -> Term {
+    match o {
+        Operand::Attr(a) => Term::var(var_of(a)),
+        Operand::Const(v) => Term::Const(v.clone()),
+    }
+}
+
+/// Converts an RA predicate to DNF over comparisons (negation pushed onto
+/// comparisons via operator negation).
+fn predicate_dnf(
+    p: &Predicate,
+) -> DlResult<Vec<Vec<(Operand, relviz_model::CmpOp, Operand)>>> {
+    match p {
+        Predicate::Const(true) => Ok(vec![vec![]]),
+        Predicate::Const(false) => Ok(vec![]),
+        Predicate::Cmp { left, op, right } => {
+            Ok(vec![vec![(left.clone(), *op, right.clone())]])
+        }
+        Predicate::And(a, b) => {
+            let da = predicate_dnf(a)?;
+            let db_ = predicate_dnf(b)?;
+            let mut out = Vec::with_capacity(da.len() * db_.len());
+            for x in &da {
+                for y in &db_ {
+                    let mut conj = x.clone();
+                    conj.extend(y.iter().cloned());
+                    out.push(conj);
+                }
+            }
+            Ok(out)
+        }
+        Predicate::Or(a, b) => {
+            let mut out = predicate_dnf(a)?;
+            out.extend(predicate_dnf(b)?);
+            Ok(out)
+        }
+        Predicate::Not(inner) => match &**inner {
+            Predicate::Cmp { left, op, right } => {
+                Ok(vec![vec![(left.clone(), op.negate(), right.clone())]])
+            }
+            Predicate::Not(inner2) => predicate_dnf(inner2),
+            Predicate::And(a, b) => {
+                predicate_dnf(&Predicate::Or(
+                    Box::new(Predicate::Not(a.clone())),
+                    Box::new(Predicate::Not(b.clone())),
+                ))
+            }
+            Predicate::Or(a, b) => {
+                predicate_dnf(&Predicate::And(
+                    Box::new(Predicate::Not(a.clone())),
+                    Box::new(Predicate::Not(b.clone())),
+                ))
+            }
+            Predicate::Const(b) => predicate_dnf(&Predicate::Const(!b)),
+        },
+    }
+}
+
+// =========================================================================
+// Datalog → RA (non-recursive programs)
+// =========================================================================
+
+/// Translates a non-recursive Datalog program into an RA expression for its
+/// answer predicate.
+pub fn datalog_to_ra(p: &Program, db: &Database) -> DlResult<RaExpr> {
+    if p.is_recursive() {
+        return Err(DlError::Unsupported(
+            "recursive programs exceed RA (no fixpoint operator)".into(),
+        ));
+    }
+    let mut built: HashMap<String, RaExpr> = HashMap::new();
+    // Process predicates in dependency order (simple iteration to fixpoint:
+    // non-recursive ⇒ converges).
+    let idb: Vec<String> = p.idb_predicates().into_iter().map(String::from).collect();
+    let mut remaining: Vec<&String> = idb.iter().collect();
+    while !remaining.is_empty() {
+        let before = remaining.len();
+        remaining.retain(|name| {
+            let ready = p.rules.iter().filter(|r| &r.head.rel == *name).all(|r| {
+                r.body.iter().all(|l| match l {
+                    Literal::Pos(a) | Literal::Neg(a) => {
+                        !idb.contains(&a.rel) || built.contains_key(&a.rel)
+                    }
+                    Literal::Cmp { .. } => true,
+                })
+            });
+            if ready {
+                match build_predicate(name, p, db, &built) {
+                    Ok(e) => {
+                        built.insert((*name).clone(), e);
+                        false
+                    }
+                    Err(_) => true, // keep; will error out below if stuck
+                }
+            } else {
+                true
+            }
+        });
+        if remaining.len() == before {
+            // Re-run once to surface the actual error.
+            let name = remaining[0];
+            build_predicate(name, p, db, &built)?;
+            return Err(DlError::Check(format!(
+                "could not order predicate `{name}` (internal error)"
+            )));
+        }
+    }
+    built
+        .remove(&p.query)
+        .ok_or_else(|| DlError::Check(format!("no rules for query predicate `{}`", p.query)))
+}
+
+fn build_predicate(
+    name: &str,
+    p: &Program,
+    db: &Database,
+    built: &HashMap<String, RaExpr>,
+) -> DlResult<RaExpr> {
+    let mut alternatives = Vec::new();
+    for rule in p.rules.iter().filter(|r| r.head.rel == name) {
+        alternatives.push(build_rule(rule, db, built)?);
+    }
+    alternatives
+        .into_iter()
+        .reduce(|a, b| a.union(b))
+        .ok_or_else(|| DlError::Check(format!("no rules for predicate `{name}`")))
+}
+
+/// Expression for one atom: the predicate's relation with constants
+/// selected, repeated variables equated, and attributes renamed to
+/// variable names.
+fn atom_expr(
+    atom: &Atom,
+    db: &Database,
+    built: &HashMap<String, RaExpr>,
+) -> DlResult<RaExpr> {
+    let base = match built.get(&atom.rel) {
+        Some(e) => e.clone(),
+        None => RaExpr::Relation(atom.rel.clone()),
+    };
+    let schema = expr_schema(&base, db, built)?;
+    if schema.arity() != atom.terms.len() {
+        return Err(DlError::Check(format!(
+            "atom `{atom}` arity {} vs relation arity {}",
+            atom.terms.len(),
+            schema.arity()
+        )));
+    }
+    let attr_names: Vec<String> = schema.attrs().iter().map(|a| a.name.clone()).collect();
+
+    let mut e = base;
+    let mut first_pos: HashMap<&str, usize> = HashMap::new();
+    let mut keep: Vec<usize> = Vec::new();
+    for (i, term) in atom.terms.iter().enumerate() {
+        match term {
+            Term::Const(v) => {
+                e = e.select(Predicate::eq(
+                    Operand::Attr(attr_names[i].clone()),
+                    Operand::Const(v.clone()),
+                ));
+            }
+            Term::Var(v) => match first_pos.get(v.as_str()) {
+                Some(&j) => {
+                    e = e.select(Predicate::eq(
+                        Operand::Attr(attr_names[i].clone()),
+                        Operand::Attr(attr_names[j].clone()),
+                    ));
+                }
+                None => {
+                    first_pos.insert(v, i);
+                    keep.push(i);
+                }
+            },
+        }
+    }
+    // Project to the first occurrence of each variable, rename to var names.
+    let kept_attrs: Vec<String> = keep.iter().map(|&i| attr_names[i].clone()).collect();
+    e = RaExpr::Project { attrs: kept_attrs.clone(), input: Box::new(e) };
+    for &i in &keep {
+        let var = atom.terms[i].as_var().expect("keep holds variable positions");
+        if attr_names[i] != var {
+            e = e.rename(attr_names[i].clone(), var);
+        }
+    }
+    Ok(e)
+}
+
+fn expr_schema(
+    e: &RaExpr,
+    db: &Database,
+    _built: &HashMap<String, RaExpr>,
+) -> DlResult<Schema> {
+    schema_of(e, db).map_err(|err| DlError::Check(err.to_string()))
+}
+
+fn build_rule(
+    rule: &Rule,
+    db: &Database,
+    built: &HashMap<String, RaExpr>,
+) -> DlResult<RaExpr> {
+    let positives: Vec<&Atom> = rule
+        .body
+        .iter()
+        .filter_map(|l| match l {
+            Literal::Pos(a) => Some(a),
+            _ => None,
+        })
+        .collect();
+    if positives.is_empty() {
+        return Err(DlError::Unsupported(
+            "facts/rules without positive atoms have no RA counterpart (no constant relations)"
+                .into(),
+        ));
+    }
+    // Join positive atoms on shared variable names (natural join after the
+    // per-atom rename to variable names).
+    let mut e: Option<RaExpr> = None;
+    for atom in positives {
+        let ae = atom_expr(atom, db, built)?;
+        e = Some(match e {
+            None => ae,
+            Some(prev) => prev.natural_join(ae),
+        });
+    }
+    let mut e = e.expect("at least one positive atom");
+
+    // Comparisons become selections (variables are attribute names now).
+    for lit in &rule.body {
+        if let Literal::Cmp { left, op, right } = lit {
+            e = e.select(Predicate::cmp(term_operand(left), *op, term_operand(right)));
+        }
+    }
+
+    // Negated atoms become anti-joins: e := e − π_{attrs(e)}(e ⋈ n).
+    for lit in &rule.body {
+        if let Literal::Neg(atom) = lit {
+            let ne = atom_expr(atom, db, built)?;
+            e = e.clone().difference(e.natural_join(ne));
+        }
+    }
+
+    // Head: project head variables (must be distinct), rename to arg1..k.
+    let mut head_vars = Vec::with_capacity(rule.head.terms.len());
+    for t in &rule.head.terms {
+        match t {
+            Term::Var(v) => {
+                if head_vars.contains(v) {
+                    return Err(DlError::Unsupported(
+                        "repeated head variables cannot be expressed as an RA projection".into(),
+                    ));
+                }
+                head_vars.push(v.clone());
+            }
+            Term::Const(_) => {
+                return Err(DlError::Unsupported(
+                    "constant head terms need an extension operator absent from RA".into(),
+                ))
+            }
+        }
+    }
+    if head_vars.is_empty() {
+        return Err(DlError::Unsupported(
+            "zero-arity predicates (Boolean queries) have no RA counterpart here".into(),
+        ));
+    }
+    let mut out = RaExpr::Project { attrs: head_vars.clone(), input: Box::new(e) };
+    for (i, v) in head_vars.iter().enumerate() {
+        let target = format!("arg{}", i + 1);
+        if v != &target {
+            out = out.rename(v.clone(), target);
+        }
+    }
+    Ok(out)
+}
+
+fn term_operand(t: &Term) -> Operand {
+    match t {
+        Term::Var(v) => Operand::Attr(v.clone()),
+        Term::Const(c) => Operand::Const(c.clone()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::eval_program;
+    use crate::parse::parse_program;
+    use relviz_model::catalog::sailors_sample;
+    use relviz_ra::eval::eval as ra_eval;
+    use relviz_ra::parse::parse_ra;
+
+    fn check_ra_to_dl(src: &str) {
+        let db = sailors_sample();
+        let e = parse_ra(src).unwrap();
+        let prog = ra_to_datalog(&e, &db).unwrap_or_else(|err| panic!("{src}: {err}"));
+        let via_ra = ra_eval(&e, &db).unwrap();
+        let via_dl = eval_program(&prog, &db)
+            .unwrap_or_else(|err| panic!("{src}:\n{prog}\n{err}"));
+        assert!(
+            via_ra.same_contents(&via_dl),
+            "RA vs Datalog mismatch for `{src}`\n{prog}\nra={via_ra}\ndl={via_dl}"
+        );
+    }
+
+    #[test]
+    fn ra_to_datalog_operators() {
+        for src in [
+            "Sailor",
+            "Project[sname](Select[rating > 7](Sailor))",
+            "Project[sname](Join(Sailor, Join(Reserves, Select[color = 'red'](Boat))))",
+            "Select[color = 'red' OR color = 'green'](Boat)",
+            "Select[NOT (color = 'red' AND bid > 102)](Boat)",
+            "Union(Project[sid](Sailor), Project[bid](Boat))",
+            "Intersect(Project[sid](Sailor), Project[sid](Reserves))",
+            "Difference(Project[sid](Sailor), Project[sid](Reserves))",
+            "Division(Project[sid, bid](Reserves), Project[bid](Select[color = 'red'](Boat)))",
+            "ThetaJoin[s_sid = sid](Rename[sid -> s_sid](Sailor), Reserves)",
+        ] {
+            check_ra_to_dl(src);
+        }
+    }
+
+    fn check_dl_to_ra(src: &str) {
+        let db = sailors_sample();
+        let prog = parse_program(src).unwrap();
+        let e = datalog_to_ra(&prog, &db).unwrap_or_else(|err| panic!("{src}: {err}"));
+        let via_dl = eval_program(&prog, &db).unwrap();
+        let via_ra = ra_eval(&e, &db).unwrap_or_else(|err| panic!("{src}: {err}"));
+        assert!(
+            via_dl.same_contents(&via_ra),
+            "Datalog vs RA mismatch for `{src}`\ndl={via_dl}\nra={via_ra}"
+        );
+    }
+
+    #[test]
+    fn datalog_to_ra_programs() {
+        for src in [
+            "ans(N) :- Sailor(S, N, R, A), Reserves(S, 102, D).",
+            "ans(N) :- Sailor(S, N, R, A), Reserves(S, B, D), Boat(B, BN, 'red').",
+            "ans(N) :- Sailor(S, N, R, A), Reserves(S, B, D), Boat(B, BN, 'red').\n\
+             ans(N) :- Sailor(S, N, R, A), Reserves(S, B, D), Boat(B, BN, 'green').",
+            "% query: ans\n\
+             redres(S) :- Reserves(S, B, D), Boat(B, BN, 'red').\n\
+             ans(N) :- Sailor(S, N, R, A), not redres(S).",
+            "% query: ans\n\
+             missing(S) :- Sailor(S, N, R, A), Boat(B, BN, 'red'), not res2(S, B).\n\
+             res2(S, B) :- Reserves(S, B, D).\n\
+             ans(N) :- Sailor(S, N, R, A), not missing(S).",
+            "ans(N) :- Sailor(S, N, R, A), R > 7, A < 40.",
+            // repeated variable within an atom: self-referential pairs
+            "ans(S) :- Reserves(S, B, D), Reserves(S, B2, D), B < B2.",
+        ] {
+            check_dl_to_ra(src);
+        }
+    }
+
+    #[test]
+    fn recursion_rejected_for_ra() {
+        let prog = parse_program(
+            "tc(X, Y) :- R(X, Y).\n\
+             tc(X, Z) :- tc(X, Y), R(Y, Z).",
+        )
+        .unwrap();
+        let db = relviz_model::generate::generate_binary_pair(1, 5, 5);
+        assert!(matches!(datalog_to_ra(&prog, &db), Err(DlError::Unsupported(_))));
+    }
+
+    #[test]
+    fn facts_rejected_for_ra() {
+        let prog = parse_program("vip(22).\nans(S) :- vip(S).").unwrap();
+        assert!(matches!(
+            datalog_to_ra(&prog, &sailors_sample()),
+            Err(DlError::Unsupported(_))
+        ));
+    }
+
+    #[test]
+    fn division_produces_three_auxiliary_rules() {
+        let db = sailors_sample();
+        let e = parse_ra(
+            "Division(Project[sid, bid](Reserves), Project[bid](Select[color = 'red'](Boat)))",
+        )
+        .unwrap();
+        let prog = ra_to_datalog(&e, &db).unwrap();
+        // cand, bad, div + projections + ans — at least 5 rules, with one negation pair.
+        let negs = prog
+            .rules
+            .iter()
+            .flat_map(|r| &r.body)
+            .filter(|l| matches!(l, Literal::Neg(_)))
+            .count();
+        assert_eq!(negs, 2, "{prog}");
+    }
+}

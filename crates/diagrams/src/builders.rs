@@ -1,0 +1,310 @@
+//! The **interactive query builders** of Part 5 — dbForge, SQL Server
+//! Management Studio, Active Query Builder, QueryScope, MS Access,
+//! pgAdmin3 — as a machine-readable feature matrix.
+//!
+//! These are commercial, closed-source tools; per the substitution policy
+//! in `DESIGN.md` they are *not* reimplemented. What the tutorial uses
+//! them for is a capability comparison, and that comparison is data:
+//! each tool's row records exactly the representational capabilities the
+//! tutorial's text attributes to it (each field cites the claim). The
+//! same [`BuilderProfile`] is filled in for this workspace's implemented
+//! formalisms, so experiment E5's commentary can show where the
+//! research formalisms pass the builders — with both sides' rows
+//! produced by the same schema.
+
+/// How a capability is supported.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Support {
+    /// A dedicated visual element exists.
+    Visual,
+    /// Possible, but only through a separate textual/configurator pane
+    /// or across multiple screens — the tutorial's recurring criticism.
+    Configurator,
+    /// Not available.
+    No,
+}
+
+impl Support {
+    pub fn mark(self) -> &'static str {
+        match self {
+            Support::Visual => "✓",
+            Support::Configurator => "(cfg)",
+            Support::No => "—",
+        }
+    }
+}
+
+/// One tool or formalism's representational capabilities, following the
+/// dimensions of the tutorial's Part 5 builder discussion.
+#[derive(Debug, Clone)]
+pub struct BuilderProfile {
+    pub name: &'static str,
+    /// Select tables/attributes by direct manipulation.
+    pub table_selection: Support,
+    /// Equi-joins as visual lines between attributes.
+    pub equi_joins: Support,
+    /// Non-equi joins as visual elements ("it does not have a visual
+    /// formalism for non-equi joins between tables" — dbForge).
+    pub non_equi_joins: Support,
+    /// Filter values/predicates visible in the diagram itself
+    /// ("the actual filtering values … can only be added in a separate
+    /// query configurator").
+    pub inline_predicates: Support,
+    /// Nested queries in one picture ("the inner and outer queries are
+    /// built separately, and the diagram for the inner query is presented
+    /// separately and disjointly").
+    pub nested_queries: Support,
+    /// Correlated subqueries depicted visually ("thus no visual depiction
+    /// of correlated subqueries is possible").
+    pub correlated_subqueries: Support,
+    /// A single visual element for NOT EXISTS / FOR ALL ("none has a
+    /// single visual element for the logical quantifiers").
+    pub quantifier_element: Support,
+    /// Union / disjunction in one diagram.
+    pub union_in_diagram: Support,
+}
+
+/// The commercial tools, as the tutorial's text describes them.
+pub fn commercial_builders() -> Vec<BuilderProfile> {
+    use Support::*;
+    vec![
+        // "the most advanced and commercially supported tool we found".
+        BuilderProfile {
+            name: "dbForge",
+            table_selection: Visual,
+            equi_joins: Visual,
+            non_equi_joins: Configurator,
+            inline_predicates: Configurator,
+            nested_queries: Configurator, // separate, disjoint diagrams
+            correlated_subqueries: No,
+            quantifier_element: No,
+            union_in_diagram: Configurator,
+        },
+        // "lacks in even more aspects of visual query representations".
+        BuilderProfile {
+            name: "SSMS",
+            table_selection: Visual,
+            equi_joins: Visual,
+            non_equi_joins: Configurator,
+            inline_predicates: Configurator,
+            nested_queries: No,
+            correlated_subqueries: No,
+            quantifier_element: No,
+            union_in_diagram: No,
+        },
+        BuilderProfile {
+            name: "Active Query Builder",
+            table_selection: Visual,
+            equi_joins: Visual,
+            non_equi_joins: Configurator,
+            inline_predicates: Configurator,
+            nested_queries: Configurator,
+            correlated_subqueries: No,
+            quantifier_element: No,
+            union_in_diagram: Configurator,
+        },
+        BuilderProfile {
+            name: "QueryScope",
+            table_selection: Visual,
+            equi_joins: Visual,
+            non_equi_joins: No,
+            inline_predicates: Configurator,
+            nested_queries: No,
+            correlated_subqueries: No,
+            quantifier_element: No,
+            union_in_diagram: No,
+        },
+        BuilderProfile {
+            name: "MS Access",
+            table_selection: Visual,
+            equi_joins: Visual,
+            non_equi_joins: Configurator,
+            inline_predicates: Configurator,
+            nested_queries: No,
+            correlated_subqueries: No,
+            quantifier_element: No,
+            union_in_diagram: No,
+        },
+        BuilderProfile {
+            name: "pgAdmin3",
+            table_selection: Visual,
+            equi_joins: Visual,
+            non_equi_joins: No,
+            inline_predicates: Configurator,
+            nested_queries: No,
+            correlated_subqueries: No,
+            quantifier_element: No,
+            union_in_diagram: No,
+        },
+    ]
+}
+
+/// The same profile filled in for the workspace's implemented research
+/// formalisms — each field justified by that module's builder/tests.
+pub fn research_formalisms() -> Vec<BuilderProfile> {
+    use Support::*;
+    vec![
+        BuilderProfile {
+            name: "QueryVis",
+            table_selection: Visual,
+            equi_joins: Visual,
+            non_equi_joins: Visual, // labelled comparison edges
+            inline_predicates: Visual,
+            nested_queries: Visual, // groups per nesting level
+            correlated_subqueries: Visual,
+            quantifier_element: Visual, // negated groups + reading arrows
+            union_in_diagram: No,       // the E5 gap
+        },
+        BuilderProfile {
+            name: "Relational Diagrams",
+            table_selection: Visual,
+            equi_joins: Visual,
+            non_equi_joins: Visual,
+            inline_predicates: Visual,
+            nested_queries: Visual,
+            correlated_subqueries: Visual,
+            quantifier_element: Visual, // nested negated boxes
+            union_in_diagram: Visual,   // union partitions
+        },
+        BuilderProfile {
+            name: "SQLVis",
+            table_selection: Visual,
+            equi_joins: Visual,
+            non_equi_joins: Visual,
+            inline_predicates: Visual,
+            nested_queries: Visual, // nested bubbles
+            correlated_subqueries: Visual,
+            quantifier_element: Configurator, // the connective is a label
+            union_in_diagram: Visual,
+        },
+        BuilderProfile {
+            name: "QBD (ER-based)",
+            table_selection: Visual,
+            equi_joins: Visual, // along ER edges only
+            non_equi_joins: No,
+            inline_predicates: Visual,
+            nested_queries: No,
+            correlated_subqueries: No,
+            quantifier_element: No,
+            union_in_diagram: No,
+        },
+    ]
+}
+
+/// Renders the matrix as fixed-width text (for experiment E5's builder
+/// appendix).
+pub fn matrix_text() -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let dims = [
+        "tables",
+        "equi-join",
+        "non-equi",
+        "inline-pred",
+        "nesting",
+        "correlated",
+        "quantifier",
+        "union",
+    ];
+    let _ = write!(out, "{:22}", "");
+    for d in dims {
+        let _ = write!(out, " {d:>11}");
+    }
+    out.push('\n');
+    for p in commercial_builders().iter().chain(research_formalisms().iter()) {
+        let _ = write!(out, "{:22}", p.name);
+        for v in [
+            p.table_selection,
+            p.equi_joins,
+            p.non_equi_joins,
+            p.inline_predicates,
+            p.nested_queries,
+            p.correlated_subqueries,
+            p.quantifier_element,
+            p.union_in_diagram,
+        ] {
+            let _ = write!(out, " {:>11}", v.mark());
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tutorial_claims_encoded() {
+        let builders = commercial_builders();
+        // "none has a single visual element for the logical quantifiers
+        // NOT EXISTS or FOR ALL":
+        assert!(builders.iter().all(|b| b.quantifier_element == Support::No));
+        // "all require specifying details of the query in SQL or across
+        // several tabbed views":
+        assert!(builders.iter().all(|b| b.inline_predicates != Support::Visual));
+        // "no visual depiction of correlated subqueries is possible":
+        assert!(builders.iter().all(|b| b.correlated_subqueries == Support::No));
+        // dbForge is the most capable commercial tool:
+        let score = |b: &BuilderProfile| {
+            [
+                b.table_selection,
+                b.equi_joins,
+                b.non_equi_joins,
+                b.inline_predicates,
+                b.nested_queries,
+                b.correlated_subqueries,
+                b.quantifier_element,
+                b.union_in_diagram,
+            ]
+            .iter()
+            .map(|s| match s {
+                Support::Visual => 2usize,
+                Support::Configurator => 1,
+                Support::No => 0,
+            })
+            .sum::<usize>()
+        };
+        let dbforge = score(&builders[0]);
+        assert!(builders.iter().all(|b| score(b) <= dbforge));
+    }
+
+    #[test]
+    fn research_formalisms_close_the_gaps() {
+        // The tutorial's motivation: every gap the builder paragraph
+        // names is closed by at least one surveyed research formalism.
+        let research = research_formalisms();
+        assert!(research.iter().any(|r| r.quantifier_element == Support::Visual));
+        assert!(research.iter().any(|r| r.correlated_subqueries == Support::Visual));
+        assert!(research.iter().any(|r| r.union_in_diagram == Support::Visual));
+        // And Relational Diagrams dominate every commercial row.
+        let rd = research.iter().find(|r| r.name == "Relational Diagrams").unwrap();
+        let at_least = |a: Support, b: Support| {
+            let rank = |s: Support| match s {
+                Support::Visual => 2,
+                Support::Configurator => 1,
+                Support::No => 0,
+            };
+            rank(a) >= rank(b)
+        };
+        for b in commercial_builders() {
+            assert!(at_least(rd.table_selection, b.table_selection));
+            assert!(at_least(rd.equi_joins, b.equi_joins));
+            assert!(at_least(rd.non_equi_joins, b.non_equi_joins));
+            assert!(at_least(rd.inline_predicates, b.inline_predicates));
+            assert!(at_least(rd.nested_queries, b.nested_queries));
+            assert!(at_least(rd.correlated_subqueries, b.correlated_subqueries));
+            assert!(at_least(rd.quantifier_element, b.quantifier_element));
+            assert!(at_least(rd.union_in_diagram, b.union_in_diagram));
+        }
+    }
+
+    #[test]
+    fn matrix_text_lists_every_row() {
+        let text = matrix_text();
+        for name in ["dbForge", "SSMS", "pgAdmin3", "Relational Diagrams", "QBD"] {
+            assert!(text.contains(name), "{name} missing");
+        }
+        assert!(text.lines().count() >= 11);
+    }
+}

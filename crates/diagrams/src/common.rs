@@ -1,0 +1,62 @@
+//! Shared error type and small helpers for the diagram formalisms.
+
+use std::fmt;
+
+/// Errors from building or interpreting diagrams.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DiagError {
+    /// The query uses a feature this formalism cannot represent. The
+    /// payload names the feature — the expressiveness matrix (E5) prints
+    /// it verbatim, turning the tutorial's comparison tables into
+    /// machine-checked facts.
+    Unsupported { formalism: &'static str, feature: String },
+    /// Structurally invalid diagram.
+    Invalid(String),
+    /// Failure delegated from a language crate.
+    Lang(String),
+}
+
+impl DiagError {
+    pub fn unsupported(formalism: &'static str, feature: impl Into<String>) -> Self {
+        DiagError::Unsupported { formalism, feature: feature.into() }
+    }
+}
+
+impl fmt::Display for DiagError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DiagError::Unsupported { formalism, feature } => {
+                write!(f, "{formalism} cannot represent: {feature}")
+            }
+            DiagError::Invalid(m) => write!(f, "invalid diagram: {m}"),
+            DiagError::Lang(m) => write!(f, "language error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for DiagError {}
+
+impl From<relviz_rc::RcError> for DiagError {
+    fn from(e: relviz_rc::RcError) -> Self {
+        match e {
+            relviz_rc::RcError::Unsupported(m) => {
+                DiagError::Unsupported { formalism: "translation", feature: m }
+            }
+            other => DiagError::Lang(other.to_string()),
+        }
+    }
+}
+
+impl From<relviz_ra::RaError> for DiagError {
+    fn from(e: relviz_ra::RaError) -> Self {
+        DiagError::Lang(e.to_string())
+    }
+}
+
+impl From<relviz_datalog::DlError> for DiagError {
+    fn from(e: relviz_datalog::DlError) -> Self {
+        DiagError::Lang(e.to_string())
+    }
+}
+
+pub type DiagResult<T> = std::result::Result<T, DiagError>;

@@ -1,0 +1,522 @@
+//! **Conceptual graphs** (Sowa, IBM J. R&D 1976) — proposed, notably, *as
+//! a database interface*: bipartite graphs of concept nodes `[Type: ref]`
+//! and relation nodes `(REL)` whose arcs connect relations to the concepts
+//! they relate.
+//!
+//! The core (without Sowa's contexts/negation, which recapitulate Peirce's
+//! cuts) corresponds to **conjunctive, positive DRC** — so the builder
+//! accepts exactly that fragment and reports anything else as
+//! unsupported, which is how the formalism lands in the E5 matrix.
+
+use relviz_layout::layered::{layout, GraphSpec, LayeredOptions};
+use relviz_model::Value;
+use relviz_rc::drc::{DrcFormula, DrcQuery, DrcTerm};
+use relviz_render::{Scene, TextStyle};
+
+use crate::common::{DiagError, DiagResult};
+
+const FORMALISM: &str = "conceptual graphs";
+
+/// A concept node: a variable or an individual constant.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Concept {
+    /// Display label, e.g. `[T: *x]` (generic) or `[T: 102]` (individual).
+    pub referent: Referent,
+}
+
+/// The referent of a concept node.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Referent {
+    /// A generic concept (existentially quantified variable).
+    Generic(String),
+    /// An individual (constant).
+    Individual(Value),
+}
+
+impl std::fmt::Display for Referent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Referent::Generic(v) => write!(f, "[*{v}]"),
+            Referent::Individual(c) => write!(f, "[{}]", c.to_literal()),
+        }
+    }
+}
+
+/// A relation node with arcs to concept nodes (by index, in positional
+/// order).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RelationNode {
+    pub label: String,
+    pub args: Vec<usize>,
+}
+
+/// A conceptual graph.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ConceptualGraph {
+    pub concepts: Vec<Concept>,
+    pub relations: Vec<RelationNode>,
+}
+
+impl ConceptualGraph {
+    /// Builds from the positive conjunctive fragment of DRC: one concept
+    /// node per variable/constant occurrence class, one relation node per
+    /// atom. Negation, disjunction and comparisons other than the implicit
+    /// shared-variable equality are unsupported.
+    pub fn from_drc(q: &DrcQuery) -> DiagResult<ConceptualGraph> {
+        let mut g = ConceptualGraph::default();
+        let mut var_concept: Vec<(String, usize)> = Vec::new();
+
+        // Flatten ∃ and ∧ into atoms + equalities; anything else is
+        // outside the fragment. Equalities become *co-reference*: the
+        // variables are merged into one concept node (that is exactly how
+        // conceptual graphs draw equality — a shared concept or a
+        // co-reference link).
+        fn flatten(
+            f: &DrcFormula,
+            atoms: &mut Vec<DrcFormula>,
+            eqs: &mut Vec<(DrcTerm, DrcTerm)>,
+        ) -> DiagResult<()> {
+            match f {
+                DrcFormula::And(a, b) => {
+                    flatten(a, atoms, eqs)?;
+                    flatten(b, atoms, eqs)
+                }
+                DrcFormula::Exists { body, .. } => flatten(body, atoms, eqs),
+                DrcFormula::Atom { .. } => {
+                    atoms.push(f.clone());
+                    Ok(())
+                }
+                DrcFormula::Cmp { left, op: relviz_model::CmpOp::Eq, right } => {
+                    eqs.push((left.clone(), right.clone()));
+                    Ok(())
+                }
+                DrcFormula::Const(true) => Ok(()),
+                DrcFormula::Not(_) => Err(DiagError::unsupported(
+                    FORMALISM,
+                    "negation (Sowa's contexts re-introduce Peirce's cuts; core CGs are positive)",
+                )),
+                DrcFormula::Or(_, _) => {
+                    Err(DiagError::unsupported(FORMALISM, "disjunction"))
+                }
+                DrcFormula::Cmp { .. } => Err(DiagError::unsupported(
+                    FORMALISM,
+                    "order comparisons (only equality/co-reference is visual)",
+                )),
+                DrcFormula::Forall { .. } => {
+                    Err(DiagError::unsupported(FORMALISM, "universal quantification"))
+                }
+                DrcFormula::Const(false) => {
+                    Err(DiagError::unsupported(FORMALISM, "the constant FALSE"))
+                }
+            }
+        }
+
+        let mut atom_list = Vec::new();
+        let mut eqs = Vec::new();
+        flatten(&q.body, &mut atom_list, &mut eqs)?;
+
+        // Resolve equalities via union-find-by-substitution: map each
+        // variable to a representative term (constant wins over variable).
+        let mut subst: Vec<(String, DrcTerm)> = Vec::new();
+        let resolve = |t: &DrcTerm, subst: &Vec<(String, DrcTerm)>| -> DrcTerm {
+            let mut cur = t.clone();
+            loop {
+                match &cur {
+                    DrcTerm::Var(v) => match subst.iter().find(|(name, _)| name == v) {
+                        Some((_, to)) if to != &cur => cur = to.clone(),
+                        _ => return cur,
+                    },
+                    DrcTerm::Const(_) => return cur,
+                }
+            }
+        };
+        for (a, b) in &eqs {
+            let ra = resolve(a, &subst);
+            let rb = resolve(b, &subst);
+            if ra == rb {
+                continue;
+            }
+            match (&ra, &rb) {
+                (DrcTerm::Var(v), _) => subst.push((v.clone(), rb.clone())),
+                (_, DrcTerm::Var(v)) => subst.push((v.clone(), ra.clone())),
+                (DrcTerm::Const(_), DrcTerm::Const(_)) => {
+                    return Err(DiagError::unsupported(
+                        FORMALISM,
+                        "equating two distinct constants (an unsatisfiable graph)",
+                    ))
+                }
+            }
+        }
+        let atom_list: Vec<DrcFormula> = atom_list
+            .into_iter()
+            .map(|a| {
+                let DrcFormula::Atom { rel, terms } = a else { unreachable!() };
+                DrcFormula::Atom {
+                    rel,
+                    terms: terms.iter().map(|t| resolve(t, &subst)).collect(),
+                }
+            })
+            .collect();
+
+        for atom in &atom_list {
+            let DrcFormula::Atom { rel, terms } = atom else { unreachable!() };
+            let mut args = Vec::with_capacity(terms.len());
+            for t in terms {
+                let idx = match t {
+                    DrcTerm::Var(v) => {
+                        match var_concept.iter().find(|(name, _)| name == v) {
+                            Some((_, i)) => *i,
+                            None => {
+                                g.concepts.push(Concept {
+                                    referent: Referent::Generic(v.clone()),
+                                });
+                                let i = g.concepts.len() - 1;
+                                var_concept.push((v.clone(), i));
+                                i
+                            }
+                        }
+                    }
+                    DrcTerm::Const(c) => {
+                        g.concepts.push(Concept { referent: Referent::Individual(c.clone()) });
+                        g.concepts.len() - 1
+                    }
+                };
+                args.push(idx);
+            }
+            g.relations.push(RelationNode { label: rel.clone(), args });
+        }
+        Ok(g)
+    }
+
+    /// Reads back into conjunctive DRC with head = the given free
+    /// variables (the rest quantified existentially).
+    pub fn to_drc(&self, head: Vec<String>) -> DrcQuery {
+        let mut parts = Vec::with_capacity(self.relations.len());
+        for r in &self.relations {
+            let terms = r
+                .args
+                .iter()
+                .map(|&i| match &self.concepts[i].referent {
+                    Referent::Generic(v) => DrcTerm::Var(v.clone()),
+                    Referent::Individual(c) => DrcTerm::Const(c.clone()),
+                })
+                .collect();
+            parts.push(DrcFormula::Atom { rel: r.label.clone(), terms });
+        }
+        let body = DrcFormula::conj(parts);
+        let bound: Vec<String> = self
+            .concepts
+            .iter()
+            .filter_map(|c| match &c.referent {
+                Referent::Generic(v) if !head.contains(v) => Some(v.clone()),
+                _ => None,
+            })
+            .collect();
+        let body = if bound.is_empty() {
+            body
+        } else {
+            DrcFormula::exists(bound, body)
+        };
+        DrcQuery { head, body }
+    }
+
+    /// Element census: (concept nodes, relation nodes, arcs).
+    /// **Projection** (Sowa's reasoning operation): does `self` project
+    /// into `target` — is there a label-preserving homomorphism mapping
+    /// every relation node of `self` onto one of `target`, individuals
+    /// onto equal individuals, generics consistently onto anything?
+    ///
+    /// By the homomorphism theorem this is exactly Boolean conjunctive-
+    /// query containment: if `self` projects into `target`, then on every
+    /// database where `target`'s sentence holds, `self`'s holds too (the
+    /// projected graph is the more *general* statement). The test suite
+    /// cross-checks that implication through the DRC evaluator.
+    pub fn projects_into(&self, target: &ConceptualGraph) -> bool {
+        // Backtracking over this graph's relation nodes.
+        fn compatible(
+            h: &ConceptualGraph,
+            g: &ConceptualGraph,
+            hc: usize,
+            gc: usize,
+            map: &mut [Option<usize>],
+        ) -> bool {
+            match (&h.concepts[hc].referent, &g.concepts[gc].referent) {
+                (Referent::Individual(a), Referent::Individual(b)) => a == b,
+                (Referent::Individual(_), Referent::Generic(_)) => false,
+                (Referent::Generic(_), _) => match map[hc] {
+                    Some(prev) => prev == gc,
+                    None => {
+                        map[hc] = Some(gc);
+                        true
+                    }
+                },
+            }
+        }
+        fn search(
+            h: &ConceptualGraph,
+            g: &ConceptualGraph,
+            next: usize,
+            map: &mut Vec<Option<usize>>,
+        ) -> bool {
+            let Some(hr) = h.relations.get(next) else {
+                return true;
+            };
+            for gr in &g.relations {
+                if gr.label != hr.label || gr.args.len() != hr.args.len() {
+                    continue;
+                }
+                let saved = map.clone();
+                let ok = hr
+                    .args
+                    .iter()
+                    .zip(&gr.args)
+                    .all(|(&hc, &gc)| compatible(h, g, hc, gc, map));
+                if ok && search(h, g, next + 1, map) {
+                    return true;
+                }
+                *map = saved;
+            }
+            false
+        }
+        let mut map: Vec<Option<usize>> = vec![None; self.concepts.len()];
+        search(self, target, 0, &mut map)
+    }
+
+    pub fn census(&self) -> (usize, usize, usize) {
+        (
+            self.concepts.len(),
+            self.relations.len(),
+            self.relations.iter().map(|r| r.args.len()).sum(),
+        )
+    }
+
+    /// Scene: bipartite layered drawing — concepts as rectangles,
+    /// relations as rounded boxes, arcs between them.
+    pub fn scene(&self) -> Scene {
+        let mut g = GraphSpec::default();
+        for c in &self.concepts {
+            let label = c.referent.to_string();
+            g.add_node(Scene::text_width(&label, 12.0) + 18.0, 26.0);
+        }
+        for r in &self.relations {
+            g.add_node(Scene::text_width(&r.label, 12.0) + 26.0, 26.0);
+        }
+        let n_concepts = self.concepts.len();
+        for (ri, r) in self.relations.iter().enumerate() {
+            for &arg in &r.args {
+                g.add_edge(arg, n_concepts + ri);
+            }
+        }
+        let l = layout(&g, LayeredOptions::default());
+        let mut scene = Scene::new(l.size.w, l.size.h);
+        for (i, r) in l.nodes.iter().enumerate() {
+            let (label, rounded) = if i < n_concepts {
+                (self.concepts[i].referent.to_string(), false)
+            } else {
+                (format!("({})", self.relations[i - n_concepts].label), true)
+            };
+            scene.styled_rect(
+                r.x,
+                r.y,
+                r.w,
+                r.h,
+                if rounded { 12.0 } else { 0.0 },
+                "#000000",
+                "none",
+                1.0,
+                false,
+            );
+            scene.styled_text(
+                r.x + r.w / 2.0,
+                r.y + r.h / 2.0 + 4.0,
+                label,
+                TextStyle { size: 12.0, anchor: relviz_render::Anchor::Middle, ..TextStyle::default() },
+            );
+        }
+        for pts in &l.edges {
+            scene
+                .items
+                .push(relviz_render::Item::Polyline {
+                    points: pts.iter().map(|p| (p.x, p.y)).collect(),
+                    stroke: "#000000".into(),
+                    stroke_width: 1.0,
+                    dashed: false,
+                    arrow: false,
+                });
+        }
+        scene.fit(10.0);
+        scene
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relviz_model::catalog::sailors_sample;
+    use relviz_rc::drc_eval::eval_drc_unchecked;
+    use relviz_rc::drc_parse::parse_drc;
+
+    #[test]
+    fn q1_builds_and_round_trips() {
+        let db = sailors_sample();
+        let q = parse_drc(
+            "{n | exists s, rt, a, d: (Sailor(s, n, rt, a) and Reserves(s, 102, d))}",
+        )
+        .unwrap();
+        let g = ConceptualGraph::from_drc(&q).unwrap();
+        let (concepts, relations, arcs) = g.census();
+        // vars: n, s, rt, a, d (5) + constant 102 (1)
+        assert_eq!((concepts, relations, arcs), (6, 2, 7));
+        // shared variable s appears once as a concept: co-reference is the join
+        let back = g.to_drc(vec!["n".into()]);
+        let orig = eval_drc_unchecked(&q, &db).unwrap();
+        let rt = eval_drc_unchecked(&back, &db).unwrap();
+        assert!(orig.same_contents(&rt), "{back}");
+    }
+
+    #[test]
+    fn negation_unsupported() {
+        let q = parse_drc("{n | exists s: (P(s, n) and not Q(s))}").unwrap();
+        assert!(matches!(
+            ConceptualGraph::from_drc(&q),
+            Err(DiagError::Unsupported { .. })
+        ));
+    }
+
+    #[test]
+    fn disjunction_and_comparisons_unsupported() {
+        let q = parse_drc("{n | P(n) or Q(n)}").unwrap();
+        assert!(ConceptualGraph::from_drc(&q).is_err());
+        let q = parse_drc("{n | exists r: (P(n, r) and r > 7)}").unwrap();
+        assert!(ConceptualGraph::from_drc(&q).is_err());
+    }
+
+    #[test]
+    fn constants_become_individual_concepts() {
+        let q = parse_drc("{x | exists n: (Boat(x, n, 'red'))}").unwrap();
+        let g = ConceptualGraph::from_drc(&q).unwrap();
+        assert!(g
+            .concepts
+            .iter()
+            .any(|c| matches!(&c.referent, Referent::Individual(v) if v.to_string() == "red")));
+    }
+
+    #[test]
+    fn scene_is_bipartite() {
+        let q = parse_drc("{x | exists n: (Boat(x, n, 'red'))}").unwrap();
+        let g = ConceptualGraph::from_drc(&q).unwrap();
+        let svg = relviz_render::svg::to_svg(&g.scene());
+        assert!(svg.contains("(Boat)"));
+        assert!(svg.contains("[*x]"));
+    }
+
+    #[test]
+    fn projection_generalizes() {
+        // "some sailor reserved some boat" projects into
+        // "some sailor reserved boat 102 on some day" (more specific).
+        let general = ConceptualGraph::from_drc(
+            &relviz_rc::drc_parse::parse_drc("{ | exists s, b, d: (Reserves(s, b, d))}")
+                .unwrap(),
+        )
+        .unwrap();
+        let specific = ConceptualGraph::from_drc(
+            &relviz_rc::drc_parse::parse_drc(
+                "{ | exists s, d, n, rt, a: (Reserves(s, 102, d) and Sailor(s, n, rt, a))}",
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        assert!(general.projects_into(&specific));
+        assert!(!specific.projects_into(&general), "Sailor atom has no image");
+    }
+
+    #[test]
+    fn projection_respects_individuals() {
+        let wants_102 = ConceptualGraph::from_drc(
+            &relviz_rc::drc_parse::parse_drc("{ | exists s, d: (Reserves(s, 102, d))}")
+                .unwrap(),
+        )
+        .unwrap();
+        let has_103 = ConceptualGraph::from_drc(
+            &relviz_rc::drc_parse::parse_drc("{ | exists s, d: (Reserves(s, 103, d))}")
+                .unwrap(),
+        )
+        .unwrap();
+        assert!(!wants_102.projects_into(&has_103));
+        assert!(wants_102.projects_into(&wants_102), "projection is reflexive");
+    }
+
+    #[test]
+    fn projection_binds_generics_consistently() {
+        // "someone reserved the same boat twice on days d1, d2" does NOT
+        // project into "two different sailors reserved (possibly
+        // different) boats" — the shared generic must map to one target.
+        let same_sailor = ConceptualGraph::from_drc(
+            &relviz_rc::drc_parse::parse_drc(
+                "{ | exists s, b1, b2, d1, d2: (Reserves(s, b1, d1) and Reserves(s, b2, d2))}",
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        let two_sailors = ConceptualGraph::from_drc(
+            &relviz_rc::drc_parse::parse_drc(
+                "{ | exists s1, s2, d1, d2: (Reserves(s1, 102, d1) and Reserves(s2, 103, d2))}",
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        // Both atoms CAN map onto the same target atom (s↦s1, twice) — a
+        // homomorphism may collapse; so this DOES project:
+        assert!(same_sailor.projects_into(&two_sailors));
+        // But requiring two *distinct-boat* atoms of one sailor fails
+        // against a target whose sailors differ:
+        let strict = ConceptualGraph::from_drc(
+            &relviz_rc::drc_parse::parse_drc(
+                "{ | exists s, d1, d2: (Reserves(s, 102, d1) and Reserves(s, 103, d2))}",
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        assert!(!strict.projects_into(&two_sailors));
+    }
+
+    #[test]
+    fn projection_implies_containment_semantically() {
+        // The homomorphism theorem, checked: whenever H projects into G,
+        // G's sentence implies H's on every probe database.
+        use relviz_model::generate::{generate_sailors, GenConfig};
+        let sentences = [
+            "{ | exists s, b, d: (Reserves(s, b, d))}",
+            "{ | exists s, d: (Reserves(s, 102, d))}",
+            "{ | exists s, d, n, rt, a: (Reserves(s, 102, d) and Sailor(s, n, rt, a))}",
+            "{ | exists s, b, d, bn, c: (Reserves(s, b, d) and Boat(b, bn, c))}",
+        ];
+        let graphs: Vec<(ConceptualGraph, relviz_rc::drc::DrcQuery)> = sentences
+            .iter()
+            .map(|t| {
+                let q = relviz_rc::drc_parse::parse_drc(t).unwrap();
+                (ConceptualGraph::from_drc(&q).unwrap(), q)
+            })
+            .collect();
+        let dbs: Vec<relviz_model::Database> = (0..4)
+            .map(|seed| generate_sailors(&GenConfig { seed, ..Default::default() }))
+            .collect();
+        let truth = |q: &relviz_rc::drc::DrcQuery, db: &relviz_model::Database| {
+            !relviz_rc::drc_eval::eval_drc(q, db).unwrap().is_empty()
+        };
+        for (h, hq) in &graphs {
+            for (g, gq) in &graphs {
+                if h.projects_into(g) {
+                    for db in &dbs {
+                        assert!(
+                            !truth(gq, db) || truth(hq, db),
+                            "projection without containment: {} vs {}",
+                            hq.body,
+                            gq.body
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

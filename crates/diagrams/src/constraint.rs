@@ -1,0 +1,366 @@
+//! **Constraint diagrams** (Kent 1997; Gil, Howse & Kent 1999): the
+//! Euler/Venn tradition extended with *spiders* (existential individuals),
+//! *universal spiders* (∀, drawn as asterisks) and *arrows* (binary
+//! relations between spiders/contours) — proposed as a visual core for
+//! UML-style invariants, "a step beyond UML".
+//!
+//! The notorious subtlety the tutorial highlights (via Fish & Howse,
+//! "Towards a default reading for constraint diagrams"): a diagram with
+//! several quantifiers does not determine their order — different reading
+//! orders give **logically inequivalent** sentences. We implement reading
+//! with an explicit order ([`ConstraintDiagram::reading_with_order`]), the
+//! Fish–Howse-style default order ([`ConstraintDiagram::default_reading`]:
+//! universal spiders after the existential spiders they depend on,
+//! document order otherwise), and a test exhibiting two orders that
+//! disagree on a concrete database — the executable version of why the
+//! "default reading" paper had to exist.
+
+use relviz_rc::drc::{DrcFormula, DrcQuery, DrcTerm};
+use relviz_render::{Scene, TextStyle};
+
+use crate::common::{DiagError, DiagResult};
+
+/// Quantifier kind of a spider.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpiderKind {
+    /// Existential (drawn •).
+    Exists,
+    /// Universal (drawn ✱).
+    Forall,
+}
+
+/// A spider: a quantified individual living in the zone given by its
+/// containing contours.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Spider {
+    pub name: String,
+    pub kind: SpiderKind,
+    /// Contours (unary predicates) the spider lies inside.
+    pub inside: Vec<String>,
+    /// Contours the spider lies outside.
+    pub outside: Vec<String>,
+}
+
+/// An arrow: `R(source, target)` between spiders.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Arrow {
+    pub label: String,
+    pub source: String,
+    pub target: String,
+    /// Negated arrows assert ¬R(s, t).
+    pub negated: bool,
+}
+
+/// A constraint diagram (simplified single-unit form).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ConstraintDiagram {
+    pub contours: Vec<String>,
+    pub spiders: Vec<Spider>,
+    pub arrows: Vec<Arrow>,
+}
+
+impl ConstraintDiagram {
+    fn spider(&self, name: &str) -> DiagResult<&Spider> {
+        self.spiders
+            .iter()
+            .find(|s| s.name == name)
+            .ok_or_else(|| DiagError::Invalid(format!("unknown spider `{name}`")))
+    }
+
+    fn zone_formula(&self, s: &Spider) -> DrcFormula {
+        let v = || DrcTerm::var(s.name.clone());
+        let mut parts: Vec<DrcFormula> = s
+            .inside
+            .iter()
+            .map(|c| DrcFormula::atom(c.clone(), vec![v()]))
+            .collect();
+        parts.extend(
+            s.outside
+                .iter()
+                .map(|c| DrcFormula::atom(c.clone(), vec![v()]).not()),
+        );
+        DrcFormula::conj(parts)
+    }
+
+    fn arrows_formula(&self) -> DrcFormula {
+        DrcFormula::conj(
+            self.arrows
+                .iter()
+                .map(|a| {
+                    let f = DrcFormula::atom(
+                        a.label.clone(),
+                        vec![DrcTerm::var(a.source.clone()), DrcTerm::var(a.target.clone())],
+                    );
+                    if a.negated {
+                        f.not()
+                    } else {
+                        f
+                    }
+                })
+                .collect(),
+        )
+    }
+
+    /// Reads the diagram with an explicit quantifier order (names must be
+    /// a permutation of the spiders).
+    ///
+    /// Semantics: quantifiers in the given order; each existential spider
+    /// contributes its zone formula conjunctively, each universal spider
+    /// guards the remainder with an implication from its zone.
+    pub fn reading_with_order(&self, order: &[&str]) -> DiagResult<DrcQuery> {
+        if order.len() != self.spiders.len() {
+            return Err(DiagError::Invalid(format!(
+                "order lists {} spiders, diagram has {}",
+                order.len(),
+                self.spiders.len()
+            )));
+        }
+        for name in order {
+            self.spider(name)?;
+        }
+        fn and_smart(a: DrcFormula, b: DrcFormula) -> DrcFormula {
+            match (a, b) {
+                (DrcFormula::Const(true), x) | (x, DrcFormula::Const(true)) => x,
+                (a, b) => a.and(b),
+            }
+        }
+        let mut body = self.arrows_formula();
+        // Innermost quantifier last in `order` ⇒ fold from the right.
+        for name in order.iter().rev() {
+            let s = self.spider(name)?;
+            let zone = self.zone_formula(s);
+            body = match s.kind {
+                SpiderKind::Exists => {
+                    DrcFormula::exists(vec![s.name.clone()], and_smart(zone, body))
+                }
+                // ∀x (zone → body) ≡ ¬∃x (zone ∧ ¬body)
+                SpiderKind::Forall => DrcFormula::exists(
+                    vec![s.name.clone()],
+                    and_smart(zone, body.not()),
+                )
+                .not(),
+            };
+        }
+        Ok(DrcQuery { head: Vec::new(), body })
+    }
+
+    /// Fish–Howse-style default reading: existential spiders first (in
+    /// document order), then universal spiders (in document order).
+    pub fn default_reading(&self) -> DiagResult<DrcQuery> {
+        let mut order: Vec<&str> = self
+            .spiders
+            .iter()
+            .filter(|s| s.kind == SpiderKind::Exists)
+            .map(|s| s.name.as_str())
+            .collect();
+        order.extend(
+            self.spiders
+                .iter()
+                .filter(|s| s.kind == SpiderKind::Forall)
+                .map(|s| s.name.as_str()),
+        );
+        self.reading_with_order(&order)
+    }
+
+    /// All readings over every quantifier permutation (deduplicated by
+    /// formula text) — the ambiguity space the default order collapses.
+    pub fn all_readings(&self) -> DiagResult<Vec<DrcQuery>> {
+        let names: Vec<&str> = self.spiders.iter().map(|s| s.name.as_str()).collect();
+        let mut out: Vec<DrcQuery> = Vec::new();
+        let mut seen: Vec<String> = Vec::new();
+        permute(&names, &mut Vec::new(), &mut |perm| {
+            if let Ok(q) = self.reading_with_order(perm) {
+                let text = q.body.to_string();
+                if !seen.contains(&text) {
+                    seen.push(text);
+                    out.push(q);
+                }
+            }
+        });
+        Ok(out)
+    }
+
+    /// Scene: contours as ellipses, spiders as dots/asterisks, arrows.
+    pub fn scene(&self) -> Scene {
+        let mut scene = Scene::new(0.0, 0.0);
+        let mut contour_x = std::collections::HashMap::new();
+        for (i, c) in self.contours.iter().enumerate() {
+            let cx = 90.0 + i as f64 * 150.0;
+            scene.ellipse(cx, 110.0, 65.0, 80.0);
+            scene.text(cx - 12.0, 24.0, c.clone());
+            contour_x.insert(c.clone(), cx);
+        }
+        let mut spider_pos = std::collections::HashMap::new();
+        for (i, s) in self.spiders.iter().enumerate() {
+            let x = s
+                .inside
+                .first()
+                .and_then(|c| contour_x.get(c))
+                .copied()
+                .unwrap_or(40.0 + i as f64 * 60.0);
+            let y = 90.0 + (i as f64 % 3.0) * 30.0;
+            let mark = match s.kind {
+                SpiderKind::Exists => "•",
+                SpiderKind::Forall => "✱",
+            };
+            scene.styled_text(
+                x,
+                y,
+                format!("{mark}{}", s.name),
+                TextStyle { size: 12.0, bold: true, ..TextStyle::default() },
+            );
+            spider_pos.insert(s.name.clone(), (x, y));
+        }
+        for a in &self.arrows {
+            if let (Some(&(x1, y1)), Some(&(x2, y2))) =
+                (spider_pos.get(&a.source), spider_pos.get(&a.target))
+            {
+                scene.arrow(vec![(x1 + 10.0, y1 - 4.0), (x2 - 4.0, y2 - 4.0)]);
+                let mid_x = (x1 + x2) / 2.0;
+                let label =
+                    if a.negated { format!("¬{}", a.label) } else { a.label.clone() };
+                scene.text(mid_x, (y1 + y2) / 2.0 - 10.0, label);
+            }
+        }
+        scene.fit(12.0);
+        scene
+    }
+}
+
+fn permute<'a>(names: &[&'a str], acc: &mut Vec<&'a str>, f: &mut impl FnMut(&[&'a str])) {
+    if acc.len() == names.len() {
+        f(acc);
+        return;
+    }
+    for &n in names {
+        if !acc.contains(&n) {
+            acc.push(n);
+            permute(names, acc, f);
+            acc.pop();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relviz_model::{Database, DataType, Relation, Schema, Tuple};
+
+    /// Contours A, B; existential spider x in A; universal spider y in B;
+    /// arrow R(x, y). Readings ∃x∀y vs ∀y∃x differ — the Fish–Howse
+    /// problem in miniature.
+    fn exists_forall() -> ConstraintDiagram {
+        ConstraintDiagram {
+            contours: vec!["A".into(), "B".into()],
+            spiders: vec![
+                Spider {
+                    name: "x".into(),
+                    kind: SpiderKind::Exists,
+                    inside: vec!["A".into()],
+                    outside: vec![],
+                },
+                Spider {
+                    name: "y".into(),
+                    kind: SpiderKind::Forall,
+                    inside: vec!["B".into()],
+                    outside: vec![],
+                },
+            ],
+            arrows: vec![Arrow {
+                label: "R".into(),
+                source: "x".into(),
+                target: "y".into(),
+                negated: false,
+            }],
+        }
+    }
+
+    /// A = {1,2}, B = {3,4}, R = {(1,3),(2,4)}: ∀y∃x R(x,y) holds but
+    /// ∃x∀y R(x,y) fails.
+    fn witness_db() -> Database {
+        let mut db = Database::new();
+        let mut a = Relation::empty(Schema::of(&[("v", DataType::Int)]));
+        a.insert(Tuple::of((1,))).unwrap();
+        a.insert(Tuple::of((2,))).unwrap();
+        let mut b = Relation::empty(Schema::of(&[("v", DataType::Int)]));
+        b.insert(Tuple::of((3,))).unwrap();
+        b.insert(Tuple::of((4,))).unwrap();
+        let mut r = Relation::empty(Schema::of(&[("s", DataType::Int), ("t", DataType::Int)]));
+        r.insert(Tuple::of((1, 3))).unwrap();
+        r.insert(Tuple::of((2, 4))).unwrap();
+        db.add("A", a).unwrap();
+        db.add("B", b).unwrap();
+        db.add("R", r).unwrap();
+        db
+    }
+
+    fn holds(q: &DrcQuery, db: &Database) -> bool {
+        !relviz_rc::drc_eval::eval_drc_unchecked(q, db).unwrap().is_empty()
+    }
+
+    #[test]
+    fn reading_order_changes_semantics() {
+        let d = exists_forall();
+        let db = witness_db();
+        let xy = d.reading_with_order(&["x", "y"]).unwrap(); // ∃x∀y
+        let yx = d.reading_with_order(&["y", "x"]).unwrap(); // ∀y∃x
+        assert!(!holds(&xy, &db), "∃x∀y should fail: {}", xy.body);
+        assert!(holds(&yx, &db), "∀y∃x should hold: {}", yx.body);
+    }
+
+    #[test]
+    fn default_reading_is_exists_first() {
+        let d = exists_forall();
+        let def = d.default_reading().unwrap();
+        let explicit = d.reading_with_order(&["x", "y"]).unwrap();
+        assert_eq!(def.body.to_string(), explicit.body.to_string());
+    }
+
+    #[test]
+    fn all_readings_enumerates_the_ambiguity() {
+        let d = exists_forall();
+        let rs = d.all_readings().unwrap();
+        assert_eq!(rs.len(), 2);
+    }
+
+    #[test]
+    fn zones_with_outside_contours() {
+        let d = ConstraintDiagram {
+            contours: vec!["A".into(), "B".into()],
+            spiders: vec![Spider {
+                name: "x".into(),
+                kind: SpiderKind::Exists,
+                inside: vec!["A".into()],
+                outside: vec!["B".into()],
+            }],
+            arrows: vec![],
+        };
+        let q = d.default_reading().unwrap();
+        assert_eq!(q.body.to_string(), "exists x: (A(x) and not B(x))");
+        // A∖B = {1,2}∖{3,4} is non-empty:
+        assert!(holds(&q, &witness_db()));
+    }
+
+    #[test]
+    fn negated_arrows() {
+        let mut d = exists_forall();
+        d.arrows[0].negated = true;
+        let q = d.reading_with_order(&["y", "x"]).unwrap();
+        assert!(q.body.to_string().contains("not R(x, y)"), "{}", q.body);
+    }
+
+    #[test]
+    fn order_must_match_spiders() {
+        let d = exists_forall();
+        assert!(d.reading_with_order(&["x"]).is_err());
+        assert!(d.reading_with_order(&["x", "ghost"]).is_err());
+    }
+
+    #[test]
+    fn scene_draws_marks() {
+        let svg = relviz_render::svg::to_svg(&exists_forall().scene());
+        assert!(svg.contains("•x"));
+        assert!(svg.contains("✱y"));
+        assert!(svg.contains("marker-end"));
+    }
+}

@@ -1,0 +1,695 @@
+//! **DataPlay** (Abouzied, Hellerstein & Silberschatz, UIST 2012) — a
+//! direct-manipulation interface over a *nested universal relation* in
+//! which the user composes a query by **interactively tweaking a query
+//! tree with quantifiers** and watching the matching / non-matching data
+//! change.
+//!
+//! The tutorial cites DataPlay for exactly this interaction: quantifier
+//! mistakes ("some" vs "every") are the classic hard part of query
+//! writing, and DataPlay turns fixing them into a one-click *flip*. This
+//! module implements the executable core of that idea:
+//!
+//! * a [`DataPlayTree`] — an anchor collection plus a tree of
+//!   quantified constraint nodes ([`QNode`]);
+//! * [`DataPlayTree::flip`] — toggle ∃/∀ at any node path;
+//! * [`DataPlayTree::partition`] — evaluate the tree and split the
+//!   anchor's tuples into *matching* and *non-matching*, the two panes of
+//!   DataPlay's UI;
+//! * translation from/to TRC so every tweak stays connected to the rest
+//!   of the workspace (and is semantically checkable).
+//!
+//! The flagship reproduction (tested below and printed by experiment
+//! E10): starting from Q5 "sailors who reserved **all** red boats",
+//! flipping the single ∀ to ∃ yields exactly Q2 "sailors who reserved
+//! **a** red boat" — the paper's example of example-driven correction.
+
+use relviz_model::{Database, Relation};
+use relviz_rc::trc::{Binding, TrcFormula, TrcQuery, TrcTerm};
+use relviz_rc::trc::TrcBranch;
+use relviz_render::{Scene, TextStyle};
+
+use crate::common::{DiagError, DiagResult};
+
+const FORMALISM: &str = "DataPlay";
+
+/// The two quantifiers a tree node can carry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Quantifier {
+    Exists,
+    Forall,
+}
+
+impl Quantifier {
+    pub fn flipped(self) -> Quantifier {
+        match self {
+            Quantifier::Exists => Quantifier::Forall,
+            Quantifier::Forall => Quantifier::Exists,
+        }
+    }
+
+    pub fn symbol(self) -> &'static str {
+        match self {
+            Quantifier::Exists => "∃",
+            Quantifier::Forall => "∀",
+        }
+    }
+}
+
+/// A quantified constraint node.
+///
+/// Semantics (`φ(children)` = conjunction of child formulas):
+///
+/// * `∃ b̄: guard ∧ body ∧ φ(children)`
+/// * `∀ b̄: guard → (body ∧ φ(children))`
+///
+/// The guard/body split is what makes the ∀-reading natural-language-like
+/// ("for every **red boat** b, there is a reservation…") and keeps flips
+/// meaningful: flipping the Q5 node's ∀ to ∃ moves the guard into the
+/// conjunction, yielding Q2.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QNode {
+    pub quant: Quantifier,
+    pub bindings: Vec<Binding>,
+    /// Atomic conditions restricting the bound tuples (the ∀-antecedent).
+    pub guard: Vec<TrcFormula>,
+    /// Atomic conditions asserted about the bound tuples (the ∀-consequent
+    /// together with the children).
+    pub body: Vec<TrcFormula>,
+    pub children: Vec<QNode>,
+}
+
+impl QNode {
+    /// The node's TRC formula.
+    pub fn formula(&self) -> TrcFormula {
+        let mut consequent: Vec<TrcFormula> = self.body.clone();
+        consequent.extend(self.children.iter().map(QNode::formula));
+        match self.quant {
+            Quantifier::Exists => {
+                let mut parts = self.guard.clone();
+                parts.extend(consequent);
+                TrcFormula::exists(self.bindings.clone(), TrcFormula::conj(parts))
+            }
+            Quantifier::Forall => {
+                let inner = if self.guard.is_empty() {
+                    TrcFormula::conj(consequent)
+                } else {
+                    TrcFormula::conj(self.guard.clone())
+                        .not()
+                        .or(TrcFormula::conj(consequent))
+                };
+                TrcFormula::forall(self.bindings.clone(), inner)
+            }
+        }
+    }
+
+    /// One-line label for rendering: `∀ b∈Boat [b.color = 'red']`.
+    pub fn label(&self) -> String {
+        let binds = self
+            .bindings
+            .iter()
+            .map(|b| format!("{}∈{}", b.var, b.rel))
+            .collect::<Vec<_>>()
+            .join(", ");
+        let conds = self
+            .guard
+            .iter()
+            .chain(&self.body)
+            .map(|f| f.to_string())
+            .collect::<Vec<_>>()
+            .join(" ∧ ");
+        if conds.is_empty() {
+            format!("{} {binds}", self.quant.symbol())
+        } else {
+            format!("{} {binds} · {conds}", self.quant.symbol())
+        }
+    }
+
+    fn node_count(&self) -> usize {
+        1 + self.children.iter().map(QNode::node_count).sum::<usize>()
+    }
+}
+
+/// A DataPlay query tree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DataPlayTree {
+    /// The anchor collection whose members are kept or rejected.
+    pub anchor: Binding,
+    /// Local predicates on the anchor itself.
+    pub anchor_conds: Vec<TrcFormula>,
+    /// Output columns (name, term), as in a TRC head.
+    pub head: Vec<(String, TrcTerm)>,
+    /// The constraint forest below the anchor.
+    pub constraints: Vec<QNode>,
+}
+
+impl DataPlayTree {
+    /// Builds a tree from a single-branch TRC query whose body is a
+    /// conjunction of atomic predicates and (possibly negated)
+    /// quantifier chains — the fragment DataPlay's tree UI covers.
+    pub fn from_trc(q: &TrcQuery, db: &Database) -> DiagResult<DataPlayTree> {
+        relviz_rc::trc_check::check_query(q, db).map_err(|e| DiagError::Lang(e.to_string()))?;
+        if q.branches.len() != 1 {
+            return Err(DiagError::unsupported(
+                FORMALISM,
+                format!("union of {} branches (one anchored tree per query)", q.branches.len()),
+            ));
+        }
+        let branch = &q.branches[0];
+        let anchor = branch.bindings[0].clone();
+        // The head may only look at the anchor — DataPlay's panes list
+        // *one* collection's members.
+        for (_, term) in &branch.head {
+            if let Some(v) = term.var() {
+                if v != anchor.var {
+                    return Err(DiagError::unsupported(
+                        FORMALISM,
+                        format!(
+                            "output from relation `{v}` (the matching pane lists one \
+                             anchor collection)"
+                        ),
+                    ));
+                }
+            }
+        }
+        // Extra FROM-level bindings become an ∃ node below the anchor —
+        // how DataPlay's nested universal relation absorbs joins.
+        let body = if branch.bindings.len() > 1 {
+            TrcFormula::exists(branch.bindings[1..].to_vec(), branch.body_or_true())
+        } else {
+            branch.body_or_true()
+        };
+        let mut anchor_conds = Vec::new();
+        let mut constraints = Vec::new();
+        for part in conjuncts(&body) {
+            match part {
+                TrcFormula::Const(true) => {}
+                f @ TrcFormula::Cmp { .. } => anchor_conds.push(f.clone()),
+                other => constraints.push(build_node(other)?),
+            }
+        }
+        Ok(DataPlayTree { anchor, anchor_conds, head: branch.head.clone(), constraints })
+    }
+
+    /// Convenience: SQL → TRC → tree.
+    pub fn from_sql(sql: &str, db: &Database) -> DiagResult<DataPlayTree> {
+        let trc = relviz_rc::from_sql::parse_sql_to_trc(sql, db)?;
+        Self::from_trc(&trc, db)
+    }
+
+    /// The tree's TRC query.
+    pub fn to_trc(&self) -> TrcQuery {
+        let mut parts = self.anchor_conds.clone();
+        parts.extend(self.constraints.iter().map(QNode::formula));
+        TrcQuery::single(TrcBranch {
+            bindings: vec![self.anchor.clone()],
+            head: self.head.clone(),
+            body: Some(TrcFormula::conj(parts)),
+        })
+    }
+
+    /// Flips the quantifier at `path` (indices into the constraint forest,
+    /// then into each node's children). Returns the tweaked tree —
+    /// DataPlay's one-click ∃/∀ toggle.
+    pub fn flip(&self, path: &[usize]) -> DiagResult<DataPlayTree> {
+        let mut out = self.clone();
+        if path.is_empty() {
+            return Err(DiagError::Invalid("empty flip path".into()));
+        }
+        let mut node = out
+            .constraints
+            .get_mut(path[0])
+            .ok_or_else(|| DiagError::Invalid(format!("no constraint {}", path[0])))?;
+        for &i in &path[1..] {
+            node = node
+                .children
+                .get_mut(i)
+                .ok_or_else(|| DiagError::Invalid(format!("no child {i} on flip path")))?;
+        }
+        node.quant = node.quant.flipped();
+        Ok(out)
+    }
+
+    /// DataPlay's two data panes: (matching, non-matching) anchor rows,
+    /// projected through the head. The union of the two panes is the
+    /// anchor's unconstrained projection.
+    pub fn partition(&self, db: &Database) -> DiagResult<(Relation, Relation)> {
+        let matching = relviz_rc::trc_eval::eval_trc(&self.to_trc(), db)
+            .map_err(|e| DiagError::Lang(e.to_string()))?;
+        // All candidates: anchor with only its local predicates.
+        let all = TrcQuery::single(TrcBranch {
+            bindings: vec![self.anchor.clone()],
+            head: self.head.clone(),
+            body: Some(TrcFormula::conj(self.anchor_conds.clone())),
+        });
+        let all = relviz_rc::trc_eval::eval_trc(&all, db)
+            .map_err(|e| DiagError::Lang(e.to_string()))?;
+        let mut non_matching = Relation::empty(all.schema().clone());
+        for t in all.iter() {
+            if !matching.contains(t) {
+                non_matching.insert_unchecked(t.clone());
+            }
+        }
+        Ok((matching, non_matching))
+    }
+
+    /// Element census: (constraint nodes, bindings, guard conds, body
+    /// conds, anchor conds).
+    pub fn census(&self) -> (usize, usize, usize, usize, usize) {
+        fn walk(n: &QNode, binds: &mut usize, guards: &mut usize, bodies: &mut usize) {
+            *binds += n.bindings.len();
+            *guards += n.guard.len();
+            *bodies += n.body.len();
+            for c in &n.children {
+                walk(c, binds, guards, bodies);
+            }
+        }
+        let nodes: usize = self.constraints.iter().map(QNode::node_count).sum();
+        let (mut binds, mut guards, mut bodies) = (0, 0, 0);
+        for c in &self.constraints {
+            walk(c, &mut binds, &mut guards, &mut bodies);
+        }
+        (nodes, binds, guards, bodies, self.anchor_conds.len())
+    }
+
+    // ---- rendering -----------------------------------------------------
+
+    /// Scene: the anchor box on top, constraint nodes as a vertical tree
+    /// below, each labelled with its quantifier symbol — the tweakable
+    /// tree of DataPlay's left pane.
+    pub fn scene(&self) -> Scene {
+        let mut scene = Scene::new(0.0, 0.0);
+        let anchor_label = format!(
+            "{}∈{}{}",
+            self.anchor.var,
+            self.anchor.rel,
+            if self.anchor_conds.is_empty() {
+                String::new()
+            } else {
+                format!(
+                    " · {}",
+                    self.anchor_conds
+                        .iter()
+                        .map(|f| f.to_string())
+                        .collect::<Vec<_>>()
+                        .join(" ∧ ")
+                )
+            }
+        );
+        let w = Scene::text_width(&anchor_label, 12.0) + 20.0;
+        scene.styled_rect(20.0, 20.0, w, 26.0, 4.0, "#000000", "none", 1.4, false);
+        scene.styled_text(
+            28.0,
+            37.0,
+            anchor_label,
+            TextStyle { size: 12.0, bold: true, ..TextStyle::default() },
+        );
+        let mut y = 60.0;
+        for c in &self.constraints {
+            self.draw_node(c, 40.0, &mut y, 20.0 + w / 2.0, 46.0, &mut scene);
+        }
+        scene.fit(10.0);
+        scene
+    }
+
+    fn draw_node(
+        &self,
+        n: &QNode,
+        x: f64,
+        y: &mut f64,
+        px: f64,
+        py: f64,
+        scene: &mut Scene,
+    ) {
+        let label = n.label();
+        let w = Scene::text_width(&label, 11.0) + 18.0;
+        let top = *y;
+        scene.styled_rect(
+            x,
+            top,
+            w,
+            24.0,
+            8.0,
+            if n.quant == Quantifier::Forall { "#aa0000" } else { "#006699" },
+            "none",
+            1.2,
+            false,
+        );
+        scene.text(x + 8.0, top + 16.0, label);
+        scene.line(px, py, x + w / 2.0, top);
+        *y += 32.0;
+        for c in &n.children {
+            self.draw_node(c, x + 26.0, y, x + w / 2.0, top + 24.0, scene);
+        }
+    }
+}
+
+/// Flattens an AND-spine.
+fn conjuncts(f: &TrcFormula) -> Vec<&TrcFormula> {
+    let mut out = Vec::new();
+    fn walk<'a>(f: &'a TrcFormula, out: &mut Vec<&'a TrcFormula>) {
+        if let TrcFormula::And(a, b) = f {
+            walk(a, out);
+            walk(b, out);
+        } else {
+            out.push(f);
+        }
+    }
+    walk(f, &mut out);
+    out
+}
+
+/// Splits a conjunct list into (atomic comparisons, quantified parts);
+/// anything else is reported.
+fn split_parts(f: &TrcFormula) -> DiagResult<(Vec<TrcFormula>, Vec<&TrcFormula>)> {
+    let mut atoms = Vec::new();
+    let mut quants = Vec::new();
+    for part in conjuncts(f) {
+        match part {
+            TrcFormula::Cmp { .. } => atoms.push(part.clone()),
+            TrcFormula::Const(true) => {}
+            TrcFormula::Exists { .. } | TrcFormula::Forall { .. } | TrcFormula::Not(_) => {
+                quants.push(part)
+            }
+            TrcFormula::Or(_, _) => {
+                return Err(DiagError::unsupported(
+                    FORMALISM,
+                    "disjunction inside a constraint (the tree composes by AND)",
+                ))
+            }
+            other => {
+                return Err(DiagError::unsupported(FORMALISM, format!("formula shape: {other}")))
+            }
+        }
+    }
+    Ok((atoms, quants))
+}
+
+/// Builds a constraint node from a (possibly negated) quantified formula.
+fn build_node(f: &TrcFormula) -> DiagResult<QNode> {
+    match f {
+        TrcFormula::Exists { bindings, body } => {
+            let (atoms, quants) = split_parts(body)?;
+            let children =
+                quants.into_iter().map(build_node).collect::<DiagResult<Vec<_>>>()?;
+            Ok(QNode {
+                quant: Quantifier::Exists,
+                bindings: bindings.clone(),
+                guard: atoms,
+                body: Vec::new(),
+                children,
+            })
+        }
+        TrcFormula::Forall { bindings, body } => {
+            // Recognize the implication shape ¬g ∨ c the workspace uses.
+            if let TrcFormula::Or(lhs, rhs) = &**body {
+                if let TrcFormula::Not(g) = &**lhs {
+                    let (guard, gq) = split_parts(g)?;
+                    if gq.is_empty() {
+                        let (body_atoms, quants) = split_parts(rhs)?;
+                        let children = quants
+                            .into_iter()
+                            .map(build_node)
+                            .collect::<DiagResult<Vec<_>>>()?;
+                        return Ok(QNode {
+                            quant: Quantifier::Forall,
+                            bindings: bindings.clone(),
+                            guard,
+                            body: body_atoms,
+                            children,
+                        });
+                    }
+                }
+            }
+            let (atoms, quants) = split_parts(body)?;
+            let children =
+                quants.into_iter().map(build_node).collect::<DiagResult<Vec<_>>>()?;
+            Ok(QNode {
+                quant: Quantifier::Forall,
+                bindings: bindings.clone(),
+                guard: Vec::new(),
+                body: atoms,
+                children,
+            })
+        }
+        TrcFormula::Not(inner) => match &**inner {
+            TrcFormula::Exists { bindings, body } => {
+                let (mut atoms, quants) = split_parts(body)?;
+                match quants.as_slice() {
+                    [] => {
+                        // ¬∃(a₁ ∧ … ∧ aₖ) ≡ ∀(a₁ ∧ … ∧ aₖ₋₁ → ¬aₖ).
+                        let last = atoms.pop().ok_or_else(|| {
+                            DiagError::unsupported(
+                                FORMALISM,
+                                "negated existence with no condition",
+                            )
+                        })?;
+                        Ok(QNode {
+                            quant: Quantifier::Forall,
+                            bindings: bindings.clone(),
+                            guard: atoms,
+                            body: vec![negate_cmp(&last)?],
+                            children: Vec::new(),
+                        })
+                    }
+                    [TrcFormula::Not(sub)] => {
+                        // ¬∃(ḡ ∧ ¬ψ) ≡ ∀(ḡ → ψ) — Q5's division pattern
+                        // when ψ is existential, Q8's ≥ALL pattern when ψ
+                        // is a plain comparison.
+                        match &**sub {
+                            e @ TrcFormula::Exists { .. } => Ok(QNode {
+                                quant: Quantifier::Forall,
+                                bindings: bindings.clone(),
+                                guard: atoms,
+                                body: Vec::new(),
+                                children: vec![build_node(e)?],
+                            }),
+                            c @ TrcFormula::Cmp { .. } => Ok(QNode {
+                                quant: Quantifier::Forall,
+                                bindings: bindings.clone(),
+                                guard: atoms,
+                                body: vec![c.clone()],
+                                children: Vec::new(),
+                            }),
+                            other => Err(DiagError::unsupported(
+                                FORMALISM,
+                                format!("negated non-existential: {other}"),
+                            )),
+                        }
+                    }
+                    _ => Err(DiagError::unsupported(
+                        FORMALISM,
+                        "negated existence over multiple or positive subqueries",
+                    )),
+                }
+            }
+            other => Err(DiagError::unsupported(
+                FORMALISM,
+                format!("negation of a non-existential: {other}"),
+            )),
+        },
+        other => Err(DiagError::unsupported(FORMALISM, format!("constraint shape: {other}"))),
+    }
+}
+
+/// Negates an atomic comparison by flipping its operator.
+fn negate_cmp(f: &TrcFormula) -> DiagResult<TrcFormula> {
+    match f {
+        TrcFormula::Cmp { left, op, right } => Ok(TrcFormula::Cmp {
+            left: left.clone(),
+            op: op.negate(),
+            right: right.clone(),
+        }),
+        other => Err(DiagError::Invalid(format!("not an atomic comparison: {other}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relviz_model::catalog::sailors_sample;
+    use relviz_rc::trc_parse::parse_trc;
+
+    const Q5_TRC: &str = "{s.sname | Sailor(s) and not exists b in Boat: (b.color = 'red' and \
+        not exists r in Reserves: (r.sid = s.sid and r.bid = b.bid))}";
+    const Q2_TRC: &str = "{s.sname | Sailor(s) and exists b in Boat, r in Reserves: \
+        (b.color = 'red' and r.sid = s.sid and r.bid = b.bid)}";
+
+    fn q5_tree(db: &Database) -> DataPlayTree {
+        DataPlayTree::from_trc(&parse_trc(Q5_TRC).unwrap(), db).unwrap()
+    }
+
+    #[test]
+    fn division_parses_to_forall_exists() {
+        let db = sailors_sample();
+        let t = q5_tree(&db);
+        assert_eq!(t.constraints.len(), 1);
+        let root = &t.constraints[0];
+        assert_eq!(root.quant, Quantifier::Forall);
+        assert_eq!(root.guard.len(), 1, "the red-boat guard");
+        assert_eq!(root.children.len(), 1);
+        assert_eq!(root.children[0].quant, Quantifier::Exists);
+    }
+
+    #[test]
+    fn round_trip_preserves_semantics() {
+        let db = sailors_sample();
+        let trc = parse_trc(Q5_TRC).unwrap();
+        let t = DataPlayTree::from_trc(&trc, &db).unwrap();
+        let direct = relviz_rc::trc_eval::eval_trc(&trc, &db).unwrap();
+        let via_tree = relviz_rc::trc_eval::eval_trc(&t.to_trc(), &db).unwrap();
+        assert!(direct.same_contents(&via_tree));
+    }
+
+    #[test]
+    fn flipping_forall_turns_all_into_some() {
+        // The DataPlay demo: Q5 (all red boats) --flip--> Q2 (a red boat).
+        let db = sailors_sample();
+        let t = q5_tree(&db);
+        let flipped = t.flip(&[0]).unwrap();
+        let got = relviz_rc::trc_eval::eval_trc(&flipped.to_trc(), &db).unwrap();
+        let q2 = relviz_rc::trc_eval::eval_trc(&parse_trc(Q2_TRC).unwrap(), &db).unwrap();
+        assert!(got.same_contents(&q2));
+        // Flipping back restores Q5.
+        let back = flipped.flip(&[0]).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn partition_panes_cover_all_anchors() {
+        let db = sailors_sample();
+        let t = q5_tree(&db);
+        let (matching, non_matching) = t.partition(&db).unwrap();
+        let all = relviz_rc::trc_eval::eval_trc(
+            &parse_trc("{s.sname | Sailor(s)}").unwrap(),
+            &db,
+        )
+        .unwrap();
+        assert_eq!(matching.len() + non_matching.len(), all.len());
+        for t in matching.iter() {
+            assert!(!non_matching.contains(t));
+        }
+    }
+
+    #[test]
+    fn flip_changes_the_partition() {
+        let db = sailors_sample();
+        let t = q5_tree(&db);
+        let (m_all, _) = t.partition(&db).unwrap();
+        let (m_some, _) = t.flip(&[0]).unwrap().partition(&db).unwrap();
+        // "all red boats" ⊆ "some red boat" on the sample data, strictly.
+        for row in m_all.iter() {
+            assert!(m_some.contains(row));
+        }
+        assert!(m_some.len() > m_all.len(), "sample data separates ∃ from ∀");
+    }
+
+    #[test]
+    fn simple_exists_chain_builds() {
+        let db = sailors_sample();
+        let t = DataPlayTree::from_trc(&parse_trc(Q2_TRC).unwrap(), &db).unwrap();
+        assert_eq!(t.constraints.len(), 1);
+        assert_eq!(t.constraints[0].quant, Quantifier::Exists);
+        let direct = relviz_rc::trc_eval::eval_trc(&parse_trc(Q2_TRC).unwrap(), &db).unwrap();
+        let via = relviz_rc::trc_eval::eval_trc(&t.to_trc(), &db).unwrap();
+        assert!(direct.same_contents(&via));
+    }
+
+    #[test]
+    fn negated_existence_becomes_guarded_forall() {
+        // Q4: no red boat reserved.
+        let db = sailors_sample();
+        let trc = parse_trc(
+            "{s.sname | Sailor(s) and not exists r in Reserves, b in Boat: \
+             (r.sid = s.sid and r.bid = b.bid and b.color = 'red')}",
+        )
+        .unwrap();
+        let t = DataPlayTree::from_trc(&trc, &db).unwrap();
+        let root = &t.constraints[0];
+        assert_eq!(root.quant, Quantifier::Forall);
+        assert_eq!(root.guard.len(), 2);
+        assert_eq!(root.body.len(), 1, "negated last conjunct");
+        let direct = relviz_rc::trc_eval::eval_trc(&trc, &db).unwrap();
+        let via = relviz_rc::trc_eval::eval_trc(&t.to_trc(), &db).unwrap();
+        assert!(direct.same_contents(&via));
+    }
+
+    #[test]
+    fn disjunction_unsupported() {
+        let db = sailors_sample();
+        let trc = parse_trc(
+            "{s.sname | Sailor(s) and exists r in Reserves, b in Boat: \
+             (r.sid = s.sid and r.bid = b.bid and (b.color = 'red' or b.color = 'green'))}",
+        )
+        .unwrap();
+        let r = DataPlayTree::from_trc(&trc, &db);
+        assert!(matches!(r, Err(DiagError::Unsupported { .. })), "{r:?}");
+    }
+
+    #[test]
+    fn from_sql_and_scene() {
+        let db = sailors_sample();
+        let t = DataPlayTree::from_sql(
+            "SELECT S.sname FROM Sailor S WHERE NOT EXISTS \
+             (SELECT * FROM Boat B WHERE B.color = 'red' AND NOT EXISTS \
+               (SELECT * FROM Reserves R WHERE R.sid = S.sid AND R.bid = B.bid))",
+            &db,
+        )
+        .unwrap();
+        let svg = relviz_render::svg::to_svg(&t.scene());
+        assert!(svg.contains("∀"), "universal node rendered");
+        assert!(svg.contains("∃"), "existential node rendered");
+    }
+
+    #[test]
+    fn joins_fold_under_the_anchor() {
+        // Multi-table FROM: the non-anchor tables become one ∃ node.
+        let db = sailors_sample();
+        let sql = "SELECT DISTINCT S.sname FROM Sailor S, Reserves R, Boat B \
+                   WHERE S.sid = R.sid AND R.bid = B.bid AND B.color = 'red'";
+        let t = DataPlayTree::from_sql(sql, &db).unwrap();
+        assert_eq!(t.anchor.rel, "Sailor");
+        assert_eq!(t.constraints.len(), 1);
+        assert_eq!(t.constraints[0].quant, Quantifier::Exists);
+        assert_eq!(t.constraints[0].bindings.len(), 2);
+        let direct = relviz_sql::eval::run_sql(sql, &db).unwrap();
+        let via = relviz_rc::trc_eval::eval_trc(&t.to_trc(), &db).unwrap();
+        assert!(direct.same_contents(&via));
+    }
+
+    #[test]
+    fn output_from_non_anchor_rejected() {
+        let db = sailors_sample();
+        let r = DataPlayTree::from_sql(
+            "SELECT S1.sname, S2.sname FROM Sailor S1, Sailor S2 \
+             WHERE S1.rating = S2.rating AND S1.sid < S2.sid",
+            &db,
+        );
+        assert!(matches!(r, Err(DiagError::Unsupported { .. })), "{r:?}");
+    }
+
+    #[test]
+    fn geq_all_reads_as_guarded_forall() {
+        // Q8: rating ≥ ALL — ¬∃s2(¬ rating ≥ s2.rating) ≡ ∀s2: rating ≥ s2.rating.
+        let db = sailors_sample();
+        let sql = "SELECT S.sname FROM Sailor S WHERE S.rating >= ALL \
+                   (SELECT S2.rating FROM Sailor S2)";
+        let t = DataPlayTree::from_sql(sql, &db).unwrap();
+        let root = &t.constraints[0];
+        assert_eq!(root.quant, Quantifier::Forall);
+        assert_eq!(root.body.len(), 1);
+        let direct = relviz_sql::eval::run_sql(sql, &db).unwrap();
+        let via = relviz_rc::trc_eval::eval_trc(&t.to_trc(), &db).unwrap();
+        assert!(direct.same_contents(&via));
+    }
+
+    #[test]
+    fn bad_flip_paths_rejected() {
+        let db = sailors_sample();
+        let t = q5_tree(&db);
+        assert!(t.flip(&[]).is_err());
+        assert!(t.flip(&[3]).is_err());
+        assert!(t.flip(&[0, 5]).is_err());
+    }
+
+    use relviz_model::Database;
+}

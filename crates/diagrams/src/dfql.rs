@@ -1,0 +1,211 @@
+//! **DFQL** — Dataflow Query Language (Clark & Wu 1994): the archetype of
+//! the relationally complete visual languages, because it simply gives
+//! every Relational Algebra operator an icon and wires them into a
+//! dataflow DAG. Completeness is inherited from RA by construction —
+//! which is the tutorial's observation about this whole family.
+
+use relviz_layout::layered::{layout, GraphSpec, LayeredOptions};
+use relviz_ra::{print::print_ra_unicode, Predicate, RaExpr};
+use relviz_render::{Scene, TextStyle};
+
+use crate::common::DiagResult;
+
+/// A dataflow node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DfqlNode {
+    /// Operator label (σ/π/ρ/×/⋈/∪/∩/−/÷ or a relation name).
+    pub label: String,
+    /// True for base relations (drawn as cylinders/sources).
+    pub is_source: bool,
+}
+
+/// The dataflow DAG (edges point from producers to consumers).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct DfqlDiagram {
+    pub nodes: Vec<DfqlNode>,
+    pub edges: Vec<(usize, usize)>,
+}
+
+impl DfqlDiagram {
+    /// Builds a dataflow diagram from any RA expression — total on RA,
+    /// hence relationally complete.
+    pub fn from_ra(e: &RaExpr) -> DiagResult<DfqlDiagram> {
+        let mut d = DfqlDiagram::default();
+        d.build(e);
+        Ok(d)
+    }
+
+    fn add(&mut self, label: String, is_source: bool) -> usize {
+        self.nodes.push(DfqlNode { label, is_source });
+        self.nodes.len() - 1
+    }
+
+    fn build(&mut self, e: &RaExpr) -> usize {
+        match e {
+            RaExpr::Relation(name) => self.add(name.clone(), true),
+            RaExpr::Select { pred, input } => {
+                let c = self.build(input);
+                let n = self.add(format!("σ [{}]", pred_label(pred)), false);
+                self.edges.push((c, n));
+                n
+            }
+            RaExpr::Project { attrs, input } => {
+                let c = self.build(input);
+                let n = self.add(format!("π [{}]", attrs.join(", ")), false);
+                self.edges.push((c, n));
+                n
+            }
+            RaExpr::Rename { from, to, input } => {
+                let c = self.build(input);
+                let n = self.add(format!("ρ [{from} → {to}]"), false);
+                self.edges.push((c, n));
+                n
+            }
+            RaExpr::ThetaJoin { pred, left, right } => {
+                let l = self.build(left);
+                let r = self.build(right);
+                let n = self.add(format!("⋈ [{}]", pred_label(pred)), false);
+                self.edges.push((l, n));
+                self.edges.push((r, n));
+                n
+            }
+            RaExpr::Product(l, r) => self.binary("×", l, r),
+            RaExpr::NaturalJoin(l, r) => self.binary("⋈", l, r),
+            RaExpr::Union(l, r) => self.binary("∪", l, r),
+            RaExpr::Intersect(l, r) => self.binary("∩", l, r),
+            RaExpr::Difference(l, r) => self.binary("−", l, r),
+            RaExpr::Division(l, r) => self.binary("÷", l, r),
+        }
+    }
+
+    fn binary(&mut self, label: &str, l: &RaExpr, r: &RaExpr) -> usize {
+        let ln = self.build(l);
+        let rn = self.build(r);
+        let n = self.add(label.to_string(), false);
+        self.edges.push((ln, n));
+        self.edges.push((rn, n));
+        n
+    }
+
+    /// Element census: (nodes, operator nodes, source nodes, edges).
+    pub fn census(&self) -> (usize, usize, usize, usize) {
+        let sources = self.nodes.iter().filter(|n| n.is_source).count();
+        (self.nodes.len(), self.nodes.len() - sources, sources, self.edges.len())
+    }
+
+    /// Scene: layered top-down dataflow (sources on top, result at the
+    /// bottom), arrows along the flow.
+    pub fn scene(&self) -> Scene {
+        let mut g = GraphSpec::default();
+        for n in &self.nodes {
+            let w = Scene::text_width(&n.label, 12.0) + 22.0;
+            g.add_node(w.max(50.0), 30.0);
+        }
+        for &(a, b) in &self.edges {
+            g.add_edge(a, b);
+        }
+        let l = layout(&g, LayeredOptions::default());
+        let mut scene = Scene::new(l.size.w, l.size.h);
+        for (i, r) in l.nodes.iter().enumerate() {
+            let n = &self.nodes[i];
+            if n.is_source {
+                scene.styled_rect(r.x, r.y, r.w, r.h, 10.0, "#000000", "#eef3ff", 1.4, false);
+            } else {
+                scene.rect(r.x, r.y, r.w, r.h);
+            }
+            scene.styled_text(
+                r.x + r.w / 2.0,
+                r.y + r.h / 2.0 + 4.0,
+                n.label.clone(),
+                TextStyle {
+                    size: 12.0,
+                    bold: n.is_source,
+                    anchor: relviz_render::Anchor::Middle,
+                    ..TextStyle::default()
+                },
+            );
+        }
+        for pts in &l.edges {
+            scene.arrow(pts.iter().map(|p| (p.x, p.y)).collect());
+        }
+        scene.fit(10.0);
+        scene
+    }
+}
+
+fn pred_label(p: &Predicate) -> String {
+    // Reuse the unicode RA printer by wrapping in a throwaway selection.
+    let s = print_ra_unicode(&RaExpr::Select {
+        pred: p.clone(),
+        input: Box::new(RaExpr::relation("·")),
+    });
+    s.strip_prefix("σ[")
+        .and_then(|rest| rest.strip_suffix("](·)"))
+        .unwrap_or(&s)
+        .to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relviz_ra::parse::parse_ra;
+
+    #[test]
+    fn q2_dataflow_shape() {
+        let e = parse_ra(
+            "Project[sname](Join(Sailor, Join(Reserves, Select[color = 'red'](Boat))))",
+        )
+        .unwrap();
+        let d = DfqlDiagram::from_ra(&e).unwrap();
+        let (nodes, ops, sources, edges) = d.census();
+        assert_eq!(sources, 3);
+        assert_eq!(ops, 4); // σ, ⋈, ⋈, π
+        assert_eq!(nodes, 7);
+        assert_eq!(edges, 6); // a tree: n-1
+    }
+
+    #[test]
+    fn division_gets_an_icon() {
+        // Unlike QBE, DFQL has a single visual element for ÷.
+        let e = parse_ra(
+            "Division(Project[sid, bid](Reserves), Project[bid](Select[color = 'red'](Boat)))",
+        )
+        .unwrap();
+        let d = DfqlDiagram::from_ra(&e).unwrap();
+        assert!(d.nodes.iter().any(|n| n.label == "÷"));
+    }
+
+    #[test]
+    fn complete_on_all_operators() {
+        for src in [
+            "Union(Project[sid](Sailor), Project[bid](Boat))",
+            "Intersect(Project[sid](Sailor), Project[sid](Reserves))",
+            "Difference(Project[sid](Sailor), Project[sid](Reserves))",
+            "ThetaJoin[s_sid = sid](Rename[sid -> s_sid](Sailor), Reserves)",
+            "Product(Project[sid](Sailor), Project[bid](Boat))",
+        ] {
+            let e = parse_ra(src).unwrap();
+            assert!(DfqlDiagram::from_ra(&e).is_ok(), "{src}");
+        }
+    }
+
+    #[test]
+    fn predicate_labels_are_readable() {
+        let e = parse_ra("Select[color = 'red' AND bid > 100](Boat)").unwrap();
+        let d = DfqlDiagram::from_ra(&e).unwrap();
+        assert!(
+            d.nodes.iter().any(|n| n.label.contains("color = 'red' ∧ bid > 100")),
+            "{:?}",
+            d.nodes
+        );
+    }
+
+    #[test]
+    fn scene_is_layered_with_arrows() {
+        let e = parse_ra("Project[sname](Join(Sailor, Reserves))").unwrap();
+        let svg = relviz_render::svg::to_svg(&DfqlDiagram::from_ra(&e).unwrap().scene());
+        assert!(svg.contains("marker-end"));
+        assert!(svg.contains("Sailor"));
+        assert!(svg.contains("π [sname]"));
+    }
+}

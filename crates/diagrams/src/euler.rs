@@ -1,0 +1,564 @@
+//! Euler circles (Euler's *Letters to a German Princess*, 1768) — the
+//! oldest formalism in the tutorial's survey.
+//!
+//! Euler represents terms as circles and **topological relations as
+//! logical relations**: containment ⇔ "All A are B", disjointness ⇔
+//! "No A is B", overlap ⇔ compatible with "Some A is B". The elegance and
+//! the trouble are the same thing: the drawing *must* commit to one
+//! topological relation per pair of circles, so
+//!
+//! * partial knowledge is inexpressible (no way to draw "All A are B or
+//!   B are A — not sure which"),
+//! * empty terms are undrawable (a circle always occupies area), i.e.
+//!   Euler has built-in existential import,
+//! * some consistent statement sets have no consistent drawing.
+//!
+//! These are precisely the deficiencies that Venn's fixed region structure
+//! (see [`crate::venn`]) later repaired — the historical arc Part 4
+//! traces. This module builds Euler configurations from categorical
+//! statements, detects inconsistencies, and renders nested/disjoint
+//! circle layouts.
+
+use std::collections::BTreeMap;
+
+use relviz_render::Scene;
+
+use crate::common::{DiagError, DiagResult};
+
+/// Categorical statement forms (the syllogistic alphabet).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Categorical {
+    /// All X are Y (A-form).
+    All,
+    /// No X is Y (E-form).
+    No,
+    /// Some X is Y (I-form).
+    Some,
+    /// Some X is not Y (O-form).
+    SomeNot,
+}
+
+/// A categorical statement about two terms.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Statement {
+    pub form: Categorical,
+    pub subject: String,
+    pub predicate: String,
+}
+
+impl Statement {
+    pub fn new(form: Categorical, subject: impl Into<String>, predicate: impl Into<String>) -> Self {
+        Statement { form, subject: subject.into(), predicate: predicate.into() }
+    }
+}
+
+impl std::fmt::Display for Statement {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let (a, b) = (&self.subject, &self.predicate);
+        match self.form {
+            Categorical::All => write!(f, "All {a} are {b}"),
+            Categorical::No => write!(f, "No {a} is {b}"),
+            Categorical::Some => write!(f, "Some {a} is {b}"),
+            Categorical::SomeNot => write!(f, "Some {a} is not {b}"),
+        }
+    }
+}
+
+/// The topological relation Euler assigns a pair of circles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PairRelation {
+    /// subject circle strictly inside predicate circle.
+    Inside,
+    /// circles share no area.
+    Disjoint,
+    /// circles partially overlap.
+    Overlap,
+}
+
+/// An Euler configuration: terms plus one committed relation per
+/// constrained pair.
+#[derive(Debug, Clone, Default)]
+pub struct EulerDiagram {
+    pub terms: Vec<String>,
+    /// (subject index, predicate index) → relation.
+    pub relations: BTreeMap<(usize, usize), PairRelation>,
+}
+
+/// Which of the four topological relations a pair of circles may still
+/// take, given the statements seen so far. `in_lo_hi` means "the
+/// lower-indexed circle strictly inside the higher-indexed one".
+#[derive(Debug, Clone, Copy)]
+struct Candidates {
+    in_lo_hi: bool,
+    in_hi_lo: bool,
+    disjoint: bool,
+    overlap: bool,
+}
+
+impl Candidates {
+    fn all() -> Self {
+        Candidates { in_lo_hi: true, in_hi_lo: true, disjoint: true, overlap: true }
+    }
+
+    fn restrict(&mut self, other: Candidates) {
+        self.in_lo_hi &= other.in_lo_hi;
+        self.in_hi_lo &= other.in_hi_lo;
+        self.disjoint &= other.disjoint;
+        self.overlap &= other.overlap;
+    }
+
+    fn is_empty(&self) -> bool {
+        !(self.in_lo_hi || self.in_hi_lo || self.disjoint || self.overlap)
+    }
+}
+
+impl EulerDiagram {
+    /// Builds a configuration from statements.
+    ///
+    /// Each statement constrains the *one* topological relation Euler must
+    /// commit a circle pair to: an A-form demands containment, an E-form
+    /// disjointness, while I- and O-forms are satisfied by several
+    /// relations (a circle drawn strictly inside another still witnesses
+    /// "Some A is B"). The builder intersects the allowed relations per
+    /// pair and fails — like a human with a pencil — when the intersection
+    /// empties, or when the committed drawing is globally undrawable
+    /// (transitive containment vs. disjointness).
+    pub fn from_statements(statements: &[Statement]) -> DiagResult<EulerDiagram> {
+        let mut d = EulerDiagram::default();
+        let mut pairs: BTreeMap<(usize, usize), Candidates> = BTreeMap::new();
+        for s in statements {
+            let a = d.intern(&s.subject);
+            let b = d.intern(&s.predicate);
+            if a == b {
+                return Err(DiagError::Invalid(format!(
+                    "statement about a single term: {s}"
+                )));
+            }
+            let (lo, hi) = (a.min(b), a.max(b));
+            // Is the statement's subject the lower-indexed term?
+            let fwd = a == lo;
+            let allowed = match s.form {
+                // All subject are predicate: only subject-inside-predicate.
+                Categorical::All => Candidates {
+                    in_lo_hi: fwd,
+                    in_hi_lo: !fwd,
+                    disjoint: false,
+                    overlap: false,
+                },
+                Categorical::No => Candidates {
+                    in_lo_hi: false,
+                    in_hi_lo: false,
+                    disjoint: true,
+                    overlap: false,
+                },
+                // Some subject is predicate: any drawing with shared area.
+                Categorical::Some => Candidates {
+                    in_lo_hi: true,
+                    in_hi_lo: true,
+                    disjoint: false,
+                    overlap: true,
+                },
+                // Some subject is not predicate: any drawing leaving part of
+                // the subject circle outside the predicate circle — i.e.
+                // everything except subject-inside-predicate.
+                Categorical::SomeNot => Candidates {
+                    in_lo_hi: !fwd,
+                    in_hi_lo: fwd,
+                    disjoint: true,
+                    overlap: true,
+                },
+            };
+            let cand = pairs.entry((lo, hi)).or_insert_with(Candidates::all);
+            cand.restrict(allowed);
+            if cand.is_empty() {
+                return Err(DiagError::Invalid(format!(
+                    "no single drawing satisfies `{s}` together with the pair's \
+                     earlier commitments (and Euler circles cannot draw an empty term)"
+                )));
+            }
+        }
+        // Commit each pair to one relation. Preference: a containment
+        // demanded by an A-form (the only case where overlap is excluded
+        // but containment remains), then Euler's canonical partial overlap
+        // for I/O-forms, then disjointness.
+        for (&(lo, hi), cand) in &pairs {
+            if cand.in_lo_hi && !cand.overlap {
+                d.relations.insert((lo, hi), PairRelation::Inside);
+            } else if cand.in_hi_lo && !cand.overlap {
+                d.relations.insert((hi, lo), PairRelation::Inside);
+            } else if cand.overlap {
+                d.relations.insert((lo, hi), PairRelation::Overlap);
+            } else {
+                d.relations.insert((lo, hi), PairRelation::Disjoint);
+            }
+        }
+        // Repair pass: a containment chain through *other* pairs may force a
+        // relation on a pair committed to Overlap (drawing A inside B inside
+        // C leaves no way to only-partially overlap A with C). Upgrade the
+        // commitment when the statements allow the forced containment,
+        // fail when they don't.
+        loop {
+            let closure = d.inside_closure();
+            let mut changed = false;
+            let overlaps: Vec<(usize, usize)> = d
+                .relations
+                .iter()
+                .filter(|&(_, &r)| r == PairRelation::Overlap)
+                .map(|(&k, _)| k)
+                .collect();
+            for (lo, hi) in overlaps {
+                let cand = pairs[&(lo, hi)];
+                let forced = if closure[lo][hi] {
+                    Some((lo, hi, cand.in_lo_hi))
+                } else if closure[hi][lo] {
+                    Some((hi, lo, cand.in_hi_lo))
+                } else {
+                    None
+                };
+                if let Some((inner, outer, allowed)) = forced {
+                    if !allowed {
+                        return Err(DiagError::Invalid(format!(
+                            "a containment chain forces `{}` inside `{}`, which the \
+                             statements about that pair forbid",
+                            d.terms[inner], d.terms[outer]
+                        )));
+                    }
+                    d.relations.remove(&(lo.min(hi), lo.max(hi)));
+                    d.relations.insert((inner, outer), PairRelation::Inside);
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        // Transitive containment conflicts: A ⊆ B, B ⊆ C, A disjoint C —
+        // plus overlap commitments emptied by a chain into a disjointness.
+        d.check_transitive()?;
+        Ok(d)
+    }
+
+    /// Reflexive-free transitive closure of the committed `Inside` pairs.
+    fn inside_closure(&self) -> Vec<Vec<bool>> {
+        let n = self.terms.len();
+        let mut inside = vec![vec![false; n]; n];
+        for (&(a, b), &rel) in &self.relations {
+            if rel == PairRelation::Inside {
+                inside[a][b] = true;
+            }
+        }
+        for k in 0..n {
+            for i in 0..n {
+                for j in 0..n {
+                    if inside[i][k] && inside[k][j] {
+                        inside[i][j] = true;
+                    }
+                }
+            }
+        }
+        inside
+    }
+
+    fn intern(&mut self, name: &str) -> usize {
+        match self.terms.iter().position(|t| t == name) {
+            Some(i) => i,
+            None => {
+                self.terms.push(name.to_string());
+                self.terms.len() - 1
+            }
+        }
+    }
+
+    /// Containment is transitive; a containment chain conflicting with a
+    /// disjointness commitment is undrawable.
+    #[allow(clippy::needless_range_loop)] // adjacency-matrix closure reads clearer indexed
+    fn check_transitive(&self) -> DiagResult<()> {
+        let n = self.terms.len();
+        let inside = self.inside_closure();
+        for i in 0..n {
+            if inside[i][i] {
+                return Err(DiagError::Invalid("cyclic containment".into()));
+            }
+        }
+        for (&(a, b), &rel) in &self.relations {
+            if rel == PairRelation::Disjoint {
+                // any X inside A that is also inside B is impossible; and
+                // A inside B directly conflicts.
+                if inside[a][b] || inside[b][a] {
+                    return Err(DiagError::Invalid(format!(
+                        "containment chain between `{}` and `{}` conflicts with disjointness",
+                        self.terms[a], self.terms[b]
+                    )));
+                }
+                for x in 0..n {
+                    if inside[x][a] && inside[x][b] {
+                        return Err(DiagError::Invalid(format!(
+                            "`{}` would need to lie inside the disjoint circles `{}` and `{}`",
+                            self.terms[x], self.terms[a], self.terms[b]
+                        )));
+                    }
+                }
+            }
+        }
+        // An Overlap commitment needs shared area, but a containment chain
+        // into one side of a disjoint pair removes it: X overlap Y is
+        // undrawable when X ⊆ Z and Z ∩ Y = ∅ (either orientation).
+        for (&(x, y), &rel) in &self.relations {
+            if rel != PairRelation::Overlap {
+                continue;
+            }
+            for (&(a, b), &rel2) in &self.relations {
+                if rel2 != PairRelation::Disjoint {
+                    continue;
+                }
+                let sides = [(a, b), (b, a)];
+                for &(z, w) in &sides {
+                    let kills = |p: usize, q: usize| {
+                        (p == z || inside[p][z]) && (q == w || inside[q][w])
+                    };
+                    if kills(x, y) || kills(y, x) {
+                        return Err(DiagError::Invalid(format!(
+                            "`{}` and `{}` must overlap, but containment into the \
+                             disjoint circles `{}` and `{}` leaves them no shared area",
+                            self.terms[x], self.terms[y], self.terms[a], self.terms[b]
+                        )));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Concrete circle geometry: containment forest laid out recursively,
+    /// disjoint roots side by side; overlapping pairs drawn with partial
+    /// overlap when unconstrained otherwise.
+    #[allow(clippy::needless_range_loop)] // parent/children arrays are index-coupled
+    pub fn scene(&self) -> Scene {
+        let n = self.terms.len();
+        // children[i] = directly-contained circles.
+        let mut parent: Vec<Option<usize>> = vec![None; n];
+        for (&(a, b), &rel) in &self.relations {
+            if rel == PairRelation::Inside {
+                // choose the *deepest* parent (closest container)
+                match parent[a] {
+                    None => parent[a] = Some(b),
+                    Some(p) => {
+                        if self.relations.get(&(b, p)) == Some(&PairRelation::Inside) {
+                            parent[a] = Some(b);
+                        }
+                    }
+                }
+            }
+        }
+        let mut children: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let mut roots: Vec<usize> = Vec::new();
+        for i in 0..n {
+            match parent[i] {
+                Some(p) => children[p].push(i),
+                None => roots.push(i),
+            }
+        }
+
+        // Radius: leaf = 36; parent = sum of child diameters/2 + pad.
+        fn radius(i: usize, children: &[Vec<usize>]) -> f64 {
+            if children[i].is_empty() {
+                36.0
+            } else {
+                let total: f64 = children[i].iter().map(|&c| radius(c, children) * 2.0 + 10.0).sum();
+                (total / 2.0 + 18.0).max(48.0)
+            }
+        }
+
+        let mut scene = Scene::new(0.0, 0.0);
+        let mut placed: Vec<(f64, f64, f64)> = vec![(0.0, 0.0, 0.0); n];
+
+        fn place(
+            i: usize,
+            cx: f64,
+            cy: f64,
+            children: &[Vec<usize>],
+            placed: &mut Vec<(f64, f64, f64)>,
+        ) {
+            let r = radius(i, children);
+            placed[i] = (cx, cy, r);
+            let mut x = cx - r + 18.0;
+            for &c in &children[i] {
+                let cr = radius(c, children);
+                place(c, x + cr, cy, children, placed);
+                x += cr * 2.0 + 10.0;
+            }
+        }
+
+        // Overlapping roots attract each other; draw overlapped pairs with
+        // 60% center distance.
+        let mut x = 20.0;
+        let mut placed_roots: Vec<usize> = Vec::new();
+        for &root in &roots {
+            let r = radius(root, &children);
+            // Does this root overlap an already placed root?
+            let overlap_with = placed_roots.iter().copied().find(|&p| {
+                let key = (p.min(root), p.max(root));
+                self.relations.get(&key) == Some(&PairRelation::Overlap)
+            });
+            let cx = match overlap_with {
+                Some(p) => {
+                    let (px, _, pr) = placed[p];
+                    px + (pr + r) * 0.6
+                }
+                None => x + r,
+            };
+            place(root, cx, 140.0, &children, &mut placed);
+            x = placed[root].0 + r + 24.0;
+            placed_roots.push(root);
+        }
+
+        for (i, &(cx, cy, r)) in placed.iter().enumerate() {
+            scene.ellipse(cx, cy, r, r);
+            scene.text(cx - 10.0, cy - r + 16.0, self.terms[i].clone());
+        }
+        scene.fit(10.0);
+        scene
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use Categorical::*;
+
+    #[test]
+    fn barbara_draws_nested_circles() {
+        // All A are B, All B are C ⇒ nested chain.
+        let d = EulerDiagram::from_statements(&[
+            Statement::new(All, "A", "B"),
+            Statement::new(All, "B", "C"),
+        ])
+        .unwrap();
+        assert_eq!(d.terms, vec!["A", "B", "C"]);
+        let svg = relviz_render::svg::to_svg(&d.scene());
+        assert_eq!(svg.matches("<ellipse").count(), 3);
+    }
+
+    #[test]
+    fn containment_vs_disjoint_conflict() {
+        let r = EulerDiagram::from_statements(&[
+            Statement::new(No, "A", "B"),
+            Statement::new(All, "A", "B"),
+        ]);
+        assert!(r.is_err(), "Euler cannot draw an empty A (existential import)");
+    }
+
+    #[test]
+    fn transitive_conflict_detected() {
+        let r = EulerDiagram::from_statements(&[
+            Statement::new(All, "A", "B"),
+            Statement::new(All, "B", "C"),
+            Statement::new(No, "A", "C"),
+        ]);
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn nested_disjoint_conflict() {
+        // X inside A, X inside B, but A and B disjoint.
+        let r = EulerDiagram::from_statements(&[
+            Statement::new(All, "X", "A"),
+            Statement::new(All, "X", "B"),
+            Statement::new(No, "A", "B"),
+        ]);
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn partial_knowledge_forces_commitment() {
+        // "Some A is B" then "No A is B": one pair, two demanded relations.
+        let r = EulerDiagram::from_statements(&[
+            Statement::new(Some, "A", "B"),
+            Statement::new(No, "A", "B"),
+        ]);
+        assert!(r.is_err(), "one circle pair cannot be both overlapping and disjoint");
+    }
+
+    #[test]
+    fn containment_witnesses_the_i_form() {
+        // "All A are B" + "Some A is B": the nested drawing satisfies both;
+        // the I-form must not force a conflicting overlap commitment.
+        let d = EulerDiagram::from_statements(&[
+            Statement::new(All, "A", "B"),
+            Statement::new(Some, "A", "B"),
+        ])
+        .unwrap();
+        assert_eq!(d.relations.get(&(0, 1)), Option::Some(&PairRelation::Inside));
+        // Order independence: the I-form first must reach the same drawing.
+        let d2 = EulerDiagram::from_statements(&[
+            Statement::new(Some, "A", "B"),
+            Statement::new(All, "A", "B"),
+        ])
+        .unwrap();
+        assert_eq!(d2.relations, d.relations);
+    }
+
+    #[test]
+    fn chain_upgrades_overlap_to_containment() {
+        // A ⊆ B ⊆ C forces A inside C; "Some A is C" is compatible with
+        // that, so the pair's overlap commitment is upgraded, not rejected.
+        let d = EulerDiagram::from_statements(&[
+            Statement::new(All, "A", "B"),
+            Statement::new(All, "B", "C"),
+            Statement::new(Some, "A", "C"),
+        ])
+        .unwrap();
+        let a = d.terms.iter().position(|t| t == "A").unwrap();
+        let c = d.terms.iter().position(|t| t == "C").unwrap();
+        assert_eq!(d.relations.get(&(a, c)), Option::Some(&PairRelation::Inside));
+    }
+
+    #[test]
+    fn chain_forbidding_the_forced_containment_fails() {
+        // A ⊆ B ⊆ C forces A inside C, but "Some A is not C" forbids it.
+        let r = EulerDiagram::from_statements(&[
+            Statement::new(All, "A", "B"),
+            Statement::new(All, "B", "C"),
+            Statement::new(SomeNot, "A", "C"),
+        ]);
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn overlap_starved_by_disjoint_chain_fails() {
+        // A overlaps B, but A ⊆ C and C ∩ B = ∅ leave no shared area.
+        let r = EulerDiagram::from_statements(&[
+            Statement::new(Some, "A", "B"),
+            Statement::new(All, "A", "C"),
+            Statement::new(No, "C", "B"),
+        ]);
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn mutual_containment_rejected() {
+        let r = EulerDiagram::from_statements(&[
+            Statement::new(All, "A", "B"),
+            Statement::new(All, "B", "A"),
+        ]);
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn consistent_mixed_configuration() {
+        let d = EulerDiagram::from_statements(&[
+            Statement::new(All, "dogs", "mammals"),
+            Statement::new(No, "mammals", "reptiles"),
+            Statement::new(Some, "pets", "mammals"),
+        ])
+        .unwrap();
+        assert_eq!(d.terms.len(), 4);
+        let svg = relviz_render::svg::to_svg(&d.scene());
+        assert_eq!(svg.matches("<ellipse").count(), 4);
+    }
+
+    #[test]
+    fn statement_display() {
+        assert_eq!(Statement::new(SomeNot, "A", "B").to_string(), "Some A is not B");
+    }
+}

@@ -1,0 +1,402 @@
+//! **Frege's Begriffsschrift** (1879) — the first complete notation for
+//! quantificational logic, and the tutorial's earliest "may or may not
+//! cover" artifact: a fully **two-dimensional** formula language that
+//! predates both Peirce's graphs and linear FOL notation.
+//!
+//! Frege writes with exactly four devices:
+//!
+//! * the **content stroke** `──` (a horizontal line carrying a content),
+//! * the **conditional**: the supercomponent on the upper line, the
+//!   condition hanging below — `b → a` is drawn with `a` on top and `b`
+//!   on the lower branch,
+//! * the **negation stroke**: a small vertical tick on a content stroke,
+//! * the **concavity** with a German letter: universal quantification.
+//!
+//! Conjunction, disjunction and ∃ are *derived*: `a ∧ b = ¬(a → ¬b)`,
+//! `a ∨ b = ¬a → b`, `∃x φ = ¬∀x ¬φ`. This module translates DRC
+//! formulas into that primitive basis ([`Bs::from_drc`]), back out
+//! ([`Bs::to_drc`], semantics-preserving — property-tested through the
+//! DRC evaluator), counts strokes (for the Part 6 "line roles"
+//! discussion: Frege's lines *are* the connectives), and renders the
+//! characteristic 2D ladder as ASCII and as a scene.
+
+use relviz_model::CmpOp;
+use relviz_rc::drc::{DrcFormula, DrcTerm};
+use relviz_render::{Scene, TextStyle};
+
+use crate::common::DiagResult;
+
+/// A Begriffsschrift content (formula over Frege's primitive basis).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Bs {
+    /// An atomic judgeable content `R(t₁, …)`.
+    Atom { rel: String, terms: Vec<DrcTerm> },
+    /// A comparison content (the workspace's arithmetic atoms).
+    Cmp { left: DrcTerm, op: CmpOp, right: DrcTerm },
+    /// Negation stroke on the content below.
+    Neg(Box<Bs>),
+    /// The conditional: `sub → sup` (Frege draws `sup` on the upper
+    /// stroke and `sub` hanging below).
+    Cond { sup: Box<Bs>, sub: Box<Bs> },
+    /// Concavity with a letter: `∀ var: body`.
+    Forall { var: String, body: Box<Bs> },
+}
+
+impl Bs {
+    /// Translates a DRC formula into the primitive basis.
+    pub fn from_drc(f: &DrcFormula) -> DiagResult<Bs> {
+        Ok(match f {
+            DrcFormula::Atom { rel, terms } => {
+                Bs::Atom { rel: rel.clone(), terms: terms.clone() }
+            }
+            DrcFormula::Cmp { left, op, right } => {
+                Bs::Cmp { left: left.clone(), op: *op, right: right.clone() }
+            }
+            DrcFormula::Not(inner) => Bs::Neg(Box::new(Bs::from_drc(inner)?)),
+            // a ∧ b  =  ¬(a → ¬b)
+            DrcFormula::And(a, b) => Bs::Neg(Box::new(Bs::Cond {
+                sup: Box::new(Bs::Neg(Box::new(Bs::from_drc(b)?))),
+                sub: Box::new(Bs::from_drc(a)?),
+            })),
+            // a ∨ b  =  ¬a → b
+            DrcFormula::Or(a, b) => Bs::Cond {
+                sup: Box::new(Bs::from_drc(b)?),
+                sub: Box::new(Bs::Neg(Box::new(Bs::from_drc(a)?))),
+            },
+            DrcFormula::Forall { vars, body } => {
+                let mut out = Bs::from_drc(body)?;
+                for v in vars.iter().rev() {
+                    out = Bs::Forall { var: v.clone(), body: Box::new(out) };
+                }
+                out
+            }
+            // ∃x̄ φ  =  ¬∀x̄ ¬φ
+            DrcFormula::Exists { vars, body } => {
+                let mut out = Bs::Neg(Box::new(Bs::from_drc(body)?));
+                for v in vars.iter().rev() {
+                    out = Bs::Forall { var: v.clone(), body: Box::new(out) };
+                }
+                Bs::Neg(Box::new(out))
+            }
+            // ⊤ / ⊥ as the canonical trivial comparison.
+            DrcFormula::Const(true) => Bs::Cmp {
+                left: DrcTerm::val(0i64),
+                op: CmpOp::Eq,
+                right: DrcTerm::val(0i64),
+            },
+            DrcFormula::Const(false) => Bs::Neg(Box::new(Bs::Cmp {
+                left: DrcTerm::val(0i64),
+                op: CmpOp::Eq,
+                right: DrcTerm::val(0i64),
+            })),
+        })
+    }
+
+    /// Reads the notation back into DRC (the conditional becomes `¬sub ∨
+    /// sup`).
+    pub fn to_drc(&self) -> DrcFormula {
+        match self {
+            Bs::Atom { rel, terms } => DrcFormula::Atom { rel: rel.clone(), terms: terms.clone() },
+            Bs::Cmp { left, op, right } => {
+                DrcFormula::Cmp { left: left.clone(), op: *op, right: right.clone() }
+            }
+            Bs::Neg(inner) => inner.to_drc().not(),
+            Bs::Cond { sup, sub } => sub.to_drc().not().or(sup.to_drc()),
+            Bs::Forall { var, body } => DrcFormula::forall(vec![var.clone()], body.to_drc()),
+        }
+    }
+
+    /// Removes double negation strokes (`¬¬φ = φ`) — the simplest of
+    /// Frege's acknowledged inference patterns, and the same move as
+    /// Peirce's double-cut rule.
+    pub fn remove_double_negations(&self) -> Bs {
+        match self {
+            Bs::Neg(inner) => match &**inner {
+                Bs::Neg(core) => core.remove_double_negations(),
+                _ => Bs::Neg(Box::new(inner.remove_double_negations())),
+            },
+            Bs::Cond { sup, sub } => Bs::Cond {
+                sup: Box::new(sup.remove_double_negations()),
+                sub: Box::new(sub.remove_double_negations()),
+            },
+            Bs::Forall { var, body } => Bs::Forall {
+                var: var.clone(),
+                body: Box::new(body.remove_double_negations()),
+            },
+            leaf => leaf.clone(),
+        }
+    }
+
+    /// Stroke census: (condition strokes, negation strokes, concavities,
+    /// atomic contents). In Begriffsschrift the *lines themselves* carry
+    /// the logic — the count feeds the Part 6 line-role discussion.
+    pub fn census(&self) -> (usize, usize, usize, usize) {
+        match self {
+            Bs::Atom { .. } | Bs::Cmp { .. } => (0, 0, 0, 1),
+            Bs::Neg(i) => {
+                let (c, n, f, a) = i.census();
+                (c, n + 1, f, a)
+            }
+            Bs::Cond { sup, sub } => {
+                let (c1, n1, f1, a1) = sup.census();
+                let (c2, n2, f2, a2) = sub.census();
+                (c1 + c2 + 1, n1 + n2, f1 + f2, a1 + a2)
+            }
+            Bs::Forall { body, .. } => {
+                let (c, n, f, a) = body.census();
+                (c, n, f + 1, a)
+            }
+        }
+    }
+
+    /// The 2D ladder as ASCII art (a judgement: `⊢` prefixed).
+    pub fn ascii(&self) -> String {
+        let lines = self.render_lines();
+        let mut out = String::new();
+        for (i, l) in lines.iter().enumerate() {
+            if i == 0 {
+                out.push('⊢');
+            } else {
+                out.push(' ');
+            }
+            out.push_str(l);
+            out.push('\n');
+        }
+        out
+    }
+
+    fn render_lines(&self) -> Vec<String> {
+        match self {
+            Bs::Atom { rel, terms } => {
+                let args =
+                    terms.iter().map(|t| t.to_string()).collect::<Vec<_>>().join(", ");
+                vec![format!("── {rel}({args})")]
+            }
+            Bs::Cmp { left, op, right } => {
+                vec![format!("── {left} {} {right}", op.symbol())]
+            }
+            Bs::Neg(inner) => {
+                let mut lines = inner.render_lines();
+                lines[0] = format!("─┼{}", &lines[0]);
+                for l in lines.iter_mut().skip(1) {
+                    *l = format!("  {l}");
+                }
+                lines
+            }
+            Bs::Forall { var, body } => {
+                let mut lines = body.render_lines();
+                lines[0] = format!("─⌣{var}{}", &lines[0]);
+                let pad = " ".repeat(2 + var.chars().count());
+                for l in lines.iter_mut().skip(1) {
+                    *l = format!("{pad}{l}");
+                }
+                lines
+            }
+            Bs::Cond { sup, sub } => {
+                let sup_lines = sup.render_lines();
+                let sub_lines = sub.render_lines();
+                let mut out = Vec::new();
+                out.push(format!("─┬{}", sup_lines[0]));
+                for l in sup_lines.iter().skip(1) {
+                    out.push(format!("  {l}"));
+                }
+                out.push(format!(" └{}", sub_lines[0]));
+                for l in sub_lines.iter().skip(1) {
+                    out.push(format!("  {l}"));
+                }
+                out
+            }
+        }
+    }
+
+    /// Scene: horizontal content strokes, vertical condition droplines,
+    /// negation ticks, and concavities with their letters.
+    pub fn scene(&self) -> Scene {
+        let mut scene = Scene::new(0.0, 0.0);
+        // Judgement stroke.
+        scene.line(16.0, 14.0, 16.0, 26.0);
+        let mut y = 20.0;
+        self.draw(20.0, &mut y, &mut scene);
+        scene.fit(10.0);
+        scene
+    }
+
+    /// Draws the content starting at `(x, *y)`; advances `*y` past the
+    /// drawn rows. Returns nothing; the stroke occupies one row per
+    /// conditional branch.
+    fn draw(&self, x: f64, y: &mut f64, scene: &mut Scene) {
+        const SEG: f64 = 16.0;
+        const ROW: f64 = 26.0;
+        match self {
+            Bs::Atom { .. } | Bs::Cmp { .. } => {
+                scene.line(x, *y, x + SEG, *y);
+                let text = match self {
+                    Bs::Atom { rel, terms } => {
+                        let args = terms
+                            .iter()
+                            .map(|t| t.to_string())
+                            .collect::<Vec<_>>()
+                            .join(", ");
+                        format!("{rel}({args})")
+                    }
+                    Bs::Cmp { left, op, right } => {
+                        format!("{left} {} {right}", op.symbol())
+                    }
+                    _ => unreachable!("outer match"),
+                };
+                scene.text(x + SEG + 4.0, *y + 4.0, text);
+                *y += ROW;
+            }
+            Bs::Neg(inner) => {
+                scene.line(x, *y, x + SEG, *y);
+                // Negation tick below the stroke.
+                scene.line(x + SEG / 2.0, *y, x + SEG / 2.0, *y + 7.0);
+                let mut iy = *y;
+                inner.draw(x + SEG, &mut iy, scene);
+                *y = iy;
+            }
+            Bs::Forall { var, body } => {
+                // Concavity: a little dip with the letter inside.
+                scene.line(x, *y, x + 5.0, *y);
+                scene.ellipse(x + SEG / 2.0 + 2.0, *y + 2.5, 6.0, 4.0);
+                scene.line(x + SEG - 1.0, *y, x + SEG + 4.0, *y);
+                scene.styled_text(
+                    x + SEG / 2.0 - 2.0,
+                    *y + 14.0,
+                    var.clone(),
+                    TextStyle { size: 9.0, italic: true, ..TextStyle::default() },
+                );
+                let mut iy = *y;
+                body.draw(x + SEG + 4.0, &mut iy, scene);
+                *y = iy;
+            }
+            Bs::Cond { sup, sub } => {
+                scene.line(x, *y, x + SEG, *y);
+                let drop_x = x + SEG;
+                let top = *y;
+                let mut iy = *y;
+                sup.draw(x + SEG, &mut iy, scene);
+                // Condition drops below the supercomponent rows.
+                scene.line(drop_x, top, drop_x, iy);
+                sub.draw(drop_x, &mut iy, scene);
+                *y = iy;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relviz_model::catalog::sailors_sample;
+    use relviz_rc::drc::DrcQuery;
+    use relviz_rc::drc_parse::parse_drc;
+
+    /// Boolean sentence: "some sailor reserved a red boat".
+    const SENTENCE: &str = "{ | exists s, n, rt, a, b, d, bn: (Sailor(s, n, rt, a) and \
+        Reserves(s, b, d) and Boat(b, bn, 'red'))}";
+    /// Q5 closed: "some sailor reserved all red boats".
+    const DIVISION: &str = "{ | exists s, n, rt, a: (Sailor(s, n, rt, a) and \
+        not exists b, bn: (Boat(b, bn, 'red') and not exists d: (Reserves(s, b, d))))}";
+
+    fn eval_closed(f: &DrcFormula, db: &relviz_model::Database) -> bool {
+        let q = DrcQuery { head: vec![], body: f.clone() };
+        let rel = relviz_rc::drc_eval::eval_drc(&q, db).unwrap();
+        !rel.is_empty()
+    }
+
+    #[test]
+    fn round_trip_preserves_truth() {
+        let db = sailors_sample();
+        for src in [SENTENCE, DIVISION] {
+            let q = parse_drc(src).unwrap();
+            let bs = Bs::from_drc(&q.body).unwrap();
+            let back = bs.to_drc();
+            assert_eq!(
+                eval_closed(&q.body, &db),
+                eval_closed(&back, &db),
+                "truth preserved for {src}"
+            );
+        }
+    }
+
+    #[test]
+    fn conjunction_uses_the_derived_form() {
+        // a ∧ b = ¬(a → ¬b): one condition stroke, two negation strokes.
+        let f = parse_drc("{ | Sailor(1, 'x', 7, 22) and Boat(1, 'y', 'red')}").unwrap();
+        let bs = Bs::from_drc(&f.body).unwrap();
+        let (cond, neg, conc, atoms) = bs.census();
+        assert_eq!((cond, neg, conc, atoms), (1, 2, 0, 2));
+    }
+
+    #[test]
+    fn existential_uses_the_derived_form() {
+        // ∃x φ = ¬∀x ¬φ: concavity between two negation strokes.
+        let f = parse_drc("{ | exists x: (Sailor(x, 'a', 1, 1))}").unwrap();
+        let bs = Bs::from_drc(&f.body).unwrap();
+        let (cond, neg, conc, atoms) = bs.census();
+        assert_eq!((cond, neg, conc, atoms), (0, 2, 1, 1));
+        assert!(matches!(bs, Bs::Neg(_)));
+    }
+
+    #[test]
+    fn double_negation_removal_is_sound() {
+        let db = sailors_sample();
+        let q = parse_drc(DIVISION).unwrap();
+        let bs = Bs::from_drc(&q.body).unwrap();
+        let slim = bs.remove_double_negations();
+        assert_eq!(eval_closed(&bs.to_drc(), &db), eval_closed(&slim.to_drc(), &db));
+        let before = bs.census().1;
+        let after = slim.census().1;
+        assert!(after <= before);
+    }
+
+    #[test]
+    fn truth_constants_translate() {
+        let db = sailors_sample();
+        let t = Bs::from_drc(&DrcFormula::Const(true)).unwrap();
+        let f = Bs::from_drc(&DrcFormula::Const(false)).unwrap();
+        assert!(eval_closed(&t.to_drc(), &db));
+        assert!(!eval_closed(&f.to_drc(), &db));
+    }
+
+    #[test]
+    fn ascii_draws_the_ladder() {
+        let q = parse_drc(DIVISION).unwrap();
+        let bs = Bs::from_drc(&q.body).unwrap();
+        let text = bs.ascii();
+        assert!(text.starts_with('⊢'));
+        assert!(text.contains("─┼"), "negation stroke");
+        assert!(text.contains("─⌣"), "concavity");
+        assert!(text.contains("Sailor("));
+    }
+
+    #[test]
+    fn conditional_ascii_has_upper_and_lower_branch() {
+        let f = parse_drc("{ | Sailor(1, 'x', 7, 22) or Boat(1, 'y', 'red')}").unwrap();
+        let bs = Bs::from_drc(&f.body).unwrap();
+        let text = bs.ascii();
+        assert!(text.contains("─┬"), "supercomponent branch");
+        assert!(text.contains("└"), "condition branch");
+    }
+
+    #[test]
+    fn scene_renders_strokes() {
+        let q = parse_drc(SENTENCE).unwrap();
+        let bs = Bs::from_drc(&q.body).unwrap();
+        let svg = relviz_render::svg::to_svg(&bs.scene());
+        assert!(svg.contains("<polyline"), "content strokes");
+        assert!(svg.contains("Sailor("));
+        assert!(svg.contains("<ellipse"), "concavity arc");
+    }
+
+    #[test]
+    fn census_of_division_pattern() {
+        let q = parse_drc(DIVISION).unwrap();
+        let bs = Bs::from_drc(&q.body).unwrap();
+        let (cond, neg, conc, atoms) = bs.census();
+        assert!(conc >= 7, "all quantified variables get concavities: {conc}");
+        assert!(neg > 4, "∃-encoding plus the two explicit negations: {neg}");
+        assert!(atoms == 3 && cond >= 2, "{atoms} atoms, {cond} conditions");
+    }
+}

@@ -1,0 +1,495 @@
+//! **Higraphs** (Harel, CACM 1988, "On Visual Formalisms") — the general
+//! topo-visual formalism behind statecharts and, as the tutorial notes,
+//! the set-theoretic backbone UML class boxes inherit.
+//!
+//! A higraph extends Euler/Venn "blobs" three ways that matter for the
+//! comparison in Part 4:
+//!
+//! 1. **Blobs are a DAG, not a forest**: a blob may sit inside several
+//!    parents simultaneously (explicit intersection — no need for Euler's
+//!    per-pair topological commitment);
+//! 2. **Orthogonal partitioning** (Cartesian product): a blob may be split
+//!    into components whose cross product is the blob's extension;
+//! 3. **Edges between blobs at any level** (the statechart transitions;
+//!    here: labelled binary relations).
+//!
+//! The reading maps blob containment to `All X are Y` statements, explicit
+//! partition siblings to disjointness, and multi-parent blobs to
+//! non-empty-intersection witnesses — giving a decidable comparison with
+//! the Euler module: every Euler configuration embeds in a higraph, but
+//! not vice versa (see tests).
+
+use std::collections::BTreeMap;
+
+use relviz_render::{Scene, TextStyle};
+
+use crate::common::{DiagError, DiagResult};
+use crate::euler::{Categorical, Statement};
+
+/// A blob: a named set, contained in zero or more parent blobs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Blob {
+    pub name: String,
+    /// Parent blob indices (multiple parents = intersection).
+    pub parents: Vec<usize>,
+    /// Partition group: blobs sharing a `Some(k)` under the same parent
+    /// are mutually disjoint components of that partition.
+    pub partition: Option<usize>,
+}
+
+/// A labelled edge between blobs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlobEdge {
+    pub label: String,
+    pub from: usize,
+    pub to: usize,
+}
+
+/// A higraph.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Higraph {
+    pub blobs: Vec<Blob>,
+    pub edges: Vec<BlobEdge>,
+    /// Explicit pairwise disjointness (an abbreviation for a two-component
+    /// orthogonal partition of an anonymous common parent). Unlike the
+    /// `partition` marking, a blob can take part in any number of these.
+    pub disjoints: Vec<(usize, usize)>,
+}
+
+impl Higraph {
+    /// Adds a root blob; returns its index.
+    pub fn blob(&mut self, name: impl Into<String>) -> usize {
+        self.blobs.push(Blob { name: name.into(), parents: Vec::new(), partition: None });
+        self.blobs.len() - 1
+    }
+
+    /// Adds a blob inside the given parents.
+    pub fn blob_in(&mut self, name: impl Into<String>, parents: Vec<usize>) -> DiagResult<usize> {
+        for &p in &parents {
+            if p >= self.blobs.len() {
+                return Err(DiagError::Invalid(format!("no blob {p}")));
+            }
+        }
+        self.blobs.push(Blob { name: name.into(), parents, partition: None });
+        let id = self.blobs.len() - 1;
+        self.check_acyclic()?;
+        Ok(id)
+    }
+
+    /// Marks a blob as belonging to partition `k` (of its first parent).
+    pub fn in_partition(&mut self, blob: usize, k: usize) -> DiagResult<()> {
+        if blob >= self.blobs.len() {
+            return Err(DiagError::Invalid(format!("no blob {blob}")));
+        }
+        self.blobs[blob].partition = Some(k);
+        Ok(())
+    }
+
+    /// Declares two blobs disjoint (an orthogonal-partition abbreviation).
+    pub fn disjoint(&mut self, a: usize, b: usize) -> DiagResult<()> {
+        if a >= self.blobs.len() || b >= self.blobs.len() {
+            return Err(DiagError::Invalid("disjointness endpoint out of range".into()));
+        }
+        if a == b {
+            return Err(DiagError::Invalid("a blob cannot be disjoint from itself".into()));
+        }
+        let pair = (a.min(b), a.max(b));
+        if !self.disjoints.contains(&pair) {
+            self.disjoints.push(pair);
+        }
+        Ok(())
+    }
+
+    pub fn edge(&mut self, label: impl Into<String>, from: usize, to: usize) -> DiagResult<()> {
+        if from >= self.blobs.len() || to >= self.blobs.len() {
+            return Err(DiagError::Invalid("edge endpoint out of range".into()));
+        }
+        self.edges.push(BlobEdge { label: label.into(), from, to });
+        Ok(())
+    }
+
+    fn check_acyclic(&self) -> DiagResult<()> {
+        // DFS over parent links.
+        fn visit(
+            b: usize,
+            blobs: &[Blob],
+            state: &mut Vec<u8>, // 0 white, 1 gray, 2 black
+        ) -> bool {
+            if state[b] == 1 {
+                return false;
+            }
+            if state[b] == 2 {
+                return true;
+            }
+            state[b] = 1;
+            for &p in &blobs[b].parents {
+                if !visit(p, blobs, state) {
+                    return false;
+                }
+            }
+            state[b] = 2;
+            true
+        }
+        let mut state = vec![0u8; self.blobs.len()];
+        for b in 0..self.blobs.len() {
+            if !visit(b, &self.blobs, &mut state) {
+                return Err(DiagError::Invalid("cyclic blob containment".into()));
+            }
+        }
+        Ok(())
+    }
+
+    /// Transitive containment: is `a` inside `b`?
+    pub fn inside(&self, a: usize, b: usize) -> bool {
+        if a == b {
+            return true;
+        }
+        self.blobs[a].parents.iter().any(|&p| self.inside(p, b))
+    }
+
+    /// Reads the higraph as categorical statements: containment ⇒ A-form,
+    /// partition siblings ⇒ E-form, multi-parent blobs ⇒ I-form witnesses
+    /// for each pair of parents.
+    pub fn reading(&self) -> Vec<Statement> {
+        let mut out = Vec::new();
+        for b in &self.blobs {
+            for &p in &b.parents {
+                out.push(Statement::new(Categorical::All, b.name.clone(), self.blobs[p].name.clone()));
+            }
+            if b.parents.len() >= 2 {
+                for i in 0..b.parents.len() {
+                    for j in (i + 1)..b.parents.len() {
+                        out.push(Statement::new(
+                            Categorical::Some,
+                            self.blobs[b.parents[i]].name.clone(),
+                            self.blobs[b.parents[j]].name.clone(),
+                        ));
+                    }
+                }
+            }
+        }
+        // Partition siblings (same parent, same partition id) are disjoint.
+        let mut groups: BTreeMap<(usize, usize), Vec<usize>> = BTreeMap::new();
+        for (i, b) in self.blobs.iter().enumerate() {
+            if let (Some(k), Some(&p)) = (b.partition, b.parents.first()) {
+                groups.entry((p, k)).or_default().push(i);
+            }
+        }
+        for members in groups.values() {
+            for i in 0..members.len() {
+                for j in (i + 1)..members.len() {
+                    out.push(Statement::new(
+                        Categorical::No,
+                        self.blobs[members[i]].name.clone(),
+                        self.blobs[members[j]].name.clone(),
+                    ));
+                }
+            }
+        }
+        for &(a, b) in &self.disjoints {
+            out.push(Statement::new(
+                Categorical::No,
+                self.blobs[a].name.clone(),
+                self.blobs[b].name.clone(),
+            ));
+        }
+        out
+    }
+
+    /// Builds a higraph from categorical statements. Unlike
+    /// [`crate::euler::EulerDiagram::from_statements`], this never fails
+    /// on `Some A is B` + anything: intersection is explicit (a shared
+    /// child blob), not a drawing commitment.
+    pub fn from_statements(statements: &[Statement]) -> DiagResult<Higraph> {
+        let mut g = Higraph::default();
+        let mut index: BTreeMap<String, usize> = BTreeMap::new();
+        let mut intern = |g: &mut Higraph, name: &str| -> usize {
+            if let Some(&i) = index.get(name) {
+                return i;
+            }
+            let i = g.blob(name.to_string());
+            index.insert(name.to_string(), i);
+            i
+        };
+        for s in statements {
+            let a = intern(&mut g, &s.subject);
+            let b = intern(&mut g, &s.predicate);
+            match s.form {
+                Categorical::All => {
+                    if g.inside(b, a) {
+                        return Err(DiagError::Invalid(format!(
+                            "`{s}` would make containment cyclic"
+                        )));
+                    }
+                    if !g.blobs[a].parents.contains(&b) {
+                        g.blobs[a].parents.push(b);
+                    }
+                }
+                Categorical::Some => {
+                    // Witness blob inside both.
+                    g.blob_in(format!("{}∩{}", s.subject, s.predicate), vec![a, b])?;
+                }
+                Categorical::No => {
+                    g.disjoint(a, b)?;
+                }
+                Categorical::SomeNot => {
+                    // Witness inside a, outside b: a child of a alone.
+                    g.blob_in(format!("{}∖{}", s.subject, s.predicate), vec![a])?;
+                }
+            }
+        }
+        g.check_acyclic()?;
+        Ok(g)
+    }
+
+    /// Consistency check on the reading: disjointness must not contradict
+    /// containment chains (same closure logic as Euler, but intersections
+    /// are fine).
+    pub fn is_consistent(&self) -> bool {
+        let reading = self.reading();
+        // A pair (x, y) declared disjoint while some blob is inside both.
+        for s in &reading {
+            if s.form == Categorical::No {
+                let x = self.blobs.iter().position(|b| b.name == s.subject);
+                let y = self.blobs.iter().position(|b| b.name == s.predicate);
+                if let (Some(x), Some(y)) = (x, y) {
+                    for w in 0..self.blobs.len() {
+                        if w != x && w != y && self.inside(w, x) && self.inside(w, y) {
+                            return false;
+                        }
+                    }
+                    if self.inside(x, y) || self.inside(y, x) {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    /// Scene: rounded blobs, nested by containment (first parent for
+    /// placement; extra parents drawn as dashed adoption edges — Harel's
+    /// own escape hatch for non-planar containment).
+    pub fn scene(&self) -> Scene {
+        use relviz_layout::boxes::{layout, BoxNode, BoxOptions};
+        // Forest by first parent.
+        let n = self.blobs.len();
+        let mut children: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let mut roots = Vec::new();
+        for (i, b) in self.blobs.iter().enumerate() {
+            match b.parents.first() {
+                Some(&p) => children[p].push(i),
+                None => roots.push(i),
+            }
+        }
+        fn to_box(i: usize, children: &[Vec<usize>], labels: &mut Vec<usize>, blobs: &[Blob]) -> BoxNode {
+            labels.push(i);
+            let kids: Vec<BoxNode> = children[i]
+                .iter()
+                .map(|&c| to_box(c, children, labels, blobs))
+                .collect();
+            let w = Scene::text_width(&blobs[i].name, 12.0) + 24.0;
+            let mut node = BoxNode::with_children(vec![(w.max(40.0), 22.0)], kids);
+            node.header = 4.0;
+            node
+        }
+        let mut order = Vec::new();
+        let forest: Vec<BoxNode> = roots
+            .iter()
+            .map(|&r| to_box(r, &children, &mut order, &self.blobs))
+            .collect();
+        let root = BoxNode::with_children(vec![], forest);
+        let l = layout(&root, BoxOptions::default());
+
+        let mut scene = Scene::new(0.0, 0.0);
+        let mut blob_rect: BTreeMap<usize, relviz_layout::Rect> = BTreeMap::new();
+        // boxes[0] is the synthetic root; boxes[1..] follow `order`.
+        for (bi, r) in l.boxes.iter().enumerate().skip(1) {
+            let blob = order[bi - 1];
+            blob_rect.insert(blob, *r);
+            let dashed = self.blobs[blob].partition.is_some()
+                || self.disjoints.iter().any(|&(a, b)| a == blob || b == blob);
+            scene.styled_rect(r.x, r.y, r.w, r.h, 14.0, "#000000", "none", 1.2, dashed);
+        }
+        for ((_, r), &blob) in l.atoms.iter().zip(&order) {
+            scene.styled_text(
+                r.x + 4.0,
+                r.y + 14.0,
+                self.blobs[blob].name.clone(),
+                TextStyle { size: 12.0, bold: true, ..TextStyle::default() },
+            );
+        }
+        // Extra parents: dashed adoption edges.
+        for (i, b) in self.blobs.iter().enumerate() {
+            for &p in b.parents.iter().skip(1) {
+                if let (Some(a), Some(c)) = (blob_rect.get(&i), blob_rect.get(&p)) {
+                    scene.items.push(relviz_render::Item::Polyline {
+                        points: vec![
+                            (a.center().x, a.y),
+                            (c.center().x, c.bottom()),
+                        ],
+                        stroke: "#666666".into(),
+                        stroke_width: 1.0,
+                        dashed: true,
+                        arrow: false,
+                    });
+                }
+            }
+        }
+        for e in &self.edges {
+            if let (Some(a), Some(b)) = (blob_rect.get(&e.from), blob_rect.get(&e.to)) {
+                scene.arrow(vec![
+                    (a.right(), a.center().y),
+                    (b.x, b.center().y),
+                ]);
+                scene.text(
+                    (a.right() + b.x) / 2.0 - 8.0,
+                    (a.center().y + b.center().y) / 2.0 - 6.0,
+                    e.label.clone(),
+                );
+            }
+        }
+        scene.fit(10.0);
+        scene
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use Categorical::*;
+
+    #[test]
+    fn dag_containment_allows_explicit_intersection() {
+        // Euler fails on {Some A is B, No A is B}; a higraph expresses
+        // "Some A is B" structurally and the conflict shows up as an
+        // inconsistency check, not a drawing failure.
+        let mut g = Higraph::default();
+        let a = g.blob("A");
+        let b = g.blob("B");
+        let w = g.blob_in("w", vec![a, b]).unwrap();
+        assert!(g.inside(w, a) && g.inside(w, b));
+        let reading = g.reading();
+        assert!(reading
+            .iter()
+            .any(|s| s.form == Categorical::Some && s.subject == "A"));
+    }
+
+    #[test]
+    fn from_statements_handles_what_euler_cannot() {
+        // Euler rejects this pair (one circle pair, two relations);
+        // higraphs accept and flag inconsistency semantically.
+        let stmts =
+            [Statement::new(Some, "A", "B"), Statement::new(No, "A", "B")];
+        assert!(crate::euler::EulerDiagram::from_statements(&stmts).is_err());
+        let g = Higraph::from_statements(&stmts).unwrap();
+        assert!(!g.is_consistent());
+    }
+
+    #[test]
+    fn consistent_configurations_pass() {
+        let g = Higraph::from_statements(&[
+            Statement::new(All, "dogs", "mammals"),
+            Statement::new(All, "cats", "mammals"),
+            Statement::new(No, "dogs", "cats"),
+            Statement::new(Some, "pets", "dogs"),
+        ])
+        .unwrap();
+        assert!(g.is_consistent());
+        let reading = g.reading();
+        assert!(reading.iter().any(|s| s.form == All && s.subject == "dogs"));
+        assert!(reading.iter().any(|s| s.form == No));
+    }
+
+    #[test]
+    fn unrelated_disjointness_does_not_leak() {
+        // {No A B, No C D} must not imply No A C (the old partition-group
+        // encoding under a shared ⊤ root leaked exactly that).
+        let g = Higraph::from_statements(&[
+            Statement::new(No, "A", "B"),
+            Statement::new(No, "C", "D"),
+        ])
+        .unwrap();
+        let reading = g.reading();
+        let nos: Vec<(String, String)> = reading
+            .iter()
+            .filter(|s| s.form == No)
+            .map(|s| (s.subject.clone(), s.predicate.clone()))
+            .collect();
+        assert_eq!(nos.len(), 2);
+        assert!(!nos.contains(&("A".into(), "C".into())));
+        assert!(g.is_consistent());
+    }
+
+    #[test]
+    fn disjointness_survives_prior_containment() {
+        // A already has parent B when "No A is C" arrives; the disjointness
+        // must still reach the reading and the consistency check.
+        let g = Higraph::from_statements(&[
+            Statement::new(All, "A", "B"),
+            Statement::new(All, "B", "C"),
+            Statement::new(No, "A", "C"),
+        ])
+        .unwrap();
+        assert!(g.reading().iter().any(|s| s.form == No));
+        assert!(!g.is_consistent(), "A ⊆ B ⊆ C contradicts A ∩ C = ∅ under existential import");
+    }
+
+    #[test]
+    fn one_blob_in_many_disjointness_pairs() {
+        let g = Higraph::from_statements(&[
+            Statement::new(No, "A", "B"),
+            Statement::new(No, "A", "C"),
+            Statement::new(No, "A", "D"),
+        ])
+        .unwrap();
+        assert_eq!(g.reading().iter().filter(|s| s.form == No).count(), 3);
+        assert!(g.is_consistent());
+    }
+
+    #[test]
+    fn cyclic_containment_rejected() {
+        let r = Higraph::from_statements(&[
+            Statement::new(All, "A", "B"),
+            Statement::new(All, "B", "A"),
+        ]);
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn partitions_read_as_disjointness() {
+        let mut g = Higraph::default();
+        let top = g.blob("vehicle");
+        let car = g.blob_in("car", vec![top]).unwrap();
+        let boat = g.blob_in("boat", vec![top]).unwrap();
+        g.in_partition(car, 0).unwrap();
+        g.in_partition(boat, 0).unwrap();
+        let reading = g.reading();
+        assert!(reading
+            .iter()
+            .any(|s| s.form == No && s.subject == "car" && s.predicate == "boat"));
+        assert!(g.is_consistent());
+    }
+
+    #[test]
+    fn edges_and_scene() {
+        let mut g = Higraph::default();
+        let s = g.blob("Sailor");
+        let b = g.blob("Boat");
+        g.edge("reserves", s, b).unwrap();
+        let svg = relviz_render::svg::to_svg(&g.scene());
+        assert!(svg.contains("Sailor"));
+        assert!(svg.contains("reserves"));
+        assert!(svg.contains("marker-end"));
+    }
+
+    #[test]
+    fn multi_parent_renders_adoption_edge() {
+        let mut g = Higraph::default();
+        let a = g.blob("A");
+        let b = g.blob("B");
+        g.blob_in("w", vec![a, b]).unwrap();
+        let svg = relviz_render::svg::to_svg(&g.scene());
+        assert!(svg.contains("stroke-dasharray"), "{svg}");
+    }
+}

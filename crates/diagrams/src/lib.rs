@@ -1,0 +1,66 @@
+//! # relviz-diagrams
+//!
+//! Every diagrammatic formalism surveyed by the tutorial, implemented as
+//! code: an IR per formalism, builders from the workspace's query
+//! languages, semantics (readings back into logic), and scene construction
+//! for the SVG/ASCII backends.
+//!
+//! **Part 4 — early diagrammatic representations** (predating databases):
+//!
+//! | Module | Formalism |
+//! |---|---|
+//! | [`peirce::alpha`] | Peirce's alpha existential graphs (propositional) |
+//! | [`peirce::beta`]  | Peirce's beta existential graphs (FOL), incl. the *imperfect mapping* to DRC |
+//! | [`euler`] | Euler circles |
+//! | [`venn`]  | Venn / Venn-Peirce diagrams (Shin's Venn-I & Venn-II) |
+//! | [`higraph`] | Harel's higraphs (blob DAGs, partitions — the UML backbone) |
+//! | [`constraint`] | Constraint diagrams (Gil/Howse/Kent) |
+//! | [`conceptual`] | Sowa's conceptual graphs |
+//! | [`frege`] | Frege's Begriffsschrift (2D strokes, 1879) |
+//!
+//! **Part 5 — modern visual query representations**:
+//!
+//! | Module | Formalism |
+//! |---|---|
+//! | [`queryvis`] | QueryVis (logic-based diagrams with reading-order arrows) |
+//! | [`reldiag`]  | Relational Diagrams (nested negated bounding boxes), with exact TRC round-trip |
+//! | [`qbe`]      | Query-By-Example skeleton tables |
+//! | [`dfql`]     | DFQL dataflow graphs over RA |
+//! | [`rulegraph`] | Datalog rule-dependency graphs, layered by stratum (E6's visual counterpart) |
+//! | [`stringdiag`] | String diagrams (beta graphs with free-variable wires) |
+//! | [`visualsql`] | Visual SQL (syntax-mirroring frames; Jaakkola & Thalheim) |
+//! | [`sqlvis`]   | SQLVis (clause bubbles for SQL learners; Miedema & Fletcher) |
+//! | [`tabletalk`] | TableTalk (top-down flow with condition tiles; Epstein) |
+//! | [`dataplay`] | DataPlay (quantifier trees with ∃/∀ flips; Abouzied et al.) |
+//! | [`sieuferd`] | SIEUFERD (nested result headers; Bakke & Karger) |
+//! | [`qbd`]      | Query By Diagram (ER-subgraph queries; Angelaccio et al.) |
+//!
+//! The uniform entry point for the expressiveness matrix (experiment E5)
+//! is [`capability::try_build`], which either constructs a diagram or
+//! returns a typed [`DiagError::Unsupported`] naming the missing feature.
+
+pub mod builders;
+pub mod capability;
+pub mod common;
+pub mod conceptual;
+pub mod constraint;
+pub mod dataplay;
+pub mod dfql;
+pub mod euler;
+pub mod frege;
+pub mod higraph;
+pub mod peirce;
+pub mod qbd;
+pub mod qbe;
+pub mod queryvis;
+pub mod reldiag;
+pub mod rulegraph;
+pub mod sieuferd;
+pub mod sqlvis;
+pub mod stringdiag;
+pub mod syllogism;
+pub mod tabletalk;
+pub mod venn;
+pub mod visualsql;
+
+pub use common::{DiagError, DiagResult};

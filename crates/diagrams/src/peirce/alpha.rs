@@ -1,0 +1,489 @@
+//! Peirce's **alpha existential graphs**: the diagrammatic system for
+//! propositional logic.
+//!
+//! Syntax: the *sheet of assertion* carries a juxtaposition (conjunction)
+//! of items; each item is a propositional atom or a *cut* (a closed curve,
+//! denoting negation) containing another juxtaposition. That's the whole
+//! alphabet — `{P, ¬, ∧}` is functionally complete, which is exactly the
+//! tutorial's point about the economy of the notation.
+//!
+//! Implemented here:
+//! * syntax + reading into a propositional formula,
+//! * truth-table evaluation,
+//! * Peirce's **five inference rules** — erasure, insertion, iteration,
+//!   deiteration, double cut — with their *context-parity* side conditions
+//!   (erasure only in even/positive context, insertion only in odd), each
+//!   returning a new graph or a rule-violation error,
+//! * soundness tests: every legal rule application preserves (erasure,
+//!   insertion: entails) truth — checked by brute-force truth tables.
+
+use std::collections::BTreeMap;
+
+use relviz_render::Scene;
+
+use crate::common::{DiagError, DiagResult};
+
+/// One item on the sheet or inside a cut.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub enum AlphaItem {
+    /// Propositional atom.
+    Atom(String),
+    /// A cut: negation of the conjunction of its contents.
+    Cut(Vec<AlphaItem>),
+}
+
+impl AlphaItem {
+    pub fn atom(name: impl Into<String>) -> Self {
+        AlphaItem::Atom(name.into())
+    }
+    pub fn cut(items: Vec<AlphaItem>) -> Self {
+        AlphaItem::Cut(items)
+    }
+}
+
+/// An alpha graph: the sheet of assertion.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Default)]
+pub struct AlphaGraph {
+    pub sheet: Vec<AlphaItem>,
+}
+
+/// A path to a sub-position: indices into nested item lists. The empty
+/// path denotes the sheet itself.
+pub type Path = Vec<usize>;
+
+impl AlphaGraph {
+    pub fn new(sheet: Vec<AlphaItem>) -> Self {
+        AlphaGraph { sheet }
+    }
+
+    /// Truth of the graph under an assignment (missing atoms are false).
+    pub fn eval(&self, assignment: &BTreeMap<String, bool>) -> bool {
+        fn item(it: &AlphaItem, a: &BTreeMap<String, bool>) -> bool {
+            match it {
+                AlphaItem::Atom(name) => *a.get(name).unwrap_or(&false),
+                AlphaItem::Cut(items) => !items.iter().all(|i| item(i, a)),
+            }
+        }
+        self.sheet.iter().all(|i| item(i, assignment))
+    }
+
+    /// All atom names (sorted, deduplicated).
+    pub fn atoms(&self) -> Vec<String> {
+        fn walk(items: &[AlphaItem], out: &mut Vec<String>) {
+            for it in items {
+                match it {
+                    AlphaItem::Atom(n) => {
+                        if !out.contains(n) {
+                            out.push(n.clone());
+                        }
+                    }
+                    AlphaItem::Cut(inner) => walk(inner, out),
+                }
+            }
+        }
+        let mut out = Vec::new();
+        walk(&self.sheet, &mut out);
+        out.sort();
+        out
+    }
+
+    /// Reading as a propositional formula string (∧ juxtaposition, ¬ cut).
+    pub fn reading(&self) -> String {
+        fn items(list: &[AlphaItem]) -> String {
+            if list.is_empty() {
+                return "⊤".to_string();
+            }
+            list.iter().map(item).collect::<Vec<_>>().join(" ∧ ")
+        }
+        fn item(it: &AlphaItem) -> String {
+            match it {
+                AlphaItem::Atom(n) => n.clone(),
+                AlphaItem::Cut(inner) if inner.len() <= 1 => format!("¬{}", items(inner)),
+                AlphaItem::Cut(inner) => format!("¬({})", items(inner)),
+            }
+        }
+        items(&self.sheet)
+    }
+
+    // ---- navigation -----------------------------------------------------
+
+    /// The list of items at `path` (the contents of the cut the path leads
+    /// into, or the sheet for the empty path). Errors if the path doesn't
+    /// lead through cuts.
+    fn list_at(&self, path: &[usize]) -> DiagResult<&Vec<AlphaItem>> {
+        let mut cur = &self.sheet;
+        for &i in path {
+            match cur.get(i) {
+                Some(AlphaItem::Cut(inner)) => cur = inner,
+                Some(AlphaItem::Atom(_)) => {
+                    return Err(DiagError::Invalid(format!(
+                        "path segment {i} leads into an atom, not a cut"
+                    )))
+                }
+                None => return Err(DiagError::Invalid(format!("path segment {i} out of range"))),
+            }
+        }
+        Ok(cur)
+    }
+
+    fn list_at_mut(&mut self, path: &[usize]) -> DiagResult<&mut Vec<AlphaItem>> {
+        let mut cur = &mut self.sheet;
+        for &i in path {
+            match cur.get_mut(i) {
+                Some(AlphaItem::Cut(inner)) => cur = inner,
+                Some(AlphaItem::Atom(_)) => {
+                    return Err(DiagError::Invalid(format!(
+                        "path segment {i} leads into an atom, not a cut"
+                    )))
+                }
+                None => return Err(DiagError::Invalid(format!("path segment {i} out of range"))),
+            }
+        }
+        Ok(cur)
+    }
+
+    /// Context parity: even (positive) or odd (negative) nesting depth.
+    pub fn is_positive_context(path: &[usize]) -> bool {
+        path.len().is_multiple_of(2)
+    }
+
+    // ---- the five inference rules ----------------------------------------
+
+    /// **Erasure**: any item in a *positive* (evenly enclosed) context may
+    /// be erased.
+    pub fn erase(&self, ctx: &[usize], index: usize) -> DiagResult<AlphaGraph> {
+        if !Self::is_positive_context(ctx) {
+            return Err(DiagError::Invalid(
+                "erasure is only permitted in a positive (evenly enclosed) context".into(),
+            ));
+        }
+        let mut g = self.clone();
+        let list = g.list_at_mut(ctx)?;
+        if index >= list.len() {
+            return Err(DiagError::Invalid(format!("no item {index} to erase")));
+        }
+        list.remove(index);
+        Ok(g)
+    }
+
+    /// **Insertion**: any item may be inserted in an *odd* (negative)
+    /// context.
+    pub fn insert(&self, ctx: &[usize], item: AlphaItem) -> DiagResult<AlphaGraph> {
+        if Self::is_positive_context(ctx) {
+            return Err(DiagError::Invalid(
+                "insertion is only permitted in a negative (oddly enclosed) context".into(),
+            ));
+        }
+        let mut g = self.clone();
+        g.list_at_mut(ctx)?.push(item);
+        Ok(g)
+    }
+
+    /// **Iteration**: an item may be copied into the same context or any
+    /// context nested within it.
+    pub fn iterate(&self, ctx: &[usize], index: usize, target: &[usize]) -> DiagResult<AlphaGraph> {
+        if !target.starts_with(ctx) {
+            return Err(DiagError::Invalid(
+                "iteration target must be the same context or nested inside it".into(),
+            ));
+        }
+        // The copied item must not be iterated into itself.
+        if target.len() > ctx.len() && target[ctx.len()] == index {
+            return Err(DiagError::Invalid("cannot iterate an item into itself".into()));
+        }
+        let item = self
+            .list_at(ctx)?
+            .get(index)
+            .cloned()
+            .ok_or_else(|| DiagError::Invalid(format!("no item {index} to iterate")))?;
+        let mut g = self.clone();
+        g.list_at_mut(target)?.push(item);
+        Ok(g)
+    }
+
+    /// **Deiteration**: an item that *could have been* produced by
+    /// iteration (an identical copy exists in an enclosing context) may be
+    /// erased.
+    pub fn deiterate(&self, ctx: &[usize], index: usize) -> DiagResult<AlphaGraph> {
+        let item = self
+            .list_at(ctx)?
+            .get(index)
+            .cloned()
+            .ok_or_else(|| DiagError::Invalid(format!("no item {index} to deiterate")))?;
+        // Look for an identical item in any proper prefix context (or the
+        // same context at a different index).
+        let mut found = false;
+        for plen in 0..=ctx.len() {
+            let prefix = &ctx[..plen];
+            let list = self.list_at(prefix)?;
+            for (i, it) in list.iter().enumerate() {
+                let same_position = plen == ctx.len() && i == index;
+                // In a proper ancestor context, the copy must not be the
+                // ancestor cut we came through.
+                let is_ancestor_cut = plen < ctx.len() && i == ctx[plen];
+                if !same_position && !is_ancestor_cut && it == &item {
+                    found = true;
+                }
+            }
+        }
+        if !found {
+            return Err(DiagError::Invalid(
+                "deiteration requires an identical copy in an enclosing context".into(),
+            ));
+        }
+        let mut g = self.clone();
+        g.list_at_mut(ctx)?.remove(index);
+        Ok(g)
+    }
+
+    /// **Double cut**: a pair of cuts with nothing between them may be
+    /// inserted around any items, or removed. `add_double_cut` wraps the
+    /// item at `index` (or everything, if `index` is `None`).
+    pub fn add_double_cut(&self, ctx: &[usize], index: Option<usize>) -> DiagResult<AlphaGraph> {
+        let mut g = self.clone();
+        let list = g.list_at_mut(ctx)?;
+        match index {
+            Some(i) => {
+                if i >= list.len() {
+                    return Err(DiagError::Invalid(format!("no item {i} to wrap")));
+                }
+                let item = list.remove(i);
+                list.insert(i, AlphaItem::cut(vec![AlphaItem::cut(vec![item])]));
+            }
+            None => {
+                let all = std::mem::take(list);
+                list.push(AlphaItem::cut(vec![AlphaItem::cut(all)]));
+            }
+        }
+        Ok(g)
+    }
+
+    /// Removes a double cut at `ctx[index]` (must be `Cut([Cut(xs)])`),
+    /// splicing `xs` in place.
+    pub fn remove_double_cut(&self, ctx: &[usize], index: usize) -> DiagResult<AlphaGraph> {
+        let mut g = self.clone();
+        let list = g.list_at_mut(ctx)?;
+        let Some(AlphaItem::Cut(outer)) = list.get(index) else {
+            return Err(DiagError::Invalid("not a cut".into()));
+        };
+        let [AlphaItem::Cut(inner)] = outer.as_slice() else {
+            return Err(DiagError::Invalid(
+                "double-cut removal needs exactly one inner cut with nothing else between".into(),
+            ));
+        };
+        let inner = inner.clone();
+        list.remove(index);
+        for (k, it) in inner.into_iter().enumerate() {
+            list.insert(index + k, it);
+        }
+        Ok(g)
+    }
+
+    // ---- rendering --------------------------------------------------------
+
+    /// Renders the graph as nested rounded boxes (cuts) and labels.
+    pub fn scene(&self) -> Scene {
+        use relviz_layout::boxes::{layout, BoxNode, BoxOptions};
+
+        fn to_box(items: &[AlphaItem]) -> BoxNode {
+            let mut atoms = Vec::new();
+            let mut children = Vec::new();
+            for it in items {
+                match it {
+                    AlphaItem::Atom(n) => {
+                        atoms.push((Scene::text_width(n, 14.0).max(16.0), 20.0))
+                    }
+                    AlphaItem::Cut(inner) => children.push(to_box(inner)),
+                }
+            }
+            BoxNode::with_children(atoms, children)
+        }
+
+        let tree = to_box(&self.sheet);
+        let l = layout(&tree, BoxOptions::default());
+        let mut scene = Scene::new(0.0, 0.0);
+        // Skip the root box (the sheet of assertion is unbounded); draw
+        // inner cuts as rounded rectangles ("ovals").
+        for r in l.boxes.iter().skip(1) {
+            scene.styled_rect(r.x, r.y, r.w, r.h, 12.0, "#000000", "none", 1.2, false);
+        }
+        // Atom labels, paired with the flattened atom order.
+        let mut labels = Vec::new();
+        fn collect_labels(items: &[AlphaItem], out: &mut Vec<String>) {
+            for it in items {
+                match it {
+                    AlphaItem::Atom(n) => out.push(n.clone()),
+                    AlphaItem::Cut(_) => {}
+                }
+            }
+            for it in items {
+                if let AlphaItem::Cut(inner) = it {
+                    collect_labels(inner, out);
+                }
+            }
+        }
+        collect_labels(&self.sheet, &mut labels);
+        for ((_, r), label) in l.atoms.iter().zip(labels) {
+            scene.text(r.x, r.y + r.h * 0.75, label);
+        }
+        scene.fit(8.0);
+        scene
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a(n: &str) -> AlphaItem {
+        AlphaItem::atom(n)
+    }
+
+    /// ¬(P ∧ ¬Q) — "P implies Q" in alpha notation (the scroll).
+    fn implication() -> AlphaGraph {
+        AlphaGraph::new(vec![AlphaItem::cut(vec![a("P"), AlphaItem::cut(vec![a("Q")])])])
+    }
+
+    /// All assignments over the graph's atoms.
+    fn assignments(g: &AlphaGraph) -> Vec<BTreeMap<String, bool>> {
+        let atoms = g.atoms();
+        let n = atoms.len();
+        (0..(1u32 << n))
+            .map(|bits| {
+                atoms
+                    .iter()
+                    .enumerate()
+                    .map(|(i, a)| (a.clone(), bits & (1 << i) != 0))
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// g1 entails g2 (over the union of their atoms).
+    fn entails(g1: &AlphaGraph, g2: &AlphaGraph) -> bool {
+        let mut both = AlphaGraph::new(g1.sheet.clone());
+        both.sheet.extend(g2.sheet.clone());
+        assignments(&both)
+            .iter()
+            .all(|asg| !g1.eval(asg) || g2.eval(asg))
+    }
+
+    #[test]
+    fn implication_semantics() {
+        let g = implication();
+        let mut asg = BTreeMap::new();
+        asg.insert("P".to_string(), true);
+        asg.insert("Q".to_string(), false);
+        assert!(!g.eval(&asg)); // P ∧ ¬Q falsifies P → Q
+        asg.insert("Q".to_string(), true);
+        assert!(g.eval(&asg));
+        asg.insert("P".to_string(), false);
+        assert!(g.eval(&asg));
+        assert_eq!(g.reading(), "¬(P ∧ ¬Q)");
+    }
+
+    #[test]
+    fn empty_sheet_is_true_empty_cut_is_false() {
+        let t = AlphaGraph::default();
+        let f = AlphaGraph::new(vec![AlphaItem::cut(vec![])]);
+        let asg = BTreeMap::new();
+        assert!(t.eval(&asg));
+        assert!(!f.eval(&asg));
+        assert_eq!(f.reading(), "¬⊤");
+    }
+
+    #[test]
+    fn erasure_sound_and_context_checked() {
+        // Sheet: P, Q. Erasing Q is legal and P,Q ⊨ P.
+        let g = AlphaGraph::new(vec![a("P"), a("Q")]);
+        let e = g.erase(&[], 1).unwrap();
+        assert_eq!(e.sheet, vec![a("P")]);
+        assert!(entails(&g, &e));
+        // Erasing inside a single cut (odd context) is illegal.
+        let g = implication();
+        assert!(g.erase(&[0], 0).is_err());
+    }
+
+    #[test]
+    fn insertion_sound_and_context_checked() {
+        // Insert R inside the (odd) cut of ¬(P): ¬(P ∧ R) — weaker, entailed.
+        let g = AlphaGraph::new(vec![AlphaItem::cut(vec![a("P")])]);
+        let e = g.insert(&[0], a("R")).unwrap();
+        assert!(entails(&g, &e));
+        // Insertion at sheet level (even) is illegal.
+        assert!(g.insert(&[], a("R")).is_err());
+    }
+
+    #[test]
+    fn double_cut_preserves_equivalence() {
+        let g = AlphaGraph::new(vec![a("P"), a("Q")]);
+        let wrapped = g.add_double_cut(&[], Some(0)).unwrap();
+        assert!(entails(&g, &wrapped) && entails(&wrapped, &g));
+        // And removal inverts it.
+        let back = wrapped.remove_double_cut(&[], 0).unwrap();
+        assert_eq!(back, g);
+        // Removal demands a true double cut:
+        let single = AlphaGraph::new(vec![AlphaItem::cut(vec![a("P")])]);
+        assert!(single.remove_double_cut(&[], 0).is_err());
+        // ¬(¬P ∧ Q) is not a double cut either (extra content):
+        let crowded =
+            AlphaGraph::new(vec![AlphaItem::cut(vec![AlphaItem::cut(vec![a("P")]), a("Q")])]);
+        assert!(crowded.remove_double_cut(&[], 0).is_err());
+    }
+
+    #[test]
+    fn iteration_and_deiteration_preserve_equivalence() {
+        // Sheet: P, ¬(Q). Iterate P into the cut: P, ¬(Q ∧ P).
+        let g = AlphaGraph::new(vec![a("P"), AlphaItem::cut(vec![a("Q")])]);
+        let it = g.iterate(&[], 0, &[1]).unwrap();
+        assert_eq!(
+            it.sheet,
+            vec![a("P"), AlphaItem::cut(vec![a("Q"), a("P")])]
+        );
+        assert!(entails(&g, &it) && entails(&it, &g));
+        // Deiterate the copy back out.
+        let back = it.deiterate(&[1], 1).unwrap();
+        assert_eq!(back, g);
+        // Deiterating P at sheet level (no enclosing copy) is illegal.
+        assert!(g.deiterate(&[], 0).is_err());
+    }
+
+    #[test]
+    fn iteration_rejects_bad_targets() {
+        let g = AlphaGraph::new(vec![a("P"), AlphaItem::cut(vec![a("Q")])]);
+        // Target must extend the source context: copying from inside the
+        // cut out to the sheet is NOT iteration.
+        assert!(g.iterate(&[1], 0, &[]).is_err());
+        // An item cannot be iterated into itself.
+        let gg = AlphaGraph::new(vec![AlphaItem::cut(vec![a("Q")])]);
+        assert!(gg.iterate(&[], 0, &[0]).is_err());
+    }
+
+    #[test]
+    fn modus_ponens_derivation() {
+        // From P and ¬(P ∧ ¬Q), derive Q — the classic alpha proof:
+        // 1. deiterate P inside the cut     ⇒ P, ¬(¬Q)
+        // 2. remove the double cut          ⇒ P, Q
+        // 3. erase P                        ⇒ Q
+        let g = AlphaGraph::new(vec![
+            a("P"),
+            AlphaItem::cut(vec![a("P"), AlphaItem::cut(vec![a("Q")])]),
+        ]);
+        let s1 = g.deiterate(&[1], 0).unwrap();
+        assert_eq!(s1.reading(), "P ∧ ¬¬Q");
+        let s2 = s1.remove_double_cut(&[], 1).unwrap();
+        assert_eq!(s2.reading(), "P ∧ Q");
+        let s3 = s2.erase(&[], 0).unwrap();
+        assert_eq!(s3.reading(), "Q");
+        assert!(entails(&g, &s3));
+    }
+
+    #[test]
+    fn scene_draws_cuts() {
+        let svg = relviz_render::svg::to_svg(&implication().scene());
+        // two cuts = two rounded rects, plus two labels
+        assert_eq!(svg.matches("<rect").count(), 2);
+        assert!(svg.contains(">P</text>"));
+        assert!(svg.contains(">Q</text>"));
+    }
+}

@@ -1,0 +1,618 @@
+//! Peirce's **beta existential graphs**: the diagrammatic system for
+//! first-order logic, using *cuts* for negation and *lines of identity*
+//! (LoI) for both existence and identity.
+//!
+//! ## The model
+//!
+//! A beta graph is a tree of cuts containing predicate spots; each
+//! predicate hook attaches to a line of identity. A line asserts the
+//! existence of an individual; its **outermost context** determines the
+//! scope of the implied existential quantifier. Contexts are identified by
+//! the chain of cut ids from the sheet inward (ids are unique per graph),
+//! so scope comparisons are prefix tests on id chains.
+//!
+//! ## The "imperfect mapping" (tutorial Part 4)
+//!
+//! When a ligature's outermost point lies *on a cut boundary*, Peirce's
+//! conventions underdetermine whether the quantifier scopes outside or
+//! inside the cut — `∃x ¬P(x)` versus `¬∃x P(x)`. This ambiguity generated
+//! a century of exegesis (Roberts, Zeman, Shin). We make it executable:
+//! a line may have `scope: Some(context)` (drawn clearly) or `scope: None`
+//! (boundary-touching), and [`BetaGraph::readings`] enumerates **all**
+//! scope-consistent readings as DRC sentences. Experiment E3 counts
+//! readings and evaluates them to exhibit genuine non-equivalence —
+//! contrast Relational Diagrams, whose nested-box syntax admits exactly
+//! one reading.
+
+use relviz_model::Value;
+use relviz_rc::drc::{DrcFormula, DrcQuery, DrcTerm};
+use relviz_render::Scene;
+
+use crate::common::{DiagError, DiagResult};
+
+/// A context: the chain of *cut ids* from the sheet inward (empty = sheet).
+pub type Ctx = Vec<usize>;
+
+/// A predicate hook: a line of identity or (pragmatic extension) a
+/// constant. Peirce encoded constants as monadic predicates; allowing
+/// `Const` keeps the database examples readable.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Hook {
+    Line(usize),
+    Const(Value),
+}
+
+/// An item in a context.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BetaItem {
+    /// Predicate spot with hooks in positional order.
+    Predicate { name: String, hooks: Vec<Hook> },
+    /// A cut (negation) with a graph-unique id.
+    Cut { id: usize, items: Vec<BetaItem> },
+}
+
+impl BetaItem {
+    pub fn pred(name: impl Into<String>, hooks: Vec<Hook>) -> Self {
+        BetaItem::Predicate { name: name.into(), hooks }
+    }
+}
+
+/// A line of identity.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Line {
+    /// The context holding the line's outermost point; `None` marks the
+    /// ambiguous boundary-touching drawing.
+    pub scope: Option<Ctx>,
+}
+
+/// A beta existential graph (a *statement*: no free variables — beta
+/// graphs assert sentences; free variables are the extension string
+/// diagrams add, see [`crate::stringdiag`]).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct BetaGraph {
+    pub items: Vec<BetaItem>,
+    pub lines: Vec<Line>,
+}
+
+impl BetaGraph {
+    /// Attachment contexts of every line (context of each predicate that
+    /// hooks it).
+    fn attachments(&self) -> Vec<Vec<Ctx>> {
+        let mut out: Vec<Vec<Ctx>> = vec![Vec::new(); self.lines.len()];
+        fn walk(items: &[BetaItem], path: &mut Ctx, out: &mut Vec<Vec<Ctx>>) {
+            for item in items {
+                match item {
+                    BetaItem::Predicate { hooks, .. } => {
+                        for h in hooks {
+                            if let Hook::Line(l) = h {
+                                out[*l].push(path.clone());
+                            }
+                        }
+                    }
+                    BetaItem::Cut { id, items: inner } => {
+                        path.push(*id);
+                        walk(inner, path, out);
+                        path.pop();
+                    }
+                }
+            }
+        }
+        walk(&self.items, &mut Vec::new(), &mut out);
+        out
+    }
+
+    /// Deepest common ancestor context of a set of contexts.
+    fn common_ancestor(ctxs: &[Ctx]) -> Ctx {
+        if ctxs.is_empty() {
+            return Vec::new();
+        }
+        let mut prefix = ctxs[0].clone();
+        for c in &ctxs[1..] {
+            let mut k = 0;
+            while k < prefix.len() && k < c.len() && prefix[k] == c[k] {
+                k += 1;
+            }
+            prefix.truncate(k);
+        }
+        prefix
+    }
+
+    /// All admissible scope choices per line: for a declared line, its
+    /// scope; for an ambiguous (boundary-touching) line, every prefix of
+    /// the deepest common ancestor of its attachments.
+    fn scope_choices(&self) -> DiagResult<Vec<Vec<Ctx>>> {
+        let atts = self.attachments();
+        let mut out = Vec::with_capacity(self.lines.len());
+        for (li, line) in self.lines.iter().enumerate() {
+            if atts[li].is_empty() {
+                return Err(DiagError::Invalid(format!(
+                    "line {li} has no attachments (a bare line asserts mere existence; attach a predicate)"
+                )));
+            }
+            let dca = Self::common_ancestor(&atts[li]);
+            match &line.scope {
+                Some(s) => {
+                    if !dca.starts_with(s.as_slice()) {
+                        return Err(DiagError::Invalid(format!(
+                            "line {li}: declared scope {s:?} does not reach all attachments"
+                        )));
+                    }
+                    out.push(vec![s.clone()]);
+                }
+                None => {
+                    // Boundary-touching: any prefix of the DCA is a
+                    // defensible reading (outermost first).
+                    let mut choices = Vec::with_capacity(dca.len() + 1);
+                    for k in 0..=dca.len() {
+                        choices.push(dca[..k].to_vec());
+                    }
+                    out.push(choices);
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Enumerates every scope-consistent reading as a Boolean DRC query.
+    /// Unambiguous graphs yield exactly one.
+    pub fn readings(&self) -> DiagResult<Vec<DrcQuery>> {
+        let choices = self.scope_choices()?;
+        let mut combos: Vec<Vec<Ctx>> = vec![Vec::new()];
+        for line_choices in &choices {
+            let mut next = Vec::with_capacity(combos.len() * line_choices.len());
+            for combo in &combos {
+                for c in line_choices {
+                    let mut v = combo.clone();
+                    v.push(c.clone());
+                    next.push(v);
+                }
+            }
+            combos = next;
+        }
+        let mut readings = Vec::with_capacity(combos.len());
+        for combo in combos {
+            readings.push(self.reading_with_scopes(&combo));
+        }
+        Ok(readings)
+    }
+
+    /// The single reading of an unambiguous graph.
+    pub fn reading(&self) -> DiagResult<DrcQuery> {
+        let mut rs = self.readings()?;
+        if rs.len() != 1 {
+            return Err(DiagError::Invalid(format!(
+                "graph is ambiguous: {} readings (use readings())",
+                rs.len()
+            )));
+        }
+        Ok(rs.pop().expect("len checked"))
+    }
+
+    fn reading_with_scopes(&self, scopes: &[Ctx]) -> DrcQuery {
+        let body = self.formula_for(&self.items, &Vec::new(), scopes);
+        DrcQuery { head: Vec::new(), body }
+    }
+
+    fn formula_for(&self, items: &[BetaItem], path: &Ctx, scopes: &[Ctx]) -> DrcFormula {
+        // Quantify lines whose chosen scope is exactly this context.
+        let vars: Vec<String> = scopes
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.as_slice() == path.as_slice())
+            .map(|(li, _)| var_name(li))
+            .collect();
+        let mut parts = Vec::new();
+        for item in items {
+            match item {
+                BetaItem::Predicate { name, hooks } => {
+                    let mut terms: Vec<DrcTerm> = hooks
+                        .iter()
+                        .map(|h| match h {
+                            Hook::Line(l) => DrcTerm::Var(var_name(*l)),
+                            Hook::Const(v) => DrcTerm::Const(v.clone()),
+                        })
+                        .collect();
+                    // Comparison spots (named by an operator symbol) read
+                    // back as comparisons, not relational atoms.
+                    match (symbol_to_op(name), terms.len()) {
+                        (Some(op), 2) => {
+                            let right = terms.pop().expect("len 2");
+                            let left = terms.pop().expect("len 2");
+                            parts.push(DrcFormula::Cmp { left, op, right });
+                        }
+                        _ => parts.push(DrcFormula::Atom { rel: name.clone(), terms }),
+                    }
+                }
+                BetaItem::Cut { id, items: inner } => {
+                    let mut p = path.clone();
+                    p.push(*id);
+                    parts.push(self.formula_for(inner, &p, scopes).not());
+                }
+            }
+        }
+        let body = DrcFormula::conj(parts);
+        if vars.is_empty() {
+            body
+        } else {
+            DrcFormula::exists(vars, body)
+        }
+    }
+
+    /// Builds a beta graph from a *sentence* (no free variables) in DRC:
+    /// quantifiers become line scopes, negation becomes cuts.
+    pub fn from_drc(sentence: &DrcFormula) -> DiagResult<BetaGraph> {
+        if !sentence.free_vars().is_empty() {
+            return Err(DiagError::unsupported(
+                "beta graphs",
+                format!(
+                    "free variables {:?} (beta graphs assert sentences; string diagrams add free wires)",
+                    sentence.free_vars()
+                ),
+            ));
+        }
+        let nnf = sentence.eliminate_forall();
+        let mut g = BetaGraph::default();
+        let mut env: Vec<(String, usize)> = Vec::new();
+        let mut next_cut = 0usize;
+        let items = build_items(&nnf, &mut g.lines, &mut env, &Vec::new(), &mut next_cut)?;
+        g.items = items;
+        Ok(g)
+    }
+
+    /// Scene: nested cut boxes, predicate labels, heavy lines of identity.
+    pub fn scene(&self) -> Scene {
+        use relviz_layout::boxes::{layout, BoxNode, BoxOptions};
+
+        fn to_box(items: &[BetaItem]) -> BoxNode {
+            let mut atoms = Vec::new();
+            let mut children = Vec::new();
+            for it in items {
+                if let BetaItem::Predicate { name, hooks } = it {
+                    let label = format!("{name}{}", hook_suffix(hooks));
+                    atoms.push((Scene::text_width(&label, 13.0).max(20.0), 20.0));
+                }
+            }
+            for it in items {
+                if let BetaItem::Cut { items: inner, .. } = it {
+                    children.push(to_box(inner));
+                }
+            }
+            BoxNode::with_children(atoms, children)
+        }
+
+        /// Labels + hooked lines, in the same pre-order the box layout
+        /// visits atoms (own atoms first, then children recursively).
+        fn collect_labels(items: &[BetaItem], out: &mut Vec<(String, Vec<usize>)>) {
+            for it in items {
+                if let BetaItem::Predicate { name, hooks } = it {
+                    let lines = hooks
+                        .iter()
+                        .filter_map(|h| match h {
+                            Hook::Line(l) => Some(*l),
+                            Hook::Const(_) => None,
+                        })
+                        .collect();
+                    out.push((format!("{name}{}", hook_suffix(hooks)), lines));
+                }
+            }
+            for it in items {
+                if let BetaItem::Cut { items: inner, .. } = it {
+                    collect_labels(inner, out);
+                }
+            }
+        }
+
+        let tree = to_box(&self.items);
+        let mut labels = Vec::new();
+        collect_labels(&self.items, &mut labels);
+        let l = layout(&tree, BoxOptions::default());
+
+        let mut scene = Scene::new(0.0, 0.0);
+        for r in l.boxes.iter().skip(1) {
+            scene.styled_rect(r.x, r.y, r.w, r.h, 14.0, "#000000", "none", 1.2, false);
+        }
+        let mut line_points: Vec<Vec<(f64, f64)>> = vec![Vec::new(); self.lines.len()];
+        for ((_, r), (label, lines)) in l.atoms.iter().zip(&labels) {
+            scene.text(r.x, r.y + r.h * 0.75, label.clone());
+            for &li in lines {
+                line_points[li].push((r.x + r.w / 2.0, r.y + r.h));
+            }
+        }
+        for pts in line_points {
+            match pts.len() {
+                0 => {}
+                1 => {
+                    let (x, y) = pts[0];
+                    scene.items.push(relviz_render::Item::Polyline {
+                        points: vec![(x, y), (x, y + 10.0)],
+                        stroke: "#000000".into(),
+                        stroke_width: 3.0,
+                        dashed: false,
+                        arrow: false,
+                    });
+                }
+                _ => {
+                    scene.items.push(relviz_render::Item::Polyline {
+                        points: pts,
+                        stroke: "#000000".into(),
+                        stroke_width: 3.0,
+                        dashed: false,
+                        arrow: false,
+                    });
+                }
+            }
+        }
+        scene.fit(8.0);
+        scene
+    }
+}
+
+fn var_name(line: usize) -> String {
+    format!("x{}", line + 1)
+}
+
+fn symbol_to_op(name: &str) -> Option<relviz_model::CmpOp> {
+    use relviz_model::CmpOp::*;
+    Some(match name {
+        "=" => Eq,
+        "<>" => Neq,
+        "<" => Lt,
+        "<=" => Le,
+        ">" => Gt,
+        ">=" => Ge,
+        _ => return None,
+    })
+}
+
+fn hook_suffix(hooks: &[Hook]) -> String {
+    let consts: Vec<String> = hooks
+        .iter()
+        .filter_map(|h| match h {
+            Hook::Const(v) => Some(v.to_literal()),
+            Hook::Line(_) => None,
+        })
+        .collect();
+    if consts.is_empty() {
+        String::new()
+    } else {
+        format!("[{}]", consts.join(","))
+    }
+}
+
+fn build_items(
+    f: &DrcFormula,
+    lines: &mut Vec<Line>,
+    env: &mut Vec<(String, usize)>,
+    path: &Ctx,
+    next_cut: &mut usize,
+) -> DiagResult<Vec<BetaItem>> {
+    Ok(match f {
+        DrcFormula::And(a, b) => {
+            let mut items = build_items(a, lines, env, path, next_cut)?;
+            items.extend(build_items(b, lines, env, path, next_cut)?);
+            items
+        }
+        DrcFormula::Exists { vars, body } => {
+            for v in vars {
+                let id = lines.len();
+                lines.push(Line { scope: Some(path.clone()) });
+                env.push((v.clone(), id));
+            }
+            let items = build_items(body, lines, env, path, next_cut)?;
+            env.truncate(env.len() - vars.len());
+            items
+        }
+        DrcFormula::Not(inner) => {
+            let id = *next_cut;
+            *next_cut += 1;
+            let mut p = path.clone();
+            p.push(id);
+            let inner_items = build_items(inner, lines, env, &p, next_cut)?;
+            vec![BetaItem::Cut { id, items: inner_items }]
+        }
+        DrcFormula::Atom { rel, terms } => {
+            let hooks = terms
+                .iter()
+                .map(|t| resolve_hook(t, env))
+                .collect::<DiagResult<Vec<_>>>()?;
+            vec![BetaItem::Predicate { name: rel.clone(), hooks }]
+        }
+        DrcFormula::Cmp { left, op, right } => {
+            let hooks = vec![resolve_hook(left, env)?, resolve_hook(right, env)?];
+            vec![BetaItem::Predicate { name: op.symbol().to_string(), hooks }]
+        }
+        DrcFormula::Or(a, b) => {
+            // φ ∨ ψ = ¬(¬φ ∧ ¬ψ): disjunction costs three cuts — the
+            // notational burden the tutorial singles out.
+            let or_as_cuts = DrcFormula::Not(Box::new(DrcFormula::And(
+                Box::new(DrcFormula::Not(a.clone())),
+                Box::new(DrcFormula::Not(b.clone())),
+            )));
+            build_items(&or_as_cuts, lines, env, path, next_cut)?
+        }
+        DrcFormula::Const(true) => vec![],
+        DrcFormula::Const(false) => {
+            let id = *next_cut;
+            *next_cut += 1;
+            vec![BetaItem::Cut { id, items: vec![] }]
+        }
+        DrcFormula::Forall { .. } => {
+            return Err(DiagError::Invalid("∀ should have been eliminated".into()))
+        }
+    })
+}
+
+fn resolve_hook(t: &DrcTerm, env: &[(String, usize)]) -> DiagResult<Hook> {
+    match t {
+        DrcTerm::Var(v) => env
+            .iter()
+            .rev()
+            .find(|(name, _)| name == v)
+            .map(|(_, id)| Hook::Line(*id))
+            .ok_or_else(|| DiagError::Invalid(format!("unbound variable `{v}`"))),
+        DrcTerm::Const(c) => Ok(Hook::Const(c.clone())),
+    }
+}
+
+/// Evaluates a Boolean reading on a database (true iff the sentence holds).
+pub fn holds(q: &DrcQuery, db: &relviz_model::Database) -> DiagResult<bool> {
+    let rel = relviz_rc::drc_eval::eval_drc_unchecked(q, db)
+        .map_err(|e| DiagError::Lang(e.to_string()))?;
+    Ok(!rel.is_empty())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relviz_model::catalog::sailors_sample;
+    use relviz_rc::drc_parse::parse_drc;
+
+    /// The boundary-ambiguous graph: a cut containing P(x), line x touches
+    /// the cut: readings ∃x¬P(x) (scope outside) vs ¬∃xP(x) (inside).
+    fn ambiguous() -> BetaGraph {
+        BetaGraph {
+            items: vec![BetaItem::Cut {
+                id: 0,
+                items: vec![BetaItem::pred("P", vec![Hook::Line(0)])],
+            }],
+            lines: vec![Line { scope: None }],
+        }
+    }
+
+    #[test]
+    fn ambiguous_graph_has_two_readings() {
+        let rs = ambiguous().readings().unwrap();
+        assert_eq!(rs.len(), 2);
+        let texts: Vec<String> = rs.iter().map(|r| r.body.to_string()).collect();
+        assert!(texts.contains(&"exists x1: (not P(x1))".to_string()), "{texts:?}");
+        assert!(texts.contains(&"not exists x1: (P(x1))".to_string()), "{texts:?}");
+    }
+
+    #[test]
+    fn readings_are_semantically_inequivalent() {
+        // P = {1}, active domain {1, 2}: ∃x¬P(x) true, ¬∃xP(x) false.
+        use relviz_model::{Database, DataType, Relation, Schema, Tuple};
+        let mut db = Database::new();
+        let mut p = Relation::empty(Schema::of(&[("a", DataType::Int)]));
+        p.insert(Tuple::of((1,))).unwrap();
+        db.add("P", p).unwrap();
+        let mut q = Relation::empty(Schema::of(&[("a", DataType::Int)]));
+        q.insert(Tuple::of((2,))).unwrap();
+        db.add("Q", q).unwrap(); // widens the active domain to {1, 2}
+
+        let rs = ambiguous().readings().unwrap();
+        let truths: Vec<bool> = rs.iter().map(|r| holds(r, &db).unwrap()).collect();
+        assert!(truths.contains(&true) && truths.contains(&false), "{truths:?}");
+    }
+
+    #[test]
+    fn unambiguous_graph_single_reading() {
+        let mut g = ambiguous();
+        g.lines[0].scope = Some(vec![]); // clearly outside the cut
+        let r = g.reading().unwrap();
+        assert_eq!(r.body.to_string(), "exists x1: (not P(x1))");
+        // and clearly inside:
+        let mut g2 = ambiguous();
+        g2.lines[0].scope = Some(vec![0]);
+        assert_eq!(g2.reading().unwrap().body.to_string(), "not exists x1: (P(x1))");
+    }
+
+    #[test]
+    fn declared_scope_must_reach_attachments() {
+        // Attachment at sheet level but scope declared inside the cut.
+        let g = BetaGraph {
+            items: vec![
+                BetaItem::pred("P", vec![Hook::Line(0)]),
+                BetaItem::Cut { id: 7, items: vec![] },
+            ],
+            lines: vec![Line { scope: Some(vec![7]) }],
+        };
+        assert!(g.readings().is_err());
+    }
+
+    #[test]
+    fn from_drc_round_trips_q5_sentence() {
+        // "sailor 22 reserved all red boats" as a sentence.
+        let db = sailors_sample();
+        let q = parse_drc(
+            "{h | exists s, n, rt, a: (Sailor(s, n, rt, a) and s = 22 and h = n and \
+              not exists b, bn: (Boat(b, bn, 'red') and \
+                not exists d: (Reserves(s, b, d))))}",
+        )
+        .unwrap();
+        // Close the head variable to make it a sentence.
+        let sentence = DrcFormula::exists(vec!["h".into()], q.body.clone());
+        let g = BetaGraph::from_drc(&sentence).unwrap();
+        let r = g.reading().unwrap();
+        assert!(holds(&r, &db).unwrap(), "{}", r.body);
+
+        // A false sentence: sailor 58 (rusty) reserved all red boats.
+        let q2 = parse_drc(
+            "{h | exists s, n, rt, a: (Sailor(s, n, rt, a) and s = 58 and h = n and \
+              not exists b, bn: (Boat(b, bn, 'red') and \
+                not exists d: (Reserves(s, b, d))))}",
+        )
+        .unwrap();
+        let s2 = DrcFormula::exists(vec!["h".into()], q2.body.clone());
+        let g2 = BetaGraph::from_drc(&s2).unwrap();
+        assert!(!holds(&g2.reading().unwrap(), &db).unwrap());
+    }
+
+    #[test]
+    fn nested_quantifier_scopes_survive_round_trip() {
+        // ∃x: P(x) ∧ ¬∃y: (Q(x,y) ∧ ¬R(y)) — scopes at three depths.
+        let f = parse_drc(
+            "{h | exists x: (P(x) and h = x and not exists y: (Q(x, y) and not R(y)))}",
+        )
+        .unwrap();
+        let sentence = DrcFormula::exists(vec!["h".into()], f.body);
+        let g = BetaGraph::from_drc(&sentence).unwrap();
+        let back = g.reading().unwrap().body.to_string();
+        // x (and h) at sheet, y inside first cut, R(y) inside second cut.
+        assert!(back.contains("not exists"), "{back}");
+        assert!(back.matches("exists").count() >= 2, "{back}");
+    }
+
+    #[test]
+    fn free_variables_rejected() {
+        let q = parse_drc("{x | P(x)}").unwrap();
+        assert!(matches!(
+            BetaGraph::from_drc(&q.body),
+            Err(DiagError::Unsupported { .. })
+        ));
+    }
+
+    #[test]
+    fn disjunction_costs_three_cuts() {
+        let f = parse_drc(
+            "{h | exists x, n: (Boat(x, n, 'red') and h = x) or \
+                  exists x2, n2: (Boat(x2, n2, 'green') and h = x2)}",
+        )
+        .unwrap();
+        let sentence = DrcFormula::exists(vec!["h".into()], f.body);
+        let g = BetaGraph::from_drc(&sentence).unwrap();
+        fn count_cuts(items: &[BetaItem]) -> usize {
+            items
+                .iter()
+                .map(|i| match i {
+                    BetaItem::Cut { items: inner, .. } => 1 + count_cuts(inner),
+                    _ => 0,
+                })
+                .sum()
+        }
+        assert_eq!(count_cuts(&g.items), 3);
+    }
+
+    #[test]
+    fn bare_line_rejected() {
+        let g = BetaGraph { items: vec![], lines: vec![Line { scope: Some(vec![]) }] };
+        assert!(g.readings().is_err());
+    }
+
+    #[test]
+    fn scene_has_heavy_lines_and_cuts() {
+        let svg = relviz_render::svg::to_svg(&ambiguous().scene());
+        assert!(svg.contains("stroke-width=\"3\""));
+        assert!(svg.contains("<rect"));
+    }
+}

@@ -1,0 +1,699 @@
+//! Peirce's **inference rules for beta graphs** (Part 4; after Roberts
+//! [54] and Shin [56]): the same five moves as the alpha system, now with
+//! lines of identity in play.
+//!
+//! * **double cut** — insert/remove a pair of nested cuts around any
+//!   subgraph, anywhere (an equivalence);
+//! * **erasure** — delete a subgraph from an *evenly* enclosed (positive)
+//!   area (weakening: premise ⊨ result);
+//! * **insertion** — add a subgraph in an *oddly* enclosed (negative)
+//!   area (premise ⊨ result);
+//! * **iteration** — copy a subgraph into its own context or any deeper
+//!   one, the copy's hooks staying on the *same* lines of identity
+//!   (ligature extension); **deiteration** reverses it (an equivalence).
+//!
+//! ## The ligature restriction
+//!
+//! Full beta erasure permits cutting a ligature anywhere, and exactly
+//! that generality is where a century of exegesis disagrees (the
+//! tutorial's "imperfect mapping" theme). This module implements the
+//! uncontroversial core: a subgraph may be erased or inserted only when
+//! it is **line-closed** — every line it touches is touched *only* by it
+//! — so no ligature is ever severed. Iteration/deiteration deliberately
+//! share lines between original and copy (that part is uncontroversial:
+//! the copy asserts the same individuals). Every rule checks Peirce's
+//! area-polarity side condition, and the tests verify soundness
+//! *semantically*: each result's reading is entailed by (or equivalent
+//! to) the premise's reading on randomized databases.
+
+use relviz_model::Database;
+use relviz_rc::drc_eval::eval_drc;
+
+use crate::common::{DiagError, DiagResult};
+use crate::peirce::beta::{BetaGraph, BetaItem, Ctx, Hook};
+
+/// Is the context an even (positive) area? The sheet (depth 0) is even.
+pub fn is_positive(ctx: &Ctx) -> bool {
+    ctx.len().is_multiple_of(2)
+}
+
+/// The lines hooked anywhere inside an item subtree.
+fn lines_in(item: &BetaItem, out: &mut Vec<usize>) {
+    match item {
+        BetaItem::Predicate { hooks, .. } => {
+            for h in hooks {
+                if let Hook::Line(l) = h {
+                    out.push(*l);
+                }
+            }
+        }
+        BetaItem::Cut { items, .. } => {
+            for i in items {
+                lines_in(i, out);
+            }
+        }
+    }
+}
+
+/// The largest cut id used in the graph (for minting fresh ids).
+fn max_cut_id(items: &[BetaItem]) -> usize {
+    let mut m = 0;
+    fn walk(items: &[BetaItem], m: &mut usize) {
+        for i in items {
+            if let BetaItem::Cut { id, items } = i {
+                *m = (*m).max(*id);
+                walk(items, m);
+            }
+        }
+    }
+    walk(items, &mut m);
+    m
+}
+
+/// Mutable access to the item list of a context.
+fn items_at_mut<'g>(g: &'g mut BetaGraph, ctx: &Ctx) -> DiagResult<&'g mut Vec<BetaItem>> {
+    let mut items = &mut g.items;
+    for &cut in ctx {
+        let pos = items
+            .iter()
+            .position(|i| matches!(i, BetaItem::Cut { id, .. } if *id == cut))
+            .ok_or_else(|| DiagError::Invalid(format!("no cut {cut} on context path")))?;
+        let BetaItem::Cut { items: inner, .. } = &mut items[pos] else {
+            unreachable!("position matched a cut");
+        };
+        items = inner;
+    }
+    Ok(items)
+}
+
+/// Shared access to the item list of a context.
+fn items_at<'g>(g: &'g BetaGraph, ctx: &Ctx) -> DiagResult<&'g Vec<BetaItem>> {
+    let mut items = &g.items;
+    for &cut in ctx {
+        let pos = items
+            .iter()
+            .position(|i| matches!(i, BetaItem::Cut { id, .. } if *id == cut))
+            .ok_or_else(|| DiagError::Invalid(format!("no cut {cut} on context path")))?;
+        let BetaItem::Cut { items: inner, .. } = &items[pos] else {
+            unreachable!("position matched a cut");
+        };
+        items = inner;
+    }
+    Ok(items)
+}
+
+/// Is the item line-closed w.r.t. the rest of the graph: do the lines it
+/// hooks appear nowhere outside it?
+fn line_closed(g: &BetaGraph, ctx: &Ctx, idx: usize) -> DiagResult<bool> {
+    let items = items_at(g, ctx)?;
+    let item = items
+        .get(idx)
+        .ok_or_else(|| DiagError::Invalid(format!("no item {idx} in context {ctx:?}")))?;
+    let mut inside = Vec::new();
+    lines_in(item, &mut inside);
+    inside.sort_unstable();
+    inside.dedup();
+    let mut whole = Vec::new();
+    for i in &g.items {
+        lines_in(i, &mut whole);
+    }
+    for l in &inside {
+        let total = whole.iter().filter(|&&x| x == *l).count();
+        let mut local = Vec::new();
+        lines_in(item, &mut local);
+        let here = local.iter().filter(|&&x| x == *l).count();
+        if total != here {
+            return Ok(false);
+        }
+    }
+    Ok(true)
+}
+
+/// Drops lines no predicate hooks any more, remapping hook indices.
+fn compact_lines(g: &mut BetaGraph) {
+    let mut used = vec![false; g.lines.len()];
+    fn mark(items: &[BetaItem], used: &mut [bool]) {
+        for i in items {
+            match i {
+                BetaItem::Predicate { hooks, .. } => {
+                    for h in hooks {
+                        if let Hook::Line(l) = h {
+                            used[*l] = true;
+                        }
+                    }
+                }
+                BetaItem::Cut { items, .. } => mark(items, used),
+            }
+        }
+    }
+    mark(&g.items, &mut used);
+    let mut remap = vec![usize::MAX; g.lines.len()];
+    let mut kept = Vec::with_capacity(g.lines.len());
+    for (i, line) in g.lines.iter().enumerate() {
+        if used[i] {
+            remap[i] = kept.len();
+            kept.push(line.clone());
+        }
+    }
+    fn rewrite(items: &mut [BetaItem], remap: &[usize]) {
+        for i in items {
+            match i {
+                BetaItem::Predicate { hooks, .. } => {
+                    for h in hooks {
+                        if let Hook::Line(l) = h {
+                            *l = remap[*l];
+                        }
+                    }
+                }
+                BetaItem::Cut { items, .. } => rewrite(items, remap),
+            }
+        }
+    }
+    rewrite(&mut g.items, &remap);
+    g.lines = kept;
+}
+
+/// Renumbers every cut id in an item subtree with fresh ids.
+fn refresh_cut_ids(item: &mut BetaItem, next: &mut usize) {
+    if let BetaItem::Cut { id, items } = item {
+        *id = *next;
+        *next += 1;
+        for i in items {
+            refresh_cut_ids(i, next);
+        }
+    } else if let BetaItem::Predicate { .. } = item {
+        // predicates carry no ids
+    }
+}
+
+/// Structural equality modulo cut ids (for deiteration's "identical
+/// copy" test). Line hooks must match exactly — same ligature.
+fn same_modulo_ids(a: &BetaItem, b: &BetaItem) -> bool {
+    match (a, b) {
+        (
+            BetaItem::Predicate { name: na, hooks: ha },
+            BetaItem::Predicate { name: nb, hooks: hb },
+        ) => na == nb && ha == hb,
+        (BetaItem::Cut { items: ia, .. }, BetaItem::Cut { items: ib, .. }) => {
+            ia.len() == ib.len() && ia.iter().zip(ib).all(|(x, y)| same_modulo_ids(x, y))
+        }
+        _ => false,
+    }
+}
+
+// ---- the rules --------------------------------------------------------
+
+/// **Double cut, insertion direction**: wraps the items at `indices` of
+/// `ctx` into two nested fresh cuts. Sound in any area (equivalence).
+pub fn double_cut_insert(g: &BetaGraph, ctx: &Ctx, indices: &[usize]) -> DiagResult<BetaGraph> {
+    let mut out = g.clone();
+    let next = max_cut_id(&out.items) + 1;
+    let items = items_at_mut(&mut out, ctx)?;
+    let mut sorted: Vec<usize> = indices.to_vec();
+    sorted.sort_unstable();
+    sorted.dedup();
+    if sorted.iter().any(|&i| i >= items.len()) {
+        return Err(DiagError::Invalid("double-cut index out of range".into()));
+    }
+    let mut wrapped = Vec::with_capacity(sorted.len());
+    for &i in sorted.iter().rev() {
+        wrapped.push(items.remove(i));
+    }
+    wrapped.reverse();
+    items.push(BetaItem::Cut {
+        id: next,
+        items: vec![BetaItem::Cut { id: next + 1, items: wrapped }],
+    });
+    // Lines scoped under the wrapped region keep valid scopes: the new
+    // cut ids extend paths *below* ctx, and scopes at ctx or above are
+    // unaffected; scopes inside the moved items pointed under ctx via the
+    // moved items' own cuts, whose ids did not change.
+    Ok(out)
+}
+
+/// **Double cut, removal direction**: the item at `(ctx, idx)` must be a
+/// cut whose sole content is another cut; its contents are spliced into
+/// `ctx`. Line scopes referencing the removed pair are shortened.
+pub fn double_cut_remove(g: &BetaGraph, ctx: &Ctx, idx: usize) -> DiagResult<BetaGraph> {
+    let mut out = g.clone();
+    let items = items_at_mut(&mut out, ctx)?;
+    let item = items
+        .get(idx)
+        .ok_or_else(|| DiagError::Invalid(format!("no item {idx} in context {ctx:?}")))?;
+    let BetaItem::Cut { id: outer_id, items: inner } = item else {
+        return Err(DiagError::Invalid("double-cut removal needs a cut".into()));
+    };
+    let outer_id = *outer_id;
+    let [BetaItem::Cut { id: inner_id, items: content }] = inner.as_slice() else {
+        return Err(DiagError::Invalid(
+            "double-cut removal needs a cut containing exactly one cut".into(),
+        ));
+    };
+    let inner_id = *inner_id;
+    let content = content.clone();
+    items.remove(idx);
+    items.extend(content);
+    // Shorten scopes that passed through the removed pair.
+    let mut prefix = ctx.clone();
+    prefix.push(outer_id);
+    let with_inner = {
+        let mut p = prefix.clone();
+        p.push(inner_id);
+        p
+    };
+    for line in &mut out.lines {
+        if let Some(scope) = &mut line.scope {
+            if scope.starts_with(&with_inner) {
+                let rest = scope[with_inner.len()..].to_vec();
+                *scope = ctx.iter().copied().chain(rest).collect();
+            } else if scope.starts_with(&prefix) {
+                // Scoped between the two cuts: only the inner cut lived
+                // there, so nothing but the pair itself could attach;
+                // shorten to the host context.
+                *scope = ctx.clone();
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// **Erasure**: removes the line-closed item at `(ctx, idx)`; `ctx` must
+/// be a positive (evenly enclosed) area. Premise ⊨ result.
+pub fn erase(g: &BetaGraph, ctx: &Ctx, idx: usize) -> DiagResult<BetaGraph> {
+    if !is_positive(ctx) {
+        return Err(DiagError::Invalid(
+            "erasure is only sound in evenly enclosed (positive) areas".into(),
+        ));
+    }
+    if !line_closed(g, ctx, idx)? {
+        return Err(DiagError::Invalid(
+            "erasing this subgraph would sever a ligature (line used elsewhere)".into(),
+        ));
+    }
+    let mut out = g.clone();
+    let items = items_at_mut(&mut out, ctx)?;
+    items.remove(idx);
+    compact_lines(&mut out);
+    Ok(out)
+}
+
+/// **Insertion**: grafts `fragment` (a self-contained graph: its lines
+/// and cut ids are remapped fresh, its line scopes re-rooted at `ctx`)
+/// into the oddly enclosed area `ctx`. Premise ⊨ result.
+pub fn insert(g: &BetaGraph, ctx: &Ctx, fragment: &BetaGraph) -> DiagResult<BetaGraph> {
+    if is_positive(ctx) {
+        return Err(DiagError::Invalid(
+            "insertion is only sound in oddly enclosed (negative) areas".into(),
+        ));
+    }
+    let mut out = g.clone();
+    let line_offset = out.lines.len();
+    for line in &fragment.lines {
+        let scope = match &line.scope {
+            Some(s) => Some(ctx.iter().copied().chain(s.iter().copied()).collect()),
+            None => Some(ctx.clone()),
+        };
+        out.lines.push(crate::peirce::beta::Line { scope });
+    }
+    let mut next = max_cut_id(&out.items) + 1;
+    let mut grafted = fragment.items.clone();
+    fn offset_hooks(items: &mut [BetaItem], off: usize) {
+        for i in items {
+            match i {
+                BetaItem::Predicate { hooks, .. } => {
+                    for h in hooks {
+                        if let Hook::Line(l) = h {
+                            *l += off;
+                        }
+                    }
+                }
+                BetaItem::Cut { items, .. } => offset_hooks(items, off),
+            }
+        }
+    }
+    offset_hooks(&mut grafted, line_offset);
+    // Fragment-internal scopes referenced fragment cut ids; remap ids
+    // consistently in items and scopes.
+    let mut id_map: std::collections::BTreeMap<usize, usize> = std::collections::BTreeMap::new();
+    fn collect_ids(items: &[BetaItem], map: &mut std::collections::BTreeMap<usize, usize>, next: &mut usize) {
+        for i in items {
+            if let BetaItem::Cut { id, items } = i {
+                map.entry(*id).or_insert_with(|| {
+                    let v = *next;
+                    *next += 1;
+                    v
+                });
+                collect_ids(items, map, next);
+            }
+        }
+    }
+    collect_ids(&grafted, &mut id_map, &mut next);
+    fn apply_ids(items: &mut [BetaItem], map: &std::collections::BTreeMap<usize, usize>) {
+        for i in items {
+            if let BetaItem::Cut { id, items } = i {
+                *id = map[id];
+                apply_ids(items, map);
+            }
+        }
+    }
+    apply_ids(&mut grafted, &id_map);
+    for line in out.lines.iter_mut().skip(line_offset) {
+        if let Some(scope) = &mut line.scope {
+            for seg in scope.iter_mut().skip(ctx.len()) {
+                if let Some(&new) = id_map.get(seg) {
+                    *seg = new;
+                }
+            }
+        }
+    }
+    let items = items_at_mut(&mut out, ctx)?;
+    items.extend(grafted);
+    Ok(out)
+}
+
+/// **Iteration**: copies the item at `(ctx, idx)` into `dst`, which must
+/// be `ctx` itself or a context nested inside it (but not inside the
+/// copied item). The copy hooks the *same* lines — the ligature extends.
+/// Result is equivalent to the premise.
+pub fn iterate(g: &BetaGraph, ctx: &Ctx, idx: usize, dst: &Ctx) -> DiagResult<BetaGraph> {
+    if !dst.starts_with(ctx) {
+        return Err(DiagError::Invalid(
+            "iteration copies into the same context or a deeper one".into(),
+        ));
+    }
+    let item = items_at(g, ctx)?
+        .get(idx)
+        .ok_or_else(|| DiagError::Invalid(format!("no item {idx} in context {ctx:?}")))?
+        .clone();
+    if let BetaItem::Cut { id, .. } = &item {
+        // dst must not lie inside the copied subtree.
+        if dst.len() > ctx.len() && dst[ctx.len()] == *id {
+            return Err(DiagError::Invalid(
+                "iteration target lies inside the copied subgraph".into(),
+            ));
+        }
+    }
+    let mut out = g.clone();
+    let mut copy = item;
+    let mut next = max_cut_id(&out.items) + 1;
+    refresh_cut_ids(&mut copy, &mut next);
+    let items = items_at_mut(&mut out, dst)?;
+    items.push(copy);
+    Ok(out)
+}
+
+/// **Deiteration**: removes the item at `(dst, idx)` when an identical
+/// item (same predicates, same line hooks, cuts equal modulo ids) exists
+/// at an ancestor-or-same context `src`. Result is equivalent.
+pub fn deiterate(
+    g: &BetaGraph,
+    src: &Ctx,
+    src_idx: usize,
+    dst: &Ctx,
+    dst_idx: usize,
+) -> DiagResult<BetaGraph> {
+    if !dst.starts_with(src) {
+        return Err(DiagError::Invalid(
+            "deiteration removes a copy from the same context or a deeper one".into(),
+        ));
+    }
+    if dst == src && src_idx == dst_idx {
+        return Err(DiagError::Invalid("an item is not its own copy".into()));
+    }
+    let original = items_at(g, src)?
+        .get(src_idx)
+        .ok_or_else(|| DiagError::Invalid(format!("no item {src_idx} in context {src:?}")))?;
+    let copy = items_at(g, dst)?
+        .get(dst_idx)
+        .ok_or_else(|| DiagError::Invalid(format!("no item {dst_idx} in context {dst:?}")))?;
+    if !same_modulo_ids(original, copy) {
+        return Err(DiagError::Invalid(
+            "deiteration needs an identical copy (same predicates and ligatures)".into(),
+        ));
+    }
+    let mut out = g.clone();
+    let items = items_at_mut(&mut out, dst)?;
+    items.remove(dst_idx);
+    Ok(out)
+}
+
+// ---- semantic checking ------------------------------------------------
+
+/// Does `premise` semantically entail `conclusion` on the database? Both
+/// graphs must be unambiguous (declared scopes).
+pub fn entails_on(premise: &BetaGraph, conclusion: &BetaGraph, db: &Database) -> DiagResult<bool> {
+    let p = premise.reading()?;
+    let c = conclusion.reading()?;
+    let pt = !eval_drc(&p, db).map_err(|e| DiagError::Lang(e.to_string()))?.is_empty();
+    let ct = !eval_drc(&c, db).map_err(|e| DiagError::Lang(e.to_string()))?.is_empty();
+    Ok(!pt || ct)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::peirce::beta::Line;
+    use relviz_model::{DataType, Relation, Schema, Tuple};
+
+    fn p0(name: &str) -> BetaItem {
+        BetaItem::pred(name, vec![])
+    }
+
+    /// Databases for semantic soundness checks: 0-ary `P`/`Q` take all
+    /// four truth combinations; unary `P`/`Q` sweep subset patterns of a
+    /// small domain. (0-ary and unary spots share names across different
+    /// tests but never within one graph, so each seed database carries
+    /// both arities under distinct relation names.)
+    fn dbs() -> Vec<Database> {
+        let mut out = Vec::new();
+        for seed in 0u32..8 {
+            let mut db = Database::new();
+            let bool_rel = |on: bool| {
+                if on {
+                    Relation::boolean_true()
+                } else {
+                    Relation::boolean_false()
+                }
+            };
+            db.add("P", bool_rel(seed & 1 != 0)).unwrap();
+            db.add("Q", bool_rel(seed & 2 != 0)).unwrap();
+            let mut up = Relation::empty(Schema::of(&[("a", DataType::Int)]));
+            let mut uq = Relation::empty(Schema::of(&[("a", DataType::Int)]));
+            for v in 0..4i64 {
+                if (seed >> (v as u32 % 3)) & 1 == 0 {
+                    up.insert_unchecked(Tuple::of((v,)));
+                }
+                if (seed.wrapping_add(v as u32)) % 3 == 0 {
+                    uq.insert_unchecked(Tuple::of((v,)));
+                }
+            }
+            db.add("UP", up).unwrap();
+            db.add("UQ", uq).unwrap();
+            out.push(db);
+        }
+        out
+    }
+
+    fn check_equiv(a: &BetaGraph, b: &BetaGraph) {
+        for db in dbs() {
+            assert!(entails_on(a, b, &db).unwrap(), "⊭ forward on {db:?}");
+            assert!(entails_on(b, a, &db).unwrap(), "⊭ backward on {db:?}");
+        }
+    }
+
+    fn check_entails(a: &BetaGraph, b: &BetaGraph) {
+        for db in dbs() {
+            assert!(entails_on(a, b, &db).unwrap(), "premise ⊭ result");
+        }
+    }
+
+    /// UP(x) with a declared sheet-scoped line.
+    fn unary_p() -> BetaGraph {
+        BetaGraph {
+            items: vec![BetaItem::pred("UP", vec![Hook::Line(0)])],
+            lines: vec![Line { scope: Some(vec![]) }],
+        }
+    }
+
+    #[test]
+    fn double_cut_round_trips() {
+        let g = unary_p();
+        let wrapped = double_cut_insert(&g, &vec![], &[0]).unwrap();
+        assert_eq!(wrapped.items.len(), 1);
+        check_equiv(&g, &wrapped);
+        let back = double_cut_remove(&wrapped, &vec![], 0).unwrap();
+        assert_eq!(back.items, g.items);
+        check_equiv(&wrapped, &back);
+    }
+
+    #[test]
+    fn double_cut_remove_fixes_line_scopes() {
+        // ¬¬∃x P(x) with the line scoped inside the inner cut.
+        let g = BetaGraph {
+            items: vec![BetaItem::Cut {
+                id: 0,
+                items: vec![BetaItem::Cut {
+                    id: 1,
+                    items: vec![BetaItem::pred("UP", vec![Hook::Line(0)])],
+                }],
+            }],
+            lines: vec![Line { scope: Some(vec![0, 1]) }],
+        };
+        let removed = double_cut_remove(&g, &vec![], 0).unwrap();
+        assert_eq!(removed.lines[0].scope, Some(vec![]));
+        removed.reading().expect("still well-scoped");
+        check_equiv(&g, &removed);
+    }
+
+    #[test]
+    fn erasure_weakens_in_positive_areas_only() {
+        // Sheet: P, Q — erase Q.
+        let g = BetaGraph { items: vec![p0("P"), p0("Q")], lines: vec![] };
+        let weaker = erase(&g, &vec![], 1).unwrap();
+        assert_eq!(weaker.items, vec![p0("P")]);
+        check_entails(&g, &weaker);
+        // Erasing inside one cut (odd) is rejected.
+        let neg = BetaGraph {
+            items: vec![BetaItem::Cut { id: 0, items: vec![p0("P"), p0("Q")] }],
+            lines: vec![],
+        };
+        assert!(erase(&neg, &vec![0], 0).is_err());
+    }
+
+    #[test]
+    fn erasure_respects_ligatures() {
+        // ∃x (P(x) ∧ Q(x)): erasing P(x) alone would sever the ligature.
+        let g = BetaGraph {
+            items: vec![
+                BetaItem::pred("UP", vec![Hook::Line(0)]),
+                BetaItem::pred("UQ", vec![Hook::Line(0)]),
+            ],
+            lines: vec![Line { scope: Some(vec![]) }],
+        };
+        assert!(erase(&g, &vec![], 0).is_err());
+        // But erasing the whole line-closed pair one at a time after the
+        // other is fine only once the other is gone — so erase by
+        // wrapping: a single-predicate graph IS line-closed.
+        let single = unary_p();
+        let emptied = erase(&single, &vec![], 0).unwrap();
+        assert!(emptied.items.is_empty());
+        assert!(emptied.lines.is_empty(), "orphan line compacted away");
+    }
+
+    #[test]
+    fn insertion_strengthens_negative_areas_only() {
+        // ¬[P] — insert Q inside the cut: ¬[P ∧ Q] is weaker… i.e. the
+        // premise entails the result.
+        let g = BetaGraph {
+            items: vec![BetaItem::Cut { id: 0, items: vec![p0("P")] }],
+            lines: vec![],
+        };
+        let fragment = BetaGraph { items: vec![p0("Q")], lines: vec![] };
+        let inserted = insert(&g, &vec![0], &fragment).unwrap();
+        check_entails(&g, &inserted);
+        // On the sheet (even): rejected.
+        assert!(insert(&g, &vec![], &fragment).is_err());
+    }
+
+    #[test]
+    fn insertion_grafts_first_order_fragments() {
+        // Insert ∃y Q(y) into the cut of ¬[P]: ¬[P ∧ ∃y Q(y)].
+        let g = BetaGraph {
+            items: vec![BetaItem::Cut { id: 0, items: vec![p0("P")] }],
+            lines: vec![],
+        };
+        let fragment = unary_p(); // P(x) with its own line
+        let inserted = insert(&g, &vec![0], &fragment).unwrap();
+        assert_eq!(inserted.lines.len(), 1);
+        assert_eq!(inserted.lines[0].scope, Some(vec![0]));
+        inserted.reading().expect("well-scoped");
+        check_entails(&g, &inserted);
+    }
+
+    #[test]
+    fn iteration_and_deiteration_are_inverse_and_sound() {
+        // ∃x P(x) ∧ ¬[Q]: iterate P(x) into the cut (ligature extends).
+        let g = BetaGraph {
+            items: vec![
+                BetaItem::pred("UP", vec![Hook::Line(0)]),
+                BetaItem::Cut { id: 0, items: vec![p0("Q")] },
+            ],
+            lines: vec![Line { scope: Some(vec![]) }],
+        };
+        let iterated = iterate(&g, &vec![], 0, &vec![0]).unwrap();
+        let inner = items_at(&iterated, &vec![0]).unwrap();
+        assert_eq!(inner.len(), 2);
+        assert!(matches!(&inner[1], BetaItem::Predicate { name, hooks }
+            if name == "UP" && hooks == &vec![Hook::Line(0)]));
+        check_equiv(&g, &iterated);
+        // Deiterate the copy back out.
+        let back = deiterate(&iterated, &vec![], 0, &vec![0], 1).unwrap();
+        assert_eq!(back.items, g.items);
+    }
+
+    #[test]
+    fn deiteration_requires_a_real_copy() {
+        let g = BetaGraph {
+            items: vec![p0("P"), BetaItem::Cut { id: 0, items: vec![p0("Q")] }],
+            lines: vec![],
+        };
+        // Q inside the cut is not a copy of P.
+        assert!(deiterate(&g, &vec![], 0, &vec![0], 0).is_err());
+    }
+
+    #[test]
+    fn modus_ponens_as_a_beta_derivation() {
+        // Premises: P, ¬[P ∧ ¬[Q]]  ⊢  Q — Peirce's classic four moves.
+        let start = BetaGraph {
+            items: vec![
+                p0("P"),
+                BetaItem::Cut {
+                    id: 0,
+                    items: vec![p0("P"), BetaItem::Cut { id: 1, items: vec![p0("Q")] }],
+                },
+            ],
+            lines: vec![],
+        };
+        // 1. Deiterate the inner P against the sheet's P.
+        let s1 = deiterate(&start, &vec![], 0, &vec![0], 0).unwrap();
+        check_equiv(&start, &s1);
+        // 2. Remove the now-double cut.
+        let s2 = double_cut_remove(&s1, &vec![], 1).unwrap();
+        check_equiv(&s1, &s2);
+        assert_eq!(s2.items, vec![p0("P"), p0("Q")]);
+        // 3. Erase P (positive area).
+        let s3 = erase(&s2, &vec![], 0).unwrap();
+        check_entails(&s2, &s3);
+        assert_eq!(s3.items, vec![p0("Q")]);
+        // End to end: premises entail the conclusion.
+        check_entails(&start, &s3);
+    }
+
+    #[test]
+    fn first_order_universal_instantiation_flavour() {
+        // ∃x P(x) ∧ ¬[∃?… ]: iterate a ligature-bearing predicate under a
+        // cut and check the equivalence semantically (the ligature is the
+        // load-bearing part: the copy talks about the SAME individual).
+        let g = BetaGraph {
+            items: vec![
+                BetaItem::pred("UP", vec![Hook::Line(0)]),
+                BetaItem::Cut {
+                    id: 0,
+                    items: vec![BetaItem::pred("UQ", vec![Hook::Line(0)])],
+                },
+            ],
+            lines: vec![Line { scope: Some(vec![]) }],
+        };
+        // ∃x (P(x) ∧ ¬Q(x)): iterate P(x) into the cut →
+        // ∃x (P(x) ∧ ¬(Q(x) ∧ P(x))) — equivalent.
+        let iterated = iterate(&g, &vec![], 0, &vec![0]).unwrap();
+        check_equiv(&g, &iterated);
+    }
+
+    #[test]
+    fn polarity_bookkeeping() {
+        assert!(is_positive(&vec![]));
+        assert!(!is_positive(&vec![0]));
+        assert!(is_positive(&vec![0, 1]));
+    }
+}

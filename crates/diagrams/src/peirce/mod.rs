@@ -1,0 +1,7 @@
+//! Peirce's existential graphs: [`alpha`] (propositional logic) and
+//! [`beta`] (first-order logic with lines of identity).
+
+pub mod alpha;
+pub mod beta;
+pub mod beta_rules;
+pub mod prove;

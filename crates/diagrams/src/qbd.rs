@@ -1,0 +1,511 @@
+//! **Query By Diagram** (QBD, Angelaccio, Catarci & Santucci 1990) — a
+//! "fully visual query system" in which the user queries by selecting a
+//! connected subgraph of the database's **Entity-Relationship diagram**
+//! and annotating it with conditions and output marks.
+//!
+//! The tutorial places QBD with the interactive query builders: strong
+//! for conjunctive navigation over the schema graph, but the diagram has
+//! no visual element for general negation, disjunction across entities,
+//! or universal quantification (QBD* later added recursion, not logic).
+//! This module makes those limits checkable: the builder accepts exactly
+//! the conjunctive queries whose joins follow the ER edges and returns a
+//! typed [`DiagError::Unsupported`] otherwise — the rows QBD contributes
+//! to the E5 capability matrix.
+//!
+//! ## Model
+//!
+//! An [`ErSchema`] declares entities (rectangles) and relationships
+//! (diamonds) with their role attributes; [`ErSchema::sailors`] encodes
+//! the tutorial's running schema (`Sailor` ⟨reserves⟩ `Boat`, with
+//! `Reserves` as the relationship). A [`QbdQuery`] is a highlighted
+//! connected subgraph plus per-node selections and output marks.
+
+use std::collections::BTreeMap;
+
+use relviz_model::Database;
+use relviz_render::{Scene, TextStyle};
+use relviz_sql::ast::{Cond, Query, Scalar, SelectItem};
+use relviz_sql::printer;
+
+use crate::common::{DiagError, DiagResult};
+
+const FORMALISM: &str = "QBD (ER-based)";
+
+/// An ER node kind: entity (rectangle) or relationship (diamond).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErKind {
+    Entity,
+    Relationship,
+}
+
+/// An ER node: a table playing entity or relationship role.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ErNode {
+    pub table: String,
+    pub kind: ErKind,
+}
+
+/// An ER edge: relationship table attribute ↔ entity key attribute.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ErEdge {
+    pub relationship: String,
+    pub rel_attr: String,
+    pub entity: String,
+    pub entity_attr: String,
+}
+
+/// An ER schema: the diagram QBD users navigate.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ErSchema {
+    pub nodes: Vec<ErNode>,
+    pub edges: Vec<ErEdge>,
+}
+
+impl ErSchema {
+    /// The tutorial's running schema as an ER diagram.
+    pub fn sailors() -> ErSchema {
+        ErSchema {
+            nodes: vec![
+                ErNode { table: "Sailor".into(), kind: ErKind::Entity },
+                ErNode { table: "Boat".into(), kind: ErKind::Entity },
+                ErNode { table: "Reserves".into(), kind: ErKind::Relationship },
+            ],
+            edges: vec![
+                ErEdge {
+                    relationship: "Reserves".into(),
+                    rel_attr: "sid".into(),
+                    entity: "Sailor".into(),
+                    entity_attr: "sid".into(),
+                },
+                ErEdge {
+                    relationship: "Reserves".into(),
+                    rel_attr: "bid".into(),
+                    entity: "Boat".into(),
+                    entity_attr: "bid".into(),
+                },
+            ],
+        }
+    }
+
+    fn kind_of(&self, table: &str) -> Option<ErKind> {
+        self.nodes.iter().find(|n| n.table == table).map(|n| n.kind)
+    }
+
+    /// Is `(ta.aa = tb.ab)` one of the schema's ER edges?
+    fn is_er_edge(&self, ta: &str, aa: &str, tb: &str, ab: &str) -> bool {
+        self.edges.iter().any(|e| {
+            (e.relationship == ta && e.rel_attr == aa && e.entity == tb && e.entity_attr == ab)
+                || (e.relationship == tb
+                    && e.rel_attr == ab
+                    && e.entity == ta
+                    && e.entity_attr == aa)
+        })
+    }
+}
+
+/// One highlighted node of a QBD query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QbdNode {
+    pub table: String,
+    pub alias: String,
+    pub kind: ErKind,
+    /// Selection conditions attached to the node, as text.
+    pub selections: Vec<String>,
+    /// Output-marked attributes.
+    pub outputs: Vec<String>,
+}
+
+/// A QBD query: a connected highlighted subgraph of the ER diagram.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QbdQuery {
+    pub schema: ErSchema,
+    pub nodes: Vec<QbdNode>,
+    /// Highlighted edges as (node index, node index).
+    pub links: Vec<(usize, usize)>,
+}
+
+impl QbdQuery {
+    /// Builds a QBD query from conjunctive SQL whose join predicates all
+    /// follow the ER edges of `schema`.
+    pub fn from_sql(sql: &str, schema: &ErSchema, db: &Database) -> DiagResult<QbdQuery> {
+        let q = relviz_sql::parser::parse_query(sql)
+            .map_err(|e| DiagError::Lang(e.to_string()))?;
+        let q = relviz_sql::analyze::resolve(&q, db)
+            .map_err(|e| DiagError::Lang(e.to_string()))?;
+        let Query::Select(s) = &q else {
+            return Err(DiagError::unsupported(
+                FORMALISM,
+                "set operations (no visual element for union of subgraphs)",
+            ));
+        };
+        let mut out = QbdQuery { schema: schema.clone(), nodes: Vec::new(), links: Vec::new() };
+        let mut alias_to_node: BTreeMap<String, usize> = BTreeMap::new();
+        for t in &s.from {
+            let kind = schema.kind_of(&t.table).ok_or_else(|| {
+                DiagError::unsupported(
+                    FORMALISM,
+                    format!("table {} is not in the ER diagram", t.table),
+                )
+            })?;
+            let alias = t.effective_name().to_string();
+            alias_to_node.insert(alias.clone(), out.nodes.len());
+            out.nodes.push(QbdNode {
+                table: t.table.clone(),
+                alias,
+                kind,
+                selections: Vec::new(),
+                outputs: Vec::new(),
+            });
+        }
+        if let Some(w) = &s.where_clause {
+            for part in conjuncts(w) {
+                match part {
+                    Cond::Cmp {
+                        left: Scalar::Column { qualifier: Some(ql), name: nl },
+                        op: relviz_model::CmpOp::Eq,
+                        right: Scalar::Column { qualifier: Some(qr), name: nr },
+                    } if ql != qr => {
+                        let (a, b) = (
+                            *alias_to_node
+                                .get(ql)
+                                .ok_or_else(|| DiagError::Invalid(format!("alias {ql}")))?,
+                            *alias_to_node
+                                .get(qr)
+                                .ok_or_else(|| DiagError::Invalid(format!("alias {qr}")))?,
+                        );
+                        let (ta, tb) = (&out.nodes[a].table, &out.nodes[b].table);
+                        if !schema.is_er_edge(ta, nl, tb, nr) {
+                            return Err(DiagError::unsupported(
+                                FORMALISM,
+                                format!(
+                                    "join {} does not follow an ER edge",
+                                    printer::print_cond(part)
+                                ),
+                            ));
+                        }
+                        out.links.push((a.min(b), a.max(b)));
+                    }
+                    Cond::Cmp {
+                        left: Scalar::Column { qualifier: Some(ql), .. },
+                        op,
+                        right: Scalar::Column { qualifier: Some(qr), .. },
+                    } if ql != qr => {
+                        return Err(DiagError::unsupported(
+                            FORMALISM,
+                            format!(
+                                "non-equi join {} (ER edges are equalities); {op:?}",
+                                printer::print_cond(part)
+                            ),
+                        ));
+                    }
+                    Cond::Exists { .. } | Cond::InSubquery { .. } | Cond::QuantCmp { .. } => {
+                        return Err(DiagError::unsupported(
+                            FORMALISM,
+                            "subqueries (no visual element for quantifiers over the \
+                             schema graph)",
+                        ));
+                    }
+                    Cond::Or(_, _) => {
+                        return Err(DiagError::unsupported(
+                            FORMALISM,
+                            "disjunction (conditions on the diagram conjoin)",
+                        ));
+                    }
+                    Cond::Not(_) => {
+                        return Err(DiagError::unsupported(
+                            FORMALISM,
+                            "general negation (only per-attribute conditions attach to \
+                             nodes)",
+                        ));
+                    }
+                    other => {
+                        let mut quals = Vec::new();
+                        collect_qualifiers(other, &mut quals);
+                        let Some(first) = quals.first() else {
+                            return Err(DiagError::unsupported(
+                                FORMALISM,
+                                "constant condition with no node to attach to",
+                            ));
+                        };
+                        if quals.iter().any(|q| q != first) {
+                            return Err(DiagError::unsupported(
+                                FORMALISM,
+                                "cross-node condition outside the ER edges",
+                            ));
+                        }
+                        let n = *alias_to_node
+                            .get(first)
+                            .ok_or_else(|| DiagError::Invalid(format!("alias {first}")))?;
+                        out.nodes[n].selections.push(printer::print_cond(other));
+                    }
+                }
+            }
+        }
+        for item in &s.items {
+            match item {
+                SelectItem::Expr { expr: Scalar::Column { qualifier: Some(q), name }, .. } => {
+                    let n = *alias_to_node
+                        .get(q)
+                        .ok_or_else(|| DiagError::Invalid(format!("alias {q}")))?;
+                    out.nodes[n].outputs.push(name.clone());
+                }
+                _ => {
+                    return Err(DiagError::unsupported(
+                        FORMALISM,
+                        "non-column projection (outputs are attribute marks on nodes)",
+                    ))
+                }
+            }
+        }
+        out.check_connected()?;
+        Ok(out)
+    }
+
+    /// The highlighted subgraph must be connected — QBD queries are
+    /// navigations, not products.
+    fn check_connected(&self) -> DiagResult<()> {
+        if self.nodes.len() <= 1 {
+            return Ok(());
+        }
+        let mut seen = vec![false; self.nodes.len()];
+        let mut stack = vec![0usize];
+        seen[0] = true;
+        while let Some(n) = stack.pop() {
+            for &(a, b) in &self.links {
+                let other = if a == n {
+                    b
+                } else if b == n {
+                    a
+                } else {
+                    continue;
+                };
+                if !seen[other] {
+                    seen[other] = true;
+                    stack.push(other);
+                }
+            }
+        }
+        if seen.iter().all(|&s| s) {
+            Ok(())
+        } else {
+            Err(DiagError::unsupported(
+                FORMALISM,
+                "disconnected subgraph (cartesian product has no ER navigation)",
+            ))
+        }
+    }
+
+    /// Element census: (nodes, links, selections, output marks,
+    /// relationship nodes).
+    pub fn census(&self) -> (usize, usize, usize, usize, usize) {
+        let sels: usize = self.nodes.iter().map(|n| n.selections.len()).sum();
+        let outs: usize = self.nodes.iter().map(|n| n.outputs.len()).sum();
+        let rels = self.nodes.iter().filter(|n| n.kind == ErKind::Relationship).count();
+        (self.nodes.len(), self.links.len(), sels, outs, rels)
+    }
+
+    /// Scene: the classic ER picture — entity rectangles, relationship
+    /// diamonds, selection text under the node, output attributes
+    /// underlined (marked with ▸).
+    pub fn scene(&self) -> Scene {
+        let mut scene = Scene::new(0.0, 0.0);
+        let mut pos: Vec<(f64, f64)> = Vec::new();
+        let mut x = 30.0;
+        for n in &self.nodes {
+            let label = if n.table == n.alias {
+                n.table.clone()
+            } else {
+                format!("{} {}", n.table, n.alias)
+            };
+            let w = Scene::text_width(&label, 12.0) + 26.0;
+            match n.kind {
+                ErKind::Entity => {
+                    scene.rect(x, 40.0, w, 30.0);
+                }
+                ErKind::Relationship => {
+                    // Diamond via polyline.
+                    let cx = x + w / 2.0;
+                    scene.items.push(relviz_render::Item::Polyline {
+                        points: vec![
+                            (cx, 32.0),
+                            (x + w + 8.0, 55.0),
+                            (cx, 78.0),
+                            (x - 8.0, 55.0),
+                            (cx, 32.0),
+                        ],
+                        stroke: "#000000".into(),
+                        stroke_width: 1.2,
+                        dashed: false,
+                        arrow: false,
+                    });
+                }
+            }
+            scene.styled_text(
+                x + 12.0,
+                59.0,
+                label,
+                TextStyle { size: 12.0, bold: true, ..TextStyle::default() },
+            );
+            let mut ty = 92.0;
+            for s in &n.selections {
+                scene.styled_text(
+                    x,
+                    ty,
+                    s.clone(),
+                    TextStyle { size: 10.0, italic: true, ..TextStyle::default() },
+                );
+                ty += 14.0;
+            }
+            for o in &n.outputs {
+                scene.text(x, ty, format!("▸ {o}"));
+                ty += 14.0;
+            }
+            pos.push((x + w / 2.0, 55.0));
+            x += w + 60.0;
+        }
+        for &(a, b) in &self.links {
+            let (xa, ya) = pos[a];
+            let (xb, yb) = pos[b];
+            scene.line(xa, ya, xb, yb);
+        }
+        scene.fit(10.0);
+        scene
+    }
+}
+
+/// Flattens an AND-spine of SQL conditions.
+fn conjuncts(c: &Cond) -> Vec<&Cond> {
+    let mut out = Vec::new();
+    fn walk<'a>(c: &'a Cond, out: &mut Vec<&'a Cond>) {
+        if let Cond::And(a, b) = c {
+            walk(a, out);
+            walk(b, out);
+        } else {
+            out.push(c);
+        }
+    }
+    walk(c, &mut out);
+    out
+}
+
+/// Collects the qualifiers mentioned by a condition.
+fn collect_qualifiers(c: &Cond, out: &mut Vec<String>) {
+    fn scalar(s: &Scalar, out: &mut Vec<String>) {
+        if let Scalar::Column { qualifier: Some(q), .. } = s {
+            out.push(q.clone());
+        }
+    }
+    match c {
+        Cond::Cmp { left, right, .. } => {
+            scalar(left, out);
+            scalar(right, out);
+        }
+        Cond::And(a, b) | Cond::Or(a, b) => {
+            collect_qualifiers(a, out);
+            collect_qualifiers(b, out);
+        }
+        Cond::Not(a) => collect_qualifiers(a, out),
+        Cond::InList { expr, .. } | Cond::IsNull { expr, .. } => scalar(expr, out),
+        Cond::Between { expr, low, high, .. } => {
+            scalar(expr, out);
+            scalar(low, out);
+            scalar(high, out);
+        }
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relviz_model::catalog::sailors_sample;
+
+    const Q2: &str = "SELECT S.sname FROM Sailor S, Reserves R, Boat B \
+        WHERE S.sid = R.sid AND R.bid = B.bid AND B.color = 'red'";
+
+    #[test]
+    fn conjunctive_navigation_builds() {
+        let db = sailors_sample();
+        let q = QbdQuery::from_sql(Q2, &ErSchema::sailors(), &db).unwrap();
+        let (nodes, links, sels, outs, rels) = q.census();
+        assert_eq!((nodes, links, sels, outs, rels), (3, 2, 1, 1, 1));
+        let reserves = q.nodes.iter().find(|n| n.table == "Reserves").unwrap();
+        assert_eq!(reserves.kind, ErKind::Relationship);
+    }
+
+    #[test]
+    fn join_must_follow_er_edges() {
+        let db = sailors_sample();
+        // sid = bid joins along no ER edge.
+        let r = QbdQuery::from_sql(
+            "SELECT S.sname FROM Sailor S, Boat B WHERE S.sid = B.bid",
+            &ErSchema::sailors(),
+            &db,
+        );
+        assert!(matches!(r, Err(DiagError::Unsupported { .. })), "{r:?}");
+    }
+
+    #[test]
+    fn negation_and_disjunction_unsupported() {
+        let db = sailors_sample();
+        let schema = ErSchema::sailors();
+        for sql in [
+            "SELECT S.sname FROM Sailor S WHERE NOT EXISTS \
+             (SELECT * FROM Reserves R WHERE R.sid = S.sid)",
+            "SELECT S.sname FROM Sailor S, Reserves R, Boat B \
+             WHERE S.sid = R.sid AND R.bid = B.bid AND \
+             (B.color = 'red' OR B.color = 'green')",
+            "SELECT S.sname FROM Sailor S WHERE S.rating = 10 \
+             UNION SELECT S.sname FROM Sailor S WHERE S.age < 20",
+        ] {
+            let r = QbdQuery::from_sql(sql, &schema, &db);
+            assert!(matches!(r, Err(DiagError::Unsupported { .. })), "{sql}: {r:?}");
+        }
+    }
+
+    #[test]
+    fn disconnected_subgraph_unsupported() {
+        let db = sailors_sample();
+        let r = QbdQuery::from_sql(
+            "SELECT S.sname, B.bname FROM Sailor S, Boat B WHERE S.rating = 10 \
+             AND B.color = 'red'",
+            &ErSchema::sailors(),
+            &db,
+        );
+        assert!(matches!(r, Err(DiagError::Unsupported { .. })), "{r:?}");
+    }
+
+    #[test]
+    fn self_join_uses_two_highlights() {
+        // QBD handles self-joins by highlighting the entity twice (two
+        // aliases) — but the rating equality is not an ER edge, so the
+        // tutorial's Q7 is out.
+        let db = sailors_sample();
+        let r = QbdQuery::from_sql(
+            "SELECT S1.sname, S2.sname FROM Sailor S1, Sailor S2 \
+             WHERE S1.rating = S2.rating AND S1.sid < S2.sid",
+            &ErSchema::sailors(),
+            &db,
+        );
+        assert!(matches!(r, Err(DiagError::Unsupported { .. })), "{r:?}");
+    }
+
+    #[test]
+    fn unknown_table_rejected() {
+        let db = sailors_sample();
+        let mut schema = ErSchema::sailors();
+        schema.nodes.retain(|n| n.table != "Boat");
+        let r = QbdQuery::from_sql(Q2, &schema, &db);
+        assert!(matches!(r, Err(DiagError::Unsupported { .. })), "{r:?}");
+    }
+
+    #[test]
+    fn scene_draws_entities_and_diamond() {
+        let db = sailors_sample();
+        let q = QbdQuery::from_sql(Q2, &ErSchema::sailors(), &db).unwrap();
+        let svg = relviz_render::svg::to_svg(&q.scene());
+        assert!(svg.contains("Sailor"));
+        assert!(svg.contains("▸ sname"));
+        assert!(svg.contains("<polyline"), "relationship diamond");
+    }
+}

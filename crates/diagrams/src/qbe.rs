@@ -1,0 +1,377 @@
+//! **Query-By-Example** (Zloof 1977): skeleton tables with example
+//! elements — the most influential early visual query language, itself
+//! influenced by DRC.
+//!
+//! A QBE program is a sequence of **steps**; each step fills skeleton
+//! tables with rows of example elements (`_X`), constants, `P.` print
+//! markers and `¬` row negation, plus a **condition box** for comparisons.
+//! Universal quantification (relational division, Q5) requires *two*
+//! steps and a temporary relation — the dataflow idiom the tutorial
+//! highlights when asking whether QBE is really more visual than the
+//! Datalog program it transliterates. Experiment E6 compares the two
+//! element-for-element.
+//!
+//! The builder consumes non-recursive Datalog (one step per IDB
+//! predicate), making the QBE ↔ Datalog correspondence literal.
+
+use relviz_datalog::{Atom, Literal, Program, Term};
+use relviz_model::Value;
+use relviz_render::{Scene, TextStyle};
+
+use crate::common::{DiagError, DiagResult};
+
+const FORMALISM: &str = "QBE";
+
+/// A cell of a skeleton row.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QbeCell {
+    Blank,
+    /// An example element, printed `_X`.
+    Example(String),
+    Const(Value),
+    /// `P._X` — print this column.
+    Print(String),
+}
+
+impl std::fmt::Display for QbeCell {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QbeCell::Blank => Ok(()),
+            QbeCell::Example(x) => write!(f, "_{x}"),
+            QbeCell::Const(v) => write!(f, "{}", v.to_literal()),
+            QbeCell::Print(x) => write!(f, "P._{x}"),
+        }
+    }
+}
+
+/// A row in a skeleton: optional `¬` negation, `I.` insertion marker.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QbeRow {
+    pub negated: bool,
+    /// `I.` — this row inserts into a temporary relation.
+    pub inserts: bool,
+    pub cells: Vec<QbeCell>,
+}
+
+/// A skeleton table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Skeleton {
+    pub rel: String,
+    /// Column headers (generic `argK` names for temporaries).
+    pub columns: Vec<String>,
+    pub rows: Vec<QbeRow>,
+}
+
+/// One QBE step (screenful): skeletons + condition box.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct QbeStep {
+    pub skeletons: Vec<Skeleton>,
+    pub conditions: Vec<String>,
+}
+
+/// A complete QBE interaction.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct QbeProgram {
+    pub steps: Vec<QbeStep>,
+}
+
+impl QbeProgram {
+    /// Builds from a non-recursive Datalog program: one step per IDB
+    /// predicate (in dependency order); the answer predicate's variables
+    /// become `P.` markers.
+    pub fn from_datalog(p: &Program, db: &relviz_model::Database) -> DiagResult<QbeProgram> {
+        if p.is_recursive() {
+            return Err(DiagError::unsupported(FORMALISM, "recursive programs"));
+        }
+        let stratum = relviz_datalog::stratify(p).map_err(DiagError::from)?;
+        let mut order: Vec<&str> = stratum.keys().map(String::as_str).collect();
+        order.sort_by_key(|n| (stratum[*n], n.to_string()));
+
+        let mut out = QbeProgram::default();
+        for pred in order {
+            let mut step = QbeStep::default();
+            for rule in p.rules.iter().filter(|r| r.head.rel == pred) {
+                add_rule(&mut step, rule, pred == p.query, db)?;
+            }
+            out.steps.push(step);
+        }
+        Ok(out)
+    }
+
+    /// Element census for E6: (steps, skeleton tables, rows, filled cells,
+    /// condition entries).
+    pub fn census(&self) -> (usize, usize, usize, usize, usize) {
+        let mut tables = 0;
+        let mut rows = 0;
+        let mut cells = 0;
+        let mut conds = 0;
+        for s in &self.steps {
+            tables += s.skeletons.len();
+            conds += s.conditions.len();
+            for sk in &s.skeletons {
+                rows += sk.rows.len();
+                for r in &sk.rows {
+                    cells += r.cells.iter().filter(|c| **c != QbeCell::Blank).count();
+                }
+            }
+        }
+        (self.steps.len(), tables, rows, cells, conds)
+    }
+
+    /// Scene: each step's skeletons as grids, condition box below.
+    pub fn scene(&self) -> Scene {
+        const CELL_W: f64 = 78.0;
+        const CELL_H: f64 = 20.0;
+        let mut scene = Scene::new(0.0, 0.0);
+        let mut y = 16.0;
+        for (si, step) in self.steps.iter().enumerate() {
+            scene.styled_text(
+                12.0,
+                y,
+                format!("Step {}", si + 1),
+                TextStyle { size: 12.0, bold: true, ..TextStyle::default() },
+            );
+            y += 10.0;
+            for sk in &step.skeletons {
+                let cols = sk.columns.len() + 1;
+                let w = cols as f64 * CELL_W;
+                let h = (sk.rows.len() + 1) as f64 * CELL_H;
+                scene.rect(12.0, y, w, h);
+                for c in 1..cols {
+                    scene.line(12.0 + c as f64 * CELL_W, y, 12.0 + c as f64 * CELL_W, y + h);
+                }
+                for r in 1..=sk.rows.len() + 1 {
+                    let ly = y + r as f64 * CELL_H;
+                    if r <= sk.rows.len() {
+                        scene.line(12.0, ly, 12.0 + w, ly);
+                    }
+                }
+                scene.styled_text(
+                    16.0,
+                    y + 14.0,
+                    sk.rel.clone(),
+                    TextStyle { size: 11.0, bold: true, ..TextStyle::default() },
+                );
+                for (ci, col) in sk.columns.iter().enumerate() {
+                    scene.text(16.0 + (ci + 1) as f64 * CELL_W, y + 14.0, col.clone());
+                }
+                for (ri, row) in sk.rows.iter().enumerate() {
+                    let ry = y + (ri + 1) as f64 * CELL_H + 14.0;
+                    let mut prefix = String::new();
+                    if row.negated {
+                        prefix.push('¬');
+                    }
+                    if row.inserts {
+                        prefix.push_str("I.");
+                    }
+                    scene.text(16.0, ry, prefix);
+                    for (ci, cell) in row.cells.iter().enumerate() {
+                        scene.text(16.0 + (ci + 1) as f64 * CELL_W, ry, cell.to_string());
+                    }
+                }
+                y += h + 14.0;
+            }
+            if !step.conditions.is_empty() {
+                let h = (step.conditions.len() + 1) as f64 * CELL_H;
+                scene.rect(12.0, y, 220.0, h);
+                scene.styled_text(
+                    16.0,
+                    y + 14.0,
+                    "CONDITIONS",
+                    TextStyle { size: 10.0, bold: true, ..TextStyle::default() },
+                );
+                for (i, c) in step.conditions.iter().enumerate() {
+                    scene.text(16.0, y + (i + 1) as f64 * CELL_H + 14.0, c.clone());
+                }
+                y += h + 14.0;
+            }
+            y += 10.0;
+        }
+        scene.fit(12.0);
+        scene
+    }
+}
+
+fn add_rule(
+    step: &mut QbeStep,
+    rule: &relviz_datalog::Rule,
+    is_query: bool,
+    db: &relviz_model::Database,
+) -> DiagResult<()> {
+    // Which variables does the head print/insert?
+    let head_vars: Vec<&str> = rule.head.terms.iter().filter_map(Term::as_var).collect();
+
+    for lit in &rule.body {
+        match lit {
+            Literal::Pos(atom) => {
+                step.skeletons.push(skeleton_for(atom, false, &[], db)?);
+            }
+            Literal::Neg(atom) => {
+                step.skeletons.push(skeleton_for(atom, true, &[], db)?);
+            }
+            Literal::Cmp { left, op, right } => {
+                step.conditions.push(format!(
+                    "{} {} {}",
+                    term_text(left),
+                    op.symbol(),
+                    term_text(right)
+                ));
+            }
+        }
+    }
+    // Head: the answer predicate prints; intermediate predicates insert
+    // into a temporary skeleton.
+    let head_cells: Vec<QbeCell> = rule
+        .head
+        .terms
+        .iter()
+        .map(|t| match t {
+            Term::Var(v) if is_query => QbeCell::Print(v.clone()),
+            Term::Var(v) => QbeCell::Example(v.clone()),
+            Term::Const(c) => QbeCell::Const(c.clone()),
+        })
+        .collect();
+    let columns = (1..=rule.head.terms.len()).map(|i| format!("arg{i}")).collect();
+    step.skeletons.push(Skeleton {
+        rel: rule.head.rel.clone(),
+        columns,
+        rows: vec![QbeRow { negated: false, inserts: !is_query, cells: head_cells }],
+    });
+    let _ = head_vars;
+    Ok(())
+}
+
+fn skeleton_for(
+    atom: &Atom,
+    negated: bool,
+    _head: &[&str],
+    db: &relviz_model::Database,
+) -> DiagResult<Skeleton> {
+    let columns: Vec<String> = match db.schema(&atom.rel) {
+        Ok(s) => s.attrs().iter().map(|a| a.name.clone()).collect(),
+        Err(_) => (1..=atom.terms.len()).map(|i| format!("arg{i}")).collect(),
+    };
+    if columns.len() != atom.terms.len() {
+        return Err(DiagError::Invalid(format!(
+            "atom `{atom}` arity {} vs schema arity {}",
+            atom.terms.len(),
+            columns.len()
+        )));
+    }
+    let cells = atom
+        .terms
+        .iter()
+        .map(|t| match t {
+            Term::Var(v) => QbeCell::Example(v.clone()),
+            Term::Const(c) => QbeCell::Const(c.clone()),
+        })
+        .collect();
+    Ok(Skeleton {
+        rel: atom.rel.clone(),
+        columns,
+        rows: vec![QbeRow { negated, inserts: false, cells }],
+    })
+}
+
+fn term_text(t: &Term) -> String {
+    match t {
+        Term::Var(v) => format!("_{v}"),
+        Term::Const(c) => c.to_literal(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relviz_datalog::parse::parse_program;
+    use relviz_model::catalog::sailors_sample;
+
+    #[test]
+    fn q1_single_step() {
+        let db = sailors_sample();
+        let p = parse_program("ans(N) :- Sailor(S, N, R, A), Reserves(S, 102, D).").unwrap();
+        let q = QbeProgram::from_datalog(&p, &db).unwrap();
+        assert_eq!(q.steps.len(), 1);
+        // two source skeletons + one answer skeleton
+        assert_eq!(q.steps[0].skeletons.len(), 3);
+        let sailor = &q.steps[0].skeletons[0];
+        assert_eq!(sailor.rel, "Sailor");
+        assert_eq!(sailor.columns, vec!["sid", "sname", "rating", "age"]);
+        assert_eq!(sailor.rows[0].cells[0], QbeCell::Example("S".into()));
+        // answer prints
+        let ans = q.steps[0].skeletons.last().unwrap();
+        assert_eq!(ans.rows[0].cells[0], QbeCell::Print("N".into()));
+    }
+
+    #[test]
+    fn q5_division_needs_two_extra_steps() {
+        // The tutorial's point: QBE expresses division only via the
+        // dataflow pattern with a temporary relation.
+        let db = sailors_sample();
+        let p = parse_program(
+            "% query: ans\n\
+             missing(S) :- Sailor(S, N, R, A), Boat(B, BN, 'red'), not res2(S, B).\n\
+             res2(S, B) :- Reserves(S, B, D).\n\
+             ans(N) :- Sailor(S, N, R, A), not missing(S).",
+        )
+        .unwrap();
+        let q = QbeProgram::from_datalog(&p, &db).unwrap();
+        assert_eq!(q.steps.len(), 3);
+        // temp steps insert, final step prints
+        let temp_rows: Vec<&QbeRow> = q.steps[..2]
+            .iter()
+            .flat_map(|s| &s.skeletons)
+            .flat_map(|sk| &sk.rows)
+            .filter(|r| r.inserts)
+            .collect();
+        assert_eq!(temp_rows.len(), 2);
+        // negated rows appear (¬res2 and ¬missing)
+        let negs = q
+            .steps
+            .iter()
+            .flat_map(|s| &s.skeletons)
+            .flat_map(|sk| &sk.rows)
+            .filter(|r| r.negated)
+            .count();
+        assert_eq!(negs, 2);
+    }
+
+    #[test]
+    fn conditions_go_to_condition_box() {
+        let db = sailors_sample();
+        let p = parse_program("ans(N) :- Sailor(S, N, R, A), R > 7, A < 40.").unwrap();
+        let q = QbeProgram::from_datalog(&p, &db).unwrap();
+        assert_eq!(q.steps[0].conditions, vec!["_R > 7", "_A < 40"]);
+    }
+
+    #[test]
+    fn recursion_rejected() {
+        let db = sailors_sample();
+        let p = parse_program("tc(X, Y) :- R(X, Y).\ntc(X, Z) :- tc(X, Y), R(Y, Z).").unwrap();
+        assert!(matches!(
+            QbeProgram::from_datalog(&p, &db),
+            Err(DiagError::Unsupported { .. })
+        ));
+    }
+
+    #[test]
+    fn census_counts() {
+        let db = sailors_sample();
+        let p = parse_program("ans(N) :- Sailor(S, N, R, A), Reserves(S, 102, D).").unwrap();
+        let q = QbeProgram::from_datalog(&p, &db).unwrap();
+        let (steps, tables, rows, cells, conds) = q.census();
+        assert_eq!((steps, tables, rows, conds), (1, 3, 3, 0));
+        assert!(cells >= 8);
+    }
+
+    #[test]
+    fn scene_renders_grids() {
+        let db = sailors_sample();
+        let p = parse_program("ans(N) :- Sailor(S, N, R, A), R > 7.").unwrap();
+        let q = QbeProgram::from_datalog(&p, &db).unwrap();
+        let svg = relviz_render::svg::to_svg(&q.scene());
+        assert!(svg.contains("Sailor"));
+        assert!(svg.contains("P._N"));
+        assert!(svg.contains("CONDITIONS"));
+    }
+}

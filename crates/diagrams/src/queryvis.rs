@@ -1,0 +1,482 @@
+//! **QueryVis** (Danaparamita & Gatterbauer EDBT'11; Leventidis et al.
+//! SIGMOD'20): logic-based query diagrams with a *default reading order*.
+//!
+//! A QueryVis diagram shows each tuple variable as a table box (relation
+//! name + the attributes the query touches). Boxes live in **groups**, one
+//! per quantifier scope; groups other than the root are existentially
+//! quantified and may be negated (`NOT EXISTS`, dashed border). Predicates
+//! appear as selection labels inside attribute slots (`= 'red'`) or as
+//! labelled edges between attribute slots (joins, possibly across groups).
+//! **Arrows between groups** impose the reading order that makes nesting
+//! unambiguous — without them the quantifier order would be
+//! underdetermined (the beta-graph lesson, solved differently here than by
+//! Relational Diagrams' nesting).
+//!
+//! Faithful to the published system, the builder accepts the
+//! ∃/¬∃-normal-form fragment of TRC **without disjunction** — `OR` and
+//! multi-branch unions return [`DiagError::Unsupported`], which is exactly
+//! the gap the tutorial's expressiveness matrix (E5) documents.
+
+use relviz_model::Database;
+use relviz_rc::trc::{Binding, TrcFormula, TrcQuery, TrcTerm};
+use relviz_render::{Scene, TextStyle};
+
+use crate::common::{DiagError, DiagResult};
+
+const FORMALISM: &str = "QueryVis";
+
+/// An attribute slot in a table box.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttrSlot {
+    pub attr: String,
+    /// Selection labels, e.g. `= 'red'`, `< 30`.
+    pub selections: Vec<String>,
+    /// Output attributes (head of the query) are highlighted.
+    pub output: bool,
+}
+
+/// A table box: one tuple variable.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableBox {
+    pub var: String,
+    pub rel: String,
+    pub attrs: Vec<AttrSlot>,
+}
+
+impl TableBox {
+    fn slot_mut(&mut self, attr: &str) -> &mut AttrSlot {
+        if let Some(i) = self.attrs.iter().position(|a| a.attr == attr) {
+            return &mut self.attrs[i];
+        }
+        self.attrs.push(AttrSlot { attr: attr.to_string(), selections: Vec::new(), output: false });
+        self.attrs.last_mut().expect("just pushed")
+    }
+}
+
+/// A quantifier group.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Group {
+    /// Negated groups render dashed with a `NOT EXISTS` badge.
+    pub negated: bool,
+    /// Nesting depth (root = 0) — drives the left-to-right reading order.
+    pub depth: usize,
+    /// Parent group (None for the root).
+    pub parent: Option<usize>,
+    pub tables: Vec<TableBox>,
+}
+
+/// A join edge between attribute slots (`(group, table, attr)` endpoints).
+#[derive(Debug, Clone, PartialEq)]
+pub struct JoinEdge {
+    pub from: (usize, usize, usize),
+    pub to: (usize, usize, usize),
+    /// Operator label; `=` edges are drawn unlabelled.
+    pub op: String,
+}
+
+/// A QueryVis diagram.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryVisDiagram {
+    pub groups: Vec<Group>,
+    pub joins: Vec<JoinEdge>,
+    /// Reading-order arrows (parent group → child group).
+    pub arrows: Vec<(usize, usize)>,
+}
+
+impl QueryVisDiagram {
+    /// Builds from a TRC query (single branch, no disjunction).
+    pub fn from_trc(q: &TrcQuery, db: &Database) -> DiagResult<QueryVisDiagram> {
+        relviz_rc::trc_check::check_query(q, db).map_err(|e| DiagError::Lang(e.to_string()))?;
+        if q.branches.len() != 1 {
+            return Err(DiagError::unsupported(
+                FORMALISM,
+                format!(
+                    "union of {} branches (QueryVis draws a single query block)",
+                    q.branches.len()
+                ),
+            ));
+        }
+        let branch = &q.branches[0];
+        let mut d = QueryVisDiagram { groups: Vec::new(), joins: Vec::new(), arrows: Vec::new() };
+        let root = d.new_group(false, 0, None);
+        for b in &branch.bindings {
+            d.add_table(root, b);
+        }
+        if let Some(body) = &branch.body {
+            let body = body.eliminate_forall();
+            d.walk(&body, root)?;
+        }
+        // Mark outputs.
+        for (_, term) in &branch.head {
+            if let TrcTerm::Attr { var, attr } = term {
+                let (g, t) = d
+                    .find_table(var)
+                    .ok_or_else(|| DiagError::Invalid(format!("unbound head var `{var}`")))?;
+                d.groups[g].tables[t].slot_mut(attr).output = true;
+            }
+        }
+        Ok(d)
+    }
+
+    /// Convenience: SQL → TRC → QueryVis.
+    pub fn from_sql(sql: &str, db: &Database) -> DiagResult<QueryVisDiagram> {
+        let trc = relviz_rc::from_sql::parse_sql_to_trc(sql, db)?;
+        Self::from_trc(&trc, db)
+    }
+
+    fn new_group(&mut self, negated: bool, depth: usize, parent: Option<usize>) -> usize {
+        self.groups.push(Group { negated, depth, parent, tables: Vec::new() });
+        let id = self.groups.len() - 1;
+        if let Some(p) = parent {
+            self.arrows.push((p, id));
+        }
+        id
+    }
+
+    fn add_table(&mut self, group: usize, b: &Binding) {
+        self.groups[group].tables.push(TableBox {
+            var: b.var.clone(),
+            rel: b.rel.clone(),
+            attrs: Vec::new(),
+        });
+    }
+
+    fn find_table(&self, var: &str) -> Option<(usize, usize)> {
+        for (g, group) in self.groups.iter().enumerate() {
+            for (t, table) in group.tables.iter().enumerate() {
+                if table.var == var {
+                    return Some((g, t));
+                }
+            }
+        }
+        None
+    }
+
+    fn walk(&mut self, f: &TrcFormula, group: usize) -> DiagResult<()> {
+        match f {
+            TrcFormula::Const(true) => Ok(()),
+            TrcFormula::Const(false) => Err(DiagError::unsupported(
+                FORMALISM,
+                "the constant FALSE (no visual element denotes an empty query)",
+            )),
+            TrcFormula::And(a, b) => {
+                self.walk(a, group)?;
+                self.walk(b, group)
+            }
+            TrcFormula::Or(_, _) => Err(DiagError::unsupported(
+                FORMALISM,
+                "disjunction (QueryVis has no visual element for OR)",
+            )),
+            TrcFormula::Not(inner) => match &**inner {
+                // ¬∃ — a negated group.
+                TrcFormula::Exists { bindings, body } => {
+                    self.enter_group(bindings, body, group, true)
+                }
+                TrcFormula::Not(f2) => self.walk(f2, group),
+                TrcFormula::Cmp { left, op, right } => self.comparison(
+                    &TrcFormula::Cmp { left: left.clone(), op: op.negate(), right: right.clone() },
+                    group,
+                ),
+                _ => Err(DiagError::unsupported(
+                    FORMALISM,
+                    "negation of a complex subformula (only NOT EXISTS and negated comparisons)",
+                )),
+            },
+            TrcFormula::Exists { bindings, body } => {
+                self.enter_group(bindings, body, group, false)
+            }
+            TrcFormula::Cmp { .. } => self.comparison(f, group),
+            TrcFormula::Forall { .. } => {
+                Err(DiagError::Invalid("∀ should have been eliminated".into()))
+            }
+        }
+    }
+
+    fn enter_group(
+        &mut self,
+        bindings: &[Binding],
+        body: &TrcFormula,
+        parent: usize,
+        negated: bool,
+    ) -> DiagResult<()> {
+        let depth = self.groups[parent].depth + 1;
+        let g = self.new_group(negated, depth, Some(parent));
+        for b in bindings {
+            self.add_table(g, b);
+        }
+        self.walk(body, g)
+    }
+
+    fn comparison(&mut self, f: &TrcFormula, _group: usize) -> DiagResult<()> {
+        let TrcFormula::Cmp { left, op, right } = f else {
+            return Err(DiagError::Invalid("comparison expected".into()));
+        };
+        match (left, right) {
+            (TrcTerm::Attr { var, attr }, TrcTerm::Const(c)) => {
+                let (g, t) = self
+                    .find_table(var)
+                    .ok_or_else(|| DiagError::Invalid(format!("unbound var `{var}`")))?;
+                self.groups[g].tables[t]
+                    .slot_mut(attr)
+                    .selections
+                    .push(format!("{} {}", op.symbol(), c.to_literal()));
+                Ok(())
+            }
+            (TrcTerm::Const(c), TrcTerm::Attr { var, attr }) => {
+                let (g, t) = self
+                    .find_table(var)
+                    .ok_or_else(|| DiagError::Invalid(format!("unbound var `{var}`")))?;
+                self.groups[g].tables[t]
+                    .slot_mut(attr)
+                    .selections
+                    .push(format!("{} {}", op.flip().symbol(), c.to_literal()));
+                Ok(())
+            }
+            (
+                TrcTerm::Attr { var: v1, attr: a1 },
+                TrcTerm::Attr { var: v2, attr: a2 },
+            ) => {
+                let (g1, t1) = self
+                    .find_table(v1)
+                    .ok_or_else(|| DiagError::Invalid(format!("unbound var `{v1}`")))?;
+                let (g2, t2) = self
+                    .find_table(v2)
+                    .ok_or_else(|| DiagError::Invalid(format!("unbound var `{v2}`")))?;
+                let s1 = self.slot_index(g1, t1, a1);
+                let s2 = self.slot_index(g2, t2, a2);
+                self.joins.push(JoinEdge {
+                    from: (g1, t1, s1),
+                    to: (g2, t2, s2),
+                    op: op.symbol().to_string(),
+                });
+                Ok(())
+            }
+            (TrcTerm::Const(_), TrcTerm::Const(_)) => Err(DiagError::unsupported(
+                FORMALISM,
+                "constant-to-constant comparisons (no anchor attribute)",
+            )),
+        }
+    }
+
+    fn slot_index(&mut self, g: usize, t: usize, attr: &str) -> usize {
+        let table = &mut self.groups[g].tables[t];
+        table.slot_mut(attr);
+        table.attrs.iter().position(|a| a.attr == attr).expect("slot_mut inserted it")
+    }
+
+    /// Element census for experiments E6/E7: (groups, tables, attribute
+    /// slots, join edges, arrows).
+    pub fn census(&self) -> (usize, usize, usize, usize, usize) {
+        let tables: usize = self.groups.iter().map(|g| g.tables.len()).sum();
+        let slots: usize =
+            self.groups.iter().flat_map(|g| &g.tables).map(|t| t.attrs.len()).sum();
+        (self.groups.len(), tables, slots, self.joins.len(), self.arrows.len())
+    }
+
+    /// Scene: groups left-to-right by depth, tables stacked inside, join
+    /// edges between slots, reading-order arrows between group borders.
+    pub fn scene(&self) -> Scene {
+        const SLOT_H: f64 = 18.0;
+        const HEADER_H: f64 = 22.0;
+        const TABLE_W: f64 = 150.0;
+        const TABLE_GAP: f64 = 24.0;
+        const GROUP_GAP: f64 = 60.0;
+        const PAD: f64 = 14.0;
+
+        // Group sizes.
+        let mut group_rects = Vec::with_capacity(self.groups.len());
+        let max_depth = self.groups.iter().map(|g| g.depth).max().unwrap_or(0);
+        let mut x_per_depth = vec![20.0f64; max_depth + 1];
+        // Horizontal start of each depth column.
+        let mut col_x = vec![0.0f64; max_depth + 2];
+        for d in 0..=max_depth {
+            col_x[d + 1] = col_x[d] + TABLE_W + 2.0 * PAD + GROUP_GAP;
+        }
+        for group in &self.groups {
+            let h: f64 = group
+                .tables
+                .iter()
+                .map(|t| HEADER_H + t.attrs.len() as f64 * SLOT_H + TABLE_GAP)
+                .sum::<f64>()
+                .max(HEADER_H)
+                + 2.0 * PAD;
+            let x = 20.0 + col_x[group.depth];
+            let y = x_per_depth[group.depth];
+            x_per_depth[group.depth] += h + 30.0;
+            group_rects.push((x, y, TABLE_W + 2.0 * PAD, h));
+        }
+
+        let mut scene = Scene::new(0.0, 0.0);
+        // Slot positions for join edges: (g, t, s) → (x, y).
+        let mut slot_pos: std::collections::HashMap<(usize, usize, usize), (f64, f64)> =
+            std::collections::HashMap::new();
+
+        for (gi, group) in self.groups.iter().enumerate() {
+            let (gx, gy, gw, _gh) = group_rects[gi];
+            let (_, _, _, gh) = group_rects[gi];
+            scene.styled_rect(
+                gx,
+                gy,
+                gw,
+                gh,
+                4.0,
+                if group.negated { "#aa0000" } else { "#555555" },
+                "none",
+                if group.negated { 1.6 } else { 1.0 },
+                group.negated,
+            );
+            if group.negated {
+                scene.styled_text(
+                    gx + 4.0,
+                    gy + 12.0,
+                    "NOT EXISTS",
+                    TextStyle { size: 10.0, bold: true, color: "#aa0000".into(), ..TextStyle::default() },
+                );
+            }
+            let mut ty = gy + PAD + if group.negated { 8.0 } else { 0.0 };
+            for (ti, table) in group.tables.iter().enumerate() {
+                let tx = gx + PAD;
+                let th = HEADER_H + table.attrs.len() as f64 * SLOT_H;
+                scene.rect(tx, ty, TABLE_W, th);
+                scene.styled_rect(tx, ty, TABLE_W, HEADER_H, 0.0, "#000000", "#e8e8e8", 1.0, false);
+                scene.styled_text(
+                    tx + 6.0,
+                    ty + 15.0,
+                    format!("{} {}", table.rel, table.var),
+                    TextStyle { size: 12.0, bold: true, ..TextStyle::default() },
+                );
+                for (si, slot) in table.attrs.iter().enumerate() {
+                    let sy = ty + HEADER_H + si as f64 * SLOT_H;
+                    scene.line(tx, sy, tx + TABLE_W, sy);
+                    let label = if slot.selections.is_empty() {
+                        slot.attr.clone()
+                    } else {
+                        format!("{} {}", slot.attr, slot.selections.join(" "))
+                    };
+                    scene.styled_text(
+                        tx + 6.0,
+                        sy + 13.0,
+                        label,
+                        TextStyle {
+                            size: 11.0,
+                            bold: slot.output,
+                            italic: slot.output,
+                            ..TextStyle::default()
+                        },
+                    );
+                    slot_pos.insert((gi, ti, si), (tx + TABLE_W, sy + SLOT_H / 2.0));
+                }
+                ty += th + TABLE_GAP;
+            }
+        }
+
+        for j in &self.joins {
+            let Some(&(x1, y1)) = slot_pos.get(&j.from) else { continue };
+            let Some(&(x2, y2)) = slot_pos.get(&j.to) else { continue };
+            scene.line(x1, y1, x2 - 150.0 + 0.0, y2); // slot right edge to slot right edge
+            if j.op != "=" {
+                scene.text((x1 + x2) / 2.0 - 8.0, (y1 + y2) / 2.0 - 4.0, j.op.clone());
+            }
+        }
+        for &(from, to) in &self.arrows {
+            let (fx, fy, fw, fh) = group_rects[from];
+            let (tx2, ty2, _, th2) = group_rects[to];
+            scene.arrow(vec![(fx + fw, fy + fh / 2.0), (tx2, ty2 + th2 / 2.0)]);
+        }
+        scene.fit(12.0);
+        scene
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relviz_model::catalog::sailors_sample;
+
+    const Q5: &str = "SELECT S.sname FROM Sailor S WHERE NOT EXISTS \
+        (SELECT * FROM Boat B WHERE B.color = 'red' AND NOT EXISTS \
+          (SELECT * FROM Reserves R WHERE R.sid = S.sid AND R.bid = B.bid))";
+
+    #[test]
+    fn q5_structure() {
+        let db = sailors_sample();
+        let d = QueryVisDiagram::from_sql(Q5, &db).unwrap();
+        // Three groups: root(Sailor), ¬∃(Boat), ¬∃(Reserves).
+        assert_eq!(d.groups.len(), 3);
+        assert!(!d.groups[0].negated && d.groups[1].negated && d.groups[2].negated);
+        assert_eq!(d.groups[0].depth, 0);
+        assert_eq!(d.groups[2].depth, 2);
+        // Reading-order arrows chain root → boat group → reserves group.
+        assert_eq!(d.arrows, vec![(0, 1), (1, 2)]);
+        // Two join edges (sid, bid); one selection (= 'red'); one output.
+        assert_eq!(d.joins.len(), 2);
+        let boat = &d.groups[1].tables[0];
+        assert!(boat.attrs.iter().any(|a| a.selections == vec!["= 'red'"]));
+        let sailor = &d.groups[0].tables[0];
+        assert!(sailor.attrs.iter().any(|a| a.output));
+    }
+
+    #[test]
+    fn q1_single_group_join() {
+        let db = sailors_sample();
+        let d = QueryVisDiagram::from_sql(
+            "SELECT DISTINCT S.sname FROM Sailor S, Reserves R \
+             WHERE S.sid = R.sid AND R.bid = 102",
+            &db,
+        )
+        .unwrap();
+        assert_eq!(d.groups.len(), 1);
+        assert_eq!(d.groups[0].tables.len(), 2);
+        assert_eq!(d.joins.len(), 1);
+        let (_, tables, slots, joins, arrows) = d.census();
+        assert_eq!((tables, joins, arrows), (2, 1, 0));
+        assert!(slots >= 3); // sname, sid, sid, bid
+    }
+
+    #[test]
+    fn disjunction_unsupported() {
+        let db = sailors_sample();
+        let r = QueryVisDiagram::from_sql(
+            "SELECT DISTINCT S.sname FROM Sailor S, Reserves R, Boat B \
+             WHERE S.sid = R.sid AND R.bid = B.bid AND (B.color = 'red' OR B.color = 'green')",
+            &db,
+        );
+        assert!(matches!(r, Err(DiagError::Unsupported { .. })), "{r:?}");
+    }
+
+    #[test]
+    fn union_unsupported() {
+        let db = sailors_sample();
+        let r = QueryVisDiagram::from_sql(
+            "SELECT S.sid FROM Sailor S UNION SELECT B.bid FROM Boat B",
+            &db,
+        );
+        assert!(matches!(r, Err(DiagError::Unsupported { .. })));
+    }
+
+    #[test]
+    fn quantified_comparison_renders_as_negated_group() {
+        // >= ALL compiles to ¬∃ with a negated comparison — supported.
+        let db = sailors_sample();
+        let d = QueryVisDiagram::from_sql(
+            "SELECT S.sname FROM Sailor S WHERE S.rating >= ALL (SELECT S2.rating FROM Sailor S2)",
+            &db,
+        )
+        .unwrap();
+        assert_eq!(d.groups.len(), 2);
+        assert!(d.groups[1].negated);
+        // the negated comparison appears as a `<`-labelled join edge
+        assert_eq!(d.joins.len(), 1);
+        assert_eq!(d.joins[0].op, "<");
+    }
+
+    #[test]
+    fn scene_shows_not_exists_badges() {
+        let db = sailors_sample();
+        let d = QueryVisDiagram::from_sql(Q5, &db).unwrap();
+        let svg = relviz_render::svg::to_svg(&d.scene());
+        assert_eq!(svg.matches("NOT EXISTS").count(), 2);
+        assert!(svg.contains("marker-end"));
+        assert!(svg.contains("Sailor S"));
+    }
+}

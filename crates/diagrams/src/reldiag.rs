@@ -1,0 +1,646 @@
+//! **Relational Diagrams** (Gatterbauer & Dunne, SIGMOD'24): the most
+//! recent formalism in the survey — QueryVis's tables and predicate edges,
+//! but with the nesting structure shown by **nested negated bounding
+//! boxes** (Peirce's cuts, rediscovered for tuple calculus) instead of
+//! reading-order arrows.
+//!
+//! Because the diagram *is* the nesting structure of a TRC formula in
+//! ∃/¬∃ normal form, the reading back to TRC is exact and unambiguous —
+//! [`RelationalDiagram::to_trc`] is a faithful inverse of
+//! [`RelationalDiagram::from_trc`] (property-tested: round-tripping
+//! preserves query semantics). This solves, by construction, the scope
+//! ambiguity of Peirce's beta graphs that experiment E3 exhibits: boxes
+//! cannot "touch" a cut the way a line of identity can.
+//!
+//! Every predicate records the **box it is drawn in** ([`PredItem::path`]):
+//! a comparison whose attributes all belong to outer tables can still
+//! scope *inside* a negation box (`¬∃r: s.a <> s.a` is not the same as
+//! `s.a <> s.a ∧ ¬∃r: true`), and the diagram must keep that distinction —
+//! a subtlety our own property tests caught.
+//!
+//! Disjunction is supported exactly as in the paper: as a **union of
+//! partitions** (TRC\*) drawn side by side — `OR` *inside* a formula has
+//! no visual counterpart and is reported `Unsupported`.
+
+use relviz_model::{CmpOp, Database, Value};
+use relviz_rc::trc::{Binding, TrcBranch, TrcFormula, TrcQuery, TrcTerm};
+use relviz_render::{Scene, TextStyle};
+
+use crate::common::{DiagError, DiagResult};
+
+const FORMALISM: &str = "Relational Diagrams";
+
+/// An attribute cell of a table node. `selections` holds display labels;
+/// the semantic record lives in [`Partition::preds`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttrCell {
+    pub attr: String,
+    pub selections: Vec<String>,
+    pub output: bool,
+}
+
+/// A table node (one tuple variable).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableNode {
+    pub var: String,
+    pub rel: String,
+    pub attrs: Vec<AttrCell>,
+}
+
+impl TableNode {
+    fn cell_mut(&mut self, attr: &str) -> &mut AttrCell {
+        if let Some(i) = self.attrs.iter().position(|a| a.attr == attr) {
+            return &mut self.attrs[i];
+        }
+        self.attrs.push(AttrCell { attr: attr.to_string(), selections: Vec::new(), output: false });
+        self.attrs.last_mut().expect("just pushed")
+    }
+}
+
+/// A (possibly negated) bounding box. The root box of a partition is not
+/// negated; every nested box denotes `¬∃(tables inside): …`.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct NBox {
+    pub tables: Vec<TableNode>,
+    pub children: Vec<NBox>,
+}
+
+/// A predicate, anchored at the box (path of child indices from the root)
+/// it is drawn in.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PredItem {
+    pub path: Vec<usize>,
+    pub kind: PredKind,
+}
+
+/// The two predicate shapes of the formalism.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PredKind {
+    /// attribute–constant selection.
+    Selection { var: String, attr: String, op: CmpOp, value: Value },
+    /// attribute–attribute edge.
+    Join { from: (String, String), op: CmpOp, to: (String, String) },
+}
+
+/// One partition = one TRC branch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Partition {
+    pub root: NBox,
+    pub preds: Vec<PredItem>,
+    /// Output attributes in order: (var, attr, output name).
+    pub head: Vec<(String, String, String)>,
+}
+
+/// A Relational Diagram: one or more partitions (union).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RelationalDiagram {
+    pub partitions: Vec<Partition>,
+}
+
+impl RelationalDiagram {
+    /// Builds from a TRC query. Each branch becomes a partition; `∀` is
+    /// eliminated; `OR` inside formulas is rejected (write it as UNION).
+    pub fn from_trc(q: &TrcQuery, db: &Database) -> DiagResult<RelationalDiagram> {
+        relviz_rc::trc_check::check_query(q, db).map_err(|e| DiagError::Lang(e.to_string()))?;
+        let q = q.eliminate_forall();
+        let mut partitions = Vec::with_capacity(q.branches.len());
+        for branch in &q.branches {
+            partitions.push(build_partition(branch)?);
+        }
+        Ok(RelationalDiagram { partitions })
+    }
+
+    /// Convenience: SQL → TRC → Relational Diagram.
+    pub fn from_sql(sql: &str, db: &Database) -> DiagResult<RelationalDiagram> {
+        let trc = relviz_rc::from_sql::parse_sql_to_trc(sql, db)?;
+        Self::from_trc(&trc, db)
+    }
+
+    /// The exact back-translation to TRC — the formalism's headline
+    /// property.
+    pub fn to_trc(&self) -> TrcQuery {
+        let branches = self
+            .partitions
+            .iter()
+            .map(|p| {
+                let bindings: Vec<Binding> = p
+                    .root
+                    .tables
+                    .iter()
+                    .map(|t| Binding::new(t.var.clone(), t.rel.clone()))
+                    .collect();
+                let head = p
+                    .head
+                    .iter()
+                    .map(|(var, attr, name)| {
+                        (name.clone(), TrcTerm::attr(var.clone(), attr.clone()))
+                    })
+                    .collect();
+                let body = box_formula(&p.root, p, &mut Vec::new());
+                TrcBranch { bindings, head, body }
+            })
+            .collect();
+        TrcQuery { branches }
+    }
+
+    /// Element census: (partitions, boxes, tables, attribute cells, predicates).
+    pub fn census(&self) -> (usize, usize, usize, usize, usize) {
+        fn boxes(b: &NBox) -> usize {
+            1 + b.children.iter().map(boxes).sum::<usize>()
+        }
+        fn tables(b: &NBox) -> usize {
+            b.tables.len() + b.children.iter().map(tables).sum::<usize>()
+        }
+        fn cells(b: &NBox) -> usize {
+            b.tables.iter().map(|t| t.attrs.len()).sum::<usize>()
+                + b.children.iter().map(cells).sum::<usize>()
+        }
+        let mut bx = 0;
+        let mut tb = 0;
+        let mut cl = 0;
+        let mut pr = 0;
+        for p in &self.partitions {
+            bx += boxes(&p.root);
+            tb += tables(&p.root);
+            cl += cells(&p.root);
+            pr += p.preds.len();
+        }
+        (self.partitions.len(), bx, tb, cl, pr)
+    }
+
+    /// Scene: nested boxes via the box layout; tables as attribute stacks;
+    /// dashed separators between partitions.
+    pub fn scene(&self) -> Scene {
+        use relviz_layout::boxes::{layout, BoxNode, BoxOptions};
+        const CELL_H: f64 = 18.0;
+        const HEADER_H: f64 = 22.0;
+        const TABLE_W: f64 = 140.0;
+
+        let mut scene = Scene::new(0.0, 0.0);
+        let mut x_offset = 0.0;
+
+        for (pi, p) in self.partitions.iter().enumerate() {
+            fn to_box(b: &NBox) -> BoxNode {
+                let atoms = b
+                    .tables
+                    .iter()
+                    .map(|t| (TABLE_W, HEADER_H + t.attrs.len() as f64 * CELL_H))
+                    .collect();
+                let children = b.children.iter().map(to_box).collect();
+                let mut node = BoxNode::with_children(atoms, children);
+                node.header = 6.0;
+                node
+            }
+            fn collect_tables<'a>(b: &'a NBox, out: &mut Vec<&'a TableNode>) {
+                for t in &b.tables {
+                    out.push(t);
+                }
+                for c in &b.children {
+                    collect_tables(c, out);
+                }
+            }
+            let tree = to_box(&p.root);
+            let mut tabs = Vec::new();
+            collect_tables(&p.root, &mut tabs);
+            let l = layout(&tree, BoxOptions::default());
+
+            for (bi, r) in l.boxes.iter().enumerate() {
+                let negated = bi != 0;
+                scene.styled_rect(
+                    x_offset + r.x,
+                    r.y,
+                    r.w,
+                    r.h,
+                    3.0,
+                    if negated { "#aa0000" } else { "#444444" },
+                    "none",
+                    if negated { 1.8 } else { 1.0 },
+                    false,
+                );
+            }
+            let mut cell_pos: std::collections::HashMap<(String, String), (f64, f64)> =
+                std::collections::HashMap::new();
+            for ((_, r), table) in l.atoms.iter().zip(&tabs) {
+                let (tx, ty) = (x_offset + r.x, r.y);
+                scene.rect(tx, ty, r.w, r.h);
+                scene.styled_rect(tx, ty, r.w, HEADER_H, 0.0, "#000000", "#e8e8e8", 1.0, false);
+                scene.styled_text(
+                    tx + 6.0,
+                    ty + 15.0,
+                    format!("{} {}", table.rel, table.var),
+                    TextStyle { size: 12.0, bold: true, ..TextStyle::default() },
+                );
+                for (ci, cell) in table.attrs.iter().enumerate() {
+                    let cy = ty + HEADER_H + ci as f64 * CELL_H;
+                    scene.line(tx, cy, tx + r.w, cy);
+                    let label = if cell.selections.is_empty() {
+                        cell.attr.clone()
+                    } else {
+                        format!("{} {}", cell.attr, cell.selections.join(" "))
+                    };
+                    scene.styled_text(
+                        tx + 6.0,
+                        cy + 13.0,
+                        label,
+                        TextStyle { size: 11.0, bold: cell.output, ..TextStyle::default() },
+                    );
+                    cell_pos.insert(
+                        (table.var.clone(), cell.attr.clone()),
+                        (tx + r.w, cy + CELL_H / 2.0),
+                    );
+                }
+            }
+            for pred in &p.preds {
+                if let PredKind::Join { from, op, to } = &pred.kind {
+                    let Some(&(x1, y1)) = cell_pos.get(&(from.0.clone(), from.1.clone())) else {
+                        continue;
+                    };
+                    let Some(&(x2, y2)) = cell_pos.get(&(to.0.clone(), to.1.clone())) else {
+                        continue;
+                    };
+                    scene.line(x1, y1, x2, y2);
+                    if *op != CmpOp::Eq {
+                        scene.text((x1 + x2) / 2.0 - 6.0, (y1 + y2) / 2.0 - 4.0, op.symbol());
+                    }
+                }
+            }
+            x_offset += l.boxes[0].w + 40.0;
+            if pi + 1 < self.partitions.len() {
+                scene.items.push(relviz_render::Item::Polyline {
+                    points: vec![(x_offset - 20.0, 0.0), (x_offset - 20.0, l.boxes[0].h)],
+                    stroke: "#888888".into(),
+                    stroke_width: 1.0,
+                    dashed: true,
+                    arrow: false,
+                });
+            }
+        }
+        scene.fit(12.0);
+        scene
+    }
+}
+
+// ---- construction ----------------------------------------------------------
+
+struct PartitionBuilder {
+    root: NBox,
+    preds: Vec<PredItem>,
+}
+
+fn build_partition(branch: &TrcBranch) -> DiagResult<Partition> {
+    let mut b = PartitionBuilder { root: NBox::default(), preds: Vec::new() };
+    for binding in &branch.bindings {
+        b.root.tables.push(TableNode {
+            var: binding.var.clone(),
+            rel: binding.rel.clone(),
+            attrs: Vec::new(),
+        });
+    }
+    if let Some(body) = &branch.body {
+        walk(body, &[], &mut b)?;
+    }
+    let mut head = Vec::with_capacity(branch.head.len());
+    for (name, term) in &branch.head {
+        match term {
+            TrcTerm::Attr { var, attr } => {
+                let t = find_table(&mut b.root, var)
+                    .ok_or_else(|| DiagError::Invalid(format!("head var `{var}` not free")))?;
+                t.cell_mut(attr).output = true;
+                head.push((var.clone(), attr.clone(), name.clone()));
+            }
+            TrcTerm::Const(_) => {
+                return Err(DiagError::unsupported(
+                    FORMALISM,
+                    "constant head terms (no table cell to anchor the output marker)",
+                ))
+            }
+        }
+    }
+    Ok(Partition { root: b.root, preds: b.preds, head })
+}
+
+fn box_at<'a>(root: &'a mut NBox, path: &[usize]) -> &'a mut NBox {
+    let mut cur = root;
+    for &i in path {
+        cur = &mut cur.children[i];
+    }
+    cur
+}
+
+fn find_table<'a>(b: &'a mut NBox, var: &str) -> Option<&'a mut TableNode> {
+    if let Some(i) = b.tables.iter().position(|t| t.var == var) {
+        return Some(&mut b.tables[i]);
+    }
+    for c in &mut b.children {
+        if let Some(t) = find_table(c, var) {
+            return Some(t);
+        }
+    }
+    None
+}
+
+fn walk(f: &TrcFormula, path: &[usize], b: &mut PartitionBuilder) -> DiagResult<()> {
+    match f {
+        TrcFormula::Const(true) => Ok(()),
+        TrcFormula::Const(false) => {
+            // FALSE = an empty negation box (¬∃ over nothing is ¬TRUE).
+            box_at(&mut b.root, path).children.push(NBox::default());
+            Ok(())
+        }
+        TrcFormula::And(x, y) => {
+            walk(x, path, b)?;
+            walk(y, path, b)
+        }
+        TrcFormula::Or(_, _) => Err(DiagError::unsupported(
+            FORMALISM,
+            "disjunction inside a formula (write it as UNION → side-by-side partitions)",
+        )),
+        TrcFormula::Not(inner) => match &**inner {
+            TrcFormula::Exists { bindings, body } => {
+                let child = NBox {
+                    tables: bindings
+                        .iter()
+                        .map(|bind| TableNode {
+                            var: bind.var.clone(),
+                            rel: bind.rel.clone(),
+                            attrs: Vec::new(),
+                        })
+                        .collect(),
+                    children: Vec::new(),
+                };
+                let parent = box_at(&mut b.root, path);
+                parent.children.push(child);
+                let mut child_path = path.to_vec();
+                child_path.push(parent.children.len() - 1);
+                walk(body, &child_path, b)
+            }
+            TrcFormula::Not(g) => walk(g, path, b),
+            TrcFormula::Cmp { left, op, right } => {
+                let negated =
+                    TrcFormula::Cmp { left: left.clone(), op: op.negate(), right: right.clone() };
+                walk(&negated, path, b)
+            }
+            _ => Err(DiagError::unsupported(
+                FORMALISM,
+                "negation of a complex subformula (only ¬∃ boxes and negated comparisons)",
+            )),
+        },
+        TrcFormula::Exists { bindings, body } => {
+            // A non-negated existential merges into the current box.
+            let parent = box_at(&mut b.root, path);
+            for bind in bindings {
+                parent.tables.push(TableNode {
+                    var: bind.var.clone(),
+                    rel: bind.rel.clone(),
+                    attrs: Vec::new(),
+                });
+            }
+            walk(body, path, b)
+        }
+        TrcFormula::Cmp { left, op, right } => match (left, right) {
+            (TrcTerm::Attr { var, attr }, TrcTerm::Const(c)) => {
+                selection(b, path, var, attr, *op, c.clone())
+            }
+            (TrcTerm::Const(c), TrcTerm::Attr { var, attr }) => {
+                selection(b, path, var, attr, op.flip(), c.clone())
+            }
+            (TrcTerm::Attr { var: v1, attr: a1 }, TrcTerm::Attr { var: v2, attr: a2 }) => {
+                for (v, a) in [(v1, a1), (v2, a2)] {
+                    let t = find_table(&mut b.root, v)
+                        .ok_or_else(|| DiagError::Invalid(format!("unbound var `{v}`")))?;
+                    t.cell_mut(a);
+                }
+                b.preds.push(PredItem {
+                    path: path.to_vec(),
+                    kind: PredKind::Join {
+                        from: (v1.clone(), a1.clone()),
+                        op: *op,
+                        to: (v2.clone(), a2.clone()),
+                    },
+                });
+                Ok(())
+            }
+            (TrcTerm::Const(_), TrcTerm::Const(_)) => Err(DiagError::unsupported(
+                FORMALISM,
+                "constant-to-constant comparisons (no anchor attribute)",
+            )),
+        },
+        TrcFormula::Forall { .. } => {
+            Err(DiagError::Invalid("∀ should have been eliminated".into()))
+        }
+    }
+}
+
+fn selection(
+    b: &mut PartitionBuilder,
+    path: &[usize],
+    var: &str,
+    attr: &str,
+    op: CmpOp,
+    value: Value,
+) -> DiagResult<()> {
+    let t = find_table(&mut b.root, var)
+        .ok_or_else(|| DiagError::Invalid(format!("unbound var `{var}`")))?;
+    t.cell_mut(attr).selections.push(format!("{} {}", op.symbol(), value.to_literal()));
+    b.preds.push(PredItem {
+        path: path.to_vec(),
+        kind: PredKind::Selection {
+            var: var.to_string(),
+            attr: attr.to_string(),
+            op,
+            value,
+        },
+    });
+    Ok(())
+}
+
+// ---- back-translation -------------------------------------------------------
+
+/// The formula contributed by one box: its anchored predicates, plus ¬∃
+/// per child box.
+fn box_formula(b: &NBox, p: &Partition, path: &mut Vec<usize>) -> Option<TrcFormula> {
+    let mut parts: Vec<TrcFormula> = Vec::new();
+
+    for pred in &p.preds {
+        if pred.path == *path {
+            parts.push(match &pred.kind {
+                PredKind::Selection { var, attr, op, value } => TrcFormula::Cmp {
+                    left: TrcTerm::attr(var.clone(), attr.clone()),
+                    op: *op,
+                    right: TrcTerm::Const(value.clone()),
+                },
+                PredKind::Join { from, op, to } => TrcFormula::Cmp {
+                    left: TrcTerm::attr(from.0.clone(), from.1.clone()),
+                    op: *op,
+                    right: TrcTerm::attr(to.0.clone(), to.1.clone()),
+                },
+            });
+        }
+    }
+    for (i, child) in b.children.iter().enumerate() {
+        path.push(i);
+        let inner = box_formula(child, p, path);
+        path.pop();
+        let bindings: Vec<Binding> = child
+            .tables
+            .iter()
+            .map(|t| Binding::new(t.var.clone(), t.rel.clone()))
+            .collect();
+        let body = inner.unwrap_or(TrcFormula::Const(true));
+        parts.push(TrcFormula::exists(bindings, body).not());
+    }
+
+    if parts.is_empty() {
+        None
+    } else {
+        Some(TrcFormula::conj(parts))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relviz_model::catalog::sailors_sample;
+    use relviz_rc::trc_eval::eval_trc;
+
+    const Q5: &str = "SELECT S.sname FROM Sailor S WHERE NOT EXISTS \
+        (SELECT * FROM Boat B WHERE B.color = 'red' AND NOT EXISTS \
+          (SELECT * FROM Reserves R WHERE R.sid = S.sid AND R.bid = B.bid))";
+
+    #[test]
+    fn q5_nested_boxes() {
+        let db = sailors_sample();
+        let d = RelationalDiagram::from_sql(Q5, &db).unwrap();
+        assert_eq!(d.partitions.len(), 1);
+        let p = &d.partitions[0];
+        assert_eq!(p.root.tables.len(), 1); // Sailor
+        assert_eq!(p.root.children.len(), 1); // ¬∃ Boat …
+        assert_eq!(p.root.children[0].tables.len(), 1);
+        assert_eq!(p.root.children[0].children.len(), 1); // ¬∃ Reserves …
+        let joins =
+            p.preds.iter().filter(|pr| matches!(pr.kind, PredKind::Join { .. })).count();
+        assert_eq!(joins, 2);
+        let (parts, boxes, tables, _cells, preds) = d.census();
+        assert_eq!((parts, boxes, tables, preds), (1, 3, 3, 3)); // 2 joins + 1 selection
+    }
+
+    #[test]
+    fn predicates_remember_their_box() {
+        let db = sailors_sample();
+        let d = RelationalDiagram::from_sql(Q5, &db).unwrap();
+        let p = &d.partitions[0];
+        // the selection (= 'red') sits in box [0]; the joins in box [0, 0].
+        let sel = p
+            .preds
+            .iter()
+            .find(|pr| matches!(pr.kind, PredKind::Selection { .. }))
+            .unwrap();
+        assert_eq!(sel.path, vec![0]);
+        for j in p.preds.iter().filter(|pr| matches!(pr.kind, PredKind::Join { .. })) {
+            assert_eq!(j.path, vec![0, 0]);
+        }
+    }
+
+    #[test]
+    fn outer_only_predicate_inside_box_keeps_scope() {
+        // The proptest-discovered case: a comparison over only outer
+        // variables drawn inside a negation box must stay there.
+        let db = sailors_sample();
+        let trc = relviz_rc::trc_parse::parse_trc(
+            "{s.sname | Sailor(s) and not exists r in Reserves: (s.sid <> s.sid)}",
+        )
+        .unwrap();
+        let d = RelationalDiagram::from_trc(&trc, &db).unwrap();
+        let back = d.to_trc();
+        let orig = eval_trc(&trc, &db).unwrap();
+        let rt = eval_trc(&back, &db).unwrap();
+        assert!(orig.same_contents(&rt), "orig={orig} rt={rt}\nback: {back}");
+        // the contradiction makes ¬∃ true ⇒ all sailors qualify (9 names)
+        assert_eq!(orig.len(), 9);
+    }
+
+    #[test]
+    fn round_trip_preserves_semantics() {
+        let db = sailors_sample();
+        for sql in [
+            "SELECT DISTINCT S.sname FROM Sailor S, Reserves R WHERE S.sid = R.sid AND R.bid = 102",
+            "SELECT DISTINCT S.sname FROM Sailor S, Reserves R, Boat B \
+             WHERE S.sid = R.sid AND R.bid = B.bid AND B.color = 'red'",
+            Q5,
+            "SELECT S.sname FROM Sailor S WHERE NOT EXISTS \
+             (SELECT * FROM Reserves R WHERE R.sid = S.sid)",
+            "SELECT S.sname FROM Sailor S WHERE S.rating >= ALL (SELECT S2.rating FROM Sailor S2)",
+            "SELECT S.sname FROM Sailor S, Reserves R, Boat B \
+             WHERE S.sid = R.sid AND R.bid = B.bid AND B.color = 'red' \
+             UNION SELECT S.sname FROM Sailor S, Reserves R, Boat B \
+             WHERE S.sid = R.sid AND R.bid = B.bid AND B.color = 'green'",
+        ] {
+            let trc = relviz_rc::from_sql::parse_sql_to_trc(sql, &db).unwrap();
+            let d = RelationalDiagram::from_trc(&trc, &db).unwrap();
+            let back = d.to_trc();
+            let orig = eval_trc(&trc, &db).unwrap();
+            let rt = eval_trc(&back, &db)
+                .unwrap_or_else(|e| panic!("{sql}\nback: {back}\n{e}"));
+            assert!(
+                orig.same_contents(&rt),
+                "round trip changed semantics for `{sql}`\nback: {back}\norig={orig}\nrt={rt}"
+            );
+        }
+    }
+
+    #[test]
+    fn union_becomes_partitions() {
+        let db = sailors_sample();
+        let d = RelationalDiagram::from_sql(
+            "SELECT S.sid FROM Sailor S UNION SELECT B.bid FROM Boat B",
+            &db,
+        )
+        .unwrap();
+        assert_eq!(d.partitions.len(), 2);
+        let svg = relviz_render::svg::to_svg(&d.scene());
+        assert!(svg.contains("stroke-dasharray"), "union separator should be dashed");
+    }
+
+    #[test]
+    fn or_inside_formula_unsupported() {
+        let db = sailors_sample();
+        let r = RelationalDiagram::from_sql(
+            "SELECT DISTINCT S.sname FROM Sailor S, Reserves R, Boat B \
+             WHERE S.sid = R.sid AND R.bid = B.bid AND (B.color = 'red' OR B.color = 'green')",
+            &db,
+        );
+        assert!(matches!(r, Err(DiagError::Unsupported { .. })));
+    }
+
+    #[test]
+    fn forall_form_accepted_via_elimination() {
+        let db = sailors_sample();
+        // ∀ with implication-as-∨ leaves an OR under ¬ — unsupported; the
+        // ¬∃ form (how the paper writes it) works.
+        let trc = relviz_rc::trc_parse::parse_trc(
+            "{q.sname | Sailor(q) and forall b in Boat: (b.color <> 'red' or \
+              exists r in Reserves: (r.sid = q.sid and r.bid = b.bid))}",
+        )
+        .unwrap();
+        assert!(matches!(
+            RelationalDiagram::from_trc(&trc, &db),
+            Err(DiagError::Unsupported { .. })
+        ));
+        let good = relviz_rc::trc_parse::parse_trc(
+            "{q.sname | Sailor(q) and not exists b in Boat: (b.color = 'red' and \
+              not exists r in Reserves: (r.sid = q.sid and r.bid = b.bid))}",
+        )
+        .unwrap();
+        assert!(RelationalDiagram::from_trc(&good, &db).is_ok());
+    }
+
+    #[test]
+    fn scene_has_nested_negation_boxes() {
+        let db = sailors_sample();
+        let d = RelationalDiagram::from_sql(Q5, &db).unwrap();
+        let svg = relviz_render::svg::to_svg(&d.scene());
+        assert_eq!(svg.matches("#aa0000").count(), 2, "{svg}");
+        assert!(svg.contains("Sailor S"));
+        assert!(svg.contains("color = 'red'"));
+    }
+}

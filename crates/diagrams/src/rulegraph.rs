@@ -1,0 +1,270 @@
+//! **Rule-dependency graphs for Datalog programs** — the visual structure
+//! implicit in Part 5's question *"is QBE really more visual than
+//! Datalog?"* (experiment E6).
+//!
+//! A Datalog program already *is* a graph: predicates are nodes, a rule
+//! `h :- …, b, …` contributes an edge `b → h` (dashed when `b` occurs
+//! negated), and stratified negation layers the nodes bottom-up. Drawing
+//! that graph makes the comparison with QBE's sequential skeleton steps
+//! concrete: QBE's temporary relations are exactly the program's
+//! intermediate IDB nodes, and QBE's step order is a topological order of
+//! this graph.
+//!
+//! The module builds a [`RuleGraph`] from any stratifiable program,
+//! layers it by stratum, and renders EDB predicates as rectangles, IDB
+//! predicates as rounded boxes, the answer predicate double-bordered.
+
+use std::collections::BTreeMap;
+
+use relviz_datalog::ast::{Literal, Program};
+use relviz_render::{Scene, TextStyle};
+
+use crate::common::{DiagError, DiagResult};
+
+/// A predicate node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PredNode {
+    pub name: String,
+    /// Defined by rules (true) or a base table (false).
+    pub idb: bool,
+    /// Stratum index (0 = bottom).
+    pub stratum: usize,
+    /// Is this the program's answer predicate?
+    pub answer: bool,
+}
+
+/// A dependency edge `from → to` (body predicate to head predicate).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DepEdge {
+    pub from: usize,
+    pub to: usize,
+    pub negated: bool,
+}
+
+/// A rule-dependency graph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RuleGraph {
+    pub nodes: Vec<PredNode>,
+    pub edges: Vec<DepEdge>,
+}
+
+impl RuleGraph {
+    /// Builds the graph from a stratifiable program.
+    pub fn from_program(p: &Program) -> DiagResult<RuleGraph> {
+        let strata = relviz_datalog::stratify::stratify(p)
+            .map_err(|e| DiagError::Lang(e.to_string()))?;
+        let idb: Vec<&str> = p.idb_predicates();
+        let mut index: BTreeMap<String, usize> = BTreeMap::new();
+        let mut g = RuleGraph { nodes: Vec::new(), edges: Vec::new() };
+        let intern = |g: &mut RuleGraph,
+                          index: &mut BTreeMap<String, usize>,
+                          name: &str,
+                          is_idb: bool,
+                          answer: bool| {
+            if let Some(&i) = index.get(name) {
+                return i;
+            }
+            let stratum = strata.get(name).copied().unwrap_or(0);
+            g.nodes.push(PredNode {
+                name: name.to_string(),
+                idb: is_idb,
+                stratum,
+                answer,
+            });
+            index.insert(name.to_string(), g.nodes.len() - 1);
+            g.nodes.len() - 1
+        };
+        for r in &p.rules {
+            let head = intern(
+                &mut g,
+                &mut index,
+                &r.head.rel,
+                true,
+                r.head.rel == p.query,
+            );
+            for lit in &r.body {
+                let (name, negated) = match lit {
+                    Literal::Pos(a) => (&a.rel, false),
+                    Literal::Neg(a) => (&a.rel, true),
+                    Literal::Cmp { .. } => continue,
+                };
+                let is_idb = idb.contains(&name.as_str());
+                let from = intern(&mut g, &mut index, name, is_idb, name == &p.query);
+                let edge = DepEdge { from, to: head, negated };
+                if !g.edges.contains(&edge) {
+                    g.edges.push(edge);
+                }
+            }
+        }
+        Ok(g)
+    }
+
+    /// Element census: (nodes, IDB nodes, edges, negated edges, strata).
+    pub fn census(&self) -> (usize, usize, usize, usize, usize) {
+        let idb = self.nodes.iter().filter(|n| n.idb).count();
+        let neg = self.edges.iter().filter(|e| e.negated).count();
+        let strata = self.nodes.iter().map(|n| n.stratum).max().map_or(0, |m| m + 1);
+        (self.nodes.len(), idb, self.edges.len(), neg, strata)
+    }
+
+    /// The nodes per stratum, bottom-up — the program's "step structure",
+    /// directly comparable to QBE's sequential skeleton steps (E6).
+    pub fn layers(&self) -> Vec<Vec<&str>> {
+        let max = self.nodes.iter().map(|n| n.stratum).max().unwrap_or(0);
+        let mut out = vec![Vec::new(); max + 1];
+        for n in &self.nodes {
+            out[n.stratum].push(n.name.as_str());
+        }
+        out
+    }
+
+    /// Scene: strata as horizontal bands bottom-up, EDB rectangles below,
+    /// IDB rounded boxes above, dependency arrows (dashed = negated), the
+    /// answer predicate double-bordered.
+    pub fn scene(&self) -> Scene {
+        const W: f64 = 110.0;
+        const H: f64 = 28.0;
+        const XGAP: f64 = 36.0;
+        const YGAP: f64 = 64.0;
+        let mut scene = Scene::new(0.0, 0.0);
+        let max_stratum = self.nodes.iter().map(|n| n.stratum).max().unwrap_or(0);
+        let mut pos: Vec<(f64, f64)> = vec![(0.0, 0.0); self.nodes.len()];
+        let mut per_stratum_x = vec![20.0f64; max_stratum + 1];
+        for (i, n) in self.nodes.iter().enumerate() {
+            // Bottom-up: stratum 0 at the bottom.
+            let y = 20.0 + (max_stratum - n.stratum) as f64 * (H + YGAP);
+            let x = per_stratum_x[n.stratum];
+            per_stratum_x[n.stratum] += W + XGAP;
+            pos[i] = (x, y);
+            let rounding = if n.idb { 10.0 } else { 0.0 };
+            scene.styled_rect(x, y, W, H, rounding, "#000000", "none", 1.2, false);
+            if n.answer {
+                scene.styled_rect(
+                    x - 3.0,
+                    y - 3.0,
+                    W + 6.0,
+                    H + 6.0,
+                    rounding + 2.0,
+                    "#000000",
+                    "none",
+                    1.0,
+                    false,
+                );
+            }
+            scene.styled_text(
+                x + 8.0,
+                y + 18.0,
+                n.name.clone(),
+                TextStyle { size: 12.0, bold: n.answer, ..TextStyle::default() },
+            );
+        }
+        for e in &self.edges {
+            let (x1, y1) = pos[e.from];
+            let (x2, y2) = pos[e.to];
+            scene.items.push(relviz_render::Item::Polyline {
+                points: vec![(x1 + W / 2.0, y1), (x2 + W / 2.0, y2 + H)],
+                stroke: "#333333".into(),
+                stroke_width: 1.2,
+                dashed: e.negated,
+                arrow: true,
+            });
+            if e.negated {
+                scene.styled_text(
+                    (x1 + x2 + W) / 2.0 - 8.0,
+                    (y1 + y2 + H) / 2.0,
+                    "¬".to_string(),
+                    TextStyle { size: 12.0, bold: true, ..TextStyle::default() },
+                );
+            }
+        }
+        scene.fit(10.0);
+        scene
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relviz_datalog::parse::parse_program;
+
+    const Q5_DATALOG: &str = "% query: ans\n\
+        res2(S, B) :- Reserves(S, B, D).\n\
+        missing(S) :- Sailor(S, N, R, A), Boat(B, BN, 'red'), not res2(S, B).\n\
+        ans(N) :- Sailor(S, N, R, A), not missing(S).";
+
+    #[test]
+    fn q5_program_layers_by_stratum() {
+        let p = parse_program(Q5_DATALOG).unwrap();
+        let g = RuleGraph::from_program(&p).unwrap();
+        let (nodes, idb, edges, neg, strata) = g.census();
+        assert_eq!(idb, 3, "res2, missing, ans");
+        assert_eq!(nodes, 6, "plus Sailor, Reserves, Boat");
+        assert_eq!(neg, 2, "two negated dependencies");
+        assert_eq!(strata, 3, "negation forces three strata");
+        assert!(edges >= 5);
+        // ans sits above missing sits above res2.
+        let stratum_of = |name: &str| {
+            g.nodes.iter().find(|n| n.name == name).map(|n| n.stratum).unwrap()
+        };
+        assert!(stratum_of("ans") > stratum_of("missing"));
+        assert!(stratum_of("missing") > stratum_of("res2"));
+    }
+
+    #[test]
+    fn layers_match_qbe_steps() {
+        // The tutorial's E6 point, graph-side: the number of IDB strata
+        // equals the number of sequential QBE steps the same program
+        // needs.
+        let db = relviz_model::catalog::sailors_sample();
+        let p = parse_program(Q5_DATALOG).unwrap();
+        let g = RuleGraph::from_program(&p).unwrap();
+        let qbe = crate::qbe::QbeProgram::from_datalog(&p, &db).unwrap();
+        let (steps, ..) = qbe.census();
+        assert_eq!(steps, p.rules.len(), "one skeleton step per rule");
+        let idb_strata: std::collections::BTreeSet<usize> =
+            g.nodes.iter().filter(|n| n.idb).map(|n| n.stratum).collect();
+        assert!(idb_strata.len() <= steps);
+        assert!(!idb_strata.is_empty());
+    }
+
+    #[test]
+    fn conjunctive_program_is_flat() {
+        let p = parse_program("ans(N) :- Sailor(S, N, R, A), Reserves(S, 102, D).").unwrap();
+        let g = RuleGraph::from_program(&p).unwrap();
+        let (nodes, idb, _, neg, strata) = g.census();
+        assert_eq!((nodes, idb, neg), (3, 1, 0));
+        assert!(strata <= 2, "no negation, at most EDB + answer layers");
+    }
+
+    #[test]
+    fn answer_node_marked() {
+        let p = parse_program(Q5_DATALOG).unwrap();
+        let g = RuleGraph::from_program(&p).unwrap();
+        let answers: Vec<&PredNode> = g.nodes.iter().filter(|n| n.answer).collect();
+        assert_eq!(answers.len(), 1);
+        assert_eq!(answers[0].name, "ans");
+    }
+
+    #[test]
+    fn scene_renders_strata_and_negation() {
+        let p = parse_program(Q5_DATALOG).unwrap();
+        let g = RuleGraph::from_program(&p).unwrap();
+        let svg = relviz_render::svg::to_svg(&g.scene());
+        assert!(svg.contains("ans"));
+        assert!(svg.contains("stroke-dasharray"), "negated edge dashed");
+        assert!(svg.contains("¬"));
+        assert!(svg.contains("marker-end"), "dependency arrows");
+    }
+
+    #[test]
+    fn edges_deduplicated() {
+        // Two rules with the same dependency yield one edge.
+        let p = parse_program(
+            "ans(N) :- Sailor(S, N, R, A), R > 5.\n\
+             ans(N) :- Sailor(S, N, R, A), R < 2.",
+        )
+        .unwrap();
+        let g = RuleGraph::from_program(&p).unwrap();
+        assert_eq!(g.edges.len(), 1);
+    }
+}

@@ -1,0 +1,702 @@
+//! **SIEUFERD** (Bakke & Karger, SIGMOD 2016) — "expressive query
+//! construction through direct manipulation of nested relational
+//! results".
+//!
+//! SIEUFERD is a spreadsheet-like interface: the user never sees query
+//! text; instead **the result header encodes the structure of the
+//! query**, and the (nested) result rows are listed below it. A join adds
+//! a nested child table to the header; a filter annotates the header
+//! column it applies to.
+//!
+//! This module implements that *representation*: a header tree ([`HeaderNode`]) built
+//! from a conjunctive query whose equi-join graph is a tree, the nested
+//! evaluation producing [`NestedRow`] groups (the visible spreadsheet),
+//! and a flattening check connecting the nested result back to standard
+//! SQL semantics. Joins that are not tree-shaped and subqueries are
+//! reported as named unsupported features — the representational limits
+//! the tutorial's comparison points out for result-oriented interfaces.
+
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+
+use relviz_model::{Database, Relation, Tuple, Value};
+use relviz_render::{Scene, TextStyle};
+use relviz_sql::ast::{Cond, Query, Scalar, SelectItem};
+use relviz_sql::printer;
+
+use crate::common::{DiagError, DiagResult};
+
+const FORMALISM: &str = "SIEUFERD";
+
+/// One node of the result header: a table with its visible columns,
+/// filters, and nested child tables.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HeaderNode {
+    pub table: String,
+    pub alias: String,
+    /// Visible columns (attribute names of `table`), in SELECT order.
+    pub shown: Vec<String>,
+    /// Filter annotations, as text, shown under the header.
+    pub filters: Vec<String>,
+    /// Join to the parent: (parent attribute, this node's attribute).
+    pub join: Option<(String, String)>,
+    pub children: Vec<HeaderNode>,
+}
+
+/// A nested result row: the visible values of one tuple plus one group of
+/// nested rows per child header.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NestedRow {
+    pub values: Vec<Value>,
+    pub groups: Vec<Vec<NestedRow>>,
+}
+
+/// A SIEUFERD sheet: header tree + the query's projection order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SieuferdSheet {
+    pub root: HeaderNode,
+    pub distinct: bool,
+    /// Output order as (alias, attribute) — SELECT-list order, which may
+    /// interleave columns of different header nodes.
+    pub output: Vec<(String, String)>,
+}
+
+impl SieuferdSheet {
+    /// Builds a sheet from a conjunctive SQL block whose equi-join graph
+    /// is a tree (rooted at the first FROM table).
+    pub fn from_sql(sql: &str, db: &Database) -> DiagResult<SieuferdSheet> {
+        let q = relviz_sql::parser::parse_query(sql)
+            .map_err(|e| DiagError::Lang(e.to_string()))?;
+        let q = relviz_sql::analyze::resolve(&q, db)
+            .map_err(|e| DiagError::Lang(e.to_string()))?;
+        let Query::Select(s) = &q else {
+            return Err(DiagError::unsupported(
+                FORMALISM,
+                "set operations (one nested result sheet per query)",
+            ));
+        };
+        if s.from.is_empty() {
+            return Err(DiagError::Invalid("no FROM tables".into()));
+        }
+        // Partition the WHERE conjuncts.
+        let mut joins: Vec<(String, String, String, String)> = Vec::new(); // (qa, na, qb, nb)
+        let mut filters: Vec<(String, String)> = Vec::new(); // (alias, text)
+        if let Some(w) = &s.where_clause {
+            for part in conjuncts(w) {
+                match part {
+                    Cond::Cmp {
+                        left: Scalar::Column { qualifier: Some(ql), name: nl },
+                        op,
+                        right: Scalar::Column { qualifier: Some(qr), name: nr },
+                    } if ql != qr => {
+                        if *op != relviz_model::CmpOp::Eq {
+                            return Err(DiagError::unsupported(
+                                FORMALISM,
+                                format!(
+                                    "non-equi join {} (nesting requires equality joins)",
+                                    printer::print_cond(part)
+                                ),
+                            ));
+                        }
+                        joins.push((ql.clone(), nl.clone(), qr.clone(), nr.clone()));
+                    }
+                    Cond::Exists { .. } | Cond::InSubquery { .. } | Cond::QuantCmp { .. } => {
+                        return Err(DiagError::unsupported(
+                            FORMALISM,
+                            "subqueries (the header encodes joins, not quantifiers)",
+                        ));
+                    }
+                    other => {
+                        let mut cols = Vec::new();
+                        collect_qualifiers(other, &mut cols);
+                        let alias = cols
+                            .first()
+                            .cloned()
+                            .ok_or_else(|| {
+                                DiagError::unsupported(
+                                    FORMALISM,
+                                    format!(
+                                        "constant condition {} (no header column to \
+                                         annotate)",
+                                        printer::print_cond(other)
+                                    ),
+                                )
+                            })?;
+                        if cols.iter().any(|c| c != &alias) {
+                            return Err(DiagError::unsupported(
+                                FORMALISM,
+                                format!(
+                                    "cross-table filter {} (annotations attach to one \
+                                     header node)",
+                                    printer::print_cond(other)
+                                ),
+                            ));
+                        }
+                        filters.push((alias, printer::print_cond(other)));
+                    }
+                }
+            }
+        }
+        // Grow the header tree from the first FROM table.
+        let mut placed: BTreeSet<String> = BTreeSet::new();
+        let first = &s.from[0];
+        let mut root = HeaderNode {
+            table: first.table.clone(),
+            alias: first.effective_name().to_string(),
+            shown: Vec::new(),
+            filters: Vec::new(),
+            join: None,
+            children: Vec::new(),
+        };
+        placed.insert(root.alias.clone());
+        let mut remaining: Vec<&relviz_sql::ast::TableRef> = s.from.iter().skip(1).collect();
+        let mut used_joins = vec![false; joins.len()];
+        while !remaining.is_empty() {
+            let mut progress = false;
+            remaining.retain(|t| {
+                let alias = t.effective_name().to_string();
+                // A join connecting this table to a placed one?
+                for (i, (qa, na, qb, nb)) in joins.iter().enumerate() {
+                    if used_joins[i] {
+                        continue;
+                    }
+                    let (parent, pattr, cattr) = if placed.contains(qa) && *qb == alias {
+                        (qa.clone(), na.clone(), nb.clone())
+                    } else if placed.contains(qb) && *qa == alias {
+                        (qb.clone(), nb.clone(), na.clone())
+                    } else {
+                        continue;
+                    };
+                    used_joins[i] = true;
+                    let node = HeaderNode {
+                        table: t.table.clone(),
+                        alias: alias.clone(),
+                        shown: Vec::new(),
+                        filters: Vec::new(),
+                        join: Some((pattr, cattr)),
+                        children: Vec::new(),
+                    };
+                    attach(&mut root, &parent, node);
+                    placed.insert(alias.clone());
+                    progress = true;
+                    return false;
+                }
+                true
+            });
+            if !progress {
+                return Err(DiagError::unsupported(
+                    FORMALISM,
+                    "a FROM table not connected to the join tree (cartesian products \
+                     have no nesting structure)",
+                ));
+            }
+        }
+        // Joins left over join two already-placed tables: a cycle.
+        if used_joins.iter().any(|u| !u) {
+            return Err(DiagError::unsupported(
+                FORMALISM,
+                "cyclic join graph (the nested header is a tree)",
+            ));
+        }
+        // Attach filters and outputs.
+        for (alias, text) in filters {
+            if !annotate(&mut root, &alias, &text) {
+                return Err(DiagError::Invalid(format!("filter on unknown alias {alias}")));
+            }
+        }
+        let mut output = Vec::new();
+        for item in &s.items {
+            match item {
+                SelectItem::Expr { expr: Scalar::Column { qualifier: Some(q), name }, .. } => {
+                    if !show(&mut root, q, name) {
+                        return Err(DiagError::Invalid(format!("output on unknown alias {q}")));
+                    }
+                    output.push((q.clone(), name.clone()));
+                }
+                SelectItem::Wildcard | SelectItem::QualifiedWildcard(_) => {
+                    return Err(DiagError::unsupported(
+                        FORMALISM,
+                        "wildcard projection (the sheet shows explicitly chosen columns)",
+                    ));
+                }
+                SelectItem::Expr { .. } => {
+                    return Err(DiagError::unsupported(
+                        FORMALISM,
+                        "computed output column",
+                    ));
+                }
+            }
+        }
+        Ok(SieuferdSheet { root, distinct: s.distinct, output })
+    }
+
+    /// Evaluates the sheet: nested rows, exactly what the UI lists under
+    /// the header.
+    pub fn evaluate(&self, db: &Database) -> DiagResult<Vec<NestedRow>> {
+        eval_node(&self.root, db, None)
+    }
+
+    /// Flattens the nested result into a relation over the output columns
+    /// (inner-join semantics: a row with an empty required child group
+    /// disappears) — the bridge back to standard SQL semantics.
+    pub fn flatten(&self, db: &Database) -> DiagResult<Relation> {
+        let rows = self.evaluate(db)?;
+        // Column positions: walk the header in the same order as eval
+        // collects values, mapping (alias, attr) → flat position.
+        let mut cols: Vec<(String, String)> = Vec::new();
+        fn collect_cols(n: &HeaderNode, out: &mut Vec<(String, String)>) {
+            for a in &n.shown {
+                out.push((n.alias.clone(), a.clone()));
+            }
+            for c in &n.children {
+                collect_cols(c, out);
+            }
+        }
+        collect_cols(&self.root, &mut cols);
+
+        let mut flat: Vec<Vec<Value>> = Vec::new();
+        fn expand(node: &HeaderNode, row: &NestedRow, prefix: Vec<Value>, out: &mut Vec<Vec<Value>>) {
+            let mut prefix = prefix;
+            prefix.extend(row.values.iter().cloned());
+            // Cartesian across child groups (inner join: empty ⇒ drop).
+            fn product(
+                node: &HeaderNode,
+                groups: &[Vec<NestedRow>],
+                idx: usize,
+                acc: Vec<Value>,
+                out: &mut Vec<Vec<Value>>,
+            ) {
+                if idx == groups.len() {
+                    out.push(acc);
+                    return;
+                }
+                for child_row in &groups[idx] {
+                    let mut sub = Vec::new();
+                    expand(&node.children[idx], child_row, Vec::new(), &mut sub);
+                    for s in sub {
+                        let mut a = acc.clone();
+                        a.extend(s);
+                        product(node, groups, idx + 1, a, out);
+                    }
+                }
+            }
+            if node.children.is_empty() {
+                out.push(prefix);
+            } else {
+                product(node, &row.groups, 0, prefix, out);
+            }
+        }
+        for r in &rows {
+            expand(&self.root, r, Vec::new(), &mut flat);
+        }
+        // Project to SELECT order.
+        let positions: Vec<usize> = self
+            .output
+            .iter()
+            .map(|oc| cols.iter().position(|c| c == oc).expect("output column shown"))
+            .collect();
+        let attrs: Vec<relviz_model::Attribute> = self
+            .output
+            .iter()
+            .enumerate()
+            .map(|(i, (_, name))| {
+                let witness = flat
+                    .iter()
+                    .map(|r| r[positions[i]].data_type())
+                    .next()
+                    .unwrap_or(relviz_model::DataType::Str);
+                relviz_model::Attribute::new(format!("{name}_{i}"), witness)
+            })
+            .collect();
+        let schema = relviz_model::Schema::new(attrs)
+            .map_err(|e| DiagError::Invalid(e.to_string()))?;
+        let mut rel = Relation::empty(schema);
+        for r in flat {
+            let projected: Vec<Value> = positions.iter().map(|&p| r[p].clone()).collect();
+            rel.insert_unchecked(Tuple::new(projected));
+        }
+        Ok(rel)
+    }
+
+    /// Element census: (header nodes, shown columns, filter annotations,
+    /// join edges, header depth).
+    pub fn census(&self) -> (usize, usize, usize, usize, usize) {
+        fn walk(n: &HeaderNode, depth: usize) -> (usize, usize, usize, usize, usize) {
+            let mut acc = (1, n.shown.len(), n.filters.len(), usize::from(n.join.is_some()), depth);
+            for c in &n.children {
+                let r = walk(c, depth + 1);
+                acc.0 += r.0;
+                acc.1 += r.1;
+                acc.2 += r.2;
+                acc.3 += r.3;
+                acc.4 = acc.4.max(r.4);
+            }
+            acc
+        }
+        walk(&self.root, 1)
+    }
+
+    /// ASCII spreadsheet: header tree then the nested rows with
+    /// indentation per nesting level.
+    pub fn ascii(&self, db: &Database) -> DiagResult<String> {
+        let mut out = String::new();
+        fn header(n: &HeaderNode, indent: usize, out: &mut String) {
+            let pad = "  ".repeat(indent);
+            let _ = writeln!(
+                out,
+                "{pad}▣ {} {} [{}]{}",
+                n.table,
+                n.alias,
+                n.shown.join(", "),
+                if n.filters.is_empty() {
+                    String::new()
+                } else {
+                    format!("  ⚲ {}", n.filters.join(" ∧ "))
+                }
+            );
+            for c in &n.children {
+                header(c, indent + 1, out);
+            }
+        }
+        header(&self.root, 0, &mut out);
+        out.push_str("----\n");
+        fn rows(node: &HeaderNode, rs: &[NestedRow], indent: usize, out: &mut String) {
+            let pad = "  ".repeat(indent);
+            for r in rs {
+                let vals =
+                    r.values.iter().map(Value::to_literal).collect::<Vec<_>>().join(" | ");
+                let _ = writeln!(out, "{pad}{vals}");
+                for (ci, g) in r.groups.iter().enumerate() {
+                    rows(&node.children[ci], g, indent + 1, out);
+                }
+            }
+        }
+        rows(&self.root, &self.evaluate(db)?, 0, &mut out);
+        Ok(out)
+    }
+
+    /// Scene: the header as nested column bands (structure only — the
+    /// data pane is the ASCII rendering).
+    pub fn scene(&self) -> Scene {
+        let mut scene = Scene::new(0.0, 0.0);
+        draw_header(&self.root, 20.0, 20.0, &mut scene);
+        scene.fit(10.0);
+        scene
+    }
+}
+
+fn draw_header(n: &HeaderNode, x: f64, y: f64, scene: &mut Scene) -> f64 {
+    const COL_W: f64 = 78.0;
+    const H: f64 = 22.0;
+    let own_w = (n.shown.len().max(1)) as f64 * COL_W;
+    let mut child_w = 0.0;
+    for c in &n.children {
+        child_w += draw_header(c, x + own_w + child_w, y + H, scene);
+    }
+    let w = own_w + child_w;
+    scene.rect(x, y, w, H);
+    scene.styled_text(
+        x + 4.0,
+        y + 15.0,
+        format!("{} {}", n.table, n.alias),
+        TextStyle { size: 11.0, bold: true, ..TextStyle::default() },
+    );
+    for (i, a) in n.shown.iter().enumerate() {
+        scene.rect(x + i as f64 * COL_W, y + H, COL_W, H);
+        scene.text(x + i as f64 * COL_W + 4.0, y + H + 15.0, a.clone());
+    }
+    for (i, f) in n.filters.iter().enumerate() {
+        scene.styled_text(
+            x + 4.0,
+            y + 2.0 * H + 14.0 + i as f64 * 14.0,
+            format!("⚲ {f}"),
+            TextStyle { size: 10.0, italic: true, ..TextStyle::default() },
+        );
+    }
+    w
+}
+
+fn attach(node: &mut HeaderNode, parent_alias: &str, child: HeaderNode) -> bool {
+    if node.alias == parent_alias {
+        node.children.push(child);
+        return true;
+    }
+    for c in &mut node.children {
+        if attach(c, parent_alias, child.clone()) {
+            return true;
+        }
+    }
+    false
+}
+
+fn annotate(node: &mut HeaderNode, alias: &str, text: &str) -> bool {
+    if node.alias == alias {
+        node.filters.push(text.to_string());
+        return true;
+    }
+    node.children.iter_mut().any(|c| annotate(c, alias, text))
+}
+
+fn show(node: &mut HeaderNode, alias: &str, attr: &str) -> bool {
+    if node.alias == alias {
+        if !node.shown.iter().any(|a| a == attr) {
+            node.shown.push(attr.to_string());
+        }
+        return true;
+    }
+    node.children.iter_mut().any(|c| show(c, alias, attr))
+}
+
+/// Evaluates a header node: all tuples of its table passing the filters
+/// (and matching the parent join value when given), with child groups.
+fn eval_node(
+    node: &HeaderNode,
+    db: &Database,
+    parent_match: Option<(&str, &Value)>,
+) -> DiagResult<Vec<NestedRow>> {
+    let rel = db
+        .relation(&node.table)
+        .map_err(|e| DiagError::Lang(e.to_string()))?;
+    let schema = rel.schema().clone();
+    let filter_sql: Vec<relviz_sql::ast::Cond> = node
+        .filters
+        .iter()
+        .map(|f| parse_filter(f))
+        .collect::<DiagResult<Vec<_>>>()?;
+    let mut out = Vec::new();
+    for t in rel.iter() {
+        if let Some((attr, val)) = parent_match {
+            let idx = schema
+                .index_of(attr)
+                .ok_or_else(|| DiagError::Invalid(format!("no attribute {attr}")))?;
+            if t.get(idx) != Some(val) {
+                continue;
+            }
+        }
+        if !filter_sql.iter().all(|c| eval_filter(c, &schema, t)) {
+            continue;
+        }
+        let values: Vec<Value> = node
+            .shown
+            .iter()
+            .map(|a| {
+                let idx = schema.index_of(a).expect("resolved column");
+                t.get(idx).expect("arity checked").clone()
+            })
+            .collect();
+        let mut groups = Vec::new();
+        for c in &node.children {
+            let (pattr, cattr) = c.join.as_ref().expect("non-root has a join");
+            let pidx = schema
+                .index_of(pattr)
+                .ok_or_else(|| DiagError::Invalid(format!("no attribute {pattr}")))?;
+            let pval = t.get(pidx).expect("arity checked");
+            groups.push(eval_node(c, db, Some((cattr, pval)))?);
+        }
+        out.push(NestedRow { values, groups });
+    }
+    Ok(out)
+}
+
+/// Parses a filter annotation back into a condition (annotations were
+/// printed by the canonical printer, so this is exact).
+fn parse_filter(text: &str) -> DiagResult<relviz_sql::ast::Cond> {
+    let sql = format!("SELECT * FROM T WHERE {text}");
+    let q = relviz_sql::parser::parse_query(&sql)
+        .map_err(|e| DiagError::Invalid(format!("unparsable filter {text}: {e}")))?;
+    match q {
+        Query::Select(s) => {
+            s.where_clause.ok_or_else(|| DiagError::Invalid("empty filter".into()))
+        }
+        _ => Err(DiagError::Invalid("filter parsed to set-op".into())),
+    }
+}
+
+/// Evaluates a filter condition on one tuple (qualifiers refer to this
+/// node's alias, names to its schema).
+fn eval_filter(c: &Cond, schema: &relviz_model::Schema, t: &Tuple) -> bool {
+    let scalar = |s: &Scalar| -> Option<Value> {
+        match s {
+            Scalar::Literal(v) => Some(v.clone()),
+            Scalar::Column { name, .. } => {
+                schema.index_of(name).and_then(|i| t.get(i)).cloned()
+            }
+        }
+    };
+    match c {
+        Cond::Cmp { left, op, right } => match (scalar(left), scalar(right)) {
+            (Some(l), Some(r)) => op.apply(&l, &r),
+            _ => false,
+        },
+        Cond::And(a, b) => eval_filter(a, schema, t) && eval_filter(b, schema, t),
+        Cond::Or(a, b) => eval_filter(a, schema, t) || eval_filter(b, schema, t),
+        Cond::Not(a) => !eval_filter(a, schema, t),
+        Cond::InList { expr, negated, list } => {
+            let hit = scalar(expr).map(|v| list.contains(&v)).unwrap_or(false);
+            hit != *negated
+        }
+        Cond::Between { expr, negated, low, high } => {
+            let hit = match (scalar(expr), scalar(low), scalar(high)) {
+                (Some(v), Some(lo), Some(hi)) => {
+                    relviz_model::CmpOp::Le.apply(&lo, &v)
+                        && relviz_model::CmpOp::Le.apply(&v, &hi)
+                }
+                _ => false,
+            };
+            hit != *negated
+        }
+        Cond::IsNull { expr, negated } => {
+            let hit = scalar(expr).map(|v| v.is_null()).unwrap_or(false);
+            hit != *negated
+        }
+        Cond::Literal(b) => *b,
+        Cond::Exists { .. } | Cond::InSubquery { .. } | Cond::QuantCmp { .. } => false,
+    }
+}
+
+/// Flattens an AND-spine of SQL conditions.
+fn conjuncts(c: &Cond) -> Vec<&Cond> {
+    let mut out = Vec::new();
+    fn walk<'a>(c: &'a Cond, out: &mut Vec<&'a Cond>) {
+        if let Cond::And(a, b) = c {
+            walk(a, out);
+            walk(b, out);
+        } else {
+            out.push(c);
+        }
+    }
+    walk(c, &mut out);
+    out
+}
+
+/// Collects the qualifiers mentioned by a condition.
+fn collect_qualifiers(c: &Cond, out: &mut Vec<String>) {
+    fn scalar(s: &Scalar, out: &mut Vec<String>) {
+        if let Scalar::Column { qualifier: Some(q), .. } = s {
+            out.push(q.clone());
+        }
+    }
+    match c {
+        Cond::Cmp { left, right, .. } => {
+            scalar(left, out);
+            scalar(right, out);
+        }
+        Cond::And(a, b) | Cond::Or(a, b) => {
+            collect_qualifiers(a, out);
+            collect_qualifiers(b, out);
+        }
+        Cond::Not(a) => collect_qualifiers(a, out),
+        Cond::InList { expr, .. } | Cond::IsNull { expr, .. } => scalar(expr, out),
+        Cond::Between { expr, low, high, .. } => {
+            scalar(expr, out);
+            scalar(low, out);
+            scalar(high, out);
+        }
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relviz_model::catalog::sailors_sample;
+
+    const Q2: &str = "SELECT DISTINCT S.sname FROM Sailor S, Reserves R, Boat B \
+        WHERE S.sid = R.sid AND R.bid = B.bid AND B.color = 'red'";
+
+    #[test]
+    fn header_encodes_the_join_tree() {
+        let db = sailors_sample();
+        let sheet = SieuferdSheet::from_sql(Q2, &db).unwrap();
+        assert_eq!(sheet.root.table, "Sailor");
+        assert_eq!(sheet.root.children.len(), 1);
+        let r = &sheet.root.children[0];
+        assert_eq!(r.table, "Reserves");
+        assert_eq!(r.join, Some(("sid".to_string(), "sid".to_string())));
+        let b = &r.children[0];
+        assert_eq!(b.table, "Boat");
+        assert_eq!(b.filters, vec!["B.color = 'red'".to_string()]);
+        let (nodes, shown, filters, joins, depth) = sheet.census();
+        assert_eq!((nodes, shown, filters, joins, depth), (3, 1, 1, 2, 3));
+    }
+
+    #[test]
+    fn flatten_matches_sql_semantics() {
+        let db = sailors_sample();
+        let sheet = SieuferdSheet::from_sql(Q2, &db).unwrap();
+        let flat = sheet.flatten(&db).unwrap();
+        let sql = relviz_sql::eval::run_sql(Q2, &db).unwrap();
+        assert!(flat.same_contents(&sql), "nested→flat equals direct SQL");
+    }
+
+    #[test]
+    fn nested_rows_group_by_parent() {
+        let db = sailors_sample();
+        let sheet = SieuferdSheet::from_sql(
+            "SELECT S.sname, R.bid FROM Sailor S, Reserves R WHERE S.sid = R.sid",
+            &db,
+        )
+        .unwrap();
+        let rows = sheet.evaluate(&db).unwrap();
+        // One top row per sailor (the nesting shows sailors w/o
+        // reservations too — SIEUFERD's outer view).
+        let sailors = db.relation("Sailor").unwrap().len();
+        assert_eq!(rows.len(), sailors);
+        // But flattening drops childless rows (inner-join semantics):
+        let flat = sheet.flatten(&db).unwrap();
+        let sql = relviz_sql::eval::run_sql(
+            "SELECT S.sname, R.bid FROM Sailor S, Reserves R WHERE S.sid = R.sid",
+            &db,
+        )
+        .unwrap();
+        assert!(flat.same_contents(&sql));
+    }
+
+    #[test]
+    fn cartesian_product_unsupported() {
+        let db = sailors_sample();
+        let r = SieuferdSheet::from_sql("SELECT S.sname, B.bname FROM Sailor S, Boat B", &db);
+        assert!(matches!(r, Err(DiagError::Unsupported { .. })), "{r:?}");
+    }
+
+    #[test]
+    fn cyclic_join_unsupported() {
+        let db = sailors_sample();
+        let r = SieuferdSheet::from_sql(
+            "SELECT S.sname FROM Sailor S, Reserves R, Boat B \
+             WHERE S.sid = R.sid AND R.bid = B.bid AND B.bid = S.sid",
+            &db,
+        );
+        assert!(matches!(r, Err(DiagError::Unsupported { .. })), "{r:?}");
+    }
+
+    #[test]
+    fn subquery_unsupported() {
+        let db = sailors_sample();
+        let r = SieuferdSheet::from_sql(
+            "SELECT S.sname FROM Sailor S WHERE EXISTS \
+             (SELECT * FROM Reserves R WHERE R.sid = S.sid)",
+            &db,
+        );
+        assert!(matches!(r, Err(DiagError::Unsupported { .. })), "{r:?}");
+    }
+
+    #[test]
+    fn ascii_sheet_lists_header_and_rows() {
+        let db = sailors_sample();
+        let sheet = SieuferdSheet::from_sql(Q2, &db).unwrap();
+        let text = sheet.ascii(&db).unwrap();
+        assert!(text.contains("Sailor"));
+        assert!(text.contains("⚲ B.color = 'red'"));
+        assert!(text.contains("----"));
+    }
+
+    #[test]
+    fn scene_draws_nested_bands() {
+        let db = sailors_sample();
+        let sheet = SieuferdSheet::from_sql(Q2, &db).unwrap();
+        let svg = relviz_render::svg::to_svg(&sheet.scene());
+        assert!(svg.contains("Sailor"));
+        assert!(svg.contains("Boat"));
+    }
+}

@@ -1,0 +1,646 @@
+//! **SQLVis** (Miedema & Fletcher, VL/HCC 2021) — visual query
+//! representations aimed at SQL *learners*.
+//!
+//! SQLVis draws each `SELECT` block as a **bubble** containing the block's
+//! tables; every attribute the block mentions appears as a slot on its
+//! table, coloured by *role* (output / join / filter), and equi-join
+//! predicates become edges between slots. A subquery becomes a bubble
+//! nested inside its host's WHERE area.
+//!
+//! Like Visual SQL (see [`crate::visualsql`]), SQLVis places "a strong
+//! focus on the actual syntax of SQL queries": the tutorial highlights
+//! that "syntactic variants like nested `EXISTS` change the
+//! visualization". The bubble structure mirrors the block structure of
+//! the text — phrasing Q2 as a flat join yields one bubble, phrasing it
+//! with `IN`-subqueries yields three (experiment E9).
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use relviz_model::Database;
+use relviz_render::{Scene, TextStyle};
+use relviz_sql::ast::{Cond, Query, Scalar, SelectItem, SelectStmt};
+use relviz_sql::printer;
+
+use crate::common::{DiagError, DiagResult};
+
+const FORMALISM: &str = "SQLVis";
+
+/// The roles an attribute slot can play in its block (a slot can play
+/// several; SQLVis colours it by the union).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Roles {
+    pub output: bool,
+    pub join: bool,
+    pub filter: bool,
+}
+
+impl Roles {
+    fn letter(self) -> String {
+        let mut s = String::new();
+        if self.output {
+            s.push('o');
+        }
+        if self.join {
+            s.push('j');
+        }
+        if self.filter {
+            s.push('f');
+        }
+        s
+    }
+}
+
+/// A table inside a bubble, with the attribute slots the block mentions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BubbleTable {
+    pub table: String,
+    pub alias: String,
+    /// (attribute, roles) in first-mention order.
+    pub attrs: Vec<(String, Roles)>,
+}
+
+impl BubbleTable {
+    fn slot(&mut self, attr: &str) -> &mut Roles {
+        if let Some(i) = self.attrs.iter().position(|(a, _)| a == attr) {
+            return &mut self.attrs[i].1;
+        }
+        self.attrs.push((attr.to_string(), Roles::default()));
+        &mut self.attrs.last_mut().expect("just pushed").1
+    }
+}
+
+/// A join edge between two attribute slots (qualified names).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JoinEdge {
+    pub left: (String, String),
+    pub right: (String, String),
+    /// Comparison symbol (SQLVis also draws non-equi joins, labelled).
+    pub op: String,
+}
+
+/// One `SELECT` block as a bubble.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Bubble {
+    pub tables: Vec<BubbleTable>,
+    pub joins: Vec<JoinEdge>,
+    /// Non-join filter predicates, as text.
+    pub filters: Vec<String>,
+    /// Nested bubbles: (connective label, child bubble index).
+    pub children: Vec<(String, usize)>,
+    /// Set-operation branches hanging off this bubble (UNION etc. chain
+    /// rooted here), as (keyword, bubble index).
+    pub setops: Vec<(String, usize)>,
+}
+
+/// A SQLVis diagram: bubbles with `root` as the outermost block.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SqlVisDiagram {
+    pub bubbles: Vec<Bubble>,
+    pub root: usize,
+    /// Correlation edges: a predicate in an inner bubble referencing an
+    /// outer bubble's table, as (inner bubble, qualified attr text).
+    pub correlations: Vec<(usize, String)>,
+}
+
+impl SqlVisDiagram {
+    /// Builds the diagram from SQL text (resolved against `db`).
+    pub fn from_sql(sql: &str, db: &Database) -> DiagResult<SqlVisDiagram> {
+        let q = relviz_sql::parser::parse_query(sql)
+            .map_err(|e| DiagError::Lang(e.to_string()))?;
+        let q = relviz_sql::analyze::resolve(&q, db)
+            .map_err(|e| DiagError::Lang(e.to_string()))?;
+        Self::from_ast(&q)
+    }
+
+    /// Builds the diagram from a resolved AST.
+    pub fn from_ast(q: &Query) -> DiagResult<SqlVisDiagram> {
+        let mut d = SqlVisDiagram { bubbles: Vec::new(), root: 0, correlations: Vec::new() };
+        d.root = d.build_query(q)?;
+        Ok(d)
+    }
+
+    fn build_query(&mut self, q: &Query) -> DiagResult<usize> {
+        match q {
+            Query::Select(s) => self.build_block(s),
+            Query::SetOp { op, left, right } => {
+                let l = self.build_query(left)?;
+                let r = self.build_query(right)?;
+                self.bubbles[l].setops.push((op.keyword().to_string(), r));
+                Ok(l)
+            }
+        }
+    }
+
+    fn build_block(&mut self, s: &SelectStmt) -> DiagResult<usize> {
+        let mut bubble = Bubble {
+            tables: s
+                .from
+                .iter()
+                .map(|t| BubbleTable {
+                    table: t.table.clone(),
+                    alias: t.effective_name().to_string(),
+                    attrs: Vec::new(),
+                })
+                .collect(),
+            joins: Vec::new(),
+            filters: Vec::new(),
+            children: Vec::new(),
+            setops: Vec::new(),
+        };
+        // Output roles.
+        for item in &s.items {
+            match item {
+                SelectItem::Expr { expr: Scalar::Column { qualifier: Some(q), name }, .. } => {
+                    if let Some(t) = bubble.tables.iter_mut().find(|t| &t.alias == q) {
+                        t.slot(name).output = true;
+                    }
+                }
+                SelectItem::Wildcard => {
+                    for t in &mut bubble.tables {
+                        t.slot("*").output = true;
+                    }
+                }
+                SelectItem::QualifiedWildcard(q) => {
+                    if let Some(t) = bubble.tables.iter_mut().find(|t| &t.alias == q) {
+                        t.slot("*").output = true;
+                    }
+                }
+                _ => {}
+            }
+        }
+        let id = self.bubbles.len();
+        self.bubbles.push(bubble);
+        if let Some(w) = &s.where_clause {
+            self.add_cond(id, w)?;
+        }
+        Ok(id)
+    }
+
+    /// Splits the WHERE conjunction into join edges, filters and nested
+    /// bubbles. Non-conjunctive boolean structure (OR / explicit NOT) is
+    /// kept as a single textual filter — faithful to SQLVis, which shows
+    /// such conditions verbatim in the bubble.
+    fn add_cond(&mut self, bubble: usize, c: &Cond) -> DiagResult<()> {
+        match c {
+            Cond::And(a, b) => {
+                self.add_cond(bubble, a)?;
+                self.add_cond(bubble, b)?;
+            }
+            Cond::Cmp {
+                left: Scalar::Column { qualifier: Some(ql), name: nl },
+                op,
+                right: Scalar::Column { qualifier: Some(qr), name: nr },
+            } => {
+                let in_scope =
+                    |q: &str, me: &Bubble| me.tables.iter().any(|t| t.alias == q);
+                let me = &self.bubbles[bubble];
+                let l_in = in_scope(ql, me);
+                let r_in = in_scope(qr, me);
+                if l_in && r_in {
+                    let b = &mut self.bubbles[bubble];
+                    for (q, n) in [(ql, nl), (qr, nr)] {
+                        let t = b
+                            .tables
+                            .iter_mut()
+                            .find(|t| &t.alias == q)
+                            .expect("in_scope checked");
+                        t.slot(n).join = true;
+                    }
+                    b.joins.push(JoinEdge {
+                        left: (ql.clone(), nl.clone()),
+                        right: (qr.clone(), nr.clone()),
+                        op: op.symbol().to_string(),
+                    });
+                } else {
+                    // A correlation: one side lives in an enclosing block.
+                    let (inner_q, inner_n, outer) = if l_in {
+                        (ql, nl, format!("{qr}.{nr}"))
+                    } else {
+                        (qr, nr, format!("{ql}.{nl}"))
+                    };
+                    if let Some(t) =
+                        self.bubbles[bubble].tables.iter_mut().find(|t| &t.alias == inner_q)
+                    {
+                        t.slot(inner_n).join = true;
+                    }
+                    self.bubbles[bubble].filters.push(printer::print_cond(c));
+                    self.correlations.push((bubble, outer));
+                }
+            }
+            Cond::Exists { negated, query } => {
+                let child = self.build_query(query)?;
+                let label = if *negated { "NOT EXISTS" } else { "EXISTS" };
+                self.bubbles[bubble].children.push((label.to_string(), child));
+            }
+            Cond::InSubquery { expr, negated, query } => {
+                let child = self.build_query(query)?;
+                if let Scalar::Column { qualifier: Some(q), name } = expr {
+                    if let Some(t) =
+                        self.bubbles[bubble].tables.iter_mut().find(|t| &t.alias == q)
+                    {
+                        t.slot(name).join = true;
+                    }
+                }
+                let label = format!(
+                    "{} {}",
+                    printer::print_scalar(expr),
+                    if *negated { "NOT IN" } else { "IN" }
+                );
+                self.bubbles[bubble].children.push((label, child));
+            }
+            Cond::QuantCmp { left, op, quant, query } => {
+                let child = self.build_query(query)?;
+                let quant = match quant {
+                    relviz_sql::ast::Quant::Any => "ANY",
+                    relviz_sql::ast::Quant::All => "ALL",
+                };
+                let label =
+                    format!("{} {} {quant}", printer::print_scalar(left), op.symbol());
+                self.bubbles[bubble].children.push((label, child));
+            }
+            other => {
+                if cond_has_subquery(other) {
+                    // OR/NOT over subqueries: the bubble nesting loses the
+                    // boolean structure — the tutorial's "disjunction is
+                    // hard" theme. Reported as a named unsupported feature.
+                    return Err(DiagError::unsupported(
+                        FORMALISM,
+                        "disjunction over subqueries (bubbles nest only via \
+                         AND-connected conditions)",
+                    ));
+                }
+                // Filter predicate: record roles for mentioned columns.
+                let mut cols: Vec<(String, String)> = Vec::new();
+                collect_columns(other, &mut cols);
+                for (q, n) in cols {
+                    if let Some(t) =
+                        self.bubbles[bubble].tables.iter_mut().find(|t| t.alias == q)
+                    {
+                        t.slot(&n).filter = true;
+                    }
+                }
+                self.bubbles[bubble].filters.push(printer::print_cond(other));
+            }
+        }
+        Ok(())
+    }
+
+    // ---- metrics ---------------------------------------------------------
+
+    /// Element census: (bubbles, tables, attribute slots, join edges,
+    /// filter strips).
+    pub fn census(&self) -> (usize, usize, usize, usize, usize) {
+        let tables: usize = self.bubbles.iter().map(|b| b.tables.len()).sum();
+        let slots: usize = self
+            .bubbles
+            .iter()
+            .flat_map(|b| &b.tables)
+            .map(|t| t.attrs.len())
+            .sum();
+        let joins: usize = self.bubbles.iter().map(|b| b.joins.len()).sum();
+        let filters: usize = self.bubbles.iter().map(|b| b.filters.len()).sum();
+        (self.bubbles.len(), tables, slots, joins, filters)
+    }
+
+    /// Maximum bubble nesting depth (1 = no subqueries) — the headline
+    /// syntactic-shape metric for E9.
+    pub fn nesting_depth(&self) -> usize {
+        fn depth(d: &SqlVisDiagram, b: usize) -> usize {
+            let kids = &d.bubbles[b].children;
+            let setops = &d.bubbles[b].setops;
+            1 + kids
+                .iter()
+                .map(|(_, c)| depth(d, *c))
+                .chain(setops.iter().map(|(_, c)| depth(d, *c)))
+                .max()
+                .unwrap_or(0)
+        }
+        depth(self, self.root)
+    }
+
+    /// Canonical structural fingerprint (aliases renamed by appearance
+    /// order), for syntactic-sensitivity comparisons.
+    pub fn fingerprint(&self) -> String {
+        let mut renames: BTreeMap<String, String> = BTreeMap::new();
+        fn collect(d: &SqlVisDiagram, b: usize, renames: &mut BTreeMap<String, String>) {
+            for t in &d.bubbles[b].tables {
+                if !renames.contains_key(&t.alias) {
+                    let v = format!("v{}", renames.len() + 1);
+                    renames.insert(t.alias.clone(), v);
+                }
+            }
+            for (_, c) in &d.bubbles[b].children {
+                collect(d, *c, renames);
+            }
+            for (_, c) in &d.bubbles[b].setops {
+                collect(d, *c, renames);
+            }
+        }
+        collect(self, self.root, &mut renames);
+        let rw = |s: &str| crate::visualsql::rename_qualifiers(s, &renames);
+        let mut out = String::new();
+        fn emit(
+            d: &SqlVisDiagram,
+            b: usize,
+            out: &mut String,
+            rw: &dyn Fn(&str) -> String,
+            renames: &BTreeMap<String, String>,
+        ) {
+            out.push_str("bubble(");
+            for t in &d.bubbles[b].tables {
+                let alias =
+                    renames.get(&t.alias).cloned().unwrap_or_else(|| t.alias.clone());
+                let _ = write!(out, "{} {alias}[", t.table);
+                for (a, r) in &t.attrs {
+                    let _ = write!(out, "{a}:{};", r.letter());
+                }
+                out.push(']');
+            }
+            out.push('|');
+            for j in &d.bubbles[b].joins {
+                let ql =
+                    renames.get(&j.left.0).cloned().unwrap_or_else(|| j.left.0.clone());
+                let qr =
+                    renames.get(&j.right.0).cloned().unwrap_or_else(|| j.right.0.clone());
+                let _ = write!(out, "{ql}.{}{}{qr}.{};", j.left.1, j.op, j.right.1);
+            }
+            out.push('|');
+            for f in &d.bubbles[b].filters {
+                let _ = write!(out, "{};", rw(f));
+            }
+            for (label, c) in &d.bubbles[b].children {
+                let _ = write!(out, "{}{{", rw(label));
+                emit(d, *c, out, rw, renames);
+                out.push('}');
+            }
+            for (kw, c) in &d.bubbles[b].setops {
+                let _ = write!(out, "{kw}{{");
+                emit(d, *c, out, rw, renames);
+                out.push('}');
+            }
+            out.push(')');
+        }
+        emit(self, self.root, &mut out, &rw, &renames);
+        out
+    }
+
+    /// Structural isomorphism modulo alias names.
+    pub fn isomorphic(&self, other: &SqlVisDiagram) -> bool {
+        self.fingerprint() == other.fingerprint()
+    }
+
+    // ---- rendering ---------------------------------------------------------
+
+    /// Scene: nested rounded bubbles; tables as attribute stacks with role
+    /// letters; join edges between slots; child bubbles inside the WHERE
+    /// area with their connective label. Returns (width, height) drawn.
+    pub fn scene(&self) -> Scene {
+        let mut scene = Scene::new(0.0, 0.0);
+        self.draw_bubble(self.root, 20.0, 20.0, &mut scene);
+        scene.fit(10.0);
+        scene
+    }
+
+    fn draw_bubble(&self, b: usize, x: f64, y: f64, scene: &mut Scene) -> (f64, f64) {
+        const SLOT_H: f64 = 16.0;
+        const TABLE_W: f64 = 130.0;
+        let bubble = &self.bubbles[b];
+        let mut tx = x + 12.0;
+        let mut max_h: f64 = 0.0;
+        let mut slot_pos: BTreeMap<(String, String), (f64, f64)> = BTreeMap::new();
+        for t in &bubble.tables {
+            let h = SLOT_H * (t.attrs.len() as f64 + 1.0);
+            scene.rect(tx, y + 12.0, TABLE_W, h);
+            scene.styled_text(
+                tx + 6.0,
+                y + 24.0,
+                format!("{} {}", t.table, t.alias),
+                TextStyle { size: 11.0, bold: true, ..TextStyle::default() },
+            );
+            for (i, (attr, roles)) in t.attrs.iter().enumerate() {
+                let sy = y + 12.0 + SLOT_H * (i as f64 + 1.0);
+                scene.line(tx, sy, tx + TABLE_W, sy);
+                scene.text(tx + 6.0, sy + 12.0, format!("{attr} [{}]", roles.letter()));
+                slot_pos.insert((t.alias.clone(), attr.clone()), (tx + TABLE_W, sy + 8.0));
+            }
+            max_h = max_h.max(h);
+            tx += TABLE_W + 26.0;
+        }
+        // Join edges.
+        for j in &bubble.joins {
+            if let (Some(&(x1, y1)), Some(&(x2, y2))) =
+                (slot_pos.get(&j.left), slot_pos.get(&j.right))
+            {
+                scene.line(x1, y1, x2 - TABLE_W, y2);
+            }
+        }
+        let mut cy = y + 12.0 + max_h + 10.0;
+        for f in &bubble.filters {
+            scene.styled_text(
+                x + 14.0,
+                cy + 10.0,
+                f.clone(),
+                TextStyle { size: 10.0, italic: true, ..TextStyle::default() },
+            );
+            cy += SLOT_H;
+        }
+        // Nested bubbles.
+        for (label, c) in &bubble.children {
+            scene.styled_text(
+                x + 14.0,
+                cy + 12.0,
+                label.clone(),
+                TextStyle { size: 11.0, bold: true, ..TextStyle::default() },
+            );
+            cy += SLOT_H;
+            let (_, ch) = self.draw_bubble(*c, x + 22.0, cy, scene);
+            cy += ch + 8.0;
+        }
+        for (kw, c) in &bubble.setops {
+            scene.styled_text(
+                x + 14.0,
+                cy + 12.0,
+                kw.clone(),
+                TextStyle { size: 11.0, bold: true, ..TextStyle::default() },
+            );
+            cy += SLOT_H;
+            let (_, ch) = self.draw_bubble(*c, x + 22.0, cy, scene);
+            cy += ch + 8.0;
+        }
+        let w = (tx - x).max(TABLE_W + 40.0) + 10.0;
+        let h = cy - y + 8.0;
+        scene.styled_rect(x, y, w, h, 16.0, "#336699", "none", 1.3, false);
+        (w, h)
+    }
+}
+
+/// Collects qualified column references in a condition (no subquery
+/// descent).
+fn collect_columns(c: &Cond, out: &mut Vec<(String, String)>) {
+    fn scalar(s: &Scalar, out: &mut Vec<(String, String)>) {
+        if let Scalar::Column { qualifier: Some(q), name } = s {
+            out.push((q.clone(), name.clone()));
+        }
+    }
+    match c {
+        Cond::Cmp { left, right, .. } => {
+            scalar(left, out);
+            scalar(right, out);
+        }
+        Cond::And(a, b) | Cond::Or(a, b) => {
+            collect_columns(a, out);
+            collect_columns(b, out);
+        }
+        Cond::Not(a) => collect_columns(a, out),
+        Cond::InList { expr, .. } | Cond::IsNull { expr, .. } => scalar(expr, out),
+        Cond::Between { expr, low, high, .. } => {
+            scalar(expr, out);
+            scalar(low, out);
+            scalar(high, out);
+        }
+        Cond::Exists { .. } | Cond::InSubquery { .. } | Cond::QuantCmp { .. } => {}
+        Cond::Literal(_) => {}
+    }
+}
+
+/// Does the condition contain a subquery anywhere (without crossing into
+/// the subquery itself)?
+fn cond_has_subquery(c: &Cond) -> bool {
+    match c {
+        Cond::Exists { .. } | Cond::InSubquery { .. } | Cond::QuantCmp { .. } => true,
+        Cond::And(a, b) | Cond::Or(a, b) => cond_has_subquery(a) || cond_has_subquery(b),
+        Cond::Not(a) => cond_has_subquery(a),
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relviz_model::catalog::sailors_sample;
+
+    const Q2_FLAT: &str = "SELECT DISTINCT S.sname FROM Sailor S, Reserves R, Boat B \
+        WHERE S.sid = R.sid AND R.bid = B.bid AND B.color = 'red'";
+    const Q2_NESTED: &str = "SELECT DISTINCT S.sname FROM Sailor S \
+        WHERE S.sid IN (SELECT R.sid FROM Reserves R \
+          WHERE R.bid IN (SELECT B.bid FROM Boat B WHERE B.color = 'red'))";
+
+    #[test]
+    fn flat_join_is_one_bubble() {
+        let db = sailors_sample();
+        let d = SqlVisDiagram::from_sql(Q2_FLAT, &db).unwrap();
+        let (bubbles, tables, _, joins, filters) = d.census();
+        assert_eq!((bubbles, tables, joins, filters), (1, 3, 2, 1));
+        assert_eq!(d.nesting_depth(), 1);
+    }
+
+    #[test]
+    fn nested_variant_changes_the_picture() {
+        // The tutorial: "syntactic variants like nested EXISTS change the
+        // visualization". Same answer set, three bubbles instead of one.
+        let db = sailors_sample();
+        let flat = SqlVisDiagram::from_sql(Q2_FLAT, &db).unwrap();
+        let nested = SqlVisDiagram::from_sql(Q2_NESTED, &db).unwrap();
+        assert_eq!(nested.census().0, 3);
+        assert_eq!(nested.nesting_depth(), 3);
+        assert!(!flat.isomorphic(&nested));
+        let ra = relviz_sql::eval::run_sql(Q2_FLAT, &db).unwrap();
+        let rb = relviz_sql::eval::run_sql(Q2_NESTED, &db).unwrap();
+        assert!(ra.same_contents(&rb));
+    }
+
+    #[test]
+    fn roles_are_tracked() {
+        let db = sailors_sample();
+        let d = SqlVisDiagram::from_sql(Q2_FLAT, &db).unwrap();
+        let b = &d.bubbles[d.root];
+        let sailor = b.tables.iter().find(|t| t.table == "Sailor").unwrap();
+        let sname = sailor.attrs.iter().find(|(a, _)| a == "sname").unwrap();
+        assert!(sname.1.output && !sname.1.join);
+        let sid = sailor.attrs.iter().find(|(a, _)| a == "sid").unwrap();
+        assert!(sid.1.join);
+        let boat = b.tables.iter().find(|t| t.table == "Boat").unwrap();
+        let color = boat.attrs.iter().find(|(a, _)| a == "color").unwrap();
+        assert!(color.1.filter);
+    }
+
+    #[test]
+    fn correlation_recorded_for_correlated_subquery() {
+        let db = sailors_sample();
+        let d = SqlVisDiagram::from_sql(
+            "SELECT S.sname FROM Sailor S WHERE EXISTS \
+             (SELECT * FROM Reserves R WHERE R.sid = S.sid)",
+            &db,
+        )
+        .unwrap();
+        assert_eq!(d.bubbles.len(), 2);
+        assert_eq!(d.correlations.len(), 1);
+        assert_eq!(d.correlations[0].1, "S.sid");
+    }
+
+    #[test]
+    fn alias_renaming_is_invisible() {
+        let db = sailors_sample();
+        let a = SqlVisDiagram::from_sql(Q2_FLAT, &db).unwrap();
+        let b = SqlVisDiagram::from_sql(
+            "SELECT DISTINCT X.sname FROM Sailor X, Reserves Y, Boat Z \
+             WHERE X.sid = Y.sid AND Y.bid = Z.bid AND Z.color = 'red'",
+            &db,
+        )
+        .unwrap();
+        assert!(a.isomorphic(&b));
+    }
+
+    #[test]
+    fn union_hangs_a_second_bubble() {
+        let db = sailors_sample();
+        let d = SqlVisDiagram::from_sql(
+            "SELECT S.sname FROM Sailor S WHERE S.rating = 10 \
+             UNION SELECT S.sname FROM Sailor S WHERE S.age < 20",
+            &db,
+        )
+        .unwrap();
+        assert_eq!(d.bubbles.len(), 2);
+        assert_eq!(d.bubbles[d.root].setops.len(), 1);
+        assert_eq!(d.bubbles[d.root].setops[0].0, "UNION");
+    }
+
+    #[test]
+    fn or_over_subqueries_unsupported() {
+        let db = sailors_sample();
+        let r = SqlVisDiagram::from_sql(
+            "SELECT S.sname FROM Sailor S WHERE EXISTS \
+             (SELECT * FROM Reserves R WHERE R.sid = S.sid) \
+             OR S.rating = 10",
+            &db,
+        );
+        assert!(matches!(r, Err(DiagError::Unsupported { .. })), "{r:?}");
+    }
+
+    #[test]
+    fn plain_or_filter_kept_verbatim() {
+        let db = sailors_sample();
+        let d = SqlVisDiagram::from_sql(
+            "SELECT DISTINCT B.bname FROM Boat B \
+             WHERE B.color = 'red' OR B.color = 'green'",
+            &db,
+        )
+        .unwrap();
+        let b = &d.bubbles[d.root];
+        assert_eq!(b.filters.len(), 1);
+        assert!(b.filters[0].contains("OR"));
+        let boat = &b.tables[0];
+        let color = boat.attrs.iter().find(|(a, _)| a == "color").unwrap();
+        assert!(color.1.filter);
+    }
+
+    #[test]
+    fn scene_renders_bubbles() {
+        let db = sailors_sample();
+        let d = SqlVisDiagram::from_sql(Q2_NESTED, &db).unwrap();
+        let svg = relviz_render::svg::to_svg(&d.scene());
+        assert!(svg.contains("Sailor"));
+        assert!(svg.contains("IN"));
+    }
+}

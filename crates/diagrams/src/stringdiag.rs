@@ -1,0 +1,203 @@
+//! **String diagrams** for first-order logic (Haydon & Sobociński 2020;
+//! Bonchi et al. 2024): essentially Peirce's beta graphs re-engineered in
+//! monoidal-category clothing — with the crucial addition that **free
+//! variables are first-class**: a free variable is an *open wire* that
+//! reaches the diagram boundary, whereas a bound variable's wire
+//! terminates in a dot (the existential cap).
+//!
+//! That one change turns beta graphs from a statement language into a
+//! *query* language (free wires = output columns), which is exactly how
+//! the tutorial positions them in Part 5. The builder therefore accepts
+//! full [`DrcQuery`]s, not just sentences.
+
+use relviz_rc::drc::{DrcFormula, DrcQuery};
+use relviz_render::{Scene, TextStyle};
+
+use crate::common::{DiagError, DiagResult};
+use crate::peirce::beta::{BetaGraph, BetaItem};
+
+/// A string diagram: a beta graph plus designated open (free) wires.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StringDiagram {
+    pub graph: BetaGraph,
+    /// Indices into `graph.lines` that are open (free) wires, in output
+    /// order, with their output names.
+    pub open_wires: Vec<(usize, String)>,
+}
+
+impl StringDiagram {
+    /// Builds from a DRC query: head variables become open wires; the
+    /// body builds like a beta graph.
+    pub fn from_drc(q: &DrcQuery) -> DiagResult<StringDiagram> {
+        // Wrap the body in ∃(head vars) to reuse the beta builder, then
+        // mark those lines as open instead of existential.
+        let free = q.body.free_vars();
+        for h in &q.head {
+            if !free.contains(h) {
+                return Err(DiagError::Invalid(format!(
+                    "head variable `{h}` does not occur in the body"
+                )));
+            }
+        }
+        let closed = if q.head.is_empty() {
+            q.body.clone()
+        } else {
+            DrcFormula::exists(q.head.clone(), q.body.clone())
+        };
+        let graph = BetaGraph::from_drc(&closed)?;
+        // The wrapper ∃ introduced the head lines first, in order.
+        let open_wires = q.head.iter().cloned().enumerate().collect();
+        Ok(StringDiagram { graph, open_wires })
+    }
+
+    /// Reads the diagram back into DRC: open wires become head variables.
+    pub fn to_drc(&self) -> DiagResult<DrcQuery> {
+        let reading = self.graph.reading()?;
+        // The reading re-quantifies the open wires (they were built as an
+        // outer ∃); strip that outer quantifier back off.
+        let head: Vec<String> = self.open_wires.iter().map(|(li, _)| var_of(*li)).collect();
+        let body = match reading.body {
+            DrcFormula::Exists { vars, body } if head.iter().all(|h| vars.contains(h)) => {
+                let residual: Vec<String> =
+                    vars.into_iter().filter(|v| !head.contains(v)).collect();
+                if residual.is_empty() {
+                    *body
+                } else {
+                    DrcFormula::Exists { vars: residual, body }
+                }
+            }
+            other if head.is_empty() => other,
+            other => other,
+        };
+        Ok(DrcQuery { head, body })
+    }
+
+    /// Element census: (predicates, cuts, wires, open wires).
+    pub fn census(&self) -> (usize, usize, usize, usize) {
+        fn preds(items: &[BetaItem]) -> usize {
+            items
+                .iter()
+                .map(|i| match i {
+                    BetaItem::Predicate { .. } => 1,
+                    BetaItem::Cut { items, .. } => preds(items),
+                })
+                .sum()
+        }
+        fn cuts(items: &[BetaItem]) -> usize {
+            items
+                .iter()
+                .map(|i| match i {
+                    BetaItem::Cut { items, .. } => 1 + cuts(items),
+                    _ => 0,
+                })
+                .sum()
+        }
+        (
+            preds(&self.graph.items),
+            cuts(&self.graph.items),
+            self.graph.lines.len(),
+            self.open_wires.len(),
+        )
+    }
+
+    /// Scene: the beta scene plus open wires extended to the left boundary
+    /// with their output labels.
+    pub fn scene(&self) -> Scene {
+        let mut scene = self.graph.scene();
+        // Draw boundary markers for open wires on the left edge.
+        for (i, (_, name)) in self.open_wires.iter().enumerate() {
+            let y = 24.0 + i as f64 * 26.0;
+            scene.items.push(relviz_render::Item::Polyline {
+                points: vec![(0.0, y), (18.0, y)],
+                stroke: "#000000".into(),
+                stroke_width: 3.0,
+                dashed: false,
+                arrow: false,
+            });
+            scene.styled_text(
+                20.0,
+                y + 4.0,
+                name.clone(),
+                TextStyle { size: 11.0, italic: true, ..TextStyle::default() },
+            );
+        }
+        scene.fit(8.0);
+        scene
+    }
+}
+
+fn var_of(line: usize) -> String {
+    format!("x{}", line + 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relviz_model::catalog::sailors_sample;
+    use relviz_rc::drc_eval::eval_drc_unchecked;
+    use relviz_rc::drc_parse::parse_drc;
+
+    fn check_round_trip(src: &str) {
+        let db = sailors_sample();
+        let q = parse_drc(src).unwrap();
+        let d = StringDiagram::from_drc(&q).unwrap_or_else(|e| panic!("{src}: {e}"));
+        let back = d.to_drc().unwrap();
+        let orig = eval_drc_unchecked(&q, &db).unwrap();
+        let rt = eval_drc_unchecked(&back, &db)
+            .unwrap_or_else(|e| panic!("{src}\nback: {back}\n{e}"));
+        assert!(
+            orig.same_contents(&rt),
+            "string diagram round trip changed `{src}`\nback: {back}"
+        );
+    }
+
+    #[test]
+    fn free_wires_make_it_a_query_language() {
+        // The exact query beta graphs reject (free variable x):
+        let q = parse_drc("{x | exists n: (Boat(x, n, 'red'))}").unwrap();
+        let d = StringDiagram::from_drc(&q).unwrap();
+        assert_eq!(d.open_wires.len(), 1);
+        let (preds, cuts, wires, open) = d.census();
+        assert_eq!((preds, cuts, wires, open), (1, 0, 2, 1));
+    }
+
+    #[test]
+    fn round_trips_preserve_semantics() {
+        for src in [
+            "{x | exists n: (Boat(x, n, 'red'))}",
+            "{n | exists s, rt, a, d: (Sailor(s, n, rt, a) and Reserves(s, 102, d))}",
+            "{n | exists s, rt, a: (Sailor(s, n, rt, a) and not exists b, bn: \
+              (Boat(b, bn, 'red') and not exists d: (Reserves(s, b, d))))}",
+        ] {
+            check_round_trip(src);
+        }
+    }
+
+    #[test]
+    fn head_var_must_occur() {
+        let q = DrcQuery::new(
+            vec!["ghost"],
+            DrcFormula::atom("Boat", vec![relviz_rc::drc::DrcTerm::var("x")]),
+        );
+        assert!(StringDiagram::from_drc(&q).is_err());
+    }
+
+    #[test]
+    fn boolean_queries_still_work() {
+        // Sentences are the degenerate case with no open wires.
+        let q = parse_drc("{h | exists s, n, rt, a: (Sailor(s, n, rt, a) and h = s)}").unwrap();
+        let sentence = DrcQuery { head: vec![], body: DrcFormula::exists(vec!["h".into()], q.body) };
+        let d = StringDiagram::from_drc(&sentence).unwrap();
+        assert!(d.open_wires.is_empty());
+        let back = d.to_drc().unwrap();
+        assert!(back.head.is_empty());
+    }
+
+    #[test]
+    fn scene_marks_open_wires() {
+        let q = parse_drc("{x | exists n: (Boat(x, n, 'red'))}").unwrap();
+        let d = StringDiagram::from_drc(&q).unwrap();
+        let svg = relviz_render::svg::to_svg(&d.scene());
+        assert!(svg.contains(">x<") || svg.contains(">x</text>"), "{svg}");
+    }
+}

@@ -1,0 +1,365 @@
+//! Classical syllogistics decided two independent ways — the engine behind
+//! experiment **E4**.
+//!
+//! A syllogism has a mood (three categorical forms, e.g. AAA) and a figure
+//! (1–4, fixing how the middle term M arranges with subject S and
+//! predicate P). That yields 4³·4 = **256 forms**, of which 15 are valid
+//! unconditionally and 9 more under *existential import* (non-empty
+//! terms) — 24 "classically valid" forms.
+//!
+//! Deciders:
+//! 1. [`decide_venn`] — Shin's Venn-I route: premises become shading and
+//!    ⊗-sequences on a 3-set diagram, unified; conclusion checked by the
+//!    minterm-model semantics.
+//! 2. [`decide_fol`] — FOL route: every monadic structure over S, M, P is
+//!    (up to logical equivalence) a choice of inhabited minterms, so we
+//!    enumerate all 2⁸ small databases with unary relations and evaluate
+//!    the premises/conclusion as **DRC sentences** through the calculus
+//!    evaluator from `relviz-rc` — a genuinely independent code path.
+//!
+//! Agreement of the two deciders on all 256 forms reproduces (the
+//! computational content of) Shin's soundness & completeness results for
+//! Venn-I that the tutorial surveys.
+
+use relviz_model::{Database, DataType, Relation, Schema, Tuple, Value};
+use relviz_rc::drc::{DrcFormula, DrcQuery, DrcTerm};
+
+use crate::common::DiagResult;
+use crate::euler::{Categorical, Statement};
+use crate::venn::VennDiagram;
+
+/// The four syllogistic figures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Figure {
+    First,
+    Second,
+    Third,
+    Fourth,
+}
+
+impl Figure {
+    pub const ALL: [Figure; 4] = [Figure::First, Figure::Second, Figure::Third, Figure::Fourth];
+
+    /// (major premise terms, minor premise terms) as (subject, predicate),
+    /// with the conclusion always S–P.
+    fn arrangement(self) -> ((Term, Term), (Term, Term)) {
+        use Term::*;
+        match self {
+            Figure::First => ((M, P), (S, M)),
+            Figure::Second => ((P, M), (S, M)),
+            Figure::Third => ((M, P), (M, S)),
+            Figure::Fourth => ((P, M), (M, S)),
+        }
+    }
+
+    pub fn number(self) -> u8 {
+        match self {
+            Figure::First => 1,
+            Figure::Second => 2,
+            Figure::Third => 3,
+            Figure::Fourth => 4,
+        }
+    }
+}
+
+/// The three syllogistic terms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Term {
+    S,
+    M,
+    P,
+}
+
+impl Term {
+    fn name(self) -> &'static str {
+        match self {
+            Term::S => "S",
+            Term::M => "M",
+            Term::P => "P",
+        }
+    }
+    fn index(self) -> usize {
+        match self {
+            Term::S => 0,
+            Term::M => 1,
+            Term::P => 2,
+        }
+    }
+}
+
+/// A syllogistic form: mood (major, minor, conclusion) + figure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Syllogism {
+    pub major: Categorical,
+    pub minor: Categorical,
+    pub conclusion: Categorical,
+    pub figure: Figure,
+}
+
+impl Syllogism {
+    /// All 256 forms.
+    pub fn all_forms() -> Vec<Syllogism> {
+        let forms =
+            [Categorical::All, Categorical::No, Categorical::Some, Categorical::SomeNot];
+        let mut out = Vec::with_capacity(256);
+        for &major in &forms {
+            for &minor in &forms {
+                for &conclusion in &forms {
+                    for &figure in &Figure::ALL {
+                        out.push(Syllogism { major, minor, conclusion, figure });
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// The three statements (major, minor, conclusion) with term names.
+    pub fn statements(&self) -> (Statement, Statement, Statement) {
+        let ((maj_s, maj_p), (min_s, min_p)) = self.figure.arrangement();
+        (
+            Statement::new(self.major, maj_s.name(), maj_p.name()),
+            Statement::new(self.minor, min_s.name(), min_p.name()),
+            Statement::new(self.conclusion, "S", "P"),
+        )
+    }
+
+    /// Traditional mood string, e.g. "AAA-1" (Barbara).
+    pub fn mood(&self) -> String {
+        fn letter(c: Categorical) -> char {
+            match c {
+                Categorical::All => 'A',
+                Categorical::No => 'E',
+                Categorical::Some => 'I',
+                Categorical::SomeNot => 'O',
+            }
+        }
+        format!(
+            "{}{}{}-{}",
+            letter(self.major),
+            letter(self.minor),
+            letter(self.conclusion),
+            self.figure.number()
+        )
+    }
+}
+
+// ---- Venn-I decision procedure ---------------------------------------------
+
+fn term_index(name: &str) -> usize {
+    match name {
+        "S" => 0,
+        "M" => 1,
+        _ => 2,
+    }
+}
+
+/// Encodes a categorical statement on a 3-set Venn diagram.
+pub fn statement_to_venn(stmt: &Statement, d: &mut VennDiagram) -> DiagResult<()> {
+    let x = term_index(&stmt.subject);
+    let y = term_index(&stmt.predicate);
+    match stmt.form {
+        Categorical::All => d.shade(d.difference(x, y)),
+        Categorical::No => d.shade(d.intersection(x, y)),
+        Categorical::Some => d.add_xseq(d.intersection(x, y)),
+        Categorical::SomeNot => d.add_xseq(d.difference(x, y)),
+    }
+}
+
+/// Decides validity via Venn-I: unify premise diagrams, test semantic
+/// entailment of the conclusion diagram. With `existential_import`, every
+/// term additionally carries an ⊗-sequence asserting non-emptiness.
+pub fn decide_venn(s: &Syllogism, existential_import: bool) -> DiagResult<bool> {
+    let (maj, min, concl) = s.statements();
+    let mut premises = VennDiagram::new(vec!["S", "M", "P"])?;
+    statement_to_venn(&maj, &mut premises)?;
+    statement_to_venn(&min, &mut premises)?;
+    if existential_import {
+        for t in [Term::S, Term::M, Term::P] {
+            let region = premises.inside(t.index());
+            premises.add_xseq(region)?;
+        }
+    }
+    let mut conclusion = VennDiagram::new(vec!["S", "M", "P"])?;
+    statement_to_venn(&concl, &mut conclusion)?;
+    premises.entails(&conclusion)
+}
+
+// ---- FOL decision procedure ------------------------------------------------
+
+/// A categorical statement as a DRC sentence over unary relations S, M, P.
+pub fn statement_to_drc(stmt: &Statement) -> DrcFormula {
+    let a = stmt.subject.clone();
+    let b = stmt.predicate.clone();
+    let x = || DrcTerm::var("x");
+    match stmt.form {
+        // ∀x: A(x) → B(x) ≡ ¬∃x: A(x) ∧ ¬B(x)
+        Categorical::All => DrcFormula::exists(
+            vec!["x".into()],
+            DrcFormula::atom(a, vec![x()]).and(DrcFormula::atom(b, vec![x()]).not()),
+        )
+        .not(),
+        // ¬∃x: A(x) ∧ B(x)
+        Categorical::No => DrcFormula::exists(
+            vec!["x".into()],
+            DrcFormula::atom(a, vec![x()]).and(DrcFormula::atom(b, vec![x()])),
+        )
+        .not(),
+        // ∃x: A(x) ∧ B(x)
+        Categorical::Some => DrcFormula::exists(
+            vec!["x".into()],
+            DrcFormula::atom(a, vec![x()]).and(DrcFormula::atom(b, vec![x()])),
+        ),
+        // ∃x: A(x) ∧ ¬B(x)
+        Categorical::SomeNot => DrcFormula::exists(
+            vec!["x".into()],
+            DrcFormula::atom(a, vec![x()]).and(DrcFormula::atom(b, vec![x()]).not()),
+        ),
+    }
+}
+
+/// Builds the monadic database for an inhabited-minterm pattern: for each
+/// set bit `t` of `pattern`, an element `t` whose S/M/P membership follows
+/// the bits of `t`.
+fn database_for(pattern: u8) -> Database {
+    let mut db = Database::new();
+    let mut rels: Vec<Relation> = (0..3)
+        .map(|_| Relation::empty(Schema::of(&[("x", DataType::Int)])))
+        .collect();
+    for t in 0..8u8 {
+        if pattern & (1 << t) != 0 {
+            for (i, rel) in rels.iter_mut().enumerate() {
+                if t & (1 << i) != 0 {
+                    rel.insert_unchecked(Tuple::new(vec![Value::Int(t as i64)]));
+                }
+            }
+        }
+    }
+    // A spare constant keeps the active domain non-empty even for the
+    // all-empty pattern (quantifiers need a domain to range over; an
+    // empty-domain FOL structure is standardly excluded).
+    let mut dom = Relation::empty(Schema::of(&[("x", DataType::Int)]));
+    dom.insert_unchecked(Tuple::new(vec![Value::Int(99)]));
+    for t in 0..8u8 {
+        if pattern & (1 << t) != 0 {
+            dom.insert_unchecked(Tuple::new(vec![Value::Int(t as i64)]));
+        }
+    }
+    db.add("S", rels.remove(0)).unwrap();
+    db.add("M", rels.remove(0)).unwrap();
+    db.add("P", rels.remove(0)).unwrap();
+    db.add("Dom", dom).unwrap();
+    db
+}
+
+fn sentence_holds(f: &DrcFormula, db: &Database) -> bool {
+    let q = DrcQuery { head: Vec::new(), body: f.clone() };
+    !relviz_rc::drc_eval::eval_drc_unchecked(&q, db)
+        .expect("syllogistic sentences are well-formed")
+        .is_empty()
+}
+
+/// Decides validity by enumerating all monadic structures (2⁸ minterm
+/// patterns suffice: monadic FOL with 3 predicates has the finite model
+/// property with ≤8 element types) and evaluating the DRC sentences.
+pub fn decide_fol(s: &Syllogism, existential_import: bool) -> bool {
+    let (maj, min, concl) = s.statements();
+    let fmaj = statement_to_drc(&maj);
+    let fmin = statement_to_drc(&min);
+    let fconcl = statement_to_drc(&concl);
+    for pattern in 0..=255u8 {
+        let db = database_for(pattern);
+        if existential_import {
+            let nonempty = |name: &str| !db.relation(name).unwrap().is_empty();
+            if !(nonempty("S") && nonempty("M") && nonempty("P")) {
+                continue;
+            }
+        }
+        if sentence_holds(&fmaj, &db)
+            && sentence_holds(&fmin, &db)
+            && !sentence_holds(&fconcl, &db)
+        {
+            return false; // counterexample
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use Categorical::*;
+
+    fn syl(major: Categorical, minor: Categorical, conclusion: Categorical, figure: Figure) -> Syllogism {
+        Syllogism { major, minor, conclusion, figure }
+    }
+
+    #[test]
+    fn barbara_is_valid_both_ways() {
+        let barbara = syl(All, All, All, Figure::First);
+        assert_eq!(barbara.mood(), "AAA-1");
+        assert!(decide_venn(&barbara, false).unwrap());
+        assert!(decide_fol(&barbara, false));
+    }
+
+    #[test]
+    fn celarent_ferio_darii() {
+        for (m1, m2, c, f) in [
+            (No, All, No, Figure::First),     // Celarent EAE-1
+            (All, Some, Some, Figure::First), // Darii AII-1
+            (No, Some, SomeNot, Figure::First), // Ferio EIO-1
+        ] {
+            let s = syl(m1, m2, c, f);
+            assert!(decide_venn(&s, false).unwrap(), "{}", s.mood());
+            assert!(decide_fol(&s, false), "{}", s.mood());
+        }
+    }
+
+    #[test]
+    fn darapti_needs_existential_import() {
+        // AAI-3 (Darapti): valid only with non-empty M.
+        let darapti = syl(All, All, Some, Figure::Third);
+        assert!(!decide_venn(&darapti, false).unwrap());
+        assert!(!decide_fol(&darapti, false));
+        assert!(decide_venn(&darapti, true).unwrap());
+        assert!(decide_fol(&darapti, true));
+    }
+
+    #[test]
+    fn an_invalid_form_is_invalid_everywhere() {
+        // AAA-2 is the classic fallacy of the undistributed middle.
+        let bad = syl(All, All, All, Figure::Second);
+        assert!(!decide_venn(&bad, false).unwrap());
+        assert!(!decide_fol(&bad, false));
+        assert!(!decide_venn(&bad, true).unwrap());
+        assert!(!decide_fol(&bad, true));
+    }
+
+    #[test]
+    fn deciders_agree_on_a_sample() {
+        // The full 256-form sweep is experiment E4; here a spot sample
+        // keeps the unit suite fast.
+        for (i, s) in Syllogism::all_forms().into_iter().enumerate() {
+            if i % 17 != 0 {
+                continue;
+            }
+            assert_eq!(
+                decide_venn(&s, false).unwrap(),
+                decide_fol(&s, false),
+                "disagreement (strict) on {}",
+                s.mood()
+            );
+            assert_eq!(
+                decide_venn(&s, true).unwrap(),
+                decide_fol(&s, true),
+                "disagreement (import) on {}",
+                s.mood()
+            );
+        }
+    }
+
+    #[test]
+    fn form_counting() {
+        assert_eq!(Syllogism::all_forms().len(), 256);
+    }
+}

@@ -1,0 +1,389 @@
+//! **TableTalk** (Epstein, JVLC 1991) — a visual query language that
+//! "visualizes the flow of a query top-down and displays logical
+//! conditions in tiles".
+//!
+//! ## Model
+//!
+//! A TableTalk picture is a vertical **flow**: the source tables enter at
+//! the top, each condition is a rounded *tile* the flow passes through
+//! (in source order), and the projection exits at the bottom. A subquery
+//! is a side-flow hanging off the tile of its connective; set operations
+//! merge whole flows.
+//!
+//! The flow is *procedural about conjunction order* (tiles are stacked in
+//! the order the WHERE clause lists them) but, unlike DFQL, it is not an
+//! algebra: tiles carry predicate text, not operators. That places
+//! TableTalk with the syntax-mirroring family in the tutorial's
+//! comparison — experiment E9 measures how its tile sequence tracks the
+//! textual conjunct order.
+
+use relviz_model::Database;
+use relviz_render::{Scene, TextStyle};
+use relviz_sql::ast::{Cond, Query, SelectItem, SelectStmt};
+use relviz_sql::printer;
+
+use crate::common::{DiagError, DiagResult};
+
+/// One stage of a flow, top to bottom.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stage {
+    /// A source table entering the flow: (table, alias).
+    Source { table: String, alias: String },
+    /// A condition tile with its predicate text.
+    Tile { text: String },
+    /// A tile whose condition hangs a side-flow (subquery), labelled by
+    /// the SQL connective.
+    SideFlow { label: String, flow: usize },
+    /// The projection exit: output column texts.
+    Output { columns: Vec<String>, distinct: bool },
+    /// A set operation merging this flow with another: (keyword, flow).
+    Merge { keyword: String, flow: usize },
+}
+
+/// One top-down flow (one `SELECT` block).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Flow {
+    pub stages: Vec<Stage>,
+}
+
+/// A TableTalk diagram: flows, with `root` the outermost.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableTalkDiagram {
+    pub flows: Vec<Flow>,
+    pub root: usize,
+}
+
+impl TableTalkDiagram {
+    /// Builds the diagram from SQL text (resolved against `db`).
+    pub fn from_sql(sql: &str, db: &Database) -> DiagResult<TableTalkDiagram> {
+        let q = relviz_sql::parser::parse_query(sql)
+            .map_err(|e| DiagError::Lang(e.to_string()))?;
+        let q = relviz_sql::analyze::resolve(&q, db)
+            .map_err(|e| DiagError::Lang(e.to_string()))?;
+        Self::from_ast(&q)
+    }
+
+    /// Builds the diagram from a resolved AST.
+    pub fn from_ast(q: &Query) -> DiagResult<TableTalkDiagram> {
+        let mut d = TableTalkDiagram { flows: Vec::new(), root: 0 };
+        d.root = d.build_query(q)?;
+        Ok(d)
+    }
+
+    fn build_query(&mut self, q: &Query) -> DiagResult<usize> {
+        match q {
+            Query::Select(s) => self.build_flow(s),
+            Query::SetOp { op, left, right } => {
+                let l = self.build_query(left)?;
+                let r = self.build_query(right)?;
+                self.flows[l]
+                    .stages
+                    .push(Stage::Merge { keyword: op.keyword().to_string(), flow: r });
+                Ok(l)
+            }
+        }
+    }
+
+    fn build_flow(&mut self, s: &SelectStmt) -> DiagResult<usize> {
+        let id = self.flows.len();
+        self.flows.push(Flow::default());
+        for t in &s.from {
+            let stage = Stage::Source {
+                table: t.table.clone(),
+                alias: t.effective_name().to_string(),
+            };
+            self.flows[id].stages.push(stage);
+        }
+        if let Some(w) = &s.where_clause {
+            self.add_tiles(id, w)?;
+        }
+        let columns = s
+            .items
+            .iter()
+            .map(|item| match item {
+                SelectItem::Wildcard => "*".to_string(),
+                SelectItem::QualifiedWildcard(q) => format!("{q}.*"),
+                SelectItem::Expr { expr, .. } => printer::print_scalar(expr),
+            })
+            .collect();
+        self.flows[id].stages.push(Stage::Output { columns, distinct: s.distinct });
+        Ok(id)
+    }
+
+    fn add_tiles(&mut self, flow: usize, c: &Cond) -> DiagResult<()> {
+        match c {
+            Cond::And(a, b) => {
+                self.add_tiles(flow, a)?;
+                self.add_tiles(flow, b)?;
+            }
+            Cond::Exists { negated, query } => {
+                let side = self.build_query(query)?;
+                let label = if *negated { "NOT EXISTS" } else { "EXISTS" };
+                self.flows[flow]
+                    .stages
+                    .push(Stage::SideFlow { label: label.to_string(), flow: side });
+            }
+            Cond::InSubquery { expr, negated, query } => {
+                let side = self.build_query(query)?;
+                let label = format!(
+                    "{} {}",
+                    printer::print_scalar(expr),
+                    if *negated { "NOT IN" } else { "IN" }
+                );
+                self.flows[flow].stages.push(Stage::SideFlow { label, flow: side });
+            }
+            Cond::QuantCmp { left, op, quant, query } => {
+                let side = self.build_query(query)?;
+                let quant = match quant {
+                    relviz_sql::ast::Quant::Any => "ANY",
+                    relviz_sql::ast::Quant::All => "ALL",
+                };
+                let label =
+                    format!("{} {} {quant}", printer::print_scalar(left), op.symbol());
+                self.flows[flow].stages.push(Stage::SideFlow { label, flow: side });
+            }
+            other => {
+                self.flows[flow]
+                    .stages
+                    .push(Stage::Tile { text: printer::print_cond(other) });
+            }
+        }
+        Ok(())
+    }
+
+    // ---- metrics -----------------------------------------------------------
+
+    /// Element census: (flows, source stages, condition tiles, side-flow
+    /// tiles, merge stages).
+    pub fn census(&self) -> (usize, usize, usize, usize, usize) {
+        let mut sources = 0;
+        let mut tiles = 0;
+        let mut sides = 0;
+        let mut merges = 0;
+        for f in &self.flows {
+            for s in &f.stages {
+                match s {
+                    Stage::Source { .. } => sources += 1,
+                    Stage::Tile { .. } => tiles += 1,
+                    Stage::SideFlow { .. } => sides += 1,
+                    Stage::Merge { .. } => merges += 1,
+                    Stage::Output { .. } => {}
+                }
+            }
+        }
+        (self.flows.len(), sources, tiles, sides, merges)
+    }
+
+    /// The tile texts of the root flow, in flow order — E9's probe for the
+    /// tutorial's claim that tile order tracks textual conjunct order.
+    pub fn tile_sequence(&self) -> Vec<String> {
+        self.flows[self.root]
+            .stages
+            .iter()
+            .filter_map(|s| match s {
+                Stage::Tile { text } => Some(text.clone()),
+                Stage::SideFlow { label, .. } => Some(label.clone()),
+                _ => None,
+            })
+            .collect()
+    }
+
+    // ---- rendering -----------------------------------------------------
+
+    /// Scene: each flow is a vertical lane; sources as rectangles, tiles
+    /// as rounded boxes on the spine, side flows indented to the right.
+    pub fn scene(&self) -> Scene {
+        let mut scene = Scene::new(0.0, 0.0);
+        let mut y = 20.0;
+        self.draw_flow(self.root, 30.0, &mut y, &mut scene);
+        scene.fit(10.0);
+        scene
+    }
+
+    fn draw_flow(&self, flow: usize, x: f64, y: &mut f64, scene: &mut Scene) {
+        const W: f64 = 220.0;
+        const H: f64 = 24.0;
+        let spine_x = x + W / 2.0;
+        let mut prev_bottom: Option<f64> = None;
+        for stage in &self.flows[flow].stages {
+            if let Some(p) = prev_bottom {
+                scene.arrow(vec![(spine_x, p), (spine_x, *y)]);
+            }
+            match stage {
+                Stage::Source { table, alias } => {
+                    let label =
+                        if table == alias { table.clone() } else { format!("{table} {alias}") };
+                    scene.rect(x, *y, W, H);
+                    scene.styled_text(
+                        x + 8.0,
+                        *y + 16.0,
+                        label,
+                        TextStyle { size: 12.0, bold: true, ..TextStyle::default() },
+                    );
+                    prev_bottom = Some(*y + H);
+                    *y += H + 16.0;
+                }
+                Stage::Tile { text } => {
+                    scene.styled_rect(
+                        x + 10.0,
+                        *y,
+                        W - 20.0,
+                        H,
+                        10.0,
+                        "#555555",
+                        "none",
+                        1.0,
+                        false,
+                    );
+                    scene.text(x + 20.0, *y + 16.0, text.clone());
+                    prev_bottom = Some(*y + H);
+                    *y += H + 16.0;
+                }
+                Stage::SideFlow { label, flow: side } => {
+                    scene.styled_rect(
+                        x + 10.0,
+                        *y,
+                        W - 20.0,
+                        H,
+                        10.0,
+                        "#aa5500",
+                        "none",
+                        1.2,
+                        false,
+                    );
+                    scene.styled_text(
+                        x + 20.0,
+                        *y + 16.0,
+                        label.clone(),
+                        TextStyle { size: 11.0, italic: true, ..TextStyle::default() },
+                    );
+                    prev_bottom = Some(*y + H);
+                    let side_top = *y;
+                    *y += H + 16.0;
+                    let mut side_y = side_top;
+                    scene.line(
+                        x + W - 10.0,
+                        side_top + H / 2.0,
+                        x + W + 20.0,
+                        side_top + H / 2.0,
+                    );
+                    self.draw_flow(*side, x + W + 20.0, &mut side_y, scene);
+                    *y = y.max(side_y);
+                }
+                Stage::Output { columns, distinct } => {
+                    let label = format!(
+                        "▼ {}{}",
+                        if *distinct { "DISTINCT " } else { "" },
+                        columns.join(", ")
+                    );
+                    scene.styled_rect(x, *y, W, H, 2.0, "#006600", "none", 1.2, false);
+                    scene.text(x + 8.0, *y + 16.0, label);
+                    prev_bottom = Some(*y + H);
+                    *y += H + 16.0;
+                }
+                Stage::Merge { keyword, flow: other } => {
+                    scene.styled_text(
+                        x + W / 2.0 - 20.0,
+                        *y + 14.0,
+                        keyword.clone(),
+                        TextStyle { size: 12.0, bold: true, ..TextStyle::default() },
+                    );
+                    prev_bottom = Some(*y + H);
+                    let mut side_y = *y;
+                    self.draw_flow(*other, x + W + 20.0, &mut side_y, scene);
+                    *y = y.max(side_y) + H;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relviz_model::catalog::sailors_sample;
+
+    const Q2: &str = "SELECT DISTINCT S.sname FROM Sailor S, Reserves R, Boat B \
+        WHERE S.sid = R.sid AND R.bid = B.bid AND B.color = 'red'";
+
+    #[test]
+    fn flow_structure_mirrors_the_block() {
+        let db = sailors_sample();
+        let d = TableTalkDiagram::from_sql(Q2, &db).unwrap();
+        let (flows, sources, tiles, sides, merges) = d.census();
+        assert_eq!((flows, sources, tiles, sides, merges), (1, 3, 3, 0, 0));
+        let f = &d.flows[d.root];
+        assert!(matches!(f.stages.first(), Some(Stage::Source { .. })));
+        assert!(matches!(f.stages.last(), Some(Stage::Output { distinct: true, .. })));
+    }
+
+    #[test]
+    fn tiles_keep_source_order() {
+        let db = sailors_sample();
+        let a = TableTalkDiagram::from_sql(Q2, &db).unwrap();
+        let b = TableTalkDiagram::from_sql(
+            "SELECT DISTINCT S.sname FROM Sailor S, Reserves R, Boat B \
+             WHERE B.color = 'red' AND R.bid = B.bid AND S.sid = R.sid",
+            &db,
+        )
+        .unwrap();
+        assert_eq!(a.tile_sequence().len(), 3);
+        assert_ne!(a.tile_sequence(), b.tile_sequence(), "tile order is syntactic");
+        assert_eq!(
+            a.tile_sequence().iter().collect::<std::collections::BTreeSet<_>>(),
+            b.tile_sequence().iter().collect::<std::collections::BTreeSet<_>>(),
+            "same tiles, different order"
+        );
+    }
+
+    #[test]
+    fn subquery_becomes_side_flow() {
+        let db = sailors_sample();
+        let d = TableTalkDiagram::from_sql(
+            "SELECT S.sname FROM Sailor S WHERE NOT EXISTS \
+             (SELECT * FROM Reserves R WHERE R.sid = S.sid)",
+            &db,
+        )
+        .unwrap();
+        let (flows, _, _, sides, _) = d.census();
+        assert_eq!((flows, sides), (2, 1));
+        assert_eq!(d.tile_sequence(), vec!["NOT EXISTS".to_string()]);
+    }
+
+    #[test]
+    fn union_merges_flows() {
+        let db = sailors_sample();
+        let d = TableTalkDiagram::from_sql(
+            "SELECT S.sname FROM Sailor S WHERE S.rating = 10 \
+             UNION SELECT S.sname FROM Sailor S WHERE S.age < 20",
+            &db,
+        )
+        .unwrap();
+        let (flows, _, _, _, merges) = d.census();
+        assert_eq!((flows, merges), (2, 1));
+    }
+
+    #[test]
+    fn or_condition_is_one_tile() {
+        let db = sailors_sample();
+        let d = TableTalkDiagram::from_sql(
+            "SELECT DISTINCT B.bname FROM Boat B \
+             WHERE B.color = 'red' OR B.color = 'green'",
+            &db,
+        )
+        .unwrap();
+        let (_, _, tiles, _, _) = d.census();
+        assert_eq!(tiles, 1, "disjunction collapses into a single textual tile");
+        assert!(d.tile_sequence()[0].contains("OR"));
+    }
+
+    #[test]
+    fn scene_draws_the_spine() {
+        let db = sailors_sample();
+        let d = TableTalkDiagram::from_sql(Q2, &db).unwrap();
+        let svg = relviz_render::svg::to_svg(&d.scene());
+        assert!(svg.contains("Sailor"));
+        assert!(svg.contains("marker-end"), "flow arrows expected");
+        assert!(svg.contains("DISTINCT"));
+    }
+}

@@ -1,0 +1,549 @@
+//! Venn and Venn-Peirce diagrams, after Shin's formalization (Venn-I and
+//! Venn-II) [Shin 1995], as surveyed in Part 4 of the tutorial.
+//!
+//! ## Model
+//!
+//! An *n*-set Venn diagram partitions the plane into `2ⁿ` minimal regions
+//! (**minterms**, encoded as bitmasks: bit *i* set ⇔ inside set *i*).
+//! Venn's contribution over Euler: the region structure is *fixed*, and
+//! information is expressed by annotations —
+//!
+//! * **shading** a region asserts it is empty (Venn),
+//! * an **⊗-sequence** (Peirce's addition) asserts that at least one of
+//!   its regions is non-empty — disjunctive existential information.
+//!
+//! A *model* assigns each minterm empty/non-empty; with n = 3 there are
+//! just 2⁸ = 256 models, so semantic entailment is decidable by brute
+//! force — exactly the decision procedure experiment E4 runs against an
+//! *independent* FOL model checker built on the DRC evaluator.
+//!
+//! **Venn-II** adds disjunction *between whole diagrams* (Shin's connected
+//! diagrams), which Venn-I cannot express — the tutorial's recurring theme
+//! that disjunction is the hard case for diagrams.
+
+use std::collections::BTreeSet;
+
+use relviz_render::Scene;
+
+use crate::common::{DiagError, DiagResult};
+
+/// A region: a set of minterms (bitmasks over the diagram's sets).
+pub type Region = BTreeSet<u8>;
+
+/// A Venn-I diagram over `n ≤ 5` labelled sets.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct VennDiagram {
+    pub labels: Vec<String>,
+    /// Minterms asserted empty.
+    pub shaded: Region,
+    /// Each ⊗-sequence asserts “some minterm in this region is inhabited”.
+    pub xseqs: Vec<Region>,
+}
+
+impl VennDiagram {
+    pub fn new(labels: Vec<impl Into<String>>) -> DiagResult<Self> {
+        let labels: Vec<String> = labels.into_iter().map(Into::into).collect();
+        if labels.is_empty() || labels.len() > 5 {
+            return Err(DiagError::Invalid(format!(
+                "Venn diagrams here support 1–5 sets, got {}",
+                labels.len()
+            )));
+        }
+        Ok(VennDiagram { labels, shaded: Region::new(), xseqs: Vec::new() })
+    }
+
+    pub fn n(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Number of minterms, `2ⁿ`.
+    pub fn minterm_count(&self) -> u16 {
+        1u16 << self.n()
+    }
+
+    fn check_minterm(&self, m: u8) -> DiagResult<()> {
+        if (m as u16) < self.minterm_count() {
+            Ok(())
+        } else {
+            Err(DiagError::Invalid(format!("minterm {m} out of range for {} sets", self.n())))
+        }
+    }
+
+    /// Shades a region (asserts emptiness).
+    pub fn shade(&mut self, region: impl IntoIterator<Item = u8>) -> DiagResult<()> {
+        for m in region {
+            self.check_minterm(m)?;
+            self.shaded.insert(m);
+        }
+        Ok(())
+    }
+
+    /// Adds an ⊗-sequence (asserts some member region is inhabited).
+    pub fn add_xseq(&mut self, region: impl IntoIterator<Item = u8>) -> DiagResult<()> {
+        let r: Region = region.into_iter().collect();
+        if r.is_empty() {
+            return Err(DiagError::Invalid("empty ⊗-sequence".into()));
+        }
+        for &m in &r {
+            self.check_minterm(m)?;
+        }
+        self.xseqs.push(r);
+        Ok(())
+    }
+
+    /// The region "inside set i".
+    pub fn inside(&self, i: usize) -> Region {
+        (0..self.minterm_count() as u8).filter(|m| m & (1 << i) != 0).collect()
+    }
+
+    /// The region "inside i and j".
+    pub fn intersection(&self, i: usize, j: usize) -> Region {
+        (0..self.minterm_count() as u8)
+            .filter(|m| m & (1 << i) != 0 && m & (1 << j) != 0)
+            .collect()
+    }
+
+    /// The region "inside i but outside j".
+    pub fn difference(&self, i: usize, j: usize) -> Region {
+        (0..self.minterm_count() as u8)
+            .filter(|m| m & (1 << i) != 0 && m & (1 << j) == 0)
+            .collect()
+    }
+
+    /// A model satisfies the diagram iff every shaded minterm is empty and
+    /// every ⊗-sequence touches a non-empty minterm. `model` bit k ⇔
+    /// minterm k inhabited.
+    pub fn satisfied_by(&self, model: u32) -> bool {
+        for &m in &self.shaded {
+            if model & (1 << m) != 0 {
+                return false;
+            }
+        }
+        for seq in &self.xseqs {
+            if !seq.iter().any(|&m| model & (1 << m) != 0) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// All satisfying models (bitmask over minterms).
+    pub fn models(&self) -> Vec<u32> {
+        let total = 1u32 << self.minterm_count();
+        (0..total).filter(|&m| self.satisfied_by(m)).collect()
+    }
+
+    /// Consistency: at least one model.
+    pub fn is_consistent(&self) -> bool {
+        !self.models().is_empty()
+    }
+
+    /// Semantic entailment between same-shape diagrams.
+    pub fn entails(&self, other: &VennDiagram) -> DiagResult<bool> {
+        if self.labels != other.labels {
+            return Err(DiagError::Invalid("entailment needs identical set labels".into()));
+        }
+        Ok(self.models().into_iter().all(|m| other.satisfied_by(m)))
+    }
+
+    /// Unifies two diagrams (Shin's rule of unification): combine shading
+    /// and ⊗-sequences.
+    pub fn unify(&self, other: &VennDiagram) -> DiagResult<VennDiagram> {
+        if self.labels != other.labels {
+            return Err(DiagError::Invalid("unification needs identical set labels".into()));
+        }
+        let mut out = self.clone();
+        out.shaded.extend(other.shaded.iter().copied());
+        out.xseqs.extend(other.xseqs.iter().cloned());
+        Ok(out)
+    }
+
+    // ---- Shin's Venn-I transformation rules -----------------------------
+
+    /// Rule: erasure of shading (forgetting information — sound).
+    pub fn erase_shading(&self, m: u8) -> DiagResult<VennDiagram> {
+        if !self.shaded.contains(&m) {
+            return Err(DiagError::Invalid(format!("minterm {m} is not shaded")));
+        }
+        let mut d = self.clone();
+        d.shaded.remove(&m);
+        Ok(d)
+    }
+
+    /// Rule: erasure of a whole ⊗-sequence (sound).
+    pub fn erase_xseq(&self, idx: usize) -> DiagResult<VennDiagram> {
+        if idx >= self.xseqs.len() {
+            return Err(DiagError::Invalid(format!("no ⊗-sequence {idx}")));
+        }
+        let mut d = self.clone();
+        d.xseqs.remove(idx);
+        Ok(d)
+    }
+
+    /// Rule: extension of an ⊗-sequence by another minterm (weakening the
+    /// disjunction — sound).
+    pub fn extend_xseq(&self, idx: usize, m: u8) -> DiagResult<VennDiagram> {
+        self.check_minterm(m)?;
+        if idx >= self.xseqs.len() {
+            return Err(DiagError::Invalid(format!("no ⊗-sequence {idx}")));
+        }
+        let mut d = self.clone();
+        d.xseqs[idx].insert(m);
+        Ok(d)
+    }
+
+    /// Rule: erasure of the ⊗-parts falling in shaded regions; if a whole
+    /// sequence lies in shading, the diagram is inconsistent (Shin's rule
+    /// of conflicting information).
+    pub fn prune_xseqs(&self) -> DiagResult<VennDiagram> {
+        let mut d = self.clone();
+        for seq in &mut d.xseqs {
+            seq.retain(|m| !self.shaded.contains(m));
+            if seq.is_empty() {
+                return Err(DiagError::Invalid(
+                    "conflicting information: an ⊗-sequence lies entirely in shading".into(),
+                ));
+            }
+        }
+        Ok(d)
+    }
+
+    // ---- rendering --------------------------------------------------------
+
+    /// Scene: overlapping circles (n ≤ 3), shading hatch marks and ⊗ marks
+    /// placed at region centroids.
+    pub fn scene(&self) -> Scene {
+        let mut scene = Scene::new(360.0, 320.0);
+        let circles: Vec<(f64, f64, f64)> = match self.n() {
+            1 => vec![(180.0, 160.0, 100.0)],
+            2 => vec![(140.0, 160.0, 95.0), (220.0, 160.0, 95.0)],
+            _ => vec![
+                (140.0, 130.0, 95.0),
+                (220.0, 130.0, 95.0),
+                (180.0, 200.0, 95.0),
+            ],
+        };
+        for (i, &(cx, cy, r)) in circles.iter().enumerate().take(self.n()) {
+            scene.ellipse(cx, cy, r, r);
+            scene.text(cx - r * 0.45, cy - r - 6.0, self.labels[i].clone());
+        }
+        // Region marks at sampled centroids.
+        for &m in &self.shaded {
+            if let Some((x, y)) = self.region_point(m, &circles) {
+                scene.text(x - 4.0, y, "▒");
+            }
+        }
+        for seq in &self.xseqs {
+            let pts: Vec<(f64, f64)> = seq
+                .iter()
+                .filter_map(|&m| self.region_point(m, &circles))
+                .collect();
+            for &(x, y) in &pts {
+                scene.text(x - 4.0, y + 14.0, "⊗");
+            }
+            if pts.len() > 1 {
+                scene.items.push(relviz_render::Item::Polyline {
+                    points: pts.iter().map(|&(x, y)| (x, y + 10.0)).collect(),
+                    stroke: "#000000".into(),
+                    stroke_width: 1.0,
+                    dashed: false,
+                    arrow: false,
+                });
+            }
+        }
+        scene
+    }
+
+    /// A representative interior point of a minterm region (grid sampling).
+    fn region_point(&self, m: u8, circles: &[(f64, f64, f64)]) -> Option<(f64, f64)> {
+        let inside = |x: f64, y: f64, i: usize| {
+            let (cx, cy, r) = circles[i];
+            (x - cx).powi(2) + (y - cy).powi(2) <= r * r
+        };
+        let (mut sx, mut sy, mut count) = (0.0, 0.0, 0usize);
+        for gx in 0..72 {
+            for gy in 0..64 {
+                let x = gx as f64 * 5.0;
+                let y = gy as f64 * 5.0;
+                let mask = (0..self.n()).fold(0u8, |acc, i| {
+                    if inside(x, y, i) {
+                        acc | (1 << i)
+                    } else {
+                        acc
+                    }
+                });
+                if mask == m {
+                    sx += x;
+                    sy += y;
+                    count += 1;
+                }
+            }
+        }
+        if count == 0 {
+            None
+        } else {
+            Some((sx / count as f64, sy / count as f64))
+        }
+    }
+}
+
+/// A Venn-II diagram: a disjunction of Venn-I diagrams (Shin's connected
+/// diagrams). Satisfied iff *some* disjunct is.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VennII {
+    pub disjuncts: Vec<VennDiagram>,
+}
+
+impl VennII {
+    pub fn new(disjuncts: Vec<VennDiagram>) -> DiagResult<Self> {
+        if disjuncts.is_empty() {
+            return Err(DiagError::Invalid("Venn-II needs at least one disjunct".into()));
+        }
+        let labels = &disjuncts[0].labels;
+        if disjuncts.iter().any(|d| &d.labels != labels) {
+            return Err(DiagError::Invalid("Venn-II disjuncts must share set labels".into()));
+        }
+        Ok(VennII { disjuncts })
+    }
+
+    pub fn satisfied_by(&self, model: u32) -> bool {
+        self.disjuncts.iter().any(|d| d.satisfied_by(model))
+    }
+
+    pub fn models(&self) -> Vec<u32> {
+        let total = 1u32 << self.disjuncts[0].minterm_count();
+        (0..total).filter(|&m| self.satisfied_by(m)).collect()
+    }
+
+    pub fn entails(&self, other: &VennII) -> DiagResult<bool> {
+        if self.disjuncts[0].labels != other.disjuncts[0].labels {
+            return Err(DiagError::Invalid("entailment needs identical set labels".into()));
+        }
+        Ok(self.models().into_iter().all(|m| other.satisfied_by(m)))
+    }
+
+    // ---- Shin's Venn-II transformation rules ----------------------------
+
+    /// **Rule of splitting sequences**: an ⊗-sequence over minterms
+    /// `{m₁, …, mₖ}` in one disjunct is a disjunction in disguise; the
+    /// disjunct is replaced by k copies, the i-th asserting only `mᵢ`.
+    /// The result is *equivalent* (same model set).
+    pub fn split_sequence(&self, disjunct: usize, seq: usize) -> DiagResult<VennII> {
+        let d = self
+            .disjuncts
+            .get(disjunct)
+            .ok_or_else(|| DiagError::Invalid(format!("no disjunct {disjunct}")))?;
+        let target = d
+            .xseqs
+            .get(seq)
+            .ok_or_else(|| DiagError::Invalid(format!("no ⊗-sequence {seq}")))?
+            .clone();
+        let mut out: Vec<VennDiagram> = self
+            .disjuncts
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| i != disjunct)
+            .map(|(_, x)| x.clone())
+            .collect();
+        for m in target {
+            let mut copy = d.clone();
+            copy.xseqs[seq] = std::iter::once(m).collect();
+            out.push(copy);
+        }
+        VennII::new(out)
+    }
+
+    /// **Rule of connecting diagrams** (or-introduction): appends a
+    /// further disjunct. The premise entails the result.
+    pub fn connect(&self, extra: VennDiagram) -> DiagResult<VennII> {
+        if extra.labels != self.disjuncts[0].labels {
+            return Err(DiagError::Invalid("connected diagram must share set labels".into()));
+        }
+        let mut out = self.disjuncts.clone();
+        out.push(extra);
+        VennII::new(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn abc() -> VennDiagram {
+        VennDiagram::new(vec!["A", "B", "C"]).unwrap()
+    }
+
+    #[test]
+    fn region_algebra() {
+        let d = abc();
+        assert_eq!(d.minterm_count(), 8);
+        assert_eq!(d.inside(0).len(), 4);
+        assert_eq!(d.intersection(0, 1).len(), 2);
+        assert_eq!(d.difference(0, 1).len(), 2);
+        // region laws: inside(i) = intersection(i,j) ∪ difference(i,j)
+        let mut union = d.intersection(0, 1);
+        union.extend(d.difference(0, 1));
+        assert_eq!(union, d.inside(0));
+    }
+
+    #[test]
+    fn all_a_are_b_entails_via_shading() {
+        // "All A are B": shade A∖B. Then the model where A∖B is inhabited
+        // is excluded.
+        let mut d = abc();
+        d.shade(d.difference(0, 1)).unwrap();
+        for m in d.models() {
+            for mt in d.difference(0, 1) {
+                assert_eq!(m & (1 << mt), 0);
+            }
+        }
+    }
+
+    #[test]
+    fn xseq_requires_inhabitant() {
+        let mut d = abc();
+        d.add_xseq(d.intersection(0, 1)).unwrap();
+        assert!(!d.satisfied_by(0)); // all-empty model violates ⊗
+        assert!(d.models().iter().all(|m| d.intersection(0, 1).iter().any(|&mt| m & (1 << mt) != 0)));
+    }
+
+    #[test]
+    fn conflict_detection() {
+        let mut d = abc();
+        let region = d.intersection(0, 1);
+        d.shade(region.clone()).unwrap();
+        d.add_xseq(region).unwrap();
+        assert!(!d.is_consistent());
+        assert!(d.prune_xseqs().is_err());
+    }
+
+    #[test]
+    fn venn_rules_are_sound() {
+        // Soundness = every rule result is entailed by the original.
+        let mut d = abc();
+        d.shade(d.difference(0, 1)).unwrap();
+        d.add_xseq(d.intersection(0, 2)).unwrap();
+
+        let erased = d.erase_shading(*d.shaded.iter().next().unwrap()).unwrap();
+        assert!(d.entails(&erased).unwrap());
+
+        let no_x = d.erase_xseq(0).unwrap();
+        assert!(d.entails(&no_x).unwrap());
+
+        let extended = d.extend_xseq(0, 0b111).unwrap();
+        assert!(d.entails(&extended).unwrap());
+
+        let pruned = d.prune_xseqs().unwrap();
+        assert!(d.entails(&pruned).unwrap());
+        // pruning is an equivalence, in fact:
+        assert!(pruned.entails(&d).unwrap());
+    }
+
+    #[test]
+    fn unification_is_conjunction() {
+        let mut d1 = abc();
+        d1.shade(d1.difference(0, 1)).unwrap();
+        let mut d2 = abc();
+        d2.add_xseq(d2.intersection(1, 2)).unwrap();
+        let u = d1.unify(&d2).unwrap();
+        assert!(u.entails(&d1).unwrap());
+        assert!(u.entails(&d2).unwrap());
+    }
+
+    #[test]
+    fn venn_ii_expresses_disjunction_venn_i_cannot() {
+        // "A∩B is inhabited OR A∩C is inhabited … as separate diagrams"
+        let mut d1 = abc();
+        d1.add_xseq(d1.intersection(0, 1)).unwrap();
+        let mut d2 = abc();
+        d2.add_xseq(d2.intersection(0, 2)).unwrap();
+        let v2 = VennII::new(vec![d1.clone(), d2.clone()]).unwrap();
+        // A single ⊗-sequence over the union region expresses the same:
+        let mut flat = abc();
+        let mut region = flat.intersection(0, 1);
+        region.extend(flat.intersection(0, 2));
+        flat.add_xseq(region).unwrap();
+        // They are equivalent here (⊗-sequences are disjunctive), but
+        // Venn-II can also disjoin *shading*, which ⊗ cannot:
+        let mut s1 = abc();
+        s1.shade(s1.intersection(0, 1)).unwrap();
+        let mut s2 = abc();
+        s2.shade(s2.intersection(0, 2)).unwrap();
+        let either_empty = VennII::new(vec![s1.clone(), s2.clone()]).unwrap();
+        // No single Venn-I diagram has exactly these models: the model set
+        // is not an intersection of per-minterm constraints. Witness: the
+        // model where both intersections are inhabited is excluded, yet
+        // each intersection alone may be inhabited.
+        let both = VennII::new(vec![flat.clone()]).unwrap();
+        assert!(v2.entails(&both).unwrap() && both.entails(&v2).unwrap());
+        let m_ab = 1u32 << *s1.intersection(0, 1).iter().next().unwrap();
+        let m_ac = 1u32 << *s2.intersection(0, 2).iter().next().unwrap();
+        assert!(either_empty.satisfied_by(m_ab)); // AB inhabited, AC empty: ok (second disjunct)
+        assert!(either_empty.satisfied_by(m_ac));
+        assert!(!either_empty.satisfied_by(m_ab | m_ac)); // both inhabited: neither disjunct
+    }
+
+    #[test]
+    fn bad_inputs_rejected() {
+        assert!(VennDiagram::new(Vec::<String>::new()).is_err());
+        assert!(VennDiagram::new(vec!["a", "b", "c", "d", "e", "f"]).is_err());
+        let mut d = abc();
+        assert!(d.shade([200u8]).is_err());
+        assert!(d.add_xseq(Vec::<u8>::new()).is_err());
+        let two = VennDiagram::new(vec!["A", "B"]).unwrap();
+        assert!(d.entails(&two).is_err());
+    }
+
+    #[test]
+    fn scene_marks_regions() {
+        let mut d = abc();
+        d.shade(d.difference(0, 1)).unwrap();
+        d.add_xseq(d.intersection(0, 1)).unwrap();
+        let svg = relviz_render::svg::to_svg(&d.scene());
+        assert_eq!(svg.matches("<ellipse").count(), 3);
+        assert!(svg.contains("⊗"));
+        assert!(svg.contains("▒"));
+    }
+
+    #[test]
+    fn splitting_sequences_is_an_equivalence() {
+        // An ⊗-sequence over {A∩B, A∩C} splits into two single-minterm
+        // disjuncts with the same model set (Shin's Venn-II rule).
+        let mut d = abc();
+        let mut region = d.intersection(0, 1);
+        region.extend(d.intersection(0, 2));
+        d.shade(d.difference(0, 1)).unwrap();
+        d.add_xseq(region).unwrap();
+        let v = VennII::new(vec![d]).unwrap();
+        let split = v.split_sequence(0, 0).unwrap();
+        assert_eq!(split.disjuncts.len(), 3, "|A∩B ∪ A∩C| = 3 minterms, one copy each");
+        assert!(split
+            .disjuncts
+            .iter()
+            .all(|x| x.xseqs[0].len() == 1), "every copy asserts one minterm");
+        assert_eq!(v.models(), split.models(), "splitting preserves the model set");
+    }
+
+    #[test]
+    fn connecting_diagrams_weakens() {
+        let mut d1 = abc();
+        d1.shade(d1.intersection(0, 1)).unwrap();
+        let v = VennII::new(vec![d1]).unwrap();
+        let mut extra = abc();
+        extra.add_xseq(extra.intersection(1, 2)).unwrap();
+        let connected = v.connect(extra).unwrap();
+        assert!(v.entails(&connected).unwrap(), "or-introduction is sound");
+        assert!(!connected.entails(&v).unwrap(), "and strictly weaker here");
+    }
+
+    #[test]
+    fn split_rejects_bad_indices() {
+        let mut d = abc();
+        d.add_xseq(d.intersection(0, 1)).unwrap();
+        let v = VennII::new(vec![d]).unwrap();
+        assert!(v.split_sequence(3, 0).is_err());
+        assert!(v.split_sequence(0, 5).is_err());
+        let two = VennDiagram::new(vec!["A", "B"]).unwrap();
+        assert!(v.connect(two).is_err());
+    }
+}

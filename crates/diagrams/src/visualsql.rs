@@ -1,0 +1,664 @@
+//! **Visual SQL** (Jaakkola & Thalheim, ER Workshops 2003) — an ER-based
+//! visual query language that also supports query *visualization*.
+//!
+//! The tutorial's key observation about Visual SQL is its deliberate
+//! **one-to-one correspondence to SQL syntax**: every clause of the query
+//! text appears as a visual element, in the order and nesting the text
+//! uses. The price is *syntactic sensitivity* — "syntactic variants of
+//! the same query lead to different representations". `NOT IN` and
+//! `NOT EXISTS` phrasings of the very same relational pattern produce
+//! visibly different diagrams, whereas logic-based formalisms such as
+//! Relational Diagrams converge on one picture (experiment E9 measures
+//! exactly this contrast).
+//!
+//! ## Model
+//!
+//! The diagram mirrors the query's parse tree:
+//!
+//! * one [`Frame`] per `SELECT` block, carrying the projection header, the
+//!   `FROM` tables (in source order) and the `WHERE` conjuncts as
+//!   condition *strips* (in source order);
+//! * a subquery becomes a nested frame hung off its host strip, with the
+//!   **syntactic connective** (`IN`, `NOT EXISTS`, `>= ALL`, …) as the
+//!   edge label — the element that makes variants distinguishable;
+//! * set operations mirror the `UNION`/`INTERSECT`/`EXCEPT` tree.
+//!
+//! [`VisualSqlDiagram::fingerprint`] canonicalizes everything *except*
+//! the syntactic choices (aliases are renamed by order of appearance), so
+//! two queries collide exactly when Visual SQL would draw the same
+//! picture.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use relviz_model::Database;
+use relviz_render::{Scene, TextStyle};
+use relviz_sql::ast::{Cond, Query, SelectItem, SelectStmt, SetOpKind};
+use relviz_sql::printer;
+
+use crate::common::{DiagError, DiagResult};
+
+/// A condition strip inside a frame: either an atomic predicate shown as
+/// text, or a connective hanging a nested subquery frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Strip {
+    /// Atomic predicate, displayed verbatim.
+    Predicate(String),
+    /// `expr <connective> (subquery)` — the subquery lives in `frame`
+    /// (an index into [`VisualSqlDiagram::nodes`]).
+    Connective { lhs: Option<String>, label: String, node: usize },
+    /// An `OR` / explicit `NOT` group of strips (kept as a group because
+    /// Visual SQL renders the boolean structure of the text).
+    Group { op: String, parts: Vec<Strip> },
+}
+
+/// One `SELECT` block mirrored as a frame.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Frame {
+    pub distinct: bool,
+    /// Projection header entries, in source order.
+    pub select: Vec<String>,
+    /// `FROM` tables as (table, effective alias), in source order.
+    pub tables: Vec<(String, String)>,
+    /// Condition strips, in source order.
+    pub strips: Vec<Strip>,
+}
+
+/// A node of the mirrored set-operation tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum VNode {
+    Select(Frame),
+    SetOp { op: SetOpKind, left: usize, right: usize },
+}
+
+/// A Visual SQL diagram: a tree of frames mirroring the SQL text.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VisualSqlDiagram {
+    /// All nodes; `root` is the entry point. Subquery frames referenced
+    /// from strips are also stored here.
+    pub nodes: Vec<VNode>,
+    pub root: usize,
+}
+
+impl VisualSqlDiagram {
+    /// Builds the diagram from SQL text. The query is name-resolved first
+    /// (Visual SQL is a faithful mirror, but only of *valid* SQL).
+    pub fn from_sql(sql: &str, db: &Database) -> DiagResult<VisualSqlDiagram> {
+        let q = relviz_sql::parser::parse_query(sql)
+            .map_err(|e| DiagError::Lang(e.to_string()))?;
+        let q = relviz_sql::analyze::resolve(&q, db)
+            .map_err(|e| DiagError::Lang(e.to_string()))?;
+        Self::from_ast(&q)
+    }
+
+    /// Builds the diagram from a resolved AST.
+    pub fn from_ast(q: &Query) -> DiagResult<VisualSqlDiagram> {
+        let mut d = VisualSqlDiagram { nodes: Vec::new(), root: 0 };
+        d.root = d.build_node(q)?;
+        Ok(d)
+    }
+
+    fn build_node(&mut self, q: &Query) -> DiagResult<usize> {
+        match q {
+            Query::Select(s) => {
+                let frame = self.build_frame(s)?;
+                self.nodes.push(VNode::Select(frame));
+                Ok(self.nodes.len() - 1)
+            }
+            Query::SetOp { op, left, right } => {
+                let l = self.build_node(left)?;
+                let r = self.build_node(right)?;
+                self.nodes.push(VNode::SetOp { op: *op, left: l, right: r });
+                Ok(self.nodes.len() - 1)
+            }
+        }
+    }
+
+    fn build_frame(&mut self, s: &SelectStmt) -> DiagResult<Frame> {
+        let select = s
+            .items
+            .iter()
+            .map(|item| match item {
+                SelectItem::Wildcard => "*".to_string(),
+                SelectItem::QualifiedWildcard(q) => format!("{q}.*"),
+                SelectItem::Expr { expr, alias } => {
+                    let mut t = printer::print_scalar(expr);
+                    if let Some(a) = alias {
+                        let _ = write!(t, " AS {a}");
+                    }
+                    t
+                }
+            })
+            .collect();
+        let tables = s
+            .from
+            .iter()
+            .map(|t| (t.table.clone(), t.effective_name().to_string()))
+            .collect();
+        let mut strips = Vec::new();
+        if let Some(w) = &s.where_clause {
+            self.build_strips(w, &mut strips)?;
+        }
+        Ok(Frame { distinct: s.distinct, select, tables, strips })
+    }
+
+    /// Flattens the top-level conjunction into strips (mirroring how
+    /// Visual SQL stacks `AND`-ed conditions), but keeps `OR`/`NOT`
+    /// structure as explicit groups.
+    fn build_strips(&mut self, c: &Cond, out: &mut Vec<Strip>) -> DiagResult<()> {
+        match c {
+            Cond::And(a, b) => {
+                self.build_strips(a, out)?;
+                self.build_strips(b, out)?;
+            }
+            other => out.push(self.build_strip(other)?),
+        }
+        Ok(())
+    }
+
+    fn build_strip(&mut self, c: &Cond) -> DiagResult<Strip> {
+        Ok(match c {
+            Cond::Exists { negated, query } => {
+                let node = self.build_node(query)?;
+                Strip::Connective {
+                    lhs: None,
+                    label: if *negated { "NOT EXISTS".into() } else { "EXISTS".into() },
+                    node,
+                }
+            }
+            Cond::InSubquery { expr, negated, query } => {
+                let node = self.build_node(query)?;
+                Strip::Connective {
+                    lhs: Some(printer::print_scalar(expr)),
+                    label: if *negated { "NOT IN".into() } else { "IN".into() },
+                    node,
+                }
+            }
+            Cond::QuantCmp { left, op, quant, query } => {
+                let node = self.build_node(query)?;
+                let quant = match quant {
+                    relviz_sql::ast::Quant::Any => "ANY",
+                    relviz_sql::ast::Quant::All => "ALL",
+                };
+                Strip::Connective {
+                    lhs: Some(printer::print_scalar(left)),
+                    label: format!("{} {quant}", op.symbol()),
+                    node,
+                }
+            }
+            Cond::Or(a, b) => {
+                let mut parts = Vec::new();
+                // Flatten the OR spine but keep it one group.
+                fn spine<'c>(c: &'c Cond, acc: &mut Vec<&'c Cond>) {
+                    if let Cond::Or(a, b) = c {
+                        spine(a, acc);
+                        spine(b, acc);
+                    } else {
+                        acc.push(c);
+                    }
+                }
+                let mut leaves = Vec::new();
+                spine(a, &mut leaves);
+                spine(b, &mut leaves);
+                for leaf in leaves {
+                    parts.push(self.build_strip(leaf)?);
+                }
+                Strip::Group { op: "OR".into(), parts }
+            }
+            Cond::Not(inner) => {
+                Strip::Group { op: "NOT".into(), parts: vec![self.build_strip(inner)?] }
+            }
+            atomic => Strip::Predicate(printer::print_cond(atomic)),
+        })
+    }
+
+    // ---- structure metrics -------------------------------------------------
+
+    /// Element census: (frames, set-op nodes, tables, strips incl. nested
+    /// group parts, connective edges).
+    pub fn census(&self) -> (usize, usize, usize, usize, usize) {
+        fn strip_count(s: &Strip) -> (usize, usize) {
+            match s {
+                Strip::Predicate(_) => (1, 0),
+                Strip::Connective { .. } => (1, 1),
+                Strip::Group { parts, .. } => {
+                    let mut strips = 1;
+                    let mut edges = 0;
+                    for p in parts {
+                        let (s, e) = strip_count(p);
+                        strips += s;
+                        edges += e;
+                    }
+                    (strips, edges)
+                }
+            }
+        }
+        let mut frames = 0;
+        let mut setops = 0;
+        let mut tables = 0;
+        let mut strips = 0;
+        let mut edges = 0;
+        for n in &self.nodes {
+            match n {
+                VNode::Select(f) => {
+                    frames += 1;
+                    tables += f.tables.len();
+                    for s in &f.strips {
+                        let (sc, ec) = strip_count(s);
+                        strips += sc;
+                        edges += ec;
+                    }
+                }
+                VNode::SetOp { .. } => setops += 1,
+            }
+        }
+        (frames, setops, tables, strips, edges)
+    }
+
+    /// A canonical structural fingerprint. Table aliases are renamed by
+    /// order of first appearance (`v1`, `v2`, …) so the fingerprint is
+    /// insensitive to alias *names* — but fully sensitive to every
+    /// *syntactic* choice (connectives, clause order, nesting), which is
+    /// Visual SQL's defining property.
+    pub fn fingerprint(&self) -> String {
+        let mut renames: BTreeMap<String, String> = BTreeMap::new();
+        // First pass: collect aliases in frame/table order.
+        fn collect(d: &VisualSqlDiagram, node: usize, renames: &mut BTreeMap<String, String>) {
+            match &d.nodes[node] {
+                VNode::Select(f) => {
+                    for (_, alias) in &f.tables {
+                        if !renames.contains_key(alias) {
+                            let v = format!("v{}", renames.len() + 1);
+                            renames.insert(alias.clone(), v);
+                        }
+                    }
+                    for s in &f.strips {
+                        collect_strip(d, s, renames);
+                    }
+                }
+                VNode::SetOp { left, right, .. } => {
+                    collect(d, *left, renames);
+                    collect(d, *right, renames);
+                }
+            }
+        }
+        fn collect_strip(
+            d: &VisualSqlDiagram,
+            s: &Strip,
+            renames: &mut BTreeMap<String, String>,
+        ) {
+            match s {
+                Strip::Connective { node, .. } => collect(d, *node, renames),
+                Strip::Group { parts, .. } => {
+                    for p in parts {
+                        collect_strip(d, p, renames);
+                    }
+                }
+                Strip::Predicate(_) => {}
+            }
+        }
+        collect(self, self.root, &mut renames);
+        let table_alias = renames.clone();
+        let rewrite = move |text: &str| rename_qualifiers(text, &renames);
+
+        let mut out = String::new();
+        fn emit(
+            d: &VisualSqlDiagram,
+            node: usize,
+            out: &mut String,
+            rw: &dyn Fn(&str) -> String,
+            table_alias: &BTreeMap<String, String>,
+        ) {
+            match &d.nodes[node] {
+                VNode::Select(f) => {
+                    let _ = write!(out, "select[distinct={}](", f.distinct);
+                    for s in &f.select {
+                        let _ = write!(out, "{};", rw(s));
+                    }
+                    out.push_str(")from(");
+                    for (t, a) in &f.tables {
+                        let canon = table_alias.get(a).cloned().unwrap_or_else(|| a.clone());
+                        let _ = write!(out, "{t} {canon};");
+                    }
+                    out.push_str(")where(");
+                    for s in &f.strips {
+                        emit_strip(d, s, out, rw, table_alias);
+                    }
+                    out.push(')');
+                }
+                VNode::SetOp { op, left, right } => {
+                    let _ = write!(out, "{}(", op.keyword());
+                    emit(d, *left, out, rw, table_alias);
+                    out.push(',');
+                    emit(d, *right, out, rw, table_alias);
+                    out.push(')');
+                }
+            }
+        }
+        fn emit_strip(
+            d: &VisualSqlDiagram,
+            s: &Strip,
+            out: &mut String,
+            rw: &dyn Fn(&str) -> String,
+            table_alias: &BTreeMap<String, String>,
+        ) {
+            match s {
+                Strip::Predicate(p) => {
+                    let _ = write!(out, "[{}]", rw(p));
+                }
+                Strip::Connective { lhs, label, node } => {
+                    let _ = write!(
+                        out,
+                        "[{} {label} ",
+                        lhs.as_deref().map(rw).unwrap_or_default()
+                    );
+                    emit(d, *node, out, rw, table_alias);
+                    out.push(']');
+                }
+                Strip::Group { op, parts } => {
+                    let _ = write!(out, "[{op}:");
+                    for p in parts {
+                        emit_strip(d, p, out, rw, table_alias);
+                    }
+                    out.push(']');
+                }
+            }
+        }
+        emit(self, self.root, &mut out, &rewrite, &table_alias);
+        out
+    }
+
+    /// Structural isomorphism: same picture modulo alias names.
+    pub fn isomorphic(&self, other: &VisualSqlDiagram) -> bool {
+        self.fingerprint() == other.fingerprint()
+    }
+
+    // ---- rendering -----------------------------------------------------
+
+    /// Scene: frames as rounded boxes (header = projection, body = table
+    /// row + condition strips), nested frames drawn inside their host
+    /// strip, connective labels on the hanging edge.
+    pub fn scene(&self) -> Scene {
+        let mut scene = Scene::new(0.0, 0.0);
+        let mut y = 20.0;
+        self.draw_node(self.root, 20.0, &mut y, &mut scene);
+        scene.fit(10.0);
+        scene
+    }
+
+    fn draw_node(&self, node: usize, x: f64, y: &mut f64, scene: &mut Scene) -> (f64, f64) {
+        const LINE_H: f64 = 18.0;
+        const W: f64 = 330.0;
+        match &self.nodes[node] {
+            VNode::Select(f) => {
+                let top = *y;
+                let mut cy = top + 4.0;
+                let header = format!(
+                    "SELECT{} {}",
+                    if f.distinct { " DISTINCT" } else { "" },
+                    f.select.join(", ")
+                );
+                scene.styled_text(
+                    x + 8.0,
+                    cy + 12.0,
+                    header,
+                    TextStyle { size: 12.0, bold: true, ..TextStyle::default() },
+                );
+                cy += LINE_H;
+                // Table row.
+                let mut tx = x + 8.0;
+                for (t, a) in &f.tables {
+                    let label = if t == a { t.clone() } else { format!("{t} {a}") };
+                    let w = Scene::text_width(&label, 11.0) + 14.0;
+                    scene.rect(tx, cy, w, LINE_H);
+                    scene.text(tx + 7.0, cy + 13.0, label);
+                    tx += w + 8.0;
+                }
+                cy += LINE_H + 6.0;
+                // Strips.
+                for s in &f.strips {
+                    cy = self.draw_strip(s, x + 8.0, cy, scene);
+                }
+                let h = (cy - top).max(2.0 * LINE_H) + 6.0;
+                scene.styled_rect(x, top, W, h, 8.0, "#333333", "none", 1.2, false);
+                *y = top + h + 14.0;
+                (x, top)
+            }
+            VNode::SetOp { op, left, right } => {
+                let top = *y;
+                scene.styled_text(
+                    x + 4.0,
+                    top + 12.0,
+                    op.keyword().to_string(),
+                    TextStyle { size: 12.0, bold: true, ..TextStyle::default() },
+                );
+                *y = top + 22.0;
+                self.draw_node(*left, x + 16.0, y, scene);
+                self.draw_node(*right, x + 16.0, y, scene);
+                (x, top)
+            }
+        }
+    }
+
+    fn draw_strip(&self, s: &Strip, x: f64, mut cy: f64, scene: &mut Scene) -> f64 {
+        const LINE_H: f64 = 18.0;
+        match s {
+            Strip::Predicate(p) => {
+                let w = Scene::text_width(p, 11.0) + 12.0;
+                scene.styled_rect(x, cy, w, LINE_H - 2.0, 2.0, "#777777", "none", 0.8, false);
+                scene.text(x + 6.0, cy + 12.0, p.clone());
+                cy + LINE_H
+            }
+            Strip::Connective { lhs, label, node } => {
+                let text = match lhs {
+                    Some(l) => format!("{l} {label}"),
+                    None => label.clone(),
+                };
+                let w = Scene::text_width(&text, 11.0) + 12.0;
+                scene.styled_rect(x, cy, w, LINE_H - 2.0, 2.0, "#777777", "none", 0.8, false);
+                scene.styled_text(
+                    x + 6.0,
+                    cy + 12.0,
+                    text,
+                    TextStyle { size: 11.0, italic: true, ..TextStyle::default() },
+                );
+                // Hang the subquery frame below, connected by a short edge.
+                let mut sub_y = cy + LINE_H + 6.0;
+                scene.line(x + w / 2.0, cy + LINE_H - 2.0, x + w / 2.0, sub_y);
+                self.draw_node(*node, x + 18.0, &mut sub_y, scene);
+                sub_y
+            }
+            Strip::Group { op, parts } => {
+                scene.styled_text(
+                    x,
+                    cy + 12.0,
+                    op.clone(),
+                    TextStyle { size: 11.0, bold: true, ..TextStyle::default() },
+                );
+                cy += LINE_H - 4.0;
+                for p in parts {
+                    cy = self.draw_strip(p, x + 22.0, cy, scene);
+                }
+                cy + 4.0
+            }
+        }
+    }
+}
+
+/// Rewrites `alias.attr` qualifiers in predicate text using the rename
+/// map. Tokenizes on identifier boundaries so `S.sid` renames while the
+/// string literal `'S.sid'` does not. Shared with [`crate::sqlvis`], the
+/// other syntax-mirroring formalism.
+pub(crate) fn rename_qualifiers(text: &str, renames: &BTreeMap<String, String>) -> String {
+    let mut out = String::with_capacity(text.len());
+    let bytes = text.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        if c == '\'' {
+            // Copy string literal verbatim.
+            let start = i;
+            i += 1;
+            while i < bytes.len() && bytes[i] as char != '\'' {
+                i += 1;
+            }
+            i = (i + 1).min(bytes.len());
+            out.push_str(&text[start..i]);
+        } else if c.is_alphabetic() || c == '_' {
+            let start = i;
+            while i < bytes.len() && ((bytes[i] as char).is_alphanumeric() || bytes[i] == b'_') {
+                i += 1;
+            }
+            let word = &text[start..i];
+            // Qualifier position: followed by a dot.
+            let qualifies = bytes.get(i) == Some(&b'.');
+            match renames.get(word) {
+                Some(v) if qualifies => out.push_str(v),
+                _ => out.push_str(word),
+            }
+        } else {
+            out.push(c);
+            i += 1;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relviz_model::catalog::sailors_sample;
+
+    const Q4_NOT_EXISTS: &str = "SELECT S.sname FROM Sailor S WHERE NOT EXISTS \
+        (SELECT * FROM Reserves R, Boat B \
+         WHERE R.sid = S.sid AND R.bid = B.bid AND B.color = 'red')";
+    const Q4_NOT_IN: &str = "SELECT S.sname FROM Sailor S WHERE S.sid NOT IN \
+        (SELECT R.sid FROM Reserves R, Boat B \
+         WHERE R.bid = B.bid AND B.color = 'red')";
+
+    #[test]
+    fn mirrors_frame_structure() {
+        let db = sailors_sample();
+        let d = VisualSqlDiagram::from_sql(Q4_NOT_EXISTS, &db).unwrap();
+        let (frames, setops, tables, strips, edges) = d.census();
+        assert_eq!(frames, 2);
+        assert_eq!(setops, 0);
+        assert_eq!(tables, 3);
+        assert_eq!(edges, 1, "one NOT EXISTS connective");
+        assert!(strips >= 4, "three inner predicates + the connective strip: {strips}");
+    }
+
+    #[test]
+    fn syntactic_variants_differ() {
+        // The tutorial's point about syntax-mirroring formalisms: the same
+        // relational pattern phrased two ways yields two pictures.
+        let db = sailors_sample();
+        let a = VisualSqlDiagram::from_sql(Q4_NOT_EXISTS, &db).unwrap();
+        let b = VisualSqlDiagram::from_sql(Q4_NOT_IN, &db).unwrap();
+        assert!(!a.isomorphic(&b));
+        // …even though both queries mean the same thing:
+        let ra = relviz_sql::eval::run_sql(Q4_NOT_EXISTS, &db).unwrap();
+        let rb = relviz_sql::eval::run_sql(Q4_NOT_IN, &db).unwrap();
+        assert!(ra.same_contents(&rb));
+    }
+
+    #[test]
+    fn alias_renaming_is_invisible() {
+        let db = sailors_sample();
+        let a = VisualSqlDiagram::from_sql(
+            "SELECT DISTINCT S.sname FROM Sailor S, Reserves R \
+             WHERE S.sid = R.sid AND R.bid = 102",
+            &db,
+        )
+        .unwrap();
+        let b = VisualSqlDiagram::from_sql(
+            "SELECT DISTINCT X.sname FROM Sailor X, Reserves Y \
+             WHERE X.sid = Y.sid AND Y.bid = 102",
+            &db,
+        )
+        .unwrap();
+        assert!(a.isomorphic(&b));
+    }
+
+    #[test]
+    fn clause_order_is_visible() {
+        // Reordering conjuncts is a syntactic change ⇒ different picture.
+        let db = sailors_sample();
+        let a = VisualSqlDiagram::from_sql(
+            "SELECT DISTINCT S.sname FROM Sailor S, Reserves R \
+             WHERE S.sid = R.sid AND R.bid = 102",
+            &db,
+        )
+        .unwrap();
+        let b = VisualSqlDiagram::from_sql(
+            "SELECT DISTINCT S.sname FROM Sailor S, Reserves R \
+             WHERE R.bid = 102 AND S.sid = R.sid",
+            &db,
+        )
+        .unwrap();
+        assert!(!a.isomorphic(&b));
+    }
+
+    #[test]
+    fn set_operations_mirrored() {
+        let db = sailors_sample();
+        let d = VisualSqlDiagram::from_sql(
+            "SELECT S.sname FROM Sailor S WHERE S.rating = 10 \
+             UNION SELECT S.sname FROM Sailor S WHERE S.age < 20",
+            &db,
+        )
+        .unwrap();
+        let (frames, setops, ..) = d.census();
+        assert_eq!((frames, setops), (2, 1));
+        assert!(matches!(d.nodes[d.root], VNode::SetOp { op: SetOpKind::Union, .. }));
+    }
+
+    #[test]
+    fn or_groups_preserved() {
+        let db = sailors_sample();
+        let d = VisualSqlDiagram::from_sql(
+            "SELECT DISTINCT B.bname FROM Boat B \
+             WHERE B.color = 'red' OR B.color = 'green'",
+            &db,
+        )
+        .unwrap();
+        let VNode::Select(f) = &d.nodes[d.root] else { panic!("select root") };
+        assert_eq!(f.strips.len(), 1);
+        assert!(matches!(&f.strips[0], Strip::Group { op, parts } if op == "OR" && parts.len() == 2));
+    }
+
+    #[test]
+    fn quantified_comparison_labelled() {
+        let db = sailors_sample();
+        let d = VisualSqlDiagram::from_sql(
+            "SELECT S.sname FROM Sailor S WHERE S.rating >= ALL \
+             (SELECT S2.rating FROM Sailor S2)",
+            &db,
+        )
+        .unwrap();
+        assert!(d.fingerprint().contains(">= ALL"));
+    }
+
+    #[test]
+    fn scene_renders_frames_and_connectives() {
+        let db = sailors_sample();
+        let d = VisualSqlDiagram::from_sql(Q4_NOT_EXISTS, &db).unwrap();
+        let svg = relviz_render::svg::to_svg(&d.scene());
+        assert!(svg.contains("NOT EXISTS"));
+        assert!(svg.contains("Sailor"));
+    }
+
+    #[test]
+    fn literal_text_not_renamed() {
+        let renames: BTreeMap<String, String> =
+            [("S".to_string(), "v1".to_string())].into_iter().collect();
+        assert_eq!(rename_qualifiers("S.sid = 'S.sid'", &renames), "v1.sid = 'S.sid'");
+        assert_eq!(rename_qualifiers("Sailor.sid = S.sid", &renames), "Sailor.sid = v1.sid");
+    }
+
+    #[test]
+    fn invalid_sql_rejected() {
+        let db = sailors_sample();
+        assert!(VisualSqlDiagram::from_sql("SELECT nope FROM Nowhere", &db).is_err());
+    }
+}

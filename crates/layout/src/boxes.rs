@@ -1,0 +1,184 @@
+//! Nested-box layout for enclosure formalisms (Peirce cuts, Relational
+//! Diagrams' negation boxes, Higraph blobs).
+//!
+//! Input is a tree: each box holds *atoms* (fixed-size leaf content, e.g. a
+//! table widget or a predicate label) and *child boxes*. The algorithm
+//! computes sizes bottom-up (children flow left-to-right, wrapping is the
+//! caller's concern at this scale) and positions top-down, producing
+//! non-overlapping, strictly nested rectangles — the geometric invariant
+//! the property tests assert, because enclosure *is* the semantics in
+//! these formalisms (a cut's contents are exactly the negated subformula).
+
+use crate::geometry::Rect;
+
+/// A node in the box tree.
+#[derive(Debug, Clone)]
+pub struct BoxNode {
+    /// Fixed-size atoms (width, height) laid out before child boxes.
+    pub atoms: Vec<(f64, f64)>,
+    /// Nested boxes.
+    pub children: Vec<BoxNode>,
+    /// Extra top padding (for header labels).
+    pub header: f64,
+}
+
+impl BoxNode {
+    pub fn leaf(atoms: Vec<(f64, f64)>) -> Self {
+        BoxNode { atoms, children: Vec::new(), header: 0.0 }
+    }
+
+    pub fn with_children(atoms: Vec<(f64, f64)>, children: Vec<BoxNode>) -> Self {
+        BoxNode { atoms, children, header: 0.0 }
+    }
+}
+
+/// Layout options.
+#[derive(Debug, Clone, Copy)]
+pub struct BoxOptions {
+    /// Padding inside each box.
+    pub padding: f64,
+    /// Gap between siblings (atoms and boxes).
+    pub gap: f64,
+}
+
+impl Default for BoxOptions {
+    fn default() -> Self {
+        BoxOptions { padding: 12.0, gap: 14.0 }
+    }
+}
+
+/// Result: a rectangle per box (pre-order) and per atom.
+#[derive(Debug, Clone)]
+pub struct BoxLayout {
+    /// Pre-order box rectangles; index 0 is the root.
+    pub boxes: Vec<Rect>,
+    /// `(box_index, rect)` per atom, in pre-order box order then atom order.
+    pub atoms: Vec<(usize, Rect)>,
+}
+
+/// Lays out the tree with the root's top-left at (0, 0).
+pub fn layout(root: &BoxNode, opt: BoxOptions) -> BoxLayout {
+    let mut out = BoxLayout { boxes: Vec::new(), atoms: Vec::new() };
+    place(root, 0.0, 0.0, opt, &mut out);
+    out
+}
+
+/// Computed size of a subtree (including padding).
+fn measure(node: &BoxNode, opt: BoxOptions) -> (f64, f64) {
+    let mut w = 0.0f64;
+    let mut h = 0.0f64;
+    let mut first = true;
+    for &(aw, ah) in &node.atoms {
+        if !first {
+            w += opt.gap;
+        }
+        w += aw;
+        h = h.max(ah);
+        first = false;
+    }
+    for child in &node.children {
+        let (cw, ch) = measure(child, opt);
+        if !first {
+            w += opt.gap;
+        }
+        w += cw;
+        h = h.max(ch);
+        first = false;
+    }
+    (w + 2.0 * opt.padding, h + 2.0 * opt.padding + node.header)
+}
+
+fn place(node: &BoxNode, x: f64, y: f64, opt: BoxOptions, out: &mut BoxLayout) {
+    let (w, h) = measure(node, opt);
+    let my_index = out.boxes.len();
+    out.boxes.push(Rect::new(x, y, w, h));
+
+    let inner_h = h - 2.0 * opt.padding - node.header;
+    let mut cx = x + opt.padding;
+    let cy = y + opt.padding + node.header;
+    for &(aw, ah) in &node.atoms {
+        // Center atoms vertically within the row.
+        let ay = cy + (inner_h - ah) / 2.0;
+        out.atoms.push((my_index, Rect::new(cx, ay, aw, ah)));
+        cx += aw + opt.gap;
+    }
+    for child in &node.children {
+        let (cw, ch) = measure(child, opt);
+        let by = cy + (inner_h - ch) / 2.0;
+        place(child, cx, by, opt, out);
+        cx += cw + opt.gap;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn opt() -> BoxOptions {
+        BoxOptions::default()
+    }
+
+    #[test]
+    fn single_leaf() {
+        let root = BoxNode::leaf(vec![(100.0, 40.0)]);
+        let l = layout(&root, opt());
+        assert_eq!(l.boxes.len(), 1);
+        assert_eq!(l.atoms.len(), 1);
+        assert!(l.boxes[0].contains(&l.atoms[0].1));
+    }
+
+    #[test]
+    fn nesting_is_strict() {
+        // box( atom, box( atom, box(atom) ) )
+        let inner2 = BoxNode::leaf(vec![(60.0, 30.0)]);
+        let inner1 = BoxNode::with_children(vec![(60.0, 30.0)], vec![inner2]);
+        let root = BoxNode::with_children(vec![(60.0, 30.0)], vec![inner1]);
+        let l = layout(&root, opt());
+        assert_eq!(l.boxes.len(), 3);
+        // Pre-order: 0 ⊃ 1 ⊃ 2.
+        assert!(l.boxes[0].contains(&l.boxes[1]));
+        assert!(l.boxes[1].contains(&l.boxes[2]));
+        // strictly: inflated inner must NOT be contained
+        assert!(!l.boxes[1].contains(&l.boxes[0]));
+    }
+
+    #[test]
+    fn siblings_do_not_overlap() {
+        let kids: Vec<BoxNode> = (0..4).map(|_| BoxNode::leaf(vec![(50.0, 25.0)])).collect();
+        let root = BoxNode::with_children(vec![], kids);
+        let l = layout(&root, opt());
+        for i in 1..5 {
+            for j in (i + 1)..5 {
+                assert!(!l.boxes[i].intersects(&l.boxes[j]), "{i} vs {j}");
+            }
+        }
+    }
+
+    #[test]
+    fn atoms_respect_padding() {
+        let root = BoxNode::leaf(vec![(80.0, 20.0), (80.0, 20.0)]);
+        let l = layout(&root, opt());
+        for (_, a) in &l.atoms {
+            assert!(a.x >= l.boxes[0].x + opt().padding - 1e-9);
+            assert!(a.bottom() <= l.boxes[0].bottom() - opt().padding + 1e-9);
+        }
+    }
+
+    #[test]
+    fn header_reserves_space() {
+        let mut root = BoxNode::leaf(vec![(50.0, 20.0)]);
+        root.header = 18.0;
+        let l = layout(&root, opt());
+        let (_, atom) = l.atoms[0];
+        assert!(atom.y >= l.boxes[0].y + 18.0);
+    }
+
+    #[test]
+    fn deterministic() {
+        let inner = BoxNode::leaf(vec![(60.0, 30.0)]);
+        let root = BoxNode::with_children(vec![(60.0, 30.0)], vec![inner]);
+        let a = layout(&root, opt());
+        let b = layout(&root, opt());
+        assert_eq!(a.boxes, b.boxes);
+    }
+}

@@ -1,0 +1,112 @@
+//! Geometric primitives shared by the layout algorithms.
+
+/// A 2D point.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Point {
+    pub x: f64,
+    pub y: f64,
+}
+
+impl Point {
+    pub fn new(x: f64, y: f64) -> Self {
+        Point { x, y }
+    }
+}
+
+/// A width/height pair.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Size {
+    pub w: f64,
+    pub h: f64,
+}
+
+impl Size {
+    pub fn new(w: f64, h: f64) -> Self {
+        Size { w, h }
+    }
+}
+
+/// An axis-aligned rectangle (top-left + size).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Rect {
+    pub x: f64,
+    pub y: f64,
+    pub w: f64,
+    pub h: f64,
+}
+
+impl Rect {
+    pub fn new(x: f64, y: f64, w: f64, h: f64) -> Self {
+        Rect { x, y, w, h }
+    }
+
+    pub fn right(&self) -> f64 {
+        self.x + self.w
+    }
+
+    pub fn bottom(&self) -> f64 {
+        self.y + self.h
+    }
+
+    pub fn center(&self) -> Point {
+        Point::new(self.x + self.w / 2.0, self.y + self.h / 2.0)
+    }
+
+    /// True iff `other` lies strictly inside `self`.
+    pub fn contains(&self, other: &Rect) -> bool {
+        self.x <= other.x
+            && self.y <= other.y
+            && self.right() >= other.right()
+            && self.bottom() >= other.bottom()
+    }
+
+    /// True iff the rectangles overlap with positive area.
+    pub fn intersects(&self, other: &Rect) -> bool {
+        self.x < other.right()
+            && other.x < self.right()
+            && self.y < other.bottom()
+            && other.y < self.bottom()
+    }
+
+    /// Grows the rectangle by `d` on every side.
+    pub fn inflate(&self, d: f64) -> Rect {
+        Rect::new(self.x - d, self.y - d, self.w + 2.0 * d, self.h + 2.0 * d)
+    }
+
+    /// Translates by (dx, dy).
+    pub fn shifted(&self, dx: f64, dy: f64) -> Rect {
+        Rect::new(self.x + dx, self.y + dy, self.w, self.h)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn containment_and_intersection() {
+        let outer = Rect::new(0.0, 0.0, 100.0, 100.0);
+        let inner = Rect::new(10.0, 10.0, 20.0, 20.0);
+        let apart = Rect::new(200.0, 200.0, 5.0, 5.0);
+        assert!(outer.contains(&inner));
+        assert!(!inner.contains(&outer));
+        assert!(outer.intersects(&inner));
+        assert!(!outer.intersects(&apart));
+    }
+
+    #[test]
+    fn touching_rects_do_not_intersect() {
+        let a = Rect::new(0.0, 0.0, 10.0, 10.0);
+        let b = Rect::new(10.0, 0.0, 10.0, 10.0);
+        assert!(!a.intersects(&b));
+    }
+
+    #[test]
+    fn inflate_and_center() {
+        let r = Rect::new(10.0, 10.0, 20.0, 40.0);
+        let g = r.inflate(5.0);
+        assert_eq!(g, Rect::new(5.0, 5.0, 30.0, 50.0));
+        let c = r.center();
+        assert_eq!((c.x, c.y), (20.0, 30.0));
+    }
+}

@@ -1,0 +1,20 @@
+//! # relviz-layout
+//!
+//! Layout algorithms for the diagram formalisms:
+//!
+//! * [`layered`] — Sugiyama-style layered layout (layer assignment by
+//!   longest path, crossing reduction by barycenter sweeps, coordinate
+//!   assignment) for node-link diagrams: DFQL dataflow graphs, QueryVis
+//!   quantifier arrows, conceptual graphs.
+//! * [`boxes`] — nested-box layout for enclosure formalisms: Peirce cuts,
+//!   Relational Diagrams' negated bounding boxes, Higraph-style blobs.
+//! * [`geometry`] — shared primitives.
+//!
+//! Both algorithms are deterministic: identical input produces identical
+//! output, which the golden tests rely on.
+
+pub mod boxes;
+pub mod geometry;
+pub mod layered;
+
+pub use geometry::{Point, Rect, Size};

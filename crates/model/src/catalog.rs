@@ -1,0 +1,161 @@
+//! The sailors–reserves–boats catalog from the "cow book"
+//! (Ramakrishnan & Gehrke, *Database Management Systems*), the running
+//! example of the tutorial.
+//!
+//! Schema:
+//! ```text
+//! Sailor  (sid: int, sname: str, rating: int, age: float)
+//! Boat    (bid: int, bname: str, color: str)
+//! Reserves(sid: int, bid: int, day: str)
+//! ```
+//!
+//! [`sailors_sample`] returns the canonical small instance used across the
+//! cow book's chapters (S1/S2/B1/R2), slightly extended so that every suite
+//! query Q1–Q8 has a non-trivial answer.
+
+use crate::database::Database;
+use crate::relation::Relation;
+use crate::schema::{DataType, Schema};
+
+/// Schema of the `Sailor` relation.
+pub fn sailor_schema() -> Schema {
+    Schema::of(&[
+        ("sid", DataType::Int),
+        ("sname", DataType::Str),
+        ("rating", DataType::Int),
+        ("age", DataType::Float),
+    ])
+}
+
+/// Schema of the `Boat` relation.
+pub fn boat_schema() -> Schema {
+    Schema::of(&[
+        ("bid", DataType::Int),
+        ("bname", DataType::Str),
+        ("color", DataType::Str),
+    ])
+}
+
+/// Schema of the `Reserves` relation.
+pub fn reserves_schema() -> Schema {
+    Schema::of(&[
+        ("sid", DataType::Int),
+        ("bid", DataType::Int),
+        ("day", DataType::Str),
+    ])
+}
+
+/// An empty database holding the three relations of the catalog.
+pub fn sailors_catalog() -> Database {
+    let mut db = Database::new();
+    db.add("Sailor", Relation::empty(sailor_schema())).unwrap();
+    db.add("Boat", Relation::empty(boat_schema())).unwrap();
+    db.add("Reserves", Relation::empty(reserves_schema())).unwrap();
+    db
+}
+
+/// The canonical cow-book sample instance.
+///
+/// Boat 102 and the red boats (101, 102) make Q1–Q5 interesting:
+/// * Dustin (22) reserves every boat → answers the division query Q5.
+/// * Lubber (31) reserves 102 only.
+/// * Horatio (64) reserves a green boat only.
+/// * Rusty (58) reserves nothing red.
+pub fn sailors_sample() -> Database {
+    let mut db = Database::new();
+
+    let sailor = Relation::from_rows(
+        sailor_schema(),
+        vec![
+            (22, "dustin", 7, 45.0),
+            (29, "brutus", 1, 33.0),
+            (31, "lubber", 8, 55.5),
+            (32, "andy", 8, 25.5),
+            (58, "rusty", 10, 35.0),
+            (64, "horatio", 7, 35.0),
+            (71, "zorba", 10, 16.0),
+            (74, "horatio", 9, 35.0),
+            (85, "art", 3, 25.5),
+            (95, "bob", 3, 63.5),
+        ],
+    )
+    .expect("sample sailors are well typed");
+
+    let boat = Relation::from_rows(
+        boat_schema(),
+        vec![
+            (101, "Interlake", "blue"),
+            (102, "Interlake", "red"),
+            (103, "Clipper", "green"),
+            (104, "Marine", "red"),
+        ],
+    )
+    .expect("sample boats are well typed");
+
+    let reserves = Relation::from_rows(
+        reserves_schema(),
+        vec![
+            (22, 101, "10/10/98"),
+            (22, 102, "10/10/98"),
+            (22, 103, "10/8/98"),
+            (22, 104, "10/7/98"),
+            (31, 102, "11/10/98"),
+            (31, 103, "11/6/98"),
+            (31, 104, "11/12/98"),
+            (64, 101, "9/5/98"),
+            (64, 102, "9/8/98"),
+            (74, 103, "9/8/98"),
+        ],
+    )
+    .expect("sample reserves are well typed");
+
+    db.add("Sailor", sailor).unwrap();
+    db.add("Boat", boat).unwrap();
+    db.add("Reserves", reserves).unwrap();
+    db
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+
+    #[test]
+    fn sample_shape() {
+        let db = sailors_sample();
+        assert_eq!(db.relation("Sailor").unwrap().len(), 10);
+        assert_eq!(db.relation("Boat").unwrap().len(), 4);
+        assert_eq!(db.relation("Reserves").unwrap().len(), 10);
+    }
+
+    #[test]
+    fn red_boats_are_101_and_104_plus_102() {
+        let boats = sailors_sample();
+        let reds = boats
+            .relation("Boat")
+            .unwrap()
+            .iter()
+            .filter(|t| t.values()[2] == Value::str("red"))
+            .count();
+        assert_eq!(reds, 2);
+    }
+
+    #[test]
+    fn dustin_reserved_all_red_boats() {
+        // Division witness: sailor 22 reserves both red boats (102, 104).
+        let db = sailors_sample();
+        let res = db.relation("Reserves").unwrap();
+        for bid in [102, 104] {
+            assert!(res
+                .iter()
+                .any(|t| t.values()[0] == Value::Int(22) && t.values()[1] == Value::Int(bid)));
+        }
+    }
+
+    #[test]
+    fn catalog_is_empty_instance() {
+        let db = sailors_catalog();
+        assert_eq!(db.total_tuples(), 0);
+        assert_eq!(db.len(), 3);
+    }
+}

@@ -1,0 +1,118 @@
+//! Comparison operators shared by every query language in the workspace
+//! (SQL, RA, TRC/DRC, Datalog): one definition, one semantics.
+
+use crate::value::Value;
+
+/// The six comparison operators of first-order relational languages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum CmpOp {
+    Eq,
+    Neq,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+impl CmpOp {
+    /// All operators, for exhaustive tests and random generation.
+    pub const ALL: [CmpOp; 6] = [CmpOp::Eq, CmpOp::Neq, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge];
+
+    /// SQL spelling.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            CmpOp::Eq => "=",
+            CmpOp::Neq => "<>",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        }
+    }
+
+    /// Mathematical spelling (`≠`, `≤`, `≥`).
+    pub fn math_symbol(self) -> &'static str {
+        match self {
+            CmpOp::Eq => "=",
+            CmpOp::Neq => "≠",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "≤",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => "≥",
+        }
+    }
+
+    /// The operator with operands swapped (`a < b` ⇔ `b > a`).
+    pub fn flip(self) -> CmpOp {
+        match self {
+            CmpOp::Eq => CmpOp::Eq,
+            CmpOp::Neq => CmpOp::Neq,
+            CmpOp::Lt => CmpOp::Gt,
+            CmpOp::Le => CmpOp::Ge,
+            CmpOp::Gt => CmpOp::Lt,
+            CmpOp::Ge => CmpOp::Le,
+        }
+    }
+
+    /// Logical negation (`a < b` ⇔ ¬(a ≥ b)).
+    pub fn negate(self) -> CmpOp {
+        match self {
+            CmpOp::Eq => CmpOp::Neq,
+            CmpOp::Neq => CmpOp::Eq,
+            CmpOp::Lt => CmpOp::Ge,
+            CmpOp::Le => CmpOp::Gt,
+            CmpOp::Gt => CmpOp::Le,
+            CmpOp::Ge => CmpOp::Lt,
+        }
+    }
+
+    /// Two-valued application (callers wanting SQL's three-valued logic
+    /// must check for NULL first, e.g. via [`Value::sql_cmp`]).
+    pub fn apply(self, l: &Value, r: &Value) -> bool {
+        use std::cmp::Ordering::*;
+        let ord = l.cmp(r);
+        match self {
+            CmpOp::Eq => ord == Equal,
+            CmpOp::Neq => ord != Equal,
+            CmpOp::Lt => ord == Less,
+            CmpOp::Le => ord != Greater,
+            CmpOp::Gt => ord == Greater,
+            CmpOp::Ge => ord != Less,
+        }
+    }
+}
+
+impl std::fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.symbol())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn involutions() {
+        for op in CmpOp::ALL {
+            assert_eq!(op.flip().flip(), op);
+            assert_eq!(op.negate().negate(), op);
+        }
+    }
+
+    #[test]
+    fn flip_and_negate_laws() {
+        let pairs = [
+            (Value::Int(1), Value::Int(2)),
+            (Value::Int(2), Value::Int(2)),
+            (Value::str("a"), Value::str("b")),
+            (Value::Float(1.5), Value::Int(1)),
+        ];
+        for op in CmpOp::ALL {
+            for (a, b) in &pairs {
+                assert_eq!(op.apply(a, b), op.flip().apply(b, a));
+                assert_eq!(op.apply(a, b), !op.negate().apply(a, b));
+            }
+        }
+    }
+}

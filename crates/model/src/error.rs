@@ -1,0 +1,48 @@
+//! Error type for the model crate.
+
+use std::fmt;
+
+/// Errors raised by schema/relation/database operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModelError {
+    /// Two attributes with the same name in one schema.
+    DuplicateAttribute(String),
+    /// Attribute not present in a schema.
+    UnknownAttribute(String),
+    /// Relation not present in a database.
+    UnknownRelation(String),
+    /// A relation with this name already exists.
+    DuplicateRelation(String),
+    /// Tuple arity does not match the schema.
+    ArityMismatch { expected: usize, got: usize },
+    /// A value does not conform to its attribute type.
+    TypeMismatch { attr: String, expected: String, got: String },
+    /// Two schemas were expected to be union-compatible but are not.
+    NotUnionCompatible(String),
+    /// Malformed textual relation data.
+    Parse(String),
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::DuplicateAttribute(n) => write!(f, "duplicate attribute `{n}`"),
+            ModelError::UnknownAttribute(n) => write!(f, "unknown attribute `{n}`"),
+            ModelError::UnknownRelation(n) => write!(f, "unknown relation `{n}`"),
+            ModelError::DuplicateRelation(n) => write!(f, "relation `{n}` already exists"),
+            ModelError::ArityMismatch { expected, got } => {
+                write!(f, "arity mismatch: expected {expected}, got {got}")
+            }
+            ModelError::TypeMismatch { attr, expected, got } => {
+                write!(f, "type mismatch on `{attr}`: expected {expected}, got {got}")
+            }
+            ModelError::NotUnionCompatible(msg) => write!(f, "not union compatible: {msg}"),
+            ModelError::Parse(msg) => write!(f, "parse error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+/// Convenient result alias used across the crate.
+pub type Result<T> = std::result::Result<T, ModelError>;

@@ -1,0 +1,194 @@
+//! Deterministic, seeded generators for sailors-style databases at any
+//! scale, used by the benchmark harness to sweep instance sizes.
+//!
+//! Generators are pure functions of `(seed, size)` so benchmark runs are
+//! reproducible.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::catalog::{boat_schema, reserves_schema, sailor_schema};
+use crate::database::Database;
+use crate::relation::Relation;
+use crate::tuple::Tuple;
+use crate::value::Value;
+
+/// Parameters of a generated sailors database.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GenConfig {
+    /// RNG seed (same seed + sizes ⇒ identical database).
+    pub seed: u64,
+    pub sailors: usize,
+    pub boats: usize,
+    pub reservations: usize,
+}
+
+impl Default for GenConfig {
+    fn default() -> Self {
+        GenConfig { seed: 0xD1A6_4A77, sailors: 100, boats: 20, reservations: 400 }
+    }
+}
+
+impl GenConfig {
+    /// A config scaled so that total tuples ≈ `n`.
+    pub fn scaled(n: usize) -> Self {
+        let sailors = (n / 4).max(2);
+        let boats = (n / 20).max(2);
+        let reservations = n.saturating_sub(sailors + boats).max(2);
+        GenConfig { seed: 0xD1A6_4A77, sailors, boats, reservations }
+    }
+}
+
+const FIRST_NAMES: &[&str] = &[
+    "dustin", "brutus", "lubber", "andy", "rusty", "horatio", "zorba", "art", "bob", "frodo",
+    "bilbo", "pippin", "merry", "sam", "gimli", "legolas", "boromir", "eowyn", "arwen", "elrond",
+];
+
+const BOAT_NAMES: &[&str] =
+    &["Interlake", "Clipper", "Marine", "Sunseeker", "Wavedancer", "Seahawk", "Pelican", "Orca"];
+
+/// Colors are weighted so that "red" (the suite's selection constant) is
+/// frequent enough that Q2/Q4/Q5 have non-trivial answers at every scale.
+const COLORS: &[&str] = &["red", "green", "blue", "white", "red", "yellow"];
+
+/// Generates a sailors database according to `cfg`.
+pub fn generate_sailors(cfg: &GenConfig) -> Database {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut db = Database::new();
+
+    let mut sailors = Relation::empty(sailor_schema());
+    for i in 0..cfg.sailors {
+        let sid = 10 + i as i64;
+        let name = FIRST_NAMES[rng.gen_range(0..FIRST_NAMES.len())];
+        let rating = rng.gen_range(1..=10i64);
+        let age = rng.gen_range(16..=70) as f64 + if rng.gen_bool(0.5) { 0.5 } else { 0.0 };
+        sailors.insert_unchecked(Tuple::new(vec![
+            Value::Int(sid),
+            Value::str(name),
+            Value::Int(rating),
+            Value::Float(age),
+        ]));
+    }
+
+    let mut boats = Relation::empty(boat_schema());
+    for i in 0..cfg.boats {
+        let bid = 100 + i as i64;
+        let name = BOAT_NAMES[rng.gen_range(0..BOAT_NAMES.len())];
+        let color = COLORS[rng.gen_range(0..COLORS.len())];
+        boats.insert_unchecked(Tuple::new(vec![
+            Value::Int(bid),
+            Value::str(name),
+            Value::str(color),
+        ]));
+    }
+
+    let mut reserves = Relation::empty(reserves_schema());
+    // One "completionist" sailor reserving every boat keeps the division
+    // query satisfiable at all scales (mirrors Dustin in the sample).
+    let completionist = 10i64;
+    for b in 0..cfg.boats {
+        reserves.insert_unchecked(Tuple::new(vec![
+            Value::Int(completionist),
+            Value::Int(100 + b as i64),
+            Value::str(random_day(&mut rng)),
+        ]));
+    }
+    let mut inserted = reserves.len();
+    // Cap attempts: with set semantics, dense configs may not admit
+    // `reservations` distinct pairs.
+    let max_attempts = cfg.reservations * 4 + 64;
+    let mut attempts = 0;
+    while inserted < cfg.reservations && attempts < max_attempts {
+        attempts += 1;
+        let sid = 10 + rng.gen_range(0..cfg.sailors) as i64;
+        let bid = 100 + rng.gen_range(0..cfg.boats) as i64;
+        let day = random_day(&mut rng);
+        if reserves.insert_unchecked(Tuple::new(vec![
+            Value::Int(sid),
+            Value::Int(bid),
+            Value::str(day),
+        ])) {
+            inserted += 1;
+        }
+    }
+
+    db.add("Sailor", sailors).unwrap();
+    db.add("Boat", boats).unwrap();
+    db.add("Reserves", reserves).unwrap();
+    db
+}
+
+fn random_day(rng: &mut StdRng) -> String {
+    format!("{}/{}/98", rng.gen_range(1..=12), rng.gen_range(1..=28))
+}
+
+/// A generic binary-relation database `{R(a,b), S(b,c)}` used by property
+/// tests and the layout-scaling benchmarks, generated deterministically.
+pub fn generate_binary_pair(seed: u64, n: usize, domain: i64) -> Database {
+    use crate::schema::{DataType, Schema};
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut db = Database::new();
+    let mut r = Relation::empty(Schema::of(&[("a", DataType::Int), ("b", DataType::Int)]));
+    let mut s = Relation::empty(Schema::of(&[("b", DataType::Int), ("c", DataType::Int)]));
+    for _ in 0..n {
+        r.insert_unchecked(Tuple::of((rng.gen_range(0..domain), rng.gen_range(0..domain))));
+        s.insert_unchecked(Tuple::of((rng.gen_range(0..domain), rng.gen_range(0..domain))));
+    }
+    db.add("R", r).unwrap();
+    db.add("S", s).unwrap();
+    db
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let cfg = GenConfig::default();
+        assert_eq!(generate_sailors(&cfg), generate_sailors(&cfg));
+    }
+
+    #[test]
+    fn different_seed_differs() {
+        let a = generate_sailors(&GenConfig::default());
+        let b = generate_sailors(&GenConfig { seed: 42, ..GenConfig::default() });
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn respects_sizes() {
+        let cfg = GenConfig { seed: 1, sailors: 50, boats: 10, reservations: 120 };
+        let db = generate_sailors(&cfg);
+        assert_eq!(db.relation("Sailor").unwrap().len(), 50);
+        assert_eq!(db.relation("Boat").unwrap().len(), 10);
+        assert!(db.relation("Reserves").unwrap().len() >= 10); // at least the completionist rows
+    }
+
+    #[test]
+    fn completionist_reserves_everything() {
+        let cfg = GenConfig { seed: 7, sailors: 20, boats: 8, reservations: 60 };
+        let db = generate_sailors(&cfg);
+        let reserves = db.relation("Reserves").unwrap();
+        for b in 0..8 {
+            assert!(reserves
+                .iter()
+                .any(|t| t.values()[0] == Value::Int(10) && t.values()[1] == Value::Int(100 + b)));
+        }
+    }
+
+    #[test]
+    fn scaled_config_total() {
+        let cfg = GenConfig::scaled(1000);
+        let db = generate_sailors(&cfg);
+        let total = db.total_tuples();
+        assert!(total > 500, "got {total}");
+    }
+
+    #[test]
+    fn binary_pair_shape() {
+        let db = generate_binary_pair(3, 100, 50);
+        assert!(db.relation("R").unwrap().len() <= 100);
+        assert_eq!(db.relation("R").unwrap().schema().names(), vec!["a", "b"]);
+    }
+}

@@ -1,0 +1,293 @@
+//! Schemas: named, typed attribute lists.
+//!
+//! A [`Schema`] is an ordered list of [`Attribute`]s. Attribute names within
+//! a schema are unique (enforced at construction). Schemas drive the typing
+//! rules of Relational Algebra (union compatibility, natural-join attribute
+//! matching, projection validity) and the name resolution of SQL and the
+//! calculi.
+
+use std::fmt;
+
+use crate::error::{ModelError, Result};
+
+/// The type of an attribute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum DataType {
+    /// Unconstrained (used for NULL literals and inferred placeholders).
+    Any,
+    Bool,
+    Int,
+    Float,
+    Str,
+}
+
+impl DataType {
+    /// Whether a value of type `other` can be used where `self` is expected.
+    pub fn accepts(self, other: DataType) -> bool {
+        self == DataType::Any
+            || other == DataType::Any
+            || self == other
+            || (self == DataType::Float && other == DataType::Int)
+    }
+
+    /// Least upper bound of two types, if the types are compatible.
+    pub fn unify(self, other: DataType) -> Option<DataType> {
+        use DataType::*;
+        match (self, other) {
+            (Any, t) | (t, Any) => Some(t),
+            (a, b) if a == b => Some(a),
+            (Int, Float) | (Float, Int) => Some(Float),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DataType::Any => "any",
+            DataType::Bool => "bool",
+            DataType::Int => "int",
+            DataType::Float => "float",
+            DataType::Str => "str",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// One named, typed column.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub struct Attribute {
+    pub name: String,
+    pub ty: DataType,
+}
+
+impl Attribute {
+    pub fn new(name: impl Into<String>, ty: DataType) -> Self {
+        Attribute { name: name.into(), ty }
+    }
+}
+
+impl fmt::Display for Attribute {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.name, self.ty)
+    }
+}
+
+/// An ordered list of uniquely-named attributes.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub struct Schema {
+    attrs: Vec<Attribute>,
+}
+
+impl Schema {
+    /// Builds a schema, rejecting duplicate attribute names.
+    pub fn new(attrs: Vec<Attribute>) -> Result<Self> {
+        for (i, a) in attrs.iter().enumerate() {
+            if attrs[..i].iter().any(|b| b.name == a.name) {
+                return Err(ModelError::DuplicateAttribute(a.name.clone()));
+            }
+        }
+        Ok(Schema { attrs })
+    }
+
+    /// Convenience constructor from `(name, type)` pairs.
+    ///
+    /// # Panics
+    /// Panics on duplicate names; intended for statically-known schemas.
+    pub fn of(pairs: &[(&str, DataType)]) -> Self {
+        Schema::new(
+            pairs
+                .iter()
+                .map(|(n, t)| Attribute::new(*n, *t))
+                .collect(),
+        )
+        .expect("static schema must not contain duplicates")
+    }
+
+    /// The empty (zero-ary) schema, whose relations are the Boolean
+    /// constants: `{}` = false, `{()}` = true.
+    pub fn empty() -> Self {
+        Schema { attrs: Vec::new() }
+    }
+
+    pub fn attrs(&self) -> &[Attribute] {
+        &self.attrs
+    }
+
+    pub fn arity(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// Position of attribute `name`, if present.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.attrs.iter().position(|a| a.name == name)
+    }
+
+    /// Attribute by name.
+    pub fn attr(&self, name: &str) -> Option<&Attribute> {
+        self.attrs.iter().find(|a| a.name == name)
+    }
+
+    /// Attribute names in order.
+    pub fn names(&self) -> Vec<&str> {
+        self.attrs.iter().map(|a| a.name.as_str()).collect()
+    }
+
+    /// Union compatibility: same arity and pairwise-unifiable types
+    /// (attribute *names* need not match; RA set operators take the names of
+    /// the left operand, as is conventional).
+    pub fn union_compatible(&self, other: &Schema) -> bool {
+        self.arity() == other.arity()
+            && self
+                .attrs
+                .iter()
+                .zip(other.attrs.iter())
+                .all(|(a, b)| a.ty.unify(b.ty).is_some())
+    }
+
+    /// Schema of the cartesian product / natural join with disambiguation
+    /// left to the caller: errors if names collide.
+    pub fn product(&self, other: &Schema) -> Result<Schema> {
+        let mut attrs = self.attrs.clone();
+        for a in &other.attrs {
+            if self.index_of(&a.name).is_some() {
+                return Err(ModelError::DuplicateAttribute(a.name.clone()));
+            }
+            attrs.push(a.clone());
+        }
+        Ok(Schema { attrs })
+    }
+
+    /// Projection onto `names` (in the given order).
+    pub fn project(&self, names: &[&str]) -> Result<Schema> {
+        let mut attrs = Vec::with_capacity(names.len());
+        for n in names {
+            let a = self
+                .attr(n)
+                .ok_or_else(|| ModelError::UnknownAttribute((*n).to_string()))?;
+            attrs.push(a.clone());
+        }
+        Schema::new(attrs)
+    }
+
+    /// Renames attribute `from` to `to`.
+    pub fn rename(&self, from: &str, to: &str) -> Result<Schema> {
+        if self.index_of(from).is_none() {
+            return Err(ModelError::UnknownAttribute(from.to_string()));
+        }
+        if from != to && self.index_of(to).is_some() {
+            return Err(ModelError::DuplicateAttribute(to.to_string()));
+        }
+        let attrs = self
+            .attrs
+            .iter()
+            .map(|a| {
+                if a.name == from {
+                    Attribute::new(to, a.ty)
+                } else {
+                    a.clone()
+                }
+            })
+            .collect();
+        Ok(Schema { attrs })
+    }
+
+    /// Names shared with `other` (natural-join attributes), in this schema's
+    /// order.
+    pub fn common_names<'a>(&'a self, other: &Schema) -> Vec<&'a str> {
+        self.attrs
+            .iter()
+            .filter(|a| other.index_of(&a.name).is_some())
+            .map(|a| a.name.as_str())
+            .collect()
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, a) in self.attrs.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{a}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s() -> Schema {
+        Schema::of(&[("sid", DataType::Int), ("sname", DataType::Str)])
+    }
+
+    #[test]
+    fn rejects_duplicates() {
+        let r = Schema::new(vec![
+            Attribute::new("a", DataType::Int),
+            Attribute::new("a", DataType::Str),
+        ]);
+        assert!(matches!(r, Err(ModelError::DuplicateAttribute(_))));
+    }
+
+    #[test]
+    fn index_and_lookup() {
+        let s = s();
+        assert_eq!(s.index_of("sname"), Some(1));
+        assert_eq!(s.index_of("nope"), None);
+        assert_eq!(s.attr("sid").unwrap().ty, DataType::Int);
+    }
+
+    #[test]
+    fn union_compatibility() {
+        let a = Schema::of(&[("x", DataType::Int), ("y", DataType::Str)]);
+        let b = Schema::of(&[("u", DataType::Float), ("v", DataType::Str)]);
+        let c = Schema::of(&[("u", DataType::Str), ("v", DataType::Str)]);
+        assert!(a.union_compatible(&b)); // int unifies with float
+        assert!(!a.union_compatible(&c));
+        assert!(!a.union_compatible(&Schema::empty()));
+    }
+
+    #[test]
+    fn product_rejects_collisions() {
+        assert!(s().product(&s()).is_err());
+        let other = Schema::of(&[("bid", DataType::Int)]);
+        let p = s().product(&other).unwrap();
+        assert_eq!(p.arity(), 3);
+    }
+
+    #[test]
+    fn projection_order_and_errors() {
+        let p = s().project(&["sname", "sid"]).unwrap();
+        assert_eq!(p.names(), vec!["sname", "sid"]);
+        assert!(s().project(&["missing"]).is_err());
+    }
+
+    #[test]
+    fn rename_rules() {
+        let r = s().rename("sid", "id").unwrap();
+        assert_eq!(r.names(), vec!["id", "sname"]);
+        assert!(s().rename("sid", "sname").is_err());
+        assert!(s().rename("ghost", "x").is_err());
+        // renaming to itself is a no-op
+        assert!(s().rename("sid", "sid").is_ok());
+    }
+
+    #[test]
+    fn type_unification() {
+        assert_eq!(DataType::Int.unify(DataType::Float), Some(DataType::Float));
+        assert_eq!(DataType::Any.unify(DataType::Str), Some(DataType::Str));
+        assert_eq!(DataType::Bool.unify(DataType::Int), None);
+    }
+
+    #[test]
+    fn common_names_order() {
+        let a = Schema::of(&[("x", DataType::Int), ("y", DataType::Int), ("z", DataType::Int)]);
+        let b = Schema::of(&[("z", DataType::Int), ("x", DataType::Int)]);
+        assert_eq!(a.common_names(&b), vec!["x", "z"]);
+    }
+}

@@ -1,0 +1,237 @@
+//! A tiny line-oriented text format for relations and databases, used for
+//! golden files and example data.
+//!
+//! ```text
+//! # comment
+//! relation Sailor(sid:int, sname:str, rating:int, age:float)
+//! 22, dustin, 7, 45.0
+//! 31, lubber, 8, 55.5
+//!
+//! relation Boat(bid:int, bname:str, color:str)
+//! 101, Interlake, blue
+//! ```
+//!
+//! Values are parsed according to the declared column type; strings may be
+//! single-quoted to preserve commas and spaces; `NULL` is the null literal.
+
+use crate::database::Database;
+use crate::error::{ModelError, Result};
+use crate::relation::Relation;
+use crate::schema::{Attribute, DataType, Schema};
+use crate::tuple::Tuple;
+use crate::value::Value;
+
+/// Parses a whole database from the text format.
+pub fn parse_database(input: &str) -> Result<Database> {
+    let mut db = Database::new();
+    let mut current: Option<(String, Relation)> = None;
+
+    for (lineno, raw) in input.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("relation ") {
+            if let Some((name, rel)) = current.take() {
+                db.add(name, rel)?;
+            }
+            let (name, schema) = parse_header(rest, lineno)?;
+            current = Some((name, Relation::empty(schema)));
+        } else {
+            let (_, rel) = current
+                .as_mut()
+                .ok_or_else(|| err(lineno, "data row before any `relation` header"))?;
+            let tuple = parse_row(line, rel.schema(), lineno)?;
+            rel.insert(tuple)?;
+        }
+    }
+    if let Some((name, rel)) = current {
+        db.add(name, rel)?;
+    }
+    Ok(db)
+}
+
+/// Serializes a database to the text format (round-trips with
+/// [`parse_database`]).
+pub fn dump_database(db: &Database) -> String {
+    let mut out = String::new();
+    for name in db.names() {
+        let rel = db.relation(name).expect("name comes from the db");
+        out.push_str("relation ");
+        out.push_str(name);
+        out.push('(');
+        for (i, a) in rel.schema().attrs().iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!("{}:{}", a.name, a.ty));
+        }
+        out.push_str(")\n");
+        for t in rel.iter() {
+            let cells: Vec<String> = t
+                .values()
+                .iter()
+                .map(|v| match v {
+                    Value::Str(s) => format!("'{}'", s.replace('\'', "''")),
+                    other => other.to_string(),
+                })
+                .collect();
+            out.push_str(&cells.join(", "));
+            out.push('\n');
+        }
+        out.push('\n');
+    }
+    out
+}
+
+fn err(lineno: usize, msg: impl Into<String>) -> ModelError {
+    ModelError::Parse(format!("line {}: {}", lineno + 1, msg.into()))
+}
+
+fn parse_header(rest: &str, lineno: usize) -> Result<(String, Schema)> {
+    let open = rest.find('(').ok_or_else(|| err(lineno, "missing `(` in relation header"))?;
+    let close = rest.rfind(')').ok_or_else(|| err(lineno, "missing `)` in relation header"))?;
+    let name = rest[..open].trim().to_string();
+    if name.is_empty() {
+        return Err(err(lineno, "empty relation name"));
+    }
+    let mut attrs = Vec::new();
+    let body = rest[open + 1..close].trim();
+    if !body.is_empty() {
+        for part in body.split(',') {
+            let mut it = part.splitn(2, ':');
+            let aname = it.next().unwrap_or("").trim();
+            let tyname = it
+                .next()
+                .ok_or_else(|| err(lineno, format!("attribute `{part}` lacks `:type`")))?
+                .trim();
+            let ty = match tyname {
+                "int" => DataType::Int,
+                "float" => DataType::Float,
+                "str" => DataType::Str,
+                "bool" => DataType::Bool,
+                "any" => DataType::Any,
+                other => return Err(err(lineno, format!("unknown type `{other}`"))),
+            };
+            attrs.push(Attribute::new(aname, ty));
+        }
+    }
+    Ok((name, Schema::new(attrs)?))
+}
+
+fn parse_row(line: &str, schema: &Schema, lineno: usize) -> Result<Tuple> {
+    let cells = split_row(line);
+    if cells.len() != schema.arity() {
+        return Err(ModelError::ArityMismatch { expected: schema.arity(), got: cells.len() });
+    }
+    let mut values = Vec::with_capacity(cells.len());
+    for (cell, attr) in cells.iter().zip(schema.attrs()) {
+        values.push(parse_value(cell, attr.ty, lineno)?);
+    }
+    Ok(Tuple::new(values))
+}
+
+/// Splits a row on commas, honoring single-quoted cells.
+fn split_row(line: &str) -> Vec<String> {
+    let mut cells = Vec::new();
+    let mut cur = String::new();
+    let mut in_quote = false;
+    let mut chars = line.chars().peekable();
+    while let Some(c) = chars.next() {
+        match c {
+            '\'' if in_quote && chars.peek() == Some(&'\'') => {
+                cur.push('\'');
+                chars.next();
+            }
+            '\'' => in_quote = !in_quote,
+            ',' if !in_quote => {
+                cells.push(cur.trim().to_string());
+                cur = String::new();
+            }
+            _ => cur.push(c),
+        }
+    }
+    cells.push(cur.trim().to_string());
+    cells
+}
+
+fn parse_value(cell: &str, ty: DataType, lineno: usize) -> Result<Value> {
+    if cell == "NULL" {
+        return Ok(Value::Null);
+    }
+    let v = match ty {
+        DataType::Int => Value::Int(
+            cell.parse::<i64>()
+                .map_err(|_| err(lineno, format!("`{cell}` is not an int")))?,
+        ),
+        DataType::Float => Value::Float(
+            cell.parse::<f64>()
+                .map_err(|_| err(lineno, format!("`{cell}` is not a float")))?,
+        ),
+        DataType::Bool => match cell {
+            "true" | "TRUE" => Value::Bool(true),
+            "false" | "FALSE" => Value::Bool(false),
+            _ => return Err(err(lineno, format!("`{cell}` is not a bool"))),
+        },
+        DataType::Str | DataType::Any => Value::Str(cell.to_string()),
+    };
+    Ok(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::sailors_sample;
+
+    const SAMPLE: &str = "\
+# demo
+relation R(a:int, b:str)
+1, hello
+2, 'with, comma'
+3, 'it''s quoted'
+
+relation Empty(x:float)
+";
+
+    #[test]
+    fn parses_relations_and_quoting() {
+        let db = parse_database(SAMPLE).unwrap();
+        let r = db.relation("R").unwrap();
+        assert_eq!(r.len(), 3);
+        assert!(r.contains(&Tuple::of((2, "with, comma"))));
+        assert!(r.contains(&Tuple::of((3, "it's quoted"))));
+        assert!(db.relation("Empty").unwrap().is_empty());
+    }
+
+    #[test]
+    fn round_trip() {
+        let db = sailors_sample();
+        let text = dump_database(&db);
+        let back = parse_database(&text).unwrap();
+        assert_eq!(db, back);
+    }
+
+    #[test]
+    fn errors_are_located() {
+        let bad = "relation R(a:int)\nnot_an_int";
+        let e = parse_database(bad).unwrap_err();
+        assert!(e.to_string().contains("not an int"), "{e}");
+
+        let e2 = parse_database("1, 2").unwrap_err();
+        assert!(e2.to_string().contains("before any"), "{e2}");
+    }
+
+    #[test]
+    fn null_literal() {
+        let db = parse_database("relation R(a:int, b:str)\nNULL, NULL").unwrap();
+        let r = db.relation("R").unwrap();
+        assert!(r.contains(&Tuple::new(vec![Value::Null, Value::Null])));
+    }
+
+    #[test]
+    fn header_errors() {
+        assert!(parse_database("relation (a:int)").is_err());
+        assert!(parse_database("relation R(a)").is_err());
+        assert!(parse_database("relation R(a:intx)").is_err());
+    }
+}

@@ -1,0 +1,129 @@
+//! Tuples: fixed-arity value rows.
+
+use std::fmt;
+
+use crate::value::Value;
+
+/// A row of values. Interpretation (names, types) lives in the enclosing
+/// relation's [`crate::Schema`]; the tuple itself is positional.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+pub struct Tuple(pub Vec<Value>);
+
+impl Tuple {
+    pub fn new(values: Vec<Value>) -> Self {
+        Tuple(values)
+    }
+
+    /// Builds a tuple from anything convertible to values.
+    ///
+    /// ```
+    /// use relviz_model::Tuple;
+    /// let t = Tuple::of((22, "dustin", 7, 45.0));
+    /// assert_eq!(t.arity(), 4);
+    /// ```
+    pub fn of<T: IntoTuple>(values: T) -> Self {
+        values.into_tuple()
+    }
+
+    pub fn arity(&self) -> usize {
+        self.0.len()
+    }
+
+    pub fn values(&self) -> &[Value] {
+        &self.0
+    }
+
+    pub fn get(&self, idx: usize) -> Option<&Value> {
+        self.0.get(idx)
+    }
+
+    /// Projects this tuple onto the given positions (positions may repeat).
+    pub fn project(&self, positions: &[usize]) -> Tuple {
+        Tuple(positions.iter().map(|&i| self.0[i].clone()).collect())
+    }
+
+    /// Concatenates two tuples (cartesian product of rows).
+    pub fn concat(&self, other: &Tuple) -> Tuple {
+        let mut v = Vec::with_capacity(self.arity() + other.arity());
+        v.extend_from_slice(&self.0);
+        v.extend_from_slice(&other.0);
+        Tuple(v)
+    }
+}
+
+impl fmt::Display for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, v) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// Conversion of heterogeneous literal groups into tuples; implemented for
+/// small tuples of `Into<Value>` types so test fixtures stay terse.
+pub trait IntoTuple {
+    fn into_tuple(self) -> Tuple;
+}
+
+impl IntoTuple for Vec<Value> {
+    fn into_tuple(self) -> Tuple {
+        Tuple(self)
+    }
+}
+
+macro_rules! impl_into_tuple {
+    ($($t:ident),+) => {
+        impl<$($t: Into<Value>),+> IntoTuple for ($($t,)+) {
+            #[allow(non_snake_case)]
+            fn into_tuple(self) -> Tuple {
+                let ($($t,)+) = self;
+                Tuple(vec![$($t.into()),+])
+            }
+        }
+    };
+}
+
+impl_into_tuple!(A);
+impl_into_tuple!(A, B);
+impl_into_tuple!(A, B, C);
+impl_into_tuple!(A, B, C, D);
+impl_into_tuple!(A, B, C, D, E);
+impl_into_tuple!(A, B, C, D, E, F);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn of_and_projection() {
+        let t = Tuple::of((1, "a", 2.5));
+        assert_eq!(t.arity(), 3);
+        let p = t.project(&[2, 0, 0]);
+        assert_eq!(p, Tuple::of((2.5, 1, 1)));
+    }
+
+    #[test]
+    fn concat() {
+        let t = Tuple::of((1,)).concat(&Tuple::of(("x", true)));
+        assert_eq!(t.arity(), 3);
+        assert_eq!(t.get(2), Some(&Value::Bool(true)));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Tuple::of((1, "ab")).to_string(), "(1, ab)");
+    }
+
+    #[test]
+    fn ordering_is_lexicographic() {
+        let a = Tuple::of((1, "a"));
+        let b = Tuple::of((1, "b"));
+        let c = Tuple::of((2, "a"));
+        assert!(a < b && b < c);
+    }
+}

@@ -1,0 +1,286 @@
+//! Atomic values stored in relations.
+//!
+//! [`Value`] is a small dynamically-typed scalar with a *total* order (floats
+//! are ordered via [`f64::total_cmp`]) so that values can live in ordered
+//! sets — relations here follow set semantics, which is what Relational
+//! Algebra, the calculi and Datalog all assume.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+use crate::schema::DataType;
+
+/// A scalar value: the contents of one attribute of one tuple.
+///
+/// `Null` is included because SQL needs it (the tutorial's SQL fragment
+/// includes `NOT IN` whose three-valued-logic corner cases we surface in
+/// tests), but the calculi and Datalog never produce it.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum Value {
+    /// SQL NULL / unknown.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// 64-bit signed integer.
+    Int(i64),
+    /// 64-bit float, totally ordered via `total_cmp`.
+    Float(f64),
+    /// UTF-8 string.
+    Str(String),
+}
+
+impl Eq for Value {}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Value {
+    /// Total order across all variants. Cross-type comparisons order by a
+    /// fixed type rank (`Null < Bool < numbers < Str`); `Int` and `Float`
+    /// compare numerically with each other so `1 = 1.0` in predicates.
+    fn cmp(&self, other: &Self) -> Ordering {
+        use Value::*;
+        match (self, other) {
+            (Null, Null) => Ordering::Equal,
+            (Bool(a), Bool(b)) => a.cmp(b),
+            (Int(a), Int(b)) => a.cmp(b),
+            (Float(a), Float(b)) => a.total_cmp(b),
+            (Int(a), Float(b)) => (*a as f64).total_cmp(b),
+            (Float(a), Int(b)) => a.total_cmp(&(*b as f64)),
+            (Str(a), Str(b)) => a.cmp(b),
+            _ => self.type_rank().cmp(&other.type_rank()),
+        }
+    }
+}
+
+impl std::hash::Hash for Value {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        match self {
+            Value::Null => 0u8.hash(state),
+            Value::Bool(b) => {
+                1u8.hash(state);
+                b.hash(state);
+            }
+            // Ints and floats that compare equal must hash equally, so hash
+            // integral floats as integers.
+            Value::Int(i) => {
+                2u8.hash(state);
+                i.hash(state);
+            }
+            Value::Float(f) => {
+                if f.fract() == 0.0 && f.is_finite() && *f >= i64::MIN as f64 && *f <= i64::MAX as f64
+                {
+                    2u8.hash(state);
+                    (*f as i64).hash(state);
+                } else {
+                    3u8.hash(state);
+                    f.to_bits().hash(state);
+                }
+            }
+            Value::Str(s) => {
+                4u8.hash(state);
+                s.hash(state);
+            }
+        }
+    }
+}
+
+impl Value {
+    fn type_rank(&self) -> u8 {
+        match self {
+            Value::Null => 0,
+            Value::Bool(_) => 1,
+            Value::Int(_) | Value::Float(_) => 2,
+            Value::Str(_) => 3,
+        }
+    }
+
+    /// The [`DataType`] of this value. `Null` reports [`DataType::Any`].
+    pub fn data_type(&self) -> DataType {
+        match self {
+            Value::Null => DataType::Any,
+            Value::Bool(_) => DataType::Bool,
+            Value::Int(_) => DataType::Int,
+            Value::Float(_) => DataType::Float,
+            Value::Str(_) => DataType::Str,
+        }
+    }
+
+    /// True iff this value is `Null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Checks whether the value is admissible for `ty`
+    /// (`Null` is admissible for every type; ints are admissible floats).
+    pub fn conforms_to(&self, ty: DataType) -> bool {
+        matches!(
+            (self, ty),
+            (_, DataType::Any)
+                | (Value::Null, _)
+                | (Value::Bool(_), DataType::Bool)
+                | (Value::Int(_), DataType::Int | DataType::Float)
+                | (Value::Float(_), DataType::Float)
+                | (Value::Str(_), DataType::Str)
+        )
+    }
+
+    /// SQL-style equality under three-valued logic: comparisons with NULL
+    /// yield `None` ("unknown").
+    pub fn sql_eq(&self, other: &Value) -> Option<bool> {
+        if self.is_null() || other.is_null() {
+            None
+        } else {
+            Some(self == other)
+        }
+    }
+
+    /// SQL-style ordering under three-valued logic.
+    pub fn sql_cmp(&self, other: &Value) -> Option<Ordering> {
+        if self.is_null() || other.is_null() {
+            None
+        } else {
+            Some(self.cmp(other))
+        }
+    }
+
+    /// Convenience constructor from `&str`.
+    pub fn str(s: impl Into<String>) -> Value {
+        Value::Str(s.into())
+    }
+
+    /// Renders the value as a SQL literal (strings quoted).
+    pub fn to_literal(&self) -> String {
+        match self {
+            Value::Null => "NULL".to_string(),
+            Value::Bool(b) => if *b { "TRUE" } else { "FALSE" }.to_string(),
+            Value::Int(i) => i.to_string(),
+            Value::Float(f) => {
+                if f.fract() == 0.0 && f.is_finite() {
+                    format!("{f:.1}")
+                } else {
+                    f.to_string()
+                }
+            }
+            Value::Str(s) => format!("'{}'", s.replace('\'', "''")),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "NULL"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{x}"),
+            Value::Str(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+impl From<i32> for Value {
+    fn from(v: i32) -> Self {
+        Value::Int(v as i64)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_string())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::hash_map::DefaultHasher;
+    use std::hash::{Hash, Hasher};
+
+    fn h(v: &Value) -> u64 {
+        let mut s = DefaultHasher::new();
+        v.hash(&mut s);
+        s.finish()
+    }
+
+    #[test]
+    fn int_float_numeric_equality_order() {
+        assert_eq!(Value::Int(1).cmp(&Value::Float(1.0)), Ordering::Equal);
+        assert_eq!(Value::Int(2).cmp(&Value::Float(1.5)), Ordering::Greater);
+        assert_eq!(Value::Float(0.5).cmp(&Value::Int(1)), Ordering::Less);
+    }
+
+    #[test]
+    fn equal_numbers_hash_equal() {
+        assert_eq!(h(&Value::Int(7)), h(&Value::Float(7.0)));
+    }
+
+    #[test]
+    fn total_order_across_types_is_consistent() {
+        let vals = vec![
+            Value::Null,
+            Value::Bool(false),
+            Value::Bool(true),
+            Value::Int(-3),
+            Value::Float(2.5),
+            Value::Int(10),
+            Value::str("abc"),
+        ];
+        let mut sorted = vals.clone();
+        sorted.sort();
+        // Null first, strings last.
+        assert_eq!(sorted.first(), Some(&Value::Null));
+        assert_eq!(sorted.last(), Some(&Value::str("abc")));
+    }
+
+    #[test]
+    fn sql_three_valued_logic() {
+        assert_eq!(Value::Null.sql_eq(&Value::Int(1)), None);
+        assert_eq!(Value::Int(1).sql_eq(&Value::Int(1)), Some(true));
+        assert_eq!(Value::Int(1).sql_cmp(&Value::Null), None);
+    }
+
+    #[test]
+    fn conformance() {
+        assert!(Value::Int(1).conforms_to(DataType::Float));
+        assert!(!Value::Str("x".into()).conforms_to(DataType::Int));
+        assert!(Value::Null.conforms_to(DataType::Str));
+    }
+
+    #[test]
+    fn literals() {
+        assert_eq!(Value::str("O'Brien").to_literal(), "'O''Brien'");
+        assert_eq!(Value::Float(2.0).to_literal(), "2.0");
+        assert_eq!(Value::Null.to_literal(), "NULL");
+    }
+
+    #[test]
+    fn nan_is_ordered() {
+        // total_cmp puts NaN after +inf; the point is merely that sort works.
+        let mut v = [Value::Float(f64::NAN), Value::Float(1.0)];
+        v.sort();
+        assert_eq!(v[0], Value::Float(1.0));
+    }
+}

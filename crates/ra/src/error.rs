@@ -1,0 +1,34 @@
+//! Errors of the RA subsystem.
+
+use std::fmt;
+
+/// Errors raised while typing, parsing or evaluating RA expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RaError {
+    /// Typing failure (unknown attribute/relation, incompatible schemas…).
+    Type(String),
+    /// Parse failure of the linear notation.
+    Parse(String),
+    /// Evaluation failure (delegated model errors).
+    Eval(String),
+}
+
+impl fmt::Display for RaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RaError::Type(m) => write!(f, "RA type error: {m}"),
+            RaError::Parse(m) => write!(f, "RA parse error: {m}"),
+            RaError::Eval(m) => write!(f, "RA evaluation error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for RaError {}
+
+impl From<relviz_model::ModelError> for RaError {
+    fn from(e: relviz_model::ModelError) -> Self {
+        RaError::Eval(e.to_string())
+    }
+}
+
+pub type RaResult<T> = std::result::Result<T, RaError>;

@@ -1,0 +1,426 @@
+//! Set-semantics evaluator for RA expressions.
+//!
+//! Straightforward operational semantics: every operator materializes its
+//! result relation. Joins use hash partitioning on the join attributes;
+//! everything else is a scan. This is the *reference* engine — the rewrite
+//! module's property tests check optimized plans against it.
+
+use std::collections::HashMap;
+
+use relviz_model::{Database, Relation, Schema, Tuple, Value};
+
+use crate::error::{RaError, RaResult};
+use crate::expr::{Operand, Predicate, RaExpr};
+use crate::typing::schema_of;
+
+/// Evaluates `expr` against `db` (type-checking first).
+pub fn eval(expr: &RaExpr, db: &Database) -> RaResult<Relation> {
+    schema_of(expr, db)?; // surface type errors with good messages first
+    eval_unchecked(expr, db)
+}
+
+/// Evaluates without the upfront type check (used internally/recursively —
+/// the public [`eval`] checks once at the root).
+pub fn eval_unchecked(expr: &RaExpr, db: &Database) -> RaResult<Relation> {
+    match expr {
+        RaExpr::Relation(name) => Ok(db.relation(name)?.clone()),
+        RaExpr::Select { pred, input } => {
+            let rel = eval_unchecked(input, db)?;
+            let mut out = Relation::empty(rel.schema().clone());
+            let compiled = compile_predicate(pred, rel.schema())?;
+            for t in rel.iter() {
+                if eval_predicate(&compiled, t) {
+                    out.insert_unchecked(t.clone());
+                }
+            }
+            Ok(out)
+        }
+        RaExpr::Project { attrs, input } => {
+            let rel = eval_unchecked(input, db)?;
+            let names: Vec<&str> = attrs.iter().map(String::as_str).collect();
+            let schema = rel
+                .schema()
+                .project(&names)
+                .map_err(|e| RaError::Type(e.to_string()))?;
+            let positions: Vec<usize> = names
+                .iter()
+                .map(|n| rel.schema().index_of(n).expect("validated by project"))
+                .collect();
+            let mut out = Relation::empty(schema);
+            for t in rel.iter() {
+                out.insert_unchecked(t.project(&positions));
+            }
+            Ok(out)
+        }
+        RaExpr::Rename { from, to, input } => {
+            let rel = eval_unchecked(input, db)?;
+            let schema = rel
+                .schema()
+                .rename(from, to)
+                .map_err(|e| RaError::Type(e.to_string()))?;
+            rel.with_schema(schema).map_err(|e| RaError::Eval(e.to_string()))
+        }
+        RaExpr::Product(l, r) => {
+            let lr = eval_unchecked(l, db)?;
+            let rr = eval_unchecked(r, db)?;
+            let schema = lr
+                .schema()
+                .product(rr.schema())
+                .map_err(|e| RaError::Type(e.to_string()))?;
+            let mut out = Relation::empty(schema);
+            for a in lr.iter() {
+                for b in rr.iter() {
+                    out.insert_unchecked(a.concat(b));
+                }
+            }
+            Ok(out)
+        }
+        RaExpr::NaturalJoin(l, r) => {
+            let lr = eval_unchecked(l, db)?;
+            let rr = eval_unchecked(r, db)?;
+            natural_join(&lr, &rr)
+        }
+        RaExpr::ThetaJoin { pred, left, right } => {
+            let lr = eval_unchecked(left, db)?;
+            let rr = eval_unchecked(right, db)?;
+            let schema = lr
+                .schema()
+                .product(rr.schema())
+                .map_err(|e| RaError::Type(e.to_string()))?;
+            let compiled = compile_predicate(pred, &schema)?;
+            let mut out = Relation::empty(schema);
+            for a in lr.iter() {
+                for b in rr.iter() {
+                    let t = a.concat(b);
+                    if eval_predicate(&compiled, &t) {
+                        out.insert_unchecked(t);
+                    }
+                }
+            }
+            Ok(out)
+        }
+        RaExpr::Union(l, r) => {
+            let lr = eval_unchecked(l, db)?;
+            let rr = eval_unchecked(r, db)?;
+            let mut out = Relation::empty(lr.schema().clone());
+            for t in lr.iter().chain(rr.iter()) {
+                out.insert_unchecked(t.clone());
+            }
+            Ok(out)
+        }
+        RaExpr::Intersect(l, r) => {
+            let lr = eval_unchecked(l, db)?;
+            let rr = eval_unchecked(r, db)?;
+            let mut out = Relation::empty(lr.schema().clone());
+            for t in lr.iter() {
+                if rr.contains(t) {
+                    out.insert_unchecked(t.clone());
+                }
+            }
+            Ok(out)
+        }
+        RaExpr::Difference(l, r) => {
+            let lr = eval_unchecked(l, db)?;
+            let rr = eval_unchecked(r, db)?;
+            let mut out = Relation::empty(lr.schema().clone());
+            for t in lr.iter() {
+                if !rr.contains(t) {
+                    out.insert_unchecked(t.clone());
+                }
+            }
+            Ok(out)
+        }
+        RaExpr::Division(l, r) => {
+            let lr = eval_unchecked(l, db)?;
+            let rr = eval_unchecked(r, db)?;
+            division(&lr, &rr)
+        }
+    }
+}
+
+/// Natural join via hashing on the shared attributes.
+fn natural_join(lr: &Relation, rr: &Relation) -> RaResult<Relation> {
+    let shared: Vec<String> = lr
+        .schema()
+        .common_names(rr.schema())
+        .into_iter()
+        .map(String::from)
+        .collect();
+    let l_pos: Vec<usize> = shared
+        .iter()
+        .map(|n| lr.schema().index_of(n).expect("shared name"))
+        .collect();
+    let r_pos: Vec<usize> = shared
+        .iter()
+        .map(|n| rr.schema().index_of(n).expect("shared name"))
+        .collect();
+    // Right-only attribute positions, for concatenation.
+    let r_only: Vec<usize> = rr
+        .schema()
+        .attrs()
+        .iter()
+        .enumerate()
+        .filter(|(_, a)| lr.schema().index_of(&a.name).is_none())
+        .map(|(i, _)| i)
+        .collect();
+
+    let mut attrs = lr.schema().attrs().to_vec();
+    for &i in &r_only {
+        attrs.push(rr.schema().attrs()[i].clone());
+    }
+    let schema = Schema::new(attrs).map_err(|e| RaError::Type(e.to_string()))?;
+
+    // Build hash index on the right side.
+    let mut index: HashMap<Vec<Value>, Vec<&Tuple>> = HashMap::new();
+    for t in rr.iter() {
+        let key: Vec<Value> = r_pos.iter().map(|&i| t.values()[i].clone()).collect();
+        index.entry(key).or_default().push(t);
+    }
+
+    let mut out = Relation::empty(schema);
+    for a in lr.iter() {
+        let key: Vec<Value> = l_pos.iter().map(|&i| a.values()[i].clone()).collect();
+        if let Some(matches) = index.get(&key) {
+            for b in matches {
+                let mut vals = a.values().to_vec();
+                for &i in &r_only {
+                    vals.push(b.values()[i].clone());
+                }
+                out.insert_unchecked(Tuple::new(vals));
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Relational division `lr ÷ rr`.
+fn division(lr: &Relation, rr: &Relation) -> RaResult<Relation> {
+    // Quotient = attributes of lr not in rr (by name).
+    let quot_pos: Vec<usize> = lr
+        .schema()
+        .attrs()
+        .iter()
+        .enumerate()
+        .filter(|(_, a)| rr.schema().index_of(&a.name).is_none())
+        .map(|(i, _)| i)
+        .collect();
+    let div_pos_l: Vec<usize> = rr
+        .schema()
+        .attrs()
+        .iter()
+        .map(|a| {
+            lr.schema()
+                .index_of(&a.name)
+                .ok_or_else(|| RaError::Type(format!("divisor attribute `{}` missing", a.name)))
+        })
+        .collect::<RaResult<_>>()?;
+
+    let quot_attrs: Vec<_> = quot_pos.iter().map(|&i| lr.schema().attrs()[i].clone()).collect();
+    let schema = Schema::new(quot_attrs).map_err(|e| RaError::Type(e.to_string()))?;
+
+    // Group divisor-part tuples by quotient-part key.
+    let mut groups: HashMap<Vec<Value>, Vec<Vec<Value>>> = HashMap::new();
+    for t in lr.iter() {
+        let key: Vec<Value> = quot_pos.iter().map(|&i| t.values()[i].clone()).collect();
+        let val: Vec<Value> = div_pos_l.iter().map(|&i| t.values()[i].clone()).collect();
+        groups.entry(key).or_default().push(val);
+    }
+
+    let divisor: Vec<Vec<Value>> = rr.iter().map(|t| t.values().to_vec()).collect();
+    let mut out = Relation::empty(schema);
+    for (key, vals) in groups {
+        if divisor.iter().all(|d| vals.contains(d)) {
+            out.insert_unchecked(Tuple::new(key));
+        }
+    }
+    Ok(out)
+}
+
+/// A predicate with attribute names resolved to positions.
+pub(crate) enum CompiledPred {
+    Cmp { left: CompiledOperand, op: relviz_model::CmpOp, right: CompiledOperand },
+    And(Box<CompiledPred>, Box<CompiledPred>),
+    Or(Box<CompiledPred>, Box<CompiledPred>),
+    Not(Box<CompiledPred>),
+    Const(bool),
+}
+
+pub(crate) enum CompiledOperand {
+    Pos(usize),
+    Const(Value),
+}
+
+pub(crate) fn compile_predicate(pred: &Predicate, schema: &Schema) -> RaResult<CompiledPred> {
+    Ok(match pred {
+        Predicate::Const(b) => CompiledPred::Const(*b),
+        Predicate::Not(p) => CompiledPred::Not(Box::new(compile_predicate(p, schema)?)),
+        Predicate::And(a, b) => CompiledPred::And(
+            Box::new(compile_predicate(a, schema)?),
+            Box::new(compile_predicate(b, schema)?),
+        ),
+        Predicate::Or(a, b) => CompiledPred::Or(
+            Box::new(compile_predicate(a, schema)?),
+            Box::new(compile_predicate(b, schema)?),
+        ),
+        Predicate::Cmp { left, op, right } => CompiledPred::Cmp {
+            left: compile_operand(left, schema)?,
+            op: *op,
+            right: compile_operand(right, schema)?,
+        },
+    })
+}
+
+fn compile_operand(op: &Operand, schema: &Schema) -> RaResult<CompiledOperand> {
+    Ok(match op {
+        Operand::Const(v) => CompiledOperand::Const(v.clone()),
+        Operand::Attr(name) => CompiledOperand::Pos(
+            schema
+                .index_of(name)
+                .ok_or_else(|| RaError::Type(format!("unknown attribute `{name}`")))?,
+        ),
+    })
+}
+
+pub(crate) fn eval_predicate(pred: &CompiledPred, t: &Tuple) -> bool {
+    match pred {
+        CompiledPred::Const(b) => *b,
+        CompiledPred::Not(p) => !eval_predicate(p, t),
+        CompiledPred::And(a, b) => eval_predicate(a, t) && eval_predicate(b, t),
+        CompiledPred::Or(a, b) => eval_predicate(a, t) || eval_predicate(b, t),
+        CompiledPred::Cmp { left, op, right } => {
+            let l = operand_value(left, t);
+            let r = operand_value(right, t);
+            op.apply(l, r)
+        }
+    }
+}
+
+fn operand_value<'a>(op: &'a CompiledOperand, t: &'a Tuple) -> &'a Value {
+    match op {
+        CompiledOperand::Pos(i) => &t.values()[*i],
+        CompiledOperand::Const(v) => v,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relviz_model::catalog::sailors_sample;
+    use relviz_model::CmpOp;
+
+    use crate::expr::{Operand as O, Predicate as P, RaExpr as E};
+
+    fn db() -> Database {
+        sailors_sample()
+    }
+
+    fn names(rel: &Relation) -> Vec<String> {
+        rel.iter().map(|t| t.values()[0].to_string()).collect()
+    }
+
+    #[test]
+    fn q1_via_theta_join() {
+        // π_sname(Sailor ⋈_{Sailor.sid=Reserves.sid ∧ bid=102} Reserves)
+        let e = E::relation("Sailor")
+            .rename("sid", "s_sid")
+            .theta_join(
+                P::eq(O::attr("s_sid"), O::attr("sid")).and(P::eq(O::attr("bid"), O::val(102))),
+                E::relation("Reserves"),
+            )
+            .project(vec!["sname"]);
+        assert_eq!(names(&eval(&e, &db()).unwrap()), vec!["dustin", "horatio", "lubber"]);
+    }
+
+    #[test]
+    fn q2_natural_join_chain() {
+        let e = E::relation("Sailor")
+            .natural_join(E::relation("Reserves"))
+            .natural_join(E::relation("Boat").select(P::eq(O::attr("color"), O::val("red"))))
+            .project(vec!["sname"]);
+        assert_eq!(names(&eval(&e, &db()).unwrap()), vec!["dustin", "horatio", "lubber"]);
+    }
+
+    #[test]
+    fn q5_division() {
+        // π_{sid,bid}(Reserves) ÷ π_bid(σ_{color='red'}(Boat)), joined back for names
+        let quotient = E::relation("Reserves")
+            .project(vec!["sid", "bid"])
+            .divide(E::relation("Boat").select(P::eq(O::attr("color"), O::val("red"))).project(vec!["bid"]));
+        let e = quotient.natural_join(E::relation("Sailor")).project(vec!["sname"]);
+        assert_eq!(names(&eval(&e, &db()).unwrap()), vec!["dustin", "lubber"]);
+    }
+
+    #[test]
+    fn division_by_empty_returns_all_keys() {
+        // x ÷ ∅ = π_quotient(x): vacuous universal quantification.
+        let e = E::relation("Reserves").project(vec!["sid", "bid"]).divide(
+            E::relation("Boat")
+                .select(P::eq(O::attr("color"), O::val("purple")))
+                .project(vec!["bid"]),
+        );
+        let out = eval(&e, &db()).unwrap();
+        assert_eq!(out.len(), 4); // each sid that appears in Reserves
+    }
+
+    #[test]
+    fn set_operations() {
+        let s = E::relation("Sailor").project(vec!["sid"]);
+        let r = E::relation("Reserves").project(vec!["sid"]);
+        assert_eq!(eval(&s.clone().intersect(r.clone()), &db()).unwrap().len(), 4);
+        assert_eq!(eval(&s.clone().difference(r.clone()), &db()).unwrap().len(), 6);
+        assert_eq!(eval(&s.clone().union(r), &db()).unwrap().len(), 10);
+    }
+
+    #[test]
+    fn product_vs_natural_join_on_disjoint() {
+        // With disjoint schemas natural join degenerates to product.
+        let l = E::relation("Sailor").project(vec!["sid"]);
+        let r = E::relation("Boat").project(vec!["bid"]);
+        let p = eval(&l.clone().product(r.clone()), &db()).unwrap();
+        let j = eval(&l.natural_join(r), &db()).unwrap();
+        assert!(p.same_contents(&j));
+        assert_eq!(p.len(), 10 * 4);
+    }
+
+    #[test]
+    fn rename_then_self_join() {
+        // pairs of sailors with equal rating
+        let s1 = E::relation("Sailor")
+            .project(vec!["sid", "rating"])
+            .rename_all(&[("sid", "sid1"), ("rating", "r1")]);
+        let s2 = E::relation("Sailor")
+            .project(vec!["sid", "rating"])
+            .rename_all(&[("sid", "sid2"), ("rating", "r2")]);
+        let e = s1.theta_join(
+            P::eq(O::attr("r1"), O::attr("r2"))
+                .and(P::cmp(O::attr("sid1"), CmpOp::Lt, O::attr("sid2"))),
+            s2,
+        );
+        assert_eq!(eval(&e, &db()).unwrap().len(), 4);
+    }
+
+    #[test]
+    fn select_or_and_not() {
+        let e = E::relation("Boat").select(
+            P::eq(O::attr("color"), O::val("red"))
+                .or(P::eq(O::attr("color"), O::val("green")))
+                .and(P::eq(O::attr("bname"), O::val("Interlake")).not()),
+        );
+        let out = eval(&e, &db()).unwrap();
+        assert_eq!(out.len(), 2); // 103 green Clipper, 104 red Marine
+    }
+
+    #[test]
+    fn eval_type_checks_first() {
+        let e = E::relation("Sailor").select(P::eq(O::attr("ghost"), O::val(1)));
+        assert!(matches!(eval(&e, &db()), Err(RaError::Type(_))));
+    }
+
+    #[test]
+    fn boolean_constants() {
+        let t = E::relation("Sailor").select(Predicate::Const(true));
+        let f = E::relation("Sailor").select(Predicate::Const(false));
+        assert_eq!(eval(&t, &db()).unwrap().len(), 10);
+        assert!(eval(&f, &db()).unwrap().is_empty());
+    }
+}

@@ -1,0 +1,251 @@
+//! The Relational Algebra expression tree.
+
+use relviz_model::{CmpOp, Value};
+
+/// A predicate operand: attribute reference or constant.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Operand {
+    Attr(String),
+    Const(Value),
+}
+
+impl Operand {
+    pub fn attr(name: impl Into<String>) -> Self {
+        Operand::Attr(name.into())
+    }
+    pub fn val(v: impl Into<Value>) -> Self {
+        Operand::Const(v.into())
+    }
+}
+
+impl std::fmt::Display for Operand {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Operand::Attr(a) => write!(f, "{a}"),
+            Operand::Const(v) => write!(f, "{}", v.to_literal()),
+        }
+    }
+}
+
+/// Selection predicates: boolean combinations of comparisons.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Predicate {
+    Cmp { left: Operand, op: CmpOp, right: Operand },
+    And(Box<Predicate>, Box<Predicate>),
+    Or(Box<Predicate>, Box<Predicate>),
+    Not(Box<Predicate>),
+    Const(bool),
+}
+
+impl Predicate {
+    pub fn cmp(left: Operand, op: CmpOp, right: Operand) -> Self {
+        Predicate::Cmp { left, op, right }
+    }
+    pub fn eq(left: Operand, right: Operand) -> Self {
+        Predicate::cmp(left, CmpOp::Eq, right)
+    }
+    pub fn and(self, other: Predicate) -> Self {
+        Predicate::And(Box::new(self), Box::new(other))
+    }
+    pub fn or(self, other: Predicate) -> Self {
+        Predicate::Or(Box::new(self), Box::new(other))
+    }
+    #[allow(clippy::should_implement_trait)] // DSL: ¬ builder, not std::ops::Not
+    pub fn not(self) -> Self {
+        Predicate::Not(Box::new(self))
+    }
+
+    /// Attribute names referenced by the predicate.
+    pub fn attrs(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        self.collect_attrs(&mut out);
+        out
+    }
+
+    fn collect_attrs<'a>(&'a self, out: &mut Vec<&'a str>) {
+        match self {
+            Predicate::Cmp { left, right, .. } => {
+                if let Operand::Attr(a) = left {
+                    out.push(a);
+                }
+                if let Operand::Attr(a) = right {
+                    out.push(a);
+                }
+            }
+            Predicate::And(a, b) | Predicate::Or(a, b) => {
+                a.collect_attrs(out);
+                b.collect_attrs(out);
+            }
+            Predicate::Not(a) => a.collect_attrs(out),
+            Predicate::Const(_) => {}
+        }
+    }
+
+    /// Splits a conjunction into its top-level conjuncts.
+    pub fn conjuncts(&self) -> Vec<&Predicate> {
+        match self {
+            Predicate::And(a, b) => {
+                let mut v = a.conjuncts();
+                v.extend(b.conjuncts());
+                v
+            }
+            other => vec![other],
+        }
+    }
+}
+
+/// A Relational Algebra expression.
+///
+/// The operator set is the tutorial's Part 3 set: the six primitives
+/// (σ, π, ρ, ×, ∪, −) plus the derived operators ∩, ⋈ (natural), ⋈θ and ÷
+/// as first-class nodes — derived operators matter here because visual
+/// formalisms like DFQL give each its own icon.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RaExpr {
+    /// Base relation by name.
+    Relation(String),
+    /// σ_pred(input)
+    Select { pred: Predicate, input: Box<RaExpr> },
+    /// π_attrs(input)
+    Project { attrs: Vec<String>, input: Box<RaExpr> },
+    /// ρ_{from→to}(input): rename one attribute.
+    Rename { from: String, to: String, input: Box<RaExpr> },
+    /// Cartesian product (schemas must be disjoint).
+    Product(Box<RaExpr>, Box<RaExpr>),
+    /// Natural join on shared attribute names.
+    NaturalJoin(Box<RaExpr>, Box<RaExpr>),
+    /// θ-join: product + selection in one node.
+    ThetaJoin { pred: Predicate, left: Box<RaExpr>, right: Box<RaExpr> },
+    Union(Box<RaExpr>, Box<RaExpr>),
+    Intersect(Box<RaExpr>, Box<RaExpr>),
+    Difference(Box<RaExpr>, Box<RaExpr>),
+    /// Relational division: tuples of (left − right attributes) paired in
+    /// `left` with *every* tuple of `right`.
+    Division(Box<RaExpr>, Box<RaExpr>),
+}
+
+impl RaExpr {
+    pub fn relation(name: impl Into<String>) -> Self {
+        RaExpr::Relation(name.into())
+    }
+    pub fn select(self, pred: Predicate) -> Self {
+        RaExpr::Select { pred, input: Box::new(self) }
+    }
+    pub fn project<S: Into<String>>(self, attrs: Vec<S>) -> Self {
+        RaExpr::Project {
+            attrs: attrs.into_iter().map(Into::into).collect(),
+            input: Box::new(self),
+        }
+    }
+    pub fn rename(self, from: impl Into<String>, to: impl Into<String>) -> Self {
+        RaExpr::Rename { from: from.into(), to: to.into(), input: Box::new(self) }
+    }
+    /// Applies a chain of renames, one per `(from, to)` pair.
+    pub fn rename_all(self, pairs: &[(&str, &str)]) -> Self {
+        pairs
+            .iter()
+            .fold(self, |e, (f, t)| e.rename(*f, *t))
+    }
+    pub fn product(self, other: RaExpr) -> Self {
+        RaExpr::Product(Box::new(self), Box::new(other))
+    }
+    pub fn natural_join(self, other: RaExpr) -> Self {
+        RaExpr::NaturalJoin(Box::new(self), Box::new(other))
+    }
+    pub fn theta_join(self, pred: Predicate, other: RaExpr) -> Self {
+        RaExpr::ThetaJoin { pred, left: Box::new(self), right: Box::new(other) }
+    }
+    pub fn union(self, other: RaExpr) -> Self {
+        RaExpr::Union(Box::new(self), Box::new(other))
+    }
+    pub fn intersect(self, other: RaExpr) -> Self {
+        RaExpr::Intersect(Box::new(self), Box::new(other))
+    }
+    pub fn difference(self, other: RaExpr) -> Self {
+        RaExpr::Difference(Box::new(self), Box::new(other))
+    }
+    pub fn divide(self, other: RaExpr) -> Self {
+        RaExpr::Division(Box::new(self), Box::new(other))
+    }
+
+    /// Number of operator nodes (size metric for benches/pattern stats).
+    pub fn node_count(&self) -> usize {
+        match self {
+            RaExpr::Relation(_) => 1,
+            RaExpr::Select { input, .. }
+            | RaExpr::Project { input, .. }
+            | RaExpr::Rename { input, .. } => 1 + input.node_count(),
+            RaExpr::Product(l, r)
+            | RaExpr::NaturalJoin(l, r)
+            | RaExpr::Union(l, r)
+            | RaExpr::Intersect(l, r)
+            | RaExpr::Difference(l, r)
+            | RaExpr::Division(l, r) => 1 + l.node_count() + r.node_count(),
+            RaExpr::ThetaJoin { left, right, .. } => 1 + left.node_count() + right.node_count(),
+        }
+    }
+
+    /// Names of all base relations referenced (with repetition).
+    pub fn base_relations(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        self.collect_bases(&mut out);
+        out
+    }
+
+    fn collect_bases<'a>(&'a self, out: &mut Vec<&'a str>) {
+        match self {
+            RaExpr::Relation(n) => out.push(n),
+            RaExpr::Select { input, .. }
+            | RaExpr::Project { input, .. }
+            | RaExpr::Rename { input, .. } => input.collect_bases(out),
+            RaExpr::Product(l, r)
+            | RaExpr::NaturalJoin(l, r)
+            | RaExpr::Union(l, r)
+            | RaExpr::Intersect(l, r)
+            | RaExpr::Difference(l, r)
+            | RaExpr::Division(l, r) => {
+                l.collect_bases(out);
+                r.collect_bases(out);
+            }
+            RaExpr::ThetaJoin { left, right, .. } => {
+                left.collect_bases(out);
+                right.collect_bases(out);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_compose() {
+        let e = RaExpr::relation("Sailor")
+            .select(Predicate::cmp(Operand::attr("rating"), CmpOp::Gt, Operand::val(7)))
+            .project(vec!["sname"]);
+        assert_eq!(e.node_count(), 3);
+        assert_eq!(e.base_relations(), vec!["Sailor"]);
+    }
+
+    #[test]
+    fn conjunct_splitting() {
+        let p = Predicate::eq(Operand::attr("a"), Operand::val(1))
+            .and(Predicate::eq(Operand::attr("b"), Operand::val(2)))
+            .and(Predicate::eq(Operand::attr("c"), Operand::val(3)));
+        assert_eq!(p.conjuncts().len(), 3);
+    }
+
+    #[test]
+    fn predicate_attrs() {
+        let p = Predicate::cmp(Operand::attr("x"), CmpOp::Lt, Operand::attr("y"))
+            .or(Predicate::eq(Operand::attr("z"), Operand::val("red")));
+        assert_eq!(p.attrs(), vec!["x", "y", "z"]);
+    }
+
+    #[test]
+    fn rename_all_chains() {
+        let e = RaExpr::relation("R").rename_all(&[("a", "x"), ("b", "y")]);
+        assert_eq!(e.node_count(), 3);
+    }
+}

@@ -1,0 +1,37 @@
+//! # relviz-ra
+//!
+//! Relational Algebra: the procedural member of the tutorial's five textual
+//! query languages, and the semantic target most relationally complete
+//! visual formalisms (DFQL in particular) are defined against.
+//!
+//! The crate provides
+//! * the RA expression tree ([`RaExpr`]) with the classic operators
+//!   σ, π, ρ, ×, ⋈, ⋈θ, ∪, ∩, −, ÷,
+//! * static typing ([`typing::schema_of`]) — every well-formed expression
+//!   has a derivable output schema,
+//! * a set-semantics evaluator ([`eval::eval`]),
+//! * a linear-notation parser ([`parse::parse_ra`]) and pretty-printer
+//!   ([`print::print_ra`], ASCII and Unicode flavors), and
+//! * algebraic rewrites ([`rewrite`]) used by the optimizer-lite and the
+//!   property tests ("rewrites preserve semantics").
+//!
+//! ```
+//! use relviz_model::catalog::sailors_sample;
+//! use relviz_ra::{parse::parse_ra, eval::eval};
+//!
+//! let db = sailors_sample();
+//! let e = parse_ra("Project[sname](Select[rating > 7](Sailor))").unwrap();
+//! let out = eval(&e, &db).unwrap();
+//! assert_eq!(out.len(), 5); // lubber, andy, rusty, zorba, horatio
+//! ```
+
+pub mod error;
+pub mod eval;
+pub mod expr;
+pub mod parse;
+pub mod print;
+pub mod rewrite;
+pub mod typing;
+
+pub use error::{RaError, RaResult};
+pub use expr::{Operand, Predicate, RaExpr};

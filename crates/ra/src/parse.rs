@@ -1,0 +1,519 @@
+//! Parser for the linear RA notation.
+//!
+//! ```text
+//! expr    := Op '[' … ']' '(' expr {',' expr} ')'   -- parameterized ops
+//!          | Op '(' expr, expr ')'                  -- binary ops
+//!          | ident                                  -- base relation
+//!
+//! Select[pred](e)            σ   (also accepted: `Sigma`, `σ`)
+//! Project[a, b](e)           π   (`Pi`, `π`)
+//! Rename[a -> b](e)          ρ   (`Rho`, `ρ`)
+//! Product(e1, e2)            ×   (`Times`)
+//! Join(e1, e2)               ⋈   natural join
+//! ThetaJoin[pred](e1, e2)    ⋈θ
+//! Union | Intersect | Difference | Division (e1, e2)
+//! ```
+//!
+//! Predicates: comparisons over attributes/constants combined with
+//! `AND`/`OR`/`NOT` (or `∧`/`∨`/`¬`), parentheses allowed.
+
+use relviz_model::{CmpOp, Value};
+
+use crate::error::{RaError, RaResult};
+use crate::expr::{Operand, Predicate, RaExpr};
+
+/// Parses the linear notation into an [`RaExpr`].
+pub fn parse_ra(input: &str) -> RaResult<RaExpr> {
+    let toks = tokenize(input)?;
+    let mut p = P { toks, pos: 0 };
+    let e = p.expr()?;
+    p.expect_eof()?;
+    Ok(e)
+}
+
+/// Parses a predicate alone (handy for tests and tools).
+pub fn parse_predicate(input: &str) -> RaResult<Predicate> {
+    let toks = tokenize(input)?;
+    let mut p = P { toks, pos: 0 };
+    let pred = p.pred()?;
+    p.expect_eof()?;
+    Ok(pred)
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum T {
+    Ident(String),
+    Int(i64),
+    Float(f64),
+    Str(String),
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    Comma,
+    Arrow,
+    Cmp(CmpOp),
+    And,
+    Or,
+    Not,
+    Eof,
+}
+
+fn tokenize(input: &str) -> RaResult<Vec<T>> {
+    let mut out = Vec::new();
+    let chars: Vec<char> = input.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            ' ' | '\t' | '\n' | '\r' => i += 1,
+            '(' => {
+                out.push(T::LParen);
+                i += 1;
+            }
+            ')' => {
+                out.push(T::RParen);
+                i += 1;
+            }
+            '[' => {
+                out.push(T::LBracket);
+                i += 1;
+            }
+            ']' => {
+                out.push(T::RBracket);
+                i += 1;
+            }
+            ',' => {
+                out.push(T::Comma);
+                i += 1;
+            }
+            '-' if chars.get(i + 1) == Some(&'>') => {
+                out.push(T::Arrow);
+                i += 2;
+            }
+            '→' => {
+                out.push(T::Arrow);
+                i += 1;
+            }
+            '=' => {
+                out.push(T::Cmp(CmpOp::Eq));
+                i += 1;
+            }
+            '≠' => {
+                out.push(T::Cmp(CmpOp::Neq));
+                i += 1;
+            }
+            '≤' => {
+                out.push(T::Cmp(CmpOp::Le));
+                i += 1;
+            }
+            '≥' => {
+                out.push(T::Cmp(CmpOp::Ge));
+                i += 1;
+            }
+            '<' => {
+                if chars.get(i + 1) == Some(&'=') {
+                    out.push(T::Cmp(CmpOp::Le));
+                    i += 2;
+                } else if chars.get(i + 1) == Some(&'>') {
+                    out.push(T::Cmp(CmpOp::Neq));
+                    i += 2;
+                } else {
+                    out.push(T::Cmp(CmpOp::Lt));
+                    i += 1;
+                }
+            }
+            '>' => {
+                if chars.get(i + 1) == Some(&'=') {
+                    out.push(T::Cmp(CmpOp::Ge));
+                    i += 2;
+                } else {
+                    out.push(T::Cmp(CmpOp::Gt));
+                    i += 1;
+                }
+            }
+            '!' if chars.get(i + 1) == Some(&'=') => {
+                out.push(T::Cmp(CmpOp::Neq));
+                i += 2;
+            }
+            '∧' => {
+                out.push(T::And);
+                i += 1;
+            }
+            '∨' => {
+                out.push(T::Or);
+                i += 1;
+            }
+            '¬' => {
+                out.push(T::Not);
+                i += 1;
+            }
+            'σ' | 'π' | 'ρ' | '×' | '⋈' | '∪' | '∩' | '−' | '÷' => {
+                out.push(T::Ident(c.to_string()));
+                i += 1;
+            }
+            '\'' => {
+                let mut s = String::new();
+                i += 1;
+                loop {
+                    match chars.get(i) {
+                        Some('\'') if chars.get(i + 1) == Some(&'\'') => {
+                            s.push('\'');
+                            i += 2;
+                        }
+                        Some('\'') => {
+                            i += 1;
+                            break;
+                        }
+                        Some(&ch) => {
+                            s.push(ch);
+                            i += 1;
+                        }
+                        None => return Err(RaError::Parse("unterminated string".into())),
+                    }
+                }
+                out.push(T::Str(s));
+            }
+            c if c.is_ascii_digit()
+                || (c == '-' && chars.get(i + 1).is_some_and(|d| d.is_ascii_digit())) =>
+            {
+                let start = i;
+                if c == '-' {
+                    i += 1;
+                }
+                while i < chars.len() && chars[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let mut is_float = false;
+                if chars.get(i) == Some(&'.') && chars.get(i + 1).is_some_and(|d| d.is_ascii_digit())
+                {
+                    is_float = true;
+                    i += 1;
+                    while i < chars.len() && chars[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+                let text: String = chars[start..i].iter().collect();
+                if is_float {
+                    out.push(T::Float(
+                        text.parse().map_err(|_| RaError::Parse(format!("bad float {text}")))?,
+                    ));
+                } else {
+                    out.push(T::Int(
+                        text.parse().map_err(|_| RaError::Parse(format!("bad int {text}")))?,
+                    ));
+                }
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let start = i;
+                while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                    i += 1;
+                }
+                let word: String = chars[start..i].iter().collect();
+                match word.to_ascii_uppercase().as_str() {
+                    "AND" => out.push(T::And),
+                    "OR" => out.push(T::Or),
+                    "NOT" => out.push(T::Not),
+                    _ => out.push(T::Ident(word)),
+                }
+            }
+            other => return Err(RaError::Parse(format!("unexpected character `{other}`"))),
+        }
+    }
+    out.push(T::Eof);
+    Ok(out)
+}
+
+struct P {
+    toks: Vec<T>,
+    pos: usize,
+}
+
+impl P {
+    fn peek(&self) -> &T {
+        &self.toks[self.pos]
+    }
+    fn next(&mut self) -> T {
+        let t = self.toks[self.pos].clone();
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        t
+    }
+    fn eat(&mut self, t: &T) -> bool {
+        if self.peek() == t {
+            self.next();
+            true
+        } else {
+            false
+        }
+    }
+    fn expect(&mut self, t: T, what: &str) -> RaResult<()> {
+        if self.peek() == &t {
+            self.next();
+            Ok(())
+        } else {
+            Err(RaError::Parse(format!("expected {what}, found {:?}", self.peek())))
+        }
+    }
+    fn expect_eof(&mut self) -> RaResult<()> {
+        if self.peek() == &T::Eof {
+            Ok(())
+        } else {
+            Err(RaError::Parse(format!("trailing input: {:?}", self.peek())))
+        }
+    }
+
+    fn ident(&mut self, what: &str) -> RaResult<String> {
+        match self.next() {
+            T::Ident(s) => Ok(s),
+            other => Err(RaError::Parse(format!("expected {what}, found {other:?}"))),
+        }
+    }
+
+    fn expr(&mut self) -> RaResult<RaExpr> {
+        let name = self.ident("operator or relation name")?;
+        let canonical = canonical_op(&name);
+        match canonical {
+            Some(op) => self.operator(op),
+            None => {
+                // Plain identifier: base relation (no parens follow).
+                if matches!(self.peek(), T::LParen | T::LBracket) {
+                    // Unknown operator applied like a function.
+                    Err(RaError::Parse(format!("unknown operator `{name}`")))
+                } else {
+                    Ok(RaExpr::Relation(name))
+                }
+            }
+        }
+    }
+
+    fn operator(&mut self, op: &'static str) -> RaResult<RaExpr> {
+        match op {
+            "Select" => {
+                self.expect(T::LBracket, "`[` after Select")?;
+                let pred = self.pred()?;
+                self.expect(T::RBracket, "`]` after predicate")?;
+                let input = self.parenthesized_one()?;
+                Ok(RaExpr::Select { pred, input: Box::new(input) })
+            }
+            "Project" => {
+                self.expect(T::LBracket, "`[` after Project")?;
+                let mut attrs = vec![self.ident("attribute")?];
+                while self.eat(&T::Comma) {
+                    attrs.push(self.ident("attribute")?);
+                }
+                self.expect(T::RBracket, "`]` after attributes")?;
+                let input = self.parenthesized_one()?;
+                Ok(RaExpr::Project { attrs, input: Box::new(input) })
+            }
+            "Rename" => {
+                self.expect(T::LBracket, "`[` after Rename")?;
+                let mut pairs = Vec::new();
+                loop {
+                    let from = self.ident("attribute")?;
+                    self.expect(T::Arrow, "`->`")?;
+                    let to = self.ident("attribute")?;
+                    pairs.push((from, to));
+                    if !self.eat(&T::Comma) {
+                        break;
+                    }
+                }
+                self.expect(T::RBracket, "`]` after renames")?;
+                let input = self.parenthesized_one()?;
+                let mut e = input;
+                for (from, to) in pairs {
+                    e = RaExpr::Rename { from, to, input: Box::new(e) };
+                }
+                Ok(e)
+            }
+            "ThetaJoin" => {
+                self.expect(T::LBracket, "`[` after ThetaJoin")?;
+                let pred = self.pred()?;
+                self.expect(T::RBracket, "`]` after predicate")?;
+                let (l, r) = self.parenthesized_two()?;
+                Ok(RaExpr::ThetaJoin { pred, left: Box::new(l), right: Box::new(r) })
+            }
+            "Product" | "Join" | "Union" | "Intersect" | "Difference" | "Division" => {
+                let (l, r) = self.parenthesized_two()?;
+                let (l, r) = (Box::new(l), Box::new(r));
+                Ok(match op {
+                    "Product" => RaExpr::Product(l, r),
+                    "Join" => RaExpr::NaturalJoin(l, r),
+                    "Union" => RaExpr::Union(l, r),
+                    "Intersect" => RaExpr::Intersect(l, r),
+                    "Difference" => RaExpr::Difference(l, r),
+                    "Division" => RaExpr::Division(l, r),
+                    _ => unreachable!("covered by match arm"),
+                })
+            }
+            _ => unreachable!("canonical_op returns known ops"),
+        }
+    }
+
+    fn parenthesized_one(&mut self) -> RaResult<RaExpr> {
+        self.expect(T::LParen, "`(`")?;
+        let e = self.expr()?;
+        self.expect(T::RParen, "`)`")?;
+        Ok(e)
+    }
+
+    fn parenthesized_two(&mut self) -> RaResult<(RaExpr, RaExpr)> {
+        self.expect(T::LParen, "`(`")?;
+        let l = self.expr()?;
+        self.expect(T::Comma, "`,` between operands")?;
+        let r = self.expr()?;
+        self.expect(T::RParen, "`)`")?;
+        Ok((l, r))
+    }
+
+    // Predicates ---------------------------------------------------------
+
+    fn pred(&mut self) -> RaResult<Predicate> {
+        let mut left = self.pred_and()?;
+        while self.eat(&T::Or) {
+            let right = self.pred_and()?;
+            left = left.or(right);
+        }
+        Ok(left)
+    }
+
+    fn pred_and(&mut self) -> RaResult<Predicate> {
+        let mut left = self.pred_not()?;
+        while self.eat(&T::And) {
+            let right = self.pred_not()?;
+            left = left.and(right);
+        }
+        Ok(left)
+    }
+
+    fn pred_not(&mut self) -> RaResult<Predicate> {
+        if self.eat(&T::Not) {
+            return Ok(self.pred_not()?.not());
+        }
+        if self.eat(&T::LParen) {
+            let p = self.pred()?;
+            self.expect(T::RParen, "`)`")?;
+            return Ok(p);
+        }
+        if let T::Ident(w) = self.peek() {
+            let up = w.to_ascii_uppercase();
+            if up == "TRUE" || up == "FALSE" {
+                self.next();
+                return Ok(Predicate::Const(up == "TRUE"));
+            }
+        }
+        let left = self.operand()?;
+        let op = match self.next() {
+            T::Cmp(op) => op,
+            other => {
+                return Err(RaError::Parse(format!(
+                    "expected comparison operator, found {other:?}"
+                )))
+            }
+        };
+        let right = self.operand()?;
+        Ok(Predicate::Cmp { left, op, right })
+    }
+
+    fn operand(&mut self) -> RaResult<Operand> {
+        match self.next() {
+            T::Ident(s) => Ok(Operand::Attr(s)),
+            T::Int(i) => Ok(Operand::Const(Value::Int(i))),
+            T::Float(f) => Ok(Operand::Const(Value::Float(f))),
+            T::Str(s) => Ok(Operand::Const(Value::Str(s))),
+            other => Err(RaError::Parse(format!("expected operand, found {other:?}"))),
+        }
+    }
+}
+
+fn canonical_op(name: &str) -> Option<&'static str> {
+    Some(match name {
+        "Select" | "Sigma" | "σ" => "Select",
+        "Project" | "Pi" | "π" => "Project",
+        "Rename" | "Rho" | "ρ" => "Rename",
+        "Product" | "Times" | "×" => "Product",
+        "Join" | "NaturalJoin" | "⋈" => "Join",
+        "ThetaJoin" => "ThetaJoin",
+        "Union" | "∪" => "Union",
+        "Intersect" | "∩" => "Intersect",
+        "Difference" | "Diff" | "Minus" | "−" => "Difference",
+        "Division" | "Divide" | "÷" => "Division",
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{Operand as O, Predicate as Pr, RaExpr as E};
+
+    #[test]
+    fn parses_basic_pipeline() {
+        let e = parse_ra("Project[sname](Select[rating > 7](Sailor))").unwrap();
+        assert_eq!(
+            e,
+            E::relation("Sailor")
+                .select(Pr::cmp(O::attr("rating"), CmpOp::Gt, O::val(7)))
+                .project(vec!["sname"])
+        );
+    }
+
+    #[test]
+    fn unicode_aliases() {
+        let a = parse_ra("π[sname](σ[rating ≥ 7](Sailor))").unwrap();
+        let b = parse_ra("Project[sname](Select[rating >= 7](Sailor))").unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn rename_multi_pair() {
+        let e = parse_ra("Rename[sid -> sid2, sname -> n2](Sailor)").unwrap();
+        assert_eq!(e, E::relation("Sailor").rename_all(&[("sid", "sid2"), ("sname", "n2")]));
+    }
+
+    #[test]
+    fn binary_ops() {
+        let e = parse_ra("Union(Project[sid](Sailor), Project[sid](Reserves))").unwrap();
+        assert!(matches!(e, E::Union(_, _)));
+        let e = parse_ra("Division(Project[sid, bid](Reserves), Project[bid](Boat))").unwrap();
+        assert!(matches!(e, E::Division(_, _)));
+    }
+
+    #[test]
+    fn theta_join_with_complex_pred() {
+        let e = parse_ra(
+            "ThetaJoin[s_sid = sid AND (bid = 102 OR NOT color = 'red')](Sailor, Reserves)",
+        )
+        .unwrap();
+        let E::ThetaJoin { pred, .. } = e else { panic!() };
+        assert_eq!(pred.conjuncts().len(), 2);
+    }
+
+    #[test]
+    fn string_and_float_literals() {
+        let p = parse_predicate("color = 'it''s' OR age >= 35.5").unwrap();
+        assert!(matches!(p, Pr::Or(_, _)));
+    }
+
+    #[test]
+    fn negative_numbers() {
+        let p = parse_predicate("x > -5").unwrap();
+        assert_eq!(p, Pr::cmp(O::attr("x"), CmpOp::Gt, O::val(-5)));
+    }
+
+    #[test]
+    fn errors() {
+        assert!(parse_ra("Project[](Sailor)").is_err());
+        assert!(parse_ra("Select[x=1]").is_err());
+        assert!(parse_ra("Frobnicate(Sailor, Boat)").is_err());
+        assert!(parse_ra("Union(Sailor)").is_err());
+        assert!(parse_ra("Sailor extra").is_err());
+        assert!(parse_predicate("x ==").is_err());
+    }
+
+    #[test]
+    fn bare_relation() {
+        assert_eq!(parse_ra("Sailor").unwrap(), E::relation("Sailor"));
+    }
+}

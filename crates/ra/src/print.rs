@@ -1,0 +1,219 @@
+//! Pretty-printers for RA expressions.
+//!
+//! * [`print_ra`] — ASCII linear notation; `parse_ra ∘ print_ra = id`
+//!   (property-tested).
+//! * [`print_ra_unicode`] — σ/π/ρ/⋈ blackboard style for display; also
+//!   re-parseable because the parser accepts the unicode aliases.
+//! * [`print_ra_tree`] — indented operator tree, the textual skeleton of
+//!   the DFQL dataflow view.
+
+use std::fmt::Write as _;
+
+use crate::expr::{Predicate, RaExpr};
+
+/// ASCII function-style notation.
+pub fn print_ra(e: &RaExpr) -> String {
+    let mut s = String::new();
+    write_expr(&mut s, e, false);
+    s
+}
+
+/// Unicode operator symbols (σ, π, ρ, ×, ⋈, ∪, ∩, −, ÷).
+pub fn print_ra_unicode(e: &RaExpr) -> String {
+    let mut s = String::new();
+    write_expr(&mut s, e, true);
+    s
+}
+
+fn op_name(ascii: &'static str, uni: &'static str, unicode: bool) -> &'static str {
+    if unicode {
+        uni
+    } else {
+        ascii
+    }
+}
+
+fn write_expr(out: &mut String, e: &RaExpr, uni: bool) {
+    match e {
+        RaExpr::Relation(n) => out.push_str(n),
+        RaExpr::Select { pred, input } => {
+            let _ = write!(out, "{}[", op_name("Select", "σ", uni));
+            write_pred(out, pred, 0, uni);
+            out.push_str("](");
+            write_expr(out, input, uni);
+            out.push(')');
+        }
+        RaExpr::Project { attrs, input } => {
+            let _ = write!(out, "{}[{}](", op_name("Project", "π", uni), attrs.join(", "));
+            write_expr(out, input, uni);
+            out.push(')');
+        }
+        RaExpr::Rename { from, to, input } => {
+            let arrow = if uni { "→" } else { "->" };
+            let _ = write!(out, "{}[{from} {arrow} {to}](", op_name("Rename", "ρ", uni));
+            write_expr(out, input, uni);
+            out.push(')');
+        }
+        RaExpr::ThetaJoin { pred, left, right } => {
+            out.push_str("ThetaJoin[");
+            write_pred(out, pred, 0, uni);
+            out.push_str("](");
+            write_expr(out, left, uni);
+            out.push_str(", ");
+            write_expr(out, right, uni);
+            out.push(')');
+        }
+        RaExpr::Product(l, r) => write_binary(out, op_name("Product", "×", uni), l, r, uni),
+        RaExpr::NaturalJoin(l, r) => write_binary(out, op_name("Join", "⋈", uni), l, r, uni),
+        RaExpr::Union(l, r) => write_binary(out, op_name("Union", "∪", uni), l, r, uni),
+        RaExpr::Intersect(l, r) => write_binary(out, op_name("Intersect", "∩", uni), l, r, uni),
+        RaExpr::Difference(l, r) => write_binary(out, op_name("Difference", "−", uni), l, r, uni),
+        RaExpr::Division(l, r) => write_binary(out, op_name("Division", "÷", uni), l, r, uni),
+    }
+}
+
+fn write_binary(out: &mut String, name: &str, l: &RaExpr, r: &RaExpr, uni: bool) {
+    let _ = write!(out, "{name}(");
+    write_expr(out, l, uni);
+    out.push_str(", ");
+    write_expr(out, r, uni);
+    out.push(')');
+}
+
+/// Precedence: OR = 1, AND = 2, NOT = 3, atoms = 4.
+fn pred_prec(p: &Predicate) -> u8 {
+    match p {
+        Predicate::Or(_, _) => 1,
+        Predicate::And(_, _) => 2,
+        Predicate::Not(_) => 3,
+        _ => 4,
+    }
+}
+
+fn write_pred(out: &mut String, p: &Predicate, parent: u8, uni: bool) {
+    let prec = pred_prec(p);
+    let parens = prec < parent;
+    if parens {
+        out.push('(');
+    }
+    match p {
+        Predicate::Or(a, b) => {
+            write_pred(out, a, 1, uni);
+            out.push_str(if uni { " ∨ " } else { " OR " });
+            write_pred(out, b, 2, uni);
+        }
+        Predicate::And(a, b) => {
+            write_pred(out, a, 2, uni);
+            out.push_str(if uni { " ∧ " } else { " AND " });
+            write_pred(out, b, 3, uni);
+        }
+        Predicate::Not(a) => {
+            out.push_str(if uni { "¬" } else { "NOT " });
+            write_pred(out, a, 4, uni);
+        }
+        Predicate::Cmp { left, op, right } => {
+            let sym = if uni { op.math_symbol() } else { op.symbol() };
+            let _ = write!(out, "{left} {sym} {right}");
+        }
+        Predicate::Const(b) => out.push_str(if *b { "TRUE" } else { "FALSE" }),
+    }
+    if parens {
+        out.push(')');
+    }
+}
+
+/// Indented operator-tree rendering (one node per line).
+pub fn print_ra_tree(e: &RaExpr) -> String {
+    let mut s = String::new();
+    tree(&mut s, e, 0);
+    s
+}
+
+fn tree(out: &mut String, e: &RaExpr, depth: usize) {
+    let pad = "  ".repeat(depth);
+    match e {
+        RaExpr::Relation(n) => {
+            let _ = writeln!(out, "{pad}{n}");
+        }
+        RaExpr::Select { pred, input } => {
+            let mut ps = String::new();
+            write_pred(&mut ps, pred, 0, true);
+            let _ = writeln!(out, "{pad}σ[{ps}]");
+            tree(out, input, depth + 1);
+        }
+        RaExpr::Project { attrs, input } => {
+            let _ = writeln!(out, "{pad}π[{}]", attrs.join(", "));
+            tree(out, input, depth + 1);
+        }
+        RaExpr::Rename { from, to, input } => {
+            let _ = writeln!(out, "{pad}ρ[{from} → {to}]");
+            tree(out, input, depth + 1);
+        }
+        RaExpr::ThetaJoin { pred, left, right } => {
+            let mut ps = String::new();
+            write_pred(&mut ps, pred, 0, true);
+            let _ = writeln!(out, "{pad}⋈θ[{ps}]");
+            tree(out, left, depth + 1);
+            tree(out, right, depth + 1);
+        }
+        RaExpr::Product(l, r) => tree_binary(out, "×", l, r, depth),
+        RaExpr::NaturalJoin(l, r) => tree_binary(out, "⋈", l, r, depth),
+        RaExpr::Union(l, r) => tree_binary(out, "∪", l, r, depth),
+        RaExpr::Intersect(l, r) => tree_binary(out, "∩", l, r, depth),
+        RaExpr::Difference(l, r) => tree_binary(out, "−", l, r, depth),
+        RaExpr::Division(l, r) => tree_binary(out, "÷", l, r, depth),
+    }
+}
+
+fn tree_binary(out: &mut String, name: &str, l: &RaExpr, r: &RaExpr, depth: usize) {
+    let pad = "  ".repeat(depth);
+    let _ = writeln!(out, "{pad}{name}");
+    tree(out, l, depth + 1);
+    tree(out, r, depth + 1);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_ra;
+
+    fn rt(s: &str) {
+        let e = parse_ra(s).unwrap();
+        let printed = print_ra(&e);
+        let back = parse_ra(&printed).unwrap_or_else(|err| panic!("`{printed}`: {err}"));
+        assert_eq!(e, back, "ascii round trip failed for `{s}`");
+        // unicode form must re-parse to the same tree, too
+        let uni = print_ra_unicode(&e);
+        let back2 = parse_ra(&uni).unwrap_or_else(|err| panic!("`{uni}`: {err}"));
+        assert_eq!(e, back2, "unicode round trip failed for `{s}`");
+    }
+
+    #[test]
+    fn round_trips() {
+        for s in [
+            "Sailor",
+            "Project[sname](Select[rating > 7](Sailor))",
+            "Rename[sid -> sid2](Sailor)",
+            "ThetaJoin[s_sid = sid AND (bid = 102 OR NOT color = 'red')](Sailor, Reserves)",
+            "Division(Project[sid, bid](Reserves), Project[bid](Select[color = 'red'](Boat)))",
+            "Union(Project[sid](Sailor), Intersect(Project[sid](Reserves), Project[sid](Sailor)))",
+            "Select[TRUE AND NOT FALSE](Sailor)",
+            "Select[age >= 35.5 OR sname = 'it''s'](Sailor)",
+        ] {
+            rt(s);
+        }
+    }
+
+    #[test]
+    fn tree_rendering() {
+        let e = parse_ra("Project[sname](Join(Sailor, Reserves))").unwrap();
+        let t = print_ra_tree(&e);
+        assert_eq!(t, "π[sname]\n  ⋈\n    Sailor\n    Reserves\n");
+    }
+
+    #[test]
+    fn unicode_output_shape() {
+        let e = parse_ra("Project[sname](Select[rating > 7](Sailor))").unwrap();
+        assert_eq!(print_ra_unicode(&e), "π[sname](σ[rating > 7](Sailor))");
+    }
+}

@@ -1,0 +1,262 @@
+//! Algebraic rewrites: the classic equivalences of Relational Algebra,
+//! applied bottom-up to a fixpoint.
+//!
+//! These serve two purposes in the workspace:
+//! 1. a small optimizer (selection pushdown, cascade merging) exercised by
+//!    benchmark S1, and
+//! 2. a *semantic test bed*: property tests check `eval(e) = eval(rewrite(e))`
+//!    on random expressions — the algebra's laws, machine-checked.
+
+use crate::expr::{Predicate, RaExpr};
+
+/// Applies all rewrites bottom-up until a fixpoint is reached.
+pub fn optimize(e: &RaExpr) -> RaExpr {
+    let mut cur = e.clone();
+    loop {
+        let next = pass(&cur);
+        if next == cur {
+            return cur;
+        }
+        cur = next;
+    }
+}
+
+/// One bottom-up rewrite pass.
+fn pass(e: &RaExpr) -> RaExpr {
+    // Rewrite children first.
+    let e = map_children(e, &pass);
+    rewrite_node(&e)
+}
+
+fn map_children(e: &RaExpr, f: &dyn Fn(&RaExpr) -> RaExpr) -> RaExpr {
+    match e {
+        RaExpr::Relation(_) => e.clone(),
+        RaExpr::Select { pred, input } => {
+            RaExpr::Select { pred: simplify_pred(pred), input: Box::new(f(input)) }
+        }
+        RaExpr::Project { attrs, input } => {
+            RaExpr::Project { attrs: attrs.clone(), input: Box::new(f(input)) }
+        }
+        RaExpr::Rename { from, to, input } => {
+            RaExpr::Rename { from: from.clone(), to: to.clone(), input: Box::new(f(input)) }
+        }
+        RaExpr::ThetaJoin { pred, left, right } => RaExpr::ThetaJoin {
+            pred: simplify_pred(pred),
+            left: Box::new(f(left)),
+            right: Box::new(f(right)),
+        },
+        RaExpr::Product(l, r) => RaExpr::Product(Box::new(f(l)), Box::new(f(r))),
+        RaExpr::NaturalJoin(l, r) => RaExpr::NaturalJoin(Box::new(f(l)), Box::new(f(r))),
+        RaExpr::Union(l, r) => RaExpr::Union(Box::new(f(l)), Box::new(f(r))),
+        RaExpr::Intersect(l, r) => RaExpr::Intersect(Box::new(f(l)), Box::new(f(r))),
+        RaExpr::Difference(l, r) => RaExpr::Difference(Box::new(f(l)), Box::new(f(r))),
+        RaExpr::Division(l, r) => RaExpr::Division(Box::new(f(l)), Box::new(f(r))),
+    }
+}
+
+fn rewrite_node(e: &RaExpr) -> RaExpr {
+    match e {
+        // σ_true(e) = e
+        RaExpr::Select { pred: Predicate::Const(true), input } => (**input).clone(),
+        // σ_p(σ_q(e)) = σ_{p ∧ q}(e)   (cascade of selections)
+        RaExpr::Select { pred, input } => match &**input {
+            RaExpr::Select { pred: inner, input: inner_input } => RaExpr::Select {
+                pred: pred.clone().and(inner.clone()),
+                input: inner_input.clone(),
+            },
+            // σ_p(A × B) = A ⋈_p B     (selection over product becomes θ-join)
+            RaExpr::Product(l, r) => {
+                RaExpr::ThetaJoin { pred: pred.clone(), left: l.clone(), right: r.clone() }
+            }
+            // σ_p(A ∪ B) = σ_p(A) ∪ σ_p(B), same for ∩ and −
+            RaExpr::Union(l, r) => RaExpr::Union(
+                Box::new(RaExpr::Select { pred: pred.clone(), input: l.clone() }),
+                Box::new(RaExpr::Select { pred: pred.clone(), input: r.clone() }),
+            ),
+            RaExpr::Intersect(l, r) => RaExpr::Intersect(
+                Box::new(RaExpr::Select { pred: pred.clone(), input: l.clone() }),
+                Box::new(RaExpr::Select { pred: pred.clone(), input: r.clone() }),
+            ),
+            RaExpr::Difference(l, r) => RaExpr::Difference(
+                Box::new(RaExpr::Select { pred: pred.clone(), input: l.clone() }),
+                Box::new(RaExpr::Select { pred: pred.clone(), input: r.clone() }),
+            ),
+            // σ_p(σθ-join) with conjunctive merge
+            RaExpr::ThetaJoin { pred: jp, left, right } => RaExpr::ThetaJoin {
+                pred: pred.clone().and(jp.clone()),
+                left: left.clone(),
+                right: right.clone(),
+            },
+            _ => e.clone(),
+        },
+        // π_a(π_b(e)) = π_a(e) when a ⊆ b   (cascade of projections)
+        RaExpr::Project { attrs, input } => match &**input {
+            RaExpr::Project { attrs: inner_attrs, input: inner_input }
+                if attrs.iter().all(|a| inner_attrs.contains(a)) =>
+            {
+                RaExpr::Project { attrs: attrs.clone(), input: inner_input.clone() }
+            }
+            _ => e.clone(),
+        },
+        _ => e.clone(),
+    }
+}
+
+/// Boolean simplifications on predicates.
+pub fn simplify_pred(p: &Predicate) -> Predicate {
+    match p {
+        Predicate::Not(inner) => match simplify_pred(inner) {
+            // ¬¬p = p
+            Predicate::Not(q) => *q,
+            // ¬(a op b) = a negate(op) b
+            Predicate::Cmp { left, op, right } => {
+                Predicate::Cmp { left, op: op.negate(), right }
+            }
+            Predicate::Const(b) => Predicate::Const(!b),
+            other => other.not(),
+        },
+        Predicate::And(a, b) => {
+            let (a, b) = (simplify_pred(a), simplify_pred(b));
+            match (&a, &b) {
+                (Predicate::Const(true), _) => b,
+                (_, Predicate::Const(true)) => a,
+                (Predicate::Const(false), _) | (_, Predicate::Const(false)) => {
+                    Predicate::Const(false)
+                }
+                _ => a.and(b),
+            }
+        }
+        Predicate::Or(a, b) => {
+            let (a, b) = (simplify_pred(a), simplify_pred(b));
+            match (&a, &b) {
+                (Predicate::Const(false), _) => b,
+                (_, Predicate::Const(false)) => a,
+                (Predicate::Const(true), _) | (_, Predicate::Const(true)) => {
+                    Predicate::Const(true)
+                }
+                _ => a.or(b),
+            }
+        }
+        other => other.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::eval;
+    use crate::expr::{Operand as O, Predicate as P};
+    use crate::parse::parse_ra;
+    use relviz_model::catalog::sailors_sample;
+    use relviz_model::CmpOp;
+
+    fn check_preserves(src: &str) {
+        let db = sailors_sample();
+        let e = parse_ra(src).unwrap();
+        let o = optimize(&e);
+        let before = eval(&e, &db).unwrap();
+        let after = eval(&o, &db).unwrap();
+        assert!(
+            before.same_contents(&after),
+            "optimize changed semantics of `{src}`:\nbefore={before}\nafter={after}"
+        );
+    }
+
+    #[test]
+    fn select_over_product_becomes_join() {
+        let e = parse_ra(
+            "Select[s_sid = sid](Product(Rename[sid -> s_sid](Sailor), Reserves))",
+        )
+        .unwrap();
+        let o = optimize(&e);
+        assert!(matches!(o, RaExpr::ThetaJoin { .. }), "{o:?}");
+        check_preserves("Select[s_sid = sid](Product(Rename[sid -> s_sid](Sailor), Reserves))");
+    }
+
+    #[test]
+    fn selection_cascade_merges() {
+        let e = parse_ra("Select[rating > 7](Select[age < 60](Sailor))").unwrap();
+        let o = optimize(&e);
+        let RaExpr::Select { pred, input } = &o else { panic!("{o:?}") };
+        assert_eq!(pred.conjuncts().len(), 2);
+        assert!(matches!(**input, RaExpr::Relation(_)));
+        check_preserves("Select[rating > 7](Select[age < 60](Sailor))");
+    }
+
+    #[test]
+    fn projection_cascade() {
+        let e = parse_ra("Project[sname](Project[sname, rating](Sailor))").unwrap();
+        let o = optimize(&e);
+        assert_eq!(o, parse_ra("Project[sname](Sailor)").unwrap());
+        check_preserves("Project[sname](Project[sname, rating](Sailor))");
+    }
+
+    #[test]
+    fn projection_cascade_requires_subset() {
+        // π_{sname,rating}(π_sname(…)) is ill-typed; the subset guard must
+        // not fire in the other direction. Here attrs ⊄ inner, no rewrite:
+        let e = RaExpr::relation("Sailor")
+            .project(vec!["sname"])
+            .project(vec!["sname"]);
+        assert_eq!(optimize(&e), parse_ra("Project[sname](Sailor)").unwrap());
+    }
+
+    #[test]
+    fn select_distributes_over_set_ops() {
+        for op in ["Union", "Intersect", "Difference"] {
+            let src = format!(
+                "Select[sid > 30]({op}(Project[sid](Sailor), Project[sid](Reserves)))"
+            );
+            let e = parse_ra(&src).unwrap();
+            let o = optimize(&e);
+            // selection must have been pushed below the set operation
+            assert!(
+                !matches!(o, RaExpr::Select { .. }),
+                "selection not pushed for {op}: {o:?}"
+            );
+            check_preserves(&src);
+        }
+    }
+
+    #[test]
+    fn true_selection_removed() {
+        let e = parse_ra("Select[TRUE](Sailor)").unwrap();
+        assert_eq!(optimize(&e), RaExpr::relation("Sailor"));
+    }
+
+    #[test]
+    fn predicate_simplification() {
+        // ¬¬p = p
+        let p = P::eq(O::attr("a"), O::val(1)).not().not();
+        assert_eq!(simplify_pred(&p), P::eq(O::attr("a"), O::val(1)));
+        // ¬(a < b) = a >= b
+        let p = P::cmp(O::attr("a"), CmpOp::Lt, O::val(1)).not();
+        assert_eq!(simplify_pred(&p), P::cmp(O::attr("a"), CmpOp::Ge, O::val(1)));
+        // constants fold
+        let p = P::Const(true).and(P::eq(O::attr("a"), O::val(1)));
+        assert_eq!(simplify_pred(&p), P::eq(O::attr("a"), O::val(1)));
+        let p = P::Const(false).or(P::Const(false));
+        assert_eq!(simplify_pred(&p), P::Const(false));
+    }
+
+    #[test]
+    fn division_and_joins_untouched_but_preserved() {
+        check_preserves(
+            "Division(Project[sid, bid](Reserves), Project[bid](Select[color = 'red'](Boat)))",
+        );
+        check_preserves("Join(Sailor, Reserves)");
+    }
+
+    #[test]
+    fn optimizer_is_idempotent() {
+        for src in [
+            "Select[rating > 7](Select[age < 60](Sailor))",
+            "Select[s_sid = sid](Product(Rename[sid -> s_sid](Sailor), Reserves))",
+            "Project[sname](Project[sname, rating](Sailor))",
+        ] {
+            let o1 = optimize(&parse_ra(src).unwrap());
+            let o2 = optimize(&o1);
+            assert_eq!(o1, o2);
+        }
+    }
+}

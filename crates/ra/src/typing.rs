@@ -1,0 +1,245 @@
+//! Static typing of RA expressions: derive the output schema of an
+//! expression against a database catalog, rejecting ill-formed expressions
+//! before evaluation.
+
+use relviz_model::{Database, DataType, Schema};
+
+use crate::error::{RaError, RaResult};
+use crate::expr::{Operand, Predicate, RaExpr};
+
+/// Computes the output schema of `expr`, or a type error.
+pub fn schema_of(expr: &RaExpr, db: &Database) -> RaResult<Schema> {
+    match expr {
+        RaExpr::Relation(name) => db
+            .schema(name)
+            .cloned()
+            .map_err(|_| RaError::Type(format!("unknown relation `{name}`"))),
+        RaExpr::Select { pred, input } => {
+            let schema = schema_of(input, db)?;
+            check_predicate(pred, &schema)?;
+            Ok(schema)
+        }
+        RaExpr::Project { attrs, input } => {
+            let schema = schema_of(input, db)?;
+            let names: Vec<&str> = attrs.iter().map(String::as_str).collect();
+            schema
+                .project(&names)
+                .map_err(|e| RaError::Type(format!("projection: {e}")))
+        }
+        RaExpr::Rename { from, to, input } => {
+            let schema = schema_of(input, db)?;
+            schema
+                .rename(from, to)
+                .map_err(|e| RaError::Type(format!("rename: {e}")))
+        }
+        RaExpr::Product(l, r) => {
+            let ls = schema_of(l, db)?;
+            let rs = schema_of(r, db)?;
+            ls.product(&rs).map_err(|e| {
+                RaError::Type(format!(
+                    "product requires disjoint attribute names ({e}); use Rename"
+                ))
+            })
+        }
+        RaExpr::NaturalJoin(l, r) => {
+            let ls = schema_of(l, db)?;
+            let rs = schema_of(r, db)?;
+            // Shared attributes must be type-compatible; result keeps the
+            // left schema plus right-only attributes.
+            let mut attrs = ls.attrs().to_vec();
+            for a in rs.attrs() {
+                match ls.attr(&a.name) {
+                    Some(b) => {
+                        if b.ty.unify(a.ty).is_none() {
+                            return Err(RaError::Type(format!(
+                                "natural join: attribute `{}` has incompatible types {} vs {}",
+                                a.name, b.ty, a.ty
+                            )));
+                        }
+                    }
+                    None => attrs.push(a.clone()),
+                }
+            }
+            Schema::new(attrs).map_err(|e| RaError::Type(e.to_string()))
+        }
+        RaExpr::ThetaJoin { pred, left, right } => {
+            let ls = schema_of(left, db)?;
+            let rs = schema_of(right, db)?;
+            let product = ls.product(&rs).map_err(|e| {
+                RaError::Type(format!("θ-join requires disjoint attribute names ({e})"))
+            })?;
+            check_predicate(pred, &product)?;
+            Ok(product)
+        }
+        RaExpr::Union(l, r) | RaExpr::Intersect(l, r) | RaExpr::Difference(l, r) => {
+            let ls = schema_of(l, db)?;
+            let rs = schema_of(r, db)?;
+            if !ls.union_compatible(&rs) {
+                return Err(RaError::Type(format!(
+                    "set operation on non-union-compatible schemas {ls} vs {rs}"
+                )));
+            }
+            Ok(ls)
+        }
+        RaExpr::Division(l, r) => {
+            let ls = schema_of(l, db)?;
+            let rs = schema_of(r, db)?;
+            // Divisor attributes must all appear (by name) in the dividend,
+            // and the quotient must be non-empty.
+            let mut quotient = Vec::new();
+            for a in rs.attrs() {
+                match ls.attr(&a.name) {
+                    Some(b) if b.ty.unify(a.ty).is_some() => {}
+                    Some(b) => {
+                        return Err(RaError::Type(format!(
+                            "division: `{}` has incompatible types {} vs {}",
+                            a.name, b.ty, a.ty
+                        )))
+                    }
+                    None => {
+                        return Err(RaError::Type(format!(
+                            "division: divisor attribute `{}` missing from dividend",
+                            a.name
+                        )))
+                    }
+                }
+            }
+            for a in ls.attrs() {
+                if rs.attr(&a.name).is_none() {
+                    quotient.push(a.clone());
+                }
+            }
+            if quotient.is_empty() {
+                return Err(RaError::Type(
+                    "division: dividend must have attributes beyond the divisor".into(),
+                ));
+            }
+            Schema::new(quotient).map_err(|e| RaError::Type(e.to_string()))
+        }
+    }
+}
+
+/// Checks that a predicate only references attributes of `schema` with
+/// compatible comparison types.
+pub fn check_predicate(pred: &Predicate, schema: &Schema) -> RaResult<()> {
+    match pred {
+        Predicate::Const(_) => Ok(()),
+        Predicate::Not(p) => check_predicate(p, schema),
+        Predicate::And(a, b) | Predicate::Or(a, b) => {
+            check_predicate(a, schema)?;
+            check_predicate(b, schema)
+        }
+        Predicate::Cmp { left, right, .. } => {
+            let lt = operand_type(left, schema)?;
+            let rt = operand_type(right, schema)?;
+            if lt.unify(rt).is_none() {
+                return Err(RaError::Type(format!(
+                    "comparison `{left} … {right}` has incompatible types {lt} vs {rt}"
+                )));
+            }
+            Ok(())
+        }
+    }
+}
+
+fn operand_type(op: &Operand, schema: &Schema) -> RaResult<DataType> {
+    match op {
+        Operand::Const(v) => Ok(v.data_type()),
+        Operand::Attr(name) => schema
+            .attr(name)
+            .map(|a| a.ty)
+            .ok_or_else(|| RaError::Type(format!("unknown attribute `{name}` in {schema}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relviz_model::catalog::sailors_sample;
+    use relviz_model::CmpOp;
+
+    use crate::expr::{Operand as O, Predicate as P, RaExpr as E};
+
+    fn db() -> Database {
+        sailors_sample()
+    }
+
+    #[test]
+    fn base_and_select_project() {
+        let e = E::relation("Sailor")
+            .select(P::cmp(O::attr("rating"), CmpOp::Gt, O::val(7)))
+            .project(vec!["sname"]);
+        let s = schema_of(&e, &db()).unwrap();
+        assert_eq!(s.names(), vec!["sname"]);
+    }
+
+    #[test]
+    fn unknown_things_fail() {
+        assert!(schema_of(&E::relation("Nope"), &db()).is_err());
+        let e = E::relation("Sailor").project(vec!["ghost"]);
+        assert!(schema_of(&e, &db()).is_err());
+        let e = E::relation("Sailor").select(P::eq(O::attr("ghost"), O::val(1)));
+        assert!(schema_of(&e, &db()).is_err());
+    }
+
+    #[test]
+    fn product_needs_disjoint_names() {
+        let e = E::relation("Sailor").product(E::relation("Reserves"));
+        assert!(schema_of(&e, &db()).is_err()); // both have `sid`
+        let e = E::relation("Sailor")
+            .rename("sid", "s_sid")
+            .product(E::relation("Reserves"));
+        assert!(schema_of(&e, &db()).is_ok());
+    }
+
+    #[test]
+    fn natural_join_schema() {
+        let e = E::relation("Sailor").natural_join(E::relation("Reserves"));
+        let s = schema_of(&e, &db()).unwrap();
+        assert_eq!(s.names(), vec!["sid", "sname", "rating", "age", "bid", "day"]);
+    }
+
+    #[test]
+    fn theta_join_checks_predicate() {
+        let e = E::relation("Sailor").rename("sid", "s_sid").theta_join(
+            P::eq(O::attr("s_sid"), O::attr("sid")),
+            E::relation("Reserves"),
+        );
+        assert!(schema_of(&e, &db()).is_ok());
+    }
+
+    #[test]
+    fn set_ops_union_compat() {
+        let sids = E::relation("Sailor").project(vec!["sid"]);
+        let bids = E::relation("Boat").project(vec!["bid"]);
+        assert!(schema_of(&sids.clone().union(bids), &db()).is_ok());
+        let colors = E::relation("Boat").project(vec!["color"]);
+        assert!(schema_of(&sids.union(colors), &db()).is_err());
+    }
+
+    #[test]
+    fn division_schema() {
+        let num = E::relation("Reserves").project(vec!["sid", "bid"]);
+        let den = E::relation("Boat")
+            .select(P::eq(O::attr("color"), O::val("red")))
+            .project(vec!["bid"]);
+        let s = schema_of(&num.clone().divide(den), &db()).unwrap();
+        assert_eq!(s.names(), vec!["sid"]);
+        // divisor attr missing from dividend
+        let bad = num.clone().divide(E::relation("Boat").project(vec!["color"]));
+        assert!(schema_of(&bad, &db()).is_err());
+        // empty quotient
+        let bad2 = E::relation("Reserves")
+            .project(vec!["bid"])
+            .divide(E::relation("Boat").project(vec!["bid"]));
+        assert!(schema_of(&bad2, &db()).is_err());
+    }
+
+    #[test]
+    fn type_mismatch_in_comparison() {
+        let e = E::relation("Sailor").select(P::eq(O::attr("sname"), O::val(5)));
+        assert!(schema_of(&e, &db()).is_err());
+        let ok = E::relation("Sailor").select(P::cmp(O::attr("age"), CmpOp::Gt, O::val(30)));
+        assert!(schema_of(&ok, &db()).is_ok()); // int vs float unifies
+    }
+}

@@ -1,0 +1,325 @@
+//! Domain Relational Calculus: domain variables, positional atoms.
+//!
+//! DRC is the calculus closest to plain first-order logic and therefore the
+//! reference point for the *diagrammatic reasoning* half of the tutorial:
+//! Peirce's beta existential graphs, string diagrams and QBE are all
+//! DRC-shaped (variables denote domain elements, predicates are applied
+//! positionally).
+
+use relviz_model::{CmpOp, Value};
+
+/// A DRC term: a domain variable or a constant.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum DrcTerm {
+    Var(String),
+    Const(Value),
+}
+
+impl DrcTerm {
+    pub fn var(name: impl Into<String>) -> Self {
+        DrcTerm::Var(name.into())
+    }
+    pub fn val(v: impl Into<Value>) -> Self {
+        DrcTerm::Const(v.into())
+    }
+    pub fn as_var(&self) -> Option<&str> {
+        match self {
+            DrcTerm::Var(v) => Some(v),
+            DrcTerm::Const(_) => None,
+        }
+    }
+}
+
+impl std::fmt::Display for DrcTerm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DrcTerm::Var(v) => write!(f, "{v}"),
+            DrcTerm::Const(c) => write!(f, "{}", c.to_literal()),
+        }
+    }
+}
+
+/// DRC formulas.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DrcFormula {
+    /// Positional atom `R(t₁, …, tₖ)`.
+    Atom { rel: String, terms: Vec<DrcTerm> },
+    /// Comparison between terms.
+    Cmp { left: DrcTerm, op: CmpOp, right: DrcTerm },
+    And(Box<DrcFormula>, Box<DrcFormula>),
+    Or(Box<DrcFormula>, Box<DrcFormula>),
+    Not(Box<DrcFormula>),
+    /// `∃ x₁, …, xₙ : body` (plain domain quantification).
+    Exists { vars: Vec<String>, body: Box<DrcFormula> },
+    /// `∀ x₁, …, xₙ : body`.
+    Forall { vars: Vec<String>, body: Box<DrcFormula> },
+    Const(bool),
+}
+
+impl DrcFormula {
+    pub fn atom(rel: impl Into<String>, terms: Vec<DrcTerm>) -> Self {
+        DrcFormula::Atom { rel: rel.into(), terms }
+    }
+    pub fn cmp(left: DrcTerm, op: CmpOp, right: DrcTerm) -> Self {
+        DrcFormula::Cmp { left, op, right }
+    }
+    pub fn eq(left: DrcTerm, right: DrcTerm) -> Self {
+        DrcFormula::cmp(left, CmpOp::Eq, right)
+    }
+    pub fn and(self, other: DrcFormula) -> Self {
+        DrcFormula::And(Box::new(self), Box::new(other))
+    }
+    pub fn or(self, other: DrcFormula) -> Self {
+        DrcFormula::Or(Box::new(self), Box::new(other))
+    }
+    #[allow(clippy::should_implement_trait)] // DSL: ¬ builder, not std::ops::Not
+    pub fn not(self) -> Self {
+        DrcFormula::Not(Box::new(self))
+    }
+    pub fn exists(vars: Vec<String>, body: DrcFormula) -> Self {
+        DrcFormula::Exists { vars, body: Box::new(body) }
+    }
+    pub fn forall(vars: Vec<String>, body: DrcFormula) -> Self {
+        DrcFormula::Forall { vars, body: Box::new(body) }
+    }
+
+    /// Conjunction of a list (TRUE when empty).
+    pub fn conj(mut parts: Vec<DrcFormula>) -> DrcFormula {
+        match parts.len() {
+            0 => DrcFormula::Const(true),
+            1 => parts.pop().expect("len checked"),
+            _ => {
+                let first = parts.remove(0);
+                parts.into_iter().fold(first, |acc, p| acc.and(p))
+            }
+        }
+    }
+
+    /// Rewrites `∀x̄: φ` as `¬∃x̄: ¬φ` throughout.
+    pub fn eliminate_forall(&self) -> DrcFormula {
+        match self {
+            DrcFormula::Forall { vars, body } => DrcFormula::Exists {
+                vars: vars.clone(),
+                body: Box::new(body.eliminate_forall().not()),
+            }
+            .not(),
+            DrcFormula::And(a, b) => a.eliminate_forall().and(b.eliminate_forall()),
+            DrcFormula::Or(a, b) => a.eliminate_forall().or(b.eliminate_forall()),
+            DrcFormula::Not(a) => a.eliminate_forall().not(),
+            DrcFormula::Exists { vars, body } => DrcFormula::Exists {
+                vars: vars.clone(),
+                body: Box::new(body.eliminate_forall()),
+            },
+            other => other.clone(),
+        }
+    }
+
+    /// Pushes negations inward (De Morgan; double negations cancel) so the
+    /// formula approaches *safe-range normal form* (SRNF): negation ends up
+    /// directly on atoms, comparisons, or quantifiers. Both the safe-range
+    /// analysis and the guard-driven evaluator rely on this.
+    pub fn push_negations(&self) -> DrcFormula {
+        match self {
+            DrcFormula::Not(inner) => match &**inner {
+                DrcFormula::Not(f) => f.push_negations(),
+                DrcFormula::And(a, b) => {
+                    a.push_negations().not().or(b.push_negations().not()).push_negations()
+                }
+                DrcFormula::Or(a, b) => {
+                    a.push_negations().not().and(b.push_negations().not()).push_negations()
+                }
+                DrcFormula::Const(b) => DrcFormula::Const(!b),
+                DrcFormula::Forall { vars, body } => {
+                    // ¬∀x̄ φ = ∃x̄ ¬φ
+                    DrcFormula::exists(vars.clone(), body.push_negations().not().push_negations())
+                }
+                other => other.push_negations().not(),
+            },
+            DrcFormula::And(a, b) => a.push_negations().and(b.push_negations()),
+            DrcFormula::Or(a, b) => a.push_negations().or(b.push_negations()),
+            DrcFormula::Exists { vars, body } => {
+                DrcFormula::exists(vars.clone(), body.push_negations())
+            }
+            DrcFormula::Forall { vars, body } => {
+                DrcFormula::forall(vars.clone(), body.push_negations())
+            }
+            other => other.clone(),
+        }
+    }
+
+    /// Free variables of the formula.
+    pub fn free_vars(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        self.collect_free(&mut Vec::new(), &mut out);
+        out
+    }
+
+    fn collect_free(&self, bound: &mut Vec<String>, out: &mut Vec<String>) {
+        let push = |t: &DrcTerm, bound: &Vec<String>, out: &mut Vec<String>| {
+            if let DrcTerm::Var(v) = t {
+                if !bound.contains(v) && !out.contains(v) {
+                    out.push(v.clone());
+                }
+            }
+        };
+        match self {
+            DrcFormula::Atom { terms, .. } => {
+                for t in terms {
+                    push(t, bound, out);
+                }
+            }
+            DrcFormula::Cmp { left, right, .. } => {
+                push(left, bound, out);
+                push(right, bound, out);
+            }
+            DrcFormula::And(a, b) | DrcFormula::Or(a, b) => {
+                a.collect_free(bound, out);
+                b.collect_free(bound, out);
+            }
+            DrcFormula::Not(a) => a.collect_free(bound, out),
+            DrcFormula::Exists { vars, body } | DrcFormula::Forall { vars, body } => {
+                let depth = bound.len();
+                bound.extend(vars.iter().cloned());
+                body.collect_free(bound, out);
+                bound.truncate(depth);
+            }
+            DrcFormula::Const(_) => {}
+        }
+    }
+}
+
+/// A DRC query `{ (x₁, …, xₖ) | φ }` with free head variables.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DrcQuery {
+    pub head: Vec<String>,
+    pub body: DrcFormula,
+}
+
+impl DrcQuery {
+    pub fn new(head: Vec<impl Into<String>>, body: DrcFormula) -> Self {
+        DrcQuery { head: head.into_iter().map(Into::into).collect(), body }
+    }
+}
+
+// ---- Display --------------------------------------------------------------
+
+fn prec(f: &DrcFormula) -> u8 {
+    match f {
+        DrcFormula::Or(_, _) => 1,
+        DrcFormula::And(_, _) => 2,
+        DrcFormula::Not(_) => 3,
+        _ => 4,
+    }
+}
+
+fn write_formula(
+    f: &mut std::fmt::Formatter<'_>,
+    fla: &DrcFormula,
+    parent: u8,
+) -> std::fmt::Result {
+    let p = prec(fla);
+    let parens = p < parent;
+    if parens {
+        write!(f, "(")?;
+    }
+    match fla {
+        DrcFormula::Atom { rel, terms } => {
+            write!(f, "{rel}(")?;
+            for (i, t) in terms.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{t}")?;
+            }
+            write!(f, ")")?;
+        }
+        DrcFormula::Cmp { left, op, right } => write!(f, "{left} {} {right}", op.symbol())?,
+        DrcFormula::And(a, b) => {
+            write_formula(f, a, 2)?;
+            write!(f, " and ")?;
+            write_formula(f, b, 3)?;
+        }
+        DrcFormula::Or(a, b) => {
+            write_formula(f, a, 1)?;
+            write!(f, " or ")?;
+            write_formula(f, b, 2)?;
+        }
+        DrcFormula::Not(a) => {
+            write!(f, "not ")?;
+            write_formula(f, a, 4)?;
+        }
+        DrcFormula::Exists { vars, body } => {
+            write!(f, "exists {}: (", vars.join(", "))?;
+            write_formula(f, body, 0)?;
+            write!(f, ")")?;
+        }
+        DrcFormula::Forall { vars, body } => {
+            write!(f, "forall {}: (", vars.join(", "))?;
+            write_formula(f, body, 0)?;
+            write!(f, ")")?;
+        }
+        DrcFormula::Const(b) => write!(f, "{}", if *b { "true" } else { "false" })?,
+    }
+    if parens {
+        write!(f, ")")?;
+    }
+    Ok(())
+}
+
+impl std::fmt::Display for DrcFormula {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write_formula(f, self, 0)
+    }
+}
+
+impl std::fmt::Display for DrcQuery {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{{{} | {}}}", self.head.join(", "), self.body)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_free_vars() {
+        // { n | exists s, r, a: Sailor(s, n, r, a) }
+        let q = DrcQuery::new(
+            vec!["n"],
+            DrcFormula::exists(
+                vec!["s".into(), "r".into(), "a".into()],
+                DrcFormula::atom(
+                    "Sailor",
+                    vec![
+                        DrcTerm::var("s"),
+                        DrcTerm::var("n"),
+                        DrcTerm::var("r"),
+                        DrcTerm::var("a"),
+                    ],
+                ),
+            ),
+        );
+        assert_eq!(q.to_string(), "{n | exists s, r, a: (Sailor(s, n, r, a))}");
+        assert_eq!(q.body.free_vars(), vec!["n"]);
+    }
+
+    #[test]
+    fn forall_elimination() {
+        let f = DrcFormula::forall(
+            vec!["x".into()],
+            DrcFormula::atom("R", vec![DrcTerm::var("x")]),
+        );
+        let e = f.eliminate_forall();
+        assert_eq!(e.to_string(), "not exists x: (not R(x))");
+    }
+
+    #[test]
+    fn free_vars_respect_scoping() {
+        let f = DrcFormula::atom("R", vec![DrcTerm::var("x")]).and(DrcFormula::exists(
+            vec!["x".into()],
+            DrcFormula::atom("S", vec![DrcTerm::var("x"), DrcTerm::var("y")]),
+        ));
+        assert_eq!(f.free_vars(), vec!["x", "y"]);
+    }
+}

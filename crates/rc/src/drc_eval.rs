@@ -1,0 +1,530 @@
+//! DRC evaluation (active-domain semantics) and the **safe-range** check.
+//!
+//! ## Safety
+//!
+//! Unrestricted DRC can express infinite answers (`{x | ¬R(x)}`). The
+//! classical fix is the *safe-range* fragment: a query is safe iff every
+//! head variable and every quantified variable is **range-restricted** —
+//! syntactically forced to take values from the database. [`safe_range_check`]
+//! implements the textbook `rr()` analysis (with equality propagation).
+//!
+//! ## Evaluation
+//!
+//! [`eval_drc`] evaluates under the **active domain**: variables range over
+//! the set of constants in the database (plus constants of the query). For
+//! safe queries this coincides with the natural semantics. The evaluator
+//! uses positive atoms as *guards* — variables covered by a positive atom
+//! enumerate matching tuples rather than the whole domain — so safe queries
+//! evaluate in time proportional to joins, not domain powers.
+
+use std::collections::{BTreeSet, HashMap};
+
+use relviz_model::{Database, DataType, Relation, Schema, Tuple, Value};
+
+use crate::drc::{DrcFormula, DrcQuery, DrcTerm};
+use crate::error::{RcError, RcResult};
+
+/// Evaluates a DRC query against `db` after checking it is safe-range.
+pub fn eval_drc(q: &DrcQuery, db: &Database) -> RcResult<Relation> {
+    safe_range_check(q)?;
+    eval_drc_unchecked(q, db)
+}
+
+/// Evaluates without the safety check (used by tests that probe the
+/// active-domain semantics of *unsafe* queries).
+pub fn eval_drc_unchecked(q: &DrcQuery, db: &Database) -> RcResult<Relation> {
+    let mut domain: BTreeSet<Value> = db.active_domain();
+    collect_constants(&q.body, &mut domain);
+    let domain: Vec<Value> = domain.into_iter().collect();
+
+    let schema = Schema::of(
+        &q.head
+            .iter()
+            .map(|n| (n.as_str(), DataType::Any))
+            .collect::<Vec<_>>(),
+    );
+    let mut out = Relation::empty(schema);
+
+    let body = q.body.eliminate_forall().push_negations();
+    let mut env: HashMap<String, Value> = HashMap::new();
+    solve(&q.head, &body, db, &domain, &mut env, &mut |env| {
+        let values: Vec<Value> = q.head.iter().map(|v| env[v].clone()).collect();
+        out.insert_unchecked(Tuple::new(values));
+    })?;
+    Ok(out)
+}
+
+fn collect_constants(f: &DrcFormula, out: &mut BTreeSet<Value>) {
+    match f {
+        DrcFormula::Atom { terms, .. } => {
+            for t in terms {
+                if let DrcTerm::Const(v) = t {
+                    out.insert(v.clone());
+                }
+            }
+        }
+        DrcFormula::Cmp { left, right, .. } => {
+            for t in [left, right] {
+                if let DrcTerm::Const(v) = t {
+                    out.insert(v.clone());
+                }
+            }
+        }
+        DrcFormula::And(a, b) | DrcFormula::Or(a, b) => {
+            collect_constants(a, out);
+            collect_constants(b, out);
+        }
+        DrcFormula::Not(a) => collect_constants(a, out),
+        DrcFormula::Exists { body, .. } | DrcFormula::Forall { body, .. } => {
+            collect_constants(body, out)
+        }
+        DrcFormula::Const(_) => {}
+    }
+}
+
+/// Enumerates assignments of `vars` satisfying `body` (with `env` as
+/// partial outer assignment), invoking `emit` once per satisfying complete
+/// assignment of `vars`.
+fn solve(
+    vars: &[String],
+    body: &DrcFormula,
+    db: &Database,
+    domain: &[Value],
+    env: &mut HashMap<String, Value>,
+    emit: &mut dyn FnMut(&HashMap<String, Value>),
+) -> RcResult<()> {
+    // Structural shortcuts keep safe queries join-like instead of
+    // domain-exponential:
+    // `solve(x̄, A ∨ B)` = union of the disjunct solutions;
+    // `solve(x̄, ∃ȳ: φ)` = projection of `solve(x̄ ∪ ȳ, φ)` (emit may fire
+    // several times per x̄-assignment; callers dedupe via set-insert).
+    match body {
+        DrcFormula::Or(a, b) => {
+            solve(vars, a, db, domain, env, emit)?;
+            return solve(vars, b, db, domain, env, emit);
+        }
+        DrcFormula::Exists { vars: inner, body: ib } => {
+            let mut merged: Vec<String> = vars.to_vec();
+            merged.extend(inner.iter().cloned());
+            return solve(&merged, ib, db, domain, env, emit);
+        }
+        _ => {}
+    }
+
+    // Collect positive conjunct atoms usable as guards.
+    let mut guards: Vec<&DrcFormula> = Vec::new();
+    collect_guards(body, &mut guards);
+    let mut order: Vec<&str> = Vec::new();
+    let mut covered: BTreeSet<&str> = BTreeSet::new();
+    // Guard-covered variables first (in guard order).
+    for g in &guards {
+        if let DrcFormula::Atom { terms, .. } = g {
+            for t in terms {
+                if let DrcTerm::Var(v) = t {
+                    if vars.iter().any(|x| x == v) && !covered.contains(v.as_str()) {
+                        covered.insert(v);
+                        order.push(v);
+                    }
+                }
+            }
+        }
+    }
+    for v in vars {
+        if !covered.contains(v.as_str()) {
+            order.push(v);
+        }
+    }
+
+    assign(&order, 0, &guards, body, db, domain, env, emit)
+}
+
+fn collect_guards<'a>(f: &'a DrcFormula, out: &mut Vec<&'a DrcFormula>) {
+    match f {
+        DrcFormula::Atom { .. } => out.push(f),
+        DrcFormula::And(a, b) => {
+            collect_guards(a, out);
+            collect_guards(b, out);
+        }
+        // Only *positive conjunctive* atoms are safe to use as guards.
+        _ => {}
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn assign(
+    order: &[&str],
+    idx: usize,
+    guards: &[&DrcFormula],
+    body: &DrcFormula,
+    db: &Database,
+    domain: &[Value],
+    env: &mut HashMap<String, Value>,
+    emit: &mut dyn FnMut(&HashMap<String, Value>),
+) -> RcResult<()> {
+    if idx == order.len() {
+        if eval_formula(body, db, domain, env)? {
+            emit(env);
+        }
+        return Ok(());
+    }
+    let var = order[idx];
+    // Find a guard atom that mentions `var`.
+    let guard = guards.iter().find(|g| {
+        matches!(g, DrcFormula::Atom { terms, .. }
+            if terms.iter().any(|t| t.as_var() == Some(var)))
+    });
+    match guard {
+        Some(DrcFormula::Atom { rel, terms }) => {
+            let relation = db.relation(rel)?;
+            if relation.schema().arity() != terms.len() {
+                return Err(RcError::Eval(format!(
+                    "atom {rel}/{} does not match relation arity {}",
+                    terms.len(),
+                    relation.schema().arity()
+                )));
+            }
+            // Enumerate tuples consistent with the current assignment;
+            // bind every still-free variable of the atom.
+            'tuples: for t in relation.iter() {
+                let mut newly_bound: Vec<&str> = Vec::new();
+                for (term, value) in terms.iter().zip(t.values()) {
+                    match term {
+                        DrcTerm::Const(c) => {
+                            if c != value {
+                                undo(env, &newly_bound);
+                                continue 'tuples;
+                            }
+                        }
+                        DrcTerm::Var(v) => match env.get(v) {
+                            Some(bound) => {
+                                if bound != value {
+                                    undo(env, &newly_bound);
+                                    continue 'tuples;
+                                }
+                            }
+                            None => {
+                                env.insert(v.clone(), value.clone());
+                                newly_bound.push(v);
+                            }
+                        },
+                    }
+                }
+                // Skip ahead past any order-vars that just got bound.
+                let mut next = idx;
+                while next < order.len() && env.contains_key(order[next]) {
+                    next += 1;
+                }
+                let r = assign(order, next, guards, body, db, domain, env, emit);
+                undo(env, &newly_bound);
+                r?;
+            }
+            Ok(())
+        }
+        _ => {
+            // No guard: fall back to the active domain.
+            for v in domain {
+                env.insert(var.to_string(), v.clone());
+                let r = assign(order, idx + 1, guards, body, db, domain, env, emit);
+                env.remove(var);
+                r?;
+            }
+            Ok(())
+        }
+    }
+}
+
+fn undo(env: &mut HashMap<String, Value>, names: &[&str]) {
+    for n in names {
+        env.remove(*n);
+    }
+}
+
+fn term_value<'a>(
+    t: &'a DrcTerm,
+    env: &'a HashMap<String, Value>,
+) -> RcResult<&'a Value> {
+    match t {
+        DrcTerm::Const(v) => Ok(v),
+        DrcTerm::Var(v) => env
+            .get(v)
+            .ok_or_else(|| RcError::Eval(format!("unbound variable `{v}`"))),
+    }
+}
+
+fn eval_formula(
+    f: &DrcFormula,
+    db: &Database,
+    domain: &[Value],
+    env: &mut HashMap<String, Value>,
+) -> RcResult<bool> {
+    match f {
+        DrcFormula::Const(b) => Ok(*b),
+        DrcFormula::Atom { rel, terms } => {
+            let relation = db.relation(rel)?;
+            let mut values = Vec::with_capacity(terms.len());
+            for t in terms {
+                values.push(term_value(t, env)?.clone());
+            }
+            Ok(relation.contains(&Tuple::new(values)))
+        }
+        DrcFormula::Cmp { left, op, right } => {
+            let l = term_value(left, env)?.clone();
+            let r = term_value(right, env)?;
+            Ok(op.apply(&l, r))
+        }
+        DrcFormula::And(a, b) => {
+            Ok(eval_formula(a, db, domain, env)? && eval_formula(b, db, domain, env)?)
+        }
+        DrcFormula::Or(a, b) => {
+            Ok(eval_formula(a, db, domain, env)? || eval_formula(b, db, domain, env)?)
+        }
+        DrcFormula::Not(a) => Ok(!eval_formula(a, db, domain, env)?),
+        DrcFormula::Exists { vars, body } => {
+            let mut found = false;
+            solve(vars, body, db, domain, env, &mut |_| {
+                found = true;
+            })?;
+            Ok(found)
+        }
+        DrcFormula::Forall { vars, body } => {
+            // ¬∃x̄: ¬body
+            let negated = DrcFormula::Not(body.clone());
+            let mut counterexample = false;
+            solve(vars, &negated, db, domain, env, &mut |_| {
+                counterexample = true;
+            })?;
+            Ok(!counterexample)
+        }
+    }
+}
+
+// ---- Safe-range analysis ---------------------------------------------------
+
+/// Checks that a query is in the safe-range fragment; errors name the
+/// offending variables.
+pub fn safe_range_check(q: &DrcQuery) -> RcResult<()> {
+    let body = q.body.eliminate_forall().push_negations();
+    let rr = range_restricted(&body)?;
+    let missing: Vec<&String> = q.head.iter().filter(|v| !rr.contains(v.as_str())).collect();
+    if !missing.is_empty() {
+        return Err(RcError::Unsafe(format!(
+            "head variables not range-restricted: {}",
+            missing.iter().map(|s| s.as_str()).collect::<Vec<_>>().join(", ")
+        )));
+    }
+    Ok(())
+}
+
+/// Computes the set of range-restricted variables of a formula, erroring
+/// if a quantified variable is not range-restricted in its scope.
+fn range_restricted(f: &DrcFormula) -> RcResult<BTreeSet<String>> {
+    match f {
+        DrcFormula::Const(_) => Ok(BTreeSet::new()),
+        DrcFormula::Atom { terms, .. } => Ok(terms
+            .iter()
+            .filter_map(|t| t.as_var().map(str::to_string))
+            .collect()),
+        DrcFormula::Cmp { left, op, right } => {
+            // Only `x = const` restricts x.
+            let mut out = BTreeSet::new();
+            if *op == relviz_model::CmpOp::Eq {
+                match (left, right) {
+                    (DrcTerm::Var(v), DrcTerm::Const(_))
+                    | (DrcTerm::Const(_), DrcTerm::Var(v)) => {
+                        out.insert(v.clone());
+                    }
+                    _ => {}
+                }
+            }
+            Ok(out)
+        }
+        DrcFormula::And(a, b) => {
+            let mut out = range_restricted(a)?;
+            out.extend(range_restricted(b)?);
+            // Equality propagation: conjoined `x = y` spreads restriction.
+            let mut changed = true;
+            while changed {
+                changed = false;
+                let mut eqs = Vec::new();
+                collect_var_equalities(f, &mut eqs);
+                for (x, y) in &eqs {
+                    if out.contains(x) && !out.contains(y) {
+                        out.insert(y.clone());
+                        changed = true;
+                    }
+                    if out.contains(y) && !out.contains(x) {
+                        out.insert(x.clone());
+                        changed = true;
+                    }
+                }
+            }
+            Ok(out)
+        }
+        DrcFormula::Or(a, b) => {
+            let ra = range_restricted(a)?;
+            let rb = range_restricted(b)?;
+            Ok(ra.intersection(&rb).cloned().collect())
+        }
+        DrcFormula::Not(a) => {
+            range_restricted(a)?; // still check inside
+            Ok(BTreeSet::new())
+        }
+        DrcFormula::Exists { vars, body } => {
+            let rr = range_restricted(body)?;
+            let missing: Vec<&String> = vars.iter().filter(|v| !rr.contains(v.as_str())).collect();
+            if !missing.is_empty() {
+                return Err(RcError::Unsafe(format!(
+                    "quantified variables not range-restricted: {}",
+                    missing.iter().map(|s| s.as_str()).collect::<Vec<_>>().join(", ")
+                )));
+            }
+            Ok(rr.into_iter().filter(|v| !vars.contains(v)).collect())
+        }
+        DrcFormula::Forall { .. } => {
+            Err(RcError::Check("∀ must be eliminated before rr() (internal)".into()))
+        }
+    }
+}
+
+fn collect_var_equalities(f: &DrcFormula, out: &mut Vec<(String, String)>) {
+    match f {
+        DrcFormula::Cmp {
+            left: DrcTerm::Var(x),
+            op: relviz_model::CmpOp::Eq,
+            right: DrcTerm::Var(y),
+        } => out.push((x.clone(), y.clone())),
+        DrcFormula::And(a, b) => {
+            collect_var_equalities(a, out);
+            collect_var_equalities(b, out);
+        }
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::drc::DrcTerm as T;
+    use relviz_model::catalog::sailors_sample;
+
+    fn v(n: &str) -> T {
+        T::var(n)
+    }
+
+    /// Q2 in DRC: names of sailors who reserved a red boat.
+    fn q2() -> DrcQuery {
+        DrcQuery::new(
+            vec!["n"],
+            DrcFormula::exists(
+                vec!["s".into(), "rt".into(), "a".into(), "b".into(), "d".into(), "bn".into()],
+                DrcFormula::conj(vec![
+                    DrcFormula::atom("Sailor", vec![v("s"), v("n"), v("rt"), v("a")]),
+                    DrcFormula::atom("Reserves", vec![v("s"), v("b"), v("d")]),
+                    DrcFormula::atom("Boat", vec![v("b"), v("bn"), T::val("red")]),
+                ]),
+            ),
+        )
+    }
+
+    #[test]
+    fn q2_matches_expected() {
+        let out = eval_drc(&q2(), &sailors_sample()).unwrap();
+        let names: Vec<String> = out.iter().map(|t| t.values()[0].to_string()).collect();
+        assert_eq!(names, vec!["dustin", "horatio", "lubber"]);
+    }
+
+    #[test]
+    fn q5_division_in_drc() {
+        // sailors who reserved all red boats, ¬∃ form.
+        let q = DrcQuery::new(
+            vec!["n"],
+            DrcFormula::exists(
+                vec!["s".into(), "rt".into(), "a".into()],
+                DrcFormula::atom("Sailor", vec![v("s"), v("n"), v("rt"), v("a")]).and(
+                    DrcFormula::exists(
+                        vec!["b".into(), "bn".into()],
+                        DrcFormula::atom("Boat", vec![v("b"), v("bn"), T::val("red")]).and(
+                            DrcFormula::exists(
+                                vec!["d".into()],
+                                DrcFormula::atom("Reserves", vec![v("s"), v("b"), v("d")]),
+                            )
+                            .not(),
+                        ),
+                    )
+                    .not(),
+                ),
+            ),
+        );
+        let out = eval_drc(&q, &sailors_sample()).unwrap();
+        assert_eq!(out.len(), 2); // dustin, lubber
+    }
+
+    #[test]
+    fn unsafe_queries_rejected() {
+        // {x | ¬Sailor(x, x, x, x)} — head var only under negation.
+        let q = DrcQuery::new(
+            vec!["x"],
+            DrcFormula::atom("Sailor", vec![v("x"), v("x"), v("x"), v("x")]).not(),
+        );
+        assert!(matches!(safe_range_check(&q), Err(RcError::Unsafe(_))));
+
+        // quantified var unrestricted: ∃y: x = x (y never restricted)
+        let q = DrcQuery::new(
+            vec!["x"],
+            DrcFormula::atom("Boat", vec![v("x"), v("z"), v("w")]).and(DrcFormula::exists(
+                vec!["y".into()],
+                DrcFormula::eq(v("x").clone(), v("x").clone()),
+            )),
+        );
+        assert!(matches!(safe_range_check(&q), Err(RcError::Unsafe(_))));
+    }
+
+    #[test]
+    fn equality_propagation_makes_safe() {
+        // { y | ∃b, c: Boat(b, c, y2) ∧ y = y2 } — y restricted via equality.
+        let q = DrcQuery::new(
+            vec!["y"],
+            DrcFormula::exists(
+                vec!["b".into(), "c".into(), "y2".into()],
+                DrcFormula::atom("Boat", vec![v("b"), v("c"), v("y2")])
+                    .and(DrcFormula::eq(v("y"), v("y2"))),
+            ),
+        );
+        // y is free and equated to a restricted var inside the ∃ — but the
+        // equality lives under the ∃, so rr propagates to the head.
+        assert!(safe_range_check(&q).is_ok());
+        let out = eval_drc(&q, &sailors_sample()).unwrap();
+        assert_eq!(out.len(), 3); // distinct colors: blue, red, green
+    }
+
+    #[test]
+    fn forall_in_evaluation() {
+        // ∀b,bn,c: Boat(b,bn,c) → c ≠ 'purple'  — true on the sample.
+        let q = DrcQuery::new(
+            vec!["n"],
+            DrcFormula::exists(
+                vec!["s".into(), "rt".into(), "a".into()],
+                DrcFormula::atom("Sailor", vec![v("s"), v("n"), v("rt"), v("a")]).and(
+                    DrcFormula::forall(
+                        vec!["b".into(), "bn".into(), "c".into()],
+                        DrcFormula::atom("Boat", vec![v("b"), v("bn"), v("c")])
+                            .not()
+                            .or(DrcFormula::cmp(v("c"), relviz_model::CmpOp::Neq, T::val("purple"))),
+                    ),
+                ),
+            ),
+        );
+        let out = eval_drc(&q, &sailors_sample()).unwrap();
+        assert_eq!(out.len(), 9); // all sailor names (two horatios collapse)
+    }
+
+    #[test]
+    fn unguarded_vars_fall_back_to_domain() {
+        // { x | x = 22 ∧ ∃d: Reserves(x, y, d) } with y free & guarded... keep simple:
+        // { x | x = 102 } is unsafe? x = const restricts x → safe.
+        let q = DrcQuery::new(vec!["x"], DrcFormula::eq(v("x"), T::val(102)));
+        assert!(safe_range_check(&q).is_ok());
+        let out = eval_drc(&q, &sailors_sample()).unwrap();
+        assert_eq!(out.len(), 1);
+    }
+}

@@ -1,0 +1,422 @@
+//! Parser for the textual DRC notation.
+//!
+//! ```text
+//! query   := '{' var (',' var)* '|' formula '}'
+//! formula := or ; or := and (OR and)* ; and := unary (AND unary)*
+//! unary   := NOT unary
+//!          | (EXISTS | FORALL) var (',' var)* ':' '(' formula ')'
+//!          | '(' formula ')'
+//!          | TRUE | FALSE
+//!          | Rel '(' term (',' term)* ')'      -- positional atom
+//!          | term cmpop term
+//! term    := var | literal
+//! ```
+//!
+//! A leading-uppercase identifier followed by `(` is an atom; everything
+//! else is a variable. Unicode (`∃ ∀ ∧ ∨ ¬ ≠ ≤ ≥`) accepted; `Display` on
+//! [`DrcQuery`] round-trips.
+
+use relviz_model::{CmpOp, Value};
+
+use crate::drc::{DrcFormula, DrcQuery, DrcTerm};
+use crate::error::{RcError, RcResult};
+
+/// Parses the textual DRC syntax.
+pub fn parse_drc(input: &str) -> RcResult<DrcQuery> {
+    let toks = tokenize(input)?;
+    let mut p = P { toks, pos: 0 };
+    p.expect(T::LBrace, "`{`")?;
+    // An empty head (`{ | φ}`) is a *Boolean query* — a logical statement,
+    // the form the Part-4 diagrammatic reasoning systems assert.
+    let mut head = Vec::new();
+    if !matches!(p.peek(), T::Pipe) {
+        head.push(p.ident("head variable")?);
+        while p.eat(&T::Comma) {
+            head.push(p.ident("head variable")?);
+        }
+    }
+    p.expect(T::Pipe, "`|`")?;
+    let body = p.formula()?;
+    p.expect(T::RBrace, "`}`")?;
+    p.expect_eof()?;
+    Ok(DrcQuery { head, body })
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum T {
+    Ident(String),
+    Int(i64),
+    Float(f64),
+    Str(String),
+    LBrace,
+    RBrace,
+    LParen,
+    RParen,
+    Comma,
+    Pipe,
+    Colon,
+    Cmp(CmpOp),
+    Eof,
+}
+
+fn tokenize(input: &str) -> RcResult<Vec<T>> {
+    let chars: Vec<char> = input.chars().collect();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            ' ' | '\t' | '\n' | '\r' => i += 1,
+            '{' => {
+                out.push(T::LBrace);
+                i += 1;
+            }
+            '}' => {
+                out.push(T::RBrace);
+                i += 1;
+            }
+            '(' => {
+                out.push(T::LParen);
+                i += 1;
+            }
+            ')' => {
+                out.push(T::RParen);
+                i += 1;
+            }
+            ',' => {
+                out.push(T::Comma);
+                i += 1;
+            }
+            '|' => {
+                out.push(T::Pipe);
+                i += 1;
+            }
+            ':' => {
+                out.push(T::Colon);
+                i += 1;
+            }
+            '∃' => {
+                out.push(T::Ident("exists".into()));
+                i += 1;
+            }
+            '∀' => {
+                out.push(T::Ident("forall".into()));
+                i += 1;
+            }
+            '∧' => {
+                out.push(T::Ident("and".into()));
+                i += 1;
+            }
+            '∨' => {
+                out.push(T::Ident("or".into()));
+                i += 1;
+            }
+            '¬' => {
+                out.push(T::Ident("not".into()));
+                i += 1;
+            }
+            '=' => {
+                out.push(T::Cmp(CmpOp::Eq));
+                i += 1;
+            }
+            '≠' => {
+                out.push(T::Cmp(CmpOp::Neq));
+                i += 1;
+            }
+            '≤' => {
+                out.push(T::Cmp(CmpOp::Le));
+                i += 1;
+            }
+            '≥' => {
+                out.push(T::Cmp(CmpOp::Ge));
+                i += 1;
+            }
+            '<' => {
+                if chars.get(i + 1) == Some(&'=') {
+                    out.push(T::Cmp(CmpOp::Le));
+                    i += 2;
+                } else if chars.get(i + 1) == Some(&'>') {
+                    out.push(T::Cmp(CmpOp::Neq));
+                    i += 2;
+                } else {
+                    out.push(T::Cmp(CmpOp::Lt));
+                    i += 1;
+                }
+            }
+            '>' => {
+                if chars.get(i + 1) == Some(&'=') {
+                    out.push(T::Cmp(CmpOp::Ge));
+                    i += 2;
+                } else {
+                    out.push(T::Cmp(CmpOp::Gt));
+                    i += 1;
+                }
+            }
+            '!' if chars.get(i + 1) == Some(&'=') => {
+                out.push(T::Cmp(CmpOp::Neq));
+                i += 2;
+            }
+            '\'' => {
+                let mut s = String::new();
+                i += 1;
+                loop {
+                    match chars.get(i) {
+                        Some('\'') if chars.get(i + 1) == Some(&'\'') => {
+                            s.push('\'');
+                            i += 2;
+                        }
+                        Some('\'') => {
+                            i += 1;
+                            break;
+                        }
+                        Some(&ch) => {
+                            s.push(ch);
+                            i += 1;
+                        }
+                        None => return Err(RcError::Parse("unterminated string".into())),
+                    }
+                }
+                out.push(T::Str(s));
+            }
+            c if c.is_ascii_digit()
+                || (c == '-' && chars.get(i + 1).is_some_and(|d| d.is_ascii_digit())) =>
+            {
+                let start = i;
+                if c == '-' {
+                    i += 1;
+                }
+                while i < chars.len() && chars[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let mut is_float = false;
+                if chars.get(i) == Some(&'.') && chars.get(i + 1).is_some_and(|d| d.is_ascii_digit())
+                {
+                    is_float = true;
+                    i += 1;
+                    while i < chars.len() && chars[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+                let text: String = chars[start..i].iter().collect();
+                if is_float {
+                    out.push(T::Float(
+                        text.parse().map_err(|_| RcError::Parse(format!("bad float {text}")))?,
+                    ));
+                } else {
+                    out.push(T::Int(
+                        text.parse().map_err(|_| RcError::Parse(format!("bad int {text}")))?,
+                    ));
+                }
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let start = i;
+                while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                    i += 1;
+                }
+                out.push(T::Ident(chars[start..i].iter().collect()));
+            }
+            other => return Err(RcError::Parse(format!("unexpected character `{other}`"))),
+        }
+    }
+    out.push(T::Eof);
+    Ok(out)
+}
+
+struct P {
+    toks: Vec<T>,
+    pos: usize,
+}
+
+impl P {
+    fn peek(&self) -> &T {
+        &self.toks[self.pos]
+    }
+    fn peek2(&self) -> &T {
+        &self.toks[(self.pos + 1).min(self.toks.len() - 1)]
+    }
+    fn next(&mut self) -> T {
+        let t = self.toks[self.pos].clone();
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        t
+    }
+    fn eat(&mut self, t: &T) -> bool {
+        if self.peek() == t {
+            self.next();
+            true
+        } else {
+            false
+        }
+    }
+    fn is_kw(&self, kw: &str) -> bool {
+        matches!(self.peek(), T::Ident(s) if s.eq_ignore_ascii_case(kw))
+    }
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if self.is_kw(kw) {
+            self.next();
+            true
+        } else {
+            false
+        }
+    }
+    fn expect(&mut self, t: T, what: &str) -> RcResult<()> {
+        if self.peek() == &t {
+            self.next();
+            Ok(())
+        } else {
+            Err(RcError::Parse(format!("expected {what}, found {:?}", self.peek())))
+        }
+    }
+    fn expect_eof(&mut self) -> RcResult<()> {
+        if self.peek() == &T::Eof {
+            Ok(())
+        } else {
+            Err(RcError::Parse(format!("trailing input: {:?}", self.peek())))
+        }
+    }
+    fn ident(&mut self, what: &str) -> RcResult<String> {
+        match self.next() {
+            T::Ident(s) => Ok(s),
+            other => Err(RcError::Parse(format!("expected {what}, found {other:?}"))),
+        }
+    }
+
+    fn formula(&mut self) -> RcResult<DrcFormula> {
+        let mut left = self.formula_and()?;
+        while self.eat_kw("or") {
+            let right = self.formula_and()?;
+            left = left.or(right);
+        }
+        Ok(left)
+    }
+
+    fn formula_and(&mut self) -> RcResult<DrcFormula> {
+        let mut left = self.formula_unary()?;
+        while self.eat_kw("and") {
+            let right = self.formula_unary()?;
+            left = left.and(right);
+        }
+        Ok(left)
+    }
+
+    fn formula_unary(&mut self) -> RcResult<DrcFormula> {
+        if self.eat_kw("not") {
+            return Ok(self.formula_unary()?.not());
+        }
+        if self.is_kw("exists") || self.is_kw("forall") {
+            let is_exists = self.is_kw("exists");
+            self.next();
+            let mut vars = vec![self.ident("variable")?];
+            while self.eat(&T::Comma) {
+                vars.push(self.ident("variable")?);
+            }
+            self.expect(T::Colon, "`:` after quantifier variables")?;
+            self.expect(T::LParen, "`(` after quantifier `:`")?;
+            let body = self.formula()?;
+            self.expect(T::RParen, "`)` closing quantifier body")?;
+            return Ok(if is_exists {
+                DrcFormula::exists(vars, body)
+            } else {
+                DrcFormula::forall(vars, body)
+            });
+        }
+        if self.eat(&T::LParen) {
+            let f = self.formula()?;
+            self.expect(T::RParen, "`)`")?;
+            return Ok(f);
+        }
+        if self.eat_kw("true") {
+            return Ok(DrcFormula::Const(true));
+        }
+        if self.eat_kw("false") {
+            return Ok(DrcFormula::Const(false));
+        }
+        // Atom or comparison. `Ident (` ⇒ atom.
+        if matches!(self.peek(), T::Ident(_)) && self.peek2() == &T::LParen {
+            let rel = self.ident("relation")?;
+            self.expect(T::LParen, "`(`")?;
+            let mut terms = vec![self.term()?];
+            while self.eat(&T::Comma) {
+                terms.push(self.term()?);
+            }
+            self.expect(T::RParen, "`)` closing atom")?;
+            return Ok(DrcFormula::Atom { rel, terms });
+        }
+        let left = self.term()?;
+        let op = match self.next() {
+            T::Cmp(op) => op,
+            other => {
+                return Err(RcError::Parse(format!(
+                    "expected comparison operator, found {other:?}"
+                )))
+            }
+        };
+        let right = self.term()?;
+        Ok(DrcFormula::Cmp { left, op, right })
+    }
+
+    fn term(&mut self) -> RcResult<DrcTerm> {
+        match self.next() {
+            T::Ident(v) => Ok(DrcTerm::Var(v)),
+            T::Int(i) => Ok(DrcTerm::Const(Value::Int(i))),
+            T::Float(x) => Ok(DrcTerm::Const(Value::Float(x))),
+            T::Str(s) => Ok(DrcTerm::Const(Value::Str(s))),
+            other => Err(RcError::Parse(format!("expected term, found {other:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::drc_eval::eval_drc;
+    use relviz_model::catalog::sailors_sample;
+
+    fn rt(src: &str) -> DrcQuery {
+        let q = parse_drc(src).unwrap_or_else(|e| panic!("{src}: {e}"));
+        let printed = q.to_string();
+        let back = parse_drc(&printed).unwrap_or_else(|e| panic!("`{printed}`: {e}"));
+        assert_eq!(q, back, "round trip failed for `{src}`");
+        q
+    }
+
+    #[test]
+    fn q1_parse_eval() {
+        let q = rt("{n | exists s, rt, a, d: (Sailor(s, n, rt, a) and Reserves(s, 102, d))}");
+        let out = eval_drc(&q, &sailors_sample()).unwrap();
+        assert_eq!(out.len(), 3);
+    }
+
+    #[test]
+    fn q5_nested_negation() {
+        let q = rt("{n | exists s, rt, a: (Sailor(s, n, rt, a) and not exists b, bn: \
+                    (Boat(b, bn, 'red') and not exists d: (Reserves(s, b, d))))}");
+        let out = eval_drc(&q, &sailors_sample()).unwrap();
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn unicode() {
+        let a = parse_drc("{x | ∃y, z: (Boat(x, y, z) ∧ ¬(z = 'red'))}").unwrap();
+        let b = parse_drc("{x | exists y, z: (Boat(x, y, z) and not (z = 'red'))}").unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn forall_round_trip() {
+        rt("{n | exists s, rt, a: (Sailor(s, n, rt, a) and forall b, bn: \
+            (not Boat(b, bn, 'red') or exists d: (Reserves(s, b, d))))}");
+    }
+
+    #[test]
+    fn errors() {
+        assert!(parse_drc("{x | }").is_err());
+        assert!(parse_drc("{x | R(x) extra}").is_err());
+        // An empty head is a Boolean query, not an error.
+        let boolean = parse_drc("{| exists x: (R(x))}").unwrap();
+        assert!(boolean.head.is_empty());
+        assert!(parse_drc("{x | exists: (R(x))}").is_err());
+        assert!(parse_drc("{x | x}").is_err());
+    }
+}

@@ -1,0 +1,53 @@
+//! Errors of the relational-calculus subsystem.
+
+use std::fmt;
+
+/// Errors from parsing, checking, translating or evaluating calculus
+/// queries.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RcError {
+    /// Parse failure of the TRC/DRC text syntax.
+    Parse(String),
+    /// Scoping/typing failure (unbound variable, unknown attribute…).
+    Check(String),
+    /// A query outside the safe (range-restricted) fragment.
+    Unsafe(String),
+    /// A feature that has no counterpart in the target language.
+    Unsupported(String),
+    /// Evaluation failure.
+    Eval(String),
+}
+
+impl fmt::Display for RcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RcError::Parse(m) => write!(f, "calculus parse error: {m}"),
+            RcError::Check(m) => write!(f, "calculus check error: {m}"),
+            RcError::Unsafe(m) => write!(f, "unsafe query: {m}"),
+            RcError::Unsupported(m) => write!(f, "unsupported translation: {m}"),
+            RcError::Eval(m) => write!(f, "calculus evaluation error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for RcError {}
+
+impl From<relviz_model::ModelError> for RcError {
+    fn from(e: relviz_model::ModelError) -> Self {
+        RcError::Eval(e.to_string())
+    }
+}
+
+impl From<relviz_ra::RaError> for RcError {
+    fn from(e: relviz_ra::RaError) -> Self {
+        RcError::Eval(e.to_string())
+    }
+}
+
+impl From<relviz_sql::SqlError> for RcError {
+    fn from(e: relviz_sql::SqlError) -> Self {
+        RcError::Check(e.to_string())
+    }
+}
+
+pub type RcResult<T> = std::result::Result<T, RcError>;

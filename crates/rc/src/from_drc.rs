@@ -1,0 +1,312 @@
+//! DRC → TRC: domain calculus back into tuple calculus — the last edge of
+//! the workspace's translation square (SQL→TRC, TRC↔RA, TRC↔DRC).
+//!
+//! The algorithm works on *atom-normal* DRC (every variable is grounded by
+//! a positive atom or a constant equality — i.e. the safe-range fragment,
+//! which [`crate::drc_eval::safe_range_check`] certifies and
+//! [`crate::to_drc`] produces):
+//!
+//! * each positive atom occurrence `R(t₁,…,tₖ)` becomes a fresh tuple
+//!   variable `v ∈ R`; the first occurrence of a domain variable at
+//!   position `j` *defines* it as `v.attrⱼ`, later occurrences emit
+//!   equality conditions (this is exactly how QBE's example elements and
+//!   conceptual graphs' co-reference work — one mechanism, three guises);
+//! * constants in atoms emit `v.attrⱼ = c`;
+//! * `¬` over an existential block becomes `¬∃` over the block's tuple
+//!   variables; `¬atom` becomes `¬∃v∈R: v.ā = t̄`;
+//! * top-level disjunction splits into union branches, inner disjunction
+//!   stays as TRC `∨` with per-side scoping.
+
+use std::collections::HashMap;
+
+use relviz_model::Database;
+
+use crate::drc::{DrcFormula, DrcQuery, DrcTerm};
+use crate::error::{RcError, RcResult};
+use crate::trc::{Binding, TrcBranch, TrcFormula, TrcQuery, TrcTerm};
+
+/// Translates a safe-range DRC query into TRC.
+pub fn drc_to_trc(q: &DrcQuery, db: &Database) -> RcResult<TrcQuery> {
+    crate::drc_eval::safe_range_check(q)?;
+    let body = q.body.eliminate_forall().push_negations();
+
+    // Top-level disjunction → union branches.
+    let disjuncts = split_or(&body);
+    let mut branches = Vec::with_capacity(disjuncts.len());
+    for d in disjuncts {
+        branches.push(branch_for(&d, &q.head, db)?);
+    }
+    Ok(TrcQuery { branches })
+}
+
+fn split_or(f: &DrcFormula) -> Vec<DrcFormula> {
+    match f {
+        DrcFormula::Or(a, b) => {
+            let mut out = split_or(a);
+            out.extend(split_or(b));
+            out
+        }
+        other => vec![other.clone()],
+    }
+}
+
+struct Ctx<'a> {
+    db: &'a Database,
+    fresh: usize,
+    /// Domain variable → defining TRC term.
+    env: HashMap<String, TrcTerm>,
+}
+
+impl<'a> Ctx<'a> {
+    fn fresh_var(&mut self) -> String {
+        self.fresh += 1;
+        format!("t{}", self.fresh)
+    }
+
+    fn term(&self, t: &DrcTerm) -> RcResult<TrcTerm> {
+        match t {
+            DrcTerm::Const(c) => Ok(TrcTerm::Const(c.clone())),
+            DrcTerm::Var(v) => self.env.get(v).cloned().ok_or_else(|| {
+                RcError::Unsupported(format!(
+                    "variable `{v}` is not grounded by a positive atom (not atom-normal)"
+                ))
+            }),
+        }
+    }
+}
+
+fn branch_for(
+    f: &DrcFormula,
+    head: &[String],
+    db: &Database,
+) -> RcResult<TrcBranch> {
+    let mut ctx = Ctx { db, fresh: 0, env: HashMap::new() };
+    let (bindings, conds) = translate(f, &mut ctx)?;
+    let mut head_terms = Vec::with_capacity(head.len());
+    for h in head {
+        let term = ctx.env.get(h).cloned().ok_or_else(|| {
+            RcError::Unsupported(format!("head variable `{h}` not grounded in this branch"))
+        })?;
+        head_terms.push((h.clone(), term));
+    }
+    Ok(TrcBranch {
+        bindings,
+        head: head_terms,
+        body: if conds.is_empty() { None } else { Some(TrcFormula::conj(conds)) },
+    })
+}
+
+/// Translates a conjunctive block: returns the tuple-variable bindings its
+/// positive atoms introduce plus the residual conditions.
+fn translate(
+    f: &DrcFormula,
+    ctx: &mut Ctx<'_>,
+) -> RcResult<(Vec<Binding>, Vec<TrcFormula>)> {
+    match f {
+        DrcFormula::Const(b) => Ok((vec![], vec![TrcFormula::Const(*b)])),
+        DrcFormula::And(a, b) => {
+            let (mut bs, mut cs) = translate(a, ctx)?;
+            let (bs2, cs2) = translate(b, ctx)?;
+            bs.extend(bs2);
+            cs.extend(cs2);
+            Ok((bs, cs))
+        }
+        DrcFormula::Exists { body, .. } => {
+            // Quantified domain variables dissolve into attribute positions
+            // of the tuple variables their grounding atoms introduce.
+            translate(body, ctx)
+        }
+        DrcFormula::Atom { rel, terms } => {
+            let schema = ctx
+                .db
+                .schema(rel)
+                .map_err(|_| RcError::Check(format!("unknown relation `{rel}`")))?
+                .clone();
+            if schema.arity() != terms.len() {
+                return Err(RcError::Check(format!(
+                    "atom {rel}/{} vs relation arity {}",
+                    terms.len(),
+                    schema.arity()
+                )));
+            }
+            let var = ctx.fresh_var();
+            let mut conds = Vec::new();
+            for (t, attr) in terms.iter().zip(schema.attrs()) {
+                let here = TrcTerm::attr(var.clone(), attr.name.clone());
+                match t {
+                    DrcTerm::Const(c) => {
+                        conds.push(TrcFormula::eq(here, TrcTerm::Const(c.clone())));
+                    }
+                    DrcTerm::Var(v) => match ctx.env.get(v) {
+                        Some(prev) => conds.push(TrcFormula::eq(here, prev.clone())),
+                        None => {
+                            ctx.env.insert(v.clone(), here);
+                        }
+                    },
+                }
+            }
+            Ok((vec![Binding::new(var, rel.clone())], conds))
+        }
+        DrcFormula::Cmp { left, op, right } => {
+            // Equality can *define* a not-yet-grounded variable (the rr()
+            // analysis's equality propagation, mirrored here): `x = t`
+            // with `t` grounded makes `t` the definition of `x`.
+            if *op == relviz_model::CmpOp::Eq {
+                match (left, right) {
+                    (DrcTerm::Var(v), other) if !ctx.env.contains_key(v) => {
+                        if let Ok(t) = ctx.term(other) {
+                            ctx.env.insert(v.clone(), t);
+                            return Ok((vec![], vec![]));
+                        }
+                    }
+                    (other, DrcTerm::Var(v)) if !ctx.env.contains_key(v) => {
+                        if let Ok(t) = ctx.term(other) {
+                            ctx.env.insert(v.clone(), t);
+                            return Ok((vec![], vec![]));
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            let l = ctx.term(left)?;
+            let r = ctx.term(right)?;
+            Ok((vec![], vec![TrcFormula::cmp(l, *op, r)]))
+        }
+        DrcFormula::Not(inner) => {
+            // Translate the negated block in a child scope; its atoms
+            // become a ¬∃ block. Mappings inside must not leak out.
+            let saved_env = ctx.env.clone();
+            let (bs, cs) = translate(inner, ctx)?;
+            ctx.env = saved_env;
+            let body = TrcFormula::conj(cs);
+            let cond = if bs.is_empty() {
+                body.not()
+            } else {
+                TrcFormula::exists(bs, body).not()
+            };
+            Ok((vec![], vec![cond]))
+        }
+        DrcFormula::Or(a, b) => {
+            // Inner disjunction: each side scopes its own atoms.
+            let mut sides = Vec::new();
+            for side in [a, b] {
+                let saved_env = ctx.env.clone();
+                let (bs, cs) = translate(side, ctx)?;
+                ctx.env = saved_env;
+                let body = TrcFormula::conj(cs);
+                sides.push(if bs.is_empty() {
+                    body
+                } else {
+                    TrcFormula::exists(bs, body)
+                });
+            }
+            let b2 = sides.pop().expect("two sides");
+            let a2 = sides.pop().expect("two sides");
+            Ok((vec![], vec![a2.or(b2)]))
+        }
+        DrcFormula::Forall { .. } => {
+            Err(RcError::Check("∀ should have been eliminated (internal)".into()))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::drc_eval::eval_drc;
+    use crate::drc_parse::parse_drc;
+    use crate::trc_eval::eval_trc;
+    use relviz_model::catalog::sailors_sample;
+
+    fn check_equiv(src: &str) {
+        let db = sailors_sample();
+        let drc = parse_drc(src).unwrap();
+        let trc = drc_to_trc(&drc, &db).unwrap_or_else(|e| panic!("{src}: {e}"));
+        crate::trc_check::check_query(&trc, &db)
+            .unwrap_or_else(|e| panic!("{src} gave ill-formed TRC: {e}\n{trc}"));
+        let a = eval_drc(&drc, &db).unwrap();
+        let b = eval_trc(&trc, &db).unwrap();
+        assert!(a.same_contents(&b), "DRC vs TRC for `{src}`\n{trc}\ndrc={a}\ntrc={b}");
+    }
+
+    #[test]
+    fn suite_drc_forms_translate() {
+        for q in [
+            "{n | exists s, rt, a, d: (Sailor(s, n, rt, a) and Reserves(s, 102, d))}",
+            "{n | exists s, rt, a, b, d, bn: (Sailor(s, n, rt, a) and \
+              Reserves(s, b, d) and Boat(b, bn, 'red'))}",
+            "{n | exists s, rt, a: (Sailor(s, n, rt, a) and \
+              not exists b, d, bn: (Reserves(s, b, d) and Boat(b, bn, 'red')))}",
+            "{n | exists s, rt, a: (Sailor(s, n, rt, a) and \
+              not exists b, bn: (Boat(b, bn, 'red') and \
+              not exists d: (Reserves(s, b, d))))}",
+            "{n1, n2 | exists s1, r1, a1, s2, r2, a2: (Sailor(s1, n1, r1, a1) and \
+              Sailor(s2, n2, r2, a2) and r1 = r2 and s1 < s2)}",
+        ] {
+            check_equiv(q);
+        }
+    }
+
+    #[test]
+    fn inner_disjunction_is_kept() {
+        check_equiv(
+            "{n | exists s, rt, a, b, d, bn, c: (Sailor(s, n, rt, a) and \
+              Reserves(s, b, d) and Boat(b, bn, c) and (c = 'red' or c = 'green'))}",
+        );
+    }
+
+    #[test]
+    fn top_level_or_splits_branches() {
+        let db = sailors_sample();
+        let drc = parse_drc(
+            "{x | exists n: (Boat(x, n, 'red')) or exists n2: (Boat(x, n2, 'green'))}",
+        )
+        .unwrap();
+        // x is restricted in both disjuncts → safe.
+        let trc = drc_to_trc(&drc, &db).unwrap();
+        assert_eq!(trc.branches.len(), 2, "{trc}");
+        let a = eval_drc(&drc, &db).unwrap();
+        let b = eval_trc(&trc, &db).unwrap();
+        assert!(a.same_contents(&b));
+    }
+
+    #[test]
+    fn shared_variables_become_equalities() {
+        let db = sailors_sample();
+        let drc = parse_drc(
+            "{n | exists s, rt, a, d: (Sailor(s, n, rt, a) and Reserves(s, 102, d))}",
+        )
+        .unwrap();
+        let trc = drc_to_trc(&drc, &db).unwrap();
+        let s = trc.to_string();
+        // `s` shared between Sailor and Reserves ⇒ t2.sid = t1.sid.
+        assert!(s.contains("t2.sid = t1.sid"), "{s}");
+        assert!(s.contains("t2.bid = 102"), "{s}");
+    }
+
+    #[test]
+    fn round_trip_through_both_calculi() {
+        // TRC → DRC → TRC preserves semantics on the suite.
+        let db = sailors_sample();
+        for q in [
+            "{s.sname | Sailor(s) and exists r in Reserves: (r.sid = s.sid and r.bid = 102)}",
+            "{s.sname | Sailor(s) and not exists b in Boat: (b.color = 'red' and \
+              not exists r in Reserves: (r.sid = s.sid and r.bid = b.bid))}",
+        ] {
+            let trc = crate::trc_parse::parse_trc(q).unwrap();
+            let drc = crate::to_drc::trc_to_drc(&trc, &db).unwrap();
+            let back = drc_to_trc(&drc, &db).unwrap();
+            let a = eval_trc(&trc, &db).unwrap();
+            let b = eval_trc(&back, &db).unwrap();
+            assert!(a.same_contents(&b), "{q}\nback: {back}");
+        }
+    }
+
+    #[test]
+    fn non_atom_normal_rejected() {
+        let db = sailors_sample();
+        // y only in a comparison — unsafe, rejected upstream.
+        let drc = parse_drc("{y | exists b, n, c: (Boat(b, n, c) and y > b)}").unwrap();
+        assert!(drc_to_trc(&drc, &db).is_err());
+    }
+}

@@ -1,0 +1,340 @@
+//! RA → TRC: from procedural algebra to declarative calculus.
+//!
+//! Each base-relation occurrence becomes a tuple variable; the algebra's
+//! operators act on *branch summaries* `(bindings, conditions, column map)`:
+//!
+//! * `σ_p`   adds `p` (with attributes resolved through the column map),
+//! * `π`     restricts/reorders the column map (variables stay bound —
+//!   projection is implicit existential quantification in TRC),
+//! * `ρ`     renames a column-map key,
+//! * `×`/`⋈` merge summaries (natural join adds equality conditions),
+//! * `∪`     concatenates branches,
+//! * `∩`/`−` become (negated) head-equating existentials,
+//! * `÷`     is expanded by the textbook identity
+//!   `l ÷ r = π_q(l) − π_q((π_q(l) × r) − π_{q,r}(l))` first.
+//!
+//! Variables are numbered `t1, t2, …` in discovery order, so translated
+//! queries read like the tutorial's examples.
+
+use relviz_model::Database;
+use relviz_ra::typing::schema_of;
+use relviz_ra::{Operand, Predicate, RaExpr};
+
+use crate::error::{RcError, RcResult};
+use crate::trc::{Binding, TrcBranch, TrcFormula, TrcQuery, TrcTerm};
+
+/// Translates an RA expression to a TRC query.
+pub fn ra_to_trc(e: &RaExpr, db: &Database) -> RcResult<TrcQuery> {
+    schema_of(e, db).map_err(|err| RcError::Check(err.to_string()))?;
+    let mut counter = 0usize;
+    let branches = translate(e, db, &mut counter)?;
+    Ok(TrcQuery {
+        branches: branches
+            .into_iter()
+            .map(|s| TrcBranch {
+                bindings: s.bindings,
+                head: s.columns,
+                body: if s.conds.is_empty() {
+                    None
+                } else {
+                    Some(TrcFormula::conj(s.conds))
+                },
+            })
+            .collect(),
+    })
+}
+
+/// A branch under construction.
+#[derive(Debug, Clone)]
+struct Summary {
+    bindings: Vec<Binding>,
+    conds: Vec<TrcFormula>,
+    /// Ordered output columns: (attribute name, term).
+    columns: Vec<(String, TrcTerm)>,
+}
+
+impl Summary {
+    fn term_of(&self, attr: &str) -> RcResult<TrcTerm> {
+        self.columns
+            .iter()
+            .find(|(n, _)| n == attr)
+            .map(|(_, t)| t.clone())
+            .ok_or_else(|| RcError::Check(format!("attribute `{attr}` not in scope")))
+    }
+}
+
+fn fresh(counter: &mut usize) -> String {
+    *counter += 1;
+    format!("t{counter}")
+}
+
+fn translate(e: &RaExpr, db: &Database, counter: &mut usize) -> RcResult<Vec<Summary>> {
+    match e {
+        RaExpr::Relation(name) => {
+            let schema = db
+                .schema(name)
+                .map_err(|_| RcError::Check(format!("unknown relation `{name}`")))?;
+            let var = fresh(counter);
+            let columns = schema
+                .attrs()
+                .iter()
+                .map(|a| (a.name.clone(), TrcTerm::attr(var.clone(), a.name.clone())))
+                .collect();
+            Ok(vec![Summary {
+                bindings: vec![Binding::new(var, name.clone())],
+                conds: Vec::new(),
+                columns,
+            }])
+        }
+        RaExpr::Select { pred, input } => {
+            let mut branches = translate(input, db, counter)?;
+            for s in &mut branches {
+                let f = predicate_to_formula(pred, s)?;
+                s.conds.push(f);
+            }
+            Ok(branches)
+        }
+        RaExpr::Project { attrs, input } => {
+            let mut branches = translate(input, db, counter)?;
+            for s in &mut branches {
+                let mut cols = Vec::with_capacity(attrs.len());
+                for a in attrs {
+                    cols.push((a.clone(), s.term_of(a)?));
+                }
+                s.columns = cols;
+            }
+            Ok(branches)
+        }
+        RaExpr::Rename { from, to, input } => {
+            let mut branches = translate(input, db, counter)?;
+            for s in &mut branches {
+                let col = s
+                    .columns
+                    .iter_mut()
+                    .find(|(n, _)| n == from)
+                    .ok_or_else(|| RcError::Check(format!("attribute `{from}` not in scope")))?;
+                col.0.clone_from(to);
+            }
+            Ok(branches)
+        }
+        RaExpr::Product(l, r) => merge_products(l, r, None, db, counter),
+        RaExpr::ThetaJoin { pred, left, right } => {
+            merge_products(left, right, Some(pred), db, counter)
+        }
+        RaExpr::NaturalJoin(l, r) => {
+            let lbs = translate(l, db, counter)?;
+            let rbs = translate(r, db, counter)?;
+            let mut out = Vec::with_capacity(lbs.len() * rbs.len());
+            for lb in &lbs {
+                for rb in &rbs {
+                    let mut s = lb.clone();
+                    s.bindings.extend(rb.bindings.iter().cloned());
+                    s.conds.extend(rb.conds.iter().cloned());
+                    for (name, term) in &rb.columns {
+                        match lb.columns.iter().find(|(n, _)| n == name) {
+                            Some((_, lterm)) => {
+                                s.conds.push(TrcFormula::eq(lterm.clone(), term.clone()));
+                            }
+                            None => s.columns.push((name.clone(), term.clone())),
+                        }
+                    }
+                    out.push(s);
+                }
+            }
+            Ok(out)
+        }
+        RaExpr::Union(l, r) => {
+            let mut lbs = translate(l, db, counter)?;
+            let rbs = translate(r, db, counter)?;
+            // Align right column names with the left's (positional).
+            let names: Vec<String> = lbs[0].columns.iter().map(|(n, _)| n.clone()).collect();
+            for mut rb in rbs {
+                for (i, (n, _)) in rb.columns.iter_mut().enumerate() {
+                    n.clone_from(&names[i]);
+                }
+                lbs.push(rb);
+            }
+            Ok(lbs)
+        }
+        RaExpr::Intersect(l, r) => setop_filter(l, r, false, db, counter),
+        RaExpr::Difference(l, r) => setop_filter(l, r, true, db, counter),
+        RaExpr::Division(l, r) => {
+            let expanded = expand_division(l, r, db)?;
+            translate(&expanded, db, counter)
+        }
+    }
+}
+
+fn merge_products(
+    l: &RaExpr,
+    r: &RaExpr,
+    pred: Option<&Predicate>,
+    db: &Database,
+    counter: &mut usize,
+) -> RcResult<Vec<Summary>> {
+    let lbs = translate(l, db, counter)?;
+    let rbs = translate(r, db, counter)?;
+    let mut out = Vec::with_capacity(lbs.len() * rbs.len());
+    for lb in &lbs {
+        for rb in &rbs {
+            let mut s = lb.clone();
+            s.bindings.extend(rb.bindings.iter().cloned());
+            s.conds.extend(rb.conds.iter().cloned());
+            s.columns.extend(rb.columns.iter().cloned());
+            if let Some(p) = pred {
+                let f = predicate_to_formula(p, &s)?;
+                s.conds.push(f);
+            }
+            out.push(s);
+        }
+    }
+    Ok(out)
+}
+
+/// `INTERSECT` / `EXCEPT` via (negated) membership existentials.
+fn setop_filter(
+    l: &RaExpr,
+    r: &RaExpr,
+    negated: bool,
+    db: &Database,
+    counter: &mut usize,
+) -> RcResult<Vec<Summary>> {
+    let lbs = translate(l, db, counter)?;
+    let rbs = translate(r, db, counter)?;
+    let mut out = Vec::with_capacity(lbs.len());
+    for lb in &lbs {
+        let mut alts = Vec::with_capacity(rbs.len());
+        for rb in &rbs {
+            let mut parts = rb.conds.clone();
+            for ((_, lt), (_, rt)) in lb.columns.iter().zip(&rb.columns) {
+                parts.push(TrcFormula::eq(rt.clone(), lt.clone()));
+            }
+            alts.push(TrcFormula::exists(rb.bindings.clone(), TrcFormula::conj(parts)));
+        }
+        let membership = alts
+            .into_iter()
+            .reduce(|a, b| a.or(b))
+            .unwrap_or(TrcFormula::Const(false));
+        let mut s = lb.clone();
+        s.conds.push(if negated { membership.not() } else { membership });
+        out.push(s);
+    }
+    Ok(out)
+}
+
+/// `l ÷ r  =  π_q(l) − π_q((π_q(l) × ρ(r)) − π_{q∪r}(l))` where `q` is the
+/// quotient attribute list.
+fn expand_division(l: &RaExpr, r: &RaExpr, db: &Database) -> RcResult<RaExpr> {
+    let ls = schema_of(l, db).map_err(|e| RcError::Check(e.to_string()))?;
+    let rs = schema_of(r, db).map_err(|e| RcError::Check(e.to_string()))?;
+    let q_attrs: Vec<String> = ls
+        .attrs()
+        .iter()
+        .filter(|a| rs.index_of(&a.name).is_none())
+        .map(|a| a.name.clone())
+        .collect();
+    let r_attrs: Vec<String> = rs.attrs().iter().map(|a| a.name.clone()).collect();
+    let mut ordered = q_attrs.clone();
+    ordered.extend(r_attrs.iter().cloned());
+
+    let pi_q_l = RaExpr::Project { attrs: q_attrs.clone(), input: Box::new(l.clone()) };
+    let all_pairs = pi_q_l.clone().product(r.clone());
+    let l_reordered = RaExpr::Project { attrs: ordered, input: Box::new(l.clone()) };
+    let missing = all_pairs.difference(l_reordered);
+    let bad_keys = RaExpr::Project { attrs: q_attrs, input: Box::new(missing) };
+    Ok(pi_q_l.difference(bad_keys))
+}
+
+fn predicate_to_formula(p: &Predicate, s: &Summary) -> RcResult<TrcFormula> {
+    Ok(match p {
+        Predicate::Const(b) => TrcFormula::Const(*b),
+        Predicate::Cmp { left, op, right } => {
+            TrcFormula::cmp(operand_to_term(left, s)?, *op, operand_to_term(right, s)?)
+        }
+        Predicate::And(a, b) => predicate_to_formula(a, s)?.and(predicate_to_formula(b, s)?),
+        Predicate::Or(a, b) => predicate_to_formula(a, s)?.or(predicate_to_formula(b, s)?),
+        Predicate::Not(a) => predicate_to_formula(a, s)?.not(),
+    })
+}
+
+fn operand_to_term(o: &Operand, s: &Summary) -> RcResult<TrcTerm> {
+    Ok(match o {
+        Operand::Attr(a) => s.term_of(a)?,
+        Operand::Const(v) => TrcTerm::Const(v.clone()),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trc_check::check_query;
+    use crate::trc_eval::eval_trc;
+    use relviz_model::catalog::sailors_sample;
+    use relviz_ra::eval::eval as ra_eval;
+    use relviz_ra::parse::parse_ra;
+
+    fn check_equiv(src: &str) {
+        let db = sailors_sample();
+        let e = parse_ra(src).unwrap();
+        let trc = ra_to_trc(&e, &db).unwrap_or_else(|err| panic!("{src}: {err}"));
+        check_query(&trc, &db).unwrap_or_else(|err| panic!("{src} produced ill-formed TRC: {err}\n{trc}"));
+        let via_ra = ra_eval(&e, &db).unwrap();
+        let via_trc = eval_trc(&trc, &db).unwrap();
+        assert!(
+            via_ra.same_contents(&via_trc),
+            "RA vs TRC mismatch for `{src}`\n{trc}\nra={via_ra}\ntrc={via_trc}"
+        );
+    }
+
+    #[test]
+    fn operators_round_trip_semantically() {
+        for src in [
+            "Sailor",
+            "Project[sname](Select[rating > 7](Sailor))",
+            "Select[s_sid = sid AND bid = 102](Product(Rename[sid -> s_sid](Sailor), Reserves))",
+            "Project[sname](Join(Sailor, Join(Reserves, Select[color = 'red'](Boat))))",
+            "ThetaJoin[s_sid = sid](Rename[sid -> s_sid](Sailor), Reserves)",
+            "Union(Project[sid](Sailor), Project[bid](Boat))",
+            "Intersect(Project[sid](Sailor), Project[sid](Reserves))",
+            "Difference(Project[sid](Sailor), Project[sid](Reserves))",
+            "Division(Project[sid, bid](Reserves), Project[bid](Select[color = 'red'](Boat)))",
+            "Select[color = 'red' OR color = 'green'](Boat)",
+            "Select[NOT color = 'red'](Boat)",
+        ] {
+            check_equiv(src);
+        }
+    }
+
+    #[test]
+    fn division_names_sailors() {
+        let db = sailors_sample();
+        let e = parse_ra(
+            "Project[sname](Join(Sailor, Division(Project[sid, bid](Reserves), \
+             Project[bid](Select[color = 'red'](Boat)))))",
+        )
+        .unwrap();
+        let trc = ra_to_trc(&e, &db).unwrap();
+        let out = eval_trc(&trc, &db).unwrap();
+        assert_eq!(out.len(), 2); // dustin, lubber
+    }
+
+    #[test]
+    fn variables_are_sequentially_named() {
+        let db = sailors_sample();
+        let e = parse_ra("Join(Sailor, Reserves)").unwrap();
+        let trc = ra_to_trc(&e, &db).unwrap();
+        let vars: Vec<&str> =
+            trc.branches[0].bindings.iter().map(|b| b.var.as_str()).collect();
+        assert_eq!(vars, vec!["t1", "t2"]);
+    }
+
+    #[test]
+    fn union_aligns_head_names() {
+        let db = sailors_sample();
+        let e = parse_ra("Union(Project[sid](Sailor), Project[bid](Boat))").unwrap();
+        let trc = ra_to_trc(&e, &db).unwrap();
+        assert_eq!(trc.branches.len(), 2);
+        assert_eq!(trc.branches[0].head[0].0, "sid");
+        assert_eq!(trc.branches[1].head[0].0, "sid"); // aligned with left
+    }
+}

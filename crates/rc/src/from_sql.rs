@@ -1,0 +1,432 @@
+//! SQL → TRC translation: the front door of the visualization pipeline
+//! (the tutorial's Figs. 1–2 — a dictated/typed SQL query becomes a logical
+//! form from which diagrams are built).
+//!
+//! Translation sketch (on the *resolved* AST):
+//!
+//! * each FROM table becomes a tuple variable (uniquified across nesting),
+//! * `WHERE` maps homomorphically on ∧/∨/¬ and comparisons,
+//! * `EXISTS (sub)` → `∃ sub-vars: sub-body`,
+//! * `e IN (sub)` → `∃ sub-vars: sub-body ∧ sub-head = e` (and ¬∃ for `NOT IN`),
+//! * `e op ALL (sub)` → `¬∃ sub-vars: sub-body ∧ ¬(e op head)`,
+//! * `e op ANY (sub)` → `∃ sub-vars: sub-body ∧ (e op head)`,
+//! * `UNION` concatenates branches; `INTERSECT`/`EXCEPT` become
+//!   (negated) existentials equating heads.
+//!
+//! The result is always in the ∃/¬∃ normal form (no ∀), matching how
+//! QueryVis and Relational Diagrams read their inputs.
+//!
+//! NULL-dependent conditions (`IS NULL`) have no calculus counterpart (the
+//! calculi are two-valued); they are rejected with
+//! [`RcError::Unsupported`]. On NULL-free databases — the setting of the
+//! tutorial — SQL and TRC semantics then coincide (checked by E2).
+
+use std::collections::HashSet;
+
+use relviz_model::Database;
+use relviz_sql::analyze::{resolve, resolved_select_schema};
+use relviz_sql::ast::{Cond, Quant, Query, Scalar, SelectItem, SelectStmt, SetOpKind};
+
+use crate::error::{RcError, RcResult};
+use crate::trc::{Binding, TrcBranch, TrcFormula, TrcQuery, TrcTerm};
+
+/// Translates a SQL query (any nesting) to a TRC query.
+pub fn sql_to_trc(q: &Query, db: &Database) -> RcResult<TrcQuery> {
+    let resolved = resolve(q, db)?;
+    let mut tr = Translator { db, used: HashSet::new(), scopes: Vec::new() };
+    tr.query(&resolved)
+}
+
+/// Convenience: parse a SQL string and translate.
+pub fn parse_sql_to_trc(sql: &str, db: &Database) -> RcResult<TrcQuery> {
+    let q = relviz_sql::parse_query(sql)?;
+    sql_to_trc(&q, db)
+}
+
+struct Translator<'a> {
+    db: &'a Database,
+    /// Every TRC variable name handed out so far (global uniqueness —
+    /// TRC forbids shadowing; SQL allows it).
+    used: HashSet<String>,
+    /// Alias → TRC variable, one frame per SELECT block.
+    scopes: Vec<Vec<(String, String)>>,
+}
+
+impl<'a> Translator<'a> {
+    fn fresh_var(&mut self, alias: &str) -> String {
+        let mut name = alias.to_string();
+        let mut k = 2;
+        while self.used.contains(&name) {
+            name = format!("{alias}_{k}");
+            k += 1;
+        }
+        self.used.insert(name.clone());
+        name
+    }
+
+    fn lookup_var(&self, alias: &str) -> RcResult<String> {
+        for frame in self.scopes.iter().rev() {
+            if let Some((_, v)) = frame.iter().find(|(a, _)| a.eq_ignore_ascii_case(alias)) {
+                return Ok(v.clone());
+            }
+        }
+        Err(RcError::Check(format!("untranslated alias `{alias}`")))
+    }
+
+    fn query(&mut self, q: &Query) -> RcResult<TrcQuery> {
+        match q {
+            Query::Select(s) => Ok(TrcQuery::single(self.select(s)?)),
+            Query::SetOp { op, left, right } => {
+                let l = self.query(left)?;
+                let r = self.query(right)?;
+                match op {
+                    SetOpKind::Union => {
+                        let mut branches = l.branches;
+                        // Align right head names with the left's.
+                        let names: Vec<String> = branches[0]
+                            .head
+                            .iter()
+                            .map(|(n, _)| n.clone())
+                            .collect();
+                        for mut b in r.branches {
+                            for (i, (n, _)) in b.head.iter_mut().enumerate() {
+                                n.clone_from(&names[i]);
+                            }
+                            branches.push(b);
+                        }
+                        Ok(TrcQuery { branches })
+                    }
+                    SetOpKind::Intersect => self.setop_filter(l, &r, false),
+                    SetOpKind::Except => self.setop_filter(l, &r, true),
+                }
+            }
+        }
+    }
+
+    /// `INTERSECT` / `EXCEPT` as (negated) head-equating existentials.
+    fn setop_filter(
+        &mut self,
+        left: TrcQuery,
+        right: &TrcQuery,
+        negated: bool,
+    ) -> RcResult<TrcQuery> {
+        let mut branches = Vec::with_capacity(left.branches.len());
+        for lb in left.branches {
+            let mut membership_alts = Vec::new();
+            for rb in &right.branches {
+                // Existential over the right branch's bindings with head
+                // equality. Right-branch variable names are globally fresh
+                // already (fresh_var), so no capture is possible.
+                let mut parts = Vec::new();
+                if let Some(body) = &rb.body {
+                    parts.push(body.clone());
+                }
+                for ((_, lt), (_, rt)) in lb.head.iter().zip(&rb.head) {
+                    parts.push(TrcFormula::eq(rt.clone(), lt.clone()));
+                }
+                membership_alts.push(TrcFormula::exists(
+                    rb.bindings.clone(),
+                    TrcFormula::conj(parts),
+                ));
+            }
+            let membership = membership_alts
+                .into_iter()
+                .reduce(|a, b| a.or(b))
+                .unwrap_or(TrcFormula::Const(false));
+            let cond = if negated { membership.not() } else { membership };
+            let body = match lb.body {
+                Some(b) => b.and(cond),
+                None => cond,
+            };
+            branches.push(TrcBranch { bindings: lb.bindings, head: lb.head, body: Some(body) });
+        }
+        Ok(TrcQuery { branches })
+    }
+
+    fn select(&mut self, s: &SelectStmt) -> RcResult<TrcBranch> {
+        // New scope: assign a fresh TRC variable to every FROM table.
+        let mut frame = Vec::with_capacity(s.from.len());
+        let mut bindings = Vec::with_capacity(s.from.len());
+        for tr in &s.from {
+            let alias = tr.effective_name().to_string();
+            let var = self.fresh_var(&alias);
+            frame.push((alias, var.clone()));
+            bindings.push(Binding::new(var, tr.table.clone()));
+        }
+        self.scopes.push(frame);
+
+        let result = (|| {
+            let out_schema = resolved_select_schema(s, self.db)?;
+            let mut head = Vec::with_capacity(s.items.len());
+            for (item, attr) in s.items.iter().zip(out_schema.attrs()) {
+                let SelectItem::Expr { expr, .. } = item else {
+                    return Err(RcError::Check("unresolved wildcard in select".into()));
+                };
+                head.push((attr.name.clone(), self.scalar(expr)?));
+            }
+            let body = match &s.where_clause {
+                Some(c) => Some(self.cond(c)?),
+                None => None,
+            };
+            Ok(TrcBranch { bindings: bindings.clone(), head, body })
+        })();
+
+        self.scopes.pop();
+        result
+    }
+
+    fn scalar(&mut self, sc: &Scalar) -> RcResult<TrcTerm> {
+        match sc {
+            Scalar::Literal(v) => {
+                if v.is_null() {
+                    return Err(RcError::Unsupported(
+                        "NULL literals have no calculus counterpart".into(),
+                    ));
+                }
+                Ok(TrcTerm::Const(v.clone()))
+            }
+            Scalar::Column { qualifier: Some(q), name } => {
+                Ok(TrcTerm::Attr { var: self.lookup_var(q)?, attr: name.clone() })
+            }
+            Scalar::Column { qualifier: None, name } => {
+                Err(RcError::Check(format!("unresolved column `{name}`")))
+            }
+        }
+    }
+
+    /// Translates a subquery into "membership formula" parts: for each
+    /// branch, (bindings, body∧…, head terms).
+    fn subquery_parts(&mut self, q: &Query) -> RcResult<Vec<SubqueryPart>> {
+        let tq = self.query(q)?;
+        Ok(tq
+            .branches
+            .into_iter()
+            .map(|b| {
+                let heads = b.head.into_iter().map(|(_, t)| t).collect();
+                (b.bindings, b.body, heads)
+            })
+            .collect())
+    }
+
+    fn cond(&mut self, c: &Cond) -> RcResult<TrcFormula> {
+        Ok(match c {
+            Cond::Literal(b) => TrcFormula::Const(*b),
+            Cond::Cmp { left, op, right } => {
+                TrcFormula::cmp(self.scalar(left)?, *op, self.scalar(right)?)
+            }
+            Cond::And(a, b) => self.cond(a)?.and(self.cond(b)?),
+            Cond::Or(a, b) => self.cond(a)?.or(self.cond(b)?),
+            Cond::Not(a) => self.cond(a)?.not(),
+            Cond::Between { expr, negated, low, high } => {
+                let e = self.scalar(expr)?;
+                let f = TrcFormula::cmp(e.clone(), relviz_model::CmpOp::Ge, self.scalar(low)?)
+                    .and(TrcFormula::cmp(e, relviz_model::CmpOp::Le, self.scalar(high)?));
+                if *negated {
+                    f.not()
+                } else {
+                    f
+                }
+            }
+            Cond::InList { expr, negated, list } => {
+                let e = self.scalar(expr)?;
+                let mut alts = Vec::with_capacity(list.len());
+                for v in list {
+                    if v.is_null() {
+                        return Err(RcError::Unsupported(
+                            "NULL in IN-list has no calculus counterpart".into(),
+                        ));
+                    }
+                    alts.push(TrcFormula::eq(e.clone(), TrcTerm::Const(v.clone())));
+                }
+                let f = alts
+                    .into_iter()
+                    .reduce(|a, b| a.or(b))
+                    .unwrap_or(TrcFormula::Const(false));
+                if *negated {
+                    f.not()
+                } else {
+                    f
+                }
+            }
+            Cond::Exists { negated, query } => {
+                let parts = self.subquery_parts(query)?;
+                let f = or_of_exists(parts, |_heads| None);
+                if *negated {
+                    f.not()
+                } else {
+                    f
+                }
+            }
+            Cond::InSubquery { expr, negated, query } => {
+                let e = self.scalar(expr)?;
+                let parts = self.subquery_parts(query)?;
+                let f = or_of_exists(parts, |heads| {
+                    Some(TrcFormula::eq(e.clone(), heads[0].clone()))
+                });
+                if *negated {
+                    f.not()
+                } else {
+                    f
+                }
+            }
+            Cond::QuantCmp { left, op, quant, query } => {
+                let e = self.scalar(left)?;
+                let parts = self.subquery_parts(query)?;
+                match quant {
+                    Quant::Any => or_of_exists(parts, |heads| {
+                        Some(TrcFormula::cmp(e.clone(), *op, heads[0].clone()))
+                    }),
+                    Quant::All => or_of_exists(parts, |heads| {
+                        Some(TrcFormula::cmp(e.clone(), *op, heads[0].clone()).not())
+                    })
+                    .not(),
+                }
+            }
+            Cond::IsNull { .. } => {
+                return Err(RcError::Unsupported(
+                    "IS NULL has no counterpart in two-valued calculus".into(),
+                ))
+            }
+        })
+    }
+}
+
+/// One subquery branch, decomposed: (bindings, body, head terms).
+type SubqueryPart = (Vec<Binding>, Option<TrcFormula>, Vec<TrcTerm>);
+
+/// `∨` over branches of `∃ bindings: body ∧ extra(head)`.
+fn or_of_exists(
+    parts: Vec<SubqueryPart>,
+    mut extra: impl FnMut(&[TrcTerm]) -> Option<TrcFormula>,
+) -> TrcFormula {
+    let mut alts = Vec::with_capacity(parts.len());
+    for (bindings, body, heads) in parts {
+        let mut conj = Vec::new();
+        if let Some(b) = body {
+            conj.push(b);
+        }
+        if let Some(e) = extra(&heads) {
+            conj.push(e);
+        }
+        alts.push(TrcFormula::exists(bindings, TrcFormula::conj(conj)));
+    }
+    alts.into_iter().reduce(|a, b| a.or(b)).unwrap_or(TrcFormula::Const(false))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trc_eval::eval_trc;
+    use relviz_model::catalog::sailors_sample;
+    use relviz_sql::eval::run_sql;
+
+    /// The crucial invariant: SQL evaluation and TRC evaluation of the
+    /// translated query agree (on NULL-free databases).
+    fn check_equiv(sql: &str) {
+        let db = sailors_sample();
+        let trc = parse_sql_to_trc(sql, &db).unwrap_or_else(|e| panic!("{sql}: {e}"));
+        let via_sql = run_sql(sql, &db).unwrap();
+        let via_trc = eval_trc(&trc, &db).unwrap_or_else(|e| panic!("{trc}: {e}"));
+        assert!(
+            via_sql.same_contents(&via_trc),
+            "SQL vs TRC mismatch for `{sql}`\nTRC: {trc}\nsql={via_sql}\ntrc={via_trc}"
+        );
+    }
+
+    #[test]
+    fn suite_queries_equivalent() {
+        for sql in [
+            // Q1
+            "SELECT DISTINCT S.sname FROM Sailor S, Reserves R WHERE S.sid = R.sid AND R.bid = 102",
+            // Q2
+            "SELECT DISTINCT S.sname FROM Sailor S, Reserves R, Boat B \
+             WHERE S.sid = R.sid AND R.bid = B.bid AND B.color = 'red'",
+            // Q3 union + Q3 or
+            "SELECT S.sname FROM Sailor S, Reserves R, Boat B \
+             WHERE S.sid = R.sid AND R.bid = B.bid AND B.color = 'red' \
+             UNION SELECT S.sname FROM Sailor S, Reserves R, Boat B \
+             WHERE S.sid = R.sid AND R.bid = B.bid AND B.color = 'green'",
+            "SELECT DISTINCT S.sname FROM Sailor S, Reserves R, Boat B \
+             WHERE S.sid = R.sid AND R.bid = B.bid AND (B.color = 'red' OR B.color = 'green')",
+            // Q4
+            "SELECT S.sname FROM Sailor S WHERE NOT EXISTS \
+             (SELECT * FROM Reserves R, Boat B \
+              WHERE R.sid = S.sid AND R.bid = B.bid AND B.color = 'red')",
+            // Q5 (division)
+            "SELECT S.sname FROM Sailor S WHERE NOT EXISTS \
+             (SELECT * FROM Boat B WHERE B.color = 'red' AND NOT EXISTS \
+               (SELECT * FROM Reserves R WHERE R.sid = S.sid AND R.bid = B.bid))",
+            // IN / NOT IN
+            "SELECT S.sname FROM Sailor S WHERE S.sid IN (SELECT R.sid FROM Reserves R)",
+            "SELECT S.sname FROM Sailor S WHERE S.sid NOT IN (SELECT R.sid FROM Reserves R)",
+            // ANY / ALL
+            "SELECT S.sname FROM Sailor S WHERE S.rating >= ALL (SELECT S2.rating FROM Sailor S2)",
+            "SELECT S.sname FROM Sailor S WHERE S.rating > ANY (SELECT S2.rating FROM Sailor S2)",
+            // INTERSECT / EXCEPT
+            "SELECT S.sid FROM Sailor S INTERSECT SELECT R.sid FROM Reserves R",
+            "SELECT S.sid FROM Sailor S EXCEPT SELECT R.sid FROM Reserves R",
+            // IN-list, BETWEEN
+            "SELECT S.sname FROM Sailor S WHERE S.rating IN (7, 9) AND S.age BETWEEN 30 AND 50",
+            // nested set op under EXISTS
+            "SELECT S.sname FROM Sailor S WHERE EXISTS \
+             (SELECT R.sid FROM Reserves R WHERE R.sid = S.sid \
+              UNION SELECT B.bid FROM Boat B WHERE B.bid = S.sid)",
+        ] {
+            check_equiv(sql);
+        }
+    }
+
+    #[test]
+    fn shadowed_aliases_are_uniquified() {
+        let db = sailors_sample();
+        let trc = parse_sql_to_trc(
+            "SELECT S.sname FROM Sailor S WHERE EXISTS \
+             (SELECT * FROM Sailor S WHERE S.rating > 9)",
+            &db,
+        )
+        .unwrap();
+        // The inner S must have been renamed (TRC forbids shadowing).
+        let b = &trc.branches[0];
+        assert_eq!(b.bindings[0].var, "S");
+        let TrcFormula::Exists { bindings, .. } = b.body.as_ref().unwrap() else {
+            panic!("{trc}")
+        };
+        assert_eq!(bindings[0].var, "S_2");
+        // and the inner comparison references S_2, not S:
+        assert!(trc.to_string().contains("S_2.rating"), "{trc}");
+        // well-formed per the checker:
+        crate::trc_check::check_query(&trc, &db).unwrap();
+    }
+
+    #[test]
+    fn correlated_reference_points_at_outer_var() {
+        let db = sailors_sample();
+        let trc = parse_sql_to_trc(
+            "SELECT S.sname FROM Sailor S WHERE EXISTS \
+             (SELECT * FROM Reserves R WHERE R.sid = S.sid)",
+            &db,
+        )
+        .unwrap();
+        let s = trc.to_string();
+        assert!(s.contains("R.sid = S.sid"), "{s}");
+    }
+
+    #[test]
+    fn is_null_rejected() {
+        let db = sailors_sample();
+        let r = parse_sql_to_trc("SELECT S.sname FROM Sailor S WHERE S.sname IS NULL", &db);
+        assert!(matches!(r, Err(RcError::Unsupported(_))));
+    }
+
+    #[test]
+    fn union_branch_count() {
+        let db = sailors_sample();
+        let trc = parse_sql_to_trc(
+            "SELECT S.sid FROM Sailor S UNION SELECT B.bid FROM Boat B \
+             UNION SELECT R.sid FROM Reserves R",
+            &db,
+        )
+        .unwrap();
+        assert_eq!(trc.branches.len(), 3);
+    }
+}

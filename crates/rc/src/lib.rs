@@ -1,0 +1,45 @@
+//! # relviz-rc
+//!
+//! Relational Calculus — the declarative side of the tutorial's language
+//! pentad, in both flavors:
+//!
+//! * **TRC** (Tuple Relational Calculus, [`trc`]): tuple variables bound to
+//!   relations, with relation-bound quantifiers `∃t ∈ R` / `∀t ∈ R`. This is
+//!   the *safe* fragment by construction and is the input language of the
+//!   QueryVis and Relational Diagrams builders — each quantified tuple
+//!   variable is exactly one table box in those diagrams.
+//! * **DRC** (Domain Relational Calculus, [`drc`]): domain variables and
+//!   positional atoms, the language closest to first-order logic and to
+//!   Peirce's beta existential graphs. Comes with an active-domain
+//!   evaluator and a **safe-range** checker.
+//!
+//! The crate is also the workspace's translation hub:
+//!
+//! | Translation | Module | Notes |
+//! |---|---|---|
+//! | SQL → TRC | [`from_sql`] | the pipeline front door (Figs. 1–2) |
+//! | TRC → RA  | [`to_ra`]   | classical compilation; proves safety |
+//! | TRC → DRC | [`to_drc`]  | tuple vars explode into domain vars |
+//! | RA → TRC  | [`from_ra`] | procedural → declarative |
+//!
+//! Each language keeps its own independent evaluator so experiment E2 can
+//! cross-check them all.
+
+pub mod drc;
+pub mod drc_eval;
+pub mod drc_parse;
+pub mod error;
+pub mod from_drc;
+pub mod from_ra;
+pub mod from_sql;
+pub mod normalize;
+pub mod to_drc;
+pub mod to_ra;
+pub mod trc;
+pub mod trc_check;
+pub mod trc_eval;
+pub mod trc_parse;
+
+pub use drc::{DrcFormula, DrcQuery, DrcTerm};
+pub use error::{RcError, RcResult};
+pub use trc::{TrcBranch, TrcFormula, TrcQuery, TrcTerm};

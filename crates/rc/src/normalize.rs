@@ -1,0 +1,584 @@
+//! Normalization of TRC queries, most importantly **disjunction lifting**
+//! (union normal form).
+//!
+//! The tutorial's Part 5 observes that disjunction is "the greatest
+//! challenge for diagrammatic representations": QueryVis has no element
+//! for `OR` at all, and Relational Diagrams only support it as a union of
+//! partitions. [`lift_disjunctions`] rewrites a TRC query so that every
+//! *liftable* `OR` becomes a union branch:
+//!
+//! * `OR` in a positive, top-level position of a branch body splits the
+//!   branch (`φ ∧ (α ∨ β)` ⇒ two branches `φ∧α`, `φ∧β` — DNF distribution);
+//! * `OR` under a negation De-Morgans into a conjunction
+//!   (`¬(α ∨ β)` ⇒ `¬α ∧ ¬β`) and disappears;
+//! * `OR` under a **positive existential** distributes over the quantifier
+//!   (`∃x̄:(α ∨ β)` ⇒ `(∃x̄:α) ∨ (∃x̄:β)`, sound because ∃ distributes over
+//!   ∨) and then lifts;
+//! * `OR` under a *negated* existential is handled by the De Morgan step.
+//!
+//! The result is a query whose branch bodies are OR-free — exactly the
+//! fragment the box/arrow formalisms draw. The cost is a possibly
+//! exponential number of branches (DNF), which is the *quantified* version
+//! of the tutorial's qualitative claim: diagrams pay for disjunction in
+//! area. Experiment E5's ablation prints the matrix before and after
+//! normalization.
+
+use std::collections::BTreeSet;
+
+use crate::trc::{Binding, TrcBranch, TrcFormula, TrcQuery};
+
+/// Rewrites the query into union normal form (OR-free branch bodies).
+pub fn lift_disjunctions(q: &TrcQuery) -> TrcQuery {
+    let mut branches = Vec::new();
+    for b in &q.branches {
+        match &b.body {
+            None => branches.push(b.clone()),
+            Some(body) => {
+                let body = body.eliminate_forall();
+                for alt in disjuncts(&body) {
+                    branches.push(TrcBranch {
+                        bindings: b.bindings.clone(),
+                        head: b.head.clone(),
+                        body: Some(alt),
+                    });
+                }
+            }
+        }
+    }
+    TrcQuery { branches }
+}
+
+/// Returns the OR-free alternatives of a formula (its DNF "rows", with
+/// quantifiers handled as documented above).
+fn disjuncts(f: &TrcFormula) -> Vec<TrcFormula> {
+    match f {
+        TrcFormula::Or(a, b) => {
+            let mut out = disjuncts(a);
+            out.extend(disjuncts(b));
+            out
+        }
+        TrcFormula::And(a, b) => {
+            let das = disjuncts(a);
+            let dbs = disjuncts(b);
+            let mut out = Vec::with_capacity(das.len() * dbs.len());
+            for x in &das {
+                for y in &dbs {
+                    out.push(x.clone().and(y.clone()));
+                }
+            }
+            out
+        }
+        TrcFormula::Exists { bindings, body } => {
+            // ∃ distributes over ∨.
+            disjuncts(body)
+                .into_iter()
+                .map(|alt| TrcFormula::exists(bindings.clone(), alt))
+                .collect()
+        }
+        TrcFormula::Not(inner) => vec![push_negation(inner)],
+        other => vec![other.clone()],
+    }
+}
+
+/// `¬inner` with the negation pushed far enough that no `OR` survives
+/// underneath in liftable position.
+fn push_negation(inner: &TrcFormula) -> TrcFormula {
+    match inner {
+        // ¬(α ∨ β) = ¬α ∧ ¬β
+        TrcFormula::Or(a, b) => push_negation(a).and(push_negation(b)),
+        // ¬¬φ: recurse back into the positive world.
+        TrcFormula::Not(g) => {
+            let alts = disjuncts(g);
+            alts.into_iter()
+                .reduce(|x, y| x.or(y))
+                .expect("disjuncts is never empty")
+        }
+        // ¬(α ∧ β) = ¬α ∨ ¬β would *create* a disjunction: keep the
+        // conjunction opaque under the negation but normalize inside.
+        TrcFormula::And(_, _) => {
+            let alts = disjuncts(inner);
+            // ¬(d1 ∨ … ∨ dk) = ¬d1 ∧ … ∧ ¬dk
+            alts.into_iter()
+                .map(|d| normalize_inside_not(&d))
+                .map(TrcFormula::not)
+                .reduce(|x, y| x.and(y))
+                .expect("disjuncts is never empty")
+        }
+        TrcFormula::Exists { bindings, body } => {
+            // ¬∃x̄:(d1 ∨ … ∨ dk) = ∧ᵢ ¬∃x̄: dᵢ
+            disjuncts(body)
+                .into_iter()
+                .map(|d| TrcFormula::exists(bindings.clone(), d).not())
+                .reduce(|x, y| x.and(y))
+                .expect("disjuncts is never empty")
+        }
+        other => other.clone().not(),
+    }
+}
+
+/// Within an already-OR-free conjunct that sits under ¬, make sure nested
+/// quantifier bodies are OR-free too.
+fn normalize_inside_not(f: &TrcFormula) -> TrcFormula {
+    match f {
+        TrcFormula::And(a, b) => normalize_inside_not(a).and(normalize_inside_not(b)),
+        TrcFormula::Exists { bindings, body } => {
+            // ∃ distributed: if multiple alternatives survive we keep a
+            // disjunction here — it sits under ¬, where the caller De
+            // Morgans it away via push_negation on demand.
+            disjuncts(body)
+                .into_iter()
+                .map(|d| TrcFormula::exists(bindings.clone(), normalize_inside_not(&d)))
+                .reduce(|x, y| x.or(y))
+                .expect("disjuncts is never empty")
+        }
+        TrcFormula::Not(inner) => push_negation(inner),
+        other => other.clone(),
+    }
+}
+
+/// Flattens **positive existential nesting**: `∃x̄: (φ ∧ ∃ȳ: ψ)` becomes
+/// `∃x̄ȳ: (φ ∧ ψ)`, and a positive top-level `∃x̄: φ` conjunct of a branch
+/// body is hoisted into the branch's bindings (sound under set
+/// semantics — the head never projects the hoisted variables).
+///
+/// This is the normalization behind the *relational query pattern* notion
+/// of Gatterbauer & Dunne [26]: positive nesting is a syntactic accident
+/// (SQL's `IN`-chains), not a pattern feature, so pattern comparison and
+/// the logic-based diagrams should not see it. Negation boundaries are
+/// never crossed — `¬∃` nesting *is* pattern structure. Bound variables
+/// are α-renamed when merging would capture a name visible in the target
+/// scope.
+pub fn flatten_exists(q: &TrcQuery) -> TrcQuery {
+    let mut out = TrcQuery { branches: Vec::new() };
+    for b in &q.branches {
+        let mut ctx: BTreeSet<String> = b.bindings.iter().map(|x| x.var.clone()).collect();
+        for (_, term) in &b.head {
+            if let Some(v) = term.var() {
+                ctx.insert(v.to_string());
+            }
+        }
+        let mut bindings = b.bindings.clone();
+        let mut rest = Vec::new();
+        if let Some(body) = &b.body {
+            let body = flatten(body, &ctx);
+            let mut scope_names: BTreeSet<String> = ctx.clone();
+            merge_conjuncts(&body, &mut scope_names, &mut bindings, &mut rest);
+        }
+        out.branches.push(TrcBranch {
+            bindings,
+            head: b.head.clone(),
+            body: if rest.is_empty() { None } else { Some(TrcFormula::conj(rest)) },
+        });
+    }
+    out
+}
+
+/// Flattens nested positive existentials inside `f`. `ctx` holds the
+/// names visible from enclosing scopes (for capture-free renames).
+fn flatten(f: &TrcFormula, ctx: &BTreeSet<String>) -> TrcFormula {
+    match f {
+        TrcFormula::And(a, b) => flatten(a, ctx).and(flatten(b, ctx)),
+        TrcFormula::Or(a, b) => flatten(a, ctx).or(flatten(b, ctx)),
+        TrcFormula::Not(a) => flatten(a, ctx).not(),
+        TrcFormula::Forall { bindings, body } => {
+            let mut inner_ctx = ctx.clone();
+            inner_ctx.extend(bindings.iter().map(|b| b.var.clone()));
+            TrcFormula::forall(bindings.clone(), flatten(body, &inner_ctx))
+        }
+        TrcFormula::Exists { bindings, body } => {
+            let mut inner_ctx = ctx.clone();
+            inner_ctx.extend(bindings.iter().map(|b| b.var.clone()));
+            let body = flatten(body, &inner_ctx);
+            let mut merged = bindings.clone();
+            let mut scope_names = inner_ctx;
+            let mut rest = Vec::new();
+            merge_conjuncts(&body, &mut scope_names, &mut merged, &mut rest);
+            TrcFormula::exists(merged, TrcFormula::conj(rest))
+        }
+        other => other.clone(),
+    }
+}
+
+/// Splits `body` into conjuncts and merges every directly-existential
+/// conjunct into `bindings`, renaming its binders when they collide with
+/// a name already visible in the target scope or with *any* name a
+/// sibling conjunct uses — including the siblings' bound names, because
+/// this TRC dialect forbids shadowing (a hoisted `r` must not overlap a
+/// sibling's `¬∃r`).
+fn merge_conjuncts(
+    body: &TrcFormula,
+    scope_names: &mut BTreeSet<String>,
+    bindings: &mut Vec<Binding>,
+    rest: &mut Vec<TrcFormula>,
+) {
+    let parts = conjunct_list(body);
+    let part_names: Vec<BTreeSet<String>> = parts.iter().map(all_names).collect();
+    // Occurrence counts across the unprocessed parts, so "names of every
+    // other part" stays cheap to consult as we walk.
+    let mut remaining: std::collections::BTreeMap<String, usize> =
+        std::collections::BTreeMap::new();
+    for ns in &part_names {
+        for n in ns {
+            *remaining.entry(n.clone()).or_default() += 1;
+        }
+    }
+    for (part, names) in parts.into_iter().zip(part_names) {
+        // This part's names no longer count as "other parts'" names.
+        for n in &names {
+            if let Some(c) = remaining.get_mut(n) {
+                *c -= 1;
+                if *c == 0 {
+                    remaining.remove(n);
+                }
+            }
+        }
+        if let TrcFormula::Exists { bindings: inner, body: ib } = &part {
+            let mut ib = (**ib).clone();
+            for b in inner {
+                let collides =
+                    scope_names.contains(&b.var) || remaining.contains_key(&b.var);
+                let name = if collides {
+                    let mut avoid: BTreeSet<String> = scope_names.clone();
+                    avoid.extend(remaining.keys().cloned());
+                    avoid.extend(all_names(&ib));
+                    let fresh = fresh_name(&b.var, &avoid);
+                    ib = rename_var(&ib, &b.var, &fresh);
+                    fresh
+                } else {
+                    b.var.clone()
+                };
+                scope_names.insert(name.clone());
+                bindings.push(Binding::new(name, b.rel.clone()));
+            }
+            // The merged body's names (free refs and deep binders) now
+            // belong to the scope; deep binders must stay unshadowed too.
+            scope_names.extend(all_names(&ib));
+            rest.extend(conjunct_list(&ib));
+        } else {
+            scope_names.extend(names);
+            rest.push(part);
+        }
+    }
+}
+
+/// Every variable name occurring in the formula: term references and
+/// quantifier binders, at any depth.
+fn all_names(f: &TrcFormula) -> BTreeSet<String> {
+    let mut out: BTreeSet<String> =
+        f.term_vars().into_iter().map(str::to_string).collect();
+    fn binders(f: &TrcFormula, out: &mut BTreeSet<String>) {
+        match f {
+            TrcFormula::And(a, b) | TrcFormula::Or(a, b) => {
+                binders(a, out);
+                binders(b, out);
+            }
+            TrcFormula::Not(a) => binders(a, out),
+            TrcFormula::Exists { bindings, body } | TrcFormula::Forall { bindings, body } => {
+                for b in bindings {
+                    out.insert(b.var.clone());
+                }
+                binders(body, out);
+            }
+            _ => {}
+        }
+    }
+    binders(f, &mut out);
+    out
+}
+
+fn fresh_name(base: &str, used: &BTreeSet<String>) -> String {
+    for i in 2.. {
+        let cand = format!("{base}{i}");
+        if !used.contains(&cand) {
+            return cand;
+        }
+    }
+    unreachable!("unbounded counter")
+}
+
+/// Renames tuple variable `from` to `to`, respecting shadowing.
+fn rename_var(f: &TrcFormula, from: &str, to: &str) -> TrcFormula {
+    use crate::trc::TrcTerm;
+    let term = |t: &TrcTerm| match t {
+        TrcTerm::Attr { var, attr } if var == from => {
+            TrcTerm::Attr { var: to.to_string(), attr: attr.clone() }
+        }
+        other => other.clone(),
+    };
+    match f {
+        TrcFormula::Cmp { left, op, right } => {
+            TrcFormula::Cmp { left: term(left), op: *op, right: term(right) }
+        }
+        TrcFormula::And(a, b) => rename_var(a, from, to).and(rename_var(b, from, to)),
+        TrcFormula::Or(a, b) => rename_var(a, from, to).or(rename_var(b, from, to)),
+        TrcFormula::Not(a) => rename_var(a, from, to).not(),
+        TrcFormula::Exists { bindings, body } | TrcFormula::Forall { bindings, body } => {
+            let is_forall = matches!(f, TrcFormula::Forall { .. });
+            if bindings.iter().any(|b| b.var == from) {
+                // Shadowed: the inner binder owns the name.
+                f.clone()
+            } else {
+                let body = rename_var(body, from, to);
+                if is_forall {
+                    TrcFormula::forall(bindings.clone(), body)
+                } else {
+                    TrcFormula::exists(bindings.clone(), body)
+                }
+            }
+        }
+        TrcFormula::Const(b) => TrcFormula::Const(*b),
+    }
+}
+
+/// Owned conjunct list of a formula (AND-spine flattened).
+fn conjunct_list(f: &TrcFormula) -> Vec<TrcFormula> {
+    match f {
+        TrcFormula::And(a, b) => {
+            let mut out = conjunct_list(a);
+            out.extend(conjunct_list(b));
+            out
+        }
+        TrcFormula::Const(true) => Vec::new(),
+        other => vec![other.clone()],
+    }
+}
+
+/// True iff no `Or` node occurs anywhere in the query.
+pub fn is_or_free(q: &TrcQuery) -> bool {
+    fn check(f: &TrcFormula) -> bool {
+        match f {
+            TrcFormula::Or(_, _) => false,
+            TrcFormula::And(a, b) => check(a) && check(b),
+            TrcFormula::Not(a) => check(a),
+            TrcFormula::Exists { body, .. } | TrcFormula::Forall { body, .. } => check(body),
+            _ => true,
+        }
+    }
+    q.branches.iter().all(|b| b.body.as_ref().is_none_or(check))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::from_sql::parse_sql_to_trc;
+    use crate::trc_eval::eval_trc;
+    use relviz_model::catalog::sailors_sample;
+
+    fn check(sql: &str, expect_branches: usize) {
+        let db = sailors_sample();
+        let q = parse_sql_to_trc(sql, &db).unwrap();
+        let n = lift_disjunctions(&q);
+        assert!(is_or_free(&n), "normalization left an OR:\n{n}");
+        assert_eq!(n.branches.len(), expect_branches, "{n}");
+        let a = eval_trc(&q, &db).unwrap();
+        let b = eval_trc(&n, &db).unwrap();
+        assert!(a.same_contents(&b), "normalization changed semantics\n{q}\n{n}");
+    }
+
+    #[test]
+    fn simple_or_splits_into_branches() {
+        check(
+            "SELECT B.bid FROM Boat B WHERE B.color = 'red' OR B.color = 'green'",
+            2,
+        );
+    }
+
+    #[test]
+    fn or_under_exists_distributes() {
+        check(
+            "SELECT DISTINCT S.sname FROM Sailor S WHERE EXISTS \
+             (SELECT * FROM Reserves R, Boat B WHERE R.sid = S.sid AND R.bid = B.bid \
+              AND (B.color = 'red' OR B.color = 'green'))",
+            2,
+        );
+    }
+
+    #[test]
+    fn or_in_join_block_distributes() {
+        // Q3 in its OR form: 2 branches.
+        check(
+            "SELECT DISTINCT S.sname FROM Sailor S, Reserves R, Boat B \
+             WHERE S.sid = R.sid AND R.bid = B.bid AND (B.color = 'red' OR B.color = 'green')",
+            2,
+        );
+    }
+
+    #[test]
+    fn or_under_negation_demorgans_away() {
+        check(
+            "SELECT B.bid FROM Boat B WHERE NOT (B.color = 'red' OR B.color = 'green')",
+            1,
+        );
+    }
+
+    #[test]
+    fn or_under_not_exists_demorgans() {
+        check(
+            "SELECT S.sname FROM Sailor S WHERE NOT EXISTS \
+             (SELECT * FROM Reserves R, Boat B WHERE R.sid = S.sid AND R.bid = B.bid \
+              AND (B.color = 'red' OR B.color = 'green'))",
+            1,
+        );
+    }
+
+    #[test]
+    fn conjunctions_of_ors_multiply() {
+        check(
+            "SELECT B.bid FROM Boat B WHERE (B.color = 'red' OR B.color = 'green') \
+             AND (B.bname = 'Interlake' OR B.bname = 'Clipper')",
+            4,
+        );
+    }
+
+    #[test]
+    fn or_free_queries_untouched() {
+        let db = sailors_sample();
+        let q5 = relviz_core_suite_q5(&db);
+        let n = lift_disjunctions(&q5);
+        assert_eq!(n.branches.len(), 1);
+        let a = eval_trc(&q5, &db).unwrap();
+        let b = eval_trc(&n, &db).unwrap();
+        assert!(a.same_contents(&b));
+    }
+
+    fn relviz_core_suite_q5(db: &relviz_model::Database) -> TrcQuery {
+        parse_sql_to_trc(
+            "SELECT S.sname FROM Sailor S WHERE NOT EXISTS \
+             (SELECT * FROM Boat B WHERE B.color = 'red' AND NOT EXISTS \
+               (SELECT * FROM Reserves R WHERE R.sid = S.sid AND R.bid = B.bid))",
+            db,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn normalized_queries_become_drawable() {
+        // The payoff: Q3's OR form is rejected by Relational Diagrams
+        // as-is, accepted after normalization.
+        let db = sailors_sample();
+        let q = parse_sql_to_trc(
+            "SELECT DISTINCT S.sname FROM Sailor S, Reserves R, Boat B \
+             WHERE S.sid = R.sid AND R.bid = B.bid AND (B.color = 'red' OR B.color = 'green')",
+            &db,
+        )
+        .unwrap();
+        let n = lift_disjunctions(&q);
+        assert!(is_or_free(&n));
+        assert_eq!(n.branches.len(), 2);
+    }
+
+    // ---- flatten_exists ---------------------------------------------------
+
+    /// Asserts flatten_exists preserves semantics and reaches the
+    /// expected (branch bindings, remaining quantifiers) shape.
+    fn check_flat(sql: &str, bindings: usize, remaining_quants: usize) {
+        let db = sailors_sample();
+        let q = parse_sql_to_trc(sql, &db).unwrap();
+        let f = flatten_exists(&q);
+        assert_eq!(f.branches[0].bindings.len(), bindings, "{f}");
+        assert_eq!(f.quantifier_count(), remaining_quants, "{f}");
+        let a = eval_trc(&q, &db).unwrap();
+        let b = eval_trc(&f, &db).unwrap();
+        assert!(a.same_contents(&b), "flattening changed semantics\n{q}\n{f}");
+        crate::trc_check::check_query(&f, &db).expect("flattened query still checks");
+    }
+
+    #[test]
+    fn in_chain_flattens_to_the_join_form() {
+        // Q2 phrased as an IN-chain: two nested positive ∃ disappear.
+        check_flat(
+            "SELECT DISTINCT S.sname FROM Sailor S WHERE S.sid IN \
+             (SELECT R.sid FROM Reserves R WHERE R.bid IN \
+               (SELECT B.bid FROM Boat B WHERE B.color = 'red'))",
+            3,
+            0,
+        );
+    }
+
+    #[test]
+    fn flat_join_untouched() {
+        check_flat(
+            "SELECT DISTINCT S.sname FROM Sailor S, Reserves R, Boat B \
+             WHERE S.sid = R.sid AND R.bid = B.bid AND B.color = 'red'",
+            3,
+            0,
+        );
+    }
+
+    #[test]
+    fn negation_boundaries_not_crossed() {
+        // Q5: the ¬∃¬∃ pattern must survive; only nothing to hoist here.
+        check_flat(
+            "SELECT S.sname FROM Sailor S WHERE NOT EXISTS \
+             (SELECT * FROM Boat B WHERE B.color = 'red' AND NOT EXISTS \
+               (SELECT * FROM Reserves R WHERE R.sid = S.sid AND R.bid = B.bid))",
+            1,
+            2,
+        );
+    }
+
+    #[test]
+    fn positive_exists_inside_negation_flattens_locally() {
+        // ¬∃r(… ∧ ∃b ψ): the inner positive pair merges, the ¬ stays.
+        check_flat(
+            "SELECT S.sname FROM Sailor S WHERE NOT EXISTS \
+             (SELECT * FROM Reserves R WHERE R.sid = S.sid AND R.bid IN \
+               (SELECT B.bid FROM Boat B WHERE B.color = 'red'))",
+            1,
+            1,
+        );
+    }
+
+    #[test]
+    fn flatten_renames_on_capture() {
+        // The inner block reuses alias S: hoisting must rename it, not
+        // capture the outer sailor.
+        let db = sailors_sample();
+        let q = parse_sql_to_trc(
+            "SELECT DISTINCT S.sname FROM Sailor S WHERE S.sid IN \
+             (SELECT S.sid FROM Reserves S WHERE S.bid = 102)",
+            &db,
+        )
+        .unwrap();
+        let f = flatten_exists(&q);
+        assert_eq!(f.branches[0].bindings.len(), 2);
+        let names: Vec<&str> =
+            f.branches[0].bindings.iter().map(|b| b.var.as_str()).collect();
+        assert_eq!(names.iter().collect::<std::collections::BTreeSet<_>>().len(), 2);
+        let a = eval_trc(&q, &db).unwrap();
+        let b = eval_trc(&f, &db).unwrap();
+        assert!(a.same_contents(&b));
+    }
+
+    #[test]
+    fn flatten_then_lift_compose() {
+        // Disjunction lifting then flattening gives OR-free, prenex-positive
+        // branches — the canonical pattern form.
+        let db = sailors_sample();
+        let q = parse_sql_to_trc(
+            "SELECT DISTINCT S.sname FROM Sailor S WHERE S.sid IN \
+             (SELECT R.sid FROM Reserves R, Boat B WHERE R.bid = B.bid AND \
+              (B.color = 'red' OR B.color = 'green'))",
+            &db,
+        )
+        .unwrap();
+        let n = flatten_exists(&lift_disjunctions(&q));
+        assert!(is_or_free(&n));
+        assert_eq!(n.branches.len(), 2);
+        assert_eq!(n.quantifier_count(), 0);
+        let a = eval_trc(&q, &db).unwrap();
+        let b = eval_trc(&n, &db).unwrap();
+        assert!(a.same_contents(&b));
+    }
+
+    #[test]
+    fn deep_mixed_nesting() {
+        // ¬∃ containing an OR of an ∃ and a comparison.
+        check(
+            "SELECT S.sname FROM Sailor S WHERE NOT EXISTS \
+             (SELECT * FROM Reserves R WHERE R.sid = S.sid AND \
+              (R.bid = 102 OR EXISTS (SELECT * FROM Boat B WHERE B.bid = R.bid AND B.color = 'green')))",
+            1,
+        );
+    }
+}

@@ -1,0 +1,175 @@
+//! TRC → DRC: tuple variables explode into one domain variable per
+//! attribute, relation bindings become positional atoms.
+//!
+//! A tuple variable `v` over relation `R(a₁,…,aₖ)` becomes domain variables
+//! `v_a₁ … v_aₖ` plus the atom `R(v_a₁, …, v_aₖ)`; attribute terms `v.aᵢ`
+//! become `v_aᵢ`. Quantifiers carry their atoms inside:
+//!
+//! ```text
+//! ∃v ∈ R: φ   ⇒   ∃ v_a₁ … v_aₖ: R(v_a₁, …, v_aₖ) ∧ φ'
+//! ```
+//!
+//! The output is always safe-range (atoms restrict every introduced
+//! variable), which the tests verify via
+//! [`crate::drc_eval::safe_range_check`]. Multi-branch queries become a
+//! disjunction equating fresh head variables with each branch's head terms
+//! — the standard way DRC expresses union.
+
+use relviz_model::Database;
+
+use crate::drc::{DrcFormula, DrcQuery, DrcTerm};
+use crate::error::{RcError, RcResult};
+use crate::trc::{Binding, TrcFormula, TrcQuery, TrcTerm};
+use crate::trc_check::check_query;
+
+/// Translates a (checked) TRC query to DRC.
+pub fn trc_to_drc(q: &TrcQuery, db: &Database) -> RcResult<DrcQuery> {
+    check_query(q, db)?;
+    let q = q.eliminate_forall();
+
+    // Fresh head variables h1..hk shared by all branches.
+    let arity = q.arity();
+    let head: Vec<String> = (1..=arity).map(|i| format!("h{i}")).collect();
+
+    let mut alternatives = Vec::with_capacity(q.branches.len());
+    for branch in &q.branches {
+        let (vars, atoms) = bind_vars(&branch.bindings, db)?;
+        let mut parts = atoms;
+        if let Some(body) = &branch.body {
+            parts.push(formula(body, db)?);
+        }
+        for (hv, (_, term)) in head.iter().zip(&branch.head) {
+            parts.push(DrcFormula::eq(DrcTerm::var(hv.clone()), term_to_drc(term)));
+        }
+        alternatives.push(DrcFormula::exists(vars, DrcFormula::conj(parts)));
+    }
+    let body = alternatives
+        .into_iter()
+        .reduce(|a, b| a.or(b))
+        .ok_or_else(|| RcError::Check("query has no branches".into()))?;
+    Ok(DrcQuery { head, body })
+}
+
+/// `v.a` ⇒ domain variable `v_a`.
+fn dvar(var: &str, attr: &str) -> String {
+    format!("{var}_{attr}")
+}
+
+fn term_to_drc(t: &TrcTerm) -> DrcTerm {
+    match t {
+        TrcTerm::Attr { var, attr } => DrcTerm::Var(dvar(var, attr)),
+        TrcTerm::Const(v) => DrcTerm::Const(v.clone()),
+    }
+}
+
+/// Expands bindings into (domain variables, positional atoms).
+fn bind_vars(
+    bindings: &[Binding],
+    db: &Database,
+) -> RcResult<(Vec<String>, Vec<DrcFormula>)> {
+    let mut vars = Vec::new();
+    let mut atoms = Vec::new();
+    for b in bindings {
+        let schema = db
+            .schema(&b.rel)
+            .map_err(|_| RcError::Check(format!("unknown relation `{}`", b.rel)))?;
+        let mut terms = Vec::with_capacity(schema.arity());
+        for a in schema.attrs() {
+            let v = dvar(&b.var, &a.name);
+            vars.push(v.clone());
+            terms.push(DrcTerm::Var(v));
+        }
+        atoms.push(DrcFormula::Atom { rel: b.rel.clone(), terms });
+    }
+    Ok((vars, atoms))
+}
+
+fn formula(f: &TrcFormula, db: &Database) -> RcResult<DrcFormula> {
+    Ok(match f {
+        TrcFormula::Const(b) => DrcFormula::Const(*b),
+        TrcFormula::Cmp { left, op, right } => {
+            DrcFormula::cmp(term_to_drc(left), *op, term_to_drc(right))
+        }
+        TrcFormula::And(a, b) => formula(a, db)?.and(formula(b, db)?),
+        TrcFormula::Or(a, b) => formula(a, db)?.or(formula(b, db)?),
+        TrcFormula::Not(a) => formula(a, db)?.not(),
+        TrcFormula::Exists { bindings, body } => {
+            let (vars, atoms) = bind_vars(bindings, db)?;
+            let mut parts = atoms;
+            parts.push(formula(body, db)?);
+            DrcFormula::exists(vars, DrcFormula::conj(parts))
+        }
+        TrcFormula::Forall { .. } => {
+            return Err(RcError::Check("∀ must be eliminated first (internal)".into()))
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::drc_eval::{eval_drc, safe_range_check};
+    use crate::from_sql::parse_sql_to_trc;
+    use crate::trc_eval::eval_trc;
+    use relviz_model::catalog::sailors_sample;
+
+    fn check_equiv(sql: &str) {
+        let db = sailors_sample();
+        let trc = parse_sql_to_trc(sql, &db).unwrap();
+        let drc = trc_to_drc(&trc, &db).unwrap_or_else(|e| panic!("{sql}: {e}"));
+        safe_range_check(&drc).unwrap_or_else(|e| panic!("{sql} produced unsafe DRC: {e}\n{drc}"));
+        let via_trc = eval_trc(&trc, &db).unwrap();
+        let via_drc = eval_drc(&drc, &db).unwrap();
+        assert!(
+            via_trc.same_contents(&via_drc),
+            "TRC vs DRC mismatch for `{sql}`\n{drc}\ntrc={via_trc}\ndrc={via_drc}"
+        );
+    }
+
+    #[test]
+    fn suite_queries_translate_and_agree() {
+        for sql in [
+            "SELECT DISTINCT S.sname FROM Sailor S, Reserves R WHERE S.sid = R.sid AND R.bid = 102",
+            "SELECT DISTINCT S.sname FROM Sailor S, Reserves R, Boat B \
+             WHERE S.sid = R.sid AND R.bid = B.bid AND B.color = 'red'",
+            "SELECT S.sname FROM Sailor S, Reserves R, Boat B \
+             WHERE S.sid = R.sid AND R.bid = B.bid AND B.color = 'red' \
+             UNION SELECT S.sname FROM Sailor S, Reserves R, Boat B \
+             WHERE S.sid = R.sid AND R.bid = B.bid AND B.color = 'green'",
+            "SELECT S.sname FROM Sailor S WHERE NOT EXISTS \
+             (SELECT * FROM Reserves R, Boat B \
+              WHERE R.sid = S.sid AND R.bid = B.bid AND B.color = 'red')",
+            "SELECT S.sname FROM Sailor S WHERE NOT EXISTS \
+             (SELECT * FROM Boat B WHERE B.color = 'red' AND NOT EXISTS \
+               (SELECT * FROM Reserves R WHERE R.sid = S.sid AND R.bid = B.bid))",
+            "SELECT S.sname FROM Sailor S WHERE S.rating >= ALL (SELECT S2.rating FROM Sailor S2)",
+        ] {
+            check_equiv(sql);
+        }
+    }
+
+    #[test]
+    fn atom_shape() {
+        let db = sailors_sample();
+        let trc = crate::trc_parse::parse_trc("{s.sname | Sailor(s) and s.rating > 7}").unwrap();
+        let drc = trc_to_drc(&trc, &db).unwrap();
+        let text = drc.to_string();
+        assert!(
+            text.contains("Sailor(s_sid, s_sname, s_rating, s_age)"),
+            "{text}"
+        );
+        assert!(text.contains("s_rating > 7"), "{text}");
+        assert!(text.contains("h1 = s_sname"), "{text}");
+    }
+
+    #[test]
+    fn constant_head_supported_in_drc() {
+        // Unlike RA, DRC can equate a head variable with a constant.
+        let db = sailors_sample();
+        let trc = crate::trc_parse::parse_trc("{s.sid, 'tag' | Sailor(s)}").unwrap();
+        let drc = trc_to_drc(&trc, &db).unwrap();
+        safe_range_check(&drc).unwrap();
+        let out = eval_drc(&drc, &db).unwrap();
+        assert_eq!(out.len(), 10);
+    }
+}

@@ -1,0 +1,212 @@
+//! TRC → RA: the classical compilation showing that safe calculus queries
+//! are relationally computable (Codd's theorem, constructive direction).
+//!
+//! Strategy ("context algebra"): for a set `ctx` of bound variables
+//! `v₁∈R₁ … vₙ∈Rₙ`, let `E(ctx)` be the product of the `Rᵢ` with attributes
+//! renamed to `vᵢ__a`. Every subformula φ compiles to an RA expression with
+//! schema `E(ctx)` holding exactly the variable assignments that satisfy φ:
+//!
+//! * comparison  → `σ(E(ctx))`
+//! * `φ ∧ ψ`     → `compile(φ) ∩ compile(ψ)`
+//! * `φ ∨ ψ`     → `compile(φ) ∪ compile(ψ)`
+//! * `¬φ`        → `E(ctx) − compile(φ)`   (range-restricted complement)
+//! * `∃v̄: φ`     → `π_{ctx}(compile(φ, ctx ∪ v̄))`
+//! * `∀`         → eliminated as `¬∃¬` first
+//!
+//! This mirrors how the tutorial explains why *relation-bound* quantifiers
+//! (and nothing else) keep diagrams finite: negation is always relative to
+//! an explicit product of named relations, never to an infinite domain.
+//! The output is not optimized — feed it to [`relviz_ra::rewrite::optimize`].
+
+use relviz_model::Database;
+use relviz_ra::{Operand, Predicate, RaExpr};
+
+use crate::error::{RcError, RcResult};
+use crate::trc::{Binding, TrcFormula, TrcQuery, TrcTerm};
+use crate::trc_check::check_query;
+
+/// Compiles a (checked) TRC query to RA.
+pub fn trc_to_ra(q: &TrcQuery, db: &Database) -> RcResult<RaExpr> {
+    check_query(q, db)?;
+    let q = q.eliminate_forall();
+    let mut per_branch = Vec::with_capacity(q.branches.len());
+    for branch in &q.branches {
+        let ctx: Vec<Binding> = branch.bindings.clone();
+        let satisfying = match &branch.body {
+            Some(body) => compile(body, &ctx, db)?,
+            None => ctx_expr(&ctx, db)?,
+        };
+        // Head: project the var__attr columns, then rename to output names.
+        let mut proj = Vec::with_capacity(branch.head.len());
+        for (_, term) in &branch.head {
+            match term {
+                TrcTerm::Attr { var, attr } => proj.push(mangle(var, attr)),
+                TrcTerm::Const(_) => {
+                    return Err(RcError::Unsupported(
+                        "constant head terms need an extension operator absent from classical RA"
+                            .into(),
+                    ))
+                }
+            }
+        }
+        if has_duplicates(&proj) {
+            return Err(RcError::Unsupported(
+                "duplicate head terms cannot be expressed as an RA projection".into(),
+            ));
+        }
+        let mut e = RaExpr::Project { attrs: proj.clone(), input: Box::new(satisfying) };
+        for (mangled, (out_name, _)) in proj.iter().zip(&branch.head) {
+            if mangled != out_name {
+                e = e.rename(mangled.clone(), out_name.clone());
+            }
+        }
+        per_branch.push(e);
+    }
+    per_branch
+        .into_iter()
+        .reduce(|a, b| a.union(b))
+        .ok_or_else(|| RcError::Check("query has no branches".into()))
+}
+
+fn mangle(var: &str, attr: &str) -> String {
+    format!("{var}__{attr}")
+}
+
+fn has_duplicates(v: &[String]) -> bool {
+    v.iter().enumerate().any(|(i, x)| v[..i].contains(x))
+}
+
+/// `E(ctx)`: the product of the context's relations, attributes mangled.
+fn ctx_expr(ctx: &[Binding], db: &Database) -> RcResult<RaExpr> {
+    let mut parts = Vec::with_capacity(ctx.len());
+    for b in ctx {
+        let schema = db
+            .schema(&b.rel)
+            .map_err(|_| RcError::Check(format!("unknown relation `{}`", b.rel)))?;
+        let mut e = RaExpr::relation(b.rel.clone());
+        for a in schema.attrs() {
+            e = e.rename(a.name.clone(), mangle(&b.var, &a.name));
+        }
+        parts.push(e);
+    }
+    parts
+        .into_iter()
+        .reduce(|a, b| a.product(b))
+        .ok_or_else(|| RcError::Unsupported("empty context (Boolean query) in RA target".into()))
+}
+
+fn ctx_attrs(ctx: &[Binding], db: &Database) -> RcResult<Vec<String>> {
+    let mut out = Vec::new();
+    for b in ctx {
+        let schema = db
+            .schema(&b.rel)
+            .map_err(|_| RcError::Check(format!("unknown relation `{}`", b.rel)))?;
+        for a in schema.attrs() {
+            out.push(mangle(&b.var, &a.name));
+        }
+    }
+    Ok(out)
+}
+
+fn compile(f: &TrcFormula, ctx: &[Binding], db: &Database) -> RcResult<RaExpr> {
+    match f {
+        TrcFormula::Const(true) => ctx_expr(ctx, db),
+        TrcFormula::Const(false) => {
+            let e = ctx_expr(ctx, db)?;
+            Ok(e.clone().difference(e))
+        }
+        TrcFormula::Cmp { left, op, right } => {
+            let pred = Predicate::cmp(operand(left)?, *op, operand(right)?);
+            Ok(ctx_expr(ctx, db)?.select(pred))
+        }
+        TrcFormula::And(a, b) => Ok(compile(a, ctx, db)?.intersect(compile(b, ctx, db)?)),
+        TrcFormula::Or(a, b) => Ok(compile(a, ctx, db)?.union(compile(b, ctx, db)?)),
+        TrcFormula::Not(a) => Ok(ctx_expr(ctx, db)?.difference(compile(a, ctx, db)?)),
+        TrcFormula::Exists { bindings, body } => {
+            let mut inner_ctx = ctx.to_vec();
+            inner_ctx.extend(bindings.iter().cloned());
+            let inner = compile(body, &inner_ctx, db)?;
+            Ok(RaExpr::Project { attrs: ctx_attrs(ctx, db)?, input: Box::new(inner) })
+        }
+        TrcFormula::Forall { .. } => Err(RcError::Check(
+            "∀ must be eliminated before compilation (internal error)".into(),
+        )),
+    }
+}
+
+fn operand(t: &TrcTerm) -> RcResult<Operand> {
+    Ok(match t {
+        TrcTerm::Attr { var, attr } => Operand::Attr(mangle(var, attr)),
+        TrcTerm::Const(v) => Operand::Const(v.clone()),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::from_sql::parse_sql_to_trc;
+    use crate::trc_eval::eval_trc;
+    use relviz_model::catalog::sailors_sample;
+    use relviz_ra::eval::eval as ra_eval;
+    use relviz_ra::rewrite::optimize;
+
+    fn check_equiv(sql: &str) {
+        let db = sailors_sample();
+        let trc = parse_sql_to_trc(sql, &db).unwrap();
+        let ra = trc_to_ra(&trc, &db).unwrap_or_else(|e| panic!("{sql}: {e}"));
+        let via_trc = eval_trc(&trc, &db).unwrap();
+        let via_ra = ra_eval(&ra, &db).unwrap_or_else(|e| panic!("{sql}: {e}"));
+        assert!(
+            via_trc.same_contents(&via_ra),
+            "TRC vs RA mismatch for `{sql}`\ntrc={via_trc}\nra={via_ra}"
+        );
+        // and the optimizer must preserve it:
+        let via_opt = ra_eval(&optimize(&ra), &db).unwrap();
+        assert!(via_trc.same_contents(&via_opt), "optimizer broke `{sql}`");
+    }
+
+    #[test]
+    fn suite_queries_compile_and_agree() {
+        for sql in [
+            "SELECT DISTINCT S.sname FROM Sailor S, Reserves R WHERE S.sid = R.sid AND R.bid = 102",
+            "SELECT DISTINCT S.sname FROM Sailor S, Reserves R, Boat B \
+             WHERE S.sid = R.sid AND R.bid = B.bid AND B.color = 'red'",
+            "SELECT S.sname FROM Sailor S, Reserves R, Boat B \
+             WHERE S.sid = R.sid AND R.bid = B.bid AND B.color = 'red' \
+             UNION SELECT S.sname FROM Sailor S, Reserves R, Boat B \
+             WHERE S.sid = R.sid AND R.bid = B.bid AND B.color = 'green'",
+            "SELECT S.sname FROM Sailor S WHERE NOT EXISTS \
+             (SELECT * FROM Reserves R, Boat B \
+              WHERE R.sid = S.sid AND R.bid = B.bid AND B.color = 'red')",
+            "SELECT S.sname FROM Sailor S WHERE NOT EXISTS \
+             (SELECT * FROM Boat B WHERE B.color = 'red' AND NOT EXISTS \
+               (SELECT * FROM Reserves R WHERE R.sid = S.sid AND R.bid = B.bid))",
+            "SELECT S.sid FROM Sailor S EXCEPT SELECT R.sid FROM Reserves R",
+            "SELECT S.sname FROM Sailor S WHERE S.rating >= ALL (SELECT S2.rating FROM Sailor S2)",
+        ] {
+            check_equiv(sql);
+        }
+    }
+
+    #[test]
+    fn constant_head_rejected() {
+        let db = sailors_sample();
+        let trc = crate::trc_parse::parse_trc("{s.sid, 'tag' | Sailor(s)}").unwrap();
+        assert!(matches!(trc_to_ra(&trc, &db), Err(RcError::Unsupported(_))));
+    }
+
+    #[test]
+    fn forall_handled_via_elimination() {
+        let db = sailors_sample();
+        let trc = crate::trc_parse::parse_trc(
+            "{q.sname | Sailor(q) and forall b in Boat: (b.color <> 'red' or \
+              exists r in Reserves: (r.sid = q.sid and r.bid = b.bid))}",
+        )
+        .unwrap();
+        let ra = trc_to_ra(&trc, &db).unwrap();
+        let via_trc = eval_trc(&trc, &db).unwrap();
+        let via_ra = ra_eval(&ra, &db).unwrap();
+        assert!(via_trc.same_contents(&via_ra));
+        assert_eq!(via_trc.len(), 2); // dustin, lubber
+    }
+}

@@ -1,0 +1,423 @@
+//! Tuple Relational Calculus with relation-bound quantifiers.
+//!
+//! A query is a union of **branches** (the tutorial's extra query Q3 shows
+//! why: disjunction across *different* binding structures is exactly what
+//! needs `UNION` in SQL and multiple "partitions" in Relational Diagrams).
+//! Each branch is
+//!
+//! ```text
+//! { (t₁.a₁, …, tₖ.aₖ)  |  R₁(t₁), …, Rₙ(tₙ) · φ }
+//! ```
+//!
+//! with free variables `tᵢ` bound to relations `Rᵢ` and a formula φ whose
+//! quantifiers are relation-bound (`∃s ∈ S`, `∀s ∈ S`). This is the safe
+//! fragment of TRC by construction — no variable ever ranges over an
+//! unrestricted domain — which is the fragment every surveyed diagram
+//! formalism targets.
+
+use relviz_model::{CmpOp, Value};
+
+/// A term: an attribute of a tuple variable, or a constant.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum TrcTerm {
+    Attr { var: String, attr: String },
+    Const(Value),
+}
+
+impl TrcTerm {
+    pub fn attr(var: impl Into<String>, attr: impl Into<String>) -> Self {
+        TrcTerm::Attr { var: var.into(), attr: attr.into() }
+    }
+    pub fn val(v: impl Into<Value>) -> Self {
+        TrcTerm::Const(v.into())
+    }
+    /// The variable referenced, if any.
+    pub fn var(&self) -> Option<&str> {
+        match self {
+            TrcTerm::Attr { var, .. } => Some(var),
+            TrcTerm::Const(_) => None,
+        }
+    }
+}
+
+impl std::fmt::Display for TrcTerm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TrcTerm::Attr { var, attr } => write!(f, "{var}.{attr}"),
+            TrcTerm::Const(v) => write!(f, "{}", v.to_literal()),
+        }
+    }
+}
+
+/// A quantifier binding: `var ∈ rel`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Binding {
+    pub var: String,
+    pub rel: String,
+}
+
+impl Binding {
+    pub fn new(var: impl Into<String>, rel: impl Into<String>) -> Self {
+        Binding { var: var.into(), rel: rel.into() }
+    }
+}
+
+impl std::fmt::Display for Binding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} in {}", self.var, self.rel)
+    }
+}
+
+/// TRC formulas.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TrcFormula {
+    /// Comparison between two terms.
+    Cmp { left: TrcTerm, op: CmpOp, right: TrcTerm },
+    And(Box<TrcFormula>, Box<TrcFormula>),
+    Or(Box<TrcFormula>, Box<TrcFormula>),
+    Not(Box<TrcFormula>),
+    /// `∃ v₁ ∈ R₁, … : body`
+    Exists { bindings: Vec<Binding>, body: Box<TrcFormula> },
+    /// `∀ v₁ ∈ R₁, … : body`
+    Forall { bindings: Vec<Binding>, body: Box<TrcFormula> },
+    /// Constant truth value.
+    Const(bool),
+}
+
+impl TrcFormula {
+    pub fn cmp(left: TrcTerm, op: CmpOp, right: TrcTerm) -> Self {
+        TrcFormula::Cmp { left, op, right }
+    }
+    pub fn eq(left: TrcTerm, right: TrcTerm) -> Self {
+        TrcFormula::cmp(left, CmpOp::Eq, right)
+    }
+    pub fn and(self, other: TrcFormula) -> Self {
+        TrcFormula::And(Box::new(self), Box::new(other))
+    }
+    pub fn or(self, other: TrcFormula) -> Self {
+        TrcFormula::Or(Box::new(self), Box::new(other))
+    }
+    #[allow(clippy::should_implement_trait)] // DSL: ¬ builder, not std::ops::Not
+    pub fn not(self) -> Self {
+        TrcFormula::Not(Box::new(self))
+    }
+    pub fn exists(bindings: Vec<Binding>, body: TrcFormula) -> Self {
+        TrcFormula::Exists { bindings, body: Box::new(body) }
+    }
+    pub fn forall(bindings: Vec<Binding>, body: TrcFormula) -> Self {
+        TrcFormula::Forall { bindings, body: Box::new(body) }
+    }
+
+    /// Conjunction of a list (True when empty).
+    pub fn conj(mut parts: Vec<TrcFormula>) -> TrcFormula {
+        match parts.len() {
+            0 => TrcFormula::Const(true),
+            1 => parts.pop().expect("len checked"),
+            _ => {
+                let first = parts.remove(0);
+                parts.into_iter().fold(first, |acc, p| acc.and(p))
+            }
+        }
+    }
+
+    /// Rewrites `∀x̄: φ` as `¬∃x̄: ¬φ` everywhere — the normal form that
+    /// Relational Diagrams and Peirce's graphs use (both draw universal
+    /// quantification as doubly-nested negation).
+    pub fn eliminate_forall(&self) -> TrcFormula {
+        match self {
+            TrcFormula::Forall { bindings, body } => TrcFormula::Exists {
+                bindings: bindings.clone(),
+                body: Box::new(body.eliminate_forall().not()),
+            }
+            .not(),
+            TrcFormula::And(a, b) => a.eliminate_forall().and(b.eliminate_forall()),
+            TrcFormula::Or(a, b) => a.eliminate_forall().or(b.eliminate_forall()),
+            TrcFormula::Not(a) => a.eliminate_forall().not(),
+            TrcFormula::Exists { bindings, body } => TrcFormula::Exists {
+                bindings: bindings.clone(),
+                body: Box::new(body.eliminate_forall()),
+            },
+            other => other.clone(),
+        }
+    }
+
+    /// All variables referenced in terms (free or bound), with repetition.
+    pub fn term_vars(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        self.collect_term_vars(&mut out);
+        out
+    }
+
+    fn collect_term_vars<'a>(&'a self, out: &mut Vec<&'a str>) {
+        match self {
+            TrcFormula::Cmp { left, right, .. } => {
+                if let Some(v) = left.var() {
+                    out.push(v);
+                }
+                if let Some(v) = right.var() {
+                    out.push(v);
+                }
+            }
+            TrcFormula::And(a, b) | TrcFormula::Or(a, b) => {
+                a.collect_term_vars(out);
+                b.collect_term_vars(out);
+            }
+            TrcFormula::Not(a) => a.collect_term_vars(out),
+            TrcFormula::Exists { body, .. } | TrcFormula::Forall { body, .. } => {
+                body.collect_term_vars(out)
+            }
+            TrcFormula::Const(_) => {}
+        }
+    }
+
+    /// Count of quantifier nodes (used as a nesting-depth metric).
+    pub fn quantifier_count(&self) -> usize {
+        match self {
+            TrcFormula::And(a, b) | TrcFormula::Or(a, b) => {
+                a.quantifier_count() + b.quantifier_count()
+            }
+            TrcFormula::Not(a) => a.quantifier_count(),
+            TrcFormula::Exists { body, .. } | TrcFormula::Forall { body, .. } => {
+                1 + body.quantifier_count()
+            }
+            _ => 0,
+        }
+    }
+}
+
+/// One branch of a TRC query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrcBranch {
+    /// Free tuple variables with their relations: `Sailor(q)` etc.
+    pub bindings: Vec<Binding>,
+    /// Projected output terms, with output attribute names.
+    pub head: Vec<(String, TrcTerm)>,
+    /// Qualifying condition (optional: None ⇔ TRUE).
+    pub body: Option<TrcFormula>,
+}
+
+impl TrcBranch {
+    /// The body formula or TRUE.
+    pub fn body_or_true(&self) -> TrcFormula {
+        self.body.clone().unwrap_or(TrcFormula::Const(true))
+    }
+}
+
+/// A TRC query: union of branches (all branches must have equal head arity
+/// and compatible types — checked by [`crate::trc_check`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrcQuery {
+    pub branches: Vec<TrcBranch>,
+}
+
+impl TrcQuery {
+    pub fn single(branch: TrcBranch) -> Self {
+        TrcQuery { branches: vec![branch] }
+    }
+
+    /// Head arity (of the first branch).
+    pub fn arity(&self) -> usize {
+        self.branches.first().map_or(0, |b| b.head.len())
+    }
+
+    /// Total quantifier count across branches (size metric).
+    pub fn quantifier_count(&self) -> usize {
+        self.branches
+            .iter()
+            .map(|b| b.body.as_ref().map_or(0, TrcFormula::quantifier_count))
+            .sum()
+    }
+
+    /// [`TrcFormula::eliminate_forall`] applied to every branch.
+    pub fn eliminate_forall(&self) -> TrcQuery {
+        TrcQuery {
+            branches: self
+                .branches
+                .iter()
+                .map(|b| TrcBranch {
+                    bindings: b.bindings.clone(),
+                    head: b.head.clone(),
+                    body: b.body.as_ref().map(TrcFormula::eliminate_forall),
+                })
+                .collect(),
+        }
+    }
+}
+
+// --- Display: the textual TRC notation used on the tutorial's slides -----
+
+impl std::fmt::Display for TrcFormula {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write_formula(f, self, 0)
+    }
+}
+
+fn prec(f: &TrcFormula) -> u8 {
+    match f {
+        TrcFormula::Or(_, _) => 1,
+        TrcFormula::And(_, _) => 2,
+        TrcFormula::Not(_) => 3,
+        _ => 4,
+    }
+}
+
+fn write_formula(
+    f: &mut std::fmt::Formatter<'_>,
+    fla: &TrcFormula,
+    parent: u8,
+) -> std::fmt::Result {
+    let p = prec(fla);
+    let parens = p < parent;
+    if parens {
+        write!(f, "(")?;
+    }
+    match fla {
+        TrcFormula::Cmp { left, op, right } => write!(f, "{left} {} {right}", op.symbol())?,
+        TrcFormula::And(a, b) => {
+            write_formula(f, a, 2)?;
+            write!(f, " and ")?;
+            write_formula(f, b, 3)?;
+        }
+        TrcFormula::Or(a, b) => {
+            write_formula(f, a, 1)?;
+            write!(f, " or ")?;
+            write_formula(f, b, 2)?;
+        }
+        TrcFormula::Not(a) => {
+            write!(f, "not ")?;
+            write_formula(f, a, 4)?;
+        }
+        TrcFormula::Exists { bindings, body } => {
+            write!(f, "exists ")?;
+            for (i, b) in bindings.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{b}")?;
+            }
+            write!(f, ": (")?;
+            write_formula(f, body, 0)?;
+            write!(f, ")")?;
+        }
+        TrcFormula::Forall { bindings, body } => {
+            write!(f, "forall ")?;
+            for (i, b) in bindings.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{b}")?;
+            }
+            write!(f, ": (")?;
+            write_formula(f, body, 0)?;
+            write!(f, ")")?;
+        }
+        TrcFormula::Const(b) => write!(f, "{}", if *b { "true" } else { "false" })?,
+    }
+    if parens {
+        write!(f, ")")?;
+    }
+    Ok(())
+}
+
+impl std::fmt::Display for TrcBranch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{{")?;
+        for (i, (_, t)) in self.head.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{t}")?;
+        }
+        write!(f, " | ")?;
+        for (i, b) in self.bindings.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}({})", b.rel, b.var)?;
+        }
+        if let Some(body) = &self.body {
+            write!(f, " and {body}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl std::fmt::Display for TrcQuery {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for (i, b) in self.branches.iter().enumerate() {
+            if i > 0 {
+                write!(f, " union ")?;
+            }
+            write!(f, "{b}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q5_body() -> TrcFormula {
+        // forall b in Boat: (b.color = 'red' -> exists r: …) written ¬∃¬:
+        TrcFormula::exists(
+            vec![Binding::new("b", "Boat")],
+            TrcFormula::eq(TrcTerm::attr("b", "color"), TrcTerm::val("red")).and(
+                TrcFormula::exists(
+                    vec![Binding::new("r", "Reserves")],
+                    TrcFormula::eq(TrcTerm::attr("r", "sid"), TrcTerm::attr("q", "sid")).and(
+                        TrcFormula::eq(TrcTerm::attr("r", "bid"), TrcTerm::attr("b", "bid")),
+                    ),
+                )
+                .not(),
+            ),
+        )
+        .not()
+    }
+
+    #[test]
+    fn display_shapes() {
+        let q = TrcQuery::single(TrcBranch {
+            bindings: vec![Binding::new("q", "Sailor")],
+            head: vec![("sname".into(), TrcTerm::attr("q", "sname"))],
+            body: Some(q5_body()),
+        });
+        let s = q.to_string();
+        assert!(s.starts_with("{q.sname | Sailor(q) and not exists b in Boat"), "{s}");
+    }
+
+    #[test]
+    fn forall_elimination() {
+        let fa = TrcFormula::forall(
+            vec![Binding::new("b", "Boat")],
+            TrcFormula::eq(TrcTerm::attr("b", "color"), TrcTerm::val("red")),
+        );
+        let e = fa.eliminate_forall();
+        let TrcFormula::Not(inner) = e else { panic!("{e:?}") };
+        let TrcFormula::Exists { body, .. } = *inner else { panic!() };
+        assert!(matches!(*body, TrcFormula::Not(_)));
+    }
+
+    #[test]
+    fn quantifier_count() {
+        assert_eq!(q5_body().quantifier_count(), 2);
+    }
+
+    #[test]
+    fn conj_of_lists() {
+        assert_eq!(TrcFormula::conj(vec![]), TrcFormula::Const(true));
+        let one = TrcFormula::eq(TrcTerm::attr("a", "x"), TrcTerm::val(1));
+        assert_eq!(TrcFormula::conj(vec![one.clone()]), one);
+        let two = TrcFormula::conj(vec![one.clone(), one.clone()]);
+        assert!(matches!(two, TrcFormula::And(_, _)));
+    }
+
+    #[test]
+    fn term_vars() {
+        let body = q5_body();
+        let vars = body.term_vars();
+        assert!(vars.contains(&"q"));
+        assert!(vars.contains(&"b"));
+        assert!(vars.contains(&"r"));
+    }
+}

@@ -1,0 +1,276 @@
+//! Well-formedness and safety checking for TRC queries.
+//!
+//! Checks performed:
+//! * every variable reference is in scope (bound by the branch's free
+//!   bindings or by an enclosing quantifier),
+//! * no variable is bound twice in overlapping scopes,
+//! * every referenced attribute exists in the variable's relation,
+//! * comparisons are type-compatible,
+//! * all branches have the same head arity and unifiable types.
+//!
+//! The relation-bound quantifier syntax makes *range restriction* (safety)
+//! structural: a well-scoped query in this fragment is automatically safe,
+//! which this module's existence turns into a checkable invariant rather
+//! than a hand-waved convention. (Contrast with DRC, where safe-range is a
+//! real analysis — see [`crate::drc_eval::safe_range_check`].)
+
+use relviz_model::{Database, DataType, Schema};
+
+use crate::error::{RcError, RcResult};
+use crate::trc::{Binding, TrcFormula, TrcQuery, TrcTerm};
+
+/// Scope: stack of (var, schema) bindings.
+struct Scope<'a> {
+    vars: Vec<(String, &'a Schema)>,
+}
+
+impl<'a> Scope<'a> {
+    fn lookup(&self, var: &str) -> Option<&'a Schema> {
+        self.vars
+            .iter()
+            .rev()
+            .find(|(v, _)| v == var)
+            .map(|(_, s)| *s)
+    }
+}
+
+/// Checks a whole query; returns the output schema names/types on success.
+pub fn check_query(q: &TrcQuery, db: &Database) -> RcResult<Vec<(String, DataType)>> {
+    if q.branches.is_empty() {
+        return Err(RcError::Check("query has no branches".into()));
+    }
+    let mut head_types: Option<Vec<(String, DataType)>> = None;
+    for branch in &q.branches {
+        let mut scope = Scope { vars: Vec::new() };
+        bind(&mut scope, &branch.bindings, db)?;
+
+        let mut types = Vec::with_capacity(branch.head.len());
+        for (name, term) in &branch.head {
+            types.push((name.clone(), term_type(term, &scope)?));
+        }
+        if let Some(body) = &branch.body {
+            check_formula(body, &mut scope, db)?;
+        }
+
+        match &head_types {
+            None => head_types = Some(types),
+            Some(prev) => {
+                if prev.len() != types.len() {
+                    return Err(RcError::Check(format!(
+                        "branches have different head arities: {} vs {}",
+                        prev.len(),
+                        types.len()
+                    )));
+                }
+                for ((_, a), (_, b)) in prev.iter().zip(&types) {
+                    if a.unify(*b).is_none() {
+                        return Err(RcError::Check(format!(
+                            "branch head types incompatible: {a} vs {b}"
+                        )));
+                    }
+                }
+            }
+        }
+    }
+    Ok(head_types.expect("at least one branch"))
+}
+
+fn bind<'a>(scope: &mut Scope<'a>, bindings: &[Binding], db: &'a Database) -> RcResult<()> {
+    for b in bindings {
+        if scope.lookup(&b.var).is_some() {
+            return Err(RcError::Check(format!(
+                "variable `{}` bound twice in overlapping scopes",
+                b.var
+            )));
+        }
+        let schema = db
+            .schema(&b.rel)
+            .map_err(|_| RcError::Check(format!("unknown relation `{}`", b.rel)))?;
+        scope.vars.push((b.var.clone(), schema));
+    }
+    Ok(())
+}
+
+fn term_type(term: &TrcTerm, scope: &Scope<'_>) -> RcResult<DataType> {
+    match term {
+        TrcTerm::Const(v) => Ok(v.data_type()),
+        TrcTerm::Attr { var, attr } => {
+            let schema = scope
+                .lookup(var)
+                .ok_or_else(|| RcError::Check(format!("unbound variable `{var}`")))?;
+            schema
+                .attr(attr)
+                .map(|a| a.ty)
+                .ok_or_else(|| RcError::Check(format!("variable `{var}` has no attribute `{attr}`")))
+        }
+    }
+}
+
+fn check_formula<'a>(
+    f: &TrcFormula,
+    scope: &mut Scope<'a>,
+    db: &'a Database,
+) -> RcResult<()> {
+    match f {
+        TrcFormula::Const(_) => Ok(()),
+        TrcFormula::Cmp { left, op: _, right } => {
+            let lt = term_type(left, scope)?;
+            let rt = term_type(right, scope)?;
+            if lt.unify(rt).is_none() {
+                return Err(RcError::Check(format!(
+                    "comparison `{left} … {right}` has incompatible types {lt} vs {rt}"
+                )));
+            }
+            Ok(())
+        }
+        TrcFormula::And(a, b) | TrcFormula::Or(a, b) => {
+            check_formula(a, scope, db)?;
+            check_formula(b, scope, db)
+        }
+        TrcFormula::Not(a) => check_formula(a, scope, db),
+        TrcFormula::Exists { bindings, body } | TrcFormula::Forall { bindings, body } => {
+            let depth = scope.vars.len();
+            bind(scope, bindings, db)?;
+            let r = check_formula(body, scope, db);
+            scope.vars.truncate(depth);
+            r
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trc::{TrcBranch, TrcQuery};
+    use relviz_model::catalog::sailors_sample;
+
+    fn branch(bindings: Vec<Binding>, head: Vec<(&str, TrcTerm)>, body: Option<TrcFormula>) -> TrcQuery {
+        TrcQuery::single(TrcBranch {
+            bindings,
+            head: head.into_iter().map(|(n, t)| (n.to_string(), t)).collect(),
+            body,
+        })
+    }
+
+    #[test]
+    fn accepts_well_formed() {
+        let q = branch(
+            vec![Binding::new("q", "Sailor")],
+            vec![("sname", TrcTerm::attr("q", "sname"))],
+            Some(TrcFormula::exists(
+                vec![Binding::new("r", "Reserves")],
+                TrcFormula::eq(TrcTerm::attr("r", "sid"), TrcTerm::attr("q", "sid")),
+            )),
+        );
+        let tys = check_query(&q, &sailors_sample()).unwrap();
+        assert_eq!(tys[0].0, "sname");
+        assert_eq!(tys[0].1, DataType::Str);
+    }
+
+    #[test]
+    fn rejects_unbound_variable() {
+        let q = branch(
+            vec![Binding::new("q", "Sailor")],
+            vec![("x", TrcTerm::attr("ghost", "sid"))],
+            None,
+        );
+        assert!(matches!(check_query(&q, &sailors_sample()), Err(RcError::Check(_))));
+    }
+
+    #[test]
+    fn rejects_unknown_relation_and_attr() {
+        let q = branch(
+            vec![Binding::new("q", "NoSuch")],
+            vec![("x", TrcTerm::attr("q", "a"))],
+            None,
+        );
+        assert!(check_query(&q, &sailors_sample()).is_err());
+
+        let q = branch(
+            vec![Binding::new("q", "Sailor")],
+            vec![("x", TrcTerm::attr("q", "ghost"))],
+            None,
+        );
+        assert!(check_query(&q, &sailors_sample()).is_err());
+    }
+
+    #[test]
+    fn rejects_shadowing() {
+        let q = branch(
+            vec![Binding::new("q", "Sailor")],
+            vec![("x", TrcTerm::attr("q", "sid"))],
+            Some(TrcFormula::exists(
+                vec![Binding::new("q", "Boat")],
+                TrcFormula::Const(true),
+            )),
+        );
+        assert!(check_query(&q, &sailors_sample()).is_err());
+    }
+
+    #[test]
+    fn scope_pops_after_quantifier() {
+        // `r` is out of scope after its Exists ends.
+        let q = branch(
+            vec![Binding::new("q", "Sailor")],
+            vec![("x", TrcTerm::attr("q", "sid"))],
+            Some(
+                TrcFormula::exists(
+                    vec![Binding::new("r", "Reserves")],
+                    TrcFormula::Const(true),
+                )
+                .and(TrcFormula::eq(TrcTerm::attr("r", "sid"), TrcTerm::val(1))),
+            ),
+        );
+        assert!(check_query(&q, &sailors_sample()).is_err());
+    }
+
+    #[test]
+    fn rejects_type_mismatch() {
+        let q = branch(
+            vec![Binding::new("q", "Sailor")],
+            vec![("x", TrcTerm::attr("q", "sid"))],
+            Some(TrcFormula::eq(TrcTerm::attr("q", "sname"), TrcTerm::val(5))),
+        );
+        assert!(check_query(&q, &sailors_sample()).is_err());
+    }
+
+    #[test]
+    fn rejects_mismatched_branches() {
+        let b1 = TrcBranch {
+            bindings: vec![Binding::new("q", "Sailor")],
+            head: vec![("a".into(), TrcTerm::attr("q", "sid"))],
+            body: None,
+        };
+        let b2 = TrcBranch {
+            bindings: vec![Binding::new("b", "Boat")],
+            head: vec![("a".into(), TrcTerm::attr("b", "color"))],
+            body: None,
+        };
+        let q = TrcQuery { branches: vec![b1.clone(), b2] };
+        assert!(check_query(&q, &sailors_sample()).is_err());
+
+        let b3 = TrcBranch {
+            bindings: vec![Binding::new("b", "Boat")],
+            head: vec![
+                ("a".into(), TrcTerm::attr("b", "bid")),
+                ("c".into(), TrcTerm::attr("b", "color")),
+            ],
+            body: None,
+        };
+        let q = TrcQuery { branches: vec![b1, b3] };
+        assert!(check_query(&q, &sailors_sample()).is_err());
+    }
+
+    #[test]
+    fn forall_scopes_like_exists() {
+        let q = branch(
+            vec![Binding::new("q", "Sailor")],
+            vec![("x", TrcTerm::attr("q", "sid"))],
+            Some(TrcFormula::forall(
+                vec![Binding::new("b", "Boat")],
+                TrcFormula::eq(TrcTerm::attr("b", "color"), TrcTerm::val("red")),
+            )),
+        );
+        assert!(check_query(&q, &sailors_sample()).is_ok());
+    }
+}

@@ -1,0 +1,273 @@
+//! Direct TRC evaluator (independent of the RA/SQL engines).
+//!
+//! Branch semantics: enumerate all assignments of the free bindings over
+//! their relations, keep those satisfying the body, project the head.
+//! Quantifiers enumerate their relation's tuples — the natural operational
+//! reading of relation-bound quantification.
+
+use relviz_model::{Database, DataType, Relation, Schema, Tuple, Value};
+
+use crate::error::{RcError, RcResult};
+use crate::trc::{Binding, TrcFormula, TrcQuery, TrcTerm};
+use crate::trc_check::check_query;
+
+/// Evaluates a TRC query (checking well-formedness first).
+pub fn eval_trc(q: &TrcQuery, db: &Database) -> RcResult<Relation> {
+    let head_types = check_query(q, db)?;
+    let schema = Schema::of(
+        &head_types
+            .iter()
+            .map(|(n, t)| (n.as_str(), *t))
+            .collect::<Vec<(&str, DataType)>>(),
+    );
+    let mut out = Relation::empty(schema);
+
+    for branch in &q.branches {
+        let mut env = Env { vars: Vec::new() };
+        enumerate_bindings(&branch.bindings, 0, db, &mut env, &mut |env| {
+            let keep = match &branch.body {
+                Some(f) => eval_formula(f, db, env)?,
+                None => true,
+            };
+            if keep {
+                let mut values = Vec::with_capacity(branch.head.len());
+                for (_, term) in &branch.head {
+                    values.push(term_value(term, env)?);
+                }
+                out.insert_unchecked(Tuple::new(values));
+            }
+            Ok(())
+        })?;
+    }
+    Ok(out)
+}
+
+struct Env {
+    vars: Vec<(String, Schema, Tuple)>,
+}
+
+impl Env {
+    fn lookup(&self, var: &str, attr: &str) -> RcResult<Value> {
+        for (v, schema, tuple) in self.vars.iter().rev() {
+            if v == var {
+                let idx = schema.index_of(attr).ok_or_else(|| {
+                    RcError::Eval(format!("variable `{var}` has no attribute `{attr}`"))
+                })?;
+                return Ok(tuple.values()[idx].clone());
+            }
+        }
+        Err(RcError::Eval(format!("unbound variable `{var}`")))
+    }
+}
+
+fn term_value(term: &TrcTerm, env: &Env) -> RcResult<Value> {
+    match term {
+        TrcTerm::Const(v) => Ok(v.clone()),
+        TrcTerm::Attr { var, attr } => env.lookup(var, attr),
+    }
+}
+
+/// Depth-first enumeration of binding assignments, invoking `f` per leaf.
+fn enumerate_bindings(
+    bindings: &[Binding],
+    idx: usize,
+    db: &Database,
+    env: &mut Env,
+    f: &mut dyn FnMut(&mut Env) -> RcResult<()>,
+) -> RcResult<()> {
+    if idx == bindings.len() {
+        return f(env);
+    }
+    let b = &bindings[idx];
+    let rel = db.relation(&b.rel)?;
+    let schema = rel.schema().clone();
+    for t in rel.iter() {
+        env.vars.push((b.var.clone(), schema.clone(), t.clone()));
+        let r = enumerate_bindings(bindings, idx + 1, db, env, f);
+        env.vars.pop();
+        r?;
+    }
+    Ok(())
+}
+
+fn eval_formula(f: &TrcFormula, db: &Database, env: &mut Env) -> RcResult<bool> {
+    match f {
+        TrcFormula::Const(b) => Ok(*b),
+        TrcFormula::Cmp { left, op, right } => {
+            let l = term_value(left, env)?;
+            let r = term_value(right, env)?;
+            Ok(op.apply(&l, &r))
+        }
+        TrcFormula::And(a, b) => Ok(eval_formula(a, db, env)? && eval_formula(b, db, env)?),
+        TrcFormula::Or(a, b) => Ok(eval_formula(a, db, env)? || eval_formula(b, db, env)?),
+        TrcFormula::Not(a) => Ok(!eval_formula(a, db, env)?),
+        TrcFormula::Exists { bindings, body } => {
+            let mut found = false;
+            enumerate_bindings(bindings, 0, db, env, &mut |env| {
+                if !found && eval_formula(body, db, env)? {
+                    found = true;
+                }
+                Ok(())
+            })?;
+            Ok(found)
+        }
+        TrcFormula::Forall { bindings, body } => {
+            let mut all = true;
+            enumerate_bindings(bindings, 0, db, env, &mut |env| {
+                if all && !eval_formula(body, db, env)? {
+                    all = false;
+                }
+                Ok(())
+            })?;
+            Ok(all)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trc::TrcBranch;
+    use relviz_model::catalog::sailors_sample;
+
+    fn names(rel: &Relation) -> Vec<String> {
+        rel.iter().map(|t| t.values()[0].to_string()).collect()
+    }
+
+    /// Q5, the division query: sailors who reserved all red boats, in the
+    /// ¬∃¬ normal form the tutorial favors.
+    fn q5() -> TrcQuery {
+        TrcQuery::single(TrcBranch {
+            bindings: vec![Binding::new("q", "Sailor")],
+            head: vec![("sname".into(), TrcTerm::attr("q", "sname"))],
+            body: Some(
+                TrcFormula::exists(
+                    vec![Binding::new("b", "Boat")],
+                    TrcFormula::eq(TrcTerm::attr("b", "color"), TrcTerm::val("red")).and(
+                        TrcFormula::exists(
+                            vec![Binding::new("r", "Reserves")],
+                            TrcFormula::eq(TrcTerm::attr("r", "sid"), TrcTerm::attr("q", "sid"))
+                                .and(TrcFormula::eq(
+                                    TrcTerm::attr("r", "bid"),
+                                    TrcTerm::attr("b", "bid"),
+                                )),
+                        )
+                        .not(),
+                    ),
+                )
+                .not(),
+            ),
+        })
+    }
+
+    #[test]
+    fn q5_division() {
+        let out = eval_trc(&q5(), &sailors_sample()).unwrap();
+        assert_eq!(names(&out), vec!["dustin", "lubber"]);
+    }
+
+    #[test]
+    fn q5_forall_form_equivalent() {
+        // ∀b ∈ Boat: ¬(color=red) ∨ ∃r…  (implication unfolded)
+        let forall_form = TrcQuery::single(TrcBranch {
+            bindings: vec![Binding::new("q", "Sailor")],
+            head: vec![("sname".into(), TrcTerm::attr("q", "sname"))],
+            body: Some(TrcFormula::forall(
+                vec![Binding::new("b", "Boat")],
+                TrcFormula::eq(TrcTerm::attr("b", "color"), TrcTerm::val("red"))
+                    .not()
+                    .or(TrcFormula::exists(
+                        vec![Binding::new("r", "Reserves")],
+                        TrcFormula::eq(TrcTerm::attr("r", "sid"), TrcTerm::attr("q", "sid")).and(
+                            TrcFormula::eq(TrcTerm::attr("r", "bid"), TrcTerm::attr("b", "bid")),
+                        ),
+                    )),
+            )),
+        });
+        let db = sailors_sample();
+        let a = eval_trc(&q5(), &db).unwrap();
+        let b = eval_trc(&forall_form, &db).unwrap();
+        assert!(a.same_contents(&b));
+        // and eliminate_forall preserves semantics too
+        let c = eval_trc(&forall_form.eliminate_forall(), &db).unwrap();
+        assert!(a.same_contents(&c));
+    }
+
+    #[test]
+    fn multi_binding_join() {
+        // Q1: sailors who reserved boat 102, two free bindings.
+        let q = TrcQuery::single(TrcBranch {
+            bindings: vec![Binding::new("s", "Sailor"), Binding::new("r", "Reserves")],
+            head: vec![("sname".into(), TrcTerm::attr("s", "sname"))],
+            body: Some(
+                TrcFormula::eq(TrcTerm::attr("s", "sid"), TrcTerm::attr("r", "sid"))
+                    .and(TrcFormula::eq(TrcTerm::attr("r", "bid"), TrcTerm::val(102))),
+            ),
+        });
+        let out = eval_trc(&q, &sailors_sample()).unwrap();
+        assert_eq!(names(&out), vec!["dustin", "horatio", "lubber"]);
+    }
+
+    #[test]
+    fn union_branches() {
+        // Q3 as a two-branch union: red-reservers ∪ green-reservers.
+        let mk = |color: &str| TrcBranch {
+            bindings: vec![Binding::new("s", "Sailor")],
+            head: vec![("sname".into(), TrcTerm::attr("s", "sname"))],
+            body: Some(TrcFormula::exists(
+                vec![Binding::new("r", "Reserves"), Binding::new("b", "Boat")],
+                TrcFormula::conj(vec![
+                    TrcFormula::eq(TrcTerm::attr("s", "sid"), TrcTerm::attr("r", "sid")),
+                    TrcFormula::eq(TrcTerm::attr("r", "bid"), TrcTerm::attr("b", "bid")),
+                    TrcFormula::eq(TrcTerm::attr("b", "color"), TrcTerm::val(color)),
+                ]),
+            )),
+        };
+        let q = TrcQuery { branches: vec![mk("red"), mk("green")] };
+        let out = eval_trc(&q, &sailors_sample()).unwrap();
+        assert_eq!(names(&out), vec!["dustin", "horatio", "lubber"]);
+    }
+
+    #[test]
+    fn constant_head_term() {
+        let q = TrcQuery::single(TrcBranch {
+            bindings: vec![Binding::new("s", "Sailor")],
+            head: vec![
+                ("sname".into(), TrcTerm::attr("s", "sname")),
+                ("tag".into(), TrcTerm::val("sailor")),
+            ],
+            body: None,
+        });
+        let out = eval_trc(&q, &sailors_sample()).unwrap();
+        assert_eq!(out.len(), 9); // 10 sailors, two horatios collapse by (name, tag)
+        assert_eq!(out.schema().names(), vec!["sname", "tag"]);
+    }
+
+    #[test]
+    fn empty_exists_is_false_empty_forall_is_true() {
+        let db = {
+            let mut db = sailors_sample();
+            db.set("Boat", Relation::empty(relviz_model::catalog::boat_schema()));
+            db
+        };
+        let exists_q = TrcQuery::single(TrcBranch {
+            bindings: vec![Binding::new("s", "Sailor")],
+            head: vec![("sid".into(), TrcTerm::attr("s", "sid"))],
+            body: Some(TrcFormula::exists(
+                vec![Binding::new("b", "Boat")],
+                TrcFormula::Const(true),
+            )),
+        });
+        assert!(eval_trc(&exists_q, &db).unwrap().is_empty());
+
+        let forall_q = TrcQuery::single(TrcBranch {
+            bindings: vec![Binding::new("s", "Sailor")],
+            head: vec![("sid".into(), TrcTerm::attr("s", "sid"))],
+            body: Some(TrcFormula::forall(
+                vec![Binding::new("b", "Boat")],
+                TrcFormula::Const(false),
+            )),
+        });
+        assert_eq!(eval_trc(&forall_q, &db).unwrap().len(), 10);
+    }
+}

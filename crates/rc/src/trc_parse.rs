@@ -1,0 +1,505 @@
+//! Parser for the textual TRC notation.
+//!
+//! ```text
+//! query   := branch (UNION branch)*
+//! branch  := '{' head '|' atoms [AND formula] '}'
+//! head    := term (',' term)*
+//! atoms   := Rel '(' var ')' ((',' | AND) Rel '(' var ')')*
+//! formula := or ; or := and (OR and)* ; and := unary (AND unary)*
+//! unary   := NOT unary
+//!          | (EXISTS | FORALL) var IN Rel (',' var IN Rel)* ':' '(' formula ')'
+//!          | '(' formula ')'
+//!          | TRUE | FALSE
+//!          | term cmpop term
+//! term    := var '.' attr | literal
+//! ```
+//!
+//! Unicode aliases are accepted: `∃`/`∀`/`∧`/`∨`/`¬`/`∈`/`≠`/`≤`/`≥`.
+//! `Display` on [`TrcQuery`] produces this syntax, so `parse ∘ print = id`.
+
+use relviz_model::{CmpOp, Value};
+
+use crate::error::{RcError, RcResult};
+use crate::trc::{Binding, TrcBranch, TrcFormula, TrcQuery, TrcTerm};
+
+/// Parses the textual TRC syntax.
+pub fn parse_trc(input: &str) -> RcResult<TrcQuery> {
+    let toks = tokenize(input)?;
+    let mut p = P { toks, pos: 0 };
+    let mut branches = vec![p.branch()?];
+    while p.eat_kw("union") {
+        branches.push(p.branch()?);
+    }
+    p.expect_eof()?;
+    Ok(TrcQuery { branches })
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum T {
+    Ident(String),
+    Int(i64),
+    Float(f64),
+    Str(String),
+    LBrace,
+    RBrace,
+    LParen,
+    RParen,
+    Comma,
+    Dot,
+    Pipe,
+    Colon,
+    Cmp(CmpOp),
+    Eof,
+}
+
+fn tokenize(input: &str) -> RcResult<Vec<T>> {
+    let chars: Vec<char> = input.chars().collect();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            ' ' | '\t' | '\n' | '\r' => i += 1,
+            '{' => {
+                out.push(T::LBrace);
+                i += 1;
+            }
+            '}' => {
+                out.push(T::RBrace);
+                i += 1;
+            }
+            '(' => {
+                out.push(T::LParen);
+                i += 1;
+            }
+            ')' => {
+                out.push(T::RParen);
+                i += 1;
+            }
+            ',' => {
+                out.push(T::Comma);
+                i += 1;
+            }
+            '.' => {
+                out.push(T::Dot);
+                i += 1;
+            }
+            '|' => {
+                out.push(T::Pipe);
+                i += 1;
+            }
+            ':' => {
+                out.push(T::Colon);
+                i += 1;
+            }
+            '∃' => {
+                out.push(T::Ident("exists".into()));
+                i += 1;
+            }
+            '∀' => {
+                out.push(T::Ident("forall".into()));
+                i += 1;
+            }
+            '∧' => {
+                out.push(T::Ident("and".into()));
+                i += 1;
+            }
+            '∨' => {
+                out.push(T::Ident("or".into()));
+                i += 1;
+            }
+            '¬' => {
+                out.push(T::Ident("not".into()));
+                i += 1;
+            }
+            '∈' => {
+                out.push(T::Ident("in".into()));
+                i += 1;
+            }
+            '=' => {
+                out.push(T::Cmp(CmpOp::Eq));
+                i += 1;
+            }
+            '≠' => {
+                out.push(T::Cmp(CmpOp::Neq));
+                i += 1;
+            }
+            '≤' => {
+                out.push(T::Cmp(CmpOp::Le));
+                i += 1;
+            }
+            '≥' => {
+                out.push(T::Cmp(CmpOp::Ge));
+                i += 1;
+            }
+            '<' => {
+                if chars.get(i + 1) == Some(&'=') {
+                    out.push(T::Cmp(CmpOp::Le));
+                    i += 2;
+                } else if chars.get(i + 1) == Some(&'>') {
+                    out.push(T::Cmp(CmpOp::Neq));
+                    i += 2;
+                } else {
+                    out.push(T::Cmp(CmpOp::Lt));
+                    i += 1;
+                }
+            }
+            '>' => {
+                if chars.get(i + 1) == Some(&'=') {
+                    out.push(T::Cmp(CmpOp::Ge));
+                    i += 2;
+                } else {
+                    out.push(T::Cmp(CmpOp::Gt));
+                    i += 1;
+                }
+            }
+            '!' if chars.get(i + 1) == Some(&'=') => {
+                out.push(T::Cmp(CmpOp::Neq));
+                i += 2;
+            }
+            '\'' => {
+                let mut s = String::new();
+                i += 1;
+                loop {
+                    match chars.get(i) {
+                        Some('\'') if chars.get(i + 1) == Some(&'\'') => {
+                            s.push('\'');
+                            i += 2;
+                        }
+                        Some('\'') => {
+                            i += 1;
+                            break;
+                        }
+                        Some(&ch) => {
+                            s.push(ch);
+                            i += 1;
+                        }
+                        None => return Err(RcError::Parse("unterminated string".into())),
+                    }
+                }
+                out.push(T::Str(s));
+            }
+            c if c.is_ascii_digit()
+                || (c == '-' && chars.get(i + 1).is_some_and(|d| d.is_ascii_digit())) =>
+            {
+                let start = i;
+                if c == '-' {
+                    i += 1;
+                }
+                while i < chars.len() && chars[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let mut is_float = false;
+                if chars.get(i) == Some(&'.') && chars.get(i + 1).is_some_and(|d| d.is_ascii_digit())
+                {
+                    is_float = true;
+                    i += 1;
+                    while i < chars.len() && chars[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+                let text: String = chars[start..i].iter().collect();
+                if is_float {
+                    out.push(T::Float(
+                        text.parse().map_err(|_| RcError::Parse(format!("bad float {text}")))?,
+                    ));
+                } else {
+                    out.push(T::Int(
+                        text.parse().map_err(|_| RcError::Parse(format!("bad int {text}")))?,
+                    ));
+                }
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let start = i;
+                while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                    i += 1;
+                }
+                out.push(T::Ident(chars[start..i].iter().collect()));
+            }
+            other => return Err(RcError::Parse(format!("unexpected character `{other}`"))),
+        }
+    }
+    out.push(T::Eof);
+    Ok(out)
+}
+
+struct P {
+    toks: Vec<T>,
+    pos: usize,
+}
+
+impl P {
+    fn peek(&self) -> &T {
+        &self.toks[self.pos]
+    }
+    fn peek2(&self) -> &T {
+        &self.toks[(self.pos + 1).min(self.toks.len() - 1)]
+    }
+    fn next(&mut self) -> T {
+        let t = self.toks[self.pos].clone();
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        t
+    }
+    fn eat(&mut self, t: &T) -> bool {
+        if self.peek() == t {
+            self.next();
+            true
+        } else {
+            false
+        }
+    }
+    fn is_kw(&self, kw: &str) -> bool {
+        matches!(self.peek(), T::Ident(s) if s.eq_ignore_ascii_case(kw))
+    }
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if self.is_kw(kw) {
+            self.next();
+            true
+        } else {
+            false
+        }
+    }
+    fn expect(&mut self, t: T, what: &str) -> RcResult<()> {
+        if self.peek() == &t {
+            self.next();
+            Ok(())
+        } else {
+            Err(RcError::Parse(format!("expected {what}, found {:?}", self.peek())))
+        }
+    }
+    fn expect_eof(&mut self) -> RcResult<()> {
+        if self.peek() == &T::Eof {
+            Ok(())
+        } else {
+            Err(RcError::Parse(format!("trailing input: {:?}", self.peek())))
+        }
+    }
+    fn ident(&mut self, what: &str) -> RcResult<String> {
+        match self.next() {
+            T::Ident(s) => Ok(s),
+            other => Err(RcError::Parse(format!("expected {what}, found {other:?}"))),
+        }
+    }
+
+    fn branch(&mut self) -> RcResult<TrcBranch> {
+        self.expect(T::LBrace, "`{`")?;
+        // head
+        let mut head = Vec::new();
+        loop {
+            let term = self.term()?;
+            let name = match &term {
+                TrcTerm::Attr { attr, .. } => attr.clone(),
+                TrcTerm::Const(_) => format!("col{}", head.len() + 1),
+            };
+            head.push((name, term));
+            if !self.eat(&T::Comma) {
+                break;
+            }
+        }
+        // dedup head names
+        let mut seen: Vec<String> = Vec::new();
+        for (name, _) in head.iter_mut() {
+            let base = name.clone();
+            let mut k = 2;
+            while seen.contains(name) {
+                *name = format!("{base}_{k}");
+                k += 1;
+            }
+            seen.push(name.clone());
+        }
+        self.expect(T::Pipe, "`|`")?;
+        // binding atoms: Rel(var)
+        let mut bindings = Vec::new();
+        loop {
+            let rel = self.ident("relation name")?;
+            self.expect(T::LParen, "`(` after relation name")?;
+            let var = self.ident("variable")?;
+            self.expect(T::RParen, "`)` after variable")?;
+            bindings.push(Binding::new(var, rel));
+            // another binding atom follows a `,` or an `and` + Ident + `(`
+            if self.eat(&T::Comma) {
+                continue;
+            }
+            if self.is_kw("and")
+                && matches!(self.peek2(), T::Ident(_))
+                && self.toks.get(self.pos + 2) == Some(&T::LParen)
+            {
+                // lookahead further: Rel(var) has exactly Ident LParen Ident RParen
+                if matches!(self.toks.get(self.pos + 3), Some(T::Ident(_)))
+                    && self.toks.get(self.pos + 4) == Some(&T::RParen)
+                {
+                    self.next(); // consume `and`
+                    continue;
+                }
+            }
+            break;
+        }
+        let body = if self.eat_kw("and") { Some(self.formula()?) } else { None };
+        self.expect(T::RBrace, "`}`")?;
+        Ok(TrcBranch { bindings, head, body })
+    }
+
+    fn formula(&mut self) -> RcResult<TrcFormula> {
+        let mut left = self.formula_and()?;
+        while self.eat_kw("or") {
+            let right = self.formula_and()?;
+            left = left.or(right);
+        }
+        Ok(left)
+    }
+
+    fn formula_and(&mut self) -> RcResult<TrcFormula> {
+        let mut left = self.formula_unary()?;
+        while self.eat_kw("and") {
+            let right = self.formula_unary()?;
+            left = left.and(right);
+        }
+        Ok(left)
+    }
+
+    fn formula_unary(&mut self) -> RcResult<TrcFormula> {
+        if self.eat_kw("not") {
+            return Ok(self.formula_unary()?.not());
+        }
+        if self.is_kw("exists") || self.is_kw("forall") {
+            let is_exists = self.is_kw("exists");
+            self.next();
+            let mut bindings = Vec::new();
+            loop {
+                let var = self.ident("variable")?;
+                if !self.eat_kw("in") {
+                    return Err(RcError::Parse(format!("expected `in` after variable `{var}`")));
+                }
+                let rel = self.ident("relation")?;
+                bindings.push(Binding::new(var, rel));
+                if !self.eat(&T::Comma) {
+                    break;
+                }
+            }
+            self.expect(T::Colon, "`:` after quantifier bindings")?;
+            self.expect(T::LParen, "`(` after quantifier `:`")?;
+            let body = self.formula()?;
+            self.expect(T::RParen, "`)` closing quantifier body")?;
+            return Ok(if is_exists {
+                TrcFormula::exists(bindings, body)
+            } else {
+                TrcFormula::forall(bindings, body)
+            });
+        }
+        if self.eat(&T::LParen) {
+            let f = self.formula()?;
+            self.expect(T::RParen, "`)`")?;
+            return Ok(f);
+        }
+        if self.eat_kw("true") {
+            return Ok(TrcFormula::Const(true));
+        }
+        if self.eat_kw("false") {
+            return Ok(TrcFormula::Const(false));
+        }
+        let left = self.term()?;
+        let op = match self.next() {
+            T::Cmp(op) => op,
+            other => {
+                return Err(RcError::Parse(format!(
+                    "expected comparison operator, found {other:?}"
+                )))
+            }
+        };
+        let right = self.term()?;
+        Ok(TrcFormula::Cmp { left, op, right })
+    }
+
+    fn term(&mut self) -> RcResult<TrcTerm> {
+        match self.next() {
+            T::Ident(var) => {
+                self.expect(T::Dot, "`.` after variable")?;
+                let attr = self.ident("attribute")?;
+                Ok(TrcTerm::Attr { var, attr })
+            }
+            T::Int(i) => Ok(TrcTerm::Const(Value::Int(i))),
+            T::Float(x) => Ok(TrcTerm::Const(Value::Float(x))),
+            T::Str(s) => Ok(TrcTerm::Const(Value::Str(s))),
+            other => Err(RcError::Parse(format!("expected term, found {other:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trc_eval::eval_trc;
+    use relviz_model::catalog::sailors_sample;
+
+    fn rt(src: &str) -> TrcQuery {
+        let q = parse_trc(src).unwrap_or_else(|e| panic!("{src}: {e}"));
+        let printed = q.to_string();
+        let back = parse_trc(&printed).unwrap_or_else(|e| panic!("`{printed}`: {e}"));
+        assert_eq!(q, back, "round trip failed for `{src}`");
+        q
+    }
+
+    #[test]
+    fn q1_parses_and_evaluates() {
+        let q = rt("{s.sname | Sailor(s), Reserves(r) and s.sid = r.sid and r.bid = 102}");
+        let out = eval_trc(&q, &sailors_sample()).unwrap();
+        assert_eq!(out.len(), 3);
+    }
+
+    #[test]
+    fn q5_nested_not_exists() {
+        let q = rt("{q.sname | Sailor(q) and not exists b in Boat: (b.color = 'red' and \
+                    not exists r in Reserves: (r.sid = q.sid and r.bid = b.bid))}");
+        let out = eval_trc(&q, &sailors_sample()).unwrap();
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn unicode_flavour() {
+        let a = parse_trc("{q.sname | Sailor(q) ∧ ∃r ∈ Reserves: (r.sid = q.sid)}").unwrap();
+        let b = parse_trc("{q.sname | Sailor(q) and exists r in Reserves: (r.sid = q.sid)}")
+            .unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn union_of_branches() {
+        let q = rt("{s.sname | Sailor(s) and s.rating > 9} union {s.sname | Sailor(s) and s.age < 20}");
+        assert_eq!(q.branches.len(), 2);
+        let out = eval_trc(&q, &sailors_sample()).unwrap();
+        assert_eq!(out.len(), 2); // rusty/zorba(rating 10) ∪ zorba(16.0) = {rusty, zorba}
+    }
+
+    #[test]
+    fn forall_and_multi_bindings() {
+        let q = rt("{q.sname | Sailor(q) and forall b in Boat, r in Reserves: \
+                    (b.bid = r.bid or b.color = 'red' or true)}");
+        assert_eq!(q.branches[0].body.as_ref().unwrap().quantifier_count(), 1);
+    }
+
+    #[test]
+    fn head_with_constant_and_dedup() {
+        let q = parse_trc("{s.sname, s.sname, 'x' | Sailor(s)}").unwrap();
+        let names: Vec<&str> = q.branches[0].head.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, vec!["sname", "sname_2", "col3"]);
+    }
+
+    #[test]
+    fn multiple_binding_atoms_with_and() {
+        // `Sailor(s) and Reserves(r) and s.sid = r.sid` — binding atoms
+        // joined by `and` must be recognized as bindings, not formula.
+        let q = parse_trc("{s.sname | Sailor(s) and Reserves(r) and s.sid = r.sid}").unwrap();
+        assert_eq!(q.branches[0].bindings.len(), 2);
+    }
+
+    #[test]
+    fn errors() {
+        assert!(parse_trc("{s.sname | }").is_err());
+        assert!(parse_trc("{s.sname Sailor(s)}").is_err());
+        assert!(parse_trc("{s.sname | Sailor(s) and exists r: (true)}").is_err());
+        assert!(parse_trc("{s | Sailor(s)}").is_err()); // bare var term
+        assert!(parse_trc("{s.sname | Sailor(s)} trailing").is_err());
+    }
+}

@@ -1,0 +1,240 @@
+//! ASCII/Unicode rasterizer: renders a [`Scene`] into a character grid
+//! using box-drawing characters. Useful for terminal demos, examples and
+//! golden tests (text diffs beat binary image diffs).
+//!
+//! The rasterizer maps scene units to characters at a configurable scale
+//! (default: 8 units/column, 16 units/row — approximating text aspect).
+
+use crate::scene::{Anchor, Item, Scene};
+
+/// Rasterization options.
+#[derive(Debug, Clone, Copy)]
+pub struct AsciiOptions {
+    /// Scene units per character column.
+    pub x_scale: f64,
+    /// Scene units per character row.
+    pub y_scale: f64,
+}
+
+impl Default for AsciiOptions {
+    fn default() -> Self {
+        AsciiOptions { x_scale: 8.0, y_scale: 16.0 }
+    }
+}
+
+/// Renders with default options.
+pub fn to_ascii(scene: &Scene) -> String {
+    to_ascii_with(scene, AsciiOptions::default())
+}
+
+/// Renders a scene to a character grid.
+pub fn to_ascii_with(scene: &Scene, opt: AsciiOptions) -> String {
+    let cols = ((scene.width / opt.x_scale).ceil() as usize).clamp(1, 500);
+    let rows = ((scene.height / opt.y_scale).ceil() as usize).clamp(1, 500);
+    let mut grid = Grid { cells: vec![vec![' '; cols + 1]; rows + 1] };
+
+    for item in &scene.items {
+        match item {
+            Item::Rect { x, y, w, h, dashed, .. } => {
+                let c0 = (x / opt.x_scale).round() as isize;
+                let r0 = (y / opt.y_scale).round() as isize;
+                let c1 = ((x + w) / opt.x_scale).round() as isize;
+                let r1 = ((y + h) / opt.y_scale).round() as isize;
+                grid.rect(r0, c0, r1, c1, *dashed);
+            }
+            Item::Ellipse { cx, cy, rx, ry, .. } => {
+                // Approximate an ellipse with a parametric walk.
+                let steps = 72;
+                let mut prev: Option<(isize, isize)> = None;
+                for i in 0..=steps {
+                    let t = (i as f64) * std::f64::consts::TAU / steps as f64;
+                    let px = cx + rx * t.cos();
+                    let py = cy + ry * t.sin();
+                    let c = (px / opt.x_scale).round() as isize;
+                    let r = (py / opt.y_scale).round() as isize;
+                    if let Some((pr, pc)) = prev {
+                        grid.line(pr, pc, r, c, '*');
+                    }
+                    prev = Some((r, c));
+                }
+            }
+            Item::Polyline { points, arrow, .. } => {
+                for pair in points.windows(2) {
+                    let (x1, y1) = pair[0];
+                    let (x2, y2) = pair[1];
+                    let c1 = (x1 / opt.x_scale).round() as isize;
+                    let r1 = (y1 / opt.y_scale).round() as isize;
+                    let c2 = (x2 / opt.x_scale).round() as isize;
+                    let r2 = (y2 / opt.y_scale).round() as isize;
+                    let ch = if r1 == r2 {
+                        '-'
+                    } else if c1 == c2 {
+                        '|'
+                    } else {
+                        '·'
+                    };
+                    grid.line(r1, c1, r2, c2, ch);
+                }
+                if *arrow {
+                    if let Some(&(x, y)) = points.last() {
+                        let c = (x / opt.x_scale).round() as isize;
+                        let r = (y / opt.y_scale).round() as isize;
+                        grid.put(r, c, '▶');
+                    }
+                }
+            }
+            Item::Text { x, y, text, style } => {
+                let mut c = (x / opt.x_scale).round() as isize;
+                let r = ((y - style.size * 0.5) / opt.y_scale).round() as isize;
+                match style.anchor {
+                    Anchor::Middle => c -= (text.chars().count() as isize) / 2,
+                    Anchor::End => c -= text.chars().count() as isize,
+                    Anchor::Start => {}
+                }
+                for (i, ch) in text.chars().enumerate() {
+                    grid.put(r, c + i as isize, ch);
+                }
+            }
+        }
+    }
+
+    let mut out = String::with_capacity(rows * (cols + 1));
+    for row in &grid.cells {
+        let line: String = row.iter().collect();
+        out.push_str(line.trim_end());
+        out.push('\n');
+    }
+    // Trim trailing blank lines.
+    while out.ends_with("\n\n") {
+        out.pop();
+    }
+    out
+}
+
+struct Grid {
+    cells: Vec<Vec<char>>,
+}
+
+impl Grid {
+    fn put(&mut self, r: isize, c: isize, ch: char) {
+        if r >= 0 && c >= 0 && (r as usize) < self.cells.len() {
+            let row = &mut self.cells[r as usize];
+            if (c as usize) < row.len() {
+                row[c as usize] = ch;
+            }
+        }
+    }
+
+    fn get(&self, r: isize, c: isize) -> char {
+        if r >= 0 && c >= 0 && (r as usize) < self.cells.len() {
+            let row = &self.cells[r as usize];
+            if (c as usize) < row.len() {
+                return row[c as usize];
+            }
+        }
+        ' '
+    }
+
+    /// Axis-aligned rectangle with box-drawing characters; `dashed` uses
+    /// light dashes for the edges.
+    fn rect(&mut self, r0: isize, c0: isize, r1: isize, c1: isize, dashed: bool) {
+        let (h, v) = if dashed { ('╌', '┆') } else { ('─', '│') };
+        for c in (c0 + 1)..c1 {
+            self.put(r0, c, h);
+            self.put(r1, c, h);
+        }
+        for r in (r0 + 1)..r1 {
+            self.put(r, c0, v);
+            self.put(r, c1, v);
+        }
+        // Corners (merge politely with existing corners).
+        self.put(r0, c0, merge_corner(self.get(r0, c0), '┌'));
+        self.put(r0, c1, merge_corner(self.get(r0, c1), '┐'));
+        self.put(r1, c0, merge_corner(self.get(r1, c0), '└'));
+        self.put(r1, c1, merge_corner(self.get(r1, c1), '┘'));
+    }
+
+    /// Bresenham line with a fixed character.
+    fn line(&mut self, r1: isize, c1: isize, r2: isize, c2: isize, ch: char) {
+        let dr = (r2 - r1).abs();
+        let dc = (c2 - c1).abs();
+        let sr = if r1 < r2 { 1 } else { -1 };
+        let sc = if c1 < c2 { 1 } else { -1 };
+        let (mut r, mut c) = (r1, c1);
+        let mut err = dc - dr;
+        loop {
+            if self.get(r, c) == ' ' {
+                self.put(r, c, ch);
+            }
+            if r == r2 && c == c2 {
+                break;
+            }
+            let e2 = 2 * err;
+            if e2 > -dr {
+                err -= dr;
+                c += sc;
+            }
+            if e2 < dc {
+                err += dc;
+                r += sr;
+            }
+        }
+    }
+}
+
+fn merge_corner(existing: char, new: char) -> char {
+    if existing == ' ' || existing == '─' || existing == '│' || existing == '╌' || existing == '┆'
+    {
+        new
+    } else {
+        '┼'
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rect_renders_box() {
+        let mut s = Scene::new(80.0, 64.0);
+        s.rect(0.0, 0.0, 64.0, 48.0);
+        let a = to_ascii(&s);
+        assert!(a.contains('┌'), "{a}");
+        assert!(a.contains('┘'), "{a}");
+        assert!(a.contains('─'), "{a}");
+    }
+
+    #[test]
+    fn text_lands_in_grid() {
+        let mut s = Scene::new(200.0, 32.0);
+        s.text(8.0, 16.0, "hello");
+        let a = to_ascii(&s);
+        assert!(a.contains("hello"), "{a}");
+    }
+
+    #[test]
+    fn dashed_rect_uses_dashes() {
+        let mut s = Scene::new(80.0, 64.0);
+        s.styled_rect(0.0, 0.0, 64.0, 48.0, 0.0, "#000", "none", 1.0, true);
+        let a = to_ascii(&s);
+        assert!(a.contains('╌'), "{a}");
+    }
+
+    #[test]
+    fn arrow_head_marker() {
+        let mut s = Scene::new(100.0, 40.0);
+        s.arrow(vec![(0.0, 16.0), (80.0, 16.0)]);
+        let a = to_ascii(&s);
+        assert!(a.contains('▶'), "{a}");
+        assert!(a.contains('-'), "{a}");
+    }
+
+    #[test]
+    fn huge_scene_is_clamped() {
+        let mut s = Scene::new(1e7, 1e7);
+        s.rect(0.0, 0.0, 100.0, 100.0);
+        let a = to_ascii(&s);
+        assert!(a.lines().count() <= 502);
+    }
+}

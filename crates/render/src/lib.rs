@@ -1,0 +1,15 @@
+//! # relviz-render
+//!
+//! Rendering substrate: a small retained-mode [`Scene`] graph with two
+//! from-scratch backends — [`svg`] (standards-compliant SVG 1.1 text) and
+//! [`ascii`] (Unicode box-drawing rasterizer for terminals and golden
+//! tests).
+//!
+//! Diagram builders in `relviz-diagrams` emit scenes; they never format
+//! SVG themselves, so every formalism gains both backends for free.
+
+pub mod ascii;
+pub mod scene;
+pub mod svg;
+
+pub use scene::{Anchor, Item, Scene, TextStyle};

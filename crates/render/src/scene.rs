@@ -1,0 +1,257 @@
+//! The scene graph: a flat display list of geometric primitives.
+//!
+//! Coordinates are in abstract units (1 unit = 1 SVG px); the origin is the
+//! top-left corner, y grows downward (SVG convention).
+
+/// Horizontal anchoring of text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Anchor {
+    #[default]
+    Start,
+    Middle,
+    End,
+}
+
+/// Text styling.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TextStyle {
+    pub size: f64,
+    pub bold: bool,
+    pub italic: bool,
+    pub monospace: bool,
+    pub color: String,
+    pub anchor: Anchor,
+}
+
+impl Default for TextStyle {
+    fn default() -> Self {
+        TextStyle {
+            size: 12.0,
+            bold: false,
+            italic: false,
+            monospace: false,
+            color: "#000000".to_string(),
+            anchor: Anchor::Start,
+        }
+    }
+}
+
+/// A drawable primitive.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Item {
+    Rect {
+        x: f64,
+        y: f64,
+        w: f64,
+        h: f64,
+        /// Corner radius (0 = sharp).
+        rx: f64,
+        stroke: String,
+        fill: String,
+        stroke_width: f64,
+        dashed: bool,
+    },
+    Ellipse {
+        cx: f64,
+        cy: f64,
+        rx: f64,
+        ry: f64,
+        stroke: String,
+        fill: String,
+        stroke_width: f64,
+        dashed: bool,
+    },
+    /// Polyline through `points`; optional arrowhead at the last point.
+    Polyline {
+        points: Vec<(f64, f64)>,
+        stroke: String,
+        stroke_width: f64,
+        dashed: bool,
+        arrow: bool,
+    },
+    Text {
+        x: f64,
+        y: f64,
+        text: String,
+        style: TextStyle,
+    },
+}
+
+/// A complete picture: canvas size plus display list (drawn in order).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Scene {
+    pub width: f64,
+    pub height: f64,
+    pub items: Vec<Item>,
+}
+
+impl Scene {
+    pub fn new(width: f64, height: f64) -> Self {
+        Scene { width, height, items: Vec::new() }
+    }
+
+    /// Estimated width of `text` at font size `size` (used for box sizing;
+    /// the 0.62 factor approximates common sans-serif aspect ratios).
+    pub fn text_width(text: &str, size: f64) -> f64 {
+        text.chars().count() as f64 * size * 0.62
+    }
+
+    pub fn rect(&mut self, x: f64, y: f64, w: f64, h: f64) -> &mut Self {
+        self.items.push(Item::Rect {
+            x,
+            y,
+            w,
+            h,
+            rx: 0.0,
+            stroke: "#000000".into(),
+            fill: "none".into(),
+            stroke_width: 1.0,
+            dashed: false,
+        });
+        self
+    }
+
+    /// Rectangle with full styling control.
+    #[allow(clippy::too_many_arguments)]
+    pub fn styled_rect(
+        &mut self,
+        x: f64,
+        y: f64,
+        w: f64,
+        h: f64,
+        rx: f64,
+        stroke: &str,
+        fill: &str,
+        stroke_width: f64,
+        dashed: bool,
+    ) -> &mut Self {
+        self.items.push(Item::Rect {
+            x,
+            y,
+            w,
+            h,
+            rx,
+            stroke: stroke.into(),
+            fill: fill.into(),
+            stroke_width,
+            dashed,
+        });
+        self
+    }
+
+    pub fn ellipse(&mut self, cx: f64, cy: f64, rx: f64, ry: f64) -> &mut Self {
+        self.items.push(Item::Ellipse {
+            cx,
+            cy,
+            rx,
+            ry,
+            stroke: "#000000".into(),
+            fill: "none".into(),
+            stroke_width: 1.0,
+            dashed: false,
+        });
+        self
+    }
+
+    pub fn line(&mut self, x1: f64, y1: f64, x2: f64, y2: f64) -> &mut Self {
+        self.items.push(Item::Polyline {
+            points: vec![(x1, y1), (x2, y2)],
+            stroke: "#000000".into(),
+            stroke_width: 1.0,
+            dashed: false,
+            arrow: false,
+        });
+        self
+    }
+
+    pub fn arrow(&mut self, points: Vec<(f64, f64)>) -> &mut Self {
+        self.items.push(Item::Polyline {
+            points,
+            stroke: "#000000".into(),
+            stroke_width: 1.0,
+            dashed: false,
+            arrow: true,
+        });
+        self
+    }
+
+    pub fn text(&mut self, x: f64, y: f64, text: impl Into<String>) -> &mut Self {
+        self.items.push(Item::Text { x, y, text: text.into(), style: TextStyle::default() });
+        self
+    }
+
+    pub fn styled_text(
+        &mut self,
+        x: f64,
+        y: f64,
+        text: impl Into<String>,
+        style: TextStyle,
+    ) -> &mut Self {
+        self.items.push(Item::Text { x, y, text: text.into(), style });
+        self
+    }
+
+    /// Grows the canvas to fit all items (with a margin).
+    pub fn fit(&mut self, margin: f64) {
+        let mut maxx: f64 = 0.0;
+        let mut maxy: f64 = 0.0;
+        for item in &self.items {
+            match item {
+                Item::Rect { x, y, w, h, .. } => {
+                    maxx = maxx.max(x + w);
+                    maxy = maxy.max(y + h);
+                }
+                Item::Ellipse { cx, cy, rx, ry, .. } => {
+                    maxx = maxx.max(cx + rx);
+                    maxy = maxy.max(cy + ry);
+                }
+                Item::Polyline { points, .. } => {
+                    for (x, y) in points {
+                        maxx = maxx.max(*x);
+                        maxy = maxy.max(*y);
+                    }
+                }
+                Item::Text { x, y, text, style } => {
+                    maxx = maxx.max(x + Scene::text_width(text, style.size));
+                    maxy = maxy.max(*y);
+                }
+            }
+        }
+        self.width = self.width.max(maxx + margin);
+        self.height = self.height.max(maxy + margin);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_chain() {
+        let mut s = Scene::new(100.0, 100.0);
+        s.rect(0.0, 0.0, 10.0, 10.0).line(0.0, 0.0, 5.0, 5.0).text(1.0, 1.0, "hi");
+        assert_eq!(s.items.len(), 3);
+    }
+
+    #[test]
+    fn fit_grows_canvas() {
+        let mut s = Scene::new(10.0, 10.0);
+        s.rect(0.0, 0.0, 200.0, 50.0);
+        s.fit(5.0);
+        assert_eq!(s.width, 205.0);
+        assert_eq!(s.height, 55.0);
+    }
+
+    #[test]
+    fn fit_never_shrinks() {
+        let mut s = Scene::new(500.0, 500.0);
+        s.rect(0.0, 0.0, 10.0, 10.0);
+        s.fit(5.0);
+        assert_eq!(s.width, 500.0);
+    }
+
+    #[test]
+    fn text_width_monotone() {
+        assert!(Scene::text_width("abcdef", 12.0) > Scene::text_width("abc", 12.0));
+    }
+}

@@ -1,0 +1,168 @@
+//! SVG 1.1 backend, written from scratch (no dependencies).
+
+use std::fmt::Write as _;
+
+use crate::scene::{Anchor, Item, Scene, TextStyle};
+
+/// Serializes a scene as a standalone SVG document.
+pub fn to_svg(scene: &Scene) -> String {
+    let mut out = String::with_capacity(1024 + scene.items.len() * 128);
+    let _ = write!(
+        out,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{w}" height="{h}" viewBox="0 0 {w} {h}">"#,
+        w = fmt_num(scene.width),
+        h = fmt_num(scene.height),
+    );
+    out.push('\n');
+    // Arrowhead marker (only referenced when needed, harmless otherwise).
+    out.push_str(
+        r#"<defs><marker id="arrow" viewBox="0 0 10 10" refX="9" refY="5" markerWidth="7" markerHeight="7" orient="auto-start-reverse"><path d="M 0 0 L 10 5 L 0 10 z"/></marker></defs>"#,
+    );
+    out.push('\n');
+    for item in &scene.items {
+        render_item(&mut out, item);
+        out.push('\n');
+    }
+    out.push_str("</svg>\n");
+    out
+}
+
+fn fmt_num(x: f64) -> String {
+    if x.fract() == 0.0 {
+        format!("{}", x as i64)
+    } else {
+        format!("{x:.2}")
+    }
+}
+
+fn escape(text: &str) -> String {
+    text.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+        .replace('"', "&quot;")
+}
+
+fn dash_attr(dashed: bool) -> &'static str {
+    if dashed {
+        r#" stroke-dasharray="5,4""#
+    } else {
+        ""
+    }
+}
+
+fn render_item(out: &mut String, item: &Item) {
+    match item {
+        Item::Rect { x, y, w, h, rx, stroke, fill, stroke_width, dashed } => {
+            let _ = write!(
+                out,
+                r#"<rect x="{}" y="{}" width="{}" height="{}" rx="{}" stroke="{}" fill="{}" stroke-width="{}"{}/>"#,
+                fmt_num(*x),
+                fmt_num(*y),
+                fmt_num(*w),
+                fmt_num(*h),
+                fmt_num(*rx),
+                escape(stroke),
+                escape(fill),
+                fmt_num(*stroke_width),
+                dash_attr(*dashed),
+            );
+        }
+        Item::Ellipse { cx, cy, rx, ry, stroke, fill, stroke_width, dashed } => {
+            let _ = write!(
+                out,
+                r#"<ellipse cx="{}" cy="{}" rx="{}" ry="{}" stroke="{}" fill="{}" stroke-width="{}"{}/>"#,
+                fmt_num(*cx),
+                fmt_num(*cy),
+                fmt_num(*rx),
+                fmt_num(*ry),
+                escape(stroke),
+                escape(fill),
+                fmt_num(*stroke_width),
+                dash_attr(*dashed),
+            );
+        }
+        Item::Polyline { points, stroke, stroke_width, dashed, arrow } => {
+            let pts: Vec<String> =
+                points.iter().map(|(x, y)| format!("{},{}", fmt_num(*x), fmt_num(*y))).collect();
+            let marker = if *arrow { r#" marker-end="url(#arrow)""# } else { "" };
+            let _ = write!(
+                out,
+                r#"<polyline points="{}" fill="none" stroke="{}" stroke-width="{}"{}{}/>"#,
+                pts.join(" "),
+                escape(stroke),
+                fmt_num(*stroke_width),
+                dash_attr(*dashed),
+                marker,
+            );
+        }
+        Item::Text { x, y, text, style } => {
+            let TextStyle { size, bold, italic, monospace, color, anchor } = style;
+            let anchor = match anchor {
+                Anchor::Start => "start",
+                Anchor::Middle => "middle",
+                Anchor::End => "end",
+            };
+            let family = if *monospace { "monospace" } else { "Helvetica, Arial, sans-serif" };
+            let weight = if *bold { " font-weight=\"bold\"" } else { "" };
+            let styl = if *italic { " font-style=\"italic\"" } else { "" };
+            let _ = write!(
+                out,
+                r#"<text x="{}" y="{}" font-size="{}" font-family="{}" fill="{}" text-anchor="{}"{}{}>{}</text>"#,
+                fmt_num(*x),
+                fmt_num(*y),
+                fmt_num(*size),
+                family,
+                escape(color),
+                anchor,
+                weight,
+                styl,
+                escape(text),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn produces_valid_skeleton() {
+        let mut s = Scene::new(100.0, 50.0);
+        s.rect(1.0, 2.0, 30.0, 20.0).text(5.0, 15.0, "a<b & c");
+        let svg = to_svg(&s);
+        assert!(svg.starts_with("<svg xmlns="));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        assert!(svg.contains(r#"<rect x="1" y="2" width="30" height="20""#));
+        assert!(svg.contains("a&lt;b &amp; c"));
+    }
+
+    #[test]
+    fn arrows_reference_marker() {
+        let mut s = Scene::new(10.0, 10.0);
+        s.arrow(vec![(0.0, 0.0), (5.0, 5.0)]);
+        let svg = to_svg(&s);
+        assert!(svg.contains(r##"marker-end="url(#arrow)""##));
+        assert!(svg.contains(r#"<defs><marker id="arrow""#));
+    }
+
+    #[test]
+    fn dashes_and_ellipses() {
+        let mut s = Scene::new(10.0, 10.0);
+        s.styled_rect(0.0, 0.0, 5.0, 5.0, 2.0, "#ff0000", "#eeeeee", 2.0, true);
+        s.ellipse(5.0, 5.0, 3.0, 2.0);
+        let svg = to_svg(&s);
+        assert!(svg.contains("stroke-dasharray"));
+        assert!(svg.contains("<ellipse"));
+        assert!(svg.contains(r#"rx="2""#));
+    }
+
+    #[test]
+    fn numbers_are_compact() {
+        let mut s = Scene::new(10.0, 10.0);
+        s.rect(1.5, 2.25, 3.0, 4.0);
+        let svg = to_svg(&s);
+        assert!(svg.contains(r#"x="1.50""#) || svg.contains(r#"x="1.5""#));
+        assert!(svg.contains(r#"width="3""#));
+    }
+}

@@ -1,0 +1,433 @@
+//! Name resolution and semantic analysis.
+//!
+//! [`resolve`] normalizes a parsed query against a catalog:
+//!
+//! * every table reference gets an explicit alias (its effective name),
+//! * every column reference becomes fully qualified,
+//! * wildcards (`*`, `alias.*`) are expanded into explicit items,
+//! * subqueries used with `IN` / quantified comparisons are checked to have
+//!   arity 1, set-operation operands are checked union-compatible,
+//! * comparison operands are checked type-compatible.
+//!
+//! Correlated subqueries are resolved against a scope *stack*: the innermost
+//! scope wins, then enclosing scopes are searched outward — mirroring SQL's
+//! scoping rules and, not coincidentally, the "default reading order" that
+//! QueryVis borrows from diagrammatic reasoning systems.
+
+use relviz_model::{Database, DataType, Schema};
+
+use crate::ast::*;
+use crate::error::{SqlError, SqlResult};
+
+/// One FROM-clause scope: `(effective name, base table, schema)` triples.
+#[derive(Debug, Clone)]
+struct Frame {
+    entries: Vec<(String, String, Schema)>,
+}
+
+impl Frame {
+    fn lookup(&self, name: &str) -> Option<&(String, String, Schema)> {
+        self.entries.iter().find(|(n, _, _)| n.eq_ignore_ascii_case(name))
+    }
+}
+
+/// Resolves a query against `db`, returning the normalized query.
+pub fn resolve(query: &Query, db: &Database) -> SqlResult<Query> {
+    let mut scopes: Vec<Frame> = Vec::new();
+    let (q, _) = resolve_query(query, db, &mut scopes)?;
+    Ok(q)
+}
+
+/// The output schema of a (resolvable) query.
+pub fn output_schema(query: &Query, db: &Database) -> SqlResult<Schema> {
+    let mut scopes: Vec<Frame> = Vec::new();
+    let (_, schema) = resolve_query(query, db, &mut scopes)?;
+    Ok(schema)
+}
+
+fn resolve_query(
+    query: &Query,
+    db: &Database,
+    scopes: &mut Vec<Frame>,
+) -> SqlResult<(Query, Schema)> {
+    match query {
+        Query::Select(s) => {
+            let (s, schema) = resolve_select(s, db, scopes)?;
+            Ok((Query::Select(s), schema))
+        }
+        Query::SetOp { op, left, right } => {
+            let (l, ls) = resolve_query(left, db, scopes)?;
+            let (r, rs) = resolve_query(right, db, scopes)?;
+            if !ls.union_compatible(&rs) {
+                return Err(SqlError::Analyze(format!(
+                    "operands of {} are not union-compatible: {ls} vs {rs}",
+                    op.keyword()
+                )));
+            }
+            Ok((Query::SetOp { op: *op, left: Box::new(l), right: Box::new(r) }, ls))
+        }
+    }
+}
+
+fn resolve_select(
+    s: &SelectStmt,
+    db: &Database,
+    scopes: &mut Vec<Frame>,
+) -> SqlResult<(SelectStmt, Schema)> {
+    // Build this block's frame.
+    let mut frame = Frame { entries: Vec::with_capacity(s.from.len()) };
+    let mut from = Vec::with_capacity(s.from.len());
+    for tr in &s.from {
+        let schema = db
+            .schema(&tr.table)
+            .map_err(|_| SqlError::Analyze(format!("unknown table `{}`", tr.table)))?
+            .clone();
+        let name = tr.effective_name().to_string();
+        if frame.lookup(&name).is_some() {
+            return Err(SqlError::Analyze(format!(
+                "duplicate table name/alias `{name}` in FROM clause"
+            )));
+        }
+        frame.entries.push((name.clone(), tr.table.clone(), schema));
+        from.push(TableRef { table: tr.table.clone(), alias: Some(name) });
+    }
+    scopes.push(frame);
+
+    let result = (|| {
+        // Expand and resolve select items.
+        let mut items = Vec::new();
+        let mut out_attrs: Vec<(String, DataType)> = Vec::new();
+        for item in &s.items {
+            match item {
+                SelectItem::Wildcard => {
+                    let frame = scopes.last().expect("frame was just pushed").clone();
+                    for (alias, _, schema) in &frame.entries {
+                        for a in schema.attrs() {
+                            items.push(SelectItem::Expr {
+                                expr: Scalar::col(alias.clone(), a.name.clone()),
+                                alias: None,
+                            });
+                            out_attrs.push((a.name.clone(), a.ty));
+                        }
+                    }
+                }
+                SelectItem::QualifiedWildcard(q) => {
+                    let frame = scopes.last().expect("frame was just pushed");
+                    let (alias, _, schema) = frame
+                        .lookup(q)
+                        .ok_or_else(|| {
+                            SqlError::Analyze(format!("unknown table alias `{q}` in `{q}.*`"))
+                        })?
+                        .clone();
+                    for a in schema.attrs() {
+                        items.push(SelectItem::Expr {
+                            expr: Scalar::col(alias.clone(), a.name.clone()),
+                            alias: None,
+                        });
+                        out_attrs.push((a.name.clone(), a.ty));
+                    }
+                }
+                SelectItem::Expr { expr, alias } => {
+                    let (expr, ty) = resolve_scalar(expr, scopes)?;
+                    let name = alias.clone().unwrap_or_else(|| match &expr {
+                        Scalar::Column { name, .. } => name.clone(),
+                        Scalar::Literal(v) => v.to_literal(),
+                    });
+                    items.push(SelectItem::Expr { expr, alias: alias.clone() });
+                    out_attrs.push((name, ty));
+                }
+            }
+        }
+        if items.is_empty() {
+            return Err(SqlError::Analyze("empty select list".into()));
+        }
+
+        let where_clause = match &s.where_clause {
+            Some(c) => Some(resolve_cond(c, db, scopes)?),
+            None => None,
+        };
+
+        // Disambiguate duplicate output names (`sname`, `sname_2`, …).
+        let mut seen: Vec<String> = Vec::new();
+        let attrs: Vec<(String, DataType)> = out_attrs
+            .into_iter()
+            .map(|(n, t)| {
+                let mut name = n.clone();
+                let mut k = 2;
+                while seen.iter().any(|s| s.eq_ignore_ascii_case(&name)) {
+                    name = format!("{n}_{k}");
+                    k += 1;
+                }
+                seen.push(name.clone());
+                (name, t)
+            })
+            .collect();
+        let schema = Schema::of(
+            &attrs.iter().map(|(n, t)| (n.as_str(), *t)).collect::<Vec<_>>(),
+        );
+
+        Ok((SelectStmt { distinct: s.distinct, items, from, where_clause }, schema))
+    })();
+
+    scopes.pop();
+    result
+}
+
+/// Output schema of an *already resolved* SELECT block, computed from its
+/// own FROM clause only. Column references to enclosing scopes (legal in
+/// correlated subqueries) get type [`DataType::Any`].
+pub fn resolved_select_schema(s: &SelectStmt, db: &Database) -> SqlResult<Schema> {
+    let mut local: Vec<(String, Schema)> = Vec::with_capacity(s.from.len());
+    for tr in &s.from {
+        local.push((tr.effective_name().to_string(), db.schema(&tr.table)?.clone()));
+    }
+    let mut out_attrs: Vec<(String, DataType)> = Vec::with_capacity(s.items.len());
+    for item in &s.items {
+        let SelectItem::Expr { expr, alias } = item else {
+            return Err(SqlError::Analyze(
+                "resolved select still contains wildcards".into(),
+            ));
+        };
+        let (name, ty) = match expr {
+            Scalar::Literal(v) => (v.to_literal(), v.data_type()),
+            Scalar::Column { qualifier, name } => {
+                let ty = qualifier
+                    .as_deref()
+                    .and_then(|q| {
+                        local
+                            .iter()
+                            .find(|(a, _)| a.eq_ignore_ascii_case(q))
+                            .and_then(|(_, sch)| sch.attr(name))
+                            .map(|a| a.ty)
+                    })
+                    .unwrap_or(DataType::Any);
+                (name.clone(), ty)
+            }
+        };
+        out_attrs.push((alias.clone().unwrap_or(name), ty));
+    }
+    let mut seen: Vec<String> = Vec::new();
+    let attrs: Vec<(String, DataType)> = out_attrs
+        .into_iter()
+        .map(|(n, t)| {
+            let mut name = n.clone();
+            let mut k = 2;
+            while seen.iter().any(|s| s.eq_ignore_ascii_case(&name)) {
+                name = format!("{n}_{k}");
+                k += 1;
+            }
+            seen.push(name.clone());
+            (name, t)
+        })
+        .collect();
+    Ok(Schema::of(&attrs.iter().map(|(n, t)| (n.as_str(), *t)).collect::<Vec<_>>()))
+}
+
+fn resolve_scalar(sc: &Scalar, scopes: &[Frame]) -> SqlResult<(Scalar, DataType)> {
+    match sc {
+        Scalar::Literal(v) => Ok((Scalar::Literal(v.clone()), v.data_type())),
+        Scalar::Column { qualifier: Some(q), name } => {
+            // Innermost scope owning alias `q` wins.
+            for frame in scopes.iter().rev() {
+                if let Some((alias, _, schema)) = frame.lookup(q) {
+                    let attr = schema.attr(name).ok_or_else(|| {
+                        SqlError::Analyze(format!("table `{q}` has no column `{name}`"))
+                    })?;
+                    return Ok((Scalar::col(alias.clone(), name.clone()), attr.ty));
+                }
+            }
+            Err(SqlError::Analyze(format!("unknown table alias `{q}`")))
+        }
+        Scalar::Column { qualifier: None, name } => {
+            // Search scopes from innermost out; within a scope the column
+            // must be unambiguous.
+            for frame in scopes.iter().rev() {
+                let hits: Vec<_> = frame
+                    .entries
+                    .iter()
+                    .filter(|(_, _, schema)| schema.attr(name).is_some())
+                    .collect();
+                match hits.len() {
+                    0 => continue,
+                    1 => {
+                        let (alias, _, schema) = hits[0];
+                        let ty = schema.attr(name).expect("hit implies presence").ty;
+                        return Ok((Scalar::col(alias.clone(), name.clone()), ty));
+                    }
+                    _ => {
+                        return Err(SqlError::Analyze(format!(
+                            "ambiguous column `{name}` (in {})",
+                            hits.iter()
+                                .map(|(a, _, _)| a.as_str())
+                                .collect::<Vec<_>>()
+                                .join(", ")
+                        )))
+                    }
+                }
+            }
+            Err(SqlError::Analyze(format!("unknown column `{name}`")))
+        }
+    }
+}
+
+fn check_comparable(lt: DataType, rt: DataType, ctx: &str) -> SqlResult<()> {
+    if lt.unify(rt).is_none() {
+        return Err(SqlError::Analyze(format!(
+            "type mismatch in {ctx}: {lt} vs {rt}"
+        )));
+    }
+    Ok(())
+}
+
+fn resolve_cond(c: &Cond, db: &Database, scopes: &mut Vec<Frame>) -> SqlResult<Cond> {
+    Ok(match c {
+        Cond::Cmp { left, op, right } => {
+            let (l, lt) = resolve_scalar(left, scopes)?;
+            let (r, rt) = resolve_scalar(right, scopes)?;
+            check_comparable(lt, rt, "comparison")?;
+            Cond::Cmp { left: l, op: *op, right: r }
+        }
+        Cond::And(a, b) => {
+            resolve_cond(a, db, scopes)?.and(resolve_cond(b, db, scopes)?)
+        }
+        Cond::Or(a, b) => resolve_cond(a, db, scopes)?.or(resolve_cond(b, db, scopes)?),
+        Cond::Not(a) => resolve_cond(a, db, scopes)?.not(),
+        Cond::Exists { negated, query } => {
+            let (q, _) = resolve_query(query, db, scopes)?;
+            Cond::Exists { negated: *negated, query: Box::new(q) }
+        }
+        Cond::InSubquery { expr, negated, query } => {
+            let (e, et) = resolve_scalar(expr, scopes)?;
+            let (q, schema) = resolve_query(query, db, scopes)?;
+            if schema.arity() != 1 {
+                return Err(SqlError::Analyze(format!(
+                    "IN subquery must return one column, got {}",
+                    schema.arity()
+                )));
+            }
+            check_comparable(et, schema.attrs()[0].ty, "IN subquery")?;
+            Cond::InSubquery { expr: e, negated: *negated, query: Box::new(q) }
+        }
+        Cond::InList { expr, negated, list } => {
+            let (e, et) = resolve_scalar(expr, scopes)?;
+            for v in list {
+                check_comparable(et, v.data_type(), "IN list")?;
+            }
+            Cond::InList { expr: e, negated: *negated, list: list.clone() }
+        }
+        Cond::QuantCmp { left, op, quant, query } => {
+            let (l, lt) = resolve_scalar(left, scopes)?;
+            let (q, schema) = resolve_query(query, db, scopes)?;
+            if schema.arity() != 1 {
+                return Err(SqlError::Analyze(format!(
+                    "quantified subquery must return one column, got {}",
+                    schema.arity()
+                )));
+            }
+            check_comparable(lt, schema.attrs()[0].ty, "quantified comparison")?;
+            Cond::QuantCmp { left: l, op: *op, quant: *quant, query: Box::new(q) }
+        }
+        Cond::IsNull { expr, negated } => {
+            let (e, _) = resolve_scalar(expr, scopes)?;
+            Cond::IsNull { expr: e, negated: *negated }
+        }
+        Cond::Between { expr, negated, low, high } => {
+            let (e, et) = resolve_scalar(expr, scopes)?;
+            let (lo, lot) = resolve_scalar(low, scopes)?;
+            let (hi, hit) = resolve_scalar(high, scopes)?;
+            check_comparable(et, lot, "BETWEEN")?;
+            check_comparable(et, hit, "BETWEEN")?;
+            Cond::Between { expr: e, negated: *negated, low: lo, high: hi }
+        }
+        Cond::Literal(b) => Cond::Literal(*b),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_query;
+    use relviz_model::catalog::sailors_sample;
+
+    fn res(sql: &str) -> SqlResult<Query> {
+        resolve(&parse_query(sql).unwrap(), &sailors_sample())
+    }
+
+    #[test]
+    fn qualifies_unqualified_columns() {
+        let q = res("SELECT sname FROM Sailor WHERE rating > 7").unwrap();
+        let Query::Select(s) = q else { panic!() };
+        let SelectItem::Expr { expr, .. } = &s.items[0] else { panic!() };
+        assert_eq!(expr, &Scalar::col("Sailor", "sname"));
+    }
+
+    #[test]
+    fn expands_wildcards() {
+        let q = res("SELECT * FROM Sailor S, Boat B").unwrap();
+        let Query::Select(s) = q else { panic!() };
+        assert_eq!(s.items.len(), 7); // 4 sailor + 3 boat columns
+    }
+
+    #[test]
+    fn output_schema_disambiguates() {
+        let schema =
+            output_schema(&parse_query("SELECT S.sname, S.sname FROM Sailor S").unwrap(), &sailors_sample())
+                .unwrap();
+        assert_eq!(schema.names(), vec!["sname", "sname_2"]);
+    }
+
+    #[test]
+    fn detects_ambiguity_and_unknowns() {
+        assert!(res("SELECT sid FROM Sailor, Reserves").is_err()); // ambiguous
+        assert!(res("SELECT nope FROM Sailor").is_err());
+        assert!(res("SELECT sname FROM NoSuchTable").is_err());
+        assert!(res("SELECT Z.sname FROM Sailor S").is_err());
+        assert!(res("SELECT S.ghost FROM Sailor S").is_err());
+    }
+
+    #[test]
+    fn duplicate_alias_rejected() {
+        assert!(res("SELECT S.sname FROM Sailor S, Boat S").is_err());
+    }
+
+    #[test]
+    fn correlated_subquery_sees_outer_scope() {
+        let q = res("SELECT S.sname FROM Sailor S WHERE EXISTS \
+                     (SELECT * FROM Reserves R WHERE R.sid = S.sid)");
+        assert!(q.is_ok());
+    }
+
+    #[test]
+    fn inner_scope_shadows_outer() {
+        // Both scopes name a table S; inner resolution must pick the inner.
+        let q = res("SELECT S.sname FROM Sailor S WHERE EXISTS \
+                     (SELECT * FROM Sailor S WHERE S.rating > 9)");
+        assert!(q.is_ok());
+    }
+
+    #[test]
+    fn in_subquery_arity_checked() {
+        assert!(res("SELECT S.sname FROM Sailor S WHERE S.sid IN \
+                     (SELECT R.sid, R.bid FROM Reserves R)")
+            .is_err());
+    }
+
+    #[test]
+    fn type_mismatches_detected() {
+        assert!(res("SELECT S.sname FROM Sailor S WHERE S.sname > 5").is_err());
+        assert!(res("SELECT S.sname FROM Sailor S WHERE S.sid IN \
+                     (SELECT B.color FROM Boat B)")
+            .is_err());
+    }
+
+    #[test]
+    fn union_compatibility_checked() {
+        assert!(res("SELECT S.sid FROM Sailor S UNION SELECT B.color FROM Boat B").is_err());
+        assert!(res("SELECT S.sid FROM Sailor S UNION SELECT B.bid FROM Boat B").is_ok());
+    }
+
+    #[test]
+    fn int_compares_with_float() {
+        assert!(res("SELECT S.sname FROM Sailor S WHERE S.age > 30").is_ok());
+    }
+}

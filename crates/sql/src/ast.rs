@@ -1,0 +1,214 @@
+//! Abstract syntax of the first-order SQL fragment.
+//!
+//! The fragment corresponds to what the tutorial's Part 3 uses: conjunctive
+//! queries, disjunction, negation via `NOT EXISTS` / `NOT IN`, quantified
+//! comparisons, and set operations — i.e. exactly the relationally complete
+//! core of SQL (no aggregation, grouping or recursion, which are outside
+//! first-order logic).
+
+use relviz_model::Value;
+
+pub use relviz_model::CmpOp;
+
+/// A full query: a tree of set operations over SELECT blocks.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Query {
+    Select(SelectStmt),
+    SetOp { op: SetOpKind, left: Box<Query>, right: Box<Query> },
+}
+
+/// `UNION`, `INTERSECT`, `EXCEPT` — set semantics (no `ALL`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SetOpKind {
+    Union,
+    Intersect,
+    Except,
+}
+
+impl SetOpKind {
+    pub fn keyword(self) -> &'static str {
+        match self {
+            SetOpKind::Union => "UNION",
+            SetOpKind::Intersect => "INTERSECT",
+            SetOpKind::Except => "EXCEPT",
+        }
+    }
+}
+
+/// One `SELECT … FROM … WHERE …` block.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectStmt {
+    pub distinct: bool,
+    pub items: Vec<SelectItem>,
+    pub from: Vec<TableRef>,
+    pub where_clause: Option<Cond>,
+}
+
+/// An output column specification.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectItem {
+    /// `*`
+    Wildcard,
+    /// `alias.*`
+    QualifiedWildcard(String),
+    /// expression with optional output alias.
+    Expr { expr: Scalar, alias: Option<String> },
+}
+
+/// A base-table reference with optional alias (a *table variable* in the
+/// tutorial's vocabulary — the unit QueryVis and Relational Diagrams draw).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableRef {
+    pub table: String,
+    pub alias: Option<String>,
+}
+
+impl TableRef {
+    pub fn new(table: impl Into<String>) -> Self {
+        TableRef { table: table.into(), alias: None }
+    }
+    pub fn aliased(table: impl Into<String>, alias: impl Into<String>) -> Self {
+        TableRef { table: table.into(), alias: Some(alias.into()) }
+    }
+    /// The name this table is referred to by in scope.
+    pub fn effective_name(&self) -> &str {
+        self.alias.as_deref().unwrap_or(&self.table)
+    }
+}
+
+/// Scalar expressions: column references and literals.
+///
+/// Arithmetic is deliberately excluded — the tutorial's queries and every
+/// diagram formalism it surveys operate on comparisons between attributes
+/// and constants; keeping scalars atomic keeps all translations exact.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Scalar {
+    Column { qualifier: Option<String>, name: String },
+    Literal(Value),
+}
+
+impl Scalar {
+    pub fn col(qualifier: impl Into<String>, name: impl Into<String>) -> Self {
+        Scalar::Column { qualifier: Some(qualifier.into()), name: name.into() }
+    }
+    pub fn bare(name: impl Into<String>) -> Self {
+        Scalar::Column { qualifier: None, name: name.into() }
+    }
+    pub fn lit(v: impl Into<Value>) -> Self {
+        Scalar::Literal(v.into())
+    }
+}
+
+/// `ANY`/`ALL` quantifier of a quantified comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Quant {
+    Any,
+    All,
+}
+
+/// WHERE-clause conditions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Cond {
+    /// `a op b`
+    Cmp { left: Scalar, op: CmpOp, right: Scalar },
+    And(Box<Cond>, Box<Cond>),
+    Or(Box<Cond>, Box<Cond>),
+    Not(Box<Cond>),
+    /// `[NOT] EXISTS (subquery)`
+    Exists { negated: bool, query: Box<Query> },
+    /// `expr [NOT] IN (subquery)`
+    InSubquery { expr: Scalar, negated: bool, query: Box<Query> },
+    /// `expr [NOT] IN (v1, v2, …)`
+    InList { expr: Scalar, negated: bool, list: Vec<Value> },
+    /// `expr op ANY|ALL (subquery)`
+    QuantCmp { left: Scalar, op: CmpOp, quant: Quant, query: Box<Query> },
+    /// `expr IS [NOT] NULL`
+    IsNull { expr: Scalar, negated: bool },
+    /// `expr [NOT] BETWEEN lo AND hi`
+    Between { expr: Scalar, negated: bool, low: Scalar, high: Scalar },
+    /// `TRUE` / `FALSE`
+    Literal(bool),
+}
+
+impl Cond {
+    pub fn and(self, other: Cond) -> Cond {
+        Cond::And(Box::new(self), Box::new(other))
+    }
+    pub fn or(self, other: Cond) -> Cond {
+        Cond::Or(Box::new(self), Box::new(other))
+    }
+    #[allow(clippy::should_implement_trait)] // DSL: ¬ builder, not std::ops::Not
+    pub fn not(self) -> Cond {
+        Cond::Not(Box::new(self))
+    }
+    pub fn cmp(left: Scalar, op: CmpOp, right: Scalar) -> Cond {
+        Cond::Cmp { left, op, right }
+    }
+}
+
+impl Query {
+    /// Iterates over every `SELECT` block in the set-operation tree.
+    pub fn select_blocks(&self) -> Vec<&SelectStmt> {
+        let mut out = Vec::new();
+        fn walk<'a>(q: &'a Query, out: &mut Vec<&'a SelectStmt>) {
+            match q {
+                Query::Select(s) => out.push(s),
+                Query::SetOp { left, right, .. } => {
+                    walk(left, out);
+                    walk(right, out);
+                }
+            }
+        }
+        walk(self, &mut out);
+        out
+    }
+
+    /// Counts SELECT blocks at any nesting depth, including subqueries —
+    /// a crude size metric used by benchmarks and the pattern module.
+    pub fn block_count(&self) -> usize {
+        fn in_cond(c: &Cond) -> usize {
+            match c {
+                Cond::And(a, b) | Cond::Or(a, b) => in_cond(a) + in_cond(b),
+                Cond::Not(a) => in_cond(a),
+                Cond::Exists { query, .. }
+                | Cond::InSubquery { query, .. }
+                | Cond::QuantCmp { query, .. } => query.block_count(),
+                _ => 0,
+            }
+        }
+        match self {
+            Query::Select(s) => {
+                1 + s.where_clause.as_ref().map_or(0, in_cond)
+            }
+            Query::SetOp { left, right, .. } => left.block_count() + right.block_count(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn effective_name() {
+        assert_eq!(TableRef::new("Sailor").effective_name(), "Sailor");
+        assert_eq!(TableRef::aliased("Sailor", "S").effective_name(), "S");
+    }
+
+    #[test]
+    fn block_count_counts_subqueries() {
+        let inner = Query::Select(SelectStmt {
+            distinct: false,
+            items: vec![SelectItem::Wildcard],
+            from: vec![TableRef::new("Boat")],
+            where_clause: None,
+        });
+        let outer = Query::Select(SelectStmt {
+            distinct: true,
+            items: vec![SelectItem::Wildcard],
+            from: vec![TableRef::new("Sailor")],
+            where_clause: Some(Cond::Exists { negated: true, query: Box::new(inner) }),
+        });
+        assert_eq!(outer.block_count(), 2);
+    }
+}

@@ -1,0 +1,60 @@
+//! SQL frontend errors with source positions.
+
+use std::fmt;
+
+/// Byte offset + 1-based line/column, attached to lexer/parser errors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Pos {
+    pub offset: usize,
+    pub line: u32,
+    pub col: u32,
+}
+
+impl fmt::Display for Pos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// Errors from lexing, parsing, analysis or evaluation of SQL.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SqlError {
+    /// Unexpected character or malformed literal during lexing.
+    Lex { pos: Pos, msg: String },
+    /// Grammar violation during parsing.
+    Parse { pos: Pos, msg: String },
+    /// Name-resolution failure (unknown table/column, ambiguity…).
+    Analyze(String),
+    /// Evaluation failure (delegating model errors, unsupported feature).
+    Eval(String),
+}
+
+impl SqlError {
+    pub fn parse(pos: Pos, msg: impl Into<String>) -> Self {
+        SqlError::Parse { pos, msg: msg.into() }
+    }
+    pub fn lex(pos: Pos, msg: impl Into<String>) -> Self {
+        SqlError::Lex { pos, msg: msg.into() }
+    }
+}
+
+impl fmt::Display for SqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SqlError::Lex { pos, msg } => write!(f, "lex error at {pos}: {msg}"),
+            SqlError::Parse { pos, msg } => write!(f, "parse error at {pos}: {msg}"),
+            SqlError::Analyze(msg) => write!(f, "analysis error: {msg}"),
+            SqlError::Eval(msg) => write!(f, "evaluation error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SqlError {}
+
+impl From<relviz_model::ModelError> for SqlError {
+    fn from(e: relviz_model::ModelError) -> Self {
+        SqlError::Eval(e.to_string())
+    }
+}
+
+pub type SqlResult<T> = std::result::Result<T, SqlError>;

@@ -1,0 +1,465 @@
+//! A direct, reference SQL evaluator (nested loops, three-valued logic).
+//!
+//! This evaluator is deliberately independent from the RA/RC/Datalog
+//! engines in sibling crates: experiment **E2** cross-checks all five
+//! language implementations against each other, which is only meaningful if
+//! they do not share evaluation code.
+//!
+//! Semantics notes:
+//! * **Set semantics**: results are relations (sets); `DISTINCT` and plain
+//!   `SELECT` therefore coincide, which matches how the tutorial compares
+//!   languages (RA/RC/Datalog are set-based).
+//! * **Three-valued logic** in WHERE: `NULL` comparisons yield *unknown*;
+//!   a tuple qualifies only if the condition is *true* — so the classic
+//!   `NOT IN` + NULL trap behaves exactly as in real SQL (see tests).
+
+use relviz_model::{Database, Relation, Schema, Tuple, Value};
+
+use crate::analyze::{resolve, resolved_select_schema};
+use crate::ast::*;
+use crate::error::{SqlError, SqlResult};
+
+/// Evaluates `query` against `db` (resolving names first).
+pub fn eval_query(query: &Query, db: &Database) -> SqlResult<Relation> {
+    let resolved = resolve(query, db)?;
+    let mut env = Env::default();
+    eval_resolved(&resolved, db, &mut env)
+}
+
+/// Parses, resolves and evaluates a SQL string — the one-call convenience.
+pub fn run_sql(sql: &str, db: &Database) -> SqlResult<Relation> {
+    eval_query(&crate::parser::parse_query(sql)?, db)
+}
+
+/// Binding environment: a stack of frames, one per enclosing SELECT block,
+/// each mapping effective table names to (schema, current row).
+#[derive(Debug, Default, Clone)]
+struct Env {
+    frames: Vec<Vec<(String, Schema, Tuple)>>,
+}
+
+impl Env {
+    fn lookup(&self, qualifier: &str, name: &str) -> Option<Value> {
+        for frame in self.frames.iter().rev() {
+            for (alias, schema, tuple) in frame {
+                if alias.eq_ignore_ascii_case(qualifier) {
+                    let idx = schema.index_of(name)?;
+                    return Some(tuple.values()[idx].clone());
+                }
+            }
+        }
+        None
+    }
+}
+
+fn eval_resolved(query: &Query, db: &Database, env: &mut Env) -> SqlResult<Relation> {
+    match query {
+        Query::Select(s) => eval_select(s, db, env),
+        Query::SetOp { op, left, right } => {
+            let l = eval_resolved(left, db, env)?;
+            let r = eval_resolved(right, db, env)?;
+            let mut out = Relation::empty(l.schema().clone());
+            match op {
+                SetOpKind::Union => {
+                    for t in l.iter().chain(r.iter()) {
+                        out.insert_unchecked(t.clone());
+                    }
+                }
+                SetOpKind::Intersect => {
+                    for t in l.iter() {
+                        if r.contains(t) {
+                            out.insert_unchecked(t.clone());
+                        }
+                    }
+                }
+                SetOpKind::Except => {
+                    for t in l.iter() {
+                        if !r.contains(t) {
+                            out.insert_unchecked(t.clone());
+                        }
+                    }
+                }
+            }
+            Ok(out)
+        }
+    }
+}
+
+fn eval_select(s: &SelectStmt, db: &Database, env: &mut Env) -> SqlResult<Relation> {
+    let out_schema = resolved_select_schema(s, db)?;
+    let mut out = Relation::empty(out_schema);
+
+    // Gather the base relations once.
+    let mut tables: Vec<(String, Schema, Vec<Tuple>)> = Vec::with_capacity(s.from.len());
+    for tr in &s.from {
+        let rel = db.relation(&tr.table)?;
+        tables.push((
+            tr.effective_name().to_string(),
+            rel.schema().clone(),
+            rel.iter().cloned().collect(),
+        ));
+    }
+
+    // Nested-loop enumeration of the FROM product.
+    env.frames.push(Vec::new());
+    let result = enumerate(s, db, env, &tables, 0, &mut out);
+    env.frames.pop();
+    result?;
+    Ok(out)
+}
+
+fn enumerate(
+    s: &SelectStmt,
+    db: &Database,
+    env: &mut Env,
+    tables: &[(String, Schema, Vec<Tuple>)],
+    depth: usize,
+    out: &mut Relation,
+) -> SqlResult<()> {
+    if depth == tables.len() {
+        let keep = match &s.where_clause {
+            Some(c) => eval_cond(c, db, env)? == Some(true),
+            None => true,
+        };
+        if keep {
+            let mut values = Vec::with_capacity(s.items.len());
+            for item in &s.items {
+                let SelectItem::Expr { expr, .. } = item else {
+                    return Err(SqlError::Eval(
+                        "wildcard survived resolution (internal error)".into(),
+                    ));
+                };
+                values.push(eval_scalar(expr, env)?);
+            }
+            out.insert_unchecked(Tuple::new(values));
+        }
+        return Ok(());
+    }
+    let (alias, schema, tuples) = &tables[depth];
+    for t in tuples {
+        let frame = env.frames.last_mut().expect("frame pushed by eval_select");
+        frame.push((alias.clone(), schema.clone(), t.clone()));
+        let r = enumerate(s, db, env, tables, depth + 1, out);
+        env.frames.last_mut().expect("frame still present").pop();
+        r?;
+    }
+    Ok(())
+}
+
+fn eval_scalar(sc: &Scalar, env: &Env) -> SqlResult<Value> {
+    match sc {
+        Scalar::Literal(v) => Ok(v.clone()),
+        Scalar::Column { qualifier: Some(q), name } => env
+            .lookup(q, name)
+            .ok_or_else(|| SqlError::Eval(format!("unbound column `{q}.{name}`"))),
+        Scalar::Column { qualifier: None, name } => {
+            Err(SqlError::Eval(format!("unresolved column `{name}` (internal error)")))
+        }
+    }
+}
+
+/// Kleene three-valued connectives.
+fn and3(a: Option<bool>, b: Option<bool>) -> Option<bool> {
+    match (a, b) {
+        (Some(false), _) | (_, Some(false)) => Some(false),
+        (Some(true), Some(true)) => Some(true),
+        _ => None,
+    }
+}
+fn or3(a: Option<bool>, b: Option<bool>) -> Option<bool> {
+    match (a, b) {
+        (Some(true), _) | (_, Some(true)) => Some(true),
+        (Some(false), Some(false)) => Some(false),
+        _ => None,
+    }
+}
+fn not3(a: Option<bool>) -> Option<bool> {
+    a.map(|b| !b)
+}
+
+fn cmp3(op: CmpOp, l: &Value, r: &Value) -> Option<bool> {
+    if l.is_null() || r.is_null() {
+        None
+    } else {
+        Some(op.apply(l, r))
+    }
+}
+
+fn eval_cond(c: &Cond, db: &Database, env: &mut Env) -> SqlResult<Option<bool>> {
+    Ok(match c {
+        Cond::Literal(b) => Some(*b),
+        Cond::Cmp { left, op, right } => {
+            let l = eval_scalar(left, env)?;
+            let r = eval_scalar(right, env)?;
+            cmp3(*op, &l, &r)
+        }
+        Cond::And(a, b) => and3(eval_cond(a, db, env)?, eval_cond(b, db, env)?),
+        Cond::Or(a, b) => or3(eval_cond(a, db, env)?, eval_cond(b, db, env)?),
+        Cond::Not(a) => not3(eval_cond(a, db, env)?),
+        Cond::IsNull { expr, negated } => {
+            let v = eval_scalar(expr, env)?;
+            Some(v.is_null() != *negated)
+        }
+        Cond::Between { expr, negated, low, high } => {
+            let v = eval_scalar(expr, env)?;
+            let lo = eval_scalar(low, env)?;
+            let hi = eval_scalar(high, env)?;
+            let inside = and3(cmp3(CmpOp::Ge, &v, &lo), cmp3(CmpOp::Le, &v, &hi));
+            if *negated {
+                not3(inside)
+            } else {
+                inside
+            }
+        }
+        Cond::Exists { negated, query } => {
+            let rel = eval_resolved(query, db, env)?;
+            Some(rel.is_empty() == *negated)
+        }
+        Cond::InList { expr, negated, list } => {
+            let v = eval_scalar(expr, env)?;
+            let mut acc = Some(false);
+            for item in list {
+                acc = or3(acc, cmp3(CmpOp::Eq, &v, item));
+            }
+            if *negated {
+                not3(acc)
+            } else {
+                acc
+            }
+        }
+        Cond::InSubquery { expr, negated, query } => {
+            let v = eval_scalar(expr, env)?;
+            let rel = eval_resolved(query, db, env)?;
+            let mut acc = Some(false);
+            for t in rel.iter() {
+                acc = or3(acc, cmp3(CmpOp::Eq, &v, &t.values()[0]));
+            }
+            if *negated {
+                not3(acc)
+            } else {
+                acc
+            }
+        }
+        Cond::QuantCmp { left, op, quant, query } => {
+            let v = eval_scalar(left, env)?;
+            let rel = eval_resolved(query, db, env)?;
+            match quant {
+                Quant::Any => {
+                    let mut acc = Some(false);
+                    for t in rel.iter() {
+                        acc = or3(acc, cmp3(*op, &v, &t.values()[0]));
+                    }
+                    acc
+                }
+                Quant::All => {
+                    let mut acc = Some(true);
+                    for t in rel.iter() {
+                        acc = and3(acc, cmp3(*op, &v, &t.values()[0]));
+                    }
+                    acc
+                }
+            }
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relviz_model::catalog::sailors_sample;
+    use relviz_model::{DataType, Schema as MSchema};
+
+    fn names(rel: &Relation) -> Vec<String> {
+        rel.iter().map(|t| t.values()[0].to_string()).collect()
+    }
+
+    #[test]
+    fn q1_reserved_boat_102() {
+        let db = sailors_sample();
+        let r = run_sql(
+            "SELECT DISTINCT S.sname FROM Sailor S, Reserves R \
+             WHERE S.sid = R.sid AND R.bid = 102",
+            &db,
+        )
+        .unwrap();
+        assert_eq!(names(&r), vec!["dustin", "horatio", "lubber"]);
+    }
+
+    #[test]
+    fn q2_reserved_red_boat() {
+        let db = sailors_sample();
+        let r = run_sql(
+            "SELECT DISTINCT S.sname FROM Sailor S, Reserves R, Boat B \
+             WHERE S.sid = R.sid AND R.bid = B.bid AND B.color = 'red'",
+            &db,
+        )
+        .unwrap();
+        assert_eq!(names(&r), vec!["dustin", "horatio", "lubber"]);
+    }
+
+    #[test]
+    fn q3_red_or_green_union() {
+        let db = sailors_sample();
+        let union = run_sql(
+            "SELECT S.sname FROM Sailor S, Reserves R, Boat B \
+             WHERE S.sid = R.sid AND R.bid = B.bid AND B.color = 'red' \
+             UNION \
+             SELECT S.sname FROM Sailor S, Reserves R, Boat B \
+             WHERE S.sid = R.sid AND R.bid = B.bid AND B.color = 'green'",
+            &db,
+        )
+        .unwrap();
+        let or = run_sql(
+            "SELECT DISTINCT S.sname FROM Sailor S, Reserves R, Boat B \
+             WHERE S.sid = R.sid AND R.bid = B.bid AND (B.color = 'red' OR B.color = 'green')",
+            &db,
+        )
+        .unwrap();
+        assert!(union.same_contents(&or));
+        assert_eq!(names(&union), vec!["dustin", "horatio", "lubber"]);
+    }
+
+    #[test]
+    fn q4_no_red_boat_not_exists() {
+        let db = sailors_sample();
+        let r = run_sql(
+            "SELECT S.sname FROM Sailor S WHERE NOT EXISTS \
+             (SELECT * FROM Reserves R, Boat B \
+              WHERE R.sid = S.sid AND R.bid = B.bid AND B.color = 'red')",
+            &db,
+        )
+        .unwrap();
+        // Everyone except dustin(22), lubber(31), horatio(64).
+        assert_eq!(r.len(), 7);
+        assert!(!names(&r).contains(&"dustin".to_string()));
+    }
+
+    #[test]
+    fn q5_division_all_red_boats() {
+        let db = sailors_sample();
+        let r = run_sql(
+            "SELECT S.sname FROM Sailor S WHERE NOT EXISTS \
+             (SELECT * FROM Boat B WHERE B.color = 'red' AND NOT EXISTS \
+               (SELECT * FROM Reserves R WHERE R.sid = S.sid AND R.bid = B.bid))",
+            &db,
+        )
+        .unwrap();
+        // Dustin reserves 102 and 104; lubber reserves 102,104 too!
+        // lubber reserves 102, 103, 104 → includes both red boats.
+        assert_eq!(names(&r), vec!["dustin", "lubber"]);
+    }
+
+    #[test]
+    fn quantified_all_highest_rating() {
+        let db = sailors_sample();
+        let r = run_sql(
+            "SELECT DISTINCT S.sname FROM Sailor S \
+             WHERE S.rating >= ALL (SELECT S2.rating FROM Sailor S2)",
+            &db,
+        )
+        .unwrap();
+        assert_eq!(names(&r), vec!["rusty", "zorba"]);
+    }
+
+    #[test]
+    fn in_subquery_matches_join() {
+        let db = sailors_sample();
+        let a = run_sql(
+            "SELECT DISTINCT S.sname FROM Sailor S WHERE S.sid IN \
+             (SELECT R.sid FROM Reserves R WHERE R.bid = 102)",
+            &db,
+        )
+        .unwrap();
+        let b = run_sql(
+            "SELECT DISTINCT S.sname FROM Sailor S, Reserves R \
+             WHERE S.sid = R.sid AND R.bid = 102",
+            &db,
+        )
+        .unwrap();
+        assert!(a.same_contents(&b));
+    }
+
+    #[test]
+    fn intersect_and_except() {
+        let db = sailors_sample();
+        let r = run_sql(
+            "SELECT S.sid FROM Sailor S INTERSECT SELECT R.sid FROM Reserves R",
+            &db,
+        )
+        .unwrap();
+        assert_eq!(r.len(), 4); // 22, 31, 64, 74 have reservations
+        let e = run_sql(
+            "SELECT S.sid FROM Sailor S EXCEPT SELECT R.sid FROM Reserves R",
+            &db,
+        )
+        .unwrap();
+        assert_eq!(e.len(), 6);
+    }
+
+    #[test]
+    fn not_in_with_null_is_empty() {
+        // The classic SQL trap: `x NOT IN (…, NULL, …)` can never be true.
+        let mut db = Database::new();
+        let mut r = Relation::empty(MSchema::of(&[("a", DataType::Int)]));
+        r.insert(Tuple::of((1,))).unwrap();
+        db.add("R", r).unwrap();
+        let mut s = Relation::empty(MSchema::of(&[("b", DataType::Int)]));
+        s.insert(Tuple::new(vec![Value::Null])).unwrap();
+        s.insert(Tuple::of((2,))).unwrap();
+        db.add("S", s).unwrap();
+
+        let out = run_sql("SELECT R.a FROM R WHERE R.a NOT IN (SELECT S.b FROM S)", &db).unwrap();
+        assert!(out.is_empty(), "NOT IN with NULL must yield unknown, filtering all rows");
+
+        // whereas IN finds nothing but NOT EXISTS-style rewrite succeeds:
+        let out2 = run_sql(
+            "SELECT R.a FROM R WHERE NOT EXISTS (SELECT * FROM S WHERE S.b = R.a)",
+            &db,
+        )
+        .unwrap();
+        assert_eq!(out2.len(), 1);
+    }
+
+    #[test]
+    fn between_and_is_null() {
+        let db = sailors_sample();
+        let r = run_sql(
+            "SELECT S.sname FROM Sailor S WHERE S.age BETWEEN 33 AND 36 AND S.sname IS NOT NULL",
+            &db,
+        )
+        .unwrap();
+        assert_eq!(r.len(), 3); // brutus 33, rusty 35, horatio 35 (74's horatio dedups by name? no: sname only)
+    }
+
+    #[test]
+    fn self_join_pairs() {
+        let db = sailors_sample();
+        let r = run_sql(
+            "SELECT S1.sname, S2.sname FROM Sailor S1, Sailor S2 \
+             WHERE S1.rating = S2.rating AND S1.sid < S2.sid",
+            &db,
+        )
+        .unwrap();
+        // rating 7: (22,64); rating 8: (31,32); rating 10: (58,71); rating 3: (85,95)
+        assert_eq!(r.len(), 4);
+    }
+
+    #[test]
+    fn empty_all_is_true_empty_any_is_false() {
+        let db = sailors_sample();
+        let all = run_sql(
+            "SELECT S.sid FROM Sailor S WHERE S.rating > ALL \
+             (SELECT B.bid FROM Boat B WHERE B.color = 'purple')",
+            &db,
+        )
+        .unwrap();
+        assert_eq!(all.len(), 10);
+        let any = run_sql(
+            "SELECT S.sid FROM Sailor S WHERE S.rating > ANY \
+             (SELECT B.bid FROM Boat B WHERE B.color = 'purple')",
+            &db,
+        )
+        .unwrap();
+        assert!(any.is_empty());
+    }
+}

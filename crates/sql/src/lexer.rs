@@ -1,0 +1,348 @@
+//! Hand-written SQL lexer.
+//!
+//! Produces a token stream with positions. Keywords are recognized
+//! case-insensitively; identifiers keep their original spelling (the model
+//! layer resolves names case-insensitively, matching SQL convention).
+
+use crate::error::{Pos, SqlError, SqlResult};
+
+/// The kinds of tokens in our SQL fragment.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    // Punctuation / operators
+    LParen,
+    RParen,
+    Comma,
+    Dot,
+    Star,
+    Semicolon,
+    Eq,
+    Neq,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    // Literals and names
+    Ident(String),
+    Int(i64),
+    Float(f64),
+    Str(String),
+    // Keywords
+    Select,
+    Distinct,
+    From,
+    Where,
+    And,
+    Or,
+    Not,
+    Exists,
+    In,
+    Any,
+    Some,
+    All,
+    Union,
+    Intersect,
+    Except,
+    As,
+    Is,
+    Null,
+    True,
+    False,
+    Between,
+    /// End of input sentinel.
+    Eof,
+}
+
+impl Tok {
+    /// Human-readable token description for error messages.
+    pub fn describe(&self) -> String {
+        match self {
+            Tok::Ident(s) => format!("identifier `{s}`"),
+            Tok::Int(i) => format!("integer `{i}`"),
+            Tok::Float(x) => format!("float `{x}`"),
+            Tok::Str(s) => format!("string '{s}'"),
+            Tok::Eof => "end of input".to_string(),
+            other => format!("`{other:?}`"),
+        }
+    }
+}
+
+/// A token plus its source position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    pub tok: Tok,
+    pub pos: Pos,
+}
+
+/// Lexes `input` into a token vector terminated by [`Tok::Eof`].
+pub fn lex(input: &str) -> SqlResult<Vec<Token>> {
+    let mut tokens = Vec::new();
+    let bytes = input.as_bytes();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let mut col = 1u32;
+
+    macro_rules! pos {
+        () => {
+            Pos { offset: i, line, col }
+        };
+    }
+    macro_rules! bump {
+        ($n:expr) => {{
+            col += $n as u32;
+            i += $n;
+        }};
+    }
+
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\r' => bump!(1),
+            '\n' => {
+                i += 1;
+                line += 1;
+                col = 1;
+            }
+            '-' if i + 1 < bytes.len() && bytes[i + 1] == b'-' => {
+                // line comment
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '(' => {
+                tokens.push(Token { tok: Tok::LParen, pos: pos!() });
+                bump!(1);
+            }
+            ')' => {
+                tokens.push(Token { tok: Tok::RParen, pos: pos!() });
+                bump!(1);
+            }
+            ',' => {
+                tokens.push(Token { tok: Tok::Comma, pos: pos!() });
+                bump!(1);
+            }
+            '.' => {
+                tokens.push(Token { tok: Tok::Dot, pos: pos!() });
+                bump!(1);
+            }
+            '*' => {
+                tokens.push(Token { tok: Tok::Star, pos: pos!() });
+                bump!(1);
+            }
+            ';' => {
+                tokens.push(Token { tok: Tok::Semicolon, pos: pos!() });
+                bump!(1);
+            }
+            '=' => {
+                tokens.push(Token { tok: Tok::Eq, pos: pos!() });
+                bump!(1);
+            }
+            '<' => {
+                let p = pos!();
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    tokens.push(Token { tok: Tok::Le, pos: p });
+                    bump!(2);
+                } else if i + 1 < bytes.len() && bytes[i + 1] == b'>' {
+                    tokens.push(Token { tok: Tok::Neq, pos: p });
+                    bump!(2);
+                } else {
+                    tokens.push(Token { tok: Tok::Lt, pos: p });
+                    bump!(1);
+                }
+            }
+            '>' => {
+                let p = pos!();
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    tokens.push(Token { tok: Tok::Ge, pos: p });
+                    bump!(2);
+                } else {
+                    tokens.push(Token { tok: Tok::Gt, pos: p });
+                    bump!(1);
+                }
+            }
+            '!' => {
+                let p = pos!();
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    tokens.push(Token { tok: Tok::Neq, pos: p });
+                    bump!(2);
+                } else {
+                    return Err(SqlError::lex(p, "unexpected `!` (did you mean `!=`?)"));
+                }
+            }
+            '\'' => {
+                let p = pos!();
+                let mut s = String::new();
+                let mut j = i + 1;
+                loop {
+                    if j >= bytes.len() {
+                        return Err(SqlError::lex(p, "unterminated string literal"));
+                    }
+                    if bytes[j] == b'\'' {
+                        if j + 1 < bytes.len() && bytes[j + 1] == b'\'' {
+                            s.push('\'');
+                            j += 2;
+                        } else {
+                            j += 1;
+                            break;
+                        }
+                    } else {
+                        s.push(bytes[j] as char);
+                        j += 1;
+                    }
+                }
+                let consumed = j - i;
+                tokens.push(Token { tok: Tok::Str(s), pos: p });
+                bump!(consumed);
+            }
+            c if c.is_ascii_digit() => {
+                let p = pos!();
+                let start = i;
+                let mut j = i;
+                while j < bytes.len() && (bytes[j] as char).is_ascii_digit() {
+                    j += 1;
+                }
+                let mut is_float = false;
+                if j < bytes.len()
+                    && bytes[j] == b'.'
+                    && j + 1 < bytes.len()
+                    && (bytes[j + 1] as char).is_ascii_digit()
+                {
+                    is_float = true;
+                    j += 1;
+                    while j < bytes.len() && (bytes[j] as char).is_ascii_digit() {
+                        j += 1;
+                    }
+                }
+                let text = &input[start..j];
+                let tok = if is_float {
+                    Tok::Float(
+                        text.parse()
+                            .map_err(|_| SqlError::lex(p, format!("bad float `{text}`")))?,
+                    )
+                } else {
+                    Tok::Int(
+                        text.parse()
+                            .map_err(|_| SqlError::lex(p, format!("integer overflow `{text}`")))?,
+                    )
+                };
+                let consumed = j - i;
+                tokens.push(Token { tok, pos: p });
+                bump!(consumed);
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let p = pos!();
+                let start = i;
+                let mut j = i;
+                while j < bytes.len()
+                    && ((bytes[j] as char).is_ascii_alphanumeric() || bytes[j] == b'_')
+                {
+                    j += 1;
+                }
+                let word = &input[start..j];
+                let tok = keyword(word).unwrap_or_else(|| Tok::Ident(word.to_string()));
+                let consumed = j - i;
+                tokens.push(Token { tok, pos: p });
+                bump!(consumed);
+            }
+            other => {
+                return Err(SqlError::lex(pos!(), format!("unexpected character `{other}`")));
+            }
+        }
+    }
+    tokens.push(Token { tok: Tok::Eof, pos: Pos { offset: i, line, col } });
+    Ok(tokens)
+}
+
+fn keyword(word: &str) -> Option<Tok> {
+    let t = match word.to_ascii_uppercase().as_str() {
+        "SELECT" => Tok::Select,
+        "DISTINCT" => Tok::Distinct,
+        "FROM" => Tok::From,
+        "WHERE" => Tok::Where,
+        "AND" => Tok::And,
+        "OR" => Tok::Or,
+        "NOT" => Tok::Not,
+        "EXISTS" => Tok::Exists,
+        "IN" => Tok::In,
+        "ANY" => Tok::Any,
+        "SOME" => Tok::Some,
+        "ALL" => Tok::All,
+        "UNION" => Tok::Union,
+        "INTERSECT" => Tok::Intersect,
+        "EXCEPT" => Tok::Except,
+        "AS" => Tok::As,
+        "IS" => Tok::Is,
+        "NULL" => Tok::Null,
+        "TRUE" => Tok::True,
+        "FALSE" => Tok::False,
+        "BETWEEN" => Tok::Between,
+        _ => return None,
+    };
+    Some(t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(s: &str) -> Vec<Tok> {
+        lex(s).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn basic_tokens() {
+        assert_eq!(
+            kinds("SELECT s.a FROM t"),
+            vec![
+                Tok::Select,
+                Tok::Ident("s".into()),
+                Tok::Dot,
+                Tok::Ident("a".into()),
+                Tok::From,
+                Tok::Ident("t".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn operators() {
+        assert_eq!(
+            kinds("= <> != < <= > >="),
+            vec![Tok::Eq, Tok::Neq, Tok::Neq, Tok::Lt, Tok::Le, Tok::Gt, Tok::Ge, Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn keywords_case_insensitive() {
+        assert_eq!(kinds("select SeLeCt SELECT")[..3], [Tok::Select, Tok::Select, Tok::Select]);
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(kinds("42 3.25"), vec![Tok::Int(42), Tok::Float(3.25), Tok::Eof]);
+        // `1.` without digits is Int then Dot (qualified-name safety)
+        assert_eq!(kinds("1.x")[..2], [Tok::Int(1), Tok::Dot]);
+    }
+
+    #[test]
+    fn strings_with_escapes() {
+        assert_eq!(kinds("'red'"), vec![Tok::Str("red".into()), Tok::Eof]);
+        assert_eq!(kinds("'it''s'"), vec![Tok::Str("it's".into()), Tok::Eof]);
+        assert!(lex("'oops").is_err());
+    }
+
+    #[test]
+    fn comments_and_positions() {
+        let toks = lex("SELECT -- hi\n  x").unwrap();
+        assert_eq!(toks[1].tok, Tok::Ident("x".into()));
+        assert_eq!(toks[1].pos.line, 2);
+        assert_eq!(toks[1].pos.col, 3);
+    }
+
+    #[test]
+    fn bad_chars_error() {
+        assert!(lex("SELECT @").is_err());
+        assert!(lex("a ! b").is_err());
+    }
+}

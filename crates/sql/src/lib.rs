@@ -1,0 +1,38 @@
+//! # relviz-sql
+//!
+//! A from-scratch SQL frontend for the first-order fragment of SQL the
+//! tutorial works with: `SELECT [DISTINCT] … FROM … WHERE …` with
+//! arbitrary nesting of `EXISTS` / `NOT EXISTS`, `IN` / `NOT IN`
+//! (subquery or literal list), quantified comparisons (`ANY`/`ALL`),
+//! correlated subqueries, and the set operations
+//! `UNION` / `INTERSECT` / `EXCEPT`.
+//!
+//! The pipeline is: [`lexer`] → [`parser`] → [`analyze`] (name resolution
+//! against a [`relviz_model::Database`] catalog) → downstream translation
+//! (in `relviz-rc`) or direct evaluation ([`eval`]).
+//!
+//! ```
+//! use relviz_model::catalog::sailors_sample;
+//! use relviz_sql::{parse_query, eval::eval_query};
+//!
+//! let db = sailors_sample();
+//! let q = parse_query(
+//!     "SELECT DISTINCT S.sname FROM Sailor S, Reserves R \
+//!      WHERE S.sid = R.sid AND R.bid = 102",
+//! ).unwrap();
+//! let result = eval_query(&q, &db).unwrap();
+//! assert_eq!(result.len(), 3); // dustin, lubber, horatio
+//! ```
+
+pub mod analyze;
+pub mod ast;
+pub mod error;
+pub mod eval;
+pub mod lexer;
+pub mod parser;
+pub mod printer;
+
+pub use ast::{Query, SelectStmt};
+pub use error::{SqlError, SqlResult};
+pub use parser::parse_query;
+pub use printer::print_query;

@@ -1,0 +1,504 @@
+//! Recursive-descent parser for the SQL fragment.
+//!
+//! Grammar (EBNF, ⟨⟩ are nonterminals):
+//!
+//! ```text
+//! query      := except_term ( (UNION|EXCEPT) except_term )*
+//! except_term:= core ( INTERSECT core )*                 -- INTERSECT binds tighter
+//! core       := select | '(' query ')'
+//! select     := SELECT [DISTINCT] items FROM tables [WHERE cond]
+//! items      := item (',' item)* ;  item := '*' | id'.*' | scalar [[AS] id]
+//! tables     := table (',' table)* ; table := id [[AS] id]
+//! cond       := and_c (OR and_c)*
+//! and_c      := not_c (AND not_c)*
+//! not_c      := NOT not_c | primary
+//! primary    := TRUE | FALSE
+//!             | EXISTS '(' query ')'
+//!             | '(' cond ')'
+//!             | scalar postfix
+//! postfix    := IS [NOT] NULL
+//!             | [NOT] IN '(' (query | literal_list) ')'
+//!             | [NOT] BETWEEN scalar AND scalar
+//!             | cmp (ANY|SOME|ALL) '(' query ')'
+//!             | cmp scalar
+//! scalar     := literal | id ['.' id]
+//! ```
+
+use relviz_model::Value;
+
+use crate::ast::*;
+use crate::error::{SqlError, SqlResult};
+use crate::lexer::{lex, Tok, Token};
+
+/// Parses a single query (optionally `;`-terminated).
+pub fn parse_query(input: &str) -> SqlResult<Query> {
+    let tokens = lex(input)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let q = p.query()?;
+    if p.peek() == &Tok::Semicolon {
+        p.advance();
+    }
+    p.expect_eof()?;
+    Ok(q)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Tok {
+        &self.tokens[self.pos].tok
+    }
+
+    fn peek2(&self) -> &Tok {
+        &self.tokens[(self.pos + 1).min(self.tokens.len() - 1)].tok
+    }
+
+    fn here(&self) -> crate::error::Pos {
+        self.tokens[self.pos].pos
+    }
+
+    fn advance(&mut self) -> Tok {
+        let t = self.tokens[self.pos].tok.clone();
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, t: &Tok) -> bool {
+        if self.peek() == t {
+            self.advance();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, t: Tok, what: &str) -> SqlResult<()> {
+        if self.peek() == &t {
+            self.advance();
+            Ok(())
+        } else {
+            Err(SqlError::parse(
+                self.here(),
+                format!("expected {what}, found {}", self.peek().describe()),
+            ))
+        }
+    }
+
+    fn expect_eof(&mut self) -> SqlResult<()> {
+        if self.peek() == &Tok::Eof {
+            Ok(())
+        } else {
+            Err(SqlError::parse(
+                self.here(),
+                format!("trailing input: {}", self.peek().describe()),
+            ))
+        }
+    }
+
+    fn ident(&mut self, what: &str) -> SqlResult<String> {
+        match self.peek().clone() {
+            Tok::Ident(s) => {
+                self.advance();
+                Ok(s)
+            }
+            other => Err(SqlError::parse(
+                self.here(),
+                format!("expected {what}, found {}", other.describe()),
+            )),
+        }
+    }
+
+    // ---- queries -------------------------------------------------------
+
+    fn query(&mut self) -> SqlResult<Query> {
+        let mut left = self.intersect_term()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Union => SetOpKind::Union,
+                Tok::Except => SetOpKind::Except,
+                _ => break,
+            };
+            self.advance();
+            let right = self.intersect_term()?;
+            left = Query::SetOp { op, left: Box::new(left), right: Box::new(right) };
+        }
+        Ok(left)
+    }
+
+    fn intersect_term(&mut self) -> SqlResult<Query> {
+        let mut left = self.query_core()?;
+        while self.eat(&Tok::Intersect) {
+            let right = self.query_core()?;
+            left = Query::SetOp {
+                op: SetOpKind::Intersect,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn query_core(&mut self) -> SqlResult<Query> {
+        if self.eat(&Tok::LParen) {
+            let q = self.query()?;
+            self.expect(Tok::RParen, "`)` closing subquery")?;
+            Ok(q)
+        } else {
+            Ok(Query::Select(self.select()?))
+        }
+    }
+
+    fn select(&mut self) -> SqlResult<SelectStmt> {
+        self.expect(Tok::Select, "`SELECT`")?;
+        let distinct = self.eat(&Tok::Distinct);
+        let mut items = vec![self.select_item()?];
+        while self.eat(&Tok::Comma) {
+            items.push(self.select_item()?);
+        }
+        self.expect(Tok::From, "`FROM`")?;
+        let mut from = vec![self.table_ref()?];
+        while self.eat(&Tok::Comma) {
+            from.push(self.table_ref()?);
+        }
+        let where_clause = if self.eat(&Tok::Where) { Some(self.cond()?) } else { None };
+        Ok(SelectStmt { distinct, items, from, where_clause })
+    }
+
+    fn select_item(&mut self) -> SqlResult<SelectItem> {
+        if self.eat(&Tok::Star) {
+            return Ok(SelectItem::Wildcard);
+        }
+        // `alias.*`
+        if let (Tok::Ident(q), Tok::Dot) = (self.peek().clone(), self.peek2().clone()) {
+            if self.tokens.get(self.pos + 2).map(|t| &t.tok) == Some(&Tok::Star) {
+                self.advance();
+                self.advance();
+                self.advance();
+                return Ok(SelectItem::QualifiedWildcard(q));
+            }
+        }
+        let expr = self.scalar()?;
+        let alias = if self.eat(&Tok::As) {
+            Some(self.ident("alias after AS")?)
+        } else if let Tok::Ident(_) = self.peek() {
+            Some(self.ident("alias")?)
+        } else {
+            None
+        };
+        Ok(SelectItem::Expr { expr, alias })
+    }
+
+    fn table_ref(&mut self) -> SqlResult<TableRef> {
+        let table = self.ident("table name")?;
+        let alias = if self.eat(&Tok::As) {
+            Some(self.ident("alias after AS")?)
+        } else if let Tok::Ident(_) = self.peek() {
+            Some(self.ident("alias")?)
+        } else {
+            None
+        };
+        Ok(TableRef { table, alias })
+    }
+
+    // ---- conditions ----------------------------------------------------
+
+    fn cond(&mut self) -> SqlResult<Cond> {
+        let mut left = self.and_cond()?;
+        while self.eat(&Tok::Or) {
+            let right = self.and_cond()?;
+            left = left.or(right);
+        }
+        Ok(left)
+    }
+
+    fn and_cond(&mut self) -> SqlResult<Cond> {
+        let mut left = self.not_cond()?;
+        while self.eat(&Tok::And) {
+            let right = self.not_cond()?;
+            left = left.and(right);
+        }
+        Ok(left)
+    }
+
+    fn not_cond(&mut self) -> SqlResult<Cond> {
+        if self.eat(&Tok::Not) {
+            // `NOT EXISTS` / `NOT IN` read better folded into their node.
+            if self.peek() == &Tok::Exists {
+                self.advance();
+                let q = self.parenthesized_query()?;
+                return Ok(Cond::Exists { negated: true, query: Box::new(q) });
+            }
+            return Ok(self.not_cond()?.not());
+        }
+        self.primary_cond()
+    }
+
+    fn primary_cond(&mut self) -> SqlResult<Cond> {
+        match self.peek().clone() {
+            Tok::True => {
+                self.advance();
+                Ok(Cond::Literal(true))
+            }
+            Tok::False => {
+                self.advance();
+                Ok(Cond::Literal(false))
+            }
+            Tok::Exists => {
+                self.advance();
+                let q = self.parenthesized_query()?;
+                Ok(Cond::Exists { negated: false, query: Box::new(q) })
+            }
+            Tok::LParen => {
+                self.advance();
+                let c = self.cond()?;
+                self.expect(Tok::RParen, "`)`")?;
+                Ok(c)
+            }
+            _ => {
+                let left = self.scalar()?;
+                self.postfix(left)
+            }
+        }
+    }
+
+    fn postfix(&mut self, left: Scalar) -> SqlResult<Cond> {
+        // IS [NOT] NULL
+        if self.eat(&Tok::Is) {
+            let negated = self.eat(&Tok::Not);
+            self.expect(Tok::Null, "`NULL` after IS")?;
+            return Ok(Cond::IsNull { expr: left, negated });
+        }
+        // [NOT] IN / [NOT] BETWEEN
+        let negated = self.eat(&Tok::Not);
+        if self.eat(&Tok::In) {
+            self.expect(Tok::LParen, "`(` after IN")?;
+            if self.peek() == &Tok::Select || self.peek() == &Tok::LParen {
+                let q = self.query()?;
+                self.expect(Tok::RParen, "`)` closing IN subquery")?;
+                return Ok(Cond::InSubquery { expr: left, negated, query: Box::new(q) });
+            }
+            let mut list = vec![self.literal()?];
+            while self.eat(&Tok::Comma) {
+                list.push(self.literal()?);
+            }
+            self.expect(Tok::RParen, "`)` closing IN list")?;
+            return Ok(Cond::InList { expr: left, negated, list });
+        }
+        if self.eat(&Tok::Between) {
+            let low = self.scalar()?;
+            self.expect(Tok::And, "`AND` in BETWEEN")?;
+            let high = self.scalar()?;
+            return Ok(Cond::Between { expr: left, negated, low, high });
+        }
+        if negated {
+            return Err(SqlError::parse(
+                self.here(),
+                "expected `IN` or `BETWEEN` after `NOT` following an expression",
+            ));
+        }
+        // comparison, possibly quantified
+        let op = self.cmp_op()?;
+        match self.peek() {
+            Tok::Any | Tok::Some | Tok::All => {
+                let quant =
+                    if self.peek() == &Tok::All { Quant::All } else { Quant::Any };
+                self.advance();
+                let q = self.parenthesized_query()?;
+                Ok(Cond::QuantCmp { left, op, quant, query: Box::new(q) })
+            }
+            _ => {
+                let right = self.scalar()?;
+                Ok(Cond::Cmp { left, op, right })
+            }
+        }
+    }
+
+    fn cmp_op(&mut self) -> SqlResult<CmpOp> {
+        let op = match self.peek() {
+            Tok::Eq => CmpOp::Eq,
+            Tok::Neq => CmpOp::Neq,
+            Tok::Lt => CmpOp::Lt,
+            Tok::Le => CmpOp::Le,
+            Tok::Gt => CmpOp::Gt,
+            Tok::Ge => CmpOp::Ge,
+            other => {
+                return Err(SqlError::parse(
+                    self.here(),
+                    format!("expected comparison operator, found {}", other.describe()),
+                ))
+            }
+        };
+        self.advance();
+        Ok(op)
+    }
+
+    fn parenthesized_query(&mut self) -> SqlResult<Query> {
+        self.expect(Tok::LParen, "`(` before subquery")?;
+        let q = self.query()?;
+        self.expect(Tok::RParen, "`)` after subquery")?;
+        Ok(q)
+    }
+
+    fn scalar(&mut self) -> SqlResult<Scalar> {
+        match self.peek().clone() {
+            Tok::Ident(first) => {
+                self.advance();
+                if self.eat(&Tok::Dot) {
+                    let name = self.ident("column name after `.`")?;
+                    Ok(Scalar::Column { qualifier: Some(first), name })
+                } else {
+                    Ok(Scalar::Column { qualifier: None, name: first })
+                }
+            }
+            _ => Ok(Scalar::Literal(self.literal()?)),
+        }
+    }
+
+    fn literal(&mut self) -> SqlResult<Value> {
+        let v = match self.peek().clone() {
+            Tok::Int(i) => Value::Int(i),
+            Tok::Float(x) => Value::Float(x),
+            Tok::Str(s) => Value::Str(s),
+            Tok::Null => Value::Null,
+            Tok::True => Value::Bool(true),
+            Tok::False => Value::Bool(false),
+            other => {
+                return Err(SqlError::parse(
+                    self.here(),
+                    format!("expected literal, found {}", other.describe()),
+                ))
+            }
+        };
+        self.advance();
+        Ok(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ok(s: &str) -> Query {
+        parse_query(s).unwrap_or_else(|e| panic!("{s}: {e}"))
+    }
+
+    #[test]
+    fn simple_select() {
+        let q = ok("SELECT S.sname FROM Sailor S WHERE S.rating > 7");
+        let Query::Select(s) = q else { panic!() };
+        assert!(!s.distinct);
+        assert_eq!(s.from.len(), 1);
+        assert!(matches!(
+            s.where_clause,
+            Some(Cond::Cmp { op: CmpOp::Gt, .. })
+        ));
+    }
+
+    #[test]
+    fn distinct_multi_table_join() {
+        let q = ok("SELECT DISTINCT S.sname, B.color FROM Sailor S, Boat AS B, Reserves \
+                    WHERE S.sid = Reserves.sid");
+        let Query::Select(s) = q else { panic!() };
+        assert!(s.distinct);
+        assert_eq!(s.from.len(), 3);
+        assert_eq!(s.from[1].effective_name(), "B");
+        assert_eq!(s.from[2].effective_name(), "Reserves");
+    }
+
+    #[test]
+    fn wildcard_forms() {
+        let q = ok("SELECT *, S.* FROM Sailor S");
+        let Query::Select(s) = q else { panic!() };
+        assert_eq!(s.items.len(), 2);
+        assert!(matches!(s.items[0], SelectItem::Wildcard));
+        assert!(matches!(s.items[1], SelectItem::QualifiedWildcard(ref a) if a == "S"));
+    }
+
+    #[test]
+    fn nested_not_exists() {
+        let q = ok("SELECT S.sname FROM Sailor S WHERE NOT EXISTS \
+                    (SELECT * FROM Boat B WHERE B.color = 'red' AND NOT EXISTS \
+                      (SELECT * FROM Reserves R WHERE R.sid = S.sid AND R.bid = B.bid))");
+        assert_eq!(q.block_count(), 3);
+    }
+
+    #[test]
+    fn in_subquery_and_list() {
+        let q = ok("SELECT s.a FROM t s WHERE s.a IN (SELECT u.b FROM u) AND s.c NOT IN (1, 2, 3)");
+        let Query::Select(s) = q else { panic!() };
+        let Some(Cond::And(l, r)) = s.where_clause else { panic!() };
+        assert!(matches!(*l, Cond::InSubquery { negated: false, .. }));
+        assert!(matches!(*r, Cond::InList { negated: true, ref list, .. } if list.len() == 3));
+    }
+
+    #[test]
+    fn quantified_comparisons() {
+        let q = ok("SELECT s.a FROM t s WHERE s.a >= ALL (SELECT u.b FROM u) \
+                    OR s.a < ANY (SELECT u.b FROM u) OR s.a = SOME (SELECT u.b FROM u)");
+        let Query::Select(s) = q else { panic!() };
+        let mut quants = Vec::new();
+        fn collect(c: &Cond, out: &mut Vec<Quant>) {
+            match c {
+                Cond::Or(a, b) => {
+                    collect(a, out);
+                    collect(b, out);
+                }
+                Cond::QuantCmp { quant, .. } => out.push(*quant),
+                _ => {}
+            }
+        }
+        collect(s.where_clause.as_ref().unwrap(), &mut quants);
+        assert_eq!(quants, vec![Quant::All, Quant::Any, Quant::Any]);
+    }
+
+    #[test]
+    fn set_operation_precedence() {
+        // INTERSECT binds tighter than UNION.
+        let q = ok("SELECT a.x FROM a UNION SELECT b.x FROM b INTERSECT SELECT c.x FROM c");
+        let Query::SetOp { op, right, .. } = q else { panic!() };
+        assert_eq!(op, SetOpKind::Union);
+        assert!(matches!(*right, Query::SetOp { op: SetOpKind::Intersect, .. }));
+    }
+
+    #[test]
+    fn parenthesized_set_ops() {
+        let q = ok("(SELECT a.x FROM a UNION SELECT b.x FROM b) EXCEPT SELECT c.x FROM c");
+        let Query::SetOp { op: SetOpKind::Except, left, .. } = q else { panic!() };
+        assert!(matches!(*left, Query::SetOp { op: SetOpKind::Union, .. }));
+    }
+
+    #[test]
+    fn between_is_null_booleans() {
+        ok("SELECT s.a FROM t s WHERE s.a BETWEEN 1 AND 10 AND s.b IS NOT NULL AND TRUE");
+        ok("SELECT s.a FROM t s WHERE s.a NOT BETWEEN 1 AND 10 OR s.b IS NULL OR FALSE");
+    }
+
+    #[test]
+    fn not_precedence() {
+        // NOT applies to the innermost condition, AND binds tighter than OR.
+        let q = ok("SELECT s.a FROM t s WHERE NOT s.a = 1 AND s.b = 2 OR s.c = 3");
+        let Query::Select(s) = q else { panic!() };
+        assert!(matches!(s.where_clause, Some(Cond::Or(_, _))));
+    }
+
+    #[test]
+    fn errors() {
+        assert!(parse_query("SELECT FROM t").is_err());
+        assert!(parse_query("SELECT a.x FROM").is_err());
+        assert!(parse_query("SELECT a.x FROM t WHERE").is_err());
+        assert!(parse_query("SELECT a.x FROM t extra garbage +").is_err());
+        assert!(parse_query("SELECT a.x FROM t WHERE a.x NOT 5").is_err());
+        assert!(parse_query("SELECT a.x FROM t WHERE a.x IN ()").is_err());
+    }
+
+    #[test]
+    fn trailing_semicolon() {
+        ok("SELECT s.a FROM t s;");
+        assert!(parse_query("SELECT s.a FROM t s; SELECT").is_err());
+    }
+}

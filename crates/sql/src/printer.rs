@@ -1,0 +1,251 @@
+//! Pretty-printer: AST → canonical SQL text.
+//!
+//! `parse ∘ print = id` on ASTs (checked by property tests), which gives the
+//! workspace a canonical SQL surface form — useful for golden files and for
+//! the "syntax-sensitivity" comparisons of Visual SQL / SQLVis in Part 5 of
+//! the tutorial (same query, different syntax ⇒ different visualization).
+
+use std::fmt::Write as _;
+
+use crate::ast::*;
+
+/// Renders a query as a single-line canonical SQL string.
+pub fn print_query(q: &Query) -> String {
+    let mut s = String::new();
+    write_query(&mut s, q, false);
+    s
+}
+
+/// Renders a single condition (used by the syntax-mirroring formalisms of
+/// Part 5 — Visual SQL, SQLVis, TableTalk — whose visual elements carry
+/// predicate text verbatim).
+pub fn print_cond(c: &Cond) -> String {
+    let mut s = String::new();
+    write_cond(&mut s, c, 0);
+    s
+}
+
+/// Renders a single scalar expression.
+pub fn print_scalar(e: &Scalar) -> String {
+    let mut s = String::new();
+    write_scalar(&mut s, e);
+    s
+}
+
+fn write_query(out: &mut String, q: &Query, parenthesize_setop: bool) {
+    match q {
+        Query::Select(sel) => write_select(out, sel),
+        Query::SetOp { op, left, right } => {
+            if parenthesize_setop {
+                out.push('(');
+            }
+            // Preserve the parse tree: a set-op child on either side is
+            // parenthesized so precedence re-parses identically.
+            write_query(out, left, matches!(**left, Query::SetOp { .. }));
+            let _ = write!(out, " {} ", op.keyword());
+            write_query(out, right, matches!(**right, Query::SetOp { .. }));
+            if parenthesize_setop {
+                out.push(')');
+            }
+        }
+    }
+}
+
+fn write_select(out: &mut String, s: &SelectStmt) {
+    out.push_str("SELECT ");
+    if s.distinct {
+        out.push_str("DISTINCT ");
+    }
+    for (i, item) in s.items.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        match item {
+            SelectItem::Wildcard => out.push('*'),
+            SelectItem::QualifiedWildcard(q) => {
+                let _ = write!(out, "{q}.*");
+            }
+            SelectItem::Expr { expr, alias } => {
+                write_scalar(out, expr);
+                if let Some(a) = alias {
+                    let _ = write!(out, " AS {a}");
+                }
+            }
+        }
+    }
+    out.push_str(" FROM ");
+    for (i, tr) in s.from.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&tr.table);
+        if let Some(a) = &tr.alias {
+            if a != &tr.table {
+                let _ = write!(out, " {a}");
+            }
+        }
+    }
+    if let Some(c) = &s.where_clause {
+        out.push_str(" WHERE ");
+        write_cond(out, c, 0);
+    }
+}
+
+/// Precedence levels: OR = 1, AND = 2, NOT = 3, atoms = 4.
+fn cond_prec(c: &Cond) -> u8 {
+    match c {
+        Cond::Or(_, _) => 1,
+        Cond::And(_, _) => 2,
+        Cond::Not(_) => 3,
+        _ => 4,
+    }
+}
+
+fn write_cond(out: &mut String, c: &Cond, parent_prec: u8) {
+    let prec = cond_prec(c);
+    let need_parens = prec < parent_prec;
+    if need_parens {
+        out.push('(');
+    }
+    match c {
+        Cond::Or(a, b) => {
+            write_cond(out, a, 1);
+            out.push_str(" OR ");
+            write_cond(out, b, 2);
+        }
+        Cond::And(a, b) => {
+            write_cond(out, a, 2);
+            out.push_str(" AND ");
+            write_cond(out, b, 3);
+        }
+        Cond::Not(a) => {
+            out.push_str("NOT ");
+            write_cond(out, a, 4);
+        }
+        Cond::Cmp { left, op, right } => {
+            write_scalar(out, left);
+            let _ = write!(out, " {} ", op.symbol());
+            write_scalar(out, right);
+        }
+        Cond::Exists { negated, query } => {
+            if *negated {
+                out.push_str("NOT ");
+            }
+            out.push_str("EXISTS (");
+            write_query(out, query, false);
+            out.push(')');
+        }
+        Cond::InSubquery { expr, negated, query } => {
+            write_scalar(out, expr);
+            if *negated {
+                out.push_str(" NOT");
+            }
+            out.push_str(" IN (");
+            write_query(out, query, false);
+            out.push(')');
+        }
+        Cond::InList { expr, negated, list } => {
+            write_scalar(out, expr);
+            if *negated {
+                out.push_str(" NOT");
+            }
+            out.push_str(" IN (");
+            for (i, v) in list.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&v.to_literal());
+            }
+            out.push(')');
+        }
+        Cond::QuantCmp { left, op, quant, query } => {
+            write_scalar(out, left);
+            let q = match quant {
+                Quant::Any => "ANY",
+                Quant::All => "ALL",
+            };
+            let _ = write!(out, " {} {q} (", op.symbol());
+            write_query(out, query, false);
+            out.push(')');
+        }
+        Cond::IsNull { expr, negated } => {
+            write_scalar(out, expr);
+            out.push_str(if *negated { " IS NOT NULL" } else { " IS NULL" });
+        }
+        Cond::Between { expr, negated, low, high } => {
+            write_scalar(out, expr);
+            if *negated {
+                out.push_str(" NOT");
+            }
+            out.push_str(" BETWEEN ");
+            write_scalar(out, low);
+            out.push_str(" AND ");
+            write_scalar(out, high);
+        }
+        Cond::Literal(b) => out.push_str(if *b { "TRUE" } else { "FALSE" }),
+    }
+    if need_parens {
+        out.push(')');
+    }
+}
+
+fn write_scalar(out: &mut String, s: &Scalar) {
+    match s {
+        Scalar::Column { qualifier: Some(q), name } => {
+            let _ = write!(out, "{q}.{name}");
+        }
+        Scalar::Column { qualifier: None, name } => out.push_str(name),
+        Scalar::Literal(v) => out.push_str(&v.to_literal()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_query;
+
+    fn round_trip(sql: &str) {
+        let q1 = parse_query(sql).unwrap();
+        let printed = print_query(&q1);
+        let q2 = parse_query(&printed)
+            .unwrap_or_else(|e| panic!("re-parse of `{printed}` failed: {e}"));
+        assert_eq!(q1, q2, "print/parse round-trip changed the AST for `{sql}`");
+    }
+
+    #[test]
+    fn round_trips() {
+        for sql in [
+            "SELECT S.sname FROM Sailor S WHERE S.rating > 7",
+            "SELECT DISTINCT S.sname, B.color FROM Sailor S, Boat B",
+            "SELECT * FROM Sailor",
+            "SELECT S.* FROM Sailor S",
+            "SELECT S.sname AS name FROM Sailor S",
+            "SELECT S.sname FROM Sailor S WHERE NOT EXISTS (SELECT * FROM Boat B \
+             WHERE B.color = 'red' AND NOT EXISTS (SELECT * FROM Reserves R \
+             WHERE R.sid = S.sid AND R.bid = B.bid))",
+            "SELECT s.a FROM t s WHERE s.a IN (1, 2, 3) OR s.b NOT IN (SELECT u.x FROM u)",
+            "SELECT s.a FROM t s WHERE s.a >= ALL (SELECT u.b FROM u) AND s.c < ANY (SELECT u.b FROM u)",
+            "SELECT a.x FROM a UNION SELECT b.x FROM b INTERSECT SELECT c.x FROM c",
+            "(SELECT a.x FROM a UNION SELECT b.x FROM b) EXCEPT SELECT c.x FROM c",
+            "SELECT s.a FROM t s WHERE NOT s.a = 1 AND (s.b = 2 OR s.c = 3)",
+            "SELECT s.a FROM t s WHERE s.a BETWEEN 1 AND 10 AND s.b IS NOT NULL",
+            "SELECT s.a FROM t s WHERE s.name = 'it''s'",
+            "SELECT s.a FROM t s WHERE TRUE AND NOT FALSE",
+        ] {
+            round_trip(sql);
+        }
+    }
+
+    #[test]
+    fn precedence_parens_emitted() {
+        let q = parse_query("SELECT s.a FROM t s WHERE (s.a = 1 OR s.b = 2) AND s.c = 3").unwrap();
+        let p = print_query(&q);
+        assert!(p.contains("(s.a = 1 OR s.b = 2) AND"), "{p}");
+    }
+
+    #[test]
+    fn canonicalizes_some_to_any() {
+        let q = parse_query("SELECT s.a FROM t s WHERE s.a = SOME (SELECT u.b FROM u)").unwrap();
+        assert!(print_query(&q).contains("= ANY ("));
+    }
+}

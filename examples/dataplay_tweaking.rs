@@ -1,0 +1,76 @@
+//! DataPlay-style quantifier tweaking (Part 5, [Abouzied et al. 2012]):
+//! the user composes "sailors who reserved all red boats", sees too few
+//! results, flips the ∀ to ∃ with one click, and watches the matching
+//! pane grow — example-driven query correction.
+//!
+//! ```sh
+//! cargo run --example dataplay_tweaking
+//! ```
+
+use relviz::diagrams::dataplay::{DataPlayTree, QNode};
+use relviz::model::catalog::sailors_sample;
+
+fn show_tree(tree: &DataPlayTree) {
+    println!(
+        "anchor: {}∈{}   output: {}",
+        tree.anchor.var,
+        tree.anchor.rel,
+        tree.head.iter().map(|(n, _)| n.as_str()).collect::<Vec<_>>().join(", ")
+    );
+    fn show(n: &QNode, indent: usize) {
+        println!("{}{}", "  ".repeat(indent + 1), n.label());
+        for c in &n.children {
+            show(c, indent + 1);
+        }
+    }
+    for c in &tree.constraints {
+        show(c, 0);
+    }
+}
+
+fn show_panes(tree: &DataPlayTree, db: &relviz::model::Database) {
+    let (matching, non_matching) = tree.partition(db).expect("tree evaluates");
+    println!("  matching ({}):", matching.len());
+    for t in matching.iter() {
+        println!("    ✓ {t}");
+    }
+    println!("  non-matching ({}):", non_matching.len());
+    for t in non_matching.iter() {
+        println!("    ✗ {t}");
+    }
+}
+
+fn main() {
+    let db = sailors_sample();
+
+    // The query as first composed: "reserved ALL red boats".
+    let sql = "SELECT S.sname FROM Sailor S WHERE NOT EXISTS \
+               (SELECT * FROM Boat B WHERE B.color = 'red' AND NOT EXISTS \
+                 (SELECT * FROM Reserves R WHERE R.sid = S.sid AND R.bid = B.bid))";
+    let tree = DataPlayTree::from_sql(sql, &db).expect("fits the tree fragment");
+
+    println!("═══ as composed: every red boat must be reserved ═══");
+    show_tree(&tree);
+    show_panes(&tree, &db);
+
+    // "Hmm, I expected more sailors — I meant ANY red boat." One click:
+    let fixed = tree.flip(&[0]).expect("root node");
+    println!("\n═══ after flipping ∀ → ∃ at the root constraint ═══");
+    show_tree(&fixed);
+    show_panes(&fixed, &db);
+
+    // The flipped tree *is* the other textbook query.
+    let q2 = "SELECT DISTINCT S.sname FROM Sailor S, Reserves R, Boat B \
+              WHERE S.sid = R.sid AND R.bid = B.bid AND B.color = 'red'";
+    let direct = relviz::sql::eval::run_sql(q2, &db).expect("evaluates");
+    let via_tree =
+        relviz::rc::trc_eval::eval_trc(&fixed.to_trc(), &db).expect("evaluates");
+    println!(
+        "\nflipped tree ≡ \"reserved a red boat\": {}",
+        if direct.same_contents(&via_tree) { "yes" } else { "NO" }
+    );
+
+    // And the tree renders as a diagram, too.
+    let svg = relviz::render::svg::to_svg(&fixed.scene());
+    println!("(SVG rendering: {} bytes)", svg.len());
+}

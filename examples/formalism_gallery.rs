@@ -1,0 +1,68 @@
+//! Part 5 of the tutorial, live: the same suite query rendered by every
+//! modern formalism that supports it, plus the expressiveness matrix that
+//! shows where each one gives up — the tutorial's comparative landscape as
+//! a program.
+//!
+//! ```sh
+//! cargo run --example formalism_gallery          # matrix on stdout
+//! cargo run --example formalism_gallery -- svg   # also write SVGs
+//! ```
+
+use relviz::diagrams::capability::{try_build, Capability, Formalism};
+use relviz::core::suite::SUITE;
+use relviz::core::{Backend, QueryVisualizer, VisFormalism};
+use relviz::model::catalog::sailors_sample;
+
+fn main() {
+    let write_svg = std::env::args().any(|a| a == "svg");
+    let db = sailors_sample();
+
+    // The expressiveness matrix.
+    println!("{:22}", "formalism ↓ / query →");
+    print!("{:22}", "");
+    for q in SUITE {
+        print!(" {:>4}", q.id);
+    }
+    println!();
+    for f in Formalism::ALL {
+        print!("{:22}", f.name());
+        for q in SUITE {
+            let mark = match try_build(f, q.sql, &db) {
+                Ok(Capability::Drawable { .. }) => "✓",
+                Ok(Capability::DrawableVia { .. }) => "(✓)",
+                Ok(Capability::Unsupported { .. }) => "—",
+                Err(_) => "!",
+            };
+            print!(" {mark:>4}");
+        }
+        println!();
+    }
+    println!("\n✓ drawable   (✓) drawable via workaround   — unsupported\n");
+
+    // Why each “—”:
+    for f in Formalism::ALL {
+        for q in SUITE {
+            if let Ok(Capability::Unsupported { feature }) = try_build(f, q.sql, &db) {
+                println!("{:20} {}: {}", f.name(), q.id, feature);
+            }
+        }
+    }
+
+    if write_svg {
+        std::fs::create_dir_all("target/diagrams").expect("can create output dir");
+        for q in SUITE {
+            for f in VisFormalism::ALL {
+                let viz = QueryVisualizer::new(f, Backend::Svg);
+                if let Ok(out) = viz.visualize(q.sql, &db) {
+                    let path = format!(
+                        "target/diagrams/{}-{}.svg",
+                        q.id,
+                        f.name().to_lowercase().replace(' ', "-")
+                    );
+                    std::fs::write(&path, &out.rendering).expect("can write SVG");
+                    println!("wrote {path}");
+                }
+            }
+        }
+    }
+}

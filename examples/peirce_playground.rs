@@ -1,0 +1,159 @@
+//! Part 4 of the tutorial, live: a tour of the *early* diagrammatic
+//! systems — an alpha-graph proof, the beta-graph scope ambiguity, and a
+//! syllogism decided with Venn diagrams.
+//!
+//! ```sh
+//! cargo run --example peirce_playground
+//! ```
+
+use relviz::diagrams::peirce::alpha::{AlphaGraph, AlphaItem};
+use relviz::diagrams::peirce::beta::{holds, BetaGraph, BetaItem, Hook, Line};
+use relviz::diagrams::syllogism::{decide_fol, decide_venn, Figure, Syllogism};
+use relviz::diagrams::euler::Categorical;
+use relviz::model::{Database, DataType, Relation, Schema, Tuple};
+
+fn main() {
+    alpha_modus_ponens();
+    alpha_prover();
+    beta_ambiguity();
+    venn_syllogisms();
+}
+
+/// The same derivation, found automatically by best-first search over the
+/// five rules.
+fn alpha_prover() {
+    use relviz::diagrams::peirce::prove::{prove, ProveOptions};
+    println!("═══ alpha graphs: machine-found derivations ═══\n");
+    let premises = AlphaGraph::new(vec![
+        AlphaItem::atom("P"),
+        AlphaItem::cut(vec![AlphaItem::atom("P"), AlphaItem::cut(vec![AlphaItem::atom("Q")])]),
+        AlphaItem::cut(vec![AlphaItem::atom("Q"), AlphaItem::cut(vec![AlphaItem::atom("R")])]),
+    ]);
+    let goal = AlphaGraph::new(vec![AlphaItem::atom("R")]);
+    println!("premises: {}", premises.reading());
+    println!("goal:     {}", goal.reading());
+    match prove(&premises, &goal, ProveOptions::default()) {
+        Some(steps) => {
+            println!("derivation found ({} steps):", steps.len());
+            for (i, s) in steps.iter().enumerate() {
+                println!("  {}. {s}", i + 1);
+            }
+        }
+        None => println!("no derivation within bounds"),
+    }
+    println!();
+}
+
+/// Derive Q from {P, P→Q} using Peirce's five rules, step by step.
+fn alpha_modus_ponens() {
+    println!("═══ alpha graphs: modus ponens, diagrammatically ═══\n");
+    let premises = AlphaGraph::new(vec![
+        AlphaItem::atom("P"),
+        AlphaItem::cut(vec![AlphaItem::atom("P"), AlphaItem::cut(vec![AlphaItem::atom("Q")])]),
+    ]);
+    println!("premises:          {}", premises.reading());
+    let s1 = premises.deiterate(&[1], 0).expect("P occurs in an enclosing context");
+    println!("after deiteration: {}", s1.reading());
+    let s2 = s1.remove_double_cut(&[], 1).expect("a true double cut");
+    println!("after double cut:  {}", s2.reading());
+    let s3 = s2.erase(&[], 0).expect("sheet level is a positive context");
+    println!("after erasure:     {}\n", s3.reading());
+}
+
+/// The boundary-touching ligature: one drawing, two readings, different
+/// truth values — the "imperfect mapping" to DRC.
+fn beta_ambiguity() {
+    println!("═══ beta graphs: the scope ambiguity ═══\n");
+    let graph = BetaGraph {
+        items: vec![BetaItem::Cut {
+            id: 0,
+            items: vec![BetaItem::pred("P", vec![Hook::Line(0)])],
+        }],
+        lines: vec![Line { scope: None }], // the line touches the cut
+    };
+
+    // P = {1} over an active domain {1, 2}.
+    let mut db = Database::new();
+    let mut p = Relation::empty(Schema::of(&[("a", DataType::Int)]));
+    p.insert(Tuple::of((1,))).expect("well-typed");
+    db.add("P", p).expect("fresh name");
+    let mut q = Relation::empty(Schema::of(&[("a", DataType::Int)]));
+    q.insert(Tuple::of((2,))).expect("well-typed");
+    db.add("Q", q).expect("fresh name");
+
+    for reading in graph.readings().expect("graph is well-formed") {
+        let truth = holds(&reading, &db).expect("evaluates");
+        println!("reading: {:40}  →  {}", reading.body.to_string(), truth);
+    }
+    println!("one diagram, readings that disagree — beta graphs under-determine scope.\n");
+}
+
+/// All 256 syllogistic forms, decided by Venn-I and by FOL model checking.
+fn venn_syllogisms() {
+    println!("═══ Venn diagrams: deciding all 256 syllogisms ═══\n");
+    let mut agree = 0;
+    let mut valid_strict = Vec::new();
+    let mut valid_import = Vec::new();
+    for s in Syllogism::all_forms() {
+        let venn_strict = decide_venn(&s, false).expect("decidable");
+        let fol_strict = decide_fol(&s, false);
+        let venn_import = decide_venn(&s, true).expect("decidable");
+        if venn_strict == fol_strict {
+            agree += 1;
+        }
+        if venn_strict {
+            valid_strict.push(s.mood());
+        } else if venn_import {
+            valid_import.push(s.mood());
+        }
+    }
+    println!("Venn-I vs FOL agreement: {agree}/256");
+    println!(
+        "valid unconditionally: {} forms — {}",
+        valid_strict.len(),
+        valid_strict.join(", ")
+    );
+    println!(
+        "valid under existential import only: {} more — {}",
+        valid_import.len(),
+        valid_import.join(", ")
+    );
+
+    // Barbara, drawn.
+    let barbara = Syllogism {
+        major: Categorical::All,
+        minor: Categorical::All,
+        conclusion: Categorical::All,
+        figure: Figure::First,
+    };
+    println!(
+        "\nBarbara ({}) is valid: {}",
+        barbara.mood(),
+        decide_venn(&barbara, false).expect("decidable")
+    );
+
+    // ── 4. A beta derivation: modus ponens in four moves ────────────────
+    use relviz::diagrams::peirce::beta::{BetaGraph, BetaItem};
+    use relviz::diagrams::peirce::beta_rules as rules;
+    println!("\n══ beta inference rules: P, ¬[P ∧ ¬[Q]] ⊢ Q ══");
+    let p = || BetaItem::pred("P", vec![]);
+    let q = || BetaItem::pred("Q", vec![]);
+    let start = BetaGraph {
+        items: vec![
+            p(),
+            BetaItem::Cut { id: 0, items: vec![p(), BetaItem::Cut { id: 1, items: vec![q()] }] },
+        ],
+        lines: vec![],
+    };
+    let show = |label: &str, g: &BetaGraph| {
+        println!("  {label:28} {}", g.reading().expect("unambiguous").body);
+    };
+    show("start:", &start);
+    let s1 = rules::deiterate(&start, &vec![], 0, &vec![0], 0).expect("legal deiteration");
+    show("deiterate inner P:", &s1);
+    let s2 = rules::double_cut_remove(&s1, &vec![], 1).expect("double cut");
+    show("remove double cut:", &s2);
+    let s3 = rules::erase(&s2, &vec![], 0).expect("erasure in positive area");
+    show("erase P:", &s3);
+    println!("  (each step checked sound by evaluating readings — see beta_rules tests)");
+}

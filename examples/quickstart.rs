@@ -1,0 +1,55 @@
+//! Quickstart: the Fig. 1–2 scenario of the tutorial — a query arrives as
+//! text (here: typed; in the tutorial: dictated), and the system shows it
+//! back as a diagram, together with its answers, for the user to verify.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use relviz::core::{Backend, QueryVisualizer, VisFormalism};
+use relviz::model::catalog::sailors_sample;
+
+fn main() {
+    let db = sailors_sample();
+
+    // The query "the analyst dictated": sailors who reserved all red boats.
+    let sql = "SELECT S.sname FROM Sailor S WHERE NOT EXISTS \
+               (SELECT * FROM Boat B WHERE B.color = 'red' AND NOT EXISTS \
+                 (SELECT * FROM Reserves R WHERE R.sid = S.sid AND R.bid = B.bid))";
+
+    println!("── the query as understood ───────────────────────────────");
+    println!("{sql}\n");
+
+    // 1. The answers (what today's systems show).
+    let answers = relviz::sql::eval::run_sql(sql, &db).expect("query evaluates");
+    println!("── answers ───────────────────────────────────────────────");
+    println!("{answers}");
+
+    // 2. The logical form (TRC) the diagrams are built from.
+    let trc = relviz::rc::from_sql::parse_sql_to_trc(sql, &db).expect("translates");
+    println!("── tuple relational calculus ─────────────────────────────");
+    println!("{trc}\n");
+
+    // 3. The diagram, as ASCII right here …
+    let viz = QueryVisualizer::new(VisFormalism::RelationalDiagrams, Backend::Ascii);
+    let out = viz.visualize(sql, &db).expect("visualizes");
+    println!("── Relational Diagram (ASCII preview) ────────────────────");
+    println!("{}", out.rendering);
+
+    // … and as SVG on disk for every formalism that supports the query.
+    std::fs::create_dir_all("target/diagrams").expect("can create output dir");
+    for f in VisFormalism::ALL {
+        let viz = QueryVisualizer::new(f, Backend::Svg);
+        match viz.visualize(sql, &db) {
+            Ok(out) => {
+                let path = format!(
+                    "target/diagrams/quickstart-{}.svg",
+                    f.name().to_lowercase().replace(' ', "-")
+                );
+                std::fs::write(&path, &out.rendering).expect("can write SVG");
+                println!("wrote {path}");
+            }
+            Err(e) => println!("{}: {e}", f.name()),
+        }
+    }
+}

@@ -1,0 +1,78 @@
+//! Syntax-mirroring vs logic-based diagrams (Part 5): the same relational
+//! pattern phrased as `NOT EXISTS` and as `NOT IN` produces *different*
+//! Visual SQL / SQLVis / TableTalk pictures but *one* Relational Diagram
+//! pattern — the tutorial's observation about Visual SQL ("syntactic
+//! variants of the same query lead to different representations"), run
+//! as code.
+//!
+//! ```sh
+//! cargo run --example syntax_sensitivity
+//! ```
+
+use relviz::diagrams::sqlvis::SqlVisDiagram;
+use relviz::diagrams::tabletalk::TableTalkDiagram;
+use relviz::diagrams::visualsql::VisualSqlDiagram;
+use relviz::model::catalog::sailors_sample;
+
+const VARIANT_A: &str = "SELECT S.sname FROM Sailor S WHERE NOT EXISTS \
+    (SELECT * FROM Reserves R, Boat B \
+     WHERE R.sid = S.sid AND R.bid = B.bid AND B.color = 'red')";
+const VARIANT_B: &str = "SELECT S.sname FROM Sailor S WHERE S.sid NOT IN \
+    (SELECT R.sid FROM Reserves R, Boat B \
+     WHERE R.bid = B.bid AND B.color = 'red')";
+
+fn main() {
+    let db = sailors_sample();
+
+    println!("variant A (NOT EXISTS): {VARIANT_A}\n");
+    println!("variant B (NOT IN):     {VARIANT_B}\n");
+
+    // Both mean the same thing…
+    let ra = relviz::sql::eval::run_sql(VARIANT_A, &db).expect("evaluates");
+    let rb = relviz::sql::eval::run_sql(VARIANT_B, &db).expect("evaluates");
+    println!("same answers on the sample database: {}\n", ra.same_contents(&rb));
+
+    // …but the syntax-mirroring formalisms draw them differently:
+    let va = VisualSqlDiagram::from_sql(VARIANT_A, &db).expect("builds");
+    let vb = VisualSqlDiagram::from_sql(VARIANT_B, &db).expect("builds");
+    println!("Visual SQL diagrams isomorphic: {}", va.isomorphic(&vb));
+    println!("  fingerprint A: {}", va.fingerprint());
+    println!("  fingerprint B: {}\n", vb.fingerprint());
+
+    let sa = SqlVisDiagram::from_sql(VARIANT_A, &db).expect("builds");
+    let sb = SqlVisDiagram::from_sql(VARIANT_B, &db).expect("builds");
+    println!("SQLVis diagrams isomorphic:     {}", sa.isomorphic(&sb));
+
+    let ta = TableTalkDiagram::from_sql(VARIANT_A, &db).expect("builds");
+    let tb = TableTalkDiagram::from_sql(VARIANT_B, &db).expect("builds");
+    println!(
+        "TableTalk tile sequences:       {:?} vs {:?}\n",
+        ta.tile_sequence(),
+        tb.tile_sequence()
+    );
+
+    // The logic-based view: one pattern. flatten_exists is the pattern
+    // normalization; the Relational Diagram pattern is then identical.
+    let pa = relviz::core::patterns::extract_pattern(
+        &relviz::rc::normalize::flatten_exists(
+            &relviz::rc::from_sql::parse_sql_to_trc(VARIANT_A, &db).expect("translates"),
+        ),
+        &db,
+        false,
+    )
+    .expect("pattern");
+    let pb = relviz::core::patterns::extract_pattern(
+        &relviz::rc::normalize::flatten_exists(
+            &relviz::rc::from_sql::parse_sql_to_trc(VARIANT_B, &db).expect("translates"),
+        ),
+        &db,
+        false,
+    )
+    .expect("pattern");
+    println!(
+        "Relational Diagram patterns isomorphic: {}",
+        relviz::core::patterns::patterns_isomorphic(&pa, &pb)
+    );
+    println!("\n(The logic-based diagram shows the *pattern*; the syntax-mirroring");
+    println!(" diagrams show the *text*. Both are useful — for different readers.)");
+}

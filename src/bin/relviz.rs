@@ -1,0 +1,151 @@
+//! `relviz` — the command-line face of the toolkit.
+//!
+//! ```text
+//! relviz show   "<SQL>"                 # ASCII diagram (Relational Diagrams)
+//! relviz svg    "<SQL>" out.svg         # SVG to a file
+//! relviz trans  "<SQL>"                 # the query in all five languages
+//! relviz run    "<SQL>"                 # evaluate on the sailors sample DB
+//! relviz matrix                         # the E5 expressiveness matrix
+//! ```
+//!
+//! Options: `--formalism queryvis|reldiag|dfql|qbe|strings|visualsql|sqlvis|tabletalk|dataplay|sieuferd|qbd`,
+//! `--db <file>` (text format of `relviz_model::text`).
+
+use std::process::ExitCode;
+
+use relviz::core::{Backend, QueryVisualizer, VisFormalism};
+use relviz::model::catalog::sailors_sample;
+use relviz::model::Database;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("relviz: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: Vec<String>) -> Result<(), String> {
+    let mut positional = Vec::new();
+    let mut formalism = VisFormalism::RelationalDiagrams;
+    let mut db_path: Option<String> = None;
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--formalism" => {
+                let v = it.next().ok_or("--formalism needs a value")?;
+                formalism = match v.as_str() {
+                    "queryvis" => VisFormalism::QueryVis,
+                    "reldiag" => VisFormalism::RelationalDiagrams,
+                    "dfql" => VisFormalism::Dfql,
+                    "qbe" => VisFormalism::Qbe,
+                    "strings" => VisFormalism::StringDiagrams,
+                    "visualsql" => VisFormalism::VisualSql,
+                    "sqlvis" => VisFormalism::SqlVis,
+                    "tabletalk" => VisFormalism::TableTalk,
+                    "dataplay" => VisFormalism::DataPlay,
+                    "sieuferd" => VisFormalism::Sieuferd,
+                    "qbd" => VisFormalism::Qbd,
+                    other => return Err(format!("unknown formalism `{other}`")),
+                };
+            }
+            "--db" => db_path = Some(it.next().ok_or("--db needs a file path")?),
+            _ => positional.push(a),
+        }
+    }
+    let db: Database = match db_path {
+        Some(p) => {
+            let text =
+                std::fs::read_to_string(&p).map_err(|e| format!("reading {p}: {e}"))?;
+            relviz::model::text::parse_database(&text).map_err(|e| e.to_string())?
+        }
+        None => sailors_sample(),
+    };
+
+    let cmd = positional.first().map(String::as_str).unwrap_or("help");
+    match cmd {
+        "show" => {
+            let sql = positional.get(1).ok_or("usage: relviz show \"<SQL>\"")?;
+            let viz = QueryVisualizer::new(formalism, Backend::Ascii);
+            let out = viz.visualize(sql, &db).map_err(|e| e.to_string())?;
+            println!("{}", out.trc);
+            println!("{}", out.rendering);
+            Ok(())
+        }
+        "svg" => {
+            let sql = positional.get(1).ok_or("usage: relviz svg \"<SQL>\" out.svg")?;
+            let path = positional.get(2).ok_or("usage: relviz svg \"<SQL>\" out.svg")?;
+            let viz = QueryVisualizer::new(formalism, Backend::Svg);
+            let out = viz.visualize(sql, &db).map_err(|e| e.to_string())?;
+            std::fs::write(path, &out.rendering).map_err(|e| e.to_string())?;
+            println!("wrote {path}");
+            Ok(())
+        }
+        "trans" => {
+            let sql = positional.get(1).ok_or("usage: relviz trans \"<SQL>\"")?;
+            let trc =
+                relviz::rc::from_sql::parse_sql_to_trc(sql, &db).map_err(|e| e.to_string())?;
+            println!("TRC:     {trc}");
+            match relviz::rc::to_drc::trc_to_drc(&trc, &db) {
+                Ok(drc) => println!("DRC:     {drc}"),
+                Err(e) => println!("DRC:     ({e})"),
+            }
+            match relviz::rc::to_ra::trc_to_ra(&trc, &db) {
+                Ok(ra) => {
+                    let opt = relviz::ra::rewrite::optimize(&ra);
+                    println!("RA:      {}", relviz::ra::print::print_ra_unicode(&opt));
+                    match relviz::datalog::translate::ra_to_datalog(&opt, &db) {
+                        Ok(p) => println!("Datalog:\n{p}"),
+                        Err(e) => println!("Datalog: ({e})"),
+                    }
+                }
+                Err(e) => println!("RA:      ({e})"),
+            }
+            Ok(())
+        }
+        "run" => {
+            let sql = positional.get(1).ok_or("usage: relviz run \"<SQL>\"")?;
+            let rel = relviz::sql::eval::run_sql(sql, &db).map_err(|e| e.to_string())?;
+            print!("{rel}");
+            println!("({} tuples)", rel.len());
+            Ok(())
+        }
+        "matrix" => {
+            use relviz::diagrams::capability::{try_build, Capability, Formalism};
+            print!("{:22}", "");
+            for q in relviz::core::suite::SUITE {
+                print!(" {:>4}", q.id);
+            }
+            println!();
+            for f in Formalism::ALL {
+                print!("{:22}", f.name());
+                for q in relviz::core::suite::SUITE {
+                    let mark = match try_build(f, q.sql, &db) {
+                        Ok(Capability::Drawable { .. }) => "✓",
+                        Ok(Capability::DrawableVia { .. }) => "(✓)",
+                        Ok(Capability::Unsupported { .. }) => "—",
+                        Err(_) => "!",
+                    };
+                    print!(" {mark:>4}");
+                }
+                println!();
+            }
+            Ok(())
+        }
+        _ => {
+            println!(
+                "relviz — diagrammatic representations of relational queries\n\n\
+                 usage:\n  relviz show   \"<SQL>\"          ASCII diagram\n  \
+                 relviz svg    \"<SQL>\" out.svg  SVG diagram\n  \
+                 relviz trans  \"<SQL>\"          the query in TRC/DRC/RA/Datalog\n  \
+                 relviz run    \"<SQL>\"          evaluate on the database\n  \
+                 relviz matrix                  expressiveness matrix\n\n\
+                 options: --formalism queryvis|reldiag|dfql|qbe|strings|visualsql|\n                          sqlvis|tabletalk|dataplay|sieuferd|qbd, --db <file>"
+            );
+            Ok(())
+        }
+    }
+}

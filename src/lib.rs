@@ -1,0 +1,48 @@
+//! # relviz
+//!
+//! Diagrammatic representations of logical statements and relational
+//! queries: a relationally complete **query visualization** toolkit,
+//! reproducing the systems surveyed in Gatterbauer's ICDE 2024 tutorial
+//! *"A Comprehensive Tutorial on over 100 Years of Diagrammatic
+//! Representations of Logical Statements and Relational Queries"*.
+//!
+//! This facade crate re-exports the workspace members:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`model`] | `relviz-model` | values, schemas, relations, the sailors DB |
+//! | [`sql`] | `relviz-sql` | SQL frontend + reference evaluator |
+//! | [`ra`] | `relviz-ra` | Relational Algebra |
+//! | [`rc`] | `relviz-rc` | TRC & DRC + all translations |
+//! | [`datalog`] | `relviz-datalog` | stratified Datalog |
+//! | [`diagrams`] | `relviz-diagrams` | every surveyed diagram formalism |
+//! | [`layout`] | `relviz-layout` | layered & nested-box layout |
+//! | [`render`] | `relviz-render` | SVG & ASCII backends |
+//! | [`core`] | `relviz-core` | pipeline, suite, patterns, principles |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use relviz::core::{Backend, QueryVisualizer, VisFormalism};
+//! use relviz::model::catalog::sailors_sample;
+//!
+//! let db = sailors_sample();
+//! let viz = QueryVisualizer::new(VisFormalism::RelationalDiagrams, Backend::Svg);
+//! let out = viz.visualize(
+//!     "SELECT S.sname FROM Sailor S WHERE NOT EXISTS \
+//!      (SELECT * FROM Boat B WHERE B.color = 'red' AND NOT EXISTS \
+//!        (SELECT * FROM Reserves R WHERE R.sid = S.sid AND R.bid = B.bid))",
+//!     &db,
+//! ).unwrap();
+//! assert!(out.rendering.starts_with("<svg"));
+//! ```
+
+pub use relviz_core as core;
+pub use relviz_datalog as datalog;
+pub use relviz_diagrams as diagrams;
+pub use relviz_layout as layout;
+pub use relviz_model as model;
+pub use relviz_ra as ra;
+pub use relviz_rc as rc;
+pub use relviz_render as render;
+pub use relviz_sql as sql;

@@ -1,0 +1,93 @@
+//! Cross-crate integration: the five languages agree on *generated*
+//! databases of several sizes and seeds, not just the textbook sample
+//! (experiment E2's invariant, exercised harder).
+
+use relviz::core::suite::SUITE;
+use relviz::model::generate::{generate_sailors, GenConfig};
+
+#[test]
+fn suite_agrees_on_generated_databases() {
+    for seed in [1u64, 42, 2024] {
+        let cfg = GenConfig { seed, sailors: 12, boats: 5, reservations: 30 };
+        let db = generate_sailors(&cfg);
+        for q in SUITE {
+            let via_sql = relviz::sql::eval::run_sql(q.sql, &db)
+                .unwrap_or_else(|e| panic!("{} sql (seed {seed}): {e}", q.id));
+
+            let ra = relviz::ra::parse::parse_ra(q.ra).unwrap();
+            let via_ra = relviz::ra::eval::eval(&ra, &db).unwrap();
+            assert!(
+                via_sql.same_contents(&via_ra),
+                "{} RA disagrees (seed {seed})\nsql={via_sql}\nra={via_ra}",
+                q.id
+            );
+
+            let trc = relviz::rc::trc_parse::parse_trc(q.trc).unwrap();
+            let via_trc = relviz::rc::trc_eval::eval_trc(&trc, &db).unwrap();
+            assert!(
+                via_sql.same_contents(&via_trc),
+                "{} TRC disagrees (seed {seed})",
+                q.id
+            );
+
+            let drc = relviz::rc::drc_parse::parse_drc(q.drc).unwrap();
+            let via_drc = relviz::rc::drc_eval::eval_drc(&drc, &db).unwrap();
+            assert!(
+                via_sql.same_contents(&via_drc),
+                "{} DRC disagrees (seed {seed})",
+                q.id
+            );
+
+            let dl = relviz::datalog::parse::parse_program(q.datalog).unwrap();
+            let via_dl = relviz::datalog::eval::eval_program(&dl, &db).unwrap();
+            assert!(
+                via_sql.same_contents(&via_dl),
+                "{} Datalog disagrees (seed {seed})",
+                q.id
+            );
+        }
+    }
+}
+
+#[test]
+fn translation_chains_preserve_semantics_on_generated_db() {
+    // SQL → TRC → RA → Datalog: every hop preserves the answer.
+    let db = generate_sailors(&GenConfig { seed: 77, sailors: 10, boats: 4, reservations: 20 });
+    for q in SUITE {
+        let expected = relviz::sql::eval::run_sql(q.sql, &db).unwrap();
+
+        let trc = relviz::rc::from_sql::parse_sql_to_trc(q.sql, &db).unwrap();
+        let ra = relviz::rc::to_ra::trc_to_ra(&trc, &db)
+            .unwrap_or_else(|e| panic!("{}: {e}", q.id));
+        let via_ra = relviz::ra::eval::eval(&ra, &db).unwrap();
+        assert!(expected.same_contents(&via_ra), "{} SQL→TRC→RA", q.id);
+
+        let optimized = relviz::ra::rewrite::optimize(&ra);
+        let via_opt = relviz::ra::eval::eval(&optimized, &db).unwrap();
+        assert!(expected.same_contents(&via_opt), "{} optimizer", q.id);
+
+        let prog = relviz::datalog::translate::ra_to_datalog(&optimized, &db)
+            .unwrap_or_else(|e| panic!("{}: {e}", q.id));
+        let via_dl = relviz::datalog::eval::eval_program(&prog, &db).unwrap();
+        assert!(expected.same_contents(&via_dl), "{} SQL→TRC→RA→Datalog", q.id);
+
+        let drc = relviz::rc::to_drc::trc_to_drc(&trc, &db).unwrap();
+        relviz::rc::drc_eval::safe_range_check(&drc)
+            .unwrap_or_else(|e| panic!("{} produced unsafe DRC: {e}", q.id));
+        let via_drc = relviz::rc::drc_eval::eval_drc(&drc, &db).unwrap();
+        assert!(expected.same_contents(&via_drc), "{} SQL→TRC→DRC", q.id);
+    }
+}
+
+#[test]
+fn ra_to_trc_round_trip_on_suite() {
+    let db = generate_sailors(&GenConfig { seed: 5, sailors: 8, boats: 4, reservations: 16 });
+    for q in SUITE {
+        let ra = relviz::ra::parse::parse_ra(q.ra).unwrap();
+        let expected = relviz::ra::eval::eval(&ra, &db).unwrap();
+        let trc = relviz::rc::from_ra::ra_to_trc(&ra, &db)
+            .unwrap_or_else(|e| panic!("{}: {e}", q.id));
+        let via_trc = relviz::rc::trc_eval::eval_trc(&trc, &db).unwrap();
+        assert!(expected.same_contents(&via_trc), "{} RA→TRC", q.id);
+    }
+}

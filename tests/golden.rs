@@ -1,0 +1,135 @@
+//! Golden-file tests: the ASCII renderings of the suite queries are
+//! deterministic, so they are checked against committed goldens — a
+//! regression net for parser, translator, diagram builder, layout and
+//! renderer at once (a change in any stage shows up as a readable text
+//! diff).
+//!
+//! Regenerate with `UPDATE_GOLDENS=1 cargo test --test golden`.
+
+use std::path::PathBuf;
+
+use relviz::core::suite::SUITE;
+use relviz::core::{Backend, QueryVisualizer, VisFormalism};
+use relviz::model::catalog::sailors_sample;
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/goldens")
+}
+
+fn check_or_update(name: &str, actual: &str) {
+    let path = golden_dir().join(name);
+    if std::env::var("UPDATE_GOLDENS").is_ok() {
+        std::fs::create_dir_all(golden_dir()).expect("can create goldens dir");
+        std::fs::write(&path, actual).expect("can write golden");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden {}: {e}\nrun UPDATE_GOLDENS=1 cargo test --test golden", path.display()));
+    assert_eq!(
+        expected, actual,
+        "golden mismatch for {name} — if intentional, rerun with UPDATE_GOLDENS=1"
+    );
+}
+
+#[test]
+fn ascii_goldens_for_reldiag() {
+    let db = sailors_sample();
+    let viz = QueryVisualizer::new(VisFormalism::RelationalDiagrams, Backend::Ascii);
+    for q in SUITE {
+        let out = viz.visualize(q.sql, &db).unwrap_or_else(|e| panic!("{}: {e}", q.id));
+        check_or_update(&format!("{}-reldiag.txt", q.id), &out.rendering);
+    }
+}
+
+#[test]
+fn ascii_goldens_for_queryvis() {
+    let db = sailors_sample();
+    let viz = QueryVisualizer::new(VisFormalism::QueryVis, Backend::Ascii);
+    for q in SUITE {
+        if q.id == "Q3" {
+            continue; // union: unsupported by QueryVis (E5)
+        }
+        let out = viz.visualize(q.sql, &db).unwrap_or_else(|e| panic!("{}: {e}", q.id));
+        check_or_update(&format!("{}-queryvis.txt", q.id), &out.rendering);
+    }
+}
+
+#[test]
+fn svg_golden_for_q5() {
+    let db = sailors_sample();
+    for (f, name) in [
+        (VisFormalism::RelationalDiagrams, "Q5-reldiag.svg"),
+        (VisFormalism::Dfql, "Q5-dfql.svg"),
+    ] {
+        let viz = QueryVisualizer::new(f, Backend::Svg);
+        let out = viz
+            .visualize(relviz::core::suite::by_id("Q5").unwrap().sql, &db)
+            .unwrap();
+        check_or_update(name, &out.rendering);
+    }
+}
+
+#[test]
+fn trc_goldens() {
+    // The canonical TRC the translator produces — locks the SQL→TRC shape.
+    let db = sailors_sample();
+    let mut all = String::new();
+    for q in SUITE {
+        let trc = relviz::rc::from_sql::parse_sql_to_trc(q.sql, &db).unwrap();
+        all.push_str(q.id);
+        all.push_str(": ");
+        all.push_str(&trc.to_string());
+        all.push('\n');
+    }
+    check_or_update("suite-trc.txt", &all);
+}
+
+#[test]
+fn ascii_goldens_for_begriffsschrift() {
+    // The 2D ladders for the suite's closed sentences (heads closed
+    // existentially — Begriffsschrift asserts statements).
+    let db = sailors_sample();
+    for q in SUITE {
+        let trc = match relviz::rc::from_sql::parse_sql_to_trc(q.sql, &db) {
+            Ok(t) => t,
+            Err(_) => continue,
+        };
+        let Ok(drc) = relviz::rc::to_drc::trc_to_drc(&trc, &db) else {
+            continue;
+        };
+        let closed =
+            relviz::rc::drc::DrcFormula::exists(drc.head.clone(), drc.body.clone());
+        let bs = relviz::diagrams::frege::Bs::from_drc(&closed)
+            .unwrap_or_else(|e| panic!("{}: {e}", q.id));
+        check_or_update(&format!("{}-frege.txt", q.id), &bs.ascii());
+    }
+}
+
+#[test]
+fn ascii_golden_for_sieuferd_sheet() {
+    let db = sailors_sample();
+    let sheet = relviz::diagrams::sieuferd::SieuferdSheet::from_sql(
+        "SELECT S.sname, B.bname FROM Sailor S, Reserves R, Boat B \
+         WHERE S.sid = R.sid AND R.bid = B.bid AND B.color = 'red'",
+        &db,
+    )
+    .expect("conjunctive tree join");
+    check_or_update("Q2-sieuferd.txt", &sheet.ascii(&db).expect("evaluates"));
+}
+
+#[test]
+fn ascii_goldens_for_syntax_mirror_fingerprints() {
+    // The Visual SQL fingerprints of the whole suite: any change to the
+    // SQL parser, printer or the frame builder shows as a text diff.
+    let db = sailors_sample();
+    let mut out = String::new();
+    for q in SUITE {
+        let d = relviz::diagrams::visualsql::VisualSqlDiagram::from_sql(q.sql, &db)
+            .unwrap_or_else(|e| panic!("{}: {e}", q.id));
+        out.push_str(q.id);
+        out.push(' ');
+        out.push_str(&d.fingerprint());
+        out.push('\n');
+    }
+    check_or_update("suite-visualsql-fingerprints.txt", &out);
+}

@@ -1,0 +1,200 @@
+//! Cross-crate integration tests for the Part-5 interface formalisms
+//! added beyond the core survey: the syntax-mirroring family (Visual SQL,
+//! SQLVis, TableTalk), the result-oriented interfaces (SIEUFERD, QBD)
+//! and the direct-manipulation tree (DataPlay) — checked against the
+//! suite queries, generated databases, and each other.
+
+use relviz::core::suite::SUITE;
+use relviz::diagrams::capability::{try_build, Capability, Formalism};
+use relviz::diagrams::dataplay::DataPlayTree;
+use relviz::diagrams::qbd::{ErSchema, QbdQuery};
+use relviz::diagrams::sieuferd::SieuferdSheet;
+use relviz::diagrams::sqlvis::SqlVisDiagram;
+use relviz::diagrams::tabletalk::TableTalkDiagram;
+use relviz::diagrams::visualsql::VisualSqlDiagram;
+use relviz::model::catalog::sailors_sample;
+use relviz::model::generate::{generate_sailors, GenConfig};
+
+/// The syntax-mirroring formalisms accept the *entire* suite (they draw
+/// the text, so every valid query draws), and their censuses are stable
+/// under alias renaming.
+#[test]
+fn syntax_mirrors_accept_the_whole_suite() {
+    let db = sailors_sample();
+    for q in SUITE {
+        let v = VisualSqlDiagram::from_sql(q.sql, &db)
+            .unwrap_or_else(|e| panic!("VisualSQL {}: {e}", q.id));
+        assert!(v.census().0 >= 1, "{}", q.id);
+        let s = SqlVisDiagram::from_sql(q.sql, &db)
+            .unwrap_or_else(|e| panic!("SQLVis {}: {e}", q.id));
+        assert!(s.nesting_depth() >= 1, "{}", q.id);
+        let t = TableTalkDiagram::from_sql(q.sql, &db)
+            .unwrap_or_else(|e| panic!("TableTalk {}: {e}", q.id));
+        assert!(!t.flows.is_empty(), "{}", q.id);
+    }
+}
+
+/// Bubble counts track block counts: SQLVis draws one bubble per SELECT
+/// block, which is the parse tree's block count.
+#[test]
+fn sqlvis_bubbles_equal_sql_blocks() {
+    let db = sailors_sample();
+    for q in SUITE {
+        let parsed = relviz::sql::parse_query(q.sql).expect("suite SQL parses");
+        let d = SqlVisDiagram::from_sql(q.sql, &db).expect("builds");
+        assert_eq!(
+            d.bubbles.len(),
+            parsed.block_count(),
+            "{}: bubbles ≠ blocks",
+            q.id
+        );
+    }
+}
+
+/// SIEUFERD's nested evaluation agrees with direct SQL on *generated*
+/// databases of growing size, not just the sample.
+#[test]
+fn sieuferd_flatten_matches_sql_on_generated_data() {
+    let sql = "SELECT S.sname, B.bname FROM Sailor S, Reserves R, Boat B \
+               WHERE S.sid = R.sid AND R.bid = B.bid AND B.color = 'red'";
+    for n in [20usize, 60, 150] {
+        let db = generate_sailors(&GenConfig::scaled(n));
+        let sheet = SieuferdSheet::from_sql(sql, &db).expect("tree join");
+        let flat = sheet.flatten(&db).expect("evaluates");
+        let direct = relviz::sql::eval::run_sql(sql, &db).expect("evaluates");
+        assert!(flat.same_contents(&direct), "n={n}");
+    }
+}
+
+/// DataPlay's flip semantics hold on generated data: the ∀-matching pane
+/// is always a subset of the ∃-matching pane.
+#[test]
+fn dataplay_forall_implies_exists_on_generated_data() {
+    let q5 = "SELECT S.sname FROM Sailor S WHERE NOT EXISTS \
+              (SELECT * FROM Boat B WHERE B.color = 'red' AND NOT EXISTS \
+                (SELECT * FROM Reserves R WHERE R.sid = S.sid AND R.bid = B.bid))";
+    for seed_scale in [30usize, 80, 200] {
+        let db = generate_sailors(&GenConfig::scaled(seed_scale));
+        // The implication needs a witness: with zero red boats, ∀ is
+        // vacuously true while ∃ is false — itself a fact worth pinning.
+        let red_boats = relviz::sql::eval::run_sql(
+            "SELECT B.bid FROM Boat B WHERE B.color = 'red'",
+            &db,
+        )
+        .expect("evaluates");
+        let tree = DataPlayTree::from_sql(q5, &db).expect("tree fragment");
+        let (m_all, _) = tree.partition(&db).expect("evaluates");
+        let (m_some, _) = tree.flip(&[0]).expect("root").partition(&db).expect("evaluates");
+        if red_boats.is_empty() {
+            assert!(m_some.is_empty(), "n={seed_scale}: ∃ without witness");
+            continue;
+        }
+        for row in m_all.iter() {
+            assert!(
+                m_some.contains(row),
+                "n={seed_scale}: ∀-pane member missing from ∃-pane"
+            );
+        }
+    }
+}
+
+/// QBD and SIEUFERD accept exactly the same suite fragment (conjunctive
+/// ER-navigation): their capability rows agree on every query.
+#[test]
+fn conjunctive_interfaces_agree_on_the_fragment() {
+    let db = sailors_sample();
+    for q in SUITE {
+        let a = try_build(Formalism::Qbd, q.sql, &db).expect("probe runs");
+        let b = try_build(Formalism::Sieuferd, q.sql, &db).expect("probe runs");
+        let ok = |c: &Capability| matches!(c, Capability::Drawable { .. });
+        assert_eq!(ok(&a), ok(&b), "{}: QBD {a:?} vs SIEUFERD {b:?}", q.id);
+    }
+}
+
+/// The QBD ER schema really gates the builder: removing the Reserves
+/// relationship makes Q2 undrawable.
+#[test]
+fn qbd_er_schema_gates_joins() {
+    let db = sailors_sample();
+    let q2 = "SELECT S.sname FROM Sailor S, Reserves R, Boat B \
+              WHERE S.sid = R.sid AND R.bid = B.bid AND B.color = 'red'";
+    assert!(QbdQuery::from_sql(q2, &ErSchema::sailors(), &db).is_ok());
+    let mut crippled = ErSchema::sailors();
+    crippled.edges.retain(|e| e.entity != "Boat");
+    assert!(QbdQuery::from_sql(q2, &crippled, &db).is_err());
+}
+
+/// End-to-end through the facade pipeline: every new formalism renders
+/// both backends for a query in its fragment, and the cache serves
+/// repeats.
+#[test]
+fn pipeline_covers_the_new_formalisms() {
+    use relviz::core::{Backend, QueryVisualizer, VisFormalism};
+    let db = sailors_sample();
+    let conjunctive = "SELECT DISTINCT S.sname FROM Sailor S, Reserves R, Boat B \
+                       WHERE S.sid = R.sid AND R.bid = B.bid AND B.color = 'red'";
+    for f in [
+        VisFormalism::VisualSql,
+        VisFormalism::SqlVis,
+        VisFormalism::TableTalk,
+        VisFormalism::DataPlay,
+        VisFormalism::Sieuferd,
+        VisFormalism::Qbd,
+    ] {
+        for backend in [Backend::Svg, Backend::Ascii] {
+            let viz = QueryVisualizer::new(f, backend);
+            let out = viz
+                .visualize(conjunctive, &db)
+                .unwrap_or_else(|e| panic!("{} ({backend:?}): {e}", f.name()));
+            assert!(!out.rendering.is_empty(), "{}", f.name());
+        }
+    }
+}
+
+/// The E9 families again, as a pinned integration fact: all variants are
+/// semantically equal, all syntax mirrors distinguish them, and the
+/// normalized Relational Diagram patterns do not.
+#[test]
+fn syntactic_sensitivity_invariants() {
+    let db = sailors_sample();
+    let families: Vec<Vec<&str>> = vec![
+        vec![
+            "SELECT S.sname FROM Sailor S WHERE NOT EXISTS \
+             (SELECT * FROM Reserves R, Boat B \
+              WHERE R.sid = S.sid AND R.bid = B.bid AND B.color = 'red')",
+            "SELECT S.sname FROM Sailor S WHERE S.sid NOT IN \
+             (SELECT R.sid FROM Reserves R, Boat B \
+              WHERE R.bid = B.bid AND B.color = 'red')",
+        ],
+        vec![
+            "SELECT DISTINCT S.sname FROM Sailor S, Reserves R, Boat B \
+             WHERE S.sid = R.sid AND R.bid = B.bid AND B.color = 'red'",
+            "SELECT DISTINCT S.sname FROM Sailor S WHERE S.sid IN \
+             (SELECT R.sid FROM Reserves R WHERE R.bid IN \
+               (SELECT B.bid FROM Boat B WHERE B.color = 'red'))",
+        ],
+    ];
+    for family in families {
+        let (a, b) = (family[0], family[1]);
+        let ra = relviz::sql::eval::run_sql(a, &db).unwrap();
+        let rb = relviz::sql::eval::run_sql(b, &db).unwrap();
+        assert!(ra.same_contents(&rb));
+        assert!(!VisualSqlDiagram::from_sql(a, &db)
+            .unwrap()
+            .isomorphic(&VisualSqlDiagram::from_sql(b, &db).unwrap()));
+        assert!(!SqlVisDiagram::from_sql(a, &db)
+            .unwrap()
+            .isomorphic(&SqlVisDiagram::from_sql(b, &db).unwrap()));
+        let pat = |sql: &str| {
+            relviz::core::patterns::extract_pattern(
+                &relviz::rc::normalize::flatten_exists(
+                    &relviz::rc::from_sql::parse_sql_to_trc(sql, &db).unwrap(),
+                ),
+                &db,
+                false,
+            )
+            .unwrap()
+        };
+        assert!(relviz::core::patterns::patterns_isomorphic(&pat(a), &pat(b)));
+    }
+}

@@ -1,0 +1,623 @@
+//! Property-based tests (proptest) on the workspace's core invariants:
+//!
+//! * RA: `optimize` preserves semantics; printers round-trip.
+//! * TRC: random queries — the TRC evaluator, the TRC→RA compilation and
+//!   the TRC→DRC translation all agree; Relational Diagrams round-trip.
+//! * Alpha graphs: double-cut is an equivalence; erasure weakens.
+//! * Venn: the transformation rules are sound on random diagrams.
+
+use proptest::prelude::*;
+
+use relviz::diagrams::reldiag::RelationalDiagram;
+use relviz::model::catalog::sailors_sample;
+use relviz::model::generate::generate_binary_pair;
+use relviz::model::{CmpOp, Database};
+use relviz::ra::{Operand, Predicate, RaExpr};
+use relviz::rc::trc::{Binding, TrcBranch, TrcFormula, TrcQuery, TrcTerm};
+
+// ---------- RA strategies ----------------------------------------------------
+
+/// Predicates over the attributes of the R(a,b) relation.
+fn arb_pred() -> impl Strategy<Value = Predicate> {
+    let leaf = prop_oneof![
+        (arb_operand(), arb_op(), arb_operand())
+            .prop_map(|(l, op, r)| Predicate::cmp(l, op, r)),
+        Just(Predicate::Const(true)),
+        Just(Predicate::Const(false)),
+    ];
+    leaf.prop_recursive(3, 16, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.and(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.or(b)),
+            inner.prop_map(|a| a.not()),
+        ]
+    })
+}
+
+fn arb_operand() -> impl Strategy<Value = Operand> {
+    prop_oneof![
+        Just(Operand::attr("a")),
+        Just(Operand::attr("b")),
+        (0i64..12).prop_map(Operand::val),
+    ]
+}
+
+fn arb_op() -> impl Strategy<Value = CmpOp> {
+    prop_oneof![
+        Just(CmpOp::Eq),
+        Just(CmpOp::Neq),
+        Just(CmpOp::Lt),
+        Just(CmpOp::Le),
+        Just(CmpOp::Gt),
+        Just(CmpOp::Ge),
+    ]
+}
+
+/// Schema-preserving RA expressions over R(a,b) — every node keeps the
+/// schema (a, b), so arbitrary composition stays well-typed.
+fn arb_ra() -> impl Strategy<Value = RaExpr> {
+    let leaf = Just(RaExpr::relation("R"));
+    leaf.prop_recursive(4, 24, 2, |inner| {
+        prop_oneof![
+            (arb_pred(), inner.clone()).prop_map(|(p, e)| e.select(p)),
+            inner.clone().prop_map(|e| e.project(vec!["a", "b"])),
+            (inner.clone(), inner.clone()).prop_map(|(x, y)| x.union(y)),
+            (inner.clone(), inner.clone()).prop_map(|(x, y)| x.intersect(y)),
+            (inner.clone(), inner.clone()).prop_map(|(x, y)| x.difference(y)),
+            (inner.clone(), inner.clone()).prop_map(|(x, y)| x.natural_join(y)),
+            inner.clone().prop_map(|e| e.rename("a", "tmp").rename("tmp", "a")),
+        ]
+    })
+}
+
+fn small_db() -> Database {
+    generate_binary_pair(9, 18, 8)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn optimizer_preserves_semantics(e in arb_ra()) {
+        let db = small_db();
+        let before = relviz::ra::eval::eval(&e, &db).unwrap();
+        let optimized = relviz::ra::rewrite::optimize(&e);
+        let after = relviz::ra::eval::eval(&optimized, &db).unwrap();
+        prop_assert!(before.same_contents(&after),
+            "optimize changed semantics\nexpr: {e:?}\nopt: {optimized:?}");
+    }
+
+    #[test]
+    fn ra_print_parse_round_trip(e in arb_ra()) {
+        let printed = relviz::ra::print::print_ra(&e);
+        let back = relviz::ra::parse::parse_ra(&printed).unwrap();
+        prop_assert_eq!(&e, &back, "ascii printer: {}", printed);
+        let uni = relviz::ra::print::print_ra_unicode(&e);
+        let back2 = relviz::ra::parse::parse_ra(&uni).unwrap();
+        prop_assert_eq!(&e, &back2, "unicode printer: {}", uni);
+    }
+
+    #[test]
+    fn predicate_simplification_preserves_truth(p in arb_pred()) {
+        let db = small_db();
+        let e = RaExpr::relation("R").select(p.clone());
+        let s = RaExpr::relation("R").select(relviz::ra::rewrite::simplify_pred(&p));
+        let a = relviz::ra::eval::eval(&e, &db).unwrap();
+        let b = relviz::ra::eval::eval(&s, &db).unwrap();
+        prop_assert!(a.same_contents(&b));
+    }
+
+    #[test]
+    fn ra_to_trc_preserves_semantics(e in arb_ra()) {
+        let db = small_db();
+        let expected = relviz::ra::eval::eval(&e, &db).unwrap();
+        let trc = relviz::rc::from_ra::ra_to_trc(&e, &db).unwrap();
+        let got = relviz::rc::trc_eval::eval_trc(&trc, &db).unwrap();
+        prop_assert!(expected.same_contents(&got), "RA→TRC\n{trc}");
+    }
+}
+
+// ---------- TRC strategies ---------------------------------------------------
+
+/// Comparisons valid over the sailors schema for the fixed variables
+/// s ∈ Sailor (outer) and r ∈ Reserves, b ∈ Boat (possibly quantified).
+fn arb_trc_cmp(vars: &'static [(&'static str, &'static str)]) -> BoxedStrategy<TrcFormula> {
+    // (var, attr) pairs with int-typed attrs to keep types simple.
+    let attrs: Vec<(String, String)> = vars
+        .iter()
+        .flat_map(|(v, rel)| {
+            let names: &[&str] = match *rel {
+                "Sailor" => &["sid", "rating"],
+                "Reserves" => &["sid", "bid"],
+                "Boat" => &["bid"],
+                _ => &[],
+            };
+            names.iter().map(move |a| (v.to_string(), a.to_string()))
+        })
+        .collect();
+    let attr = proptest::sample::select(attrs);
+    (attr.clone(), arb_op(), prop_oneof![
+        attr.prop_map(|(v, a)| TrcTerm::attr(v, a)),
+        (0i64..120).prop_map(TrcTerm::val),
+    ])
+        .prop_map(|((v, a), op, rhs)| TrcFormula::cmp(TrcTerm::attr(v, a), op, rhs))
+        .boxed()
+}
+
+/// Random TRC bodies in the ∃/¬∃ fragment over s/r/b.
+fn arb_trc_body() -> BoxedStrategy<TrcFormula> {
+    let inner_cmp = arb_trc_cmp(&[("s", "Sailor"), ("r", "Reserves"), ("b", "Boat")]);
+    let inner = prop_oneof![
+        inner_cmp.clone(),
+        (inner_cmp.clone(), inner_cmp).prop_map(|(x, y)| x.and(y)),
+    ];
+    let quantified = inner
+        .prop_map(|body| {
+            TrcFormula::exists(
+                vec![Binding::new("r", "Reserves"), Binding::new("b", "Boat")],
+                body,
+            )
+        })
+        .boxed();
+    let outer_cmp = arb_trc_cmp(&[("s", "Sailor")]);
+    prop_oneof![
+        quantified.clone(),
+        quantified.clone().prop_map(|q| q.not()),
+        (outer_cmp.clone(), quantified.clone()).prop_map(|(c, q)| c.and(q)),
+        (outer_cmp, quantified).prop_map(|(c, q)| c.and(q.not())),
+    ]
+    .boxed()
+}
+
+fn arb_trc() -> impl Strategy<Value = TrcQuery> {
+    arb_trc_body().prop_map(|body| {
+        TrcQuery::single(TrcBranch {
+            bindings: vec![Binding::new("s", "Sailor")],
+            head: vec![("sname".into(), TrcTerm::attr("s", "sname"))],
+            body: Some(body),
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn trc_ra_drc_agree(q in arb_trc()) {
+        let db = sailors_sample();
+        let via_trc = relviz::rc::trc_eval::eval_trc(&q, &db).unwrap();
+        let ra = relviz::rc::to_ra::trc_to_ra(&q, &db).unwrap();
+        let via_ra = relviz::ra::eval::eval(&ra, &db).unwrap();
+        prop_assert!(via_trc.same_contents(&via_ra), "TRC vs RA for {q}");
+        let drc = relviz::rc::to_drc::trc_to_drc(&q, &db).unwrap();
+        relviz::rc::drc_eval::safe_range_check(&drc).unwrap();
+        let via_drc = relviz::rc::drc_eval::eval_drc(&drc, &db).unwrap();
+        prop_assert!(via_trc.same_contents(&via_drc), "TRC vs DRC for {q}");
+    }
+
+    #[test]
+    fn trc_parse_print_round_trip(q in arb_trc()) {
+        let printed = q.to_string();
+        let back = relviz::rc::trc_parse::parse_trc(&printed).unwrap();
+        prop_assert_eq!(&q, &back, "{}", printed);
+    }
+
+    #[test]
+    fn relational_diagram_round_trip(q in arb_trc()) {
+        let db = sailors_sample();
+        let d = RelationalDiagram::from_trc(&q, &db).unwrap();
+        let back = d.to_trc();
+        let orig = relviz::rc::trc_eval::eval_trc(&q, &db).unwrap();
+        let rt = relviz::rc::trc_eval::eval_trc(&back, &db).unwrap();
+        prop_assert!(orig.same_contents(&rt), "diagram round trip\n{q}\n{back}");
+    }
+}
+
+// ---------- alpha graph properties -------------------------------------------
+
+use relviz::diagrams::peirce::alpha::{AlphaGraph, AlphaItem};
+use std::collections::BTreeMap;
+
+fn arb_alpha_item() -> impl Strategy<Value = AlphaItem> {
+    let leaf = proptest::sample::select(vec!["P", "Q", "R"]).prop_map(AlphaItem::atom);
+    leaf.prop_recursive(3, 12, 3, |inner| {
+        proptest::collection::vec(inner, 0..3).prop_map(AlphaItem::cut)
+    })
+}
+
+fn arb_alpha() -> impl Strategy<Value = AlphaGraph> {
+    proptest::collection::vec(arb_alpha_item(), 0..4).prop_map(AlphaGraph::new)
+}
+
+fn all_assignments(g: &AlphaGraph) -> Vec<BTreeMap<String, bool>> {
+    let atoms = g.atoms();
+    (0..(1u32 << atoms.len()))
+        .map(|bits| {
+            atoms
+                .iter()
+                .enumerate()
+                .map(|(i, a)| (a.clone(), bits & (1 << i) != 0))
+                .collect()
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn double_cut_is_an_equivalence(g in arb_alpha()) {
+        let wrapped = g.add_double_cut(&[], None).unwrap();
+        for asg in all_assignments(&g) {
+            prop_assert_eq!(g.eval(&asg), wrapped.eval(&asg));
+        }
+        let back = wrapped.remove_double_cut(&[], 0).unwrap();
+        prop_assert_eq!(back, g);
+    }
+
+    #[test]
+    fn sheet_erasure_weakens(g in arb_alpha()) {
+        if !g.sheet.is_empty() {
+            let erased = g.erase(&[], 0).unwrap();
+            // g ⊨ erased over the union of atoms
+            let mut joint = g.clone();
+            joint.sheet.extend(erased.sheet.clone());
+            for asg in all_assignments(&joint) {
+                prop_assert!(!g.eval(&asg) || erased.eval(&asg));
+            }
+        }
+    }
+}
+
+// ---------- Venn properties ----------------------------------------------------
+
+use relviz::diagrams::venn::VennDiagram;
+
+fn arb_venn() -> impl Strategy<Value = VennDiagram> {
+    (
+        proptest::collection::btree_set(0u8..8, 0..4),
+        proptest::collection::vec(proptest::collection::btree_set(0u8..8, 1..4), 0..3),
+    )
+        .prop_map(|(shaded, xseqs)| {
+            let mut d = VennDiagram::new(vec!["A", "B", "C"]).unwrap();
+            d.shade(shaded).unwrap();
+            for x in xseqs {
+                d.add_xseq(x).unwrap();
+            }
+            d
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn venn_rules_sound_on_random_diagrams(d in arb_venn()) {
+        // Erasing any shading or sequence is entailed.
+        if let Some(&m) = d.shaded.iter().next() {
+            let e = d.erase_shading(m).unwrap();
+            prop_assert!(d.entails(&e).unwrap());
+        }
+        if !d.xseqs.is_empty() {
+            let e = d.erase_xseq(0).unwrap();
+            prop_assert!(d.entails(&e).unwrap());
+            let x = d.extend_xseq(0, 7).unwrap();
+            prop_assert!(d.entails(&x).unwrap());
+        }
+        // Pruning is equivalence (when consistent).
+        match d.prune_xseqs() {
+            Ok(p) => {
+                prop_assert!(d.entails(&p).unwrap());
+                prop_assert!(p.entails(&d).unwrap());
+            }
+            Err(_) => prop_assert!(!d.is_consistent()),
+        }
+    }
+
+    #[test]
+    fn venn_unification_is_meet(a in arb_venn(), b in arb_venn()) {
+        let u = a.unify(&b).unwrap();
+        prop_assert!(u.entails(&a).unwrap());
+        prop_assert!(u.entails(&b).unwrap());
+        // and it is the weakest such: any model of both satisfies u
+        for m in a.models() {
+            if b.satisfied_by(m) {
+                prop_assert!(u.satisfied_by(m));
+            }
+        }
+    }
+}
+
+// ---------- normalization / new-formalism properties -------------------------
+
+/// Random TRC bodies with *positive existential nesting* (IN-chain shape).
+/// The sibling arms both bind `r` and `b` — legal TRC (disjoint scopes)
+/// that collides on hoisting, exercising the capture-free renaming.
+fn arb_nested_trc() -> impl Strategy<Value = TrcQuery> {
+    let inner = arb_trc_cmp(&[("s", "Sailor"), ("r", "Reserves"), ("b", "Boat")])
+        .prop_map(|c| TrcFormula::exists(vec![Binding::new("b", "Boat")], c));
+    let chain = (arb_trc_cmp(&[("s", "Sailor"), ("r", "Reserves")]), inner).prop_map(
+        |(c, deep)| TrcFormula::exists(vec![Binding::new("r", "Reserves")], c.and(deep)),
+    );
+    let outer_cmp = arb_trc_cmp(&[("s", "Sailor")]);
+    prop_oneof![
+        chain.clone(),
+        (outer_cmp.clone(), chain.clone()).prop_map(|(c, q)| c.and(q)),
+        // Two positive sibling chains: both hoist, names collide → rename.
+        (outer_cmp.clone(), chain.clone(), chain.clone())
+            .prop_map(|(c, q1, q2)| c.and(q1).and(q2)),
+        // A negated sibling keeps a boundary the flattener must respect.
+        (outer_cmp, chain.clone(), chain).prop_map(|(c, q1, q2)| c.and(q1).and(q2.not())),
+    ]
+    .prop_map(|body| {
+        TrcQuery::single(TrcBranch {
+            bindings: vec![Binding::new("s", "Sailor")],
+            head: vec![("sname".into(), TrcTerm::attr("s", "sname"))],
+            body: Some(body),
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn flatten_exists_preserves_semantics(q in arb_nested_trc()) {
+        let db = sailors_sample();
+        let flat = relviz::rc::normalize::flatten_exists(&q);
+        relviz::rc::trc_check::check_query(&flat, &db).unwrap();
+        let a = relviz::rc::trc_eval::eval_trc(&q, &db).unwrap();
+        let b = relviz::rc::trc_eval::eval_trc(&flat, &db).unwrap();
+        prop_assert!(a.same_contents(&b), "flattening changed semantics\n{q}\n{flat}");
+    }
+
+    #[test]
+    fn flatten_exists_is_idempotent(q in arb_nested_trc()) {
+        let flat = relviz::rc::normalize::flatten_exists(&q);
+        let twice = relviz::rc::normalize::flatten_exists(&flat);
+        prop_assert_eq!(&flat, &twice, "second pass changed the query");
+    }
+
+    #[test]
+    fn flatten_exists_removes_positive_nesting(q in arb_trc()) {
+        // On the ∃/¬∃ fragment: after flattening, every remaining
+        // quantifier sits under a negation.
+        let flat = relviz::rc::normalize::flatten_exists(&q);
+        fn positive_exists(f: &TrcFormula) -> bool {
+            match f {
+                TrcFormula::Exists { .. } => true,
+                TrcFormula::And(a, b) => positive_exists(a) || positive_exists(b),
+                _ => false,
+            }
+        }
+        let body = flat.branches[0].body_or_true();
+        prop_assert!(!positive_exists(&body), "positive ∃ survived:\n{flat}");
+    }
+
+    #[test]
+    fn begriffsschrift_round_trips_truth(q in arb_trc()) {
+        // Close the query into a sentence, push it through Frege's
+        // primitive basis and back, and compare truth values.
+        let db = sailors_sample();
+        let drc = relviz::rc::to_drc::trc_to_drc(&q, &db).unwrap();
+        let closed = relviz::rc::drc::DrcFormula::exists(drc.head.clone(), drc.body.clone());
+        let bs = relviz::diagrams::frege::Bs::from_drc(&closed).unwrap();
+        let back = bs.to_drc();
+        let truth = |f: &relviz::rc::drc::DrcFormula| {
+            let q = relviz::rc::drc::DrcQuery { head: vec![], body: f.clone() };
+            !relviz::rc::drc_eval::eval_drc(&q, &db).unwrap().is_empty()
+        };
+        prop_assert_eq!(truth(&closed), truth(&back), "Frege round trip\n{}\n{}", closed, back);
+    }
+
+    #[test]
+    fn dataplay_tree_round_trips(q in arb_trc()) {
+        // The generated ∃/¬∃ fragment is exactly DataPlay's tree fragment.
+        let db = sailors_sample();
+        let tree = relviz::diagrams::dataplay::DataPlayTree::from_trc(&q, &db).unwrap();
+        let a = relviz::rc::trc_eval::eval_trc(&q, &db).unwrap();
+        let b = relviz::rc::trc_eval::eval_trc(&tree.to_trc(), &db).unwrap();
+        prop_assert!(a.same_contents(&b), "DataPlay round trip\n{q}");
+    }
+
+    #[test]
+    fn dataplay_flip_is_an_involution(q in arb_trc()) {
+        let db = sailors_sample();
+        let tree = relviz::diagrams::dataplay::DataPlayTree::from_trc(&q, &db).unwrap();
+        if !tree.constraints.is_empty() {
+            let back = tree.flip(&[0]).unwrap().flip(&[0]).unwrap();
+            prop_assert_eq!(&tree, &back);
+        }
+    }
+}
+
+// ---------- parser robustness -------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// No parser panics on arbitrary input — malformed text must come
+    /// back as a typed error, never a crash (the pipeline of Fig. 1 faces
+    /// machine-generated queries).
+    #[test]
+    fn parsers_never_panic(input in "\\PC{0,120}") {
+        let _ = relviz::sql::parse_query(&input);
+        let _ = relviz::rc::trc_parse::parse_trc(&input);
+        let _ = relviz::rc::drc_parse::parse_drc(&input);
+        let _ = relviz::datalog::parse::parse_program(&input);
+        let _ = relviz::ra::parse::parse_ra(&input);
+    }
+
+    /// Near-miss SQL (token soup from the SQL alphabet) also never
+    /// panics and never silently parses to an empty query.
+    #[test]
+    fn sql_token_soup_is_safe(
+        tokens in proptest::collection::vec(
+            proptest::sample::select(vec![
+                "SELECT", "FROM", "WHERE", "AND", "OR", "NOT", "EXISTS", "IN",
+                "UNION", "(", ")", ",", "*", "=", "<", "S", "Sailor", "sid",
+                "'red'", "102", ".",
+            ]),
+            0..24,
+        )
+    ) {
+        let text = tokens.join(" ");
+        if let Ok(q) = relviz::sql::parse_query(&text) {
+            // Anything that parses must print and re-parse to the same AST.
+            let printed = relviz::sql::print_query(&q);
+            let again = relviz::sql::parse_query(&printed).expect("printer output parses");
+            prop_assert_eq!(q, again, "{}", printed);
+        }
+    }
+}
+
+// ---------- layout invariants -------------------------------------------------
+
+use relviz::layout::boxes::{layout as box_layout, BoxNode, BoxOptions};
+use relviz::layout::layered::{layout as layered_layout, GraphSpec, LayeredOptions};
+
+/// Random nested box trees (depth ≤ 3, ≤ 4 children per box).
+fn arb_box_tree() -> impl Strategy<Value = BoxNode> {
+    let atom = (12.0..80.0f64, 10.0..30.0f64);
+    let atoms = proptest::collection::vec(atom, 0..4);
+    let leaf = atoms.clone().prop_map(BoxNode::leaf);
+    leaf.prop_recursive(3, 24, 4, move |inner| {
+        (
+            proptest::collection::vec((12.0..80.0f64, 10.0..30.0f64), 0..3),
+            proptest::collection::vec(inner, 0..4),
+            0.0..18.0f64,
+        )
+            .prop_map(|(atoms, children, header)| {
+                let mut n = BoxNode::with_children(atoms, children);
+                n.header = header;
+                n
+            })
+    })
+}
+
+/// Random DAG specs for the layered engine (edges point to higher ids —
+/// acyclic by construction).
+fn arb_dag() -> impl Strategy<Value = GraphSpec> {
+    (2usize..10).prop_flat_map(|n| {
+        let sizes = proptest::collection::vec((20.0..90.0f64, 14.0..30.0f64), n..=n);
+        let edges = proptest::collection::vec((0..n, 0..n), 0..(2 * n));
+        (sizes, edges).prop_map(|(sizes, edges)| {
+            let mut g = GraphSpec::default();
+            for (w, h) in sizes {
+                g.add_node(w, h);
+            }
+            for (a, b) in edges {
+                if a < b {
+                    g.add_edge(a, b);
+                }
+            }
+            g
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Nested-box layout invariants: every child box and every atom lies
+    /// strictly inside its parent box, and siblings never overlap.
+    #[test]
+    fn box_layout_respects_nesting(root in arb_box_tree()) {
+        let l = box_layout(&root, BoxOptions::default());
+        // Reconstruct the parent relation by walking the tree in the
+        // same pre-order as the layout output.
+        fn walk(
+            node: &BoxNode,
+            idx: &mut usize,
+            parent: Option<usize>,
+            parents: &mut Vec<Option<usize>>,
+            child_sets: &mut Vec<Vec<usize>>,
+        ) {
+            let me = *idx;
+            parents.push(parent);
+            child_sets.push(Vec::new());
+            if let Some(p) = parent {
+                child_sets[p].push(me);
+            }
+            *idx += 1;
+            for c in &node.children {
+                walk(c, idx, Some(me), parents, child_sets);
+            }
+        }
+        let mut parents = Vec::new();
+        let mut children = Vec::new();
+        walk(&root, &mut 0, None, &mut parents, &mut children);
+        prop_assert_eq!(parents.len(), l.boxes.len());
+        for (i, p) in parents.iter().enumerate() {
+            if let Some(p) = p {
+                prop_assert!(
+                    l.boxes[*p].contains(&l.boxes[i]),
+                    "box {i} escapes its parent {p}"
+                );
+            }
+        }
+        for kids in &children {
+            for (a, &ka) in kids.iter().enumerate() {
+                for &kb in kids.iter().skip(a + 1) {
+                    prop_assert!(
+                        !l.boxes[ka].intersects(&l.boxes[kb]),
+                        "sibling boxes {ka} and {kb} overlap"
+                    );
+                }
+            }
+        }
+        // Atoms sit inside their box.
+        for (owner, rect) in &l.atoms {
+            prop_assert!(l.boxes[*owner].contains(rect), "atom escapes box {owner}");
+        }
+    }
+
+    /// Layered layout invariants: nodes in one layer never overlap, and
+    /// every edge goes from a strictly lower layer to a higher one.
+    #[test]
+    fn layered_layout_is_consistent(spec in arb_dag()) {
+        let l = layered_layout(&spec, LayeredOptions::default());
+        prop_assert_eq!(l.nodes.len(), spec.nodes.len());
+        for i in 0..l.nodes.len() {
+            for j in (i + 1)..l.nodes.len() {
+                if l.layers[i] == l.layers[j] {
+                    prop_assert!(
+                        !l.nodes[i].intersects(&l.nodes[j]),
+                        "same-layer nodes {i} and {j} overlap"
+                    );
+                }
+            }
+        }
+        for &(a, b) in &spec.edges {
+            prop_assert!(
+                l.layers[a] < l.layers[b],
+                "edge {a}→{b} does not descend the layering"
+            );
+        }
+        // Everything within the reported bounding size.
+        for r in &l.nodes {
+            prop_assert!(r.x >= -1e-6 && r.y >= -1e-6);
+            prop_assert!(r.right() <= l.size.w + 1e-6 && r.bottom() <= l.size.h + 1e-6);
+        }
+    }
+
+    /// SVG output is well-formed for random scenes: tags balance and
+    /// coordinates are finite.
+    #[test]
+    fn svg_is_well_formed(root in arb_box_tree()) {
+        let l = box_layout(&root, BoxOptions::default());
+        let mut scene = relviz::render::Scene::new(0.0, 0.0);
+        for r in &l.boxes {
+            scene.rect(r.x, r.y, r.w, r.h);
+        }
+        for (_, r) in &l.atoms {
+            scene.text(r.x, r.y + 10.0, "a");
+        }
+        scene.fit(8.0);
+        let svg = relviz::render::svg::to_svg(&scene);
+        prop_assert!(svg.starts_with("<svg"));
+        prop_assert!(svg.ends_with("</svg>\n") || svg.ends_with("</svg>"));
+        prop_assert_eq!(svg.matches("<rect").count(), l.boxes.len());
+        prop_assert!(!svg.contains("NaN") && !svg.contains("inf"));
+    }
+}
