@@ -1,0 +1,18 @@
+#!/usr/bin/env sh
+# CI gate for the relviz workspace. Mirrors the tier-1 verify and adds
+# the bench-compile and lint gates. Run from the workspace root.
+set -eux
+
+# 1. Release build of every workspace member (libs, bins, examples).
+cargo build --release --workspace --bins --examples
+
+# 2. Full test suite: unit, integration, property and doc tests.
+cargo test -q --workspace
+
+# 3. All nine Criterion bench targets must compile.
+cargo bench --no-run
+
+# 4. Lints: warnings are errors, on every target of every member.
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "ci.sh: all green"

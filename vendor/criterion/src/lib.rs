@@ -1,0 +1,351 @@
+//! Vendored stand-in for the `criterion` crate.
+//!
+//! Implements the API surface the workspace's nine bench targets use —
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_function`] /
+//! [`BenchmarkGroup::bench_with_input`], [`BenchmarkId`], [`black_box`],
+//! [`criterion_group!`] and [`criterion_main!`] — backed by a lightweight
+//! wall-clock measurement loop instead of criterion's full statistical
+//! machinery.
+//!
+//! Behaviour under the cargo harnesses (`harness = false` targets):
+//!
+//! * `cargo bench` passes `--bench`: every benchmark runs a short
+//!   warm-up then timed samples, and prints `name ... time: [median]`.
+//! * `cargo test` passes `--test`: every benchmark closure runs exactly
+//!   once as a smoke test (mirrors upstream criterion), so benches stay
+//!   cheap in the test suite while still exercising their code paths.
+//! * An optional positional argument filters benchmarks by substring,
+//!   like upstream: `cargo bench -- e1_pipeline/end_to_end`.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How each benchmark body should be exercised for this process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    /// `cargo bench`: warm up, sample, report timings.
+    Measure,
+    /// `cargo test` on a bench target: run each body once, report "ok".
+    SmokeTest,
+    /// `--list`: print names without running.
+    List,
+}
+
+/// Top-level benchmark driver handed to each `criterion_group!` target.
+pub struct Criterion {
+    mode: Mode,
+    filter: Option<String>,
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let mode = if args.iter().any(|a| a == "--test") {
+            Mode::SmokeTest
+        } else if args.iter().any(|a| a == "--list") {
+            Mode::List
+        } else {
+            Mode::Measure
+        };
+        // First non-flag argument is a name filter (upstream semantics).
+        let filter = args.iter().find(|a| !a.starts_with('-')).cloned();
+        Criterion {
+            mode,
+            filter,
+            sample_size: 30,
+            measurement_time: Duration::from_millis(300),
+            warm_up_time: Duration::from_millis(50),
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: None,
+            measurement_time: None,
+        }
+    }
+
+    /// Runs a standalone benchmark (no group).
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into_benchmark_id().render();
+        run_one(self.mode, self.filter.as_deref(), &id, self.sample_size, self.measurement_time, self.warm_up_time, f);
+        self
+    }
+
+    /// Global sample-size default (per-group overrides win).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Global measurement-time default (per-group overrides win).
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+}
+
+/// A named collection of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+    measurement_time: Option<Duration>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = Some(d);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into_benchmark_id().render());
+        run_one(
+            self.criterion.mode,
+            self.criterion.filter.as_deref(),
+            &full,
+            self.sample_size.unwrap_or(self.criterion.sample_size),
+            self.measurement_time.unwrap_or(self.criterion.measurement_time),
+            self.criterion.warm_up_time,
+            f,
+        );
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Timing driver passed to each benchmark body.
+pub struct Bencher {
+    mode: Mode,
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Calls `f` repeatedly and records total wall-clock time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        match self.mode {
+            Mode::SmokeTest | Mode::List => {
+                black_box(f());
+                self.iters = 1;
+            }
+            Mode::Measure => {
+                let start = Instant::now();
+                for _ in 0..self.iters {
+                    black_box(f());
+                }
+                self.elapsed = start.elapsed();
+            }
+        }
+    }
+}
+
+/// Identifies one benchmark: a function name and/or a parameter value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchmarkId {
+    function_name: Option<String>,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { function_name: Some(function_name.into()), parameter: Some(parameter.to_string()) }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { function_name: None, parameter: Some(parameter.to_string()) }
+    }
+
+    fn render(&self) -> String {
+        match (&self.function_name, &self.parameter) {
+            (Some(f), Some(p)) => format!("{f}/{p}"),
+            (Some(f), None) => f.clone(),
+            (None, Some(p)) => p.clone(),
+            (None, None) => String::from("benchmark"),
+        }
+    }
+}
+
+/// Conversion into [`BenchmarkId`], so `bench_function` accepts plain
+/// string names as well as explicit ids.
+pub trait IntoBenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId { function_name: Some(self.to_string()), parameter: None }
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId { function_name: Some(self), parameter: None }
+    }
+}
+
+fn run_one<F>(
+    mode: Mode,
+    filter: Option<&str>,
+    name: &str,
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    mut f: F,
+) where
+    F: FnMut(&mut Bencher),
+{
+    if let Some(pat) = filter {
+        if !name.contains(pat) {
+            return;
+        }
+    }
+    match mode {
+        Mode::List => {
+            println!("{name}: benchmark");
+        }
+        Mode::SmokeTest => {
+            let mut b = Bencher { mode, iters: 1, elapsed: Duration::ZERO };
+            f(&mut b);
+            println!("{name} ... ok (smoke test)");
+        }
+        Mode::Measure => {
+            // Warm-up: discover a per-iteration estimate.
+            let mut b = Bencher { mode, iters: 1, elapsed: Duration::ZERO };
+            let warm_start = Instant::now();
+            let mut warm_iters: u64 = 0;
+            while warm_start.elapsed() < warm_up_time {
+                f(&mut b);
+                warm_iters += b.iters.max(1);
+            }
+            let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters.max(1) as f64;
+
+            // Size samples so the whole measurement fits the budget.
+            let samples = sample_size.clamp(5, 100);
+            let budget = measurement_time.as_secs_f64();
+            let iters_per_sample =
+                ((budget / samples as f64) / per_iter.max(1e-9)).ceil().max(1.0) as u64;
+
+            let mut times: Vec<f64> = Vec::with_capacity(samples);
+            for _ in 0..samples {
+                let mut b = Bencher { mode, iters: iters_per_sample, elapsed: Duration::ZERO };
+                f(&mut b);
+                times.push(b.elapsed.as_secs_f64() / iters_per_sample as f64);
+            }
+            times.sort_by(|a, b| a.total_cmp(b));
+            let median = times[times.len() / 2];
+            let lo = times[times.len() / 20];
+            let hi = times[times.len() - 1 - times.len() / 20];
+            println!(
+                "{name:<50} time: [{} {} {}]",
+                fmt_time(lo),
+                fmt_time(median),
+                fmt_time(hi)
+            );
+        }
+    }
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.2} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.2} µs", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.2} ms", secs * 1e3)
+    } else {
+        format!("{secs:.2} s")
+    }
+}
+
+/// Declares a group function that runs each target against a fresh
+/// default [`Criterion`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` for a bench target built with `harness = false`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benchmark_id_renders() {
+        assert_eq!(BenchmarkId::new("f", 3).render(), "f/3");
+        assert_eq!(BenchmarkId::from_parameter("x").render(), "x");
+        assert_eq!("plain".into_benchmark_id().render(), "plain");
+    }
+
+    #[test]
+    fn smoke_mode_runs_body_once() {
+        let mut calls = 0;
+        let mut b = Bencher { mode: Mode::SmokeTest, iters: 1, elapsed: Duration::ZERO };
+        b.iter(|| calls += 1);
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn measure_mode_runs_requested_iters() {
+        let mut calls = 0u64;
+        let mut b = Bencher { mode: Mode::Measure, iters: 17, elapsed: Duration::ZERO };
+        b.iter(|| calls += 1);
+        assert_eq!(calls, 17);
+        assert!(b.elapsed >= Duration::ZERO);
+    }
+}

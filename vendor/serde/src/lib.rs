@@ -1,0 +1,8 @@
+//! Vendored stand-in for the `serde` facade crate.
+//!
+//! Re-exports the no-op `Serialize` / `Deserialize` derive macros from
+//! the sibling `serde_derive` stub so `#[derive(serde::Serialize,
+//! serde::Deserialize)]` attributes in the workspace compile without a
+//! crates.io dependency. See `vendor/serde_derive` for the rationale.
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,20 @@
+//! Vendored stand-in for `serde_derive`.
+//!
+//! The workspace annotates model types with
+//! `#[derive(serde::Serialize, serde::Deserialize)]` but nothing
+//! currently consumes the generated impls (no serde_json, no bounds).
+//! These derives therefore expand to nothing, which keeps the
+//! annotations in place for the day a real serde lands while costing
+//! zero dependencies today.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
