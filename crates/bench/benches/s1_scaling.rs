@@ -38,12 +38,24 @@ fn bench_eval_scaling(c: &mut Criterion) {
                 b.iter(|| relviz_rc::trc_eval::eval_trc(black_box(&trc), db).unwrap())
             });
         }
+        // The physical engine on both forms (plans built once per size;
+        // planning depends only on the catalog).
+        let ra_plan = relviz_exec::plan_ra(&ra, &db).unwrap();
+        g.bench_with_input(BenchmarkId::new("exec_ra_q2", n), &db, |b, db| {
+            b.iter(|| relviz_exec::execute(black_box(&ra_plan), db).unwrap())
+        });
+        let trc_plan = relviz_exec::plan_trc(&trc, &db).unwrap();
+        g.bench_with_input(BenchmarkId::new("exec_trc_q2", n), &db, |b, db| {
+            b.iter(|| relviz_exec::execute(black_box(&trc_plan), db).unwrap())
+        });
     }
     g.finish();
 }
 
 fn bench_optimizer_effect(c: &mut Criterion) {
-    // σ-over-product vs the optimizer's θ-join on a generated database.
+    // σ-over-product vs the optimizer's θ-join on a generated database,
+    // on the reference evaluator and on the physical engine (whose
+    // planner extracts hash keys from either form by itself).
     let naive = relviz_ra::parse::parse_ra(
         "Project[sname](Select[s_sid = sid AND bid = 102](Product(\
          Rename[sid -> s_sid](Sailor), Reserves)))",
@@ -59,6 +71,10 @@ fn bench_optimizer_effect(c: &mut Criterion) {
     });
     g.bench_function("optimized_theta_join", |b| {
         b.iter(|| relviz_ra::eval::eval(black_box(&optimized), &db).unwrap())
+    });
+    let naive_plan = relviz_exec::plan_ra(&naive, &db).unwrap();
+    g.bench_function("exec_from_naive", |b| {
+        b.iter(|| relviz_exec::execute(black_box(&naive_plan), &db).unwrap())
     });
     g.finish();
 }

@@ -25,7 +25,8 @@ fn main() {
             "e8" => experiments::e8_principles(),
             "e9" => experiments::e9_syntax_sensitivity(),
             "e10" => experiments::e10_dataplay_flips(),
-            other => eprintln!("unknown experiment `{other}` (e1..e10)"),
+            "s1" => experiments::s1_engines(),
+            other => eprintln!("unknown experiment `{other}` (e1..e10, s1)"),
         }
     }
 }

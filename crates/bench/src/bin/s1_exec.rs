@@ -1,0 +1,129 @@
+//! S1 timed smoke run: the θ-join/product workload and the Q2 suite
+//! query on the reference evaluators vs the physical engine, at one
+//! database size, appending a JSON-lines snapshot to `BENCH_exec.json`
+//! so successive PRs accumulate a perf trajectory.
+//!
+//! ```sh
+//! cargo run --release -p relviz-bench --bin s1_exec -- [n] [--out FILE] [--assert]
+//! ```
+//!
+//! `--assert` exits non-zero unless the exec engine beats the reference
+//! RA evaluator by ≥5× on the θ-join/product workload (the CI gate; run
+//! it in release, debug timings are not meaningful).
+
+use std::io::Write as _;
+use std::time::Instant;
+
+use relviz_exec::{execute, plan_ra, plan_trc};
+use relviz_model::generate::{generate_sailors, GenConfig};
+use relviz_model::{Database, Relation};
+
+/// The S1 θ-join/product workload: a selection over a raw product,
+/// exactly as a naive translator would emit it.
+const THETA_PRODUCT: &str = "Project[sname](Select[s_sid = sid AND bid = 102](Product(\
+                             Rename[sid -> s_sid](Sailor), Reserves)))";
+
+/// Best-of-k wall time (milliseconds) of `f`, with the result of one run.
+fn time_ms<T>(k: usize, mut f: impl FnMut() -> T) -> (f64, T) {
+    let mut best = f64::INFINITY;
+    let mut out = None;
+    for _ in 0..k {
+        let t0 = Instant::now();
+        let v = f();
+        best = best.min(t0.elapsed().as_secs_f64() * 1e3);
+        out = Some(v);
+    }
+    (best, out.expect("k > 0"))
+}
+
+struct Snapshot {
+    engine: &'static str,
+    query: &'static str,
+    n: usize,
+    wall_ms: f64,
+}
+
+impl Snapshot {
+    fn json(&self) -> String {
+        format!(
+            "{{\"engine\": \"{}\", \"query\": \"{}\", \"n\": {}, \"wall_ms\": {:.3}}}",
+            self.engine, self.query, self.n, self.wall_ms
+        )
+    }
+}
+
+fn run_workloads(n: usize, db: &Database) -> (Vec<Snapshot>, f64) {
+    let mut snaps = Vec::new();
+
+    // θ-join/product workload: reference RA evaluator vs exec.
+    let naive = relviz_ra::parse::parse_ra(THETA_PRODUCT).expect("workload parses");
+    let (ref_ms, ref_out): (f64, Relation) =
+        time_ms(3, || relviz_ra::eval::eval(&naive, db).expect("reference evaluates"));
+    let plan = plan_ra(&naive, db).expect("plans");
+    let (exec_ms, exec_out) = time_ms(5, || execute(&plan, db).expect("executes"));
+    assert!(
+        exec_out.same_contents(&ref_out),
+        "engines disagree on the θ-join/product workload"
+    );
+    snaps.push(Snapshot { engine: "reference", query: "theta_product", n, wall_ms: ref_ms });
+    snaps.push(Snapshot { engine: "exec", query: "theta_product", n, wall_ms: exec_ms });
+    let speedup = ref_ms / exec_ms.max(1e-6);
+
+    // Q2 through the TRC form (the suite's join query) on both engines.
+    let q2 = relviz_core::suite::by_id("Q2").expect("suite");
+    let trc = relviz_rc::trc_parse::parse_trc(q2.trc).expect("trc parses");
+    let (trc_ref_ms, trc_ref_out) =
+        time_ms(1, || relviz_rc::trc_eval::eval_trc(&trc, db).expect("reference evaluates"));
+    let trc_plan = plan_trc(&trc, db).expect("plans");
+    let (trc_exec_ms, trc_exec_out) = time_ms(5, || execute(&trc_plan, db).expect("executes"));
+    assert!(trc_exec_out.same_contents(&trc_ref_out), "engines disagree on Q2 (TRC)");
+    snaps.push(Snapshot { engine: "reference", query: "trc_q2", n, wall_ms: trc_ref_ms });
+    snaps.push(Snapshot { engine: "exec", query: "trc_q2", n, wall_ms: trc_exec_ms });
+
+    (snaps, speedup)
+}
+
+fn main() {
+    let mut n = 1000usize;
+    let mut out_path: Option<String> = None;
+    let mut assert_speedup = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--out" => out_path = Some(args.next().expect("--out needs a path")),
+            "--assert" => assert_speedup = true,
+            other => n = other.parse().unwrap_or_else(|_| panic!("bad size `{other}`")),
+        }
+    }
+
+    let db = generate_sailors(&GenConfig::scaled(n));
+    println!(
+        "s1_exec smoke @ n={n} (|Sailor|={}, |Boat|={}, |Reserves|={})",
+        db.relation("Sailor").unwrap().len(),
+        db.relation("Boat").unwrap().len(),
+        db.relation("Reserves").unwrap().len()
+    );
+
+    let (snaps, speedup) = run_workloads(n, &db);
+    for s in &snaps {
+        println!("  {:9} {:13} {:>10.3} ms", s.engine, s.query, s.wall_ms);
+    }
+    println!("  θ-join/product speedup (reference/exec): {speedup:.1}×");
+
+    if let Some(path) = out_path {
+        let mut f = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .unwrap_or_else(|e| panic!("cannot open {path}: {e}"));
+        for s in &snaps {
+            writeln!(f, "{}", s.json()).expect("snapshot written");
+        }
+        println!("  appended {} snapshot lines to {path}", snaps.len());
+    }
+
+    if assert_speedup && speedup < 5.0 {
+        eprintln!("FAIL: exec speedup {speedup:.1}× < 5× on the θ-join/product workload");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,54 @@
+//! Errors of the physical engine: planning vs execution failures, plus
+//! pass-throughs from the language crates whose ASTs we lower.
+
+use std::fmt;
+
+use relviz_ra::RaError;
+use relviz_rc::RcError;
+
+/// Errors raised by the planner or the executor.
+#[derive(Debug)]
+pub enum ExecError {
+    /// The expression could not be lowered to a physical plan.
+    Plan(String),
+    /// The plan failed during execution (should not happen for plans the
+    /// planner produced — indicates an engine bug).
+    Eval(String),
+    /// Error surfaced by the RA crate (typing, parsing).
+    Ra(RaError),
+    /// Error surfaced by the calculus crate (checking, translation).
+    Rc(RcError),
+}
+
+pub type ExecResult<T> = Result<T, ExecError>;
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::Plan(m) => write!(f, "plan error: {m}"),
+            ExecError::Eval(m) => write!(f, "execution error: {m}"),
+            ExecError::Ra(e) => write!(f, "{e}"),
+            ExecError::Rc(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+impl From<RaError> for ExecError {
+    fn from(e: RaError) -> Self {
+        ExecError::Ra(e)
+    }
+}
+
+impl From<RcError> for ExecError {
+    fn from(e: RcError) -> Self {
+        ExecError::Rc(e)
+    }
+}
+
+impl From<relviz_model::ModelError> for ExecError {
+    fn from(e: relviz_model::ModelError) -> Self {
+        ExecError::Plan(e.to_string())
+    }
+}

@@ -1,0 +1,195 @@
+//! [`IndexedRelation`]: a materialized batch of tuples that maintains hash
+//! indexes on join-key column sets.
+//!
+//! This is the operand type of the physical operators: every operator
+//! produces one, and the join operators ask their build side for an index
+//! on the key columns (built once, cached, reused by every probe).
+//! Unlike [`relviz_model::Relation`] the tuple store is a `Vec`, so
+//! operators may produce transient duplicates; explicit `Dedup` plan nodes
+//! (and the final conversion back to a set-semantics `Relation`) restore
+//! set semantics where it matters.
+
+use std::collections::HashMap;
+
+use relviz_model::{Relation, Schema, Tuple, Value};
+
+/// A join key: a projected value vector compared by the **total order**
+/// of [`Value`] (the order behind the model's set semantics and
+/// `CmpOp::apply`), not by the derived `PartialEq`. The two differ on
+/// the numeric edge cases — `Int 1` vs `Float 1.0`, `NaN` vs an
+/// identical `NaN` — and the reference evaluators' comparisons follow
+/// the total order, so join-key matching must too. `Value`'s `Hash` is
+/// already consistent with this equality (order-equal values hash
+/// equally).
+#[derive(Debug, Clone)]
+pub struct JoinKey(Vec<Value>);
+
+impl JoinKey {
+    pub fn new(values: Vec<Value>) -> Self {
+        JoinKey(values)
+    }
+}
+
+impl PartialEq for JoinKey {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.len() == other.0.len()
+            && self.0.iter().zip(&other.0).all(|(a, b)| a.cmp(b) == std::cmp::Ordering::Equal)
+    }
+}
+
+impl Eq for JoinKey {}
+
+impl std::hash::Hash for JoinKey {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.0.hash(state);
+    }
+}
+
+/// A schema-carrying tuple batch with on-demand hash indexes.
+#[derive(Debug, Clone)]
+pub struct IndexedRelation {
+    schema: Schema,
+    tuples: Vec<Tuple>,
+    /// key columns → (key values → row numbers)
+    indexes: HashMap<Vec<usize>, HashMap<JoinKey, Vec<u32>>>,
+}
+
+impl IndexedRelation {
+    /// Wraps a batch of tuples (each must match `schema`'s arity).
+    pub fn new(schema: Schema, tuples: Vec<Tuple>) -> Self {
+        debug_assert!(tuples.iter().all(|t| t.arity() == schema.arity()));
+        IndexedRelation { schema, tuples, indexes: HashMap::new() }
+    }
+
+    /// Copies a set-semantics relation into an indexable batch.
+    pub fn from_relation(rel: &Relation) -> Self {
+        IndexedRelation::new(rel.schema().clone(), rel.iter().cloned().collect())
+    }
+
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    pub fn tuples(&self) -> &[Tuple] {
+        &self.tuples
+    }
+
+    /// The key of `tuple` under the given key columns.
+    pub fn key_of(tuple: &Tuple, cols: &[usize]) -> JoinKey {
+        JoinKey(cols.iter().map(|&i| tuple.values()[i].clone()).collect())
+    }
+
+    /// Builds (once) the hash index on `cols`. Subsequent calls with the
+    /// same column set are no-ops — the index is maintained for the life
+    /// of the batch.
+    pub fn ensure_index(&mut self, cols: &[usize]) {
+        if self.indexes.contains_key(cols) {
+            return;
+        }
+        let mut index: HashMap<JoinKey, Vec<u32>> = HashMap::new();
+        for (row, t) in self.tuples.iter().enumerate() {
+            index.entry(Self::key_of(t, cols)).or_default().push(row as u32);
+        }
+        self.indexes.insert(cols.to_vec(), index);
+    }
+
+    /// Row numbers matching `key` under the index on `cols`.
+    ///
+    /// # Panics
+    /// Panics if [`ensure_index`](Self::ensure_index) was not called for
+    /// `cols` first — probing an absent index is an engine bug, not a
+    /// data-dependent condition.
+    pub fn probe(&self, cols: &[usize], key: &JoinKey) -> &[u32] {
+        let index = self
+            .indexes
+            .get(cols)
+            .expect("probe before ensure_index: engine bug");
+        index.get(key).map_or(&[], Vec::as_slice)
+    }
+
+    /// Converts back to a set-semantics [`Relation`] (deduplicating).
+    pub fn into_relation(self) -> Relation {
+        let mut out = Relation::empty(self.schema);
+        for t in self.tuples {
+            out.insert_unchecked(t);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relviz_model::DataType;
+
+    fn batch() -> IndexedRelation {
+        let schema = Schema::of(&[("a", DataType::Int), ("b", DataType::Str)]);
+        IndexedRelation::new(
+            schema,
+            vec![
+                Tuple::of((1, "x")),
+                Tuple::of((2, "y")),
+                Tuple::of((1, "z")),
+                Tuple::of((1, "x")),
+            ],
+        )
+    }
+
+    #[test]
+    fn index_groups_rows_by_key() {
+        let mut b = batch();
+        b.ensure_index(&[0]);
+        assert_eq!(b.probe(&[0], &JoinKey::new(vec![Value::Int(1)])).len(), 3);
+        assert_eq!(b.probe(&[0], &JoinKey::new(vec![Value::Int(2)])).len(), 1);
+        assert_eq!(b.probe(&[0], &JoinKey::new(vec![Value::Int(9)])).len(), 0);
+    }
+
+    #[test]
+    fn ensure_index_is_idempotent() {
+        let mut b = batch();
+        b.ensure_index(&[0, 1]);
+        b.ensure_index(&[0, 1]);
+        let k = JoinKey::new(vec![Value::Int(1), Value::str("x")]);
+        assert_eq!(b.probe(&[0, 1], &k).len(), 2);
+    }
+
+    /// Join keys match by the total order of Value, not derived
+    /// equality: `Int 1` probes rows holding `Float 1.0`, and `NaN`
+    /// probes rows holding an identical `NaN` — exactly as the
+    /// reference evaluators' `CmpOp`-based comparisons behave.
+    #[test]
+    fn keys_compare_by_total_order() {
+        let schema = Schema::of(&[("a", DataType::Float)]);
+        let mut b = IndexedRelation::new(
+            schema,
+            vec![Tuple::of((1.0,)), Tuple::of((f64::NAN,))],
+        );
+        b.ensure_index(&[0]);
+        assert_eq!(b.probe(&[0], &JoinKey::new(vec![Value::Int(1)])).len(), 1);
+        assert_eq!(b.probe(&[0], &JoinKey::new(vec![Value::Float(f64::NAN)])).len(), 1);
+        // -0.0 and 0.0 are *distinct* under the total order.
+        assert_eq!(b.probe(&[0], &JoinKey::new(vec![Value::Float(-0.0)])).len(), 0);
+    }
+
+    #[test]
+    fn into_relation_restores_set_semantics() {
+        let rel = batch().into_relation();
+        assert_eq!(rel.len(), 3); // the duplicate (1, x) collapses
+    }
+
+    #[test]
+    fn roundtrip_from_relation() {
+        let rel = batch().into_relation();
+        let b = IndexedRelation::from_relation(&rel);
+        assert_eq!(b.len(), 3);
+        assert_eq!(b.schema().names(), vec!["a", "b"]);
+    }
+}

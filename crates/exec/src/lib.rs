@@ -1,0 +1,125 @@
+//! # relviz-exec
+//!
+//! The unified **physical execution engine** of the workspace.
+//!
+//! The workspace ships five *reference* evaluators — SQL, RA, TRC, DRC,
+//! Datalog — each written as the most literal operational reading of its
+//! language (nested loops, per-tuple quantifier re-evaluation). They are
+//! the oracles: slow, independent, and cross-checked by experiment E2 and
+//! the conformance/differential test suites. This crate is the engine you
+//! actually want to *run* queries on:
+//!
+//! * a small physical plan IR ([`plan::PhysPlan`]): `Scan`, `Filter`,
+//!   `Project`, `HashJoin`, `SemiJoin`, `AntiJoin`, `Union`, `Diff`,
+//!   `Dedup` — with an `EXPLAIN`-style printer ([`plan::explain`]);
+//! * [`indexed::IndexedRelation`], a tuple batch maintaining hash indexes
+//!   on join-key column sets;
+//! * planners lowering [`relviz_ra::RaExpr`] ([`planner::plan_ra`]) and
+//!   [`relviz_rc::TrcQuery`] ([`planner::plan_trc`]) into plans — TRC
+//!   `∃`/`¬∃` quantifier nests become semi-/anti-joins instead of
+//!   per-candidate re-evaluation;
+//! * the executor ([`run::execute`]).
+//!
+//! ## Engines
+//!
+//! [`Engine`] selects between the reference evaluator and this engine
+//! behind one call, so the suite and the scaling benches can run either:
+//!
+//! ```
+//! use relviz_exec::{eval_ra, Engine};
+//! use relviz_model::catalog::sailors_sample;
+//!
+//! let db = sailors_sample();
+//! let e = relviz_ra::parse::parse_ra(
+//!     "Project[sname](Join(Sailor, Select[bid = 102](Reserves)))",
+//! ).unwrap();
+//! let fast = eval_ra(Engine::Indexed, &e, &db).unwrap();
+//! let oracle = eval_ra(Engine::Reference, &e, &db).unwrap();
+//! assert!(fast.same_contents(&oracle));
+//! ```
+
+pub mod error;
+pub mod indexed;
+pub mod plan;
+pub mod planner;
+pub mod run;
+
+pub use error::{ExecError, ExecResult};
+pub use indexed::IndexedRelation;
+pub use plan::{explain, OutputCol, PhysPlan};
+pub use planner::{plan_ra, plan_trc};
+pub use run::execute;
+
+use relviz_model::{Database, Relation};
+
+/// Which engine evaluates a query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Engine {
+    /// The language's reference evaluator (oracle; nested loops).
+    Reference,
+    /// The physical plan engine of this crate (hash joins, indexes).
+    Indexed,
+}
+
+impl Engine {
+    pub const ALL: [Engine; 2] = [Engine::Reference, Engine::Indexed];
+
+    pub fn name(&self) -> &'static str {
+        match self {
+            Engine::Reference => "reference",
+            Engine::Indexed => "exec",
+        }
+    }
+}
+
+/// Evaluates an RA expression on the chosen engine.
+pub fn eval_ra(engine: Engine, expr: &relviz_ra::RaExpr, db: &Database) -> ExecResult<Relation> {
+    match engine {
+        Engine::Reference => Ok(relviz_ra::eval::eval(expr, db)?),
+        Engine::Indexed => execute(&plan_ra(expr, db)?, db),
+    }
+}
+
+/// Evaluates a TRC query on the chosen engine.
+pub fn eval_trc(
+    engine: Engine,
+    q: &relviz_rc::TrcQuery,
+    db: &Database,
+) -> ExecResult<Relation> {
+    match engine {
+        Engine::Reference => Ok(relviz_rc::trc_eval::eval_trc(q, db)?),
+        Engine::Indexed => execute(&plan_trc(q, db)?, db),
+    }
+}
+
+/// Runs a SQL query through the pipeline's SQL → TRC front door, then
+/// evaluates the TRC on the chosen engine.
+pub fn run_sql(engine: Engine, sql: &str, db: &Database) -> ExecResult<Relation> {
+    let trc = relviz_rc::from_sql::parse_sql_to_trc(sql, db)?;
+    eval_trc(engine, &trc, db)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relviz_model::catalog::sailors_sample;
+
+    #[test]
+    fn engines_agree_on_sql_front_door() {
+        let db = sailors_sample();
+        let sql = "SELECT S.sname FROM Sailor S WHERE NOT EXISTS \
+                   (SELECT * FROM Boat B WHERE B.color = 'red' AND NOT EXISTS \
+                     (SELECT * FROM Reserves R WHERE R.sid = S.sid AND R.bid = B.bid))";
+        let fast = run_sql(Engine::Indexed, sql, &db).unwrap();
+        let oracle = run_sql(Engine::Reference, sql, &db).unwrap();
+        assert!(fast.same_contents(&oracle));
+        assert_eq!(fast.len(), 2); // dustin, lubber
+    }
+
+    #[test]
+    fn engine_names() {
+        assert_eq!(Engine::Reference.name(), "reference");
+        assert_eq!(Engine::Indexed.name(), "exec");
+        assert_eq!(Engine::ALL.len(), 2);
+    }
+}

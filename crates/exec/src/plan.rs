@@ -1,0 +1,389 @@
+//! The physical plan IR and its `EXPLAIN`-style pretty-printer.
+//!
+//! Plans are operator trees over [`IndexedRelation`] batches. Every node
+//! carries its output [`Schema`], fixed at plan time — execution never
+//! re-derives names, it only resolves them to positions once per node.
+//!
+//! The operator set is deliberately small and physical:
+//!
+//! | node | implements |
+//! |---|---|
+//! | `Scan` | base relation access (renames folded into the schema) |
+//! | `Filter` | σ with a compiled predicate |
+//! | `Project` | π by position, plus constant output columns |
+//! | `HashJoin` | ×, ⋈ (natural), ⋈θ — equi-keys hashed, residual filtered |
+//! | `SemiJoin` | ∃ / ∩ — left rows with ≥1 key match on the right |
+//! | `AntiJoin` | ¬∃ — left rows with no key match on the right |
+//! | `Union` | ∪ (bag append; pair with `Dedup`) |
+//! | `Diff` | − (set difference on whole tuples) |
+//! | `Dedup` | restores set semantics after `Project`/`Union` |
+//!
+//! [`IndexedRelation`]: crate::indexed::IndexedRelation
+
+use relviz_model::{Schema, Value};
+use relviz_ra::{Operand, Predicate};
+
+/// One output column of a `Project`: an input position or a constant
+/// (constants support TRC heads like `{s.sid, 'tag' | …}`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum OutputCol {
+    Pos(usize),
+    Const(Value),
+}
+
+/// A physical plan node. See the module docs for the operator table.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PhysPlan {
+    Scan {
+        rel: String,
+        schema: Schema,
+    },
+    Filter {
+        pred: Predicate,
+        input: Box<PhysPlan>,
+        schema: Schema,
+    },
+    Project {
+        cols: Vec<OutputCol>,
+        input: Box<PhysPlan>,
+        schema: Schema,
+    },
+    /// Hash join: build on `right` keyed by `right_keys`, probe with
+    /// `left` keyed by `left_keys`. Empty keys degrade to a cross join.
+    /// `right_keep` lists the right-side positions appended to each match
+    /// (natural join drops the duplicated join columns here). `post` is a
+    /// residual predicate (θ-join leftovers), written in the *inputs'*
+    /// attribute names — the executor compiles it against the schema
+    /// `left ++ right[right_keep]`, never against this node's output
+    /// schema, which a folded rename may have relabeled.
+    HashJoin {
+        left: Box<PhysPlan>,
+        right: Box<PhysPlan>,
+        left_keys: Vec<usize>,
+        right_keys: Vec<usize>,
+        right_keep: Vec<usize>,
+        post: Option<Predicate>,
+        schema: Schema,
+    },
+    /// Left rows with at least one right row agreeing on the keys.
+    SemiJoin {
+        left: Box<PhysPlan>,
+        right: Box<PhysPlan>,
+        left_keys: Vec<usize>,
+        right_keys: Vec<usize>,
+        schema: Schema,
+    },
+    /// Left rows with no right row agreeing on the keys.
+    AntiJoin {
+        left: Box<PhysPlan>,
+        right: Box<PhysPlan>,
+        left_keys: Vec<usize>,
+        right_keys: Vec<usize>,
+        schema: Schema,
+    },
+    Union {
+        left: Box<PhysPlan>,
+        right: Box<PhysPlan>,
+        schema: Schema,
+    },
+    Diff {
+        left: Box<PhysPlan>,
+        right: Box<PhysPlan>,
+        schema: Schema,
+    },
+    Dedup {
+        input: Box<PhysPlan>,
+        schema: Schema,
+    },
+}
+
+impl PhysPlan {
+    /// The output schema of this node.
+    pub fn schema(&self) -> &Schema {
+        match self {
+            PhysPlan::Scan { schema, .. }
+            | PhysPlan::Filter { schema, .. }
+            | PhysPlan::Project { schema, .. }
+            | PhysPlan::HashJoin { schema, .. }
+            | PhysPlan::SemiJoin { schema, .. }
+            | PhysPlan::AntiJoin { schema, .. }
+            | PhysPlan::Union { schema, .. }
+            | PhysPlan::Diff { schema, .. }
+            | PhysPlan::Dedup { schema, .. } => schema,
+        }
+    }
+
+    /// Replaces the output schema (renames are pure metadata).
+    pub(crate) fn set_schema(&mut self, new: Schema) {
+        match self {
+            PhysPlan::Scan { schema, .. }
+            | PhysPlan::Filter { schema, .. }
+            | PhysPlan::Project { schema, .. }
+            | PhysPlan::HashJoin { schema, .. }
+            | PhysPlan::SemiJoin { schema, .. }
+            | PhysPlan::AntiJoin { schema, .. }
+            | PhysPlan::Union { schema, .. }
+            | PhysPlan::Diff { schema, .. }
+            | PhysPlan::Dedup { schema, .. } => *schema = new,
+        }
+    }
+
+    /// Number of operator nodes (plan-size metric for benches/tests).
+    pub fn node_count(&self) -> usize {
+        match self {
+            PhysPlan::Scan { .. } => 1,
+            PhysPlan::Filter { input, .. }
+            | PhysPlan::Project { input, .. }
+            | PhysPlan::Dedup { input, .. } => 1 + input.node_count(),
+            PhysPlan::HashJoin { left, right, .. }
+            | PhysPlan::SemiJoin { left, right, .. }
+            | PhysPlan::AntiJoin { left, right, .. }
+            | PhysPlan::Union { left, right, .. }
+            | PhysPlan::Diff { left, right, .. } => 1 + left.node_count() + right.node_count(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// EXPLAIN
+// ---------------------------------------------------------------------------
+
+/// Renders the plan as an indented `EXPLAIN` tree, one node per line.
+pub fn explain(plan: &PhysPlan) -> String {
+    let mut out = String::new();
+    write_node(&mut out, plan, 0);
+    out
+}
+
+fn write_node(out: &mut String, plan: &PhysPlan, depth: usize) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+    match plan {
+        PhysPlan::Scan { rel, schema } => {
+            out.push_str(&format!("Scan {rel} {schema}\n"));
+        }
+        PhysPlan::Filter { pred, input, .. } => {
+            out.push_str(&format!("Filter {}\n", fmt_pred(pred)));
+            write_node(out, input, depth + 1);
+        }
+        PhysPlan::Project { cols, input, schema } => {
+            let parts: Vec<String> = cols
+                .iter()
+                .zip(schema.attrs())
+                .map(|(c, a)| match c {
+                    OutputCol::Pos(i) => {
+                        let src = &input.schema().attrs()[*i].name;
+                        if src == &a.name {
+                            a.name.clone()
+                        } else {
+                            format!("{src} as {}", a.name)
+                        }
+                    }
+                    OutputCol::Const(v) => format!("{} as {}", v.to_literal(), a.name),
+                })
+                .collect();
+            out.push_str(&format!("Project [{}]\n", parts.join(", ")));
+            write_node(out, input, depth + 1);
+        }
+        PhysPlan::HashJoin { left, right, left_keys, right_keys, right_keep, post, .. } => {
+            if left_keys.is_empty() {
+                out.push_str("CrossJoin");
+            } else {
+                out.push_str(&format!(
+                    "HashJoin [{}]",
+                    fmt_keys(left, right, left_keys, right_keys)
+                ));
+            }
+            if right_keep.len() != right.schema().arity() {
+                let kept: Vec<&str> = right_keep
+                    .iter()
+                    .map(|&i| right.schema().attrs()[i].name.as_str())
+                    .collect();
+                out.push_str(&format!(" keep [{}]", kept.join(", ")));
+            }
+            if let Some(p) = post {
+                out.push_str(&format!(" filter {}", fmt_pred(p)));
+            }
+            out.push('\n');
+            write_node(out, left, depth + 1);
+            write_node(out, right, depth + 1);
+        }
+        PhysPlan::SemiJoin { left, right, left_keys, right_keys, .. } => {
+            out.push_str(&format!(
+                "SemiJoin [{}]\n",
+                fmt_keys(left, right, left_keys, right_keys)
+            ));
+            write_node(out, left, depth + 1);
+            write_node(out, right, depth + 1);
+        }
+        PhysPlan::AntiJoin { left, right, left_keys, right_keys, .. } => {
+            out.push_str(&format!(
+                "AntiJoin [{}]\n",
+                fmt_keys(left, right, left_keys, right_keys)
+            ));
+            write_node(out, left, depth + 1);
+            write_node(out, right, depth + 1);
+        }
+        PhysPlan::Union { left, right, .. } => {
+            out.push_str("Union\n");
+            write_node(out, left, depth + 1);
+            write_node(out, right, depth + 1);
+        }
+        PhysPlan::Diff { left, right, .. } => {
+            out.push_str("Diff\n");
+            write_node(out, left, depth + 1);
+            write_node(out, right, depth + 1);
+        }
+        PhysPlan::Dedup { input, .. } => {
+            out.push_str("Dedup\n");
+            write_node(out, input, depth + 1);
+        }
+    }
+}
+
+/// `lname=rname, …` pairs for join keys; `*` when the keys cover every
+/// left column in order (the whole-row joins the TRC planner emits).
+fn fmt_keys(
+    left: &PhysPlan,
+    right: &PhysPlan,
+    left_keys: &[usize],
+    right_keys: &[usize],
+) -> String {
+    let whole_row = left_keys.len() == left.schema().arity()
+        && left_keys.iter().enumerate().all(|(i, &k)| i == k)
+        && right_keys.iter().enumerate().all(|(i, &k)| i == k);
+    if whole_row {
+        return "*".to_string();
+    }
+    left_keys
+        .iter()
+        .zip(right_keys)
+        .map(|(&l, &r)| {
+            let ln = &left.schema().attrs()[l].name;
+            let rn = &right.schema().attrs()[r].name;
+            if ln == rn {
+                ln.clone()
+            } else {
+                format!("{ln}={rn}")
+            }
+        })
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+/// Compact one-line predicate rendering (RA surface syntax).
+pub(crate) fn fmt_pred(p: &Predicate) -> String {
+    fn operand(o: &Operand) -> String {
+        o.to_string()
+    }
+    fn prec(p: &Predicate) -> u8 {
+        match p {
+            Predicate::Or(_, _) => 1,
+            Predicate::And(_, _) => 2,
+            Predicate::Not(_) => 3,
+            _ => 4,
+        }
+    }
+    fn go(out: &mut String, p: &Predicate, parent: u8) {
+        let me = prec(p);
+        let parens = me < parent;
+        if parens {
+            out.push('(');
+        }
+        match p {
+            Predicate::Const(b) => out.push_str(if *b { "TRUE" } else { "FALSE" }),
+            Predicate::Cmp { left, op, right } => {
+                out.push_str(&format!("{} {} {}", operand(left), op.symbol(), operand(right)));
+            }
+            Predicate::And(a, b) => {
+                go(out, a, 2);
+                out.push_str(" AND ");
+                go(out, b, 3);
+            }
+            Predicate::Or(a, b) => {
+                go(out, a, 1);
+                out.push_str(" OR ");
+                go(out, b, 2);
+            }
+            Predicate::Not(a) => {
+                out.push_str("NOT ");
+                go(out, a, 4);
+            }
+        }
+        if parens {
+            out.push(')');
+        }
+    }
+    let mut s = String::new();
+    go(&mut s, p, 0);
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relviz_model::{CmpOp, DataType};
+
+    fn scan(rel: &str, pairs: &[(&str, DataType)]) -> PhysPlan {
+        PhysPlan::Scan { rel: rel.into(), schema: Schema::of(pairs) }
+    }
+
+    #[test]
+    fn explain_is_indented_one_node_per_line() {
+        let s = scan("R", &[("a", DataType::Int), ("b", DataType::Int)]);
+        let plan = PhysPlan::Filter {
+            pred: Predicate::cmp(Operand::attr("a"), CmpOp::Gt, Operand::val(3)),
+            schema: s.schema().clone(),
+            input: Box::new(s),
+        };
+        let text = explain(&plan);
+        assert_eq!(text, "Filter a > 3\n  Scan R (a:int, b:int)\n");
+    }
+
+    #[test]
+    fn cross_join_prints_without_keys() {
+        let l = scan("R", &[("a", DataType::Int)]);
+        let r = scan("S", &[("b", DataType::Int)]);
+        let schema = l.schema().product(r.schema()).unwrap();
+        let plan = PhysPlan::HashJoin {
+            left_keys: vec![],
+            right_keys: vec![],
+            right_keep: vec![0],
+            post: None,
+            schema,
+            left: Box::new(l),
+            right: Box::new(r),
+        };
+        assert!(explain(&plan).starts_with("CrossJoin\n"));
+    }
+
+    #[test]
+    fn whole_row_keys_print_star() {
+        let l = scan("R", &[("a", DataType::Int)]);
+        let r = scan("S", &[("a", DataType::Int), ("c", DataType::Int)]);
+        let plan = PhysPlan::SemiJoin {
+            left_keys: vec![0],
+            right_keys: vec![0],
+            schema: l.schema().clone(),
+            left: Box::new(l),
+            right: Box::new(r),
+        };
+        assert!(explain(&plan).starts_with("SemiJoin [*]\n"), "{}", explain(&plan));
+    }
+
+    #[test]
+    fn predicate_rendering_respects_precedence() {
+        let p = Predicate::eq(Operand::attr("x"), Operand::val(1))
+            .or(Predicate::eq(Operand::attr("y"), Operand::val(2)))
+            .and(Predicate::eq(Operand::attr("z"), Operand::val("red")).not());
+        assert_eq!(fmt_pred(&p), "(x = 1 OR y = 2) AND NOT z = 'red'");
+    }
+
+    #[test]
+    fn node_count_counts_all() {
+        let l = scan("R", &[("a", DataType::Int)]);
+        let plan = PhysPlan::Dedup { schema: l.schema().clone(), input: Box::new(l) };
+        assert_eq!(plan.node_count(), 2);
+    }
+}

@@ -1,0 +1,718 @@
+//! Planners: lower logical queries — [`RaExpr`] and [`TrcQuery`] — into
+//! physical plans.
+//!
+//! The RA lowering is mostly structural, with two genuinely physical
+//! decisions: θ-join equality conjuncts become hash-join keys (the
+//! residual stays as a post-filter), and `Project`/`Union` get explicit
+//! `Dedup` nodes so intermediate batches stay set-sized.
+//!
+//! The TRC lowering is the interesting one: instead of re-evaluating
+//! quantifier bodies per candidate tuple (what the reference
+//! [`relviz_rc::trc_eval`] does), `∃`-nests are *decorrelated* into
+//! `SemiJoin`s and `¬∃`-nests into `AntiJoin`s against a sub-plan that
+//! computes all satisfying extended assignments at once. Attribute names
+//! follow the `var__attr` mangling of [`relviz_rc::to_ra`], so plans stay
+//! readable next to the classical compilation.
+
+use relviz_model::{Attribute, Database, Schema};
+use relviz_ra::typing::schema_of;
+use relviz_ra::{Operand, Predicate, RaExpr};
+use relviz_rc::trc::{Binding, TrcFormula, TrcQuery, TrcTerm};
+use relviz_rc::trc_check::check_query;
+
+use crate::error::{ExecError, ExecResult};
+use crate::plan::{OutputCol, PhysPlan};
+
+// ---------------------------------------------------------------------------
+// RA → physical plan
+// ---------------------------------------------------------------------------
+
+/// Lowers a Relational Algebra expression (type-checking it first).
+pub fn plan_ra(expr: &RaExpr, db: &Database) -> ExecResult<PhysPlan> {
+    schema_of(expr, db)?; // surface type errors with the RA crate's messages
+    lower_ra(expr, db)
+}
+
+fn lower_ra(expr: &RaExpr, db: &Database) -> ExecResult<PhysPlan> {
+    match expr {
+        RaExpr::Relation(name) => {
+            let schema = db
+                .schema(name)
+                .map_err(|e| ExecError::Plan(e.to_string()))?
+                .clone();
+            Ok(PhysPlan::Scan { rel: name.clone(), schema })
+        }
+        RaExpr::Select { pred, input } => {
+            let input = lower_ra(input, db)?;
+            Ok(apply_filter(input, pred.clone()))
+        }
+        RaExpr::Project { attrs, input } => {
+            let input = lower_ra(input, db)?;
+            let names: Vec<&str> = attrs.iter().map(String::as_str).collect();
+            let schema = input.schema().project(&names)?;
+            let cols: Vec<OutputCol> = names
+                .iter()
+                .map(|n| OutputCol::Pos(input.schema().index_of(n).expect("validated")))
+                .collect();
+            Ok(project(input, cols, schema))
+        }
+        RaExpr::Rename { from, to, input } => {
+            let mut plan = lower_ra(input, db)?;
+            let schema = plan.schema().rename(from, to)?;
+            plan.set_schema(schema);
+            Ok(plan)
+        }
+        RaExpr::Product(l, r) => {
+            let left = lower_ra(l, db)?;
+            let right = lower_ra(r, db)?;
+            cross(left, right)
+        }
+        RaExpr::NaturalJoin(l, r) => {
+            let left = lower_ra(l, db)?;
+            let right = lower_ra(r, db)?;
+            natural_join(left, right)
+        }
+        RaExpr::ThetaJoin { pred, left, right } => {
+            let left = lower_ra(left, db)?;
+            let right = lower_ra(right, db)?;
+            theta_join(left, right, pred)
+        }
+        RaExpr::Union(l, r) => {
+            let left = lower_ra(l, db)?;
+            let right = lower_ra(r, db)?;
+            Ok(dedup(union(left, right)))
+        }
+        RaExpr::Intersect(l, r) => {
+            let left = lower_ra(l, db)?;
+            let right = lower_ra(r, db)?;
+            Ok(intersect(left, right))
+        }
+        RaExpr::Difference(l, r) => {
+            let left = lower_ra(l, db)?;
+            let right = lower_ra(r, db)?;
+            Ok(diff(left, right))
+        }
+        RaExpr::Division(l, r) => {
+            let left = lower_ra(l, db)?;
+            let right = lower_ra(r, db)?;
+            division(left, right)
+        }
+    }
+}
+
+/// Filters `input` by `pred`. When `input` is a `HashJoin` whose output
+/// columns are exactly its inputs' columns (no rename folded on top),
+/// the conjuncts are classified instead of stacked:
+///
+/// * hash-safe `left = right` equalities become **join keys**,
+/// * conjuncts touching only one side **push down** into that child
+///   (recursively — a selection sinks through a whole join tree),
+/// * everything else joins the residual post-filter.
+///
+/// This is what turns σ-over-× plans — and the TRC compiler's
+/// comparison-over-context plans — into genuine hash-join pipelines.
+fn apply_filter(input: PhysPlan, pred: Predicate) -> PhysPlan {
+    if let PhysPlan::HashJoin {
+        left,
+        right,
+        mut left_keys,
+        mut right_keys,
+        right_keep,
+        post,
+        schema,
+    } = input
+    {
+        // Safe only when output names still line up with the input
+        // names (left columns first, then the kept right columns).
+        let aligned = schema
+            .names()
+            .iter()
+            .zip(
+                left.schema()
+                    .names()
+                    .into_iter()
+                    .chain(right_keep.iter().map(|&i| right.schema().attrs()[i].name.as_str())),
+            )
+            .all(|(a, b)| *a == b);
+        if aligned {
+            let left_arity = left.schema().arity();
+            let mut left_push: Option<Predicate> = None;
+            let mut right_push: Option<Predicate> = None;
+            let mut residual = post;
+            let and_onto = |acc: Option<Predicate>, p: &Predicate| {
+                Some(match acc {
+                    Some(q) => q.and(p.clone()),
+                    None => p.clone(),
+                })
+            };
+            for conjunct in pred.conjuncts() {
+                // Key extraction: a hash-safe cross-side equality.
+                if let Predicate::Cmp {
+                    left: Operand::Attr(a),
+                    op: relviz_model::CmpOp::Eq,
+                    right: Operand::Attr(b),
+                } = conjunct
+                {
+                    if let (Some(pa), Some(pb)) = (schema.index_of(a), schema.index_of(b)) {
+                        let (pl, pr) = if pb < pa { (pb, pa) } else { (pa, pb) };
+                        if pl < left_arity && pr >= left_arity {
+                            let rcol = right_keep[pr - left_arity];
+                            let (lt, rt) =
+                                (left.schema().attrs()[pl].ty, right.schema().attrs()[rcol].ty);
+                            if lt.unify(rt).is_some() {
+                                left_keys.push(pl);
+                                right_keys.push(rcol);
+                                continue;
+                            }
+                        }
+                    }
+                }
+                // Push-down: all referenced attributes on one side.
+                let positions: Option<Vec<usize>> =
+                    conjunct.attrs().iter().map(|n| schema.index_of(n)).collect();
+                match positions.as_deref() {
+                    Some(ps) if !ps.is_empty() && ps.iter().all(|&p| p < left_arity) => {
+                        left_push = and_onto(left_push, conjunct);
+                    }
+                    Some(ps) if !ps.is_empty() && ps.iter().all(|&p| p >= left_arity) => {
+                        right_push = and_onto(right_push, conjunct);
+                    }
+                    _ => residual = and_onto(residual, conjunct),
+                }
+            }
+            let left = match left_push {
+                Some(p) => Box::new(apply_filter(*left, p)),
+                None => left,
+            };
+            let right = match right_push {
+                Some(p) => Box::new(apply_filter(*right, p)),
+                None => right,
+            };
+            return PhysPlan::HashJoin {
+                left,
+                right,
+                left_keys,
+                right_keys,
+                right_keep,
+                post: residual,
+                schema,
+            };
+        }
+        // Not aligned: rebuild the join untouched and wrap in a Filter.
+        let input = PhysPlan::HashJoin {
+            left,
+            right,
+            left_keys,
+            right_keys,
+            right_keep,
+            post,
+            schema,
+        };
+        return PhysPlan::Filter {
+            pred,
+            schema: input.schema().clone(),
+            input: Box::new(input),
+        };
+    }
+    PhysPlan::Filter { pred, schema: input.schema().clone(), input: Box::new(input) }
+}
+
+/// A projection, deduplicated whenever columns are dropped (a projection
+/// that keeps every column is a bijection and cannot introduce
+/// duplicates).
+fn project(input: PhysPlan, cols: Vec<OutputCol>, schema: Schema) -> PhysPlan {
+    let narrowing = cols.len() < input.schema().arity()
+        || cols.iter().any(|c| matches!(c, OutputCol::Const(_)));
+    let plan = PhysPlan::Project { cols, schema: schema.clone(), input: Box::new(input) };
+    if narrowing {
+        dedup(plan)
+    } else {
+        plan
+    }
+}
+
+fn dedup(input: PhysPlan) -> PhysPlan {
+    PhysPlan::Dedup { schema: input.schema().clone(), input: Box::new(input) }
+}
+
+fn union(left: PhysPlan, right: PhysPlan) -> PhysPlan {
+    PhysPlan::Union {
+        schema: left.schema().clone(),
+        left: Box::new(left),
+        right: Box::new(right),
+    }
+}
+
+fn diff(left: PhysPlan, right: PhysPlan) -> PhysPlan {
+    PhysPlan::Diff {
+        schema: left.schema().clone(),
+        left: Box::new(left),
+        right: Box::new(right),
+    }
+}
+
+fn cross(left: PhysPlan, right: PhysPlan) -> ExecResult<PhysPlan> {
+    let schema = left.schema().product(right.schema())?;
+    let right_keep = (0..right.schema().arity()).collect();
+    Ok(PhysPlan::HashJoin {
+        left_keys: vec![],
+        right_keys: vec![],
+        right_keep,
+        post: None,
+        schema,
+        left: Box::new(left),
+        right: Box::new(right),
+    })
+}
+
+fn natural_join(left: PhysPlan, right: PhysPlan) -> ExecResult<PhysPlan> {
+    let (ls, rs) = (left.schema().clone(), right.schema().clone());
+    let shared: Vec<&str> = ls.common_names(&rs);
+    let left_keys: Vec<usize> = shared.iter().map(|n| ls.index_of(n).expect("shared")).collect();
+    let right_keys: Vec<usize> = shared.iter().map(|n| rs.index_of(n).expect("shared")).collect();
+    let right_keep: Vec<usize> = (0..rs.arity())
+        .filter(|&i| ls.index_of(&rs.attrs()[i].name).is_none())
+        .collect();
+    let mut attrs = ls.attrs().to_vec();
+    for &i in &right_keep {
+        attrs.push(rs.attrs()[i].clone());
+    }
+    let schema = Schema::new(attrs)?;
+    Ok(PhysPlan::HashJoin {
+        left_keys,
+        right_keys,
+        right_keep,
+        post: None,
+        schema,
+        left: Box::new(left),
+        right: Box::new(right),
+    })
+}
+
+fn theta_join(left: PhysPlan, right: PhysPlan, pred: &Predicate) -> ExecResult<PhysPlan> {
+    let (ls, rs) = (left.schema().clone(), right.schema().clone());
+    let schema = ls.product(&rs)?;
+    let mut left_keys = Vec::new();
+    let mut right_keys = Vec::new();
+    let mut residual: Option<Predicate> = None;
+    for conjunct in pred.conjuncts() {
+        let mut taken = false;
+        if let Predicate::Cmp {
+            left: Operand::Attr(a),
+            op: relviz_model::CmpOp::Eq,
+            right: Operand::Attr(b),
+        } = conjunct
+        {
+            // Orient the equality: one side must resolve in the left
+            // schema, the other in the right.
+            let candidates = [(a, b), (b, a)];
+            for (la, ra) in candidates {
+                if let (Some(li), Some(ri)) = (ls.index_of(la), rs.index_of(ra)) {
+                    // Join keys compare by Value's total order (see
+                    // indexed::JoinKey), matching CmpOp::apply — so any
+                    // comparable pair of columns can key the hash join.
+                    let (lt, rt) = (ls.attrs()[li].ty, rs.attrs()[ri].ty);
+                    if lt.unify(rt).is_some() {
+                        left_keys.push(li);
+                        right_keys.push(ri);
+                        taken = true;
+                        break;
+                    }
+                }
+            }
+        }
+        if !taken {
+            residual = Some(match residual {
+                Some(p) => p.and(conjunct.clone()),
+                None => conjunct.clone(),
+            });
+        }
+    }
+    let right_keep = (0..rs.arity()).collect();
+    Ok(PhysPlan::HashJoin {
+        left_keys,
+        right_keys,
+        right_keep,
+        post: residual,
+        schema,
+        left: Box::new(left),
+        right: Box::new(right),
+    })
+}
+
+/// `A ∩ B` as a whole-row semi-join. Join keys compare by the total
+/// order of `Value`, the same notion of equality the reference
+/// evaluator's set membership uses.
+fn intersect(left: PhysPlan, right: PhysPlan) -> PhysPlan {
+    let keys: Vec<usize> = (0..left.schema().arity()).collect();
+    PhysPlan::SemiJoin {
+        left_keys: keys.clone(),
+        right_keys: keys,
+        schema: left.schema().clone(),
+        left: Box::new(left),
+        right: Box::new(right),
+    }
+}
+
+/// Relational division `l ÷ r`, composed from the primitive operators:
+///
+/// ```text
+/// A = δ(π_q(l))                 candidate quotient rows
+/// C = (A × r) − π_{q,d}(l)      (candidate, divisor) pairs MISSING from l
+/// result = A − δ(π_q(C))        candidates with no missing pair
+/// ```
+fn division(left: PhysPlan, right: PhysPlan) -> ExecResult<PhysPlan> {
+    let (ls, rs) = (left.schema().clone(), right.schema().clone());
+    let quot_pos: Vec<usize> = (0..ls.arity())
+        .filter(|&i| rs.index_of(&ls.attrs()[i].name).is_none())
+        .collect();
+    let div_pos_l: Vec<usize> = rs
+        .attrs()
+        .iter()
+        .map(|a| {
+            ls.index_of(&a.name)
+                .ok_or_else(|| ExecError::Plan(format!("divisor attribute `{}` missing", a.name)))
+        })
+        .collect::<ExecResult<_>>()?;
+
+    let quot_attrs: Vec<Attribute> =
+        quot_pos.iter().map(|&i| ls.attrs()[i].clone()).collect();
+    let quot_schema = Schema::new(quot_attrs)?;
+
+    let candidates = project(
+        left.clone(),
+        quot_pos.iter().map(|&i| OutputCol::Pos(i)).collect(),
+        quot_schema.clone(),
+    );
+    let pairs = cross(candidates.clone(), right)?;
+    let present_cols: Vec<usize> = quot_pos.iter().chain(&div_pos_l).copied().collect();
+    let present_schema = Schema::new(
+        present_cols.iter().map(|&i| ls.attrs()[i].clone()).collect::<Vec<_>>(),
+    )?;
+    let present = project(
+        left,
+        present_cols.into_iter().map(OutputCol::Pos).collect(),
+        present_schema,
+    );
+    let missing = diff(pairs, present);
+    let missing_quot = project(
+        missing,
+        (0..quot_schema.arity()).map(OutputCol::Pos).collect(),
+        quot_schema,
+    );
+    Ok(diff(candidates, missing_quot))
+}
+
+// ---------------------------------------------------------------------------
+// TRC → physical plan
+// ---------------------------------------------------------------------------
+
+/// `var__attr`, the same mangling scheme [`relviz_rc::to_ra`] uses.
+fn mangle(var: &str, attr: &str) -> String {
+    format!("{var}__{attr}")
+}
+
+/// Lowers a (checked) TRC query. `∀` is eliminated as `¬∃¬` first;
+/// `∃`-nests become semi-joins, `¬∃`-nests anti-joins.
+pub fn plan_trc(q: &TrcQuery, db: &Database) -> ExecResult<PhysPlan> {
+    let head_types = check_query(q, db)?;
+    let q = q.eliminate_forall();
+    let mut branch_plans: Vec<PhysPlan> = Vec::with_capacity(q.branches.len());
+    for branch in &q.branches {
+        let ctx = ctx_plan(&branch.bindings, db)?;
+        let sat = match &branch.body {
+            Some(f) => compile(f, ctx, db)?,
+            None => ctx,
+        };
+        let mut cols = Vec::with_capacity(branch.head.len());
+        let mut attrs = Vec::with_capacity(branch.head.len());
+        for ((_, term), (out_name, ty)) in branch.head.iter().zip(&head_types) {
+            match term {
+                TrcTerm::Attr { var, attr } => {
+                    let name = mangle(var, attr);
+                    let pos = sat.schema().index_of(&name).ok_or_else(|| {
+                        ExecError::Plan(format!("head term `{var}.{attr}` not in scope"))
+                    })?;
+                    cols.push(OutputCol::Pos(pos));
+                }
+                TrcTerm::Const(v) => cols.push(OutputCol::Const(v.clone())),
+            }
+            attrs.push(Attribute::new(out_name.clone(), *ty));
+        }
+        let schema = Schema::new(attrs)?;
+        branch_plans.push(project(sat, cols, schema));
+    }
+    let many = branch_plans.len() > 1;
+    branch_plans
+        .into_iter()
+        .reduce(union)
+        .map(|p| if many { dedup(p) } else { p })
+        .ok_or_else(|| ExecError::Plan("query has no branches".into()))
+}
+
+/// A scan of `binding.rel` with every attribute mangled to `var__attr`.
+fn scan_mangled(binding: &Binding, db: &Database) -> ExecResult<PhysPlan> {
+    let base = db
+        .schema(&binding.rel)
+        .map_err(|e| ExecError::Plan(e.to_string()))?;
+    let attrs: Vec<Attribute> = base
+        .attrs()
+        .iter()
+        .map(|a| Attribute::new(mangle(&binding.var, &a.name), a.ty))
+        .collect();
+    Ok(PhysPlan::Scan { rel: binding.rel.clone(), schema: Schema::new(attrs)? })
+}
+
+/// The cross product of the bindings' relations (the TRC context).
+fn ctx_plan(bindings: &[Binding], db: &Database) -> ExecResult<PhysPlan> {
+    let mut plan: Option<PhysPlan> = None;
+    for b in bindings {
+        let scan = scan_mangled(b, db)?;
+        plan = Some(match plan {
+            Some(p) => cross(p, scan)?,
+            None => scan,
+        });
+    }
+    plan.ok_or_else(|| {
+        ExecError::Plan("Boolean (zero-binding) TRC branch has no physical plan".into())
+    })
+}
+
+fn term_operand(t: &TrcTerm) -> Operand {
+    match t {
+        TrcTerm::Attr { var, attr } => Operand::Attr(mangle(var, attr)),
+        TrcTerm::Const(v) => Operand::Const(v.clone()),
+    }
+}
+
+/// A quantifier-free formula as a single RA predicate (terms mangled),
+/// or `None` if a quantifier occurs anywhere inside.
+fn as_predicate(f: &TrcFormula) -> Option<Predicate> {
+    match f {
+        TrcFormula::Const(b) => Some(Predicate::Const(*b)),
+        TrcFormula::Cmp { left, op, right } => {
+            Some(Predicate::cmp(term_operand(left), *op, term_operand(right)))
+        }
+        TrcFormula::And(a, b) => Some(as_predicate(a)?.and(as_predicate(b)?)),
+        TrcFormula::Or(a, b) => Some(as_predicate(a)?.or(as_predicate(b)?)),
+        TrcFormula::Not(a) => Some(as_predicate(a)?.not()),
+        TrcFormula::Exists { .. } | TrcFormula::Forall { .. } => None,
+    }
+}
+
+/// Compiles `f` into a plan selecting the rows of `plan` that satisfy it.
+/// Every case maps a batch to a subset of it, so `∧` is sequential
+/// composition and `¬` is `Diff` against the input. Quantifier-free
+/// subformulas (however deeply negated or disjoined) become one
+/// predicate filter — only quantifiers force plan-level structure.
+fn compile(f: &TrcFormula, plan: PhysPlan, db: &Database) -> ExecResult<PhysPlan> {
+    if let Some(pred) = as_predicate(f) {
+        return Ok(apply_filter(plan, pred));
+    }
+    match f {
+        TrcFormula::And(a, b) => {
+            let filtered = compile(a, plan, db)?;
+            compile(b, filtered, db)
+        }
+        TrcFormula::Or(a, b) => {
+            let l = compile(a, plan.clone(), db)?;
+            let r = compile(b, plan, db)?;
+            Ok(dedup(union(l, r)))
+        }
+        TrcFormula::Not(inner) => match inner.as_ref() {
+            // ¬∃ decorrelates directly to an anti-join.
+            TrcFormula::Exists { bindings, body } => {
+                quantifier_join(bindings, body, plan, db, true)
+            }
+            other => {
+                let sat = compile(other, plan.clone(), db)?;
+                Ok(diff(plan, sat))
+            }
+        },
+        TrcFormula::Exists { bindings, body } => {
+            quantifier_join(bindings, body, plan, db, false)
+        }
+        TrcFormula::Forall { .. } => Err(ExecError::Plan(
+            "∀ must be eliminated before planning (internal error)".into(),
+        )),
+        // Const and Cmp are always handled by as_predicate above.
+        TrcFormula::Const(_) | TrcFormula::Cmp { .. } => {
+            unreachable!("quantifier-free formulas take the predicate path")
+        }
+    }
+}
+
+/// Decorrelates one quantifier into a semi- (`anti = false`) or
+/// anti-join (`anti = true`).
+///
+/// The build side does **not** extend the whole outer row: witness
+/// existence depends only on the outer columns the body references, so
+/// the sub-plan is `compile(body, δ(π_refs(outer)) × bindings)` and the
+/// join keys are exactly those columns. For a low-cardinality
+/// correlation column (Q8's `rating`) this shrinks the build side by
+/// orders of magnitude; for an uncorrelated `∃` it degenerates to a
+/// zero-key emptiness probe.
+fn quantifier_join(
+    bindings: &[Binding],
+    body: &TrcFormula,
+    plan: PhysPlan,
+    db: &Database,
+    anti: bool,
+) -> ExecResult<PhysPlan> {
+    let mut refs = std::collections::BTreeSet::new();
+    outer_refs(body, plan.schema(), &mut refs);
+    let left_keys: Vec<usize> = refs.into_iter().collect();
+    let right_keys: Vec<usize> = (0..left_keys.len()).collect();
+
+    let outer_key = if left_keys.len() == plan.schema().arity() {
+        dedup(plan.clone())
+    } else {
+        let attrs: Vec<Attribute> =
+            left_keys.iter().map(|&i| plan.schema().attrs()[i].clone()).collect();
+        dedup(PhysPlan::Project {
+            cols: left_keys.iter().map(|&i| OutputCol::Pos(i)).collect(),
+            schema: Schema::new(attrs)?,
+            input: Box::new(plan.clone()),
+        })
+    };
+    let mut extended = outer_key;
+    for b in bindings {
+        extended = cross(extended, scan_mangled(b, db)?)?;
+    }
+    let sub = compile(body, extended, db)?;
+
+    let schema = plan.schema().clone();
+    let (left, right) = (Box::new(plan), Box::new(sub));
+    Ok(if anti {
+        PhysPlan::AntiJoin { left, right, left_keys, right_keys, schema }
+    } else {
+        PhysPlan::SemiJoin { left, right, left_keys, right_keys, schema }
+    })
+}
+
+/// Collects the positions of `schema` columns the formula references
+/// (recursively, through nested quantifiers) — the correlation columns
+/// of a quantifier body relative to its outer context.
+fn outer_refs(f: &TrcFormula, schema: &Schema, out: &mut std::collections::BTreeSet<usize>) {
+    match f {
+        TrcFormula::Cmp { left, right, .. } => {
+            for t in [left, right] {
+                if let TrcTerm::Attr { var, attr } = t {
+                    if let Some(i) = schema.index_of(&mangle(var, attr)) {
+                        out.insert(i);
+                    }
+                }
+            }
+        }
+        TrcFormula::And(a, b) | TrcFormula::Or(a, b) => {
+            outer_refs(a, schema, out);
+            outer_refs(b, schema, out);
+        }
+        TrcFormula::Not(a) => outer_refs(a, schema, out),
+        TrcFormula::Exists { body, .. } | TrcFormula::Forall { body, .. } => {
+            outer_refs(body, schema, out)
+        }
+        TrcFormula::Const(_) => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::explain;
+    use crate::run::execute;
+    use relviz_model::catalog::sailors_sample;
+
+    #[test]
+    fn theta_join_extracts_hash_keys() {
+        let db = sailors_sample();
+        let e = relviz_ra::parse::parse_ra(
+            "Select[s_sid = sid AND bid = 102](Product(Rename[sid -> s_sid](Sailor), Reserves))",
+        )
+        .unwrap();
+        // As written this is σ over ×; the optimizer fuses them first.
+        let fused = relviz_ra::rewrite::optimize(&e);
+        let plan = plan_ra(&fused, &db).unwrap();
+        let text = explain(&plan);
+        assert!(text.contains("HashJoin [s_sid=sid]"), "{text}");
+        assert!(text.contains("filter bid = 102") || text.contains("Filter bid = 102"), "{text}");
+    }
+
+    #[test]
+    fn trc_exists_becomes_semi_join() {
+        let db = sailors_sample();
+        let q = relviz_rc::trc_parse::parse_trc(
+            "{s.sname | Sailor(s) and exists r in Reserves: (r.sid = s.sid and r.bid = 102)}",
+        )
+        .unwrap();
+        let plan = plan_trc(&q, &db).unwrap();
+        let text = explain(&plan);
+        // Decorrelated on exactly the referenced outer column.
+        assert!(text.contains("SemiJoin [s__sid]"), "{text}");
+        assert!(!text.contains("AntiJoin"), "{text}");
+    }
+
+    #[test]
+    fn trc_not_exists_becomes_anti_join() {
+        let db = sailors_sample();
+        let q = relviz_rc::trc_parse::parse_trc(
+            "{s.sname | Sailor(s) and not exists r in Reserves: (r.sid = s.sid)}",
+        )
+        .unwrap();
+        let plan = plan_trc(&q, &db).unwrap();
+        let text = explain(&plan);
+        assert!(text.contains("AntiJoin [s__sid]"), "{text}");
+        let out = execute(&plan, &db).unwrap();
+        assert_eq!(out.len(), 6); // sailors with no reservation at all
+    }
+
+    #[test]
+    fn division_lowering_matches_reference() {
+        let db = sailors_sample();
+        let e = relviz_ra::parse::parse_ra(
+            "Division(Project[sid, bid](Reserves), Project[bid](Select[color = 'red'](Boat)))",
+        )
+        .unwrap();
+        let plan = plan_ra(&e, &db).unwrap();
+        let ours = execute(&plan, &db).unwrap();
+        let reference = relviz_ra::eval::eval(&e, &db).unwrap();
+        assert!(ours.same_contents(&reference), "ours={ours}\nref={reference}");
+        assert_eq!(ours.len(), 2); // dustin, lubber
+    }
+
+    /// Regression (found by /code-review): quantifier decorrelation
+    /// joins on float correlation columns must match the reference
+    /// evaluator's total-order comparisons — before JoinKey, a NaN
+    /// correlation value never hash-matched its identical self and the
+    /// semi-join silently dropped the row.
+    #[test]
+    fn float_correlation_keys_match_total_order() {
+        use relviz_model::{DataType, Relation, Schema, Tuple};
+        let mut db = relviz_model::Database::new();
+        let mut r = Relation::empty(Schema::of(&[("a", DataType::Float)]));
+        r.insert_unchecked(Tuple::of((f64::NAN,)));
+        r.insert_unchecked(Tuple::of((1.0,)));
+        db.add("R", r.clone()).unwrap();
+        db.add("S", r).unwrap();
+        let q = relviz_rc::trc_parse::parse_trc("{r.a | R(r) and exists s in S: (s.a = r.a)}")
+            .unwrap();
+        let reference = relviz_rc::trc_eval::eval_trc(&q, &db).unwrap();
+        let ours = execute(&plan_trc(&q, &db).unwrap(), &db).unwrap();
+        assert!(ours.same_contents(&reference), "ours={ours}\nref={reference}");
+        assert_eq!(ours.len(), 2); // NaN finds its identical self
+    }
+
+    #[test]
+    fn plan_ra_type_errors_surface() {
+        let db = sailors_sample();
+        let e = relviz_ra::parse::parse_ra("Project[ghost](Sailor)").unwrap();
+        assert!(matches!(plan_ra(&e, &db), Err(ExecError::Ra(_))));
+    }
+
+    #[test]
+    fn boolean_trc_branch_is_rejected() {
+        let db = sailors_sample();
+        let q = TrcQuery { branches: vec![] };
+        assert!(plan_trc(&q, &db).is_err());
+    }
+}

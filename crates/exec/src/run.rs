@@ -1,0 +1,338 @@
+//! The plan executor: bottom-up evaluation of [`PhysPlan`] trees over
+//! [`IndexedRelation`] batches.
+//!
+//! Predicates are compiled (names → positions) once per `Filter`/join
+//! node, not per tuple; joins build a hash index on the build side once
+//! and probe it per probe-side row.
+
+use std::collections::BTreeSet;
+
+use relviz_model::{Database, Relation, Schema, Tuple, Value};
+use relviz_ra::{Operand, Predicate};
+
+use crate::error::{ExecError, ExecResult};
+use crate::indexed::IndexedRelation;
+use crate::plan::{OutputCol, PhysPlan};
+
+/// Executes a plan, returning a set-semantics [`Relation`].
+pub fn execute(plan: &PhysPlan, db: &Database) -> ExecResult<Relation> {
+    run(plan, db).map(IndexedRelation::into_relation)
+}
+
+/// Executes a plan, returning the raw (possibly bag-semantics) batch.
+pub fn run(plan: &PhysPlan, db: &Database) -> ExecResult<IndexedRelation> {
+    match plan {
+        PhysPlan::Scan { rel, schema } => {
+            let base = db.relation(rel).map_err(|e| ExecError::Eval(e.to_string()))?;
+            if base.schema().arity() != schema.arity() {
+                return Err(ExecError::Eval(format!(
+                    "scan of `{rel}`: plan schema arity {} != stored arity {}",
+                    schema.arity(),
+                    base.schema().arity()
+                )));
+            }
+            Ok(IndexedRelation::new(schema.clone(), base.iter().cloned().collect()))
+        }
+        PhysPlan::Filter { pred, input, schema } => {
+            let batch = run(input, db)?;
+            // The predicate is written in the input's attribute names; the
+            // node's own schema may differ (renames fold into schemas).
+            let compiled = compile_pred(pred, batch.schema())?;
+            let tuples = batch
+                .tuples()
+                .iter()
+                .filter(|t| eval_pred(&compiled, t))
+                .cloned()
+                .collect();
+            Ok(IndexedRelation::new(schema.clone(), tuples))
+        }
+        PhysPlan::Project { cols, input, schema } => {
+            let batch = run(input, db)?;
+            let tuples = batch
+                .tuples()
+                .iter()
+                .map(|t| {
+                    Tuple::new(
+                        cols.iter()
+                            .map(|c| match c {
+                                OutputCol::Pos(i) => t.values()[*i].clone(),
+                                OutputCol::Const(v) => v.clone(),
+                            })
+                            .collect(),
+                    )
+                })
+                .collect();
+            Ok(IndexedRelation::new(schema.clone(), tuples))
+        }
+        PhysPlan::HashJoin { left, right, left_keys, right_keys, right_keep, post, schema } => {
+            let lb = run(left, db)?;
+            let mut rb = run(right, db)?;
+            rb.ensure_index(right_keys);
+            // Like Filter: the residual predicate is written in the
+            // *inputs'* attribute names, which a rename folded onto this
+            // node's output schema may no longer carry.
+            let compiled = post
+                .as_ref()
+                .map(|p| {
+                    let mut attrs = lb.schema().attrs().to_vec();
+                    for &i in right_keep {
+                        attrs.push(rb.schema().attrs()[i].clone());
+                    }
+                    let pred_schema =
+                        Schema::new(attrs).map_err(|e| ExecError::Eval(e.to_string()))?;
+                    compile_pred(p, &pred_schema)
+                })
+                .transpose()?;
+            let mut tuples = Vec::new();
+            for a in lb.tuples() {
+                let key = IndexedRelation::key_of(a, left_keys);
+                for &row in rb.probe(right_keys, &key) {
+                    let b = &rb.tuples()[row as usize];
+                    let mut vals = a.values().to_vec();
+                    for &i in right_keep {
+                        vals.push(b.values()[i].clone());
+                    }
+                    let t = Tuple::new(vals);
+                    if compiled.as_ref().is_none_or(|p| eval_pred(p, &t)) {
+                        tuples.push(t);
+                    }
+                }
+            }
+            Ok(IndexedRelation::new(schema.clone(), tuples))
+        }
+        PhysPlan::SemiJoin { left, right, left_keys, right_keys, schema } => {
+            let lb = run(left, db)?;
+            let mut rb = run(right, db)?;
+            rb.ensure_index(right_keys);
+            let tuples = lb
+                .tuples()
+                .iter()
+                .filter(|t| {
+                    !rb.probe(right_keys, &IndexedRelation::key_of(t, left_keys)).is_empty()
+                })
+                .cloned()
+                .collect();
+            Ok(IndexedRelation::new(schema.clone(), tuples))
+        }
+        PhysPlan::AntiJoin { left, right, left_keys, right_keys, schema } => {
+            let lb = run(left, db)?;
+            let mut rb = run(right, db)?;
+            rb.ensure_index(right_keys);
+            let tuples = lb
+                .tuples()
+                .iter()
+                .filter(|t| {
+                    rb.probe(right_keys, &IndexedRelation::key_of(t, left_keys)).is_empty()
+                })
+                .cloned()
+                .collect();
+            Ok(IndexedRelation::new(schema.clone(), tuples))
+        }
+        PhysPlan::Union { left, right, schema } => {
+            let lb = run(left, db)?;
+            let rb = run(right, db)?;
+            let mut tuples = lb.tuples().to_vec();
+            tuples.extend_from_slice(rb.tuples());
+            Ok(IndexedRelation::new(schema.clone(), tuples))
+        }
+        PhysPlan::Diff { left, right, schema } => {
+            let lb = run(left, db)?;
+            let rb = run(right, db)?;
+            // BTreeSet so membership uses the same total order as the
+            // reference evaluators' set semantics (Int 1 == Float 1.0).
+            let exclude: BTreeSet<&Tuple> = rb.tuples().iter().collect();
+            let tuples = lb
+                .tuples()
+                .iter()
+                .filter(|t| !exclude.contains(t))
+                .cloned()
+                .collect();
+            Ok(IndexedRelation::new(schema.clone(), tuples))
+        }
+        PhysPlan::Dedup { input, schema } => {
+            let batch = run(input, db)?;
+            let mut seen: BTreeSet<Tuple> = BTreeSet::new();
+            let mut tuples = Vec::new();
+            for t in batch.tuples() {
+                if seen.insert(t.clone()) {
+                    tuples.push(t.clone());
+                }
+            }
+            Ok(IndexedRelation::new(schema.clone(), tuples))
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Compiled predicates (positions instead of names)
+// ---------------------------------------------------------------------------
+
+enum CompiledPred {
+    Cmp { left: CompiledOperand, op: relviz_model::CmpOp, right: CompiledOperand },
+    And(Box<CompiledPred>, Box<CompiledPred>),
+    Or(Box<CompiledPred>, Box<CompiledPred>),
+    Not(Box<CompiledPred>),
+    Const(bool),
+}
+
+enum CompiledOperand {
+    Pos(usize),
+    Const(Value),
+}
+
+fn compile_pred(pred: &Predicate, schema: &Schema) -> ExecResult<CompiledPred> {
+    Ok(match pred {
+        Predicate::Const(b) => CompiledPred::Const(*b),
+        Predicate::Not(p) => CompiledPred::Not(Box::new(compile_pred(p, schema)?)),
+        Predicate::And(a, b) => CompiledPred::And(
+            Box::new(compile_pred(a, schema)?),
+            Box::new(compile_pred(b, schema)?),
+        ),
+        Predicate::Or(a, b) => CompiledPred::Or(
+            Box::new(compile_pred(a, schema)?),
+            Box::new(compile_pred(b, schema)?),
+        ),
+        Predicate::Cmp { left, op, right } => CompiledPred::Cmp {
+            left: compile_operand(left, schema)?,
+            op: *op,
+            right: compile_operand(right, schema)?,
+        },
+    })
+}
+
+fn compile_operand(op: &Operand, schema: &Schema) -> ExecResult<CompiledOperand> {
+    Ok(match op {
+        Operand::Const(v) => CompiledOperand::Const(v.clone()),
+        Operand::Attr(name) => CompiledOperand::Pos(schema.index_of(name).ok_or_else(|| {
+            ExecError::Eval(format!("unknown attribute `{name}` in {schema}"))
+        })?),
+    })
+}
+
+fn eval_pred(pred: &CompiledPred, t: &Tuple) -> bool {
+    match pred {
+        CompiledPred::Const(b) => *b,
+        CompiledPred::Not(p) => !eval_pred(p, t),
+        CompiledPred::And(a, b) => eval_pred(a, t) && eval_pred(b, t),
+        CompiledPred::Or(a, b) => eval_pred(a, t) || eval_pred(b, t),
+        CompiledPred::Cmp { left, op, right } => {
+            let l = match left {
+                CompiledOperand::Pos(i) => &t.values()[*i],
+                CompiledOperand::Const(v) => v,
+            };
+            let r = match right {
+                CompiledOperand::Pos(i) => &t.values()[*i],
+                CompiledOperand::Const(v) => v,
+            };
+            op.apply(l, r)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::planner::{plan_ra, plan_trc};
+    use relviz_model::catalog::sailors_sample;
+
+    fn check_ra(src: &str) {
+        let db = sailors_sample();
+        let e = relviz_ra::parse::parse_ra(src).unwrap();
+        let reference = relviz_ra::eval::eval(&e, &db).unwrap();
+        let ours = execute(&plan_ra(&e, &db).unwrap(), &db).unwrap();
+        assert!(ours.same_contents(&reference), "`{src}`\nours={ours}\nref={reference}");
+    }
+
+    #[test]
+    fn ra_operators_match_reference() {
+        for src in [
+            "Sailor",
+            "Select[rating > 7](Sailor)",
+            "Project[sname](Sailor)",
+            "Rename[sid -> s](Project[sid](Sailor))",
+            "Product(Project[sid](Sailor), Project[bid](Boat))",
+            "Join(Sailor, Reserves)",
+            "Join(Sailor, Join(Reserves, Project[bid](Select[color = 'red'](Boat))))",
+            "Union(Project[sid](Sailor), Project[sid](Reserves))",
+            "Intersect(Project[sid](Sailor), Project[sid](Reserves))",
+            "Difference(Project[sid](Sailor), Project[sid](Reserves))",
+            "Division(Project[sid, bid](Reserves), Project[bid](Select[color = 'red'](Boat)))",
+            "Select[NOT (color = 'red' OR color = 'green')](Boat)",
+        ] {
+            check_ra(src);
+        }
+    }
+
+    #[test]
+    fn trc_quantifier_nest_matches_reference() {
+        let db = sailors_sample();
+        // Q5: ¬∃ b (red ∧ ¬∃ r (reserved)) — the division pattern.
+        let q = relviz_rc::trc_parse::parse_trc(
+            "{s.sname | Sailor(s) and not exists b in Boat: (b.color = 'red' and \
+             not exists r in Reserves: (r.sid = s.sid and r.bid = b.bid))}",
+        )
+        .unwrap();
+        let reference = relviz_rc::trc_eval::eval_trc(&q, &db).unwrap();
+        let ours = execute(&plan_trc(&q, &db).unwrap(), &db).unwrap();
+        assert!(ours.same_contents(&reference), "ours={ours}\nref={reference}");
+        assert_eq!(ours.len(), 2);
+    }
+
+    #[test]
+    fn trc_union_and_or_match_reference() {
+        let db = sailors_sample();
+        let q = relviz_rc::trc_parse::parse_trc(
+            "{s.sname | Sailor(s) and exists r in Reserves, b in Boat: \
+             (r.sid = s.sid and r.bid = b.bid and (b.color = 'red' or b.color = 'green'))}",
+        )
+        .unwrap();
+        let reference = relviz_rc::trc_eval::eval_trc(&q, &db).unwrap();
+        let ours = execute(&plan_trc(&q, &db).unwrap(), &db).unwrap();
+        assert!(ours.same_contents(&reference));
+    }
+
+    #[test]
+    fn trc_constant_head_terms_are_supported() {
+        let db = sailors_sample();
+        let q = relviz_rc::trc_parse::parse_trc("{s.sname, 'tag' | Sailor(s)}").unwrap();
+        let reference = relviz_rc::trc_eval::eval_trc(&q, &db).unwrap();
+        let ours = execute(&plan_trc(&q, &db).unwrap(), &db).unwrap();
+        assert!(ours.same_contents(&reference));
+        assert_eq!(ours.schema().arity(), 2);
+    }
+
+    /// Regression (found by tests/differential.rs): a Rename folded onto
+    /// a Filter node must survive — the Filter's output batch carries the
+    /// node's renamed schema, not its input's. Before the fix, a
+    /// projection above the rename failed with "unknown attribute".
+    #[test]
+    fn rename_folded_onto_filter_keeps_renamed_schema() {
+        // The outer Select resolves `x` against the renamed Filter's
+        // output schema.
+        check_ra("Select[x > 5](Rename[rating -> x](Select[rating > 3](Sailor)))");
+    }
+
+    /// Regression (same family): a Rename folded onto a θ-join with a
+    /// residual predicate — the residual must compile against the
+    /// *inputs'* names, which the renamed output schema no longer has.
+    #[test]
+    fn rename_folded_onto_theta_join_residual() {
+        // The rename hits `s_sid`, which the residual `s_sid < bid`
+        // references — the residual must compile against the inputs'
+        // names, not the renamed output schema.
+        check_ra(
+            "Rename[s_sid -> z](ThetaJoin[s_sid = sid AND s_sid < bid](\
+             Rename[sid -> s_sid](Project[sid, sname](Sailor)), Reserves))",
+        );
+    }
+
+    #[test]
+    fn missing_relation_is_an_eval_error() {
+        let db = sailors_sample();
+        let plan = PhysPlan::Scan {
+            rel: "Ghost".into(),
+            schema: Schema::empty(),
+        };
+        assert!(matches!(run(&plan, &db), Err(ExecError::Eval(_))));
+    }
+}

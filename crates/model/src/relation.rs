@@ -129,8 +129,18 @@ impl Relation {
     /// Structural equality ignoring attribute names (same arity, same tuple
     /// set) — the right notion for comparing query answers across languages
     /// whose output naming conventions differ.
+    ///
+    /// Tuples compare by the same total order that governs set membership
+    /// (`Ord`), not by derived `PartialEq` — the two differ on float edge
+    /// values (a relation containing `NaN` must still equal itself).
     pub fn same_contents(&self, other: &Relation) -> bool {
-        self.schema.arity() == other.schema.arity() && self.tuples == other.tuples
+        self.schema.arity() == other.schema.arity()
+            && self.tuples.len() == other.tuples.len()
+            && self
+                .tuples
+                .iter()
+                .zip(&other.tuples)
+                .all(|(a, b)| a.cmp(b) == std::cmp::Ordering::Equal)
     }
 }
 
@@ -216,6 +226,16 @@ mod tests {
         assert!(dom.contains(&Value::str("b")));
         assert_eq!(r.column_values("sid").unwrap().len(), 2);
         assert!(r.column_values("ghost").is_err());
+    }
+
+    /// Regression: comparison must follow the set's own total order —
+    /// under derived `PartialEq`, a NaN-holding relation was unequal to
+    /// an identical copy of itself.
+    #[test]
+    fn same_contents_follows_the_total_order() {
+        let schema = Schema::of(&[("x", DataType::Float)]);
+        let r = Relation::from_rows(schema, vec![(f64::NAN,), (1.0,)]).unwrap();
+        assert!(r.same_contents(&r.clone()));
     }
 
     #[test]

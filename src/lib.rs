@@ -14,6 +14,7 @@
 //! | [`sql`] | `relviz-sql` | SQL frontend + reference evaluator |
 //! | [`ra`] | `relviz-ra` | Relational Algebra |
 //! | [`rc`] | `relviz-rc` | TRC & DRC + all translations |
+//! | [`exec`] | `relviz-exec` | physical plan engine (hash joins, EXPLAIN) |
 //! | [`datalog`] | `relviz-datalog` | stratified Datalog |
 //! | [`diagrams`] | `relviz-diagrams` | every surveyed diagram formalism |
 //! | [`layout`] | `relviz-layout` | layered & nested-box layout |
@@ -40,6 +41,7 @@
 pub use relviz_core as core;
 pub use relviz_datalog as datalog;
 pub use relviz_diagrams as diagrams;
+pub use relviz_exec as exec;
 pub use relviz_layout as layout;
 pub use relviz_model as model;
 pub use relviz_ra as ra;

@@ -118,6 +118,27 @@ fn ascii_golden_for_sieuferd_sheet() {
 }
 
 #[test]
+fn explain_goldens_for_suite_plans() {
+    // The physical plans the exec engine chooses for every suite query,
+    // from both the RA and the TRC form — locks the planner's shape
+    // (hash-key extraction, semi-/anti-join decorrelation, dedup
+    // placement). Any planner change shows up as a readable plan diff.
+    let db = sailors_sample();
+    let mut all = String::new();
+    for q in SUITE {
+        let ra = relviz::ra::parse::parse_ra(q.ra).unwrap_or_else(|e| panic!("{}: {e}", q.id));
+        let ra_plan = relviz::exec::plan_ra(&ra, &db).unwrap_or_else(|e| panic!("{}: {e}", q.id));
+        all.push_str(&format!("== {} (ra) ==\n{}", q.id, relviz::exec::explain(&ra_plan)));
+        let trc =
+            relviz::rc::trc_parse::parse_trc(q.trc).unwrap_or_else(|e| panic!("{}: {e}", q.id));
+        let trc_plan =
+            relviz::exec::plan_trc(&trc, &db).unwrap_or_else(|e| panic!("{}: {e}", q.id));
+        all.push_str(&format!("== {} (trc) ==\n{}", q.id, relviz::exec::explain(&trc_plan)));
+    }
+    check_or_update("suite-plans.txt", &all);
+}
+
+#[test]
 fn ascii_goldens_for_syntax_mirror_fingerprints() {
     // The Visual SQL fingerprints of the whole suite: any change to the
     // SQL parser, printer or the frame builder shows as a text diff.
