@@ -15,11 +15,13 @@ cargo bench --no-run
 # 4. Lints: warnings are errors, on every target of every member.
 cargo clippy --workspace --all-targets -- -D warnings
 
-# 5. Timed S1 smoke run: the θ-join/product workload at n=1000 on the
-#    reference evaluator vs the physical engine. Appends an
+# 5. Timed S1 smoke run: the θ-join/product workload at n=1000 and the
+#    recursive transitive-closure workload at n ∈ {100, 300, 1000} on
+#    the reference evaluators vs the physical engine. Appends an
 #    (engine, query, n, wall-time) snapshot line per measurement to
 #    BENCH_exec.json — the perf trajectory across PRs — and fails unless
-#    exec is ≥5× faster than the reference on this workload.
+#    exec is ≥5× faster than the reference on both gated workloads
+#    (θ-join/product, and datalog_tc at the largest size).
 cargo run --release -p relviz-bench --bin s1_exec -- 1000 --assert --out BENCH_exec.json
 
 echo "ci.sh: all green"

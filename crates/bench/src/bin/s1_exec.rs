@@ -1,27 +1,36 @@
-//! S1 timed smoke run: the θ-join/product workload and the Q2 suite
-//! query on the reference evaluators vs the physical engine, at one
-//! database size, appending a JSON-lines snapshot to `BENCH_exec.json`
-//! so successive PRs accumulate a perf trajectory.
+//! S1 timed smoke run: the θ-join/product workload, the Q2 suite query,
+//! and the recursive transitive-closure workload on the reference
+//! evaluators vs the physical engine, appending a JSON-lines snapshot
+//! to `BENCH_exec.json` so successive PRs accumulate a perf trajectory.
 //!
 //! ```sh
 //! cargo run --release -p relviz-bench --bin s1_exec -- [n] [--out FILE] [--assert]
 //! ```
 //!
 //! `--assert` exits non-zero unless the exec engine beats the reference
-//! RA evaluator by ≥5× on the θ-join/product workload (the CI gate; run
-//! it in release, debug timings are not meaningful).
+//! evaluators by ≥5× on the θ-join/product workload **and** on
+//! transitive closure at the largest size (the CI gates; run in
+//! release, debug timings are not meaningful).
 
 use std::io::Write as _;
 use std::time::Instant;
 
-use relviz_exec::{execute, plan_ra, plan_trc};
-use relviz_model::generate::{generate_sailors, GenConfig};
+use relviz_datalog::parse::parse_program;
+use relviz_exec::{execute, plan_ra, plan_trc, Engine};
+use relviz_model::generate::{generate_binary_pair, generate_sailors, GenConfig};
 use relviz_model::{Database, Relation};
 
 /// The S1 θ-join/product workload: a selection over a raw product,
 /// exactly as a naive translator would emit it.
 const THETA_PRODUCT: &str = "Project[sname](Select[s_sid = sid AND bid = 102](Product(\
                              Rename[sid -> s_sid](Sailor), Reserves)))";
+
+/// The recursive workload: transitive closure of a generated edge
+/// relation (n edges over n nodes). Per semi-naive round the reference
+/// evaluator's delta rule nested-loops Δtc × R — quadratic-per-round —
+/// while the exec fixpoint hash-joins Δtc against R in linear time.
+const TC_PROGRAM: &str = "tc(X, Y) :- R(X, Y).\n\
+                          tc(X, Z) :- tc(X, Y), R(Y, Z).";
 
 /// Best-of-k wall time (milliseconds) of `f`, with the result of one run.
 fn time_ms<T>(k: usize, mut f: impl FnMut() -> T) -> (f64, T) {
@@ -83,6 +92,31 @@ fn run_workloads(n: usize, db: &Database) -> (Vec<Snapshot>, f64) {
     (snaps, speedup)
 }
 
+/// The recursive workload at one size: `m` edges over `m` nodes,
+/// reference semi-naive (nested loops) vs the exec fixpoint (hash
+/// joins). Returns the snapshots and the speedup.
+fn run_datalog_tc(m: usize) -> (Vec<Snapshot>, f64) {
+    let db = generate_binary_pair(0xD1A6, m, m as i64);
+    let prog = parse_program(TC_PROGRAM).expect("workload parses");
+
+    let (ref_ms, ref_out) = time_ms(1, || {
+        relviz_datalog::eval::eval_program(&prog, &db).expect("reference evaluates")
+    });
+    let (exec_ms, exec_out) = time_ms(3, || {
+        relviz_exec::eval_datalog(Engine::Indexed, &prog, &db).expect("fixpoint evaluates")
+    });
+    assert!(
+        exec_out.same_contents(&ref_out),
+        "engines disagree on transitive closure @ {m}"
+    );
+    let speedup = ref_ms / exec_ms.max(1e-6);
+    let snaps = vec![
+        Snapshot { engine: "reference", query: "datalog_tc", n: m, wall_ms: ref_ms },
+        Snapshot { engine: "exec", query: "datalog_tc", n: m, wall_ms: exec_ms },
+    ];
+    (snaps, speedup)
+}
+
 fn main() {
     let mut n = 1000usize;
     let mut out_path: Option<String> = None;
@@ -104,11 +138,29 @@ fn main() {
         db.relation("Reserves").unwrap().len()
     );
 
-    let (snaps, speedup) = run_workloads(n, &db);
+    let (mut snaps, speedup) = run_workloads(n, &db);
+
+    // Transitive closure across the scaling sweep, largest size = n.
+    let tc_sizes: Vec<usize> = [100usize, 300]
+        .into_iter()
+        .filter(|&m| m < n)
+        .chain(std::iter::once(n))
+        .collect();
+    let mut tc_speedup = f64::INFINITY;
+    for &m in &tc_sizes {
+        let (tc_snaps, s) = run_datalog_tc(m);
+        snaps.extend(tc_snaps);
+        tc_speedup = s; // the last (largest) size is the gated one
+    }
+
     for s in &snaps {
-        println!("  {:9} {:13} {:>10.3} ms", s.engine, s.query, s.wall_ms);
+        println!("  {:9} {:13} n={:<5} {:>10.3} ms", s.engine, s.query, s.n, s.wall_ms);
     }
     println!("  θ-join/product speedup (reference/exec): {speedup:.1}×");
+    println!(
+        "  datalog_tc speedup @ n={} (reference/exec): {tc_speedup:.1}×",
+        tc_sizes.last().expect("nonempty")
+    );
 
     if let Some(path) = out_path {
         let mut f = std::fs::OpenOptions::new()
@@ -124,6 +176,10 @@ fn main() {
 
     if assert_speedup && speedup < 5.0 {
         eprintln!("FAIL: exec speedup {speedup:.1}× < 5× on the θ-join/product workload");
+        std::process::exit(1);
+    }
+    if assert_speedup && tc_speedup < 5.0 {
+        eprintln!("FAIL: exec speedup {tc_speedup:.1}× < 5× on transitive closure");
         std::process::exit(1);
     }
 }

@@ -10,13 +10,20 @@
 //! SQL plus formalism) behind a [`parking_lot::RwLock`], since interactive
 //! use — the voice-assistant loop of Fig. 1 — re-renders the same query as
 //! the user refines it.
+//!
+//! The pipeline also *executes* queries ([`QueryVisualizer::run`]): the
+//! interactive path defaults to the physical engine
+//! ([`Engine::Indexed`]) — diagrams explain the query, the engine
+//! answers it — with [`QueryVisualizer::with_engine`] switching back to
+//! the reference evaluator when an oracle is wanted.
 
 use std::collections::HashMap;
 use std::sync::Arc;
 
 use parking_lot::RwLock;
 use relviz_diagrams::{dataplay, dfql, qbd, qbe, queryvis, reldiag, sieuferd, sqlvis, stringdiag, tabletalk, visualsql};
-use relviz_model::Database;
+pub use relviz_exec::Engine;
+use relviz_model::{Database, Relation};
 use relviz_render::Scene;
 
 use relviz_diagrams::{DiagError, DiagResult};
@@ -89,16 +96,52 @@ pub struct PipelineOutput {
     pub scene: Scene,
 }
 
-/// The visualizer: formalism + backend + cache.
+/// The visualizer: formalism + backend + execution engine + cache.
 pub struct QueryVisualizer {
     formalism: VisFormalism,
     backend: Backend,
+    engine: Engine,
     cache: RwLock<HashMap<(String, VisFormalism, Backend), Arc<PipelineOutput>>>,
 }
 
 impl QueryVisualizer {
+    /// A visualizer whose interactive execution path runs on the
+    /// physical engine ([`Engine::Indexed`]).
     pub fn new(formalism: VisFormalism, backend: Backend) -> Self {
-        QueryVisualizer { formalism, backend, cache: RwLock::new(HashMap::new()) }
+        QueryVisualizer {
+            formalism,
+            backend,
+            engine: Engine::Indexed,
+            cache: RwLock::new(HashMap::new()),
+        }
+    }
+
+    /// Overrides the execution engine (e.g. the reference oracle).
+    pub fn with_engine(mut self, engine: Engine) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// The engine [`run`](Self::run) executes on.
+    pub fn engine(&self) -> Engine {
+        self.engine
+    }
+
+    /// Executes the SQL query on the pipeline's engine.
+    ///
+    /// [`Engine::Indexed`] runs the physical engine through the same
+    /// SQL → TRC front door the visualization path uses (two-valued
+    /// logic over the total order of values). [`Engine::Reference`] is
+    /// the SQL *language's* own reference evaluator — including SQL's
+    /// three-valued treatment of `NULL`, which the calculus translation
+    /// does not model — so it remains the oracle for NULL-bearing data.
+    pub fn run(&self, sql: &str, db: &Database) -> DiagResult<Relation> {
+        match self.engine {
+            Engine::Reference => relviz_sql::eval::run_sql(sql, db)
+                .map_err(|e| DiagError::Lang(e.to_string())),
+            Engine::Indexed => relviz_exec::run_sql(Engine::Indexed, sql, db)
+                .map_err(|e| DiagError::Lang(e.to_string())),
+        }
     }
 
     /// Runs the full pipeline on a SQL string.
@@ -219,6 +262,23 @@ mod tests {
                 f.name()
             );
         }
+    }
+
+    #[test]
+    fn run_defaults_to_the_physical_engine_and_agrees_with_the_oracle() {
+        let db = sailors_sample();
+        let viz = QueryVisualizer::new(VisFormalism::RelationalDiagrams, Backend::Ascii);
+        assert_eq!(viz.engine(), Engine::Indexed);
+        let fast = viz.run(Q5, &db).unwrap();
+        let oracle = QueryVisualizer::new(VisFormalism::RelationalDiagrams, Backend::Ascii)
+            .with_engine(Engine::Reference)
+            .run(Q5, &db)
+            .unwrap();
+        assert!(fast.same_contents(&oracle));
+        assert_eq!(fast.len(), 2); // dustin, lubber
+        // The reference engine is the SQL evaluator itself (3VL oracle).
+        let sql_direct = relviz_sql::eval::run_sql(Q5, &db).unwrap();
+        assert!(oracle.same_contents(&sql_direct));
     }
 
     #[test]

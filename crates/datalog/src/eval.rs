@@ -14,7 +14,7 @@ use relviz_model::{Database, DataType, Relation, Schema, Tuple, Value};
 use crate::ast::{Atom, Literal, Program, Rule, Term};
 use crate::error::{DlError, DlResult};
 use crate::parse::check_range_restriction;
-use crate::stratify::{strata_order, stratify};
+use crate::stratify::strata;
 
 /// Evaluates `program` against `db`, returning the answer predicate's
 /// relation.
@@ -25,13 +25,12 @@ pub fn eval_program(program: &Program, db: &Database) -> DlResult<Relation> {
         .ok_or_else(|| DlError::Eval(format!("query predicate `{}` was never derived", program.query)))
 }
 
-/// Evaluates the whole program, returning every IDB relation.
-pub fn eval_all(program: &Program, db: &Database) -> DlResult<HashMap<String, Relation>> {
-    check_range_restriction(program)?;
-    let stratum = stratify(program)?;
-    let order = strata_order(&stratum);
-
-    // IDB arities from rule heads (consistency check included).
+/// IDB arities from rule heads, with the arity-consistency check every
+/// consumer needs (a predicate used at two arities is a check error).
+///
+/// Shared by the reference evaluator and the physical engine's Datalog
+/// planner, so both derive identical IDB shapes.
+pub fn idb_arities(program: &Program) -> DlResult<HashMap<String, usize>> {
     let mut arity: HashMap<String, usize> = HashMap::new();
     for r in &program.rules {
         match arity.get(&r.head.rel) {
@@ -47,25 +46,41 @@ pub fn eval_all(program: &Program, db: &Database) -> DlResult<HashMap<String, Re
             }
         }
     }
+    Ok(arity)
+}
+
+/// The schema of a derived (IDB) relation of the given arity: columns
+/// `arg1..argk`, untyped (`Any`) — Datalog rules carry no declarations.
+/// The single source of truth for IDB column naming; the reference
+/// evaluator and the physical engine's planner both use it.
+pub fn idb_schema(arity: usize) -> Schema {
+    let names: Vec<String> = (1..=arity).map(|i| format!("arg{i}")).collect();
+    Schema::of(
+        &names
+            .iter()
+            .map(|n| (n.as_str(), DataType::Any))
+            .collect::<Vec<_>>(),
+    )
+}
+
+/// Evaluates the whole program, returning every IDB relation.
+pub fn eval_all(program: &Program, db: &Database) -> DlResult<HashMap<String, Relation>> {
+    check_range_restriction(program)?;
+    let arity = idb_arities(program)?;
 
     let mut idb: HashMap<String, Relation> = arity
         .iter()
-        .map(|(name, &k)| (name.clone(), Relation::empty(generic_schema(k))))
+        .map(|(name, &k)| (name.clone(), Relation::empty(idb_schema(k))))
         .collect();
 
-    for layer in order {
-        let rules: Vec<&Rule> =
-            program.rules.iter().filter(|r| layer.contains(&r.head.rel)).collect();
-        // Same-stratum predicates for delta restriction.
-        let recursive_preds: Vec<&str> = layer.iter().map(String::as_str).collect();
-
+    for layer in strata(program)? {
         // Round 0: evaluate every rule fully.
         let mut delta: HashMap<String, Relation> = HashMap::new();
-        for name in &layer {
-            delta.insert(name.clone(), Relation::empty(generic_schema(arity[name])));
+        for name in &layer.predicates {
+            delta.insert(name.clone(), Relation::empty(idb_schema(arity[name])));
         }
-        for rule in &rules {
-            let derived = eval_rule(rule, db, &idb, None, &[])?;
+        for rule in &layer.rules {
+            let derived = eval_rule(rule, db, &idb, None)?;
             let target = idb.get_mut(&rule.head.rel).expect("idb pre-populated");
             let d = delta.get_mut(&rule.head.rel).expect("delta pre-populated");
             for t in derived {
@@ -75,27 +90,24 @@ pub fn eval_all(program: &Program, db: &Database) -> DlResult<HashMap<String, Re
             }
         }
 
+        // A stratum with no same-stratum positive occurrence converges
+        // in round 0.
+        if !layer.recursive {
+            continue;
+        }
+
         // Semi-naive rounds until no delta.
         loop {
             let mut new_delta: HashMap<String, Relation> = HashMap::new();
-            for name in &layer {
-                new_delta.insert(name.clone(), Relation::empty(generic_schema(arity[name])));
+            for name in &layer.predicates {
+                new_delta.insert(name.clone(), Relation::empty(idb_schema(arity[name])));
             }
             let mut any = false;
-            for rule in &rules {
+            for rule in &layer.rules {
                 // One evaluation per same-stratum positive occurrence,
                 // with that occurrence reading from the delta.
-                let occurrences: Vec<usize> = rule
-                    .body
-                    .iter()
-                    .enumerate()
-                    .filter_map(|(i, l)| match l {
-                        Literal::Pos(a) if recursive_preds.contains(&a.rel.as_str()) => Some(i),
-                        _ => None,
-                    })
-                    .collect();
-                for &occ in &occurrences {
-                    let derived = eval_rule(rule, db, &idb, Some((occ, &delta)), &[])?;
+                for occ in layer.delta_occurrences(rule) {
+                    let derived = eval_rule(rule, db, &idb, Some((occ, &delta)))?;
                     let target = idb.get_mut(&rule.head.rel).expect("idb pre-populated");
                     let nd = new_delta.get_mut(&rule.head.rel).expect("delta pre-populated");
                     for t in derived {
@@ -113,16 +125,6 @@ pub fn eval_all(program: &Program, db: &Database) -> DlResult<HashMap<String, Re
         }
     }
     Ok(idb)
-}
-
-fn generic_schema(arity: usize) -> Schema {
-    let names: Vec<String> = (1..=arity).map(|i| format!("arg{i}")).collect();
-    Schema::of(
-        &names
-            .iter()
-            .map(|n| (n.as_str(), DataType::Any))
-            .collect::<Vec<_>>(),
-    )
 }
 
 /// Looks up a predicate: IDB first, then the database (EDB).
@@ -146,7 +148,6 @@ fn eval_rule(
     db: &Database,
     idb: &HashMap<String, Relation>,
     delta_at: Option<(usize, &HashMap<String, Relation>)>,
-    _unused: &[()],
 ) -> DlResult<Vec<Tuple>> {
     // Order: positive atoms first (guards), then the rest as filters.
     let mut out = Vec::new();
@@ -230,9 +231,14 @@ fn join_positives(
     'tuples: for t in rel.iter() {
         let mut bound: Vec<&str> = Vec::new();
         for (term, value) in atom.terms.iter().zip(t.values()) {
+            // Unification compares by the total order of `Value` — the
+            // order behind `CmpOp::apply`, set membership, and the
+            // physical engine's join keys — not derived `PartialEq`,
+            // which disagrees on the numeric edge cases (Int 1 vs
+            // Float 1.0, NaN vs an identical NaN).
             match term {
                 Term::Const(c) => {
-                    if c != value {
+                    if c.cmp(value) != std::cmp::Ordering::Equal {
                         for b in &bound {
                             env.remove(*b);
                         }
@@ -241,7 +247,7 @@ fn join_positives(
                 }
                 Term::Var(v) => match env.get(v) {
                     Some(existing) => {
-                        if existing != value {
+                        if existing.cmp(value) != std::cmp::Ordering::Equal {
                             for b in &bound {
                                 env.remove(*b);
                             }
@@ -366,6 +372,31 @@ mod tests {
             }
         }
         assert!(closed, "tc is not transitively closed");
+    }
+
+    /// Regression (found by /code-review): join unification must follow
+    /// the total order of `Value`, like every other evaluator's
+    /// comparisons — before the fix, `Int 2` refused to unify with
+    /// `Float 2.0` while the comparison literal `Y = Y2` accepted it,
+    /// and the physical engine's hash joins disagreed with this oracle
+    /// on mixed numeric data.
+    #[test]
+    fn join_unification_follows_the_total_order() {
+        use relviz_model::{DataType, Schema};
+        let mut db = Database::new();
+        let mut r = Relation::empty(Schema::of(&[("a", DataType::Int), ("b", DataType::Int)]));
+        r.insert_unchecked(Tuple::of((1, 2)));
+        let mut s = Relation::empty(Schema::of(&[("b", DataType::Float), ("c", DataType::Int)]));
+        s.insert_unchecked(Tuple::of((2.0, 3)));
+        db.add("R", r).unwrap();
+        db.add("S", s).unwrap();
+        let prog = parse_program("ans(X, Z) :- R(X, Y), S(Y, Z).").unwrap();
+        let out = eval_program(&prog, &db).unwrap();
+        assert_eq!(out.len(), 1);
+        // Constant terms unify the same way.
+        let prog = parse_program("ans(Z) :- S(2, Z).").unwrap();
+        let out = eval_program(&prog, &db).unwrap();
+        assert_eq!(out.len(), 1);
     }
 
     #[test]

@@ -38,4 +38,5 @@ pub mod translate;
 
 pub use ast::{Atom, Literal, Program, Rule, Term};
 pub use error::{DlError, DlResult};
-pub use stratify::stratify;
+pub use eval::{idb_arities, idb_schema};
+pub use stratify::{strata, stratify, Stratum};

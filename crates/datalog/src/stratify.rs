@@ -9,7 +9,7 @@
 
 use std::collections::HashMap;
 
-use crate::ast::{Literal, Program};
+use crate::ast::{Literal, Program, Rule};
 use crate::error::{DlError, DlResult};
 
 /// Assigns a stratum (0-based) to every IDB predicate, or fails.
@@ -62,6 +62,58 @@ pub fn strata_order(stratum: &HashMap<String, usize>) -> Vec<Vec<String>> {
         out[s].push(name.clone());
     }
     out
+}
+
+/// One stratum of a stratified program: its predicates, the rules
+/// defining them (in program order), and whether any rule reads a
+/// same-stratum predicate positively — the condition under which the
+/// stratum needs semi-naive iteration rather than a single pass.
+///
+/// This is the structure both the reference evaluator
+/// ([`crate::eval::eval_all`]) and the physical engine's Datalog planner
+/// consume, so the two agree on layering by construction.
+#[derive(Debug, Clone)]
+pub struct Stratum<'a> {
+    /// The IDB predicates assigned to this stratum (sorted).
+    pub predicates: Vec<String>,
+    /// The rules whose heads belong to this stratum, in program order.
+    pub rules: Vec<&'a Rule>,
+    /// True iff some rule body reads a same-stratum predicate positively.
+    pub recursive: bool,
+}
+
+impl Stratum<'_> {
+    /// Body positions of positive same-stratum occurrences in `rule` —
+    /// the occurrences semi-naive evaluation restricts to the delta.
+    pub fn delta_occurrences(&self, rule: &Rule) -> Vec<usize> {
+        rule.body
+            .iter()
+            .enumerate()
+            .filter_map(|(i, l)| match l {
+                Literal::Pos(a) if self.predicates.iter().any(|p| p == &a.rel) => Some(i),
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+/// Stratifies `p` and groups its rules into evaluation-ordered strata.
+pub fn strata(p: &Program) -> DlResult<Vec<Stratum<'_>>> {
+    let stratum = stratify(p)?;
+    let order = strata_order(&stratum);
+    Ok(order
+        .into_iter()
+        .map(|predicates| {
+            let rules: Vec<&Rule> =
+                p.rules.iter().filter(|r| predicates.contains(&r.head.rel)).collect();
+            let recursive = rules.iter().any(|r| {
+                r.body.iter().any(
+                    |l| matches!(l, Literal::Pos(a) if predicates.contains(&a.rel)),
+                )
+            });
+            Stratum { predicates, rules, recursive }
+        })
+        .collect())
 }
 
 #[cfg(test)]
@@ -121,5 +173,40 @@ mod tests {
         // f is EDB (no rules) so negation imposes nothing.
         let s = stratify(&p).unwrap();
         assert_eq!(s["ans"], 0);
+    }
+
+    #[test]
+    fn strata_expose_rules_and_recursion() {
+        let p = parse_program(
+            "% query: ans\n\
+             tc(X, Y) :- e(X, Y).\n\
+             tc(X, Z) :- tc(X, Y), e(Y, Z).\n\
+             ans(X) :- e(X, Y), not tc(Y, X).",
+        )
+        .unwrap();
+        let layers = strata(&p).unwrap();
+        assert_eq!(layers.len(), 2);
+        assert_eq!(layers[0].predicates, vec!["tc"]);
+        assert_eq!(layers[0].rules.len(), 2);
+        assert!(layers[0].recursive);
+        assert_eq!(layers[0].delta_occurrences(layers[0].rules[1]), vec![0]);
+        assert_eq!(layers[0].delta_occurrences(layers[0].rules[0]), Vec::<usize>::new());
+        assert_eq!(layers[1].predicates, vec!["ans"]);
+        assert!(!layers[1].recursive);
+    }
+
+    #[test]
+    fn same_stratum_positive_dependency_without_cycle_is_recursive() {
+        // a reads b positively; both land in stratum 0 — semi-naive
+        // rounds are what propagate b's facts into a.
+        let p = parse_program(
+            "% query: a\n\
+             a(X) :- b(X).\n\
+             b(X) :- e(X, Y).",
+        )
+        .unwrap();
+        let layers = strata(&p).unwrap();
+        assert_eq!(layers.len(), 1);
+        assert!(layers[0].recursive);
     }
 }

@@ -1,0 +1,315 @@
+//! Lowering stratified Datalog rules into [`FixpointPlan`]s.
+//!
+//! Each rule body compiles to a flat-operator plan:
+//!
+//! * **positive atoms** chain into `HashJoin`s keyed on shared
+//!   variables (the first atom is the probe side's seed; every further
+//!   atom joins on the variables it shares with what's bound so far and
+//!   keeps only the columns binding new variables);
+//! * **constants and repeated variables** inside an atom become a
+//!   `Filter` directly over that atom's scan;
+//! * **comparison literals** join into one predicate that
+//!   [`apply_filter`] pushes down the join chain (cross-side equalities
+//!   turn into extra hash keys);
+//! * **negated atoms** become `AntiJoin`s keyed on the atom's (already
+//!   bound, by range restriction) variables — against lower strata or
+//!   the EDB, never the same stratum (stratification);
+//! * the **head** is a `Project` onto the shared IDB schema
+//!   ([`relviz_datalog::idb_schema`]), so the planner and the reference
+//!   evaluator derive identically-shaped relations by construction.
+//!
+//! Column naming: the scan column that first binds a variable is named
+//! after it; every other column gets a positional `b{atom}_{col}` name.
+//! Plans therefore read like the rules that produced them
+//! (`HashJoin [Y=b1_0]` for `tc(X, Y), R(Y, Z)`).
+
+use std::collections::{HashMap, HashSet};
+
+use relviz_datalog::ast::{Atom, Literal, Program, Rule, Term};
+use relviz_datalog::parse::check_range_restriction;
+use relviz_datalog::{idb_arities, idb_schema, strata};
+use relviz_model::{Attribute, Database, DataType, Schema, Tuple};
+use relviz_ra::{Operand, Predicate};
+
+use crate::error::{ExecError, ExecResult};
+use crate::fixpoint::{DeltaPlan, FixpointPlan, RulePlan, StratumPlan};
+use crate::plan::{OutputCol, PhysPlan};
+use crate::planner::apply_filter;
+
+/// Lowers a program (range-restriction-checked and stratified first)
+/// into a recursive-query plan for [`crate::fixpoint::eval_fixpoint`].
+pub fn plan_datalog(program: &Program, db: &Database) -> ExecResult<FixpointPlan> {
+    check_range_restriction(program)?;
+    let arities = idb_arities(program)?;
+    let schemas: HashMap<String, Schema> =
+        arities.iter().map(|(name, &k)| (name.clone(), idb_schema(k))).collect();
+
+    let mut strata_plans = Vec::new();
+    for layer in strata(program)? {
+        let mut rules = Vec::new();
+        for rule in &layer.rules {
+            let full = compile_rule(rule, db, &arities, None)?;
+            let mut deltas = Vec::new();
+            for occurrence in layer.delta_occurrences(rule) {
+                deltas.push(DeltaPlan {
+                    occurrence,
+                    plan: compile_rule(rule, db, &arities, Some(occurrence))?,
+                });
+            }
+            rules.push(RulePlan {
+                head: rule.head.rel.clone(),
+                rule: rule.to_string(),
+                full,
+                deltas,
+            });
+        }
+        strata_plans.push(StratumPlan {
+            predicates: layer.predicates.clone(),
+            recursive: layer.recursive,
+            rules,
+        });
+    }
+    Ok(FixpointPlan { strata: strata_plans, query: program.query.clone(), schemas })
+}
+
+/// A scanned body atom: its (locally filtered) plan and the variables it
+/// mentions, each at the position of its first occurrence in the atom.
+struct ScannedAtom {
+    plan: PhysPlan,
+    vars: Vec<(String, usize)>,
+}
+
+/// Plans the scan of body atom `i`: source resolution (EDB scan, IDB
+/// scan, or — for the delta occurrence — delta scan), column naming,
+/// and the local filter for constants and within-atom repeats.
+fn scan_atom(
+    atom: &Atom,
+    i: usize,
+    db: &Database,
+    arities: &HashMap<String, usize>,
+    is_delta: bool,
+    named: &mut HashSet<String>,
+) -> ExecResult<ScannedAtom> {
+    let (arity, types): (usize, Vec<DataType>) = match arities.get(&atom.rel) {
+        Some(&k) => (k, vec![DataType::Any; k]),
+        None => {
+            let schema = db
+                .schema(&atom.rel)
+                .map_err(|_| {
+                    ExecError::Plan(format!(
+                        "unknown predicate `{}` (neither IDB nor EDB)",
+                        atom.rel
+                    ))
+                })?;
+            (schema.arity(), schema.attrs().iter().map(|a| a.ty).collect())
+        }
+    };
+    if atom.terms.len() != arity {
+        return Err(ExecError::Plan(format!(
+            "atom `{atom}` has {} terms but relation has arity {arity}",
+            atom.terms.len()
+        )));
+    }
+
+    let mut attrs = Vec::with_capacity(arity);
+    let mut vars: Vec<(String, usize)> = Vec::new();
+    let mut local: Option<Predicate> = None;
+    let and_onto = |acc: &mut Option<Predicate>, p: Predicate| {
+        *acc = Some(match acc.take() {
+            Some(q) => q.and(p),
+            None => p,
+        });
+    };
+    for (j, term) in atom.terms.iter().enumerate() {
+        let positional = format!("b{i}_{j}");
+        match term {
+            Term::Const(v) => {
+                and_onto(
+                    &mut local,
+                    Predicate::cmp(
+                        Operand::attr(positional.clone()),
+                        relviz_model::CmpOp::Eq,
+                        Operand::Const(v.clone()),
+                    ),
+                );
+                attrs.push(Attribute::new(positional, types[j]));
+            }
+            Term::Var(v) => {
+                if let Some((_, first)) = vars.iter().find(|(name, _)| name == v) {
+                    // Repeated within this atom: equate with the first
+                    // occurrence's column.
+                    and_onto(
+                        &mut local,
+                        Predicate::cmp(
+                            Operand::Attr(attrs[*first].name.clone()),
+                            relviz_model::CmpOp::Eq,
+                            Operand::attr(positional.clone()),
+                        ),
+                    );
+                    attrs.push(Attribute::new(positional, types[j]));
+                } else {
+                    vars.push((v.clone(), j));
+                    if named.insert(v.clone()) {
+                        // First occurrence in the whole rule: the column
+                        // carries the variable's name.
+                        attrs.push(Attribute::new(v.clone(), types[j]));
+                    } else {
+                        attrs.push(Attribute::new(positional, types[j]));
+                    }
+                }
+            }
+        }
+    }
+    let schema = Schema::new(attrs)?;
+    let scan = if arities.contains_key(&atom.rel) {
+        if is_delta {
+            PhysPlan::ScanDelta { rel: atom.rel.clone(), schema }
+        } else {
+            PhysPlan::ScanIdb { rel: atom.rel.clone(), schema }
+        }
+    } else {
+        PhysPlan::Scan { rel: atom.rel.clone(), schema }
+    };
+    let plan = match local {
+        Some(pred) => apply_filter(scan, pred),
+        None => scan,
+    };
+    Ok(ScannedAtom { plan, vars })
+}
+
+/// Compiles one rule body into a plan deriving its head tuples. With
+/// `delta_occ = Some(i)`, body atom `i` scans the delta instead of the
+/// accumulated IDB (the semi-naive variant).
+fn compile_rule(
+    rule: &Rule,
+    db: &Database,
+    arities: &HashMap<String, usize>,
+    delta_occ: Option<usize>,
+) -> ExecResult<PhysPlan> {
+    let mut named: HashSet<String> = HashSet::new();
+    // var → column position in the accumulated plan.
+    let mut env: HashMap<String, usize> = HashMap::new();
+    let mut plan: Option<PhysPlan> = None;
+
+    // 1. Positive atoms, in body order, as a hash-join chain.
+    for (i, lit) in rule.body.iter().enumerate() {
+        let Literal::Pos(atom) = lit else { continue };
+        let scanned = scan_atom(atom, i, db, arities, delta_occ == Some(i), &mut named)?;
+        match plan.take() {
+            None => {
+                for (v, pos) in &scanned.vars {
+                    env.insert(v.clone(), *pos);
+                }
+                plan = Some(scanned.plan);
+            }
+            Some(left) => {
+                let mut left_keys = Vec::new();
+                let mut right_keys = Vec::new();
+                let mut right_keep = Vec::new();
+                let mut fresh = Vec::new();
+                for (v, pos) in &scanned.vars {
+                    match env.get(v) {
+                        Some(&bound) => {
+                            left_keys.push(bound);
+                            right_keys.push(*pos);
+                        }
+                        None => {
+                            fresh.push((v.clone(), *pos));
+                            right_keep.push(*pos);
+                        }
+                    }
+                }
+                let left_arity = left.schema().arity();
+                let mut attrs = left.schema().attrs().to_vec();
+                for &pos in &right_keep {
+                    attrs.push(scanned.plan.schema().attrs()[pos].clone());
+                }
+                for (idx, (v, _)) in fresh.into_iter().enumerate() {
+                    env.insert(v, left_arity + idx);
+                }
+                plan = Some(PhysPlan::HashJoin {
+                    left: Box::new(left),
+                    right: Box::new(scanned.plan),
+                    left_keys,
+                    right_keys,
+                    right_keep,
+                    post: None,
+                    schema: Schema::new(attrs)?,
+                });
+            }
+        }
+    }
+
+    // A rule with no positive atoms (a fact, possibly guarded by ground
+    // literals) starts from the singleton empty-schema context.
+    let mut plan = plan.unwrap_or(PhysPlan::Values {
+        rows: vec![Tuple::new(vec![])],
+        schema: Schema::empty(),
+    });
+
+    // 2. Comparison literals: one predicate, pushed down the chain.
+    let mut cmp: Option<Predicate> = None;
+    for lit in &rule.body {
+        let Literal::Cmp { left, op, right } = lit else { continue };
+        let p = Predicate::cmp(term_operand(left)?, *op, term_operand(right)?);
+        cmp = Some(match cmp {
+            Some(q) => q.and(p),
+            None => p,
+        });
+    }
+    if let Some(pred) = cmp {
+        plan = apply_filter(plan, pred);
+    }
+
+    // 3. Negated atoms: anti-joins keyed on the atom's bound variables.
+    for (i, lit) in rule.body.iter().enumerate() {
+        let Literal::Neg(atom) = lit else { continue };
+        let scanned = scan_atom(atom, i, db, arities, false, &mut named)?;
+        let mut left_keys = Vec::new();
+        let mut right_keys = Vec::new();
+        for (v, pos) in &scanned.vars {
+            let bound = env.get(v).ok_or_else(|| {
+                ExecError::Plan(format!(
+                    "variable `{v}` in negated atom `{atom}` is not range-restricted"
+                ))
+            })?;
+            left_keys.push(*bound);
+            right_keys.push(*pos);
+        }
+        plan = PhysPlan::AntiJoin {
+            schema: plan.schema().clone(),
+            left: Box::new(plan),
+            right: Box::new(scanned.plan),
+            left_keys,
+            right_keys,
+        };
+    }
+
+    // 4. Head projection onto the shared IDB schema.
+    let mut cols = Vec::with_capacity(rule.head.terms.len());
+    for term in &rule.head.terms {
+        match term {
+            Term::Const(v) => cols.push(OutputCol::Const(v.clone())),
+            Term::Var(v) => {
+                let pos = env.get(v).ok_or_else(|| {
+                    ExecError::Plan(format!(
+                        "head variable `{v}` of rule `{rule}` is not range-restricted"
+                    ))
+                })?;
+                cols.push(OutputCol::Pos(*pos));
+            }
+        }
+    }
+    Ok(PhysPlan::Project {
+        cols,
+        schema: idb_schema(rule.head.terms.len()),
+        input: Box::new(plan),
+    })
+}
+
+fn term_operand(t: &Term) -> ExecResult<Operand> {
+    Ok(match t {
+        Term::Const(v) => Operand::Const(v.clone()),
+        Term::Var(v) => Operand::attr(v.clone()),
+    })
+}

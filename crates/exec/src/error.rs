@@ -3,6 +3,7 @@
 
 use std::fmt;
 
+use relviz_datalog::DlError;
 use relviz_ra::RaError;
 use relviz_rc::RcError;
 
@@ -18,6 +19,9 @@ pub enum ExecError {
     Ra(RaError),
     /// Error surfaced by the calculus crate (checking, translation).
     Rc(RcError),
+    /// Error surfaced by the Datalog crate (range restriction,
+    /// stratification, arity consistency).
+    Datalog(DlError),
 }
 
 pub type ExecResult<T> = Result<T, ExecError>;
@@ -29,11 +33,18 @@ impl fmt::Display for ExecError {
             ExecError::Eval(m) => write!(f, "execution error: {m}"),
             ExecError::Ra(e) => write!(f, "{e}"),
             ExecError::Rc(e) => write!(f, "{e}"),
+            ExecError::Datalog(e) => write!(f, "{e}"),
         }
     }
 }
 
 impl std::error::Error for ExecError {}
+
+impl From<DlError> for ExecError {
+    fn from(e: DlError) -> Self {
+        ExecError::Datalog(e)
+    }
+}
 
 impl From<RaError> for ExecError {
     fn from(e: RaError) -> Self {

@@ -1,0 +1,363 @@
+//! The recursive-query layer of the plan IR and its **semi-naive**
+//! fixpoint runner.
+//!
+//! A [`FixpointPlan`] stacks strata (from [`relviz_datalog::strata`]) on
+//! top of the flat operator IR: each stratum holds one [`RulePlan`] per
+//! rule, and each rule plan holds a `full` plan (every derived predicate
+//! read from the accumulated IDB) plus one *delta variant* per positive
+//! same-stratum occurrence — the same plan with that occurrence's scan
+//! replaced by a [`PhysPlan::ScanDelta`], so a round's work is driven by
+//! the previous round's new facts instead of re-joining the whole IDB.
+//!
+//! Execution per stratum:
+//!
+//! 1. **Round 0** runs every rule's `full` plan once (same-stratum IDB
+//!    is empty, lower strata are complete).
+//! 2. While the previous round derived anything, each delta variant runs
+//!    once; derived tuples are deduped against the accumulated IDB via
+//!    its cached all-columns hash index
+//!    ([`IndexedRelation::insert_if_new`]) and survivors form the next
+//!    round's delta.
+//!
+//! Soundness/completeness mirror the reference evaluator
+//! ([`relviz_datalog::eval::eval_all`]) — same strata, same delta
+//! restriction — only the per-round join work drops from nested loops to
+//! hash joins.
+
+use std::collections::HashMap;
+
+use relviz_model::{Database, Relation, Schema, Tuple};
+
+use crate::error::ExecResult;
+use crate::indexed::IndexedRelation;
+use crate::plan::{write_node, PhysPlan};
+use crate::run::{run_with, FixpointState};
+
+/// One delta variant of a rule: the body position whose positive
+/// same-stratum occurrence reads the delta, and the plan with that
+/// occurrence lowered to a `ScanDelta`.
+#[derive(Debug, Clone)]
+pub struct DeltaPlan {
+    /// Index into the rule's body of the delta-restricted occurrence.
+    pub occurrence: usize,
+    pub plan: PhysPlan,
+}
+
+/// The compiled form of one rule.
+#[derive(Debug, Clone)]
+pub struct RulePlan {
+    /// The head predicate this rule derives into.
+    pub head: String,
+    /// The rule's source form (for EXPLAIN headers).
+    pub rule: String,
+    /// Round-0 plan: all derived predicates read from the accumulated IDB.
+    pub full: PhysPlan,
+    /// One delta variant per positive same-stratum body occurrence.
+    pub deltas: Vec<DeltaPlan>,
+}
+
+/// One stratum: its predicates and compiled rules. `recursive` is true
+/// iff any rule has a delta variant — the condition for iterating.
+#[derive(Debug, Clone)]
+pub struct StratumPlan {
+    pub predicates: Vec<String>,
+    pub recursive: bool,
+    pub rules: Vec<RulePlan>,
+}
+
+/// A complete recursive-query plan: strata in evaluation order, the
+/// answer predicate, and the IDB schemas the runner materializes.
+#[derive(Debug, Clone)]
+pub struct FixpointPlan {
+    pub strata: Vec<StratumPlan>,
+    pub query: String,
+    pub schemas: HashMap<String, Schema>,
+}
+
+impl FixpointPlan {
+    /// Total operator-node count across all rule plans (full + delta
+    /// variants) — the plan-size metric benches and tests use.
+    pub fn node_count(&self) -> usize {
+        self.strata
+            .iter()
+            .flat_map(|s| &s.rules)
+            .map(|r| {
+                r.full.node_count()
+                    + r.deltas.iter().map(|d| d.plan.node_count()).sum::<usize>()
+            })
+            .sum()
+    }
+}
+
+/// Folds a rule's output batch into the accumulated IDB, recording the
+/// genuinely new facts in `fresh` — the one dedup-and-delta invariant
+/// both round 0 and the semi-naive rounds share. Tuples move in; only
+/// new facts pay a second copy (late rounds are duplicate-heavy).
+fn absorb(target: &mut IndexedRelation, fresh: &mut Vec<Tuple>, batch: IndexedRelation) {
+    for t in batch.into_tuples() {
+        if target.insert_if_new(t) {
+            fresh.push(target.tuples().last().expect("just inserted").clone());
+        }
+    }
+}
+
+/// Runs the fixpoint to completion, returning every IDB relation
+/// (set semantics).
+pub fn eval_fixpoint(
+    plan: &FixpointPlan,
+    db: &Database,
+) -> ExecResult<HashMap<String, Relation>> {
+    let mut idb: HashMap<String, IndexedRelation> = plan
+        .schemas
+        .iter()
+        .map(|(name, schema)| (name.clone(), IndexedRelation::new(schema.clone(), vec![])))
+        .collect();
+
+    let no_deltas: HashMap<String, IndexedRelation> = HashMap::new();
+    for stratum in &plan.strata {
+        // Round 0: every rule, full plans. The same-stratum IDB starts
+        // empty; facts and lower-strata joins land here.
+        let mut delta: HashMap<String, Vec<Tuple>> =
+            stratum.predicates.iter().map(|p| (p.clone(), Vec::new())).collect();
+        for rule in &stratum.rules {
+            let out = {
+                let state = FixpointState { idb: &idb, delta: &no_deltas };
+                run_with(&rule.full, db, Some(&state))?
+            };
+            absorb(
+                idb.get_mut(&rule.head).expect("idb pre-populated"),
+                delta.get_mut(&rule.head).expect("delta pre-populated"),
+                out,
+            );
+        }
+
+        // Semi-naive rounds: each delta variant once per round, reading
+        // the previous round's delta at its occurrence and the live
+        // accumulated IDB everywhere else.
+        while stratum.recursive && delta.values().any(|v| !v.is_empty()) {
+            let materialized: HashMap<String, IndexedRelation> = std::mem::take(&mut delta)
+                .into_iter()
+                .map(|(name, rows)| {
+                    let schema = plan.schemas[&name].clone();
+                    (name, IndexedRelation::new(schema, rows))
+                })
+                .collect();
+            let mut next: HashMap<String, Vec<Tuple>> =
+                stratum.predicates.iter().map(|p| (p.clone(), Vec::new())).collect();
+            for rule in &stratum.rules {
+                for dv in &rule.deltas {
+                    let out = {
+                        let state = FixpointState { idb: &idb, delta: &materialized };
+                        run_with(&dv.plan, db, Some(&state))?
+                    };
+                    absorb(
+                        idb.get_mut(&rule.head).expect("idb pre-populated"),
+                        next.get_mut(&rule.head).expect("delta pre-populated"),
+                        out,
+                    );
+                }
+            }
+            delta = next;
+        }
+    }
+
+    Ok(idb.into_iter().map(|(name, batch)| (name, batch.into_relation())).collect())
+}
+
+// ---------------------------------------------------------------------------
+// EXPLAIN
+// ---------------------------------------------------------------------------
+
+/// Renders a recursive plan: fixpoint → strata → rules, each rule with
+/// its full plan and every delta variant.
+pub fn explain_datalog(plan: &FixpointPlan) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("Fixpoint (query: {})\n", plan.query));
+    for (i, stratum) in plan.strata.iter().enumerate() {
+        out.push_str(&format!(
+            "  Stratum {i} [{}]{}\n",
+            stratum.predicates.join(", "),
+            if stratum.recursive { " recursive" } else { "" }
+        ));
+        for rule in &stratum.rules {
+            out.push_str(&format!("    rule {}\n", rule.rule));
+            out.push_str("      full:\n");
+            write_node(&mut out, &rule.full, 4);
+            for dv in &rule.deltas {
+                out.push_str(&format!("      delta at body[{}]:\n", dv.occurrence));
+                write_node(&mut out, &dv.plan, 4);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datalog_planner::plan_datalog;
+    use relviz_datalog::eval::eval_all;
+    use relviz_datalog::parse::parse_program;
+    use relviz_model::catalog::sailors_sample;
+    use relviz_model::generate::generate_binary_pair;
+
+    /// Every IDB relation the fixpoint derives must match the reference
+    /// evaluator's, predicate by predicate.
+    fn check(src: &str, db: &Database) {
+        let prog = parse_program(src).unwrap();
+        let reference = eval_all(&prog, db).unwrap();
+        let plan = plan_datalog(&prog, db).unwrap();
+        let ours = eval_fixpoint(&plan, db).unwrap();
+        assert_eq!(ours.len(), reference.len(), "IDB predicate sets differ");
+        for (name, rel) in &reference {
+            let mine = ours.get(name).unwrap_or_else(|| panic!("`{name}` missing"));
+            assert!(
+                mine.same_contents(rel),
+                "`{name}` disagrees\nplan:\n{}\nexec:\n{mine}\nreference:\n{rel}",
+                explain_datalog(&plan),
+            );
+        }
+    }
+
+    #[test]
+    fn nonrecursive_rules_match_reference() {
+        let db = sailors_sample();
+        for src in [
+            "ans(N) :- Sailor(S, N, R, A), Reserves(S, 102, D).",
+            "ans(N) :- Sailor(S, N, R, A), Reserves(S, B, D), Boat(B, BN, 'red').",
+            "ans(N) :- Sailor(S, N, R, A), R > 7, A < 40.",
+            "ans(N1, N2) :- Sailor(S1, N1, R1, A1), Sailor(S2, N2, R2, A2), R1 = R2, S1 < S2.",
+            "% query: ans\n\
+             redres(S) :- Reserves(S, B, D), Boat(B, BN, 'red').\n\
+             ans(N) :- Sailor(S, N, R, A), not redres(S).",
+            "vip(22).\nans(N) :- vip(S), Sailor(S, N, R, A).",
+            "ans(N, 'tag') :- Sailor(S, N, R, A), R >= 10.",
+        ] {
+            check(src, &db);
+        }
+    }
+
+    #[test]
+    fn transitive_closure_matches_reference() {
+        let db = generate_binary_pair(11, 30, 12);
+        check(
+            "tc(X, Y) :- R(X, Y).\n\
+             tc(X, Z) :- tc(X, Y), R(Y, Z).",
+            &db,
+        );
+    }
+
+    /// Same-generation: the recursive occurrence sits between two
+    /// non-recursive atoms, so the delta variant joins on both sides.
+    #[test]
+    fn same_generation_matches_reference() {
+        let db = generate_binary_pair(3, 18, 9);
+        check(
+            "% query: sg\n\
+             sg(X, X) :- R(X, Y).\n\
+             sg(X, X) :- R(Y, X).\n\
+             sg(X, Y) :- R(XP, X), sg(XP, YP), R(YP, Y).",
+            &db,
+        );
+    }
+
+    /// Nonlinear recursion: two same-stratum occurrences in one rule —
+    /// completeness needs *both* delta variants to fire every round.
+    #[test]
+    fn nonlinear_recursion_fires_every_delta_variant() {
+        let db = generate_binary_pair(13, 20, 9);
+        let src = "tc(X, Y) :- R(X, Y).\n\
+                   tc(X, Z) :- tc(X, Y), tc(Y, Z).";
+        check(src, &db);
+        let plan = plan_datalog(&parse_program(src).unwrap(), &db).unwrap();
+        assert_eq!(plan.strata[0].rules[1].deltas.len(), 2);
+    }
+
+    /// Negation against a lower recursive stratum: unreachable pairs.
+    #[test]
+    fn stratified_negation_over_recursion_matches_reference() {
+        let db = generate_binary_pair(7, 14, 8);
+        check(
+            "% query: unreached\n\
+             tc(X, Y) :- R(X, Y).\n\
+             tc(X, Z) :- tc(X, Y), R(Y, Z).\n\
+             node(X) :- R(X, Y).\n\
+             node(Y) :- R(X, Y).\n\
+             unreached(X, Y) :- node(X), node(Y), not tc(X, Y).",
+            &db,
+        );
+    }
+
+    /// A repeated variable inside one atom must become a local filter
+    /// (self-loops only).
+    #[test]
+    fn repeated_variable_in_atom_matches_reference() {
+        let db = generate_binary_pair(5, 25, 6);
+        check("ans(X) :- R(X, X).", &db);
+    }
+
+    /// Regression (found by /code-review): both engines unify join
+    /// variables by the total order of `Value` — `Int 2` joins
+    /// `Float 2.0` — so mixed numeric data cannot split the oracle from
+    /// the hash joins.
+    #[test]
+    fn mixed_numeric_join_matches_reference() {
+        use relviz_model::{DataType, Relation, Schema, Tuple};
+        let mut db = Database::new();
+        let mut r = Relation::empty(Schema::of(&[("a", DataType::Int), ("b", DataType::Int)]));
+        r.insert_unchecked(Tuple::of((1, 2)));
+        let mut s = Relation::empty(Schema::of(&[("b", DataType::Float), ("c", DataType::Int)]));
+        s.insert_unchecked(Tuple::of((2.0, 3)));
+        db.add("R", r).unwrap();
+        db.add("S", s).unwrap();
+        check("ans(X, Z) :- R(X, Y), S(Y, Z).", &db);
+        let prog = parse_program("ans(X, Z) :- R(X, Y), S(Y, Z).").unwrap();
+        let plan = plan_datalog(&prog, &db).unwrap();
+        let out = eval_fixpoint(&plan, &db).unwrap();
+        assert_eq!(out["ans"].len(), 1, "Int 2 must join Float 2.0");
+    }
+
+    /// Same-stratum positive dependency without a cycle still needs a
+    /// second round (rule order hides b's facts from a in round 0).
+    #[test]
+    fn same_stratum_chain_converges() {
+        let db = generate_binary_pair(9, 10, 6);
+        check(
+            "% query: a\n\
+             a(X) :- b(X).\n\
+             b(X) :- R(X, Y).",
+            &db,
+        );
+    }
+
+    #[test]
+    fn explain_renders_fixpoint_strata_and_deltas() {
+        let db = generate_binary_pair(1, 5, 5);
+        let prog = parse_program(
+            "tc(X, Y) :- R(X, Y).\n\
+             tc(X, Z) :- tc(X, Y), R(Y, Z).",
+        )
+        .unwrap();
+        let plan = plan_datalog(&prog, &db).unwrap();
+        let text = explain_datalog(&plan);
+        assert!(text.starts_with("Fixpoint (query: tc)\n"), "{text}");
+        assert!(text.contains("Stratum 0 [tc] recursive"), "{text}");
+        assert!(text.contains("delta at body[0]:"), "{text}");
+        assert!(text.contains("ScanDelta tc"), "{text}");
+        assert!(text.contains("HashJoin [Y=b1_0]"), "{text}");
+        assert!(plan.node_count() > 0);
+    }
+
+    #[test]
+    fn fixpoint_scans_outside_a_fixpoint_are_engine_errors() {
+        let db = generate_binary_pair(1, 5, 5);
+        let plan = PhysPlan::ScanDelta {
+            rel: "tc".into(),
+            schema: relviz_datalog::idb_schema(2),
+        };
+        assert!(matches!(
+            crate::run::run(&plan, &db),
+            Err(crate::error::ExecError::Eval(_))
+        ));
+    }
+}

@@ -70,6 +70,14 @@ impl IndexedRelation {
         &self.schema
     }
 
+    /// Replaces the schema in place (a rename — arity must match; the
+    /// indexes are positional and stay valid).
+    pub fn with_schema(mut self, schema: Schema) -> Self {
+        debug_assert_eq!(schema.arity(), self.schema.arity());
+        self.schema = schema;
+        self
+    }
+
     pub fn len(&self) -> usize {
         self.tuples.len()
     }
@@ -113,6 +121,43 @@ impl IndexedRelation {
             .get(cols)
             .expect("probe before ensure_index: engine bug");
         index.get(key).map_or(&[], Vec::as_slice)
+    }
+
+    /// Inserts `t` unless an identical row (by the total order of
+    /// [`Value`], the engine's notion of tuple equality) is already
+    /// present, maintaining **every** cached index. Builds the
+    /// all-columns index on first use; subsequent inserts probe it — the
+    /// fixpoint runner's dedup of new facts against the accumulated IDB
+    /// is O(1) amortized per derived tuple, not a set re-scan.
+    pub fn insert_if_new(&mut self, t: Tuple) -> bool {
+        // This runs once per derived tuple in the fixpoint hot loop:
+        // borrow the identity column set statically instead of
+        // reallocating `0..arity` per call.
+        const IDENTITY: [usize; 16] = [0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15];
+        let arity = self.schema.arity();
+        let wide: Vec<usize>;
+        let all: &[usize] = if arity <= IDENTITY.len() {
+            &IDENTITY[..arity]
+        } else {
+            wide = (0..arity).collect();
+            &wide
+        };
+        self.ensure_index(all);
+        let key = Self::key_of(&t, all);
+        if !self.probe(all, &key).is_empty() {
+            return false;
+        }
+        let row = self.tuples.len() as u32;
+        for (cols, index) in &mut self.indexes {
+            index.entry(Self::key_of(&t, cols)).or_default().push(row);
+        }
+        self.tuples.push(t);
+        true
+    }
+
+    /// Consumes the batch, yielding its raw tuples.
+    pub fn into_tuples(self) -> Vec<Tuple> {
+        self.tuples
     }
 
     /// Converts back to a set-semantics [`Relation`] (deduplicating).
@@ -177,6 +222,23 @@ mod tests {
         assert_eq!(b.probe(&[0], &JoinKey::new(vec![Value::Float(f64::NAN)])).len(), 1);
         // -0.0 and 0.0 are *distinct* under the total order.
         assert_eq!(b.probe(&[0], &JoinKey::new(vec![Value::Float(-0.0)])).len(), 0);
+    }
+
+    /// `insert_if_new` dedupes by the total order (Int 1 == Float 1.0)
+    /// and keeps previously-built indexes consistent with the appended
+    /// rows.
+    #[test]
+    fn insert_if_new_dedupes_and_maintains_indexes() {
+        let mut b = batch();
+        b.ensure_index(&[0]);
+        assert!(!b.insert_if_new(Tuple::of((1, "x")))); // duplicate
+        assert!(!b.insert_if_new(Tuple::of((1.0, "x")))); // total-order duplicate
+        assert!(b.insert_if_new(Tuple::of((2, "z"))));
+        assert_eq!(b.len(), 5);
+        // The pre-existing [0] index sees the appended row...
+        assert_eq!(b.probe(&[0], &JoinKey::new(vec![Value::Int(2)])).len(), 2);
+        // ...and the all-columns dedup index keeps working afterwards.
+        assert!(!b.insert_if_new(Tuple::of((2, "z"))));
     }
 
     #[test]

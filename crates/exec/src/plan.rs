@@ -9,6 +9,9 @@
 //! | node | implements |
 //! |---|---|
 //! | `Scan` | base relation access (renames folded into the schema) |
+//! | `ScanIdb` | a derived predicate's accumulated relation (fixpoint state) |
+//! | `ScanDelta` | a derived predicate's previous-round delta (fixpoint state) |
+//! | `Values` | literal in-plan rows (Datalog facts, singleton contexts) |
 //! | `Filter` | σ with a compiled predicate |
 //! | `Project` | π by position, plus constant output columns |
 //! | `HashJoin` | ×, ⋈ (natural), ⋈θ — equi-keys hashed, residual filtered |
@@ -18,9 +21,13 @@
 //! | `Diff` | − (set difference on whole tuples) |
 //! | `Dedup` | restores set semantics after `Project`/`Union` |
 //!
+//! `ScanIdb` and `ScanDelta` only occur inside the recursive-query layer
+//! ([`crate::fixpoint`]); executing them outside a fixpoint is an engine
+//! bug the runner reports as an execution error.
+//!
 //! [`IndexedRelation`]: crate::indexed::IndexedRelation
 
-use relviz_model::{Schema, Value};
+use relviz_model::{Schema, Tuple, Value};
 use relviz_ra::{Operand, Predicate};
 
 /// One output column of a `Project`: an input position or a constant
@@ -36,6 +43,24 @@ pub enum OutputCol {
 pub enum PhysPlan {
     Scan {
         rel: String,
+        schema: Schema,
+    },
+    /// Scan of a derived predicate's **accumulated** relation in the
+    /// surrounding fixpoint (IDB state, not the database).
+    ScanIdb {
+        rel: String,
+        schema: Schema,
+    },
+    /// Scan of a derived predicate's **previous-round delta** in the
+    /// surrounding fixpoint — the semi-naive restriction.
+    ScanDelta {
+        rel: String,
+        schema: Schema,
+    },
+    /// Literal rows, fixed at plan time (Datalog facts; the singleton
+    /// empty-schema context of a rule with no positive atoms).
+    Values {
+        rows: Vec<Tuple>,
         schema: Schema,
     },
     Filter {
@@ -102,6 +127,9 @@ impl PhysPlan {
     pub fn schema(&self) -> &Schema {
         match self {
             PhysPlan::Scan { schema, .. }
+            | PhysPlan::ScanIdb { schema, .. }
+            | PhysPlan::ScanDelta { schema, .. }
+            | PhysPlan::Values { schema, .. }
             | PhysPlan::Filter { schema, .. }
             | PhysPlan::Project { schema, .. }
             | PhysPlan::HashJoin { schema, .. }
@@ -117,6 +145,9 @@ impl PhysPlan {
     pub(crate) fn set_schema(&mut self, new: Schema) {
         match self {
             PhysPlan::Scan { schema, .. }
+            | PhysPlan::ScanIdb { schema, .. }
+            | PhysPlan::ScanDelta { schema, .. }
+            | PhysPlan::Values { schema, .. }
             | PhysPlan::Filter { schema, .. }
             | PhysPlan::Project { schema, .. }
             | PhysPlan::HashJoin { schema, .. }
@@ -131,7 +162,10 @@ impl PhysPlan {
     /// Number of operator nodes (plan-size metric for benches/tests).
     pub fn node_count(&self) -> usize {
         match self {
-            PhysPlan::Scan { .. } => 1,
+            PhysPlan::Scan { .. }
+            | PhysPlan::ScanIdb { .. }
+            | PhysPlan::ScanDelta { .. }
+            | PhysPlan::Values { .. } => 1,
             PhysPlan::Filter { input, .. }
             | PhysPlan::Project { input, .. }
             | PhysPlan::Dedup { input, .. } => 1 + input.node_count(),
@@ -155,13 +189,22 @@ pub fn explain(plan: &PhysPlan) -> String {
     out
 }
 
-fn write_node(out: &mut String, plan: &PhysPlan, depth: usize) {
+pub(crate) fn write_node(out: &mut String, plan: &PhysPlan, depth: usize) {
     for _ in 0..depth {
         out.push_str("  ");
     }
     match plan {
         PhysPlan::Scan { rel, schema } => {
             out.push_str(&format!("Scan {rel} {schema}\n"));
+        }
+        PhysPlan::ScanIdb { rel, schema } => {
+            out.push_str(&format!("ScanIdb {rel} {schema}\n"));
+        }
+        PhysPlan::ScanDelta { rel, schema } => {
+            out.push_str(&format!("ScanDelta {rel} {schema}\n"));
+        }
+        PhysPlan::Values { rows, schema } => {
+            out.push_str(&format!("Values {schema} ({} rows)\n", rows.len()));
         }
         PhysPlan::Filter { pred, input, .. } => {
             out.push_str(&format!("Filter {}\n", fmt_pred(pred)));

@@ -111,7 +111,8 @@ fn lower_ra(expr: &RaExpr, db: &Database) -> ExecResult<PhysPlan> {
 ///
 /// This is what turns σ-over-× plans — and the TRC compiler's
 /// comparison-over-context plans — into genuine hash-join pipelines.
-fn apply_filter(input: PhysPlan, pred: Predicate) -> PhysPlan {
+/// The Datalog planner reuses it for rule-body comparison literals.
+pub(crate) fn apply_filter(input: PhysPlan, pred: Predicate) -> PhysPlan {
     if let PhysPlan::HashJoin {
         left,
         right,

@@ -5,7 +5,7 @@
 //! node, not per tuple; joins build a hash index on the build side once
 //! and probe it per probe-side row.
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeSet, HashMap};
 
 use relviz_model::{Database, Relation, Schema, Tuple, Value};
 use relviz_ra::{Operand, Predicate};
@@ -14,6 +14,15 @@ use crate::error::{ExecError, ExecResult};
 use crate::indexed::IndexedRelation;
 use crate::plan::{OutputCol, PhysPlan};
 
+/// The scan state of a running fixpoint: per-predicate accumulated IDB
+/// batches and the previous round's deltas, resolved by `ScanIdb` /
+/// `ScanDelta` nodes. Plain plans run with no state; the fixpoint
+/// runner ([`crate::fixpoint`]) threads one through every rule plan.
+pub(crate) struct FixpointState<'a> {
+    pub idb: &'a HashMap<String, IndexedRelation>,
+    pub delta: &'a HashMap<String, IndexedRelation>,
+}
+
 /// Executes a plan, returning a set-semantics [`Relation`].
 pub fn execute(plan: &PhysPlan, db: &Database) -> ExecResult<Relation> {
     run(plan, db).map(IndexedRelation::into_relation)
@@ -21,6 +30,17 @@ pub fn execute(plan: &PhysPlan, db: &Database) -> ExecResult<Relation> {
 
 /// Executes a plan, returning the raw (possibly bag-semantics) batch.
 pub fn run(plan: &PhysPlan, db: &Database) -> ExecResult<IndexedRelation> {
+    run_with(plan, db, None)
+}
+
+/// Executes a plan with optional fixpoint scan state.
+pub(crate) fn run_with(
+    plan: &PhysPlan,
+    db: &Database,
+    state: Option<&FixpointState<'_>>,
+) -> ExecResult<IndexedRelation> {
+    // Shorthand: recurse with the same state threaded through.
+    let run = |p: &PhysPlan| run_with(p, db, state);
     match plan {
         PhysPlan::Scan { rel, schema } => {
             let base = db.relation(rel).map_err(|e| ExecError::Eval(e.to_string()))?;
@@ -33,8 +53,31 @@ pub fn run(plan: &PhysPlan, db: &Database) -> ExecResult<IndexedRelation> {
             }
             Ok(IndexedRelation::new(schema.clone(), base.iter().cloned().collect()))
         }
+        PhysPlan::ScanIdb { rel, schema } => {
+            let state = state.ok_or_else(|| {
+                ExecError::Eval(format!("ScanIdb `{rel}` outside a fixpoint: engine bug"))
+            })?;
+            let batch = state.idb.get(rel).ok_or_else(|| {
+                ExecError::Eval(format!("ScanIdb `{rel}`: predicate missing from IDB state"))
+            })?;
+            // Clone carries the cached indexes, so joins keyed the same
+            // way across rounds probe without rebuilding.
+            Ok(batch.clone().with_schema(schema.clone()))
+        }
+        PhysPlan::ScanDelta { rel, schema } => {
+            let state = state.ok_or_else(|| {
+                ExecError::Eval(format!("ScanDelta `{rel}` outside a fixpoint: engine bug"))
+            })?;
+            let batch = state.delta.get(rel).ok_or_else(|| {
+                ExecError::Eval(format!("ScanDelta `{rel}`: predicate missing from delta state"))
+            })?;
+            Ok(batch.clone().with_schema(schema.clone()))
+        }
+        PhysPlan::Values { rows, schema } => {
+            Ok(IndexedRelation::new(schema.clone(), rows.clone()))
+        }
         PhysPlan::Filter { pred, input, schema } => {
-            let batch = run(input, db)?;
+            let batch = run(input)?;
             // The predicate is written in the input's attribute names; the
             // node's own schema may differ (renames fold into schemas).
             let compiled = compile_pred(pred, batch.schema())?;
@@ -47,7 +90,7 @@ pub fn run(plan: &PhysPlan, db: &Database) -> ExecResult<IndexedRelation> {
             Ok(IndexedRelation::new(schema.clone(), tuples))
         }
         PhysPlan::Project { cols, input, schema } => {
-            let batch = run(input, db)?;
+            let batch = run(input)?;
             let tuples = batch
                 .tuples()
                 .iter()
@@ -65,8 +108,8 @@ pub fn run(plan: &PhysPlan, db: &Database) -> ExecResult<IndexedRelation> {
             Ok(IndexedRelation::new(schema.clone(), tuples))
         }
         PhysPlan::HashJoin { left, right, left_keys, right_keys, right_keep, post, schema } => {
-            let lb = run(left, db)?;
-            let mut rb = run(right, db)?;
+            let lb = run(left)?;
+            let mut rb = run(right)?;
             rb.ensure_index(right_keys);
             // Like Filter: the residual predicate is written in the
             // *inputs'* attribute names, which a rename folded onto this
@@ -101,8 +144,8 @@ pub fn run(plan: &PhysPlan, db: &Database) -> ExecResult<IndexedRelation> {
             Ok(IndexedRelation::new(schema.clone(), tuples))
         }
         PhysPlan::SemiJoin { left, right, left_keys, right_keys, schema } => {
-            let lb = run(left, db)?;
-            let mut rb = run(right, db)?;
+            let lb = run(left)?;
+            let mut rb = run(right)?;
             rb.ensure_index(right_keys);
             let tuples = lb
                 .tuples()
@@ -115,8 +158,8 @@ pub fn run(plan: &PhysPlan, db: &Database) -> ExecResult<IndexedRelation> {
             Ok(IndexedRelation::new(schema.clone(), tuples))
         }
         PhysPlan::AntiJoin { left, right, left_keys, right_keys, schema } => {
-            let lb = run(left, db)?;
-            let mut rb = run(right, db)?;
+            let lb = run(left)?;
+            let mut rb = run(right)?;
             rb.ensure_index(right_keys);
             let tuples = lb
                 .tuples()
@@ -129,15 +172,15 @@ pub fn run(plan: &PhysPlan, db: &Database) -> ExecResult<IndexedRelation> {
             Ok(IndexedRelation::new(schema.clone(), tuples))
         }
         PhysPlan::Union { left, right, schema } => {
-            let lb = run(left, db)?;
-            let rb = run(right, db)?;
+            let lb = run(left)?;
+            let rb = run(right)?;
             let mut tuples = lb.tuples().to_vec();
             tuples.extend_from_slice(rb.tuples());
             Ok(IndexedRelation::new(schema.clone(), tuples))
         }
         PhysPlan::Diff { left, right, schema } => {
-            let lb = run(left, db)?;
-            let rb = run(right, db)?;
+            let lb = run(left)?;
+            let rb = run(right)?;
             // BTreeSet so membership uses the same total order as the
             // reference evaluators' set semantics (Int 1 == Float 1.0).
             let exclude: BTreeSet<&Tuple> = rb.tuples().iter().collect();
@@ -150,7 +193,7 @@ pub fn run(plan: &PhysPlan, db: &Database) -> ExecResult<IndexedRelation> {
             Ok(IndexedRelation::new(schema.clone(), tuples))
         }
         PhysPlan::Dedup { input, schema } => {
-            let batch = run(input, db)?;
+            let batch = run(input)?;
             let mut seen: BTreeSet<Tuple> = BTreeSet::new();
             let mut tuples = Vec::new();
             for t in batch.tuples() {

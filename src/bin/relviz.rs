@@ -9,11 +9,13 @@
 //! ```
 //!
 //! Options: `--formalism queryvis|reldiag|dfql|qbe|strings|visualsql|sqlvis|tabletalk|dataplay|sieuferd|qbd`,
-//! `--db <file>` (text format of `relviz_model::text`).
+//! `--db <file>` (text format of `relviz_model::text`),
+//! `--engine exec|reference` (the interactive `run` path defaults to
+//! the physical engine).
 
 use std::process::ExitCode;
 
-use relviz::core::{Backend, QueryVisualizer, VisFormalism};
+use relviz::core::{Backend, Engine, QueryVisualizer, VisFormalism};
 use relviz::model::catalog::sailors_sample;
 use relviz::model::Database;
 
@@ -31,10 +33,19 @@ fn main() -> ExitCode {
 fn run(args: Vec<String>) -> Result<(), String> {
     let mut positional = Vec::new();
     let mut formalism = VisFormalism::RelationalDiagrams;
+    let mut engine = Engine::Indexed;
     let mut db_path: Option<String> = None;
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
         match a.as_str() {
+            "--engine" => {
+                let v = it.next().ok_or("--engine needs a value")?;
+                engine = match v.as_str() {
+                    "exec" | "indexed" => Engine::Indexed,
+                    "reference" => Engine::Reference,
+                    other => return Err(format!("unknown engine `{other}`")),
+                };
+            }
             "--formalism" => {
                 let v = it.next().ok_or("--formalism needs a value")?;
                 formalism = match v.as_str() {
@@ -108,7 +119,10 @@ fn run(args: Vec<String>) -> Result<(), String> {
         }
         "run" => {
             let sql = positional.get(1).ok_or("usage: relviz run \"<SQL>\"")?;
-            let rel = relviz::sql::eval::run_sql(sql, &db).map_err(|e| e.to_string())?;
+            // The interactive path runs on the physical engine by
+            // default; `--engine reference` restores the oracle.
+            let viz = QueryVisualizer::new(formalism, Backend::Ascii).with_engine(engine);
+            let rel = viz.run(sql, &db).map_err(|e| e.to_string())?;
             print!("{rel}");
             println!("({} tuples)", rel.len());
             Ok(())
@@ -143,7 +157,7 @@ fn run(args: Vec<String>) -> Result<(), String> {
                  relviz trans  \"<SQL>\"          the query in TRC/DRC/RA/Datalog\n  \
                  relviz run    \"<SQL>\"          evaluate on the database\n  \
                  relviz matrix                  expressiveness matrix\n\n\
-                 options: --formalism queryvis|reldiag|dfql|qbe|strings|visualsql|\n                          sqlvis|tabletalk|dataplay|sieuferd|qbd, --db <file>"
+                 options: --formalism queryvis|reldiag|dfql|qbe|strings|visualsql|\n                          sqlvis|tabletalk|dataplay|sieuferd|qbd, --db <file>,\n                          --engine exec|reference (run defaults to exec)"
             );
             Ok(())
         }

@@ -79,6 +79,15 @@ fn all_paths(q: &relviz::core::suite::SuiteQuery, db: &Database) -> Vec<PathResu
             .unwrap_or_else(|e| panic!("{} exec(sql→trc): {e}", q.id)),
     });
 
+    // 8. Physical engine on the Datalog form (semi-naive fixpoint).
+    let dl = relviz::datalog::parse::parse_program(q.datalog)
+        .unwrap_or_else(|e| panic!("{} datalog parse: {e}", q.id));
+    out.push(PathResult {
+        label: "exec(datalog)",
+        relation: exec::eval_datalog(Engine::Indexed, &dl, db)
+            .unwrap_or_else(|e| panic!("{} exec(datalog): {e}", q.id)),
+    });
+
     out
 }
 
@@ -108,8 +117,48 @@ fn all_paths_agree_on_the_sample() {
     let db = sailors_sample();
     for q in relviz::core::suite::SUITE {
         let paths = all_paths(q, &db);
-        assert_eq!(paths.len(), 7, "{}: a path went missing", q.id);
+        assert_eq!(paths.len(), 8, "{}: a path went missing", q.id);
         assert_pairwise_agreement(q.id, &paths);
+    }
+}
+
+/// Every engine-dispatch entry point of the exec crate, exercised for
+/// **both** `Engine` variants — the two engines must agree with each
+/// other on every entry point, on every suite query the entry point's
+/// language can express.
+#[test]
+fn every_dispatch_entry_point_runs_on_all_engines() {
+    let db = sailors_sample();
+    for q in relviz::core::suite::SUITE {
+        let ra = relviz::ra::parse::parse_ra(q.ra).unwrap();
+        let trc = relviz::rc::trc_parse::parse_trc(q.trc).unwrap();
+        let dl = relviz::datalog::parse::parse_program(q.datalog).unwrap();
+        let results: Vec<Vec<relviz::model::Relation>> = Engine::ALL
+            .iter()
+            .map(|&engine| {
+                vec![
+                    exec::eval_ra(engine, &ra, &db)
+                        .unwrap_or_else(|e| panic!("{} eval_ra/{}: {e}", q.id, engine.name())),
+                    exec::eval_trc(engine, &trc, &db)
+                        .unwrap_or_else(|e| panic!("{} eval_trc/{}: {e}", q.id, engine.name())),
+                    exec::run_sql(engine, q.sql, &db)
+                        .unwrap_or_else(|e| panic!("{} run_sql/{}: {e}", q.id, engine.name())),
+                    exec::eval_datalog(engine, &dl, &db)
+                        .unwrap_or_else(|e| panic!("{} eval_datalog/{}: {e}", q.id, engine.name())),
+                ]
+            })
+            .collect();
+        for (entry, (reference, indexed)) in
+            ["eval_ra", "eval_trc", "run_sql", "eval_datalog"]
+                .iter()
+                .zip(results[0].iter().zip(&results[1]))
+        {
+            assert!(
+                reference.same_contents(indexed),
+                "{} {entry}: engines disagree\nreference={reference}\nexec={indexed}",
+                q.id
+            );
+        }
     }
 }
 

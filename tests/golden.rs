@@ -139,6 +139,40 @@ fn explain_goldens_for_suite_plans() {
 }
 
 #[test]
+fn explain_goldens_for_datalog_plans() {
+    // The recursive-query plans of the fixpoint subsystem: the suite's
+    // Datalog forms plus the canonical recursive workloads (transitive
+    // closure, same-generation). Locks the stratum layering, the
+    // hash-join chains, anti-join negation, and the per-occurrence
+    // delta variants of semi-naive evaluation.
+    let db = sailors_sample();
+    let mut all = String::new();
+    for q in SUITE {
+        let prog = relviz::datalog::parse::parse_program(q.datalog)
+            .unwrap_or_else(|e| panic!("{}: {e}", q.id));
+        let plan = relviz::exec::plan_datalog(&prog, &db)
+            .unwrap_or_else(|e| panic!("{}: {e}", q.id));
+        all.push_str(&format!("== {} (datalog) ==\n{}", q.id, relviz::exec::explain_datalog(&plan)));
+    }
+    let db2 = relviz::model::generate::generate_binary_pair(11, 30, 12);
+    for (id, src) in [
+        ("TC", "tc(X, Y) :- R(X, Y).\ntc(X, Z) :- tc(X, Y), R(Y, Z)."),
+        (
+            "SG",
+            "% query: sg\n\
+             sg(X, X) :- R(X, Y).\n\
+             sg(X, Y) :- R(XP, X), sg(XP, YP), R(YP, Y).",
+        ),
+    ] {
+        let prog = relviz::datalog::parse::parse_program(src).unwrap();
+        let plan = relviz::exec::plan_datalog(&prog, &db2)
+            .unwrap_or_else(|e| panic!("{id}: {e}"));
+        all.push_str(&format!("== {id} (datalog) ==\n{}", relviz::exec::explain_datalog(&plan)));
+    }
+    check_or_update("datalog-plans.txt", &all);
+}
+
+#[test]
 fn ascii_goldens_for_syntax_mirror_fingerprints() {
     // The Visual SQL fingerprints of the whole suite: any change to the
     // SQL parser, printer or the frame builder shows as a text diff.
