@@ -9,8 +9,11 @@
 //!
 //! `--assert` exits non-zero unless the exec engine beats the reference
 //! evaluators by ≥5× on the θ-join/product workload **and** on
-//! transitive closure at the largest size (the CI gates; run in
-//! release, debug timings are not meaningful).
+//! transitive closure at the largest size, **and** — the zero-copy
+//! regression gate — runs transitive closure at n=1000 at least 2×
+//! faster than the pre-zero-copy exec baseline
+//! ([`TC_BASELINE_MS`], frozen from BENCH_exec.json). (CI gates; run in
+//! release, debug timings are not meaningful.)
 
 use std::io::Write as _;
 use std::time::Instant;
@@ -31,6 +34,22 @@ const THETA_PRODUCT: &str = "Project[sname](Select[s_sid = sid AND bid = 102](Pr
 /// while the exec fixpoint hash-joins Δtc against R in linear time.
 const TC_PROGRAM: &str = "tc(X, Y) :- R(X, Y).\n\
                           tc(X, Z) :- tc(X, Y), R(Y, Z).";
+
+/// The deep-recursion workload: same-generation, whose recursive rule
+/// sandwiches the delta between two `R` joins — the delta batch is a
+/// *build* side, so this stresses per-round index work on top of the
+/// IDB-copy regime `datalog_tc` covers.
+const SG_PROGRAM: &str = "% query: sg\n\
+                          sg(X, X) :- R(X, Y).\n\
+                          sg(X, X) :- R(Y, X).\n\
+                          sg(X, Y) :- R(XP, X), sg(XP, YP), R(YP, Y).";
+
+/// The exec engine's `datalog_tc @ n=1000` wall time before the
+/// zero-copy batch architecture (PR 3 exec baseline in
+/// BENCH_exec.json). The `--assert` gate requires ≥2× over this —
+/// shared Arc'd IDB views, the per-execution scan cache, and fused head
+/// projections must keep paying off.
+const TC_BASELINE_MS: f64 = 14.5;
 
 /// Best-of-k wall time (milliseconds) of `f`, with the result of one run.
 fn time_ms<T>(k: usize, mut f: impl FnMut() -> T) -> (f64, T) {
@@ -92,29 +111,39 @@ fn run_workloads(n: usize, db: &Database) -> (Vec<Snapshot>, f64) {
     (snaps, speedup)
 }
 
-/// The recursive workload at one size: `m` edges over `m` nodes,
-/// reference semi-naive (nested loops) vs the exec fixpoint (hash
-/// joins). Returns the snapshots and the speedup.
-fn run_datalog_tc(m: usize) -> (Vec<Snapshot>, f64) {
-    let db = generate_binary_pair(0xD1A6, m, m as i64);
-    let prog = parse_program(TC_PROGRAM).expect("workload parses");
+/// One recursive Datalog workload at one size (`m` edges over `m`
+/// nodes): the exec fixpoint (hash joins, best of 5), and — with
+/// `oracle` — the reference semi-naive evaluator (nested loops, once)
+/// with a cross-check of the outputs. Deep exec-only sizes skip the
+/// oracle: the reference needs multiple seconds there, and the smaller
+/// sizes already pin correctness. Returns the snapshots, the
+/// reference/exec speedup (∞ without the oracle), and exec's wall time.
+fn run_datalog_workload(
+    query: &'static str,
+    program: &str,
+    seed: u64,
+    m: usize,
+    oracle: bool,
+) -> (Vec<Snapshot>, f64, f64) {
+    let db = generate_binary_pair(seed, m, m as i64);
+    let prog = parse_program(program).expect("workload parses");
 
-    let (ref_ms, ref_out) = time_ms(1, || {
-        relviz_datalog::eval::eval_program(&prog, &db).expect("reference evaluates")
-    });
-    let (exec_ms, exec_out) = time_ms(3, || {
+    let (exec_ms, exec_out) = time_ms(5, || {
         relviz_exec::eval_datalog(Engine::Indexed, &prog, &db).expect("fixpoint evaluates")
     });
-    assert!(
-        exec_out.same_contents(&ref_out),
-        "engines disagree on transitive closure @ {m}"
-    );
-    let speedup = ref_ms / exec_ms.max(1e-6);
-    let snaps = vec![
-        Snapshot { engine: "reference", query: "datalog_tc", n: m, wall_ms: ref_ms },
-        Snapshot { engine: "exec", query: "datalog_tc", n: m, wall_ms: exec_ms },
-    ];
-    (snaps, speedup)
+    assert!(!exec_out.is_empty(), "{query} @ {m} is empty");
+    let mut snaps = Vec::new();
+    let mut speedup = f64::INFINITY;
+    if oracle {
+        let (ref_ms, ref_out) = time_ms(1, || {
+            relviz_datalog::eval::eval_program(&prog, &db).expect("reference evaluates")
+        });
+        assert!(exec_out.same_contents(&ref_out), "engines disagree on {query} @ {m}");
+        speedup = ref_ms / exec_ms.max(1e-6);
+        snaps.push(Snapshot { engine: "reference", query, n: m, wall_ms: ref_ms });
+    }
+    snaps.push(Snapshot { engine: "exec", query, n: m, wall_ms: exec_ms });
+    (snaps, speedup, exec_ms)
 }
 
 fn main() {
@@ -140,18 +169,30 @@ fn main() {
 
     let (mut snaps, speedup) = run_workloads(n, &db);
 
-    // Transitive closure across the scaling sweep, largest size = n.
+    // Transitive closure across the scaling sweep, largest
+    // reference-checked size = n, then a deeper exec-only size at 3n —
+    // the regime where per-round IDB copying used to dominate.
     let tc_sizes: Vec<usize> = [100usize, 300]
         .into_iter()
         .filter(|&m| m < n)
         .chain(std::iter::once(n))
         .collect();
     let mut tc_speedup = f64::INFINITY;
+    let mut tc_exec_ms = f64::INFINITY;
     for &m in &tc_sizes {
-        let (tc_snaps, s) = run_datalog_tc(m);
+        let (tc_snaps, s, e) = run_datalog_workload("datalog_tc", TC_PROGRAM, 0xD1A6, m, true);
         snaps.extend(tc_snaps);
         tc_speedup = s; // the last (largest) size is the gated one
+        tc_exec_ms = e;
     }
+    let (deep_snaps, _, _) =
+        run_datalog_workload("datalog_tc", TC_PROGRAM, 0xD1A6, 3 * n, false);
+    snaps.extend(deep_snaps);
+
+    // Same-generation at n: the delta sits between two joins, so each
+    // round builds and probes per-delta indexes.
+    let (sg_snaps, _, _) = run_datalog_workload("datalog_sg", SG_PROGRAM, 0x56AA, n, true);
+    snaps.extend(sg_snaps);
 
     for s in &snaps {
         println!("  {:9} {:13} n={:<5} {:>10.3} ms", s.engine, s.query, s.n, s.wall_ms);
@@ -159,6 +200,10 @@ fn main() {
     println!("  θ-join/product speedup (reference/exec): {speedup:.1}×");
     println!(
         "  datalog_tc speedup @ n={} (reference/exec): {tc_speedup:.1}×",
+        tc_sizes.last().expect("nonempty")
+    );
+    println!(
+        "  datalog_tc exec @ n={}: {tc_exec_ms:.3} ms (zero-copy baseline {TC_BASELINE_MS} ms)",
         tc_sizes.last().expect("nonempty")
     );
 
@@ -180,6 +225,16 @@ fn main() {
     }
     if assert_speedup && tc_speedup < 5.0 {
         eprintln!("FAIL: exec speedup {tc_speedup:.1}× < 5× on transitive closure");
+        std::process::exit(1);
+    }
+    // The zero-copy regression gate only means something at the size it
+    // was calibrated for.
+    if assert_speedup && n == 1000 && tc_exec_ms > TC_BASELINE_MS / 2.0 {
+        eprintln!(
+            "FAIL: exec datalog_tc @ n=1000 took {tc_exec_ms:.3} ms, \
+             over the zero-copy gate of {:.2} ms (2x the {TC_BASELINE_MS} ms baseline)",
+            TC_BASELINE_MS / 2.0
+        );
         std::process::exit(1);
     }
 }

@@ -1,5 +1,6 @@
 //! [`IndexedRelation`]: a materialized batch of tuples that maintains hash
-//! indexes on join-key column sets.
+//! indexes on join-key column sets — on **shared, cheaply-clonable
+//! storage**.
 //!
 //! This is the operand type of the physical operators: every operator
 //! produces one, and the join operators ask their build side for an index
@@ -8,9 +9,30 @@
 //! operators may produce transient duplicates; explicit `Dedup` plan nodes
 //! (and the final conversion back to a set-semantics `Relation`) restore
 //! set semantics where it matters.
+//!
+//! ## Sharing model
+//!
+//! Tuples live in an `Arc<Vec<Tuple>>` and the index map behind an
+//! `Arc<Mutex<…>>`, so `clone()` is a handful of pointer bumps — no tuple
+//! or index data moves. This is what makes the executor's scan cache and
+//! the fixpoint's `ScanIdb`/`ScanDelta` views zero-copy: every view of a
+//! batch shares both the rows and the cached indexes.
+//!
+//! Sharing the index map cuts the other way too: an index built through
+//! *any* view (e.g. a join indexing a `ScanIdb` view mid-fixpoint) lands
+//! in the owning batch's cache and is maintained by later
+//! [`absorb_batch`](IndexedRelation::absorb_batch) appends — so a
+//! fixpoint round never rebuilds a join index over the accumulated IDB.
+//! The one invariant this needs is that a batch only *grows* while no
+//! sibling view is alive; [`absorb_batch`] enforces it defensively by
+//! detaching (copy-on-write) storage, index map, and dedup table when
+//! the tuple `Arc` is still shared, so a violated invariant costs a
+//! copy, never correctness.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
+use parking_lot::Mutex;
 use relviz_model::{Relation, Schema, Tuple, Value};
 
 /// A join key: a projected value vector compared by the **total order**
@@ -27,6 +49,20 @@ pub struct JoinKey(Vec<Value>);
 impl JoinKey {
     pub fn new(values: Vec<Value>) -> Self {
         JoinKey(values)
+    }
+
+    /// An empty key with room for `cols` values — the reusable buffer
+    /// for [`refill`](Self::refill).
+    pub fn with_capacity(cols: usize) -> Self {
+        JoinKey(Vec::with_capacity(cols))
+    }
+
+    /// Clears and refills the key in place from `tuple`'s `cols`. Probe
+    /// loops run once per row: reusing one buffer skips the per-row
+    /// allocation a fresh [`IndexedRelation::key_of`] would pay.
+    pub fn refill(&mut self, tuple: &Tuple, cols: &[usize]) {
+        self.0.clear();
+        self.0.extend(cols.iter().map(|&i| tuple.values()[i].clone()));
     }
 }
 
@@ -45,24 +81,119 @@ impl std::hash::Hash for JoinKey {
     }
 }
 
-/// A schema-carrying tuple batch with on-demand hash indexes.
+/// `rustc`'s FxHash: a multiplicative word-at-a-time hasher, several
+/// times faster than the default SipHash on the short [`JoinKey`]s the
+/// engine hashes in every probe, dedup, and index-maintenance step. Not
+/// DoS-resistant — fine for an in-process engine hashing data it
+/// already holds. Bucket order never reaches results (probe loops
+/// iterate the probe batch, and buckets keep insertion order), so
+/// switching hashers is invisible to output.
+#[derive(Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl std::hash::Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in chunks.by_ref() {
+            self.add(u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut word = [0u8; 8];
+            word[..rest.len()].copy_from_slice(rest);
+            self.add(u64::from_le_bytes(word));
+        }
+    }
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.add(v as u64);
+    }
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.add(v as u64);
+    }
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add(v);
+    }
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add(v as u64);
+    }
+    #[inline]
+    fn write_i64(&mut self, v: i64) {
+        self.add(v as u64);
+    }
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+type FxBuild = std::hash::BuildHasherDefault<FxHasher>;
+
+/// A hash index on one key-column set: key values → row numbers.
+pub type Index = HashMap<JoinKey, Vec<u32>, FxBuild>;
+
+/// key columns → the (Arc-shared) index on them.
+type IndexMap = HashMap<Vec<usize>, Arc<Index>, FxBuild>;
+
+/// The whole-row dedup table: full-row hash → candidate row numbers,
+/// compared against the tuple storage by the total order on probe. A
+/// deliberate *non*-`Index`: it stores no key clones at all, so the
+/// accumulated IDB holds each tuple once, not once in storage plus once
+/// in its dedup key.
+type DedupTable = HashMap<u64, Vec<u32>, FxBuild>;
+
+/// The full-row hash of a tuple, consistent with `JoinKey` equality
+/// (total-order-equal rows hash equally, because [`Value`]'s `Hash` is).
+fn row_hash(t: &Tuple) -> u64 {
+    use std::hash::{Hash, Hasher};
+    let mut h = FxHasher::default();
+    for v in t.values() {
+        v.hash(&mut h);
+    }
+    h.finish()
+}
+
+/// A schema-carrying tuple batch with on-demand hash indexes, on shared
+/// storage — see the module docs for the sharing model.
 #[derive(Debug, Clone)]
 pub struct IndexedRelation {
     schema: Schema,
-    tuples: Vec<Tuple>,
-    /// key columns → (key values → row numbers)
-    indexes: HashMap<Vec<usize>, HashMap<JoinKey, Vec<u32>>>,
+    tuples: Arc<Vec<Tuple>>,
+    indexes: Arc<Mutex<IndexMap>>,
+    /// Built lazily by the first [`absorb_batch`](Self::absorb_batch) /
+    /// [`insert_if_new`](Self::insert_if_new); `None` until then.
+    dedup: Arc<Mutex<Option<DedupTable>>>,
 }
 
 impl IndexedRelation {
     /// Wraps a batch of tuples (each must match `schema`'s arity).
     pub fn new(schema: Schema, tuples: Vec<Tuple>) -> Self {
         debug_assert!(tuples.iter().all(|t| t.arity() == schema.arity()));
-        IndexedRelation { schema, tuples, indexes: HashMap::new() }
+        IndexedRelation {
+            schema,
+            tuples: Arc::new(tuples),
+            indexes: Arc::new(Mutex::new(IndexMap::default())),
+            dedup: Arc::new(Mutex::new(None)),
+        }
     }
 
     /// Copies a set-semantics relation into an indexable batch.
     pub fn from_relation(rel: &Relation) -> Self {
+        instrument::count_materialization();
         IndexedRelation::new(rel.schema().clone(), rel.iter().cloned().collect())
     }
 
@@ -70,8 +201,8 @@ impl IndexedRelation {
         &self.schema
     }
 
-    /// Replaces the schema in place (a rename — arity must match; the
-    /// indexes are positional and stay valid).
+    /// Replaces the schema (a rename — arity must match). Pure metadata:
+    /// the tuple storage and positional indexes stay shared.
     pub fn with_schema(mut self, schema: Schema) -> Self {
         debug_assert_eq!(schema.arity(), self.schema.arity());
         self.schema = schema;
@@ -95,79 +226,166 @@ impl IndexedRelation {
         JoinKey(cols.iter().map(|&i| tuple.values()[i].clone()).collect())
     }
 
-    /// Builds (once) the hash index on `cols`. Subsequent calls with the
-    /// same column set are no-ops — the index is maintained for the life
-    /// of the batch.
-    pub fn ensure_index(&mut self, cols: &[usize]) {
-        if self.indexes.contains_key(cols) {
-            return;
+    /// The hash index on `cols`, built on first request and cached for
+    /// the life of the batch — including every view sharing its storage,
+    /// and across appends ([`insert_if_new`](Self::insert_if_new)
+    /// maintains all cached indexes). The returned `Arc` lets operators
+    /// probe lock-free, row by row.
+    pub fn index(&self, cols: &[usize]) -> Arc<Index> {
+        let mut map = self.indexes.lock();
+        if let Some(idx) = map.get(cols) {
+            return Arc::clone(idx);
         }
-        let mut index: HashMap<JoinKey, Vec<u32>> = HashMap::new();
+        instrument::count_index_build();
+        let mut index = Index::default();
         for (row, t) in self.tuples.iter().enumerate() {
             index.entry(Self::key_of(t, cols)).or_default().push(row as u32);
         }
-        self.indexes.insert(cols.to_vec(), index);
-    }
-
-    /// Row numbers matching `key` under the index on `cols`.
-    ///
-    /// # Panics
-    /// Panics if [`ensure_index`](Self::ensure_index) was not called for
-    /// `cols` first — probing an absent index is an engine bug, not a
-    /// data-dependent condition.
-    pub fn probe(&self, cols: &[usize], key: &JoinKey) -> &[u32] {
-        let index = self
-            .indexes
-            .get(cols)
-            .expect("probe before ensure_index: engine bug");
-        index.get(key).map_or(&[], Vec::as_slice)
+        let index = Arc::new(index);
+        map.insert(cols.to_vec(), Arc::clone(&index));
+        index
     }
 
     /// Inserts `t` unless an identical row (by the total order of
     /// [`Value`], the engine's notion of tuple equality) is already
-    /// present, maintaining **every** cached index. Builds the
-    /// all-columns index on first use; subsequent inserts probe it — the
-    /// fixpoint runner's dedup of new facts against the accumulated IDB
-    /// is O(1) amortized per derived tuple, not a set re-scan.
-    pub fn insert_if_new(&mut self, t: Tuple) -> bool {
-        // This runs once per derived tuple in the fixpoint hot loop:
-        // borrow the identity column set statically instead of
-        // reallocating `0..arity` per call.
-        const IDENTITY: [usize; 16] = [0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15];
-        let arity = self.schema.arity();
-        let wide: Vec<usize>;
-        let all: &[usize] = if arity <= IDENTITY.len() {
-            &IDENTITY[..arity]
-        } else {
-            wide = (0..arity).collect();
-            &wide
-        };
-        self.ensure_index(all);
-        let key = Self::key_of(&t, all);
-        if !self.probe(all, &key).is_empty() {
-            return false;
-        }
-        let row = self.tuples.len() as u32;
-        for (cols, index) in &mut self.indexes {
-            index.entry(Self::key_of(&t, cols)).or_default().push(row);
-        }
-        self.tuples.push(t);
-        true
+    /// present, maintaining **every** cached index. Returns the row
+    /// number of a genuinely new tuple, `None` for a duplicate —
+    /// callers building a delta record the row instead of cloning the
+    /// tuple back out.
+    pub fn insert_if_new(&mut self, t: Tuple) -> Option<u32> {
+        let mut fresh = Vec::with_capacity(1);
+        self.absorb_batch(vec![t], &mut fresh);
+        fresh.pop()
     }
 
-    /// Consumes the batch, yielding its raw tuples.
+    /// Moves every tuple of `batch` into this relation, skipping rows
+    /// already present (by the total order of [`Value`]) and pushing
+    /// each new row's number onto `fresh`. This is the fixpoint's
+    /// per-rule dedup-and-delta step: membership probes the lazily-built
+    /// whole-row hash table — O(1) amortized per tuple, not a set
+    /// re-scan, and with zero per-tuple key clones — while the lock and
+    /// the copy-on-write check run once per batch, not once per tuple.
+    /// Every cached index is maintained for the appended rows.
+    pub fn absorb_batch(&mut self, batch: Vec<Tuple>, fresh: &mut Vec<u32>) {
+        if batch.is_empty() {
+            return;
+        }
+        // Growing while a view shares the storage would leak rows into
+        // the view's snapshot (and its index probes): detach first.
+        // The engine never appends to a batch with live views, so this
+        // is a defensive copy, not a steady-state cost.
+        if Arc::strong_count(&self.tuples) > 1 {
+            instrument::count_deep_copy();
+            self.tuples = Arc::new((*self.tuples).clone());
+            let detached: IndexMap = self.indexes.lock().clone();
+            self.indexes = Arc::new(Mutex::new(detached));
+            let detached = self.dedup.lock().clone();
+            self.dedup = Arc::new(Mutex::new(detached));
+        }
+
+        let tuples = Arc::make_mut(&mut self.tuples);
+        let mut dedup_slot = self.dedup.lock();
+        let dedup = dedup_slot.get_or_insert_with(|| {
+            let mut table = DedupTable::default();
+            for (row, t) in tuples.iter().enumerate() {
+                table.entry(row_hash(t)).or_default().push(row as u32);
+            }
+            table
+        });
+        let mut map = self.indexes.lock();
+        // Detach every index once for the whole batch (a no-op unless a
+        // view still holds one).
+        let mut indexes: Vec<(&[usize], &mut Index)> =
+            map.iter_mut().map(|(cols, idx)| (cols.as_slice(), Arc::make_mut(idx))).collect();
+        for t in batch {
+            let h = row_hash(&t);
+            let bucket = dedup.entry(h).or_default();
+            if bucket
+                .iter()
+                .any(|&r| tuples[r as usize].cmp(&t) == std::cmp::Ordering::Equal)
+            {
+                continue;
+            }
+            let row = tuples.len() as u32;
+            bucket.push(row);
+            for (cols, index) in indexes.iter_mut() {
+                index.entry(Self::key_of(&t, cols)).or_default().push(row);
+            }
+            tuples.push(t);
+            fresh.push(row);
+        }
+    }
+
+    /// Consumes the batch, yielding its raw tuples — a move when this is
+    /// the storage's only owner, a (counted) copy otherwise.
     pub fn into_tuples(self) -> Vec<Tuple> {
-        self.tuples
+        Arc::try_unwrap(self.tuples).unwrap_or_else(|shared| {
+            instrument::count_deep_copy();
+            (*shared).clone()
+        })
     }
 
-    /// Converts back to a set-semantics [`Relation`] (deduplicating).
+    /// Converts back to a set-semantics [`Relation`] (deduplicating, in
+    /// one bulk set construction).
     pub fn into_relation(self) -> Relation {
-        let mut out = Relation::empty(self.schema);
-        for t in self.tuples {
-            out.insert_unchecked(t);
-        }
-        out
+        let schema = self.schema.clone();
+        Relation::from_tuples_unchecked(schema, self.into_tuples())
     }
+}
+
+/// Test-only instrumentation: thread-local counters for the storage
+/// events the zero-copy architecture is supposed to eliminate. Thread
+/// locals, not globals, so `cargo test`'s parallel test threads don't
+/// pollute each other's readings. Compiled out of non-test builds.
+#[cfg(test)]
+pub(crate) mod instrument {
+    use std::cell::Cell;
+
+    thread_local! {
+        /// `from_relation` calls: EDB relation → batch materializations.
+        pub static MATERIALIZATIONS: Cell<usize> = const { Cell::new(0) };
+        /// Actual index constructions (cache misses in `index`).
+        pub static INDEX_BUILDS: Cell<usize> = const { Cell::new(0) };
+        /// Whole-storage deep copies (COW detach, shared `into_tuples`).
+        pub static DEEP_COPIES: Cell<usize> = const { Cell::new(0) };
+    }
+
+    pub(crate) fn count_materialization() {
+        MATERIALIZATIONS.with(|c| c.set(c.get() + 1));
+    }
+    pub(crate) fn count_index_build() {
+        INDEX_BUILDS.with(|c| c.set(c.get() + 1));
+    }
+    pub(crate) fn count_deep_copy() {
+        DEEP_COPIES.with(|c| c.set(c.get() + 1));
+    }
+
+    /// Zeroes all counters (call at the start of a measuring test).
+    pub fn reset() {
+        MATERIALIZATIONS.with(|c| c.set(0));
+        INDEX_BUILDS.with(|c| c.set(0));
+        DEEP_COPIES.with(|c| c.set(0));
+    }
+
+    pub fn materializations() -> usize {
+        MATERIALIZATIONS.with(Cell::get)
+    }
+    pub fn index_builds() -> usize {
+        INDEX_BUILDS.with(Cell::get)
+    }
+    pub fn deep_copies() -> usize {
+        DEEP_COPIES.with(Cell::get)
+    }
+}
+
+#[cfg(not(test))]
+pub(crate) mod instrument {
+    #[inline(always)]
+    pub(crate) fn count_materialization() {}
+    #[inline(always)]
+    pub(crate) fn count_index_build() {}
+    #[inline(always)]
+    pub(crate) fn count_deep_copy() {}
 }
 
 #[cfg(test)]
@@ -188,22 +406,27 @@ mod tests {
         )
     }
 
-    #[test]
-    fn index_groups_rows_by_key() {
-        let mut b = batch();
-        b.ensure_index(&[0]);
-        assert_eq!(b.probe(&[0], &JoinKey::new(vec![Value::Int(1)])).len(), 3);
-        assert_eq!(b.probe(&[0], &JoinKey::new(vec![Value::Int(2)])).len(), 1);
-        assert_eq!(b.probe(&[0], &JoinKey::new(vec![Value::Int(9)])).len(), 0);
+    fn probe_len(b: &IndexedRelation, cols: &[usize], key: JoinKey) -> usize {
+        b.index(cols).get(&key).map_or(0, Vec::len)
     }
 
     #[test]
-    fn ensure_index_is_idempotent() {
-        let mut b = batch();
-        b.ensure_index(&[0, 1]);
-        b.ensure_index(&[0, 1]);
+    fn index_groups_rows_by_key() {
+        let b = batch();
+        assert_eq!(probe_len(&b, &[0], JoinKey::new(vec![Value::Int(1)])), 3);
+        assert_eq!(probe_len(&b, &[0], JoinKey::new(vec![Value::Int(2)])), 1);
+        assert_eq!(probe_len(&b, &[0], JoinKey::new(vec![Value::Int(9)])), 0);
+    }
+
+    #[test]
+    fn index_is_built_once_and_cached() {
+        instrument::reset();
+        let b = batch();
+        b.index(&[0, 1]);
+        b.index(&[0, 1]);
+        assert_eq!(instrument::index_builds(), 1);
         let k = JoinKey::new(vec![Value::Int(1), Value::str("x")]);
-        assert_eq!(b.probe(&[0, 1], &k).len(), 2);
+        assert_eq!(probe_len(&b, &[0, 1], k), 2);
     }
 
     /// Join keys match by the total order of Value, not derived
@@ -213,15 +436,14 @@ mod tests {
     #[test]
     fn keys_compare_by_total_order() {
         let schema = Schema::of(&[("a", DataType::Float)]);
-        let mut b = IndexedRelation::new(
+        let b = IndexedRelation::new(
             schema,
             vec![Tuple::of((1.0,)), Tuple::of((f64::NAN,))],
         );
-        b.ensure_index(&[0]);
-        assert_eq!(b.probe(&[0], &JoinKey::new(vec![Value::Int(1)])).len(), 1);
-        assert_eq!(b.probe(&[0], &JoinKey::new(vec![Value::Float(f64::NAN)])).len(), 1);
+        assert_eq!(probe_len(&b, &[0], JoinKey::new(vec![Value::Int(1)])), 1);
+        assert_eq!(probe_len(&b, &[0], JoinKey::new(vec![Value::Float(f64::NAN)])), 1);
         // -0.0 and 0.0 are *distinct* under the total order.
-        assert_eq!(b.probe(&[0], &JoinKey::new(vec![Value::Float(-0.0)])).len(), 0);
+        assert_eq!(probe_len(&b, &[0], JoinKey::new(vec![Value::Float(-0.0)])), 0);
     }
 
     /// `insert_if_new` dedupes by the total order (Int 1 == Float 1.0)
@@ -230,15 +452,73 @@ mod tests {
     #[test]
     fn insert_if_new_dedupes_and_maintains_indexes() {
         let mut b = batch();
-        b.ensure_index(&[0]);
-        assert!(!b.insert_if_new(Tuple::of((1, "x")))); // duplicate
-        assert!(!b.insert_if_new(Tuple::of((1.0, "x")))); // total-order duplicate
-        assert!(b.insert_if_new(Tuple::of((2, "z"))));
+        b.index(&[0]);
+        assert!(b.insert_if_new(Tuple::of((1, "x"))).is_none()); // duplicate
+        assert!(b.insert_if_new(Tuple::of((1.0, "x"))).is_none()); // total-order duplicate
+        assert_eq!(b.insert_if_new(Tuple::of((2, "z"))), Some(4));
         assert_eq!(b.len(), 5);
         // The pre-existing [0] index sees the appended row...
-        assert_eq!(b.probe(&[0], &JoinKey::new(vec![Value::Int(2)])).len(), 2);
+        assert_eq!(probe_len(&b, &[0], JoinKey::new(vec![Value::Int(2)])), 2);
         // ...and the all-columns dedup index keeps working afterwards.
-        assert!(!b.insert_if_new(Tuple::of((2, "z"))));
+        assert!(b.insert_if_new(Tuple::of((2, "z"))).is_none());
+    }
+
+    /// Clones share storage: no tuple copies, and an index built through
+    /// the clone is visible to (and cached by) the original.
+    #[test]
+    fn clones_share_tuples_and_indexes() {
+        instrument::reset();
+        let b = batch();
+        let renamed = b
+            .clone()
+            .with_schema(Schema::of(&[("x", DataType::Int), ("y", DataType::Str)]));
+        assert_eq!(instrument::deep_copies(), 0);
+        renamed.index(&[0]);
+        b.index(&[0]); // cache hit through the shared map
+        assert_eq!(instrument::index_builds(), 1);
+        assert_eq!(renamed.schema().names(), vec!["x", "y"]);
+        assert_eq!(b.schema().names(), vec!["a", "b"]);
+    }
+
+    /// Growing a batch while a view shares its storage detaches (COW)
+    /// instead of corrupting the view's snapshot: the view keeps its
+    /// length and its index contents.
+    #[test]
+    fn append_under_sharing_detaches_view_safely() {
+        instrument::reset();
+        let mut b = batch();
+        let view = b.clone();
+        let view_idx = view.index(&[0]);
+        assert!(b.insert_if_new(Tuple::of((7, "q"))).is_some());
+        assert!(instrument::deep_copies() > 0, "shared append must COW");
+        assert_eq!(view.len(), 4);
+        assert_eq!(b.len(), 5);
+        // The view's index never saw the appended row.
+        assert!(view_idx.get(&JoinKey::new(vec![Value::Int(7)])).is_none());
+        assert!(view.index(&[0]).get(&JoinKey::new(vec![Value::Int(7)])).is_none());
+        // The grown batch's did.
+        assert_eq!(probe_len(&b, &[0], JoinKey::new(vec![Value::Int(7)])), 1);
+    }
+
+    /// Sole-owner appends stay in place: no storage copies.
+    #[test]
+    fn unshared_append_is_in_place() {
+        instrument::reset();
+        let mut b = batch();
+        b.index(&[0]);
+        for i in 10..60 {
+            assert!(b.insert_if_new(Tuple::of((i, "n"))).is_some());
+        }
+        assert_eq!(instrument::deep_copies(), 0);
+        assert_eq!(b.len(), 54);
+    }
+
+    #[test]
+    fn into_tuples_moves_when_unshared() {
+        instrument::reset();
+        let b = batch();
+        assert_eq!(b.into_tuples().len(), 4);
+        assert_eq!(instrument::deep_copies(), 0);
     }
 
     #[test]

@@ -11,14 +11,19 @@
 //!
 //! * a small physical plan IR ([`plan::PhysPlan`]): `Scan`, `Filter`,
 //!   `Project`, `HashJoin`, `SemiJoin`, `AntiJoin`, `Union`, `Diff`,
-//!   `Dedup` — with an `EXPLAIN`-style printer ([`plan::explain`]);
-//! * [`indexed::IndexedRelation`], a tuple batch maintaining hash indexes
-//!   on join-key column sets;
+//!   `Dedup`, `Shared` — with an `EXPLAIN`-style printer
+//!   ([`plan::explain`]);
+//! * [`indexed::IndexedRelation`], a tuple batch on **shared, cheaply
+//!   clonable storage** (Arc'd tuples, an Arc'd copy-on-write index
+//!   map) maintaining hash indexes on join-key column sets;
 //! * planners lowering [`relviz_ra::RaExpr`] ([`planner::plan_ra`]) and
 //!   [`relviz_rc::TrcQuery`] ([`planner::plan_trc`]) into plans — TRC
 //!   `∃`/`¬∃` quantifier nests become semi-/anti-joins instead of
-//!   per-candidate re-evaluation;
-//! * the executor ([`run::execute`]);
+//!   per-candidate re-evaluation, and a closing common-subplan pass
+//!   wraps duplicated sub-plans in `Shared` nodes so they execute once;
+//! * the executor ([`run::execute`]), threading per-execution scan and
+//!   sub-plan caches so each base relation is materialized and indexed
+//!   at most once per query;
 //! * the **recursive-query subsystem** ([`fixpoint`],
 //!   [`datalog_planner`]): stratified Datalog lowered to hash-join
 //!   plans ([`plan_datalog`]) and iterated **semi-naively** —

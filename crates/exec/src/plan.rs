@@ -20,10 +20,14 @@
 //! | `Union` | ∪ (bag append; pair with `Dedup`) |
 //! | `Diff` | − (set difference on whole tuples) |
 //! | `Dedup` | restores set semantics after `Project`/`Union` |
+//! | `Shared` | a memoized common sub-plan: executed once per query |
 //!
 //! `ScanIdb` and `ScanDelta` only occur inside the recursive-query layer
 //! ([`crate::fixpoint`]); executing them outside a fixpoint is an engine
-//! bug the runner reports as an execution error.
+//! bug the runner reports as an execution error. `Shared` is emitted by
+//! the planners' common-subplan pass and must **not** wrap fixpoint
+//! scans — its result is cached for the whole execution, which would go
+//! stale across fixpoint rounds.
 //!
 //! [`IndexedRelation`]: crate::indexed::IndexedRelation
 
@@ -120,6 +124,16 @@ pub enum PhysPlan {
         input: Box<PhysPlan>,
         schema: Schema,
     },
+    /// A common sub-plan shared by several consumers: every occurrence
+    /// carries the same `id` over a structurally identical `input`. The
+    /// executor runs the input once per execution, caches the batch by
+    /// id, and hands every other occurrence a cheap (storage-shared)
+    /// clone with this node's schema applied.
+    Shared {
+        id: u32,
+        input: Box<PhysPlan>,
+        schema: Schema,
+    },
 }
 
 impl PhysPlan {
@@ -137,7 +151,8 @@ impl PhysPlan {
             | PhysPlan::AntiJoin { schema, .. }
             | PhysPlan::Union { schema, .. }
             | PhysPlan::Diff { schema, .. }
-            | PhysPlan::Dedup { schema, .. } => schema,
+            | PhysPlan::Dedup { schema, .. }
+            | PhysPlan::Shared { schema, .. } => schema,
         }
     }
 
@@ -155,7 +170,8 @@ impl PhysPlan {
             | PhysPlan::AntiJoin { schema, .. }
             | PhysPlan::Union { schema, .. }
             | PhysPlan::Diff { schema, .. }
-            | PhysPlan::Dedup { schema, .. } => *schema = new,
+            | PhysPlan::Dedup { schema, .. }
+            | PhysPlan::Shared { schema, .. } => *schema = new,
         }
     }
 
@@ -168,7 +184,8 @@ impl PhysPlan {
             | PhysPlan::Values { .. } => 1,
             PhysPlan::Filter { input, .. }
             | PhysPlan::Project { input, .. }
-            | PhysPlan::Dedup { input, .. } => 1 + input.node_count(),
+            | PhysPlan::Dedup { input, .. }
+            | PhysPlan::Shared { input, .. } => 1 + input.node_count(),
             PhysPlan::HashJoin { left, right, .. }
             | PhysPlan::SemiJoin { left, right, .. }
             | PhysPlan::AntiJoin { left, right, .. }
@@ -183,6 +200,9 @@ impl PhysPlan {
 // ---------------------------------------------------------------------------
 
 /// Renders the plan as an indented `EXPLAIN` tree, one node per line.
+/// A `Shared` sub-plan prints its subtree at the first occurrence only;
+/// later occurrences render as a back-reference (`Shared #n ^`), which
+/// is also how the executor treats them — one run, cheap reuse.
 pub fn explain(plan: &PhysPlan) -> String {
     let mut out = String::new();
     write_node(&mut out, plan, 0);
@@ -190,6 +210,15 @@ pub fn explain(plan: &PhysPlan) -> String {
 }
 
 pub(crate) fn write_node(out: &mut String, plan: &PhysPlan, depth: usize) {
+    write_node_seen(out, plan, depth, &mut std::collections::HashSet::new());
+}
+
+fn write_node_seen(
+    out: &mut String,
+    plan: &PhysPlan,
+    depth: usize,
+    seen: &mut std::collections::HashSet<u32>,
+) {
     for _ in 0..depth {
         out.push_str("  ");
     }
@@ -208,7 +237,7 @@ pub(crate) fn write_node(out: &mut String, plan: &PhysPlan, depth: usize) {
         }
         PhysPlan::Filter { pred, input, .. } => {
             out.push_str(&format!("Filter {}\n", fmt_pred(pred)));
-            write_node(out, input, depth + 1);
+            write_node_seen(out, input, depth + 1, seen);
         }
         PhysPlan::Project { cols, input, schema } => {
             let parts: Vec<String> = cols
@@ -227,7 +256,7 @@ pub(crate) fn write_node(out: &mut String, plan: &PhysPlan, depth: usize) {
                 })
                 .collect();
             out.push_str(&format!("Project [{}]\n", parts.join(", ")));
-            write_node(out, input, depth + 1);
+            write_node_seen(out, input, depth + 1, seen);
         }
         PhysPlan::HashJoin { left, right, left_keys, right_keys, right_keep, post, .. } => {
             if left_keys.is_empty() {
@@ -249,38 +278,46 @@ pub(crate) fn write_node(out: &mut String, plan: &PhysPlan, depth: usize) {
                 out.push_str(&format!(" filter {}", fmt_pred(p)));
             }
             out.push('\n');
-            write_node(out, left, depth + 1);
-            write_node(out, right, depth + 1);
+            write_node_seen(out, left, depth + 1, seen);
+            write_node_seen(out, right, depth + 1, seen);
         }
         PhysPlan::SemiJoin { left, right, left_keys, right_keys, .. } => {
             out.push_str(&format!(
                 "SemiJoin [{}]\n",
                 fmt_keys(left, right, left_keys, right_keys)
             ));
-            write_node(out, left, depth + 1);
-            write_node(out, right, depth + 1);
+            write_node_seen(out, left, depth + 1, seen);
+            write_node_seen(out, right, depth + 1, seen);
         }
         PhysPlan::AntiJoin { left, right, left_keys, right_keys, .. } => {
             out.push_str(&format!(
                 "AntiJoin [{}]\n",
                 fmt_keys(left, right, left_keys, right_keys)
             ));
-            write_node(out, left, depth + 1);
-            write_node(out, right, depth + 1);
+            write_node_seen(out, left, depth + 1, seen);
+            write_node_seen(out, right, depth + 1, seen);
         }
         PhysPlan::Union { left, right, .. } => {
             out.push_str("Union\n");
-            write_node(out, left, depth + 1);
-            write_node(out, right, depth + 1);
+            write_node_seen(out, left, depth + 1, seen);
+            write_node_seen(out, right, depth + 1, seen);
         }
         PhysPlan::Diff { left, right, .. } => {
             out.push_str("Diff\n");
-            write_node(out, left, depth + 1);
-            write_node(out, right, depth + 1);
+            write_node_seen(out, left, depth + 1, seen);
+            write_node_seen(out, right, depth + 1, seen);
         }
         PhysPlan::Dedup { input, .. } => {
             out.push_str("Dedup\n");
-            write_node(out, input, depth + 1);
+            write_node_seen(out, input, depth + 1, seen);
+        }
+        PhysPlan::Shared { id, input, .. } => {
+            if seen.insert(*id) {
+                out.push_str(&format!("Shared #{id}\n"));
+                write_node_seen(out, input, depth + 1, seen);
+            } else {
+                out.push_str(&format!("Shared #{id} ^\n"));
+            }
         }
     }
 }

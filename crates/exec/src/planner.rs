@@ -13,6 +13,12 @@
 //! computes all satisfying extended assignments at once. Attribute names
 //! follow the `var__attr` mangling of [`relviz_rc::to_ra`], so plans stay
 //! readable next to the classical compilation.
+//!
+//! Both lowerings finish with a **common-subplan pass**
+//! ([`share_common_subplans`]): structurally identical sub-plans — the
+//! outer context a quantifier build side re-plans, the duplicated
+//! operands of `∨`/`¬`/division — are wrapped in [`PhysPlan::Shared`]
+//! nodes and execute once per query.
 
 use relviz_model::{Attribute, Database, Schema};
 use relviz_ra::typing::schema_of;
@@ -24,13 +30,196 @@ use crate::error::{ExecError, ExecResult};
 use crate::plan::{OutputCol, PhysPlan};
 
 // ---------------------------------------------------------------------------
+// Common sub-plan sharing (CSE)
+// ---------------------------------------------------------------------------
+
+/// Wraps structurally identical non-leaf sub-plans in
+/// [`PhysPlan::Shared`] nodes keyed on a canonical fingerprint, so the
+/// executor computes each one once per query and hands every other
+/// occurrence a storage-shared clone of the cached batch.
+///
+/// Duplicated sub-plans are endemic to the lowerings, not an edge case:
+/// TRC quantifier decorrelation re-plans the outer context inside every
+/// build side, `∨`/`¬` compile both operands over a copy of their input,
+/// and RA division expands one operand three times. Wrapping is
+/// top-down and recursive: a duplicate *inside* a shared subtree gets
+/// its own id too, so a sub-plan duplicated both within and outside a
+/// larger shared plan is still computed once (identical subtrees are
+/// rewritten identically, keeping every occurrence of an id equal).
+///
+/// Must not be applied to fixpoint rule plans: a `Shared` result is
+/// cached for the whole execution, but `ScanIdb`/`ScanDelta` contents
+/// change every round.
+fn share_common_subplans(plan: PhysPlan) -> PhysPlan {
+    fn is_leaf(p: &PhysPlan) -> bool {
+        matches!(
+            p,
+            PhysPlan::Scan { .. }
+                | PhysPlan::ScanIdb { .. }
+                | PhysPlan::ScanDelta { .. }
+                | PhysPlan::Values { .. }
+        )
+    }
+
+    /// The canonical fingerprint: the derived `Debug` form is fully
+    /// structural (schemas, keys, predicates, constants), so equal
+    /// strings mean behaviorally identical sub-plans.
+    fn fingerprint(p: &PhysPlan) -> String {
+        format!("{p:?}")
+    }
+
+    fn count(p: &PhysPlan, counts: &mut std::collections::HashMap<String, u32>) {
+        if !is_leaf(p) {
+            *counts.entry(fingerprint(p)).or_insert(0) += 1;
+        }
+        match p {
+            PhysPlan::Scan { .. }
+            | PhysPlan::ScanIdb { .. }
+            | PhysPlan::ScanDelta { .. }
+            | PhysPlan::Values { .. } => {}
+            PhysPlan::Filter { input, .. }
+            | PhysPlan::Project { input, .. }
+            | PhysPlan::Dedup { input, .. }
+            | PhysPlan::Shared { input, .. } => count(input, counts),
+            PhysPlan::HashJoin { left, right, .. }
+            | PhysPlan::SemiJoin { left, right, .. }
+            | PhysPlan::AntiJoin { left, right, .. }
+            | PhysPlan::Union { left, right, .. }
+            | PhysPlan::Diff { left, right, .. } => {
+                count(left, counts);
+                count(right, counts);
+            }
+        }
+    }
+
+    struct Ids {
+        by_fingerprint: std::collections::HashMap<String, u32>,
+        next: u32,
+    }
+
+    fn rewrite(
+        p: PhysPlan,
+        counts: &std::collections::HashMap<String, u32>,
+        ids: &mut Ids,
+    ) -> PhysPlan {
+        // Decide on the *pre-rewrite* fingerprint (ids are assigned in
+        // traversal order, so identical subtrees rewrite identically),
+        // then descend either way — nested duplicates share too.
+        let wrap_as = if is_leaf(&p) {
+            None
+        } else {
+            let fp = fingerprint(&p);
+            if counts.get(&fp).copied().unwrap_or(0) > 1 {
+                Some(*ids.by_fingerprint.entry(fp).or_insert_with(|| {
+                    let id = ids.next;
+                    ids.next += 1;
+                    id
+                }))
+            } else {
+                None
+            }
+        };
+        let rewritten = descend(p, counts, ids);
+        match wrap_as {
+            Some(id) => {
+                let schema = rewritten.schema().clone();
+                PhysPlan::Shared { id, input: Box::new(rewritten), schema }
+            }
+            None => rewritten,
+        }
+    }
+
+    fn descend(
+        p: PhysPlan,
+        counts: &std::collections::HashMap<String, u32>,
+        ids: &mut Ids,
+    ) -> PhysPlan {
+        match p {
+            leaf @ (PhysPlan::Scan { .. }
+            | PhysPlan::ScanIdb { .. }
+            | PhysPlan::ScanDelta { .. }
+            | PhysPlan::Values { .. }) => leaf,
+            PhysPlan::Filter { pred, input, schema } => PhysPlan::Filter {
+                pred,
+                input: Box::new(rewrite(*input, counts, ids)),
+                schema,
+            },
+            PhysPlan::Project { cols, input, schema } => PhysPlan::Project {
+                cols,
+                input: Box::new(rewrite(*input, counts, ids)),
+                schema,
+            },
+            PhysPlan::Dedup { input, schema } => PhysPlan::Dedup {
+                input: Box::new(rewrite(*input, counts, ids)),
+                schema,
+            },
+            PhysPlan::Shared { id, input, schema } => PhysPlan::Shared {
+                id,
+                input: Box::new(rewrite(*input, counts, ids)),
+                schema,
+            },
+            PhysPlan::HashJoin {
+                left,
+                right,
+                left_keys,
+                right_keys,
+                right_keep,
+                post,
+                schema,
+            } => PhysPlan::HashJoin {
+                left: Box::new(rewrite(*left, counts, ids)),
+                right: Box::new(rewrite(*right, counts, ids)),
+                left_keys,
+                right_keys,
+                right_keep,
+                post,
+                schema,
+            },
+            PhysPlan::SemiJoin { left, right, left_keys, right_keys, schema } => {
+                PhysPlan::SemiJoin {
+                    left: Box::new(rewrite(*left, counts, ids)),
+                    right: Box::new(rewrite(*right, counts, ids)),
+                    left_keys,
+                    right_keys,
+                    schema,
+                }
+            }
+            PhysPlan::AntiJoin { left, right, left_keys, right_keys, schema } => {
+                PhysPlan::AntiJoin {
+                    left: Box::new(rewrite(*left, counts, ids)),
+                    right: Box::new(rewrite(*right, counts, ids)),
+                    left_keys,
+                    right_keys,
+                    schema,
+                }
+            }
+            PhysPlan::Union { left, right, schema } => PhysPlan::Union {
+                left: Box::new(rewrite(*left, counts, ids)),
+                right: Box::new(rewrite(*right, counts, ids)),
+                schema,
+            },
+            PhysPlan::Diff { left, right, schema } => PhysPlan::Diff {
+                left: Box::new(rewrite(*left, counts, ids)),
+                right: Box::new(rewrite(*right, counts, ids)),
+                schema,
+            },
+        }
+    }
+
+    let mut counts = std::collections::HashMap::new();
+    count(&plan, &mut counts);
+    let mut ids = Ids { by_fingerprint: std::collections::HashMap::new(), next: 0 };
+    rewrite(plan, &counts, &mut ids)
+}
+
+// ---------------------------------------------------------------------------
 // RA → physical plan
 // ---------------------------------------------------------------------------
 
 /// Lowers a Relational Algebra expression (type-checking it first).
 pub fn plan_ra(expr: &RaExpr, db: &Database) -> ExecResult<PhysPlan> {
     schema_of(expr, db)?; // surface type errors with the RA crate's messages
-    lower_ra(expr, db)
+    lower_ra(expr, db).map(share_common_subplans)
 }
 
 fn lower_ra(expr: &RaExpr, db: &Database) -> ExecResult<PhysPlan> {
@@ -448,6 +637,7 @@ pub fn plan_trc(q: &TrcQuery, db: &Database) -> ExecResult<PhysPlan> {
         .into_iter()
         .reduce(union)
         .map(|p| if many { dedup(p) } else { p })
+        .map(share_common_subplans)
         .ok_or_else(|| ExecError::Plan("query has no branches".into()))
 }
 
@@ -701,6 +891,47 @@ mod tests {
         let ours = execute(&plan_trc(&q, &db).unwrap(), &db).unwrap();
         assert!(ours.same_contents(&reference), "ours={ours}\nref={reference}");
         assert_eq!(ours.len(), 2); // NaN finds its identical self
+    }
+
+    /// The decorrelated quantifier build side re-plans the outer
+    /// context; the CSE pass must fuse it with the probe side's copy
+    /// into one `Shared` sub-plan — shown once in EXPLAIN, executed
+    /// once by the runner.
+    #[test]
+    fn common_subplans_are_shared_and_execute_once() {
+        let db = sailors_sample();
+        // Q5: ¬∃ b (red ∧ ¬∃ r reserved) — the context × Boat sub-plan
+        // appears on both sides of the inner anti-join.
+        let q = relviz_rc::trc_parse::parse_trc(
+            "{s.sname | Sailor(s) and not exists b in Boat: (b.color = 'red' and \
+             not exists r in Reserves: (r.sid = s.sid and r.bid = b.bid))}",
+        )
+        .unwrap();
+        let plan = plan_trc(&q, &db).unwrap();
+        let text = explain(&plan);
+        assert!(text.contains("Shared #0\n"), "{text}");
+        assert!(text.contains("Shared #0 ^"), "back-reference missing:\n{text}");
+        let ours = execute(&plan, &db).unwrap();
+        let reference = relviz_rc::trc_eval::eval_trc(&q, &db).unwrap();
+        assert!(ours.same_contents(&reference));
+    }
+
+    /// RA division expands its dividend three times; CSE collapses the
+    /// copies, and the plan still matches the reference evaluator.
+    #[test]
+    fn division_shares_its_expanded_operands() {
+        let db = sailors_sample();
+        let e = relviz_ra::parse::parse_ra(
+            "Division(Project[sid, bid](Reserves), Project[bid](Boat))",
+        )
+        .unwrap();
+        let plan = plan_ra(&e, &db).unwrap();
+        let text = explain(&plan);
+        assert!(text.contains("Shared #"), "{text}");
+        assert!(text.contains(" ^"), "{text}");
+        let ours = execute(&plan, &db).unwrap();
+        let reference = relviz_ra::eval::eval(&e, &db).unwrap();
+        assert!(ours.same_contents(&reference));
     }
 
     #[test]

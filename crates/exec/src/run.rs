@@ -4,9 +4,23 @@
 //! Predicates are compiled (names → positions) once per `Filter`/join
 //! node, not per tuple; joins build a hash index on the build side once
 //! and probe it per probe-side row.
+//!
+//! Every execution carries an [`ExecContext`]:
+//!
+//! * the **scan cache** materializes and indexes each EDB relation at
+//!   most once per query — all `Scan` leaves of the same relation (and,
+//!   through [`crate::fixpoint`], all rounds of a fixpoint) share one
+//!   batch, handing out metadata-only views with the leaf's schema;
+//! * the **sub-plan cache** resolves [`PhysPlan::Shared`] nodes: the
+//!   first occurrence runs the sub-plan and caches the batch by id,
+//!   every later occurrence gets a storage-shared clone.
+//!
+//! Both caches rely on [`IndexedRelation`] clones being cheap (Arc'd
+//! tuples, shared index map) — see the `indexed` module docs.
 
 use std::collections::{BTreeSet, HashMap};
 
+use parking_lot::Mutex;
 use relviz_model::{Database, Relation, Schema, Tuple, Value};
 use relviz_ra::{Operand, Predicate};
 
@@ -23,6 +37,26 @@ pub(crate) struct FixpointState<'a> {
     pub delta: &'a HashMap<String, IndexedRelation>,
 }
 
+/// Per-execution caches. One context lives for exactly one `execute` /
+/// `run` call — or one whole fixpoint evaluation, where sharing the
+/// scan cache across rounds is the point (the EDB cannot change
+/// mid-query). The sub-plan cache must never serve a plan containing
+/// fixpoint scans (`Shared` is only emitted for plain plans), because
+/// its entries are never invalidated within an execution.
+#[derive(Default)]
+pub(crate) struct ExecContext {
+    /// EDB relation name → its one materialized, indexed batch.
+    scans: Mutex<HashMap<String, IndexedRelation>>,
+    /// `Shared` sub-plan id → its computed batch.
+    subplans: Mutex<HashMap<u32, IndexedRelation>>,
+}
+
+impl ExecContext {
+    pub(crate) fn new() -> Self {
+        ExecContext::default()
+    }
+}
+
 /// Executes a plan, returning a set-semantics [`Relation`].
 pub fn execute(plan: &PhysPlan, db: &Database) -> ExecResult<Relation> {
     run(plan, db).map(IndexedRelation::into_relation)
@@ -30,20 +64,35 @@ pub fn execute(plan: &PhysPlan, db: &Database) -> ExecResult<Relation> {
 
 /// Executes a plan, returning the raw (possibly bag-semantics) batch.
 pub fn run(plan: &PhysPlan, db: &Database) -> ExecResult<IndexedRelation> {
-    run_with(plan, db, None)
+    run_with(plan, db, None, &ExecContext::new())
 }
 
-/// Executes a plan with optional fixpoint scan state.
+/// Executes a plan with optional fixpoint scan state and the
+/// execution's caches.
 pub(crate) fn run_with(
     plan: &PhysPlan,
     db: &Database,
     state: Option<&FixpointState<'_>>,
+    ctx: &ExecContext,
 ) -> ExecResult<IndexedRelation> {
-    // Shorthand: recurse with the same state threaded through.
-    let run = |p: &PhysPlan| run_with(p, db, state);
+    // Shorthand: recurse with the same state and caches threaded through.
+    let run = |p: &PhysPlan| run_with(p, db, state, ctx);
     match plan {
         PhysPlan::Scan { rel, schema } => {
-            let base = db.relation(rel).map_err(|e| ExecError::Eval(e.to_string()))?;
+            let cached = {
+                let scans = ctx.scans.lock();
+                scans.get(rel).cloned()
+            };
+            let base = match cached {
+                Some(batch) => batch,
+                None => {
+                    let stored =
+                        db.relation(rel).map_err(|e| ExecError::Eval(e.to_string()))?;
+                    let batch = IndexedRelation::from_relation(stored);
+                    ctx.scans.lock().insert(rel.clone(), batch.clone());
+                    batch
+                }
+            };
             if base.schema().arity() != schema.arity() {
                 return Err(ExecError::Eval(format!(
                     "scan of `{rel}`: plan schema arity {} != stored arity {}",
@@ -51,7 +100,9 @@ pub(crate) fn run_with(
                     base.schema().arity()
                 )));
             }
-            Ok(IndexedRelation::new(schema.clone(), base.iter().cloned().collect()))
+            // A storage-shared view under the leaf's (possibly renamed)
+            // schema; indexes built on any view land in the shared cache.
+            Ok(base.with_schema(schema.clone()))
         }
         PhysPlan::ScanIdb { rel, schema } => {
             let state = state.ok_or_else(|| {
@@ -60,8 +111,9 @@ pub(crate) fn run_with(
             let batch = state.idb.get(rel).ok_or_else(|| {
                 ExecError::Eval(format!("ScanIdb `{rel}`: predicate missing from IDB state"))
             })?;
-            // Clone carries the cached indexes, so joins keyed the same
-            // way across rounds probe without rebuilding.
+            // A zero-copy view: tuples and cached indexes stay shared
+            // with the accumulated IDB, so joins keyed the same way
+            // across rounds probe without copying or rebuilding.
             Ok(batch.clone().with_schema(schema.clone()))
         }
         PhysPlan::ScanDelta { rel, schema } => {
@@ -72,6 +124,21 @@ pub(crate) fn run_with(
                 ExecError::Eval(format!("ScanDelta `{rel}`: predicate missing from delta state"))
             })?;
             Ok(batch.clone().with_schema(schema.clone()))
+        }
+        PhysPlan::Shared { id, input, schema } => {
+            let cached = {
+                let subplans = ctx.subplans.lock();
+                subplans.get(id).cloned()
+            };
+            let batch = match cached {
+                Some(batch) => batch,
+                None => {
+                    let batch = run(input)?;
+                    ctx.subplans.lock().insert(*id, batch.clone());
+                    batch
+                }
+            };
+            Ok(batch.with_schema(schema.clone()))
         }
         PhysPlan::Values { rows, schema } => {
             Ok(IndexedRelation::new(schema.clone(), rows.clone()))
@@ -90,6 +157,31 @@ pub(crate) fn run_with(
             Ok(IndexedRelation::new(schema.clone(), tuples))
         }
         PhysPlan::Project { cols, input, schema } => {
+            // Fused path: a projection directly over a hash join builds
+            // the projected tuples straight out of the probe loop — the
+            // join's full-width output (the per-round hot path of every
+            // Datalog head) is never materialized.
+            if let PhysPlan::HashJoin {
+                left,
+                right,
+                left_keys,
+                right_keys,
+                right_keep,
+                post,
+                schema: join_schema,
+            } = input.as_ref()
+            {
+                let join = JoinSpec {
+                    left,
+                    right,
+                    left_keys,
+                    right_keys,
+                    right_keep,
+                    post,
+                    schema: join_schema,
+                };
+                return run_hash_join(&join, Some((cols, schema)), &run);
+            }
             let batch = run(input)?;
             let tuples = batch
                 .tuples()
@@ -108,50 +200,21 @@ pub(crate) fn run_with(
             Ok(IndexedRelation::new(schema.clone(), tuples))
         }
         PhysPlan::HashJoin { left, right, left_keys, right_keys, right_keep, post, schema } => {
-            let lb = run(left)?;
-            let mut rb = run(right)?;
-            rb.ensure_index(right_keys);
-            // Like Filter: the residual predicate is written in the
-            // *inputs'* attribute names, which a rename folded onto this
-            // node's output schema may no longer carry.
-            let compiled = post
-                .as_ref()
-                .map(|p| {
-                    let mut attrs = lb.schema().attrs().to_vec();
-                    for &i in right_keep {
-                        attrs.push(rb.schema().attrs()[i].clone());
-                    }
-                    let pred_schema =
-                        Schema::new(attrs).map_err(|e| ExecError::Eval(e.to_string()))?;
-                    compile_pred(p, &pred_schema)
-                })
-                .transpose()?;
-            let mut tuples = Vec::new();
-            for a in lb.tuples() {
-                let key = IndexedRelation::key_of(a, left_keys);
-                for &row in rb.probe(right_keys, &key) {
-                    let b = &rb.tuples()[row as usize];
-                    let mut vals = a.values().to_vec();
-                    for &i in right_keep {
-                        vals.push(b.values()[i].clone());
-                    }
-                    let t = Tuple::new(vals);
-                    if compiled.as_ref().is_none_or(|p| eval_pred(p, &t)) {
-                        tuples.push(t);
-                    }
-                }
-            }
-            Ok(IndexedRelation::new(schema.clone(), tuples))
+            let join = JoinSpec { left, right, left_keys, right_keys, right_keep, post, schema };
+            run_hash_join(&join, None, &run)
         }
         PhysPlan::SemiJoin { left, right, left_keys, right_keys, schema } => {
             let lb = run(left)?;
-            let mut rb = run(right)?;
-            rb.ensure_index(right_keys);
+            let rb = run(right)?;
+            let rindex = rb.index(right_keys);
+            let mut key = crate::indexed::JoinKey::with_capacity(left_keys.len());
             let tuples = lb
                 .tuples()
                 .iter()
                 .filter(|t| {
-                    !rb.probe(right_keys, &IndexedRelation::key_of(t, left_keys)).is_empty()
+                    key.refill(t, left_keys);
+                    // Index buckets are never empty by construction.
+                    rindex.contains_key(&key)
                 })
                 .cloned()
                 .collect();
@@ -159,13 +222,15 @@ pub(crate) fn run_with(
         }
         PhysPlan::AntiJoin { left, right, left_keys, right_keys, schema } => {
             let lb = run(left)?;
-            let mut rb = run(right)?;
-            rb.ensure_index(right_keys);
+            let rb = run(right)?;
+            let rindex = rb.index(right_keys);
+            let mut key = crate::indexed::JoinKey::with_capacity(left_keys.len());
             let tuples = lb
                 .tuples()
                 .iter()
                 .filter(|t| {
-                    rb.probe(right_keys, &IndexedRelation::key_of(t, left_keys)).is_empty()
+                    key.refill(t, left_keys);
+                    !rindex.contains_key(&key)
                 })
                 .cloned()
                 .collect();
@@ -204,6 +269,112 @@ pub(crate) fn run_with(
             Ok(IndexedRelation::new(schema.clone(), tuples))
         }
     }
+}
+
+// ---------------------------------------------------------------------------
+// Hash join (with optional fused projection)
+// ---------------------------------------------------------------------------
+
+/// The fields of a `HashJoin` node, borrowed for [`run_hash_join`].
+struct JoinSpec<'a> {
+    left: &'a PhysPlan,
+    right: &'a PhysPlan,
+    left_keys: &'a [usize],
+    right_keys: &'a [usize],
+    right_keep: &'a [usize],
+    post: &'a Option<Predicate>,
+    schema: &'a Schema,
+}
+
+/// Where a projected output column comes from relative to the join's
+/// (virtual) output row `left ++ right[right_keep]`.
+enum FusedCol {
+    Left(usize),
+    Right(usize),
+    Const(Value),
+}
+
+/// Runs a hash join; with `project` set, emits the projected columns
+/// directly from the probe loop instead of materializing the join's
+/// full-width output first. The residual θ-predicate (rare in fused
+/// plans) still evaluates against the full concatenated row.
+fn run_hash_join(
+    join: &JoinSpec<'_>,
+    project: Option<(&[OutputCol], &Schema)>,
+    run: &dyn Fn(&PhysPlan) -> ExecResult<IndexedRelation>,
+) -> ExecResult<IndexedRelation> {
+    let lb = run(join.left)?;
+    let rb = run(join.right)?;
+    let rindex = rb.index(join.right_keys);
+    // Like Filter: the residual predicate is written in the *inputs'*
+    // attribute names, which a rename folded onto this node's output
+    // schema may no longer carry.
+    let compiled = join
+        .post
+        .as_ref()
+        .map(|p| {
+            let mut attrs = lb.schema().attrs().to_vec();
+            for &i in join.right_keep {
+                attrs.push(rb.schema().attrs()[i].clone());
+            }
+            let pred_schema = Schema::new(attrs).map_err(|e| ExecError::Eval(e.to_string()))?;
+            compile_pred(p, &pred_schema)
+        })
+        .transpose()?;
+
+    let left_arity = lb.schema().arity();
+    let fused: Option<Vec<FusedCol>> = project.map(|(cols, _)| {
+        cols.iter()
+            .map(|c| match c {
+                OutputCol::Pos(i) if *i < left_arity => FusedCol::Left(*i),
+                OutputCol::Pos(i) => FusedCol::Right(join.right_keep[*i - left_arity]),
+                OutputCol::Const(v) => FusedCol::Const(v.clone()),
+            })
+            .collect()
+    });
+    let out_schema = project.map_or(join.schema, |(_, s)| s).clone();
+
+    let mut tuples = Vec::new();
+    let mut key = crate::indexed::JoinKey::with_capacity(join.left_keys.len());
+    for a in lb.tuples() {
+        key.refill(a, join.left_keys);
+        let Some(rows) = rindex.get(&key) else { continue };
+        for &row in rows {
+            let b = &rb.tuples()[row as usize];
+            match &fused {
+                // Fused + no residual: build only the projected row.
+                Some(cols) if compiled.is_none() => {
+                    tuples.push(project_match(cols, a, b));
+                }
+                _ => {
+                    let mut vals = a.values().to_vec();
+                    for &i in join.right_keep {
+                        vals.push(b.values()[i].clone());
+                    }
+                    let t = Tuple::new(vals);
+                    if compiled.as_ref().is_none_or(|p| eval_pred(p, &t)) {
+                        tuples.push(match &fused {
+                            Some(cols) => project_match(cols, a, b),
+                            None => t,
+                        });
+                    }
+                }
+            }
+        }
+    }
+    Ok(IndexedRelation::new(out_schema, tuples))
+}
+
+fn project_match(cols: &[FusedCol], a: &Tuple, b: &Tuple) -> Tuple {
+    Tuple::new(
+        cols.iter()
+            .map(|c| match c {
+                FusedCol::Left(i) => a.values()[*i].clone(),
+                FusedCol::Right(i) => b.values()[*i].clone(),
+                FusedCol::Const(v) => v.clone(),
+            })
+            .collect(),
+    )
 }
 
 // ---------------------------------------------------------------------------
@@ -377,5 +548,74 @@ mod tests {
             schema: Schema::empty(),
         };
         assert!(matches!(run(&plan, &db), Err(ExecError::Eval(_))));
+    }
+
+    /// Regression for the scan cache: a plan scanning the same EDB
+    /// relation twice materializes it once, and two joins building the
+    /// same key index on it build it once — the second probe side gets
+    /// a storage-shared view whose index cache already holds it.
+    #[test]
+    fn repeated_scans_materialize_and_index_once() {
+        use crate::indexed::instrument;
+        let db = sailors_sample();
+        let scan = |rel: &str| PhysPlan::Scan {
+            rel: rel.into(),
+            schema: db.schema(rel).unwrap().clone(),
+        };
+        let semi = |left: PhysPlan, right: PhysPlan| PhysPlan::SemiJoin {
+            left_keys: vec![0],
+            right_keys: vec![0],
+            schema: left.schema().clone(),
+            left: Box::new(left),
+            right: Box::new(right),
+        };
+        // Sailor ⋉ Reserves ⋉ Reserves: `Reserves` appears twice, both
+        // sides keyed on column 0.
+        let plan = semi(semi(scan("Sailor"), scan("Reserves")), scan("Reserves"));
+        instrument::reset();
+        let out = run(&plan, &db).unwrap();
+        assert_eq!(out.len(), 4); // sailors holding a reservation
+        assert_eq!(
+            instrument::materializations(),
+            2,
+            "Sailor once, Reserves once — not once per Scan leaf"
+        );
+        assert_eq!(
+            instrument::index_builds(),
+            1,
+            "the [0] index on Reserves must be built once and shared"
+        );
+        assert_eq!(instrument::deep_copies(), 0);
+    }
+
+    /// A `Shared` sub-plan executes once; every other occurrence gets a
+    /// cheap clone of the cached batch (no re-materialization).
+    #[test]
+    fn shared_subplan_runs_once() {
+        use crate::indexed::instrument;
+        let db = sailors_sample();
+        let expensive = PhysPlan::Dedup {
+            schema: db.schema("Reserves").unwrap().clone(),
+            input: Box::new(PhysPlan::Scan {
+                rel: "Reserves".into(),
+                schema: db.schema("Reserves").unwrap().clone(),
+            }),
+        };
+        let shared = |id| PhysPlan::Shared {
+            id,
+            input: Box::new(expensive.clone()),
+            schema: expensive.schema().clone(),
+        };
+        let plan = PhysPlan::Union {
+            schema: expensive.schema().clone(),
+            left: Box::new(shared(0)),
+            right: Box::new(shared(0)),
+        };
+        instrument::reset();
+        let out = run(&plan, &db).unwrap();
+        let reserves = db.relation("Reserves").unwrap().len();
+        assert_eq!(out.len(), 2 * reserves);
+        assert_eq!(instrument::materializations(), 1, "sub-plan must run once");
+        assert_eq!(instrument::deep_copies(), 0);
     }
 }

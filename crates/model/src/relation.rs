@@ -95,6 +95,16 @@ impl Relation {
         self.tuples.insert(t)
     }
 
+    /// Builds a relation from a whole batch of rows without validation,
+    /// in one bulk set construction (sort + bulk build) instead of
+    /// per-tuple tree inserts — the fast path for evaluators converting
+    /// a large correct-by-construction batch back to set semantics.
+    /// Duplicates collapse as always.
+    pub fn from_tuples_unchecked(schema: Schema, rows: Vec<Tuple>) -> Self {
+        debug_assert!(rows.iter().all(|t| t.arity() == schema.arity()));
+        Relation { schema, tuples: rows.into_iter().collect() }
+    }
+
     /// Replaces the schema with an equally-shaped one (rename operations).
     pub fn with_schema(self, schema: Schema) -> Result<Self> {
         if schema.arity() != self.schema.arity() {
