@@ -9,6 +9,13 @@ cargo build --release --workspace --bins --examples
 # 2. Full test suite: unit, integration, property and doc tests.
 cargo test -q --workspace
 
+# 2b. The same suite under contention: RELVIZ_THREADS=8 makes every
+#     `Engine::Parallel(0)` ("auto") site — the conformance path, the
+#     pipeline, the CLI default — run eight workers, so the parallel
+#     runtime's scheduling is exercised across the whole suite, and the
+#     determinism tests pin byte-identical results under it.
+RELVIZ_THREADS=8 cargo test -q --workspace
+
 # 3. All nine Criterion bench targets must compile.
 cargo bench --no-run
 
@@ -17,14 +24,30 @@ cargo clippy --workspace --all-targets -- -D warnings
 
 # 5. Timed S1 smoke run: the θ-join/product workload at n=1000, the
 #    recursive transitive-closure workload at n ∈ {100, 300, 1000}
-#    (reference vs exec) plus exec-only at n=3000, and same-generation
-#    at n=1000. Appends an (engine, query, n, wall-time) snapshot line
-#    per measurement to BENCH_exec.json — the perf trajectory across
-#    PRs — and fails unless (a) exec is ≥5× faster than the reference
-#    on both gated workloads (θ-join/product, datalog_tc at n=1000) and
-#    (b) exec datalog_tc at n=1000 beats the pre-zero-copy exec
-#    baseline (~14.5 ms) by ≥2× — the shared-batch/scan-cache
-#    architecture must keep paying off.
+#    (reference vs exec) plus exec-only and parallel at n=3000, and
+#    same-generation at n=1000. Appends an (engine, query, n, threads,
+#    wall-time) snapshot line per measurement to BENCH_exec.json — the
+#    perf trajectory across PRs — and fails unless (a) exec is ≥5×
+#    faster than the reference on both gated workloads (θ-join/product,
+#    datalog_tc at n=1000), (b) exec datalog_tc at n=1000 beats the
+#    pre-zero-copy exec baseline (~14.5 ms) by ≥2×, and (c) on hardware
+#    with ≥4 threads, parallel datalog_tc at n=3000 beats single-thread
+#    exec by ≥1.5× (self-skipping on narrower machines, where the ratio
+#    is physically unattainable).
+rows_before=$(wc -l < BENCH_exec.json)
 cargo run --release -p relviz-bench --bin s1_exec -- 1000 --assert --out BENCH_exec.json
+rows_appended=$(( $(wc -l < BENCH_exec.json) - rows_before ))
+
+# 6. BENCH_exec.json schema: every row the run above appended carries
+#    the `threads` field (1 for the serial engines, the worker count on
+#    the parallel row), and at least one of them is the parallel
+#    engine's deep-workload measurement. The window is computed from
+#    the actual append count, so adding workloads cannot silently
+#    misalign the check.
+test "$rows_appended" -gt 0
+tail -n "$rows_appended" BENCH_exec.json | awk '
+    !/"threads": [0-9]+/ { bad++ }
+    /"engine": "parallel"/ { par++ }
+    END { if (bad > 0 || par < 1) { print "BENCH_exec.json schema check failed:", bad+0, "row(s) missing threads,", par+0, "parallel row(s)"; exit 1 } }'
 
 echo "ci.sh: all green"

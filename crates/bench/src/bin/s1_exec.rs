@@ -14,6 +14,15 @@
 //! faster than the pre-zero-copy exec baseline
 //! ([`TC_BASELINE_MS`], frozen from BENCH_exec.json). (CI gates; run in
 //! release, debug timings are not meaningful.)
+//!
+//! Every snapshot row carries a `threads` field (1 for the serial
+//! engines). The deep exec-only size also runs on `Engine::Parallel`
+//! at the machine's worker count, recorded as an `engine: "parallel"`
+//! row — and, on hardware with **≥ 4 threads**, `--assert` additionally
+//! gates the parallel runtime at ≥ [`PAR_GATE`]× over single-thread
+//! exec on that workload. A single- or dual-core machine cannot
+//! physically demonstrate that ratio, so the gate reports itself
+//! skipped there (the rows are still recorded for the trajectory).
 
 use std::io::Write as _;
 use std::time::Instant;
@@ -35,6 +44,10 @@ const THETA_PRODUCT: &str = "Project[sname](Select[s_sid = sid AND bid = 102](Pr
 const TC_PROGRAM: &str = "tc(X, Y) :- R(X, Y).\n\
                           tc(X, Z) :- tc(X, Y), R(Y, Z).";
 
+/// One seed for every transitive-closure measurement, so the parallel
+/// gate's numerator and denominator always run the same graph.
+const TC_SEED: u64 = 0xD1A6;
+
 /// The deep-recursion workload: same-generation, whose recursive rule
 /// sandwiches the delta between two `R` joins — the delta batch is a
 /// *build* side, so this stresses per-round index work on top of the
@@ -50,6 +63,10 @@ const SG_PROGRAM: &str = "% query: sg\n\
 /// shared Arc'd IDB views, the per-execution scan cache, and fused head
 /// projections must keep paying off.
 const TC_BASELINE_MS: f64 = 14.5;
+
+/// The parallel gate: at ≥4 workers, the partitioned runtime must beat
+/// single-thread exec by this factor on `datalog_tc` at the deep size.
+const PAR_GATE: f64 = 1.5;
 
 /// Best-of-k wall time (milliseconds) of `f`, with the result of one run.
 fn time_ms<T>(k: usize, mut f: impl FnMut() -> T) -> (f64, T) {
@@ -68,14 +85,16 @@ struct Snapshot {
     engine: &'static str,
     query: &'static str,
     n: usize,
+    /// Worker count behind the measurement (1 for the serial engines).
+    threads: usize,
     wall_ms: f64,
 }
 
 impl Snapshot {
     fn json(&self) -> String {
         format!(
-            "{{\"engine\": \"{}\", \"query\": \"{}\", \"n\": {}, \"wall_ms\": {:.3}}}",
-            self.engine, self.query, self.n, self.wall_ms
+            "{{\"engine\": \"{}\", \"query\": \"{}\", \"n\": {}, \"threads\": {}, \"wall_ms\": {:.3}}}",
+            self.engine, self.query, self.n, self.threads, self.wall_ms
         )
     }
 }
@@ -93,8 +112,8 @@ fn run_workloads(n: usize, db: &Database) -> (Vec<Snapshot>, f64) {
         exec_out.same_contents(&ref_out),
         "engines disagree on the θ-join/product workload"
     );
-    snaps.push(Snapshot { engine: "reference", query: "theta_product", n, wall_ms: ref_ms });
-    snaps.push(Snapshot { engine: "exec", query: "theta_product", n, wall_ms: exec_ms });
+    snaps.push(Snapshot { engine: "reference", query: "theta_product", n, threads: 1, wall_ms: ref_ms });
+    snaps.push(Snapshot { engine: "exec", query: "theta_product", n, threads: 1, wall_ms: exec_ms });
     let speedup = ref_ms / exec_ms.max(1e-6);
 
     // Q2 through the TRC form (the suite's join query) on both engines.
@@ -105,8 +124,8 @@ fn run_workloads(n: usize, db: &Database) -> (Vec<Snapshot>, f64) {
     let trc_plan = plan_trc(&trc, db).expect("plans");
     let (trc_exec_ms, trc_exec_out) = time_ms(5, || execute(&trc_plan, db).expect("executes"));
     assert!(trc_exec_out.same_contents(&trc_ref_out), "engines disagree on Q2 (TRC)");
-    snaps.push(Snapshot { engine: "reference", query: "trc_q2", n, wall_ms: trc_ref_ms });
-    snaps.push(Snapshot { engine: "exec", query: "trc_q2", n, wall_ms: trc_exec_ms });
+    snaps.push(Snapshot { engine: "reference", query: "trc_q2", n, threads: 1, wall_ms: trc_ref_ms });
+    snaps.push(Snapshot { engine: "exec", query: "trc_q2", n, threads: 1, wall_ms: trc_exec_ms });
 
     (snaps, speedup)
 }
@@ -117,14 +136,15 @@ fn run_workloads(n: usize, db: &Database) -> (Vec<Snapshot>, f64) {
 /// with a cross-check of the outputs. Deep exec-only sizes skip the
 /// oracle: the reference needs multiple seconds there, and the smaller
 /// sizes already pin correctness. Returns the snapshots, the
-/// reference/exec speedup (∞ without the oracle), and exec's wall time.
+/// reference/exec speedup (∞ without the oracle), exec's wall time,
+/// and exec's relation (the cross-check anchor for the parallel run).
 fn run_datalog_workload(
     query: &'static str,
     program: &str,
     seed: u64,
     m: usize,
     oracle: bool,
-) -> (Vec<Snapshot>, f64, f64) {
+) -> (Vec<Snapshot>, f64, f64, Relation) {
     let db = generate_binary_pair(seed, m, m as i64);
     let prog = parse_program(program).expect("workload parses");
 
@@ -140,10 +160,10 @@ fn run_datalog_workload(
         });
         assert!(exec_out.same_contents(&ref_out), "engines disagree on {query} @ {m}");
         speedup = ref_ms / exec_ms.max(1e-6);
-        snaps.push(Snapshot { engine: "reference", query, n: m, wall_ms: ref_ms });
+        snaps.push(Snapshot { engine: "reference", query, n: m, threads: 1, wall_ms: ref_ms });
     }
-    snaps.push(Snapshot { engine: "exec", query, n: m, wall_ms: exec_ms });
-    (snaps, speedup, exec_ms)
+    snaps.push(Snapshot { engine: "exec", query, n: m, threads: 1, wall_ms: exec_ms });
+    (snaps, speedup, exec_ms, exec_out)
 }
 
 fn main() {
@@ -180,24 +200,60 @@ fn main() {
     let mut tc_speedup = f64::INFINITY;
     let mut tc_exec_ms = f64::INFINITY;
     for &m in &tc_sizes {
-        let (tc_snaps, s, e) = run_datalog_workload("datalog_tc", TC_PROGRAM, 0xD1A6, m, true);
+        let (tc_snaps, s, e, _) = run_datalog_workload("datalog_tc", TC_PROGRAM, TC_SEED, m, true);
         snaps.extend(tc_snaps);
         tc_speedup = s; // the last (largest) size is the gated one
         tc_exec_ms = e;
     }
-    let (deep_snaps, _, _) =
-        run_datalog_workload("datalog_tc", TC_PROGRAM, 0xD1A6, 3 * n, false);
+    let (deep_snaps, _, deep_exec_ms, deep_exec_out) =
+        run_datalog_workload("datalog_tc", TC_PROGRAM, TC_SEED, 3 * n, false);
     snaps.extend(deep_snaps);
+
+    // The parallel partitioned runtime on the deep workload, at the
+    // machine's worker count (capped at 8) — cross-checked bit-for-bit
+    // against single-thread exec, which is the gate's denominator.
+    let hw = std::thread::available_parallelism()
+        .map_or(1, std::num::NonZeroUsize::get);
+    let par_threads = hw.min(8);
+    let deep = 3 * n;
+    let par_ms = {
+        let db_deep = generate_binary_pair(TC_SEED, deep, deep as i64);
+        let prog = parse_program(TC_PROGRAM).expect("workload parses");
+        let (par_ms, par_out) = time_ms(5, || {
+            relviz_exec::eval_datalog(Engine::Parallel(par_threads), &prog, &db_deep)
+                .expect("parallel fixpoint evaluates")
+        });
+        assert!(
+            par_out.same_contents(&deep_exec_out),
+            "parallel disagrees with exec on datalog_tc @ {deep}"
+        );
+        snaps.push(Snapshot {
+            engine: "parallel",
+            query: "datalog_tc",
+            n: deep,
+            threads: par_threads,
+            wall_ms: par_ms,
+        });
+        par_ms
+    };
 
     // Same-generation at n: the delta sits between two joins, so each
     // round builds and probes per-delta indexes.
-    let (sg_snaps, _, _) = run_datalog_workload("datalog_sg", SG_PROGRAM, 0x56AA, n, true);
+    let (sg_snaps, _, _, _) = run_datalog_workload("datalog_sg", SG_PROGRAM, 0x56AA, n, true);
     snaps.extend(sg_snaps);
 
     for s in &snaps {
-        println!("  {:9} {:13} n={:<5} {:>10.3} ms", s.engine, s.query, s.n, s.wall_ms);
+        println!(
+            "  {:9} {:13} n={:<5} t={:<2} {:>10.3} ms",
+            s.engine, s.query, s.n, s.threads, s.wall_ms
+        );
     }
     println!("  θ-join/product speedup (reference/exec): {speedup:.1}×");
+    println!(
+        "  datalog_tc parallel @ n={deep} ({par_threads} threads): {par_ms:.3} ms \
+         vs {deep_exec_ms:.3} ms single-thread ({:.2}×)",
+        deep_exec_ms / par_ms.max(1e-6)
+    );
     println!(
         "  datalog_tc speedup @ n={} (reference/exec): {tc_speedup:.1}×",
         tc_sizes.last().expect("nonempty")
@@ -236,5 +292,26 @@ fn main() {
             TC_BASELINE_MS / 2.0
         );
         std::process::exit(1);
+    }
+    // The parallel gate needs ≥4 hardware threads to be physically
+    // meaningful; below that the rows are recorded but the ratio is
+    // not asserted.
+    if assert_speedup {
+        if par_threads >= 4 {
+            let par_speedup = deep_exec_ms / par_ms.max(1e-6);
+            if par_speedup < PAR_GATE {
+                eprintln!(
+                    "FAIL: parallel datalog_tc @ n={deep} at {par_threads} threads is \
+                     {par_speedup:.2}× over single-thread exec, below the {PAR_GATE}× gate"
+                );
+                std::process::exit(1);
+            }
+            println!("  parallel gate: {par_speedup:.2}× >= {PAR_GATE}× at {par_threads} threads");
+        } else {
+            println!(
+                "  parallel gate: SKIPPED ({hw} hardware thread(s); needs >= 4 to assert \
+                 the {PAR_GATE}x ratio)"
+            );
+        }
     }
 }

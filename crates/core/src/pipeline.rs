@@ -131,16 +131,20 @@ impl QueryVisualizer {
     ///
     /// [`Engine::Indexed`] runs the physical engine through the same
     /// SQL → TRC front door the visualization path uses (two-valued
-    /// logic over the total order of values). [`Engine::Reference`] is
-    /// the SQL *language's* own reference evaluator — including SQL's
+    /// logic over the total order of values), and [`Engine::Parallel`]
+    /// the partitioned parallel runtime over the same plans (results
+    /// bit-identical to `Indexed`). [`Engine::Reference`] is the SQL
+    /// *language's* own reference evaluator — including SQL's
     /// three-valued treatment of `NULL`, which the calculus translation
     /// does not model — so it remains the oracle for NULL-bearing data.
     pub fn run(&self, sql: &str, db: &Database) -> DiagResult<Relation> {
         match self.engine {
             Engine::Reference => relviz_sql::eval::run_sql(sql, db)
                 .map_err(|e| DiagError::Lang(e.to_string())),
-            Engine::Indexed => relviz_exec::run_sql(Engine::Indexed, sql, db)
-                .map_err(|e| DiagError::Lang(e.to_string())),
+            engine @ (Engine::Indexed | Engine::Parallel(_)) => {
+                relviz_exec::run_sql(engine, sql, db)
+                    .map_err(|e| DiagError::Lang(e.to_string()))
+            }
         }
     }
 
@@ -279,6 +283,22 @@ mod tests {
         // The reference engine is the SQL evaluator itself (3VL oracle).
         let sql_direct = relviz_sql::eval::run_sql(Q5, &db).unwrap();
         assert!(oracle.same_contents(&sql_direct));
+    }
+
+    #[test]
+    fn parallel_engine_runs_through_the_pipeline_bit_identically() {
+        let db = sailors_sample();
+        let exec = QueryVisualizer::new(VisFormalism::RelationalDiagrams, Backend::Ascii)
+            .run(Q5, &db)
+            .unwrap();
+        for threads in [1, 4] {
+            let par = QueryVisualizer::new(VisFormalism::RelationalDiagrams, Backend::Ascii)
+                .with_engine(Engine::Parallel(threads))
+                .run(Q5, &db)
+                .unwrap();
+            assert!(par.same_contents(&exec));
+            assert_eq!(format!("{par}"), format!("{exec}"), "threads={threads}");
+        }
     }
 
     #[test]

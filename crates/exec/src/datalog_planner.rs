@@ -46,30 +46,98 @@ pub fn plan_datalog(program: &Program, db: &Database) -> ExecResult<FixpointPlan
 
     let mut strata_plans = Vec::new();
     for layer in strata(program)? {
-        let mut rules = Vec::new();
-        for rule in &layer.rules {
-            let full = compile_rule(rule, db, &arities, None)?;
-            let mut deltas = Vec::new();
-            for occurrence in layer.delta_occurrences(rule) {
-                deltas.push(DeltaPlan {
-                    occurrence,
-                    plan: compile_rule(rule, db, &arities, Some(occurrence))?,
+        for component in split_layer(layer) {
+            let mut rules = Vec::new();
+            for rule in &component.rules {
+                let full = compile_rule(rule, db, &arities, None)?;
+                let mut deltas = Vec::new();
+                for occurrence in component.delta_occurrences(rule) {
+                    deltas.push(DeltaPlan {
+                        occurrence,
+                        plan: compile_rule(rule, db, &arities, Some(occurrence))?,
+                    });
+                }
+                rules.push(RulePlan {
+                    head: rule.head.rel.clone(),
+                    rule: rule.to_string(),
+                    full,
+                    deltas,
                 });
             }
-            rules.push(RulePlan {
-                head: rule.head.rel.clone(),
-                rule: rule.to_string(),
-                full,
-                deltas,
+            strata_plans.push(StratumPlan {
+                predicates: component.predicates.clone(),
+                recursive: component.recursive,
+                rules,
             });
         }
-        strata_plans.push(StratumPlan {
-            predicates: layer.predicates.clone(),
-            recursive: layer.recursive,
-            rules,
-        });
     }
     Ok(FixpointPlan { strata: strata_plans, query: program.query.clone(), schemas })
+}
+
+/// Splits one numeric stratification layer into the **connected
+/// components** of its same-layer dependency graph (a rule's head
+/// connects to every same-layer predicate its body reads; negation
+/// never reads the same layer, so positive edges are the only ones).
+/// Predicates in different components share no rule and no dependency,
+/// so evaluating the components separately — in any order, or
+/// concurrently — derives exactly what evaluating the merged layer
+/// does. These components are the **strata-DAG nodes** the parallel
+/// runtime schedules level-wise ([`crate::fixpoint::stratum_levels`]);
+/// a layer whose predicates all interdepend stays one component, so
+/// same-layer chains (`a(X) :- b(X)`) keep their shared semi-naive
+/// loop. Components are ordered by their first predicate (the layer's
+/// predicate list is sorted), keeping plans deterministic.
+fn split_layer(layer: relviz_datalog::Stratum<'_>) -> Vec<relviz_datalog::Stratum<'_>> {
+    if layer.predicates.len() <= 1 {
+        return vec![layer];
+    }
+    // Union-find over the layer's predicates.
+    let index: HashMap<&str, usize> =
+        layer.predicates.iter().enumerate().map(|(i, p)| (p.as_str(), i)).collect();
+    let mut parent: Vec<usize> = (0..layer.predicates.len()).collect();
+    fn find(parent: &mut [usize], i: usize) -> usize {
+        if parent[i] != i {
+            let root = find(parent, parent[i]);
+            parent[i] = root;
+        }
+        parent[i]
+    }
+    for rule in &layer.rules {
+        let head = index[rule.head.rel.as_str()];
+        for lit in &rule.body {
+            let Literal::Pos(atom) = lit else { continue };
+            if let Some(&body) = index.get(atom.rel.as_str()) {
+                let (a, b) = (find(&mut parent, head), find(&mut parent, body));
+                parent[a] = b;
+            }
+        }
+    }
+    let mut components: Vec<relviz_datalog::Stratum<'_>> = Vec::new();
+    let mut slot_of_root: HashMap<usize, usize> = HashMap::new();
+    for (i, pred) in layer.predicates.iter().enumerate() {
+        let root = find(&mut parent, i);
+        let slot = *slot_of_root.entry(root).or_insert_with(|| {
+            components.push(relviz_datalog::Stratum {
+                predicates: Vec::new(),
+                rules: Vec::new(),
+                recursive: false,
+            });
+            components.len() - 1
+        });
+        components[slot].predicates.push(pred.clone());
+    }
+    for &rule in &layer.rules {
+        let root = find(&mut parent, index[rule.head.rel.as_str()]);
+        components[slot_of_root[&root]].rules.push(rule);
+    }
+    for c in &mut components {
+        c.recursive = c.rules.iter().any(|r| {
+            r.body
+                .iter()
+                .any(|l| matches!(l, Literal::Pos(a) if c.predicates.iter().any(|p| p == &a.rel)))
+        });
+    }
+    components
 }
 
 /// A scanned body atom: its (locally filtered) plan and the variables it

@@ -36,6 +36,7 @@ use relviz_model::{Database, Relation, Schema, Tuple};
 use crate::error::ExecResult;
 use crate::indexed::IndexedRelation;
 use crate::plan::{write_node, PhysPlan};
+use crate::pool;
 use crate::run::{run_with, ExecContext, FixpointState};
 
 /// One delta variant of a rule: the body position whose positive
@@ -109,7 +110,6 @@ fn absorb(target: &mut IndexedRelation, fresh: &mut Vec<u32>, batch: IndexedRela
 fn materialize_deltas(
     delta: HashMap<String, Vec<u32>>,
     idb: &HashMap<String, IndexedRelation>,
-    schemas: &HashMap<String, Schema>,
 ) -> HashMap<String, IndexedRelation> {
     delta
         .into_iter()
@@ -117,7 +117,7 @@ fn materialize_deltas(
             let master = &idb[&name];
             let tuples: Vec<Tuple> =
                 rows.iter().map(|&r| master.tuples()[r as usize].clone()).collect();
-            let batch = IndexedRelation::new(schemas[&name].clone(), tuples);
+            let batch = IndexedRelation::new(master.schema().clone(), tuples);
             (name, batch)
         })
         .collect()
@@ -129,6 +129,33 @@ pub fn eval_fixpoint(
     plan: &FixpointPlan,
     db: &Database,
 ) -> ExecResult<HashMap<String, Relation>> {
+    eval_fixpoint_with(plan, db, 1)
+}
+
+/// Runs the fixpoint with `threads` workers. One thread is exactly
+/// [`eval_fixpoint`]'s sequential evaluation; more threads add the
+/// parallel engine's three fixpoint levers while deriving the **same
+/// relations, bit for bit**:
+///
+/// * **strata-DAG levels**: strata with no dependency path between them
+///   ([`stratum_levels`]) evaluate concurrently, each against the
+///   completed lower levels;
+/// * **parallel rules with a round barrier**: within a round, rule
+///   plans (round 0) / delta variants (semi-naive rounds) run
+///   concurrently against a *snapshot* of the accumulated IDB, and
+///   their outputs merge through one [`IndexedRelation::absorb_batch`]
+///   per output, in rule order, after every worker view is dropped.
+///   A rule therefore never sees a same-round sibling's facts — it sees
+///   them one round later through the delta, which derives the same
+///   fixpoint (the classic semi-naive argument: the accumulated IDB
+///   always contains the previous delta, so every joinable combination
+///   of facts is covered the round after its last member lands);
+/// * **partitioned joins** inside each rule, via the execution context.
+pub(crate) fn eval_fixpoint_with(
+    plan: &FixpointPlan,
+    db: &Database,
+    threads: usize,
+) -> ExecResult<HashMap<String, Relation>> {
     let mut idb: HashMap<String, IndexedRelation> = plan
         .schemas
         .iter()
@@ -138,17 +165,111 @@ pub fn eval_fixpoint(
     // One execution context for the whole fixpoint: every EDB relation
     // is materialized and indexed once, shared by all rules, all delta
     // variants, and all rounds.
-    let ctx = ExecContext::new();
+    let ctx = ExecContext::with_threads(threads);
+    for level in stratum_levels(plan) {
+        if ctx.threads().is_some() && level.len() > 1 {
+            // Independent strata: each task evaluates one stratum over a
+            // view of the completed lower levels plus its own fresh
+            // batches, and hands its predicates' batches back at the
+            // level barrier. Each task gets an equal share of the
+            // worker budget for its *rule* scatters, so nesting divides
+            // the requested width instead of multiplying it.
+            let inner = (threads / level.len()).max(1);
+            let results = pool::scatter(threads, level.len(), &|i| {
+                let stratum = &plan.strata[level[i]];
+                let mut local = idb.clone();
+                for p in &stratum.predicates {
+                    // Fresh empty batches, not clones of the global
+                    // empties — absorbing into a shared empty batch
+                    // would force a (counted) copy-on-write detach.
+                    local.insert(
+                        p.clone(),
+                        IndexedRelation::new(plan.schemas[p].clone(), vec![]),
+                    );
+                }
+                run_stratum(stratum, db, &mut local, &ctx, inner)?;
+                Ok::<_, crate::error::ExecError>(
+                    stratum
+                        .predicates
+                        .iter()
+                        .map(|p| (p.clone(), local.remove(p).expect("own predicate")))
+                        .collect::<Vec<_>>(),
+                )
+            });
+            for result in results {
+                for (name, batch) in result? {
+                    idb.insert(name, batch);
+                }
+            }
+        } else {
+            for &si in &level {
+                run_stratum(&plan.strata[si], db, &mut idb, &ctx, threads)?;
+            }
+        }
+    }
+
+    // The final sorts are independent per predicate; within one big
+    // predicate (the common case: one recursive result dominating),
+    // `into_relation_par` splits the sort itself across workers.
+    Ok(idb
+        .into_iter()
+        .map(|(name, batch)| (name, crate::parallel::into_relation_par(batch, threads)))
+        .collect())
+}
+
+/// Evaluates one stratum to its local fixpoint, mutating `idb` in
+/// place. Sequential unless the context is parallel **and** a round
+/// has enough independent work (several rules, or several delta
+/// variants over at least [`crate::parallel::PAR_MIN_DELTA`] delta
+/// rows) — below that, the round barrier costs more than it buys.
+///
+/// `threads` is this stratum's **rule-scatter budget** — the whole
+/// worker count normally, a fair share of it when strata of one level
+/// run concurrently. Whether any parallel path engages at all is
+/// governed solely by `ctx` (its `threads()`/`par_over`), so the two
+/// cannot drift: a serial context runs serially regardless of the
+/// budget.
+fn run_stratum(
+    stratum: &StratumPlan,
+    db: &Database,
+    idb: &mut HashMap<String, IndexedRelation>,
+    ctx: &ExecContext,
+    threads: usize,
+) -> ExecResult<()> {
     let no_deltas: HashMap<String, IndexedRelation> = HashMap::new();
-    for stratum in &plan.strata {
-        // Round 0: every rule, full plans. The same-stratum IDB starts
-        // empty; facts and lower-strata joins land here.
-        let mut delta: HashMap<String, Vec<u32>> =
-            stratum.predicates.iter().map(|p| (p.clone(), Vec::new())).collect();
+    // Round 0: every rule, full plans. The same-stratum IDB starts
+    // empty; facts and lower-strata joins land here.
+    let mut delta: HashMap<String, Vec<u32>> =
+        stratum.predicates.iter().map(|p| (p.clone(), Vec::new())).collect();
+    if ctx.threads().is_some() && stratum.rules.len() > 1 {
+        // Parallel rules against the round-start snapshot, merged at
+        // the barrier (outputs in rule order, one absorb per rule).
+        // Each rule worker's operators get an equal share of this
+        // stratum's budget, so the total stays at `threads`.
+        let rule_workers = threads.min(stratum.rules.len()).max(1);
+        let outs = {
+            let state = FixpointState {
+                idb: &*idb,
+                delta: &no_deltas,
+                threads: (threads / rule_workers).max(1),
+            };
+            pool::scatter(threads, stratum.rules.len(), &|i| {
+                run_with(&stratum.rules[i].full, db, Some(&state), ctx)
+            })
+        };
+        for (rule, out) in stratum.rules.iter().zip(outs) {
+            crate::parallel::instrument::count_merge();
+            absorb(
+                idb.get_mut(&rule.head).expect("idb pre-populated"),
+                delta.get_mut(&rule.head).expect("delta pre-populated"),
+                out?,
+            );
+        }
+    } else {
         for rule in &stratum.rules {
             let out = {
-                let state = FixpointState { idb: &idb, delta: &no_deltas };
-                run_with(&rule.full, db, Some(&state), &ctx)?
+                let state = FixpointState { idb: &*idb, delta: &no_deltas, threads };
+                run_with(&rule.full, db, Some(&state), ctx)?
             };
             absorb(
                 idb.get_mut(&rule.head).expect("idb pre-populated"),
@@ -156,34 +277,129 @@ pub fn eval_fixpoint(
                 out,
             );
         }
-
-        // Semi-naive rounds: each delta variant once per round, reading
-        // the previous round's delta at its occurrence and the live
-        // accumulated IDB everywhere else (as zero-copy views — see
-        // `ScanIdb` in the executor).
-        while stratum.recursive && delta.values().any(|v| !v.is_empty()) {
-            let materialized =
-                materialize_deltas(std::mem::take(&mut delta), &idb, &plan.schemas);
-            let mut next: HashMap<String, Vec<u32>> =
-                stratum.predicates.iter().map(|p| (p.clone(), Vec::new())).collect();
-            for rule in &stratum.rules {
-                for dv in &rule.deltas {
-                    let out = {
-                        let state = FixpointState { idb: &idb, delta: &materialized };
-                        run_with(&dv.plan, db, Some(&state), &ctx)?
-                    };
-                    absorb(
-                        idb.get_mut(&rule.head).expect("idb pre-populated"),
-                        next.get_mut(&rule.head).expect("delta pre-populated"),
-                        out,
-                    );
-                }
-            }
-            delta = next;
-        }
     }
 
-    Ok(idb.into_iter().map(|(name, batch)| (name, batch.into_relation())).collect())
+    // Semi-naive rounds: each delta variant once per round, reading
+    // the previous round's delta at its occurrence and the accumulated
+    // IDB everywhere else (as zero-copy views — see `ScanIdb` in the
+    // executor).
+    while stratum.recursive && delta.values().any(|v| !v.is_empty()) {
+        let delta_rows: usize = delta.values().map(Vec::len).sum();
+        let materialized = materialize_deltas(std::mem::take(&mut delta), idb);
+        let mut next: HashMap<String, Vec<u32>> =
+            stratum.predicates.iter().map(|p| (p.clone(), Vec::new())).collect();
+        let variants: Vec<(usize, &DeltaPlan)> = stratum
+            .rules
+            .iter()
+            .enumerate()
+            .flat_map(|(ri, r)| r.deltas.iter().map(move |dv| (ri, dv)))
+            .collect();
+        if ctx.threads().is_some()
+            && variants.len() > 1
+            && delta_rows >= crate::parallel::PAR_MIN_DELTA
+        {
+            let variant_workers = threads.min(variants.len()).max(1);
+            let outs = {
+                let state = FixpointState {
+                    idb: &*idb,
+                    delta: &materialized,
+                    threads: (threads / variant_workers).max(1),
+                };
+                pool::scatter(threads, variants.len(), &|i| {
+                    run_with(&variants[i].1.plan, db, Some(&state), ctx)
+                })
+            };
+            for ((ri, _), out) in variants.iter().zip(outs) {
+                let head = &stratum.rules[*ri].head;
+                crate::parallel::instrument::count_merge();
+                absorb(
+                    idb.get_mut(head).expect("idb pre-populated"),
+                    next.get_mut(head).expect("delta pre-populated"),
+                    out?,
+                );
+            }
+        } else {
+            for (ri, dv) in variants {
+                let head = &stratum.rules[ri].head;
+                let out = {
+                    let state = FixpointState { idb: &*idb, delta: &materialized, threads };
+                    run_with(&dv.plan, db, Some(&state), ctx)?
+                };
+                absorb(
+                    idb.get_mut(head).expect("idb pre-populated"),
+                    next.get_mut(head).expect("delta pre-populated"),
+                    out,
+                );
+            }
+        }
+        delta = next;
+    }
+    Ok(())
+}
+
+/// Groups strata into **dependency levels**: a stratum's level is one
+/// past the deepest stratum whose predicates its plans read (via
+/// `ScanIdb`/`ScanDelta` — positive joins and negation alike), so
+/// strata on the same level have no dependency path between them and
+/// may evaluate concurrently against the completed lower levels. A
+/// program whose strata form a chain degenerates to one stratum per
+/// level — exactly the sequential order.
+pub fn stratum_levels(plan: &FixpointPlan) -> Vec<Vec<usize>> {
+    let owner: HashMap<&str, usize> = plan
+        .strata
+        .iter()
+        .enumerate()
+        .flat_map(|(si, s)| s.predicates.iter().map(move |p| (p.as_str(), si)))
+        .collect();
+    let mut level = vec![0usize; plan.strata.len()];
+    for (si, stratum) in plan.strata.iter().enumerate() {
+        let mut refs = std::collections::HashSet::new();
+        for rule in &stratum.rules {
+            idb_refs(&rule.full, &mut refs);
+            for dv in &rule.deltas {
+                idb_refs(&dv.plan, &mut refs);
+            }
+        }
+        level[si] = refs
+            .iter()
+            .filter_map(|r| owner.get(r.as_str()).copied())
+            // Same-stratum references are the stratum's own recursion,
+            // not a cross-stratum dependency. Strata are listed in
+            // evaluation order, so every other owner is already leveled.
+            .filter(|&o| o != si)
+            .map(|o| level[o] + 1)
+            .max()
+            .unwrap_or(0);
+    }
+    let depth = level.iter().copied().max().map_or(0, |d| d + 1);
+    let mut groups: Vec<Vec<usize>> = vec![Vec::new(); depth];
+    for (si, &l) in level.iter().enumerate() {
+        groups[l].push(si);
+    }
+    groups
+}
+
+/// Collects the derived predicates a plan reads (its `ScanIdb` /
+/// `ScanDelta` leaves) — the dependency edges of the strata DAG.
+fn idb_refs(plan: &PhysPlan, out: &mut std::collections::HashSet<String>) {
+    match plan {
+        PhysPlan::ScanIdb { rel, .. } | PhysPlan::ScanDelta { rel, .. } => {
+            out.insert(rel.clone());
+        }
+        PhysPlan::Scan { .. } | PhysPlan::Values { .. } => {}
+        PhysPlan::Filter { input, .. }
+        | PhysPlan::Project { input, .. }
+        | PhysPlan::Dedup { input, .. }
+        | PhysPlan::Shared { input, .. } => idb_refs(input, out),
+        PhysPlan::HashJoin { left, right, .. }
+        | PhysPlan::SemiJoin { left, right, .. }
+        | PhysPlan::AntiJoin { left, right, .. }
+        | PhysPlan::Union { left, right, .. }
+        | PhysPlan::Diff { left, right, .. } => {
+            idb_refs(left, out);
+            idb_refs(right, out);
+        }
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -193,25 +409,58 @@ pub fn eval_fixpoint(
 /// Renders a recursive plan: fixpoint → strata → rules, each rule with
 /// its full plan and every delta variant.
 pub fn explain_datalog(plan: &FixpointPlan) -> String {
+    render_datalog(plan, 1)
+}
+
+/// Renders a recursive plan as the **parallel engine** at `threads`
+/// workers would run it: each stratum carries its dependency level
+/// (same level = no dependency path = evaluates concurrently), and the
+/// rule plans carry the operator annotations of
+/// [`crate::plan::explain_parallel`].
+pub fn explain_datalog_parallel(plan: &FixpointPlan, threads: usize) -> String {
+    render_datalog(plan, threads.max(1))
+}
+
+fn render_datalog(plan: &FixpointPlan, threads: usize) -> String {
+    let par = threads > 1;
+    let level_of: HashMap<usize, usize> = stratum_levels(plan)
+        .into_iter()
+        .enumerate()
+        .flat_map(|(l, strata)| strata.into_iter().map(move |si| (si, l)))
+        .collect();
     let mut out = String::new();
-    out.push_str(&format!("Fixpoint (query: {})\n", plan.query));
+    if par {
+        out.push_str(&format!("Fixpoint (query: {}) \u{2225}{threads}\n", plan.query));
+    } else {
+        out.push_str(&format!("Fixpoint (query: {})\n", plan.query));
+    }
     for (i, stratum) in plan.strata.iter().enumerate() {
+        let level = if par { format!(" level {}", level_of[&i]) } else { String::new() };
         out.push_str(&format!(
-            "  Stratum {i} [{}]{}\n",
+            "  Stratum {i} [{}]{}{level}\n",
             stratum.predicates.join(", "),
             if stratum.recursive { " recursive" } else { "" }
         ));
         for rule in &stratum.rules {
             out.push_str(&format!("    rule {}\n", rule.rule));
             out.push_str("      full:\n");
-            write_node(&mut out, &rule.full, 4);
+            write_rule_plan(&mut out, &rule.full, threads);
             for dv in &rule.deltas {
                 out.push_str(&format!("      delta at body[{}]:\n", dv.occurrence));
-                write_node(&mut out, &dv.plan, 4);
+                write_rule_plan(&mut out, &dv.plan, threads);
             }
         }
     }
     out
+}
+
+fn write_rule_plan(out: &mut String, plan: &PhysPlan, threads: usize) {
+    if threads > 1 {
+        let ann = crate::plan::Annotations::for_plan(plan, threads);
+        crate::plan::write_node_seen(out, plan, 4, &mut std::collections::HashSet::new(), &ann);
+    } else {
+        write_node(out, plan, 4);
+    }
 }
 
 #[cfg(test)]
@@ -422,6 +671,82 @@ mod tests {
         // hash table, which is not an `Index`. Delta batches are probe
         // sides only, so they are never indexed.
         assert_eq!(instrument::index_builds(), 1);
+    }
+
+    /// The strata DAG: `tc` and `node` both read only the EDB (level
+    /// 0, concurrent); `unreached` reads both (level 1).
+    #[test]
+    fn stratum_levels_group_independent_strata() {
+        let db = generate_binary_pair(7, 14, 8);
+        let prog = parse_program(
+            "% query: unreached\n\
+             tc(X, Y) :- R(X, Y).\n\
+             tc(X, Z) :- tc(X, Y), R(Y, Z).\n\
+             node(X) :- R(X, Y).\n\
+             node(Y) :- R(X, Y).\n\
+             unreached(X, Y) :- node(X), node(Y), not tc(X, Y).",
+        )
+        .unwrap();
+        let plan = plan_datalog(&prog, &db).unwrap();
+        let levels = stratum_levels(&plan);
+        assert_eq!(levels.len(), 2, "{levels:?}");
+        assert_eq!(levels[0].len(), 2, "tc and node are independent");
+        assert_eq!(levels[1].len(), 1, "unreached depends on both");
+        // A chain degenerates to one stratum per level.
+        let chain = parse_program(
+            "% query: b\n\
+             a(X) :- R(X, Y).\n\
+             b(X) :- a(X), not R(X, X).",
+        )
+        .unwrap();
+        let chain_plan = plan_datalog(&chain, &db).unwrap();
+        assert!(stratum_levels(&chain_plan).iter().all(|l| l.len() == 1));
+    }
+
+    /// Independent strata evaluated concurrently still derive every
+    /// predicate byte-for-byte as the sequential runner does — across
+    /// recursion, negation, and the level barrier.
+    #[test]
+    fn parallel_strata_match_sequential_bit_for_bit() {
+        let db = generate_binary_pair(7, 40, 12);
+        let prog = parse_program(
+            "% query: unreached\n\
+             tc(X, Y) :- R(X, Y).\n\
+             tc(X, Z) :- tc(X, Y), R(Y, Z).\n\
+             node(X) :- R(X, Y).\n\
+             node(Y) :- R(X, Y).\n\
+             unreached(X, Y) :- node(X), node(Y), not tc(X, Y).",
+        )
+        .unwrap();
+        let plan = plan_datalog(&prog, &db).unwrap();
+        let sequential = eval_fixpoint(&plan, &db).unwrap();
+        for threads in [2, 8] {
+            let parallel = eval_fixpoint_with(&plan, &db, threads).unwrap();
+            assert_eq!(parallel.len(), sequential.len());
+            for (name, rel) in &sequential {
+                let p = &parallel[name];
+                assert!(p.same_contents(rel), "{name} differs at {threads} threads");
+                assert_eq!(format!("{p}"), format!("{rel}"), "{name} render differs");
+            }
+        }
+    }
+
+    /// The parallel EXPLAIN annotates stratum levels and partitioned
+    /// operators; one thread renders exactly the serial EXPLAIN.
+    #[test]
+    fn explain_datalog_parallel_annotates_levels() {
+        let db = generate_binary_pair(1, 5, 5);
+        let prog = parse_program(
+            "tc(X, Y) :- R(X, Y).\n\
+             tc(X, Z) :- tc(X, Y), R(Y, Z).",
+        )
+        .unwrap();
+        let plan = plan_datalog(&prog, &db).unwrap();
+        let text = explain_datalog_parallel(&plan, 4);
+        assert!(text.starts_with("Fixpoint (query: tc) \u{2225}4\n"), "{text}");
+        assert!(text.contains("Stratum 0 [tc] recursive level 0"), "{text}");
+        assert!(text.contains("part \u{2225}4"), "{text}");
+        assert_eq!(explain_datalog_parallel(&plan, 1), explain_datalog(&plan));
     }
 
     #[test]

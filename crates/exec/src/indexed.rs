@@ -149,6 +149,78 @@ pub type Index = HashMap<JoinKey, Vec<u32>, FxBuild>;
 /// key columns → the (Arc-shared) index on them.
 type IndexMap = HashMap<Vec<usize>, Arc<Index>, FxBuild>;
 
+/// (key columns, partition count) → the partitioned index on them.
+type PartMap = HashMap<(Vec<usize>, usize), Arc<PartitionedIndex>, FxBuild>;
+
+/// The 64-bit key hash partitioning and probing agree on (FxHash over
+/// the key's values — the same equality-consistent hash the flat
+/// [`Index`] buckets by).
+fn key_hash(key: &JoinKey) -> u64 {
+    use std::hash::{Hash, Hasher};
+    let mut h = FxHasher::default();
+    key.hash(&mut h);
+    h.finish()
+}
+
+/// [`key_hash`] computed straight off a tuple's key columns — no
+/// [`JoinKey`] (no value clones) is built. Must stay byte-compatible
+/// with hashing the built key: a `Vec<Value>`'s `Hash` writes the
+/// length prefix (via `write_usize` on this hasher) and then each
+/// element, which is exactly what this does.
+fn key_hash_of(tuple: &Tuple, cols: &[usize]) -> u64 {
+    use std::hash::{Hash, Hasher};
+    let mut h = FxHasher::default();
+    h.write_usize(cols.len());
+    for &i in cols {
+        tuple.values()[i].hash(&mut h);
+    }
+    h.finish()
+}
+
+/// The partition owning `hash` among `parts` equal **hash ranges**
+/// (multiply-shift: partition `p` owns `[p·2⁶⁴/parts, (p+1)·2⁶⁴/parts)`).
+pub(crate) fn hash_partition(hash: u64, parts: usize) -> usize {
+    ((hash as u128 * parts as u128) >> 64) as usize
+}
+
+/// A hash index split into disjoint **key-hash-range partitions**, each
+/// an ordinary [`Index`] holding exactly the keys whose hash falls in
+/// its range. Partitions are built independently (one worker per range,
+/// no shared state), probed through [`get`](Self::get) — which routes a
+/// key to its owning partition — and are read-only once published:
+/// every partition sits behind its own `Arc`, so concurrent probes
+/// share them freely.
+///
+/// Because each partition scans the batch in row order, a key's bucket
+/// holds exactly the same row numbers in exactly the same order as the
+/// flat index's bucket would — partitioned probes are therefore
+/// **bit-identical** to serial probes, not just set-equal.
+#[derive(Debug, Clone)]
+pub struct PartitionedIndex {
+    parts: Vec<Arc<Index>>,
+}
+
+impl PartitionedIndex {
+    /// Assembles the partitions (in range order).
+    pub fn new(parts: Vec<Arc<Index>>) -> Self {
+        debug_assert!(!parts.is_empty());
+        PartitionedIndex { parts }
+    }
+
+    pub fn part_count(&self) -> usize {
+        self.parts.len()
+    }
+
+    /// The rows matching `key`, from the partition owning its hash.
+    pub fn get(&self, key: &JoinKey) -> Option<&Vec<u32>> {
+        self.parts[hash_partition(key_hash(key), self.parts.len())].get(key)
+    }
+
+    pub fn contains_key(&self, key: &JoinKey) -> bool {
+        self.get(key).is_some()
+    }
+}
+
 /// The whole-row dedup table: full-row hash → candidate row numbers,
 /// compared against the tuple storage by the total order on probe. A
 /// deliberate *non*-`Index`: it stores no key clones at all, so the
@@ -174,6 +246,10 @@ pub struct IndexedRelation {
     schema: Schema,
     tuples: Arc<Vec<Tuple>>,
     indexes: Arc<Mutex<IndexMap>>,
+    /// Partitioned indexes (the parallel engine's build sides), cached
+    /// by (key columns, partition count) and — like `indexes` —
+    /// maintained across [`absorb_batch`](Self::absorb_batch) appends.
+    partitioned: Arc<Mutex<PartMap>>,
     /// Built lazily by the first [`absorb_batch`](Self::absorb_batch) /
     /// [`insert_if_new`](Self::insert_if_new); `None` until then.
     dedup: Arc<Mutex<Option<DedupTable>>>,
@@ -187,6 +263,7 @@ impl IndexedRelation {
             schema,
             tuples: Arc::new(tuples),
             indexes: Arc::new(Mutex::new(IndexMap::default())),
+            partitioned: Arc::new(Mutex::new(PartMap::default())),
             dedup: Arc::new(Mutex::new(None)),
         }
     }
@@ -246,6 +323,51 @@ impl IndexedRelation {
         index
     }
 
+    /// Builds **one hash-range partition** of the index on `cols`: the
+    /// keys whose hash [`hash_partition`]s to `part` (of `parts`).
+    /// Pure and lock-free over the shared tuple storage, so the
+    /// parallel engine runs one call per worker concurrently — through
+    /// any view — and assembles the results into a
+    /// [`PartitionedIndex`]. Row numbers keep storage order, exactly as
+    /// [`index`](Self::index) would emit them.
+    ///
+    /// Every worker scans all rows, but ownership is decided by
+    /// [`key_hash_of`] over the *borrowed* values — the expensive part
+    /// of an index build (key clone + table insert) is only paid for
+    /// this partition's ~1/`parts` share, so the builds split the work
+    /// rather than multiply it.
+    pub fn index_partition(&self, cols: &[usize], part: usize, parts: usize) -> Index {
+        debug_assert!(part < parts);
+        instrument::count_partition_build();
+        let mut index = Index::default();
+        for (row, t) in self.tuples.iter().enumerate() {
+            if hash_partition(key_hash_of(t, cols), parts) == part {
+                index.entry(Self::key_of(t, cols)).or_default().push(row as u32);
+            }
+        }
+        index
+    }
+
+    /// The cached partitioned index on (`cols`, `parts`), if one was
+    /// published — shared by every view of this storage.
+    pub fn cached_partitioned(&self, cols: &[usize], parts: usize) -> Option<Arc<PartitionedIndex>> {
+        self.partitioned.lock().get(&(cols.to_vec(), parts)).cloned()
+    }
+
+    /// Publishes a partitioned index into the shared cache (maintained
+    /// by later [`absorb_batch`](Self::absorb_batch) appends, like every
+    /// flat index). Returns the cached copy — the first publisher wins
+    /// if two views race, so every holder probes identical partitions.
+    pub fn cache_partitioned(
+        &self,
+        cols: &[usize],
+        parts: usize,
+        index: Arc<PartitionedIndex>,
+    ) -> Arc<PartitionedIndex> {
+        let mut map = self.partitioned.lock();
+        Arc::clone(map.entry((cols.to_vec(), parts)).or_insert(index))
+    }
+
     /// Inserts `t` unless an identical row (by the total order of
     /// [`Value`], the engine's notion of tuple equality) is already
     /// present, maintaining **every** cached index. Returns the row
@@ -279,6 +401,8 @@ impl IndexedRelation {
             self.tuples = Arc::new((*self.tuples).clone());
             let detached: IndexMap = self.indexes.lock().clone();
             self.indexes = Arc::new(Mutex::new(detached));
+            let detached: PartMap = self.partitioned.lock().clone();
+            self.partitioned = Arc::new(Mutex::new(detached));
             let detached = self.dedup.lock().clone();
             self.dedup = Arc::new(Mutex::new(detached));
         }
@@ -297,6 +421,11 @@ impl IndexedRelation {
         // view still holds one).
         let mut indexes: Vec<(&[usize], &mut Index)> =
             map.iter_mut().map(|(cols, idx)| (cols.as_slice(), Arc::make_mut(idx))).collect();
+        let mut part_map = self.partitioned.lock();
+        let mut partitioned: Vec<(&[usize], usize, &mut PartitionedIndex)> = part_map
+            .iter_mut()
+            .map(|((cols, parts), idx)| (cols.as_slice(), *parts, Arc::make_mut(idx)))
+            .collect();
         for t in batch {
             let h = row_hash(&t);
             let bucket = dedup.entry(h).or_default();
@@ -310,6 +439,11 @@ impl IndexedRelation {
             bucket.push(row);
             for (cols, index) in indexes.iter_mut() {
                 index.entry(Self::key_of(&t, cols)).or_default().push(row);
+            }
+            for (cols, parts, pindex) in partitioned.iter_mut() {
+                let key = Self::key_of(&t, cols);
+                let owner = hash_partition(key_hash(&key), *parts);
+                Arc::make_mut(&mut pindex.parts[owner]).entry(key).or_default().push(row);
             }
             tuples.push(t);
             fresh.push(row);
@@ -348,6 +482,8 @@ pub(crate) mod instrument {
         pub static INDEX_BUILDS: Cell<usize> = const { Cell::new(0) };
         /// Whole-storage deep copies (COW detach, shared `into_tuples`).
         pub static DEEP_COPIES: Cell<usize> = const { Cell::new(0) };
+        /// Hash-range partition builds (`index_partition` calls).
+        pub static PARTITION_BUILDS: Cell<usize> = const { Cell::new(0) };
     }
 
     pub(crate) fn count_materialization() {
@@ -359,12 +495,16 @@ pub(crate) mod instrument {
     pub(crate) fn count_deep_copy() {
         DEEP_COPIES.with(|c| c.set(c.get() + 1));
     }
+    pub(crate) fn count_partition_build() {
+        PARTITION_BUILDS.with(|c| c.set(c.get() + 1));
+    }
 
     /// Zeroes all counters (call at the start of a measuring test).
     pub fn reset() {
         MATERIALIZATIONS.with(|c| c.set(0));
         INDEX_BUILDS.with(|c| c.set(0));
         DEEP_COPIES.with(|c| c.set(0));
+        PARTITION_BUILDS.with(|c| c.set(0));
     }
 
     pub fn materializations() -> usize {
@@ -376,6 +516,23 @@ pub(crate) mod instrument {
     pub fn deep_copies() -> usize {
         DEEP_COPIES.with(Cell::get)
     }
+    pub fn partition_builds() -> usize {
+        PARTITION_BUILDS.with(Cell::get)
+    }
+
+    /// This thread's totals, for [`crate::pool`] to hand a worker's
+    /// share back to the thread that dispatched it.
+    pub(crate) fn export() -> [usize; 4] {
+        [materializations(), index_builds(), deep_copies(), partition_builds()]
+    }
+
+    /// Adds a worker's exported totals into this thread's counters.
+    pub(crate) fn absorb(counts: [usize; 4]) {
+        MATERIALIZATIONS.with(|c| c.set(c.get() + counts[0]));
+        INDEX_BUILDS.with(|c| c.set(c.get() + counts[1]));
+        DEEP_COPIES.with(|c| c.set(c.get() + counts[2]));
+        PARTITION_BUILDS.with(|c| c.set(c.get() + counts[3]));
+    }
 }
 
 #[cfg(not(test))]
@@ -386,6 +543,8 @@ pub(crate) mod instrument {
     pub(crate) fn count_index_build() {}
     #[inline(always)]
     pub(crate) fn count_deep_copy() {}
+    #[inline(always)]
+    pub(crate) fn count_partition_build() {}
 }
 
 #[cfg(test)]
@@ -533,5 +692,67 @@ mod tests {
         let b = IndexedRelation::from_relation(&rel);
         assert_eq!(b.len(), 3);
         assert_eq!(b.schema().names(), vec!["a", "b"]);
+    }
+
+    fn assemble(b: &IndexedRelation, cols: &[usize], parts: usize) -> PartitionedIndex {
+        PartitionedIndex::new(
+            (0..parts).map(|p| Arc::new(b.index_partition(cols, p, parts))).collect(),
+        )
+    }
+
+    /// Hash-range partitions are disjoint, cover every key, and a
+    /// key's bucket is bit-identical to the flat index's bucket.
+    #[test]
+    fn partitioned_index_agrees_with_flat_index() {
+        let schema = Schema::of(&[("a", DataType::Int), ("b", DataType::Int)]);
+        let rows: Vec<Tuple> = (0..200).map(|i| Tuple::of((i % 37, i))).collect();
+        let b = IndexedRelation::new(schema, rows);
+        let flat = b.index(&[0]);
+        for parts in [1, 2, 3, 8] {
+            let pidx = assemble(&b, &[0], parts);
+            let mut covered = 0;
+            for (key, rows) in flat.iter() {
+                assert_eq!(pidx.get(key), Some(rows), "parts={parts}");
+                covered += 1;
+            }
+            let total: usize = (0..parts)
+                .map(|p| b.index_partition(&[0], p, parts).len())
+                .sum();
+            assert_eq!(total, covered, "partitions must tile the key space");
+        }
+    }
+
+    /// Total-order key equality holds across partitions too: Int 1
+    /// and Float 1.0 hash to the same partition and the same bucket.
+    #[test]
+    fn partitioned_probe_respects_total_order() {
+        let schema = Schema::of(&[("a", DataType::Float)]);
+        let b = IndexedRelation::new(schema, vec![Tuple::of((1.0,)), Tuple::of((2.5,))]);
+        let pidx = assemble(&b, &[0], 4);
+        assert_eq!(pidx.get(&JoinKey::new(vec![Value::Int(1)])), Some(&vec![0u32]));
+        assert!(!pidx.contains_key(&JoinKey::new(vec![Value::Int(2)])));
+    }
+
+    /// A published partitioned index is maintained across appends,
+    /// like every flat index.
+    #[test]
+    fn absorb_maintains_partitioned_indexes() {
+        let mut b = batch();
+        let pidx = Arc::new(assemble(&b, &[0], 3));
+        b.cache_partitioned(&[0], 3, pidx);
+        assert!(b.insert_if_new(Tuple::of((7, "q"))).is_some());
+        let maintained = b.cached_partitioned(&[0], 3).expect("still cached");
+        assert_eq!(
+            maintained.get(&JoinKey::new(vec![Value::Int(7)])),
+            Some(&vec![4u32])
+        );
+        // Pre-existing keys are untouched.
+        assert_eq!(
+            maintained
+                .get(&JoinKey::new(vec![Value::Int(1)]))
+                .map(Vec::len),
+            Some(3)
+        );
+        assert_eq!(maintained.part_count(), 3);
     }
 }

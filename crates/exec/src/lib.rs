@@ -53,15 +53,20 @@ pub mod datalog_planner;
 pub mod error;
 pub mod fixpoint;
 pub mod indexed;
+pub mod parallel;
 pub mod plan;
 pub mod planner;
+mod pool;
 pub mod run;
 
 pub use datalog_planner::plan_datalog;
 pub use error::{ExecError, ExecResult};
-pub use fixpoint::{eval_fixpoint, explain_datalog, FixpointPlan};
+pub use fixpoint::{
+    eval_fixpoint, explain_datalog, explain_datalog_parallel, stratum_levels, FixpointPlan,
+};
 pub use indexed::IndexedRelation;
-pub use plan::{explain, OutputCol, PhysPlan};
+pub use parallel::{execute_parallel, resolve_threads};
+pub use plan::{explain, explain_parallel, OutputCol, PhysPlan};
 pub use planner::{plan_ra, plan_trc};
 pub use run::execute;
 
@@ -76,15 +81,24 @@ pub enum Engine {
     Reference,
     /// The physical plan engine of this crate (hash joins, indexes).
     Indexed,
+    /// The partitioned parallel runtime over the same plans
+    /// ([`parallel`]): the payload is the worker count, `0` meaning
+    /// *auto* (the `RELVIZ_THREADS` environment variable, else the
+    /// machine's available parallelism — see [`resolve_threads`]).
+    /// Results are **bit-identical** to [`Engine::Indexed`] at every
+    /// thread count; one worker degenerates to the serial operators.
+    Parallel(usize),
 }
 
 impl Engine {
-    pub const ALL: [Engine; 2] = [Engine::Reference, Engine::Indexed];
+    pub const ALL: [Engine; 3] =
+        [Engine::Reference, Engine::Indexed, Engine::Parallel(0)];
 
     pub fn name(&self) -> &'static str {
         match self {
             Engine::Reference => "reference",
             Engine::Indexed => "exec",
+            Engine::Parallel(_) => "parallel",
         }
     }
 }
@@ -94,6 +108,9 @@ pub fn eval_ra(engine: Engine, expr: &relviz_ra::RaExpr, db: &Database) -> ExecR
     match engine {
         Engine::Reference => Ok(relviz_ra::eval::eval(expr, db)?),
         Engine::Indexed => execute(&plan_ra(expr, db)?, db),
+        Engine::Parallel(t) => {
+            execute_parallel(&plan_ra(expr, db)?, db, resolve_threads(t))
+        }
     }
 }
 
@@ -106,6 +123,9 @@ pub fn eval_trc(
     match engine {
         Engine::Reference => Ok(relviz_rc::trc_eval::eval_trc(q, db)?),
         Engine::Indexed => execute(&plan_trc(q, db)?, db),
+        Engine::Parallel(t) => {
+            execute_parallel(&plan_trc(q, db)?, db, resolve_threads(t))
+        }
     }
 }
 
@@ -126,6 +146,11 @@ pub fn eval_datalog_all(
     match engine {
         Engine::Reference => Ok(relviz_datalog::eval::eval_all(program, db)?),
         Engine::Indexed => eval_fixpoint(&plan_datalog(program, db)?, db),
+        Engine::Parallel(t) => parallel::eval_fixpoint_parallel(
+            &plan_datalog(program, db)?,
+            db,
+            resolve_threads(t),
+        ),
     }
 }
 
@@ -163,7 +188,19 @@ mod tests {
     fn engine_names() {
         assert_eq!(Engine::Reference.name(), "reference");
         assert_eq!(Engine::Indexed.name(), "exec");
-        assert_eq!(Engine::ALL.len(), 2);
+        assert_eq!(Engine::Parallel(0).name(), "parallel");
+        assert_eq!(Engine::Parallel(4).name(), "parallel");
+        assert_eq!(Engine::ALL.len(), 3);
+    }
+
+    #[test]
+    fn explicit_thread_counts_resolve_verbatim() {
+        assert_eq!(resolve_threads(1), 1);
+        assert_eq!(resolve_threads(7), 7);
+        // 0 = auto: env or hardware — always at least one worker. The
+        // lock serializes against the test that mutates the env var.
+        let _guard = parallel::ENV_LOCK.lock().unwrap();
+        assert!(resolve_threads(0) >= 1);
     }
 
     #[test]

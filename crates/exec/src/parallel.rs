@@ -1,0 +1,491 @@
+//! `Engine::Parallel` — the **partitioned parallel runtime** over the
+//! same plans, the same operators, and the same shared-storage batches
+//! as `Engine::Indexed`.
+//!
+//! Three axes of parallelism, all scoped through the tiny
+//! work-stealing-free pool ([`crate::pool`]):
+//!
+//! 1. **Partitioned hash joins.** A large build side is indexed as
+//!    disjoint key-hash-range partitions
+//!    ([`IndexedRelation::index_partition`]), one worker per range over
+//!    the `Arc`'d view; large probe sides (joins, semi-/anti-joins,
+//!    filters, projections) split into contiguous row ranges whose
+//!    outputs concatenate in range order — **bit-identical** to the
+//!    serial loop, not merely set-equal.
+//! 2. **Parallel rules per fixpoint round.** Independent rules of a
+//!    stratum (round 0) and independent delta variants (semi-naive
+//!    rounds) evaluate concurrently against a snapshot of the
+//!    accumulated IDB, with a **round barrier**: outputs merge through
+//!    exactly one [`IndexedRelation::absorb_batch`] per rule output, in
+//!    rule order, after every worker's views are dropped — so appends
+//!    stay in place and the zero-copy invariants of the batch
+//!    architecture hold unchanged.
+//! 3. **Independent sub-DAGs.** `Shared` common sub-plans with no
+//!    mutual nesting execute concurrently before the main plan walk
+//!    ([`prewarm_shared`]), and strata with no dependency path between
+//!    them run level-by-level in parallel
+//!    ([`crate::fixpoint::stratum_levels`]).
+//!
+//! **Determinism guarantee.** For every query, `Engine::Parallel`
+//! produces results bit-identical to `Engine::Indexed` at any thread
+//! count: partitioned probes reproduce the serial tuple order exactly,
+//! round barriers make rule merges order-independent at the fixpoint,
+//! and the final set-semantics [`Relation`] (a `BTreeSet` under the
+//! total order of values) is the anchor every suite pins 16× over
+//! (`tests/determinism.rs`).
+//!
+//! A **one-thread run degenerates to the serial operator path**: no
+//! pool dispatch, no partition builds — pinned by counter tests below.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use relviz_model::{Database, Relation, Tuple};
+
+use crate::error::ExecResult;
+use crate::fixpoint::FixpointPlan;
+use crate::indexed::{IndexedRelation, PartitionedIndex};
+use crate::plan::PhysPlan;
+use crate::pool;
+use crate::run::{run_with, ExecContext};
+
+/// Rows below which an operator stays on its serial path: chunking a
+/// small batch costs more in thread dispatch than the scan saves.
+pub(crate) const PAR_MIN_ROWS: usize = 1024;
+
+/// Total delta rows below which a semi-naive round runs its variants
+/// sequentially (the round barrier would out-cost the round).
+pub(crate) const PAR_MIN_DELTA: usize = 64;
+
+/// Resolves a requested worker count: `0` means *auto* — the
+/// `RELVIZ_THREADS` environment variable if set (how CI drives the
+/// whole test suite through the parallel paths), else the machine's
+/// available hardware parallelism.
+pub fn resolve_threads(requested: usize) -> usize {
+    if requested > 0 {
+        return requested;
+    }
+    if let Some(n) = std::env::var("RELVIZ_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+    {
+        return n;
+    }
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+/// Executes a plain plan on the parallel runtime: independent `Shared`
+/// sub-plans prewarm concurrently, operators take their partitioned
+/// paths past [`PAR_MIN_ROWS`], and the final sort splits across
+/// workers. `threads <= 1` degenerates to the serial operator path.
+pub fn execute_parallel(plan: &PhysPlan, db: &Database, threads: usize) -> ExecResult<Relation> {
+    let threads = threads.max(1);
+    let ctx = ExecContext::with_threads(threads);
+    prewarm_shared(plan, db, &ctx, threads)?;
+    let batch = run_with(plan, db, None, &ctx)?;
+    Ok(into_relation_par(batch, threads))
+}
+
+/// Evaluates a recursive plan on the parallel runtime (independent
+/// strata per DAG level, parallel rules per round, partitioned joins).
+pub fn eval_fixpoint_parallel(
+    plan: &FixpointPlan,
+    db: &Database,
+    threads: usize,
+) -> ExecResult<HashMap<String, Relation>> {
+    crate::fixpoint::eval_fixpoint_with(plan, db, threads.max(1))
+}
+
+/// Runs every group of mutually independent `Shared` sub-plans
+/// concurrently (innermost nesting level first, so a shared plan's own
+/// shared children are cached before it runs), populating the
+/// execution's sub-plan cache ahead of the main walk — which then hits
+/// warm cache at every occurrence instead of racing duplicate
+/// evaluations.
+pub(crate) fn prewarm_shared(
+    plan: &PhysPlan,
+    db: &Database,
+    ctx: &ExecContext,
+    threads: usize,
+) -> ExecResult<()> {
+    if threads <= 1 {
+        return Ok(());
+    }
+    let levels = crate::planner::shared_levels(plan);
+    if levels.iter().map(Vec::len).sum::<usize>() < 2 {
+        return Ok(()); // zero or one shared sub-plan: the lazy path is enough
+    }
+    // Like the fixpoint's rule scatters, each prewarm worker's operators
+    // get an equal share of the budget, so nesting divides the width
+    // instead of multiplying it. The share rides in a FixpointState
+    // with empty scan maps — plain shared sub-plans never contain
+    // `ScanIdb`/`ScanDelta` leaves, so only the budget field is read.
+    let empty: HashMap<String, IndexedRelation> = HashMap::new();
+    for level in levels {
+        let workers = threads.min(level.len()).max(1);
+        let budget = crate::run::FixpointState {
+            idb: &empty,
+            delta: &empty,
+            threads: (threads / workers).max(1),
+        };
+        let results = pool::scatter(threads, level.len(), &|i| {
+            let (id, input) = level[i];
+            run_with(input, db, Some(&budget), ctx).map(|batch| (id, batch))
+        });
+        for r in results {
+            let (id, batch) = r?;
+            ctx.insert_subplan(id, batch);
+        }
+    }
+    Ok(())
+}
+
+/// The partitioned index on `cols` over `batch`'s storage: cache hit,
+/// or `threads` concurrent hash-range builds assembled and published
+/// into the batch's shared cache (maintained across later appends).
+pub(crate) fn partitioned_index(
+    batch: &IndexedRelation,
+    cols: &[usize],
+    threads: usize,
+) -> Arc<PartitionedIndex> {
+    if let Some(hit) = batch.cached_partitioned(cols, threads) {
+        return hit;
+    }
+    let parts = pool::scatter(threads, threads, &|p| {
+        Arc::new(batch.index_partition(cols, p, threads))
+    });
+    batch.cache_partitioned(cols, threads, Arc::new(PartitionedIndex::new(parts)))
+}
+
+/// Converts a batch to a set-semantics [`Relation`] with the dominant
+/// cost — sorting under the total order — split across workers:
+/// contiguous chunks sort concurrently, then a k-way merge dedups into
+/// one ascending run the `BTreeSet` bulk-builds from. Identical output
+/// to [`IndexedRelation::into_relation`] (same set, same order — the
+/// order *is* the total order).
+pub(crate) fn into_relation_par(batch: IndexedRelation, threads: usize) -> Relation {
+    if threads <= 1 || batch.len() < PAR_MIN_ROWS {
+        return batch.into_relation();
+    }
+    let schema = batch.schema().clone();
+    let mut rest = batch.into_tuples();
+    // Split into owned chunks (pointer moves, no tuple clones): peel
+    // the tail ranges off in reverse, and what remains is chunk 0.
+    // Every range is non-empty (`chunks` clamps parts to the length).
+    let ranges = pool::chunks(rest.len(), threads);
+    let mut chunks: Vec<Vec<Tuple>> = Vec::with_capacity(ranges.len());
+    for r in ranges[1..].iter().rev() {
+        chunks.push(rest.split_off(r.start));
+    }
+    chunks.push(rest);
+    chunks.reverse();
+    // …sort each concurrently…
+    let slots: Vec<parking_lot::Mutex<Option<Vec<Tuple>>>> =
+        chunks.into_iter().map(|c| parking_lot::Mutex::new(Some(c))).collect();
+    let sorted = pool::scatter(threads, slots.len(), &|i| {
+        let mut chunk = slots[i].lock().take().expect("each chunk taken once");
+        chunk.sort();
+        chunk
+    });
+    // …and merge into one ascending run. No dedup here: the final
+    // `Relation` construction below applies the set semantics.
+    let total: usize = sorted.iter().map(Vec::len).sum();
+    let mut merged: Vec<Tuple> = Vec::with_capacity(total);
+    merge_sorted(sorted, &mut merged);
+    Relation::from_tuples_unchecked(schema, merged)
+}
+
+/// K-way merge under the total order (k is the worker count, so a
+/// linear min-scan per element beats a heap). Tuples move through a
+/// heads buffer — no clones.
+///
+/// Deliberately **no duplicate elimination**: chunk sorts are stable
+/// and ties across chunks resolve to the earlier chunk, so the merged
+/// run is exactly the stable sort of the input — and stable sorting is
+/// idempotent, so handing it to `Relation::from_tuples_unchecked`
+/// (which stable-sorts and dedups internally) produces the same
+/// relation, **bit for bit**, as handing it the unsorted input. The
+/// serial path's dedup semantics — whatever they are on the edge cases
+/// where the total order and derived equality disagree (`Int 1` vs
+/// `Float 1.0`, `-0.0` vs `0.0`) — are applied by the same code on
+/// both paths, instead of being replicated here. (Replicating them is
+/// exactly how the first version of this function broke bit-identity —
+/// found by review, pinned by the regression test below.)
+fn merge_sorted(runs: Vec<Vec<Tuple>>, out: &mut Vec<Tuple>) {
+    let mut iters: Vec<std::vec::IntoIter<Tuple>> =
+        runs.into_iter().map(Vec::into_iter).collect();
+    let mut heads: Vec<Option<Tuple>> = iters.iter_mut().map(Iterator::next).collect();
+    loop {
+        let mut min: Option<usize> = None;
+        for (i, head) in heads.iter().enumerate() {
+            if head.is_none() {
+                continue;
+            }
+            min = Some(match min {
+                Some(m)
+                    if heads[m].as_ref().expect("candidate").cmp(head.as_ref().expect("some"))
+                        != std::cmp::Ordering::Greater =>
+                {
+                    m
+                }
+                _ => i,
+            });
+        }
+        let Some(m) = min else { break };
+        let t = heads[m].take().expect("chosen head present");
+        heads[m] = iters[m].next();
+        out.push(t);
+    }
+}
+
+/// Parallel-path instrumentation: merge and dispatch counters the
+/// degeneration/zero-copy tests pin. Dispatch and fan-out live in
+/// [`crate::pool::instrument`] (the pool counts them at the source);
+/// this module fronts them so tests have one window.
+#[cfg(test)]
+pub(crate) mod instrument {
+    use std::cell::Cell;
+
+    thread_local! {
+        /// Rule-output batches merged through the parallel round
+        /// barrier (one `absorb_batch` per rule output).
+        pub static PAR_MERGES: Cell<usize> = const { Cell::new(0) };
+    }
+
+    pub(crate) fn count_merge() {
+        PAR_MERGES.with(|c| c.set(c.get() + 1));
+    }
+
+    pub fn reset() {
+        PAR_MERGES.with(|c| c.set(0));
+        crate::pool::instrument::DISPATCHES.with(|c| c.set(0));
+        crate::pool::instrument::MAX_FANOUT.with(|c| c.set(0));
+    }
+
+    pub fn merges() -> usize {
+        PAR_MERGES.with(Cell::get)
+    }
+    pub fn dispatches() -> usize {
+        crate::pool::instrument::DISPATCHES.with(Cell::get)
+    }
+    pub fn max_fanout() -> usize {
+        crate::pool::instrument::MAX_FANOUT.with(Cell::get)
+    }
+
+    pub(crate) fn export() -> [usize; 3] {
+        [merges(), dispatches(), max_fanout()]
+    }
+
+    pub(crate) fn absorb(counts: [usize; 3]) {
+        PAR_MERGES.with(|c| c.set(c.get() + counts[0]));
+        crate::pool::instrument::DISPATCHES.with(|c| c.set(c.get() + counts[1]));
+        crate::pool::instrument::MAX_FANOUT.with(|c| c.set(c.get().max(counts[2])));
+    }
+}
+
+#[cfg(not(test))]
+pub(crate) mod instrument {
+    #[inline(always)]
+    pub(crate) fn count_merge() {}
+}
+
+/// Serializes tests that *mutate* the process-global `RELVIZ_THREADS`
+/// variable against tests that *read* it via `resolve_threads(0)` —
+/// `cargo test` runs tests concurrently in one process, and the libc
+/// environment is a shared mutable global.
+#[cfg(test)]
+pub(crate) static ENV_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::indexed::instrument as idx;
+    use crate::{eval_datalog, eval_ra, eval_trc, Engine};
+    use relviz_model::generate::{generate_binary_pair, generate_sailors, GenConfig};
+    use relviz_model::{DataType, Schema};
+
+    /// A θ-join workload big enough (probe ≥ [`PAR_MIN_ROWS`], build ≥
+    /// [`PAR_MIN_ROWS`]) that the partitioned paths genuinely engage.
+    const BIG_JOIN: &str = "Project[sname](Select[s_sid = sid](Product(\
+                            Rename[sid -> s_sid](Sailor), Reserves)))";
+
+    const TC: &str = "tc(X, Y) :- R(X, Y).\n\
+                      tc(X, Z) :- tc(X, Y), R(Y, Z).";
+
+    fn big_db() -> relviz_model::Database {
+        generate_sailors(&GenConfig { seed: 0xBEEF, sailors: 1500, boats: 40, reservations: 2200 })
+    }
+
+    /// The determinism anchor, asserted at its strongest: not just the
+    /// same set, the same bytes.
+    fn assert_bit_identical(a: &relviz_model::Relation, b: &relviz_model::Relation) {
+        assert!(a.same_contents(b));
+        assert_eq!(format!("{a}"), format!("{b}"), "renderings must be byte-identical");
+    }
+
+    /// A 1-thread parallel run takes, by construction, the serial
+    /// operator path: zero pool dispatches, zero partition builds.
+    #[test]
+    fn one_thread_run_degenerates_to_the_serial_path() {
+        let db = big_db();
+        let e = relviz_ra::parse::parse_ra(BIG_JOIN).unwrap();
+        instrument::reset();
+        idx::reset();
+        let par = eval_ra(Engine::Parallel(1), &e, &db).unwrap();
+        assert_eq!(instrument::dispatches(), 0, "no pool dispatch at 1 thread");
+        assert_eq!(idx::partition_builds(), 0, "no partition builds at 1 thread");
+        let serial = eval_ra(Engine::Indexed, &e, &db).unwrap();
+        assert_bit_identical(&par, &serial);
+    }
+
+    /// Past the row thresholds the partitioned paths actually engage —
+    /// and stay bit-identical to the serial engine.
+    #[test]
+    fn partitioned_join_engages_and_matches_serial() {
+        let db = big_db();
+        let e = relviz_ra::parse::parse_ra(BIG_JOIN).unwrap();
+        instrument::reset();
+        idx::reset();
+        let par = eval_ra(Engine::Parallel(4), &e, &db).unwrap();
+        assert!(instrument::dispatches() > 0, "pool must have dispatched");
+        assert_eq!(instrument::max_fanout(), 4);
+        assert_eq!(
+            idx::partition_builds(),
+            4,
+            "the build side is indexed as exactly one hash-range partition per worker"
+        );
+        let serial = eval_ra(Engine::Indexed, &e, &db).unwrap();
+        assert_bit_identical(&par, &serial);
+    }
+
+    /// The zero-copy architecture survives parallelism: a multi-round
+    /// parallel fixpoint still performs **zero** whole-storage copies —
+    /// the round barrier drops every worker view before the merge
+    /// absorbs, so appends stay in place (PR 4's counters, reused).
+    #[test]
+    fn parallel_fixpoint_introduces_no_deep_copies() {
+        let db = generate_binary_pair(11, 1500, 600);
+        let prog = relviz_datalog::parse::parse_program(TC).unwrap();
+        idx::reset();
+        instrument::reset();
+        let par = eval_datalog(Engine::Parallel(4), &prog, &db).unwrap();
+        assert_eq!(idx::deep_copies(), 0, "no full-IDB copies on the parallel path");
+        assert_eq!(idx::materializations(), 1, "R still scanned into a batch once");
+        assert!(instrument::dispatches() > 0, "the parallel path must have engaged");
+        let serial = eval_datalog(Engine::Indexed, &prog, &db).unwrap();
+        assert_bit_identical(&par, &serial);
+    }
+
+    /// Independent rules of a stratum merge through the round barrier:
+    /// one absorb per rule output, counted.
+    #[test]
+    fn round_barrier_merges_one_batch_per_rule() {
+        let db = generate_binary_pair(3, 30, 10);
+        // Two independent rules in the sg stratum's round 0, plus one
+        // delta variant in later rounds.
+        let prog = relviz_datalog::parse::parse_program(
+            "% query: sg\n\
+             sg(X, X) :- R(X, Y).\n\
+             sg(X, X) :- R(Y, X).\n\
+             sg(X, Y) :- R(XP, X), sg(XP, YP), R(YP, Y).",
+        )
+        .unwrap();
+        instrument::reset();
+        let par = eval_datalog(Engine::Parallel(4), &prog, &db).unwrap();
+        assert!(
+            instrument::merges() >= 3,
+            "round 0 merges all three rule outputs through the barrier, got {}",
+            instrument::merges()
+        );
+        let serial = eval_datalog(Engine::Indexed, &prog, &db).unwrap();
+        assert_bit_identical(&par, &serial);
+    }
+
+    /// Shared sub-plans prewarm concurrently and still execute exactly
+    /// once each (the sub-plan cache stays the single point of truth).
+    #[test]
+    fn prewarmed_shared_subplans_match_serial() {
+        let db = generate_sailors(&GenConfig { seed: 7, sailors: 60, boats: 12, reservations: 90 });
+        let q = relviz_rc::trc_parse::parse_trc(
+            "{s.sname | Sailor(s) and not exists b in Boat: (b.color = 'red' and \
+             not exists r in Reserves: (r.sid = s.sid and r.bid = b.bid))}",
+        )
+        .unwrap();
+        let par = eval_trc(Engine::Parallel(4), &q, &db).unwrap();
+        let serial = eval_trc(Engine::Indexed, &q, &db).unwrap();
+        assert_bit_identical(&par, &serial);
+    }
+
+    /// The parallel final sort produces the same relation as the
+    /// serial `into_relation`, duplicates collapsed, at any width.
+    #[test]
+    fn parallel_sort_merge_equals_serial_conversion() {
+        use relviz_model::Tuple;
+        let schema = Schema::of(&[("a", DataType::Int), ("b", DataType::Int)]);
+        // Deliberately unsorted, duplicate-heavy input.
+        let rows: Vec<Tuple> =
+            (0..4000).map(|i| Tuple::of(((i * 37) % 211, (i * 13) % 17))).collect();
+        for threads in [1, 2, 3, 8] {
+            let par = into_relation_par(
+                IndexedRelation::new(schema.clone(), rows.clone()),
+                threads,
+            );
+            let serial = IndexedRelation::new(schema.clone(), rows.clone()).into_relation();
+            assert_eq!(par.len(), serial.len());
+            assert_eq!(format!("{par}"), format!("{serial}"), "threads={threads}");
+        }
+    }
+
+    /// Regression (found by /code-review): on the edge cases where the
+    /// total order and derived tuple equality *disagree* — `Int 1` vs
+    /// `Float 1.0` (order-equal, derived-unequal), `-0.0` vs `0.0`
+    /// (order-distinct, derived-equal) — the parallel conversion must
+    /// reproduce the serial bulk set build byte for byte. The first
+    /// version of the parallel merge deduplicated by the total order
+    /// itself and silently dropped tuples the serial path keeps.
+    #[test]
+    fn order_vs_equality_edge_cases_match_the_serial_conversion() {
+        use relviz_model::{Tuple, Value};
+        let schema = Schema::of(&[("a", DataType::Any)]);
+        // Every residue occurs as Int and as Float, plus both zero
+        // signs — all interleavings of the disagreement cases.
+        let mut rows: Vec<Tuple> = (0..2048i64)
+            .map(|i| {
+                if i < 1024 {
+                    Tuple::new(vec![Value::Int(i % 40)])
+                } else {
+                    Tuple::new(vec![Value::Float((i % 40) as f64)])
+                }
+            })
+            .collect();
+        rows.push(Tuple::new(vec![Value::Float(-0.0)]));
+        rows.push(Tuple::new(vec![Value::Float(0.0)]));
+        let serial = IndexedRelation::new(schema.clone(), rows.clone()).into_relation();
+        for threads in [2, 4, 8] {
+            let par = into_relation_par(
+                IndexedRelation::new(schema.clone(), rows.clone()),
+                threads,
+            );
+            assert_eq!(par.len(), serial.len(), "threads={threads}");
+            assert_eq!(format!("{par}"), format!("{serial}"), "threads={threads}");
+        }
+    }
+
+    /// `resolve_threads(0)` honors RELVIZ_THREADS — the knob CI uses to
+    /// push the whole suite through the parallel paths.
+    #[test]
+    fn auto_threads_reads_the_environment() {
+        // Env mutation is process-global: serialize against readers
+        // (see ENV_LOCK) and restore around the assert.
+        let _guard = super::ENV_LOCK.lock().unwrap();
+        let saved = std::env::var("RELVIZ_THREADS").ok();
+        std::env::set_var("RELVIZ_THREADS", "6");
+        let resolved = resolve_threads(0);
+        match saved {
+            Some(v) => std::env::set_var("RELVIZ_THREADS", v),
+            None => std::env::remove_var("RELVIZ_THREADS"),
+        }
+        assert_eq!(resolved, 6);
+    }
+}

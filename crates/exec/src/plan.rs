@@ -209,15 +209,75 @@ pub fn explain(plan: &PhysPlan) -> String {
     out
 }
 
-pub(crate) fn write_node(out: &mut String, plan: &PhysPlan, depth: usize) {
-    write_node_seen(out, plan, depth, &mut std::collections::HashSet::new());
+/// Renders the plan as the **parallel engine** at `threads` workers
+/// would run it: operators with a partitioned path carry a `∥N`
+/// annotation — `part ∥N` for the joins (hash-range build partitions,
+/// row-range probe chunks) and `chunk ∥N` for filters/projections —
+/// and `Shared` sub-plans that prewarm concurrently carry their
+/// dependency level (`prewarm L0`; same level = runs concurrently).
+/// Row thresholds are runtime decisions, so an annotation marks
+/// *capability*: a small input stays on the serial path regardless.
+/// With `threads <= 1` this is exactly [`explain`].
+pub fn explain_parallel(plan: &PhysPlan, threads: usize) -> String {
+    let mut out = String::new();
+    let ann = Annotations::for_plan(plan, threads);
+    write_node_seen(&mut out, plan, 0, &mut std::collections::HashSet::new(), &ann);
+    out
 }
 
-fn write_node_seen(
+/// What [`explain_parallel`] annotates: the worker count, plus each
+/// prewarm-eligible `Shared` id's concurrency level.
+pub(crate) struct Annotations {
+    threads: usize,
+    shared: std::collections::HashMap<u32, usize>,
+}
+
+impl Annotations {
+    pub(crate) fn serial() -> Self {
+        Annotations { threads: 1, shared: std::collections::HashMap::new() }
+    }
+
+    pub(crate) fn for_plan(plan: &PhysPlan, threads: usize) -> Self {
+        let mut shared = std::collections::HashMap::new();
+        if threads > 1 {
+            let levels = crate::planner::shared_levels(plan);
+            if levels.iter().map(Vec::len).sum::<usize>() >= 2 {
+                for (level, ids) in levels.iter().enumerate() {
+                    for (id, _) in ids {
+                        shared.insert(*id, level);
+                    }
+                }
+            }
+        }
+        Annotations { threads, shared }
+    }
+
+    /// The ` part ∥N` / ` chunk ∥N` suffix, empty on serial renders.
+    fn op(&self, kind: &str) -> String {
+        if self.threads > 1 {
+            format!(" {kind} \u{2225}{}", self.threads)
+        } else {
+            String::new()
+        }
+    }
+}
+
+pub(crate) fn write_node(out: &mut String, plan: &PhysPlan, depth: usize) {
+    write_node_seen(
+        out,
+        plan,
+        depth,
+        &mut std::collections::HashSet::new(),
+        &Annotations::serial(),
+    );
+}
+
+pub(crate) fn write_node_seen(
     out: &mut String,
     plan: &PhysPlan,
     depth: usize,
     seen: &mut std::collections::HashSet<u32>,
+    ann: &Annotations,
 ) {
     for _ in 0..depth {
         out.push_str("  ");
@@ -236,8 +296,8 @@ fn write_node_seen(
             out.push_str(&format!("Values {schema} ({} rows)\n", rows.len()));
         }
         PhysPlan::Filter { pred, input, .. } => {
-            out.push_str(&format!("Filter {}\n", fmt_pred(pred)));
-            write_node_seen(out, input, depth + 1, seen);
+            out.push_str(&format!("Filter {}{}\n", fmt_pred(pred), ann.op("chunk")));
+            write_node_seen(out, input, depth + 1, seen, ann);
         }
         PhysPlan::Project { cols, input, schema } => {
             let parts: Vec<String> = cols
@@ -255,8 +315,8 @@ fn write_node_seen(
                     OutputCol::Const(v) => format!("{} as {}", v.to_literal(), a.name),
                 })
                 .collect();
-            out.push_str(&format!("Project [{}]\n", parts.join(", ")));
-            write_node_seen(out, input, depth + 1, seen);
+            out.push_str(&format!("Project [{}]{}\n", parts.join(", "), ann.op("chunk")));
+            write_node_seen(out, input, depth + 1, seen, ann);
         }
         PhysPlan::HashJoin { left, right, left_keys, right_keys, right_keep, post, .. } => {
             if left_keys.is_empty() {
@@ -277,46 +337,53 @@ fn write_node_seen(
             if let Some(p) = post {
                 out.push_str(&format!(" filter {}", fmt_pred(p)));
             }
+            out.push_str(&ann.op("part"));
             out.push('\n');
-            write_node_seen(out, left, depth + 1, seen);
-            write_node_seen(out, right, depth + 1, seen);
+            write_node_seen(out, left, depth + 1, seen, ann);
+            write_node_seen(out, right, depth + 1, seen, ann);
         }
         PhysPlan::SemiJoin { left, right, left_keys, right_keys, .. } => {
             out.push_str(&format!(
-                "SemiJoin [{}]\n",
-                fmt_keys(left, right, left_keys, right_keys)
+                "SemiJoin [{}]{}\n",
+                fmt_keys(left, right, left_keys, right_keys),
+                ann.op("part")
             ));
-            write_node_seen(out, left, depth + 1, seen);
-            write_node_seen(out, right, depth + 1, seen);
+            write_node_seen(out, left, depth + 1, seen, ann);
+            write_node_seen(out, right, depth + 1, seen, ann);
         }
         PhysPlan::AntiJoin { left, right, left_keys, right_keys, .. } => {
             out.push_str(&format!(
-                "AntiJoin [{}]\n",
-                fmt_keys(left, right, left_keys, right_keys)
+                "AntiJoin [{}]{}\n",
+                fmt_keys(left, right, left_keys, right_keys),
+                ann.op("part")
             ));
-            write_node_seen(out, left, depth + 1, seen);
-            write_node_seen(out, right, depth + 1, seen);
+            write_node_seen(out, left, depth + 1, seen, ann);
+            write_node_seen(out, right, depth + 1, seen, ann);
         }
         PhysPlan::Union { left, right, .. } => {
             out.push_str("Union\n");
-            write_node_seen(out, left, depth + 1, seen);
-            write_node_seen(out, right, depth + 1, seen);
+            write_node_seen(out, left, depth + 1, seen, ann);
+            write_node_seen(out, right, depth + 1, seen, ann);
         }
         PhysPlan::Diff { left, right, .. } => {
             out.push_str("Diff\n");
-            write_node_seen(out, left, depth + 1, seen);
-            write_node_seen(out, right, depth + 1, seen);
+            write_node_seen(out, left, depth + 1, seen, ann);
+            write_node_seen(out, right, depth + 1, seen, ann);
         }
         PhysPlan::Dedup { input, .. } => {
             out.push_str("Dedup\n");
-            write_node_seen(out, input, depth + 1, seen);
+            write_node_seen(out, input, depth + 1, seen, ann);
         }
         PhysPlan::Shared { id, input, .. } => {
+            let prewarm = match ann.shared.get(id) {
+                Some(level) => format!(" (prewarm L{level})"),
+                None => String::new(),
+            };
             if seen.insert(*id) {
-                out.push_str(&format!("Shared #{id}\n"));
-                write_node_seen(out, input, depth + 1, seen);
+                out.push_str(&format!("Shared #{id}{prewarm}\n"));
+                write_node_seen(out, input, depth + 1, seen, ann);
             } else {
-                out.push_str(&format!("Shared #{id} ^\n"));
+                out.push_str(&format!("Shared #{id}{prewarm} ^\n"));
             }
         }
     }

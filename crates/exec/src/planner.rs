@@ -212,6 +212,84 @@ fn share_common_subplans(plan: PhysPlan) -> PhysPlan {
     rewrite(plan, &counts, &mut ids)
 }
 
+/// Groups a plan's `Shared` sub-plans into **concurrency levels** for
+/// the parallel engine: a level-0 id nests no other shared plan, a
+/// level-`k` id nests only ids of lower levels. Ids on one level are
+/// mutually independent, so they may execute concurrently; running
+/// levels bottom-up guarantees every nested shared result is cached
+/// before an enclosing one needs it. Each id is returned with (a
+/// reference to) its defining input sub-plan.
+pub(crate) fn shared_levels(plan: &PhysPlan) -> Vec<Vec<(u32, &PhysPlan)>> {
+    use std::collections::{HashMap, HashSet};
+
+    fn walk<'a>(p: &'a PhysPlan, visit: &mut impl FnMut(&'a PhysPlan)) {
+        visit(p);
+        match p {
+            PhysPlan::Scan { .. }
+            | PhysPlan::ScanIdb { .. }
+            | PhysPlan::ScanDelta { .. }
+            | PhysPlan::Values { .. } => {}
+            PhysPlan::Filter { input, .. }
+            | PhysPlan::Project { input, .. }
+            | PhysPlan::Dedup { input, .. }
+            | PhysPlan::Shared { input, .. } => walk(input, visit),
+            PhysPlan::HashJoin { left, right, .. }
+            | PhysPlan::SemiJoin { left, right, .. }
+            | PhysPlan::AntiJoin { left, right, .. }
+            | PhysPlan::Union { left, right, .. }
+            | PhysPlan::Diff { left, right, .. } => {
+                walk(left, visit);
+                walk(right, visit);
+            }
+        }
+    }
+
+    // Every id's defining input, and the shared ids nested inside it.
+    let mut defs: HashMap<u32, &PhysPlan> = HashMap::new();
+    walk(plan, &mut |p| {
+        if let PhysPlan::Shared { id, input, .. } = p {
+            defs.entry(*id).or_insert(input);
+        }
+    });
+    let mut inside: HashMap<u32, HashSet<u32>> = HashMap::new();
+    for (&id, &input) in &defs {
+        let mut nested = HashSet::new();
+        walk(input, &mut |p| {
+            if let PhysPlan::Shared { id: n, .. } = p {
+                nested.insert(*n);
+            }
+        });
+        inside.insert(id, nested);
+    }
+
+    fn depth(id: u32, inside: &HashMap<u32, HashSet<u32>>, memo: &mut HashMap<u32, usize>) -> usize {
+        if let Some(&d) = memo.get(&id) {
+            return d;
+        }
+        let d = inside[&id]
+            .iter()
+            .filter(|&&n| n != id)
+            .map(|&n| depth(n, inside, memo) + 1)
+            .max()
+            .unwrap_or(0);
+        memo.insert(id, d);
+        d
+    }
+
+    let mut memo = HashMap::new();
+    let max_depth = defs.keys().map(|&id| depth(id, &inside, &mut memo)).max();
+    let Some(max_depth) = max_depth else { return Vec::new() };
+    let mut levels: Vec<Vec<(u32, &PhysPlan)>> = vec![Vec::new(); max_depth + 1];
+    for (&id, &input) in &defs {
+        levels[memo[&id]].push((id, input));
+    }
+    // Deterministic task order within a level (defs iterate a HashMap).
+    for level in &mut levels {
+        level.sort_by_key(|(id, _)| *id);
+    }
+    levels
+}
+
 // ---------------------------------------------------------------------------
 // RA → physical plan
 // ---------------------------------------------------------------------------

@@ -1,0 +1,223 @@
+//! A tiny **scoped, work-stealing-free** thread pool: [`scatter`] runs
+//! `tasks` uniform jobs on up to `threads` workers and returns the
+//! results **in task order**.
+//!
+//! Design constraints (and why this is ~100 lines, not a crate):
+//!
+//! * **Scoped.** Workers are `std::thread::scope` threads, so jobs may
+//!   borrow the caller's stack — plans, the execution context, the
+//!   accumulated IDB — with no `Arc`-wrapping of the engine state and no
+//!   `'static` bounds. Every worker is joined before `scatter` returns,
+//!   so a parallel region is a strict bracket around its borrows.
+//! * **Work-stealing-free.** Jobs are claimed from one shared atomic
+//!   counter in index order; there are no per-worker deques and no
+//!   stealing, so the only synchronization is one `fetch_add` per job.
+//!   The engine's tasks are coarse (a partition, a rule, a stratum), so
+//!   claim contention is negligible and scheduling stays simple enough
+//!   to reason about determinism: *which worker* runs a job can vary,
+//!   but job `i`'s result always lands in slot `i`.
+//! * **The caller works too.** `threads = 4` means the calling thread
+//!   plus three spawned workers, so a `scatter` never idles the thread
+//!   that owns the query.
+//!
+//! Under `cfg(test)`, worker threads hand their instrumentation
+//! counters ([`crate::indexed::instrument`], [`crate::parallel`]'s) back
+//! to the caller on join, so the thread-local counting the zero-copy
+//! tests rely on keeps working across parallel regions: counts flow up
+//! to whichever thread called `scatter`, nested regions included.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use parking_lot::Mutex;
+
+/// Runs `job(0..tasks)` on up to `threads` workers (calling thread
+/// included), returning results in task order. With one worker or one
+/// task this degenerates to a plain sequential loop — no threads are
+/// spawned and no dispatch is counted.
+pub(crate) fn scatter<T, F>(threads: usize, tasks: usize, job: &F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let workers = threads.min(tasks);
+    if workers <= 1 {
+        return (0..tasks).map(job).collect();
+    }
+    instrument::count_dispatch(workers);
+
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<T>>> = (0..tasks).map(|_| Mutex::new(None)).collect();
+    let work = || {
+        loop {
+            let i = next.fetch_add(1, Ordering::Relaxed);
+            if i >= tasks {
+                break;
+            }
+            *slots[i].lock() = Some(job(i));
+        }
+    };
+
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (1..workers)
+            .map(|_| {
+                s.spawn(|| {
+                    work();
+                    // Fresh scoped threads start with zeroed counters, so
+                    // the totals at exit are exactly this worker's share.
+                    export_counts()
+                })
+            })
+            .collect();
+        work();
+        for h in handles {
+            // Re-raise a worker's panic with its original payload, so a
+            // parallel-only failure keeps its real message and location.
+            match h.join() {
+                Ok(counts) => absorb_counts(counts),
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+    });
+
+    slots
+        .into_iter()
+        .map(|slot| slot.into_inner().expect("every task index was claimed once"))
+        .collect()
+}
+
+/// A worker's instrumentation totals, handed back to the caller on
+/// join. Compiles to a zero-sized array outside tests.
+#[cfg(test)]
+type WorkerCounts = ([usize; 4], [usize; 3]);
+#[cfg(not(test))]
+type WorkerCounts = [usize; 0];
+
+#[cfg(test)]
+fn export_counts() -> WorkerCounts {
+    (
+        crate::indexed::instrument::export(),
+        crate::parallel::instrument::export(),
+    )
+}
+#[cfg(not(test))]
+fn export_counts() -> WorkerCounts {
+    []
+}
+
+#[cfg(test)]
+fn absorb_counts(counts: WorkerCounts) {
+    crate::indexed::instrument::absorb(counts.0);
+    crate::parallel::instrument::absorb(counts.1);
+}
+#[cfg(not(test))]
+fn absorb_counts(_counts: WorkerCounts) {}
+
+/// Splits `len` items into at most `parts` contiguous ranges of
+/// near-equal size, in order — the deterministic chunking every
+/// partitioned probe/filter loop uses (chunk outputs concatenated in
+/// range order reproduce the sequential output exactly).
+pub(crate) fn chunks(len: usize, parts: usize) -> Vec<std::ops::Range<usize>> {
+    let parts = parts.clamp(1, len.max(1));
+    let base = len / parts;
+    let extra = len % parts;
+    let mut out = Vec::with_capacity(parts);
+    let mut start = 0;
+    for p in 0..parts {
+        let size = base + usize::from(p < extra);
+        out.push(start..start + size);
+        start += size;
+    }
+    debug_assert_eq!(start, len);
+    out
+}
+
+/// Pool-level instrumentation (dispatch + fan-out); lives here so
+/// [`scatter`] can count without a dependency cycle, re-exported for
+/// tests through [`crate::parallel::instrument`].
+#[cfg(test)]
+pub(crate) mod instrument {
+    use std::cell::Cell;
+
+    thread_local! {
+        /// `scatter` calls that actually went multi-worker.
+        pub static DISPATCHES: Cell<usize> = const { Cell::new(0) };
+        /// Largest worker count of any dispatch.
+        pub static MAX_FANOUT: Cell<usize> = const { Cell::new(0) };
+    }
+
+    pub(crate) fn count_dispatch(workers: usize) {
+        DISPATCHES.with(|c| c.set(c.get() + 1));
+        MAX_FANOUT.with(|c| c.set(c.get().max(workers)));
+    }
+}
+
+#[cfg(not(test))]
+pub(crate) mod instrument {
+    #[inline(always)]
+    pub(crate) fn count_dispatch(_workers: usize) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scatter_returns_results_in_task_order() {
+        let squares = scatter(4, 37, &|i| i * i);
+        assert_eq!(squares.len(), 37);
+        for (i, s) in squares.iter().enumerate() {
+            assert_eq!(*s, i * i);
+        }
+    }
+
+    #[test]
+    fn single_worker_runs_inline_without_dispatch() {
+        crate::parallel::instrument::reset();
+        let out = scatter(1, 8, &|i| i + 1);
+        assert_eq!(out, vec![1, 2, 3, 4, 5, 6, 7, 8]);
+        assert_eq!(crate::parallel::instrument::dispatches(), 0);
+    }
+
+    #[test]
+    fn single_task_runs_inline_without_dispatch() {
+        crate::parallel::instrument::reset();
+        let out = scatter(8, 1, &|i| i);
+        assert_eq!(out, vec![0]);
+        assert_eq!(crate::parallel::instrument::dispatches(), 0);
+    }
+
+    #[test]
+    fn dispatch_and_fanout_are_counted() {
+        crate::parallel::instrument::reset();
+        let _ = scatter(3, 9, &|i| i);
+        assert_eq!(crate::parallel::instrument::dispatches(), 1);
+        assert_eq!(crate::parallel::instrument::max_fanout(), 3);
+    }
+
+    #[test]
+    fn worker_counters_flow_back_to_the_caller() {
+        use crate::indexed::{instrument as idx, IndexedRelation};
+        use relviz_model::{DataType, Schema, Tuple};
+        idx::reset();
+        let batches: Vec<IndexedRelation> = (0..4)
+            .map(|k| {
+                IndexedRelation::new(
+                    Schema::of(&[("a", DataType::Int)]),
+                    vec![Tuple::of((k,))],
+                )
+            })
+            .collect();
+        // Each worker builds one index; the builds happen on pool
+        // threads but must be visible to this (the calling) thread.
+        let _ = scatter(4, 4, &|i| batches[i].index(&[0]).len());
+        assert_eq!(idx::index_builds(), 4);
+    }
+
+    #[test]
+    fn chunks_cover_the_range_in_order() {
+        let cs = chunks(10, 3);
+        assert_eq!(cs, vec![0..4, 4..7, 7..10]);
+        assert_eq!(chunks(2, 8), vec![0..1, 1..2]);
+        assert_eq!(chunks(0, 3), vec![0..0]);
+    }
+}

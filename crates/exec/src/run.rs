@@ -35,6 +35,12 @@ use crate::plan::{OutputCol, PhysPlan};
 pub(crate) struct FixpointState<'a> {
     pub idb: &'a HashMap<String, IndexedRelation>,
     pub delta: &'a HashMap<String, IndexedRelation>,
+    /// The **operator-parallelism budget** for plans run under this
+    /// state: the fixpoint divides the engine's worker count across
+    /// concurrently-running strata and rules, so the chunked operators
+    /// inside a rule use this share, not the full width — nested
+    /// parallel regions divide the budget instead of multiplying it.
+    pub threads: usize,
 }
 
 /// Per-execution caches. One context lives for exactly one `execute` /
@@ -43,17 +49,43 @@ pub(crate) struct FixpointState<'a> {
 /// mid-query). The sub-plan cache must never serve a plan containing
 /// fixpoint scans (`Shared` is only emitted for plain plans), because
 /// its entries are never invalidated within an execution.
+///
+/// The context also carries the execution's **parallelism**: `threads`
+/// is `Some(n >= 2)` only on the parallel engine. Plain plans take it
+/// as their operator width; fixpoint rule plans take their budget
+/// share from [`FixpointState::threads`] instead. Either way every
+/// operator consults the free [`par_over`] before leaving its serial
+/// path — so a one-thread run takes, by construction, exactly the
+/// serial engine's code paths.
 #[derive(Default)]
 pub(crate) struct ExecContext {
     /// EDB relation name → its one materialized, indexed batch.
     scans: Mutex<HashMap<String, IndexedRelation>>,
     /// `Shared` sub-plan id → its computed batch.
     subplans: Mutex<HashMap<u32, IndexedRelation>>,
+    /// Worker count of the parallel engine; `None` on the serial one.
+    threads: Option<usize>,
 }
 
 impl ExecContext {
     pub(crate) fn new() -> Self {
         ExecContext::default()
+    }
+
+    /// A context for the parallel engine; `threads <= 1` yields a plain
+    /// serial context (the degeneration guarantee).
+    pub(crate) fn with_threads(threads: usize) -> Self {
+        ExecContext { threads: (threads > 1).then_some(threads), ..ExecContext::default() }
+    }
+
+    /// The worker count, if this execution is parallel at all.
+    pub(crate) fn threads(&self) -> Option<usize> {
+        self.threads
+    }
+
+    /// Publishes a prewarmed `Shared` sub-plan batch (parallel engine).
+    pub(crate) fn insert_subplan(&self, id: u32, batch: IndexedRelation) {
+        self.subplans.lock().entry(id).or_insert(batch);
     }
 }
 
@@ -77,20 +109,33 @@ pub(crate) fn run_with(
 ) -> ExecResult<IndexedRelation> {
     // Shorthand: recurse with the same state and caches threaded through.
     let run = |p: &PhysPlan| run_with(p, db, state, ctx);
+    // The operator-parallelism width: a fixpoint rule's budget share,
+    // or the engine's full worker count for plain plans.
+    let width = match state {
+        Some(s) => s.threads,
+        None => ctx.threads().unwrap_or(1),
+    };
     match plan {
         PhysPlan::Scan { rel, schema } => {
-            let cached = {
-                let scans = ctx.scans.lock();
-                scans.get(rel).cloned()
-            };
-            let base = match cached {
-                Some(batch) => batch,
-                None => {
-                    let stored =
-                        db.relation(rel).map_err(|e| ExecError::Eval(e.to_string()))?;
-                    let batch = IndexedRelation::from_relation(stored);
-                    ctx.scans.lock().insert(rel.clone(), batch.clone());
-                    batch
+            // The lock is held across the materialization so concurrent
+            // workers missing the same relation don't materialize it
+            // twice — each EDB relation becomes exactly one batch per
+            // execution on every engine. The cost is that two workers
+            // first-touching *different* relations serialize too; that
+            // happens at most once per relation per execution, which is
+            // cheaper than the duplicated materializations (and
+            // nondeterministic counters) the racy alternative allows.
+            let base = {
+                let mut scans = ctx.scans.lock();
+                match scans.get(rel) {
+                    Some(batch) => batch.clone(),
+                    None => {
+                        let stored =
+                            db.relation(rel).map_err(|e| ExecError::Eval(e.to_string()))?;
+                        let batch = IndexedRelation::from_relation(stored);
+                        scans.insert(rel.clone(), batch.clone());
+                        batch
+                    }
                 }
             };
             if base.schema().arity() != schema.arity() {
@@ -148,12 +193,13 @@ pub(crate) fn run_with(
             // The predicate is written in the input's attribute names; the
             // node's own schema may differ (renames fold into schemas).
             let compiled = compile_pred(pred, batch.schema())?;
-            let tuples = batch
-                .tuples()
-                .iter()
-                .filter(|t| eval_pred(&compiled, t))
-                .cloned()
-                .collect();
+            let tuples = probe_chunked(width, batch.len(), &|range| {
+                batch.tuples()[range]
+                    .iter()
+                    .filter(|t| eval_pred(&compiled, t))
+                    .cloned()
+                    .collect()
+            });
             Ok(IndexedRelation::new(schema.clone(), tuples))
         }
         PhysPlan::Project { cols, input, schema } => {
@@ -180,60 +226,63 @@ pub(crate) fn run_with(
                     post,
                     schema: join_schema,
                 };
-                return run_hash_join(&join, Some((cols, schema)), &run);
+                return run_hash_join(&join, Some((cols, schema)), &run, width);
             }
             let batch = run(input)?;
-            let tuples = batch
-                .tuples()
-                .iter()
-                .map(|t| {
-                    Tuple::new(
-                        cols.iter()
-                            .map(|c| match c {
-                                OutputCol::Pos(i) => t.values()[*i].clone(),
-                                OutputCol::Const(v) => v.clone(),
-                            })
-                            .collect(),
-                    )
-                })
-                .collect();
+            let tuples = probe_chunked(width, batch.len(), &|range| {
+                batch.tuples()[range]
+                    .iter()
+                    .map(|t| {
+                        Tuple::new(
+                            cols.iter()
+                                .map(|c| match c {
+                                    OutputCol::Pos(i) => t.values()[*i].clone(),
+                                    OutputCol::Const(v) => v.clone(),
+                                })
+                                .collect(),
+                        )
+                    })
+                    .collect()
+            });
             Ok(IndexedRelation::new(schema.clone(), tuples))
         }
         PhysPlan::HashJoin { left, right, left_keys, right_keys, right_keep, post, schema } => {
             let join = JoinSpec { left, right, left_keys, right_keys, right_keep, post, schema };
-            run_hash_join(&join, None, &run)
+            run_hash_join(&join, None, &run, width)
         }
         PhysPlan::SemiJoin { left, right, left_keys, right_keys, schema } => {
             let lb = run(left)?;
             let rb = run(right)?;
-            let rindex = rb.index(right_keys);
-            let mut key = crate::indexed::JoinKey::with_capacity(left_keys.len());
-            let tuples = lb
-                .tuples()
-                .iter()
-                .filter(|t| {
-                    key.refill(t, left_keys);
-                    // Index buckets are never empty by construction.
-                    rindex.contains_key(&key)
-                })
-                .cloned()
-                .collect();
+            let rindex = build_side_index(&rb, right_keys, width);
+            let tuples = probe_chunked(width, lb.len(), &|range| {
+                let mut key = crate::indexed::JoinKey::with_capacity(left_keys.len());
+                lb.tuples()[range]
+                    .iter()
+                    .filter(|t| {
+                        key.refill(t, left_keys);
+                        // Index buckets are never empty by construction.
+                        rindex.contains_key(&key)
+                    })
+                    .cloned()
+                    .collect()
+            });
             Ok(IndexedRelation::new(schema.clone(), tuples))
         }
         PhysPlan::AntiJoin { left, right, left_keys, right_keys, schema } => {
             let lb = run(left)?;
             let rb = run(right)?;
-            let rindex = rb.index(right_keys);
-            let mut key = crate::indexed::JoinKey::with_capacity(left_keys.len());
-            let tuples = lb
-                .tuples()
-                .iter()
-                .filter(|t| {
-                    key.refill(t, left_keys);
-                    !rindex.contains_key(&key)
-                })
-                .cloned()
-                .collect();
+            let rindex = build_side_index(&rb, right_keys, width);
+            let tuples = probe_chunked(width, lb.len(), &|range| {
+                let mut key = crate::indexed::JoinKey::with_capacity(left_keys.len());
+                lb.tuples()[range]
+                    .iter()
+                    .filter(|t| {
+                        key.refill(t, left_keys);
+                        !rindex.contains_key(&key)
+                    })
+                    .cloned()
+                    .collect()
+            });
             Ok(IndexedRelation::new(schema.clone(), tuples))
         }
         PhysPlan::Union { left, right, schema } => {
@@ -272,6 +321,70 @@ pub(crate) fn run_with(
 }
 
 // ---------------------------------------------------------------------------
+// Partitioned execution helpers
+// ---------------------------------------------------------------------------
+
+/// Runs a row-range job over `rows` input rows: one call for the whole
+/// range on the serial path, or one call per contiguous chunk on the
+/// parallel path with the chunk outputs concatenated **in range
+/// order** — so the produced tuple sequence is identical either way.
+fn probe_chunked(
+    width: usize,
+    rows: usize,
+    job: &(dyn Fn(std::ops::Range<usize>) -> Vec<Tuple> + Sync),
+) -> Vec<Tuple> {
+    match par_over(width, rows) {
+        Some(threads) => {
+            let ranges = crate::pool::chunks(rows, threads);
+            let parts = crate::pool::scatter(threads, ranges.len(), &|i| job(ranges[i].clone()));
+            let total = parts.iter().map(Vec::len).sum();
+            let mut out = Vec::with_capacity(total);
+            for mut p in parts {
+                out.append(&mut p);
+            }
+            out
+        }
+        None => job(0..rows),
+    }
+}
+
+/// The worker count for one operator over `rows` input rows at the
+/// given width budget — only past the row threshold is the partitioned
+/// path worth its dispatch, and a width of one is the serial path by
+/// definition.
+fn par_over(width: usize, rows: usize) -> Option<usize> {
+    (width > 1 && rows >= crate::parallel::PAR_MIN_ROWS).then_some(width)
+}
+
+/// A join's build-side index: the flat shared index on the serial
+/// path, or hash-range partitions built concurrently on the parallel
+/// path. Probes see identical buckets either way.
+enum ProbeIndex {
+    Flat(std::sync::Arc<crate::indexed::Index>),
+    Parts(std::sync::Arc<crate::indexed::PartitionedIndex>),
+}
+
+impl ProbeIndex {
+    fn get(&self, key: &crate::indexed::JoinKey) -> Option<&Vec<u32>> {
+        match self {
+            ProbeIndex::Flat(idx) => idx.get(key),
+            ProbeIndex::Parts(idx) => idx.get(key),
+        }
+    }
+
+    fn contains_key(&self, key: &crate::indexed::JoinKey) -> bool {
+        self.get(key).is_some()
+    }
+}
+
+fn build_side_index(rb: &IndexedRelation, keys: &[usize], width: usize) -> ProbeIndex {
+    match par_over(width, rb.len()) {
+        Some(threads) => ProbeIndex::Parts(crate::parallel::partitioned_index(rb, keys, threads)),
+        None => ProbeIndex::Flat(rb.index(keys)),
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Hash join (with optional fused projection)
 // ---------------------------------------------------------------------------
 
@@ -298,14 +411,20 @@ enum FusedCol {
 /// directly from the probe loop instead of materializing the join's
 /// full-width output first. The residual θ-predicate (rare in fused
 /// plans) still evaluates against the full concatenated row.
+///
+/// On the parallel path the build side is indexed in hash-range
+/// partitions and the probe side is chunked into contiguous row
+/// ranges — see [`build_side_index`] and [`probe_chunked`] for why the
+/// output tuple sequence is identical to the serial loop's.
 fn run_hash_join(
     join: &JoinSpec<'_>,
     project: Option<(&[OutputCol], &Schema)>,
     run: &dyn Fn(&PhysPlan) -> ExecResult<IndexedRelation>,
+    width: usize,
 ) -> ExecResult<IndexedRelation> {
     let lb = run(join.left)?;
     let rb = run(join.right)?;
-    let rindex = rb.index(join.right_keys);
+    let rindex = build_side_index(&rb, join.right_keys, width);
     // Like Filter: the residual predicate is written in the *inputs'*
     // attribute names, which a rename folded onto this node's output
     // schema may no longer carry.
@@ -334,34 +453,37 @@ fn run_hash_join(
     });
     let out_schema = project.map_or(join.schema, |(_, s)| s).clone();
 
-    let mut tuples = Vec::new();
-    let mut key = crate::indexed::JoinKey::with_capacity(join.left_keys.len());
-    for a in lb.tuples() {
-        key.refill(a, join.left_keys);
-        let Some(rows) = rindex.get(&key) else { continue };
-        for &row in rows {
-            let b = &rb.tuples()[row as usize];
-            match &fused {
-                // Fused + no residual: build only the projected row.
-                Some(cols) if compiled.is_none() => {
-                    tuples.push(project_match(cols, a, b));
-                }
-                _ => {
-                    let mut vals = a.values().to_vec();
-                    for &i in join.right_keep {
-                        vals.push(b.values()[i].clone());
+    let tuples = probe_chunked(width, lb.len(), &|range| {
+        let mut tuples = Vec::new();
+        let mut key = crate::indexed::JoinKey::with_capacity(join.left_keys.len());
+        for a in &lb.tuples()[range] {
+            key.refill(a, join.left_keys);
+            let Some(rows) = rindex.get(&key) else { continue };
+            for &row in rows {
+                let b = &rb.tuples()[row as usize];
+                match &fused {
+                    // Fused + no residual: build only the projected row.
+                    Some(cols) if compiled.is_none() => {
+                        tuples.push(project_match(cols, a, b));
                     }
-                    let t = Tuple::new(vals);
-                    if compiled.as_ref().is_none_or(|p| eval_pred(p, &t)) {
-                        tuples.push(match &fused {
-                            Some(cols) => project_match(cols, a, b),
-                            None => t,
-                        });
+                    _ => {
+                        let mut vals = a.values().to_vec();
+                        for &i in join.right_keep {
+                            vals.push(b.values()[i].clone());
+                        }
+                        let t = Tuple::new(vals);
+                        if compiled.as_ref().is_none_or(|p| eval_pred(p, &t)) {
+                            tuples.push(match &fused {
+                                Some(cols) => project_match(cols, a, b),
+                                None => t,
+                            });
+                        }
                     }
                 }
             }
         }
-    }
+        tuples
+    });
     Ok(IndexedRelation::new(out_schema, tuples))
 }
 

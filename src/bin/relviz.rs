@@ -10,8 +10,11 @@
 //!
 //! Options: `--formalism queryvis|reldiag|dfql|qbe|strings|visualsql|sqlvis|tabletalk|dataplay|sieuferd|qbd`,
 //! `--db <file>` (text format of `relviz_model::text`),
-//! `--engine exec|reference` (the interactive `run` path defaults to
-//! the physical engine).
+//! `--engine exec|parallel|reference` (the interactive `run` path
+//! defaults to the physical engine), `--threads N` (worker count for
+//! `--engine parallel`; 0 or absent = auto via `RELVIZ_THREADS` /
+//! available hardware parallelism — results are bit-identical to
+//! `exec` at any thread count).
 
 use std::process::ExitCode;
 
@@ -34,6 +37,7 @@ fn run(args: Vec<String>) -> Result<(), String> {
     let mut positional = Vec::new();
     let mut formalism = VisFormalism::RelationalDiagrams;
     let mut engine = Engine::Indexed;
+    let mut threads: usize = 0; // 0 = auto (RELVIZ_THREADS / hardware)
     let mut db_path: Option<String> = None;
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
@@ -42,9 +46,20 @@ fn run(args: Vec<String>) -> Result<(), String> {
                 let v = it.next().ok_or("--engine needs a value")?;
                 engine = match v.as_str() {
                     "exec" | "indexed" => Engine::Indexed,
+                    "parallel" => Engine::Parallel(threads),
                     "reference" => Engine::Reference,
                     other => return Err(format!("unknown engine `{other}`")),
                 };
+            }
+            "--threads" => {
+                let v = it.next().ok_or("--threads needs a worker count")?;
+                threads = v
+                    .parse()
+                    .map_err(|_| format!("--threads: `{v}` is not a worker count"))?;
+                // `--threads` may precede or follow `--engine parallel`.
+                if let Engine::Parallel(_) = engine {
+                    engine = Engine::Parallel(threads);
+                }
             }
             "--formalism" => {
                 let v = it.next().ok_or("--formalism needs a value")?;
@@ -157,7 +172,7 @@ fn run(args: Vec<String>) -> Result<(), String> {
                  relviz trans  \"<SQL>\"          the query in TRC/DRC/RA/Datalog\n  \
                  relviz run    \"<SQL>\"          evaluate on the database\n  \
                  relviz matrix                  expressiveness matrix\n\n\
-                 options: --formalism queryvis|reldiag|dfql|qbe|strings|visualsql|\n                          sqlvis|tabletalk|dataplay|sieuferd|qbd, --db <file>,\n                          --engine exec|reference (run defaults to exec)"
+                 options: --formalism queryvis|reldiag|dfql|qbe|strings|visualsql|\n                          sqlvis|tabletalk|dataplay|sieuferd|qbd, --db <file>,\n                          --engine exec|parallel|reference (run defaults to exec),\n                          --threads N (for --engine parallel; 0 = auto)"
             );
             Ok(())
         }

@@ -88,6 +88,15 @@ fn all_paths(q: &relviz::core::suite::SuiteQuery, db: &Database) -> Vec<PathResu
             .unwrap_or_else(|e| panic!("{} exec(datalog): {e}", q.id)),
     });
 
+    // 9. The parallel partitioned runtime on the Datalog form — auto
+    // worker count, so `RELVIZ_THREADS=8 cargo test` (the CI contention
+    // run) pushes this path through eight workers.
+    out.push(PathResult {
+        label: "parallel(datalog)",
+        relation: exec::eval_datalog(Engine::Parallel(0), &dl, db)
+            .unwrap_or_else(|e| panic!("{} parallel(datalog): {e}", q.id)),
+    });
+
     out
 }
 
@@ -117,15 +126,15 @@ fn all_paths_agree_on_the_sample() {
     let db = sailors_sample();
     for q in relviz::core::suite::SUITE {
         let paths = all_paths(q, &db);
-        assert_eq!(paths.len(), 8, "{}: a path went missing", q.id);
+        assert_eq!(paths.len(), 9, "{}: a path went missing", q.id);
         assert_pairwise_agreement(q.id, &paths);
     }
 }
 
 /// Every engine-dispatch entry point of the exec crate, exercised for
-/// **both** `Engine` variants — the two engines must agree with each
-/// other on every entry point, on every suite query the entry point's
-/// language can express.
+/// **every** `Engine` variant — all engines must agree with the
+/// reference on every entry point, on every suite query the entry
+/// point's language can express.
 #[test]
 fn every_dispatch_entry_point_runs_on_all_engines() {
     let db = sailors_sample();
@@ -148,16 +157,20 @@ fn every_dispatch_entry_point_runs_on_all_engines() {
                 ]
             })
             .collect();
-        for (entry, (reference, indexed)) in
-            ["eval_ra", "eval_trc", "run_sql", "eval_datalog"]
+        let reference = &results[0];
+        for (engine, outputs) in Engine::ALL.iter().zip(&results).skip(1) {
+            for (entry, (oracle, ours)) in ["eval_ra", "eval_trc", "run_sql", "eval_datalog"]
                 .iter()
-                .zip(results[0].iter().zip(&results[1]))
-        {
-            assert!(
-                reference.same_contents(indexed),
-                "{} {entry}: engines disagree\nreference={reference}\nexec={indexed}",
-                q.id
-            );
+                .zip(reference.iter().zip(outputs))
+            {
+                assert!(
+                    oracle.same_contents(ours),
+                    "{} {entry}: `{}` disagrees with the reference\nreference={oracle}\n{}={ours}",
+                    q.id,
+                    engine.name(),
+                    engine.name(),
+                );
+            }
         }
     }
 }

@@ -273,6 +273,19 @@ fn check_case(seed: u64, db: &Database) {
         ours.len(),
         reference.len(),
     );
+    // The parallel runtime runs the same randomized case at 1, 2 and 8
+    // workers — every width must reproduce the serial result *bit for
+    // bit* (the sorted rendering, not just the set).
+    for threads in [1usize, 2, 8] {
+        let par = relviz::exec::execute_parallel(&plan, db, threads)
+            .unwrap_or_else(|e| panic!("parallel executor failed (seed {seed}, {threads}t): {e}"));
+        assert!(
+            par.same_contents(&reference) && format!("{par}") == format!("{ours}"),
+            "parallel diverges (seed {seed}, {threads} threads)\nexpr: {}\nplan:\n{}\nparallel:\n{par}\nserial:\n{ours}",
+            relviz::ra::print::print_ra(&expr),
+            relviz::exec::explain_parallel(&plan, threads),
+        );
+    }
 }
 
 proptest! {

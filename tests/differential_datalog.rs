@@ -164,6 +164,24 @@ fn check_case(prog_seed: u64, db: &Database) {
             rel.len(),
         );
     }
+    // The parallel fixpoint runs the same randomized program at 1, 2
+    // and 8 workers — every IDB predicate must reproduce the serial
+    // engine's relation bit for bit at every width (parallel round-0
+    // rules, delta variants, strata levels, partitioned joins).
+    for threads in [1usize, 2, 8] {
+        let par = exec::eval_datalog_all(Engine::Parallel(threads), &prog, db)
+            .unwrap_or_else(|e| {
+                panic!("parallel fixpoint failed (seed {prog_seed}, {threads}t): {e}\n{prog}")
+            });
+        assert_eq!(par.len(), all.len(), "predicate sets differ at {threads}t (seed {prog_seed})");
+        for (name, rel) in &all {
+            let p = &par[name];
+            assert!(
+                p.same_contents(rel) && format!("{p}") == format!("{rel}"),
+                "parallel diverges on `{name}` (seed {prog_seed}, {threads} threads)\nprogram:\n{prog}\nparallel:\n{p}\nserial:\n{rel}",
+            );
+        }
+    }
 }
 
 proptest! {

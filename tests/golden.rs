@@ -173,6 +173,47 @@ fn explain_goldens_for_datalog_plans() {
 }
 
 #[test]
+fn explain_goldens_for_parallel_plans() {
+    // The parallel engine's view of representative plans at 4 workers:
+    // partitioned operators (`part ∥4` / `chunk ∥4`), prewarm levels on
+    // `Shared` sub-plans, and stratum dependency levels (same level =
+    // evaluates concurrently). Serial EXPLAIN output is untouched —
+    // annotations only appear through `explain_parallel`.
+    let db = sailors_sample();
+    let mut all = String::new();
+    for id in ["Q2", "Q5"] {
+        let q = relviz::core::suite::by_id(id).unwrap();
+        let trc = relviz::rc::trc_parse::parse_trc(q.trc).unwrap();
+        let plan = relviz::exec::plan_trc(&trc, &db).unwrap();
+        all.push_str(&format!(
+            "== {id} (trc, parallel ×4) ==\n{}",
+            relviz::exec::explain_parallel(&plan, 4)
+        ));
+    }
+    let db2 = relviz::model::generate::generate_binary_pair(11, 30, 12);
+    for (id, src) in [
+        ("TC", "tc(X, Y) :- R(X, Y).\ntc(X, Z) :- tc(X, Y), R(Y, Z)."),
+        (
+            "UNREACHED",
+            "% query: unreached\n\
+             tc(X, Y) :- R(X, Y).\n\
+             tc(X, Z) :- tc(X, Y), R(Y, Z).\n\
+             node(X) :- R(X, Y).\n\
+             node(Y) :- R(X, Y).\n\
+             unreached(X, Y) :- node(X), node(Y), not tc(X, Y).",
+        ),
+    ] {
+        let prog = relviz::datalog::parse::parse_program(src).unwrap();
+        let plan = relviz::exec::plan_datalog(&prog, &db2).unwrap();
+        all.push_str(&format!(
+            "== {id} (datalog, parallel ×4) ==\n{}",
+            relviz::exec::explain_datalog_parallel(&plan, 4)
+        ));
+    }
+    check_or_update("parallel-plans.txt", &all);
+}
+
+#[test]
 fn ascii_goldens_for_syntax_mirror_fingerprints() {
     // The Visual SQL fingerprints of the whole suite: any change to the
     // SQL parser, printer or the frame builder shows as a text diff.
