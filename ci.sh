@@ -22,6 +22,20 @@ cargo bench --no-run
 # 4. Lints: warnings are errors, on every target of every member.
 cargo clippy --workspace --all-targets -- -D warnings
 
+# 4b. Panic-freedom hardening of the engine library: no `unwrap()` and
+#     no unchecked indexing in crates/exec outside tests (`--lib` skips
+#     cfg(test); `--no-deps` keeps the stricter lints from leaking into
+#     path dependencies). Sites that are safe by construction carry a
+#     per-function `#[allow]` with a one-line justification.
+cargo clippy -p relviz-exec --lib --no-deps -- \
+    -W clippy::unwrap_used -W clippy::indexing_slicing -D warnings
+
+# 4c. Static plan verification: every suite query, in RA, TRC and
+#     Datalog form, must plan into an IR the verifier accepts
+#     (column bounds, join-key arities, shared back-references,
+#     delta-variant coverage — the whole contract of verify.rs).
+cargo run --release --bin relviz -- check --suite
+
 # 5. Timed S1 smoke run: the θ-join/product workload at n=1000, the
 #    recursive transitive-closure workload at n ∈ {100, 300, 1000}
 #    (reference vs exec) plus exec-only and parallel at n=3000, and

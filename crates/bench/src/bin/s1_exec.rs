@@ -189,6 +189,23 @@ fn main() {
 
     let (mut snaps, speedup) = run_workloads(n, &db);
 
+    // Static-verifier overhead: one full verification walk of the
+    // θ-join/product plan against planning the same expression. A
+    // stdout note only — never a snapshot row, so the BENCH_exec.json
+    // schema stays fixed.
+    {
+        let naive = relviz_ra::parse::parse_ra(THETA_PRODUCT).expect("workload parses");
+        let (plan_ms, plan) = time_ms(20, || plan_ra(&naive, &db).expect("plans"));
+        let (verify_ms, diags) = time_ms(20, || relviz_exec::verify_plan(&plan, Some(&db)));
+        assert!(diags.is_empty(), "bench workload plan fails verification");
+        println!(
+            "  verifier walk: {:.1} µs on the θ-join/product plan ({} nodes, {:.1}% of plan time)",
+            verify_ms * 1e3,
+            plan.node_count(),
+            100.0 * verify_ms / plan_ms.max(1e-9),
+        );
+    }
+
     // Transitive closure across the scaling sweep, largest
     // reference-checked size = n, then a deeper exec-only size at 3n —
     // the regime where per-round IDB copying used to dominate.

@@ -148,6 +148,30 @@ impl QueryVisualizer {
         }
     }
 
+    /// Statically verifies the query's physical plan **without running
+    /// it**: SQL goes through the same front door as
+    /// [`run`](Self::run) (SQL → TRC → physical plan), then the exec
+    /// layer's verifier ([`relviz_exec::verify_plan`]) walks every
+    /// operator checking the IR contract — column bounds, join-key and
+    /// set-operation arities, shared-subplan back-references. Returns
+    /// the rendered verification report (the same footer `EXPLAIN`
+    /// prints); a plan that fails — impossible for planner-emitted
+    /// plans unless an engine invariant broke — surfaces as
+    /// [`DiagError::Lang`] carrying the diagnostics.
+    pub fn check(&self, sql: &str, db: &Database) -> DiagResult<String> {
+        let parsed =
+            relviz_sql::parse_query(sql).map_err(|e| DiagError::Lang(e.to_string()))?;
+        let trc = relviz_rc::from_sql::sql_to_trc(&parsed, db)?;
+        let plan = relviz_exec::plan_trc(&trc, db)
+            .map_err(|e| DiagError::Lang(e.to_string()))?;
+        let diags = relviz_exec::verify_plan(&plan, Some(db));
+        let report = relviz_exec::verification_footer(plan.node_count(), &diags);
+        if relviz_exec::error_count(&diags) > 0 {
+            return Err(DiagError::Lang(report));
+        }
+        Ok(report)
+    }
+
     /// Runs the full pipeline on a SQL string.
     pub fn visualize(&self, sql: &str, db: &Database) -> DiagResult<Arc<PipelineOutput>> {
         // Canonicalize first so syntactic variants share cache entries —

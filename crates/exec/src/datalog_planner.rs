@@ -71,7 +71,9 @@ pub fn plan_datalog(program: &Program, db: &Database) -> ExecResult<FixpointPlan
             });
         }
     }
-    Ok(FixpointPlan { strata: strata_plans, query: program.query.clone(), schemas })
+    let plan = FixpointPlan { strata: strata_plans, query: program.query.clone(), schemas };
+    crate::verify::debug_verify_fixpoint(&plan, db);
+    Ok(plan)
 }
 
 /// Splits one numeric stratification layer into the **connected
@@ -87,6 +89,8 @@ pub fn plan_datalog(program: &Program, db: &Database) -> ExecResult<FixpointPlan
 /// same-layer chains (`a(X) :- b(X)`) keep their shared semi-naive
 /// loop. Components are ordered by their first predicate (the layer's
 /// predicate list is sorted), keeping plans deterministic.
+// Union-find positions all index vectors built over the same predicate list.
+#[allow(clippy::indexing_slicing)]
 fn split_layer(layer: relviz_datalog::Stratum<'_>) -> Vec<relviz_datalog::Stratum<'_>> {
     if layer.predicates.len() <= 1 {
         return vec![layer];
@@ -150,6 +154,8 @@ struct ScannedAtom {
 /// Plans the scan of body atom `i`: source resolution (EDB scan, IDB
 /// scan, or — for the delta occurrence — delta scan), column naming,
 /// and the local filter for constants and within-atom repeats.
+// `types`/`attrs` positions come from enumerating the atom's own terms.
+#[allow(clippy::indexing_slicing)]
 fn scan_atom(
     atom: &Atom,
     i: usize,
@@ -248,6 +254,8 @@ fn scan_atom(
 /// Compiles one rule body into a plan deriving its head tuples. With
 /// `delta_occ = Some(i)`, body atom `i` scans the delta instead of the
 /// accumulated IDB (the semi-naive variant).
+// `env`/`right_keep` positions index schemas the same loop just built.
+#[allow(clippy::indexing_slicing)]
 fn compile_rule(
     rule: &Rule,
     db: &Database,

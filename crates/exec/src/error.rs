@@ -22,6 +22,9 @@ pub enum ExecError {
     /// Error surfaced by the Datalog crate (range restriction,
     /// stratification, arity consistency).
     Datalog(DlError),
+    /// The static plan verifier rejected the plan before execution; the
+    /// payload is the rendered diagnostic list (one per line).
+    Verify(String),
 }
 
 pub type ExecResult<T> = Result<T, ExecError>;
@@ -34,6 +37,7 @@ impl fmt::Display for ExecError {
             ExecError::Ra(e) => write!(f, "{e}"),
             ExecError::Rc(e) => write!(f, "{e}"),
             ExecError::Datalog(e) => write!(f, "{e}"),
+            ExecError::Verify(m) => write!(f, "plan verification failed:\n{m}"),
         }
     }
 }

@@ -33,7 +33,7 @@ use std::collections::HashMap;
 
 use relviz_model::{Database, Relation, Schema, Tuple};
 
-use crate::error::ExecResult;
+use crate::error::{ExecError, ExecResult};
 use crate::indexed::IndexedRelation;
 use crate::plan::{write_node, PhysPlan};
 use crate::pool;
@@ -106,21 +106,64 @@ fn absorb(target: &mut IndexedRelation, fresh: &mut Vec<u32>, batch: IndexedRela
 }
 
 /// Materializes the per-predicate delta batches for a round from the
-/// row numbers `absorb` recorded against the accumulated IDB.
+/// row numbers `absorb` recorded against the accumulated IDB. The rows
+/// were recorded against exactly this IDB, so lookups can only fail on
+/// a malformed plan — reported as [`ExecError::Eval`], not a panic.
 fn materialize_deltas(
     delta: HashMap<String, Vec<u32>>,
     idb: &HashMap<String, IndexedRelation>,
-) -> HashMap<String, IndexedRelation> {
+) -> ExecResult<HashMap<String, IndexedRelation>> {
     delta
         .into_iter()
         .map(|(name, rows)| {
-            let master = &idb[&name];
-            let tuples: Vec<Tuple> =
-                rows.iter().map(|&r| master.tuples()[r as usize].clone()).collect();
+            let master = idb.get(&name).ok_or_else(|| {
+                ExecError::Eval(format!("delta predicate `{name}` missing from the IDB state"))
+            })?;
+            let tuples: Vec<Tuple> = rows
+                .iter()
+                .map(|&r| {
+                    master.tuples().get(r as usize).cloned().ok_or_else(|| {
+                        ExecError::Eval(format!(
+                            "delta row {r} out of bounds for `{name}` ({} rows accumulated)",
+                            master.len()
+                        ))
+                    })
+                })
+                .collect::<ExecResult<_>>()?;
             let batch = IndexedRelation::new(master.schema().clone(), tuples);
-            (name, batch)
+            Ok((name, batch))
         })
         .collect()
+}
+
+/// The per-head entry of a fixpoint state map. Every rule head is
+/// pre-populated per stratum; a miss means the plan is malformed (head
+/// outside its stratum's predicate list — the verifier's `rule-stratum`
+/// invariant), so it surfaces as an error with context.
+fn head_entry<'m>(
+    map: &'m mut HashMap<String, IndexedRelation>,
+    head: &str,
+    what: &str,
+) -> ExecResult<&'m mut IndexedRelation> {
+    map.get_mut(head).ok_or_else(|| {
+        ExecError::Eval(format!(
+            "rule head `{head}` missing from the {what} state — \
+             the head is not among its stratum's predicates"
+        ))
+    })
+}
+
+/// [`head_entry`] for the per-round fresh-row ledger.
+fn delta_entry<'m>(
+    map: &'m mut HashMap<String, Vec<u32>>,
+    head: &str,
+) -> ExecResult<&'m mut Vec<u32>> {
+    map.get_mut(head).ok_or_else(|| {
+        ExecError::Eval(format!(
+            "rule head `{head}` missing from the delta ledger — \
+             the head is not among its stratum's predicates"
+        ))
+    })
 }
 
 /// Runs the fixpoint to completion, returning every IDB relation
@@ -151,6 +194,8 @@ pub fn eval_fixpoint(
 ///   always contains the previous delta, so every joinable combination
 ///   of facts is covered the round after its last member lands);
 /// * **partitioned joins** inside each rule, via the execution context.
+// `stratum_levels` yields indexes into `plan.strata` by construction.
+#[allow(clippy::indexing_slicing)]
 pub(crate) fn eval_fixpoint_with(
     plan: &FixpointPlan,
     db: &Database,
@@ -179,13 +224,15 @@ pub(crate) fn eval_fixpoint_with(
                 let stratum = &plan.strata[level[i]];
                 let mut local = idb.clone();
                 for p in &stratum.predicates {
+                    let schema = plan.schemas.get(p).ok_or_else(|| {
+                        crate::error::ExecError::Eval(format!(
+                            "predicate `{p}` has no schema in the fixpoint plan"
+                        ))
+                    })?;
                     // Fresh empty batches, not clones of the global
                     // empties — absorbing into a shared empty batch
                     // would force a (counted) copy-on-write detach.
-                    local.insert(
-                        p.clone(),
-                        IndexedRelation::new(plan.schemas[p].clone(), vec![]),
-                    );
+                    local.insert(p.clone(), IndexedRelation::new(schema.clone(), vec![]));
                 }
                 run_stratum(stratum, db, &mut local, &ctx, inner)?;
                 Ok::<_, crate::error::ExecError>(
@@ -229,6 +276,8 @@ pub(crate) fn eval_fixpoint_with(
 /// governed solely by `ctx` (its `threads()`/`par_over`), so the two
 /// cannot drift: a serial context runs serially regardless of the
 /// budget.
+// scatter task indexes are `< rules.len()` / `< variants.len()` by construction.
+#[allow(clippy::indexing_slicing)]
 fn run_stratum(
     stratum: &StratumPlan,
     db: &Database,
@@ -260,8 +309,8 @@ fn run_stratum(
         for (rule, out) in stratum.rules.iter().zip(outs) {
             crate::parallel::instrument::count_merge();
             absorb(
-                idb.get_mut(&rule.head).expect("idb pre-populated"),
-                delta.get_mut(&rule.head).expect("delta pre-populated"),
+                head_entry(idb, &rule.head, "IDB")?,
+                delta_entry(&mut delta, &rule.head)?,
                 out?,
             );
         }
@@ -272,8 +321,8 @@ fn run_stratum(
                 run_with(&rule.full, db, Some(&state), ctx)?
             };
             absorb(
-                idb.get_mut(&rule.head).expect("idb pre-populated"),
-                delta.get_mut(&rule.head).expect("delta pre-populated"),
+                head_entry(idb, &rule.head, "IDB")?,
+                delta_entry(&mut delta, &rule.head)?,
                 out,
             );
         }
@@ -285,7 +334,7 @@ fn run_stratum(
     // executor).
     while stratum.recursive && delta.values().any(|v| !v.is_empty()) {
         let delta_rows: usize = delta.values().map(Vec::len).sum();
-        let materialized = materialize_deltas(std::mem::take(&mut delta), idb);
+        let materialized = materialize_deltas(std::mem::take(&mut delta), idb)?;
         let mut next: HashMap<String, Vec<u32>> =
             stratum.predicates.iter().map(|p| (p.clone(), Vec::new())).collect();
         let variants: Vec<(usize, &DeltaPlan)> = stratum
@@ -313,8 +362,8 @@ fn run_stratum(
                 let head = &stratum.rules[*ri].head;
                 crate::parallel::instrument::count_merge();
                 absorb(
-                    idb.get_mut(head).expect("idb pre-populated"),
-                    next.get_mut(head).expect("delta pre-populated"),
+                    head_entry(idb, head, "IDB")?,
+                    delta_entry(&mut next, head)?,
                     out?,
                 );
             }
@@ -326,8 +375,8 @@ fn run_stratum(
                     run_with(&dv.plan, db, Some(&state), ctx)?
                 };
                 absorb(
-                    idb.get_mut(head).expect("idb pre-populated"),
-                    next.get_mut(head).expect("delta pre-populated"),
+                    head_entry(idb, head, "IDB")?,
+                    delta_entry(&mut next, head)?,
                     out,
                 );
             }
@@ -344,6 +393,8 @@ fn run_stratum(
 /// may evaluate concurrently against the completed lower levels. A
 /// program whose strata form a chain degenerates to one stratum per
 /// level — exactly the sequential order.
+// `level`/`groups` are sized over the same strata they are indexed by.
+#[allow(clippy::indexing_slicing)]
 pub fn stratum_levels(plan: &FixpointPlan) -> Vec<Vec<usize>> {
     let owner: HashMap<&str, usize> = plan
         .strata
@@ -421,6 +472,8 @@ pub fn explain_datalog_parallel(plan: &FixpointPlan, threads: usize) -> String {
     render_datalog(plan, threads.max(1))
 }
 
+// `level_of` maps every stratum index — built from the same plan.
+#[allow(clippy::indexing_slicing)]
 fn render_datalog(plan: &FixpointPlan, threads: usize) -> String {
     let par = threads > 1;
     let level_of: HashMap<usize, usize> = stratum_levels(plan)

@@ -60,6 +60,8 @@ impl JoinKey {
     /// Clears and refills the key in place from `tuple`'s `cols`. Probe
     /// loops run once per row: reusing one buffer skips the per-row
     /// allocation a fresh [`IndexedRelation::key_of`] would pay.
+    // Key columns are pre-checked against the batch arity by the executor.
+    #[allow(clippy::indexing_slicing)]
     pub fn refill(&mut self, tuple: &Tuple, cols: &[usize]) {
         self.0.clear();
         self.0.extend(cols.iter().map(|&i| tuple.values()[i].clone()));
@@ -103,6 +105,8 @@ impl FxHasher {
 
 impl std::hash::Hasher for FxHasher {
     #[inline]
+    // Chunked exactly on 8-byte boundaries; the tail read is `< 8` bytes.
+    #[allow(clippy::indexing_slicing)]
     fn write(&mut self, bytes: &[u8]) {
         let mut chunks = bytes.chunks_exact(8);
         for c in chunks.by_ref() {
@@ -167,6 +171,8 @@ fn key_hash(key: &JoinKey) -> u64 {
 /// with hashing the built key: a `Vec<Value>`'s `Hash` writes the
 /// length prefix (via `write_usize` on this hasher) and then each
 /// element, which is exactly what this does.
+// Key columns are pre-checked against the batch arity by the executor.
+#[allow(clippy::indexing_slicing)]
 fn key_hash_of(tuple: &Tuple, cols: &[usize]) -> u64 {
     use std::hash::{Hash, Hasher};
     let mut h = FxHasher::default();
@@ -212,6 +218,8 @@ impl PartitionedIndex {
     }
 
     /// The rows matching `key`, from the partition owning its hash.
+    // `hash_partition` returns `< parts.len()` by construction.
+    #[allow(clippy::indexing_slicing)]
     pub fn get(&self, key: &JoinKey) -> Option<&Vec<u32>> {
         self.parts[hash_partition(key_hash(key), self.parts.len())].get(key)
     }
@@ -299,6 +307,8 @@ impl IndexedRelation {
     }
 
     /// The key of `tuple` under the given key columns.
+    // Key columns are pre-checked against the batch arity by the executor.
+    #[allow(clippy::indexing_slicing)]
     pub fn key_of(tuple: &Tuple, cols: &[usize]) -> JoinKey {
         JoinKey(cols.iter().map(|&i| tuple.values()[i].clone()).collect())
     }
@@ -388,6 +398,8 @@ impl IndexedRelation {
     /// re-scan, and with zero per-tuple key clones — while the lock and
     /// the copy-on-write check run once per batch, not once per tuple.
     /// Every cached index is maintained for the appended rows.
+    // Hash-bucket rows are `< tuples.len()`; `hash_partition` is `< parts.len()`.
+    #[allow(clippy::indexing_slicing)]
     pub fn absorb_batch(&mut self, batch: Vec<Tuple>, fresh: &mut Vec<u32>) {
         if batch.is_empty() {
             return;

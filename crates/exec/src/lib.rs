@@ -58,6 +58,7 @@ pub mod plan;
 pub mod planner;
 mod pool;
 pub mod run;
+pub mod verify;
 
 pub use datalog_planner::plan_datalog;
 pub use error::{ExecError, ExecResult};
@@ -69,6 +70,11 @@ pub use parallel::{execute_parallel, resolve_threads};
 pub use plan::{explain, explain_parallel, OutputCol, PhysPlan};
 pub use planner::{plan_ra, plan_trc};
 pub use run::execute;
+pub use verify::{
+    analyze_program, check_fixpoint, check_plan, error_count, explain_datalog_verified,
+    explain_verified, render_diagnostics, verification_footer, verify_fixpoint, verify_plan,
+    Diagnostic, Severity,
+};
 
 use std::collections::HashMap;
 

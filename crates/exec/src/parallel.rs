@@ -103,6 +103,8 @@ pub fn eval_fixpoint_parallel(
 /// execution's sub-plan cache ahead of the main walk — which then hits
 /// warm cache at every occurrence instead of racing duplicate
 /// evaluations.
+// `shared_levels` yields ids defined in the same plan it walked.
+#[allow(clippy::indexing_slicing)]
 pub(crate) fn prewarm_shared(
     plan: &PhysPlan,
     db: &Database,
@@ -164,6 +166,8 @@ pub(crate) fn partitioned_index(
 /// one ascending run the `BTreeSet` bulk-builds from. Identical output
 /// to [`IndexedRelation::into_relation`] (same set, same order — the
 /// order *is* the total order).
+// `chunks` yields ranges inside `0..len` by construction.
+#[allow(clippy::indexing_slicing)]
 pub(crate) fn into_relation_par(batch: IndexedRelation, threads: usize) -> Relation {
     if threads <= 1 || batch.len() < PAR_MIN_ROWS {
         return batch.into_relation();
@@ -212,6 +216,8 @@ pub(crate) fn into_relation_par(batch: IndexedRelation, threads: usize) -> Relat
 /// both paths, instead of being replicated here. (Replicating them is
 /// exactly how the first version of this function broke bit-identity —
 /// found by review, pinned by the regression test below.)
+// Heap entries index the runs they were built from; cursors stop at `len`.
+#[allow(clippy::indexing_slicing)]
 fn merge_sorted(runs: Vec<Vec<Tuple>>, out: &mut Vec<Tuple>) {
     let mut iters: Vec<std::vec::IntoIter<Tuple>> =
         runs.into_iter().map(Vec::into_iter).collect();

@@ -305,9 +305,9 @@ pub(crate) fn write_node_seen(
                 .zip(schema.attrs())
                 .map(|(c, a)| match c {
                     OutputCol::Pos(i) => {
-                        let src = &input.schema().attrs()[*i].name;
-                        if src == &a.name {
-                            a.name.clone()
+                        let src = attr_name(input, *i);
+                        if src == a.name {
+                            src
                         } else {
                             format!("{src} as {}", a.name)
                         }
@@ -328,10 +328,8 @@ pub(crate) fn write_node_seen(
                 ));
             }
             if right_keep.len() != right.schema().arity() {
-                let kept: Vec<&str> = right_keep
-                    .iter()
-                    .map(|&i| right.schema().attrs()[i].name.as_str())
-                    .collect();
+                let kept: Vec<String> =
+                    right_keep.iter().map(|&i| attr_name(right, i)).collect();
                 out.push_str(&format!(" keep [{}]", kept.join(", ")));
             }
             if let Some(p) = post {
@@ -407,16 +405,29 @@ fn fmt_keys(
         .iter()
         .zip(right_keys)
         .map(|(&l, &r)| {
-            let ln = &left.schema().attrs()[l].name;
-            let rn = &right.schema().attrs()[r].name;
+            // `attr_name` (not indexing) so EXPLAIN can render even
+            // ill-formed plans — the verified variants print the plan
+            // *and* the diagnostics that condemn it.
+            let ln = attr_name(left, l);
+            let rn = attr_name(right, r);
             if ln == rn {
-                ln.clone()
+                ln
             } else {
                 format!("{ln}={rn}")
             }
         })
         .collect::<Vec<_>>()
         .join(", ")
+}
+
+/// Column `i`'s name in `plan`'s output schema, or a `#i?` placeholder
+/// when the index is out of bounds (an ill-formed plan the verifier
+/// flags — EXPLAIN still has to print it).
+fn attr_name(plan: &PhysPlan, i: usize) -> String {
+    match plan.schema().attrs().get(i) {
+        Some(a) => a.name.clone(),
+        None => format!("#{i}?"),
+    }
 }
 
 /// Compact one-line predicate rendering (RA surface syntax).

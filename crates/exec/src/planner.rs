@@ -219,6 +219,8 @@ fn share_common_subplans(plan: PhysPlan) -> PhysPlan {
 /// levels bottom-up guarantees every nested shared result is cached
 /// before an enclosing one needs it. Each id is returned with (a
 /// reference to) its defining input sub-plan.
+// `memo` covers every def id; `levels` is sized to the max depth.
+#[allow(clippy::indexing_slicing)]
 pub(crate) fn shared_levels(plan: &PhysPlan) -> Vec<Vec<(u32, &PhysPlan)>> {
     use std::collections::{HashMap, HashSet};
 
@@ -297,7 +299,9 @@ pub(crate) fn shared_levels(plan: &PhysPlan) -> Vec<Vec<(u32, &PhysPlan)>> {
 /// Lowers a Relational Algebra expression (type-checking it first).
 pub fn plan_ra(expr: &RaExpr, db: &Database) -> ExecResult<PhysPlan> {
     schema_of(expr, db)?; // surface type errors with the RA crate's messages
-    lower_ra(expr, db).map(share_common_subplans)
+    let plan = lower_ra(expr, db).map(share_common_subplans)?;
+    crate::verify::debug_verify_plan(&plan, db);
+    Ok(plan)
 }
 
 fn lower_ra(expr: &RaExpr, db: &Database) -> ExecResult<PhysPlan> {
@@ -379,6 +383,8 @@ fn lower_ra(expr: &RaExpr, db: &Database) -> ExecResult<PhysPlan> {
 /// This is what turns σ-over-× plans — and the TRC compiler's
 /// comparison-over-context plans — into genuine hash-join pipelines.
 /// The Datalog planner reuses it for rule-body comparison literals.
+// Pushdown positions come from `index_of` on the node's own schemas.
+#[allow(clippy::indexing_slicing)]
 pub(crate) fn apply_filter(input: PhysPlan, pred: Predicate) -> PhysPlan {
     if let PhysPlan::HashJoin {
         left,
@@ -533,6 +539,8 @@ fn cross(left: PhysPlan, right: PhysPlan) -> ExecResult<PhysPlan> {
     })
 }
 
+// Join positions come from `index_of` on the operands' own schemas.
+#[allow(clippy::indexing_slicing)]
 fn natural_join(left: PhysPlan, right: PhysPlan) -> ExecResult<PhysPlan> {
     let (ls, rs) = (left.schema().clone(), right.schema().clone());
     let shared: Vec<&str> = ls.common_names(&rs);
@@ -557,6 +565,8 @@ fn natural_join(left: PhysPlan, right: PhysPlan) -> ExecResult<PhysPlan> {
     })
 }
 
+// Join positions come from `index_of` on the operands' own schemas.
+#[allow(clippy::indexing_slicing)]
 fn theta_join(left: PhysPlan, right: PhysPlan, pred: &Predicate) -> ExecResult<PhysPlan> {
     let (ls, rs) = (left.schema().clone(), right.schema().clone());
     let schema = ls.product(&rs)?;
@@ -629,6 +639,8 @@ fn intersect(left: PhysPlan, right: PhysPlan) -> PhysPlan {
 /// C = (A × r) − π_{q,d}(l)      (candidate, divisor) pairs MISSING from l
 /// result = A − δ(π_q(C))        candidates with no missing pair
 /// ```
+// Join positions come from `index_of` on the operands' own schemas.
+#[allow(clippy::indexing_slicing)]
 fn division(left: PhysPlan, right: PhysPlan) -> ExecResult<PhysPlan> {
     let (ls, rs) = (left.schema().clone(), right.schema().clone());
     let quot_pos: Vec<usize> = (0..ls.arity())
@@ -711,12 +723,14 @@ pub fn plan_trc(q: &TrcQuery, db: &Database) -> ExecResult<PhysPlan> {
         branch_plans.push(project(sat, cols, schema));
     }
     let many = branch_plans.len() > 1;
-    branch_plans
+    let plan = branch_plans
         .into_iter()
         .reduce(union)
         .map(|p| if many { dedup(p) } else { p })
         .map(share_common_subplans)
-        .ok_or_else(|| ExecError::Plan("query has no branches".into()))
+        .ok_or_else(|| ExecError::Plan("query has no branches".into()))?;
+    crate::verify::debug_verify_plan(&plan, db);
+    Ok(plan)
 }
 
 /// A scan of `binding.rel` with every attribute mangled to `var__attr`.
@@ -821,6 +835,8 @@ fn compile(f: &TrcFormula, plan: PhysPlan, db: &Database) -> ExecResult<PhysPlan
 /// correlation column (Q8's `rating`) this shrinks the build side by
 /// orders of magnitude; for an uncorrelated `∃` it degenerates to a
 /// zero-key emptiness probe.
+// Correlation positions come from `index_of` on the operands' own schemas.
+#[allow(clippy::indexing_slicing)]
 fn quantifier_join(
     bindings: &[Binding],
     body: &TrcFormula,

@@ -34,6 +34,8 @@ use parking_lot::Mutex;
 /// included), returning results in task order. With one worker or one
 /// task this degenerates to a plain sequential loop — no threads are
 /// spawned and no dispatch is counted.
+// Task slots are pre-sized to `tasks`; each worker writes its own slot.
+#[allow(clippy::indexing_slicing)]
 pub(crate) fn scatter<T, F>(threads: usize, tasks: usize, job: &F) -> Vec<T>
 where
     T: Send,

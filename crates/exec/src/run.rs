@@ -99,8 +99,23 @@ pub fn run(plan: &PhysPlan, db: &Database) -> ExecResult<IndexedRelation> {
     run_with(plan, db, None, &ExecContext::new())
 }
 
+/// Every column index in `cols` must be in bounds for `arity` — the
+/// executor's runtime guard for the invariant [`crate::verify`] proves
+/// statically. Checked once per operator, so release builds running
+/// unverified plans fail with context instead of an index panic deep
+/// in a probe loop.
+fn check_cols(cols: &[usize], arity: usize, what: &str) -> ExecResult<()> {
+    if let Some(&bad) = cols.iter().find(|&&i| i >= arity) {
+        return Err(ExecError::Eval(format!(
+            "{what} reads column {bad}, but the input has arity {arity}"
+        )));
+    }
+    Ok(())
+}
+
 /// Executes a plan with optional fixpoint scan state and the
 /// execution's caches.
+#[allow(clippy::indexing_slicing)] // range/row indexes below are pre-checked or chunked in bounds
 pub(crate) fn run_with(
     plan: &PhysPlan,
     db: &Database,
@@ -229,6 +244,14 @@ pub(crate) fn run_with(
                 return run_hash_join(&join, Some((cols, schema)), &run, width);
             }
             let batch = run(input)?;
+            let positions: Vec<usize> = cols
+                .iter()
+                .filter_map(|c| match c {
+                    OutputCol::Pos(i) => Some(*i),
+                    OutputCol::Const(_) => None,
+                })
+                .collect();
+            check_cols(&positions, batch.schema().arity(), "Project")?;
             let tuples = probe_chunked(width, batch.len(), &|range| {
                 batch.tuples()[range]
                     .iter()
@@ -253,6 +276,8 @@ pub(crate) fn run_with(
         PhysPlan::SemiJoin { left, right, left_keys, right_keys, schema } => {
             let lb = run(left)?;
             let rb = run(right)?;
+            check_cols(left_keys, lb.schema().arity(), "SemiJoin left key")?;
+            check_cols(right_keys, rb.schema().arity(), "SemiJoin right key")?;
             let rindex = build_side_index(&rb, right_keys, width);
             let tuples = probe_chunked(width, lb.len(), &|range| {
                 let mut key = crate::indexed::JoinKey::with_capacity(left_keys.len());
@@ -271,6 +296,8 @@ pub(crate) fn run_with(
         PhysPlan::AntiJoin { left, right, left_keys, right_keys, schema } => {
             let lb = run(left)?;
             let rb = run(right)?;
+            check_cols(left_keys, lb.schema().arity(), "AntiJoin left key")?;
+            check_cols(right_keys, rb.schema().arity(), "AntiJoin right key")?;
             let rindex = build_side_index(&rb, right_keys, width);
             let tuples = probe_chunked(width, lb.len(), &|range| {
                 let mut key = crate::indexed::JoinKey::with_capacity(left_keys.len());
@@ -328,6 +355,7 @@ pub(crate) fn run_with(
 /// range on the serial path, or one call per contiguous chunk on the
 /// parallel path with the chunk outputs concatenated **in range
 /// order** — so the produced tuple sequence is identical either way.
+#[allow(clippy::indexing_slicing)] // `chunks` yields exactly `ranges.len()` ranges inside 0..rows
 fn probe_chunked(
     width: usize,
     rows: usize,
@@ -416,6 +444,7 @@ enum FusedCol {
 /// partitions and the probe side is chunked into contiguous row
 /// ranges — see [`build_side_index`] and [`probe_chunked`] for why the
 /// output tuple sequence is identical to the serial loop's.
+#[allow(clippy::indexing_slicing)] // probe-loop indexes pre-checked by `check_cols` below
 fn run_hash_join(
     join: &JoinSpec<'_>,
     project: Option<(&[OutputCol], &Schema)>,
@@ -424,6 +453,9 @@ fn run_hash_join(
 ) -> ExecResult<IndexedRelation> {
     let lb = run(join.left)?;
     let rb = run(join.right)?;
+    check_cols(join.left_keys, lb.schema().arity(), "HashJoin left key")?;
+    check_cols(join.right_keys, rb.schema().arity(), "HashJoin right key")?;
+    check_cols(join.right_keep, rb.schema().arity(), "HashJoin kept right column")?;
     let rindex = build_side_index(&rb, join.right_keys, width);
     // Like Filter: the residual predicate is written in the *inputs'*
     // attribute names, which a rename folded onto this node's output
@@ -442,15 +474,29 @@ fn run_hash_join(
         .transpose()?;
 
     let left_arity = lb.schema().arity();
-    let fused: Option<Vec<FusedCol>> = project.map(|(cols, _)| {
-        cols.iter()
-            .map(|c| match c {
-                OutputCol::Pos(i) if *i < left_arity => FusedCol::Left(*i),
-                OutputCol::Pos(i) => FusedCol::Right(join.right_keep[*i - left_arity]),
-                OutputCol::Const(v) => FusedCol::Const(v.clone()),
-            })
-            .collect()
-    });
+    let fused: Option<Vec<FusedCol>> = match project {
+        Some((cols, _)) => Some(
+            cols.iter()
+                .map(|c| match c {
+                    OutputCol::Pos(i) if *i < left_arity => Ok(FusedCol::Left(*i)),
+                    OutputCol::Pos(i) => join
+                        .right_keep
+                        .get(*i - left_arity)
+                        .copied()
+                        .map(FusedCol::Right)
+                        .ok_or_else(|| {
+                            ExecError::Eval(format!(
+                                "fused projection reads join output position {i}, but the join \
+                                 is {left_arity} left + {} kept right column(s) wide",
+                                join.right_keep.len()
+                            ))
+                        }),
+                    OutputCol::Const(v) => Ok(FusedCol::Const(v.clone())),
+                })
+                .collect::<ExecResult<Vec<_>>>()?,
+        ),
+        None => None,
+    };
     let out_schema = project.map_or(join.schema, |(_, s)| s).clone();
 
     let tuples = probe_chunked(width, lb.len(), &|range| {
@@ -487,6 +533,7 @@ fn run_hash_join(
     Ok(IndexedRelation::new(out_schema, tuples))
 }
 
+#[allow(clippy::indexing_slicing)] // fused positions validated against both arities at build time
 fn project_match(cols: &[FusedCol], a: &Tuple, b: &Tuple) -> Tuple {
     Tuple::new(
         cols.iter()
@@ -545,6 +592,10 @@ fn compile_operand(op: &Operand, schema: &Schema) -> ExecResult<CompiledOperand>
     })
 }
 
+// Positions come from `index_of` on the very schema the batch carries,
+// so they are in bounds for every tuple of that batch; re-checking per
+// tuple would tax the hottest loop in the engine.
+#[allow(clippy::indexing_slicing)]
 fn eval_pred(pred: &CompiledPred, t: &Tuple) -> bool {
     match pred {
         CompiledPred::Const(b) => *b,

@@ -39,9 +39,21 @@ fn run(args: Vec<String>) -> Result<(), String> {
     let mut engine = Engine::Indexed;
     let mut threads: usize = 0; // 0 = auto (RELVIZ_THREADS / hardware)
     let mut db_path: Option<String> = None;
+    let mut lang = String::from("sql");
+    let mut suite = false;
+    let mut verify = false;
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
         match a.as_str() {
+            "--lang" => {
+                let v = it.next().ok_or("--lang needs sql|ra|trc|datalog")?;
+                match v.as_str() {
+                    "sql" | "ra" | "trc" | "datalog" => lang = v,
+                    other => return Err(format!("unknown language `{other}`")),
+                }
+            }
+            "--suite" => suite = true,
+            "--verify" => verify = true,
             "--engine" => {
                 let v = it.next().ok_or("--engine needs a value")?;
                 engine = match v.as_str() {
@@ -132,11 +144,16 @@ fn run(args: Vec<String>) -> Result<(), String> {
             }
             Ok(())
         }
+        "check" => check(&db, &lang, suite, positional.get(1).map(String::as_str)),
         "run" => {
             let sql = positional.get(1).ok_or("usage: relviz run \"<SQL>\"")?;
             // The interactive path runs on the physical engine by
             // default; `--engine reference` restores the oracle.
             let viz = QueryVisualizer::new(formalism, Backend::Ascii).with_engine(engine);
+            if verify {
+                // `--verify`: statically check the plan before running.
+                print!("{}", viz.check(sql, &db).map_err(|e| e.to_string())?);
+            }
             let rel = viz.run(sql, &db).map_err(|e| e.to_string())?;
             print!("{rel}");
             println!("({} tuples)", rel.len());
@@ -170,11 +187,103 @@ fn run(args: Vec<String>) -> Result<(), String> {
                  usage:\n  relviz show   \"<SQL>\"          ASCII diagram\n  \
                  relviz svg    \"<SQL>\" out.svg  SVG diagram\n  \
                  relviz trans  \"<SQL>\"          the query in TRC/DRC/RA/Datalog\n  \
-                 relviz run    \"<SQL>\"          evaluate on the database\n  \
+                 relviz run    \"<SQL>\"          evaluate on the database (--verify checks first)\n  \
+                 relviz check  \"<query>\"        verify the plan without running (--lang, --suite)\n  \
                  relviz matrix                  expressiveness matrix\n\n\
-                 options: --formalism queryvis|reldiag|dfql|qbe|strings|visualsql|\n                          sqlvis|tabletalk|dataplay|sieuferd|qbd, --db <file>,\n                          --engine exec|parallel|reference (run defaults to exec),\n                          --threads N (for --engine parallel; 0 = auto)"
+                 options: --formalism queryvis|reldiag|dfql|qbe|strings|visualsql|\n                          sqlvis|tabletalk|dataplay|sieuferd|qbd, --db <file>,\n                          --engine exec|parallel|reference (run defaults to exec),\n                          --threads N (for --engine parallel; 0 = auto),\n                          --lang sql|ra|trc|datalog (check input language),\n                          --suite (check every suite query in RA, TRC and Datalog)"
             );
             Ok(())
         }
+    }
+}
+
+/// `relviz check`: plans without running, then walks the plan with the
+/// static verifier. Exit status is keyed on **errors** — analyzer
+/// *warnings* (style lints like cartesian products) print but pass.
+fn check(db: &Database, lang: &str, suite: bool, query: Option<&str>) -> Result<(), String> {
+    use relviz::exec::{
+        analyze_program, error_count, plan_datalog, plan_ra, plan_trc, render_diagnostics,
+        verification_footer, verify_fixpoint, verify_plan,
+    };
+    if suite {
+        let mut failed = 0usize;
+        for q in relviz::core::suite::SUITE {
+            print!("{:4}", q.id);
+            // RA and TRC plans: the flat-operator verifier.
+            let ra = relviz::ra::parse::parse_ra(q.ra).map_err(|e| format!("{}: {e}", q.id))?;
+            let trc = relviz::rc::trc_parse::parse_trc(q.trc)
+                .map_err(|e| format!("{}: {e}", q.id))?;
+            for (name, plan) in
+                [("ra", plan_ra(&ra, db)), ("trc", plan_trc(&trc, db))]
+            {
+                let plan = plan.map_err(|e| format!("{}: {e}", q.id))?;
+                let diags = verify_plan(&plan, Some(db));
+                let errs = error_count(&diags);
+                failed += errs;
+                match errs {
+                    0 => print!("  {name} ✓ {:2} nodes", plan.node_count()),
+                    n => print!("  {name} ✗ {n} error(s)"),
+                }
+            }
+            // Datalog: program analyzer + fixpoint-plan verifier.
+            let prog = relviz::datalog::parse::parse_program(q.datalog)
+                .map_err(|e| format!("{}: {e}", q.id))?;
+            let analysis = analyze_program(&prog, db);
+            let mut errs = error_count(&analysis);
+            let mut nodes = 0;
+            if errs == 0 {
+                let plan = plan_datalog(&prog, db).map_err(|e| format!("{}: {e}", q.id))?;
+                errs += error_count(&verify_fixpoint(&plan, Some(db)));
+                nodes = plan.node_count();
+            }
+            failed += errs;
+            match errs {
+                0 => println!("  datalog ✓ {nodes:2} nodes"),
+                n => println!("  datalog ✗ {n} error(s)"),
+            }
+        }
+        return match failed {
+            0 => {
+                println!("suite: every plan verifies clean");
+                Ok(())
+            }
+            n => Err(format!("suite: {n} verification error(s)")),
+        };
+    }
+    let query =
+        query.ok_or("usage: relviz check \"<query>\" [--lang sql|ra|trc|datalog] | --suite")?;
+    let (diags, nodes) = match lang {
+        "sql" => {
+            let viz = QueryVisualizer::new(VisFormalism::RelationalDiagrams, Backend::Ascii);
+            print!("{}", viz.check(query, db).map_err(|e| e.to_string())?);
+            return Ok(());
+        }
+        "ra" => {
+            let expr = relviz::ra::parse::parse_ra(query).map_err(|e| e.to_string())?;
+            let plan = plan_ra(&expr, db).map_err(|e| e.to_string())?;
+            (verify_plan(&plan, Some(db)), plan.node_count())
+        }
+        "trc" => {
+            let trc = relviz::rc::trc_parse::parse_trc(query).map_err(|e| e.to_string())?;
+            let plan = plan_trc(&trc, db).map_err(|e| e.to_string())?;
+            (verify_plan(&plan, Some(db)), plan.node_count())
+        }
+        "datalog" => {
+            let prog =
+                relviz::datalog::parse::parse_program(query).map_err(|e| e.to_string())?;
+            let analysis = analyze_program(&prog, db);
+            if error_count(&analysis) > 0 {
+                return Err(render_diagnostics(&analysis));
+            }
+            print!("{}", render_diagnostics(&analysis)); // warnings, if any
+            let plan = plan_datalog(&prog, db).map_err(|e| e.to_string())?;
+            (verify_fixpoint(&plan, Some(db)), plan.node_count())
+        }
+        other => return Err(format!("unknown language `{other}`")),
+    };
+    print!("{}", verification_footer(nodes, &diags));
+    match error_count(&diags) {
+        0 => Ok(()),
+        n => Err(format!("{n} verification error(s)")),
     }
 }

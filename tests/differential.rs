@@ -263,6 +263,16 @@ fn check_case(seed: u64, db: &Database) {
         .unwrap_or_else(|e| panic!("generator produced ill-typed expr (seed {seed}): {e}\n{expr:?}"));
     let plan = plan_ra(&expr, db)
         .unwrap_or_else(|e| panic!("planner rejected well-typed expr (seed {seed}): {e}\n{expr:?}"));
+    // Every randomized plan must satisfy the static verifier's IR
+    // contract — the fuzzer doubles as the verifier's property test.
+    let diags = relviz::exec::verify_plan(&plan, Some(db));
+    assert!(
+        diags.is_empty(),
+        "planner emitted an unverifiable plan (seed {seed})\nexpr: {}\nplan:\n{}\n{}",
+        relviz::ra::print::print_ra(&expr),
+        relviz::exec::explain(&plan),
+        relviz::exec::render_diagnostics(&diags),
+    );
     let ours = execute(&plan, db)
         .unwrap_or_else(|e| panic!("executor failed (seed {seed}): {e}\n{expr:?}"));
     assert!(

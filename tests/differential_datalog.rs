@@ -148,6 +148,27 @@ fn check_case(prog_seed: u64, db: &Database) {
     let reference = eval_all(&prog, db).unwrap_or_else(|e| {
         panic!("generator produced an invalid program (seed {prog_seed}): {e}\n{prog}")
     });
+    // Every randomized fixpoint plan must satisfy the static verifier,
+    // and the program analyzer must report no *errors* (warnings —
+    // cartesian products, unused predicates — are legitimate in
+    // generated programs).
+    {
+        use relviz::exec::{analyze_program, render_diagnostics, verify_fixpoint, Severity};
+        let plan = plan_datalog(&prog, db)
+            .unwrap_or_else(|e| panic!("planner rejected a valid program (seed {prog_seed}): {e}"));
+        let diags = verify_fixpoint(&plan, Some(db));
+        assert!(
+            diags.is_empty(),
+            "planner emitted an unverifiable fixpoint plan (seed {prog_seed})\nprogram:\n{prog}\n{}",
+            render_diagnostics(&diags),
+        );
+        let analysis = analyze_program(&prog, db);
+        assert!(
+            !analysis.iter().any(|d| d.severity == Severity::Error),
+            "analyzer flags a valid generated program (seed {prog_seed})\nprogram:\n{prog}\n{}",
+            render_diagnostics(&analysis),
+        );
+    }
     let all = exec::eval_datalog_all(Engine::Indexed, &prog, db).unwrap_or_else(|e| {
         panic!("exec rejected a valid program (seed {prog_seed}): {e}\n{prog}")
     });

@@ -123,17 +123,27 @@ fn explain_goldens_for_suite_plans() {
     // from both the RA and the TRC form — locks the planner's shape
     // (hash-key extraction, semi-/anti-join decorrelation, dedup
     // placement). Any planner change shows up as a readable plan diff.
+    // Each plan carries the static verifier's footer, so the golden also
+    // pins that every suite plan satisfies the IR contract.
     let db = sailors_sample();
     let mut all = String::new();
     for q in SUITE {
         let ra = relviz::ra::parse::parse_ra(q.ra).unwrap_or_else(|e| panic!("{}: {e}", q.id));
         let ra_plan = relviz::exec::plan_ra(&ra, &db).unwrap_or_else(|e| panic!("{}: {e}", q.id));
-        all.push_str(&format!("== {} (ra) ==\n{}", q.id, relviz::exec::explain(&ra_plan)));
+        all.push_str(&format!(
+            "== {} (ra) ==\n{}",
+            q.id,
+            relviz::exec::explain_verified(&ra_plan)
+        ));
         let trc =
             relviz::rc::trc_parse::parse_trc(q.trc).unwrap_or_else(|e| panic!("{}: {e}", q.id));
         let trc_plan =
             relviz::exec::plan_trc(&trc, &db).unwrap_or_else(|e| panic!("{}: {e}", q.id));
-        all.push_str(&format!("== {} (trc) ==\n{}", q.id, relviz::exec::explain(&trc_plan)));
+        all.push_str(&format!(
+            "== {} (trc) ==\n{}",
+            q.id,
+            relviz::exec::explain_verified(&trc_plan)
+        ));
     }
     check_or_update("suite-plans.txt", &all);
 }
@@ -152,7 +162,11 @@ fn explain_goldens_for_datalog_plans() {
             .unwrap_or_else(|e| panic!("{}: {e}", q.id));
         let plan = relviz::exec::plan_datalog(&prog, &db)
             .unwrap_or_else(|e| panic!("{}: {e}", q.id));
-        all.push_str(&format!("== {} (datalog) ==\n{}", q.id, relviz::exec::explain_datalog(&plan)));
+        all.push_str(&format!(
+            "== {} (datalog) ==\n{}",
+            q.id,
+            relviz::exec::explain_datalog_verified(&plan)
+        ));
     }
     let db2 = relviz::model::generate::generate_binary_pair(11, 30, 12);
     for (id, src) in [
@@ -167,7 +181,10 @@ fn explain_goldens_for_datalog_plans() {
         let prog = relviz::datalog::parse::parse_program(src).unwrap();
         let plan = relviz::exec::plan_datalog(&prog, &db2)
             .unwrap_or_else(|e| panic!("{id}: {e}"));
-        all.push_str(&format!("== {id} (datalog) ==\n{}", relviz::exec::explain_datalog(&plan)));
+        all.push_str(&format!(
+            "== {id} (datalog) ==\n{}",
+            relviz::exec::explain_datalog_verified(&plan)
+        ));
     }
     check_or_update("datalog-plans.txt", &all);
 }
@@ -228,4 +245,88 @@ fn ascii_goldens_for_syntax_mirror_fingerprints() {
         out.push('\n');
     }
     check_or_update("suite-visualsql-fingerprints.txt", &out);
+}
+
+#[test]
+fn diagnostics_golden_for_verifier_and_analyzer() {
+    // The verifier/analyzer's *textual* contract: clean verification
+    // lines for every suite query, then the exact diagnostics for a
+    // curated set of ill-formed programs and hand-mutated plans. Any
+    // change to a code, span or message shows as a readable diff.
+    use relviz::exec::{
+        analyze_program, render_diagnostics, verification_footer, verify_fixpoint, verify_plan,
+    };
+    let db = sailors_sample();
+    let mut all = String::new();
+
+    all.push_str("== suite (trc plans) ==\n");
+    for q in SUITE {
+        let trc = relviz::rc::trc_parse::parse_trc(q.trc).unwrap();
+        let plan = relviz::exec::plan_trc(&trc, &db).unwrap();
+        let diags = verify_plan(&plan, Some(&db));
+        all.push_str(&format!("{}: {}", q.id, verification_footer(plan.node_count(), &diags)));
+    }
+
+    all.push_str("== suite (datalog analysis) ==\n");
+    for q in SUITE {
+        let prog = relviz::datalog::parse::parse_program(q.datalog).unwrap();
+        let diags = analyze_program(&prog, &db);
+        all.push_str(&format!("{}:\n", q.id));
+        let rendered = render_diagnostics(&diags);
+        all.push_str(if rendered.is_empty() { "  (clean)\n" } else { &rendered });
+    }
+
+    // Curated ill-formed programs: each triggers a distinct analysis.
+    for (title, src) in [
+        (
+            "unstratifiable negation",
+            "p(X) :- Boat(X, N, C), not q(X).\nq(X) :- Boat(X, N, C), p(X).",
+        ),
+        (
+            "lints: cartesian product, dead rule, unused predicate",
+            "% query: ans\n\
+             ans(X) :- Sailor(X, N, R, A), Boat(B, BN, C).\n\
+             ans(X) :- Sailor(X, N, R, A), Boat(B, BN, C).\n\
+             orphan(X) :- Boat(X, N, C).",
+        ),
+        (
+            "always-empty body",
+            "% query: ans\nans(X) :- Boat(X, N, C), X < X, 1 > 2.",
+        ),
+        ("head/body arity disagreement", "p(X) :- Boat(X, N, C).\np(X, Y) :- R(X, Y)."),
+    ] {
+        all.push_str(&format!("== ill-formed: {title} ==\n"));
+        match relviz::datalog::parse::parse_program(src) {
+            Ok(prog) => all.push_str(&render_diagnostics(&analyze_program(&prog, &db))),
+            Err(e) => all.push_str(&format!("parse error: {e}\n")),
+        }
+    }
+
+    // Hand-mutated plans: the rejection messages of the plan walker.
+    all.push_str("== ill-formed: out-of-bounds projection ==\n");
+    let bad = relviz::exec::PhysPlan::Project {
+        cols: vec![relviz::exec::OutputCol::Pos(9)],
+        input: Box::new(relviz::exec::PhysPlan::Scan {
+            rel: "Sailor".to_string(),
+            schema: db.schema("Sailor").unwrap().clone(),
+        }),
+        schema: relviz::model::Schema::of(&[("x", relviz::model::DataType::Any)]),
+    };
+    all.push_str(&render_diagnostics(&verify_plan(&bad, Some(&db))));
+
+    all.push_str("== ill-formed: delta-less recursive rule ==\n");
+    let db2 = relviz::model::generate::generate_binary_pair(11, 30, 12);
+    let prog = relviz::datalog::parse::parse_program(
+        "tc(X, Y) :- R(X, Y).\ntc(X, Z) :- tc(X, Y), R(Y, Z).",
+    )
+    .unwrap();
+    let mut plan = relviz::exec::plan_datalog(&prog, &db2).unwrap();
+    for s in &mut plan.strata {
+        for r in &mut s.rules {
+            r.deltas.clear();
+        }
+    }
+    all.push_str(&render_diagnostics(&verify_fixpoint(&plan, Some(&db2))));
+
+    check_or_update("verify-diagnostics.txt", &all);
 }
