@@ -38,30 +38,38 @@ cargo run --release --bin relviz -- check --suite
 
 # 5. Timed S1 smoke run: the θ-join/product workload at n=1000, the
 #    recursive transitive-closure workload at n ∈ {100, 300, 1000}
-#    (reference vs exec) plus exec-only and parallel at n=3000, and
-#    same-generation at n=1000. Appends an (engine, query, n, threads,
-#    wall-time) snapshot line per measurement to BENCH_exec.json — the
-#    perf trajectory across PRs — and fails unless (a) exec is ≥5×
-#    faster than the reference on both gated workloads (θ-join/product,
-#    datalog_tc at n=1000), (b) exec datalog_tc at n=1000 beats the
-#    pre-zero-copy exec baseline (~14.5 ms) by ≥2×, and (c) on hardware
-#    with ≥4 threads, parallel datalog_tc at n=3000 beats single-thread
-#    exec by ≥1.5× (self-skipping on narrower machines, where the ratio
-#    is physically unattainable).
+#    (reference vs exec) plus exec-only and parallel at n=3000,
+#    same-generation at n=1000, and the per-operator kernel rows
+#    (op_filter / op_project / op_hashjoin_build / op_hashjoin_probe at
+#    n ∈ {1e4, 1e5}, columnar "exec" vs "rowmajor" baselines). Appends
+#    an (engine, query, n, threads, wall-time) snapshot line per
+#    measurement to BENCH_exec.json — the perf trajectory across PRs —
+#    and fails unless (a) exec is ≥5× faster than the reference on both
+#    gated workloads (θ-join/product, datalog_tc at n=1000), (b) exec
+#    datalog_tc at n=1000 beats the pre-zero-copy exec baseline
+#    (~14.5 ms) by ≥2×, (c) the vectorized columnar filter beats the
+#    row-major baseline by ≥2× at n=1e5, and (d) on hardware with ≥4
+#    threads, parallel datalog_tc at n=3000 beats single-thread exec by
+#    ≥1.5× (self-skipping on narrower machines, where the ratio is
+#    physically unattainable).
 rows_before=$(wc -l < BENCH_exec.json)
 cargo run --release -p relviz-bench --bin s1_exec -- 1000 --assert --out BENCH_exec.json
 rows_appended=$(( $(wc -l < BENCH_exec.json) - rows_before ))
 
-# 6. BENCH_exec.json schema: every row the run above appended carries
+# 6. BENCH_exec.json schema: the run above appends exactly 30 rows (14
+#    workload rows + 16 per-operator kernel rows), every one carries
 #    the `threads` field (1 for the serial engines, the worker count on
 #    the parallel row), and at least one of them is the parallel
 #    engine's deep-workload measurement. The window is computed from
 #    the actual append count, so adding workloads cannot silently
-#    misalign the check.
-test "$rows_appended" -gt 0
+#    misalign the check — but the exact count must be updated here when
+#    workloads are added, which is the point: the snapshot schema is
+#    part of the contract.
+test "$rows_appended" -eq 30
 tail -n "$rows_appended" BENCH_exec.json | awk '
     !/"threads": [0-9]+/ { bad++ }
     /"engine": "parallel"/ { par++ }
-    END { if (bad > 0 || par < 1) { print "BENCH_exec.json schema check failed:", bad+0, "row(s) missing threads,", par+0, "parallel row(s)"; exit 1 } }'
+    /"engine": "rowmajor"/ { rm++ }
+    END { if (bad > 0 || par < 1 || rm != 8) { print "BENCH_exec.json schema check failed:", bad+0, "row(s) missing threads,", par+0, "parallel row(s),", rm+0, "rowmajor row(s)"; exit 1 } }'
 
 echo "ci.sh: all green"

@@ -15,6 +15,13 @@
 //! ([`TC_BASELINE_MS`], frozen from BENCH_exec.json). (CI gates; run in
 //! release, debug timings are not meaningful.)
 //!
+//! The run also appends per-operator kernel rows — `op_filter`,
+//! `op_project`, `op_hashjoin_build`, `op_hashjoin_probe` at
+//! n ∈ {10⁴, 10⁵} — timing the vectorized columnar kernels (`engine:
+//! "exec"`) against hand-rolled row-major baselines (`engine:
+//! "rowmajor"`). `--assert` additionally gates the columnar filter at
+//! ≥ [`FILTER_GATE`]× over the row-major baseline at the largest size.
+//!
 //! Every snapshot row carries a `threads` field (1 for the serial
 //! engines). The deep exec-only size also runs on `Engine::Parallel`
 //! at the machine's worker count, recorded as an `engine: "parallel"`
@@ -28,9 +35,12 @@ use std::io::Write as _;
 use std::time::Instant;
 
 use relviz_datalog::parse::parse_program;
-use relviz_exec::{execute, plan_ra, plan_trc, Engine};
+use relviz_exec::indexed::{Index, JoinKey};
+use relviz_exec::run::{bench_filter, bench_hashjoin_probe, bench_project};
+use relviz_exec::{execute, plan_ra, plan_trc, Engine, IndexedRelation, OutputCol};
 use relviz_model::generate::{generate_binary_pair, generate_sailors, GenConfig};
-use relviz_model::{Database, Relation};
+use relviz_model::{CmpOp, Database, DataType, Relation, Schema, Tuple, Value};
+use relviz_ra::{Operand, Predicate};
 
 /// The S1 θ-join/product workload: a selection over a raw product,
 /// exactly as a naive translator would emit it.
@@ -67,6 +77,15 @@ const TC_BASELINE_MS: f64 = 14.5;
 /// The parallel gate: at ≥4 workers, the partitioned runtime must beat
 /// single-thread exec by this factor on `datalog_tc` at the deep size.
 const PAR_GATE: f64 = 1.5;
+
+/// Sizes for the per-operator microbenchmarks (fixed, independent of
+/// the workload scale `n`, so the trajectory rows stay comparable
+/// across runs).
+const MICRO_SIZES: [usize; 2] = [10_000, 100_000];
+
+/// The columnar-kernel gate: the vectorized filter must beat the
+/// row-major baseline by this factor at the largest micro size.
+const FILTER_GATE: f64 = 2.0;
 
 /// Best-of-k wall time (milliseconds) of `f`, with the result of one run.
 fn time_ms<T>(k: usize, mut f: impl FnMut() -> T) -> (f64, T) {
@@ -166,6 +185,162 @@ fn run_datalog_workload(
     (snaps, speedup, exec_ms, exec_out)
 }
 
+/// splitmix64 — a self-contained deterministic stream for the micro
+/// batches, so the rows measure the same data every run.
+fn mix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Per-operator microbenchmarks: each vectorized columnar kernel
+/// against a hand-rolled row-major baseline over `Vec<Tuple>` — the
+/// representation the exec operators walked before the columnar batch
+/// layer. Both sides materialize comparable outputs (the columnar side
+/// a gathered batch, the baseline a fresh tuple vector), so the rows
+/// measure kernel + output assembly, not representation bookkeeping.
+/// Four operators at each size in [`MICRO_SIZES`]: `op_filter`
+/// (two-leaf conjunction → selection bitmaps vs per-tuple compares),
+/// `op_project` (column re-ordering, which copies nothing, vs per-tuple
+/// clones), `op_hashjoin_build` (batch key-hashing over column slices
+/// vs per-tuple key extraction) and `op_hashjoin_probe` (probe + output
+/// assembly over a prebuilt index on both sides). Returns the
+/// snapshots and the filter speedup (row-major over columnar) at the
+/// largest size — the `--assert` gate.
+fn run_operator_micros() -> (Vec<Snapshot>, f64) {
+    let mut snaps = Vec::new();
+    let mut filter_speedup = f64::INFINITY;
+    for &n in &MICRO_SIZES {
+        let mut seed = 0x5EED ^ n as u64;
+
+        // T(k Int, v Int, s Str): uniform keys, a small string domain
+        // (the realistic regime for the interner).
+        let schema = Schema::of(&[
+            ("k", DataType::Int),
+            ("v", DataType::Int),
+            ("s", DataType::Str),
+        ]);
+        let tuples: Vec<Tuple> = (0..n)
+            .map(|_| {
+                Tuple::new(vec![
+                    Value::Int((mix(&mut seed) % 1000) as i64),
+                    Value::Int((mix(&mut seed) % 1000) as i64),
+                    Value::str(format!("s{}", mix(&mut seed) % 16)),
+                ])
+            })
+            .collect();
+        let batch = IndexedRelation::new(schema, tuples.clone());
+
+        // Filter: `k < 500 AND v >= 100` (~45% selectivity, two leaves).
+        let pred = Predicate::cmp(
+            Operand::attr("k"),
+            CmpOp::Lt,
+            Operand::val(Value::Int(500)),
+        )
+        .and(Predicate::cmp(
+            Operand::attr("v"),
+            CmpOp::Ge,
+            Operand::val(Value::Int(100)),
+        ));
+        let (col_ms, col_out) = time_ms(7, || bench_filter(&batch, &pred).expect("filter runs"));
+        let (c500, c100) = (Value::Int(500), Value::Int(100));
+        let (row_ms, row_out) = time_ms(7, || {
+            tuples
+                .iter()
+                .filter(|t| {
+                    CmpOp::Lt.holds(t.values()[0].cmp(&c500))
+                        && CmpOp::Ge.holds(t.values()[1].cmp(&c100))
+                })
+                .cloned()
+                .collect::<Vec<Tuple>>()
+        });
+        assert_eq!(col_out.len(), row_out.len(), "filter kernels disagree @ {n}");
+        snaps.push(Snapshot { engine: "exec", query: "op_filter", n, threads: 1, wall_ms: col_ms });
+        snaps.push(Snapshot { engine: "rowmajor", query: "op_filter", n, threads: 1, wall_ms: row_ms });
+        filter_speedup = row_ms / col_ms.max(1e-6); // the last (largest) size is gated
+
+        // Projection: re-order to (s, k) — the columnar side shares the
+        // column Arcs, the baseline clones every surviving cell.
+        let cols = [OutputCol::Pos(2), OutputCol::Pos(0)];
+        let pschema = Schema::of(&[("s", DataType::Str), ("k", DataType::Int)]);
+        let (col_ms, col_out) =
+            time_ms(7, || bench_project(&batch, &cols, pschema.clone()).expect("project runs"));
+        let (row_ms, row_out) = time_ms(7, || {
+            tuples
+                .iter()
+                .map(|t| Tuple::new(vec![t.values()[2].clone(), t.values()[0].clone()]))
+                .collect::<Vec<Tuple>>()
+        });
+        assert_eq!(col_out.len(), row_out.len(), "project kernels disagree @ {n}");
+        snaps.push(Snapshot { engine: "exec", query: "op_project", n, threads: 1, wall_ms: col_ms });
+        snaps.push(Snapshot { engine: "rowmajor", query: "op_project", n, threads: 1, wall_ms: row_ms });
+
+        // Join sides: L(k, a) ⋈ R(k, b), keys uniform over 0..n — one
+        // expected match per probe.
+        let lschema = Schema::of(&[("k", DataType::Int), ("a", DataType::Int)]);
+        let rschema = Schema::of(&[("k", DataType::Int), ("b", DataType::Int)]);
+        let mut join_side = |_: &str| -> Vec<Tuple> {
+            (0..n)
+                .map(|_| {
+                    Tuple::new(vec![
+                        Value::Int((mix(&mut seed) % n as u64) as i64),
+                        Value::Int((mix(&mut seed) & 0xFFFF) as i64),
+                    ])
+                })
+                .collect()
+        };
+        let ltuples = join_side("l");
+        let rtuples = join_side("r");
+        let left = IndexedRelation::new(lschema, ltuples.clone());
+        let right = IndexedRelation::new(rschema, rtuples.clone());
+
+        // Build: the columnar path batch-hashes the key column; the
+        // baseline extracts a `JoinKey` per tuple.
+        let (col_ms, col_idx) = time_ms(7, || right.index_partition(&[0], 0, 1));
+        let (row_ms, row_idx) = time_ms(7, || {
+            let mut idx = Index::default();
+            for (i, t) in rtuples.iter().enumerate() {
+                idx.entry(IndexedRelation::key_of(t, &[0]))
+                    .or_default()
+                    .push(u32::try_from(i).expect("micro sizes fit the row-id width"));
+            }
+            idx
+        });
+        assert_eq!(col_idx.len(), row_idx.len(), "build kernels disagree @ {n}");
+        snaps.push(Snapshot { engine: "exec", query: "op_hashjoin_build", n, threads: 1, wall_ms: col_ms });
+        snaps.push(Snapshot { engine: "rowmajor", query: "op_hashjoin_build", n, threads: 1, wall_ms: row_ms });
+
+        // Probe: both sides run against a prebuilt (cached) index, so
+        // the rows isolate probe + output assembly.
+        let rindex = right.index(&[0]);
+        let (col_ms, col_out) = time_ms(7, || {
+            bench_hashjoin_probe(&left, &right, &[0], &[0]).expect("probe runs")
+        });
+        let (row_ms, row_out) = time_ms(7, || {
+            let mut out = Vec::new();
+            let mut key = JoinKey::with_capacity(1);
+            for lt in &ltuples {
+                key.refill(lt, &[0]);
+                if let Some(rids) = rindex.get(&key) {
+                    for &rid in rids {
+                        let rt = &rtuples[rid as usize];
+                        out.push(Tuple::new(
+                            lt.values().iter().chain(rt.values()).cloned().collect(),
+                        ));
+                    }
+                }
+            }
+            out
+        });
+        assert_eq!(col_out.len(), row_out.len(), "probe kernels disagree @ {n}");
+        snaps.push(Snapshot { engine: "exec", query: "op_hashjoin_probe", n, threads: 1, wall_ms: col_ms });
+        snaps.push(Snapshot { engine: "rowmajor", query: "op_hashjoin_probe", n, threads: 1, wall_ms: row_ms });
+    }
+    (snaps, filter_speedup)
+}
+
 fn main() {
     let mut n = 1000usize;
     let mut out_path: Option<String> = None;
@@ -259,6 +434,10 @@ fn main() {
     let (sg_snaps, _, _, _) = run_datalog_workload("datalog_sg", SG_PROGRAM, 0x56AA, n, true);
     snaps.extend(sg_snaps);
 
+    // The per-operator kernel rows (fixed sizes, see MICRO_SIZES).
+    let (micro_snaps, filter_speedup) = run_operator_micros();
+    snaps.extend(micro_snaps);
+
     for s in &snaps {
         println!(
             "  {:9} {:13} n={:<5} t={:<2} {:>10.3} ms",
@@ -279,6 +458,10 @@ fn main() {
         "  datalog_tc exec @ n={}: {tc_exec_ms:.3} ms (zero-copy baseline {TC_BASELINE_MS} ms)",
         tc_sizes.last().expect("nonempty")
     );
+    println!(
+        "  vectorized filter @ n={} (rowmajor/exec): {filter_speedup:.1}×",
+        MICRO_SIZES[MICRO_SIZES.len() - 1]
+    );
 
     if let Some(path) = out_path {
         let mut f = std::fs::OpenOptions::new()
@@ -298,6 +481,16 @@ fn main() {
     }
     if assert_speedup && tc_speedup < 5.0 {
         eprintln!("FAIL: exec speedup {tc_speedup:.1}× < 5× on transitive closure");
+        std::process::exit(1);
+    }
+    // The columnar-kernel gate: selection bitmaps + typed gather must
+    // keep beating the per-tuple row-major walk.
+    if assert_speedup && filter_speedup < FILTER_GATE {
+        eprintln!(
+            "FAIL: columnar filter is only {filter_speedup:.2}× over the row-major \
+             baseline at n={}, below the {FILTER_GATE}× gate",
+            MICRO_SIZES[MICRO_SIZES.len() - 1]
+        );
         std::process::exit(1);
     }
     // The zero-copy regression gate only means something at the size it

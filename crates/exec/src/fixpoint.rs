@@ -31,7 +31,7 @@
 
 use std::collections::HashMap;
 
-use relviz_model::{Database, Relation, Schema, Tuple};
+use relviz_model::{Database, Relation, Schema};
 
 use crate::error::{ExecError, ExecResult};
 use crate::indexed::IndexedRelation;
@@ -98,17 +98,20 @@ impl FixpointPlan {
 /// Folds a rule's output batch into the accumulated IDB, recording the
 /// **row numbers** of genuinely new facts in `fresh` — the one
 /// dedup-and-delta invariant both round 0 and the semi-naive rounds
-/// share. Tuples move in; duplicates (late rounds are duplicate-heavy)
-/// and survivors alike pay zero extra copies here — a survivor is
-/// cloned exactly once, when the next round's delta batch materializes.
+/// share. The merge stays columnar end to end: cells are compared and
+/// appended in place ([`IndexedRelation::absorb_store`]), so duplicates
+/// (late rounds are duplicate-heavy) and survivors alike pay zero tuple
+/// materializations here.
 fn absorb(target: &mut IndexedRelation, fresh: &mut Vec<u32>, batch: IndexedRelation) {
-    target.absorb_batch(batch.into_tuples(), fresh);
+    target.absorb_store(batch.store(), fresh);
 }
 
 /// Materializes the per-predicate delta batches for a round from the
-/// row numbers `absorb` recorded against the accumulated IDB. The rows
-/// were recorded against exactly this IDB, so lookups can only fail on
-/// a malformed plan — reported as [`ExecError::Eval`], not a panic.
+/// row numbers `absorb` recorded against the accumulated IDB — a
+/// columnar gather off the IDB's storage (no tuples are built). The
+/// rows were recorded against exactly this IDB, so an out-of-bounds row
+/// can only come from a malformed plan — reported as
+/// [`ExecError::Eval`], not a panic.
 fn materialize_deltas(
     delta: HashMap<String, Vec<u32>>,
     idb: &HashMap<String, IndexedRelation>,
@@ -119,18 +122,14 @@ fn materialize_deltas(
             let master = idb.get(&name).ok_or_else(|| {
                 ExecError::Eval(format!("delta predicate `{name}` missing from the IDB state"))
             })?;
-            let tuples: Vec<Tuple> = rows
-                .iter()
-                .map(|&r| {
-                    master.tuples().get(r as usize).cloned().ok_or_else(|| {
-                        ExecError::Eval(format!(
-                            "delta row {r} out of bounds for `{name}` ({} rows accumulated)",
-                            master.len()
-                        ))
-                    })
-                })
-                .collect::<ExecResult<_>>()?;
-            let batch = IndexedRelation::new(master.schema().clone(), tuples);
+            if let Some(&bad) = rows.iter().find(|&&r| r as usize >= master.len()) {
+                return Err(ExecError::Eval(format!(
+                    "delta row {bad} out of bounds for `{name}` ({} rows accumulated)",
+                    master.len()
+                )));
+            }
+            let batch =
+                IndexedRelation::from_store(master.schema().clone(), master.store().gather(&rows));
             Ok((name, batch))
         })
         .collect()
@@ -692,6 +691,14 @@ mod tests {
         assert!(out["tc"].len() > db.relation("R").unwrap().len(), "recursion fired");
         assert_eq!(instrument::deep_copies(), 0, "no full-IDB copies, any round");
         assert_eq!(instrument::materializations(), 1, "R scanned into a batch once");
+        // Columnar pin: the whole fixpoint builds exactly R's two
+        // columns — empty IDB inits, absorbs, deltas, and join outputs
+        // all reuse or gather existing columns, never re-columnarize.
+        assert_eq!(
+            instrument::column_builds(),
+            2,
+            "columns are built once, by R's one materialization"
+        );
         // Join indexes: one per distinct (batch, key set) that a join
         // builds on — R's [0] index once for the whole fixpoint, plus
         // one small per-round index on a delta batch at most. The bound

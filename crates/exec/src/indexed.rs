@@ -1,39 +1,54 @@
-//! [`IndexedRelation`]: a materialized batch of tuples that maintains hash
-//! indexes on join-key column sets — on **shared, cheaply-clonable
-//! storage**.
+//! [`IndexedRelation`]: a materialized batch of rows that maintains hash
+//! indexes on join-key column sets — on **shared, cheaply-clonable,
+//! column-major storage**.
 //!
 //! This is the operand type of the physical operators: every operator
 //! produces one, and the join operators ask their build side for an index
 //! on the key columns (built once, cached, reused by every probe).
-//! Unlike [`relviz_model::Relation`] the tuple store is a `Vec`, so
+//! Unlike [`relviz_model::Relation`] the row store is a sequence, so
 //! operators may produce transient duplicates; explicit `Dedup` plan nodes
 //! (and the final conversion back to a set-semantics `Relation`) restore
 //! set semantics where it matters.
 //!
 //! ## Sharing model
 //!
-//! Tuples live in an `Arc<Vec<Tuple>>` and the index map behind an
-//! `Arc<Mutex<…>>`, so `clone()` is a handful of pointer bumps — no tuple
+//! Rows live in an `Arc`'d [`ColumnStore`] (one typed vector per column —
+//! see [`crate::column`] for the batch layout) and the index map behind an
+//! `Arc<Mutex<…>>`, so `clone()` is a handful of pointer bumps — no cell
 //! or index data moves. This is what makes the executor's scan cache and
 //! the fixpoint's `ScanIdb`/`ScanDelta` views zero-copy: every view of a
-//! batch shares both the rows and the cached indexes.
+//! batch shares both the rows and the cached indexes. Within the store,
+//! each column sits behind its own `Arc`, so projections re-order columns
+//! without touching cells.
 //!
 //! Sharing the index map cuts the other way too: an index built through
 //! *any* view (e.g. a join indexing a `ScanIdb` view mid-fixpoint) lands
 //! in the owning batch's cache and is maintained by later
-//! [`absorb_batch`](IndexedRelation::absorb_batch) appends — so a
+//! [`absorb_store`](IndexedRelation::absorb_store) appends — so a
 //! fixpoint round never rebuilds a join index over the accumulated IDB.
 //! The one invariant this needs is that a batch only *grows* while no
-//! sibling view is alive; [`absorb_batch`] enforces it defensively by
+//! sibling view is alive; the absorb methods enforce it defensively by
 //! detaching (copy-on-write) storage, index map, and dedup table when
-//! the tuple `Arc` is still shared, so a violated invariant costs a
-//! copy, never correctness.
+//! the store `Arc` is still shared, so a violated invariant costs a
+//! copy, never correctness. (Column-level sharing self-repairs one layer
+//! down: appending through a column `Arc` some projection still holds
+//! detaches just that column.)
+//!
+//! ## Row ids
+//!
+//! Index buckets, dedup buckets, and delta lists all store
+//! [`RowId`] (`u32`) row numbers. Appends go through the checked
+//! [`row_id`](crate::column::row_id) conversion, which panics rather
+//! than truncating if a batch outgrows the width — see the
+//! [`crate::column`] docs for the width decision.
 
 use std::collections::HashMap;
 use std::sync::Arc;
 
 use parking_lot::Mutex;
-use relviz_model::{Relation, Schema, Tuple, Value};
+use relviz_model::{Relation, Schema, Tuple, Value, ValueRef};
+
+use crate::column::{row_id, ColumnStore, RowId};
 
 /// A join key: a projected value vector compared by the **total order**
 /// of [`Value`] (the order behind the model's set semantics and
@@ -52,19 +67,27 @@ impl JoinKey {
     }
 
     /// An empty key with room for `cols` values — the reusable buffer
-    /// for [`refill`](Self::refill).
+    /// for the `refill` methods.
     pub fn with_capacity(cols: usize) -> Self {
         JoinKey(Vec::with_capacity(cols))
     }
 
     /// Clears and refills the key in place from `tuple`'s `cols`. Probe
     /// loops run once per row: reusing one buffer skips the per-row
-    /// allocation a fresh [`IndexedRelation::key_of`] would pay.
+    /// allocation a fresh [`IndexedRelation::key_of`] would pay. (The
+    /// row-major twin of [`refill_from`](Self::refill_from), kept for
+    /// the benchmark baselines.)
     // Key columns are pre-checked against the batch arity by the executor.
     #[allow(clippy::indexing_slicing)]
     pub fn refill(&mut self, tuple: &Tuple, cols: &[usize]) {
         self.0.clear();
         self.0.extend(cols.iter().map(|&i| tuple.values()[i].clone()));
+    }
+
+    /// [`refill`](Self::refill) straight off a column store's row.
+    pub fn refill_from(&mut self, store: &ColumnStore, row: usize, cols: &[usize]) {
+        self.0.clear();
+        self.0.extend(cols.iter().map(|&i| store.get(i, row).to_value()));
     }
 }
 
@@ -90,6 +113,11 @@ impl std::hash::Hash for JoinKey {
 /// already holds. Bucket order never reaches results (probe loops
 /// iterate the probe batch, and buckets keep insertion order), so
 /// switching hashers is invisible to output.
+///
+/// Width audit (all conversions below are non-truncating on every
+/// supported target): `u8`/`u32` → `u64` widen; `usize` → `u64` widens
+/// on ≤ 64-bit targets; `i64` → `u64` is a deliberate bit-cast (hashing
+/// wants the bits, not the magnitude).
 #[derive(Default)]
 pub struct FxHasher {
     hash: u64,
@@ -145,10 +173,10 @@ impl std::hash::Hasher for FxHasher {
     }
 }
 
-type FxBuild = std::hash::BuildHasherDefault<FxHasher>;
+pub(crate) type FxBuild = std::hash::BuildHasherDefault<FxHasher>;
 
 /// A hash index on one key-column set: key values → row numbers.
-pub type Index = HashMap<JoinKey, Vec<u32>, FxBuild>;
+pub type Index = HashMap<JoinKey, Vec<RowId>, FxBuild>;
 
 /// key columns → the (Arc-shared) index on them.
 type IndexMap = HashMap<Vec<usize>, Arc<Index>, FxBuild>;
@@ -166,25 +194,28 @@ fn key_hash(key: &JoinKey) -> u64 {
     h.finish()
 }
 
-/// [`key_hash`] computed straight off a tuple's key columns — no
+/// [`key_hash`] computed straight off a store row's key columns — no
 /// [`JoinKey`] (no value clones) is built. Must stay byte-compatible
 /// with hashing the built key: a `Vec<Value>`'s `Hash` writes the
 /// length prefix (via `write_usize` on this hasher) and then each
-/// element, which is exactly what this does.
-// Key columns are pre-checked against the batch arity by the executor.
-#[allow(clippy::indexing_slicing)]
-fn key_hash_of(tuple: &Tuple, cols: &[usize]) -> u64 {
-    use std::hash::{Hash, Hasher};
+/// element, which is exactly what this does —
+/// [`ValueRef::total_hash`] writes the same bytes as [`Value`]'s
+/// `Hash` arm for arm.
+pub(crate) fn key_hash_at(store: &ColumnStore, row: usize, cols: &[usize]) -> u64 {
+    use std::hash::Hasher;
     let mut h = FxHasher::default();
     h.write_usize(cols.len());
     for &i in cols {
-        tuple.values()[i].hash(&mut h);
+        store.get(i, row).total_hash(&mut h);
     }
     h.finish()
 }
 
 /// The partition owning `hash` among `parts` equal **hash ranges**
 /// (multiply-shift: partition `p` owns `[p·2⁶⁴/parts, (p+1)·2⁶⁴/parts)`).
+/// Width audit: the `u128` product of two 64-bit factors is exact, and
+/// the shifted result is `< parts ≤ usize::MAX`, so the final narrowing
+/// is lossless on 32-bit targets too.
 pub(crate) fn hash_partition(hash: u64, parts: usize) -> usize {
     ((hash as u128 * parts as u128) >> 64) as usize
 }
@@ -220,7 +251,7 @@ impl PartitionedIndex {
     /// The rows matching `key`, from the partition owning its hash.
     // `hash_partition` returns `< parts.len()` by construction.
     #[allow(clippy::indexing_slicing)]
-    pub fn get(&self, key: &JoinKey) -> Option<&Vec<u32>> {
+    pub fn get(&self, key: &JoinKey) -> Option<&Vec<RowId>> {
         self.parts[hash_partition(key_hash(key), self.parts.len())].get(key)
     }
 
@@ -230,11 +261,11 @@ impl PartitionedIndex {
 }
 
 /// The whole-row dedup table: full-row hash → candidate row numbers,
-/// compared against the tuple storage by the total order on probe. A
+/// compared against the columnar storage by the total order on probe. A
 /// deliberate *non*-`Index`: it stores no key clones at all, so the
 /// accumulated IDB holds each tuple once, not once in storage plus once
 /// in its dedup key.
-type DedupTable = HashMap<u64, Vec<u32>, FxBuild>;
+type DedupTable = HashMap<u64, Vec<RowId>, FxBuild>;
 
 /// The full-row hash of a tuple, consistent with `JoinKey` equality
 /// (total-order-equal rows hash equally, because [`Value`]'s `Hash` is).
@@ -247,29 +278,56 @@ fn row_hash(t: &Tuple) -> u64 {
     h.finish()
 }
 
-/// A schema-carrying tuple batch with on-demand hash indexes, on shared
-/// storage — see the module docs for the sharing model.
+/// [`row_hash`] computed off a store row — byte-compatible, because
+/// [`ValueRef::total_hash`] writes exactly what [`Value`]'s `Hash` does.
+/// Shared with the executor's `Dedup`/`Diff` kernels, which bucket rows
+/// by the same equality-consistent hash.
+pub(crate) fn row_hash_at(store: &ColumnStore, row: usize) -> u64 {
+    use std::hash::Hasher;
+    let mut h = FxHasher::default();
+    for c in 0..store.arity() {
+        store.get(c, row).total_hash(&mut h);
+    }
+    h.finish()
+}
+
+/// Whether a store row equals a tuple under the total order.
+fn row_eq_tuple(store: &ColumnStore, row: usize, t: &Tuple) -> bool {
+    t.values()
+        .iter()
+        .enumerate()
+        .all(|(c, v)| store.get(c, row).total_cmp(ValueRef::of(v)) == std::cmp::Ordering::Equal)
+}
+
+/// A schema-carrying row batch with on-demand hash indexes, on shared
+/// column-major storage — see the module docs for the sharing model.
 #[derive(Debug, Clone)]
 pub struct IndexedRelation {
     schema: Schema,
-    tuples: Arc<Vec<Tuple>>,
+    store: Arc<ColumnStore>,
     indexes: Arc<Mutex<IndexMap>>,
     /// Partitioned indexes (the parallel engine's build sides), cached
     /// by (key columns, partition count) and — like `indexes` —
-    /// maintained across [`absorb_batch`](Self::absorb_batch) appends.
+    /// maintained across absorb appends.
     partitioned: Arc<Mutex<PartMap>>,
-    /// Built lazily by the first [`absorb_batch`](Self::absorb_batch) /
-    /// [`insert_if_new`](Self::insert_if_new); `None` until then.
+    /// Built lazily by the first absorb / [`insert_if_new`
+    /// ](Self::insert_if_new); `None` until then.
     dedup: Arc<Mutex<Option<DedupTable>>>,
 }
 
 impl IndexedRelation {
-    /// Wraps a batch of tuples (each must match `schema`'s arity).
+    /// Columnarizes a batch of tuples (each must match `schema`'s arity).
     pub fn new(schema: Schema, tuples: Vec<Tuple>) -> Self {
         debug_assert!(tuples.iter().all(|t| t.arity() == schema.arity()));
+        Self::from_store(schema.clone(), ColumnStore::from_tuples(schema.arity(), &tuples))
+    }
+
+    /// Wraps an already-columnar batch (operator outputs).
+    pub fn from_store(schema: Schema, store: ColumnStore) -> Self {
+        debug_assert_eq!(schema.arity(), store.arity());
         IndexedRelation {
             schema,
-            tuples: Arc::new(tuples),
+            store: Arc::new(store),
             indexes: Arc::new(Mutex::new(IndexMap::default())),
             partitioned: Arc::new(Mutex::new(PartMap::default())),
             dedup: Arc::new(Mutex::new(None)),
@@ -279,7 +337,8 @@ impl IndexedRelation {
     /// Copies a set-semantics relation into an indexable batch.
     pub fn from_relation(rel: &Relation) -> Self {
         instrument::count_materialization();
-        IndexedRelation::new(rel.schema().clone(), rel.iter().cloned().collect())
+        let tuples: Vec<Tuple> = rel.iter().cloned().collect();
+        IndexedRelation::new(rel.schema().clone(), tuples)
     }
 
     pub fn schema(&self) -> &Schema {
@@ -287,7 +346,7 @@ impl IndexedRelation {
     }
 
     /// Replaces the schema (a rename — arity must match). Pure metadata:
-    /// the tuple storage and positional indexes stay shared.
+    /// the cell storage and positional indexes stay shared.
     pub fn with_schema(mut self, schema: Schema) -> Self {
         debug_assert_eq!(schema.arity(), self.schema.arity());
         self.schema = schema;
@@ -295,15 +354,27 @@ impl IndexedRelation {
     }
 
     pub fn len(&self) -> usize {
-        self.tuples.len()
+        self.store.len()
     }
 
     pub fn is_empty(&self) -> bool {
-        self.tuples.is_empty()
+        self.store.is_empty()
     }
 
-    pub fn tuples(&self) -> &[Tuple] {
-        &self.tuples
+    /// The columnar cell storage (the vectorized kernels' operand).
+    pub fn store(&self) -> &ColumnStore {
+        &self.store
+    }
+
+    /// Materializes one row as a tuple.
+    pub fn tuple_at(&self, row: usize) -> Tuple {
+        self.store.tuple_at(row)
+    }
+
+    /// Materializes every row (test/debug convenience; operators stay
+    /// columnar).
+    pub fn to_tuples(&self) -> Vec<Tuple> {
+        self.store.to_tuples()
     }
 
     /// The key of `tuple` under the given key columns.
@@ -311,6 +382,11 @@ impl IndexedRelation {
     #[allow(clippy::indexing_slicing)]
     pub fn key_of(tuple: &Tuple, cols: &[usize]) -> JoinKey {
         JoinKey(cols.iter().map(|&i| tuple.values()[i].clone()).collect())
+    }
+
+    /// The key of a store row under the given key columns.
+    fn key_at(store: &ColumnStore, row: usize, cols: &[usize]) -> JoinKey {
+        JoinKey(cols.iter().map(|&i| store.get(i, row).to_value()).collect())
     }
 
     /// The hash index on `cols`, built on first request and cached for
@@ -325,8 +401,11 @@ impl IndexedRelation {
         }
         instrument::count_index_build();
         let mut index = Index::default();
-        for (row, t) in self.tuples.iter().enumerate() {
-            index.entry(Self::key_of(t, cols)).or_default().push(row as u32);
+        for row in 0..self.store.len() {
+            index
+                .entry(Self::key_at(&self.store, row, cols))
+                .or_default()
+                .push(row_id(row));
         }
         let index = Arc::new(index);
         map.insert(cols.to_vec(), Arc::clone(&index));
@@ -335,24 +414,28 @@ impl IndexedRelation {
 
     /// Builds **one hash-range partition** of the index on `cols`: the
     /// keys whose hash [`hash_partition`]s to `part` (of `parts`).
-    /// Pure and lock-free over the shared tuple storage, so the
-    /// parallel engine runs one call per worker concurrently — through
-    /// any view — and assembles the results into a
-    /// [`PartitionedIndex`]. Row numbers keep storage order, exactly as
-    /// [`index`](Self::index) would emit them.
+    /// Pure and lock-free over the shared storage, so the parallel
+    /// engine runs one call per worker concurrently — through any view
+    /// — and assembles the results into a [`PartitionedIndex`]. Row
+    /// numbers keep storage order, exactly as [`index`](Self::index)
+    /// would emit them.
     ///
     /// Every worker scans all rows, but ownership is decided by
-    /// [`key_hash_of`] over the *borrowed* values — the expensive part
-    /// of an index build (key clone + table insert) is only paid for
-    /// this partition's ~1/`parts` share, so the builds split the work
+    /// [`key_hash_at`] over the *borrowed* cells — a contiguous pass
+    /// over the key columns' typed vectors; the expensive part of an
+    /// index build (key clone + table insert) is only paid for this
+    /// partition's ~1/`parts` share, so the builds split the work
     /// rather than multiply it.
     pub fn index_partition(&self, cols: &[usize], part: usize, parts: usize) -> Index {
         debug_assert!(part < parts);
         instrument::count_partition_build();
         let mut index = Index::default();
-        for (row, t) in self.tuples.iter().enumerate() {
-            if hash_partition(key_hash_of(t, cols), parts) == part {
-                index.entry(Self::key_of(t, cols)).or_default().push(row as u32);
+        for row in 0..self.store.len() {
+            if hash_partition(key_hash_at(&self.store, row, cols), parts) == part {
+                index
+                    .entry(Self::key_at(&self.store, row, cols))
+                    .or_default()
+                    .push(row_id(row));
             }
         }
         index
@@ -365,9 +448,9 @@ impl IndexedRelation {
     }
 
     /// Publishes a partitioned index into the shared cache (maintained
-    /// by later [`absorb_batch`](Self::absorb_batch) appends, like every
-    /// flat index). Returns the cached copy — the first publisher wins
-    /// if two views race, so every holder probes identical partitions.
+    /// by later absorb appends, like every flat index). Returns the
+    /// cached copy — the first publisher wins if two views race, so
+    /// every holder probes identical partitions.
     pub fn cache_partitioned(
         &self,
         cols: &[usize],
@@ -384,33 +467,22 @@ impl IndexedRelation {
     /// number of a genuinely new tuple, `None` for a duplicate —
     /// callers building a delta record the row instead of cloning the
     /// tuple back out.
-    pub fn insert_if_new(&mut self, t: Tuple) -> Option<u32> {
+    pub fn insert_if_new(&mut self, t: Tuple) -> Option<RowId> {
         let mut fresh = Vec::with_capacity(1);
         self.absorb_batch(vec![t], &mut fresh);
         fresh.pop()
     }
 
-    /// Moves every tuple of `batch` into this relation, skipping rows
-    /// already present (by the total order of [`Value`]) and pushing
-    /// each new row's number onto `fresh`. This is the fixpoint's
-    /// per-rule dedup-and-delta step: membership probes the lazily-built
-    /// whole-row hash table — O(1) amortized per tuple, not a set
-    /// re-scan, and with zero per-tuple key clones — while the lock and
-    /// the copy-on-write check run once per batch, not once per tuple.
-    /// Every cached index is maintained for the appended rows.
-    // Hash-bucket rows are `< tuples.len()`; `hash_partition` is `< parts.len()`.
-    #[allow(clippy::indexing_slicing)]
-    pub fn absorb_batch(&mut self, batch: Vec<Tuple>, fresh: &mut Vec<u32>) {
-        if batch.is_empty() {
-            return;
-        }
-        // Growing while a view shares the storage would leak rows into
-        // the view's snapshot (and its index probes): detach first.
-        // The engine never appends to a batch with live views, so this
-        // is a defensive copy, not a steady-state cost.
-        if Arc::strong_count(&self.tuples) > 1 {
+    /// Growing while a view shares the storage would leak rows into
+    /// the view's snapshot (and its index probes): detach first.
+    /// The engine never appends to a batch with live views, so this
+    /// is a defensive copy, not a steady-state cost. (The store clone
+    /// is an `Arc` spine; the first append to each column detaches its
+    /// cells one layer down.)
+    fn detach_if_shared(&mut self) {
+        if Arc::strong_count(&self.store) > 1 {
             instrument::count_deep_copy();
-            self.tuples = Arc::new((*self.tuples).clone());
+            self.store = Arc::new((*self.store).clone());
             let detached: IndexMap = self.indexes.lock().clone();
             self.indexes = Arc::new(Mutex::new(detached));
             let detached: PartMap = self.partitioned.lock().clone();
@@ -418,16 +490,24 @@ impl IndexedRelation {
             let detached = self.dedup.lock().clone();
             self.dedup = Arc::new(Mutex::new(detached));
         }
+    }
 
-        let tuples = Arc::make_mut(&mut self.tuples);
+    /// Moves every tuple of `batch` into this relation, skipping rows
+    /// already present (by the total order of [`Value`]) and pushing
+    /// each new row's number onto `fresh`. Membership probes the
+    /// lazily-built whole-row hash table — O(1) amortized per tuple,
+    /// not a set re-scan — while the lock and the copy-on-write check
+    /// run once per batch, not once per tuple. Every cached index is
+    /// maintained for the appended rows. (The row-major entry point;
+    /// columnar operator outputs go through
+    /// [`absorb_store`](Self::absorb_store).)
+    pub fn absorb_batch(&mut self, batch: Vec<Tuple>, fresh: &mut Vec<RowId>) {
+        if batch.is_empty() {
+            return;
+        }
+        self.detach_if_shared();
         let mut dedup_slot = self.dedup.lock();
-        let dedup = dedup_slot.get_or_insert_with(|| {
-            let mut table = DedupTable::default();
-            for (row, t) in tuples.iter().enumerate() {
-                table.entry(row_hash(t)).or_default().push(row as u32);
-            }
-            table
-        });
+        let dedup = dedup_slot.get_or_insert_with(|| Self::build_dedup(&self.store));
         let mut map = self.indexes.lock();
         // Detach every index once for the whole batch (a no-op unless a
         // view still holds one).
@@ -438,44 +518,111 @@ impl IndexedRelation {
             .iter_mut()
             .map(|((cols, parts), idx)| (cols.as_slice(), *parts, Arc::make_mut(idx)))
             .collect();
+        let store = Arc::make_mut(&mut self.store);
         for t in batch {
             let h = row_hash(&t);
             let bucket = dedup.entry(h).or_default();
-            if bucket
-                .iter()
-                .any(|&r| tuples[r as usize].cmp(&t) == std::cmp::Ordering::Equal)
-            {
+            if bucket.iter().any(|&r| row_eq_tuple(store, r as usize, &t)) {
                 continue;
             }
-            let row = tuples.len() as u32;
+            let row = row_id(store.len());
             bucket.push(row);
-            for (cols, index) in indexes.iter_mut() {
-                index.entry(Self::key_of(&t, cols)).or_default().push(row);
-            }
-            for (cols, parts, pindex) in partitioned.iter_mut() {
-                let key = Self::key_of(&t, cols);
-                let owner = hash_partition(key_hash(&key), *parts);
-                Arc::make_mut(&mut pindex.parts[owner]).entry(key).or_default().push(row);
-            }
-            tuples.push(t);
+            Self::maintain_indexes(
+                &mut indexes,
+                &mut partitioned,
+                row,
+                |cols| Self::key_of(&t, cols),
+            );
+            store.push_tuple(&t);
             fresh.push(row);
         }
     }
 
-    /// Consumes the batch, yielding its raw tuples — a move when this is
-    /// the storage's only owner, a (counted) copy otherwise.
+    /// [`absorb_batch`](Self::absorb_batch) off columnar storage — the
+    /// fixpoint's per-rule dedup-and-delta step. Stays on the column
+    /// fast paths end to end: whole-row hashes stream over the typed
+    /// vectors, equality probes compare cells in place (same-generation
+    /// string columns by id), and appends copy raw cells — no `Tuple`
+    /// is ever materialized.
+    pub fn absorb_store(&mut self, src: &ColumnStore, fresh: &mut Vec<RowId>) {
+        debug_assert_eq!(self.schema.arity(), src.arity());
+        if src.is_empty() {
+            return;
+        }
+        self.detach_if_shared();
+        let mut dedup_slot = self.dedup.lock();
+        let dedup = dedup_slot.get_or_insert_with(|| Self::build_dedup(&self.store));
+        let mut map = self.indexes.lock();
+        let mut indexes: Vec<(&[usize], &mut Index)> =
+            map.iter_mut().map(|(cols, idx)| (cols.as_slice(), Arc::make_mut(idx))).collect();
+        let mut part_map = self.partitioned.lock();
+        let mut partitioned: Vec<(&[usize], usize, &mut PartitionedIndex)> = part_map
+            .iter_mut()
+            .map(|((cols, parts), idx)| (cols.as_slice(), *parts, Arc::make_mut(idx)))
+            .collect();
+        let store = Arc::make_mut(&mut self.store);
+        for r in 0..src.len() {
+            let h = row_hash_at(src, r);
+            let bucket = dedup.entry(h).or_default();
+            if bucket.iter().any(|&q| store.rows_equal(q as usize, src, r)) {
+                continue;
+            }
+            let row = row_id(store.len());
+            bucket.push(row);
+            Self::maintain_indexes(
+                &mut indexes,
+                &mut partitioned,
+                row,
+                |cols| Self::key_at(src, r, cols),
+            );
+            store.append_row_from(src, r);
+            fresh.push(row);
+        }
+    }
+
+    /// Registers an appended row in every cached flat and partitioned
+    /// index (`make_key` builds the row's key for a given column set).
+    // `hash_partition` returns `< parts.len()` by construction.
+    #[allow(clippy::indexing_slicing)]
+    fn maintain_indexes(
+        indexes: &mut [(&[usize], &mut Index)],
+        partitioned: &mut [(&[usize], usize, &mut PartitionedIndex)],
+        row: RowId,
+        make_key: impl Fn(&[usize]) -> JoinKey,
+    ) {
+        for (cols, index) in indexes.iter_mut() {
+            index.entry(make_key(cols)).or_default().push(row);
+        }
+        for (cols, parts, pindex) in partitioned.iter_mut() {
+            let key = make_key(cols);
+            let owner = hash_partition(key_hash(&key), *parts);
+            Arc::make_mut(&mut pindex.parts[owner]).entry(key).or_default().push(row);
+        }
+    }
+
+    fn build_dedup(store: &ColumnStore) -> DedupTable {
+        let mut table = DedupTable::default();
+        for row in 0..store.len() {
+            table.entry(row_hash_at(store, row)).or_default().push(row_id(row));
+        }
+        table
+    }
+
+    /// Consumes the batch, materializing its rows as tuples — the
+    /// row-major boundary crossing at the final `Relation` conversion.
     pub fn into_tuples(self) -> Vec<Tuple> {
-        Arc::try_unwrap(self.tuples).unwrap_or_else(|shared| {
-            instrument::count_deep_copy();
-            (*shared).clone()
-        })
+        self.store.to_tuples()
     }
 
     /// Converts back to a set-semantics [`Relation`] (deduplicating, in
-    /// one bulk set construction).
+    /// one bulk set construction). The sort runs over row ids against
+    /// the columnar storage ([`ColumnStore::sorted_order`]), and tuples
+    /// materialize already ascending — which is the bulk `BTreeSet`
+    /// construction's presorted fast path.
     pub fn into_relation(self) -> Relation {
-        let schema = self.schema.clone();
-        Relation::from_tuples_unchecked(schema, self.into_tuples())
+        let order = self.store.sorted_order();
+        let rows = self.store.to_tuples_in(&order);
+        Relation::from_tuples_unchecked(self.schema, rows)
     }
 }
 
@@ -492,10 +639,19 @@ pub(crate) mod instrument {
         pub static MATERIALIZATIONS: Cell<usize> = const { Cell::new(0) };
         /// Actual index constructions (cache misses in `index`).
         pub static INDEX_BUILDS: Cell<usize> = const { Cell::new(0) };
-        /// Whole-storage deep copies (COW detach, shared `into_tuples`).
+        /// Whole-storage deep copies (COW detach of a shared store).
         pub static DEEP_COPIES: Cell<usize> = const { Cell::new(0) };
         /// Hash-range partition builds (`index_partition` calls).
         pub static PARTITION_BUILDS: Cell<usize> = const { Cell::new(0) };
+        /// Column materializations: row-major cells columnarized
+        /// (`ColumnStore::from_tuples`, per column) or a typed column
+        /// demoted to `Mixed`.
+        pub static COLUMN_BUILDS: Cell<usize> = const { Cell::new(0) };
+        /// Selection/validity bitmap allocations.
+        pub static BITMAP_ALLOCS: Cell<usize> = const { Cell::new(0) };
+        /// Copy-on-write clones of a *shared* interning table (a miss
+        /// that grows a table some other column still references).
+        pub static INTERNER_GROWTHS: Cell<usize> = const { Cell::new(0) };
     }
 
     pub(crate) fn count_materialization() {
@@ -510,6 +666,15 @@ pub(crate) mod instrument {
     pub(crate) fn count_partition_build() {
         PARTITION_BUILDS.with(|c| c.set(c.get() + 1));
     }
+    pub(crate) fn count_column_build() {
+        COLUMN_BUILDS.with(|c| c.set(c.get() + 1));
+    }
+    pub(crate) fn count_bitmap_alloc() {
+        BITMAP_ALLOCS.with(|c| c.set(c.get() + 1));
+    }
+    pub(crate) fn count_interner_growth() {
+        INTERNER_GROWTHS.with(|c| c.set(c.get() + 1));
+    }
 
     /// Zeroes all counters (call at the start of a measuring test).
     pub fn reset() {
@@ -517,6 +682,9 @@ pub(crate) mod instrument {
         INDEX_BUILDS.with(|c| c.set(0));
         DEEP_COPIES.with(|c| c.set(0));
         PARTITION_BUILDS.with(|c| c.set(0));
+        COLUMN_BUILDS.with(|c| c.set(0));
+        BITMAP_ALLOCS.with(|c| c.set(0));
+        INTERNER_GROWTHS.with(|c| c.set(0));
     }
 
     pub fn materializations() -> usize {
@@ -531,19 +699,39 @@ pub(crate) mod instrument {
     pub fn partition_builds() -> usize {
         PARTITION_BUILDS.with(Cell::get)
     }
+    pub fn column_builds() -> usize {
+        COLUMN_BUILDS.with(Cell::get)
+    }
+    pub fn bitmap_allocs() -> usize {
+        BITMAP_ALLOCS.with(Cell::get)
+    }
+    pub fn interner_growths() -> usize {
+        INTERNER_GROWTHS.with(Cell::get)
+    }
 
     /// This thread's totals, for [`crate::pool`] to hand a worker's
     /// share back to the thread that dispatched it.
-    pub(crate) fn export() -> [usize; 4] {
-        [materializations(), index_builds(), deep_copies(), partition_builds()]
+    pub(crate) fn export() -> [usize; 7] {
+        [
+            materializations(),
+            index_builds(),
+            deep_copies(),
+            partition_builds(),
+            column_builds(),
+            bitmap_allocs(),
+            interner_growths(),
+        ]
     }
 
     /// Adds a worker's exported totals into this thread's counters.
-    pub(crate) fn absorb(counts: [usize; 4]) {
+    pub(crate) fn absorb(counts: [usize; 7]) {
         MATERIALIZATIONS.with(|c| c.set(c.get() + counts[0]));
         INDEX_BUILDS.with(|c| c.set(c.get() + counts[1]));
         DEEP_COPIES.with(|c| c.set(c.get() + counts[2]));
         PARTITION_BUILDS.with(|c| c.set(c.get() + counts[3]));
+        COLUMN_BUILDS.with(|c| c.set(c.get() + counts[4]));
+        BITMAP_ALLOCS.with(|c| c.set(c.get() + counts[5]));
+        INTERNER_GROWTHS.with(|c| c.set(c.get() + counts[6]));
     }
 }
 
@@ -557,6 +745,12 @@ pub(crate) mod instrument {
     pub(crate) fn count_deep_copy() {}
     #[inline(always)]
     pub(crate) fn count_partition_build() {}
+    #[inline(always)]
+    pub(crate) fn count_column_build() {}
+    #[inline(always)]
+    pub(crate) fn count_bitmap_alloc() {}
+    #[inline(always)]
+    pub(crate) fn count_interner_growth() {}
 }
 
 #[cfg(test)]
@@ -634,7 +828,30 @@ mod tests {
         assert!(b.insert_if_new(Tuple::of((2, "z"))).is_none());
     }
 
-    /// Clones share storage: no tuple copies, and an index built through
+    /// The columnar twin: absorbing another batch's storage dedupes by
+    /// content even when the two batches' interning tables assigned the
+    /// same strings different ids (overlapping string domains — the
+    /// id-vs-content confusion the interner contract forbids).
+    #[test]
+    fn absorb_store_dedupes_across_interner_generations() {
+        let schema = Schema::of(&[("s", DataType::Str)]);
+        // Generation A interns x=0, y=1; generation B interns y=0, x=1.
+        let mut a = IndexedRelation::new(
+            schema.clone(),
+            vec![Tuple::of(("x",)), Tuple::of(("y",))],
+        );
+        let b = IndexedRelation::new(
+            schema,
+            vec![Tuple::of(("y",)), Tuple::of(("x",)), Tuple::of(("z",))],
+        );
+        let mut fresh = Vec::new();
+        a.absorb_store(b.store(), &mut fresh);
+        assert_eq!(fresh, vec![2], "only z is new — x and y dedup by content");
+        assert_eq!(a.len(), 3);
+        assert_eq!(a.tuple_at(2), Tuple::of(("z",)));
+    }
+
+    /// Clones share storage: no cell copies, and an index built through
     /// the clone is visible to (and cached by) the original.
     #[test]
     fn clones_share_tuples_and_indexes() {
@@ -684,8 +901,10 @@ mod tests {
         assert_eq!(b.len(), 54);
     }
 
+    /// The final row-major crossing materializes tuples from the
+    /// columns; it is a conversion, not a (counted) storage deep copy.
     #[test]
-    fn into_tuples_moves_when_unshared() {
+    fn into_tuples_materializes_without_deep_copy() {
         instrument::reset();
         let b = batch();
         assert_eq!(b.into_tuples().len(), 4);

@@ -13,9 +13,11 @@
 //!   `Project`, `HashJoin`, `SemiJoin`, `AntiJoin`, `Union`, `Diff`,
 //!   `Dedup`, `Shared` — with an `EXPLAIN`-style printer
 //!   ([`plan::explain`]);
-//! * [`indexed::IndexedRelation`], a tuple batch on **shared, cheaply
-//!   clonable storage** (Arc'd tuples, an Arc'd copy-on-write index
-//!   map) maintaining hash indexes on join-key column sets;
+//! * [`indexed::IndexedRelation`], a batch on **shared, cheaply
+//!   clonable columnar storage** ([`column::ColumnStore`]: one typed
+//!   vector per column, validity bitmaps for NULLs, interned strings —
+//!   all behind `Arc`s with copy-on-write index maps) maintaining hash
+//!   indexes on join-key column sets;
 //! * planners lowering [`relviz_ra::RaExpr`] ([`planner::plan_ra`]) and
 //!   [`relviz_rc::TrcQuery`] ([`planner::plan_trc`]) into plans — TRC
 //!   `∃`/`¬∃` quantifier nests become semi-/anti-joins instead of
@@ -49,6 +51,7 @@
 //! assert!(fast.same_contents(&oracle));
 //! ```
 
+pub mod column;
 pub mod datalog_planner;
 pub mod error;
 pub mod fixpoint;
@@ -60,6 +63,7 @@ mod pool;
 pub mod run;
 pub mod verify;
 
+pub use column::{Column, ColumnData, ColumnStore, RowId, StrInterner};
 pub use datalog_planner::plan_datalog;
 pub use error::{ExecError, ExecResult};
 pub use fixpoint::{

@@ -40,10 +40,11 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use relviz_model::{Database, Relation, Tuple};
+use relviz_model::{Database, Relation};
 
 use crate::error::ExecResult;
 use crate::fixpoint::FixpointPlan;
+use crate::column::{ColumnStore, RowId};
 use crate::indexed::{IndexedRelation, PartitionedIndex};
 use crate::plan::PhysPlan;
 use crate::pool;
@@ -162,9 +163,13 @@ pub(crate) fn partitioned_index(
 
 /// Converts a batch to a set-semantics [`Relation`] with the dominant
 /// cost — sorting under the total order — split across workers:
-/// contiguous chunks sort concurrently, then a k-way merge dedups into
-/// one ascending run the `BTreeSet` bulk-builds from. Identical output
-/// to [`IndexedRelation::into_relation`] (same set, same order — the
+/// contiguous **row-id** chunks sort concurrently against the columnar
+/// storage (comparisons read cells in place, like
+/// [`relviz_model::Tuple`]-free [`ColumnStore::cmp_rows`] on the serial
+/// path), then a k-way merge yields one ascending id run and the
+/// tuples materialize already sorted — the `BTreeSet` bulk-build's
+/// presorted fast path. Identical output to
+/// [`IndexedRelation::into_relation`] (same set, same order — the
 /// order *is* the total order).
 // `chunks` yields ranges inside `0..len` by construction.
 #[allow(clippy::indexing_slicing)]
@@ -173,65 +178,57 @@ pub(crate) fn into_relation_par(batch: IndexedRelation, threads: usize) -> Relat
         return batch.into_relation();
     }
     let schema = batch.schema().clone();
-    let mut rest = batch.into_tuples();
-    // Split into owned chunks (pointer moves, no tuple clones): peel
-    // the tail ranges off in reverse, and what remains is chunk 0.
-    // Every range is non-empty (`chunks` clamps parts to the length).
-    let ranges = pool::chunks(rest.len(), threads);
-    let mut chunks: Vec<Vec<Tuple>> = Vec::with_capacity(ranges.len());
-    for r in ranges[1..].iter().rev() {
-        chunks.push(rest.split_off(r.start));
-    }
-    chunks.push(rest);
-    chunks.reverse();
-    // …sort each concurrently…
-    let slots: Vec<parking_lot::Mutex<Option<Vec<Tuple>>>> =
-        chunks.into_iter().map(|c| parking_lot::Mutex::new(Some(c))).collect();
-    let sorted = pool::scatter(threads, slots.len(), &|i| {
-        let mut chunk = slots[i].lock().take().expect("each chunk taken once");
-        chunk.sort();
-        chunk
+    let store = batch.store();
+    // Sort each contiguous id range concurrently…
+    let ranges = pool::chunks(store.len(), threads);
+    let sorted: Vec<Vec<RowId>> = pool::scatter(threads, ranges.len(), &|i| {
+        let mut ids: Vec<RowId> = ranges[i].clone().map(crate::column::row_id).collect();
+        store.sort_ids(&mut ids);
+        ids
     });
-    // …and merge into one ascending run. No dedup here: the final
-    // `Relation` construction below applies the set semantics.
+    // …merge into one ascending run, and materialize in that order. No
+    // dedup here: the final `Relation` construction applies the set
+    // semantics.
     let total: usize = sorted.iter().map(Vec::len).sum();
-    let mut merged: Vec<Tuple> = Vec::with_capacity(total);
-    merge_sorted(sorted, &mut merged);
-    Relation::from_tuples_unchecked(schema, merged)
+    let mut order: Vec<RowId> = Vec::with_capacity(total);
+    merge_sorted(store, sorted, &mut order);
+    Relation::from_tuples_unchecked(schema, store.to_tuples_in(&order))
 }
 
-/// K-way merge under the total order (k is the worker count, so a
-/// linear min-scan per element beats a heap). Tuples move through a
-/// heads buffer — no clones.
+/// K-way merge of sorted row-id runs under the total order (k is the
+/// worker count, so a linear min-scan per element beats a heap).
+/// Comparisons read the store's cells in place — no tuple touches the
+/// merge at all.
 ///
-/// Deliberately **no duplicate elimination**: chunk sorts are stable
-/// and ties across chunks resolve to the earlier chunk, so the merged
-/// run is exactly the stable sort of the input — and stable sorting is
-/// idempotent, so handing it to `Relation::from_tuples_unchecked`
-/// (which stable-sorts and dedups internally) produces the same
-/// relation, **bit for bit**, as handing it the unsorted input. The
-/// serial path's dedup semantics — whatever they are on the edge cases
-/// where the total order and derived equality disagree (`Int 1` vs
-/// `Float 1.0`, `-0.0` vs `0.0`) — are applied by the same code on
-/// both paths, instead of being replicated here. (Replicating them is
-/// exactly how the first version of this function broke bit-identity —
-/// found by review, pinned by the regression test below.)
-// Heap entries index the runs they were built from; cursors stop at `len`.
+/// Deliberately **no duplicate elimination**: chunk sorts cover
+/// disjoint id ranges and ties across runs resolve to the earlier run,
+/// so the merged order is exactly the stable sort of the input — and
+/// stable sorting is idempotent, so handing the materialized run to
+/// `Relation::from_tuples_unchecked` (which stable-sorts and dedups
+/// internally) produces the same relation, **bit for bit**, as handing
+/// it the unsorted input. The serial path's dedup semantics — whatever
+/// they are on the edge cases where the total order and derived
+/// equality disagree (`Int 1` vs `Float 1.0`, `-0.0` vs `0.0`) — are
+/// applied by the same code on both paths, instead of being replicated
+/// here. (Replicating them is exactly how the first version of this
+/// function broke bit-identity — found by review, pinned by the
+/// regression test below.)
+// Cursors stop at each run's `len`; the min-scan only indexes live runs.
 #[allow(clippy::indexing_slicing)]
-fn merge_sorted(runs: Vec<Vec<Tuple>>, out: &mut Vec<Tuple>) {
-    let mut iters: Vec<std::vec::IntoIter<Tuple>> =
-        runs.into_iter().map(Vec::into_iter).collect();
-    let mut heads: Vec<Option<Tuple>> = iters.iter_mut().map(Iterator::next).collect();
+fn merge_sorted(store: &ColumnStore, runs: Vec<Vec<RowId>>, out: &mut Vec<RowId>) {
+    let mut cursors = vec![0usize; runs.len()];
     loop {
         let mut min: Option<usize> = None;
-        for (i, head) in heads.iter().enumerate() {
-            if head.is_none() {
+        for (i, run) in runs.iter().enumerate() {
+            if cursors[i] >= run.len() {
                 continue;
             }
             min = Some(match min {
                 Some(m)
-                    if heads[m].as_ref().expect("candidate").cmp(head.as_ref().expect("some"))
-                        != std::cmp::Ordering::Greater =>
+                    if store.cmp_rows(
+                        runs[m][cursors[m]] as usize,
+                        run[cursors[i]] as usize,
+                    ) != std::cmp::Ordering::Greater =>
                 {
                     m
                 }
@@ -239,9 +236,8 @@ fn merge_sorted(runs: Vec<Vec<Tuple>>, out: &mut Vec<Tuple>) {
             });
         }
         let Some(m) = min else { break };
-        let t = heads[m].take().expect("chosen head present");
-        heads[m] = iters[m].next();
-        out.push(t);
+        out.push(runs[m][cursors[m]]);
+        cursors[m] += 1;
     }
 }
 

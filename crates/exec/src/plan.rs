@@ -31,7 +31,7 @@
 //!
 //! [`IndexedRelation`]: crate::indexed::IndexedRelation
 
-use relviz_model::{Schema, Tuple, Value};
+use relviz_model::{DataType, Schema, Tuple, Value};
 use relviz_ra::{Operand, Predicate};
 
 /// One output column of a `Project`: an input position or a constant
@@ -40,6 +40,20 @@ use relviz_ra::{Operand, Predicate};
 pub enum OutputCol {
     Pos(usize),
     Const(Value),
+}
+
+impl OutputCol {
+    /// The column's type relative to the node's input schema: the
+    /// referenced attribute's type for `Pos`, the constant's own type
+    /// for `Const`. An out-of-bounds position yields `Any` — the
+    /// verifier flags it separately as `col-bounds`, so the type check
+    /// doesn't double-report.
+    pub fn data_type(&self, input: &Schema) -> DataType {
+        match self {
+            OutputCol::Pos(i) => input.attrs().get(*i).map_or(DataType::Any, |a| a.ty),
+            OutputCol::Const(v) => v.data_type(),
+        }
+    }
 }
 
 /// A physical plan node. See the module docs for the operator table.

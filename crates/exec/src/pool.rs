@@ -90,7 +90,7 @@ where
 /// A worker's instrumentation totals, handed back to the caller on
 /// join. Compiles to a zero-sized array outside tests.
 #[cfg(test)]
-type WorkerCounts = ([usize; 4], [usize; 3]);
+type WorkerCounts = ([usize; 7], [usize; 3]);
 #[cfg(not(test))]
 type WorkerCounts = [usize; 0];
 

@@ -1,9 +1,15 @@
 //! The plan executor: bottom-up evaluation of [`PhysPlan`] trees over
-//! [`IndexedRelation`] batches.
+//! [`IndexedRelation`] batches, with **vectorized operator kernels**
+//! over the columnar storage ([`crate::column`]).
 //!
 //! Predicates are compiled (names → positions) once per `Filter`/join
-//! node, not per tuple; joins build a hash index on the build side once
-//! and probe it per probe-side row.
+//! node, not per tuple; a filter then evaluates each predicate leaf
+//! column-at-a-time into a selection [`Bitmap`] (combined word-wise for
+//! `AND`/`OR`/`NOT`) and gathers the surviving rows in one pass.
+//! Projections re-order `Arc`'d columns and copy nothing. Joins build a
+//! hash index on the build side once, probe it per probe-side row
+//! collecting (left row, right row) matches, and assemble the output
+//! from per-column gathers.
 //!
 //! Every execution carries an [`ExecContext`]:
 //!
@@ -15,17 +21,20 @@
 //!   first occurrence runs the sub-plan and caches the batch by id,
 //!   every later occurrence gets a storage-shared clone.
 //!
-//! Both caches rely on [`IndexedRelation`] clones being cheap (Arc'd
-//! tuples, shared index map) — see the `indexed` module docs.
+//! Both caches rely on [`IndexedRelation`] clones being cheap (an Arc'd
+//! column store, a shared index map) — see the `indexed` module docs.
 
-use std::collections::{BTreeSet, HashMap};
+use std::collections::HashMap;
+use std::ops::Range;
+use std::sync::Arc;
 
 use parking_lot::Mutex;
-use relviz_model::{Database, Relation, Schema, Tuple, Value};
+use relviz_model::{CmpOp, Database, Relation, Schema, Value, ValueRef};
 use relviz_ra::{Operand, Predicate};
 
+use crate::column::{row_id, Bitmap, Column, ColumnData, ColumnStore, RowId};
 use crate::error::{ExecError, ExecResult};
-use crate::indexed::IndexedRelation;
+use crate::indexed::{row_hash_at, FxBuild, IndexedRelation, JoinKey};
 use crate::plan::{OutputCol, PhysPlan};
 
 /// The scan state of a running fixpoint: per-predicate accumulated IDB
@@ -115,7 +124,6 @@ fn check_cols(cols: &[usize], arity: usize, what: &str) -> ExecResult<()> {
 
 /// Executes a plan with optional fixpoint scan state and the
 /// execution's caches.
-#[allow(clippy::indexing_slicing)] // range/row indexes below are pre-checked or chunked in bounds
 pub(crate) fn run_with(
     plan: &PhysPlan,
     db: &Database,
@@ -171,7 +179,7 @@ pub(crate) fn run_with(
             let batch = state.idb.get(rel).ok_or_else(|| {
                 ExecError::Eval(format!("ScanIdb `{rel}`: predicate missing from IDB state"))
             })?;
-            // A zero-copy view: tuples and cached indexes stay shared
+            // A zero-copy view: cells and cached indexes stay shared
             // with the accumulated IDB, so joins keyed the same way
             // across rounds probe without copying or rebuilding.
             Ok(batch.clone().with_schema(schema.clone()))
@@ -208,18 +216,18 @@ pub(crate) fn run_with(
             // The predicate is written in the input's attribute names; the
             // node's own schema may differ (renames fold into schemas).
             let compiled = compile_pred(pred, batch.schema())?;
-            let tuples = probe_chunked(width, batch.len(), &|range| {
-                batch.tuples()[range]
-                    .iter()
-                    .filter(|t| eval_pred(&compiled, t))
-                    .cloned()
-                    .collect()
+            let store = batch.store();
+            let rows = probe_chunked(width, store.len(), &|range| {
+                let bm = eval_pred_bitmap(&compiled, store, &range);
+                let mut rows = Vec::with_capacity(bm.count_ones());
+                bm.collect_ones(range.start, &mut rows);
+                rows
             });
-            Ok(IndexedRelation::new(schema.clone(), tuples))
+            Ok(IndexedRelation::from_store(schema.clone(), store.gather(&rows)))
         }
         PhysPlan::Project { cols, input, schema } => {
-            // Fused path: a projection directly over a hash join builds
-            // the projected tuples straight out of the probe loop — the
+            // Fused path: a projection directly over a hash join emits
+            // the projected columns straight out of the probe loop — the
             // join's full-width output (the per-round hot path of every
             // Datalog head) is never materialized.
             if let PhysPlan::HashJoin {
@@ -244,30 +252,7 @@ pub(crate) fn run_with(
                 return run_hash_join(&join, Some((cols, schema)), &run, width);
             }
             let batch = run(input)?;
-            let positions: Vec<usize> = cols
-                .iter()
-                .filter_map(|c| match c {
-                    OutputCol::Pos(i) => Some(*i),
-                    OutputCol::Const(_) => None,
-                })
-                .collect();
-            check_cols(&positions, batch.schema().arity(), "Project")?;
-            let tuples = probe_chunked(width, batch.len(), &|range| {
-                batch.tuples()[range]
-                    .iter()
-                    .map(|t| {
-                        Tuple::new(
-                            cols.iter()
-                                .map(|c| match c {
-                                    OutputCol::Pos(i) => t.values()[*i].clone(),
-                                    OutputCol::Const(v) => v.clone(),
-                                })
-                                .collect(),
-                        )
-                    })
-                    .collect()
-            });
-            Ok(IndexedRelation::new(schema.clone(), tuples))
+            project_store(batch.store(), cols, schema.clone())
         }
         PhysPlan::HashJoin { left, right, left_keys, right_keys, right_keep, post, schema } => {
             let join = JoinSpec { left, right, left_keys, right_keys, right_keep, post, schema };
@@ -279,19 +264,19 @@ pub(crate) fn run_with(
             check_cols(left_keys, lb.schema().arity(), "SemiJoin left key")?;
             check_cols(right_keys, rb.schema().arity(), "SemiJoin right key")?;
             let rindex = build_side_index(&rb, right_keys, width);
-            let tuples = probe_chunked(width, lb.len(), &|range| {
-                let mut key = crate::indexed::JoinKey::with_capacity(left_keys.len());
-                lb.tuples()[range]
-                    .iter()
-                    .filter(|t| {
-                        key.refill(t, left_keys);
-                        // Index buckets are never empty by construction.
-                        rindex.contains_key(&key)
-                    })
-                    .cloned()
-                    .collect()
+            let lstore = lb.store();
+            let rows = probe_chunked(width, lstore.len(), &|range| {
+                let mut key = JoinKey::with_capacity(left_keys.len());
+                let mut rows = Vec::new();
+                for r in range {
+                    key.refill_from(lstore, r, left_keys);
+                    if rindex.contains_key(&key) {
+                        rows.push(row_id(r));
+                    }
+                }
+                rows
             });
-            Ok(IndexedRelation::new(schema.clone(), tuples))
+            Ok(IndexedRelation::from_store(schema.clone(), lstore.gather(&rows)))
         }
         PhysPlan::AntiJoin { left, right, left_keys, right_keys, schema } => {
             let lb = run(left)?;
@@ -299,52 +284,90 @@ pub(crate) fn run_with(
             check_cols(left_keys, lb.schema().arity(), "AntiJoin left key")?;
             check_cols(right_keys, rb.schema().arity(), "AntiJoin right key")?;
             let rindex = build_side_index(&rb, right_keys, width);
-            let tuples = probe_chunked(width, lb.len(), &|range| {
-                let mut key = crate::indexed::JoinKey::with_capacity(left_keys.len());
-                lb.tuples()[range]
-                    .iter()
-                    .filter(|t| {
-                        key.refill(t, left_keys);
-                        !rindex.contains_key(&key)
-                    })
-                    .cloned()
-                    .collect()
+            let lstore = lb.store();
+            let rows = probe_chunked(width, lstore.len(), &|range| {
+                let mut key = JoinKey::with_capacity(left_keys.len());
+                let mut rows = Vec::new();
+                for r in range {
+                    key.refill_from(lstore, r, left_keys);
+                    if !rindex.contains_key(&key) {
+                        rows.push(row_id(r));
+                    }
+                }
+                rows
             });
-            Ok(IndexedRelation::new(schema.clone(), tuples))
+            Ok(IndexedRelation::from_store(schema.clone(), lstore.gather(&rows)))
         }
         PhysPlan::Union { left, right, schema } => {
             let lb = run(left)?;
             let rb = run(right)?;
-            let mut tuples = lb.tuples().to_vec();
-            tuples.extend_from_slice(rb.tuples());
-            Ok(IndexedRelation::new(schema.clone(), tuples))
+            Ok(IndexedRelation::from_store(schema.clone(), lb.store().concat(rb.store())))
         }
         PhysPlan::Diff { left, right, schema } => {
             let lb = run(left)?;
             let rb = run(right)?;
-            // BTreeSet so membership uses the same total order as the
-            // reference evaluators' set semantics (Int 1 == Float 1.0).
-            let exclude: BTreeSet<&Tuple> = rb.tuples().iter().collect();
-            let tuples = lb
-                .tuples()
-                .iter()
-                .filter(|t| !exclude.contains(t))
-                .cloned()
+            let (lstore, rstore) = (lb.store(), rb.store());
+            // Membership by whole-row hash + total-order equality — the
+            // same notion of tuple equality the reference evaluators'
+            // set semantics use (Int 1 == Float 1.0, NaN == NaN).
+            let mut exclude: HashMap<u64, Vec<RowId>, FxBuild> = HashMap::default();
+            for r in 0..rstore.len() {
+                exclude.entry(row_hash_at(rstore, r)).or_default().push(row_id(r));
+            }
+            let keep: Vec<RowId> = (0..lstore.len())
+                .filter(|&r| {
+                    !exclude.get(&row_hash_at(lstore, r)).is_some_and(|bucket| {
+                        bucket.iter().any(|&q| rstore.rows_equal(q as usize, lstore, r))
+                    })
+                })
+                .map(row_id)
                 .collect();
-            Ok(IndexedRelation::new(schema.clone(), tuples))
+            Ok(IndexedRelation::from_store(schema.clone(), lstore.gather(&keep)))
         }
         PhysPlan::Dedup { input, schema } => {
             let batch = run(input)?;
-            let mut seen: BTreeSet<Tuple> = BTreeSet::new();
-            let mut tuples = Vec::new();
-            for t in batch.tuples() {
-                if seen.insert(t.clone()) {
-                    tuples.push(t.clone());
+            let store = batch.store();
+            // First occurrence wins, in row order — identical to the
+            // reference evaluators' set construction under the total
+            // order, but via the whole-row hash instead of a tree set.
+            let mut seen: HashMap<u64, Vec<RowId>, FxBuild> = HashMap::default();
+            let mut keep: Vec<RowId> = Vec::new();
+            for r in 0..store.len() {
+                let bucket = seen.entry(row_hash_at(store, r)).or_default();
+                if bucket.iter().any(|&q| store.rows_equal(q as usize, store, r)) {
+                    continue;
                 }
+                bucket.push(row_id(r));
+                keep.push(row_id(r));
             }
-            Ok(IndexedRelation::new(schema.clone(), tuples))
+            Ok(IndexedRelation::from_store(schema.clone(), store.gather(&keep)))
         }
     }
+}
+
+/// The zero-copy projection kernel: position columns are `Arc` clones
+/// of the input's columns, constant columns are materialized once.
+fn project_store(
+    store: &ColumnStore,
+    cols: &[OutputCol],
+    schema: Schema,
+) -> ExecResult<IndexedRelation> {
+    let positions: Vec<usize> = cols
+        .iter()
+        .filter_map(|c| match c {
+            OutputCol::Pos(i) => Some(*i),
+            OutputCol::Const(_) => None,
+        })
+        .collect();
+    check_cols(&positions, store.arity(), "Project")?;
+    let columns: Vec<Arc<Column>> = cols
+        .iter()
+        .map(|c| match c {
+            OutputCol::Pos(i) => store.col_arc(*i),
+            OutputCol::Const(v) => Arc::new(Column::of_const(v, store.len())),
+        })
+        .collect();
+    Ok(IndexedRelation::from_store(schema, ColumnStore::from_columns(columns, store.len())))
 }
 
 // ---------------------------------------------------------------------------
@@ -354,13 +377,13 @@ pub(crate) fn run_with(
 /// Runs a row-range job over `rows` input rows: one call for the whole
 /// range on the serial path, or one call per contiguous chunk on the
 /// parallel path with the chunk outputs concatenated **in range
-/// order** — so the produced tuple sequence is identical either way.
+/// order** — so the produced row sequence is identical either way.
 #[allow(clippy::indexing_slicing)] // `chunks` yields exactly `ranges.len()` ranges inside 0..rows
-fn probe_chunked(
+fn probe_chunked<T: Send>(
     width: usize,
     rows: usize,
-    job: &(dyn Fn(std::ops::Range<usize>) -> Vec<Tuple> + Sync),
-) -> Vec<Tuple> {
+    job: &(dyn Fn(Range<usize>) -> Vec<T> + Sync),
+) -> Vec<T> {
     match par_over(width, rows) {
         Some(threads) => {
             let ranges = crate::pool::chunks(rows, threads);
@@ -388,19 +411,19 @@ fn par_over(width: usize, rows: usize) -> Option<usize> {
 /// path, or hash-range partitions built concurrently on the parallel
 /// path. Probes see identical buckets either way.
 enum ProbeIndex {
-    Flat(std::sync::Arc<crate::indexed::Index>),
-    Parts(std::sync::Arc<crate::indexed::PartitionedIndex>),
+    Flat(Arc<crate::indexed::Index>),
+    Parts(Arc<crate::indexed::PartitionedIndex>),
 }
 
 impl ProbeIndex {
-    fn get(&self, key: &crate::indexed::JoinKey) -> Option<&Vec<u32>> {
+    fn get(&self, key: &JoinKey) -> Option<&Vec<RowId>> {
         match self {
             ProbeIndex::Flat(idx) => idx.get(key),
             ProbeIndex::Parts(idx) => idx.get(key),
         }
     }
 
-    fn contains_key(&self, key: &crate::indexed::JoinKey) -> bool {
+    fn contains_key(&self, key: &JoinKey) -> bool {
         self.get(key).is_some()
     }
 }
@@ -436,15 +459,23 @@ enum FusedCol {
 }
 
 /// Runs a hash join; with `project` set, emits the projected columns
-/// directly from the probe loop instead of materializing the join's
-/// full-width output first. The residual θ-predicate (rare in fused
-/// plans) still evaluates against the full concatenated row.
+/// directly from the matched rows instead of materializing the join's
+/// full-width output first.
+///
+/// The probe loop batches key-hashing over the probe side's columns
+/// and collects **(left row, right row) matches** — no output row is
+/// built inside the loop. The residual θ-predicate (rare in fused
+/// plans) evaluates in place against borrowed cells of both stores.
+/// The output is then assembled column by column: one typed gather per
+/// left/kept-right column (or per fused output column), sharing
+/// interners and skipping `Tuple`s entirely.
 ///
 /// On the parallel path the build side is indexed in hash-range
 /// partitions and the probe side is chunked into contiguous row
 /// ranges — see [`build_side_index`] and [`probe_chunked`] for why the
-/// output tuple sequence is identical to the serial loop's.
-#[allow(clippy::indexing_slicing)] // probe-loop indexes pre-checked by `check_cols` below
+/// match sequence is identical to the serial loop's.
+// `right_keep` positions are `check_cols`-validated against both arities.
+#[allow(clippy::indexing_slicing)]
 fn run_hash_join(
     join: &JoinSpec<'_>,
     project: Option<(&[OutputCol], &Schema)>,
@@ -499,51 +530,53 @@ fn run_hash_join(
     };
     let out_schema = project.map_or(join.schema, |(_, s)| s).clone();
 
-    let tuples = probe_chunked(width, lb.len(), &|range| {
-        let mut tuples = Vec::new();
-        let mut key = crate::indexed::JoinKey::with_capacity(join.left_keys.len());
-        for a in &lb.tuples()[range] {
-            key.refill(a, join.left_keys);
+    let lstore = lb.store();
+    let rstore = rb.store();
+    let pairs: Vec<(RowId, RowId)> = probe_chunked(width, lstore.len(), &|range| {
+        let mut pairs = Vec::new();
+        let mut key = JoinKey::with_capacity(join.left_keys.len());
+        for a in range {
+            key.refill_from(lstore, a, join.left_keys);
             let Some(rows) = rindex.get(&key) else { continue };
-            for &row in rows {
-                let b = &rb.tuples()[row as usize];
-                match &fused {
-                    // Fused + no residual: build only the projected row.
-                    Some(cols) if compiled.is_none() => {
-                        tuples.push(project_match(cols, a, b));
-                    }
-                    _ => {
-                        let mut vals = a.values().to_vec();
-                        for &i in join.right_keep {
-                            vals.push(b.values()[i].clone());
+            for &b in rows {
+                let matches = compiled.as_ref().is_none_or(|p| {
+                    eval_pred_at(p, &|pos| {
+                        if pos < left_arity {
+                            lstore.get(pos, a)
+                        } else {
+                            rstore.get(join.right_keep[pos - left_arity], b as usize)
                         }
-                        let t = Tuple::new(vals);
-                        if compiled.as_ref().is_none_or(|p| eval_pred(p, &t)) {
-                            tuples.push(match &fused {
-                                Some(cols) => project_match(cols, a, b),
-                                None => t,
-                            });
-                        }
-                    }
+                    })
+                });
+                if matches {
+                    pairs.push((row_id(a), b));
                 }
             }
         }
-        tuples
+        pairs
     });
-    Ok(IndexedRelation::new(out_schema, tuples))
-}
 
-#[allow(clippy::indexing_slicing)] // fused positions validated against both arities at build time
-fn project_match(cols: &[FusedCol], a: &Tuple, b: &Tuple) -> Tuple {
-    Tuple::new(
-        cols.iter()
+    let (lrows, rrows): (Vec<RowId>, Vec<RowId>) = pairs.into_iter().unzip();
+    let out_rows = lrows.len();
+    let columns: Vec<Arc<Column>> = match &fused {
+        Some(cols) => cols
+            .iter()
             .map(|c| match c {
-                FusedCol::Left(i) => a.values()[*i].clone(),
-                FusedCol::Right(i) => b.values()[*i].clone(),
-                FusedCol::Const(v) => v.clone(),
+                FusedCol::Left(i) => Arc::new(lstore.col(*i).gather(&lrows)),
+                FusedCol::Right(i) => Arc::new(rstore.col(*i).gather(&rrows)),
+                FusedCol::Const(v) => Arc::new(Column::of_const(v, out_rows)),
             })
             .collect(),
-    )
+        None => {
+            let mut columns: Vec<Arc<Column>> =
+                (0..left_arity).map(|i| Arc::new(lstore.col(i).gather(&lrows))).collect();
+            for &i in join.right_keep {
+                columns.push(Arc::new(rstore.col(i).gather(&rrows)));
+            }
+            columns
+        }
+    };
+    Ok(IndexedRelation::from_store(out_schema, ColumnStore::from_columns(columns, out_rows)))
 }
 
 // ---------------------------------------------------------------------------
@@ -551,7 +584,7 @@ fn project_match(cols: &[FusedCol], a: &Tuple, b: &Tuple) -> Tuple {
 // ---------------------------------------------------------------------------
 
 enum CompiledPred {
-    Cmp { left: CompiledOperand, op: relviz_model::CmpOp, right: CompiledOperand },
+    Cmp { left: CompiledOperand, op: CmpOp, right: CompiledOperand },
     And(Box<CompiledPred>, Box<CompiledPred>),
     Or(Box<CompiledPred>, Box<CompiledPred>),
     Not(Box<CompiledPred>),
@@ -592,28 +625,222 @@ fn compile_operand(op: &Operand, schema: &Schema) -> ExecResult<CompiledOperand>
     })
 }
 
-// Positions come from `index_of` on the very schema the batch carries,
-// so they are in bounds for every tuple of that batch; re-checking per
-// tuple would tax the hottest loop in the engine.
-#[allow(clippy::indexing_slicing)]
-fn eval_pred(pred: &CompiledPred, t: &Tuple) -> bool {
+/// Evaluates a compiled predicate over a row range **column-at-a-time**:
+/// each comparison leaf produces one selection [`Bitmap`] from a typed
+/// pass over its column, and `AND`/`OR`/`NOT` combine the bitmaps
+/// word-wise. Bit `i` of the result is row `range.start + i`'s verdict.
+fn eval_pred_bitmap(pred: &CompiledPred, store: &ColumnStore, range: &Range<usize>) -> Bitmap {
     match pred {
-        CompiledPred::Const(b) => *b,
-        CompiledPred::Not(p) => !eval_pred(p, t),
-        CompiledPred::And(a, b) => eval_pred(a, t) && eval_pred(b, t),
-        CompiledPred::Or(a, b) => eval_pred(a, t) || eval_pred(b, t),
-        CompiledPred::Cmp { left, op, right } => {
-            let l = match left {
-                CompiledOperand::Pos(i) => &t.values()[*i],
-                CompiledOperand::Const(v) => v,
-            };
-            let r = match right {
-                CompiledOperand::Pos(i) => &t.values()[*i],
-                CompiledOperand::Const(v) => v,
-            };
-            op.apply(l, r)
+        CompiledPred::Const(true) => Bitmap::ones(range.len()),
+        CompiledPred::Const(false) => Bitmap::zeros(range.len()),
+        CompiledPred::Not(p) => {
+            let mut bm = eval_pred_bitmap(p, store, range);
+            bm.negate();
+            bm
+        }
+        CompiledPred::And(a, b) => {
+            let mut bm = eval_pred_bitmap(a, store, range);
+            bm.and_with(&eval_pred_bitmap(b, store, range));
+            bm
+        }
+        CompiledPred::Or(a, b) => {
+            let mut bm = eval_pred_bitmap(a, store, range);
+            bm.or_with(&eval_pred_bitmap(b, store, range));
+            bm
+        }
+        CompiledPred::Cmp { left, op, right } => match (left, right) {
+            (CompiledOperand::Const(l), CompiledOperand::Const(r)) => {
+                // Constant fold: one comparison decides the whole range.
+                if op.holds(l.cmp(r)) {
+                    Bitmap::ones(range.len())
+                } else {
+                    Bitmap::zeros(range.len())
+                }
+            }
+            (CompiledOperand::Pos(i), CompiledOperand::Const(v)) => {
+                col_const_bitmap(store.col(*i), *op, v, range)
+            }
+            // `c op col` ⇔ `col op.flip() c`.
+            (CompiledOperand::Const(v), CompiledOperand::Pos(i)) => {
+                col_const_bitmap(store.col(*i), op.flip(), v, range)
+            }
+            (CompiledOperand::Pos(i), CompiledOperand::Pos(j)) => {
+                let (a, b) = (store.col(*i), store.col(*j));
+                let mut bm = Bitmap::zeros(range.len());
+                for (k, r) in range.clone().enumerate() {
+                    if op.holds(a.get(r).total_cmp(b.get(r))) {
+                        bm.set(k);
+                    }
+                }
+                bm
+            }
+        },
+    }
+}
+
+/// The column-vs-constant comparison kernel: one tight pass over the
+/// column's typed vector. Every verdict goes through
+/// [`ValueRef::total_cmp`] + [`CmpOp::holds`] — the same decision the
+/// row-major reference path makes — so vectorization cannot drift on
+/// the `NaN`/`-0.0`/cross-numeric edge cases. String columns evaluate
+/// the predicate once per **distinct** string (over the interner) and
+/// map the verdicts over the id vector.
+// `range` is a chunk of 0..col.len(); interner ids index their own table.
+#[allow(clippy::indexing_slicing)]
+fn col_const_bitmap(col: &Column, op: CmpOp, c: &Value, range: &Range<usize>) -> Bitmap {
+    let mut bm = Bitmap::zeros(range.len());
+    let cref = ValueRef::of(c);
+    if col.validity().is_some() {
+        // NULLs present: the per-cell path reads through the bitmap.
+        for (k, r) in range.clone().enumerate() {
+            if op.holds(col.get(r).total_cmp(cref)) {
+                bm.set(k);
+            }
+        }
+        return bm;
+    }
+    match col.data() {
+        ColumnData::Int(xs) => {
+            for (k, x) in xs[range.clone()].iter().enumerate() {
+                if op.holds(ValueRef::Int(*x).total_cmp(cref)) {
+                    bm.set(k);
+                }
+            }
+        }
+        ColumnData::Float(xs) => {
+            for (k, x) in xs[range.clone()].iter().enumerate() {
+                if op.holds(ValueRef::Float(*x).total_cmp(cref)) {
+                    bm.set(k);
+                }
+            }
+        }
+        ColumnData::Bool(xs) => {
+            for (k, x) in xs[range.clone()].iter().enumerate() {
+                if op.holds(ValueRef::Bool(*x).total_cmp(cref)) {
+                    bm.set(k);
+                }
+            }
+        }
+        ColumnData::Str { ids, interner } => {
+            let verdicts: Vec<bool> =
+                interner.iter().map(|s| op.holds(ValueRef::Str(s).total_cmp(cref))).collect();
+            for (k, id) in ids[range.clone()].iter().enumerate() {
+                if verdicts[*id as usize] {
+                    bm.set(k);
+                }
+            }
+        }
+        ColumnData::Mixed(xs) => {
+            for (k, v) in xs[range.clone()].iter().enumerate() {
+                if op.holds(ValueRef::of(v).total_cmp(cref)) {
+                    bm.set(k);
+                }
+            }
         }
     }
+    bm
+}
+
+/// Evaluates a compiled predicate against one (virtual) row whose cells
+/// `cell(pos)` yields — how a join residual runs over a matched pair
+/// without materializing the concatenated row.
+fn eval_pred_at<'a, F>(pred: &'a CompiledPred, cell: &F) -> bool
+where
+    F: Fn(usize) -> ValueRef<'a>,
+{
+    match pred {
+        CompiledPred::Const(b) => *b,
+        CompiledPred::Not(p) => !eval_pred_at(p, cell),
+        CompiledPred::And(a, b) => eval_pred_at(a, cell) && eval_pred_at(b, cell),
+        CompiledPred::Or(a, b) => eval_pred_at(a, cell) || eval_pred_at(b, cell),
+        CompiledPred::Cmp { left, op, right } => {
+            let l = operand_at(left, cell);
+            let r = operand_at(right, cell);
+            op.holds(l.total_cmp(r))
+        }
+    }
+}
+
+fn operand_at<'a, F>(op: &'a CompiledOperand, cell: &F) -> ValueRef<'a>
+where
+    F: Fn(usize) -> ValueRef<'a>,
+{
+    match op {
+        CompiledOperand::Pos(i) => cell(*i),
+        CompiledOperand::Const(v) => ValueRef::of(v),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Microbenchmark entry points (stable kernels, no plan tree)
+// ---------------------------------------------------------------------------
+
+/// The serial vectorized filter kernel over a whole batch — the unit
+/// the per-operator benchmark rows measure against their row-major
+/// baselines (see `benches/s1_exec.rs`). Not public API.
+#[doc(hidden)]
+pub fn bench_filter(batch: &IndexedRelation, pred: &Predicate) -> ExecResult<IndexedRelation> {
+    let compiled = compile_pred(pred, batch.schema())?;
+    let store = batch.store();
+    let bm = eval_pred_bitmap(&compiled, store, &(0..store.len()));
+    let mut rows = Vec::with_capacity(bm.count_ones());
+    bm.collect_ones(0, &mut rows);
+    Ok(IndexedRelation::from_store(batch.schema().clone(), store.gather(&rows)))
+}
+
+/// The zero-copy projection kernel. Not public API.
+#[doc(hidden)]
+pub fn bench_project(
+    batch: &IndexedRelation,
+    cols: &[OutputCol],
+    schema: Schema,
+) -> ExecResult<IndexedRelation> {
+    project_store(batch.store(), cols, schema)
+}
+
+/// The serial hash-join probe + output assembly over a prebuilt flat
+/// index (`right.index(right_keys)` — cached, so repeated timing loops
+/// measure the probe, not the build). Emits the full-width
+/// `left ++ right` output. Not public API.
+#[doc(hidden)]
+pub fn bench_hashjoin_probe(
+    left: &IndexedRelation,
+    right: &IndexedRelation,
+    left_keys: &[usize],
+    right_keys: &[usize],
+) -> ExecResult<IndexedRelation> {
+    check_cols(left_keys, left.schema().arity(), "probe left key")?;
+    check_cols(right_keys, right.schema().arity(), "probe right key")?;
+    let rindex = right.index(right_keys);
+    let (lstore, rstore) = (left.store(), right.store());
+    let mut lrows: Vec<RowId> = Vec::new();
+    let mut rrows: Vec<RowId> = Vec::new();
+    let mut key = JoinKey::with_capacity(left_keys.len());
+    for a in 0..lstore.len() {
+        key.refill_from(lstore, a, left_keys);
+        let Some(rows) = rindex.get(&key) else { continue };
+        for &b in rows {
+            lrows.push(row_id(a));
+            rrows.push(b);
+        }
+    }
+    let mut attrs = left.schema().attrs().to_vec();
+    for a in right.schema().attrs() {
+        let mut a = a.clone();
+        // Bench inputs may share attribute names (e.g. the join key);
+        // disambiguate like SQL's `t.col` would.
+        if attrs.iter().any(|l| l.name == a.name) {
+            a.name = format!("r_{}", a.name);
+        }
+        attrs.push(a);
+    }
+    let schema = Schema::new(attrs).map_err(|e| ExecError::Eval(e.to_string()))?;
+    let mut columns: Vec<Arc<Column>> =
+        (0..lstore.arity()).map(|i| Arc::new(lstore.col(i).gather(&lrows))).collect();
+    for i in 0..rstore.arity() {
+        columns.push(Arc::new(rstore.col(i).gather(&rrows)));
+    }
+    Ok(IndexedRelation::from_store(schema, ColumnStore::from_columns(columns, lrows.len())))
 }
 
 #[cfg(test)]
@@ -726,7 +953,9 @@ mod tests {
     /// Regression for the scan cache: a plan scanning the same EDB
     /// relation twice materializes it once, and two joins building the
     /// same key index on it build it once — the second probe side gets
-    /// a storage-shared view whose index cache already holds it.
+    /// a storage-shared view whose index cache already holds it. On the
+    /// columnar storage that also means each relation's columns are
+    /// built exactly once per execution.
     #[test]
     fn repeated_scans_materialize_and_index_once() {
         use crate::indexed::instrument;
@@ -758,11 +987,17 @@ mod tests {
             1,
             "the [0] index on Reserves must be built once and shared"
         );
+        assert_eq!(
+            instrument::column_builds(),
+            db.schema("Sailor").unwrap().arity() + db.schema("Reserves").unwrap().arity(),
+            "each column columnarized exactly once — semi-join outputs gather, not rebuild"
+        );
         assert_eq!(instrument::deep_copies(), 0);
     }
 
     /// A `Shared` sub-plan executes once; every other occurrence gets a
-    /// cheap clone of the cached batch (no re-materialization).
+    /// cheap clone of the cached batch (no re-materialization, and no
+    /// re-columnarization — Union concatenates the cached columns).
     #[test]
     fn shared_subplan_runs_once() {
         use crate::indexed::instrument;
@@ -789,6 +1024,92 @@ mod tests {
         let reserves = db.relation("Reserves").unwrap().len();
         assert_eq!(out.len(), 2 * reserves);
         assert_eq!(instrument::materializations(), 1, "sub-plan must run once");
+        assert_eq!(
+            instrument::column_builds(),
+            db.schema("Reserves").unwrap().arity(),
+            "the shared sub-plan's columns are built once, by its one Scan"
+        );
         assert_eq!(instrument::deep_copies(), 0);
+    }
+
+    /// The zero-copy projection really is zero-copy: the output's
+    /// position columns are the *same* `Arc`s as the input's.
+    #[test]
+    fn projection_shares_column_storage() {
+        let db = sailors_sample();
+        let scan = PhysPlan::Scan {
+            rel: "Sailor".into(),
+            schema: db.schema("Sailor").unwrap().clone(),
+        };
+        let batch = run(&scan, &db).unwrap();
+        let projected = bench_project(
+            &batch,
+            &[OutputCol::Pos(1), OutputCol::Pos(0)],
+            Schema::of(&[
+                ("sname", relviz_model::DataType::Str),
+                ("sid", relviz_model::DataType::Int),
+            ]),
+        )
+        .unwrap();
+        assert!(Arc::ptr_eq(
+            &batch.store().col_arc(1),
+            &projected.store().col_arc(0)
+        ));
+        assert!(Arc::ptr_eq(
+            &batch.store().col_arc(0),
+            &projected.store().col_arc(1)
+        ));
+    }
+
+    /// A filter compiles to selection bitmaps: one bitmap per predicate
+    /// leaf (plus the combinators' reuse), not one per row — pinned so
+    /// the kernel never silently degrades to per-row allocation.
+    #[test]
+    fn filter_allocates_bitmaps_per_leaf_not_per_row() {
+        use crate::indexed::instrument;
+        let db = sailors_sample();
+        let e = relviz_ra::parse::parse_ra(
+            "Select[NOT (color = 'red' OR color = 'green')](Boat)",
+        )
+        .unwrap();
+        let plan = plan_ra(&e, &db).unwrap();
+        instrument::reset();
+        let out = run(&plan, &db).unwrap();
+        assert!(!out.is_empty());
+        // Two Cmp leaves → 2 bitmaps; OR and NOT mutate in place.
+        assert_eq!(instrument::bitmap_allocs(), 2);
+    }
+
+    /// The microbench kernels agree with the executor's operators.
+    #[test]
+    fn bench_kernels_match_operator_output() {
+        let db = sailors_sample();
+        let scan = |rel: &str| PhysPlan::Scan {
+            rel: rel.into(),
+            schema: db.schema(rel).unwrap().clone(),
+        };
+        let sailors = run(&scan("Sailor"), &db).unwrap();
+        let pred = Predicate::cmp(
+            Operand::attr("rating"),
+            relviz_model::CmpOp::Gt,
+            Operand::val(7),
+        );
+        let filtered = bench_filter(&sailors, &pred).unwrap();
+        let via_plan = run(
+            &PhysPlan::Filter {
+                pred: pred.clone(),
+                schema: sailors.schema().clone(),
+                input: Box::new(scan("Sailor")),
+            },
+            &db,
+        )
+        .unwrap();
+        assert_eq!(filtered.to_tuples(), via_plan.to_tuples());
+
+        let reserves = run(&scan("Reserves"), &db).unwrap();
+        let joined = bench_hashjoin_probe(&sailors, &reserves, &[0], &[0]).unwrap();
+        // Sailor ⋈ Reserves on sid: every reservation pairs with its sailor.
+        assert_eq!(joined.len(), db.relation("Reserves").unwrap().len());
+        assert_eq!(joined.schema().arity(), 4 + 3);
     }
 }

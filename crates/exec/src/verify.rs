@@ -11,6 +11,13 @@
 //! * every `Filter`/`Project`/join-key column index is in bounds for the
 //!   child schema, and every node's output schema has the arity its
 //!   inputs imply;
+//! * column **types** are consistent: a node's declared output types
+//!   must [`DataType::unify`] with what its inputs deliver, join-key
+//!   pairs and `Union`/`Diff` columns must share a common type —
+//!   `Any` unifies with everything (untyped IDB schemas stay quiet),
+//!   so only *definite* conflicts report, the ones where the columnar
+//!   storage would be asked to hold values of disjoint types under a
+//!   typed declaration;
 //! * `HashJoin`/`SemiJoin`/`AntiJoin` key lists pair up and are
 //!   schema-valid on both sides; residual (`post`) predicates resolve
 //!   against the fused left ++ kept-right schema the executor builds;
@@ -45,7 +52,7 @@ use std::fmt;
 
 use relviz_datalog::ast::{Literal, Program, Rule, Term};
 use relviz_datalog::stratify;
-use relviz_model::{Database, Schema};
+use relviz_model::{Database, DataType, Schema};
 use relviz_ra::Predicate;
 
 use crate::fixpoint::FixpointPlan;
@@ -373,6 +380,28 @@ impl<'a> Walker<'a> {
         });
     }
 
+    /// Flags a **definite** column-type conflict: `declared` and
+    /// `actual` have no common type under [`DataType::unify`]. `Any`
+    /// unifies with everything, so untyped (IDB) schemas never report.
+    fn check_unify(&mut self, declared: DataType, actual: DataType, at: &str, ctx: &str) {
+        if declared.unify(actual).is_none() {
+            self.error(
+                "col-type",
+                at,
+                format!("{ctx}: declared type `{declared}` and delivered type `{actual}` have no common type"),
+            );
+        }
+    }
+
+    /// The pass-through type check shared by `Filter`/`Dedup`/semi-/
+    /// anti-joins and `Union`/`Diff` outputs: the node's declared
+    /// column types against the types one input delivers.
+    fn check_passthrough_types(&mut self, out: &Schema, input: &Schema, at: &str) {
+        for (j, (o, i)) in out.attrs().iter().zip(input.attrs()).enumerate() {
+            self.check_unify(o.ty, i.ty, at, &format!("pass-through column #{j} (`{}`)", o.name));
+        }
+    }
+
     /// Every attribute a predicate references must resolve in `schema`
     /// — this is exactly the lookup `compile_operand` performs at run
     /// time, hoisted to plan time.
@@ -449,6 +478,14 @@ impl<'a> Walker<'a> {
                         );
                         break;
                     }
+                    for (a, v) in schema.attrs().iter().zip(row.values()) {
+                        self.check_unify(
+                            a.ty,
+                            v.data_type(),
+                            &at,
+                            &format!("row #{i}, column `{}`", a.name),
+                        );
+                    }
                 }
             }
             PhysPlan::Filter { pred, input, schema } => {
@@ -464,6 +501,7 @@ impl<'a> Walker<'a> {
                     );
                 }
                 self.check_pred(pred, input.schema(), &at, "filter-pred");
+                self.check_passthrough_types(schema, input.schema(), &at);
                 self.walk(input, &at, neg);
             }
             PhysPlan::Project { cols, input, schema } => {
@@ -490,6 +528,16 @@ impl<'a> Walker<'a> {
                                 ),
                             );
                         }
+                    }
+                    if let Some(a) = schema.attrs().get(j) {
+                        // `data_type` yields `Any` for out-of-bounds
+                        // positions, already flagged above.
+                        self.check_unify(
+                            a.ty,
+                            c.data_type(input.schema()),
+                            &at,
+                            &format!("output column #{j} (`{}`)", a.name),
+                        );
                     }
                 }
                 self.walk(input, &at, neg);
@@ -530,6 +578,27 @@ impl<'a> Walker<'a> {
                             la + right_keep.len()
                         ),
                     );
+                }
+                for (i, (&lk, &rk)) in left_keys.iter().zip(right_keys.iter()).enumerate() {
+                    if let (Some(la), Some(ra)) =
+                        (left.schema().attrs().get(lk), right.schema().attrs().get(rk))
+                    {
+                        self.check_unify(
+                            la.ty,
+                            ra.ty,
+                            &at,
+                            &format!("join-key pair #{i} (`{}` = `{}`)", la.name, ra.name),
+                        );
+                    }
+                }
+                // Output columns are left ++ right[keep], in order.
+                let delivered = left
+                    .schema()
+                    .attrs()
+                    .iter()
+                    .chain(right_keep.iter().filter_map(|&k| right.schema().attrs().get(k)));
+                for (j, (o, a)) in schema.attrs().iter().zip(delivered).enumerate() {
+                    self.check_unify(o.ty, a.ty, &at, &format!("output column #{j} (`{}`)", o.name));
                 }
                 if let Some(p) = post {
                     // The residual predicate runs over left ++ right[keep]
@@ -580,6 +649,19 @@ impl<'a> Walker<'a> {
                         ),
                     );
                 }
+                for (i, (&lk, &rk)) in left_keys.iter().zip(right_keys.iter()).enumerate() {
+                    if let (Some(lattr), Some(rattr)) =
+                        (left.schema().attrs().get(lk), right.schema().attrs().get(rk))
+                    {
+                        self.check_unify(
+                            lattr.ty,
+                            rattr.ty,
+                            &at,
+                            &format!("join-key pair #{i} (`{}` = `{}`)", lattr.name, rattr.name),
+                        );
+                    }
+                }
+                self.check_passthrough_types(schema, left.schema(), &at);
                 self.walk(left, &format!("{at}.left"), neg);
                 self.walk(right, &format!("{at}.right"), neg || anti);
             }
@@ -600,6 +682,21 @@ impl<'a> Walker<'a> {
                         format!("node schema has arity {} but the inputs arity {la}", schema.arity()),
                     );
                 }
+                // Both inputs feed the same output columns: each pair
+                // must share a common type, and the declared output
+                // type must accept what either side delivers.
+                for (j, (l, r)) in
+                    left.schema().attrs().iter().zip(right.schema().attrs()).enumerate()
+                {
+                    self.check_unify(
+                        l.ty,
+                        r.ty,
+                        &at,
+                        &format!("column #{j} (`{}` vs `{}`)", l.name, r.name),
+                    );
+                }
+                self.check_passthrough_types(schema, left.schema(), &at);
+                self.check_passthrough_types(schema, right.schema(), &at);
                 self.walk(left, &format!("{at}.left"), neg);
                 self.walk(right, &format!("{at}.right"), neg);
             }
@@ -615,6 +712,7 @@ impl<'a> Walker<'a> {
                         ),
                     );
                 }
+                self.check_passthrough_types(schema, input.schema(), &at);
                 self.walk(input, &at, neg);
             }
             PhysPlan::Shared { id, input, schema } => {
@@ -1287,6 +1385,71 @@ mod tests {
         assert!(cs.contains(&"key-arity"), "{cs:?}");
         assert!(cs.contains(&"key-bounds"), "{cs:?}");
         assert!(cs.contains(&"keep-bounds"), "{cs:?}");
+    }
+
+    /// The columnar type contract: definite type conflicts — a `Str`
+    /// constant under an `Int` declaration, an `Int`/`Str` join key
+    /// pair, an `Int`/`Str` union — are errors; `Any` and `Int`/`Float`
+    /// widening unify fine and stay quiet.
+    #[test]
+    fn disjoint_column_types_are_flagged() {
+        // Project: Str constant into an Int-declared output column.
+        let p = PhysPlan::Project {
+            cols: vec![OutputCol::Pos(0), OutputCol::Const(Value::str("tag"))],
+            schema: s2(),
+            input: Box::new(scan2()),
+        };
+        assert_eq!(codes(&verify_plan(&p, None)), vec!["col-type"]);
+
+        // Join keys: Int column = Str column.
+        let str_scan = PhysPlan::Scan {
+            rel: "S".into(),
+            schema: Schema::of(&[("s", DataType::Str), ("t", DataType::Str)]),
+        };
+        let j = PhysPlan::SemiJoin {
+            left: Box::new(scan2()),
+            right: Box::new(str_scan.clone()),
+            left_keys: vec![0],
+            right_keys: vec![0],
+            schema: s2(),
+        };
+        assert_eq!(codes(&verify_plan(&j, None)), vec!["col-type"]);
+
+        // Union: Int and Str columns have no common type.
+        let u = PhysPlan::Union {
+            schema: s2(),
+            left: Box::new(scan2()),
+            right: Box::new(str_scan),
+        };
+        let diags = verify_plan(&u, None);
+        assert!(codes(&diags).iter().all(|c| *c == "col-type"), "{}", render_diagnostics(&diags));
+        assert!(!diags.is_empty());
+
+        // Quiet cases: Any accepts anything; Int widens into Float.
+        let any_schema = Schema::of(&[("a", DataType::Any), ("b", DataType::Any)]);
+        let widen = PhysPlan::Union {
+            schema: Schema::of(&[("a", DataType::Float), ("b", DataType::Float)]),
+            left: Box::new(PhysPlan::Scan {
+                rel: "F".into(),
+                schema: Schema::of(&[("a", DataType::Float), ("b", DataType::Float)]),
+            }),
+            right: Box::new(scan2()),
+        };
+        assert!(verify_plan(&widen, None).is_empty());
+        let v = PhysPlan::Values {
+            rows: vec![Tuple::new(vec![Value::str("x"), Value::Int(1)])],
+            schema: any_schema,
+        };
+        assert!(verify_plan(&v, None).is_empty());
+    }
+
+    #[test]
+    fn values_cells_must_fit_the_declared_types() {
+        let p = PhysPlan::Values {
+            rows: vec![Tuple::new(vec![Value::Int(1), Value::str("oops")])],
+            schema: s2(),
+        };
+        assert_eq!(codes(&verify_plan(&p, None)), vec!["col-type"]);
     }
 
     #[test]

@@ -66,11 +66,12 @@ impl CmpOp {
         }
     }
 
-    /// Two-valued application (callers wanting SQL's three-valued logic
-    /// must check for NULL first, e.g. via [`Value::sql_cmp`]).
-    pub fn apply(self, l: &Value, r: &Value) -> bool {
+    /// Whether the operator holds for an already-computed ordering —
+    /// the single decision table behind [`apply`](Self::apply) and every
+    /// vectorized kernel comparing borrowed [`crate::ValueRef`] cells,
+    /// so row-major and columnar evaluation share one semantics.
+    pub fn holds(self, ord: std::cmp::Ordering) -> bool {
         use std::cmp::Ordering::*;
-        let ord = l.cmp(r);
         match self {
             CmpOp::Eq => ord == Equal,
             CmpOp::Neq => ord != Equal,
@@ -79,6 +80,12 @@ impl CmpOp {
             CmpOp::Gt => ord == Greater,
             CmpOp::Ge => ord != Less,
         }
+    }
+
+    /// Two-valued application (callers wanting SQL's three-valued logic
+    /// must check for NULL first, e.g. via [`Value::sql_cmp`]).
+    pub fn apply(self, l: &Value, r: &Value) -> bool {
+        self.holds(l.cmp(r))
     }
 }
 

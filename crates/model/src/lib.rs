@@ -40,4 +40,4 @@ pub use error::{ModelError, Result};
 pub use relation::Relation;
 pub use schema::{Attribute, DataType, Schema};
 pub use tuple::Tuple;
-pub use value::Value;
+pub use value::{Value, ValueRef};

@@ -15,7 +15,7 @@ use crate::schema::DataType;
 /// `Null` is included because SQL needs it (the tutorial's SQL fragment
 /// includes `NOT IN` whose three-valued-logic corner cases we surface in
 /// tests), but the calculi and Datalog never produce it.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
 pub enum Value {
     /// SQL NULL / unknown.
     Null,
@@ -27,6 +27,19 @@ pub enum Value {
     Float(f64),
     /// UTF-8 string.
     Str(String),
+}
+
+impl PartialEq for Value {
+    /// Equality **as defined by the total order** ([`Ord::cmp`] below):
+    /// `NaN = NaN`, `-0.0 ≠ 0.0`, and `Int 1 = Float 1.0`. A derived
+    /// (IEEE) `PartialEq` would disagree with `Ord` and `Hash` on
+    /// exactly those cases — non-reflexive `NaN` breaks the `Eq`
+    /// contract, and hash-table membership would diverge from ordered-
+    /// set membership, so the same query could answer differently
+    /// depending on which container an evaluator reached for.
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
 }
 
 impl Eq for Value {}
@@ -182,6 +195,135 @@ impl fmt::Display for Value {
     }
 }
 
+/// A **borrowed** scalar view of a [`Value`]: the same five shapes, but
+/// strings borrow instead of own. Columnar storage engines read cells
+/// out of typed vectors (an `i64` from an int column, a `&str` from an
+/// interning table) without materializing a `Value` per cell; this type
+/// is the comparison/hash boundary they share with the row-major world.
+///
+/// [`total_cmp`](ValueRef::total_cmp) and
+/// [`total_hash`](ValueRef::total_hash) are definitionally the `Ord` and
+/// `Hash` of `Value` — one implementation, delegated to, so a columnar
+/// kernel *cannot* diverge from the reference evaluators on the edge
+/// cases where derived float semantics and the total order disagree
+/// (`NaN = NaN`, `-0.0 < 0.0`, `Int 1 = Float 1.0`).
+#[derive(Debug, Clone, Copy)]
+pub enum ValueRef<'a> {
+    Null,
+    Bool(bool),
+    Int(i64),
+    Float(f64),
+    Str(&'a str),
+}
+
+impl<'a> ValueRef<'a> {
+    /// Views an owned value.
+    pub fn of(v: &'a Value) -> ValueRef<'a> {
+        match v {
+            Value::Null => ValueRef::Null,
+            Value::Bool(b) => ValueRef::Bool(*b),
+            Value::Int(i) => ValueRef::Int(*i),
+            Value::Float(f) => ValueRef::Float(*f),
+            Value::Str(s) => ValueRef::Str(s),
+        }
+    }
+
+    /// Materializes the owned value (allocates only for strings).
+    pub fn to_value(self) -> Value {
+        match self {
+            ValueRef::Null => Value::Null,
+            ValueRef::Bool(b) => Value::Bool(b),
+            ValueRef::Int(i) => Value::Int(i),
+            ValueRef::Float(f) => Value::Float(f),
+            ValueRef::Str(s) => Value::Str(s.to_string()),
+        }
+    }
+
+    pub fn is_null(self) -> bool {
+        matches!(self, ValueRef::Null)
+    }
+
+    /// The [`DataType`] of the viewed value (`Null` reports `Any`).
+    pub fn data_type(self) -> DataType {
+        match self {
+            ValueRef::Null => DataType::Any,
+            ValueRef::Bool(_) => DataType::Bool,
+            ValueRef::Int(_) => DataType::Int,
+            ValueRef::Float(_) => DataType::Float,
+            ValueRef::Str(_) => DataType::Str,
+        }
+    }
+
+    fn type_rank(self) -> u8 {
+        match self {
+            ValueRef::Null => 0,
+            ValueRef::Bool(_) => 1,
+            ValueRef::Int(_) | ValueRef::Float(_) => 2,
+            ValueRef::Str(_) => 3,
+        }
+    }
+
+    /// The total order of [`Value`] (`Ord::cmp`), over borrowed views —
+    /// must stay arm-for-arm identical to it (pinned by tests).
+    pub fn total_cmp(self, other: ValueRef<'_>) -> Ordering {
+        use ValueRef::*;
+        match (self, other) {
+            (Null, Null) => Ordering::Equal,
+            (Bool(a), Bool(b)) => a.cmp(&b),
+            (Int(a), Int(b)) => a.cmp(&b),
+            (Float(a), Float(b)) => a.total_cmp(&b),
+            (Int(a), Float(b)) => (a as f64).total_cmp(&b),
+            (Float(a), Int(b)) => a.total_cmp(&(b as f64)),
+            (Str(a), Str(b)) => a.cmp(b),
+            _ => self.type_rank().cmp(&other.type_rank()),
+        }
+    }
+
+    /// The hash of [`Value`] (`Hash::hash`), over borrowed views —
+    /// byte-compatible with it on every hasher, so a columnar engine's
+    /// hash tables interoperate with keys hashed from owned values.
+    pub fn total_hash<H: std::hash::Hasher>(self, state: &mut H) {
+        use std::hash::Hash;
+        match self {
+            ValueRef::Null => 0u8.hash(state),
+            ValueRef::Bool(b) => {
+                1u8.hash(state);
+                b.hash(state);
+            }
+            ValueRef::Int(i) => {
+                2u8.hash(state);
+                i.hash(state);
+            }
+            ValueRef::Float(f) => {
+                if f.fract() == 0.0 && f.is_finite() && f >= i64::MIN as f64 && f <= i64::MAX as f64
+                {
+                    2u8.hash(state);
+                    (f as i64).hash(state);
+                } else {
+                    3u8.hash(state);
+                    f.to_bits().hash(state);
+                }
+            }
+            ValueRef::Str(s) => {
+                4u8.hash(state);
+                s.hash(state);
+            }
+        }
+    }
+}
+
+impl fmt::Display for ValueRef<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValueRef::Null => write!(f, "NULL"),
+            ValueRef::Bool(b) => write!(f, "{b}"),
+            ValueRef::Int(i) => write!(f, "{i}"),
+            ValueRef::Float(x) => write!(f, "{x}"),
+            ValueRef::Str(s) => write!(f, "{s}"),
+        }
+    }
+}
+
 impl From<i64> for Value {
     fn from(v: i64) -> Self {
         Value::Int(v)
@@ -282,5 +424,100 @@ mod tests {
         let mut v = [Value::Float(f64::NAN), Value::Float(1.0)];
         v.sort();
         assert_eq!(v[0], Value::Float(1.0));
+    }
+
+    /// The corpus every `ValueRef`-vs-`Value` agreement test runs over:
+    /// all five shapes plus every numeric edge case where the total
+    /// order and derived float semantics disagree.
+    fn corpus() -> Vec<Value> {
+        vec![
+            Value::Null,
+            Value::Bool(false),
+            Value::Bool(true),
+            Value::Int(0),
+            Value::Int(1),
+            Value::Int(-3),
+            Value::Int(i64::MIN),
+            Value::Int(i64::MAX),
+            Value::Float(0.0),
+            Value::Float(-0.0),
+            Value::Float(1.0),
+            Value::Float(1.5),
+            Value::Float(f64::NAN),
+            Value::Float(-f64::NAN),
+            Value::Float(f64::INFINITY),
+            Value::Float(f64::NEG_INFINITY),
+            Value::Float(1e300),
+            Value::Float(i64::MAX as f64),
+            Value::str(""),
+            Value::str("a"),
+            Value::str("ab"),
+        ]
+    }
+
+    /// `ValueRef::total_cmp` IS `Value::cmp` — over the full edge-case
+    /// corpus, including `NaN = NaN`, `-0.0 < 0.0`, `Int 1 = Float 1.0`.
+    #[test]
+    fn value_ref_cmp_agrees_with_value_cmp() {
+        let vals = corpus();
+        for a in &vals {
+            for b in &vals {
+                assert_eq!(
+                    ValueRef::of(a).total_cmp(ValueRef::of(b)),
+                    a.cmp(b),
+                    "{a:?} vs {b:?}"
+                );
+            }
+        }
+    }
+
+    /// `ValueRef::total_hash` is byte-compatible with `Value::hash`.
+    #[test]
+    fn value_ref_hash_agrees_with_value_hash() {
+        let vals = corpus();
+        for v in &vals {
+            let mut s = DefaultHasher::new();
+            ValueRef::of(v).total_hash(&mut s);
+            assert_eq!(s.finish(), h(v), "{v:?}");
+        }
+    }
+
+    /// Regression: `==` must agree with `cmp` on every pair, and equal
+    /// values must hash equally — the derived (IEEE) `PartialEq` this
+    /// replaced said `-0.0 == 0.0`, `NaN != NaN` and `1 != 1.0`, so
+    /// hash-container membership diverged from ordered-set membership
+    /// (the reference evaluator's hash joins disagreed with its own
+    /// `BTreeSet` relations on exactly those values).
+    #[test]
+    fn eq_agrees_with_cmp_and_hash() {
+        let vals = corpus();
+        for a in &vals {
+            assert_eq!(a, a, "reflexivity (NaN included): {a:?}");
+            for b in &vals {
+                let eq = a.cmp(b) == Ordering::Equal;
+                assert_eq!(a == b, eq, "{a:?} vs {b:?}");
+                if eq {
+                    assert_eq!(h(a), h(b), "equal values must hash equal: {a:?} vs {b:?}");
+                }
+            }
+        }
+        assert_ne!(Value::Float(-0.0), Value::Float(0.0));
+        assert_eq!(Value::Float(f64::NAN), Value::Float(f64::NAN));
+        assert_eq!(Value::Int(1), Value::Float(1.0));
+    }
+
+    /// Round-trip: viewing then owning reproduces the value bit-for-bit
+    /// (floats compared by the total order, so `-0.0` and `NaN` count).
+    #[test]
+    fn value_ref_roundtrips() {
+        for v in corpus() {
+            let back = ValueRef::of(&v).to_value();
+            assert_eq!(back.cmp(&v), Ordering::Equal);
+            // Bit-level too: the zero signs must not be conflated.
+            if let (Value::Float(a), Value::Float(b)) = (&back, &v) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+            assert_eq!(back.data_type(), ValueRef::of(&v).data_type());
+        }
     }
 }

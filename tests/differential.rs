@@ -328,3 +328,53 @@ proptest! {
         check_case(expr_seed, &db);
     }
 }
+
+// ---------------------------------------------------------------------------
+// Interning hazard: overlapping string domains across EDB relations
+// ---------------------------------------------------------------------------
+
+/// Builds a database of string-only relations drawing from one
+/// **overlapping pool of strings**. Each relation columnarizes into its
+/// own interner generation, and because the relations hold different
+/// subsets, the same string gets a *different* id in each generation —
+/// any kernel that compared interner ids across batches (join probes,
+/// union/diff membership, `same_contents`) would call equal strings
+/// unequal. The shared attribute names steer the generator into natural
+/// joins, set operations and divisions on exactly those columns.
+fn generate_string_overlap(seed: u64, rows: usize) -> Database {
+    use relviz::model::{Relation, Schema, Tuple};
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Includes the generator's comparison-constant pool ("red", "x", …)
+    // so random equality filters actually select rows.
+    let pool = ["red", "green", "blue", "x", "s0", "s1", "s2", "s3", "s4", "s5"];
+    let mut db = Database::new();
+    for (name, attrs) in [("S1", ["k", "v"]), ("S2", ["k", "w"]), ("S3", ["v", "w"])] {
+        let schema = Schema::of(&[(attrs[0], DataType::Str), (attrs[1], DataType::Str)]);
+        let mut rel = Relation::empty(schema);
+        for _ in 0..rows {
+            rel.insert_unchecked(Tuple::new(vec![
+                Value::str(pool[rng.gen_range(0..pool.len())]),
+                Value::str(pool[rng.gen_range(0..pool.len())]),
+            ]));
+        }
+        db.set(name, rel);
+    }
+    db
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(80))]
+
+    /// ≥80 cases over string-keyed databases with overlapping domains:
+    /// interned-string equality must behave exactly like string
+    /// equality on every engine and at every thread count.
+    #[test]
+    fn exec_matches_reference_on_overlapping_string_domains(
+        expr_seed in 0u64..1_000_000,
+        db_seed in 0u64..64,
+        rows in 6usize..20,
+    ) {
+        let db = generate_string_overlap(db_seed, rows);
+        check_case(expr_seed, &db);
+    }
+}
