@@ -36,6 +36,24 @@ cargo clippy -p relviz-exec --lib --no-deps -- \
 #     delta-variant coverage — the whole contract of verify.rs).
 cargo run --release --bin relviz -- check --suite
 
+# 4d. EXPLAIN ANALYZE surfaces: a suite query run with --analyze
+#     --stats-json must emit schema relviz-stats-v1 with exactly one
+#     operator object per plan node (plan_nodes == count of "op" rows),
+#     and a recursive Datalog run must print the per-round delta table.
+stats_json=$(mktemp)
+cargo run --release --bin relviz -- run \
+    "SELECT S.sname FROM Sailor S, Reserves R WHERE S.sid = R.sid AND R.bid = 102" \
+    --analyze --stats-json "$stats_json"
+awk '
+    /"schema": "relviz-stats-v1"/ { schema++ }
+    /"plan_nodes":/ { gsub(/[^0-9]/, ""); nodes = $0 + 0 }
+    /"op":/ { ops++ }
+    END { if (schema != 1 || nodes < 1 || ops != nodes) { print "stats json schema check failed: schema=" schema+0, "plan_nodes=" nodes+0, "op rows=" ops+0; exit 1 } }' "$stats_json"
+rm -f "$stats_json"
+cargo run --release --bin relviz -- run \
+    "edge(X, Y) :- Reserves(X, Y, D). tc(X, Y) :- edge(X, Y). tc(X, Z) :- tc(X, Y), edge(Y, Z)." \
+    --lang datalog --analyze | grep -q "stratum 0 round"
+
 # 5. Timed S1 smoke run: the θ-join/product workload at n=1000, the
 #    recursive transitive-closure workload at n ∈ {100, 300, 1000}
 #    (reference vs exec) plus exec-only and parallel at n=3000,
@@ -56,8 +74,9 @@ rows_before=$(wc -l < BENCH_exec.json)
 cargo run --release -p relviz-bench --bin s1_exec -- 1000 --assert --out BENCH_exec.json
 rows_appended=$(( $(wc -l < BENCH_exec.json) - rows_before ))
 
-# 6. BENCH_exec.json schema: the run above appends exactly 30 rows (14
-#    workload rows + 16 per-operator kernel rows), every one carries
+# 6. BENCH_exec.json schema: the run above appends exactly 31 rows (14
+#    workload rows + the exec-analyzed overhead row, gated at ≤5% over
+#    uninstrumented datalog_tc + 16 per-operator kernel rows), every one carries
 #    the `threads` field (1 for the serial engines, the worker count on
 #    the parallel row), and at least one of them is the parallel
 #    engine's deep-workload measurement. The window is computed from
@@ -65,7 +84,7 @@ rows_appended=$(( $(wc -l < BENCH_exec.json) - rows_before ))
 #    misalign the check — but the exact count must be updated here when
 #    workloads are added, which is the point: the snapshot schema is
 #    part of the contract.
-test "$rows_appended" -eq 30
+test "$rows_appended" -eq 31
 tail -n "$rows_appended" BENCH_exec.json | awk '
     !/"threads": [0-9]+/ { bad++ }
     /"engine": "parallel"/ { par++ }

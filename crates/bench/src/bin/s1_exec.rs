@@ -22,6 +22,12 @@
 //! "rowmajor"`). `--assert` additionally gates the columnar filter at
 //! ≥ [`FILTER_GATE`]× over the row-major baseline at the largest size.
 //!
+//! The transitive-closure workload at `n` additionally runs once with
+//! the `exec::stats` instrumentation enabled (`eval_datalog_analyzed`,
+//! recorded as `engine: "exec-analyzed"`), printing the top operators
+//! by recorded time; `--assert` gates the analyzed run at ≤5% (+0.1 ms
+//! noise floor) over the uninstrumented wall time.
+//!
 //! Every snapshot row carries a `threads` field (1 for the serial
 //! engines). The deep exec-only size also runs on `Engine::Parallel`
 //! at the machine's worker count, recorded as an `engine: "parallel"`
@@ -391,12 +397,50 @@ fn main() {
         .collect();
     let mut tc_speedup = f64::INFINITY;
     let mut tc_exec_ms = f64::INFINITY;
+    let mut tc_out = Relation::empty(Schema::of(&[]));
     for &m in &tc_sizes {
-        let (tc_snaps, s, e, _) = run_datalog_workload("datalog_tc", TC_PROGRAM, TC_SEED, m, true);
+        let (tc_snaps, s, e, r) = run_datalog_workload("datalog_tc", TC_PROGRAM, TC_SEED, m, true);
         snaps.extend(tc_snaps);
         tc_speedup = s; // the last (largest) size is the gated one
         tc_exec_ms = e;
+        tc_out = r;
     }
+
+    // EXPLAIN ANALYZE overhead: the same workload with the stats layer
+    // recording every operator — per-node atomics and one Instant per
+    // batch are all it may cost, gated at ≤5% (+0.1 ms noise floor)
+    // over the uninstrumented run under `--assert`.
+    let analyzed_ms = {
+        let db_tc = generate_binary_pair(TC_SEED, n, n as i64);
+        let prog = parse_program(TC_PROGRAM).expect("workload parses");
+        let (analyzed_ms, (rel, report)) = time_ms(5, || {
+            relviz_exec::eval_datalog_analyzed(Engine::Indexed, &prog, &db_tc)
+                .expect("analyzed fixpoint evaluates")
+        });
+        assert!(
+            rel.same_contents(&tc_out),
+            "analyzed run disagrees with exec on datalog_tc @ {n}"
+        );
+        snaps.push(Snapshot {
+            engine: "exec-analyzed",
+            query: "datalog_tc",
+            n,
+            threads: 1,
+            wall_ms: analyzed_ms,
+        });
+        let mut by_time = report.operators;
+        by_time.sort_by_key(|op| std::cmp::Reverse(op.time_ns));
+        println!("  top operators by self+children time (datalog_tc @ n={n}, analyzed):");
+        for op in by_time.iter().take(3) {
+            println!(
+                "    {:>8.3} ms  rows={:<6} {}",
+                op.time_ns as f64 / 1e6,
+                op.rows_out,
+                op.label
+            );
+        }
+        analyzed_ms
+    };
     let (deep_snaps, _, deep_exec_ms, deep_exec_out) =
         run_datalog_workload("datalog_tc", TC_PROGRAM, TC_SEED, 3 * n, false);
     snaps.extend(deep_snaps);
@@ -462,6 +506,12 @@ fn main() {
         "  vectorized filter @ n={} (rowmajor/exec): {filter_speedup:.1}×",
         MICRO_SIZES[MICRO_SIZES.len() - 1]
     );
+    println!(
+        "  datalog_tc analyzed @ n={}: {analyzed_ms:.3} ms vs {tc_exec_ms:.3} ms \
+         uninstrumented ({:+.1}%)",
+        tc_sizes.last().expect("nonempty"),
+        100.0 * (analyzed_ms - tc_exec_ms) / tc_exec_ms.max(1e-6)
+    );
 
     if let Some(path) = out_path {
         let mut f = std::fs::OpenOptions::new()
@@ -500,6 +550,16 @@ fn main() {
             "FAIL: exec datalog_tc @ n=1000 took {tc_exec_ms:.3} ms, \
              over the zero-copy gate of {:.2} ms (2x the {TC_BASELINE_MS} ms baseline)",
             TC_BASELINE_MS / 2.0
+        );
+        std::process::exit(1);
+    }
+    // The stats layer must stay near-free when enabled: atomics and a
+    // per-batch Instant, nothing that changes the plan or the data path.
+    if assert_speedup && analyzed_ms > tc_exec_ms * 1.05 + 0.1 {
+        eprintln!(
+            "FAIL: EXPLAIN ANALYZE overhead on datalog_tc @ n={}: {analyzed_ms:.3} ms \
+             analyzed vs {tc_exec_ms:.3} ms uninstrumented (> 5% + 0.1 ms)",
+            tc_sizes.last().expect("nonempty")
         );
         std::process::exit(1);
     }

@@ -148,6 +148,20 @@ impl QueryVisualizer {
         }
     }
 
+    /// [`run`](Self::run), analyzed: executes the SQL query on the
+    /// pipeline's engine with the exec layer's runtime instrumentation
+    /// attached, returning the result alongside the per-operator stats
+    /// report (`EXPLAIN ANALYZE`). The reference engine has no physical
+    /// plan to instrument and surfaces as [`DiagError::Lang`].
+    pub fn run_analyzed(
+        &self,
+        sql: &str,
+        db: &Database,
+    ) -> DiagResult<(Relation, relviz_exec::StatsReport)> {
+        relviz_exec::run_sql_analyzed(self.engine, sql, db)
+            .map_err(|e| DiagError::Lang(e.to_string()))
+    }
+
     /// Statically verifies the query's physical plan **without running
     /// it**: SQL goes through the same front door as
     /// [`run`](Self::run) (SQL → TRC → physical plan), then the exec

@@ -45,7 +45,7 @@ use std::sync::Arc;
 
 use relviz_model::{Tuple, Value, ValueRef};
 
-use crate::indexed::instrument;
+use crate::stats::counters as instrument;
 
 /// The engine's row-number type. See the module docs for the width
 /// decision; use [`row_id`] for the checked narrowing conversion.

@@ -193,12 +193,24 @@ pub fn eval_fixpoint(
 ///   always contains the previous delta, so every joinable combination
 ///   of facts is covered the round after its last member lands);
 /// * **partitioned joins** inside each rule, via the execution context.
-// `stratum_levels` yields indexes into `plan.strata` by construction.
-#[allow(clippy::indexing_slicing)]
 pub(crate) fn eval_fixpoint_with(
     plan: &FixpointPlan,
     db: &Database,
     threads: usize,
+) -> ExecResult<HashMap<String, Relation>> {
+    eval_fixpoint_stats(plan, db, threads, None)
+}
+
+/// [`eval_fixpoint_with`], optionally analyzed: with a stats sink every
+/// operator, pool worker, and per-round delta size of the evaluation
+/// records into it (`EXPLAIN ANALYZE`).
+// `stratum_levels` yields indexes into `plan.strata` by construction.
+#[allow(clippy::indexing_slicing)]
+pub(crate) fn eval_fixpoint_stats(
+    plan: &FixpointPlan,
+    db: &Database,
+    threads: usize,
+    stats: Option<std::sync::Arc<crate::stats::QueryStats>>,
 ) -> ExecResult<HashMap<String, Relation>> {
     let mut idb: HashMap<String, IndexedRelation> = plan
         .schemas
@@ -209,7 +221,10 @@ pub(crate) fn eval_fixpoint_with(
     // One execution context for the whole fixpoint: every EDB relation
     // is materialized and indexed once, shared by all rules, all delta
     // variants, and all rounds.
-    let ctx = ExecContext::with_threads(threads);
+    let mut ctx = ExecContext::with_threads(threads);
+    if let Some(s) = stats {
+        ctx = ctx.with_stats(s);
+    }
     for level in stratum_levels(plan) {
         if ctx.threads().is_some() && level.len() > 1 {
             // Independent strata: each task evaluates one stratum over a
@@ -219,7 +234,7 @@ pub(crate) fn eval_fixpoint_with(
             // worker budget for its *rule* scatters, so nesting divides
             // the requested width instead of multiplying it.
             let inner = (threads / level.len()).max(1);
-            let results = pool::scatter(threads, level.len(), &|i| {
+            let results = pool::scatter(threads, level.len(), ctx.pool_stats(), &|i| {
                 let stratum = &plan.strata[level[i]];
                 let mut local = idb.clone();
                 for p in &stratum.predicates {
@@ -233,7 +248,7 @@ pub(crate) fn eval_fixpoint_with(
                     // would force a (counted) copy-on-write detach.
                     local.insert(p.clone(), IndexedRelation::new(schema.clone(), vec![]));
                 }
-                run_stratum(stratum, db, &mut local, &ctx, inner)?;
+                run_stratum(stratum, level[i], db, &mut local, &ctx, inner)?;
                 Ok::<_, crate::error::ExecError>(
                     stratum
                         .predicates
@@ -249,7 +264,7 @@ pub(crate) fn eval_fixpoint_with(
             }
         } else {
             for &si in &level {
-                run_stratum(&plan.strata[si], db, &mut idb, &ctx, threads)?;
+                run_stratum(&plan.strata[si], si, db, &mut idb, &ctx, threads)?;
             }
         }
     }
@@ -259,7 +274,9 @@ pub(crate) fn eval_fixpoint_with(
     // `into_relation_par` splits the sort itself across workers.
     Ok(idb
         .into_iter()
-        .map(|(name, batch)| (name, crate::parallel::into_relation_par(batch, threads)))
+        .map(|(name, batch)| {
+            (name, crate::parallel::into_relation_par(batch, threads, ctx.pool_stats()))
+        })
         .collect())
 }
 
@@ -279,11 +296,23 @@ pub(crate) fn eval_fixpoint_with(
 #[allow(clippy::indexing_slicing)]
 fn run_stratum(
     stratum: &StratumPlan,
+    si: usize,
     db: &Database,
     idb: &mut HashMap<String, IndexedRelation>,
     ctx: &ExecContext,
     threads: usize,
 ) -> ExecResult<()> {
+    // Analyzed executions record each round's per-predicate delta sizes
+    // (the convergence profile of the stratum).
+    let record_round = |round: usize, ledger: &HashMap<String, Vec<u32>>| {
+        if let Some(stats) = ctx.stats() {
+            stats.record_round(
+                si,
+                round,
+                ledger.iter().map(|(p, rows)| (p.clone(), rows.len() as u64)).collect(),
+            );
+        }
+    };
     let no_deltas: HashMap<String, IndexedRelation> = HashMap::new();
     // Round 0: every rule, full plans. The same-stratum IDB starts
     // empty; facts and lower-strata joins land here.
@@ -301,7 +330,7 @@ fn run_stratum(
                 delta: &no_deltas,
                 threads: (threads / rule_workers).max(1),
             };
-            pool::scatter(threads, stratum.rules.len(), &|i| {
+            pool::scatter(threads, stratum.rules.len(), ctx.pool_stats(), &|i| {
                 run_with(&stratum.rules[i].full, db, Some(&state), ctx)
             })
         };
@@ -331,6 +360,10 @@ fn run_stratum(
     // the previous round's delta at its occurrence and the accumulated
     // IDB everywhere else (as zero-copy views — see `ScanIdb` in the
     // executor).
+    if stratum.recursive {
+        record_round(0, &delta);
+    }
+    let mut round = 0usize;
     while stratum.recursive && delta.values().any(|v| !v.is_empty()) {
         let delta_rows: usize = delta.values().map(Vec::len).sum();
         let materialized = materialize_deltas(std::mem::take(&mut delta), idb)?;
@@ -353,7 +386,7 @@ fn run_stratum(
                     delta: &materialized,
                     threads: (threads / variant_workers).max(1),
                 };
-                pool::scatter(threads, variants.len(), &|i| {
+                pool::scatter(threads, variants.len(), ctx.pool_stats(), &|i| {
                     run_with(&variants[i].1.plan, db, Some(&state), ctx)
                 })
             };
@@ -380,6 +413,8 @@ fn run_stratum(
                 );
             }
         }
+        round += 1;
+        record_round(round, &next);
         delta = next;
     }
     Ok(())
@@ -459,7 +494,7 @@ fn idb_refs(plan: &PhysPlan, out: &mut std::collections::HashSet<String>) {
 /// Renders a recursive plan: fixpoint → strata → rules, each rule with
 /// its full plan and every delta variant.
 pub fn explain_datalog(plan: &FixpointPlan) -> String {
-    render_datalog(plan, 1)
+    render_datalog(plan, 1, None)
 }
 
 /// Renders a recursive plan as the **parallel engine** at `threads`
@@ -468,12 +503,16 @@ pub fn explain_datalog(plan: &FixpointPlan) -> String {
 /// rule plans carry the operator annotations of
 /// [`crate::plan::explain_parallel`].
 pub fn explain_datalog_parallel(plan: &FixpointPlan, threads: usize) -> String {
-    render_datalog(plan, threads.max(1))
+    render_datalog(plan, threads.max(1), None)
 }
 
 // `level_of` maps every stratum index — built from the same plan.
 #[allow(clippy::indexing_slicing)]
-fn render_datalog(plan: &FixpointPlan, threads: usize) -> String {
+pub(crate) fn render_datalog(
+    plan: &FixpointPlan,
+    threads: usize,
+    analyze: Option<&crate::stats::QueryStats>,
+) -> String {
     let par = threads > 1;
     let level_of: HashMap<usize, usize> = stratum_levels(plan)
         .into_iter()
@@ -496,19 +535,27 @@ fn render_datalog(plan: &FixpointPlan, threads: usize) -> String {
         for rule in &stratum.rules {
             out.push_str(&format!("    rule {}\n", rule.rule));
             out.push_str("      full:\n");
-            write_rule_plan(&mut out, &rule.full, threads);
+            write_rule_plan(&mut out, &rule.full, threads, analyze);
             for dv in &rule.deltas {
                 out.push_str(&format!("      delta at body[{}]:\n", dv.occurrence));
-                write_rule_plan(&mut out, &dv.plan, threads);
+                write_rule_plan(&mut out, &dv.plan, threads, analyze);
             }
         }
     }
     out
 }
 
-fn write_rule_plan(out: &mut String, plan: &PhysPlan, threads: usize) {
-    if threads > 1 {
-        let ann = crate::plan::Annotations::for_plan(plan, threads);
+fn write_rule_plan(
+    out: &mut String,
+    plan: &PhysPlan,
+    threads: usize,
+    analyze: Option<&crate::stats::QueryStats>,
+) {
+    if threads > 1 || analyze.is_some() {
+        let mut ann = crate::plan::Annotations::for_plan(plan, threads);
+        if let Some(stats) = analyze {
+            ann = ann.with_analyze(stats);
+        }
         crate::plan::write_node_seen(out, plan, 4, &mut std::collections::HashSet::new(), &ann);
     } else {
         write_node(out, plan, 4);

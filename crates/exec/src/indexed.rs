@@ -626,132 +626,12 @@ impl IndexedRelation {
     }
 }
 
-/// Test-only instrumentation: thread-local counters for the storage
-/// events the zero-copy architecture is supposed to eliminate. Thread
-/// locals, not globals, so `cargo test`'s parallel test threads don't
-/// pollute each other's readings. Compiled out of non-test builds.
-#[cfg(test)]
-pub(crate) mod instrument {
-    use std::cell::Cell;
-
-    thread_local! {
-        /// `from_relation` calls: EDB relation → batch materializations.
-        pub static MATERIALIZATIONS: Cell<usize> = const { Cell::new(0) };
-        /// Actual index constructions (cache misses in `index`).
-        pub static INDEX_BUILDS: Cell<usize> = const { Cell::new(0) };
-        /// Whole-storage deep copies (COW detach of a shared store).
-        pub static DEEP_COPIES: Cell<usize> = const { Cell::new(0) };
-        /// Hash-range partition builds (`index_partition` calls).
-        pub static PARTITION_BUILDS: Cell<usize> = const { Cell::new(0) };
-        /// Column materializations: row-major cells columnarized
-        /// (`ColumnStore::from_tuples`, per column) or a typed column
-        /// demoted to `Mixed`.
-        pub static COLUMN_BUILDS: Cell<usize> = const { Cell::new(0) };
-        /// Selection/validity bitmap allocations.
-        pub static BITMAP_ALLOCS: Cell<usize> = const { Cell::new(0) };
-        /// Copy-on-write clones of a *shared* interning table (a miss
-        /// that grows a table some other column still references).
-        pub static INTERNER_GROWTHS: Cell<usize> = const { Cell::new(0) };
-    }
-
-    pub(crate) fn count_materialization() {
-        MATERIALIZATIONS.with(|c| c.set(c.get() + 1));
-    }
-    pub(crate) fn count_index_build() {
-        INDEX_BUILDS.with(|c| c.set(c.get() + 1));
-    }
-    pub(crate) fn count_deep_copy() {
-        DEEP_COPIES.with(|c| c.set(c.get() + 1));
-    }
-    pub(crate) fn count_partition_build() {
-        PARTITION_BUILDS.with(|c| c.set(c.get() + 1));
-    }
-    pub(crate) fn count_column_build() {
-        COLUMN_BUILDS.with(|c| c.set(c.get() + 1));
-    }
-    pub(crate) fn count_bitmap_alloc() {
-        BITMAP_ALLOCS.with(|c| c.set(c.get() + 1));
-    }
-    pub(crate) fn count_interner_growth() {
-        INTERNER_GROWTHS.with(|c| c.set(c.get() + 1));
-    }
-
-    /// Zeroes all counters (call at the start of a measuring test).
-    pub fn reset() {
-        MATERIALIZATIONS.with(|c| c.set(0));
-        INDEX_BUILDS.with(|c| c.set(0));
-        DEEP_COPIES.with(|c| c.set(0));
-        PARTITION_BUILDS.with(|c| c.set(0));
-        COLUMN_BUILDS.with(|c| c.set(0));
-        BITMAP_ALLOCS.with(|c| c.set(0));
-        INTERNER_GROWTHS.with(|c| c.set(0));
-    }
-
-    pub fn materializations() -> usize {
-        MATERIALIZATIONS.with(Cell::get)
-    }
-    pub fn index_builds() -> usize {
-        INDEX_BUILDS.with(Cell::get)
-    }
-    pub fn deep_copies() -> usize {
-        DEEP_COPIES.with(Cell::get)
-    }
-    pub fn partition_builds() -> usize {
-        PARTITION_BUILDS.with(Cell::get)
-    }
-    pub fn column_builds() -> usize {
-        COLUMN_BUILDS.with(Cell::get)
-    }
-    pub fn bitmap_allocs() -> usize {
-        BITMAP_ALLOCS.with(Cell::get)
-    }
-    pub fn interner_growths() -> usize {
-        INTERNER_GROWTHS.with(Cell::get)
-    }
-
-    /// This thread's totals, for [`crate::pool`] to hand a worker's
-    /// share back to the thread that dispatched it.
-    pub(crate) fn export() -> [usize; 7] {
-        [
-            materializations(),
-            index_builds(),
-            deep_copies(),
-            partition_builds(),
-            column_builds(),
-            bitmap_allocs(),
-            interner_growths(),
-        ]
-    }
-
-    /// Adds a worker's exported totals into this thread's counters.
-    pub(crate) fn absorb(counts: [usize; 7]) {
-        MATERIALIZATIONS.with(|c| c.set(c.get() + counts[0]));
-        INDEX_BUILDS.with(|c| c.set(c.get() + counts[1]));
-        DEEP_COPIES.with(|c| c.set(c.get() + counts[2]));
-        PARTITION_BUILDS.with(|c| c.set(c.get() + counts[3]));
-        COLUMN_BUILDS.with(|c| c.set(c.get() + counts[4]));
-        BITMAP_ALLOCS.with(|c| c.set(c.get() + counts[5]));
-        INTERNER_GROWTHS.with(|c| c.set(c.get() + counts[6]));
-    }
-}
-
-#[cfg(not(test))]
-pub(crate) mod instrument {
-    #[inline(always)]
-    pub(crate) fn count_materialization() {}
-    #[inline(always)]
-    pub(crate) fn count_index_build() {}
-    #[inline(always)]
-    pub(crate) fn count_deep_copy() {}
-    #[inline(always)]
-    pub(crate) fn count_partition_build() {}
-    #[inline(always)]
-    pub(crate) fn count_column_build() {}
-    #[inline(always)]
-    pub(crate) fn count_bitmap_alloc() {}
-    #[inline(always)]
-    pub(crate) fn count_interner_growth() {}
-}
+/// The storage-event counters (materializations, index builds, deep
+/// copies, …). Formerly a `cfg(test)`-only module here; now the
+/// always-compiled unified counter set in [`crate::stats::counters`],
+/// re-exported under the legacy path so the zero-copy pin tests read
+/// the same source of truth production does.
+pub(crate) use crate::stats::counters as instrument;
 
 #[cfg(test)]
 mod tests {

@@ -61,6 +61,7 @@ pub mod plan;
 pub mod planner;
 mod pool;
 pub mod run;
+pub mod stats;
 pub mod verify;
 
 pub use column::{Column, ColumnData, ColumnStore, RowId, StrInterner};
@@ -74,6 +75,9 @@ pub use parallel::{execute_parallel, resolve_threads};
 pub use plan::{explain, explain_parallel, OutputCol, PhysPlan};
 pub use planner::{plan_ra, plan_trc};
 pub use run::execute;
+pub use stats::{
+    eval_datalog_analyzed, run_sql_analyzed, OpRow, RoundRow, StatsReport, WorkerRow,
+};
 pub use verify::{
     analyze_program, check_fixpoint, check_plan, error_count, explain_datalog_verified,
     explain_verified, render_diagnostics, verification_footer, verify_fixpoint, verify_plan,

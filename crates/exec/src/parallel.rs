@@ -58,22 +58,48 @@ pub(crate) const PAR_MIN_ROWS: usize = 1024;
 /// sequentially (the round barrier would out-cost the round).
 pub(crate) const PAR_MIN_DELTA: usize = 64;
 
+/// Upper bound on a worker count taken from the environment. A value
+/// past this is a typo or a unit confusion (`RELVIZ_THREADS=1e9`), not
+/// a machine — spawning it would exhaust memory on thread stacks.
+const MAX_ENV_THREADS: usize = 1024;
+
 /// Resolves a requested worker count: `0` means *auto* — the
 /// `RELVIZ_THREADS` environment variable if set (how CI drives the
 /// whole test suite through the parallel paths), else the machine's
 /// available hardware parallelism.
+///
+/// An invalid `RELVIZ_THREADS` (non-numeric, `0`, negative, empty, or
+/// past [`MAX_ENV_THREADS`]) **falls back to hardware parallelism with
+/// a one-time warning** instead of being silently ignored or honored —
+/// a misconfigured deployment degrades to a sane width, visibly.
 pub fn resolve_threads(requested: usize) -> usize {
     if requested > 0 {
         return requested;
     }
-    if let Some(n) = std::env::var("RELVIZ_THREADS")
-        .ok()
-        .and_then(|v| v.parse::<usize>().ok())
-        .filter(|&n| n > 0)
-    {
-        return n;
+    if let Ok(v) = std::env::var("RELVIZ_THREADS") {
+        match v.parse::<usize>() {
+            Ok(n) if (1..=MAX_ENV_THREADS).contains(&n) => return n,
+            _ => warn_bad_env(&v),
+        }
     }
+    hardware_threads()
+}
+
+/// The machine's available parallelism (≥ 1).
+pub(crate) fn hardware_threads() -> usize {
     std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+/// Warns about an unusable `RELVIZ_THREADS` once per process — the
+/// resolver runs per query, and a server would otherwise spam it.
+fn warn_bad_env(value: &str) {
+    static WARNED: std::sync::Once = std::sync::Once::new();
+    WARNED.call_once(|| {
+        eprintln!(
+            "relviz: RELVIZ_THREADS=`{value}` is not a worker count in \
+             1..={MAX_ENV_THREADS}; falling back to hardware parallelism"
+        );
+    });
 }
 
 /// Executes a plain plan on the parallel runtime: independent `Shared`
@@ -85,7 +111,7 @@ pub fn execute_parallel(plan: &PhysPlan, db: &Database, threads: usize) -> ExecR
     let ctx = ExecContext::with_threads(threads);
     prewarm_shared(plan, db, &ctx, threads)?;
     let batch = run_with(plan, db, None, &ctx)?;
-    Ok(into_relation_par(batch, threads))
+    Ok(into_relation_par(batch, threads, ctx.pool_stats()))
 }
 
 /// Evaluates a recursive plan on the parallel runtime (independent
@@ -132,7 +158,7 @@ pub(crate) fn prewarm_shared(
             delta: &empty,
             threads: (threads / workers).max(1),
         };
-        let results = pool::scatter(threads, level.len(), &|i| {
+        let results = pool::scatter(threads, level.len(), ctx.pool_stats(), &|i| {
             let (id, input) = level[i];
             run_with(input, db, Some(&budget), ctx).map(|batch| (id, batch))
         });
@@ -151,11 +177,12 @@ pub(crate) fn partitioned_index(
     batch: &IndexedRelation,
     cols: &[usize],
     threads: usize,
+    pool_stats: Option<&crate::stats::PoolStats>,
 ) -> Arc<PartitionedIndex> {
     if let Some(hit) = batch.cached_partitioned(cols, threads) {
         return hit;
     }
-    let parts = pool::scatter(threads, threads, &|p| {
+    let parts = pool::scatter(threads, threads, pool_stats, &|p| {
         Arc::new(batch.index_partition(cols, p, threads))
     });
     batch.cache_partitioned(cols, threads, Arc::new(PartitionedIndex::new(parts)))
@@ -173,7 +200,11 @@ pub(crate) fn partitioned_index(
 /// order *is* the total order).
 // `chunks` yields ranges inside `0..len` by construction.
 #[allow(clippy::indexing_slicing)]
-pub(crate) fn into_relation_par(batch: IndexedRelation, threads: usize) -> Relation {
+pub(crate) fn into_relation_par(
+    batch: IndexedRelation,
+    threads: usize,
+    pool_stats: Option<&crate::stats::PoolStats>,
+) -> Relation {
     if threads <= 1 || batch.len() < PAR_MIN_ROWS {
         return batch.into_relation();
     }
@@ -181,7 +212,7 @@ pub(crate) fn into_relation_par(batch: IndexedRelation, threads: usize) -> Relat
     let store = batch.store();
     // Sort each contiguous id range concurrently…
     let ranges = pool::chunks(store.len(), threads);
-    let sorted: Vec<Vec<RowId>> = pool::scatter(threads, ranges.len(), &|i| {
+    let sorted: Vec<Vec<RowId>> = pool::scatter(threads, ranges.len(), pool_stats, &|i| {
         let mut ids: Vec<RowId> = ranges[i].clone().map(crate::column::row_id).collect();
         store.sort_ids(&mut ids);
         ids
@@ -241,56 +272,13 @@ fn merge_sorted(store: &ColumnStore, runs: Vec<Vec<RowId>>, out: &mut Vec<RowId>
     }
 }
 
-/// Parallel-path instrumentation: merge and dispatch counters the
-/// degeneration/zero-copy tests pin. Dispatch and fan-out live in
-/// [`crate::pool::instrument`] (the pool counts them at the source);
-/// this module fronts them so tests have one window.
-#[cfg(test)]
-pub(crate) mod instrument {
-    use std::cell::Cell;
-
-    thread_local! {
-        /// Rule-output batches merged through the parallel round
-        /// barrier (one `absorb_batch` per rule output).
-        pub static PAR_MERGES: Cell<usize> = const { Cell::new(0) };
-    }
-
-    pub(crate) fn count_merge() {
-        PAR_MERGES.with(|c| c.set(c.get() + 1));
-    }
-
-    pub fn reset() {
-        PAR_MERGES.with(|c| c.set(0));
-        crate::pool::instrument::DISPATCHES.with(|c| c.set(0));
-        crate::pool::instrument::MAX_FANOUT.with(|c| c.set(0));
-    }
-
-    pub fn merges() -> usize {
-        PAR_MERGES.with(Cell::get)
-    }
-    pub fn dispatches() -> usize {
-        crate::pool::instrument::DISPATCHES.with(Cell::get)
-    }
-    pub fn max_fanout() -> usize {
-        crate::pool::instrument::MAX_FANOUT.with(Cell::get)
-    }
-
-    pub(crate) fn export() -> [usize; 3] {
-        [merges(), dispatches(), max_fanout()]
-    }
-
-    pub(crate) fn absorb(counts: [usize; 3]) {
-        PAR_MERGES.with(|c| c.set(c.get() + counts[0]));
-        crate::pool::instrument::DISPATCHES.with(|c| c.set(c.get() + counts[1]));
-        crate::pool::instrument::MAX_FANOUT.with(|c| c.set(c.get().max(counts[2])));
-    }
-}
-
-#[cfg(not(test))]
-pub(crate) mod instrument {
-    #[inline(always)]
-    pub(crate) fn count_merge() {}
-}
+/// The parallel-path event counters (round-barrier merges, pool
+/// dispatches, fan-out). Formerly a `cfg(test)`-only module here; now
+/// the always-compiled unified counter set in
+/// [`crate::stats::counters`], re-exported under the legacy path so the
+/// degeneration/zero-copy pin tests read the same source of truth
+/// production does.
+pub(crate) use crate::stats::counters as instrument;
 
 /// Serializes tests that *mutate* the process-global `RELVIZ_THREADS`
 /// variable against tests that *read* it via `resolve_threads(0)` —
@@ -432,6 +420,7 @@ mod tests {
             let par = into_relation_par(
                 IndexedRelation::new(schema.clone(), rows.clone()),
                 threads,
+                None,
             );
             let serial = IndexedRelation::new(schema.clone(), rows.clone()).into_relation();
             assert_eq!(par.len(), serial.len());
@@ -468,6 +457,7 @@ mod tests {
             let par = into_relation_par(
                 IndexedRelation::new(schema.clone(), rows.clone()),
                 threads,
+                None,
             );
             assert_eq!(par.len(), serial.len(), "threads={threads}");
             assert_eq!(format!("{par}"), format!("{serial}"), "threads={threads}");
@@ -489,5 +479,34 @@ mod tests {
             None => std::env::remove_var("RELVIZ_THREADS"),
         }
         assert_eq!(resolved, 6);
+    }
+
+    /// Regression: an unusable `RELVIZ_THREADS` (non-numeric, zero,
+    /// negative, empty, absurdly large) must degrade to hardware
+    /// parallelism instead of being honored or panicking.
+    #[test]
+    fn invalid_relviz_threads_falls_back_to_hardware() {
+        let _guard = super::ENV_LOCK.lock().unwrap();
+        let saved = std::env::var("RELVIZ_THREADS").ok();
+        let hw = hardware_threads();
+        for bad in ["abc", "0", "999999999", "-3", "", "4.5"] {
+            std::env::set_var("RELVIZ_THREADS", bad);
+            assert_eq!(
+                resolve_threads(0),
+                hw,
+                "RELVIZ_THREADS={bad:?} must fall back to hardware parallelism"
+            );
+        }
+        // A valid value still wins over the fallback.
+        std::env::set_var("RELVIZ_THREADS", "6");
+        let valid = resolve_threads(0);
+        match saved {
+            Some(v) => std::env::set_var("RELVIZ_THREADS", v),
+            None => std::env::remove_var("RELVIZ_THREADS"),
+        }
+        assert_eq!(valid, 6);
+        // An explicit request is never second-guessed.
+        assert_eq!(resolve_threads(1), 1);
+        assert_eq!(resolve_threads(7), 7);
     }
 }

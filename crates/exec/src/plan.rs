@@ -239,16 +239,18 @@ pub fn explain_parallel(plan: &PhysPlan, threads: usize) -> String {
     out
 }
 
-/// What [`explain_parallel`] annotates: the worker count, plus each
-/// prewarm-eligible `Shared` id's concurrency level.
-pub(crate) struct Annotations {
+/// What [`explain_parallel`] annotates: the worker count, each
+/// prewarm-eligible `Shared` id's concurrency level, and — for
+/// `EXPLAIN ANALYZE` — the execution's recorded per-node actuals.
+pub(crate) struct Annotations<'a> {
     threads: usize,
     shared: std::collections::HashMap<u32, usize>,
+    analyze: Option<&'a crate::stats::QueryStats>,
 }
 
-impl Annotations {
+impl<'a> Annotations<'a> {
     pub(crate) fn serial() -> Self {
-        Annotations { threads: 1, shared: std::collections::HashMap::new() }
+        Annotations { threads: 1, shared: std::collections::HashMap::new(), analyze: None }
     }
 
     pub(crate) fn for_plan(plan: &PhysPlan, threads: usize) -> Self {
@@ -263,7 +265,14 @@ impl Annotations {
                 }
             }
         }
-        Annotations { threads, shared }
+        Annotations { threads, shared, analyze: None }
+    }
+
+    /// Attaches recorded runtime stats: every node line gains its
+    /// `(actual rows=… …)` suffix.
+    pub(crate) fn with_analyze(mut self, stats: &'a crate::stats::QueryStats) -> Self {
+        self.analyze = Some(stats);
+        self
     }
 
     /// The ` part ∥N` / ` chunk ∥N` suffix, empty on serial renders.
@@ -273,6 +282,11 @@ impl Annotations {
         } else {
             String::new()
         }
+    }
+
+    /// The node's recorded-actuals suffix, empty when not analyzing.
+    fn actual(&self, plan: &PhysPlan) -> String {
+        self.analyze.map_or_else(String::new, |s| s.suffix(plan))
     }
 }
 
@@ -291,28 +305,93 @@ pub(crate) fn write_node_seen(
     plan: &PhysPlan,
     depth: usize,
     seen: &mut std::collections::HashSet<u32>,
-    ann: &Annotations,
+    ann: &Annotations<'_>,
 ) {
     for _ in 0..depth {
         out.push_str("  ");
     }
+    out.push_str(&node_label(plan));
     match plan {
-        PhysPlan::Scan { rel, schema } => {
-            out.push_str(&format!("Scan {rel} {schema}\n"));
+        PhysPlan::Filter { .. } | PhysPlan::Project { .. } => out.push_str(&ann.op("chunk")),
+        PhysPlan::HashJoin { .. } | PhysPlan::SemiJoin { .. } | PhysPlan::AntiJoin { .. } => {
+            out.push_str(&ann.op("part"));
         }
-        PhysPlan::ScanIdb { rel, schema } => {
-            out.push_str(&format!("ScanIdb {rel} {schema}\n"));
+        PhysPlan::Shared { id, .. } => {
+            if let Some(level) = ann.shared.get(id) {
+                out.push_str(&format!(" (prewarm L{level})"));
+            }
         }
-        PhysPlan::ScanDelta { rel, schema } => {
-            out.push_str(&format!("ScanDelta {rel} {schema}\n"));
-        }
-        PhysPlan::Values { rows, schema } => {
-            out.push_str(&format!("Values {schema} ({} rows)\n", rows.len()));
-        }
-        PhysPlan::Filter { pred, input, .. } => {
-            out.push_str(&format!("Filter {}{}\n", fmt_pred(pred), ann.op("chunk")));
+        _ => {}
+    }
+    // A `Shared` subtree prints at the first occurrence only; later
+    // occurrences are back-references.
+    let expand = match plan {
+        PhysPlan::Shared { id, .. } => seen.insert(*id),
+        _ => true,
+    };
+    if !expand {
+        out.push_str(" ^");
+    }
+    out.push_str(&ann.actual(plan));
+    out.push('\n');
+    if !expand {
+        return;
+    }
+    match plan {
+        PhysPlan::Scan { .. }
+        | PhysPlan::ScanIdb { .. }
+        | PhysPlan::ScanDelta { .. }
+        | PhysPlan::Values { .. } => {}
+        PhysPlan::Filter { input, .. }
+        | PhysPlan::Project { input, .. }
+        | PhysPlan::Dedup { input, .. }
+        | PhysPlan::Shared { input, .. } => {
             write_node_seen(out, input, depth + 1, seen, ann);
         }
+        PhysPlan::HashJoin { left, right, .. }
+        | PhysPlan::SemiJoin { left, right, .. }
+        | PhysPlan::AntiJoin { left, right, .. }
+        | PhysPlan::Union { left, right, .. }
+        | PhysPlan::Diff { left, right, .. } => {
+            write_node_seen(out, left, depth + 1, seen, ann);
+            write_node_seen(out, right, depth + 1, seen, ann);
+        }
+    }
+}
+
+/// The operator's display name — what a stats row reports as `op`.
+/// A key-less `HashJoin` is reported as the `CrossJoin` it degrades to,
+/// matching the EXPLAIN line.
+pub(crate) fn op_name(plan: &PhysPlan) -> &'static str {
+    match plan {
+        PhysPlan::Scan { .. } => "Scan",
+        PhysPlan::ScanIdb { .. } => "ScanIdb",
+        PhysPlan::ScanDelta { .. } => "ScanDelta",
+        PhysPlan::Values { .. } => "Values",
+        PhysPlan::Filter { .. } => "Filter",
+        PhysPlan::Project { .. } => "Project",
+        PhysPlan::HashJoin { left_keys, .. } if left_keys.is_empty() => "CrossJoin",
+        PhysPlan::HashJoin { .. } => "HashJoin",
+        PhysPlan::SemiJoin { .. } => "SemiJoin",
+        PhysPlan::AntiJoin { .. } => "AntiJoin",
+        PhysPlan::Union { .. } => "Union",
+        PhysPlan::Diff { .. } => "Diff",
+        PhysPlan::Dedup { .. } => "Dedup",
+        PhysPlan::Shared { .. } => "Shared",
+    }
+}
+
+/// One node's EXPLAIN label — the line text without indentation,
+/// engine annotations, or recorded actuals.
+pub(crate) fn node_label(plan: &PhysPlan) -> String {
+    match plan {
+        PhysPlan::Scan { rel, schema } => format!("Scan {rel} {schema}"),
+        PhysPlan::ScanIdb { rel, schema } => format!("ScanIdb {rel} {schema}"),
+        PhysPlan::ScanDelta { rel, schema } => format!("ScanDelta {rel} {schema}"),
+        PhysPlan::Values { rows, schema } => {
+            format!("Values {schema} ({} rows)", rows.len())
+        }
+        PhysPlan::Filter { pred, .. } => format!("Filter {}", fmt_pred(pred)),
         PhysPlan::Project { cols, input, schema } => {
             let parts: Vec<String> = cols
                 .iter()
@@ -329,75 +408,34 @@ pub(crate) fn write_node_seen(
                     OutputCol::Const(v) => format!("{} as {}", v.to_literal(), a.name),
                 })
                 .collect();
-            out.push_str(&format!("Project [{}]{}\n", parts.join(", "), ann.op("chunk")));
-            write_node_seen(out, input, depth + 1, seen, ann);
+            format!("Project [{}]", parts.join(", "))
         }
         PhysPlan::HashJoin { left, right, left_keys, right_keys, right_keep, post, .. } => {
-            if left_keys.is_empty() {
-                out.push_str("CrossJoin");
+            let mut label = if left_keys.is_empty() {
+                "CrossJoin".to_string()
             } else {
-                out.push_str(&format!(
-                    "HashJoin [{}]",
-                    fmt_keys(left, right, left_keys, right_keys)
-                ));
-            }
+                format!("HashJoin [{}]", fmt_keys(left, right, left_keys, right_keys))
+            };
             if right_keep.len() != right.schema().arity() {
                 let kept: Vec<String> =
                     right_keep.iter().map(|&i| attr_name(right, i)).collect();
-                out.push_str(&format!(" keep [{}]", kept.join(", ")));
+                label.push_str(&format!(" keep [{}]", kept.join(", ")));
             }
             if let Some(p) = post {
-                out.push_str(&format!(" filter {}", fmt_pred(p)));
+                label.push_str(&format!(" filter {}", fmt_pred(p)));
             }
-            out.push_str(&ann.op("part"));
-            out.push('\n');
-            write_node_seen(out, left, depth + 1, seen, ann);
-            write_node_seen(out, right, depth + 1, seen, ann);
+            label
         }
         PhysPlan::SemiJoin { left, right, left_keys, right_keys, .. } => {
-            out.push_str(&format!(
-                "SemiJoin [{}]{}\n",
-                fmt_keys(left, right, left_keys, right_keys),
-                ann.op("part")
-            ));
-            write_node_seen(out, left, depth + 1, seen, ann);
-            write_node_seen(out, right, depth + 1, seen, ann);
+            format!("SemiJoin [{}]", fmt_keys(left, right, left_keys, right_keys))
         }
         PhysPlan::AntiJoin { left, right, left_keys, right_keys, .. } => {
-            out.push_str(&format!(
-                "AntiJoin [{}]{}\n",
-                fmt_keys(left, right, left_keys, right_keys),
-                ann.op("part")
-            ));
-            write_node_seen(out, left, depth + 1, seen, ann);
-            write_node_seen(out, right, depth + 1, seen, ann);
+            format!("AntiJoin [{}]", fmt_keys(left, right, left_keys, right_keys))
         }
-        PhysPlan::Union { left, right, .. } => {
-            out.push_str("Union\n");
-            write_node_seen(out, left, depth + 1, seen, ann);
-            write_node_seen(out, right, depth + 1, seen, ann);
-        }
-        PhysPlan::Diff { left, right, .. } => {
-            out.push_str("Diff\n");
-            write_node_seen(out, left, depth + 1, seen, ann);
-            write_node_seen(out, right, depth + 1, seen, ann);
-        }
-        PhysPlan::Dedup { input, .. } => {
-            out.push_str("Dedup\n");
-            write_node_seen(out, input, depth + 1, seen, ann);
-        }
-        PhysPlan::Shared { id, input, .. } => {
-            let prewarm = match ann.shared.get(id) {
-                Some(level) => format!(" (prewarm L{level})"),
-                None => String::new(),
-            };
-            if seen.insert(*id) {
-                out.push_str(&format!("Shared #{id}{prewarm}\n"));
-                write_node_seen(out, input, depth + 1, seen, ann);
-            } else {
-                out.push_str(&format!("Shared #{id}{prewarm} ^\n"));
-            }
-        }
+        PhysPlan::Union { .. } => "Union".to_string(),
+        PhysPlan::Diff { .. } => "Diff".to_string(),
+        PhysPlan::Dedup { .. } => "Dedup".to_string(),
+        PhysPlan::Shared { id, .. } => format!("Shared #{id}"),
     }
 }
 

@@ -20,23 +20,33 @@
 //!   plus three spawned workers, so a `scatter` never idles the thread
 //!   that owns the query.
 //!
-//! Under `cfg(test)`, worker threads hand their instrumentation
-//! counters ([`crate::indexed::instrument`], [`crate::parallel`]'s) back
-//! to the caller on join, so the thread-local counting the zero-copy
-//! tests rely on keeps working across parallel regions: counts flow up
-//! to whichever thread called `scatter`, nested regions included.
+//! Worker threads hand their event counters
+//! ([`crate::stats::counters`]) back to the caller on join, so
+//! thread-local counting keeps working across parallel regions: counts
+//! flow up to whichever thread called `scatter`, nested regions
+//! included. With a [`PoolStats`] attached (an analyzed execution),
+//! each worker also tallies the jobs it claimed and its busy
+//! nanoseconds into its utilization slot — `None` costs nothing.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 use parking_lot::Mutex;
 
+use crate::stats::PoolStats;
+
 /// Runs `job(0..tasks)` on up to `threads` workers (calling thread
 /// included), returning results in task order. With one worker or one
 /// task this degenerates to a plain sequential loop — no threads are
-/// spawned and no dispatch is counted.
+/// spawned and no dispatch is counted (and no per-job utilization is
+/// recorded: the inline path is not pool work).
 // Task slots are pre-sized to `tasks`; each worker writes its own slot.
 #[allow(clippy::indexing_slicing)]
-pub(crate) fn scatter<T, F>(threads: usize, tasks: usize, job: &F) -> Vec<T>
+pub(crate) fn scatter<T, F>(
+    threads: usize,
+    tasks: usize,
+    pool: Option<&PoolStats>,
+    job: &F,
+) -> Vec<T>
 where
     T: Send,
     F: Fn(usize) -> T + Sync,
@@ -45,37 +55,49 @@ where
     if workers <= 1 {
         return (0..tasks).map(job).collect();
     }
-    instrument::count_dispatch(workers);
+    crate::stats::counters::count_dispatch(workers);
 
     let next = AtomicUsize::new(0);
     let slots: Vec<Mutex<Option<T>>> = (0..tasks).map(|_| Mutex::new(None)).collect();
-    let work = || {
+    let work = |w: usize| {
+        let slot = pool.and_then(|p| p.slot(w));
         loop {
             let i = next.fetch_add(1, Ordering::Relaxed);
             if i >= tasks {
                 break;
             }
-            *slots[i].lock() = Some(job(i));
+            match slot {
+                Some(s) => {
+                    // Busy time is inclusive of nested scatters the job
+                    // performs — attribution, not a wall-clock partition.
+                    let t0 = std::time::Instant::now();
+                    *slots[i].lock() = Some(job(i));
+                    s.record(u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX));
+                }
+                None => {
+                    *slots[i].lock() = Some(job(i));
+                }
+            }
         }
     };
 
     std::thread::scope(|s| {
         let handles: Vec<_> = (1..workers)
-            .map(|_| {
-                s.spawn(|| {
-                    work();
+            .map(|w| {
+                s.spawn(move || {
+                    work(w);
                     // Fresh scoped threads start with zeroed counters, so
                     // the totals at exit are exactly this worker's share.
-                    export_counts()
+                    crate::stats::counters::export()
                 })
             })
             .collect();
-        work();
+        work(0);
         for h in handles {
             // Re-raise a worker's panic with its original payload, so a
             // parallel-only failure keeps its real message and location.
             match h.join() {
-                Ok(counts) => absorb_counts(counts),
+                Ok(counts) => crate::stats::counters::absorb(counts),
                 Err(payload) => std::panic::resume_unwind(payload),
             }
         }
@@ -86,33 +108,6 @@ where
         .map(|slot| slot.into_inner().expect("every task index was claimed once"))
         .collect()
 }
-
-/// A worker's instrumentation totals, handed back to the caller on
-/// join. Compiles to a zero-sized array outside tests.
-#[cfg(test)]
-type WorkerCounts = ([usize; 7], [usize; 3]);
-#[cfg(not(test))]
-type WorkerCounts = [usize; 0];
-
-#[cfg(test)]
-fn export_counts() -> WorkerCounts {
-    (
-        crate::indexed::instrument::export(),
-        crate::parallel::instrument::export(),
-    )
-}
-#[cfg(not(test))]
-fn export_counts() -> WorkerCounts {
-    []
-}
-
-#[cfg(test)]
-fn absorb_counts(counts: WorkerCounts) {
-    crate::indexed::instrument::absorb(counts.0);
-    crate::parallel::instrument::absorb(counts.1);
-}
-#[cfg(not(test))]
-fn absorb_counts(_counts: WorkerCounts) {}
 
 /// Splits `len` items into at most `parts` contiguous ranges of
 /// near-equal size, in order — the deterministic chunking every
@@ -133,39 +128,13 @@ pub(crate) fn chunks(len: usize, parts: usize) -> Vec<std::ops::Range<usize>> {
     out
 }
 
-/// Pool-level instrumentation (dispatch + fan-out); lives here so
-/// [`scatter`] can count without a dependency cycle, re-exported for
-/// tests through [`crate::parallel::instrument`].
-#[cfg(test)]
-pub(crate) mod instrument {
-    use std::cell::Cell;
-
-    thread_local! {
-        /// `scatter` calls that actually went multi-worker.
-        pub static DISPATCHES: Cell<usize> = const { Cell::new(0) };
-        /// Largest worker count of any dispatch.
-        pub static MAX_FANOUT: Cell<usize> = const { Cell::new(0) };
-    }
-
-    pub(crate) fn count_dispatch(workers: usize) {
-        DISPATCHES.with(|c| c.set(c.get() + 1));
-        MAX_FANOUT.with(|c| c.set(c.get().max(workers)));
-    }
-}
-
-#[cfg(not(test))]
-pub(crate) mod instrument {
-    #[inline(always)]
-    pub(crate) fn count_dispatch(_workers: usize) {}
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
     fn scatter_returns_results_in_task_order() {
-        let squares = scatter(4, 37, &|i| i * i);
+        let squares = scatter(4, 37, None, &|i| i * i);
         assert_eq!(squares.len(), 37);
         for (i, s) in squares.iter().enumerate() {
             assert_eq!(*s, i * i);
@@ -175,7 +144,7 @@ mod tests {
     #[test]
     fn single_worker_runs_inline_without_dispatch() {
         crate::parallel::instrument::reset();
-        let out = scatter(1, 8, &|i| i + 1);
+        let out = scatter(1, 8, None, &|i| i + 1);
         assert_eq!(out, vec![1, 2, 3, 4, 5, 6, 7, 8]);
         assert_eq!(crate::parallel::instrument::dispatches(), 0);
     }
@@ -183,7 +152,7 @@ mod tests {
     #[test]
     fn single_task_runs_inline_without_dispatch() {
         crate::parallel::instrument::reset();
-        let out = scatter(8, 1, &|i| i);
+        let out = scatter(8, 1, None, &|i| i);
         assert_eq!(out, vec![0]);
         assert_eq!(crate::parallel::instrument::dispatches(), 0);
     }
@@ -191,7 +160,7 @@ mod tests {
     #[test]
     fn dispatch_and_fanout_are_counted() {
         crate::parallel::instrument::reset();
-        let _ = scatter(3, 9, &|i| i);
+        let _ = scatter(3, 9, None, &|i| i);
         assert_eq!(crate::parallel::instrument::dispatches(), 1);
         assert_eq!(crate::parallel::instrument::max_fanout(), 3);
     }
@@ -211,8 +180,24 @@ mod tests {
             .collect();
         // Each worker builds one index; the builds happen on pool
         // threads but must be visible to this (the calling) thread.
-        let _ = scatter(4, 4, &|i| batches[i].index(&[0]).len());
+        let _ = scatter(4, 4, None, &|i| batches[i].index(&[0]).len());
         assert_eq!(idx::index_builds(), 4);
+    }
+
+    #[test]
+    fn pool_stats_tally_every_claimed_job() {
+        let pool = PoolStats::new_for_test(3);
+        let _ = scatter(3, 9, Some(&pool), &|i| i);
+        let (jobs, busy): (u64, u64) = (0..3)
+            .filter_map(|w| pool.slot(w))
+            .map(|s| s.totals_for_test())
+            .fold((0, 0), |(j, b), (dj, db)| (j + dj, b + db));
+        assert_eq!(jobs, 9, "every job lands in some worker's tally");
+        assert!(busy > 0 || jobs > 0);
+        // The inline degenerate path records nothing.
+        let idle = PoolStats::new_for_test(1);
+        let _ = scatter(1, 4, Some(&idle), &|i| i);
+        assert_eq!(idle.slot(0).unwrap().totals_for_test().0, 0);
     }
 
     #[test]

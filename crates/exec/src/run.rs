@@ -74,6 +74,9 @@ pub(crate) struct ExecContext {
     subplans: Mutex<HashMap<u32, IndexedRelation>>,
     /// Worker count of the parallel engine; `None` on the serial one.
     threads: Option<usize>,
+    /// The analysis sink (`EXPLAIN ANALYZE`); `None` — the common case —
+    /// keeps every recording site a single branch on the disabled path.
+    stats: Option<Arc<crate::stats::QueryStats>>,
 }
 
 impl ExecContext {
@@ -87,9 +90,32 @@ impl ExecContext {
         ExecContext { threads: (threads > 1).then_some(threads), ..ExecContext::default() }
     }
 
+    /// Attaches an analysis sink: every operator, pool worker, and
+    /// fixpoint round of this execution records into `stats`.
+    pub(crate) fn with_stats(mut self, stats: Arc<crate::stats::QueryStats>) -> Self {
+        self.stats = Some(stats);
+        self
+    }
+
     /// The worker count, if this execution is parallel at all.
     pub(crate) fn threads(&self) -> Option<usize> {
         self.threads
+    }
+
+    /// The analysis sink, if this execution is analyzed.
+    pub(crate) fn stats(&self) -> Option<&crate::stats::QueryStats> {
+        self.stats.as_deref()
+    }
+
+    /// The per-worker utilization slots, if this execution is analyzed.
+    pub(crate) fn pool_stats(&self) -> Option<&crate::stats::PoolStats> {
+        self.stats.as_deref().map(crate::stats::QueryStats::pool)
+    }
+
+    /// The stats node mirroring `plan`, if this execution is analyzed
+    /// *and* the plan is part of the registered tree.
+    pub(crate) fn node_stats(&self, plan: &PhysPlan) -> Option<&crate::stats::NodeStats> {
+        self.stats.as_deref().and_then(|s| s.node(plan))
     }
 
     /// Publishes a prewarmed `Shared` sub-plan batch (parallel engine).
@@ -123,8 +149,34 @@ fn check_cols(cols: &[usize], arity: usize, what: &str) -> ExecResult<()> {
 }
 
 /// Executes a plan with optional fixpoint scan state and the
-/// execution's caches.
+/// execution's caches. On an analyzed execution, wraps every node in a
+/// timing + output-cardinality recording; otherwise it *is* the bare
+/// recursion — one `Option` check per node is the whole disabled-path
+/// overhead at this layer.
 pub(crate) fn run_with(
+    plan: &PhysPlan,
+    db: &Database,
+    state: Option<&FixpointState<'_>>,
+    ctx: &ExecContext,
+) -> ExecResult<IndexedRelation> {
+    match ctx.node_stats(plan) {
+        None => run_node(plan, db, state, ctx),
+        Some(node) => {
+            let t0 = std::time::Instant::now();
+            let result = run_node(plan, db, state, ctx);
+            if let Ok(batch) = &result {
+                node.record_batch(
+                    u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX),
+                    batch.len() as u64,
+                );
+            }
+            result
+        }
+    }
+}
+
+/// One operator's evaluation (the `run_with` body, unwrapped).
+fn run_node(
     plan: &PhysPlan,
     db: &Database,
     state: Option<&FixpointState<'_>>,
@@ -148,19 +200,22 @@ pub(crate) fn run_with(
             // happens at most once per relation per execution, which is
             // cheaper than the duplicated materializations (and
             // nondeterministic counters) the racy alternative allows.
-            let base = {
+            let (base, hit) = {
                 let mut scans = ctx.scans.lock();
                 match scans.get(rel) {
-                    Some(batch) => batch.clone(),
+                    Some(batch) => (batch.clone(), true),
                     None => {
                         let stored =
                             db.relation(rel).map_err(|e| ExecError::Eval(e.to_string()))?;
                         let batch = IndexedRelation::from_relation(stored);
                         scans.insert(rel.clone(), batch.clone());
-                        batch
+                        (batch, false)
                     }
                 }
             };
+            if let Some(node) = ctx.node_stats(plan) {
+                node.record_cache(hit);
+            }
             if base.schema().arity() != schema.arity() {
                 return Err(ExecError::Eval(format!(
                     "scan of `{rel}`: plan schema arity {} != stored arity {}",
@@ -198,6 +253,9 @@ pub(crate) fn run_with(
                 let subplans = ctx.subplans.lock();
                 subplans.get(id).cloned()
             };
+            if let Some(node) = ctx.node_stats(plan) {
+                node.record_cache(cached.is_some());
+            }
             let batch = match cached {
                 Some(batch) => batch,
                 None => {
@@ -217,7 +275,10 @@ pub(crate) fn run_with(
             // node's own schema may differ (renames fold into schemas).
             let compiled = compile_pred(pred, batch.schema())?;
             let store = batch.store();
-            let rows = probe_chunked(width, store.len(), &|range| {
+            if let Some(node) = ctx.node_stats(plan) {
+                node.record_input(store.len() as u64);
+            }
+            let rows = probe_chunked(width, store.len(), ctx.pool_stats(), &|range| {
                 let bm = eval_pred_bitmap(&compiled, store, &range);
                 let mut rows = Vec::with_capacity(bm.count_ones());
                 bm.collect_ones(range.start, &mut rows);
@@ -249,23 +310,37 @@ pub(crate) fn run_with(
                     post,
                     schema: join_schema,
                 };
-                return run_hash_join(&join, Some((cols, schema)), &run, width);
+                // Fused, the join node never produces a batch of its
+                // own — attribute its build/probe/match stats to the
+                // join node explicitly (the projection's wrapper above
+                // records only the fused output).
+                return run_hash_join(
+                    &join,
+                    Some((cols, schema)),
+                    &run,
+                    width,
+                    ctx.pool_stats(),
+                    ctx.node_stats(input),
+                );
             }
             let batch = run(input)?;
             project_store(batch.store(), cols, schema.clone())
         }
         PhysPlan::HashJoin { left, right, left_keys, right_keys, right_keep, post, schema } => {
             let join = JoinSpec { left, right, left_keys, right_keys, right_keep, post, schema };
-            run_hash_join(&join, None, &run, width)
+            run_hash_join(&join, None, &run, width, ctx.pool_stats(), ctx.node_stats(plan))
         }
         PhysPlan::SemiJoin { left, right, left_keys, right_keys, schema } => {
             let lb = run(left)?;
             let rb = run(right)?;
             check_cols(left_keys, lb.schema().arity(), "SemiJoin left key")?;
             check_cols(right_keys, rb.schema().arity(), "SemiJoin right key")?;
-            let rindex = build_side_index(&rb, right_keys, width);
+            if let Some(node) = ctx.node_stats(plan) {
+                node.record_join(rb.len() as u64, lb.len() as u64);
+            }
+            let rindex = build_side_index(&rb, right_keys, width, ctx.pool_stats());
             let lstore = lb.store();
-            let rows = probe_chunked(width, lstore.len(), &|range| {
+            let rows = probe_chunked(width, lstore.len(), ctx.pool_stats(), &|range| {
                 let mut key = JoinKey::with_capacity(left_keys.len());
                 let mut rows = Vec::new();
                 for r in range {
@@ -283,9 +358,12 @@ pub(crate) fn run_with(
             let rb = run(right)?;
             check_cols(left_keys, lb.schema().arity(), "AntiJoin left key")?;
             check_cols(right_keys, rb.schema().arity(), "AntiJoin right key")?;
-            let rindex = build_side_index(&rb, right_keys, width);
+            if let Some(node) = ctx.node_stats(plan) {
+                node.record_join(rb.len() as u64, lb.len() as u64);
+            }
+            let rindex = build_side_index(&rb, right_keys, width, ctx.pool_stats());
             let lstore = lb.store();
-            let rows = probe_chunked(width, lstore.len(), &|range| {
+            let rows = probe_chunked(width, lstore.len(), ctx.pool_stats(), &|range| {
                 let mut key = JoinKey::with_capacity(left_keys.len());
                 let mut rows = Vec::new();
                 for r in range {
@@ -382,12 +460,14 @@ fn project_store(
 fn probe_chunked<T: Send>(
     width: usize,
     rows: usize,
+    pool: Option<&crate::stats::PoolStats>,
     job: &(dyn Fn(Range<usize>) -> Vec<T> + Sync),
 ) -> Vec<T> {
     match par_over(width, rows) {
         Some(threads) => {
             let ranges = crate::pool::chunks(rows, threads);
-            let parts = crate::pool::scatter(threads, ranges.len(), &|i| job(ranges[i].clone()));
+            let parts =
+                crate::pool::scatter(threads, ranges.len(), pool, &|i| job(ranges[i].clone()));
             let total = parts.iter().map(Vec::len).sum();
             let mut out = Vec::with_capacity(total);
             for mut p in parts {
@@ -428,9 +508,16 @@ impl ProbeIndex {
     }
 }
 
-fn build_side_index(rb: &IndexedRelation, keys: &[usize], width: usize) -> ProbeIndex {
+fn build_side_index(
+    rb: &IndexedRelation,
+    keys: &[usize],
+    width: usize,
+    pool: Option<&crate::stats::PoolStats>,
+) -> ProbeIndex {
     match par_over(width, rb.len()) {
-        Some(threads) => ProbeIndex::Parts(crate::parallel::partitioned_index(rb, keys, threads)),
+        Some(threads) => {
+            ProbeIndex::Parts(crate::parallel::partitioned_index(rb, keys, threads, pool))
+        }
         None => ProbeIndex::Flat(rb.index(keys)),
     }
 }
@@ -481,13 +568,18 @@ fn run_hash_join(
     project: Option<(&[OutputCol], &Schema)>,
     run: &dyn Fn(&PhysPlan) -> ExecResult<IndexedRelation>,
     width: usize,
+    pool: Option<&crate::stats::PoolStats>,
+    node: Option<&crate::stats::NodeStats>,
 ) -> ExecResult<IndexedRelation> {
     let lb = run(join.left)?;
     let rb = run(join.right)?;
     check_cols(join.left_keys, lb.schema().arity(), "HashJoin left key")?;
     check_cols(join.right_keys, rb.schema().arity(), "HashJoin right key")?;
     check_cols(join.right_keep, rb.schema().arity(), "HashJoin kept right column")?;
-    let rindex = build_side_index(&rb, join.right_keys, width);
+    if let Some(n) = node {
+        n.record_join(rb.len() as u64, lb.len() as u64);
+    }
+    let rindex = build_side_index(&rb, join.right_keys, width, pool);
     // Like Filter: the residual predicate is written in the *inputs'*
     // attribute names, which a rename folded onto this node's output
     // schema may no longer carry.
@@ -532,7 +624,7 @@ fn run_hash_join(
 
     let lstore = lb.store();
     let rstore = rb.store();
-    let pairs: Vec<(RowId, RowId)> = probe_chunked(width, lstore.len(), &|range| {
+    let pairs: Vec<(RowId, RowId)> = probe_chunked(width, lstore.len(), pool, &|range| {
         let mut pairs = Vec::new();
         let mut key = JoinKey::with_capacity(join.left_keys.len());
         for a in range {
@@ -576,6 +668,13 @@ fn run_hash_join(
             columns
         }
     };
+    if project.is_some() {
+        // The fused join's match count, with no time of its own — the
+        // probe ran under the projection node's clock.
+        if let Some(n) = node {
+            n.record_batch(0, out_rows as u64);
+        }
+    }
     Ok(IndexedRelation::from_store(out_schema, ColumnStore::from_columns(columns, out_rows)))
 }
 

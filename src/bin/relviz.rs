@@ -42,9 +42,16 @@ fn run(args: Vec<String>) -> Result<(), String> {
     let mut lang = String::from("sql");
     let mut suite = false;
     let mut verify = false;
+    let mut analyze = false;
+    let mut stats_json: Option<String> = None;
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
         match a.as_str() {
+            "--analyze" => analyze = true,
+            "--stats-json" => {
+                stats_json = Some(it.next().ok_or("--stats-json needs a file path")?);
+                analyze = true; // writing stats implies collecting them
+            }
             "--lang" => {
                 let v = it.next().ok_or("--lang needs sql|ra|trc|datalog")?;
                 match v.as_str() {
@@ -146,18 +153,17 @@ fn run(args: Vec<String>) -> Result<(), String> {
         }
         "check" => check(&db, &lang, suite, positional.get(1).map(String::as_str)),
         "run" => {
-            let sql = positional.get(1).ok_or("usage: relviz run \"<SQL>\"")?;
-            // The interactive path runs on the physical engine by
-            // default; `--engine reference` restores the oracle.
-            let viz = QueryVisualizer::new(formalism, Backend::Ascii).with_engine(engine);
-            if verify {
-                // `--verify`: statically check the plan before running.
-                print!("{}", viz.check(sql, &db).map_err(|e| e.to_string())?);
+            let query = positional.get(1).ok_or("usage: relviz run \"<query>\"")?;
+            match lang.as_str() {
+                "sql" => run_sql(query, &db, formalism, engine, verify, analyze, &stats_json),
+                "datalog" => {
+                    run_datalog(query, &db, engine, verify, analyze, &stats_json)
+                }
+                other => Err(format!(
+                    "run evaluates --lang sql or datalog, not `{other}` \
+                     (use `check` for ra/trc plans)"
+                )),
             }
-            let rel = viz.run(sql, &db).map_err(|e| e.to_string())?;
-            print!("{rel}");
-            println!("({} tuples)", rel.len());
-            Ok(())
         }
         "matrix" => {
             use relviz::diagrams::capability::{try_build, Capability, Formalism};
@@ -187,14 +193,103 @@ fn run(args: Vec<String>) -> Result<(), String> {
                  usage:\n  relviz show   \"<SQL>\"          ASCII diagram\n  \
                  relviz svg    \"<SQL>\" out.svg  SVG diagram\n  \
                  relviz trans  \"<SQL>\"          the query in TRC/DRC/RA/Datalog\n  \
-                 relviz run    \"<SQL>\"          evaluate on the database (--verify checks first)\n  \
+                 relviz run    \"<query>\"        evaluate on the database (--verify checks first,\n                                 --analyze prints EXPLAIN ANALYZE, --lang sql|datalog)\n  \
                  relviz check  \"<query>\"        verify the plan without running (--lang, --suite)\n  \
                  relviz matrix                  expressiveness matrix\n\n\
-                 options: --formalism queryvis|reldiag|dfql|qbe|strings|visualsql|\n                          sqlvis|tabletalk|dataplay|sieuferd|qbd, --db <file>,\n                          --engine exec|parallel|reference (run defaults to exec),\n                          --threads N (for --engine parallel; 0 = auto),\n                          --lang sql|ra|trc|datalog (check input language),\n                          --suite (check every suite query in RA, TRC and Datalog)"
+                 options: --formalism queryvis|reldiag|dfql|qbe|strings|visualsql|\n                          sqlvis|tabletalk|dataplay|sieuferd|qbd, --db <file>,\n                          --engine exec|parallel|reference (run defaults to exec),\n                          --threads N (for --engine parallel; 0 = auto),\n                          --lang sql|ra|trc|datalog (check/run input language),\n                          --suite (check every suite query in RA, TRC and Datalog),\n                          --analyze (run with per-operator runtime stats),\n                          --stats-json <file> (write the stats as JSON; implies --analyze)"
             );
             Ok(())
         }
     }
+}
+
+/// `relviz run` on SQL: evaluate on the pipeline's engine, optionally
+/// statically verified first (`--verify`) and/or instrumented
+/// (`--analyze` / `--stats-json` — EXPLAIN ANALYZE).
+fn run_sql(
+    sql: &str,
+    db: &Database,
+    formalism: VisFormalism,
+    engine: Engine,
+    verify: bool,
+    analyze: bool,
+    stats_json: &Option<String>,
+) -> Result<(), String> {
+    // The interactive path runs on the physical engine by default;
+    // `--engine reference` restores the oracle.
+    let viz = QueryVisualizer::new(formalism, Backend::Ascii).with_engine(engine);
+    if verify {
+        // `--verify`: statically check the plan before running.
+        print!("{}", viz.check(sql, db).map_err(|e| e.to_string())?);
+    }
+    if analyze {
+        let (rel, report) = viz.run_analyzed(sql, db).map_err(|e| e.to_string())?;
+        print!("{rel}");
+        println!("({} tuples)", rel.len());
+        print!("{}", report.text);
+        write_stats_json(stats_json, &report)?;
+        return Ok(());
+    }
+    let rel = viz.run(sql, db).map_err(|e| e.to_string())?;
+    print!("{rel}");
+    println!("({} tuples)", rel.len());
+    Ok(())
+}
+
+/// `relviz run --lang datalog`: evaluate a Datalog program's query
+/// predicate on the chosen engine, with the same `--verify` /
+/// `--analyze` / `--stats-json` composition as SQL.
+fn run_datalog(
+    src: &str,
+    db: &Database,
+    engine: Engine,
+    verify: bool,
+    analyze: bool,
+    stats_json: &Option<String>,
+) -> Result<(), String> {
+    use relviz::exec::{
+        analyze_program, error_count, plan_datalog, render_diagnostics, verification_footer,
+        verify_fixpoint,
+    };
+    let prog = relviz::datalog::parse::parse_program(src).map_err(|e| e.to_string())?;
+    if verify {
+        let analysis = analyze_program(&prog, db);
+        if error_count(&analysis) > 0 {
+            return Err(render_diagnostics(&analysis));
+        }
+        print!("{}", render_diagnostics(&analysis)); // warnings, if any
+        let plan = plan_datalog(&prog, db).map_err(|e| e.to_string())?;
+        let diags = verify_fixpoint(&plan, Some(db));
+        print!("{}", verification_footer(plan.node_count(), &diags));
+        if error_count(&diags) > 0 {
+            return Err(format!("{} verification error(s)", error_count(&diags)));
+        }
+    }
+    if analyze {
+        let (rel, report) =
+            relviz::exec::eval_datalog_analyzed(engine, &prog, db).map_err(|e| e.to_string())?;
+        print!("{rel}");
+        println!("({} tuples)", rel.len());
+        print!("{}", report.text);
+        write_stats_json(stats_json, &report)?;
+        return Ok(());
+    }
+    let rel = relviz::exec::eval_datalog(engine, &prog, db).map_err(|e| e.to_string())?;
+    print!("{rel}");
+    println!("({} tuples)", rel.len());
+    Ok(())
+}
+
+/// Writes a stats report's machine-readable form, if a path was given.
+fn write_stats_json(
+    path: &Option<String>,
+    report: &relviz::exec::StatsReport,
+) -> Result<(), String> {
+    if let Some(p) = path {
+        std::fs::write(p, report.to_json()).map_err(|e| format!("writing {p}: {e}"))?;
+        eprintln!("relviz: wrote stats to {p}");
+    }
+    Ok(())
 }
 
 /// `relviz check`: plans without running, then walks the plan with the
