@@ -39,7 +39,9 @@ cargo run --release --bin relviz -- check --suite
 # 4d. EXPLAIN ANALYZE surfaces: a suite query run with --analyze
 #     --stats-json must emit schema relviz-stats-v1 with exactly one
 #     operator object per plan node (plan_nodes == count of "op" rows),
-#     and a recursive Datalog run must print the per-round delta table.
+#     an `est_rows` estimate on every operator row, and a top-level
+#     `max_q_error`; a recursive Datalog run must print the per-round
+#     delta table.
 stats_json=$(mktemp)
 cargo run --release --bin relviz -- run \
     "SELECT S.sname FROM Sailor S, Reserves R WHERE S.sid = R.sid AND R.bid = 102" \
@@ -47,12 +49,20 @@ cargo run --release --bin relviz -- run \
 awk '
     /"schema": "relviz-stats-v1"/ { schema++ }
     /"plan_nodes":/ { gsub(/[^0-9]/, ""); nodes = $0 + 0 }
-    /"op":/ { ops++ }
-    END { if (schema != 1 || nodes < 1 || ops != nodes) { print "stats json schema check failed: schema=" schema+0, "plan_nodes=" nodes+0, "op rows=" ops+0; exit 1 } }' "$stats_json"
+    /"max_q_error":/ { qerr++ }
+    /"op":/ { ops++; if ($0 !~ /"est_rows":/) est_missing++ }
+    END { if (schema != 1 || nodes < 1 || ops != nodes || qerr != 1 || est_missing > 0) { print "stats json schema check failed: schema=" schema+0, "plan_nodes=" nodes+0, "op rows=" ops+0, "max_q_error rows=" qerr+0, "rows missing est_rows=" est_missing+0; exit 1 } }' "$stats_json"
 rm -f "$stats_json"
 cargo run --release --bin relviz -- run \
     "edge(X, Y) :- Reserves(X, Y, D). tc(X, Y) :- edge(X, Y). tc(X, Z) :- tc(X, Y), edge(Y, Z)." \
     --lang datalog --analyze | grep -q "stratum 0 round"
+
+# 4e. Optimizer A/B toggle: the analyzed footer must report the plan
+#     mode, and --no-opt must flip it to unoptimized.
+cargo run --release --bin relviz -- run \
+    "SELECT S.sname FROM Sailor S" --analyze | grep -q "plan=optimized"
+cargo run --release --bin relviz -- run \
+    "SELECT S.sname FROM Sailor S" --analyze --no-opt | grep -q "plan=unoptimized"
 
 # 5. Timed S1 smoke run: the θ-join/product workload at n=1000, the
 #    recursive transitive-closure workload at n ∈ {100, 300, 1000}
@@ -66,25 +76,29 @@ cargo run --release --bin relviz -- run \
 #    gated workloads (θ-join/product, datalog_tc at n=1000), (b) exec
 #    datalog_tc at n=1000 beats the pre-zero-copy exec baseline
 #    (~14.5 ms) by ≥2×, (c) the vectorized columnar filter beats the
-#    row-major baseline by ≥2× at n=1e5, and (d) on hardware with ≥4
+#    row-major baseline by ≥2× at n=1e5, (d) on hardware with ≥4
 #    threads, parallel datalog_tc at n=3000 beats single-thread exec by
 #    ≥1.5× (self-skipping on narrower machines, where the ratio is
-#    physically unattainable).
+#    physically unattainable), (e) cost-based join reordering beats the
+#    syntactic order ≥10× on the pathological opt_chain workload at
+#    n=1000, and (f) magic sets beat full materialization ≥5× on the
+#    bound-goal datalog_magic workload at n=1000.
 rows_before=$(wc -l < BENCH_exec.json)
 cargo run --release -p relviz-bench --bin s1_exec -- 1000 --assert --out BENCH_exec.json
 rows_appended=$(( $(wc -l < BENCH_exec.json) - rows_before ))
 
-# 6. BENCH_exec.json schema: the run above appends exactly 31 rows (14
+# 6. BENCH_exec.json schema: the run above appends exactly 35 rows (14
 #    workload rows + the exec-analyzed overhead row, gated at ≤5% over
-#    uninstrumented datalog_tc + 16 per-operator kernel rows), every one carries
-#    the `threads` field (1 for the serial engines, the worker count on
-#    the parallel row), and at least one of them is the parallel
-#    engine's deep-workload measurement. The window is computed from
-#    the actual append count, so adding workloads cannot silently
-#    misalign the check — but the exact count must be updated here when
-#    workloads are added, which is the point: the snapshot schema is
-#    part of the contract.
-test "$rows_appended" -eq 31
+#    uninstrumented datalog_tc + 4 optimizer A/B rows (opt_chain
+#    optimized/syntactic, datalog_magic magic/full) + 16 per-operator
+#    kernel rows), every one carries the `threads` field (1 for the
+#    serial engines, the worker count on the parallel row), and at
+#    least one of them is the parallel engine's deep-workload
+#    measurement. The window is computed from the actual append count,
+#    so adding workloads cannot silently misalign the check — but the
+#    exact count must be updated here when workloads are added, which
+#    is the point: the snapshot schema is part of the contract.
+test "$rows_appended" -eq 35
 tail -n "$rows_appended" BENCH_exec.json | awk '
     !/"threads": [0-9]+/ { bad++ }
     /"engine": "parallel"/ { par++ }

@@ -43,7 +43,10 @@ use std::time::Instant;
 use relviz_datalog::parse::parse_program;
 use relviz_exec::indexed::{Index, JoinKey};
 use relviz_exec::run::{bench_filter, bench_hashjoin_probe, bench_project};
-use relviz_exec::{execute, plan_ra, plan_trc, Engine, IndexedRelation, OutputCol};
+use relviz_exec::{
+    eval_datalog_with, execute, plan_ra, plan_ra_with, plan_trc, Engine, IndexedRelation,
+    OptConfig, OutputCol,
+};
 use relviz_model::generate::{generate_binary_pair, generate_sailors, GenConfig};
 use relviz_model::{CmpOp, Database, DataType, Relation, Schema, Tuple, Value};
 use relviz_ra::{Operand, Predicate};
@@ -72,6 +75,29 @@ const SG_PROGRAM: &str = "% query: sg\n\
                           sg(X, X) :- R(X, Y).\n\
                           sg(X, X) :- R(Y, X).\n\
                           sg(X, Y) :- R(XP, X), sg(XP, YP), R(YP, Y).";
+
+/// The pathological-order chain for the join-reordering gate, written
+/// in the worst syntactic order: `A ⋈ B` is a low-selectivity join on
+/// `j` (quadratic intermediate), while tiny `C` would have pruned the
+/// chain immediately. The optimizer must start from `C`.
+const OPT_CHAIN: &str = "Project[a](Join(Join(A, B), C))";
+
+/// The bound-goal recursive workload for the magic-sets gate: full
+/// evaluation materializes all of `tc` (every source's closure); the
+/// demand transformation only derives `tc(1, ·)` — single-source
+/// reachability.
+const MAGIC_TC_PROGRAM: &str = "% query: q\n\
+                                tc(X, Y) :- R(X, Y).\n\
+                                tc(X, Z) :- tc(X, Y), R(Y, Z).\n\
+                                q(Y) :- tc(1, Y).";
+
+/// The join-reordering gate: the cost-based order must beat the
+/// syntactic order by this factor on [`OPT_CHAIN`] at n=1000.
+const REORDER_GATE: f64 = 10.0;
+
+/// The magic-sets gate: the demand-transformed bound-goal query must
+/// beat full materialization by this factor at n=1000.
+const MAGIC_GATE: f64 = 5.0;
 
 /// The exec engine's `datalog_tc @ n=1000` wall time before the
 /// zero-copy batch architecture (PR 3 exec baseline in
@@ -189,6 +215,106 @@ fn run_datalog_workload(
     }
     snaps.push(Snapshot { engine: "exec", query, n: m, threads: 1, wall_ms: exec_ms });
     (snaps, speedup, exec_ms, exec_out)
+}
+
+/// The large×large×tiny chain database for [`OPT_CHAIN`]:
+/// `A(a, j)` (n rows, 4 distinct `j`), `B(j, k)` (n rows, 4 distinct
+/// `j`, all-distinct `k`), `C(k, c)` (1 row, `k = 0`). Joined
+/// syntactically, `A ⋈ B` explodes to n²/4 rows before `C` filters;
+/// joined cost-first, `C ⋈ B` yields one row.
+fn opt_chain_db(n: usize) -> Database {
+    let int = |v: usize| Value::Int(v as i64);
+    let mut db = Database::new();
+    db.set(
+        "A",
+        Relation::from_tuples_unchecked(
+            Schema::of(&[("a", DataType::Int), ("j", DataType::Int)]),
+            (0..n).map(|i| Tuple::new(vec![int(i), int(i % 4)])).collect(),
+        ),
+    );
+    db.set(
+        "B",
+        Relation::from_tuples_unchecked(
+            Schema::of(&[("j", DataType::Int), ("k", DataType::Int)]),
+            (0..n).map(|i| Tuple::new(vec![int(i % 4), int(i)])).collect(),
+        ),
+    );
+    db.set(
+        "C",
+        Relation::from_tuples_unchecked(
+            Schema::of(&[("k", DataType::Int), ("c", DataType::Int)]),
+            vec![Tuple::new(vec![int(0), int(0)])],
+        ),
+    );
+    db
+}
+
+/// The pathological-order chain, optimized vs. syntactic: returns the
+/// snapshots and the syntactic/optimized wall-time ratio (the
+/// [`REORDER_GATE`] numerator).
+fn run_opt_chain(n: usize) -> (Vec<Snapshot>, f64) {
+    let db = opt_chain_db(n);
+    let expr = relviz_ra::parse::parse_ra(OPT_CHAIN).expect("workload parses");
+    let opt_plan = plan_ra_with(&expr, &db, OptConfig::optimized()).expect("plans optimized");
+    let noopt_plan =
+        plan_ra_with(&expr, &db, OptConfig::unoptimized()).expect("plans unoptimized");
+    let (opt_ms, opt_out) = time_ms(5, || execute(&opt_plan, &db).expect("executes"));
+    let (noopt_ms, noopt_out) = time_ms(3, || execute(&noopt_plan, &db).expect("executes"));
+    assert!(
+        opt_out.same_contents(&noopt_out) && format!("{opt_out}") == format!("{noopt_out}"),
+        "reordered chain diverges from the syntactic order @ {n}"
+    );
+    assert!(!opt_out.is_empty(), "opt_chain @ {n} is empty");
+    let snaps = vec![
+        Snapshot { engine: "exec", query: "opt_chain", n, threads: 1, wall_ms: opt_ms },
+        Snapshot { engine: "exec-noopt", query: "opt_chain", n, threads: 1, wall_ms: noopt_ms },
+    ];
+    (snaps, noopt_ms / opt_ms.max(1e-6))
+}
+
+/// The multi-component graph for the magic-sets gate: `n` nodes in
+/// disjoint 50-node chains. Full evaluation closes every chain from
+/// every node (≈ 25·n tc facts); the bound goal `tc(1, ·)` only walks
+/// node 1's own chain (≤ 49 facts).
+fn magic_db(n: usize) -> Database {
+    let mut db = Database::new();
+    db.set(
+        "R",
+        Relation::from_tuples_unchecked(
+            Schema::of(&[("a", DataType::Int), ("b", DataType::Int)]),
+            (0..n.saturating_sub(1))
+                .filter(|i| i % 50 != 49) // chain boundaries stay unlinked
+                .map(|i| Tuple::new(vec![Value::Int(i as i64), Value::Int(i as i64 + 1)]))
+                .collect(),
+        ),
+    );
+    db
+}
+
+/// The bound-goal TC query, demand-transformed vs. fully materialized:
+/// returns the snapshots and the full/magic wall-time ratio (the
+/// [`MAGIC_GATE`] numerator).
+fn run_magic_workload(n: usize) -> (Vec<Snapshot>, f64) {
+    let db = magic_db(n);
+    let prog = parse_program(MAGIC_TC_PROGRAM).expect("workload parses");
+    let full_cfg = OptConfig { reorder: true, magic: false };
+    let (magic_ms, magic_out) = time_ms(5, || {
+        eval_datalog_with(Engine::Indexed, &prog, &db, OptConfig::optimized())
+            .expect("magic evaluates")
+    });
+    let (full_ms, full_out) = time_ms(3, || {
+        eval_datalog_with(Engine::Indexed, &prog, &db, full_cfg).expect("full evaluates")
+    });
+    assert!(
+        magic_out.same_contents(&full_out) && format!("{magic_out}") == format!("{full_out}"),
+        "magic sets diverge from full evaluation @ {n}"
+    );
+    assert!(!magic_out.is_empty(), "datalog_magic @ {n} is empty");
+    let snaps = vec![
+        Snapshot { engine: "exec", query: "datalog_magic", n, threads: 1, wall_ms: magic_ms },
+        Snapshot { engine: "exec-full", query: "datalog_magic", n, threads: 1, wall_ms: full_ms },
+    ];
+    (snaps, full_ms / magic_ms.max(1e-6))
 }
 
 /// splitmix64 — a self-contained deterministic stream for the micro
@@ -478,6 +604,14 @@ fn main() {
     let (sg_snaps, _, _, _) = run_datalog_workload("datalog_sg", SG_PROGRAM, 0x56AA, n, true);
     snaps.extend(sg_snaps);
 
+    // The optimizer workloads: the pathological-order join chain
+    // (cost-based reordering vs. the syntactic order) and the
+    // bound-goal TC query (magic sets vs. full materialization).
+    let (chain_snaps, reorder_speedup) = run_opt_chain(n);
+    snaps.extend(chain_snaps);
+    let (magic_snaps, magic_speedup) = run_magic_workload(n);
+    snaps.extend(magic_snaps);
+
     // The per-operator kernel rows (fixed sizes, see MICRO_SIZES).
     let (micro_snaps, filter_speedup) = run_operator_micros();
     snaps.extend(micro_snaps);
@@ -506,6 +640,8 @@ fn main() {
         "  vectorized filter @ n={} (rowmajor/exec): {filter_speedup:.1}×",
         MICRO_SIZES[MICRO_SIZES.len() - 1]
     );
+    println!("  opt_chain reordering @ n={n} (syntactic/optimized): {reorder_speedup:.1}×");
+    println!("  datalog_magic @ n={n} (full/magic): {magic_speedup:.1}×");
     println!(
         "  datalog_tc analyzed @ n={}: {analyzed_ms:.3} ms vs {tc_exec_ms:.3} ms \
          uninstrumented ({:+.1}%)",
@@ -550,6 +686,23 @@ fn main() {
             "FAIL: exec datalog_tc @ n=1000 took {tc_exec_ms:.3} ms, \
              over the zero-copy gate of {:.2} ms (2x the {TC_BASELINE_MS} ms baseline)",
             TC_BASELINE_MS / 2.0
+        );
+        std::process::exit(1);
+    }
+    // The optimizer gates are calibrated at n=1000, like the zero-copy
+    // gate: the cost-based order must dodge the quadratic intermediate,
+    // and the demand transformation must skip the all-sources closure.
+    if assert_speedup && n == 1000 && reorder_speedup < REORDER_GATE {
+        eprintln!(
+            "FAIL: cost-based reordering is only {reorder_speedup:.2}× over the \
+             syntactic order on opt_chain @ n={n}, below the {REORDER_GATE}× gate"
+        );
+        std::process::exit(1);
+    }
+    if assert_speedup && n == 1000 && magic_speedup < MAGIC_GATE {
+        eprintln!(
+            "FAIL: magic sets are only {magic_speedup:.2}× over full materialization \
+             on datalog_magic @ n={n}, below the {MAGIC_GATE}× gate"
         );
         std::process::exit(1);
     }

@@ -33,12 +33,26 @@ use relviz_ra::{Operand, Predicate};
 
 use crate::error::{ExecError, ExecResult};
 use crate::fixpoint::{DeltaPlan, FixpointPlan, RulePlan, StratumPlan};
+use crate::opt::OptConfig;
 use crate::plan::{OutputCol, PhysPlan};
 use crate::planner::apply_filter;
 
 /// Lowers a program (range-restriction-checked and stratified first)
-/// into a recursive-query plan for [`crate::fixpoint::eval_fixpoint`].
+/// into a recursive-query plan for [`crate::fixpoint::eval_fixpoint`],
+/// under the process-wide optimizer setting.
 pub fn plan_datalog(program: &Program, db: &Database) -> ExecResult<FixpointPlan> {
+    plan_datalog_with(program, db, OptConfig::current())
+}
+
+/// [`plan_datalog`] with an explicit optimizer configuration:
+/// `cfg.reorder` enables cost-based ordering of each rule body's
+/// positive atoms ([`crate::opt::order_atoms`]) in place of the
+/// syntactic left-to-right chain.
+pub fn plan_datalog_with(
+    program: &Program,
+    db: &Database,
+    cfg: OptConfig,
+) -> ExecResult<FixpointPlan> {
     check_range_restriction(program)?;
     let arities = idb_arities(program)?;
     let schemas: HashMap<String, Schema> =
@@ -49,12 +63,12 @@ pub fn plan_datalog(program: &Program, db: &Database) -> ExecResult<FixpointPlan
         for component in split_layer(layer) {
             let mut rules = Vec::new();
             for rule in &component.rules {
-                let full = compile_rule(rule, db, &arities, None)?;
+                let full = compile_rule(rule, db, &arities, None, cfg)?;
                 let mut deltas = Vec::new();
                 for occurrence in component.delta_occurrences(rule) {
                     deltas.push(DeltaPlan {
                         occurrence,
-                        plan: compile_rule(rule, db, &arities, Some(occurrence))?,
+                        plan: compile_rule(rule, db, &arities, Some(occurrence), cfg)?,
                     });
                 }
                 rules.push(RulePlan {
@@ -261,15 +275,36 @@ fn compile_rule(
     db: &Database,
     arities: &HashMap<String, usize>,
     delta_occ: Option<usize>,
+    cfg: OptConfig,
 ) -> ExecResult<PhysPlan> {
     let mut named: HashSet<String> = HashSet::new();
     // var → column position in the accumulated plan.
     let mut env: HashMap<String, usize> = HashMap::new();
     let mut plan: Option<PhysPlan> = None;
 
-    // 1. Positive atoms, in body order, as a hash-join chain.
-    for (i, lit) in rule.body.iter().enumerate() {
-        let Literal::Pos(atom) = lit else { continue };
+    // 1. Positive atoms as a hash-join chain — in body order, or (with
+    // the optimizer on) in the cost-based order from `opt::order_atoms`.
+    // Scans keep their *original* body index for column naming and for
+    // identifying the delta occurrence, so a reordered plan still reads
+    // like its rule.
+    let positives: Vec<(usize, &Atom)> = rule
+        .body
+        .iter()
+        .enumerate()
+        .filter_map(|(i, lit)| match lit {
+            Literal::Pos(atom) => Some((i, atom)),
+            _ => None,
+        })
+        .collect();
+    let order: Vec<usize> = if cfg.reorder {
+        let atoms: Vec<&Atom> = positives.iter().map(|(_, a)| *a).collect();
+        let delta_pos = delta_occ.and_then(|occ| positives.iter().position(|(i, _)| *i == occ));
+        crate::opt::order_atoms(&atoms, delta_pos, db, arities)
+    } else {
+        (0..positives.len()).collect()
+    };
+    for &slot in &order {
+        let Some(&(i, atom)) = positives.get(slot) else { continue };
         let scanned = scan_atom(atom, i, db, arities, delta_occ == Some(i), &mut named)?;
         match plan.take() {
             None => {

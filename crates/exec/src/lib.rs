@@ -56,6 +56,7 @@ pub mod datalog_planner;
 pub mod error;
 pub mod fixpoint;
 pub mod indexed;
+pub mod opt;
 pub mod parallel;
 pub mod plan;
 pub mod planner;
@@ -65,15 +66,19 @@ pub mod stats;
 pub mod verify;
 
 pub use column::{Column, ColumnData, ColumnStore, RowId, StrInterner};
-pub use datalog_planner::plan_datalog;
+pub use datalog_planner::{plan_datalog, plan_datalog_with};
 pub use error::{ExecError, ExecResult};
 pub use fixpoint::{
     eval_fixpoint, explain_datalog, explain_datalog_parallel, stratum_levels, FixpointPlan,
 };
 pub use indexed::IndexedRelation;
+pub use opt::{
+    estimate_fixpoint, estimate_plan, magic_transform, optimizer_enabled, set_optimizer_enabled,
+    stats_of, ColSketch, OptConfig, TableStats,
+};
 pub use parallel::{execute_parallel, resolve_threads};
 pub use plan::{explain, explain_parallel, OutputCol, PhysPlan};
-pub use planner::{plan_ra, plan_trc};
+pub use planner::{plan_ra, plan_ra_with, plan_trc, plan_trc_with};
 pub use run::execute;
 pub use stats::{
     eval_datalog_analyzed, run_sql_analyzed, OpRow, RoundRow, StatsReport, WorkerRow,
@@ -157,11 +162,21 @@ pub fn eval_datalog_all(
     program: &relviz_datalog::Program,
     db: &Database,
 ) -> ExecResult<HashMap<String, Relation>> {
+    eval_datalog_all_with(engine, program, db, OptConfig::current())
+}
+
+/// [`eval_datalog_all`] with an explicit optimizer configuration.
+pub fn eval_datalog_all_with(
+    engine: Engine,
+    program: &relviz_datalog::Program,
+    db: &Database,
+    cfg: OptConfig,
+) -> ExecResult<HashMap<String, Relation>> {
     match engine {
         Engine::Reference => Ok(relviz_datalog::eval::eval_all(program, db)?),
-        Engine::Indexed => eval_fixpoint(&plan_datalog(program, db)?, db),
+        Engine::Indexed => eval_fixpoint(&plan_datalog_with(program, db, cfg)?, db),
         Engine::Parallel(t) => parallel::eval_fixpoint_parallel(
-            &plan_datalog(program, db)?,
+            &plan_datalog_with(program, db, cfg)?,
             db,
             resolve_threads(t),
         ),
@@ -169,13 +184,39 @@ pub fn eval_datalog_all(
 }
 
 /// Evaluates a Datalog program on the chosen engine, returning the
-/// answer predicate's relation.
+/// answer predicate's relation. On the physical engines, with the
+/// optimizer enabled, the program first goes through the magic-sets
+/// demand transformation ([`magic_transform`]) so only the IDB the
+/// query demands is materialized; the reference engine always runs the
+/// program as written, keeping it an independent oracle for the
+/// transformation in every differential test.
 pub fn eval_datalog(
     engine: Engine,
     program: &relviz_datalog::Program,
     db: &Database,
 ) -> ExecResult<Relation> {
-    let mut all = eval_datalog_all(engine, program, db)?;
+    eval_datalog_with(engine, program, db, OptConfig::current())
+}
+
+/// [`eval_datalog`] with an explicit optimizer configuration.
+pub fn eval_datalog_with(
+    engine: Engine,
+    program: &relviz_datalog::Program,
+    db: &Database,
+    cfg: OptConfig,
+) -> ExecResult<Relation> {
+    if cfg.magic && !matches!(engine, Engine::Reference) {
+        if let Some(transformed) = opt::magic_transform(program) {
+            // Defensive fallback: a transformed program the planner
+            // refuses (it never should) evaluates untransformed below.
+            if let Ok(mut all) = eval_datalog_all_with(engine, &transformed, db, cfg) {
+                if let Some(rel) = all.remove(&transformed.query) {
+                    return Ok(rel);
+                }
+            }
+        }
+    }
+    let mut all = eval_datalog_all_with(engine, program, db, cfg)?;
     all.remove(&program.query).ok_or_else(|| {
         ExecError::Eval(format!("query predicate `{}` was never derived", program.query))
     })

@@ -296,10 +296,26 @@ pub(crate) fn shared_levels(plan: &PhysPlan) -> Vec<Vec<(u32, &PhysPlan)>> {
 // RA → physical plan
 // ---------------------------------------------------------------------------
 
-/// Lowers a Relational Algebra expression (type-checking it first).
+/// Lowers a Relational Algebra expression (type-checking it first),
+/// under the process-wide optimizer setting.
 pub fn plan_ra(expr: &RaExpr, db: &Database) -> ExecResult<PhysPlan> {
+    plan_ra_with(expr, db, crate::opt::OptConfig::current())
+}
+
+/// [`plan_ra`] with an explicit optimizer configuration: `cfg.reorder`
+/// runs the cost-based join reordering pass ([`crate::opt`]) between
+/// lowering and the common-subplan pass.
+pub fn plan_ra_with(
+    expr: &RaExpr,
+    db: &Database,
+    cfg: crate::opt::OptConfig,
+) -> ExecResult<PhysPlan> {
     schema_of(expr, db)?; // surface type errors with the RA crate's messages
-    let plan = lower_ra(expr, db).map(share_common_subplans)?;
+    let mut plan = lower_ra(expr, db)?;
+    if cfg.reorder {
+        plan = crate::opt::reorder_plan(plan, db);
+    }
+    let plan = share_common_subplans(plan);
     crate::verify::debug_verify_plan(&plan, db);
     Ok(plan)
 }
@@ -692,9 +708,20 @@ fn mangle(var: &str, attr: &str) -> String {
     format!("{var}__{attr}")
 }
 
-/// Lowers a (checked) TRC query. `∀` is eliminated as `¬∃¬` first;
-/// `∃`-nests become semi-joins, `¬∃`-nests anti-joins.
+/// Lowers a (checked) TRC query under the process-wide optimizer
+/// setting. `∀` is eliminated as `¬∃¬` first; `∃`-nests become
+/// semi-joins, `¬∃`-nests anti-joins.
 pub fn plan_trc(q: &TrcQuery, db: &Database) -> ExecResult<PhysPlan> {
+    plan_trc_with(q, db, crate::opt::OptConfig::current())
+}
+
+/// [`plan_trc`] with an explicit optimizer configuration (see
+/// [`plan_ra_with`]).
+pub fn plan_trc_with(
+    q: &TrcQuery,
+    db: &Database,
+    cfg: crate::opt::OptConfig,
+) -> ExecResult<PhysPlan> {
     let head_types = check_query(q, db)?;
     let q = q.eliminate_forall();
     let mut branch_plans: Vec<PhysPlan> = Vec::with_capacity(q.branches.len());
@@ -727,6 +754,7 @@ pub fn plan_trc(q: &TrcQuery, db: &Database) -> ExecResult<PhysPlan> {
         .into_iter()
         .reduce(union)
         .map(|p| if many { dedup(p) } else { p })
+        .map(|p| if cfg.reorder { crate::opt::reorder_plan(p, db) } else { p })
         .map(share_common_subplans)
         .ok_or_else(|| ExecError::Plan("query has no branches".into()))?;
     crate::verify::debug_verify_plan(&plan, db);

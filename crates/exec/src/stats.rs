@@ -343,6 +343,13 @@ pub struct QueryStats {
     ids: HashMap<usize, usize>,
     metas: Vec<NodeMeta>,
     nodes: Vec<NodeStats>,
+    /// Optimizer row estimates, one per registered node in id order
+    /// (set by the analyzed entry points via [`crate::opt::estimate_plan`];
+    /// empty when estimation was skipped).
+    ests: Vec<f64>,
+    /// Whether the optimizer was enabled when this analysis was built —
+    /// rendered as `plan=optimized|unoptimized` in the footer.
+    optimized: bool,
     pool: PoolStats,
     rounds: Mutex<Vec<RoundRec>>,
     started: Instant,
@@ -389,6 +396,8 @@ impl QueryStats {
             ids: HashMap::new(),
             metas: Vec::new(),
             nodes: Vec::new(),
+            ests: Vec::new(),
+            optimized: crate::opt::optimizer_enabled(),
             pool: PoolStats::new(threads),
             rounds: Mutex::new(Vec::new()),
             started: Instant::now(),
@@ -426,6 +435,16 @@ impl QueryStats {
         }
     }
 
+    /// Attaches the optimizer's per-node row estimates. The vector must
+    /// mirror the registration walk (the estimator and [`register`] use
+    /// the same pre-order); a length mismatch drops the estimates rather
+    /// than mislabeling nodes.
+    pub(crate) fn set_estimates(&mut self, ests: Vec<f64>) {
+        if ests.len() == self.nodes.len() {
+            self.ests = ests;
+        }
+    }
+
     /// The tallies for a node, by address. `None` for nodes outside the
     /// registered tree (defensive: an unregistered plan records nothing
     /// rather than corrupting a neighbor's row).
@@ -452,13 +471,15 @@ impl QueryStats {
         let (Some(node), Some(meta)) = (self.nodes.get(id), self.metas.get(id)) else {
             return String::new();
         };
+        let est = self.ests.get(id).map(|e| format!("est={} ", fmt_est(*e))).unwrap_or_default();
         let batches = node.batches.load(Ordering::Relaxed);
         if batches == 0 {
-            return " (never executed)".to_string();
+            return format!(" ({est}never executed)");
         }
         let rows = node.rows_out.load(Ordering::Relaxed);
         let ns = node.time_ns.load(Ordering::Relaxed);
-        let mut out = format!(" (actual rows={rows} batches={batches} time={}", fmt_ms(ns));
+        let mut out =
+            format!(" ({est}actual rows={rows} batches={batches} time={}", fmt_ms(ns));
         let rows_in = node.rows_in.load(Ordering::Relaxed);
         if meta.op == "Filter" && rows_in > 0 {
             #[allow(clippy::cast_precision_loss)] // row counts as percentages, display only
@@ -551,12 +572,6 @@ impl QueryStats {
                 ));
             }
         }
-        text.push_str(&format!(
-            "Analyzed: engine={} threads={} time={}\n",
-            self.engine,
-            self.threads,
-            fmt_ms(total_ns)
-        ));
         let operators: Vec<OpRow> = self
             .metas
             .iter()
@@ -568,6 +583,7 @@ impl QueryStats {
                 op: meta.op,
                 label: meta.label.clone(),
                 depth: meta.depth,
+                est_rows: self.ests.get(id).copied().unwrap_or(-1.0),
                 batches: node.batches.load(Ordering::Relaxed),
                 rows_out: node.rows_out.load(Ordering::Relaxed),
                 rows_in: node.rows_in.load(Ordering::Relaxed),
@@ -578,6 +594,26 @@ impl QueryStats {
                 cache_misses: node.cache_misses.load(Ordering::Relaxed),
             })
             .collect();
+        // Max q-error over executed, estimated operators: how far off
+        // (symmetrically, ≥1) the worst estimate was. 1.0 when nothing
+        // qualifies — a perfect score for an empty comparison.
+        #[allow(clippy::cast_precision_loss)] // row counts, comparison only
+        let max_q_error = operators
+            .iter()
+            .filter(|op| op.batches > 0 && op.est_rows >= 0.0)
+            .map(|op| {
+                let est = op.est_rows.max(1.0);
+                let actual = (op.rows_out as f64).max(1.0);
+                (est / actual).max(actual / est)
+            })
+            .fold(1.0_f64, f64::max);
+        text.push_str(&format!(
+            "Analyzed: engine={} threads={} time={} plan={} max_q_error={max_q_error:.2}\n",
+            self.engine,
+            self.threads,
+            fmt_ms(total_ns),
+            if self.optimized { "optimized" } else { "unoptimized" },
+        ));
         let counter_values = counters::export();
         let counters_list: Vec<(&'static str, u64)> = counters::NAMES
             .iter()
@@ -589,6 +625,8 @@ impl QueryStats {
             threads: self.threads,
             total_ns,
             plan_nodes,
+            optimized: self.optimized,
+            max_q_error,
             operators,
             rounds,
             workers,
@@ -605,6 +643,18 @@ fn fmt_ms(ns: u64) -> String {
     format!("{ms:.2}ms")
 }
 
+/// Renders a row estimate: whole numbers bare (`est=12`), fractional
+/// ones with a single decimal (`est=3.3`) so sub-row selectivities stay
+/// visible.
+fn fmt_est(est: f64) -> String {
+    let rounded = est.round();
+    if (est - rounded).abs() < 0.05 && rounded >= 0.0 {
+        format!("{rounded:.0}")
+    } else {
+        format!("{est:.1}")
+    }
+}
+
 // ---------------------------------------------------------------------------
 // The report
 // ---------------------------------------------------------------------------
@@ -619,6 +669,9 @@ pub struct OpRow {
     pub op: &'static str,
     pub label: String,
     pub depth: usize,
+    /// The optimizer's estimated output rows for this node; `-1.0` when
+    /// no estimate was attached.
+    pub est_rows: f64,
     pub batches: u64,
     pub rows_out: u64,
     pub rows_in: u64,
@@ -657,6 +710,12 @@ pub struct StatsReport {
     /// Plan node count — always equals `operators.len()` (the
     /// registration walk mirrors `node_count`), pinned in ci.sh.
     pub plan_nodes: usize,
+    /// Whether the optimizer was enabled for this execution.
+    pub optimized: bool,
+    /// The worst estimate-vs-actual ratio (symmetric, ≥ 1.0) over all
+    /// executed operators; ≥ 10.0 flags a mis-estimate for the
+    /// differential harness.
+    pub max_q_error: f64,
     pub operators: Vec<OpRow>,
     pub rounds: Vec<RoundRow>,
     pub workers: Vec<WorkerRow>,
@@ -695,19 +754,22 @@ impl StatsReport {
         out.push_str(&format!("  \"threads\": {},\n", self.threads));
         out.push_str(&format!("  \"total_ns\": {},\n", self.total_ns));
         out.push_str(&format!("  \"plan_nodes\": {},\n", self.plan_nodes));
+        out.push_str(&format!("  \"optimized\": {},\n", self.optimized));
+        out.push_str(&format!("  \"max_q_error\": {:.2},\n", self.max_q_error));
         out.push_str("  \"operators\": [\n");
         for (i, op) in self.operators.iter().enumerate() {
             let comma = if i + 1 < self.operators.len() { "," } else { "" };
             out.push_str(&format!(
                 "    {{\"id\": {}, \"parent\": {}, \"op\": \"{}\", \"label\": \"{}\", \
-                 \"depth\": {}, \"batches\": {}, \"rows_in\": {}, \"rows_out\": {}, \
-                 \"build_rows\": {}, \"probe_rows\": {}, \"time_ns\": {}, \
+                 \"depth\": {}, \"est_rows\": {:.1}, \"batches\": {}, \"rows_in\": {}, \
+                 \"rows_out\": {}, \"build_rows\": {}, \"probe_rows\": {}, \"time_ns\": {}, \
                  \"cache_hits\": {}, \"cache_misses\": {}}}{comma}\n",
                 op.id,
                 op.parent,
                 escape_json(op.op),
                 escape_json(&op.label),
                 op.depth,
+                op.est_rows,
                 op.batches,
                 op.rows_in,
                 op.rows_out,
@@ -785,7 +847,9 @@ fn analyze_plan(
                 .to_string(),
         )),
         Engine::Indexed => {
-            let stats = Arc::new(QueryStats::for_plan(plan, "exec", 1));
+            let mut stats = QueryStats::for_plan(plan, "exec", 1);
+            stats.set_estimates(crate::opt::estimate_plan(plan, db));
+            let stats = Arc::new(stats);
             let ctx = crate::run::ExecContext::new().with_stats(Arc::clone(&stats));
             let batch = crate::run::run_with(plan, db, None, &ctx)?;
             let rel = batch.into_relation();
@@ -793,7 +857,9 @@ fn analyze_plan(
         }
         Engine::Parallel(t) => {
             let threads = crate::parallel::resolve_threads(t).max(1);
-            let stats = Arc::new(QueryStats::for_plan(plan, "parallel", threads));
+            let mut stats = QueryStats::for_plan(plan, "parallel", threads);
+            stats.set_estimates(crate::opt::estimate_plan(plan, db));
+            let stats = Arc::new(stats);
             let ctx = crate::run::ExecContext::with_threads(threads)
                 .with_stats(Arc::clone(&stats));
             crate::parallel::prewarm_shared(plan, db, &ctx, threads)?;
@@ -812,7 +878,6 @@ pub fn eval_datalog_analyzed(
     program: &relviz_datalog::Program,
     db: &Database,
 ) -> ExecResult<(Relation, StatsReport)> {
-    let plan = crate::plan_datalog(program, db)?;
     let (name, threads): (&'static str, usize) = match engine {
         Engine::Reference => {
             return Err(ExecError::Eval(
@@ -824,11 +889,20 @@ pub fn eval_datalog_analyzed(
         Engine::Indexed => ("exec", 1),
         Engine::Parallel(t) => ("parallel", crate::parallel::resolve_threads(t).max(1)),
     };
-    let stats = Arc::new(QueryStats::for_fixpoint(&plan, name, threads));
+    // Analysis runs the same pipeline `eval_datalog` does: with the
+    // optimizer on, the program is magic-transformed first, so the
+    // report shows what actually executed.
+    let cfg = crate::opt::OptConfig::current();
+    let transformed = if cfg.magic { crate::opt::magic_transform(program) } else { None };
+    let prog = transformed.as_ref().unwrap_or(program);
+    let plan = crate::plan_datalog_with(prog, db, cfg)?;
+    let mut stats = QueryStats::for_fixpoint(&plan, name, threads);
+    stats.set_estimates(crate::opt::estimate_fixpoint(&plan, db));
+    let stats = Arc::new(stats);
     let mut all =
         crate::fixpoint::eval_fixpoint_stats(&plan, db, threads, Some(Arc::clone(&stats)))?;
-    let rel = all.remove(&program.query).ok_or_else(|| {
-        ExecError::Eval(format!("query predicate `{}` was never derived", program.query))
+    let rel = all.remove(&prog.query).ok_or_else(|| {
+        ExecError::Eval(format!("query predicate `{}` was never derived", prog.query))
     })?;
     Ok((rel, stats.report_fixpoint(&plan)))
 }
@@ -870,8 +944,16 @@ mod tests {
         assert_eq!(root.parent, -1);
         assert_eq!(root.batches, 1, "the root ran exactly once");
         assert_eq!(root.rows_out, rel.len() as u64);
-        assert!(report.text.contains("(actual rows="), "{}", report.text);
+        assert!(report.text.contains("actual rows="), "{}", report.text);
+        assert!(report.text.contains("(est="), "estimates render next to actuals\n{}", report.text);
         assert!(report.text.contains("Analyzed: engine=exec threads=1"), "{}", report.text);
+        assert!(report.text.contains("plan=optimized"), "{}", report.text);
+        assert!(report.text.contains("max_q_error="), "{}", report.text);
+        assert!(report.max_q_error >= 1.0, "q-error is symmetric, never below 1");
+        assert!(
+            report.operators.iter().all(|op| op.est_rows >= 0.0),
+            "every operator carries an estimate"
+        );
         // Serial run: no worker table in the text.
         assert!(!report.text.contains("Workers:"), "{}", report.text);
     }
@@ -886,6 +968,9 @@ mod tests {
         let ops = json.lines().filter(|l| l.contains("\"op\":")).count();
         assert_eq!(ops, report.plan_nodes, "one operator line per plan node\n{json}");
         assert!(json.contains(&format!("\"plan_nodes\": {},", report.plan_nodes)));
+        assert!(json.contains("\"optimized\": true"), "{json}");
+        assert!(json.contains("\"max_q_error\": "), "{json}");
+        assert!(json.contains("\"est_rows\": "), "{json}");
         assert!(json.contains("\"counters\": {\"materializations\":"));
     }
 

@@ -976,6 +976,12 @@ pub fn analyze_program(program: &Program, db: &Database) -> Vec<Diagnostic> {
             }
         }
         for p in &idb {
+            // Magic/supplementary predicates are generated demand
+            // filters ([`crate::opt::magic_transform`]) — a seed-only
+            // magic predicate is doing its job, not dangling.
+            if p.starts_with(crate::opt::MAGIC_PREFIX) {
+                continue;
+            }
             if !reachable.contains(p) {
                 diags.push(Diagnostic {
                     severity: Severity::Warning,
@@ -1161,7 +1167,12 @@ fn analyze_rule(
     }
 
     // A rule textually identical to an earlier one derives nothing new.
-    if program.rules.iter().take(i).any(|p| p == r) {
+    // Magic-rule heads are exempt: the demand transformation may emit
+    // the same guard from several call sites, and flagging generated
+    // rules would make every transformed program lint-dirty.
+    if !r.head.rel.starts_with(crate::opt::MAGIC_PREFIX)
+        && program.rules.iter().take(i).any(|p| p == r)
+    {
         diags.push(Diagnostic {
             severity: Severity::Warning,
             code: "dead-rule",
@@ -1626,6 +1637,54 @@ mod tests {
         assert!(cs.contains(&"dead-rule"), "{}", render_diagnostics(&diags));
         assert!(cs.contains(&"unused-predicate"), "{}", render_diagnostics(&diags));
         assert_eq!(error_count(&diags), 0, "{}", render_diagnostics(&diags));
+    }
+
+    #[test]
+    fn analyzer_lints_spare_generated_magic_predicates() {
+        let db = relviz_model::generate::generate_binary_pair(3, 12, 6);
+        // Hand-built worst case: a seed-only magic predicate nothing
+        // reads (unused-predicate bait) and a textually duplicated
+        // magic guard rule (dead-rule bait). Neither lint may fire on
+        // the generated names; the plain `orphan` still trips.
+        let prog = relviz_datalog::parse::parse_program(
+            "% query: ans\n\
+             magic_tc_bf(1).\n\
+             magic_stray_bf(2).\n\
+             magic_tc_bf(Y) :- magic_tc_bf(X), R(X, Y).\n\
+             magic_tc_bf(Y) :- magic_tc_bf(X), R(X, Y).\n\
+             ans(Y) :- magic_tc_bf(X), R(X, Y).\n\
+             orphan(X) :- R(X, Y).",
+        )
+        .unwrap();
+        let diags = analyze_program(&prog, &db);
+        let unused: Vec<_> = diags.iter().filter(|d| d.code == "unused-predicate").collect();
+        assert_eq!(unused.len(), 1, "{}", render_diagnostics(&diags));
+        assert!(unused[0].at.contains("orphan"), "{}", render_diagnostics(&diags));
+        assert!(
+            !codes(&diags).contains(&"dead-rule"),
+            "duplicate magic guards are expected transform output\n{}",
+            render_diagnostics(&diags)
+        );
+    }
+
+    #[test]
+    fn magic_transformed_programs_analyze_clean() {
+        let db = relviz_model::generate::generate_binary_pair(7, 20, 8);
+        let prog = relviz_datalog::parse::parse_program(
+            "% query: q\n\
+             tc(X, Y) :- R(X, Y).\n\
+             tc(X, Z) :- tc(X, Y), R(Y, Z).\n\
+             q(Y) :- tc(1, Y).",
+        )
+        .unwrap();
+        let magic = crate::opt::magic_transform(&prog).expect("bound goal transforms");
+        let diags = analyze_program(&magic, &db);
+        assert_eq!(error_count(&diags), 0, "{}", render_diagnostics(&diags));
+        assert!(
+            diags.iter().all(|d| d.code != "unused-predicate" && d.code != "dead-rule"),
+            "{}",
+            render_diagnostics(&diags)
+        );
     }
 
     #[test]

@@ -48,6 +48,7 @@ fn run(args: Vec<String>) -> Result<(), String> {
     while let Some(a) = it.next() {
         match a.as_str() {
             "--analyze" => analyze = true,
+            "--no-opt" => relviz::exec::set_optimizer_enabled(false),
             "--stats-json" => {
                 stats_json = Some(it.next().ok_or("--stats-json needs a file path")?);
                 analyze = true; // writing stats implies collecting them
@@ -196,7 +197,7 @@ fn run(args: Vec<String>) -> Result<(), String> {
                  relviz run    \"<query>\"        evaluate on the database (--verify checks first,\n                                 --analyze prints EXPLAIN ANALYZE, --lang sql|datalog)\n  \
                  relviz check  \"<query>\"        verify the plan without running (--lang, --suite)\n  \
                  relviz matrix                  expressiveness matrix\n\n\
-                 options: --formalism queryvis|reldiag|dfql|qbe|strings|visualsql|\n                          sqlvis|tabletalk|dataplay|sieuferd|qbd, --db <file>,\n                          --engine exec|parallel|reference (run defaults to exec),\n                          --threads N (for --engine parallel; 0 = auto),\n                          --lang sql|ra|trc|datalog (check/run input language),\n                          --suite (check every suite query in RA, TRC and Datalog),\n                          --analyze (run with per-operator runtime stats),\n                          --stats-json <file> (write the stats as JSON; implies --analyze)"
+                 options: --formalism queryvis|reldiag|dfql|qbe|strings|visualsql|\n                          sqlvis|tabletalk|dataplay|sieuferd|qbd, --db <file>,\n                          --engine exec|parallel|reference (run defaults to exec),\n                          --threads N (for --engine parallel; 0 = auto),\n                          --lang sql|ra|trc|datalog (check/run input language),\n                          --suite (check every suite query in RA, TRC and Datalog),\n                          --analyze (run with per-operator runtime stats),\n                          --stats-json <file> (write the stats as JSON; implies --analyze),\n                          --no-opt (disable join reordering + magic sets for A/B debugging)"
             );
             Ok(())
         }

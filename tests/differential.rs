@@ -283,6 +283,21 @@ fn check_case(seed: u64, db: &Database) {
         ours.len(),
         reference.len(),
     );
+    // The optimizer's reordered plan (plan_ra above runs with the
+    // optimizer on) must reproduce the *unoptimized* plan's rendering
+    // bit for bit — reordering may only change the join tree, never the
+    // result.
+    let unopt_plan = relviz::exec::plan_ra_with(&expr, db, relviz::exec::OptConfig::unoptimized())
+        .unwrap_or_else(|e| panic!("unoptimized planner rejected expr (seed {seed}): {e}"));
+    let unopt = execute(&unopt_plan, db)
+        .unwrap_or_else(|e| panic!("unoptimized executor failed (seed {seed}): {e}"));
+    assert!(
+        unopt.same_contents(&reference) && format!("{unopt}") == format!("{ours}"),
+        "optimized and unoptimized plans diverge (seed {seed})\nexpr: {}\noptimized plan:\n{}\nunoptimized plan:\n{}\noptimized:\n{ours}\nunoptimized:\n{unopt}",
+        relviz::ra::print::print_ra(&expr),
+        relviz::exec::explain(&plan),
+        relviz::exec::explain(&unopt_plan),
+    );
     // The parallel runtime runs the same randomized case at 1, 2 and 8
     // workers — every width must reproduce the serial result *bit for
     // bit* (the sorted rendering, not just the set).

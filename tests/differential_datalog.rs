@@ -185,6 +185,32 @@ fn check_case(prog_seed: u64, db: &Database) {
             rel.len(),
         );
     }
+    // Optimizer A/B: the same program evaluated with reordering off
+    // must reproduce every optimized relation bit for bit.
+    let unopt =
+        exec::eval_datalog_all_with(Engine::Indexed, &prog, db, exec::OptConfig::unoptimized())
+            .unwrap_or_else(|e| panic!("unoptimized eval failed (seed {prog_seed}): {e}\n{prog}"));
+    assert_eq!(unopt.len(), all.len(), "predicate sets differ unoptimized (seed {prog_seed})");
+    for (name, rel) in &all {
+        let u = &unopt[name];
+        assert!(
+            u.same_contents(rel) && format!("{u}") == format!("{rel}"),
+            "optimized and unoptimized fixpoints diverge on `{name}` (seed {prog_seed})\nprogram:\n{prog}\nunoptimized:\n{u}\noptimized:\n{rel}",
+        );
+    }
+    // Magic sets vs. full evaluation: `eval_datalog` demand-transforms
+    // the program on the physical engines; its query relation must
+    // render identically to the full fixpoint's.
+    if let Some(full_query) = all.get(&prog.query) {
+        let magic = exec::eval_datalog(Engine::Indexed, &prog, db).unwrap_or_else(|e| {
+            panic!("magic-sets eval failed (seed {prog_seed}): {e}\n{prog}")
+        });
+        assert!(
+            magic.same_contents(full_query) && format!("{magic}") == format!("{full_query}"),
+            "magic sets diverge from full evaluation on `{}` (seed {prog_seed})\nprogram:\n{prog}\nmagic:\n{magic}\nfull:\n{full_query}",
+            prog.query,
+        );
+    }
     // The parallel fixpoint runs the same randomized program at 1, 2
     // and 8 workers — every IDB predicate must reproduce the serial
     // engine's relation bit for bit at every width (parallel round-0

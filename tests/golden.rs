@@ -190,6 +190,44 @@ fn explain_goldens_for_datalog_plans() {
 }
 
 #[test]
+fn explain_goldens_for_magic_plans() {
+    // The magic-sets demand transformation on the canonical bound-goal
+    // recursive workloads: pins the generated magic/adorned program
+    // text (seed facts, guard rules, adornment renames) and the
+    // fixpoint plan it lowers to — the shape `eval_datalog` actually
+    // executes with the optimizer on.
+    let db = relviz::model::generate::generate_binary_pair(11, 30, 12);
+    let mut all = String::new();
+    for (id, src) in [
+        (
+            "TC(1,·)",
+            "% query: q\n\
+             tc(X, Y) :- R(X, Y).\n\
+             tc(X, Z) :- tc(X, Y), R(Y, Z).\n\
+             q(Y) :- tc(1, Y).",
+        ),
+        (
+            "SG(1,·)",
+            "% query: q\n\
+             sg(X, X) :- R(X, Y).\n\
+             sg(X, Y) :- R(XP, X), sg(XP, YP), R(YP, Y).\n\
+             q(Y) :- sg(1, Y).",
+        ),
+    ] {
+        let prog = relviz::datalog::parse::parse_program(src).unwrap();
+        let magic = relviz::exec::magic_transform(&prog)
+            .unwrap_or_else(|| panic!("{id}: bound goal must transform"));
+        let plan = relviz::exec::plan_datalog(&magic, &db)
+            .unwrap_or_else(|e| panic!("{id}: {e}"));
+        all.push_str(&format!(
+            "== {id} (magic program) ==\n{magic}\n== {id} (magic plan) ==\n{}",
+            relviz::exec::explain_datalog_verified(&plan)
+        ));
+    }
+    check_or_update("magic-plans.txt", &all);
+}
+
+#[test]
 fn explain_goldens_for_parallel_plans() {
     // The parallel engine's view of representative plans at 4 workers:
     // partitioned operators (`part ∥4` / `chunk ∥4`), prewarm levels on
