@@ -105,4 +105,42 @@ tail -n "$rows_appended" BENCH_exec.json | awk '
     /"engine": "rowmajor"/ { rm++ }
     END { if (bad > 0 || par < 1 || rm != 8) { print "BENCH_exec.json schema check failed:", bad+0, "row(s) missing threads,", par+0, "parallel row(s),", rm+0, "rowmajor row(s)"; exit 1 } }'
 
+# 7. Server mode smoke: a relviz-wire-v1 session over --stdio must
+#    greet with the schema, answer a SQL query with a result frame, and
+#    answer an --analyze request with a stats frame embedding the exact
+#    relviz-stats-v1 document (escaped, single line). The same binary
+#    path serves TCP; stdio keeps CI free of port allocation.
+serve_out=$(mktemp)
+printf '%s\n' \
+    '{"type":"ping","id":0}' \
+    '{"type":"query","id":1,"query":"SELECT S.sname FROM Sailor S WHERE S.rating > 7"}' \
+    '{"type":"query","id":2,"query":"SELECT S.sname FROM Sailor S WHERE S.rating > 7"}' \
+    '{"type":"query","id":3,"query":"{ s.sname | Sailor(s) }","lang":"trc","analyze":true}' \
+    | cargo run --release --bin relviz -- serve --stdio > "$serve_out"
+grep -q '"type":"hello","schema":"relviz-wire-v1"' "$serve_out"
+grep -q '"type":"pong"' "$serve_out"
+grep -q '"type":"result","id":1,.*"cached_plan":false' "$serve_out"
+grep -q '"type":"result","id":2,.*"cached_plan":true' "$serve_out"
+grep -q '"type":"stats","id":3,.*relviz-stats-v1' "$serve_out"
+test "$(wc -l < "$serve_out")" -eq 6   # hello + pong + 2 results + result/stats pair
+rm -f "$serve_out"
+
+# 8. S2 server load generator: the full suite (SQL + TRC + Datalog)
+#    fired at an in-process server by 1, 2 and 4 concurrent clients.
+#    Appends one qps/p50/p99 row per concurrency level to
+#    BENCH_serve.json, and fails unless every response was a result
+#    frame and the plan-cache hit rate stayed ≥ 90% in the measured
+#    (post-warm-up) steady state.
+serve_rows_before=$(wc -l < BENCH_serve.json 2>/dev/null || echo 0)
+cargo run --release -p relviz-bench --bin s2_serve -- 1000 --clients 1,2,4 --assert --out BENCH_serve.json
+serve_rows_appended=$(( $(wc -l < BENCH_serve.json) - serve_rows_before ))
+test "$serve_rows_appended" -eq 3
+tail -n "$serve_rows_appended" BENCH_serve.json | awk '
+    !/"bench": "s2_serve"/ { bad++ }
+    !/"qps": [0-9.]+/ { bad++ }
+    !/"p50_ms": [0-9.]+/ { bad++ }
+    !/"p99_ms": [0-9.]+/ { bad++ }
+    match($0, /"clients": [0-9]+/) { levels[substr($0, RSTART, RLENGTH)]++ }
+    END { if (bad > 0 || length(levels) < 2) { print "BENCH_serve.json schema check failed:", bad+0, "malformed row(s),", length(levels), "distinct concurrency level(s)"; exit 1 } }'
+
 echo "ci.sh: all green"

@@ -1,0 +1,225 @@
+//! S2 server load generator: the full query suite (SQL + TRC + Datalog)
+//! fired at an in-process `relviz serve` instance by 1..N concurrent
+//! clients, appending qps / p50 / p99 JSON-lines rows to
+//! `BENCH_serve.json` so successive PRs accumulate a service-latency
+//! trajectory alongside `BENCH_exec.json`'s engine trajectory.
+//!
+//! ```sh
+//! cargo run --release -p relviz-bench --bin s2_serve -- [n] [--out FILE] \
+//!     [--rounds R] [--clients "1,2,4"] [--assert]
+//! ```
+//!
+//! The server is driven through [`Server::handle_line`] — the exact
+//! code path both transports funnel into — so the measurement covers
+//! frame parsing, catalog snapshotting, the prepared-plan cache, and
+//! execution, without socket noise making CI flaky. One warm-up pass
+//! populates the plan cache first; the measured regime is the resident
+//! steady state the server exists for.
+//!
+//! `--assert` exits non-zero unless (a) every response during
+//! measurement was a `result` frame, and (b) the plan cache's hit rate
+//! over the measured phase is ≥ 90% — the resident server's entire
+//! point is not re-planning hot queries.
+
+use std::io::Write as _;
+use std::sync::Arc;
+use std::thread;
+use std::time::Instant;
+
+use relviz_core::suite::SUITE;
+use relviz_model::generate::{generate_sailors, GenConfig};
+use relviz_serve::{escape, Json, Server, ServerConfig};
+
+/// One measured concurrency level.
+struct Row {
+    clients: usize,
+    requests: usize,
+    wall_ms: f64,
+    qps: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+}
+
+impl Row {
+    fn json(&self, n: usize, threads: usize) -> String {
+        format!(
+            "{{\"bench\": \"s2_serve\", \"n\": {n}, \"threads\": {threads}, \
+             \"clients\": {}, \"requests\": {}, \"wall_ms\": {:.3}, \
+             \"qps\": {:.1}, \"p50_ms\": {:.4}, \"p99_ms\": {:.4}}}",
+            self.clients, self.requests, self.wall_ms, self.qps, self.p50_ms, self.p99_ms
+        )
+    }
+}
+
+/// The workload: every suite query in each of the three languages the
+/// server evaluates, as ready-to-send wire frames.
+fn workload_frames() -> Vec<String> {
+    let mut frames = Vec::new();
+    for (i, q) in SUITE.iter().enumerate() {
+        for (lang, text) in [("sql", q.sql), ("trc", q.trc), ("datalog", q.datalog)] {
+            frames.push(format!(
+                "{{\"type\":\"query\",\"id\":{i},\"lang\":\"{lang}\",\"query\":\"{}\"}}",
+                escape(text)
+            ));
+        }
+    }
+    frames
+}
+
+/// Sends every frame once, asserting each answer is a `result` frame;
+/// returns per-request latencies in milliseconds.
+fn run_pass(server: &Server, frames: &[String], failures: &mut usize) -> Vec<f64> {
+    let mut lat = Vec::with_capacity(frames.len());
+    for frame in frames {
+        let t0 = Instant::now();
+        let responses = server.handle_line(frame);
+        lat.push(t0.elapsed().as_secs_f64() * 1e3);
+        let ok = responses.len() == 1
+            && Json::parse(&responses[0])
+                .ok()
+                .and_then(|r| r.get("type").and_then(Json::as_str).map(str::to_string))
+                .as_deref()
+                == Some("result");
+        if !ok {
+            *failures += 1;
+        }
+    }
+    lat
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p / 100.0).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+fn main() {
+    let mut n = 300usize;
+    let mut rounds = 8usize;
+    let mut clients_levels = vec![1usize, 2, 4];
+    let mut out_path: Option<String> = None;
+    let mut assert_health = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--out" => out_path = Some(args.next().expect("--out needs a path")),
+            "--rounds" => {
+                rounds = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--rounds needs a count")
+            }
+            "--clients" => {
+                let list = args.next().expect("--clients needs a list like 1,2,4");
+                clients_levels = list
+                    .split(',')
+                    .map(|c| c.trim().parse().expect("client counts are integers"))
+                    .collect();
+                assert!(!clients_levels.is_empty(), "--clients list is empty");
+            }
+            "--assert" => assert_health = true,
+            other => n = other.parse().unwrap_or_else(|_| panic!("bad size `{other}`")),
+        }
+    }
+
+    let server = Arc::new(Server::new(ServerConfig::default()));
+    let db = generate_sailors(&GenConfig::scaled(n));
+    println!(
+        "s2_serve load @ n={n} (|Sailor|={}, |Boat|={}, |Reserves|={}), \
+         {} queries/round, {rounds} rounds/client",
+        db.relation("Sailor").expect("generated").len(),
+        db.relation("Boat").expect("generated").len(),
+        db.relation("Reserves").expect("generated").len(),
+        SUITE.len() * 3,
+    );
+    server.catalog().load("default", db);
+    let frames = Arc::new(workload_frames());
+
+    // Warm-up: populate the plan cache once, and verify the protocol
+    // end-to-end before timing anything.
+    let mut warm_failures = 0;
+    run_pass(&server, &frames, &mut warm_failures);
+    assert_eq!(warm_failures, 0, "warm-up pass produced non-result frames");
+    let warm = server.plan_cache().stats();
+
+    let mut rows = Vec::new();
+    let mut total_failures = 0usize;
+    for &clients in &clients_levels {
+        let t0 = Instant::now();
+        let handles: Vec<_> = (0..clients)
+            .map(|_| {
+                let server = Arc::clone(&server);
+                let frames = Arc::clone(&frames);
+                thread::spawn(move || {
+                    let mut failures = 0usize;
+                    let mut lat = Vec::new();
+                    for _ in 0..rounds {
+                        lat.extend(run_pass(&server, &frames, &mut failures));
+                    }
+                    (lat, failures)
+                })
+            })
+            .collect();
+        let mut lat: Vec<f64> = Vec::new();
+        for h in handles {
+            let (l, failures) = h.join().expect("client thread panicked");
+            lat.extend(l);
+            total_failures += failures;
+        }
+        let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+        lat.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+        let row = Row {
+            clients,
+            requests: lat.len(),
+            wall_ms,
+            qps: lat.len() as f64 / (wall_ms / 1e3).max(1e-9),
+            p50_ms: percentile(&lat, 50.0),
+            p99_ms: percentile(&lat, 99.0),
+        };
+        println!(
+            "  clients={:<2} {:>6} requests in {:>8.1} ms  {:>9.0} qps  \
+             p50 {:.3} ms  p99 {:.3} ms",
+            row.clients, row.requests, row.wall_ms, row.qps, row.p50_ms, row.p99_ms
+        );
+        rows.push(row);
+    }
+
+    let stats = server.plan_cache().stats();
+    let measured_hits = stats.hits - warm.hits;
+    let measured_total = (stats.hits + stats.misses) - (warm.hits + warm.misses);
+    let hit_rate = measured_hits as f64 / (measured_total as f64).max(1.0);
+    println!(
+        "  plan cache: {} entries, {:.1}% hit rate over the measured phase",
+        stats.len,
+        100.0 * hit_rate
+    );
+
+    if let Some(path) = out_path {
+        let mut f = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .unwrap_or_else(|e| panic!("cannot open {path}: {e}"));
+        for row in &rows {
+            writeln!(f, "{}", row.json(n, server.threads())).expect("row written");
+        }
+        println!("  appended {} snapshot lines to {path}", rows.len());
+    }
+
+    if assert_health {
+        if total_failures > 0 {
+            eprintln!("FAIL: {total_failures} request(s) did not produce a result frame");
+            std::process::exit(1);
+        }
+        if hit_rate < 0.90 {
+            eprintln!(
+                "FAIL: plan-cache hit rate {:.1}% < 90% in the resident steady state",
+                100.0 * hit_rate
+            );
+            std::process::exit(1);
+        }
+        println!("  asserts passed: all results well-formed, cache hit rate ≥ 90%");
+    }
+}

@@ -22,7 +22,7 @@ use std::sync::Arc;
 
 use parking_lot::RwLock;
 use relviz_diagrams::{dataplay, dfql, qbd, qbe, queryvis, reldiag, sieuferd, sqlvis, stringdiag, tabletalk, visualsql};
-pub use relviz_exec::Engine;
+pub use relviz_exec::{Engine, OptConfig};
 use relviz_model::{Database, Relation};
 use relviz_render::Scene;
 
@@ -101,6 +101,9 @@ pub struct QueryVisualizer {
     formalism: VisFormalism,
     backend: Backend,
     engine: Engine,
+    /// Explicit optimizer configuration; `None` defers to the
+    /// process-wide default at call time.
+    opt: Option<OptConfig>,
     cache: RwLock<HashMap<(String, VisFormalism, Backend), Arc<PipelineOutput>>>,
 }
 
@@ -112,6 +115,7 @@ impl QueryVisualizer {
             formalism,
             backend,
             engine: Engine::Indexed,
+            opt: None,
             cache: RwLock::new(HashMap::new()),
         }
     }
@@ -122,9 +126,24 @@ impl QueryVisualizer {
         self
     }
 
+    /// Pins this visualizer's optimizer configuration, instead of the
+    /// process-wide default — what concurrent hosts (the `relviz serve`
+    /// daemon) use so one pipeline's `--no-opt` can't leak into
+    /// another's execution.
+    pub fn with_opt(mut self, cfg: OptConfig) -> Self {
+        self.opt = Some(cfg);
+        self
+    }
+
     /// The engine [`run`](Self::run) executes on.
     pub fn engine(&self) -> Engine {
         self.engine
+    }
+
+    /// The optimizer configuration execution uses: the pinned one, else
+    /// the process-wide default.
+    pub fn opt_config(&self) -> OptConfig {
+        self.opt.unwrap_or_else(OptConfig::current)
     }
 
     /// Executes the SQL query on the pipeline's engine.
@@ -142,7 +161,7 @@ impl QueryVisualizer {
             Engine::Reference => relviz_sql::eval::run_sql(sql, db)
                 .map_err(|e| DiagError::Lang(e.to_string())),
             engine @ (Engine::Indexed | Engine::Parallel(_)) => {
-                relviz_exec::run_sql(engine, sql, db)
+                relviz_exec::run_sql_with(engine, sql, db, self.opt_config())
                     .map_err(|e| DiagError::Lang(e.to_string()))
             }
         }
@@ -158,7 +177,7 @@ impl QueryVisualizer {
         sql: &str,
         db: &Database,
     ) -> DiagResult<(Relation, relviz_exec::StatsReport)> {
-        relviz_exec::run_sql_analyzed(self.engine, sql, db)
+        relviz_exec::run_sql_analyzed_with(self.engine, sql, db, self.opt_config())
             .map_err(|e| DiagError::Lang(e.to_string()))
     }
 
@@ -337,6 +356,21 @@ mod tests {
             assert!(par.same_contents(&exec));
             assert_eq!(format!("{par}"), format!("{exec}"), "threads={threads}");
         }
+    }
+
+    #[test]
+    fn with_opt_pins_the_configuration_per_visualizer() {
+        let db = sailors_sample();
+        let q = "SELECT S.sname FROM Sailor S WHERE S.rating > 7";
+        let plain = QueryVisualizer::new(VisFormalism::RelationalDiagrams, Backend::Ascii)
+            .with_opt(OptConfig::unoptimized());
+        let tuned = QueryVisualizer::new(VisFormalism::RelationalDiagrams, Backend::Ascii)
+            .with_opt(OptConfig::optimized());
+        let (rel_a, rep_a) = plain.run_analyzed(q, &db).unwrap();
+        let (rel_b, rep_b) = tuned.run_analyzed(q, &db).unwrap();
+        assert!(!rep_a.optimized);
+        assert!(rep_b.optimized);
+        assert!(rel_a.same_contents(&rel_b));
     }
 
     #[test]

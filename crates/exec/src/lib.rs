@@ -74,14 +74,15 @@ pub use fixpoint::{
 pub use indexed::IndexedRelation;
 pub use opt::{
     estimate_fixpoint, estimate_plan, magic_transform, optimizer_enabled, set_optimizer_enabled,
-    stats_of, ColSketch, OptConfig, TableStats,
+    stats_cache_len, stats_of, ColSketch, OptConfig, TableStats,
 };
-pub use parallel::{execute_parallel, resolve_threads};
+pub use parallel::{execute_parallel, resolve_threads, resolve_threads_from};
 pub use plan::{explain, explain_parallel, OutputCol, PhysPlan};
 pub use planner::{plan_ra, plan_ra_with, plan_trc, plan_trc_with};
 pub use run::execute;
 pub use stats::{
-    eval_datalog_analyzed, run_sql_analyzed, OpRow, RoundRow, StatsReport, WorkerRow,
+    eval_datalog_analyzed, eval_datalog_analyzed_with, eval_trc_analyzed_with, run_sql_analyzed,
+    run_sql_analyzed_with, OpRow, RoundRow, StatsReport, WorkerRow,
 };
 pub use verify::{
     analyze_program, check_fixpoint, check_plan, error_count, explain_datalog_verified,
@@ -122,28 +123,54 @@ impl Engine {
     }
 }
 
-/// Evaluates an RA expression on the chosen engine.
+/// Evaluates an RA expression on the chosen engine, under the
+/// process-wide optimizer default ([`OptConfig::current`]).
 pub fn eval_ra(engine: Engine, expr: &relviz_ra::RaExpr, db: &Database) -> ExecResult<Relation> {
+    eval_ra_with(engine, expr, db, OptConfig::current())
+}
+
+/// [`eval_ra`] with an **explicit per-request optimizer configuration**
+/// — the entry point concurrent callers (the `relviz serve` daemon)
+/// use, so one request's `--no-opt` never flips a process global that
+/// other in-flight queries read.
+pub fn eval_ra_with(
+    engine: Engine,
+    expr: &relviz_ra::RaExpr,
+    db: &Database,
+    cfg: OptConfig,
+) -> ExecResult<Relation> {
     match engine {
         Engine::Reference => Ok(relviz_ra::eval::eval(expr, db)?),
-        Engine::Indexed => execute(&plan_ra(expr, db)?, db),
+        Engine::Indexed => execute(&plan_ra_with(expr, db, cfg)?, db),
         Engine::Parallel(t) => {
-            execute_parallel(&plan_ra(expr, db)?, db, resolve_threads(t))
+            execute_parallel(&plan_ra_with(expr, db, cfg)?, db, resolve_threads(t))
         }
     }
 }
 
-/// Evaluates a TRC query on the chosen engine.
+/// Evaluates a TRC query on the chosen engine, under the process-wide
+/// optimizer default ([`OptConfig::current`]).
 pub fn eval_trc(
     engine: Engine,
     q: &relviz_rc::TrcQuery,
     db: &Database,
 ) -> ExecResult<Relation> {
+    eval_trc_with(engine, q, db, OptConfig::current())
+}
+
+/// [`eval_trc`] with an explicit per-request optimizer configuration
+/// (see [`eval_ra_with`]).
+pub fn eval_trc_with(
+    engine: Engine,
+    q: &relviz_rc::TrcQuery,
+    db: &Database,
+    cfg: OptConfig,
+) -> ExecResult<Relation> {
     match engine {
         Engine::Reference => Ok(relviz_rc::trc_eval::eval_trc(q, db)?),
-        Engine::Indexed => execute(&plan_trc(q, db)?, db),
+        Engine::Indexed => execute(&plan_trc_with(q, db, cfg)?, db),
         Engine::Parallel(t) => {
-            execute_parallel(&plan_trc(q, db)?, db, resolve_threads(t))
+            execute_parallel(&plan_trc_with(q, db, cfg)?, db, resolve_threads(t))
         }
     }
 }
@@ -151,8 +178,19 @@ pub fn eval_trc(
 /// Runs a SQL query through the pipeline's SQL → TRC front door, then
 /// evaluates the TRC on the chosen engine.
 pub fn run_sql(engine: Engine, sql: &str, db: &Database) -> ExecResult<Relation> {
+    run_sql_with(engine, sql, db, OptConfig::current())
+}
+
+/// [`run_sql`] with an explicit per-request optimizer configuration
+/// (see [`eval_ra_with`]).
+pub fn run_sql_with(
+    engine: Engine,
+    sql: &str,
+    db: &Database,
+    cfg: OptConfig,
+) -> ExecResult<Relation> {
     let trc = relviz_rc::from_sql::parse_sql_to_trc(sql, db)?;
-    eval_trc(engine, &trc, db)
+    eval_trc_with(engine, &trc, db, cfg)
 }
 
 /// Evaluates a Datalog program on the chosen engine, returning every
@@ -226,6 +264,7 @@ pub fn eval_datalog_with(
 mod tests {
     use super::*;
     use relviz_model::catalog::sailors_sample;
+    use std::sync::Arc;
 
     #[test]
     fn engines_agree_on_sql_front_door() {
@@ -252,10 +291,64 @@ mod tests {
     fn explicit_thread_counts_resolve_verbatim() {
         assert_eq!(resolve_threads(1), 1);
         assert_eq!(resolve_threads(7), 7);
-        // 0 = auto: env or hardware — always at least one worker. The
-        // lock serializes against the test that mutates the env var.
-        let _guard = parallel::ENV_LOCK.lock().unwrap();
+        // 0 = auto: env or hardware — always at least one worker. No
+        // test mutates the environment anymore (the policy is pinned
+        // through the pure `resolve_threads_from`), so reading it here
+        // is safe at any point of the run.
         assert!(resolve_threads(0) >= 1);
+    }
+
+    /// Regression (process-global optimizer toggle): one request
+    /// evaluating with the optimizer off must not affect concurrent
+    /// requests that asked for it on — the `*_with` entry points thread
+    /// the per-request [`OptConfig`] all the way down instead of
+    /// reading [`set_optimizer_enabled`]'s global. Half the threads run
+    /// optimized, half unoptimized, all concurrently; every analysis
+    /// must report its own request's plan mode, and both sides must
+    /// produce identical results.
+    #[test]
+    fn concurrent_requests_keep_their_own_opt_config() {
+        let db = Arc::new(relviz_model::catalog::sailors_sample());
+        let sql = "SELECT S.sname FROM Sailor S, Reserves R, Boat B \
+                   WHERE S.sid = R.sid AND R.bid = B.bid AND B.color = 'red'";
+        let baseline = run_sql(Engine::Indexed, sql, &db).unwrap();
+        let handles: Vec<_> = (0..8)
+            .map(|i| {
+                let db = Arc::clone(&db);
+                let optimized = i % 2 == 0;
+                std::thread::spawn(move || {
+                    let cfg = if optimized {
+                        OptConfig::optimized()
+                    } else {
+                        OptConfig::unoptimized()
+                    };
+                    for _ in 0..16 {
+                        let (rel, report) =
+                            run_sql_analyzed_with(Engine::Indexed, sql, &db, cfg).unwrap();
+                        assert_eq!(
+                            report.optimized, optimized,
+                            "a request's report must reflect its own config"
+                        );
+                        assert!(
+                            report.text.contains(if optimized {
+                                "plan=optimized"
+                            } else {
+                                "plan=unoptimized"
+                            }),
+                            "{}",
+                            report.text
+                        );
+                        let rendered = format!("{rel}");
+                        assert!(!rendered.is_empty());
+                    }
+                    format!("{}", run_sql_with(Engine::Indexed, sql, &db, cfg).unwrap())
+                })
+            })
+            .collect();
+        for h in handles {
+            let rendered = h.join().expect("request thread");
+            assert_eq!(rendered, format!("{baseline}"), "plan mode never changes results");
+        }
     }
 
     #[test]

@@ -144,9 +144,17 @@ impl TableStats {
     }
 }
 
-/// Content fingerprint of a relation: schema names, row count, and a
-/// sample of up to 16 evenly spaced tuples. Collisions only make an
-/// *estimate* stale — never a result — so sampling is safe.
+/// Content fingerprint of a relation: schema names plus **every tuple**.
+///
+/// This used to hash only the row count and a sample of 16 evenly
+/// spaced tuples, so two same-schema, same-rowcount tables differing
+/// only in unsampled rows silently shared one sketch — wrong distinct
+/// counts feed the containment formula and produce bad join orders for
+/// as long as the entry stays cached (a resident server caches
+/// forever). Sketch collection is already a full O(n) pass over the
+/// relation, so hashing the full content costs a constant factor of
+/// work the cache miss was about to do anyway — and a hit amortizes it
+/// across every query of the session.
 fn fingerprint(rel: &Relation) -> u64 {
     use std::hash::{Hash, Hasher};
     let mut h = std::collections::hash_map::DefaultHasher::new();
@@ -154,41 +162,73 @@ fn fingerprint(rel: &Relation) -> u64 {
         a.name.hash(&mut h);
     }
     rel.len().hash(&mut h);
-    let step = (rel.len() / 16).max(1);
-    for (i, t) in rel.iter().enumerate() {
-        if i % step == 0 {
-            t.values().hash(&mut h);
-        }
+    for t in rel.iter() {
+        t.values().hash(&mut h);
     }
     h.finish()
 }
 
-/// The catalog-side sketch cache, keyed by content fingerprint so
-/// repeated queries over an unchanged relation reuse one collection.
-fn stats_cache() -> &'static Mutex<HashMap<u64, Arc<TableStats>>> {
-    static CACHE: OnceLock<Mutex<HashMap<u64, Arc<TableStats>>>> = OnceLock::new();
-    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+/// One sketch-cache slot: the stats plus the logical time of last use,
+/// so eviction can drop the least-recently-used entry.
+struct StatsSlot {
+    stats: Arc<TableStats>,
+    last_used: u64,
 }
 
-/// Bound on cached sketch entries; evicts wholesale past it (sketches
-/// are cheap to recollect, and real catalogs are far smaller).
+/// The sketch cache: fingerprint-keyed LRU map plus a monotone tick.
+struct StatsCache {
+    map: HashMap<u64, StatsSlot>,
+    tick: u64,
+}
+
+/// The catalog-side sketch cache, keyed by content fingerprint so
+/// repeated queries over an unchanged relation reuse one collection.
+fn stats_cache() -> &'static Mutex<StatsCache> {
+    static CACHE: OnceLock<Mutex<StatsCache>> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(StatsCache { map: HashMap::new(), tick: 0 }))
+}
+
+/// Bound on cached sketch entries. The cache is process-wide and the
+/// process may be a resident server seeing an unbounded stream of
+/// distinct tables — past the cap the **least-recently-used** entry is
+/// evicted (sketches are cheap to recollect; a working set under the
+/// cap never loses an entry).
 const STATS_CACHE_CAP: usize = 256;
+
+fn lock_stats_cache() -> std::sync::MutexGuard<'static, StatsCache> {
+    match stats_cache().lock() {
+        Ok(c) => c,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// Number of live sketch-cache entries — the test hook pinning that
+/// eviction actually bounds the cache.
+pub fn stats_cache_len() -> usize {
+    lock_stats_cache().map.len()
+}
 
 /// The sketches for `rel`, from the catalog cache or collected now.
 pub fn stats_of(rel: &Relation) -> Arc<TableStats> {
     let key = fingerprint(rel);
-    let mut cache = match stats_cache().lock() {
-        Ok(c) => c,
-        Err(poisoned) => poisoned.into_inner(),
-    };
-    if let Some(hit) = cache.get(&key) {
-        return hit.clone();
+    let mut cache = lock_stats_cache();
+    cache.tick += 1;
+    let now = cache.tick;
+    if let Some(slot) = cache.map.get_mut(&key) {
+        slot.last_used = now;
+        return slot.stats.clone();
     }
     let stats = Arc::new(TableStats::collect(rel));
-    if cache.len() >= STATS_CACHE_CAP {
-        cache.clear();
+    if cache.map.len() >= STATS_CACHE_CAP {
+        // O(cap) scan — eviction is rare and the cap is small; an
+        // ordered structure would cost on every hit instead.
+        if let Some(&lru) =
+            cache.map.iter().min_by_key(|(_, slot)| slot.last_used).map(|(k, _)| k)
+        {
+            cache.map.remove(&lru);
+        }
     }
-    cache.insert(key, stats.clone());
+    cache.map.insert(key, StatsSlot { stats: stats.clone(), last_used: now });
     stats
 }
 
@@ -246,11 +286,31 @@ struct EstCtx<'a> {
     idb: HashMap<String, f64>,
     /// Estimated per-round delta rows per IDB predicate.
     delta: HashMap<String, f64>,
+    /// Per-walk sketch memo. The global cache is keyed by a full-content
+    /// fingerprint, so every [`stats_of`] call is O(n) even on a hit;
+    /// within one estimation the database is a fixed borrow, so keying
+    /// by relation name is exact and pays that hash once per table.
+    sketches: std::cell::RefCell<HashMap<String, Arc<TableStats>>>,
 }
 
 impl<'a> EstCtx<'a> {
     fn plain(db: &'a Database) -> EstCtx<'a> {
-        EstCtx { db, idb: HashMap::new(), delta: HashMap::new() }
+        EstCtx {
+            db,
+            idb: HashMap::new(),
+            delta: HashMap::new(),
+            sketches: std::cell::RefCell::new(HashMap::new()),
+        }
+    }
+
+    /// The sketches for stored relation `name`, memoized for this walk.
+    fn stored_stats(&self, name: &str, rel: &Relation) -> Arc<TableStats> {
+        if let Some(hit) = self.sketches.borrow().get(name) {
+            return hit.clone();
+        }
+        let stats = stats_of(rel);
+        self.sketches.borrow_mut().insert(name.to_string(), stats.clone());
+        stats
     }
 }
 
@@ -420,7 +480,7 @@ fn walk(plan: &PhysPlan, ctx: &EstCtx<'_>, out: &mut Vec<f64>) -> Est {
     out.push(0.0);
     let est = match plan {
         PhysPlan::Scan { rel, schema } => match ctx.db.relation(rel) {
-            Ok(stored) => scan_est(&stats_of(stored)),
+            Ok(stored) => scan_est(&ctx.stored_stats(rel, stored)),
             Err(_) => Est::opaque(DEFAULT_IDB_ROWS, schema.arity()),
         },
         PhysPlan::ScanIdb { rel, schema } => {
@@ -1394,6 +1454,75 @@ mod tests {
         let first = stats_of(rel);
         let second = stats_of(rel);
         assert!(Arc::ptr_eq(&first, &second));
+    }
+
+    /// Regression (resident-server leak): the process-wide sketch cache
+    /// used to be an unbounded map — one entry per distinct table,
+    /// forever. It is now an LRU bounded at [`STATS_CACHE_CAP`]:
+    /// flooding it with distinct tables never grows it past the cap, a
+    /// kept-warm entry survives the flood, and a cold one is evicted.
+    #[test]
+    fn stats_cache_is_bounded_and_evicts_lru() {
+        let attrs = [("a", DataType::Int), ("b", DataType::Int)];
+        let warm = int_relation(&attrs, &[vec![-7, -70], vec![-8, -80]]);
+        let cold = int_relation(&attrs, &[vec![-9, -90], vec![-10, -100]]);
+        let warm_stats = stats_of(&warm);
+        let cold_stats = stats_of(&cold);
+        // Flood with more distinct tables than the cache can hold,
+        // re-touching the warm entry often enough that it never becomes
+        // the least-recently-used slot.
+        for i in 0..(STATS_CACHE_CAP as i64 + 100) {
+            let filler = int_relation(&attrs, &[vec![i, 1_000_000 + i]]);
+            let _ = stats_of(&filler);
+            if i % 32 == 0 {
+                let _ = stats_of(&warm);
+            }
+        }
+        assert!(
+            stats_cache_len() <= STATS_CACHE_CAP,
+            "cache must stay bounded, got {}",
+            stats_cache_len()
+        );
+        assert!(
+            Arc::ptr_eq(&warm_stats, &stats_of(&warm)),
+            "the kept-warm entry must survive the flood"
+        );
+        assert!(
+            !Arc::ptr_eq(&cold_stats, &stats_of(&cold)),
+            "the untouched entry must have been evicted and recollected"
+        );
+    }
+
+    /// Regression: `fingerprint` used to hash schema names, row count,
+    /// and a sample of 16 evenly spaced tuples, so two same-schema,
+    /// same-rowcount tables agreeing on the sampled rows collided and
+    /// silently shared one sketch (wrong cardinality estimates → bad
+    /// join orders). These two relations — identical at every
+    /// even-sorted position the old scheme sampled, different at every
+    /// odd one — collided before; they must fingerprint apart and get
+    /// distinct sketches now.
+    #[test]
+    fn same_schema_same_rowcount_tables_do_not_collide() {
+        let attrs = [("a", DataType::Int), ("b", DataType::Int)];
+        let rows_a: Vec<Vec<i64>> = (0..32).map(|i| vec![i, i]).collect();
+        let rows_b: Vec<Vec<i64>> = (0..32)
+            .map(|i| vec![i, if i % 2 == 0 { i } else { i + 1000 }])
+            .collect();
+        let a = int_relation(&attrs, &rows_a);
+        let b = int_relation(&attrs, &rows_b);
+        // Same schema, same row count, same tuples at the 16 positions
+        // the old sampler read (sorted positions 0, 2, …, 30).
+        assert_eq!(a.len(), b.len());
+        assert_ne!(fingerprint(&a), fingerprint(&b), "full-content hash must differ");
+        let sa = stats_of(&a);
+        let sb = stats_of(&b);
+        assert!(!Arc::ptr_eq(&sa, &sb), "distinct tables must not share a sketch");
+        assert_eq!(sa.cols[1].max, Some(Value::Int(31)));
+        assert_eq!(
+            sb.cols[1].max,
+            Some(Value::Int(1031)),
+            "b's sketch must reflect b's own content, not a's"
+        );
     }
 
     #[test]

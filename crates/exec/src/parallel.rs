@@ -72,14 +72,34 @@ const MAX_ENV_THREADS: usize = 1024;
 /// past [`MAX_ENV_THREADS`]) **falls back to hardware parallelism with
 /// a one-time warning** instead of being silently ignored or honored —
 /// a misconfigured deployment degrades to a sane width, visibly.
+///
+/// This is the only place the environment is read, and callers should
+/// read it **once per request, at request construction** — resolve the
+/// width up front and carry the explicit count (`Engine::Parallel(n)`
+/// with `n ≥ 1` resolves verbatim). A long-lived server resolving the
+/// env per *operator* would race any concurrent mutation of the
+/// process-global environment; resolving per request makes each
+/// request's width a plain value. Tests exercise the policy through the
+/// pure [`resolve_threads_from`] instead of mutating the process
+/// environment (the libc environment is a shared mutable global, and
+/// mutating it while other threads read is unsound).
 pub fn resolve_threads(requested: usize) -> usize {
+    resolve_threads_from(requested, std::env::var("RELVIZ_THREADS").ok().as_deref())
+}
+
+/// The pure resolution policy behind [`resolve_threads`]: an explicit
+/// request wins verbatim; otherwise a valid `env` value (what
+/// `RELVIZ_THREADS` held at request construction) wins; otherwise — or
+/// on an unusable value, with a one-time warning — the machine's
+/// hardware parallelism.
+pub fn resolve_threads_from(requested: usize, env: Option<&str>) -> usize {
     if requested > 0 {
         return requested;
     }
-    if let Ok(v) = std::env::var("RELVIZ_THREADS") {
+    if let Some(v) = env {
         match v.parse::<usize>() {
             Ok(n) if (1..=MAX_ENV_THREADS).contains(&n) => return n,
-            _ => warn_bad_env(&v),
+            _ => warn_bad_env(v),
         }
     }
     hardware_threads()
@@ -280,13 +300,6 @@ fn merge_sorted(store: &ColumnStore, runs: Vec<Vec<RowId>>, out: &mut Vec<RowId>
 /// production does.
 pub(crate) use crate::stats::counters as instrument;
 
-/// Serializes tests that *mutate* the process-global `RELVIZ_THREADS`
-/// variable against tests that *read* it via `resolve_threads(0)` —
-/// `cargo test` runs tests concurrently in one process, and the libc
-/// environment is a shared mutable global.
-#[cfg(test)]
-pub(crate) static ENV_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -464,21 +477,22 @@ mod tests {
         }
     }
 
-    /// `resolve_threads(0)` honors RELVIZ_THREADS — the knob CI uses to
-    /// push the whole suite through the parallel paths.
+    /// Auto resolution honors RELVIZ_THREADS — the knob CI uses to push
+    /// the whole suite through the parallel paths. The policy is tested
+    /// through the pure [`resolve_threads_from`], not by mutating the
+    /// process environment: `cargo test` runs tests on concurrent
+    /// threads (and server tests spawn more), and mutating the libc
+    /// environment while any other thread may read it is undefined
+    /// behavior — the old save/mutate/restore-under-a-mutex version of
+    /// this test only synchronized against readers that took the same
+    /// local lock.
     #[test]
     fn auto_threads_reads_the_environment() {
-        // Env mutation is process-global: serialize against readers
-        // (see ENV_LOCK) and restore around the assert.
-        let _guard = super::ENV_LOCK.lock().unwrap();
-        let saved = std::env::var("RELVIZ_THREADS").ok();
-        std::env::set_var("RELVIZ_THREADS", "6");
-        let resolved = resolve_threads(0);
-        match saved {
-            Some(v) => std::env::set_var("RELVIZ_THREADS", v),
-            None => std::env::remove_var("RELVIZ_THREADS"),
-        }
-        assert_eq!(resolved, 6);
+        assert_eq!(resolve_threads_from(0, Some("6")), 6);
+        // `resolve_threads` itself feeds whatever the env held at call
+        // time into the same policy; with an explicit request the env
+        // is irrelevant.
+        assert_eq!(resolve_threads_from(3, Some("6")), 3);
     }
 
     /// Regression: an unusable `RELVIZ_THREADS` (non-numeric, zero,
@@ -486,26 +500,20 @@ mod tests {
     /// parallelism instead of being honored or panicking.
     #[test]
     fn invalid_relviz_threads_falls_back_to_hardware() {
-        let _guard = super::ENV_LOCK.lock().unwrap();
-        let saved = std::env::var("RELVIZ_THREADS").ok();
         let hw = hardware_threads();
         for bad in ["abc", "0", "999999999", "-3", "", "4.5"] {
-            std::env::set_var("RELVIZ_THREADS", bad);
             assert_eq!(
-                resolve_threads(0),
+                resolve_threads_from(0, Some(bad)),
                 hw,
                 "RELVIZ_THREADS={bad:?} must fall back to hardware parallelism"
             );
         }
-        // A valid value still wins over the fallback.
-        std::env::set_var("RELVIZ_THREADS", "6");
-        let valid = resolve_threads(0);
-        match saved {
-            Some(v) => std::env::set_var("RELVIZ_THREADS", v),
-            None => std::env::remove_var("RELVIZ_THREADS"),
-        }
-        assert_eq!(valid, 6);
+        // A valid value still wins over the fallback; none at all is
+        // the plain hardware default.
+        assert_eq!(resolve_threads_from(0, Some("6")), 6);
+        assert_eq!(resolve_threads_from(0, None), hw);
         // An explicit request is never second-guessed.
+        assert_eq!(resolve_threads_from(1, Some("6")), 1);
         assert_eq!(resolve_threads(1), 1);
         assert_eq!(resolve_threads(7), 7);
     }

@@ -404,6 +404,15 @@ impl QueryStats {
         }
     }
 
+    /// Records which optimizer configuration this analysis actually ran
+    /// under. The constructor defaults to the process-wide toggle (the
+    /// CLI's one-shot behavior); the `*_with` analyzed entry points
+    /// override it with the request's explicit config so a concurrent
+    /// server reports each request's own plan mode.
+    pub(crate) fn set_config(&mut self, cfg: crate::opt::OptConfig) {
+        self.optimized = cfg != crate::opt::OptConfig::unoptimized();
+    }
+
     fn register(&mut self, plan: &PhysPlan, depth: usize, parent: i64) {
         let id = self.metas.len();
         self.ids.insert(ptr_of(plan), id);
@@ -823,15 +832,41 @@ impl StatsReport {
 /// Runs a SQL query (through the SQL → TRC front door, like
 /// [`crate::run_sql`]) with **instrumentation enabled**, returning the
 /// result and the stats report. Requires a physical engine — the
-/// reference evaluator has no plan to instrument.
+/// reference evaluator has no plan to instrument. Plans under the
+/// process-wide optimizer default ([`crate::opt::OptConfig::current`]).
 pub fn run_sql_analyzed(
     engine: Engine,
     sql: &str,
     db: &Database,
 ) -> ExecResult<(Relation, StatsReport)> {
+    run_sql_analyzed_with(engine, sql, db, crate::opt::OptConfig::current())
+}
+
+/// [`run_sql_analyzed`] with an **explicit per-request optimizer
+/// configuration** — what a concurrent server threads through, so one
+/// request's `--no-opt` can't flip any other in-flight analysis.
+pub fn run_sql_analyzed_with(
+    engine: Engine,
+    sql: &str,
+    db: &Database,
+    cfg: crate::opt::OptConfig,
+) -> ExecResult<(Relation, StatsReport)> {
     let trc = relviz_rc::from_sql::parse_sql_to_trc(sql, db)?;
-    let plan = crate::planner::plan_trc(&trc, db)?;
-    analyze_plan(engine, &plan, db)
+    let plan = crate::planner::plan_trc_with(&trc, db, cfg)?;
+    analyze_plan(engine, &plan, db, cfg)
+}
+
+/// Evaluates a TRC query with instrumentation enabled under an
+/// explicit per-request optimizer configuration — the server's analyze
+/// path for queries that arrive as TRC rather than SQL.
+pub fn eval_trc_analyzed_with(
+    engine: Engine,
+    q: &relviz_rc::TrcQuery,
+    db: &Database,
+    cfg: crate::opt::OptConfig,
+) -> ExecResult<(Relation, StatsReport)> {
+    let plan = crate::planner::plan_trc_with(q, db, cfg)?;
+    analyze_plan(engine, &plan, db, cfg)
 }
 
 /// Executes a plain physical plan with instrumentation enabled.
@@ -839,6 +874,7 @@ fn analyze_plan(
     engine: Engine,
     plan: &PhysPlan,
     db: &Database,
+    cfg: crate::opt::OptConfig,
 ) -> ExecResult<(Relation, StatsReport)> {
     match engine {
         Engine::Reference => Err(ExecError::Eval(
@@ -848,6 +884,7 @@ fn analyze_plan(
         )),
         Engine::Indexed => {
             let mut stats = QueryStats::for_plan(plan, "exec", 1);
+            stats.set_config(cfg);
             stats.set_estimates(crate::opt::estimate_plan(plan, db));
             let stats = Arc::new(stats);
             let ctx = crate::run::ExecContext::new().with_stats(Arc::clone(&stats));
@@ -858,6 +895,7 @@ fn analyze_plan(
         Engine::Parallel(t) => {
             let threads = crate::parallel::resolve_threads(t).max(1);
             let mut stats = QueryStats::for_plan(plan, "parallel", threads);
+            stats.set_config(cfg);
             stats.set_estimates(crate::opt::estimate_plan(plan, db));
             let stats = Arc::new(stats);
             let ctx = crate::run::ExecContext::with_threads(threads)
@@ -872,11 +910,23 @@ fn analyze_plan(
 
 /// Evaluates a Datalog program with instrumentation enabled, returning
 /// the answer predicate's relation and the stats report (per-operator
-/// actuals for every rule plan, plus the per-round delta table).
+/// actuals for every rule plan, plus the per-round delta table). Plans
+/// under the process-wide optimizer default.
 pub fn eval_datalog_analyzed(
     engine: Engine,
     program: &relviz_datalog::Program,
     db: &Database,
+) -> ExecResult<(Relation, StatsReport)> {
+    eval_datalog_analyzed_with(engine, program, db, crate::opt::OptConfig::current())
+}
+
+/// [`eval_datalog_analyzed`] with an explicit per-request optimizer
+/// configuration (see [`run_sql_analyzed_with`]).
+pub fn eval_datalog_analyzed_with(
+    engine: Engine,
+    program: &relviz_datalog::Program,
+    db: &Database,
+    cfg: crate::opt::OptConfig,
 ) -> ExecResult<(Relation, StatsReport)> {
     let (name, threads): (&'static str, usize) = match engine {
         Engine::Reference => {
@@ -892,11 +942,11 @@ pub fn eval_datalog_analyzed(
     // Analysis runs the same pipeline `eval_datalog` does: with the
     // optimizer on, the program is magic-transformed first, so the
     // report shows what actually executed.
-    let cfg = crate::opt::OptConfig::current();
     let transformed = if cfg.magic { crate::opt::magic_transform(program) } else { None };
     let prog = transformed.as_ref().unwrap_or(program);
     let plan = crate::plan_datalog_with(prog, db, cfg)?;
     let mut stats = QueryStats::for_fixpoint(&plan, name, threads);
+    stats.set_config(cfg);
     stats.set_estimates(crate::opt::estimate_fixpoint(&plan, db));
     let stats = Arc::new(stats);
     let mut all =

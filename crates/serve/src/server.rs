@@ -1,0 +1,617 @@
+//! The resident query server: frame dispatch, the stdio loop, and the
+//! TCP accept loop.
+//!
+//! One [`Server`] owns the [`Catalog`] and the [`PlanCache`]; every
+//! connection (or the single stdio stream) shares it behind an `Arc`.
+//! A request never touches process-global state: its optimizer
+//! configuration and parallel worker width are resolved *at request
+//! construction* from frame fields falling back to server defaults —
+//! the `RELVIZ_THREADS` environment variable is consulted exactly once,
+//! when the server is built ([`Server::new`]).
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::Arc;
+
+use relviz_exec::{
+    eval_datalog_all_with, eval_datalog_analyzed_with, eval_fixpoint, eval_trc_analyzed_with,
+    eval_trc_with, execute, execute_parallel, magic_transform, plan_datalog_with, plan_trc_with,
+    resolve_threads, run_sql_analyzed_with, run_sql_with, Engine, OptConfig,
+};
+use relviz_model::text::parse_database;
+use relviz_model::Relation;
+
+use crate::cache::{Lang, PlanCache, PlanKey, Prepared};
+use crate::catalog::{Catalog, Snapshot};
+use crate::wire::{error_frame, escape, Json, WIRE_SCHEMA};
+
+/// Server construction parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct ServerConfig {
+    /// Default parallel worker width; `0` means *auto* (resolved from
+    /// `RELVIZ_THREADS` / hardware **once**, at construction).
+    pub threads: usize,
+    /// Optimizer default for requests that don't say (the CLI's
+    /// `--no-opt` lands here, instead of in a process global).
+    pub default_opt: OptConfig,
+    /// Prepared-plan cache capacity.
+    pub cache_cap: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            threads: 0,
+            default_opt: OptConfig::current(),
+            cache_cap: PlanCache::DEFAULT_CAP,
+        }
+    }
+}
+
+/// The resident query service. See the [`wire`] module docs for the
+/// `relviz-wire-v1` protocol it speaks.
+pub struct Server {
+    catalog: Catalog,
+    cache: PlanCache,
+    /// The resolved default parallel width — env was read once, here.
+    threads: usize,
+    default_opt: OptConfig,
+}
+
+impl Server {
+    pub fn new(config: ServerConfig) -> Server {
+        Server {
+            catalog: Catalog::new(),
+            cache: PlanCache::new(config.cache_cap),
+            threads: resolve_threads(config.threads).max(1),
+            default_opt: config.default_opt,
+        }
+    }
+
+    /// The catalog, for preloading databases before serving.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// The plan cache (tests pin invalidation through its counters).
+    pub fn plan_cache(&self) -> &PlanCache {
+        &self.cache
+    }
+
+    /// The resolved default parallel width.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// The session greeting, sent once per connection before any
+    /// request is read.
+    pub fn hello(&self) -> String {
+        format!(
+            "{{\"type\":\"hello\",\"schema\":\"{WIRE_SCHEMA}\",\"version\":\"{}\",\"threads\":{}}}",
+            escape(env!("CARGO_PKG_VERSION")),
+            self.threads
+        )
+    }
+
+    /// Handles one request line, returning the response frames in
+    /// order. Blank lines produce nothing; every failure produces
+    /// exactly one `error` frame.
+    pub fn handle_line(&self, line: &str) -> Vec<String> {
+        let line = line.trim();
+        if line.is_empty() {
+            return Vec::new();
+        }
+        let frame = match Json::parse(line) {
+            Ok(f) => f,
+            Err(e) => return vec![error_frame(None, &format!("malformed frame: {e}"))],
+        };
+        let id = frame.get("id").and_then(Json::as_u64);
+        let Some(ty) = frame.get("type").and_then(Json::as_str) else {
+            return vec![error_frame(id, "frame has no `type`")];
+        };
+        let result = match ty {
+            "query" => self.handle_query(id, &frame),
+            "load" => self.handle_load(id, &frame),
+            "insert" => self.handle_insert(id, &frame),
+            "drop" => self.handle_drop(id, &frame),
+            "catalog" => Ok(vec![self.catalog_frame(id)]),
+            "ping" => Ok(vec![with_id("pong", id, String::new())]),
+            other => Err(format!("unknown frame type `{other}`")),
+        };
+        result.unwrap_or_else(|message| vec![error_frame(id, &message)])
+    }
+
+    // -- query ---------------------------------------------------------
+
+    fn handle_query(&self, id: Option<u64>, frame: &Json) -> Result<Vec<String>, String> {
+        let req = QueryRequest::from_frame(frame, self.threads, self.default_opt)?;
+        let snap = self
+            .catalog
+            .get(&req.db)
+            .ok_or_else(|| format!("unknown database `{}`", req.db))?;
+        if req.analyze {
+            self.run_analyzed(id, &req, &snap)
+        } else {
+            let (rel, cached) = self.run_plain(&req, &snap)?;
+            Ok(vec![result_frame(id, &req.db, snap.generation, cached, &rel)])
+        }
+    }
+
+    /// The non-analyze path: physical engines go through the plan
+    /// cache, the reference oracle never does (it has no plan).
+    fn run_plain(&self, req: &QueryRequest, snap: &Snapshot) -> Result<(Relation, bool), String> {
+        let db = &*snap.db;
+        if req.engine == Engine::Reference {
+            let rel = match req.lang {
+                Lang::Sql => run_sql_with(req.engine, &req.text, db, req.cfg),
+                Lang::Trc => {
+                    let q = relviz_rc::trc_parse::parse_trc(&req.text).map_err(str_of)?;
+                    eval_trc_with(req.engine, &q, db, req.cfg)
+                }
+                Lang::Datalog => {
+                    let prog = relviz_datalog::parse::parse_program(&req.text).map_err(str_of)?;
+                    relviz_exec::eval_datalog_with(req.engine, &prog, db, req.cfg)
+                }
+            }
+            .map_err(str_of)?;
+            return Ok((rel, false));
+        }
+
+        let key =
+            PlanKey::new(&req.db, snap.generation, req.lang, req.engine, req.cfg, &req.text);
+        let (prepared, cached) = match self.cache.get(&key) {
+            Some(p) => (p, true),
+            None => {
+                let p = self.prepare(req, snap)?;
+                self.cache.put(key, p.clone());
+                (p, false)
+            }
+        };
+        let rel = self.execute_prepared(&prepared, req, snap)?;
+        Ok((rel, cached))
+    }
+
+    fn prepare(&self, req: &QueryRequest, snap: &Snapshot) -> Result<Prepared, String> {
+        let db = &*snap.db;
+        match req.lang {
+            Lang::Sql => {
+                let trc = relviz_rc::from_sql::parse_sql_to_trc(&req.text, db).map_err(str_of)?;
+                let plan = plan_trc_with(&trc, db, req.cfg).map_err(str_of)?;
+                Ok(Prepared::Plan(Arc::new(plan)))
+            }
+            Lang::Trc => {
+                let q = relviz_rc::trc_parse::parse_trc(&req.text).map_err(str_of)?;
+                let plan = plan_trc_with(&q, db, req.cfg).map_err(str_of)?;
+                Ok(Prepared::Plan(Arc::new(plan)))
+            }
+            Lang::Datalog => {
+                let prog = relviz_datalog::parse::parse_program(&req.text).map_err(str_of)?;
+                // Mirror `eval_datalog_with`: with the optimizer on,
+                // prefer the magic-transformed program; keep the
+                // original for the defensive fallback.
+                if req.cfg.magic {
+                    if let Some(t) = magic_transform(&prog) {
+                        if let Ok(plan) = plan_datalog_with(&t, db, req.cfg) {
+                            return Ok(Prepared::Fixpoint {
+                                plan: Arc::new(plan),
+                                query_pred: t.query.clone(),
+                                program: Arc::new(prog),
+                            });
+                        }
+                    }
+                }
+                let plan = plan_datalog_with(&prog, db, req.cfg).map_err(str_of)?;
+                let query_pred = prog.query.clone();
+                Ok(Prepared::Fixpoint { plan: Arc::new(plan), query_pred, program: Arc::new(prog) })
+            }
+        }
+    }
+
+    fn execute_prepared(
+        &self,
+        prepared: &Prepared,
+        req: &QueryRequest,
+        snap: &Snapshot,
+    ) -> Result<Relation, String> {
+        let db = &*snap.db;
+        match prepared {
+            Prepared::Plan(plan) => match req.engine {
+                Engine::Indexed => execute(plan, db).map_err(str_of),
+                Engine::Parallel(t) => execute_parallel(plan, db, t).map_err(str_of),
+                Engine::Reference => Err("reference engine has no prepared plan".to_string()),
+            },
+            Prepared::Fixpoint { plan, query_pred, program } => {
+                let mut all = match req.engine {
+                    Engine::Indexed => eval_fixpoint(plan, db).map_err(str_of)?,
+                    Engine::Parallel(t) => {
+                        relviz_exec::parallel::eval_fixpoint_parallel(plan, db, t)
+                            .map_err(str_of)?
+                    }
+                    Engine::Reference => {
+                        return Err("reference engine has no prepared plan".to_string())
+                    }
+                };
+                match all.remove(query_pred) {
+                    Some(rel) => Ok(rel),
+                    // The magic-planned program didn't derive the query
+                    // predicate — fall back to the untransformed
+                    // program, exactly like `eval_datalog_with`.
+                    None => {
+                        let mut all = eval_datalog_all_with(req.engine, program, db, req.cfg)
+                            .map_err(str_of)?;
+                        all.remove(&program.query).ok_or_else(|| {
+                            format!("query predicate `{}` was never derived", program.query)
+                        })
+                    }
+                }
+            }
+        }
+    }
+
+    /// The analyze path: instrumentation is per-run, so it bypasses the
+    /// plan cache and emits a `stats` frame after the `result` frame.
+    fn run_analyzed(
+        &self,
+        id: Option<u64>,
+        req: &QueryRequest,
+        snap: &Snapshot,
+    ) -> Result<Vec<String>, String> {
+        let db = &*snap.db;
+        let (rel, report) = match req.lang {
+            Lang::Sql => run_sql_analyzed_with(req.engine, &req.text, db, req.cfg),
+            Lang::Trc => {
+                let q = relviz_rc::trc_parse::parse_trc(&req.text).map_err(str_of)?;
+                eval_trc_analyzed_with(req.engine, &q, db, req.cfg)
+            }
+            Lang::Datalog => {
+                let prog = relviz_datalog::parse::parse_program(&req.text).map_err(str_of)?;
+                eval_datalog_analyzed_with(req.engine, &prog, db, req.cfg)
+            }
+        }
+        .map_err(str_of)?;
+        Ok(vec![
+            result_frame(id, &req.db, snap.generation, false, &rel),
+            with_id(
+                "stats",
+                id,
+                format!(",\"stats_schema\":\"relviz-stats-v1\",\"stats_json\":\"{}\"", escape(&report.to_json())),
+            ),
+        ])
+    }
+
+    // -- catalog mutations ---------------------------------------------
+
+    fn handle_load(&self, id: Option<u64>, frame: &Json) -> Result<Vec<String>, String> {
+        let db = db_name(frame)?;
+        let text = text_field(frame)?;
+        let parsed = parse_database(text).map_err(str_of)?;
+        let generation = self.catalog.load(db, parsed);
+        self.cache.purge_db(db);
+        Ok(vec![ok_frame(id, "load", db, Some(generation))])
+    }
+
+    fn handle_insert(&self, id: Option<u64>, frame: &Json) -> Result<Vec<String>, String> {
+        let db = db_name(frame)?;
+        let text = text_field(frame)?;
+        let fragment = parse_database(text).map_err(str_of)?;
+        let generation = self.catalog.insert(db, &fragment)?;
+        self.cache.purge_db(db);
+        Ok(vec![ok_frame(id, "insert", db, Some(generation))])
+    }
+
+    fn handle_drop(&self, id: Option<u64>, frame: &Json) -> Result<Vec<String>, String> {
+        let db = db_name(frame)?;
+        if !self.catalog.drop_db(db) {
+            return Err(format!("unknown database `{db}`"));
+        }
+        self.cache.purge_db(db);
+        Ok(vec![ok_frame(id, "drop", db, None)])
+    }
+
+    fn catalog_frame(&self, id: Option<u64>) -> String {
+        let mut body = String::from(",\"databases\":[");
+        for (i, row) in self.catalog.list().iter().enumerate() {
+            if i > 0 {
+                body.push(',');
+            }
+            body.push_str(&format!(
+                "{{\"name\":\"{}\",\"generation\":{},\"relations\":{},\"tuples\":{}}}",
+                escape(&row.name),
+                row.generation,
+                row.relations,
+                row.tuples
+            ));
+        }
+        let cache = self.cache.stats();
+        body.push_str(&format!(
+            "],\"plan_cache\":{{\"len\":{},\"hits\":{},\"misses\":{}}}",
+            cache.len, cache.hits, cache.misses
+        ));
+        with_id("catalog", id, body)
+    }
+
+    // -- transports ----------------------------------------------------
+
+    /// Serves one connection: greets, then answers line-by-line until
+    /// EOF. Both the stdio and TCP modes funnel through here.
+    pub fn serve_connection<R: BufRead, W: Write>(
+        &self,
+        reader: R,
+        writer: &mut W,
+    ) -> io::Result<()> {
+        writeln!(writer, "{}", self.hello())?;
+        writer.flush()?;
+        for line in reader.lines() {
+            for response in self.handle_line(&line?) {
+                writeln!(writer, "{response}")?;
+            }
+            writer.flush()?;
+        }
+        Ok(())
+    }
+
+    /// `relviz serve --stdio`: one session over stdin/stdout.
+    pub fn serve_stdio(&self) -> io::Result<()> {
+        let stdin = io::stdin();
+        let stdout = io::stdout();
+        self.serve_connection(stdin.lock(), &mut stdout.lock())
+    }
+
+    /// `relviz serve --port N`: thread-per-connection accept loop.
+    /// Runs until the listener errors (i.e. effectively forever).
+    pub fn serve_listener(self: &Arc<Self>, listener: TcpListener) -> io::Result<()> {
+        for conn in listener.incoming() {
+            let stream: TcpStream = conn?;
+            let server = Arc::clone(self);
+            std::thread::spawn(move || {
+                let Ok(read_half) = stream.try_clone() else {
+                    return;
+                };
+                let mut writer = stream;
+                let _ = server.serve_connection(BufReader::new(read_half), &mut writer);
+            });
+        }
+        Ok(())
+    }
+}
+
+/// A fully resolved query request: everything per-request, nothing
+/// global. Built once per frame — the only place defaults (server
+/// width, server optimizer config) are consulted.
+struct QueryRequest {
+    db: String,
+    text: String,
+    lang: Lang,
+    engine: Engine,
+    cfg: OptConfig,
+    analyze: bool,
+}
+
+impl QueryRequest {
+    fn from_frame(
+        frame: &Json,
+        server_threads: usize,
+        default_opt: OptConfig,
+    ) -> Result<QueryRequest, String> {
+        let text = frame
+            .get("query")
+            .and_then(Json::as_str)
+            .ok_or("query frame has no `query` text")?
+            .to_string();
+        let lang = match frame.get("lang").and_then(Json::as_str).unwrap_or("sql") {
+            "sql" => Lang::Sql,
+            "trc" => Lang::Trc,
+            "datalog" => Lang::Datalog,
+            other => return Err(format!("unknown lang `{other}`")),
+        };
+        // The parallel width is pinned here: an explicit `threads`
+        // field wins, else the width the server resolved at startup.
+        // `resolve_threads` is never called again downstream because
+        // the payload is always >= 1.
+        let width = match frame.get("threads").and_then(Json::as_u64) {
+            Some(t) if t > 0 => t as usize,
+            _ => server_threads,
+        };
+        let engine = match frame.get("engine").and_then(Json::as_str).unwrap_or("exec") {
+            "exec" | "indexed" => Engine::Indexed,
+            "parallel" => Engine::Parallel(width),
+            "reference" => Engine::Reference,
+            other => return Err(format!("unknown engine `{other}`")),
+        };
+        let mut cfg = default_opt;
+        if frame.get("no_opt").and_then(Json::as_bool) == Some(true) {
+            cfg = OptConfig::unoptimized();
+        }
+        if frame.get("optimize").and_then(Json::as_bool) == Some(true) {
+            cfg = OptConfig::optimized();
+        }
+        let analyze = frame.get("analyze").and_then(Json::as_bool) == Some(true);
+        Ok(QueryRequest {
+            db: db_name(frame)?.to_string(),
+            text,
+            lang,
+            engine,
+            cfg,
+            analyze,
+        })
+    }
+}
+
+// -- frame builders ----------------------------------------------------
+
+fn db_name(frame: &Json) -> Result<&str, String> {
+    match frame.get("db") {
+        None => Ok("default"),
+        Some(v) => v.as_str().ok_or_else(|| "`db` must be a string".to_string()),
+    }
+}
+
+fn text_field(frame: &Json) -> Result<&str, String> {
+    frame
+        .get("text")
+        .and_then(Json::as_str)
+        .ok_or_else(|| "frame has no `text`".to_string())
+}
+
+/// `{"type":"<ty>","id":N<body>}` with the id omitted when absent;
+/// `body` must start with `,` or be empty.
+fn with_id(ty: &str, id: Option<u64>, body: String) -> String {
+    match id {
+        Some(id) => format!("{{\"type\":\"{ty}\",\"id\":{id}{body}}}"),
+        None => format!("{{\"type\":\"{ty}\"{body}}}"),
+    }
+}
+
+fn result_frame(id: Option<u64>, db: &str, generation: u64, cached: bool, rel: &Relation) -> String {
+    with_id(
+        "result",
+        id,
+        format!(
+            ",\"db\":\"{}\",\"generation\":{generation},\"rows\":{},\"cached_plan\":{cached},\"body\":\"{}\"",
+            escape(db),
+            rel.len(),
+            escape(&format!("{rel}"))
+        ),
+    )
+}
+
+fn ok_frame(id: Option<u64>, op: &str, db: &str, generation: Option<u64>) -> String {
+    let mut body = format!(",\"op\":\"{op}\",\"db\":\"{}\"", escape(db));
+    if let Some(generation) = generation {
+        body.push_str(&format!(",\"generation\":{generation}"));
+    }
+    with_id("ok", id, body)
+}
+
+fn str_of(e: impl std::fmt::Display) -> String {
+    e.to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relviz_model::catalog::sailors_sample;
+
+    fn server() -> Server {
+        let s = Server::new(ServerConfig { threads: 2, ..ServerConfig::default() });
+        s.catalog().load("default", sailors_sample());
+        s
+    }
+
+    fn one(server: &Server, line: &str) -> Json {
+        let frames = server.handle_line(line);
+        assert_eq!(frames.len(), 1, "expected one frame, got {frames:?}");
+        Json::parse(&frames[0]).expect("response is valid JSON")
+    }
+
+    #[test]
+    fn hello_identifies_the_wire_schema() {
+        let s = server();
+        let hello = Json::parse(&s.hello()).expect("hello parses");
+        assert_eq!(hello.get("schema").and_then(Json::as_str), Some(WIRE_SCHEMA));
+        assert_eq!(hello.get("threads").and_then(Json::as_u64), Some(2));
+    }
+
+    #[test]
+    fn query_result_matches_one_shot_execution() {
+        let s = server();
+        let sql = "SELECT S.sname FROM Sailor S WHERE S.rating > 7";
+        let resp = one(&s, &format!(r#"{{"type":"query","id":1,"query":"{sql}"}}"#));
+        assert_eq!(resp.get("type").and_then(Json::as_str), Some("result"));
+        let body = resp.get("body").and_then(Json::as_str).expect("body");
+        let oneshot =
+            run_sql_with(Engine::Indexed, sql, &sailors_sample(), OptConfig::current())
+                .expect("one-shot evaluates");
+        assert_eq!(body, format!("{oneshot}"), "server body must be byte-identical");
+        assert_eq!(resp.get("cached_plan").and_then(Json::as_bool), Some(false));
+        // Second time around the plan comes from the cache — same body.
+        let again = one(&s, &format!(r#"{{"type":"query","id":2,"query":"{sql}"}}"#));
+        assert_eq!(again.get("cached_plan").and_then(Json::as_bool), Some(true));
+        assert_eq!(again.get("body").and_then(Json::as_str), Some(body));
+    }
+
+    #[test]
+    fn mutation_bumps_generation_and_invalidates_cached_plans() {
+        let s = server();
+        let q = r#"{"type":"query","id":1,"query":"SELECT S.sname FROM Sailor S"}"#;
+        assert_eq!(one(&s, q).get("cached_plan").and_then(Json::as_bool), Some(false));
+        assert_eq!(one(&s, q).get("cached_plan").and_then(Json::as_bool), Some(true));
+        // Insert a sailor: generation bumps, the cached plan is dead.
+        let ins = one(
+            &s,
+            r#"{"type":"insert","id":2,"db":"default","text":"relation Sailor(sid:int, sname:str, rating:int, age:float)\n99, zorba, 10, 33.0\n"}"#,
+        );
+        assert_eq!(ins.get("type").and_then(Json::as_str), Some("ok"));
+        assert_eq!(ins.get("generation").and_then(Json::as_u64), Some(1));
+        let resp = one(&s, q);
+        assert_eq!(resp.get("cached_plan").and_then(Json::as_bool), Some(false));
+        assert_eq!(resp.get("generation").and_then(Json::as_u64), Some(1));
+        let body = resp.get("body").and_then(Json::as_str).expect("body");
+        assert!(body.contains("zorba"), "post-insert result must see the new row:\n{body}");
+    }
+
+    #[test]
+    fn analyze_appends_a_stats_frame() {
+        let s = server();
+        let frames = s.handle_line(
+            r#"{"type":"query","id":5,"query":"SELECT S.sname FROM Sailor S","analyze":true}"#,
+        );
+        assert_eq!(frames.len(), 2, "{frames:?}");
+        let stats = Json::parse(&frames[1]).expect("stats frame parses");
+        assert_eq!(stats.get("type").and_then(Json::as_str), Some("stats"));
+        let payload = stats.get("stats_json").and_then(Json::as_str).expect("stats_json");
+        assert!(payload.contains("relviz-stats-v1"), "embedded relviz-stats-v1 document");
+        assert!(!frames[1].contains('\n'), "frames stay single-line");
+    }
+
+    #[test]
+    fn errors_are_frames_not_panics() {
+        let s = server();
+        for (line, needle) in [
+            ("not json", "malformed"),
+            (r#"{"id":1}"#, "no `type`"),
+            (r#"{"type":"nope","id":1}"#, "unknown frame type"),
+            (r#"{"type":"query","id":1,"query":"SELECT","lang":"sql"}"#, ""),
+            (r#"{"type":"query","id":1,"query":"{ s | Sailor(s) }","db":"missing"}"#, "unknown database"),
+            (r#"{"type":"drop","id":1,"db":"missing"}"#, "unknown database"),
+        ] {
+            let resp = one(&s, line);
+            assert_eq!(resp.get("type").and_then(Json::as_str), Some("error"), "{line}");
+            let msg = resp.get("message").and_then(Json::as_str).unwrap_or_default();
+            assert!(msg.contains(needle), "`{msg}` should mention `{needle}`");
+        }
+    }
+
+    #[test]
+    fn ping_catalog_load_drop_roundtrip() {
+        let s = server();
+        assert_eq!(
+            one(&s, r#"{"type":"ping","id":9}"#).get("type").and_then(Json::as_str),
+            Some("pong")
+        );
+        one(&s, r#"{"type":"load","id":1,"db":"tiny","text":"relation R(a:int)\n1\n2\n"}"#);
+        let cat = one(&s, r#"{"type":"catalog","id":2}"#);
+        let Some(Json::Arr(dbs)) = cat.get("databases") else { panic!("databases array") };
+        assert_eq!(dbs.len(), 2);
+        assert_eq!(dbs[1].get("name").and_then(Json::as_str), Some("tiny"));
+        assert_eq!(dbs[1].get("tuples").and_then(Json::as_u64), Some(2));
+        one(&s, r#"{"type":"drop","id":3,"db":"tiny"}"#);
+        let cat = one(&s, r#"{"type":"catalog","id":4}"#);
+        let Some(Json::Arr(dbs)) = cat.get("databases") else { panic!("databases array") };
+        assert_eq!(dbs.len(), 1);
+    }
+
+    #[test]
+    fn serve_connection_greets_then_answers() {
+        let s = server();
+        let input = b"{\"type\":\"ping\",\"id\":1}\n" as &[u8];
+        let mut out = Vec::new();
+        s.serve_connection(input, &mut out).expect("serves");
+        let text = String::from_utf8(out).expect("utf8");
+        let mut lines = text.lines();
+        let hello = Json::parse(lines.next().expect("hello line")).expect("parses");
+        assert_eq!(hello.get("type").and_then(Json::as_str), Some("hello"));
+        let pong = Json::parse(lines.next().expect("pong line")).expect("parses");
+        assert_eq!(pong.get("type").and_then(Json::as_str), Some("pong"));
+    }
+}

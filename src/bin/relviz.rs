@@ -6,6 +6,7 @@
 //! relviz trans  "<SQL>"                 # the query in all five languages
 //! relviz run    "<SQL>"                 # evaluate on the sailors sample DB
 //! relviz matrix                         # the E5 expressiveness matrix
+//! relviz serve  --stdio | --port N      # resident query service (relviz-wire-v1)
 //! ```
 //!
 //! Options: `--formalism queryvis|reldiag|dfql|qbe|strings|visualsql|sqlvis|tabletalk|dataplay|sieuferd|qbd`,
@@ -44,10 +45,17 @@ fn run(args: Vec<String>) -> Result<(), String> {
     let mut verify = false;
     let mut analyze = false;
     let mut stats_json: Option<String> = None;
+    let mut stdio = false;
+    let mut port: Option<u16> = None;
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--analyze" => analyze = true,
+            "--stdio" => stdio = true,
+            "--port" => {
+                let v = it.next().ok_or("--port needs a port number")?;
+                port = Some(v.parse().map_err(|_| format!("--port: `{v}` is not a port"))?);
+            }
             "--no-opt" => relviz::exec::set_optimizer_enabled(false),
             "--stats-json" => {
                 stats_json = Some(it.next().ok_or("--stats-json needs a file path")?);
@@ -153,6 +161,7 @@ fn run(args: Vec<String>) -> Result<(), String> {
             Ok(())
         }
         "check" => check(&db, &lang, suite, positional.get(1).map(String::as_str)),
+        "serve" => serve(db, stdio, port, threads),
         "run" => {
             let query = positional.get(1).ok_or("usage: relviz run \"<query>\"")?;
             match lang.as_str() {
@@ -196,12 +205,37 @@ fn run(args: Vec<String>) -> Result<(), String> {
                  relviz trans  \"<SQL>\"          the query in TRC/DRC/RA/Datalog\n  \
                  relviz run    \"<query>\"        evaluate on the database (--verify checks first,\n                                 --analyze prints EXPLAIN ANALYZE, --lang sql|datalog)\n  \
                  relviz check  \"<query>\"        verify the plan without running (--lang, --suite)\n  \
-                 relviz matrix                  expressiveness matrix\n\n\
+                 relviz matrix                  expressiveness matrix\n  \
+                 relviz serve  --stdio|--port N resident query service (relviz-wire-v1,\n                                 --db preloads `default`, --threads, --no-opt)\n\n\
                  options: --formalism queryvis|reldiag|dfql|qbe|strings|visualsql|\n                          sqlvis|tabletalk|dataplay|sieuferd|qbd, --db <file>,\n                          --engine exec|parallel|reference (run defaults to exec),\n                          --threads N (for --engine parallel; 0 = auto),\n                          --lang sql|ra|trc|datalog (check/run input language),\n                          --suite (check every suite query in RA, TRC and Datalog),\n                          --analyze (run with per-operator runtime stats),\n                          --stats-json <file> (write the stats as JSON; implies --analyze),\n                          --no-opt (disable join reordering + magic sets for A/B debugging)"
             );
             Ok(())
         }
     }
+}
+
+/// `relviz serve`: the resident query service. `--stdio` answers
+/// `relviz-wire-v1` frames on stdin/stdout (one session); `--port N`
+/// accepts TCP connections on 127.0.0.1, one thread per connection,
+/// all sharing the catalog and the prepared-plan cache. The `--db`
+/// database (default: the sailors sample) is preloaded as `default`;
+/// `--threads` pins the parallel width, `--no-opt` sets the default
+/// optimizer configuration — each request can still override both.
+fn serve(db: Database, stdio: bool, port: Option<u16>, threads: usize) -> Result<(), String> {
+    use relviz::serve::{Server, ServerConfig};
+    let server = Server::new(ServerConfig { threads, ..ServerConfig::default() });
+    server.catalog().load("default", db);
+    if stdio {
+        return server.serve_stdio().map_err(|e| e.to_string());
+    }
+    let Some(port) = port else {
+        return Err("usage: relviz serve --stdio | relviz serve --port N".to_string());
+    };
+    let listener = std::net::TcpListener::bind(("127.0.0.1", port))
+        .map_err(|e| format!("binding 127.0.0.1:{port}: {e}"))?;
+    let addr = listener.local_addr().map_err(|e| e.to_string())?;
+    eprintln!("relviz: serving relviz-wire-v1 on {addr} ({} worker threads)", server.threads());
+    std::sync::Arc::new(server).serve_listener(listener).map_err(|e| e.to_string())
 }
 
 /// `relviz run` on SQL: evaluate on the pipeline's engine, optionally

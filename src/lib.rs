@@ -20,6 +20,7 @@
 //! | [`layout`] | `relviz-layout` | layered & nested-box layout |
 //! | [`render`] | `relviz-render` | SVG & ASCII backends |
 //! | [`core`] | `relviz-core` | pipeline, suite, patterns, principles |
+//! | [`serve`] | `relviz-serve` | resident query service (`relviz-wire-v1`) |
 //!
 //! ## Quickstart
 //!
@@ -47,4 +48,5 @@ pub use relviz_model as model;
 pub use relviz_ra as ra;
 pub use relviz_rc as rc;
 pub use relviz_render as render;
+pub use relviz_serve as serve;
 pub use relviz_sql as sql;
